@@ -1,0 +1,110 @@
+// E10 — revocation-design ablation (paper §3): the framework deliberately
+// keeps BOTH revocation layers (CGKD rekey + GSIG revocation). This bench
+// quantifies the two GSIG mechanisms the instantiations use and replays
+// the §3 key-leak attack with and without Phase III.
+//
+//   * ACJT: Camenisch-Lysyanskaya accumulator — every membership change
+//     forces every member to update its witness (O(events) exps each).
+//   * KTY: verifier-local revocation — credentials never change, but each
+//     Verify pays one exponentiation per revoked member.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "crypto/drbg.h"
+#include "gsig/acjt.h"
+#include "gsig/kty.h"
+
+using namespace shs;
+using namespace shs::bench;
+
+namespace {
+
+void BM_KtyVerifyWithCrl(benchmark::State& state) {
+  const auto revoked = static_cast<std::size_t>(state.range(0));
+  crypto::HmacDrbg rng(to_bytes("e10-kty-" + std::to_string(revoked)));
+  auto scheme = gsig::KtyGsig::create(algebra::ParamLevel::kTest, rng);
+  auto alice = scheme->admit(0, rng);
+  for (std::size_t i = 1; i <= revoked; ++i) {
+    (void)scheme->admit(i, rng);
+    scheme->revoke(i);
+  }
+  scheme->update_credential(alice);
+  const Bytes msg = to_bytes("m");
+  const Bytes sig = scheme->sign(alice, msg, {}, rng);
+  for (auto _ : state) scheme->verify(msg, sig, {});
+  state.counters["crl_size"] = static_cast<double>(revoked);
+}
+BENCHMARK(BM_KtyVerifyWithCrl)->Arg(0)->Arg(4)->Arg(16)->Arg(64)
+    ->Iterations(3)->Unit(benchmark::kMillisecond);
+
+void BM_AcjtWitnessUpdateAfterRevocations(benchmark::State& state) {
+  const auto revoked = static_cast<std::size_t>(state.range(0));
+  crypto::HmacDrbg rng(to_bytes("e10-acjt-" + std::to_string(revoked)));
+  auto scheme = gsig::AcjtGsig::create(algebra::ParamLevel::kTest, rng);
+  auto alice = scheme->admit(0, rng);
+  for (std::size_t i = 1; i <= revoked; ++i) (void)scheme->admit(i, rng);
+  for (std::size_t i = 1; i <= revoked; ++i) scheme->revoke(i);
+  const Bytes update = scheme->export_update(alice.revision);
+  for (auto _ : state) {
+    gsig::MemberCredential copy = alice;
+    scheme->apply_update(copy, update);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.counters["events"] = static_cast<double>(2 * revoked);
+}
+BENCHMARK(BM_AcjtWitnessUpdateAfterRevocations)->Arg(1)->Arg(4)->Arg(16)
+    ->Arg(64)->Iterations(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("E10: revocation ablation — accumulator (ACJT) vs "
+              "verifier-local CRL (KTY), and the §3 two-layer argument\n");
+
+  // The §3 attack replay, with and without the GSIG layer.
+  core::GroupConfig cfg;
+  core::GroupAuthority ga("e10", cfg, to_bytes("e10-attack"));
+  auto alice = ga.admit(1);
+  auto bob = ga.admit(2);
+  auto mallory = ga.admit(3);
+  for (auto* m : {alice.get(), bob.get(), mallory.get()}) (void)m->update();
+  const gsig::MemberCredential stale = mallory->credential();
+  ga.remove(3);
+  (void)alice->update();
+  (void)bob->update();
+  const Bytes leaked = alice->group_key();
+
+  auto attack = [&](bool phase3) {
+    core::HandshakeOptions opts;
+    opts.traceable = phase3;
+    auto p0 = alice->handshake_party(0, 3, opts,
+                                     to_bytes(phase3 ? "on" : "off"));
+    auto p1 = bob->handshake_party(1, 3, opts,
+                                   to_bytes(phase3 ? "on2" : "off2"));
+    core::HandshakeParticipant evil(ga, stale, leaked, 2, 3, opts,
+                                    to_bytes("evil"));
+    core::HandshakeParticipant* parts[] = {p0.get(), p1.get(), &evil};
+    auto outcomes = core::run_handshake(parts);
+    // NB: vector<bool> returns a proxy; convert before `outcomes` dies.
+    return static_cast<bool>(outcomes[0].partner[2]);
+  };
+
+  table_header("§3 key-leak attack (revoked member + leaked group key)",
+               "configuration              | revoked member accepted?");
+  std::printf("CGKD-only (Phases I+II)    | %s   <- the broken optimization\n",
+              attack(false) ? "YES" : "no");
+  std::printf("both layers (Phase III on) | %s   <- the framework's choice\n",
+              attack(true) ? "YES" : "no");
+
+  std::printf("\ncost asymmetry of the two GSIG mechanisms (see benchmark "
+              "rows below):\n"
+              " - KTY/VLR: O(|CRL|) exps per *verification*, free updates\n"
+              " - ACJT/accumulator: O(events) exps per *member update*, "
+              "verification cost flat\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

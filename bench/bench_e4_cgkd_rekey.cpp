@@ -1,0 +1,120 @@
+// E4 — CGKD rekey costs (paper §5, building block II): LKH [33] rekeys
+// with O(log n) sealed entries versus the star baseline's O(n), and the
+// stateless Subset Difference scheme [26] covers n-r receivers with at
+// most 2r-1 subsets.
+//
+// Rows: rekey (leave) message size and time as group size n grows, and SD
+// header size as the revoked count r grows.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "cgkd/lkh.h"
+#include "cgkd/star.h"
+#include "cgkd/subset_diff.h"
+#include "crypto/drbg.h"
+
+using namespace shs;
+using namespace shs::bench;
+
+namespace {
+
+template <typename Controller>
+Controller& cached_controller(const std::string& key, std::size_t n) {
+  static std::map<std::string, std::unique_ptr<Controller>> cache;
+  static std::map<std::string, std::unique_ptr<crypto::HmacDrbg>> rngs;
+  auto it = cache.find(key);
+  if (it != cache.end()) return *it->second;
+  auto rng = std::make_unique<crypto::HmacDrbg>(to_bytes("e4-" + key));
+  std::unique_ptr<Controller> gc;
+  if constexpr (std::is_same_v<Controller, cgkd::StarCgkd>) {
+    gc = std::make_unique<Controller>(*rng);
+  } else {
+    gc = std::make_unique<Controller>(n, *rng);
+  }
+  for (std::size_t i = 0; i < n; ++i) (void)gc->join(i);
+  rngs.emplace(key, std::move(rng));
+  return *cache.emplace(key, std::move(gc)).first->second;
+}
+
+void BM_LkhRefresh(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto& gc = cached_controller<cgkd::LkhCgkd>("lkh" + std::to_string(n), n);
+  for (auto _ : state) {
+    auto msg = gc.refresh();
+    state.counters["msg_bytes"] = static_cast<double>(msg.size());
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_LkhRefresh)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_StarRefresh(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto& gc = cached_controller<cgkd::StarCgkd>("star" + std::to_string(n), n);
+  for (auto _ : state) {
+    auto msg = gc.refresh();
+    state.counters["msg_bytes"] = static_cast<double>(msg.size());
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_StarRefresh)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SubsetDiffRefresh(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto& gc =
+      cached_controller<cgkd::SubsetDiffCgkd>("sd" + std::to_string(n), n);
+  for (auto _ : state) {
+    auto msg = gc.refresh();
+    state.counters["msg_bytes"] = static_cast<double>(msg.size());
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_SubsetDiffRefresh)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("E4: CGKD rekey scaling — LKH O(log n) vs star O(n); SD "
+              "header <= 2r-1\n");
+
+  table_header("n | lkh leave bytes | star leave bytes | ratio",
+               "--+-----------------+------------------+------");
+  for (std::size_t n : {16u, 64u, 256u, 1024u, 2048u}) {
+    crypto::HmacDrbg r1(to_bytes("lkh-t" + std::to_string(n)));
+    crypto::HmacDrbg r2(to_bytes("star-t" + std::to_string(n)));
+    cgkd::LkhCgkd lkh(n, r1);
+    cgkd::StarCgkd star(r2);
+    for (std::size_t i = 0; i < n; ++i) {
+      (void)lkh.join(i);
+      (void)star.join(i);
+    }
+    const std::size_t lb = lkh.leave(n / 2).size();
+    const std::size_t sb = star.leave(n / 2).size();
+    std::printf("%5zu | %15zu | %16zu | %5.1fx\n", n, lb, sb,
+                static_cast<double>(sb) / static_cast<double>(lb));
+  }
+
+  table_header("SD: r revoked (n=1024, scattered) | cover subsets | 2r-1",
+               "----------------------------------+---------------+-----");
+  {
+    crypto::HmacDrbg rng(to_bytes("sd-cover"));
+    cgkd::SubsetDiffCgkd sd(1024, rng);
+    for (std::size_t i = 0; i < 1024; ++i) (void)sd.join(i);
+    std::size_t r = 0;
+    for (std::size_t i = 0; i < 1024 && r < 64; i += 17, ++r) {
+      (void)sd.leave(i);
+      if (r == 1 || r == 4 || r == 16 || r == 63) {
+        std::printf("%33zu | %13zu | %4zu\n", r + 1,
+                    sd.current_cover().size(), 2 * (r + 1) - 1);
+      }
+    }
+  }
+  std::printf("\n(LKH message grows ~log n; star grows linearly; SD cover "
+              "stays within the 2r-1 bound)\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// E8 — GCD.TraceUser cost (paper §7): "In the worst case, the authority
+// needs to try to search the right session key and decrypt all theta_i's".
+//
+// Measures the GA's tracing time over transcripts of m-party handshakes,
+// positional pairing (linear in m) versus the paper's worst-case
+// exhaustive key-to-theta search (quadratic in m).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+using namespace shs;
+using namespace shs::bench;
+
+namespace {
+
+core::HandshakeTranscript& cached_transcript(std::size_t m) {
+  static std::map<std::size_t, core::HandshakeTranscript> cache;
+  auto it = cache.find(m);
+  if (it != cache.end()) return it->second;
+  core::GroupConfig cfg;
+  BenchGroup& group = cached_group("e8", cfg, 16);
+  core::HandshakeOptions options;
+  auto outcomes =
+      run_group_handshake(group, m, options, "e8-" + std::to_string(m));
+  return cache.emplace(m, std::move(outcomes[0].transcript)).first->second;
+}
+
+void BM_TracePositional(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  core::GroupConfig cfg;
+  BenchGroup& group = cached_group("e8", cfg, 16);
+  const auto& transcript = cached_transcript(m);
+  for (auto _ : state) {
+    auto traced = group.authority->trace(transcript, false);
+    if (traced.size() != m) state.SkipWithError("trace incomplete");
+  }
+  state.counters["m"] = static_cast<double>(m);
+}
+BENCHMARK(BM_TracePositional)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Iterations(2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TraceExhaustive(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  core::GroupConfig cfg;
+  BenchGroup& group = cached_group("e8", cfg, 16);
+  const auto& transcript = cached_transcript(m);
+  for (auto _ : state) {
+    auto traced = group.authority->trace(transcript, true);
+    if (traced.size() != m) state.SkipWithError("trace incomplete");
+  }
+  state.counters["m"] = static_cast<double>(m);
+}
+BENCHMARK(BM_TraceExhaustive)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Iterations(2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("E8: GA tracing cost over m-party transcripts — positional "
+              "vs the paper's worst-case exhaustive search\n");
+
+  core::GroupConfig cfg;
+  BenchGroup& group = cached_group("e8", cfg, 16);
+  table_header("m | positional ms | exhaustive ms | traced",
+               "--+---------------+---------------+-------");
+  for (std::size_t m : {2u, 4u, 8u, 16u}) {
+    const auto& transcript = cached_transcript(m);
+    std::size_t traced_count = 0;
+    const double ms1 = time_ms([&] {
+      traced_count = group.authority->trace(transcript, false).size();
+    });
+    const double ms2 = time_ms([&] {
+      (void)group.authority->trace(transcript, true);
+    });
+    std::printf("%2zu | %13.1f | %13.1f | %zu/%zu\n", m, ms1, ms2,
+                traced_count, m);
+  }
+  std::printf("\n(tracing work is dominated by delta decryptions + "
+              "GSIG.Open; the exhaustive variant pays the extra theta "
+              "trial-decryptions the paper warns about)\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,146 @@
+// E9 — GSIG microbenchmarks (paper §4 / §8 / Appendix H): Sign, Verify,
+// Open and Join for both instantiations' group-signature schemes, plus
+// KTY's self-distinction variant. These are the dominant costs inside
+// Phase III, so they explain the E1-E3 numbers.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "crypto/drbg.h"
+#include "gsig/acjt.h"
+#include "gsig/kty.h"
+
+using namespace shs;
+
+namespace {
+
+struct Ctx {
+  std::unique_ptr<gsig::GsigGroup> scheme;
+  gsig::MemberCredential credential;
+  Bytes message = to_bytes("benchmark message");
+  Bytes signature;
+  Bytes sd_signature;  // KTY only
+  crypto::HmacDrbg rng{to_bytes("e9")};
+};
+
+Ctx& context(const std::string& name) {
+  static std::map<std::string, Ctx> cache;
+  auto it = cache.find(name);
+  if (it != cache.end()) return it->second;
+  Ctx ctx;
+  const algebra::ParamLevel level = name.ends_with("-1024")
+                                        ? algebra::ParamLevel::kBench
+                                        : algebra::ParamLevel::kTest;
+  if (name.starts_with("acjt")) {
+    ctx.scheme = gsig::AcjtGsig::create(level, ctx.rng);
+  } else {
+    ctx.scheme = gsig::KtyGsig::create(level, ctx.rng);
+  }
+  ctx.credential = ctx.scheme->admit(1, ctx.rng);
+  ctx.signature = ctx.scheme->sign(ctx.credential, ctx.message, {}, ctx.rng);
+  if (ctx.scheme->supports_self_distinction()) {
+    ctx.sd_signature = ctx.scheme->sign(ctx.credential, ctx.message,
+                                        to_bytes("session"), ctx.rng);
+  }
+  return cache.emplace(name, std::move(ctx)).first->second;
+}
+
+void BM_Sign(benchmark::State& state, const std::string& name) {
+  Ctx& ctx = context(name);
+  for (auto _ : state) {
+    auto sig = ctx.scheme->sign(ctx.credential, ctx.message, {}, ctx.rng);
+    benchmark::DoNotOptimize(sig);
+    state.counters["sig_bytes"] = static_cast<double>(sig.size());
+  }
+}
+
+void BM_Verify(benchmark::State& state, const std::string& name) {
+  Ctx& ctx = context(name);
+  for (auto _ : state) {
+    ctx.scheme->verify(ctx.message, ctx.signature, {});
+  }
+}
+
+void BM_Open(benchmark::State& state, const std::string& name) {
+  Ctx& ctx = context(name);
+  for (auto _ : state) {
+    auto id = ctx.scheme->open(ctx.message, ctx.signature, {});
+    benchmark::DoNotOptimize(id);
+  }
+}
+
+void BM_AcjtSign(benchmark::State& s) { BM_Sign(s, "acjt"); }
+void BM_AcjtVerify(benchmark::State& s) { BM_Verify(s, "acjt"); }
+void BM_AcjtOpen(benchmark::State& s) { BM_Open(s, "acjt"); }
+void BM_KtySign(benchmark::State& s) { BM_Sign(s, "kty"); }
+void BM_KtyVerify(benchmark::State& s) { BM_Verify(s, "kty"); }
+void BM_KtyOpen(benchmark::State& s) { BM_Open(s, "kty"); }
+
+void BM_KtySignSelfDistinct(benchmark::State& state) {
+  Ctx& ctx = context("kty");
+  for (auto _ : state) {
+    auto sig = ctx.scheme->sign(ctx.credential, ctx.message,
+                                to_bytes("session"), ctx.rng);
+    benchmark::DoNotOptimize(sig);
+  }
+}
+
+void BM_KtyVerifySelfDistinct(benchmark::State& state) {
+  Ctx& ctx = context("kty");
+  for (auto _ : state) {
+    ctx.scheme->verify(ctx.message, ctx.sd_signature, to_bytes("session"));
+  }
+}
+
+void BM_Join(benchmark::State& state, const std::string& name) {
+  // Joins mutate the scheme; use a private instance.
+  crypto::HmacDrbg rng(to_bytes("e9-join-" + name));
+  std::unique_ptr<gsig::GsigGroup> scheme;
+  if (name == "acjt") {
+    scheme = gsig::AcjtGsig::create(algebra::ParamLevel::kTest, rng);
+  } else {
+    scheme = gsig::KtyGsig::create(algebra::ParamLevel::kTest, rng);
+  }
+  gsig::MemberId id = 1;
+  for (auto _ : state) {
+    auto cred = scheme->admit(id++, rng);
+    benchmark::DoNotOptimize(cred);
+  }
+}
+void BM_AcjtJoin(benchmark::State& s) { BM_Join(s, "acjt"); }
+void BM_KtyJoin(benchmark::State& s) { BM_Join(s, "kty"); }
+
+// Modulus scaling: the same operations over the kBench 1024-bit modulus.
+void BM_KtySign1024(benchmark::State& s) { BM_Sign(s, "kty-1024"); }
+void BM_KtyVerify1024(benchmark::State& s) { BM_Verify(s, "kty-1024"); }
+
+BENCHMARK(BM_AcjtSign)->Unit(benchmark::kMillisecond)->Iterations(5);
+BENCHMARK(BM_AcjtVerify)->Unit(benchmark::kMillisecond)->Iterations(5);
+BENCHMARK(BM_AcjtOpen)->Unit(benchmark::kMillisecond)->Iterations(5);
+BENCHMARK(BM_KtySign)->Unit(benchmark::kMillisecond)->Iterations(5);
+BENCHMARK(BM_KtyVerify)->Unit(benchmark::kMillisecond)->Iterations(5);
+BENCHMARK(BM_KtyOpen)->Unit(benchmark::kMillisecond)->Iterations(5);
+BENCHMARK(BM_KtySignSelfDistinct)->Unit(benchmark::kMillisecond)->Iterations(5);
+BENCHMARK(BM_KtyVerifySelfDistinct)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+BENCHMARK(BM_AcjtJoin)->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK(BM_KtyJoin)->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK(BM_KtySign1024)->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK(BM_KtyVerify1024)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("E9: group-signature microbenchmarks (512-bit modulus, "
+              "compact parameter profile)\n");
+  std::printf("signature sizes: acjt=%zu bytes (bound %zu), kty=%zu bytes "
+              "(bound %zu)\n",
+              context("acjt").signature.size(),
+              context("acjt").scheme->signature_size_bound(),
+              context("kty").signature.size(),
+              context("kty").scheme->signature_size_bound());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Shared scaffolding for the experiment benches E1..E10: cached group
+// construction (admissions dominate setup, so groups are built once per
+// process) and small table-printing helpers so every binary emits the
+// rows its experiment in EXPERIMENTS.md documents.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/authority.h"
+#include "core/handshake.h"
+#include "core/member.h"
+
+namespace shs::bench {
+
+struct BenchGroup {
+  std::unique_ptr<core::GroupAuthority> authority;
+  std::vector<std::unique_ptr<core::Member>> members;
+};
+
+/// Builds (once per process, cached by key) a group with `n` members.
+inline BenchGroup& cached_group(const std::string& key,
+                                const core::GroupConfig& config,
+                                std::size_t n) {
+  static std::map<std::string, BenchGroup> cache;
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  BenchGroup group;
+  group.authority = std::make_unique<core::GroupAuthority>(
+      key, config, to_bytes("bench-seed-" + key));
+  for (std::size_t i = 0; i < n; ++i) {
+    group.members.push_back(group.authority->admit(1000 + i));
+  }
+  for (auto& m : group.members) (void)m->update();
+  return cache.emplace(key, std::move(group)).first->second;
+}
+
+/// Runs one handshake among the first m members of `group`; returns
+/// outcomes. `salt` decorrelates sessions.
+inline std::vector<core::HandshakeOutcome> run_group_handshake(
+    BenchGroup& group, std::size_t m, const core::HandshakeOptions& options,
+    const std::string& salt) {
+  std::vector<std::unique_ptr<core::HandshakeParticipant>> parts;
+  for (std::size_t i = 0; i < m; ++i) {
+    parts.push_back(
+        group.members[i]->handshake_party(i, m, options, to_bytes(salt)));
+  }
+  std::vector<core::HandshakeParticipant*> ptrs;
+  for (auto& p : parts) ptrs.push_back(p.get());
+  return core::run_handshake(ptrs);
+}
+
+/// Wall-clock helper returning milliseconds.
+template <typename F>
+double time_ms(F&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+inline void table_header(const char* title, const char* columns) {
+  std::printf("\n%s\n%s\n", title, columns);
+}
+
+}  // namespace shs::bench

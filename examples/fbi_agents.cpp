@@ -1,0 +1,73 @@
+// The paper's §1 motivating scenario: FBI agent Alice wants to
+// authenticate to Bob ONLY if Bob is also an FBI agent — and if he is
+// not, he must not even learn that she is one.
+//
+// Run 1: two FBI agents         -> mutual success.
+// Run 2: FBI agent vs CIA agent -> mutual silent failure; neither side's
+//        transcript reveals anything (both GAs fail to trace it).
+//
+//   ./fbi_agents
+#include <cstdio>
+
+#include "core/authority.h"
+#include "core/handshake.h"
+#include "core/member.h"
+
+using namespace shs;
+using namespace shs::core;
+
+namespace {
+
+void report(const char* label, const std::vector<HandshakeOutcome>& outcomes) {
+  std::printf("%s\n", label);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    std::printf("  party %zu: %s (%s)\n", i,
+                outcomes[i].full_success ? "HANDSHAKE OK" : "no handshake",
+                outcomes[i].failure.empty() ? "confirmed peer"
+                                            : outcomes[i].failure.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  GroupConfig config;
+  GroupAuthority fbi("fbi", config, to_bytes("fbi-seed"));
+  GroupAuthority cia("cia", config, to_bytes("cia-seed"));
+
+  auto alice = fbi.admit(100);   // FBI
+  auto bob = fbi.admit(101);     // FBI
+  (void)alice->update();
+  (void)bob->update();
+  auto eve = cia.admit(200);     // CIA
+  (void)eve->update();
+
+  HandshakeOptions options;
+
+  {
+    auto p0 = alice->handshake_party(0, 2, options, to_bytes("meet-1"));
+    auto p1 = bob->handshake_party(1, 2, options, to_bytes("meet-1"));
+    HandshakeParticipant* parts[] = {p0.get(), p1.get()};
+    report("Alice (FBI) <-> Bob (FBI):", run_handshake(parts));
+  }
+
+  std::vector<HandshakeOutcome> cross;
+  {
+    auto p0 = alice->handshake_party(0, 2, options, to_bytes("meet-2"));
+    auto p1 = eve->handshake_party(1, 2, options, to_bytes("meet-2"));
+    HandshakeParticipant* parts[] = {p0.get(), p1.get()};
+    cross = run_handshake(parts);
+    report("\nAlice (FBI) <-> Eve (CIA):", cross);
+  }
+
+  // Neither agency's GA can extract anything from the failed transcript:
+  // what went on the wire is indistinguishable from noise.
+  const auto fbi_trace = fbi.trace(cross[0].transcript);
+  const auto cia_trace = cia.trace(cross[1].transcript);
+  std::printf(
+      "\nfailed-run transcript: FBI traces %zu identities, CIA traces %zu —\n"
+      "Eve never learns Alice is FBI, and vice versa.\n",
+      fbi_trace.size(), cia_trace.size());
+
+  return fbi_trace.empty() && cia_trace.empty() ? 0 : 1;
+}

@@ -1,0 +1,66 @@
+// Partially-successful handshakes (paper §7 Extension): five parties sit
+// down together; three are from group alpha, two from group beta. Nobody
+// knows in advance who belongs where. Each same-group clique completes
+// its own handshake and learns exactly its own size — the alphas discover
+// the other two alphas, the betas discover each other, and neither side
+// learns anything about the other group.
+//
+//   ./partial_handshake
+#include <cstdio>
+
+#include "core/authority.h"
+#include "core/handshake.h"
+#include "core/member.h"
+
+using namespace shs;
+using namespace shs::core;
+
+int main() {
+  GroupConfig config;
+  GroupAuthority alpha("alpha", config, to_bytes("alpha-seed"));
+  GroupAuthority beta("beta", config, to_bytes("beta-seed"));
+
+  // Seating order: alpha, beta, alpha, beta, alpha.
+  auto a1 = alpha.admit(1);
+  auto b1 = beta.admit(2);
+  auto a2 = alpha.admit(3);
+  auto b2 = beta.admit(4);
+  auto a3 = alpha.admit(5);
+  for (auto* m : {a1.get(), a2.get(), a3.get()}) (void)m->update();
+  for (auto* m : {b1.get(), b2.get()}) (void)m->update();
+
+  HandshakeOptions options;  // allow_partial = true by default
+  Member* seating[] = {a1.get(), b1.get(), a2.get(), b2.get(), a3.get()};
+  const char* affiliation[] = {"alpha", "beta", "alpha", "beta", "alpha"};
+
+  std::vector<std::unique_ptr<HandshakeParticipant>> parts;
+  for (std::size_t i = 0; i < 5; ++i) {
+    parts.push_back(seating[i]->handshake_party(i, 5, options,
+                                                to_bytes("round-table")));
+  }
+  std::vector<HandshakeParticipant*> ptrs;
+  for (auto& p : parts) ptrs.push_back(p.get());
+  auto outcomes = run_handshake(ptrs);
+
+  std::printf("5-party handshake, mixed groups:\n\n");
+  for (std::size_t i = 0; i < 5; ++i) {
+    std::printf("position %zu (%s) confirmed clique of %zu: { ", i,
+                affiliation[i], outcomes[i].confirmed_count());
+    for (std::size_t j = 0; j < 5; ++j) {
+      if (outcomes[i].partner[j]) std::printf("%zu ", j);
+    }
+    std::printf("}  session key %s...\n",
+                to_hex(outcomes[i].session_key).substr(0, 12).c_str());
+  }
+
+  const bool alphas_found_each_other = outcomes[0].confirmed_count() == 3 &&
+                                       outcomes[2].confirmed_count() == 3 &&
+                                       outcomes[4].confirmed_count() == 3;
+  const bool betas_found_each_other = outcomes[1].confirmed_count() == 2 &&
+                                      outcomes[3].confirmed_count() == 2;
+  std::printf(
+      "\nalphas found their trio: %s; betas found their pair: %s\n",
+      alphas_found_each_other ? "yes" : "no",
+      betas_found_each_other ? "yes" : "no");
+  return alphas_found_each_other && betas_found_each_other ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+// Self-distinction (paper §8.2): a malicious insider ("Sybil") joins a
+// 3-party handshake twice, playing positions 1 and 2 with one credential.
+//
+// Scheme 1 (plain GCD) is fooled: the honest participant believes it met
+// two distinct fellow members. Scheme 2 forces every signature in the
+// session to share the base T7 = H(transcript); the insider's two
+// signatures then carry identical T6 = T7^{x'} values and the honest
+// participant detects the duplication.
+//
+//   ./self_distinction_demo
+#include <cstdio>
+
+#include "core/authority.h"
+#include "core/handshake.h"
+#include "core/member.h"
+
+using namespace shs;
+using namespace shs::core;
+
+namespace {
+
+HandshakeOutcome honest_view(Member& honest, Member& sybil,
+                             const HandshakeOptions& options,
+                             const char* seed) {
+  auto p0 = honest.handshake_party(0, 3, options, to_bytes(seed));
+  auto p1 = sybil.handshake_party(1, 3, options,
+                                  to_bytes(std::string(seed) + "-a"));
+  auto p2 = sybil.handshake_party(2, 3, options,
+                                  to_bytes(std::string(seed) + "-b"));
+  HandshakeParticipant* parts[] = {p0.get(), p1.get(), p2.get()};
+  return run_handshake(parts)[0];
+}
+
+}  // namespace
+
+int main() {
+  GroupConfig config;  // KTY signatures: self-distinction capable
+  GroupAuthority authority("activists", config, to_bytes("sd-demo"));
+  auto honest = authority.admit(1);
+  auto sybil = authority.admit(2);
+  (void)honest->update();
+  (void)sybil->update();
+
+  std::printf("3-party handshake; positions 1 and 2 are the SAME person.\n\n");
+
+  HandshakeOptions scheme1;
+  scheme1.self_distinction = false;
+  const auto o1 = honest_view(*honest, *sybil, scheme1, "s1");
+  std::printf("scheme 1: full_success=%s  (honest member believes it met %zu "
+              "distinct members)\n",
+              o1.full_success ? "yes" : "no", o1.confirmed_count() - 1);
+
+  HandshakeOptions scheme2;
+  scheme2.self_distinction = true;
+  const auto o2 = honest_view(*honest, *sybil, scheme2, "s2");
+  std::printf("scheme 2: full_success=%s  duplication detected=%s  "
+              "(duplicated positions excluded: confirmed=%zu)\n",
+              o2.full_success ? "yes" : "no",
+              o2.self_distinction_violated ? "yes" : "no",
+              o2.confirmed_count());
+
+  const bool demo_ok = o1.full_success &&                 // scheme 1 fooled
+                       o2.self_distinction_violated &&    // scheme 2 catches
+                       !o2.full_success;
+  std::printf("\n%s\n", demo_ok ? "self-distinction works as in the paper"
+                                : "UNEXPECTED RESULT");
+  return demo_ok ? 0 : 1;
+}

@@ -1,0 +1,33 @@
+#include "algebra/elgamal.h"
+
+namespace shs::algebra {
+
+using num::BigInt;
+
+ElGamal::KeyPair ElGamal::keygen(num::RandomSource& rng) const {
+  KeyPair kp;
+  kp.sk = group_.random_exponent(rng);
+  kp.pk = group_.exp_g(kp.sk);
+  return kp;
+}
+
+ElGamalCiphertext ElGamal::encrypt(const BigInt& pk, const BigInt& m,
+                                   num::RandomSource& rng) const {
+  return encrypt_with_randomness(pk, m, group_.random_exponent(rng));
+}
+
+ElGamalCiphertext ElGamal::encrypt_with_randomness(const BigInt& pk,
+                                                   const BigInt& m,
+                                                   const BigInt& r) const {
+  ElGamalCiphertext ct;
+  ct.c1 = group_.exp_g(r);
+  ct.c2 = group_.mul(group_.exp(pk, r), m);
+  return ct;
+}
+
+BigInt ElGamal::decrypt(const BigInt& sk, const ElGamalCiphertext& ct) const {
+  const BigInt shared = group_.exp(ct.c1, sk);
+  return group_.mul(group_.inverse(shared), ct.c2);
+}
+
+}  // namespace shs::algebra

@@ -1,0 +1,48 @@
+// ElGamal encryption over a Schnorr group (IND-CPA under DDH). Used by the
+// CJT04 baseline's CA-oblivious encryption; the framework's tracing key
+// uses the IND-CCA2 Cramer-Shoup hybrid instead (hybrid_pke.h).
+#pragma once
+
+#include "algebra/schnorr_group.h"
+#include "bigint/bigint.h"
+#include "bigint/random.h"
+
+namespace shs::algebra {
+
+struct ElGamalCiphertext {
+  num::BigInt c1;  // g^r
+  num::BigInt c2;  // pk^r * m
+};
+
+class ElGamal {
+ public:
+  explicit ElGamal(SchnorrGroup group) : group_(std::move(group)) {}
+
+  struct KeyPair {
+    num::BigInt sk;  // x in [1, q-1]
+    num::BigInt pk;  // g^x
+  };
+
+  [[nodiscard]] KeyPair keygen(num::RandomSource& rng) const;
+
+  /// Encrypts a group element m under pk.
+  [[nodiscard]] ElGamalCiphertext encrypt(const num::BigInt& pk,
+                                          const num::BigInt& m,
+                                          num::RandomSource& rng) const;
+
+  /// Encrypts under pk with caller-chosen randomness r (needed by the
+  /// CA-oblivious construction, where r doubles as a commitment).
+  [[nodiscard]] ElGamalCiphertext encrypt_with_randomness(
+      const num::BigInt& pk, const num::BigInt& m,
+      const num::BigInt& r) const;
+
+  [[nodiscard]] num::BigInt decrypt(const num::BigInt& sk,
+                                    const ElGamalCiphertext& ct) const;
+
+  [[nodiscard]] const SchnorrGroup& group() const noexcept { return group_; }
+
+ private:
+  SchnorrGroup group_;
+};
+
+}  // namespace shs::algebra

@@ -1,0 +1,107 @@
+#include "algebra/hybrid_pke.h"
+
+#include "bigint/modmath.h"
+#include "common/codec.h"
+#include "common/errors.h"
+#include "crypto/aead.h"
+#include "crypto/hmac.h"
+
+namespace shs::algebra {
+
+using num::BigInt;
+
+HybridPke::HybridPke(SchnorrGroup group) : group_(std::move(group)) {}
+
+HybridPke::KeyPair HybridPke::keygen(num::RandomSource& rng) const {
+  KeyPair kp;
+  // Independent second generator: random element (discrete log unknown).
+  kp.pk.g2 = group_.random_element(rng);
+  kp.sk.x1 = group_.random_exponent(rng);
+  kp.sk.x2 = group_.random_exponent(rng);
+  kp.sk.y1 = group_.random_exponent(rng);
+  kp.sk.y2 = group_.random_exponent(rng);
+  kp.sk.z = group_.random_exponent(rng);
+  kp.pk.c = group_.mul(group_.exp_g(kp.sk.x1), group_.exp(kp.pk.g2, kp.sk.x2));
+  kp.pk.d = group_.mul(group_.exp_g(kp.sk.y1), group_.exp(kp.pk.g2, kp.sk.y2));
+  kp.pk.h = group_.exp_g(kp.sk.z);
+  return kp;
+}
+
+BigInt HybridPke::fs_alpha(const BigInt& u1, const BigInt& u2,
+                           const BigInt& e) const {
+  ByteWriter w;
+  w.str("cramer-shoup-alpha");
+  w.bytes(group_.encode(u1));
+  w.bytes(group_.encode(u2));
+  w.bytes(group_.encode(e));
+  return group_.hash_to_exponent(w.buffer());
+}
+
+Bytes HybridPke::encrypt(const PublicKey& pk, BytesView plaintext,
+                         num::RandomSource& rng) const {
+  const BigInt r = group_.random_exponent(rng);
+  // KEM: encapsulate a random group element k.
+  const BigInt k = group_.random_element(rng);
+  const BigInt u1 = group_.exp_g(r);
+  const BigInt u2 = group_.exp(pk.g2, r);
+  const BigInt e = group_.mul(group_.exp(pk.h, r), k);
+  const BigInt alpha = fs_alpha(u1, u2, e);
+  const BigInt v = group_.mul(group_.exp(pk.c, r),
+                              group_.exp(pk.d, num::mul_mod(r, alpha, group_.q())));
+
+  const Bytes dem_key = crypto::hkdf(group_.encode(k), {},
+                                     to_bytes("cs-hybrid-dem"), 32);
+  const crypto::Aead aead(dem_key);
+
+  Bytes out;
+  append(out, group_.encode(u1));
+  append(out, group_.encode(u2));
+  append(out, group_.encode(e));
+  append(out, group_.encode(v));
+  append(out, aead.seal(plaintext, rng));
+  return out;
+}
+
+Bytes HybridPke::decrypt([[maybe_unused]] const PublicKey& pk,
+                         const SecretKey& sk, BytesView ciphertext) const {
+  const std::size_t es = group_.element_size();
+  if (ciphertext.size() < 4 * es + crypto::Aead::kOverhead) {
+    throw VerifyError("HybridPke::decrypt: ciphertext too short");
+  }
+  const BigInt u1 = group_.decode(ciphertext.subspan(0, es));
+  const BigInt u2 = group_.decode(ciphertext.subspan(es, es));
+  const BigInt e = group_.decode(ciphertext.subspan(2 * es, es));
+  const BigInt v = group_.decode(ciphertext.subspan(3 * es, es));
+
+  // Cramer-Shoup validity check.
+  const BigInt alpha = fs_alpha(u1, u2, e);
+  const BigInt check =
+      group_.mul(group_.exp(u1, num::add_mod(sk.x1, num::mul_mod(sk.y1, alpha, group_.q()),
+                                             group_.q())),
+                 group_.exp(u2, num::add_mod(sk.x2, num::mul_mod(sk.y2, alpha, group_.q()),
+                                             group_.q())));
+  if (check != v) {
+    throw VerifyError("HybridPke::decrypt: CCA validity check failed");
+  }
+
+  const BigInt k = group_.mul(group_.inverse(group_.exp(u1, sk.z)), e);
+  const Bytes dem_key = crypto::hkdf(group_.encode(k), {},
+                                     to_bytes("cs-hybrid-dem"), 32);
+  return crypto::Aead(dem_key).open(ciphertext.subspan(4 * es));
+}
+
+Bytes HybridPke::random_ciphertext(std::size_t plaintext_len,
+                                   num::RandomSource& rng) const {
+  Bytes out;
+  for (int i = 0; i < 4; ++i) {
+    append(out, group_.encode(group_.random_element(rng)));
+  }
+  append(out, crypto::Aead::random_ciphertext(plaintext_len, rng));
+  return out;
+}
+
+std::size_t HybridPke::ciphertext_size(std::size_t plaintext_len) const {
+  return 4 * group_.element_size() + plaintext_len + crypto::Aead::kOverhead;
+}
+
+}  // namespace shs::algebra

@@ -1,0 +1,248 @@
+#include "algebra/pairing.h"
+
+#include "bigint/modmath.h"
+#include "common/codec.h"
+#include "common/errors.h"
+#include "crypto/sha256.h"
+
+namespace shs::algebra {
+
+using num::BigInt;
+
+PairingGroup::PairingGroup(BigInt p, BigInt q, BigInt h)
+    : p_(std::move(p)), q_(std::move(q)), h_(std::move(h)) {
+  if ((p_.limbs()[0] & 3) != 3) {
+    throw MathError("PairingGroup: p must be 3 mod 4");
+  }
+  if ((p_ + BigInt(1)) != q_ * h_) {
+    throw MathError("PairingGroup: p + 1 != q*h");
+  }
+  sqrt_exp_ = (p_ + BigInt(1)) >> 2;
+  generator_ = hash_to_point(to_bytes("shs-pairing-generator"));
+}
+
+PairingGroup PairingGroup::standard(ParamLevel level) {
+  switch (level) {
+    case ParamLevel::kTest:
+      return PairingGroup(
+          BigInt::from_hex(
+              "5a295651f39d8f9f8797cd643e09d9873773e8c890238c2c32ea12a02353fd"
+              "8665932105da29c0cac10c569ecfa284475d36abda313d30e4771735012bab"
+              "a973"),
+          BigInt::from_hex("ab973be5cddfb91c1bfadbabe7101a1d799d3f69"),
+          BigInt::from_hex("86838d1a6e43d5a3ad499bda091b8e4e1d47061e0726e385"
+                           "342731c3e8e97a90bec1a6cbbd3c363adbbba354"));
+    case ParamLevel::kBench:
+      return PairingGroup(
+          BigInt::from_hex(
+              "aa75236b20bed394475db0306a488d4701d57602d7d08d427370a7e84224"
+              "1da536734756b0bb0bc7f8d77f2930496cc679164a9807af3ce3ff8a618f"
+              "206d2812e4d769a85f74939941ab54509232fe41422bc8f589f3bb835081"
+              "143f7eee57fc220f4d61d2ba761b107d049f3a144e58fd16cd13c9e73ba8"
+              "d002606e07b923df"),
+          BigInt::from_hex("e56e34beb12b599837b5e8c4e68da6425a4ab44f"),
+          BigInt::from_hex(
+              "be3298955d3901ef56f8e5a96733b46a971e73bb5f00765ae193e542970c"
+              "fd2eb929c494d54957bc1aa43131916b5fa89962f84bf12f465e08c88301"
+              "b364b98628b2814f5d17169a97f846c71affd6aacbb3613eccda7efe311a"
+              "220da5179325cba9acbb670dd354f75b4620"));
+  }
+  throw MathError("PairingGroup: unknown level");
+}
+
+BigInt PairingGroup::fp_inv(const BigInt& a) const {
+  return num::mod_inverse(a, p_);
+}
+
+bool PairingGroup::on_curve(const Point& pt) const {
+  if (pt.infinity) return true;
+  if (pt.x.is_negative() || pt.x >= p_ || pt.y.is_negative() || pt.y >= p_) {
+    return false;
+  }
+  const BigInt lhs = num::mul_mod(pt.y, pt.y, p_);
+  const BigInt rhs = num::mod(pt.x * pt.x * pt.x + pt.x, p_);
+  return lhs == rhs;
+}
+
+PairingGroup::Point PairingGroup::negate(const Point& a) const {
+  if (a.infinity) return a;
+  return {a.x, num::mod(-a.y, p_), false};
+}
+
+PairingGroup::Point PairingGroup::add(const Point& a, const Point& b) const {
+  if (a.infinity) return b;
+  if (b.infinity) return a;
+  BigInt lambda;
+  if (a.x == b.x) {
+    if (num::mod(a.y + b.y, p_).is_zero()) return {};  // a = -b
+    // Tangent: lambda = (3x^2 + 1) / (2y).
+    lambda = num::mul_mod(num::mod(BigInt(3) * a.x * a.x + BigInt(1), p_),
+                          fp_inv(num::mod(a.y << 1, p_)), p_);
+  } else {
+    lambda = num::mul_mod(num::mod(b.y - a.y, p_),
+                          fp_inv(num::mod(b.x - a.x, p_)), p_);
+  }
+  Point out;
+  out.infinity = false;
+  out.x = num::mod(lambda * lambda - a.x - b.x, p_);
+  out.y = num::mod(lambda * (a.x - out.x) - a.y, p_);
+  return out;
+}
+
+PairingGroup::Point PairingGroup::mul_raw(const Point& a,
+                                          const BigInt& k) const {
+  Point result;  // infinity
+  Point base = a;
+  for (std::size_t i = 0; i < k.bit_length(); ++i) {
+    if (k.bit(i)) result = add(result, base);
+    base = add(base, base);
+  }
+  return result;
+}
+
+PairingGroup::Point PairingGroup::mul(const Point& a,
+                                      const BigInt& scalar) const {
+  return mul_raw(a, num::mod(scalar, q_));
+}
+
+PairingGroup::Point PairingGroup::hash_to_point(BytesView data) const {
+  for (std::uint32_t counter = 0;; ++counter) {
+    ByteWriter w;
+    w.str("shs-hash-to-curve");
+    w.u32(counter);
+    w.bytes(data);
+    // Expand to field width + 16 bytes, reduce mod p.
+    Bytes expanded;
+    std::uint32_t block = 0;
+    while (expanded.size() < field_size() + 16) {
+      ByteWriter inner;
+      inner.bytes(w.buffer());
+      inner.u32(block++);
+      append(expanded, crypto::Sha256::digest(inner.buffer()));
+    }
+    expanded.resize(field_size() + 16);
+    const BigInt x = num::mod(BigInt::from_bytes(expanded), p_);
+    const BigInt rhs = num::mod(x * x * x + x, p_);
+    if (rhs.is_zero()) continue;
+    // p = 3 mod 4: candidate sqrt is rhs^{(p+1)/4}.
+    const BigInt y = num::mod_exp(rhs, sqrt_exp_, p_);
+    if (num::mul_mod(y, y, p_) != rhs) continue;  // not a QR
+    Point pt{x, y, false};
+    pt = mul_raw(pt, h_);  // cofactor multiplication into the q-subgroup
+    if (pt.infinity) continue;
+    return pt;
+  }
+}
+
+BigInt PairingGroup::random_scalar(num::RandomSource& rng) const {
+  return num::random_range(BigInt(1), q_ - BigInt(1), rng);
+}
+
+Fp2 PairingGroup::fp2_mul(const Fp2& a, const Fp2& b) const {
+  // (a.re + a.im i)(b.re + b.im i); i^2 = -1.
+  Fp2 out;
+  out.re = num::mod(a.re * b.re - a.im * b.im, p_);
+  out.im = num::mod(a.re * b.im + a.im * b.re, p_);
+  return out;
+}
+
+Fp2 PairingGroup::fp2_square(const Fp2& a) const { return fp2_mul(a, a); }
+
+Fp2 PairingGroup::fp2_conjugate(const Fp2& a) const {
+  return {a.re, num::mod(-a.im, p_)};
+}
+
+Fp2 PairingGroup::fp2_inverse(const Fp2& a) const {
+  const BigInt norm = num::mod(a.re * a.re + a.im * a.im, p_);
+  const BigInt ninv = fp_inv(norm);
+  return {num::mul_mod(a.re, ninv, p_), num::mod(-(a.im * ninv), p_)};
+}
+
+Fp2 PairingGroup::fp2_exp(const Fp2& a, const BigInt& e) const {
+  if (e.is_negative()) return fp2_exp(fp2_inverse(a), -e);
+  Fp2 result = fp2_one();
+  for (std::size_t i = e.bit_length(); i-- > 0;) {
+    result = fp2_square(result);
+    if (e.bit(i)) result = fp2_mul(result, a);
+  }
+  return result;
+}
+
+Fp2 PairingGroup::line_value(const Point& a, const Point& b,
+                             const BigInt& qx, const BigInt& qy) const {
+  // Evaluate the line through a, b at phi(Q) = (-qx, qy * i).
+  if (a.infinity || b.infinity) return fp2_one();
+  BigInt lambda;
+  if (a.x == b.x) {
+    if (num::mod(a.y + b.y, p_).is_zero()) return fp2_one();  // vertical
+    lambda = num::mul_mod(num::mod(BigInt(3) * a.x * a.x + BigInt(1), p_),
+                          fp_inv(num::mod(a.y << 1, p_)), p_);
+  } else {
+    lambda = num::mul_mod(num::mod(b.y - a.y, p_),
+                          fp_inv(num::mod(b.x - a.x, p_)), p_);
+  }
+  // value = y' - a.y - lambda (x' - a.x) with x' = -qx, y' = qy i.
+  Fp2 out;
+  out.re = num::mod(-a.y - lambda * num::mod(-qx - a.x, p_), p_);
+  out.im = qy;
+  return out;
+}
+
+Fp2 PairingGroup::pairing(const Point& a, const Point& b) const {
+  if (a.infinity || b.infinity) return fp2_one();
+  // Miller loop computing f_{q,a} evaluated at phi(b).
+  Fp2 f = fp2_one();
+  Point v = a;
+  for (std::size_t i = q_.bit_length() - 1; i-- > 0;) {
+    f = fp2_mul(fp2_square(f), line_value(v, v, b.x, b.y));
+    v = add(v, v);
+    if (q_.bit(i)) {
+      f = fp2_mul(f, line_value(v, a, b.x, b.y));
+      v = add(v, a);
+    }
+  }
+  // Final exponentiation: (p^2-1)/q = (p-1)*h; f^{p-1} = conj(f)/f.
+  f = fp2_mul(fp2_conjugate(f), fp2_inverse(f));
+  return fp2_exp(f, h_);
+}
+
+Bytes PairingGroup::pairing_key(const Point& a, const Point& b) const {
+  const Fp2 e = pairing(a, b);
+  ByteWriter w;
+  w.str("shs-pairing-key");
+  w.bytes(e.re.to_bytes_padded(field_size()));
+  w.bytes(e.im.to_bytes_padded(field_size()));
+  return crypto::Sha256::digest(w.buffer());
+}
+
+Bytes PairingGroup::encode_point(const Point& pt) const {
+  ByteWriter w;
+  w.u8(pt.infinity ? 1 : 0);
+  if (pt.infinity) {
+    w.bytes(Bytes(field_size(), 0));
+    w.bytes(Bytes(field_size(), 0));
+  } else {
+    w.bytes(pt.x.to_bytes_padded(field_size()));
+    w.bytes(pt.y.to_bytes_padded(field_size()));
+  }
+  return w.take();
+}
+
+PairingGroup::Point PairingGroup::decode_point(BytesView data) const {
+  ByteReader r(data);
+  Point pt;
+  pt.infinity = r.u8() != 0;
+  const Bytes x = r.bytes();
+  const Bytes y = r.bytes();
+  r.expect_done();
+  if (pt.infinity) return {};
+  pt.x = BigInt::from_bytes(x);
+  pt.y = BigInt::from_bytes(y);
+  if (!on_curve(pt)) throw VerifyError("PairingGroup: point not on curve");
+  if (!mul_raw(pt, q_).infinity) {
+    throw VerifyError("PairingGroup: point not in the order-q subgroup");
+  }
+  return pt;
+}
+
+}  // namespace shs::algebra

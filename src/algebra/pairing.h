@@ -1,0 +1,101 @@
+// Supersingular ("type A") pairing group — the algebraic setting of the
+// Balfanz et al. secret-handshake baseline [3], which builds on the
+// Sakai-Ohgishi-Kasahara key agreement [29].
+//
+// Curve: E: y^2 = x^3 + x over F_p with p = q*h - 1 prime, p = 3 (mod 4).
+// #E(F_p) = p + 1 = q*h; G1 is the order-q subgroup. The embedding degree
+// is 2; with i^2 = -1, F_p^2 = F_p[i] and the distortion map
+// phi(x, y) = (-x, i*y) maps G1 off itself, so the *modified* Tate pairing
+//   e^(P, Q) = Tate_q(P, phi(Q))^{(p^2-1)/q}
+// is non-degenerate even at Q = P. Computed with Miller's algorithm using
+// denominator elimination (vertical lines take values in F_p, which the
+// final exponentiation kills) and the final power split as
+// f -> (conj(f)/f)^h  since (p^2-1)/q = (p-1) * h.
+#pragma once
+
+#include "algebra/params.h"
+#include "bigint/bigint.h"
+#include "bigint/random.h"
+#include "common/bytes.h"
+
+namespace shs::algebra {
+
+/// Element of F_p^2 = F_p[i], stored as re + im * i.
+struct Fp2 {
+  num::BigInt re;
+  num::BigInt im;
+
+  friend bool operator==(const Fp2&, const Fp2&) = default;
+};
+
+class PairingGroup {
+ public:
+  /// Affine point; `infinity` true means the identity.
+  struct Point {
+    num::BigInt x;
+    num::BigInt y;
+    bool infinity = true;
+
+    friend bool operator==(const Point&, const Point&) = default;
+  };
+
+  PairingGroup(num::BigInt p, num::BigInt q, num::BigInt h);
+  static PairingGroup standard(ParamLevel level);
+
+  [[nodiscard]] const num::BigInt& p() const noexcept { return p_; }
+  [[nodiscard]] const num::BigInt& q() const noexcept { return q_; }
+
+  [[nodiscard]] const Point& generator() const noexcept { return generator_; }
+
+  [[nodiscard]] bool on_curve(const Point& pt) const;
+  [[nodiscard]] Point add(const Point& a, const Point& b) const;
+  [[nodiscard]] Point negate(const Point& a) const;
+  [[nodiscard]] Point mul(const Point& a, const num::BigInt& scalar) const;
+
+  /// Uniform-ish hash into the order-q subgroup (try-and-increment on x,
+  /// then cofactor multiplication). Never returns infinity.
+  [[nodiscard]] Point hash_to_point(BytesView data) const;
+
+  [[nodiscard]] num::BigInt random_scalar(num::RandomSource& rng) const;
+
+  /// Modified Tate pairing e^(P, Q), final-exponentiated (order q in
+  /// F_p^2, or 1 for degenerate inputs).
+  [[nodiscard]] Fp2 pairing(const Point& a, const Point& b) const;
+
+  /// SHA-256 of the canonical encoding of pairing(a, b): the shared-key
+  /// derivation the Balfanz baseline uses.
+  [[nodiscard]] Bytes pairing_key(const Point& a, const Point& b) const;
+
+  [[nodiscard]] Bytes encode_point(const Point& pt) const;
+  [[nodiscard]] Point decode_point(BytesView data) const;
+  [[nodiscard]] std::size_t point_size() const noexcept {
+    return 1 + 2 * field_size();
+  }
+  [[nodiscard]] std::size_t field_size() const noexcept {
+    return (p_.bit_length() + 7) / 8;
+  }
+
+  // F_p^2 arithmetic (public for tests).
+  [[nodiscard]] Fp2 fp2_mul(const Fp2& a, const Fp2& b) const;
+  [[nodiscard]] Fp2 fp2_square(const Fp2& a) const;
+  [[nodiscard]] Fp2 fp2_inverse(const Fp2& a) const;
+  [[nodiscard]] Fp2 fp2_conjugate(const Fp2& a) const;
+  [[nodiscard]] Fp2 fp2_exp(const Fp2& a, const num::BigInt& e) const;
+  [[nodiscard]] Fp2 fp2_one() const { return {num::BigInt(1), num::BigInt(0)}; }
+
+ private:
+  [[nodiscard]] Point mul_raw(const Point& a, const num::BigInt& k) const;
+  [[nodiscard]] num::BigInt fp_inv(const num::BigInt& a) const;
+  /// Line through a and b (tangent if a == b) evaluated at
+  /// phi(Q) = (-Qx, Qy*i); returns 1 for vertical lines (denominator
+  /// elimination).
+  [[nodiscard]] Fp2 line_value(const Point& a, const Point& b,
+                               const num::BigInt& qx,
+                               const num::BigInt& qy) const;
+
+  num::BigInt p_, q_, h_;
+  num::BigInt sqrt_exp_;  // (p+1)/4
+  Point generator_;
+};
+
+}  // namespace shs::algebra

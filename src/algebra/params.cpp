@@ -1,0 +1,45 @@
+#include "algebra/params.h"
+
+namespace shs::algebra {
+
+using num::BigInt;
+
+RsaSafePrimes rsa_safe_primes(ParamLevel level) {
+  switch (level) {
+    case ParamLevel::kTest:
+      return {
+          BigInt::from_hex("8381da63bbc39051ca78360116cf3dbddb53dc4d244cc6f6"
+                           "6d736f31fbe62113"),
+          BigInt::from_hex("be517066ef065bd9a0914ec1e462add2ce789f7cba146192"
+                           "f7cfc79e5b313a7f"),
+      };
+    case ParamLevel::kBench:
+      return {
+          BigInt::from_hex("98d2a66148e10eea33f7875dff84753dcfd875652a6dd343"
+                           "96101aae05ac10475ae9c29e94fe9a856eef1f88843dae8c"
+                           "7d8cfa0b4bef81347f872b16470a5737"),
+          BigInt::from_hex("fd0ba8cd81a934e77336d7c05612f69a8f83935aab57c796"
+                           "1ae60aa1268fb8cdd036e3ecf3e6bfa02be66a2c96c39e17"
+                           "8a2cbebc15193949ab58768ad1e8d3cb"),
+      };
+  }
+  return {};
+}
+
+BigInt schnorr_safe_prime(ParamLevel level) {
+  switch (level) {
+    case ParamLevel::kTest:
+      return BigInt::from_hex(
+          "b362faaed059596ccc0b9b10780413c9fcc364b89965bcb88a244384960856df"
+          "0df4fcf71284d4a81ae46606ab7cc9fb9734b2404699bcf03b3992efb35163eb");
+    case ParamLevel::kBench:
+      return BigInt::from_hex(
+          "d337e1f4d5a0beec6061dad7c1f881acc0452c2151c084f5963a3a4b986a075d"
+          "9ada76a452351c0d11be7910274a015c0f7b5ff88fbc7dcc7c3df6a3d02f35ca"
+          "6d105a488549695c4a6b11b778d09572d016b4960ec51ef179b15be807a28822"
+          "5923f9fdcc7e372525b40c9343f3e7eacefc8044a121cb7e44802f730c379097");
+  }
+  return {};
+}
+
+}  // namespace shs::algebra

@@ -1,0 +1,32 @@
+// Embedded cryptographic parameters.
+//
+// Safe primes were generated offline with an independent implementation and
+// are re-verified by the test suite using this library's own Miller-Rabin
+// (tests/algebra/params_test.cpp). Embedding them keeps group setup fast in
+// tests and benchmarks; full runtime generation lives in
+// num::random_safe_prime and is exercised by slow tests.
+#pragma once
+
+#include "bigint/bigint.h"
+
+namespace shs::algebra {
+
+/// Security level selector for embedded parameters.
+enum class ParamLevel {
+  kTest,   // 256-bit safe primes / 512-bit RSA moduli — unit tests
+  kBench,  // 512-bit safe primes / 1024-bit RSA moduli — benchmarks
+};
+
+struct RsaSafePrimes {
+  num::BigInt p;  // p = 2p' + 1, both prime
+  num::BigInt q;  // q = 2q' + 1, both prime
+};
+
+/// Safe-prime pair for composite moduli n = p*q (ACJT / KTY signatures).
+[[nodiscard]] RsaSafePrimes rsa_safe_primes(ParamLevel level);
+
+/// Safe prime p (p = 2q + 1) for Schnorr groups; kTest: 512-bit,
+/// kBench: 1024-bit.
+[[nodiscard]] num::BigInt schnorr_safe_prime(ParamLevel level);
+
+}  // namespace shs::algebra

@@ -1,0 +1,96 @@
+#include "algebra/qr_group.h"
+
+#include "bigint/modmath.h"
+#include "bigint/prime.h"
+#include "common/codec.h"
+#include "common/errors.h"
+#include "crypto/sha256.h"
+
+namespace shs::algebra {
+
+using num::BigInt;
+
+QrGroup::QrGroup(BigInt modulus_n)
+    : n_(std::move(modulus_n)),
+      mont_(std::make_shared<num::Montgomery>(n_)) {
+  if (n_.bit_length() < 32) throw MathError("QrGroup: modulus too small");
+}
+
+std::pair<QrGroup, QrGroupSecret> QrGroup::standard(ParamLevel level) {
+  const RsaSafePrimes sp = rsa_safe_primes(level);
+  QrGroupSecret secret{sp.p, sp.q};
+  return {QrGroup(secret.modulus()), std::move(secret)};
+}
+
+std::pair<QrGroup, QrGroupSecret> QrGroup::generate(std::size_t prime_bits,
+                                                    num::RandomSource& rng) {
+  const BigInt p = num::random_safe_prime(prime_bits, rng);
+  BigInt q = num::random_safe_prime(prime_bits, rng);
+  while (q == p) q = num::random_safe_prime(prime_bits, rng);
+  QrGroupSecret secret{p, q};
+  return {QrGroup(secret.modulus()), std::move(secret)};
+}
+
+BigInt QrGroup::exp(const BigInt& base, const BigInt& e) const {
+  if (e.is_negative()) return mont_->exp(inverse(base), -e);
+  return mont_->exp(base, e);
+}
+
+BigInt QrGroup::mul(const BigInt& a, const BigInt& b) const {
+  return mont_->mul(a, b);
+}
+
+BigInt QrGroup::inverse(const BigInt& a) const {
+  return num::mod_inverse(a, n_);
+}
+
+BigInt QrGroup::random_qr(num::RandomSource& rng) const {
+  for (;;) {
+    const BigInt r = num::random_range(BigInt(2), n_ - BigInt(2), rng);
+    if (num::gcd(r, n_) != BigInt(1)) continue;  // astronomically unlikely
+    const BigInt sq = mont_->mul(r, r);
+    if (sq != BigInt(1)) return sq;
+  }
+}
+
+BigInt QrGroup::hash_to_qr(BytesView data) const {
+  const std::size_t width = element_size() + 16;
+  Bytes expanded;
+  std::uint32_t counter = 0;
+  while (expanded.size() < width) {
+    ByteWriter w;
+    w.str("shs-hash-to-qrn");
+    w.u32(counter++);
+    w.bytes(data);
+    append(expanded, crypto::Sha256::digest(w.buffer()));
+  }
+  expanded.resize(width);
+  BigInt t = num::mod(BigInt::from_bytes(expanded), n_);
+  if (t <= BigInt(1)) t = BigInt(2);
+  BigInt sq = mont_->mul(t, t);
+  if (sq == BigInt(1)) sq = mont_->mul(BigInt(4), BigInt(4));
+  return sq;
+}
+
+bool QrGroup::is_plausible_element(const BigInt& a) const {
+  if (a <= BigInt(1) || a >= n_) return false;
+  if (num::gcd(a, n_) != BigInt(1)) return false;
+  return num::jacobi(a, n_) == 1;
+}
+
+Bytes QrGroup::encode(const BigInt& a) const {
+  return a.to_bytes_padded(element_size());
+}
+
+BigInt QrGroup::decode(BytesView data) const {
+  if (data.size() != element_size()) {
+    throw VerifyError("QrGroup::decode: wrong length");
+  }
+  BigInt a = BigInt::from_bytes(data);
+  if (a.is_zero() || a >= n_) {
+    throw VerifyError("QrGroup::decode: out of range");
+  }
+  return a;
+}
+
+}  // namespace shs::algebra

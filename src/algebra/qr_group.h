@@ -1,0 +1,73 @@
+// The group of quadratic residues QR(n) for an RSA modulus n = p*q built
+// from two safe primes (p = 2p'+1, q = 2q'+1). QR(n) is cyclic of order
+// p'q', unknown to anyone who does not know the factorization — the setting
+// of the ACJT and KTY group-signature schemes (paper §4 and Appendix H).
+//
+// The *public* side (QrGroup) knows only n; the group manager additionally
+// holds QrGroupSecret with the factorization.
+#pragma once
+
+#include <memory>
+
+#include "algebra/params.h"
+#include "bigint/bigint.h"
+#include "bigint/montgomery.h"
+#include "bigint/random.h"
+#include "common/bytes.h"
+
+namespace shs::algebra {
+
+/// Factorization trapdoor, held by the group manager only.
+struct QrGroupSecret {
+  num::BigInt p;  // safe prime
+  num::BigInt q;  // safe prime
+
+  /// |QR(n)| = p' * q' where p = 2p'+1, q = 2q'+1.
+  [[nodiscard]] num::BigInt group_order() const {
+    return ((p - num::BigInt(1)) >> 1) * ((q - num::BigInt(1)) >> 1);
+  }
+  [[nodiscard]] num::BigInt modulus() const { return p * q; }
+};
+
+class QrGroup {
+ public:
+  explicit QrGroup(num::BigInt modulus_n);
+
+  /// Builds the group + trapdoor from embedded safe primes.
+  static std::pair<QrGroup, QrGroupSecret> standard(ParamLevel level);
+  /// Fresh random modulus with runtime-generated safe primes (slow).
+  static std::pair<QrGroup, QrGroupSecret> generate(std::size_t prime_bits,
+                                                    num::RandomSource& rng);
+
+  [[nodiscard]] const num::BigInt& n() const noexcept { return n_; }
+
+  [[nodiscard]] num::BigInt exp(const num::BigInt& base,
+                                const num::BigInt& e) const;
+  [[nodiscard]] num::BigInt mul(const num::BigInt& a,
+                                const num::BigInt& b) const;
+  [[nodiscard]] num::BigInt inverse(const num::BigInt& a) const;
+
+  /// Uniform element of QR(n): square of a random unit. With a safe-prime
+  /// modulus such an element generates QR(n) with overwhelming probability.
+  [[nodiscard]] num::BigInt random_qr(num::RandomSource& rng) const;
+
+  /// Hashes bytes into QR(n) (expansion then squaring) — the "idealized
+  /// hash into QR(n)" used for the common T7 base (paper §8.2 footnote 8).
+  [[nodiscard]] num::BigInt hash_to_qr(BytesView data) const;
+
+  /// Membership in Z_n^* with Jacobi symbol 1 (cheap public screen; actual
+  /// quadratic residuosity is not publicly decidable, which is the point).
+  [[nodiscard]] bool is_plausible_element(const num::BigInt& a) const;
+
+  [[nodiscard]] Bytes encode(const num::BigInt& a) const;
+  [[nodiscard]] num::BigInt decode(BytesView data) const;
+  [[nodiscard]] std::size_t element_size() const noexcept {
+    return (n_.bit_length() + 7) / 8;
+  }
+
+ private:
+  num::BigInt n_;
+  std::shared_ptr<const num::Montgomery> mont_;
+};
+
+}  // namespace shs::algebra

@@ -1,0 +1,113 @@
+#include "algebra/schnorr_group.h"
+
+#include "bigint/modmath.h"
+#include "bigint/prime.h"
+#include "common/codec.h"
+#include "common/errors.h"
+#include "crypto/sha256.h"
+
+namespace shs::algebra {
+
+using num::BigInt;
+
+SchnorrGroup::SchnorrGroup(BigInt safe_prime_p)
+    : p_(std::move(safe_prime_p)),
+      q_((p_ - BigInt(1)) >> 1),
+      g_(4),
+      mont_(std::make_shared<num::Montgomery>(p_)) {
+  if (p_.bit_length() < 16) {
+    throw MathError("SchnorrGroup: prime too small");
+  }
+}
+
+SchnorrGroup SchnorrGroup::standard(ParamLevel level) {
+  return SchnorrGroup(schnorr_safe_prime(level));
+}
+
+SchnorrGroup SchnorrGroup::generate(std::size_t bits, num::RandomSource& rng) {
+  return SchnorrGroup(num::random_safe_prime(bits, rng));
+}
+
+BigInt SchnorrGroup::exp_g(const BigInt& e) const { return exp(g_, e); }
+
+BigInt SchnorrGroup::exp(const BigInt& base, const BigInt& e) const {
+  if (e.is_negative()) {
+    return mont_->exp(inverse(base), -e);
+  }
+  return mont_->exp(base, e);
+}
+
+BigInt SchnorrGroup::mul(const BigInt& a, const BigInt& b) const {
+  return mont_->mul(a, b);
+}
+
+BigInt SchnorrGroup::inverse(const BigInt& a) const {
+  return num::mod_inverse(a, p_);
+}
+
+BigInt SchnorrGroup::random_exponent(num::RandomSource& rng) const {
+  return num::random_range(BigInt(1), q_ - BigInt(1), rng);
+}
+
+BigInt SchnorrGroup::random_element(num::RandomSource& rng) const {
+  return exp_g(random_exponent(rng));
+}
+
+bool SchnorrGroup::is_element(const BigInt& a) const {
+  if (a <= BigInt(1) || a >= p_) return false;
+  return num::jacobi(a, p_) == 1;
+}
+
+BigInt SchnorrGroup::hash_to_group(BytesView data) const {
+  // Expand to modulus width + 128 bits, reduce, then square into QR(p).
+  const std::size_t width = element_size() + 16;
+  Bytes expanded;
+  std::uint32_t counter = 0;
+  while (expanded.size() < width) {
+    ByteWriter w;
+    w.str("shs-hash-to-qr");
+    w.u32(counter++);
+    w.bytes(data);
+    append(expanded, crypto::Sha256::digest(w.buffer()));
+  }
+  expanded.resize(width);
+  const BigInt t = num::mod(BigInt::from_bytes(expanded), p_);
+  BigInt sq = mont_->mul(t.is_zero() ? BigInt(2) : t,
+                         t.is_zero() ? BigInt(2) : t);
+  // 1 is a valid QR but a degenerate base; nudge deterministically.
+  if (sq == BigInt(1)) sq = mont_->mul(g_, g_);
+  return sq;
+}
+
+BigInt SchnorrGroup::hash_to_exponent(BytesView data) const {
+  const std::size_t width = (q_.bit_length() + 7) / 8 + 16;
+  Bytes expanded;
+  std::uint32_t counter = 0;
+  while (expanded.size() < width) {
+    ByteWriter w;
+    w.str("shs-hash-to-zq");
+    w.u32(counter++);
+    w.bytes(data);
+    append(expanded, crypto::Sha256::digest(w.buffer()));
+  }
+  expanded.resize(width);
+  return num::mod(BigInt::from_bytes(expanded), q_);
+}
+
+Bytes SchnorrGroup::encode(const BigInt& a) const {
+  return a.to_bytes_padded(element_size());
+}
+
+BigInt SchnorrGroup::decode(BytesView data, bool allow_identity) const {
+  if (data.size() != element_size()) {
+    throw VerifyError("SchnorrGroup::decode: wrong length");
+  }
+  BigInt a = BigInt::from_bytes(data);
+  if (allow_identity && a == BigInt(1)) return a;
+  if (!is_element(a)) {
+    throw VerifyError("SchnorrGroup::decode: not a subgroup element");
+  }
+  return a;
+}
+
+}  // namespace shs::algebra

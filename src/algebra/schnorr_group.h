@@ -1,0 +1,77 @@
+// Schnorr group: the prime-order-q subgroup QR(p) of Z_p^* for a safe
+// prime p = 2q + 1. This is the algebraic setting for the DGKA protocols
+// (Burmester-Desmedt, GDH), ElGamal, Cramer-Shoup and the CJT04 baseline.
+//
+// All element operations keep a shared Montgomery context, so group
+// exponentiations are the only expensive step (as the paper's O(m)
+// exponentiation claims assume).
+#pragma once
+
+#include <memory>
+
+#include "bigint/bigint.h"
+#include "bigint/montgomery.h"
+#include "bigint/random.h"
+#include "algebra/params.h"
+#include "common/bytes.h"
+
+namespace shs::algebra {
+
+class SchnorrGroup {
+ public:
+  /// Builds the group from a safe prime p = 2q + 1 with the canonical
+  /// generator g = 4 (= 2^2, always a generator of QR(p)).
+  explicit SchnorrGroup(num::BigInt safe_prime_p);
+
+  /// Embedded parameter set for the given level.
+  static SchnorrGroup standard(ParamLevel level);
+
+  /// Fresh random group with a runtime-generated safe prime (slow).
+  static SchnorrGroup generate(std::size_t bits, num::RandomSource& rng);
+
+  [[nodiscard]] const num::BigInt& p() const noexcept { return p_; }
+  [[nodiscard]] const num::BigInt& q() const noexcept { return q_; }
+  [[nodiscard]] const num::BigInt& g() const noexcept { return g_; }
+
+  /// g^e mod p.
+  [[nodiscard]] num::BigInt exp_g(const num::BigInt& e) const;
+  /// base^e mod p (base must be in [0, p)).
+  [[nodiscard]] num::BigInt exp(const num::BigInt& base,
+                                const num::BigInt& e) const;
+  [[nodiscard]] num::BigInt mul(const num::BigInt& a,
+                                const num::BigInt& b) const;
+  [[nodiscard]] num::BigInt inverse(const num::BigInt& a) const;
+
+  /// Uniform exponent in [1, q-1].
+  [[nodiscard]] num::BigInt random_exponent(num::RandomSource& rng) const;
+  /// Uniform element of QR(p) (exponent method).
+  [[nodiscard]] num::BigInt random_element(num::RandomSource& rng) const;
+
+  /// True iff a is in QR(p) \ {1} — i.e. a non-trivial subgroup element.
+  [[nodiscard]] bool is_element(const num::BigInt& a) const;
+
+  /// Hashes arbitrary bytes into QR(p) (SHA-256 expansion, then squaring).
+  [[nodiscard]] num::BigInt hash_to_group(BytesView data) const;
+  /// Hashes arbitrary bytes into Z_q (exponent space).
+  [[nodiscard]] num::BigInt hash_to_exponent(BytesView data) const;
+
+  /// Fixed-width (modulus-sized) big-endian encoding of an element.
+  [[nodiscard]] Bytes encode(const num::BigInt& a) const;
+  /// Decodes and validates membership; throws VerifyError on bad input.
+  /// `allow_identity` admits the element 1 (needed by protocol messages
+  /// like Burmester-Desmedt X-values, which are legitimately 1 when m=2).
+  [[nodiscard]] num::BigInt decode(BytesView data,
+                                   bool allow_identity = false) const;
+
+  [[nodiscard]] std::size_t element_size() const noexcept {
+    return (p_.bit_length() + 7) / 8;
+  }
+
+ private:
+  num::BigInt p_;
+  num::BigInt q_;
+  num::BigInt g_;
+  std::shared_ptr<const num::Montgomery> mont_;
+};
+
+}  // namespace shs::algebra

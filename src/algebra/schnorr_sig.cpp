@@ -1,0 +1,63 @@
+#include "algebra/schnorr_sig.h"
+
+#include "bigint/modmath.h"
+#include "common/codec.h"
+#include "common/errors.h"
+
+namespace shs::algebra {
+
+using num::BigInt;
+
+SchnorrSig::KeyPair SchnorrSig::keygen(num::RandomSource& rng) const {
+  KeyPair kp;
+  kp.sk = group_.random_exponent(rng);
+  kp.pk = group_.exp_g(kp.sk);
+  return kp;
+}
+
+namespace {
+
+BigInt challenge(const SchnorrGroup& group, const BigInt& commitment,
+                 const BigInt& pk, BytesView message) {
+  ByteWriter w;
+  w.str("schnorr-sig");
+  w.bytes(group.encode(commitment));
+  w.bytes(group.encode(pk));
+  w.bytes(message);
+  return group.hash_to_exponent(w.buffer());
+}
+
+}  // namespace
+
+Bytes SchnorrSig::sign(const BigInt& sk, BytesView message,
+                       num::RandomSource& rng) const {
+  const BigInt k = group_.random_exponent(rng);
+  const BigInt commitment = group_.exp_g(k);
+  const BigInt pk = group_.exp_g(sk);
+  const BigInt e = challenge(group_, commitment, pk, message);
+  const BigInt s =
+      num::sub_mod(k, num::mul_mod(sk, e, group_.q()), group_.q());
+  ByteWriter w;
+  w.bytes(e.to_bytes_padded((group_.q().bit_length() + 7) / 8));
+  w.bytes(s.to_bytes_padded((group_.q().bit_length() + 7) / 8));
+  return w.take();
+}
+
+bool SchnorrSig::verify(const BigInt& pk, BytesView message,
+                        BytesView signature) const {
+  try {
+    ByteReader r(signature);
+    const BigInt e = BigInt::from_bytes(r.bytes());
+    const BigInt s = BigInt::from_bytes(r.bytes());
+    r.expect_done();
+    if (e >= group_.q() || s >= group_.q()) return false;
+    // commitment' = g^s pk^e; accept iff H(commitment' || pk || m) == e.
+    const BigInt commitment =
+        group_.mul(group_.exp_g(s), group_.exp(pk, e));
+    return challenge(group_, commitment, pk, message) == e;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+}  // namespace shs::algebra

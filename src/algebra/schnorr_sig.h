@@ -1,0 +1,44 @@
+// Schnorr signatures over a Schnorr group (random-oracle variant).
+// Used by the Katz-Yung authenticated DGKA extension (paper ref [21]):
+// KY's compiler turns any passively-secure group key agreement into an
+// actively-secure authenticated one by signing every protocol message
+// under long-lived keys.
+//
+// Note: the GCD framework itself deliberately runs *unauthenticated* DGKA
+// (authentication would expose identities); KY-DGKA is provided for
+// non-anonymous deployments and as the paper's named instantiation.
+#pragma once
+
+#include "algebra/schnorr_group.h"
+#include "bigint/bigint.h"
+#include "bigint/random.h"
+#include "common/bytes.h"
+
+namespace shs::algebra {
+
+class SchnorrSig {
+ public:
+  explicit SchnorrSig(SchnorrGroup group) : group_(std::move(group)) {}
+
+  struct KeyPair {
+    num::BigInt sk;  // x in [1, q-1]
+    num::BigInt pk;  // g^x
+  };
+
+  [[nodiscard]] KeyPair keygen(num::RandomSource& rng) const;
+
+  /// Signature (e, s) with e = H(g^k || pk || m), s = k - x e.
+  [[nodiscard]] Bytes sign(const num::BigInt& sk, BytesView message,
+                           num::RandomSource& rng) const;
+
+  /// Returns true iff `signature` is valid for `message` under `pk`.
+  [[nodiscard]] bool verify(const num::BigInt& pk, BytesView message,
+                            BytesView signature) const;
+
+  [[nodiscard]] const SchnorrGroup& group() const noexcept { return group_; }
+
+ private:
+  SchnorrGroup group_;
+};
+
+}  // namespace shs::algebra

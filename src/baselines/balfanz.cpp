@@ -1,0 +1,78 @@
+#include "baselines/balfanz.h"
+
+#include "common/codec.h"
+#include "crypto/hmac.h"
+
+namespace shs::baselines {
+
+using algebra::PairingGroup;
+
+BalfanzAuthority::BalfanzAuthority(algebra::ParamLevel level, BytesView seed)
+    : group_(PairingGroup::standard(level)), rng_(seed) {
+  master_secret_ = group_.random_scalar(rng_);
+}
+
+std::vector<BalfanzCredential> BalfanzAuthority::issue(std::size_t count) {
+  std::vector<BalfanzCredential> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    BalfanzCredential cred;
+    cred.pseudonym = rng_.bytes(16);
+    cred.secret =
+        group_.mul(group_.hash_to_point(cred.pseudonym), master_secret_);
+    out.push_back(std::move(cred));
+  }
+  return out;
+}
+
+namespace {
+
+Bytes side_key(const PairingGroup& group, const BalfanzCredential& mine,
+               const Bytes& peer_pseudonym) {
+  // K = H(e^(H1(peer), priv_self)); equal on both sides iff both
+  // credentials come from the same master secret (bilinearity).
+  return group.pairing_key(group.hash_to_point(peer_pseudonym), mine.secret);
+}
+
+Bytes tag(const Bytes& key, int role, const Bytes& transcript) {
+  ByteWriter w;
+  w.str("balfanz-tag");
+  w.u8(static_cast<std::uint8_t>(role));
+  w.bytes(transcript);
+  return crypto::hmac_sha256(key, w.buffer());
+}
+
+}  // namespace
+
+std::pair<BalfanzResult, BalfanzResult> balfanz_handshake(
+    const PairingGroup& group, const BalfanzCredential& a,
+    const BalfanzCredential& b, num::RandomSource& rng) {
+  // Round 0: (pseudonym, nonce) both ways.
+  const Bytes na = rng.bytes(16);
+  const Bytes nb = rng.bytes(16);
+  ByteWriter t;
+  t.bytes(a.pseudonym);
+  t.bytes(na);
+  t.bytes(b.pseudonym);
+  t.bytes(nb);
+  const Bytes transcript = t.take();
+
+  // Each side derives its pairing key and publishes its tag.
+  const Bytes ka = side_key(group, a, b.pseudonym);
+  const Bytes kb = side_key(group, b, a.pseudonym);
+  const Bytes tag_a = tag(ka, 0, transcript);
+  const Bytes tag_b = tag(kb, 1, transcript);
+
+  BalfanzResult ra, rb;
+  ra.accepted = ct_equal(tag(ka, 1, transcript), tag_b);
+  rb.accepted = ct_equal(tag(kb, 0, transcript), tag_a);
+  if (ra.accepted) {
+    ra.session_key = crypto::hkdf(ka, {}, to_bytes("balfanz-session"), 32);
+  }
+  if (rb.accepted) {
+    rb.session_key = crypto::hkdf(kb, {}, to_bytes("balfanz-session"), 32);
+  }
+  return {std::move(ra), std::move(rb)};
+}
+
+}  // namespace shs::baselines

@@ -1,0 +1,64 @@
+// The Balfanz-Durfee-Shankar-Smetters-Staddon-Wong secret-handshake
+// scheme [3] — the paper's primary 2-party comparison point (§10).
+//
+// CreateGroup: master secret s in Z_q over the pairing group.
+// Credentials are ONE-TIME pseudonyms: for a random pseudonym string id
+// the user receives priv = s * H1(id) in G1. Unlinkability across
+// handshakes therefore requires a fresh pseudonym per handshake — the
+// drawback GCD removes with reusable credentials (bench E6 quantifies the
+// credential-supply cost).
+//
+// Handshake (symmetric broadcast rendition of the protocol):
+//   round 0:  each side publishes (pseudonym, nonce)
+//   round 1:  each side publishes HMAC(K, role || transcript) where
+//             K = H(e^(H1(peer_id), priv_self)) = H(e^(H1(idA), H1(idB))^s)
+// A non-member cannot compute K = e^(H1(idA), H1(idB))^s (bilinear
+// Diffie-Hellman), and learns nothing from a failed run but random tags.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "algebra/pairing.h"
+#include "bigint/random.h"
+#include "common/bytes.h"
+#include "crypto/drbg.h"
+
+namespace shs::baselines {
+
+struct BalfanzCredential {
+  Bytes pseudonym;                      // one-time
+  algebra::PairingGroup::Point secret;  // s * H1(pseudonym)
+};
+
+class BalfanzAuthority {
+ public:
+  BalfanzAuthority(algebra::ParamLevel level, BytesView seed);
+
+  /// Issues `count` fresh one-time credentials for one user. The paper's
+  /// point: L unlinkable handshakes need L of these.
+  [[nodiscard]] std::vector<BalfanzCredential> issue(std::size_t count);
+
+  [[nodiscard]] const algebra::PairingGroup& group() const noexcept {
+    return group_;
+  }
+
+ private:
+  algebra::PairingGroup group_;
+  num::BigInt master_secret_;
+  crypto::HmacDrbg rng_;
+};
+
+struct BalfanzResult {
+  bool accepted = false;  // peer proved membership in my group
+  Bytes session_key;
+};
+
+/// Runs the 2-party handshake between credentials `a` and `b` (possibly
+/// issued by different authorities; the pairing-group parameters are
+/// system-wide, the master secrets are not).
+std::pair<BalfanzResult, BalfanzResult> balfanz_handshake(
+    const algebra::PairingGroup& group, const BalfanzCredential& a,
+    const BalfanzCredential& b, num::RandomSource& rng);
+
+}  // namespace shs::baselines

@@ -1,0 +1,146 @@
+#include "baselines/cjt04.h"
+
+#include "bigint/modmath.h"
+#include "common/codec.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace shs::baselines {
+
+using algebra::SchnorrGroup;
+using num::BigInt;
+
+CjtAuthority::CjtAuthority(algebra::ParamLevel level, BytesView seed)
+    : group_(SchnorrGroup::standard(level)), rng_(seed) {
+  x_ = group_.random_exponent(rng_);
+  y_ = group_.exp_g(x_);
+}
+
+namespace {
+
+BigInt cert_challenge(const SchnorrGroup& group, BytesView pseudonym,
+                      const BigInt& r) {
+  ByteWriter w;
+  w.str("cjt-cert");
+  w.bytes(pseudonym);
+  w.bytes(group.encode(r));
+  return group.hash_to_exponent(w.buffer());
+}
+
+}  // namespace
+
+std::vector<CjtCredential> CjtAuthority::issue(std::size_t count) {
+  std::vector<CjtCredential> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    CjtCredential cred;
+    cred.pseudonym = rng_.bytes(16);
+    const BigInt k = group_.random_exponent(rng_);
+    cred.r = group_.exp_g(k);
+    const BigInt e = cert_challenge(group_, cred.pseudonym, cred.r);
+    cred.s = num::add_mod(k, num::mul_mod(x_, e, group_.q()), group_.q());
+    out.push_back(std::move(cred));
+  }
+  return out;
+}
+
+BigInt CjtAuthority::derive_public_key(const SchnorrGroup& group,
+                                       const BigInt& ca_public_key,
+                                       BytesView pseudonym, const BigInt& r) {
+  const BigInt e = cert_challenge(group, pseudonym, r);
+  return group.mul(r, group.exp(ca_public_key, e));
+}
+
+namespace {
+
+struct Kem {
+  BigInt u;    // g^t
+  Bytes body;  // secret XOR H(pk^t)
+};
+
+Kem kem_encrypt(const SchnorrGroup& group, const BigInt& pk,
+                const Bytes& secret, num::RandomSource& rng) {
+  const BigInt t = group.random_exponent(rng);
+  Kem out;
+  out.u = group.exp_g(t);
+  Bytes mask = crypto::hkdf(group.encode(group.exp(pk, t)), {},
+                            to_bytes("cjt-kem"), secret.size());
+  out.body = secret;
+  xor_inplace(out.body, mask);
+  return out;
+}
+
+Bytes kem_decrypt(const SchnorrGroup& group, const BigInt& s, const Kem& kem) {
+  Bytes mask = crypto::hkdf(group.encode(group.exp(kem.u, s)), {},
+                            to_bytes("cjt-kem"), kem.body.size());
+  Bytes out = kem.body;
+  xor_inplace(out, mask);
+  return out;
+}
+
+Bytes combine(const Bytes& secret_a, const Bytes& secret_b,
+              const Bytes& transcript) {
+  ByteWriter w;
+  w.str("cjt-combine");
+  w.bytes(secret_a);
+  w.bytes(secret_b);
+  w.bytes(transcript);
+  return crypto::Sha256::digest(w.buffer());
+}
+
+Bytes tag(const Bytes& key, int role, const Bytes& transcript) {
+  ByteWriter w;
+  w.str("cjt-tag");
+  w.u8(static_cast<std::uint8_t>(role));
+  w.bytes(transcript);
+  return crypto::hmac_sha256(key, w.buffer());
+}
+
+}  // namespace
+
+std::pair<CjtResult, CjtResult> cjt_handshake(
+    const SchnorrGroup& group, const BigInt& ca_a, const CjtCredential& a,
+    const BigInt& ca_b, const CjtCredential& b, num::RandomSource& rng) {
+  // Round 0: pseudonyms + nonces.
+  ByteWriter t;
+  t.bytes(a.pseudonym);
+  t.bytes(group.encode(a.r));
+  t.bytes(rng.bytes(16));
+  t.bytes(b.pseudonym);
+  t.bytes(group.encode(b.r));
+  t.bytes(rng.bytes(16));
+  const Bytes transcript = t.take();
+
+  // Round 1: each side encrypts a fresh secret to the peer's derived key
+  // *under its own CA* (the CA identity itself stays hidden).
+  const Bytes secret_a = rng.bytes(32);
+  const Bytes secret_b = rng.bytes(32);
+  const BigInt pk_b_as_seen_by_a =
+      CjtAuthority::derive_public_key(group, ca_a, b.pseudonym, b.r);
+  const BigInt pk_a_as_seen_by_b =
+      CjtAuthority::derive_public_key(group, ca_b, a.pseudonym, a.r);
+  const Kem to_b = kem_encrypt(group, pk_b_as_seen_by_a, secret_a, rng);
+  const Kem to_a = kem_encrypt(group, pk_a_as_seen_by_b, secret_b, rng);
+
+  // Each side decrypts what it received and derives its view of K.
+  const Bytes a_view_of_secret_b = kem_decrypt(group, a.s, to_a);
+  const Bytes b_view_of_secret_a = kem_decrypt(group, b.s, to_b);
+  const Bytes ka = combine(secret_a, a_view_of_secret_b, transcript);
+  const Bytes kb = combine(b_view_of_secret_a, secret_b, transcript);
+
+  // Round 2: confirmation tags.
+  const Bytes tag_a = tag(ka, 0, transcript);
+  const Bytes tag_b = tag(kb, 1, transcript);
+  CjtResult ra, rb;
+  ra.accepted = ct_equal(tag(ka, 1, transcript), tag_b);
+  rb.accepted = ct_equal(tag(kb, 0, transcript), tag_a);
+  if (ra.accepted) {
+    ra.session_key = crypto::hkdf(ka, {}, to_bytes("cjt-session"), 32);
+  }
+  if (rb.accepted) {
+    rb.session_key = crypto::hkdf(kb, {}, to_bytes("cjt-session"), 32);
+  }
+  return {std::move(ra), std::move(rb)};
+}
+
+}  // namespace shs::baselines

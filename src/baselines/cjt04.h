@@ -1,0 +1,74 @@
+// The Castelluccia-Jarecki-Tsudik secret-handshake scheme [14] — built
+// from "CA-oblivious encryption" over a standard Schnorr group (the
+// paper's second comparison point, §10; avoids pairings).
+//
+// The CA holds a Schnorr signing key (x, y = g^x). A credential for a
+// ONE-TIME pseudonym w is a Schnorr signature (r = g^k, s = k + x H(w,r)):
+// anyone can derive the "public key" pk(w, r) = r * y^{H(w,r)} = g^s from
+// the pseudonym alone, but only a certified member knows the matching
+// secret s. Encryption to pk(w, r) is CA-oblivious: the sender learns
+// nothing about whether (w, r) was really certified by this CA.
+//
+// Handshake:
+//   round 0: each side publishes (w, r, nonce)
+//   round 1: each side publishes an ElGamal-KEM ciphertext of a fresh
+//            32-byte secret to the peer's derived public key
+//   round 2: each side publishes HMAC(K, role || transcript) with
+//            K = H(secret_A || secret_B || transcript)
+// Only holders of valid certificates decrypt both secrets; impostors
+// cannot compute K. As in [14], pseudonyms are one-time for unlinkability.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "algebra/schnorr_group.h"
+#include "bigint/random.h"
+#include "common/bytes.h"
+#include "crypto/drbg.h"
+
+namespace shs::baselines {
+
+struct CjtCredential {
+  Bytes pseudonym;   // w (one-time)
+  num::BigInt r;     // Schnorr commitment g^k
+  num::BigInt s;     // trapdoor: discrete log of the derived public key
+};
+
+class CjtAuthority {
+ public:
+  CjtAuthority(algebra::ParamLevel level, BytesView seed);
+
+  [[nodiscard]] std::vector<CjtCredential> issue(std::size_t count);
+
+  [[nodiscard]] const algebra::SchnorrGroup& group() const noexcept {
+    return group_;
+  }
+  [[nodiscard]] const num::BigInt& public_key() const noexcept { return y_; }
+
+  /// pk(w, r) = r * y^{H(w, r)} — computable by anyone from the pseudonym.
+  [[nodiscard]] static num::BigInt derive_public_key(
+      const algebra::SchnorrGroup& group, const num::BigInt& ca_public_key,
+      BytesView pseudonym, const num::BigInt& r);
+
+ private:
+  algebra::SchnorrGroup group_;
+  num::BigInt x_;  // CA secret
+  num::BigInt y_;  // g^x
+  crypto::HmacDrbg rng_;
+};
+
+struct CjtResult {
+  bool accepted = false;
+  Bytes session_key;
+};
+
+/// Runs the 2-party handshake; `ca_a` / `ca_b` are each side's *own* CA
+/// public key (kept private — each side derives the peer's key under its
+/// own CA, which is what makes a cross-group run fail).
+std::pair<CjtResult, CjtResult> cjt_handshake(
+    const algebra::SchnorrGroup& group, const num::BigInt& ca_a,
+    const CjtCredential& a, const num::BigInt& ca_b, const CjtCredential& b,
+    num::RandomSource& rng);
+
+}  // namespace shs::baselines

@@ -1,0 +1,568 @@
+#include "bigint/bigint.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "common/errors.h"
+
+namespace shs::num {
+
+namespace {
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+constexpr std::size_t kKaratsubaThreshold = 32;  // limbs
+}  // namespace
+
+BigInt::BigInt(std::int64_t v) {
+  if (v > 0) {
+    sign_ = 1;
+    limbs_.push_back(static_cast<u64>(v));
+  } else if (v < 0) {
+    sign_ = -1;
+    // Avoid UB on INT64_MIN negation.
+    limbs_.push_back(static_cast<u64>(-(v + 1)) + 1);
+  }
+}
+
+BigInt::BigInt(std::uint64_t v) {
+  if (v != 0) {
+    sign_ = 1;
+    limbs_.push_back(v);
+  }
+}
+
+void BigInt::normalize() noexcept {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) sign_ = 0;
+}
+
+BigInt BigInt::from_limbs(std::vector<Limb> limbs) {
+  BigInt out;
+  out.limbs_ = std::move(limbs);
+  out.sign_ = 1;
+  out.normalize();
+  return out;
+}
+
+std::size_t BigInt::bit_length() const noexcept {
+  if (limbs_.empty()) return 0;
+  return 64 * (limbs_.size() - 1) +
+         (64 - static_cast<std::size_t>(std::countl_zero(limbs_.back())));
+}
+
+bool BigInt::bit(std::size_t i) const noexcept {
+  const std::size_t limb = i / 64;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 64)) & 1;
+}
+
+std::uint64_t BigInt::to_u64() const {
+  if (sign_ < 0) throw MathError("to_u64: negative value");
+  if (limbs_.size() > 1) throw MathError("to_u64: value too large");
+  return limbs_.empty() ? 0 : limbs_[0];
+}
+
+BigInt BigInt::abs() const {
+  BigInt out = *this;
+  if (out.sign_ < 0) out.sign_ = 1;
+  return out;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  out.sign_ = -out.sign_;
+  return out;
+}
+
+int BigInt::mag_cmp(const std::vector<Limb>& a,
+                    const std::vector<Limb>& b) noexcept {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::strong_ordering operator<=>(const BigInt& a, const BigInt& b) noexcept {
+  if (a.sign_ != b.sign_) return a.sign_ <=> b.sign_;
+  const int m = BigInt::mag_cmp(a.limbs_, b.limbs_);
+  const int signed_cmp = a.sign_ >= 0 ? m : -m;
+  return signed_cmp <=> 0;
+}
+
+std::vector<BigInt::Limb> BigInt::mag_add(const std::vector<Limb>& a,
+                                          const std::vector<Limb>& b) {
+  const auto& big = a.size() >= b.size() ? a : b;
+  const auto& small = a.size() >= b.size() ? b : a;
+  std::vector<Limb> out;
+  out.reserve(big.size() + 1);
+  u64 carry = 0;
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    u128 sum = static_cast<u128>(big[i]) + carry;
+    if (i < small.size()) sum += small[i];
+    out.push_back(static_cast<u64>(sum));
+    carry = static_cast<u64>(sum >> 64);
+  }
+  if (carry != 0) out.push_back(carry);
+  return out;
+}
+
+std::vector<BigInt::Limb> BigInt::mag_sub(const std::vector<Limb>& a,
+                                          const std::vector<Limb>& b) {
+  assert(mag_cmp(a, b) >= 0);
+  std::vector<Limb> out;
+  out.reserve(a.size());
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const u64 bi = i < b.size() ? b[i] : 0;
+    const u64 ai = a[i];
+    u64 diff = ai - bi;
+    const u64 borrow1 = ai < bi ? 1 : 0;
+    const u64 diff2 = diff - borrow;
+    const u64 borrow2 = diff < borrow ? 1 : 0;
+    out.push_back(diff2);
+    borrow = borrow1 | borrow2;
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+std::vector<BigInt::Limb> BigInt::mag_mul_school(const std::vector<Limb>& a,
+                                                 const std::vector<Limb>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<Limb> out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    u64 carry = 0;
+    const u64 ai = a[i];
+    if (ai == 0) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      u128 cur = static_cast<u128>(ai) * b[j] + out[i + j] + carry;
+      out[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    std::size_t k = i + b.size();
+    while (carry != 0) {
+      u128 cur = static_cast<u128>(out[k]) + carry;
+      out[k] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+      ++k;
+    }
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+std::vector<BigInt::Limb> BigInt::mag_mul_karatsuba(
+    const std::vector<Limb>& a, const std::vector<Limb>& b) {
+  const std::size_t half = std::max(a.size(), b.size()) / 2;
+  const auto lo = [&](const std::vector<Limb>& v) {
+    return std::vector<Limb>(v.begin(),
+                             v.begin() + static_cast<std::ptrdiff_t>(
+                                             std::min(half, v.size())));
+  };
+  const auto hi = [&](const std::vector<Limb>& v) {
+    if (v.size() <= half) return std::vector<Limb>{};
+    return std::vector<Limb>(v.begin() + static_cast<std::ptrdiff_t>(half),
+                             v.end());
+  };
+  auto trim = [](std::vector<Limb>& v) {
+    while (!v.empty() && v.back() == 0) v.pop_back();
+  };
+
+  std::vector<Limb> a0 = lo(a), a1 = hi(a), b0 = lo(b), b1 = hi(b);
+  trim(a0);
+  trim(b0);
+
+  std::vector<Limb> z0 = mag_mul(a0, b0);
+  std::vector<Limb> z2 = mag_mul(a1, b1);
+  std::vector<Limb> sa = mag_add(a0, a1);
+  std::vector<Limb> sb = mag_add(b0, b1);
+  std::vector<Limb> z1 = mag_mul(sa, sb);
+  z1 = mag_sub(z1, z0);
+  z1 = mag_sub(z1, z2);
+
+  // result = z0 + z1 << (64*half) + z2 << (128*half)
+  std::vector<Limb> out(std::max({z0.size(), z1.size() + half,
+                                  z2.size() + 2 * half}) +
+                            1,
+                        0);
+  auto add_at = [&out](const std::vector<Limb>& v, std::size_t offset) {
+    u64 carry = 0;
+    std::size_t i = 0;
+    for (; i < v.size(); ++i) {
+      u128 cur = static_cast<u128>(out[offset + i]) + v[i] + carry;
+      out[offset + i] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    while (carry != 0) {
+      u128 cur = static_cast<u128>(out[offset + i]) + carry;
+      out[offset + i] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+      ++i;
+    }
+  };
+  add_at(z0, 0);
+  add_at(z1, half);
+  add_at(z2, 2 * half);
+  trim(out);
+  return out;
+}
+
+std::vector<BigInt::Limb> BigInt::mag_mul(const std::vector<Limb>& a,
+                                          const std::vector<Limb>& b) {
+  if (a.size() < kKaratsubaThreshold || b.size() < kKaratsubaThreshold) {
+    return mag_mul_school(a, b);
+  }
+  return mag_mul_karatsuba(a, b);
+}
+
+BigInt& BigInt::operator+=(const BigInt& rhs) {
+  if (rhs.sign_ == 0) return *this;
+  if (sign_ == 0) {
+    *this = rhs;
+    return *this;
+  }
+  if (sign_ == rhs.sign_) {
+    limbs_ = mag_add(limbs_, rhs.limbs_);
+  } else {
+    const int c = mag_cmp(limbs_, rhs.limbs_);
+    if (c == 0) {
+      sign_ = 0;
+      limbs_.clear();
+    } else if (c > 0) {
+      limbs_ = mag_sub(limbs_, rhs.limbs_);
+    } else {
+      limbs_ = mag_sub(rhs.limbs_, limbs_);
+      sign_ = rhs.sign_;
+    }
+  }
+  normalize();
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& rhs) { return *this += -rhs; }
+
+BigInt& BigInt::operator*=(const BigInt& rhs) {
+  sign_ *= rhs.sign_;
+  limbs_ = mag_mul(limbs_, rhs.limbs_);
+  normalize();
+  return *this;
+}
+
+// Knuth TAOCP vol 2, Algorithm D (4.3.1), with 64-bit limbs.
+void BigInt::mag_divmod(const std::vector<Limb>& u_in,
+                        const std::vector<Limb>& v_in, std::vector<Limb>& q,
+                        std::vector<Limb>& r) {
+  if (v_in.empty()) throw MathError("division by zero");
+  if (mag_cmp(u_in, v_in) < 0) {
+    q.clear();
+    r = u_in;
+    return;
+  }
+  if (v_in.size() == 1) {
+    // Short division.
+    const u64 d = v_in[0];
+    q.assign(u_in.size(), 0);
+    u64 rem = 0;
+    for (std::size_t i = u_in.size(); i-- > 0;) {
+      u128 cur = (static_cast<u128>(rem) << 64) | u_in[i];
+      q[i] = static_cast<u64>(cur / d);
+      rem = static_cast<u64>(cur % d);
+    }
+    while (!q.empty() && q.back() == 0) q.pop_back();
+    r.clear();
+    if (rem != 0) r.push_back(rem);
+    return;
+  }
+
+  const int shift = std::countl_zero(v_in.back());
+  const std::size_t n = v_in.size();
+  const std::size_t m = u_in.size() - n;
+
+  // Normalized copies: v <<= shift, u <<= shift (with one extra high limb).
+  std::vector<Limb> v(n);
+  for (std::size_t i = n; i-- > 0;) {
+    v[i] = v_in[i] << shift;
+    if (shift != 0 && i > 0) v[i] |= v_in[i - 1] >> (64 - shift);
+  }
+  std::vector<Limb> u(u_in.size() + 1, 0);
+  for (std::size_t i = u_in.size(); i-- > 0;) {
+    u[i] = u_in[i] << shift;
+    if (shift != 0 && i > 0) u[i] |= u_in[i - 1] >> (64 - shift);
+  }
+  if (shift != 0) u[u_in.size()] = u_in.back() >> (64 - shift);
+
+  q.assign(m + 1, 0);
+  const u64 vtop = v[n - 1];
+  const u64 vsecond = v[n - 2];
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // Estimate qhat.
+    const u128 numerator = (static_cast<u128>(u[j + n]) << 64) | u[j + n - 1];
+    u128 qhat = numerator / vtop;
+    u128 rhat = numerator % vtop;
+    const u128 kBase = static_cast<u128>(1) << 64;
+    if (qhat >= kBase) {
+      qhat = kBase - 1;
+      rhat = numerator - qhat * vtop;
+    }
+    while (rhat < kBase &&
+           qhat * vsecond > ((rhat << 64) | u[j + n - 2])) {
+      --qhat;
+      rhat += vtop;
+    }
+
+    // Multiply-subtract: u[j..j+n] -= qhat * v.
+    u64 borrow = 0;
+    u64 carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      u128 prod = qhat * v[i] + carry;
+      carry = static_cast<u64>(prod >> 64);
+      const u64 plo = static_cast<u64>(prod);
+      const u64 ui = u[j + i];
+      u64 diff = ui - plo;
+      const u64 b1 = ui < plo ? 1 : 0;
+      const u64 diff2 = diff - borrow;
+      const u64 b2 = diff < borrow ? 1 : 0;
+      u[j + i] = diff2;
+      borrow = b1 | b2;
+    }
+    {
+      const u64 ui = u[j + n];
+      const u64 sub = carry + borrow;
+      u[j + n] = ui - sub;
+      borrow = ui < sub ? 1 : 0;
+    }
+
+    if (borrow != 0) {
+      // qhat was one too large: add back.
+      --qhat;
+      u64 add_carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        u128 sum = static_cast<u128>(u[j + i]) + v[i] + add_carry;
+        u[j + i] = static_cast<u64>(sum);
+        add_carry = static_cast<u64>(sum >> 64);
+      }
+      u[j + n] += add_carry;
+    }
+    q[j] = static_cast<u64>(qhat);
+  }
+
+  while (!q.empty() && q.back() == 0) q.pop_back();
+
+  // Denormalize remainder: r = u[0..n) >> shift.
+  r.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] = u[i] >> shift;
+    if (shift != 0 && i + 1 < n) r[i] |= u[i + 1] << (64 - shift);
+  }
+  if (shift != 0) r[n - 1] |= u[n] << (64 - shift);
+  while (!r.empty() && r.back() == 0) r.pop_back();
+}
+
+void BigInt::div_mod(const BigInt& a, const BigInt& b, BigInt& quotient,
+                     BigInt& remainder) {
+  if (b.sign_ == 0) throw MathError("division by zero");
+  std::vector<Limb> q, r;
+  mag_divmod(a.limbs_, b.limbs_, q, r);
+  quotient.limbs_ = std::move(q);
+  quotient.sign_ = a.sign_ * b.sign_;
+  quotient.normalize();
+  remainder.limbs_ = std::move(r);
+  remainder.sign_ = a.sign_;
+  remainder.normalize();
+}
+
+BigInt& BigInt::operator/=(const BigInt& rhs) {
+  BigInt q, r;
+  div_mod(*this, rhs, q, r);
+  *this = std::move(q);
+  return *this;
+}
+
+BigInt& BigInt::operator%=(const BigInt& rhs) {
+  BigInt q, r;
+  div_mod(*this, rhs, q, r);
+  *this = std::move(r);
+  return *this;
+}
+
+BigInt& BigInt::operator<<=(std::size_t bits) {
+  if (sign_ == 0 || bits == 0) return *this;
+  const std::size_t limb_shift = bits / 64;
+  const std::size_t bit_shift = bits % 64;
+  std::vector<Limb> out(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    out[i + limb_shift] |= limbs_[i] << bit_shift;
+    if (bit_shift != 0) {
+      out[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+    }
+  }
+  limbs_ = std::move(out);
+  normalize();
+  return *this;
+}
+
+BigInt& BigInt::operator>>=(std::size_t bits) {
+  if (sign_ == 0 || bits == 0) return *this;
+  const std::size_t limb_shift = bits / 64;
+  const std::size_t bit_shift = bits % 64;
+  if (limb_shift >= limbs_.size()) {
+    sign_ = 0;
+    limbs_.clear();
+    return *this;
+  }
+  std::vector<Limb> out(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      out[i] |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+    }
+  }
+  limbs_ = std::move(out);
+  normalize();
+  return *this;
+}
+
+BigInt BigInt::from_hex(std::string_view hex) {
+  bool negative = false;
+  if (!hex.empty() && hex.front() == '-') {
+    negative = true;
+    hex.remove_prefix(1);
+  }
+  if (hex.empty()) throw CodecError("BigInt::from_hex: empty input");
+  BigInt out;
+  out.limbs_.assign((hex.size() + 15) / 16, 0);
+  std::size_t bit = 0;
+  for (std::size_t i = hex.size(); i-- > 0;) {
+    const char c = hex[i];
+    int v;
+    if (c >= '0' && c <= '9') {
+      v = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      v = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      v = c - 'A' + 10;
+    } else {
+      throw CodecError("BigInt::from_hex: non-hex character");
+    }
+    out.limbs_[bit / 64] |= static_cast<u64>(v) << (bit % 64);
+    bit += 4;
+  }
+  out.sign_ = negative ? -1 : 1;
+  out.normalize();
+  return out;
+}
+
+std::string BigInt::to_hex() const {
+  if (sign_ == 0) return "0";
+  std::string out;
+  if (sign_ < 0) out.push_back('-');
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%llx",
+                static_cast<unsigned long long>(limbs_.back()));
+  out += buf;
+  for (std::size_t i = limbs_.size() - 1; i-- > 0;) {
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(limbs_[i]));
+    out += buf;
+  }
+  return out;
+}
+
+BigInt BigInt::from_dec(std::string_view dec) {
+  bool negative = false;
+  if (!dec.empty() && dec.front() == '-') {
+    negative = true;
+    dec.remove_prefix(1);
+  }
+  if (dec.empty()) throw CodecError("BigInt::from_dec: empty input");
+  BigInt out;
+  const BigInt kChunkBase(static_cast<std::uint64_t>(10'000'000'000'000'000'000ULL));
+  std::size_t i = 0;
+  while (i < dec.size()) {
+    const std::size_t chunk_len = std::min<std::size_t>(19, dec.size() - i);
+    u64 chunk = 0;
+    u64 scale = 1;
+    for (std::size_t j = 0; j < chunk_len; ++j) {
+      const char c = dec[i + j];
+      if (c < '0' || c > '9') {
+        throw CodecError("BigInt::from_dec: non-decimal character");
+      }
+      chunk = chunk * 10 + static_cast<u64>(c - '0');
+      scale *= 10;
+    }
+    out *= (chunk_len == 19) ? kChunkBase : BigInt(scale);
+    out += BigInt(chunk);
+    i += chunk_len;
+  }
+  if (negative) out.sign_ = -out.sign_;
+  return out;
+}
+
+std::string BigInt::to_dec() const {
+  if (sign_ == 0) return "0";
+  std::vector<u64> chunks;
+  std::vector<Limb> mag = limbs_;
+  const u64 kChunk = 10'000'000'000'000'000'000ULL;
+  while (!mag.empty()) {
+    u64 rem = 0;
+    for (std::size_t i = mag.size(); i-- > 0;) {
+      u128 cur = (static_cast<u128>(rem) << 64) | mag[i];
+      mag[i] = static_cast<u64>(cur / kChunk);
+      rem = static_cast<u64>(cur % kChunk);
+    }
+    while (!mag.empty() && mag.back() == 0) mag.pop_back();
+    chunks.push_back(rem);
+  }
+  std::string out;
+  if (sign_ < 0) out.push_back('-');
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(chunks.back()));
+  out += buf;
+  for (std::size_t i = chunks.size() - 1; i-- > 0;) {
+    std::snprintf(buf, sizeof(buf), "%019llu",
+                  static_cast<unsigned long long>(chunks[i]));
+    out += buf;
+  }
+  return out;
+}
+
+BigInt BigInt::from_bytes(BytesView be) {
+  BigInt out;
+  out.limbs_.assign((be.size() + 7) / 8, 0);
+  std::size_t bit = 0;
+  for (std::size_t i = be.size(); i-- > 0;) {
+    out.limbs_[bit / 64] |= static_cast<u64>(be[i]) << (bit % 64);
+    bit += 8;
+  }
+  out.sign_ = 1;
+  out.normalize();
+  return out;
+}
+
+Bytes BigInt::to_bytes() const {
+  if (sign_ < 0) throw MathError("BigInt::to_bytes: negative value");
+  const std::size_t nbytes = (bit_length() + 7) / 8;
+  Bytes out(nbytes, 0);
+  for (std::size_t i = 0; i < nbytes; ++i) {
+    out[nbytes - 1 - i] =
+        static_cast<std::uint8_t>(limbs_[i / 8] >> ((i % 8) * 8));
+  }
+  return out;
+}
+
+Bytes BigInt::to_bytes_padded(std::size_t width) const {
+  Bytes minimal = to_bytes();
+  if (minimal.size() > width) {
+    throw MathError("BigInt::to_bytes_padded: value does not fit");
+  }
+  Bytes out(width - minimal.size(), 0);
+  out.insert(out.end(), minimal.begin(), minimal.end());
+  return out;
+}
+
+}  // namespace shs::num

@@ -1,0 +1,126 @@
+// Arbitrary-precision signed integers, implemented from scratch.
+//
+// Representation: sign-magnitude with 64-bit little-endian limbs, always
+// normalized (no high zero limbs; zero has an empty limb vector and sign 0).
+// Multiplication uses schoolbook with 128-bit cores and switches to
+// Karatsuba for large operands; division is Knuth's Algorithm D.
+//
+// This is the numeric substrate for every cryptographic module in the
+// library; see modmath.h / montgomery.h / prime.h for the modular and
+// number-theoretic layers built on top.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace shs::num {
+
+class BigInt {
+ public:
+  using Limb = std::uint64_t;
+
+  /// Zero.
+  BigInt() = default;
+  BigInt(std::int64_t v);   // NOLINT(google-explicit-constructor)
+  BigInt(std::uint64_t v);  // NOLINT(google-explicit-constructor)
+  BigInt(int v) : BigInt(static_cast<std::int64_t>(v)) {}  // NOLINT
+
+  /// Parses a hex string (no 0x prefix, optional leading '-').
+  static BigInt from_hex(std::string_view hex);
+  /// Parses a decimal string (optional leading '-').
+  static BigInt from_dec(std::string_view dec);
+  /// Interprets big-endian bytes as a non-negative integer.
+  static BigInt from_bytes(BytesView be);
+
+  [[nodiscard]] std::string to_hex() const;
+  [[nodiscard]] std::string to_dec() const;
+  /// Minimal big-endian encoding (empty for zero). Requires *this >= 0.
+  [[nodiscard]] Bytes to_bytes() const;
+  /// Fixed-width big-endian encoding, left-padded with zeros.
+  /// Throws MathError if the value does not fit or is negative.
+  [[nodiscard]] Bytes to_bytes_padded(std::size_t width) const;
+
+  [[nodiscard]] bool is_zero() const noexcept { return sign_ == 0; }
+  [[nodiscard]] bool is_negative() const noexcept { return sign_ < 0; }
+  [[nodiscard]] bool is_odd() const noexcept {
+    return sign_ != 0 && (limbs_[0] & 1) != 0;
+  }
+  [[nodiscard]] bool is_even() const noexcept { return !is_odd(); }
+  [[nodiscard]] int sign() const noexcept { return sign_; }
+
+  /// Number of significant bits of |*this| (0 for zero).
+  [[nodiscard]] std::size_t bit_length() const noexcept;
+  /// Bit i of |*this| (LSB = bit 0).
+  [[nodiscard]] bool bit(std::size_t i) const noexcept;
+  /// Value as uint64; throws MathError if negative or too large.
+  [[nodiscard]] std::uint64_t to_u64() const;
+
+  [[nodiscard]] BigInt abs() const;
+
+  BigInt operator-() const;
+  BigInt& operator+=(const BigInt& rhs);
+  BigInt& operator-=(const BigInt& rhs);
+  BigInt& operator*=(const BigInt& rhs);
+  BigInt& operator/=(const BigInt& rhs);
+  BigInt& operator%=(const BigInt& rhs);
+  BigInt& operator<<=(std::size_t bits);
+  BigInt& operator>>=(std::size_t bits);
+
+  friend BigInt operator+(BigInt a, const BigInt& b) { return a += b; }
+  friend BigInt operator-(BigInt a, const BigInt& b) { return a -= b; }
+  friend BigInt operator*(BigInt a, const BigInt& b) { return a *= b; }
+  friend BigInt operator/(BigInt a, const BigInt& b) { return a /= b; }
+  friend BigInt operator%(BigInt a, const BigInt& b) { return a %= b; }
+  friend BigInt operator<<(BigInt a, std::size_t bits) { return a <<= bits; }
+  friend BigInt operator>>(BigInt a, std::size_t bits) { return a >>= bits; }
+
+  friend bool operator==(const BigInt& a, const BigInt& b) noexcept {
+    return a.sign_ == b.sign_ && a.limbs_ == b.limbs_;
+  }
+  friend std::strong_ordering operator<=>(const BigInt& a,
+                                          const BigInt& b) noexcept;
+
+  /// Truncating division producing quotient and remainder at once
+  /// (C++ semantics: remainder has the sign of the dividend).
+  /// Throws MathError on division by zero.
+  static void div_mod(const BigInt& a, const BigInt& b, BigInt& quotient,
+                      BigInt& remainder);
+
+  /// Access to raw limbs (little-endian); used by Montgomery internals.
+  [[nodiscard]] const std::vector<Limb>& limbs() const noexcept {
+    return limbs_;
+  }
+  /// Builds a non-negative value from little-endian limbs (normalizes).
+  static BigInt from_limbs(std::vector<Limb> limbs);
+
+ private:
+  void normalize() noexcept;
+
+  // |a| op |b| on magnitudes; results are normalized magnitudes.
+  static std::vector<Limb> mag_add(const std::vector<Limb>& a,
+                                   const std::vector<Limb>& b);
+  // Requires |a| >= |b|.
+  static std::vector<Limb> mag_sub(const std::vector<Limb>& a,
+                                   const std::vector<Limb>& b);
+  static int mag_cmp(const std::vector<Limb>& a,
+                     const std::vector<Limb>& b) noexcept;
+  static std::vector<Limb> mag_mul(const std::vector<Limb>& a,
+                                   const std::vector<Limb>& b);
+  static std::vector<Limb> mag_mul_school(const std::vector<Limb>& a,
+                                          const std::vector<Limb>& b);
+  static std::vector<Limb> mag_mul_karatsuba(const std::vector<Limb>& a,
+                                             const std::vector<Limb>& b);
+  static void mag_divmod(const std::vector<Limb>& u,
+                         const std::vector<Limb>& v, std::vector<Limb>& q,
+                         std::vector<Limb>& r);
+
+  int sign_ = 0;             // -1, 0, +1
+  std::vector<Limb> limbs_;  // little-endian magnitude, normalized
+};
+
+}  // namespace shs::num

@@ -1,0 +1,121 @@
+#include "bigint/modmath.h"
+
+#include "bigint/montgomery.h"
+#include "common/errors.h"
+
+namespace shs::num {
+
+BigInt mod(const BigInt& a, const BigInt& m) {
+  if (m.sign() <= 0) throw MathError("mod: modulus must be positive");
+  BigInt r = a % m;
+  if (r.is_negative()) r += m;
+  return r;
+}
+
+BigInt add_mod(const BigInt& a, const BigInt& b, const BigInt& m) {
+  return mod(a + b, m);
+}
+
+BigInt sub_mod(const BigInt& a, const BigInt& b, const BigInt& m) {
+  return mod(a - b, m);
+}
+
+BigInt mul_mod(const BigInt& a, const BigInt& b, const BigInt& m) {
+  return mod(a * b, m);
+}
+
+BigInt mod_exp(const BigInt& base, const BigInt& exponent, const BigInt& m) {
+  if (m.sign() <= 0 || m == BigInt(1)) {
+    throw MathError("mod_exp: modulus must be > 1");
+  }
+  if (exponent.is_negative()) {
+    return mod_exp(mod_inverse(base, m), -exponent, m);
+  }
+  const BigInt b = mod(base, m);
+  if (m.is_odd()) {
+    return Montgomery(m).exp(b, exponent);
+  }
+  // Generic square-and-multiply for even moduli (rare; setup paths only).
+  BigInt result(1);
+  BigInt acc = b;
+  for (std::size_t i = 0; i < exponent.bit_length(); ++i) {
+    if (exponent.bit(i)) result = mul_mod(result, acc, m);
+    acc = mul_mod(acc, acc, m);
+  }
+  return result;
+}
+
+BigInt gcd(const BigInt& a, const BigInt& b) {
+  BigInt x = a.abs();
+  BigInt y = b.abs();
+  while (!y.is_zero()) {
+    BigInt r = x % y;
+    x = std::move(y);
+    y = std::move(r);
+  }
+  return x;
+}
+
+BigInt ext_gcd(const BigInt& a, const BigInt& b, BigInt& x, BigInt& y) {
+  // Iterative extended Euclid.
+  BigInt old_r = a, r = b;
+  BigInt old_s = 1, s = 0;
+  BigInt old_t = 0, t = 1;
+  while (!r.is_zero()) {
+    BigInt q, rem;
+    BigInt::div_mod(old_r, r, q, rem);
+    old_r = std::move(r);
+    r = std::move(rem);
+    BigInt tmp_s = old_s - q * s;
+    old_s = std::move(s);
+    s = std::move(tmp_s);
+    BigInt tmp_t = old_t - q * t;
+    old_t = std::move(t);
+    t = std::move(tmp_t);
+  }
+  if (old_r.is_negative()) {
+    old_r = -old_r;
+    old_s = -old_s;
+    old_t = -old_t;
+  }
+  x = std::move(old_s);
+  y = std::move(old_t);
+  return old_r;
+}
+
+BigInt mod_inverse(const BigInt& a, const BigInt& m) {
+  if (m.sign() <= 0) throw MathError("mod_inverse: modulus must be positive");
+  BigInt x, y;
+  const BigInt g = ext_gcd(mod(a, m), m, x, y);
+  if (g != BigInt(1)) throw MathError("mod_inverse: element not invertible");
+  return mod(x, m);
+}
+
+int jacobi(const BigInt& a_in, const BigInt& n_in) {
+  if (n_in.sign() <= 0 || n_in.is_even()) {
+    throw MathError("jacobi: n must be positive and odd");
+  }
+  BigInt a = mod(a_in, n_in);
+  BigInt n = n_in;
+  int result = 1;
+  while (!a.is_zero()) {
+    while (a.is_even()) {
+      a >>= 1;
+      const std::uint64_t n_mod8 = n.limbs()[0] & 7;
+      if (n_mod8 == 3 || n_mod8 == 5) result = -result;
+    }
+    std::swap(a, n);
+    if ((a.limbs()[0] & 3) == 3 && (n.limbs()[0] & 3) == 3) result = -result;
+    a = a % n;
+  }
+  return n == BigInt(1) ? result : 0;
+}
+
+BigInt crt(const BigInt& r1, const BigInt& m1, const BigInt& r2,
+           const BigInt& m2) {
+  const BigInt m1_inv = mod_inverse(m1, m2);
+  const BigInt diff = mod(r2 - r1, m2);
+  return mod(r1 + m1 * mul_mod(diff, m1_inv, m2), m1 * m2);
+}
+
+}  // namespace shs::num

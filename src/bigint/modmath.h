@@ -1,0 +1,41 @@
+// Number-theoretic helpers on top of BigInt: canonical reduction, modular
+// arithmetic, extended gcd / inverses, Jacobi symbols, and a mod_exp that
+// dispatches to Montgomery for odd moduli.
+#pragma once
+
+#include "bigint/bigint.h"
+
+namespace shs::num {
+
+/// Canonical (non-negative) residue of a mod m; requires m > 0.
+[[nodiscard]] BigInt mod(const BigInt& a, const BigInt& m);
+
+[[nodiscard]] BigInt add_mod(const BigInt& a, const BigInt& b,
+                             const BigInt& m);
+[[nodiscard]] BigInt sub_mod(const BigInt& a, const BigInt& b,
+                             const BigInt& m);
+[[nodiscard]] BigInt mul_mod(const BigInt& a, const BigInt& b,
+                             const BigInt& m);
+
+/// base^exponent mod m; exponent >= 0, m > 1. Uses Montgomery for odd m.
+[[nodiscard]] BigInt mod_exp(const BigInt& base, const BigInt& exponent,
+                             const BigInt& m);
+
+/// Greatest common divisor (always non-negative).
+[[nodiscard]] BigInt gcd(const BigInt& a, const BigInt& b);
+
+/// Extended gcd: returns g = gcd(a, b) and sets x, y with a*x + b*y = g.
+BigInt ext_gcd(const BigInt& a, const BigInt& b, BigInt& x, BigInt& y);
+
+/// Modular inverse of a mod m; throws MathError if gcd(a, m) != 1.
+[[nodiscard]] BigInt mod_inverse(const BigInt& a, const BigInt& m);
+
+/// Jacobi symbol (a/n) for odd n > 0; returns -1, 0 or 1.
+[[nodiscard]] int jacobi(const BigInt& a, const BigInt& n);
+
+/// CRT combine: finds x mod (m1*m2) with x = r1 (mod m1), x = r2 (mod m2),
+/// for coprime m1, m2.
+[[nodiscard]] BigInt crt(const BigInt& r1, const BigInt& m1, const BigInt& r2,
+                         const BigInt& m2);
+
+}  // namespace shs::num

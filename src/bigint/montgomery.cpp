@@ -1,0 +1,165 @@
+#include "bigint/montgomery.h"
+
+#include <cassert>
+
+#include "common/errors.h"
+
+namespace shs::num {
+
+namespace {
+thread_local std::uint64_t g_modexp_count = 0;
+}  // namespace
+
+std::uint64_t modexp_count() noexcept { return g_modexp_count; }
+void reset_modexp_count() noexcept { g_modexp_count = 0; }
+
+namespace {
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+// -m^{-1} mod 2^64 via Newton iteration (m odd).
+u64 neg_inv64(u64 m) {
+  u64 inv = m;  // 3 correct bits
+  for (int i = 0; i < 6; ++i) inv *= 2 - m * inv;
+  return ~inv + 1;  // -inv
+}
+}  // namespace
+
+Montgomery::Montgomery(const BigInt& modulus) : modulus_(modulus) {
+  if (modulus.sign() <= 0 || modulus.is_even() || modulus == BigInt(1)) {
+    throw MathError("Montgomery: modulus must be odd and > 1");
+  }
+  mod_limbs_ = modulus.limbs();
+  n_ = mod_limbs_.size();
+  n0_inv_ = neg_inv64(mod_limbs_[0]);
+
+  // R = 2^(64n); compute R^2 mod m via BigInt division (setup only).
+  BigInt r2 = (BigInt(1) << (64 * n_ * 2)) % modulus_;
+  r2_ = pad(r2);
+  BigInt r1 = (BigInt(1) << (64 * n_)) % modulus_;
+  one_mont_ = pad(r1);
+}
+
+Montgomery::LimbVec Montgomery::pad(const BigInt& v) const {
+  assert(v.sign() >= 0 && v < modulus_);
+  LimbVec out = v.limbs();
+  out.resize(n_, 0);
+  return out;
+}
+
+// CIOS Montgomery multiplication. Inputs are n-limb vectors < m.
+Montgomery::LimbVec Montgomery::mont_mul(const LimbVec& a,
+                                         const LimbVec& b) const {
+  // t has n + 2 limbs.
+  LimbVec t(n_ + 2, 0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    // t += a[i] * b
+    u64 carry = 0;
+    const u64 ai = a[i];
+    for (std::size_t j = 0; j < n_; ++j) {
+      u128 cur = static_cast<u128>(ai) * b[j] + t[j] + carry;
+      t[j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    u128 cur = static_cast<u128>(t[n_]) + carry;
+    t[n_] = static_cast<u64>(cur);
+    t[n_ + 1] = static_cast<u64>(cur >> 64);
+
+    // u = t[0] * n0_inv mod 2^64; t += u * m; t >>= 64
+    const u64 u = t[0] * n0_inv_;
+    carry = 0;
+    for (std::size_t j = 0; j < n_; ++j) {
+      u128 c2 = static_cast<u128>(u) * mod_limbs_[j] + t[j] + carry;
+      t[j] = static_cast<u64>(c2);
+      carry = static_cast<u64>(c2 >> 64);
+    }
+    u128 c3 = static_cast<u128>(t[n_]) + carry;
+    t[n_] = static_cast<u64>(c3);
+    t[n_ + 1] += static_cast<u64>(c3 >> 64);
+
+    // shift down one limb (t[0] is now zero)
+    for (std::size_t j = 0; j <= n_; ++j) t[j] = t[j + 1];
+    t[n_ + 1] = 0;
+  }
+
+  // Conditional final subtraction: t may be in [0, 2m).
+  LimbVec result(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(n_));
+  bool ge = t[n_] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = n_; i-- > 0;) {
+      if (result[i] != mod_limbs_[i]) {
+        ge = result[i] > mod_limbs_[i];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    u64 borrow = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      const u64 ri = result[i];
+      const u64 mi = mod_limbs_[i];
+      const u64 d1 = ri - mi;
+      const u64 b1 = ri < mi ? 1 : 0;
+      const u64 d2 = d1 - borrow;
+      const u64 b2 = d1 < borrow ? 1 : 0;
+      result[i] = d2;
+      borrow = b1 | b2;
+    }
+  }
+  return result;
+}
+
+Montgomery::LimbVec Montgomery::to_mont(const BigInt& v) const {
+  return mont_mul(pad(v), r2_);
+}
+
+BigInt Montgomery::from_mont(const LimbVec& v) const {
+  LimbVec one(n_, 0);
+  one[0] = 1;
+  return BigInt::from_limbs(mont_mul(v, one));
+}
+
+BigInt Montgomery::mul(const BigInt& a, const BigInt& b) const {
+  if (a.sign() < 0 || b.sign() < 0 || a >= modulus_ || b >= modulus_) {
+    throw MathError("Montgomery::mul: operands must be in [0, m)");
+  }
+  return from_mont(mont_mul(to_mont(a), to_mont(b)));
+}
+
+BigInt Montgomery::exp(const BigInt& base, const BigInt& exponent) const {
+  ++g_modexp_count;
+  if (exponent.sign() < 0) throw MathError("Montgomery::exp: negative exponent");
+  if (base.sign() < 0 || base >= modulus_) {
+    throw MathError("Montgomery::exp: base must be in [0, m)");
+  }
+  if (exponent.is_zero()) return BigInt(1) % modulus_;
+
+  // Fixed 4-bit window.
+  constexpr std::size_t kWindow = 4;
+  const LimbVec base_m = to_mont(base);
+  std::vector<LimbVec> table(1 << kWindow);
+  table[0] = one_mont_;
+  table[1] = base_m;
+  for (std::size_t i = 2; i < table.size(); ++i) {
+    table[i] = mont_mul(table[i - 1], base_m);
+  }
+
+  const std::size_t bits = exponent.bit_length();
+  const std::size_t windows = (bits + kWindow - 1) / kWindow;
+  LimbVec acc = one_mont_;
+  for (std::size_t w = windows; w-- > 0;) {
+    if (w + 1 != windows) {
+      for (std::size_t s = 0; s < kWindow; ++s) acc = mont_mul(acc, acc);
+    }
+    std::size_t idx = 0;
+    for (std::size_t b = 0; b < kWindow; ++b) {
+      const std::size_t bitpos = w * kWindow + (kWindow - 1 - b);
+      idx = (idx << 1) | (exponent.bit(bitpos) ? 1 : 0);
+    }
+    if (idx != 0) acc = mont_mul(acc, table[idx]);
+  }
+  return from_mont(acc);
+}
+
+}  // namespace shs::num

@@ -1,0 +1,54 @@
+// Montgomery modular arithmetic for odd moduli.
+//
+// A Montgomery context precomputes the constants for CIOS (coarsely
+// integrated operand scanning) Montgomery multiplication and exposes
+// modular exponentiation with a fixed 4-bit window. This is the hot path
+// for every group-signature, key-agreement and encryption operation, so it
+// works directly on limb vectors rather than going through BigInt division.
+#pragma once
+
+#include <vector>
+
+#include "bigint/bigint.h"
+
+namespace shs::num {
+
+/// Global (thread-local) count of modular exponentiations performed via
+/// Montgomery::exp — the instrumentation behind the paper's "O(m) modular
+/// exponentiations per party" claims (benches E1/E2/E5).
+[[nodiscard]] std::uint64_t modexp_count() noexcept;
+void reset_modexp_count() noexcept;
+
+class Montgomery {
+ public:
+  /// Requires an odd modulus > 1; throws MathError otherwise.
+  explicit Montgomery(const BigInt& modulus);
+
+  [[nodiscard]] const BigInt& modulus() const noexcept { return modulus_; }
+
+  /// (a * b) mod m for 0 <= a, b < m.
+  [[nodiscard]] BigInt mul(const BigInt& a, const BigInt& b) const;
+
+  /// (base ^ exponent) mod m; exponent >= 0, 0 <= base < m.
+  [[nodiscard]] BigInt exp(const BigInt& base, const BigInt& exponent) const;
+
+ private:
+  using Limb = BigInt::Limb;
+  using LimbVec = std::vector<Limb>;
+
+  // Montgomery product: returns a*b*R^{-1} mod m, inputs in Montgomery form
+  // (or one in normal form for conversion tricks). Inputs padded to n limbs.
+  [[nodiscard]] LimbVec mont_mul(const LimbVec& a, const LimbVec& b) const;
+  [[nodiscard]] LimbVec to_mont(const BigInt& v) const;
+  [[nodiscard]] BigInt from_mont(const LimbVec& v) const;
+  [[nodiscard]] LimbVec pad(const BigInt& v) const;
+
+  BigInt modulus_;
+  LimbVec mod_limbs_;  // n limbs, little-endian
+  std::size_t n_;      // limb count of modulus
+  Limb n0_inv_;        // -m^{-1} mod 2^64
+  LimbVec r2_;         // R^2 mod m (for to_mont), n limbs
+  LimbVec one_mont_;   // R mod m, n limbs
+};
+
+}  // namespace shs::num

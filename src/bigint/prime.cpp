@@ -1,0 +1,125 @@
+#include "bigint/prime.h"
+
+#include <array>
+
+#include "bigint/modmath.h"
+#include "bigint/montgomery.h"
+#include "common/errors.h"
+
+namespace shs::num {
+
+namespace {
+
+// Primes below 1000 for cheap trial division.
+constexpr std::array<std::uint32_t, 168> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263,
+    269, 271, 277, 281, 283, 293, 307, 311, 313, 317, 331, 337, 347, 349,
+    353, 359, 367, 373, 379, 383, 389, 397, 401, 409, 419, 421, 431, 433,
+    439, 443, 449, 457, 461, 463, 467, 479, 487, 491, 499, 503, 509, 521,
+    523, 541, 547, 557, 563, 569, 571, 577, 587, 593, 599, 601, 607, 613,
+    617, 619, 631, 641, 643, 647, 653, 659, 661, 673, 677, 683, 691, 701,
+    709, 719, 727, 733, 739, 743, 751, 757, 761, 769, 773, 787, 797, 809,
+    811, 821, 823, 827, 829, 839, 853, 857, 859, 863, 877, 881, 883, 887,
+    907, 911, 919, 929, 937, 941, 947, 953, 967, 971, 977, 983, 991, 997};
+
+// Returns 0 if divisible by a small prime (and not equal to it), else 1.
+bool passes_trial_division(const BigInt& n) {
+  for (std::uint32_t p : kSmallPrimes) {
+    const BigInt bp(static_cast<std::uint64_t>(p));
+    if (n == bp) return true;
+    if ((n % bp).is_zero()) return false;
+  }
+  return true;
+}
+
+bool miller_rabin(const BigInt& n, const Montgomery& mont, const BigInt& d,
+                  std::size_t r, const BigInt& base) {
+  const BigInt n_minus_1 = n - BigInt(1);
+  BigInt x = mont.exp(base, d);
+  if (x == BigInt(1) || x == n_minus_1) return true;
+  for (std::size_t i = 1; i < r; ++i) {
+    x = mont.mul(x, x);
+    if (x == n_minus_1) return true;
+    if (x == BigInt(1)) return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_probable_prime(const BigInt& n, RandomSource& rng, int rounds) {
+  if (n.sign() <= 0) return false;
+  if (n == BigInt(1)) return false;
+  if (n == BigInt(2)) return true;
+  if (n.is_even()) return false;
+  if (!passes_trial_division(n)) return false;
+  if (n < BigInt(static_cast<std::uint64_t>(1000 * 1000))) {
+    // Trial division above already covers all composites < 1000^2.
+    return true;
+  }
+
+  // n - 1 = d * 2^r with d odd.
+  BigInt d = n - BigInt(1);
+  std::size_t r = 0;
+  while (d.is_even()) {
+    d >>= 1;
+    ++r;
+  }
+  const Montgomery mont(n);
+  const BigInt two(2);
+  const BigInt n_minus_2 = n - two;
+  for (int i = 0; i < rounds; ++i) {
+    const BigInt base = random_range(two, n_minus_2, rng);
+    if (!miller_rabin(n, mont, d, r, base)) return false;
+  }
+  return true;
+}
+
+BigInt random_prime(std::size_t bits, RandomSource& rng) {
+  if (bits < 2) throw MathError("random_prime: need at least 2 bits");
+  for (;;) {
+    BigInt candidate = random_bits(bits, rng);
+    if (candidate.is_even()) candidate += BigInt(1);
+    if (is_probable_prime(candidate, rng)) return candidate;
+  }
+}
+
+BigInt random_prime_in_range(const BigInt& lo, const BigInt& hi,
+                             RandomSource& rng) {
+  if (lo > hi) throw MathError("random_prime_in_range: empty range");
+  // By the prime number theorem a random candidate near x is prime with
+  // probability ~ 1/ln(x); 64 * bits attempts make failure implausible
+  // unless the range genuinely contains no primes.
+  const std::size_t attempts = 64 * (hi.bit_length() + 1);
+  for (std::size_t i = 0; i < attempts; ++i) {
+    BigInt candidate = random_range(lo, hi, rng);
+    if (candidate.is_even()) {
+      candidate += BigInt(1);
+      if (candidate > hi) continue;
+    }
+    if (is_probable_prime(candidate, rng)) return candidate;
+  }
+  throw MathError("random_prime_in_range: no prime found (range too thin?)");
+}
+
+BigInt random_safe_prime(std::size_t bits, RandomSource& rng) {
+  if (bits < 3) throw MathError("random_safe_prime: need at least 3 bits");
+  for (;;) {
+    // Pick q with bits-1 bits, test q then p = 2q + 1.
+    BigInt q = random_bits(bits - 1, rng);
+    if (q.is_even()) q += BigInt(1);
+    // Quick joint trial division: p = 2q+1 must also avoid small factors.
+    if (!passes_trial_division(q)) continue;
+    const BigInt p = (q << 1) + BigInt(1);
+    if (!passes_trial_division(p)) continue;
+    if (!is_probable_prime(q, rng, 8)) continue;
+    if (!is_probable_prime(p, rng, 8)) continue;
+    // Confirm with full confidence.
+    if (is_probable_prime(q, rng) && is_probable_prime(p, rng)) return p;
+  }
+}
+
+}  // namespace shs::num

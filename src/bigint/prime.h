@@ -1,0 +1,30 @@
+// Primality testing and prime generation: trial division over a small
+// sieve, Miller-Rabin, random primes in a range, and safe primes
+// (p = 2q + 1 with q prime) as needed by Schnorr groups and the ACJT/KTY
+// group-signature moduli.
+#pragma once
+
+#include "bigint/bigint.h"
+#include "bigint/random.h"
+
+namespace shs::num {
+
+/// Miller-Rabin probabilistic primality test with `rounds` random bases.
+/// Deterministic small-case handling; error probability <= 4^-rounds.
+[[nodiscard]] bool is_probable_prime(const BigInt& n, RandomSource& rng,
+                                     int rounds = 32);
+
+/// Uniform random prime with exactly `bits` bits.
+[[nodiscard]] BigInt random_prime(std::size_t bits, RandomSource& rng);
+
+/// Uniform random prime in [lo, hi]; throws MathError if none found after
+/// a generous number of attempts (caller supplied an implausible range).
+[[nodiscard]] BigInt random_prime_in_range(const BigInt& lo, const BigInt& hi,
+                                           RandomSource& rng);
+
+/// Random safe prime p = 2q + 1 (both prime) with exactly `bits` bits.
+/// Expensive; production parameters are embedded in algebra/params.h and
+/// this is exercised by slow tests and the parameter-generation tool.
+[[nodiscard]] BigInt random_safe_prime(std::size_t bits, RandomSource& rng);
+
+}  // namespace shs::num

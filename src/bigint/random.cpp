@@ -1,0 +1,79 @@
+#include "bigint/random.h"
+
+#include "common/errors.h"
+
+namespace shs::num {
+
+Bytes RandomSource::bytes(std::size_t n) {
+  Bytes out(n);
+  fill(out);
+  return out;
+}
+
+std::uint64_t RandomSource::next_u64() {
+  std::uint8_t buf[8];
+  fill(buf);
+  std::uint64_t v = 0;
+  for (std::uint8_t b : buf) v = (v << 8) | b;
+  return v;
+}
+
+std::uint64_t RandomSource::below_u64(std::uint64_t bound) {
+  if (bound == 0) throw MathError("below_u64: zero bound");
+  // Rejection sampling over the largest multiple of bound.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+  for (;;) {
+    const std::uint64_t v = next_u64();
+    if (v < limit) return v % bound;
+  }
+}
+
+std::uint64_t TestRng::next() {
+  state_ += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+void TestRng::fill(std::span<std::uint8_t> out) {
+  std::size_t i = 0;
+  while (i < out.size()) {
+    std::uint64_t v = next();
+    for (int j = 0; j < 8 && i < out.size(); ++j, ++i) {
+      out[i] = static_cast<std::uint8_t>(v);
+      v >>= 8;
+    }
+  }
+}
+
+BigInt random_bits(std::size_t bits, RandomSource& rng) {
+  if (bits == 0) throw MathError("random_bits: zero bits");
+  const std::size_t nbytes = (bits + 7) / 8;
+  Bytes buf = rng.bytes(nbytes);
+  // Clear excess top bits, then force the top bit on.
+  const std::size_t excess = nbytes * 8 - bits;
+  buf[0] &= static_cast<std::uint8_t>(0xff >> excess);
+  buf[0] |= static_cast<std::uint8_t>(0x80 >> excess);
+  return BigInt::from_bytes(buf);
+}
+
+BigInt random_below(const BigInt& bound, RandomSource& rng) {
+  if (bound.sign() <= 0) throw MathError("random_below: non-positive bound");
+  const std::size_t bits = bound.bit_length();
+  const std::size_t nbytes = (bits + 7) / 8;
+  const std::size_t excess = nbytes * 8 - bits;
+  for (;;) {
+    Bytes buf = rng.bytes(nbytes);
+    buf[0] &= static_cast<std::uint8_t>(0xff >> excess);
+    BigInt v = BigInt::from_bytes(buf);
+    if (v < bound) return v;
+  }
+}
+
+BigInt random_range(const BigInt& lo, const BigInt& hi, RandomSource& rng) {
+  if (lo > hi) throw MathError("random_range: empty range");
+  return lo + random_below(hi - lo + BigInt(1), rng);
+}
+
+}  // namespace shs::num

@@ -1,0 +1,53 @@
+// Randomness interfaces for the numeric and cryptographic layers.
+//
+// Every source of randomness in the library is a RandomSource. The
+// cryptographically strong implementation (HmacDrbg) lives in src/crypto/;
+// this header also provides a fast, seedable, NON-cryptographic generator
+// for tests and simulations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "bigint/bigint.h"
+#include "common/bytes.h"
+
+namespace shs::num {
+
+/// Abstract byte-level randomness source.
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+  /// Fills `out` with random bytes.
+  virtual void fill(std::span<std::uint8_t> out) = 0;
+
+  /// Convenience: `n` random bytes.
+  Bytes bytes(std::size_t n);
+  /// Uniform value in [0, 2^64).
+  std::uint64_t next_u64();
+  /// Uniform value in [0, bound) via rejection sampling.
+  std::uint64_t below_u64(std::uint64_t bound);
+};
+
+/// splitmix64-based generator. Deterministic, fast, NOT cryptographic —
+/// use only in tests, simulations and benchmarks.
+class TestRng final : public RandomSource {
+ public:
+  explicit TestRng(std::uint64_t seed) : state_(seed) {}
+  void fill(std::span<std::uint8_t> out) override;
+
+ private:
+  std::uint64_t next();
+  std::uint64_t state_;
+};
+
+/// Uniform integer with exactly `bits` bits (top bit set) for bits >= 1.
+BigInt random_bits(std::size_t bits, RandomSource& rng);
+
+/// Uniform integer in [0, bound) via rejection sampling. Requires bound > 0.
+BigInt random_below(const BigInt& bound, RandomSource& rng);
+
+/// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+BigInt random_range(const BigInt& lo, const BigInt& hi, RandomSource& rng);
+
+}  // namespace shs::num

@@ -1,0 +1,88 @@
+// Centralized Group Key Distribution (building block II, paper §5, Fig. 4).
+//
+// A group controller GC manages a dynamic group and drives "rekey" events:
+// every Join and Leave bumps the epoch t and installs a *fresh random*
+// group key k(t), distributed in a broadcast rekey message that only
+// current members can decrypt. Fresh-random (rather than one-way-derived)
+// keys give the strong security of Xu [34]: compromising a member at time
+// t2 reveals nothing about group keys at t1 < t2 once the member was
+// revoked in between, and revoked members cannot read any later key.
+//
+// Three implementations:
+//   * StarCgkd      — pairwise keys, O(n) rekey message (baseline)
+//   * LkhCgkd       — Wong-Gouda-Lam key tree [33], O(log n) rekey message
+//   * SubsetDiffCgkd— Naor-Naor-Lotspiech subset difference [26],
+//                     stateless receivers, <= 2r-1 header subsets
+//
+// Join state is handed to the new member over the GC's authenticated
+// private channel (paper's assumption), modeled as the returned
+// CgkdMember object; the broadcast goes over the anonymous channel.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "bigint/random.h"
+#include "common/bytes.h"
+
+namespace shs::cgkd {
+
+using MemberId = std::uint64_t;
+
+/// Broadcast rekey message, readable by current members only.
+struct RekeyMessage {
+  std::uint64_t epoch = 0;
+  Bytes payload;
+
+  /// Wire size in bytes (bench instrumentation).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return sizeof(epoch) + payload.size();
+  }
+};
+
+/// Per-member key state (what the member's device stores).
+class CgkdMember {
+ public:
+  virtual ~CgkdMember() = default;
+
+  /// The paper's Rekey algorithm: processes a broadcast, installs the new
+  /// group key. Returns the acc flag — false means this member could not
+  /// decrypt (it was revoked, or it missed an epoch).
+  [[nodiscard]] virtual bool process_rekey(const RekeyMessage& msg) = 0;
+
+  /// Current group key k(t) (32 bytes). Requires a successful rekey/join.
+  [[nodiscard]] virtual const Bytes& group_key() const = 0;
+
+  [[nodiscard]] virtual std::uint64_t epoch() const = 0;
+  [[nodiscard]] virtual MemberId id() const = 0;
+};
+
+struct JoinResult {
+  std::unique_ptr<CgkdMember> member;  // delivered over the private channel
+  RekeyMessage broadcast;              // rekeys the existing members
+};
+
+/// The group controller GC.
+class CgkdController {
+ public:
+  virtual ~CgkdController() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Admits a member; throws ProtocolError on duplicate id or full group.
+  [[nodiscard]] virtual JoinResult join(MemberId id) = 0;
+
+  /// Revokes a member; throws ProtocolError if not a member.
+  [[nodiscard]] virtual RekeyMessage leave(MemberId id) = 0;
+
+  /// Forces a rekey without membership change (periodic refresh).
+  [[nodiscard]] virtual RekeyMessage refresh() = 0;
+
+  [[nodiscard]] virtual const Bytes& group_key() const = 0;
+  [[nodiscard]] virtual std::uint64_t epoch() const = 0;
+  [[nodiscard]] virtual std::size_t member_count() const = 0;
+  [[nodiscard]] virtual bool is_member(MemberId id) const = 0;
+};
+
+}  // namespace shs::cgkd

@@ -1,0 +1,189 @@
+#include "cgkd/lkh.h"
+
+#include <bit>
+
+#include "common/codec.h"
+#include "common/errors.h"
+#include "crypto/aead.h"
+#include "crypto/hmac.h"
+
+namespace shs::cgkd {
+
+namespace {
+
+Bytes derive_application_key(BytesView root_key, std::uint64_t epoch) {
+  ByteWriter info;
+  info.str("lkh-group-key");
+  info.u64(epoch);
+  return crypto::hkdf(root_key, {}, info.buffer(), 32);
+}
+
+class LkhMember final : public CgkdMember {
+ public:
+  LkhMember(MemberId id, std::uint32_t leaf,
+            std::unordered_map<std::uint32_t, Bytes> path_keys,
+            std::uint64_t epoch)
+      : id_(id), leaf_(leaf), path_keys_(std::move(path_keys)), epoch_(epoch) {
+    group_key_ = derive_application_key(path_keys_.at(1), epoch_);
+  }
+
+  bool process_rekey(const RekeyMessage& msg) override {
+    if (msg.epoch != epoch_ + 1) return false;  // stale or replayed
+    // Stage updates so a failure anywhere leaves the state untouched.
+    std::unordered_map<std::uint32_t, Bytes> staged = path_keys_;
+    bool updated_root = false;
+    try {
+      ByteReader r(msg.payload);
+      const std::uint32_t count = r.u32();
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint32_t target = r.u32();
+        const std::uint32_t under = r.u32();
+        const Bytes sealed = r.bytes();
+        if (!on_path(target)) continue;
+        const auto it = staged.find(under);
+        if (it == staged.end()) continue;
+        Bytes key = crypto::Aead(it->second).open(sealed);
+        if (key.size() != 32) return false;
+        staged[target] = std::move(key);
+        if (target == 1) updated_root = true;
+      }
+      r.expect_done();
+    } catch (const Error&) {
+      return false;
+    }
+    if (!updated_root) return false;  // we were cut out: revoked
+    path_keys_ = std::move(staged);
+    epoch_ = msg.epoch;
+    group_key_ = derive_application_key(path_keys_.at(1), epoch_);
+    return true;
+  }
+
+  [[nodiscard]] const Bytes& group_key() const override { return group_key_; }
+  [[nodiscard]] std::uint64_t epoch() const override { return epoch_; }
+  [[nodiscard]] MemberId id() const override { return id_; }
+
+ private:
+  [[nodiscard]] bool on_path(std::uint32_t node) const {
+    for (std::uint32_t v = leaf_; v >= 1; v >>= 1) {
+      if (v == node) return true;
+      if (v == 1) break;
+    }
+    return false;
+  }
+
+  MemberId id_;
+  std::uint32_t leaf_;
+  std::unordered_map<std::uint32_t, Bytes> path_keys_;
+  Bytes group_key_;
+  std::uint64_t epoch_;
+};
+
+}  // namespace
+
+LkhCgkd::LkhCgkd(std::size_t capacity, num::RandomSource& rng) : rng_(rng) {
+  if (capacity < 2) capacity = 2;
+  capacity_ = std::bit_ceil(capacity);
+  if (capacity_ > (1u << 24)) throw ProtocolError("LkhCgkd: capacity too big");
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    free_leaves_.insert(static_cast<Node>(capacity_ + i));
+  }
+  // Root key exists even for an empty group so epoch-0 state is coherent.
+  node_keys_[1] = rng_.bytes(32);
+  derive_group_key();
+}
+
+void LkhCgkd::derive_group_key() {
+  group_key_ = derive_application_key(node_keys_.at(1), epoch_);
+}
+
+RekeyMessage LkhCgkd::rekey_path(Node from) {
+  ++epoch_;
+  // Fresh random keys for every node on the path from..root.
+  std::vector<Node> path;
+  for (Node v = from; v >= 1; v >>= 1) {
+    path.push_back(v);
+    if (v == 1) break;
+  }
+  std::vector<std::tuple<Node, Node, Bytes>> entries;  // target, under, sealed
+  for (std::size_t idx = 0; idx < path.size(); ++idx) {
+    const Node v = path[idx];
+    const Bytes fresh = rng_.bytes(32);
+    if (v >= capacity_) {
+      // Leaf: new key is delivered over the private channel only.
+      node_keys_[v] = fresh;
+      continue;
+    }
+    const Node left = 2 * v;
+    const Node right = 2 * v + 1;
+    if (!occupied(left) && !occupied(right) && v != 1) {
+      // Empty subtree (can happen after a leave): keep it keyless so no
+      // future entries are sealed toward keys nobody holds.
+      node_keys_.erase(v);
+      continue;
+    }
+    for (Node child : {left, right}) {
+      if (!occupied(child)) continue;
+      // The on-path child key was already refreshed this round (bottom-up
+      // iteration), so node_keys_[child] is the correct sealing key either
+      // way: new for on-path, current for off-path.
+      entries.emplace_back(v, child,
+                           crypto::Aead(node_keys_.at(child)).seal(fresh, rng_));
+    }
+    node_keys_[v] = fresh;
+  }
+  RekeyMessage msg;
+  msg.epoch = epoch_;
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& [target, under, sealed] : entries) {
+    w.u32(target);
+    w.u32(under);
+    w.bytes(sealed);
+  }
+  msg.payload = w.take();
+  derive_group_key();
+  return msg;
+}
+
+JoinResult LkhCgkd::join(MemberId id) {
+  if (member_leaf_.contains(id)) throw ProtocolError("LkhCgkd: duplicate join");
+  if (free_leaves_.empty()) throw ProtocolError("LkhCgkd: group full");
+  const Node leaf = *free_leaves_.begin();
+  free_leaves_.erase(free_leaves_.begin());
+  member_leaf_.emplace(id, leaf);
+  node_keys_[leaf] = rng_.bytes(32);  // placeholder; refreshed by rekey_path
+
+  RekeyMessage broadcast = rekey_path(leaf);
+
+  // Private-channel state: the member's full (post-refresh) path keys.
+  std::unordered_map<Node, Bytes> path_keys;
+  for (Node v = leaf; v >= 1; v >>= 1) {
+    path_keys[v] = node_keys_.at(v);
+    if (v == 1) break;
+  }
+  JoinResult result;
+  result.member =
+      std::make_unique<LkhMember>(id, leaf, std::move(path_keys), epoch_);
+  result.broadcast = std::move(broadcast);
+  return result;
+}
+
+RekeyMessage LkhCgkd::leave(MemberId id) {
+  const auto it = member_leaf_.find(id);
+  if (it == member_leaf_.end()) {
+    throw ProtocolError("LkhCgkd: leave of non-member");
+  }
+  const Node leaf = it->second;
+  member_leaf_.erase(it);
+  node_keys_.erase(leaf);
+  free_leaves_.insert(leaf);
+  // Prune now-empty internal nodes so no entries are sealed toward them.
+  for (Node v = leaf >> 1; v > 1; v >>= 1) {
+    if (!occupied(2 * v) && !occupied(2 * v + 1)) node_keys_.erase(v);
+  }
+  return rekey_path(leaf >> 1);
+}
+
+RekeyMessage LkhCgkd::refresh() { return rekey_path(1); }
+
+}  // namespace shs::cgkd

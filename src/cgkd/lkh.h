@@ -1,0 +1,64 @@
+// LKH (Logical Key Hierarchy) CGKD — the key-graph scheme of Wong, Gouda
+// and Lam [33] with the strong-security rekeying discipline of Xu [34]:
+// every key on the affected path is replaced by a *fresh random* key on
+// every Join and Leave (no one-way derivation from old keys), so key
+// compromise never propagates across a revocation boundary.
+//
+// Members sit at the leaves of a binary tree of fixed capacity; each member
+// holds the keys on its leaf-to-root path. A rekey broadcast carries, for
+// each refreshed node, the new node key sealed under the keys of that
+// node's occupied children (new key for the on-path child, current key for
+// the off-path child) — O(log n) sealed entries per membership change.
+//
+// The application group key is *derived* (HKDF) from the root key and the
+// epoch rather than being the root KEK itself.
+#pragma once
+
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "cgkd/cgkd.h"
+
+namespace shs::cgkd {
+
+class LkhCgkd final : public CgkdController {
+ public:
+  /// `capacity` (rounded up to a power of two) bounds group size.
+  LkhCgkd(std::size_t capacity, num::RandomSource& rng);
+
+  [[nodiscard]] std::string name() const override { return "lkh"; }
+  [[nodiscard]] JoinResult join(MemberId id) override;
+  [[nodiscard]] RekeyMessage leave(MemberId id) override;
+  [[nodiscard]] RekeyMessage refresh() override;
+  [[nodiscard]] const Bytes& group_key() const override { return group_key_; }
+  [[nodiscard]] std::uint64_t epoch() const override { return epoch_; }
+  [[nodiscard]] std::size_t member_count() const override {
+    return member_leaf_.size();
+  }
+  [[nodiscard]] bool is_member(MemberId id) const override {
+    return member_leaf_.contains(id);
+  }
+
+ private:
+  using Node = std::uint32_t;
+
+  [[nodiscard]] bool occupied(Node node) const {
+    return node_keys_.contains(node);
+  }
+  /// Refreshes keys on the path from `from` (inclusive) to the root and
+  /// builds the rekey broadcast. `skip_child` suppresses the entry sealed
+  /// under that child (used on leave, where the child no longer exists).
+  [[nodiscard]] RekeyMessage rekey_path(Node from);
+  void derive_group_key();
+
+  std::size_t capacity_;
+  num::RandomSource& rng_;
+  std::unordered_map<Node, Bytes> node_keys_;
+  std::map<MemberId, Node> member_leaf_;
+  std::set<Node> free_leaves_;
+  Bytes group_key_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace shs::cgkd

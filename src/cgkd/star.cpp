@@ -1,0 +1,98 @@
+#include "cgkd/star.h"
+
+#include "common/codec.h"
+#include "common/errors.h"
+#include "crypto/aead.h"
+
+namespace shs::cgkd {
+
+namespace {
+
+class StarMember final : public CgkdMember {
+ public:
+  StarMember(MemberId id, Bytes pairwise, Bytes group_key,
+             std::uint64_t epoch)
+      : id_(id),
+        pairwise_(std::move(pairwise)),
+        group_key_(std::move(group_key)),
+        epoch_(epoch) {}
+
+  bool process_rekey(const RekeyMessage& msg) override {
+    if (msg.epoch <= epoch_) return false;
+    try {
+      ByteReader r(msg.payload);
+      const std::uint32_t count = r.u32();
+      const crypto::Aead aead(pairwise_);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const MemberId target = r.u64();
+        const Bytes sealed = r.bytes();
+        if (target != id_) continue;
+        Bytes key = aead.open(sealed);
+        if (key.size() != 32) return false;
+        group_key_ = std::move(key);
+        epoch_ = msg.epoch;
+        return true;
+      }
+    } catch (const Error&) {
+      return false;
+    }
+    return false;  // we were not in the recipient list: revoked
+  }
+
+  [[nodiscard]] const Bytes& group_key() const override {
+    if (group_key_.empty()) throw ProtocolError("StarMember: no group key");
+    return group_key_;
+  }
+  [[nodiscard]] std::uint64_t epoch() const override { return epoch_; }
+  [[nodiscard]] MemberId id() const override { return id_; }
+
+ private:
+  MemberId id_;
+  Bytes pairwise_;
+  Bytes group_key_;
+  std::uint64_t epoch_;
+};
+
+}  // namespace
+
+StarCgkd::StarCgkd(num::RandomSource& rng) : rng_(rng) {
+  group_key_ = rng_.bytes(32);
+}
+
+RekeyMessage StarCgkd::rekey_all() {
+  group_key_ = rng_.bytes(32);
+  ++epoch_;
+  RekeyMessage msg;
+  msg.epoch = epoch_;
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(pairwise_.size()));
+  for (const auto& [id, key] : pairwise_) {
+    w.u64(id);
+    w.bytes(crypto::Aead(key).seal(group_key_, rng_));
+  }
+  msg.payload = w.take();
+  return msg;
+}
+
+JoinResult StarCgkd::join(MemberId id) {
+  if (pairwise_.contains(id)) throw ProtocolError("StarCgkd: duplicate join");
+  Bytes pairwise = rng_.bytes(32);
+  pairwise_.emplace(id, pairwise);
+  RekeyMessage broadcast = rekey_all();
+  JoinResult result;
+  result.member = std::make_unique<StarMember>(id, std::move(pairwise),
+                                               group_key_, epoch_);
+  result.broadcast = std::move(broadcast);
+  return result;
+}
+
+RekeyMessage StarCgkd::leave(MemberId id) {
+  if (pairwise_.erase(id) == 0) {
+    throw ProtocolError("StarCgkd: leave of non-member");
+  }
+  return rekey_all();
+}
+
+RekeyMessage StarCgkd::refresh() { return rekey_all(); }
+
+}  // namespace shs::cgkd

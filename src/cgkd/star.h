@@ -1,0 +1,39 @@
+// Star ("flat") CGKD baseline: the controller shares one pairwise key with
+// every member and rekeys by encrypting the fresh group key to each member
+// individually — O(n) message size, trivially strongly secure. This is the
+// comparison point that makes LKH's O(log n) visible in bench E4.
+#pragma once
+
+#include <map>
+
+#include "cgkd/cgkd.h"
+
+namespace shs::cgkd {
+
+class StarCgkd final : public CgkdController {
+ public:
+  explicit StarCgkd(num::RandomSource& rng);
+
+  [[nodiscard]] std::string name() const override { return "star"; }
+  [[nodiscard]] JoinResult join(MemberId id) override;
+  [[nodiscard]] RekeyMessage leave(MemberId id) override;
+  [[nodiscard]] RekeyMessage refresh() override;
+  [[nodiscard]] const Bytes& group_key() const override { return group_key_; }
+  [[nodiscard]] std::uint64_t epoch() const override { return epoch_; }
+  [[nodiscard]] std::size_t member_count() const override {
+    return pairwise_.size();
+  }
+  [[nodiscard]] bool is_member(MemberId id) const override {
+    return pairwise_.contains(id);
+  }
+
+ private:
+  [[nodiscard]] RekeyMessage rekey_all();
+
+  num::RandomSource& rng_;
+  std::map<MemberId, Bytes> pairwise_;
+  Bytes group_key_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace shs::cgkd

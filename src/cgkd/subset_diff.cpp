@@ -1,0 +1,258 @@
+#include "cgkd/subset_diff.h"
+
+#include <bit>
+#include <unordered_map>
+
+#include "common/codec.h"
+#include "common/errors.h"
+#include "crypto/aead.h"
+#include "crypto/hmac.h"
+
+namespace shs::cgkd {
+
+namespace {
+
+using Node = std::uint32_t;
+
+// PRG with three 32-byte outputs. G_L = part 0, G_M (key) = 1, G_R = 2.
+Bytes prg_part(BytesView label, int part) {
+  ByteWriter info;
+  info.str("sd-prg");
+  info.u8(static_cast<std::uint8_t>(part));
+  return crypto::hkdf(label, {}, info.buffer(), 32);
+}
+
+Bytes subset_key(BytesView label) { return prg_part(label, 1); }
+
+/// Walks LABEL_{i,from} down to LABEL_{i,to}; `to` must be in subtree(from).
+Bytes walk_label(Bytes label, Node from, Node to) {
+  if (from == to) return label;
+  // Bits of `to` below `from`, most significant first.
+  const int depth_from = std::bit_width(from) - 1;
+  const int depth_to = std::bit_width(to) - 1;
+  for (int bit = depth_to - depth_from - 1; bit >= 0; --bit) {
+    const int go_right = static_cast<int>((to >> bit) & 1);
+    label = prg_part(label, go_right ? 2 : 0);
+  }
+  return label;
+}
+
+bool is_ancestor_or_self(Node anc, Node node) {
+  const int da = std::bit_width(anc) - 1;
+  const int dn = std::bit_width(node) - 1;
+  if (da > dn) return false;
+  return (node >> (dn - da)) == anc;
+}
+
+std::uint64_t pack_pair(Node i, Node w) {
+  return (static_cast<std::uint64_t>(i) << 32) | w;
+}
+
+class SdMember final : public CgkdMember {
+ public:
+  SdMember(MemberId id, Node leaf,
+           std::unordered_map<std::uint64_t, Bytes> labels, Bytes all_key,
+           Bytes group_key, std::uint64_t epoch)
+      : id_(id),
+        leaf_(leaf),
+        labels_(std::move(labels)),
+        all_key_(std::move(all_key)),
+        group_key_(std::move(group_key)),
+        epoch_(epoch) {}
+
+  bool process_rekey(const RekeyMessage& msg) override {
+    if (msg.epoch <= epoch_) return false;
+    try {
+      ByteReader r(msg.payload);
+      const std::uint32_t count = r.u32();
+      for (std::uint32_t e = 0; e < count; ++e) {
+        const Node i = r.u32();
+        const Node j = r.u32();
+        const Bytes sealed = r.bytes();
+        Bytes key;
+        if (j == 0) {
+          key = all_key_;  // the no-revocation "all" subset
+        } else {
+          if (!covers_me(i, j)) continue;
+          key = subset_key(derive_label(i, j));
+        }
+        Bytes group_key = crypto::Aead(key).open(sealed);
+        if (group_key.size() != 32) return false;
+        group_key_ = std::move(group_key);
+        epoch_ = msg.epoch;
+        return true;
+      }
+    } catch (const Error&) {
+      return false;
+    }
+    return false;  // no covering subset: revoked
+  }
+
+  [[nodiscard]] const Bytes& group_key() const override { return group_key_; }
+  [[nodiscard]] std::uint64_t epoch() const override { return epoch_; }
+  [[nodiscard]] MemberId id() const override { return id_; }
+
+ private:
+  [[nodiscard]] bool covers_me(Node i, Node j) const {
+    return is_ancestor_or_self(i, leaf_) && !is_ancestor_or_self(j, leaf_) &&
+           is_ancestor_or_self(i, j);
+  }
+
+  /// LABEL_{i,j}: find the highest ancestor-or-self w of j that is off my
+  /// path (its parent IS on my path); we hold LABEL_{i,w}; walk down to j.
+  [[nodiscard]] Bytes derive_label(Node i, Node j) const {
+    Node w = j;
+    while (w > 1 && !is_ancestor_or_self(w >> 1, leaf_)) w >>= 1;
+    // Now parent(w) is on my path (or w == j is already a path-sibling).
+    const auto it = labels_.find(pack_pair(i, w));
+    if (it == labels_.end()) {
+      throw ProtocolError("SdMember: missing label");
+    }
+    return walk_label(it->second, w, j);
+  }
+
+  MemberId id_;
+  Node leaf_;
+  std::unordered_map<std::uint64_t, Bytes> labels_;  // (i,w) -> LABEL_{i,w}
+  Bytes all_key_;
+  Bytes group_key_;
+  std::uint64_t epoch_;
+};
+
+}  // namespace
+
+SubsetDiffCgkd::SubsetDiffCgkd(std::size_t capacity, num::RandomSource& rng)
+    : rng_(rng) {
+  if (capacity < 2) capacity = 2;
+  capacity_ = std::bit_ceil(capacity);
+  if (capacity_ > (1u << 20)) {
+    throw ProtocolError("SubsetDiffCgkd: capacity too big");
+  }
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    free_leaves_.insert(static_cast<Node>(capacity_ + i));
+  }
+  // A seed for every internal node (labels are per-node, fixed forever).
+  for (Node v = 1; v < capacity_; ++v) seeds_[v] = rng_.bytes(32);
+  all_key_ = rng_.bytes(32);
+  group_key_ = rng_.bytes(32);
+}
+
+Bytes SubsetDiffCgkd::label(Node i, Node j) const {
+  return walk_label(seeds_.at(i), i, j);
+}
+
+std::vector<SdSubset> SubsetDiffCgkd::current_cover() const {
+  if (revoked_.empty()) return {SdSubset{1, 0}};
+  // Steiner tree of the revoked leaves: every ancestor of a revoked leaf.
+  std::set<Node> steiner;
+  for (Node leaf : revoked_) {
+    for (Node v = leaf; v >= 1; v >>= 1) {
+      steiner.insert(v);
+      if (v == 1) break;
+    }
+  }
+  std::vector<SdSubset> cover;
+  // Post-order walk maintaining "chain bottoms": chain_bottom(v) is the
+  // single node under v that all revoked leaves below v descend through.
+  // Iterative recursion via explicit stack.
+  struct Frame {
+    Node v;
+    bool expanded;
+  };
+  std::unordered_map<Node, Node> bottom;
+  std::vector<Frame> stack{{1, false}};
+  while (!stack.empty()) {
+    auto [v, expanded] = stack.back();
+    stack.pop_back();
+    const Node left = 2 * v;
+    const Node right = 2 * v + 1;
+    const bool has_left = v < capacity_ && steiner.contains(left);
+    const bool has_right = v < capacity_ && steiner.contains(right);
+    if (!expanded) {
+      if (v >= capacity_) {  // revoked leaf
+        bottom[v] = v;
+        continue;
+      }
+      stack.push_back({v, true});
+      if (has_left) stack.push_back({left, false});
+      if (has_right) stack.push_back({right, false});
+      continue;
+    }
+    if (has_left && has_right) {
+      // Branch point: close both child chains, restart chain at v.
+      if (bottom.at(left) != left) {
+        cover.push_back({left, bottom.at(left)});
+      }
+      if (bottom.at(right) != right) {
+        cover.push_back({right, bottom.at(right)});
+      }
+      bottom[v] = v;
+    } else {
+      // Single-child chain continues through v.
+      bottom[v] = bottom.at(has_left ? left : right);
+    }
+  }
+  if (bottom.at(1) != 1) cover.push_back({1, bottom.at(1)});
+  return cover;
+}
+
+RekeyMessage SubsetDiffCgkd::rekey() {
+  group_key_ = rng_.bytes(32);
+  ++epoch_;
+  RekeyMessage msg;
+  msg.epoch = epoch_;
+  ByteWriter w;
+  const std::vector<SdSubset> cover = current_cover();
+  w.u32(static_cast<std::uint32_t>(cover.size()));
+  for (const SdSubset& s : cover) {
+    w.u32(s.i);
+    w.u32(s.j);
+    const Bytes key = s.j == 0 ? all_key_ : subset_key(label(s.i, s.j));
+    w.bytes(crypto::Aead(key).seal(group_key_, rng_));
+  }
+  msg.payload = w.take();
+  return msg;
+}
+
+JoinResult SubsetDiffCgkd::join(MemberId id) {
+  if (member_leaf_.contains(id)) {
+    throw ProtocolError("SubsetDiffCgkd: duplicate join");
+  }
+  if (free_leaves_.empty()) throw ProtocolError("SubsetDiffCgkd: group full");
+  const Node leaf = *free_leaves_.begin();
+  free_leaves_.erase(free_leaves_.begin());
+  member_leaf_.emplace(id, leaf);
+
+  // Provision labels: for each ancestor i of leaf and each node w hanging
+  // one step off the i->leaf path, LABEL_{i,w}.
+  std::unordered_map<std::uint64_t, Bytes> labels;
+  for (Node i = 1; i < capacity_; i = is_ancestor_or_self(2 * i, leaf) ? 2 * i : 2 * i + 1) {
+    if (!is_ancestor_or_self(i, leaf)) break;
+    for (Node v = leaf; v > i; v >>= 1) {
+      const Node sibling = v ^ 1;
+      labels.emplace(pack_pair(i, sibling), label(i, sibling));
+    }
+    if (i >= capacity_ / 2) break;  // children are leaves; i was last internal
+  }
+
+  RekeyMessage broadcast = rekey();
+  JoinResult result;
+  result.member = std::make_unique<SdMember>(id, leaf, std::move(labels),
+                                             all_key_, group_key_, epoch_);
+  result.broadcast = std::move(broadcast);
+  return result;
+}
+
+RekeyMessage SubsetDiffCgkd::leave(MemberId id) {
+  const auto it = member_leaf_.find(id);
+  if (it == member_leaf_.end()) {
+    throw ProtocolError("SubsetDiffCgkd: leave of non-member");
+  }
+  revoked_.insert(it->second);  // leaves are burned, never reassigned
+  member_leaf_.erase(it);
+  return rekey();
+}
+
+RekeyMessage SubsetDiffCgkd::refresh() { return rekey(); }
+
+}  // namespace shs::cgkd

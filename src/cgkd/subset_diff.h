@@ -1,0 +1,83 @@
+// Subset Difference (SD) broadcast encryption — Naor, Naor & Lotspiech [26],
+// the stateless-receiver CGKD the paper cites alongside LKH (§5, App. C).
+//
+// Receivers are leaves of a complete binary tree of height h. The subset
+// S_{i,j} (i an ancestor of j) contains every leaf under i that is NOT
+// under j. The controller holds a random seed LABEL_i per node; labels walk
+// down the tree through a PRG with three outputs (left / key / right):
+//   LABEL_{i, left(v)}  = G_L(LABEL_{i,v})
+//   LABEL_{i, right(v)} = G_R(LABEL_{i,v})
+//   K_{i,j}             = G_M(LABEL_{i,j})
+// A receiver at leaf u stores LABEL_{i,w} for every ancestor i of u and
+// every node w hanging one step off the i→u path — O(log² N) labels fixed
+// at provisioning time (stateless: never updated).
+//
+// A rekey broadcast covers N \ R with at most 2|R|-1 subsets (the cover
+// algorithm below), each carrying the fresh group key sealed under K_{i,j}.
+// Revoked leaves are inside the excluded subtrees of every cover subset,
+// so they can derive none of the subset keys.
+//
+// Note the stateless trade-off (documented in DESIGN.md): a member admitted
+// at epoch t can also decrypt earlier epochs' broadcasts if it recorded
+// them, because its labels are static. The GCD framework composes SD with
+// GSIG revocation, which is what enforces the membership boundary.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "cgkd/cgkd.h"
+
+namespace shs::cgkd {
+
+/// A subset S_{i,j}; j == 0 encodes the special "all receivers" subset
+/// used when no one is revoked.
+struct SdSubset {
+  std::uint32_t i = 0;
+  std::uint32_t j = 0;
+};
+
+class SubsetDiffCgkd final : public CgkdController {
+ public:
+  SubsetDiffCgkd(std::size_t capacity, num::RandomSource& rng);
+
+  [[nodiscard]] std::string name() const override { return "subset-diff"; }
+  [[nodiscard]] JoinResult join(MemberId id) override;
+  [[nodiscard]] RekeyMessage leave(MemberId id) override;
+  [[nodiscard]] RekeyMessage refresh() override;
+  [[nodiscard]] const Bytes& group_key() const override { return group_key_; }
+  [[nodiscard]] std::uint64_t epoch() const override { return epoch_; }
+  [[nodiscard]] std::size_t member_count() const override {
+    return member_leaf_.size();
+  }
+  [[nodiscard]] bool is_member(MemberId id) const override {
+    return member_leaf_.contains(id);
+  }
+
+  /// The NNL cover of (all leaves) \ (revoked leaves). Exposed for tests
+  /// and the E4 header-size bench. At most 2r-1 subsets.
+  [[nodiscard]] std::vector<SdSubset> current_cover() const;
+
+  /// Number of currently revoked leaves (bench instrumentation).
+  [[nodiscard]] std::size_t revoked_count() const { return revoked_.size(); }
+
+ private:
+  using Node = std::uint32_t;
+
+  [[nodiscard]] Bytes label(Node i, Node j) const;  // walk seed_i down to j
+  [[nodiscard]] RekeyMessage rekey();
+
+  std::size_t capacity_ = 0;
+  num::RandomSource& rng_;
+  std::map<Node, Bytes> seeds_;          // LABEL_i per node i
+  Bytes all_key_;                        // key for the no-revocation subset
+  std::map<MemberId, Node> member_leaf_;
+  std::set<Node> free_leaves_;
+  std::set<Node> revoked_;  // revoked leaves (never reassigned)
+  Bytes group_key_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace shs::cgkd

@@ -1,0 +1,97 @@
+#include "cgkd/weak_refresh.h"
+
+#include "common/codec.h"
+#include "common/errors.h"
+#include "crypto/hmac.h"
+
+namespace shs::cgkd {
+
+namespace {
+
+Bytes derive_one(BytesView key) {
+  return crypto::hkdf(key, {}, to_bytes("weak-refresh-derive"), 32);
+}
+
+/// Wraps an LkhMember: a weak-refresh broadcast (marker payload) derives
+/// the key forward; real join/leave broadcasts delegate to LKH.
+class WeakMember final : public CgkdMember {
+ public:
+  WeakMember(std::unique_ptr<CgkdMember> inner, Bytes group_key,
+             std::uint64_t epoch)
+      : inner_(std::move(inner)),
+        group_key_(std::move(group_key)),
+        epoch_(epoch) {}
+
+  bool process_rekey(const RekeyMessage& msg) override {
+    if (msg.epoch != epoch_ + 1) return false;
+    if (msg.payload == to_bytes("weak-refresh")) {
+      group_key_ = derive_one(group_key_);
+      ++epoch_;
+      return true;
+    }
+    // Structural rekey: epochs of the inner LKH advance only on these.
+    RekeyMessage inner_msg;
+    inner_msg.epoch = inner_epoch_ + 1;
+    inner_msg.payload = msg.payload;
+    if (!inner_->process_rekey(inner_msg)) return false;
+    ++inner_epoch_;
+    ++epoch_;
+    group_key_ = inner_->group_key();
+    return true;
+  }
+
+  [[nodiscard]] const Bytes& group_key() const override { return group_key_; }
+  [[nodiscard]] std::uint64_t epoch() const override { return epoch_; }
+  [[nodiscard]] MemberId id() const override { return inner_->id(); }
+
+  void set_inner_epoch(std::uint64_t e) { inner_epoch_ = e; }
+
+ private:
+  std::unique_ptr<CgkdMember> inner_;
+  Bytes group_key_;
+  std::uint64_t epoch_;
+  std::uint64_t inner_epoch_ = 0;
+};
+
+}  // namespace
+
+WeakRefreshCgkd::WeakRefreshCgkd(std::size_t capacity, num::RandomSource& rng)
+    : inner_(capacity, rng) {
+  group_key_ = inner_.group_key();
+}
+
+JoinResult WeakRefreshCgkd::join(MemberId id) {
+  JoinResult result = inner_.join(id);
+  ++epoch_;
+  group_key_ = inner_.group_key();
+  auto member = std::make_unique<WeakMember>(std::move(result.member),
+                                             group_key_, epoch_);
+  member->set_inner_epoch(inner_.epoch());
+  result.member = std::move(member);
+  result.broadcast.epoch = epoch_;
+  return result;
+}
+
+RekeyMessage WeakRefreshCgkd::leave(MemberId id) {
+  RekeyMessage msg = inner_.leave(id);
+  ++epoch_;
+  group_key_ = inner_.group_key();
+  msg.epoch = epoch_;
+  return msg;
+}
+
+RekeyMessage WeakRefreshCgkd::refresh() {
+  group_key_ = derive_one(group_key_);
+  ++epoch_;
+  RekeyMessage msg;
+  msg.epoch = epoch_;
+  msg.payload = to_bytes("weak-refresh");
+  return msg;
+}
+
+Bytes WeakRefreshCgkd::derive_forward(Bytes key, std::size_t steps) {
+  for (std::size_t i = 0; i < steps; ++i) key = derive_one(key);
+  return key;
+}
+
+}  // namespace shs::cgkd

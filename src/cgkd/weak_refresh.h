@@ -1,0 +1,51 @@
+// Deliberately-weak CGKD variant for the strong-security ablation.
+//
+// The paper (§5) requires the CGKD to satisfy the *strong security* of Xu
+// [34] and notes that "existing popular group communication schemes do not
+// achieve this property". A classic offender is refreshing the group key
+// by one-way derivation, k(t+1) = H(k(t)), instead of rekeying with fresh
+// randomness: it costs no messages at all, but a member revoked at time t
+// can derive every post-revocation key from its last known one as long as
+// only derivation-refreshes happen.
+//
+// WeakRefreshCgkd wraps LKH and replaces refresh() with forward
+// derivation. tests/cgkd and the E10 ablation use it to demonstrate the
+// attack that the paper's fresh-random discipline (our default) prevents.
+// DO NOT use it in real configurations.
+#pragma once
+
+#include "cgkd/cgkd.h"
+#include "cgkd/lkh.h"
+
+namespace shs::cgkd {
+
+class WeakRefreshCgkd final : public CgkdController {
+ public:
+  WeakRefreshCgkd(std::size_t capacity, num::RandomSource& rng);
+
+  [[nodiscard]] std::string name() const override { return "weak-refresh"; }
+  [[nodiscard]] JoinResult join(MemberId id) override;
+  [[nodiscard]] RekeyMessage leave(MemberId id) override;
+  /// The weak operation: k <- H(k), broadcast carries no key material.
+  [[nodiscard]] RekeyMessage refresh() override;
+  [[nodiscard]] const Bytes& group_key() const override { return group_key_; }
+  [[nodiscard]] std::uint64_t epoch() const override { return epoch_; }
+  [[nodiscard]] std::size_t member_count() const override {
+    return inner_.member_count();
+  }
+  [[nodiscard]] bool is_member(MemberId id) const override {
+    return inner_.is_member(id);
+  }
+
+  /// The attack, from the revoked member's point of view: given any past
+  /// group key and the number of derivation-refreshes since, compute the
+  /// current key. Succeeds iff only weak refreshes happened in between.
+  [[nodiscard]] static Bytes derive_forward(Bytes key, std::size_t steps);
+
+ private:
+  LkhCgkd inner_;
+  Bytes group_key_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace shs::cgkd

@@ -1,0 +1,34 @@
+// Basic byte-buffer utilities shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace shs {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Encodes `data` as lowercase hex.
+std::string to_hex(BytesView data);
+
+/// Decodes a hex string (upper or lower case). Throws CodecError on bad input.
+Bytes from_hex(std::string_view hex);
+
+/// Constant-time equality check: returns true iff a and b have equal length
+/// and contents, without data-dependent early exit. Use for MAC comparison.
+bool ct_equal(BytesView a, BytesView b) noexcept;
+
+/// Appends `more` to `dst`.
+void append(Bytes& dst, BytesView more);
+
+/// Converts a string literal / string to Bytes.
+Bytes to_bytes(std::string_view s);
+
+/// XORs b into a (a ^= b). Requires equal lengths; throws otherwise.
+void xor_inplace(Bytes& a, BytesView b);
+
+}  // namespace shs

@@ -1,0 +1,75 @@
+#include "common/codec.h"
+
+#include "common/errors.h"
+
+namespace shs {
+
+void ByteWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void ByteWriter::bytes(BytesView v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+void ByteWriter::str(std::string_view v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+void ByteReader::need(std::size_t n) const {
+  if (remaining() < n) throw CodecError("ByteReader: truncated input");
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_++];
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_++];
+  return v;
+}
+
+Bytes ByteReader::bytes() {
+  const std::uint32_t len = u32();
+  need(len);
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+  pos_ += len;
+  return out;
+}
+
+std::string ByteReader::str() {
+  const std::uint32_t len = u32();
+  need(len);
+  std::string out(reinterpret_cast<const char*>(data_.data()) + pos_, len);
+  pos_ += len;
+  return out;
+}
+
+void ByteReader::expect_done() const {
+  if (!done()) throw CodecError("ByteReader: trailing bytes");
+}
+
+}  // namespace shs

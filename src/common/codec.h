@@ -1,0 +1,63 @@
+// Length-prefixed binary serialization used by every protocol message in the
+// library. The format is deliberately simple and self-describing enough for
+// tests to build adversarial (tampered/truncated) messages:
+//
+//   u8 / u32 / u64   fixed-width big-endian integers
+//   bytes            u32 length prefix + raw bytes
+//
+// Readers throw CodecError on truncation so protocol code can treat any
+// malformed message as an attack and fail the handshake cleanly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace shs {
+
+/// Serializer. Append-only; call `take()` to move the buffer out.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// Writes a u32 length prefix followed by the bytes.
+  void bytes(BytesView v);
+  /// Writes a length-prefixed UTF-8 string.
+  void str(std::string_view v);
+
+  [[nodiscard]] const Bytes& buffer() const noexcept { return buf_; }
+  [[nodiscard]] Bytes take() noexcept { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Deserializer over a non-owning view. Throws CodecError on truncation.
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  Bytes bytes();
+  std::string str();
+
+  [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  /// Throws CodecError unless all input has been consumed.
+  void expect_done() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace shs

@@ -1,0 +1,41 @@
+// Error hierarchy used across the library. All failures that a caller can
+// plausibly recover from are reported via these exceptions; programming
+// errors use assertions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace shs {
+
+/// Root of the library's exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Malformed serialized data (truncated message, bad hex, bad tag, ...).
+class CodecError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Arithmetic misuse (division by zero, non-invertible element, ...).
+class MathError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Cryptographic verification failure (bad signature, bad MAC, bad proof).
+class VerifyError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Protocol state machine misuse or violated protocol expectations.
+class ProtocolError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace shs

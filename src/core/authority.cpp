@@ -1,0 +1,154 @@
+#include "core/authority.h"
+
+#include "algebra/schnorr_group.h"
+#include "cgkd/lkh.h"
+#include "cgkd/star.h"
+#include "cgkd/subset_diff.h"
+#include "common/codec.h"
+#include "common/errors.h"
+#include "core/member.h"
+#include "crypto/aead.h"
+#include "dgka/burmester_desmedt.h"
+#include "dgka/gdh.h"
+#include "gsig/acjt.h"
+#include "gsig/kty.h"
+
+namespace shs::core {
+
+const dgka::DgkaScheme& global_dgka(DgkaKind kind,
+                                    algebra::ParamLevel level) {
+  using algebra::ParamLevel;
+  using algebra::SchnorrGroup;
+  static const dgka::BurmesterDesmedt bd_test(
+      SchnorrGroup::standard(ParamLevel::kTest));
+  static const dgka::BurmesterDesmedt bd_bench(
+      SchnorrGroup::standard(ParamLevel::kBench));
+  static const dgka::GdhTwo gdh_test(SchnorrGroup::standard(ParamLevel::kTest));
+  static const dgka::GdhTwo gdh_bench(
+      SchnorrGroup::standard(ParamLevel::kBench));
+  if (kind == DgkaKind::kBurmesterDesmedt) {
+    return level == ParamLevel::kTest ? static_cast<const dgka::DgkaScheme&>(
+                                            bd_test)
+                                      : bd_bench;
+  }
+  return level == ParamLevel::kTest
+             ? static_cast<const dgka::DgkaScheme&>(gdh_test)
+             : gdh_bench;
+}
+
+namespace {
+
+std::unique_ptr<gsig::GsigGroup> make_gsig(const GroupConfig& config,
+                                           num::RandomSource& rng) {
+  switch (config.gsig) {
+    case GsigKind::kAcjt:
+      return gsig::AcjtGsig::create(config.level, rng);
+    case GsigKind::kKty:
+      return gsig::KtyGsig::create(config.level, rng);
+  }
+  throw ProtocolError("GroupAuthority: unknown GSIG kind");
+}
+
+std::unique_ptr<cgkd::CgkdController> make_cgkd(const GroupConfig& config,
+                                                num::RandomSource& rng) {
+  switch (config.cgkd) {
+    case CgkdKind::kStar:
+      return std::make_unique<cgkd::StarCgkd>(rng);
+    case CgkdKind::kLkh:
+      return std::make_unique<cgkd::LkhCgkd>(config.cgkd_capacity, rng);
+    case CgkdKind::kSubsetDiff:
+      return std::make_unique<cgkd::SubsetDiffCgkd>(config.cgkd_capacity, rng);
+  }
+  throw ProtocolError("GroupAuthority: unknown CGKD kind");
+}
+
+}  // namespace
+
+GroupAuthority::GroupAuthority(std::string name, const GroupConfig& config,
+                               BytesView seed)
+    : name_(std::move(name)), config_(config), rng_(seed) {
+  gsig_ = make_gsig(config_, rng_);
+  cgkd_ = make_cgkd(config_, rng_);
+  pke_ = std::make_unique<algebra::HybridPke>(
+      algebra::SchnorrGroup::standard(config_.level));
+  tracing_ = pke_->keygen(rng_);
+}
+
+GroupAuthority::~GroupAuthority() = default;
+
+std::unique_ptr<Member> GroupAuthority::admit(MemberId id) {
+  const std::uint64_t prev_revision = gsig_->revision();
+  cgkd::JoinResult join = cgkd_->join(id);
+  gsig::MemberCredential credential = gsig_->admit(id, rng_);
+
+  UpdateBundle bundle;
+  bundle.rekey = std::move(join.broadcast);
+  ByteWriter payload;
+  payload.u64(prev_revision);
+  payload.bytes(gsig_->export_update(prev_revision));
+  bundle.gsig_update =
+      crypto::Aead(cgkd_->group_key()).seal(payload.buffer(), rng_);
+  bulletin_.push_back(std::move(bundle));
+
+  return std::make_unique<Member>(*this, id, std::move(join.member),
+                                  std::move(credential), bulletin_.size());
+}
+
+void GroupAuthority::remove(MemberId id) {
+  const std::uint64_t prev_revision = gsig_->revision();
+  gsig_->revoke(id);
+  UpdateBundle bundle;
+  bundle.rekey = cgkd_->leave(id);
+  ByteWriter payload;
+  payload.u64(prev_revision);
+  payload.bytes(gsig_->export_update(prev_revision));
+  bundle.gsig_update =
+      crypto::Aead(cgkd_->group_key()).seal(payload.buffer(), rng_);
+  bulletin_.push_back(std::move(bundle));
+}
+
+std::vector<MemberId> GroupAuthority::trace(
+    const HandshakeTranscript& transcript, bool exhaustive_search) const {
+  const BytesView session_tag =
+      transcript.options.self_distinction ? BytesView(transcript.session_tag)
+                                          : BytesView{};
+  // Recover the session keys from the tracing ciphertexts.
+  std::vector<std::optional<Bytes>> keys(transcript.entries.size());
+  for (std::size_t i = 0; i < transcript.entries.size(); ++i) {
+    try {
+      Bytes k = pke_->decrypt(tracing_.pk, tracing_.sk,
+                              transcript.entries[i].delta);
+      if (k.size() == 32) keys[i] = std::move(k);
+    } catch (const Error&) {
+      // Other group's ciphertext or Case-2 randomness: untraceable.
+    }
+  }
+
+  std::vector<MemberId> traced;
+  for (std::size_t i = 0; i < transcript.entries.size(); ++i) {
+    const TranscriptEntry& entry = transcript.entries[i];
+    // Candidate keys: positional match, or (worst case) every recovered key.
+    std::vector<const Bytes*> candidates;
+    if (exhaustive_search) {
+      for (const auto& k : keys) {
+        if (k.has_value()) candidates.push_back(&*k);
+      }
+    } else if (keys[i].has_value()) {
+      candidates.push_back(&*keys[i]);
+    }
+    for (const Bytes* key : candidates) {
+      try {
+        const Bytes padded = crypto::Aead(*key).open(entry.theta);
+        ByteReader r(padded);
+        const Bytes signature = r.bytes();
+        traced.push_back(gsig_->open(entry.delta, signature, session_tag));
+        break;
+      } catch (const Error&) {
+        continue;
+      }
+    }
+  }
+  return traced;
+}
+
+}  // namespace shs::core

@@ -1,0 +1,114 @@
+// GroupAuthority — the GA of the GCD framework (paper §7). One object per
+// group; plays the GSIG group manager, the CGKD group controller and the
+// holder of the IND-CCA2 tracing key pair (pk_T, sk_T).
+//
+// GCD.CreateGroup  = constructor
+// GCD.AdmitMember  = admit()    (CGKD.Join + GSIG.Join + bulletin bundle)
+// GCD.RemoveUser   = remove()   (GSIG.Revoke + CGKD.Leave + bundle)
+// GCD.TraceUser    = trace()
+//
+// Membership changes publish an UpdateBundle on the bulletin board (the
+// paper's authenticated anonymous channel): the CGKD rekey broadcast plus
+// the GSIG state-update information sealed under the *new* group key —
+// so only current members can follow the GSIG state, exactly as §7
+// prescribes. Members consume bundles through Member::update().
+//
+// Trust boundary note: in this in-process simulation the authority object
+// also carries the group-secret context that members share (the GSIG
+// public key object, which the paper keeps secret from outsiders via the
+// CGKD layer). Deployments would split member and authority processes;
+// the protocol logic and message formats would not change.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <optional>
+
+#include "algebra/hybrid_pke.h"
+#include "cgkd/cgkd.h"
+#include "core/types.h"
+#include "crypto/drbg.h"
+#include "dgka/dgka.h"
+#include "gsig/gsig.h"
+
+namespace shs::core {
+
+class Member;
+
+/// One membership-change event on the bulletin board.
+struct UpdateBundle {
+  cgkd::RekeyMessage rekey;
+  Bytes gsig_update;  // AEAD-sealed under the post-rekey group key
+};
+
+/// System-wide DGKA scheme (the paper: "no real group-specific setup is
+/// required for the DGKA component ... all groups use the same group key
+/// agreement protocol with the same global parameters").
+[[nodiscard]] const dgka::DgkaScheme& global_dgka(DgkaKind kind,
+                                                  algebra::ParamLevel level);
+
+class GroupAuthority {
+ public:
+  /// GCD.CreateGroup. `seed` keys the GA's randomness (deterministic for
+  /// reproducible tests).
+  GroupAuthority(std::string name, const GroupConfig& config, BytesView seed);
+  ~GroupAuthority();
+
+  GroupAuthority(const GroupAuthority&) = delete;
+  GroupAuthority& operator=(const GroupAuthority&) = delete;
+
+  /// GCD.AdmitMember. The returned Member must not outlive the authority.
+  [[nodiscard]] std::unique_ptr<Member> admit(MemberId id);
+
+  /// GCD.RemoveUser.
+  void remove(MemberId id);
+
+  /// The authenticated anonymous bulletin board (all bundles ever posted).
+  [[nodiscard]] const std::vector<UpdateBundle>& bulletin() const noexcept {
+    return bulletin_;
+  }
+
+  /// GCD.TraceUser: identities of the traceable participants in a
+  /// transcript. Positions whose entries do not decrypt (other-group
+  /// members, Case-2 randomness) are skipped. With `exhaustive_search`
+  /// the GA pairs every recovered session key with every theta — the
+  /// paper's stated worst case (bench E8).
+  [[nodiscard]] std::vector<MemberId> trace(
+      const HandshakeTranscript& transcript,
+      bool exhaustive_search = false) const;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const GroupConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t member_count() const {
+    return cgkd_->member_count();
+  }
+
+  // Shared cryptographic context (used by Member / HandshakeParticipant).
+  [[nodiscard]] const gsig::GsigGroup& gsig() const noexcept { return *gsig_; }
+  [[nodiscard]] const algebra::HybridPke& pke() const noexcept {
+    return *pke_;
+  }
+  [[nodiscard]] const algebra::HybridPke::PublicKey& tracing_key()
+      const noexcept {
+    return tracing_.pk;
+  }
+  /// GC-side current group key (tests/benches only).
+  [[nodiscard]] const Bytes& current_group_key() const {
+    return cgkd_->group_key();
+  }
+  [[nodiscard]] std::uint64_t cgkd_epoch() const { return cgkd_->epoch(); }
+
+ private:
+  std::string name_;
+  GroupConfig config_;
+  crypto::HmacDrbg rng_;
+  std::unique_ptr<gsig::GsigGroup> gsig_;
+  std::unique_ptr<cgkd::CgkdController> cgkd_;
+  std::unique_ptr<algebra::HybridPke> pke_;
+  algebra::HybridPke::KeyPair tracing_;
+  std::vector<UpdateBundle> bulletin_;
+};
+
+}  // namespace shs::core

@@ -1,0 +1,293 @@
+#include "core/handshake.h"
+
+#include <map>
+
+#include "common/codec.h"
+#include "common/errors.h"
+#include "crypto/aead.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace shs::core {
+
+namespace {
+constexpr std::size_t kTagSize = 32;
+constexpr std::size_t kKeySize = 32;
+}  // namespace
+
+HandshakeParticipant::HandshakeParticipant(const GroupAuthority& authority,
+                                           gsig::MemberCredential credential,
+                                           Bytes group_key,
+                                           std::size_t position, std::size_t m,
+                                           HandshakeOptions options,
+                                           BytesView session_seed)
+    : authority_(authority),
+      credential_(std::move(credential)),
+      group_key_(std::move(group_key)),
+      position_(position),
+      m_(m),
+      options_(options),
+      rng_(session_seed) {
+  if (m_ < 2) throw ProtocolError("HandshakeParticipant: need m >= 2");
+  if (position_ >= m_) {
+    throw ProtocolError("HandshakeParticipant: position out of range");
+  }
+  dgka_ = global_dgka(options_.dgka, authority_.config().level)
+              .create_party(position_, m_, rng_);
+  rounds_i_ = dgka_->rounds();
+  phase1_by_sender_.resize(m_);
+  tag_valid_.assign(m_, false);
+  outcome_.partner.assign(m_, false);
+  outcome_.transcript.options = options_;
+  outcome_.transcript.entries.resize(m_);
+}
+
+std::size_t HandshakeParticipant::total_rounds() const {
+  return rounds_i_ + 1 + (options_.traceable ? 1 : 0);
+}
+
+Bytes HandshakeParticipant::party_string(std::size_t position) const {
+  // s_j: "a string unique to party j, e.g. the message(s) it sent in the
+  // DGKA execution" (paper Fig. 6 Phase II).
+  ByteWriter w;
+  w.str("gcd-party-string");
+  w.u64(position);
+  w.bytes(phase1_by_sender_[position]);
+  return crypto::Sha256::digest(w.buffer());
+}
+
+Bytes HandshakeParticipant::tag_for(std::size_t position) const {
+  ByteWriter w;
+  w.str("gcd-phase2-tag");
+  w.u64(position);
+  w.bytes(party_string(position));
+  return crypto::hmac_sha256(k_prime_, w.buffer());
+}
+
+std::size_t HandshakeParticipant::padded_sig_size() const {
+  return authority_.gsig().signature_size_bound() + 4;  // length prefix
+}
+
+Bytes HandshakeParticipant::round_message(std::size_t round) {
+  if (round < rounds_i_) return dgka_->message(round);
+  if (round == rounds_i_) {
+    // Phase II: the MAC tag, or uniform bytes of identical shape when the
+    // key agreement failed underneath us (resistance to detection).
+    return dgka_ok_ ? tag_for(position_) : rng_.bytes(kTagSize);
+  }
+  if (round == rounds_i_ + 1 && options_.traceable) return phase3_message();
+  throw ProtocolError("HandshakeParticipant: no message for this round");
+}
+
+Bytes HandshakeParticipant::phase3_message() {
+  const std::size_t plain_size = padded_sig_size();
+  if (proceed_) {
+    try {
+      // CASE 1: delta = ENC(pk_T, k'), sigma = GSIG.Sign(delta),
+      // theta = SENC(k', pad(sigma)).
+      const Bytes delta =
+          authority_.pke().encrypt(authority_.tracing_key(), k_prime_, rng_);
+      const BytesView tag = options_.self_distinction
+                                ? BytesView(session_tag_)
+                                : BytesView{};
+      own_signature_ = authority_.gsig().sign(credential_, delta, tag, rng_);
+      ByteWriter padded;
+      padded.bytes(own_signature_);
+      Bytes plain = padded.take();
+      if (plain.size() > plain_size) {
+        throw ProtocolError(
+            "HandshakeParticipant: signature exceeds size bound");
+      }
+      plain.resize(plain_size, 0);
+      ByteWriter w;
+      w.bytes(crypto::Aead(k_prime_).seal(plain, rng_));
+      w.bytes(delta);
+      return w.take();
+    } catch (const Error&) {
+      // E.g. the credential went stale mid-session. Degrade silently to a
+      // Case-2 message: failures must be unobservable on the wire.
+      proceed_ = false;
+    }
+  }
+  // CASE 2: both components sampled from the ciphertext spaces.
+  ByteWriter w;
+  w.bytes(crypto::Aead::random_ciphertext(plain_size, rng_));
+  w.bytes(authority_.pke().random_ciphertext(kKeySize, rng_));
+  return w.take();
+}
+
+void HandshakeParticipant::deliver(std::size_t round,
+                                   const std::vector<Bytes>& messages) {
+  if (messages.size() != m_) {
+    throw ProtocolError("HandshakeParticipant: wrong cardinality view");
+  }
+  if (round <= rounds_i_) {
+    // The session tag (T7 base) covers Phases I and II only; Phase III
+    // messages depend on it.
+    ByteWriter w;
+    w.u64(round);
+    for (const Bytes& msg : messages) w.bytes(msg);
+    transcript_hash_.update(w.buffer());
+  }
+
+  if (round < rounds_i_) {
+    for (std::size_t j = 0; j < m_; ++j) {
+      append(phase1_by_sender_[j], messages[j]);
+    }
+    dgka_->receive(round, messages);
+    if (round + 1 == rounds_i_ && dgka_->accepted()) {
+      dgka_ok_ = true;
+      k_prime_ = dgka_->session_key();
+      xor_inplace(k_prime_, group_key_);
+    }
+    return;
+  }
+  if (round == rounds_i_) {
+    process_phase2(messages);
+    return;
+  }
+  if (round == rounds_i_ + 1 && options_.traceable) {
+    process_phase3(messages);
+    return;
+  }
+  throw ProtocolError("HandshakeParticipant: unexpected round");
+}
+
+void HandshakeParticipant::process_phase2(const std::vector<Bytes>& messages) {
+  if (dgka_ok_) {
+    for (std::size_t j = 0; j < m_; ++j) {
+      tag_valid_[j] = ct_equal(messages[j], tag_for(j));
+    }
+    tag_valid_[position_] = true;
+  }
+  std::size_t valid_count = 0;
+  for (bool v : tag_valid_) valid_count += v ? 1 : 0;
+
+  // The self-distinction base and session binding cover Phases I and II.
+  session_tag_ = transcript_hash_.finish();
+  if (options_.self_distinction) {
+    outcome_.transcript.session_tag = session_tag_;
+  }
+
+  const bool all_valid = valid_count == m_;
+  proceed_ = dgka_ok_ &&
+             (all_valid || (options_.allow_partial && valid_count >= 2));
+
+  if (!options_.traceable) finalize_without_phase3();
+}
+
+void HandshakeParticipant::finalize_without_phase3() {
+  outcome_.completed = true;
+  done_ = true;
+  if (!dgka_ok_) {
+    outcome_.failure = "group key agreement failed";
+    return;
+  }
+  outcome_.partner = tag_valid_;
+  if (!proceed_) {
+    outcome_.partner.assign(m_, false);
+    outcome_.failure = "no same-group clique";
+    return;
+  }
+  outcome_.full_success = outcome_.confirmed_count() == m_;
+  ByteWriter info;
+  info.str("gcd-session-key");
+  info.bytes(session_tag_);
+  outcome_.session_key = crypto::hkdf(k_prime_, {}, info.buffer(), kKeySize);
+}
+
+void HandshakeParticipant::process_phase3(const std::vector<Bytes>& messages) {
+  outcome_.completed = true;
+  done_ = true;
+
+  // Record the transcript regardless of our own outcome (tracing input).
+  for (std::size_t j = 0; j < m_; ++j) {
+    try {
+      ByteReader r(messages[j]);
+      outcome_.transcript.entries[j].theta = r.bytes();
+      outcome_.transcript.entries[j].delta = r.bytes();
+      r.expect_done();
+    } catch (const Error&) {
+      outcome_.transcript.entries[j] = {};
+    }
+  }
+
+  if (!dgka_ok_) {
+    outcome_.failure = "group key agreement failed";
+    return;
+  }
+  if (!proceed_) {
+    outcome_.failure = "no same-group clique";
+    return;
+  }
+
+  const BytesView tag = options_.self_distinction ? BytesView(session_tag_)
+                                                  : BytesView{};
+  std::map<std::string, std::vector<std::size_t>> distinction;  // T6 -> who
+  for (std::size_t j = 0; j < m_; ++j) {
+    if (!tag_valid_[j]) continue;
+    if (j == position_) {
+      outcome_.partner[j] = true;
+      if (options_.self_distinction) {
+        distinction[to_hex(authority_.gsig().distinction_tag(own_signature_))]
+            .push_back(j);
+      }
+      continue;
+    }
+    try {
+      const Bytes plain =
+          crypto::Aead(k_prime_).open(outcome_.transcript.entries[j].theta);
+      ByteReader r(plain);
+      const Bytes signature = r.bytes();
+      authority_.gsig().verify(outcome_.transcript.entries[j].delta,
+                               signature, tag);
+      outcome_.partner[j] = true;
+      if (options_.self_distinction) {
+        distinction[to_hex(authority_.gsig().distinction_tag(signature))]
+            .push_back(j);
+      }
+    } catch (const Error&) {
+      outcome_.partner[j] = false;
+    }
+  }
+
+  if (options_.self_distinction) {
+    for (const auto& [t6, positions] : distinction) {
+      if (positions.size() > 1) {
+        // One signer played several roles: exclude every colluding slot.
+        outcome_.self_distinction_violated = true;
+        for (std::size_t j : positions) outcome_.partner[j] = false;
+      }
+    }
+  }
+
+  outcome_.full_success = outcome_.confirmed_count() == m_;
+  if (outcome_.confirmed_count() <= 1) {
+    outcome_.failure = "no partner confirmed";
+  }
+  ByteWriter info;
+  info.str("gcd-session-key");
+  info.bytes(session_tag_);
+  outcome_.session_key = crypto::hkdf(k_prime_, {}, info.buffer(), kKeySize);
+}
+
+const HandshakeOutcome& HandshakeParticipant::outcome() const {
+  if (!done_) throw ProtocolError("HandshakeParticipant: protocol not done");
+  return outcome_;
+}
+
+std::vector<HandshakeOutcome> run_handshake(
+    std::span<HandshakeParticipant* const> participants,
+    net::Adversary* adversary, num::RandomSource* shuffle) {
+  std::vector<net::RoundParty*> parties(participants.begin(),
+                                        participants.end());
+  net::run_protocol(parties, adversary, shuffle);
+  std::vector<HandshakeOutcome> outcomes;
+  outcomes.reserve(participants.size());
+  for (HandshakeParticipant* p : participants) {
+    outcomes.push_back(p->outcome());
+  }
+  return outcomes;
+}
+
+}  // namespace shs::core

@@ -1,0 +1,101 @@
+// GCD.Handshake — the three-phase multi-party secret handshake (paper §7
+// Fig. 6), as one net::RoundParty per participant.
+//
+//   Phase I   (rounds 0..R-1)  DGKA.GroupKeyAgreement => k*; k' = k* XOR k
+//   Phase II  (round R)        publish MAC(k', s_i, i); validate peers'
+//   Phase III (round R+1)      CASE 1: publish (theta, delta) =
+//                              (SENC(k', pad(sigma)), ENC(pk_T, k'));
+//                              CASE 2: publish random pair of identical
+//                              shape (resistance to detection).
+//
+// Scheme 2 (options.self_distinction): sigma uses the common base
+// T7 = H(session transcript); duplicated T6 values expose one signer
+// playing several positions.
+//
+// Partial success (options.allow_partial): when tags partition the m
+// participants into same-group cliques, any clique of >= 2 proceeds with
+// Phase III among itself; the outcome's partner set is that clique.
+//
+// Failures are silent: the participant always completes all rounds and
+// always publishes shape-identical messages, so an observer cannot tell a
+// failed handshake from a successful one (indistinguishability to
+// eavesdroppers).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/authority.h"
+#include "core/types.h"
+#include "crypto/drbg.h"
+#include "crypto/sha256.h"
+#include "dgka/dgka.h"
+#include "gsig/gsig.h"
+#include "net/protocol.h"
+
+namespace shs::core {
+
+class HandshakeParticipant final : public net::RoundParty {
+ public:
+  /// Use Member::handshake_party to construct.
+  HandshakeParticipant(const GroupAuthority& authority,
+                       gsig::MemberCredential credential, Bytes group_key,
+                       std::size_t position, std::size_t m,
+                       HandshakeOptions options, BytesView session_seed);
+
+  [[nodiscard]] std::size_t total_rounds() const override;
+  [[nodiscard]] Bytes round_message(std::size_t round) override;
+  void deliver(std::size_t round,
+               const std::vector<Bytes>& messages) override;
+
+  /// Valid once the protocol has run all rounds.
+  [[nodiscard]] const HandshakeOutcome& outcome() const;
+
+  [[nodiscard]] std::size_t position() const noexcept { return position_; }
+
+ private:
+  [[nodiscard]] std::size_t dgka_rounds() const noexcept { return rounds_i_; }
+  [[nodiscard]] Bytes party_string(std::size_t position) const;  // s_j
+  [[nodiscard]] Bytes tag_for(std::size_t position) const;
+  [[nodiscard]] Bytes phase3_message();
+  void process_phase2(const std::vector<Bytes>& messages);
+  void process_phase3(const std::vector<Bytes>& messages);
+  void finalize_without_phase3();
+  [[nodiscard]] std::size_t padded_sig_size() const;
+
+  const GroupAuthority& authority_;
+  gsig::MemberCredential credential_;
+  Bytes group_key_;  // k
+  std::size_t position_;
+  std::size_t m_;
+  HandshakeOptions options_;
+  crypto::HmacDrbg rng_;
+
+  std::unique_ptr<dgka::DgkaParty> dgka_;
+  std::size_t rounds_i_;  // Phase-I round count R
+
+  std::vector<Bytes> phase1_by_sender_;  // concatenated Phase-I messages
+  crypto::Sha256 transcript_hash_;
+  Bytes session_tag_;
+
+  bool dgka_ok_ = false;
+  Bytes k_prime_;             // k* XOR k
+  std::vector<bool> tag_valid_;
+  bool proceed_ = false;      // CASE 1 (possibly partial) vs CASE 2
+  Bytes own_signature_;
+
+  HandshakeOutcome outcome_;
+  bool done_ = false;
+};
+
+/// Runs a complete handshake among the given participants over the
+/// broadcast substrate; returns each participant's outcome (indexed by
+/// position). `adversary` and `shuffle` are forwarded to run_protocol.
+std::vector<HandshakeOutcome> run_handshake(
+    std::span<HandshakeParticipant* const> participants,
+    net::Adversary* adversary = nullptr,
+    num::RandomSource* shuffle = nullptr);
+
+}  // namespace shs::core

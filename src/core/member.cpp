@@ -1,0 +1,81 @@
+#include "core/member.h"
+
+#include "common/codec.h"
+#include "common/errors.h"
+#include "core/handshake.h"
+#include "crypto/aead.h"
+
+namespace shs::core {
+
+Member::Member(const GroupAuthority& authority, MemberId id,
+               std::unique_ptr<cgkd::CgkdMember> cgkd_state,
+               gsig::MemberCredential credential, std::size_t bulletin_seen)
+    : authority_(&authority),
+      id_(id),
+      cgkd_(std::move(cgkd_state)),
+      credential_(std::move(credential)),
+      bulletin_seen_(bulletin_seen) {}
+
+bool Member::update() {
+  if (revoked_) return false;
+  const auto& bulletin = authority_->bulletin();
+  while (bulletin_seen_ < bulletin.size()) {
+    const UpdateBundle& bundle = bulletin[bulletin_seen_];
+    if (!cgkd_->process_rekey(bundle.rekey)) {
+      // Cut out of the rekey: revoked (or irrecoverably out of sync).
+      revoked_ = true;
+      return false;
+    }
+    try {
+      const Bytes payload =
+          crypto::Aead(cgkd_->group_key()).open(bundle.gsig_update);
+      ByteReader r(payload);
+      const std::uint64_t from_revision = r.u64();
+      const Bytes update = r.bytes();
+      r.expect_done();
+      if (from_revision != credential_.revision) {
+        throw ProtocolError("Member: bulletin gap in GSIG updates");
+      }
+      authority_->gsig().apply_update(credential_, update);
+    } catch (const VerifyError&) {
+      // Our own credential was revoked at the GSIG layer.
+      revoked_ = true;
+      return false;
+    }
+    ++bulletin_seen_;
+  }
+  return true;
+}
+
+bool Member::is_current() const {
+  return !revoked_ && bulletin_seen_ == authority_->bulletin().size();
+}
+
+const Bytes& Member::group_key() const {
+  if (revoked_) throw ProtocolError("Member: revoked");
+  return cgkd_->group_key();
+}
+
+std::unique_ptr<HandshakeParticipant> Member::handshake_party(
+    std::size_t position, std::size_t m, const HandshakeOptions& options,
+    BytesView session_seed) const {
+  if (revoked_) throw ProtocolError("Member: revoked member cannot handshake");
+  if (!is_current()) {
+    throw ProtocolError("Member: run update() before handshaking");
+  }
+  if (options.self_distinction &&
+      !authority_->gsig().supports_self_distinction()) {
+    throw ProtocolError(
+        "Member: group's GSIG does not support self-distinction");
+  }
+  ByteWriter seed;
+  seed.str("gcd-participant");
+  seed.bytes(session_seed);
+  seed.u64(id_);
+  seed.u64(position);
+  return std::make_unique<HandshakeParticipant>(
+      *authority_, credential_, cgkd_->group_key(), position, m, options,
+      seed.buffer());
+}
+
+}  // namespace shs::core

@@ -1,0 +1,63 @@
+// Member — a user's device state in one group: the CGKD key state, the
+// GSIG credential, and the bulletin-board cursor. Obtained from
+// GroupAuthority::admit (GCD.AdmitMember); kept current with update()
+// (GCD.Update); spawns HandshakeParticipant objects for GCD.Handshake.
+#pragma once
+
+#include <memory>
+
+#include "cgkd/cgkd.h"
+#include "core/authority.h"
+#include "core/types.h"
+#include "gsig/gsig.h"
+
+namespace shs::core {
+
+class HandshakeParticipant;
+
+class Member {
+ public:
+  Member(const GroupAuthority& authority, MemberId id,
+         std::unique_ptr<cgkd::CgkdMember> cgkd_state,
+         gsig::MemberCredential credential, std::size_t bulletin_seen);
+
+  Member(const Member&) = delete;
+  Member& operator=(const Member&) = delete;
+
+  /// GCD.Update: consumes all unseen bulletin bundles in order. Returns
+  /// false (permanently) once this member has been revoked — it can no
+  /// longer decrypt rekey broadcasts or refresh its credential.
+  bool update();
+
+  /// Synced to the latest bulletin and not revoked.
+  [[nodiscard]] bool is_current() const;
+
+  [[nodiscard]] MemberId id() const noexcept { return id_; }
+  [[nodiscard]] bool revoked() const noexcept { return revoked_; }
+  [[nodiscard]] const GroupAuthority& authority() const noexcept {
+    return *authority_;
+  }
+  /// Current CGKD group key k (requires !revoked()).
+  [[nodiscard]] const Bytes& group_key() const;
+  [[nodiscard]] const gsig::MemberCredential& credential() const noexcept {
+    return credential_;
+  }
+
+  /// Creates this member's protocol state for position `position` of an
+  /// m-party handshake. `session_seed` keys the participant's randomness.
+  /// Throws ProtocolError if the member is stale/revoked or the options
+  /// are incompatible with the group (e.g. self-distinction on ACJT).
+  [[nodiscard]] std::unique_ptr<HandshakeParticipant> handshake_party(
+      std::size_t position, std::size_t m, const HandshakeOptions& options,
+      BytesView session_seed) const;
+
+ private:
+  const GroupAuthority* authority_;
+  MemberId id_;
+  std::unique_ptr<cgkd::CgkdMember> cgkd_;
+  gsig::MemberCredential credential_;
+  std::size_t bulletin_seen_;
+  bool revoked_ = false;
+};
+
+}  // namespace shs::core

@@ -1,0 +1,50 @@
+#include "common/codec.h"
+#include "common/errors.h"
+#include "core/types.h"
+
+namespace shs::core {
+
+Bytes HandshakeTranscript::serialize() const {
+  ByteWriter w;
+  w.str("shs-transcript-v1");
+  w.u8(static_cast<std::uint8_t>(options.dgka));
+  w.u8(options.traceable ? 1 : 0);
+  w.u8(options.self_distinction ? 1 : 0);
+  w.u8(options.allow_partial ? 1 : 0);
+  w.bytes(session_tag);
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const TranscriptEntry& e : entries) {
+    w.bytes(e.theta);
+    w.bytes(e.delta);
+  }
+  return w.take();
+}
+
+HandshakeTranscript HandshakeTranscript::deserialize(BytesView data) {
+  ByteReader r(data);
+  if (r.str() != "shs-transcript-v1") {
+    throw CodecError("HandshakeTranscript: bad magic");
+  }
+  HandshakeTranscript t;
+  const std::uint8_t dgka = r.u8();
+  if (dgka > static_cast<std::uint8_t>(DgkaKind::kGdh)) {
+    throw CodecError("HandshakeTranscript: unknown DGKA kind");
+  }
+  t.options.dgka = static_cast<DgkaKind>(dgka);
+  t.options.traceable = r.u8() != 0;
+  t.options.self_distinction = r.u8() != 0;
+  t.options.allow_partial = r.u8() != 0;
+  t.session_tag = r.bytes();
+  const std::uint32_t count = r.u32();
+  t.entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    TranscriptEntry e;
+    e.theta = r.bytes();
+    e.delta = r.bytes();
+    t.entries.push_back(std::move(e));
+  }
+  r.expect_done();
+  return t;
+}
+
+}  // namespace shs::core

@@ -1,0 +1,94 @@
+// Public configuration and result types of the GCD secret-handshake
+// framework (the paper's primary contribution, §7).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algebra/params.h"
+#include "common/bytes.h"
+
+namespace shs::core {
+
+using MemberId = std::uint64_t;
+
+/// Which GSIG building block a group uses.
+enum class GsigKind {
+  kAcjt,  // instantiation 1: full-anonymity => full-unlinkability
+  kKty,   // instantiation 2: anonymity + self-distinction support
+};
+
+/// Which CGKD building block a group uses.
+enum class CgkdKind { kStar, kLkh, kSubsetDiff };
+
+/// Which (system-wide) DGKA protocol handshakes run.
+enum class DgkaKind { kBurmesterDesmedt, kGdh };
+
+/// Per-group configuration chosen at GCD.CreateGroup.
+struct GroupConfig {
+  GsigKind gsig = GsigKind::kKty;
+  CgkdKind cgkd = CgkdKind::kLkh;
+  std::size_t cgkd_capacity = 64;
+  algebra::ParamLevel level = algebra::ParamLevel::kTest;
+};
+
+/// Per-handshake selectable properties (§7 Remark: the protocol is
+/// tailorable — e.g. Phases I+II only when traceability is not needed).
+struct HandshakeOptions {
+  DgkaKind dgka = DgkaKind::kBurmesterDesmedt;
+  /// Include Phase III (group signatures + tracing ciphertexts).
+  bool traceable = true;
+  /// Scheme 2 (§8.2): common-T7 signatures; requires a KTY-backed group.
+  bool self_distinction = false;
+  /// §7 Extension: same-group cliques complete even when the full set of
+  /// m participants spans several groups.
+  bool allow_partial = true;
+};
+
+/// One participant's published Phase-III pair.
+struct TranscriptEntry {
+  Bytes theta;  // SENC(k', padded group signature)
+  Bytes delta;  // ENC(pk_T, k')
+};
+
+/// What an observer (and the GA) can record of a handshake.
+struct HandshakeTranscript {
+  HandshakeOptions options;
+  Bytes session_tag;  // transcript hash (T7 base) when self_distinction
+  std::vector<TranscriptEntry> entries;
+
+  /// Wire encoding, so transcripts can be shipped to a GA out-of-band
+  /// (e.g. by an investigator); throws CodecError on malformed input.
+  [[nodiscard]] Bytes serialize() const;
+  static HandshakeTranscript deserialize(BytesView data);
+};
+
+/// One participant's view of how the handshake ended.
+struct HandshakeOutcome {
+  /// Protocol ran to completion (it always does; failures are silent by
+  /// design — resistance to detection).
+  bool completed = false;
+  /// partner[j]: position j confirmed as a member of MY group. Always
+  /// includes the participant's own position on success.
+  std::vector<bool> partner;
+  /// Every position confirmed — the paper's Handshake(∆) returning "1".
+  bool full_success = false;
+  /// Scheme 2 only: a duplicated T6 was detected (one signer played
+  /// multiple roles). The duplicated positions are excluded from partner.
+  bool self_distinction_violated = false;
+  /// Fresh 32-byte key shared with the confirmed partners.
+  Bytes session_key;
+  /// Human-readable reason when nothing was confirmed.
+  std::string failure;
+  /// The (theta, delta) pairs for GA tracing.
+  HandshakeTranscript transcript;
+
+  [[nodiscard]] std::size_t confirmed_count() const {
+    std::size_t n = 0;
+    for (bool b : partner) n += b ? 1 : 0;
+    return n;
+  }
+};
+
+}  // namespace shs::core

@@ -1,0 +1,150 @@
+#include "core/wallet.h"
+
+#include "common/codec.h"
+#include "core/handshake.h"
+#include "common/errors.h"
+#include "crypto/aead.h"
+#include "crypto/drbg.h"
+#include "net/protocol.h"
+
+namespace shs::core {
+
+void Wallet::add_membership(std::unique_ptr<Member> member) {
+  const std::string& group = member->authority().name();
+  if (members_.contains(group)) {
+    throw ProtocolError("Wallet: duplicate membership in " + group);
+  }
+  members_.emplace(group, std::move(member));
+}
+
+std::vector<std::string> Wallet::update_all() {
+  std::vector<std::string> current;
+  for (auto it = members_.begin(); it != members_.end();) {
+    if (it->second->update()) {
+      current.push_back(it->first);
+      ++it;
+    } else {
+      it = members_.erase(it);  // revoked: drop the dead membership
+    }
+  }
+  return current;
+}
+
+std::vector<std::string> Wallet::groups() const {
+  std::vector<std::string> out;
+  out.reserve(members_.size());
+  for (const auto& [name, member] : members_) out.push_back(name);
+  return out;
+}
+
+Member& Wallet::member(const std::string& group) {
+  const auto it = members_.find(group);
+  if (it == members_.end()) {
+    throw ProtocolError("Wallet: not a member of " + group);
+  }
+  return *it->second;
+}
+
+std::unique_ptr<HandshakeParticipant> Wallet::handshake_party(
+    const std::string& group, std::size_t position, std::size_t m,
+    const HandshakeOptions& options, BytesView session_seed) {
+  return member(group).handshake_party(position, m, options, session_seed);
+}
+
+namespace {
+
+/// Credential-less stand-in for probes of groups this wallet is not in:
+/// honest DGKA, shape-correct randomness for Phases II/III. Indistinguish-
+/// able from a real failing participant (resistance to detection).
+class DecoyParty final : public net::RoundParty {
+ public:
+  DecoyParty(const GroupAuthority& shape_source, std::size_t position,
+             std::size_t m, const HandshakeOptions& options, BytesView seed)
+      : authority_(shape_source), options_(options), rng_(seed) {
+    dgka_ = global_dgka(options.dgka, authority_.config().level)
+                .create_party(position, m, rng_);
+  }
+
+  [[nodiscard]] std::size_t total_rounds() const override {
+    return dgka_->rounds() + 1 + (options_.traceable ? 1 : 0);
+  }
+
+  Bytes round_message(std::size_t round) override {
+    if (round < dgka_->rounds()) return dgka_->message(round);
+    if (round == dgka_->rounds()) return rng_.bytes(32);
+    ByteWriter w;
+    w.bytes(crypto::Aead::random_ciphertext(
+        authority_.gsig().signature_size_bound() + 4, rng_));
+    w.bytes(authority_.pke().random_ciphertext(32, rng_));
+    return w.take();
+  }
+
+  void deliver(std::size_t round, const std::vector<Bytes>& msgs) override {
+    if (round < dgka_->rounds()) dgka_->receive(round, msgs);
+  }
+
+ private:
+  const GroupAuthority& authority_;
+  HandshakeOptions options_;
+  crypto::HmacDrbg rng_;
+  std::unique_ptr<dgka::DgkaParty> dgka_;
+};
+
+}  // namespace
+
+std::vector<std::string> probe_shared_groups(
+    Wallet& a, Wallet& b, const std::vector<std::string>& candidate_groups,
+    BytesView session_seed) {
+  std::vector<std::string> shared;
+  const HandshakeOptions options;
+  std::uint64_t salt = 0;
+  for (const std::string& group : candidate_groups) {
+    ByteWriter seed;
+    seed.bytes(session_seed);
+    seed.str(group);
+    seed.u64(salt++);
+
+    // Shape source for decoys: any membership at hand (same level).
+    const GroupAuthority* shape = nullptr;
+    if (!a.groups().empty()) shape = &a.member(a.groups().front()).authority();
+    if (shape == nullptr && !b.groups().empty()) {
+      shape = &b.member(b.groups().front()).authority();
+    }
+
+    std::unique_ptr<HandshakeParticipant> real_a, real_b;
+    std::unique_ptr<DecoyParty> decoy_a, decoy_b;
+    net::RoundParty* parts[2] = {nullptr, nullptr};
+
+    if (a.has_group(group)) {
+      real_a = a.handshake_party(group, 0, 2, options, seed.buffer());
+      parts[0] = real_a.get();
+    } else if (shape != nullptr) {
+      decoy_a = std::make_unique<DecoyParty>(*shape, 0, 2, options,
+                                             seed.buffer());
+      parts[0] = decoy_a.get();
+    }
+    if (b.has_group(group)) {
+      ByteWriter seed_b;
+      seed_b.bytes(seed.buffer());
+      seed_b.str("b");
+      real_b = b.handshake_party(group, 1, 2, options, seed_b.buffer());
+      parts[1] = real_b.get();
+    } else if (shape != nullptr) {
+      ByteWriter seed_b;
+      seed_b.bytes(seed.buffer());
+      seed_b.str("b-decoy");
+      decoy_b = std::make_unique<DecoyParty>(*shape, 1, 2, options,
+                                             seed_b.buffer());
+      parts[1] = decoy_b.get();
+    }
+    if (parts[0] == nullptr || parts[1] == nullptr) continue;
+
+    net::run_protocol(parts);
+    if (real_a != nullptr && real_a->outcome().full_success) {
+      shared.push_back(group);
+    }
+  }
+  return shared;
+}
+
+}  // namespace shs::core

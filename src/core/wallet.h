@@ -1,0 +1,63 @@
+// Wallet — the §2 generalization: "all results can be easily generalized
+// to the case that users are allowed to join multiple groups."
+//
+// A Wallet owns one Member per group the user belongs to. Handshakes stay
+// single-group (publishing per-group material for every membership at
+// once would leak the membership count on the wire); the wallet selects
+// which affiliation to put forward per session, keeps every membership
+// current, and offers a sequential probe helper that discovers which of
+// the user's groups a set of peers shares — each probe is itself a secret
+// handshake, so failed probes reveal nothing to either side.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/authority.h"
+#include "core/member.h"
+
+namespace shs::core {
+
+class Wallet {
+ public:
+  explicit Wallet(std::string owner) : owner_(std::move(owner)) {}
+
+  /// Adds a membership (the result of GroupAuthority::admit). The group
+  /// name must be unique within the wallet.
+  void add_membership(std::unique_ptr<Member> member);
+
+  /// GCD.Update across every membership. Returns the names of groups the
+  /// user is still a current member of (revoked ones drop out).
+  std::vector<std::string> update_all();
+
+  [[nodiscard]] bool has_group(const std::string& group) const {
+    return members_.contains(group);
+  }
+  [[nodiscard]] std::vector<std::string> groups() const;
+  [[nodiscard]] Member& member(const std::string& group);
+
+  /// Creates this user's participant for a handshake run under the given
+  /// affiliation. Throws ProtocolError for unknown/revoked groups.
+  [[nodiscard]] std::unique_ptr<HandshakeParticipant> handshake_party(
+      const std::string& group, std::size_t position, std::size_t m,
+      const HandshakeOptions& options, BytesView session_seed);
+
+  [[nodiscard]] const std::string& owner() const noexcept { return owner_; }
+
+ private:
+  std::string owner_;
+  std::map<std::string, std::unique_ptr<Member>> members_;
+};
+
+/// Sequential discovery: two wallets run one 2-party handshake per group
+/// in `candidate_groups` (in order) and return the names of the groups
+/// that completed. Groups either wallet lacks are probed with a
+/// credential-less decoy, so non-shared memberships stay hidden from both
+/// sides exactly as single handshakes guarantee.
+[[nodiscard]] std::vector<std::string> probe_shared_groups(
+    Wallet& a, Wallet& b, const std::vector<std::string>& candidate_groups,
+    BytesView session_seed);
+
+}  // namespace shs::core

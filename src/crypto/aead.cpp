@@ -1,0 +1,45 @@
+#include "crypto/aead.h"
+
+#include "common/errors.h"
+#include "crypto/aes.h"
+#include "crypto/hmac.h"
+
+namespace shs::crypto {
+
+Aead::Aead(BytesView key) {
+  const Bytes material =
+      hkdf(key, to_bytes("shs-aead-salt"), to_bytes("shs-aead-keys"), 64);
+  enc_key_.assign(material.begin(), material.begin() + 32);
+  mac_key_.assign(material.begin() + 32, material.end());
+}
+
+Bytes Aead::seal(BytesView plaintext, num::RandomSource& rng) const {
+  const Bytes iv = rng.bytes(kIvSize);
+  const Bytes body = aes_ctr(enc_key_, iv, plaintext);
+  Bytes out = iv;
+  append(out, body);
+  const Bytes tag = hmac_sha256(mac_key_, out);
+  append(out, tag);
+  return out;
+}
+
+Bytes Aead::open(BytesView sealed) const {
+  if (sealed.size() < kOverhead) {
+    throw VerifyError("Aead::open: ciphertext too short");
+  }
+  const BytesView authed = sealed.first(sealed.size() - kTagSize);
+  const BytesView tag = sealed.last(kTagSize);
+  if (!ct_equal(hmac_sha256(mac_key_, authed), tag)) {
+    throw VerifyError("Aead::open: authentication failure");
+  }
+  const BytesView iv = sealed.first(kIvSize);
+  const BytesView body = sealed.subspan(kIvSize, sealed.size() - kOverhead);
+  return aes_ctr(enc_key_, iv, body);
+}
+
+Bytes Aead::random_ciphertext(std::size_t plaintext_len,
+                              num::RandomSource& rng) {
+  return rng.bytes(plaintext_len + kOverhead);
+}
+
+}  // namespace shs::crypto

@@ -1,0 +1,40 @@
+// Authenticated symmetric encryption via encrypt-then-MAC:
+// AES-256-CTR under an encryption subkey, HMAC-SHA256 over IV||ciphertext
+// under a MAC subkey, both derived from the caller's key with HKDF.
+//
+// This is the SENC/SDEC of the GCD handshake (paper §7 Phase III). Its
+// ciphertexts (IV || body || tag) are pseudorandom bytes, which is exactly
+// what the Case-2 "publish random ciphertext" simulation relies on.
+#pragma once
+
+#include "bigint/random.h"
+#include "common/bytes.h"
+
+namespace shs::crypto {
+
+class Aead {
+ public:
+  static constexpr std::size_t kIvSize = 16;
+  static constexpr std::size_t kTagSize = 32;
+  static constexpr std::size_t kOverhead = kIvSize + kTagSize;
+
+  /// Any key length is accepted; subkeys are derived with HKDF.
+  explicit Aead(BytesView key);
+
+  /// Returns IV || ciphertext || tag.
+  [[nodiscard]] Bytes seal(BytesView plaintext, num::RandomSource& rng) const;
+
+  /// Throws VerifyError on any authentication failure.
+  [[nodiscard]] Bytes open(BytesView sealed) const;
+
+  /// Samples a string from the ciphertext space for a plaintext of
+  /// `plaintext_len` bytes — used by the Case-2 handshake simulation.
+  [[nodiscard]] static Bytes random_ciphertext(std::size_t plaintext_len,
+                                               num::RandomSource& rng);
+
+ private:
+  Bytes enc_key_;
+  Bytes mac_key_;
+};
+
+}  // namespace shs::crypto

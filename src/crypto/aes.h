@@ -1,0 +1,32 @@
+// AES (FIPS 197) block cipher — 128/192/256-bit keys — plus CTR-mode
+// streaming. Only block *encryption* is implemented because CTR (and every
+// construction in this library) never needs the inverse cipher.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace shs::crypto {
+
+class Aes {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+
+  /// Key must be 16, 24 or 32 bytes; throws MathError otherwise.
+  explicit Aes(BytesView key);
+
+  /// Encrypts exactly one 16-byte block in place.
+  void encrypt_block(std::uint8_t block[kBlockSize]) const;
+
+ private:
+  std::array<std::uint32_t, 60> round_keys_{};
+  int rounds_ = 0;
+};
+
+/// AES-CTR keystream XOR: encrypt == decrypt. The 16-byte IV is the initial
+/// counter block (big-endian increment over the whole block).
+[[nodiscard]] Bytes aes_ctr(BytesView key, BytesView iv16, BytesView data);
+
+}  // namespace shs::crypto

@@ -1,0 +1,49 @@
+#include "crypto/drbg.h"
+
+#include "common/codec.h"
+#include "crypto/hmac.h"
+
+namespace shs::crypto {
+
+HmacDrbg::HmacDrbg(BytesView seed)
+    : key_(32, 0x00), value_(32, 0x01) {
+  update(seed);
+}
+
+HmacDrbg HmacDrbg::from_seed(std::string_view label, std::uint64_t value) {
+  ByteWriter w;
+  w.str(label);
+  w.u64(value);
+  return HmacDrbg(w.buffer());
+}
+
+void HmacDrbg::update(BytesView material) {
+  Bytes data = value_;
+  data.push_back(0x00);
+  append(data, material);
+  key_ = hmac_sha256(key_, data);
+  value_ = hmac_sha256(key_, value_);
+  if (!material.empty()) {
+    data = value_;
+    data.push_back(0x01);
+    append(data, material);
+    key_ = hmac_sha256(key_, data);
+    value_ = hmac_sha256(key_, value_);
+  }
+}
+
+void HmacDrbg::fill(std::span<std::uint8_t> out) {
+  std::size_t offset = 0;
+  while (offset < out.size()) {
+    value_ = hmac_sha256(key_, value_);
+    const std::size_t n = std::min(value_.size(), out.size() - offset);
+    std::copy(value_.begin(), value_.begin() + static_cast<std::ptrdiff_t>(n),
+              out.begin() + static_cast<std::ptrdiff_t>(offset));
+    offset += n;
+  }
+  update({});
+}
+
+void HmacDrbg::reseed(BytesView material) { update(material); }
+
+}  // namespace shs::crypto

@@ -1,0 +1,36 @@
+// HMAC_DRBG (NIST SP 800-90A) over HMAC-SHA256 — the library's
+// cryptographically strong deterministic random generator. Implements the
+// RandomSource interface so all numeric sampling flows through it.
+//
+// Determinism is a feature: protocol tests seed DRBGs explicitly so every
+// handshake run is reproducible bit-for-bit.
+#pragma once
+
+#include <string_view>
+
+#include "bigint/random.h"
+#include "common/bytes.h"
+
+namespace shs::crypto {
+
+class HmacDrbg final : public num::RandomSource {
+ public:
+  /// Instantiates from seed material (entropy || nonce || personalization).
+  explicit HmacDrbg(BytesView seed);
+
+  /// Convenience: seed from a label + 64-bit value (tests, simulations).
+  static HmacDrbg from_seed(std::string_view label, std::uint64_t value);
+
+  void fill(std::span<std::uint8_t> out) override;
+
+  /// Mixes additional entropy into the state.
+  void reseed(BytesView material);
+
+ private:
+  void update(BytesView material);
+
+  Bytes key_;
+  Bytes value_;
+};
+
+}  // namespace shs::crypto

@@ -1,0 +1,73 @@
+#include "crypto/hmac.h"
+
+#include "common/errors.h"
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+
+namespace shs::crypto {
+
+namespace {
+
+template <typename Hash>
+Bytes hmac_impl(BytesView key, BytesView message) {
+  constexpr std::size_t kBlock = Hash::kBlockSize;
+  Bytes k(key.begin(), key.end());
+  if (k.size() > kBlock) k = Hash::digest(k);
+  k.resize(kBlock, 0);
+
+  Bytes ipad(kBlock), opad(kBlock);
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+  Hash inner;
+  inner.update(ipad);
+  inner.update(message);
+  const Bytes inner_digest = inner.finish();
+  Hash outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+}  // namespace
+
+Bytes hmac(HashAlg alg, BytesView key, BytesView message) {
+  switch (alg) {
+    case HashAlg::kSha256:
+      return hmac_impl<Sha256>(key, message);
+    case HashAlg::kSha1:
+      return hmac_impl<Sha1>(key, message);
+  }
+  throw MathError("hmac: unknown algorithm");
+}
+
+bool hmac_verify(HashAlg alg, BytesView key, BytesView message,
+                 BytesView tag) {
+  return ct_equal(hmac(alg, key, message), tag);
+}
+
+Bytes hkdf(BytesView ikm, BytesView salt, BytesView info, std::size_t length) {
+  if (length > 255 * Sha256::kDigestSize) {
+    throw MathError("hkdf: requested length too large");
+  }
+  // Extract.
+  Bytes effective_salt(salt.begin(), salt.end());
+  if (effective_salt.empty()) effective_salt.resize(Sha256::kDigestSize, 0);
+  const Bytes prk = hmac_sha256(effective_salt, ikm);
+  // Expand.
+  Bytes out;
+  Bytes t;
+  std::uint8_t counter = 1;
+  while (out.size() < length) {
+    Bytes block = t;
+    append(block, info);
+    block.push_back(counter++);
+    t = hmac_sha256(prk, block);
+    append(out, t);
+  }
+  out.resize(length);
+  return out;
+}
+
+}  // namespace shs::crypto

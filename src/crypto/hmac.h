@@ -1,0 +1,27 @@
+// HMAC (RFC 2104) over SHA-256 (default) or SHA-1, plus HKDF (RFC 5869).
+// HMAC-SHA256 is the Phase-II message-authentication code of the handshake
+// protocol and the PRF inside the DRBG and key schedules.
+#pragma once
+
+#include "common/bytes.h"
+
+namespace shs::crypto {
+
+enum class HashAlg { kSha256, kSha1 };
+
+/// HMAC(key, message). Digest length is 32 (SHA-256) or 20 (SHA-1) bytes.
+[[nodiscard]] Bytes hmac(HashAlg alg, BytesView key, BytesView message);
+
+[[nodiscard]] inline Bytes hmac_sha256(BytesView key, BytesView message) {
+  return hmac(HashAlg::kSha256, key, message);
+}
+
+/// Constant-time HMAC verification.
+[[nodiscard]] bool hmac_verify(HashAlg alg, BytesView key, BytesView message,
+                               BytesView tag);
+
+/// HKDF-Extract + Expand (RFC 5869, HMAC-SHA256). Returns `length` bytes.
+[[nodiscard]] Bytes hkdf(BytesView ikm, BytesView salt, BytesView info,
+                         std::size_t length);
+
+}  // namespace shs::crypto

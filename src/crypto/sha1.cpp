@@ -1,0 +1,114 @@
+#include "crypto/sha1.h"
+
+#include <bit>
+
+#include "common/errors.h"
+
+namespace shs::crypto {
+
+namespace {
+std::uint32_t load_be32(const std::uint8_t* p) {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+}  // namespace
+
+Sha1::Sha1()
+    : state_{0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0} {}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) w[i] = load_be32(block + 4 * i);
+  for (int i = 16; i < 80; ++i) {
+    w[i] = std::rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+                e = state_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5a827999;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ed9eba1;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8f1bbcdc;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xca62c1d6;
+    }
+    const std::uint32_t tmp = std::rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = std::rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::update(BytesView data) {
+  if (finished_) throw ProtocolError("Sha1: update after finish");
+  total_bytes_ += data.size();
+  std::size_t offset = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(kBlockSize - buffered_, data.size());
+    std::copy(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(take),
+              buffer_.begin() + static_cast<std::ptrdiff_t>(buffered_));
+    buffered_ += take;
+    offset = take;
+    if (buffered_ == kBlockSize) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (offset + kBlockSize <= data.size()) {
+    process_block(data.data() + offset);
+    offset += kBlockSize;
+  }
+  if (offset < data.size()) {
+    std::copy(data.begin() + static_cast<std::ptrdiff_t>(offset), data.end(),
+              buffer_.begin());
+    buffered_ = data.size() - offset;
+  }
+}
+
+Bytes Sha1::finish() {
+  if (finished_) throw ProtocolError("Sha1: finish called twice");
+  finished_ = true;
+  const std::uint64_t bit_len = total_bytes_ * 8;
+  std::uint8_t pad[kBlockSize * 2] = {0x80};
+  const std::size_t pad_len =
+      (buffered_ < 56) ? (56 - buffered_) : (120 - buffered_);
+  Bytes full(buffer_.begin(),
+             buffer_.begin() + static_cast<std::ptrdiff_t>(buffered_));
+  full.insert(full.end(), pad, pad + pad_len);
+  for (int i = 7; i >= 0; --i) {
+    full.push_back(static_cast<std::uint8_t>(bit_len >> (8 * i)));
+  }
+  for (std::size_t offset = 0; offset < full.size(); offset += kBlockSize) {
+    process_block(full.data() + offset);
+  }
+  Bytes out(kDigestSize);
+  for (int i = 0; i < 5; ++i) {
+    out[4 * i] = static_cast<std::uint8_t>(state_[i] >> 24);
+    out[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+    out[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+    out[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
+  }
+  return out;
+}
+
+Bytes Sha1::digest(BytesView data) {
+  Sha1 h;
+  h.update(data);
+  return h.finish();
+}
+
+}  // namespace shs::crypto

@@ -1,0 +1,36 @@
+// SHA-1 (FIPS 180-4). Included because the paper's Phase-II tag suggests
+// HMAC-SHA1; the library defaults to HMAC-SHA256 but supports both.
+// SHA-1 is broken for collision resistance; it is exposed only for the
+// HMAC construction, where it remains a PRF.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace shs::crypto {
+
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha1();
+
+  void update(BytesView data);
+  [[nodiscard]] Bytes finish();
+
+  [[nodiscard]] static Bytes digest(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> state_;
+  std::array<std::uint8_t, kBlockSize> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace shs::crypto

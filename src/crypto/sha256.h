@@ -1,0 +1,36 @@
+// SHA-256 (FIPS 180-4), implemented from scratch. Streaming interface plus
+// one-shot helper. Verified against NIST test vectors in tests/crypto/.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace shs::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha256();
+
+  void update(BytesView data);
+  /// Finalizes and returns the digest. The object must not be reused after.
+  [[nodiscard]] Bytes finish();
+
+  /// One-shot convenience.
+  [[nodiscard]] static Bytes digest(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, kBlockSize> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace shs::crypto

@@ -1,0 +1,129 @@
+#include "dgka/burmester_desmedt.h"
+
+#include "bigint/modmath.h"
+#include "common/codec.h"
+#include "common/errors.h"
+#include "crypto/sha256.h"
+
+namespace shs::dgka {
+
+namespace {
+
+using num::BigInt;
+
+class BdParty final : public DgkaParty {
+ public:
+  BdParty(const algebra::SchnorrGroup& group, std::size_t position,
+          std::size_t m, num::RandomSource& rng)
+      : group_(group), position_(position), m_(m) {
+    if (m < 2) throw ProtocolError("BdParty: need at least 2 parties");
+    if (position >= m) throw ProtocolError("BdParty: position out of range");
+    r_ = group_.random_exponent(rng);
+  }
+
+  [[nodiscard]] std::size_t rounds() const override { return 2; }
+
+  Bytes message(std::size_t round) override {
+    if (failed_) return {};
+    if (round == 0) {
+      ++exp_count_;
+      ++sent_;
+      z_self_ = group_.exp_g(r_);
+      return group_.encode(z_self_);
+    }
+    if (round == 1) {
+      // X_i = (z_{i+1} / z_{i-1})^{r_i}
+      const BigInt ratio =
+          group_.mul(z_next_, group_.inverse(z_prev_));
+      ++exp_count_;
+      ++sent_;
+      return group_.encode(group_.exp(ratio, r_));
+    }
+    throw ProtocolError("BdParty: no message for this round");
+  }
+
+  void receive(std::size_t round,
+               const std::vector<Bytes>& all_messages) override {
+    if (failed_) return;
+    if (all_messages.size() != m_) {
+      failed_ = true;
+      return;
+    }
+    transcript_.update(round == 0 ? to_bytes("bd-round0")
+                                  : to_bytes("bd-round1"));
+    for (const Bytes& msg : all_messages) transcript_.update(msg);
+    try {
+      if (round == 0) {
+        z_.resize(m_);
+        for (std::size_t j = 0; j < m_; ++j) z_[j] = group_.decode(all_messages[j]);
+        z_prev_ = z_[(position_ + m_ - 1) % m_];
+        z_next_ = z_[(position_ + 1) % m_];
+      } else if (round == 1) {
+        std::vector<BigInt> x(m_);
+        for (std::size_t j = 0; j < m_; ++j) {
+          // X values are legitimately 1 when m == 2.
+          x[j] = group_.decode(all_messages[j], /*allow_identity=*/true);
+        }
+        derive_key(x);
+      }
+    } catch (const Error&) {
+      failed_ = true;
+    }
+  }
+
+  [[nodiscard]] bool accepted() const override { return accepted_; }
+  [[nodiscard]] const Bytes& session_key() const override {
+    if (!accepted_) throw ProtocolError("BdParty: no session key");
+    return key_;
+  }
+  [[nodiscard]] const Bytes& session_id() const override {
+    if (!accepted_) throw ProtocolError("BdParty: no session id");
+    return sid_;
+  }
+  [[nodiscard]] std::size_t exponentiation_count() const override {
+    return exp_count_;
+  }
+  [[nodiscard]] std::size_t messages_sent() const override { return sent_; }
+
+ private:
+  void derive_key(const std::vector<BigInt>& x) {
+    // K = z_{i-1}^{m r_i} * prod_{j=0}^{m-2} X_{i+j}^{m-1-j}
+    const BigInt m_big(static_cast<std::uint64_t>(m_));
+    BigInt k = group_.exp(z_prev_, num::mul_mod(m_big, r_, group_.q()));
+    ++exp_count_;
+    for (std::size_t j = 0; j + 1 < m_; ++j) {
+      const BigInt e(static_cast<std::uint64_t>(m_ - 1 - j));
+      k = group_.mul(k, group_.exp(x[(position_ + j) % m_], e));
+      ++exp_count_;
+    }
+    ByteWriter w;
+    w.str("bd-session-key");
+    w.bytes(group_.encode(k));
+    key_ = crypto::Sha256::digest(w.buffer());
+    sid_ = transcript_.finish();
+    accepted_ = true;
+  }
+
+  const algebra::SchnorrGroup& group_;
+  std::size_t position_;
+  std::size_t m_;
+  BigInt r_;
+  BigInt z_self_, z_prev_, z_next_;
+  std::vector<BigInt> z_;
+  crypto::Sha256 transcript_;
+  Bytes key_;
+  Bytes sid_;
+  bool accepted_ = false;
+  bool failed_ = false;
+  std::size_t exp_count_ = 0;
+  std::size_t sent_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<DgkaParty> BurmesterDesmedt::create_party(
+    std::size_t position, std::size_t m, num::RandomSource& rng) const {
+  return std::make_unique<BdParty>(group_, position, m, rng);
+}
+
+}  // namespace shs::dgka

@@ -1,0 +1,42 @@
+// Burmester-Desmedt group key agreement [11] — the paper's recommended
+// DGKA instantiation (§8.1, Appendix D: "particularly efficient — each
+// participant needs to compute a constant number of modular
+// exponentiations").
+//
+// Round 0: party i broadcasts z_i = g^{r_i}.
+// Round 1: party i broadcasts X_i = (z_{i+1} / z_{i-1})^{r_i} (indices
+//          cyclic mod m).
+// Key:     K_i = z_{i-1}^{m r_i} * X_i^{m-1} * X_{i+1}^{m-2} * ... *
+//          X_{i+m-2}^{1}  =  g^{r_0 r_1 + r_1 r_2 + ... + r_{m-1} r_0}.
+//
+// The session key handed to the framework is SHA-256(K || sid-context) so
+// key material is a uniform bitstring.
+#pragma once
+
+#include "algebra/schnorr_group.h"
+#include "dgka/dgka.h"
+
+namespace shs::dgka {
+
+class BurmesterDesmedt final : public DgkaScheme {
+ public:
+  explicit BurmesterDesmedt(algebra::SchnorrGroup group)
+      : group_(std::move(group)) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "burmester-desmedt";
+  }
+
+  [[nodiscard]] std::unique_ptr<DgkaParty> create_party(
+      std::size_t position, std::size_t m,
+      num::RandomSource& rng) const override;
+
+  [[nodiscard]] const algebra::SchnorrGroup& group() const noexcept {
+    return group_;
+  }
+
+ private:
+  algebra::SchnorrGroup group_;
+};
+
+}  // namespace shs::dgka

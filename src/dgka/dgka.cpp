@@ -1,0 +1,24 @@
+#include "dgka/dgka.h"
+
+#include "common/errors.h"
+
+namespace shs::dgka {
+
+std::vector<std::unique_ptr<DgkaParty>> run_session(const DgkaScheme& scheme,
+                                                    std::size_t m,
+                                                    num::RandomSource& rng) {
+  std::vector<std::unique_ptr<DgkaParty>> parties;
+  parties.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    parties.push_back(scheme.create_party(i, m, rng));
+  }
+  const std::size_t rounds = parties.front()->rounds();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    std::vector<Bytes> broadcast(m);
+    for (std::size_t i = 0; i < m; ++i) broadcast[i] = parties[i]->message(r);
+    for (std::size_t i = 0; i < m; ++i) parties[i]->receive(r, broadcast);
+  }
+  return parties;
+}
+
+}  // namespace shs::dgka

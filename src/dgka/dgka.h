@@ -1,0 +1,83 @@
+// Distributed Group Key Agreement (building block III, paper §6).
+//
+// A DGKA scheme lets m >= 2 parties agree on a fresh contributory session
+// key over a broadcast channel, unauthenticated by design — the framework
+// authenticates the result in Phase II by MACing under k' = k* XOR k
+// (paper Fig. 6), which is what defeats man-in-the-middle attacks.
+//
+// The interface is synchronous-round-based: in round r every party calls
+// message(r) to produce its broadcast (possibly empty — GDH parties speak
+// only in their own slot), the driver collects all round-r messages, and
+// every party then calls receive(r, all). After `rounds()` rounds,
+// accepted() / session_key() / session_id() are defined exactly as in the
+// paper's Fig. 5 environment (acc / sk / sid; pid is the position set).
+//
+// Implementations: Burmester-Desmedt [11] (2 rounds, O(1) exponentiations
+// per party) and GDH.2 (Steiner-Tsudik-Waidner [30]; m rounds, O(m)
+// exponentiations for the last party). Both are proven secure against
+// passive adversaries under DDH, matching Appendix D's requirement.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bigint/random.h"
+#include "common/bytes.h"
+
+namespace shs::dgka {
+
+/// One party's state in one protocol run. Positions 0..m-1 are session-local
+/// (anonymous) indices, not long-term identities.
+class DgkaParty {
+ public:
+  virtual ~DgkaParty() = default;
+
+  [[nodiscard]] virtual std::size_t rounds() const = 0;
+
+  /// This party's broadcast for round `round` (may be empty).
+  [[nodiscard]] virtual Bytes message(std::size_t round) = 0;
+
+  /// Delivers all round-`round` broadcasts, indexed by party position.
+  /// Malformed input marks the session failed (accepted() == false) rather
+  /// than throwing: an unauthenticated protocol treats garbage as noise.
+  virtual void receive(std::size_t round,
+                       const std::vector<Bytes>& all_messages) = 0;
+
+  /// acc flag: true iff the protocol completed and produced a key.
+  [[nodiscard]] virtual bool accepted() const = 0;
+
+  /// The session key (32 bytes, hashed from the group element).
+  /// Requires accepted().
+  [[nodiscard]] virtual const Bytes& session_key() const = 0;
+
+  /// sid: hash over every message sent and received, per Fig. 5.
+  /// Requires accepted().
+  [[nodiscard]] virtual const Bytes& session_id() const = 0;
+
+  /// Instrumentation: modular exponentiations performed so far.
+  [[nodiscard]] virtual std::size_t exponentiation_count() const = 0;
+  /// Instrumentation: non-empty messages sent so far.
+  [[nodiscard]] virtual std::size_t messages_sent() const = 0;
+};
+
+/// Factory for a concrete DGKA protocol.
+class DgkaScheme {
+ public:
+  virtual ~DgkaScheme() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Creates the state for the party at `position` in an m-party session.
+  [[nodiscard]] virtual std::unique_ptr<DgkaParty> create_party(
+      std::size_t position, std::size_t m, num::RandomSource& rng) const = 0;
+};
+
+/// Test/bench helper: runs a full session among `m` honest parties over a
+/// perfect broadcast and returns the party states (all accepted, equal keys).
+std::vector<std::unique_ptr<DgkaParty>> run_session(const DgkaScheme& scheme,
+                                                    std::size_t m,
+                                                    num::RandomSource& rng);
+
+}  // namespace shs::dgka

@@ -1,0 +1,155 @@
+#include "dgka/gdh.h"
+
+#include "common/codec.h"
+#include "common/errors.h"
+#include "crypto/sha256.h"
+
+namespace shs::dgka {
+
+namespace {
+
+using num::BigInt;
+
+class GdhParty final : public DgkaParty {
+ public:
+  GdhParty(const algebra::SchnorrGroup& group, std::size_t position,
+           std::size_t m, num::RandomSource& rng)
+      : group_(group), position_(position), m_(m) {
+    if (m < 2) throw ProtocolError("GdhParty: need at least 2 parties");
+    if (position >= m) throw ProtocolError("GdhParty: position out of range");
+    r_ = group_.random_exponent(rng);
+  }
+
+  [[nodiscard]] std::size_t rounds() const override { return m_; }
+
+  Bytes message(std::size_t round) override {
+    if (round != position_ || failed_) return {};
+    ++sent_;
+    ByteWriter w;
+    if (position_ + 1 < m_) {
+      // Upflow: extend [I_0..I_{i-1}, C] to [I_0^r..I_{i-1}^r, C, C^r].
+      std::vector<BigInt> out;
+      out.reserve(position_ + 2);
+      for (const BigInt& inter : intermediates_) {
+        out.push_back(group_.exp(inter, r_));
+        ++exp_count_;
+      }
+      out.push_back(cardinal_);
+      out.push_back(group_.exp(cardinal_, r_));
+      ++exp_count_;
+      w.u32(static_cast<std::uint32_t>(out.size()));
+      for (const BigInt& v : out) w.bytes(group_.encode(v));
+    } else {
+      // Downflow broadcast: every intermediate raised by r_{m-1}; the key
+      // itself comes from the cardinal.
+      key_element_ = group_.exp(cardinal_, r_);
+      ++exp_count_;
+      w.u32(static_cast<std::uint32_t>(intermediates_.size()));
+      for (const BigInt& inter : intermediates_) {
+        w.bytes(group_.encode(group_.exp(inter, r_)));
+        ++exp_count_;
+      }
+    }
+    return w.take();
+  }
+
+  void receive(std::size_t round,
+               const std::vector<Bytes>& all_messages) override {
+    if (failed_) return;
+    if (all_messages.size() != m_) {
+      failed_ = true;
+      return;
+    }
+    transcript_.update(to_bytes("gdh-round"));
+    for (const Bytes& msg : all_messages) transcript_.update(msg);
+    try {
+      if (round + 1 == m_) {
+        finish(all_messages[m_ - 1]);
+      } else if (round + 1 == position_) {
+        parse_upflow(all_messages[round]);
+      }
+    } catch (const Error&) {
+      failed_ = true;
+    }
+  }
+
+  [[nodiscard]] bool accepted() const override { return accepted_; }
+  [[nodiscard]] const Bytes& session_key() const override {
+    if (!accepted_) throw ProtocolError("GdhParty: no session key");
+    return key_;
+  }
+  [[nodiscard]] const Bytes& session_id() const override {
+    if (!accepted_) throw ProtocolError("GdhParty: no session id");
+    return sid_;
+  }
+  [[nodiscard]] std::size_t exponentiation_count() const override {
+    return exp_count_;
+  }
+  [[nodiscard]] std::size_t messages_sent() const override { return sent_; }
+
+ private:
+  void parse_upflow(BytesView msg) {
+    ByteReader r(msg);
+    const std::uint32_t count = r.u32();
+    if (count != position_ + 1) {
+      throw ProtocolError("GdhParty: unexpected upflow size");
+    }
+    intermediates_.clear();
+    for (std::uint32_t i = 0; i + 1 < count; ++i) {
+      intermediates_.push_back(group_.decode(r.bytes()));
+    }
+    cardinal_ = group_.decode(r.bytes());
+    r.expect_done();
+  }
+
+  void finish(BytesView broadcast) {
+    if (position_ + 1 < m_) {
+      ByteReader r(broadcast);
+      const std::uint32_t count = r.u32();
+      if (count != m_ - 1) {
+        throw ProtocolError("GdhParty: unexpected downflow size");
+      }
+      BigInt mine;
+      for (std::uint32_t j = 0; j < count; ++j) {
+        const BigInt v = group_.decode(r.bytes());
+        if (j == position_) mine = v;
+      }
+      r.expect_done();
+      key_element_ = group_.exp(mine, r_);
+      ++exp_count_;
+    }
+    ByteWriter w;
+    w.str("gdh-session-key");
+    w.bytes(group_.encode(key_element_));
+    key_ = crypto::Sha256::digest(w.buffer());
+    sid_ = transcript_.finish();
+    accepted_ = true;
+  }
+
+  const algebra::SchnorrGroup& group_;
+  std::size_t position_;
+  std::size_t m_;
+  BigInt r_;
+  // Party 0 starts with I = [g] implicitly: intermediates_ empty and
+  // cardinal_ = g, so its upflow is [g, g^{r_0}].
+  std::vector<BigInt> intermediates_;
+  BigInt cardinal_ = BigInt(4);  // the group generator g
+  BigInt key_element_;
+  crypto::Sha256 transcript_;
+  Bytes key_;
+  Bytes sid_;
+  bool accepted_ = false;
+  bool failed_ = false;
+  std::size_t exp_count_ = 0;
+  std::size_t sent_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<DgkaParty> GdhTwo::create_party(std::size_t position,
+                                                std::size_t m,
+                                                num::RandomSource& rng) const {
+  return std::make_unique<GdhParty>(group_, position, m, rng);
+}
+
+}  // namespace shs::dgka

@@ -1,0 +1,37 @@
+// GDH.2 — the "group Diffie-Hellman" key agreement of Steiner, Tsudik and
+// Waidner [30], the second DGKA option named by the paper (§8.1).
+//
+// Upflow phase: party i (0 <= i < m-1) extends the chained-exponent list it
+// received from party i-1 and forwards it; the list after party i holds
+//   { g^{(r_0 ... r_i) / r_j} : j <= i }  and the cardinal g^{r_0 ... r_i}.
+// Downflow: the last party raises every intermediate by r_{m-1} and
+// broadcasts; party j recovers K = (g^{(r_0...r_{m-1})/r_j})^{r_j}.
+//
+// m rounds, one speaker per round; the last party performs O(m)
+// exponentiations — the contrast point to Burmester-Desmedt in bench E5.
+#pragma once
+
+#include "algebra/schnorr_group.h"
+#include "dgka/dgka.h"
+
+namespace shs::dgka {
+
+class GdhTwo final : public DgkaScheme {
+ public:
+  explicit GdhTwo(algebra::SchnorrGroup group) : group_(std::move(group)) {}
+
+  [[nodiscard]] std::string name() const override { return "gdh.2"; }
+
+  [[nodiscard]] std::unique_ptr<DgkaParty> create_party(
+      std::size_t position, std::size_t m,
+      num::RandomSource& rng) const override;
+
+  [[nodiscard]] const algebra::SchnorrGroup& group() const noexcept {
+    return group_;
+  }
+
+ private:
+  algebra::SchnorrGroup group_;
+};
+
+}  // namespace shs::dgka

@@ -1,0 +1,151 @@
+#include "dgka/katz_yung.h"
+
+#include "common/codec.h"
+#include "common/errors.h"
+
+namespace shs::dgka {
+
+using num::BigInt;
+
+namespace {
+
+class KyParty final : public DgkaParty {
+ public:
+  KyParty(const algebra::SchnorrSig& sig, const std::vector<BigInt>& roster,
+          std::unique_ptr<DgkaParty> inner, std::size_t position,
+          std::size_t m, const BigInt& signing_key, num::RandomSource& rng)
+      : sig_(sig),
+        roster_(roster),
+        inner_(std::move(inner)),
+        position_(position),
+        m_(m),
+        sk_(signing_key),
+        rng_(rng) {
+    if (roster_.size() < m) {
+      throw ProtocolError("KyParty: roster smaller than session");
+    }
+    nonce_ = rng_.bytes(16);
+  }
+
+  [[nodiscard]] std::size_t rounds() const override {
+    return inner_->rounds() + 1;  // +1 nonce round
+  }
+
+  Bytes message(std::size_t round) override {
+    if (failed_) return {};
+    ++sent_;
+    if (round == 0) return nonce_;
+    const Bytes inner_msg = inner_->message(round - 1);
+    ByteWriter signed_over;
+    signed_over.str("ky-msg");
+    signed_over.u64(position_);
+    signed_over.u64(round);
+    signed_over.bytes(nonces_digest_);
+    signed_over.bytes(inner_msg);
+    ByteWriter out;
+    out.bytes(inner_msg);
+    out.bytes(sig_.sign(sk_, signed_over.buffer(), rng_));
+    return out.take();
+  }
+
+  void receive(std::size_t round,
+               const std::vector<Bytes>& all_messages) override {
+    if (failed_) return;
+    if (all_messages.size() != m_) {
+      failed_ = true;
+      return;
+    }
+    if (round == 0) {
+      // Bind all session nonces; they freshen every later signature.
+      ByteWriter w;
+      w.str("ky-nonces");
+      for (const Bytes& n : all_messages) w.bytes(n);
+      nonces_digest_ = w.take();
+      return;
+    }
+    std::vector<Bytes> inner_msgs(m_);
+    for (std::size_t j = 0; j < m_; ++j) {
+      try {
+        ByteReader r(all_messages[j]);
+        const Bytes inner_msg = r.bytes();
+        const Bytes signature = r.bytes();
+        r.expect_done();
+        ByteWriter signed_over;
+        signed_over.str("ky-msg");
+        signed_over.u64(j);
+        signed_over.u64(round);
+        signed_over.bytes(nonces_digest_);
+        signed_over.bytes(inner_msg);
+        if (!sig_.verify(roster_[j], signed_over.buffer(), signature)) {
+          failed_ = true;  // active attack detected: abort loudly
+          return;
+        }
+        inner_msgs[j] = inner_msg;
+      } catch (const Error&) {
+        failed_ = true;
+        return;
+      }
+    }
+    inner_->receive(round - 1, inner_msgs);
+  }
+
+  [[nodiscard]] bool accepted() const override {
+    return !failed_ && inner_->accepted();
+  }
+  [[nodiscard]] const Bytes& session_key() const override {
+    if (!accepted()) throw ProtocolError("KyParty: no session key");
+    return inner_->session_key();
+  }
+  [[nodiscard]] const Bytes& session_id() const override {
+    if (!accepted()) throw ProtocolError("KyParty: no session id");
+    return inner_->session_id();
+  }
+  [[nodiscard]] std::size_t exponentiation_count() const override {
+    // Inner exps + 1 sign + m verifies (2 exps each) per signed round.
+    return inner_->exponentiation_count() + sig_ops_;
+  }
+  [[nodiscard]] std::size_t messages_sent() const override { return sent_; }
+
+ private:
+  const algebra::SchnorrSig& sig_;
+  const std::vector<BigInt>& roster_;
+  std::unique_ptr<DgkaParty> inner_;
+  std::size_t position_;
+  std::size_t m_;
+  BigInt sk_;
+  num::RandomSource& rng_;
+  Bytes nonce_;
+  Bytes nonces_digest_;
+  bool failed_ = false;
+  std::size_t sent_ = 0;
+  std::size_t sig_ops_ = 0;
+};
+
+}  // namespace
+
+KatzYung::KatzYung(algebra::SchnorrGroup group, std::vector<BigInt> roster_pks)
+    : sig_(group), inner_(std::move(group)), roster_(std::move(roster_pks)) {}
+
+std::unique_ptr<DgkaParty> KatzYung::create_party(std::size_t, std::size_t,
+                                                  num::RandomSource&) const {
+  throw ProtocolError(
+      "KatzYung: authenticated scheme needs a signing key; use "
+      "create_authenticated_party");
+}
+
+std::unique_ptr<DgkaParty> KatzYung::create_authenticated_party(
+    std::size_t position, std::size_t m, const BigInt& signing_key,
+    num::RandomSource& rng) const {
+  return std::make_unique<KyParty>(sig_, roster_,
+                                   inner_.create_party(position, m, rng),
+                                   position, m, signing_key, rng);
+}
+
+KyIdentity KatzYung::make_identity(const algebra::SchnorrGroup& group,
+                                   num::RandomSource& rng) {
+  const algebra::SchnorrSig sig(group);
+  const auto kp = sig.keygen(rng);
+  return {kp.sk, kp.pk};
+}
+
+}  // namespace shs::dgka

@@ -1,0 +1,60 @@
+// Katz-Yung authenticated group key agreement [21] — the paper's third
+// named DGKA source. KY is a *compiler*: wrap any passively-secure group
+// KE (here: Burmester-Desmedt) so that
+//   round 0: each party broadcasts a fresh nonce,
+//   every subsequent message is signed under the sender's long-lived key
+//   over (message || party-id || round || all nonces),
+// defeating active attackers at the price of identity exposure.
+//
+// The GCD framework deliberately does NOT use this (anonymity!); it exists
+// as the paper's cited instantiation and for non-anonymous deployments,
+// and it demonstrates the framework's model-agnosticism: KyParty is a
+// drop-in DgkaParty with one extra round.
+#pragma once
+
+#include <vector>
+
+#include "algebra/schnorr_sig.h"
+#include "dgka/burmester_desmedt.h"
+#include "dgka/dgka.h"
+
+namespace shs::dgka {
+
+/// Long-lived identity of one KY participant.
+struct KyIdentity {
+  num::BigInt sk;
+  num::BigInt pk;
+};
+
+class KatzYung final : public DgkaScheme {
+ public:
+  /// `roster` holds every potential participant's public key; a session's
+  /// position i authenticates under roster[i].
+  KatzYung(algebra::SchnorrGroup group, std::vector<num::BigInt> roster_pks);
+
+  [[nodiscard]] std::string name() const override { return "katz-yung"; }
+
+  /// Standard DgkaScheme entry point is unusable without the signing key;
+  /// throws ProtocolError. Use create_authenticated_party.
+  [[nodiscard]] std::unique_ptr<DgkaParty> create_party(
+      std::size_t position, std::size_t m,
+      num::RandomSource& rng) const override;
+
+  [[nodiscard]] std::unique_ptr<DgkaParty> create_authenticated_party(
+      std::size_t position, std::size_t m, const num::BigInt& signing_key,
+      num::RandomSource& rng) const;
+
+  [[nodiscard]] static KyIdentity make_identity(
+      const algebra::SchnorrGroup& group, num::RandomSource& rng);
+
+  [[nodiscard]] const algebra::SchnorrGroup& group() const noexcept {
+    return sig_.group();
+  }
+
+ private:
+  algebra::SchnorrSig sig_;
+  BurmesterDesmedt inner_;
+  std::vector<num::BigInt> roster_;
+};
+
+}  // namespace shs::dgka

@@ -1,0 +1,67 @@
+#include "gsig/accumulator.h"
+
+#include "bigint/modmath.h"
+#include "common/errors.h"
+
+namespace shs::gsig {
+
+using num::BigInt;
+
+Accumulator::Accumulator(const algebra::QrGroup& group,
+                         const algebra::QrGroupSecret& secret,
+                         num::RandomSource& rng)
+    : group_(group), order_(secret.group_order()) {
+  initial_ = group_.random_qr(rng);
+  value_ = initial_;
+}
+
+const BigInt& Accumulator::value_at(std::uint64_t version) const {
+  if (version == 0) return initial_;
+  if (version > log_.size()) {
+    throw ProtocolError("Accumulator: unknown version");
+  }
+  return log_[version - 1].value_after;
+}
+
+BigInt Accumulator::add(const BigInt& e) {
+  if (num::gcd(e, order_) != BigInt(1)) {
+    throw MathError("Accumulator: e shares a factor with the group order");
+  }
+  BigInt witness = value_;  // w^e = v^e = new value
+  value_ = group_.exp(value_, num::mod(e, order_));
+  log_.push_back({true, e, value_});
+  return witness;
+}
+
+void Accumulator::remove(const BigInt& e) {
+  const BigInt e_inv = num::mod_inverse(e, order_);
+  value_ = group_.exp(value_, e_inv);
+  log_.push_back({false, e, value_});
+}
+
+BigInt Accumulator::update_witness(const algebra::QrGroup& group,
+                                   BigInt witness, const BigInt& my_e,
+                                   std::span<const Event> events) {
+  for (const Event& ev : events) {
+    if (ev.added) {
+      witness = group.exp(witness, ev.e);
+      continue;
+    }
+    if (ev.e == my_e) {
+      throw VerifyError("Accumulator: credential has been revoked");
+    }
+    // Bezout: a*ev.e + b*my_e = 1 (both prime, distinct => coprime).
+    BigInt a, b;
+    const BigInt g = num::ext_gcd(ev.e, my_e, a, b);
+    if (g != BigInt(1)) {
+      throw MathError("Accumulator: removed value not coprime to witness");
+    }
+    // w' = w^a * v_new^b. Then (w')^{my_e} = v_old^a * v_new^{b*my_e}
+    //    = v_new^{a*ev.e + b*my_e} = v_new.
+    witness =
+        group.mul(group.exp(witness, a), group.exp(ev.value_after, b));
+  }
+  return witness;
+}
+
+}  // namespace shs::gsig

@@ -1,0 +1,72 @@
+// Camenisch-Lysyanskaya dynamic RSA accumulator [12] — the revocation
+// mechanism the paper names for the GSIG layer (§3: "revocation in the
+// former is quite expensive, usually based on dynamic accumulators [12]").
+//
+// The accumulator value is v = u^{e_1 e_2 ... e_m} mod n over the active
+// members' certificate primes. A member holds a witness w with w^{e_i} = v
+// and proves knowledge of it inside every group signature; when e_i is
+// removed from v, no witness for it exists, so a revoked member cannot
+// sign. Witness maintenance:
+//   * on add(e'):    w <- w^{e'}
+//   * on remove(e'): with Bezout a*e' + b*e_i = 1,  w <- w^b * v_new^a
+// Members replay the public event log (the (added/removed, e) pairs) —
+// in the GCD framework this log travels inside GCD.Update, encrypted under
+// the CGKD group key.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "algebra/qr_group.h"
+#include "bigint/bigint.h"
+#include "bigint/random.h"
+
+namespace shs::gsig {
+
+class Accumulator {
+ public:
+  struct Event {
+    bool added = true;  // false = removed
+    num::BigInt e;
+    num::BigInt value_after;
+  };
+
+  /// GM-side accumulator; `secret` supplies the group-order trapdoor that
+  /// makes add/remove O(1).
+  Accumulator(const algebra::QrGroup& group,
+              const algebra::QrGroupSecret& secret, num::RandomSource& rng);
+
+  [[nodiscard]] const num::BigInt& value() const noexcept { return value_; }
+  [[nodiscard]] std::uint64_t version() const noexcept {
+    return log_.size();
+  }
+  /// Accumulator value as of `version` (for opening old transcripts).
+  [[nodiscard]] const num::BigInt& value_at(std::uint64_t version) const;
+
+  /// Accumulates prime e; returns the witness for e (the pre-add value).
+  /// Throws MathError if e is not coprime to the group order.
+  [[nodiscard]] num::BigInt add(const num::BigInt& e);
+
+  /// De-accumulates prime e (revocation).
+  void remove(const num::BigInt& e);
+
+  [[nodiscard]] const std::vector<Event>& log() const noexcept {
+    return log_;
+  }
+
+  /// Member-side witness maintenance: replays events [from_version,
+  /// current). Throws VerifyError if `my_e` itself was removed (the member
+  /// is revoked and no witness exists).
+  [[nodiscard]] static num::BigInt update_witness(
+      const algebra::QrGroup& group, num::BigInt witness,
+      const num::BigInt& my_e, std::span<const Event> events);
+
+ private:
+  const algebra::QrGroup& group_;
+  num::BigInt order_;  // |QR(n)| = p'q'
+  num::BigInt initial_;
+  num::BigInt value_;
+  std::vector<Event> log_;
+};
+
+}  // namespace shs::gsig

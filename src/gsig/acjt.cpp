@@ -1,0 +1,351 @@
+#include "gsig/acjt.h"
+
+#include "bigint/modmath.h"
+#include "bigint/prime.h"
+#include "common/codec.h"
+#include "common/errors.h"
+#include "crypto/sha256.h"
+
+namespace shs::gsig {
+
+using num::BigInt;
+
+namespace {
+
+// Witness indices for the signing statement.
+enum Witness : std::size_t { kX = 0, kE, kW, kEw, kR5, kEr5, kWitnessCount };
+
+struct IntervalBounds {
+  BigInt lo;
+  BigInt hi;
+};
+
+IntervalBounds interval(std::size_t offset_bits, std::size_t range_bits) {
+  const BigInt offset = BigInt(1) << offset_bits;
+  const BigInt radius = BigInt(1) << range_bits;
+  return {offset - radius + BigInt(1), offset + radius - BigInt(1)};
+}
+
+}  // namespace
+
+GsigParams GsigParams::for_prime_bits(std::size_t lp) {
+  // "Compact" profile: lambda2 = lp rather than the paper-chain's 4lp
+  // (DESIGN.md documents the deviation). The structural inequalities
+  // lambda1 > eps(lambda2+k)+2, gamma2 > lambda1+2, gamma1 > eps(gamma2+k)+2
+  // are kept exactly, which is what the interval-proof soundness needs.
+  GsigParams p;
+  p.lp = lp;
+  p.lambda2 = lp;
+  p.lambda1 = eps_bits(p.lambda2 + kChallengeBits) + 3;
+  p.gamma2 = p.lambda1 + 3;
+  p.gamma1 = eps_bits(p.gamma2 + kChallengeBits) + 3;
+  return p;
+}
+
+struct AcjtGsig::ParsedSignature {
+  std::uint64_t version = 0;
+  BigInt t1, t2, t3, cu, cr;
+  SigmaProof proof;
+};
+
+AcjtGsig::AcjtGsig(algebra::QrGroup group, algebra::QrGroupSecret secret,
+                   GsigParams params, num::RandomSource& rng)
+    : group_(std::move(group)),
+      secret_(std::move(secret)),
+      params_(params) {
+  a_ = group_.random_qr(rng);
+  a0_ = group_.random_qr(rng);
+  g_ = group_.random_qr(rng);
+  h_ = group_.random_qr(rng);
+  x_open_ = num::random_range(BigInt(1), secret_.group_order() - BigInt(1), rng);
+  y_ = group_.exp(g_, x_open_);
+  acc_ = std::make_unique<Accumulator>(group_, secret_, rng);
+
+  ByteWriter w;
+  w.str("acjt-gpk");
+  for (const BigInt* v : {&a_, &a0_, &g_, &h_, &y_}) {
+    w.bytes(group_.encode(*v));
+  }
+  w.bytes(group_.n().to_bytes());
+  digest_ = crypto::Sha256::digest(w.buffer());
+}
+
+std::unique_ptr<AcjtGsig> AcjtGsig::create(algebra::ParamLevel level,
+                                           num::RandomSource& rng) {
+  auto [group, secret] = algebra::QrGroup::standard(level);
+  const GsigParams params = GsigParams::for_prime_bits(secret.p.bit_length());
+  return std::make_unique<AcjtGsig>(std::move(group), std::move(secret),
+                                    params, rng);
+}
+
+MemberCredential AcjtGsig::admit(MemberId id, num::RandomSource& rng) {
+  if (members_.contains(id)) throw ProtocolError("AcjtGsig: duplicate admit");
+
+  // --- Member side: choose x in Lambda, commit C = a^x, prove knowledge.
+  const IntervalBounds lambda = interval(params_.lambda1, params_.lambda2);
+  const BigInt x = num::random_range(lambda.lo, lambda.hi, rng);
+  const BigInt commitment = group_.exp(a_, x);
+  SigmaStatement join_stmt;
+  join_stmt.witnesses = {
+      {BigInt(1) << params_.lambda1, params_.lambda2}};
+  join_stmt.relations = {{commitment, {{0, a_, +1}}}};
+  ByteWriter ctx;
+  ctx.str("acjt-join");
+  ctx.bytes(digest_);
+  ctx.u64(id);
+  const SigmaProof join_proof =
+      sigma_prove(group_, join_stmt, {x}, ctx.buffer(), rng);
+
+  // --- GM side: verify the commitment proof, issue (A, e).
+  if (!sigma_verify(group_, join_stmt, join_proof, ctx.buffer())) {
+    throw VerifyError("AcjtGsig: join proof invalid");
+  }
+  const IntervalBounds gamma = interval(params_.gamma1, params_.gamma2);
+  const BigInt order = secret_.group_order();
+  BigInt e;
+  for (;;) {
+    e = num::random_prime_in_range(gamma.lo, gamma.hi, rng);
+    if (num::gcd(e, order) == BigInt(1)) break;
+  }
+  const BigInt e_inv = num::mod_inverse(e, order);
+  const BigInt cert_a =
+      group_.exp(group_.mul(a0_, commitment), e_inv);
+  const BigInt witness = acc_->add(e);
+
+  members_.emplace(id, MemberRecord{cert_a, e, false});
+  by_cert_.emplace(group_.encode(cert_a).empty()
+                       ? std::string{}
+                       : to_hex(group_.encode(cert_a)),
+                   id);
+
+  // --- Member side again: validate the certificate before accepting it.
+  if (group_.exp(cert_a, e) != group_.mul(a0_, group_.exp(a_, x))) {
+    throw VerifyError("AcjtGsig: GM issued an invalid certificate");
+  }
+
+  MemberCredential cred;
+  cred.id = id;
+  cred.revision = acc_->version();
+  ByteWriter w;
+  w.bytes(group_.encode(cert_a));
+  w.bytes(e.to_bytes());
+  w.bytes(x.to_bytes());
+  w.bytes(group_.encode(witness));
+  cred.secret = w.take();
+  return cred;
+}
+
+void AcjtGsig::revoke(MemberId id) {
+  const auto it = members_.find(id);
+  if (it == members_.end() || it->second.revoked) {
+    throw ProtocolError("AcjtGsig: revoke of unknown/revoked member");
+  }
+  it->second.revoked = true;
+  acc_->remove(it->second.cert_e);
+}
+
+Bytes AcjtGsig::export_update(std::uint64_t from_revision) const {
+  if (from_revision > acc_->version()) {
+    throw ProtocolError("AcjtGsig: update from the future");
+  }
+  const auto& log = acc_->log();
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(log.size() - from_revision));
+  for (std::size_t i = from_revision; i < log.size(); ++i) {
+    w.u8(log[i].added ? 1 : 0);
+    w.bytes(log[i].e.to_bytes());
+    w.bytes(group_.encode(log[i].value_after));
+  }
+  return w.take();
+}
+
+void AcjtGsig::apply_update(MemberCredential& credential,
+                            BytesView update) const {
+  std::vector<Accumulator::Event> events;
+  {
+    ByteReader r(update);
+    const std::uint32_t count = r.u32();
+    events.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      Accumulator::Event ev;
+      ev.added = r.u8() != 0;
+      ev.e = BigInt::from_bytes(r.bytes());
+      ev.value_after = group_.decode(r.bytes());
+      events.push_back(std::move(ev));
+    }
+    r.expect_done();
+  }
+  if (events.empty()) return;
+
+  ByteReader r(credential.secret);
+  const Bytes cert_a = r.bytes();
+  const BigInt e = BigInt::from_bytes(r.bytes());
+  const Bytes x = r.bytes();
+  BigInt witness = group_.decode(r.bytes());
+  r.expect_done();
+  witness = Accumulator::update_witness(group_, std::move(witness), e,
+                                        std::span(events));
+  ByteWriter w;
+  w.bytes(cert_a);
+  w.bytes(e.to_bytes());
+  w.bytes(x);
+  w.bytes(group_.encode(witness));
+  credential.secret = w.take();
+  credential.revision += events.size();
+}
+
+std::size_t AcjtGsig::signature_size_bound() const {
+  // version + five group elements + proof (challenge + six responses).
+  const std::size_t es = group_.element_size();
+  std::size_t bound = 8 + 5 * (4 + es) + 4;        // fields + proof prefix
+  bound += 4 + kChallengeBits / 8;                 // challenge
+  bound += 4;                                      // response count
+  const std::size_t ranges[] = {
+      params_.lambda2, params_.gamma2,          2 * params_.lp,
+      params_.gamma1 + 2 * params_.lp + 2,      2 * params_.lp,
+      params_.gamma1 + 2 * params_.lp + 2};
+  for (std::size_t range : ranges) {
+    bound += 1 + 4 + (eps_bits(range + kChallengeBits) + 1) / 8 + 2;
+  }
+  return bound + 16;
+}
+
+Bytes AcjtGsig::context(std::uint64_t version, BytesView message) const {
+  ByteWriter w;
+  w.str("acjt-sign");
+  w.bytes(digest_);
+  w.u64(version);
+  w.bytes(message);
+  return w.take();
+}
+
+SigmaStatement AcjtGsig::statement(const ParsedSignature& sig,
+                                   const BigInt& acc_value) const {
+  SigmaStatement st;
+  st.witnesses.resize(kWitnessCount);
+  st.witnesses[kX] = {BigInt(1) << params_.lambda1, params_.lambda2};
+  st.witnesses[kE] = {BigInt(1) << params_.gamma1, params_.gamma2};
+  st.witnesses[kW] = {BigInt(0), 2 * params_.lp};
+  st.witnesses[kEw] = {BigInt(0), params_.gamma1 + 2 * params_.lp + 2};
+  st.witnesses[kR5] = {BigInt(0), 2 * params_.lp};
+  st.witnesses[kEr5] = {BigInt(0), params_.gamma1 + 2 * params_.lp + 2};
+
+  const BigInt one(1);
+  st.relations = {
+      // T2 = g^w
+      {sig.t2, {{kW, g_, +1}}},
+      // 1 = T2^e g^{-ew}
+      {one, {{kE, sig.t2, +1}, {kEw, g_, -1}}},
+      // T3 = g^e h^w
+      {sig.t3, {{kE, g_, +1}, {kW, h_, +1}}},
+      // a0 = T1^e a^{-x} y^{-ew}   (certificate equation, A = T1 y^{-w})
+      {a0_, {{kE, sig.t1, +1}, {kX, a_, -1}, {kEw, y_, -1}}},
+      // C_r = g^{r5}
+      {sig.cr, {{kR5, g_, +1}}},
+      // 1 = C_r^e g^{-er5}
+      {one, {{kE, sig.cr, +1}, {kEr5, g_, -1}}},
+      // v = C_u^e h^{-er5}        (accumulator membership, wit = C_u h^{-r5})
+      {acc_value, {{kE, sig.cu, +1}, {kEr5, h_, -1}}},
+  };
+  return st;
+}
+
+Bytes AcjtGsig::sign(const MemberCredential& credential, BytesView message,
+                     BytesView session_tag, num::RandomSource& rng) const {
+  if (!session_tag.empty()) {
+    throw ProtocolError("AcjtGsig: self-distinction not supported");
+  }
+  ByteReader r(credential.secret);
+  const BigInt cert_a = group_.decode(r.bytes());
+  const BigInt e = BigInt::from_bytes(r.bytes());
+  const BigInt x = BigInt::from_bytes(r.bytes());
+  const BigInt witness = group_.decode(r.bytes());
+  r.expect_done();
+  const std::uint64_t version = credential.revision;
+  if (version != acc_->version()) {
+    throw ProtocolError("AcjtGsig: stale credential — run update first");
+  }
+
+  const BigInt bound = BigInt(1) << (2 * params_.lp);
+  const BigInt w = num::random_below(bound, rng);
+  const BigInt r5 = num::random_below(bound, rng);
+
+  ParsedSignature sig;
+  sig.version = version;
+  sig.t1 = group_.mul(cert_a, group_.exp(y_, w));
+  sig.t2 = group_.exp(g_, w);
+  sig.t3 = group_.mul(group_.exp(g_, e), group_.exp(h_, w));
+  sig.cu = group_.mul(witness, group_.exp(h_, r5));
+  sig.cr = group_.exp(g_, r5);
+
+  const SigmaStatement st = statement(sig, acc_->value_at(version));
+  const std::vector<BigInt> values = {x, e, w, e * w, r5, e * r5};
+  sig.proof = sigma_prove(group_, st, values, context(version, message), rng);
+
+  ByteWriter out;
+  out.u64(sig.version);
+  for (const BigInt* t : {&sig.t1, &sig.t2, &sig.t3, &sig.cu, &sig.cr}) {
+    out.bytes(group_.encode(*t));
+  }
+  out.bytes(sig.proof.serialize());
+  return out.take();
+}
+
+AcjtGsig::ParsedSignature AcjtGsig::parse(BytesView signature) const {
+  try {
+    ByteReader r(signature);
+    ParsedSignature sig;
+    sig.version = r.u64();
+    sig.t1 = group_.decode(r.bytes());
+    sig.t2 = group_.decode(r.bytes());
+    sig.t3 = group_.decode(r.bytes());
+    sig.cu = group_.decode(r.bytes());
+    sig.cr = group_.decode(r.bytes());
+    sig.proof = SigmaProof::deserialize(r.bytes());
+    r.expect_done();
+    return sig;
+  } catch (const Error&) {
+    throw VerifyError("AcjtGsig: malformed signature");
+  }
+}
+
+void AcjtGsig::verify(BytesView message, BytesView signature,
+                      BytesView session_tag) const {
+  if (!session_tag.empty()) {
+    throw ProtocolError("AcjtGsig: self-distinction not supported");
+  }
+  const ParsedSignature sig = parse(signature);
+  if (sig.version != acc_->version()) {
+    throw VerifyError("AcjtGsig: signature not fresh (stale revocation state)");
+  }
+  const SigmaStatement st = statement(sig, acc_->value());
+  if (!sigma_verify(group_, st, sig.proof, context(sig.version, message))) {
+    throw VerifyError("AcjtGsig: proof verification failed");
+  }
+}
+
+Bytes AcjtGsig::distinction_tag(BytesView) const { return {}; }
+
+MemberId AcjtGsig::open(BytesView message, BytesView signature,
+                        BytesView session_tag) const {
+  if (!session_tag.empty()) {
+    throw ProtocolError("AcjtGsig: self-distinction not supported");
+  }
+  const ParsedSignature sig = parse(signature);
+  // Opening accepts historical signatures: verify against the accumulator
+  // value current when the signature was made.
+  const SigmaStatement st = statement(sig, acc_->value_at(sig.version));
+  if (!sigma_verify(group_, st, sig.proof, context(sig.version, message))) {
+    throw VerifyError("AcjtGsig: cannot open an invalid signature");
+  }
+  // A = T1 / T2^{x_open}.
+  const BigInt cert_a =
+      group_.mul(sig.t1, group_.inverse(group_.exp(sig.t2, x_open_)));
+  const auto it = by_cert_.find(to_hex(group_.encode(cert_a)));
+  if (it == by_cert_.end()) {
+    throw VerifyError("AcjtGsig: signer not found in registry");
+  }
+  return it->second;
+}
+
+}  // namespace shs::gsig

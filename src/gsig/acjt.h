@@ -1,0 +1,91 @@
+// ACJT-2000 group signatures (Ateniese, Camenisch, Joye, Tsudik [1]) —
+// GSIG instantiation 1 (paper §8.1). Provably coalition-resistant under
+// strong RSA + DDH; provides full-anonymity, which is what gives the
+// compiled handshake *full-unlinkability* (Theorem 1).
+//
+// Setup: n = pq (safe primes), bases a, a0, g, h in QR(n), opening key
+// y = g^{x_open}. A membership certificate is (A, e) with A^e = a0 a^x,
+// where x is the member's secret (chosen by the member, proven in an
+// interval, never revealed to the GM — the root of no-misattribution) and
+// e a fresh prime.
+//
+// Sign: T1 = A y^w, T2 = g^w, T3 = g^e h^w plus a Fiat-Shamir proof of
+// knowledge of (x, e, w, ew) tying them to the certificate equation, AND a
+// Camenisch-Lysyanskaya accumulator membership proof (C_u = wit h^{r},
+// C_r = g^{r}) showing e is currently accumulated — this is the GSIG
+// revocation layer the §3 design-space discussion insists on keeping.
+//
+// Open: A = T1 / T2^{x_open}, matched against the GM's member registry.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "algebra/qr_group.h"
+#include "gsig/accumulator.h"
+#include "gsig/gsig.h"
+#include "gsig/sigma.h"
+
+namespace shs::gsig {
+
+class AcjtGsig final : public GsigGroup {
+ public:
+  AcjtGsig(algebra::QrGroup group, algebra::QrGroupSecret secret,
+           GsigParams params, num::RandomSource& rng);
+
+  /// Convenience: embedded parameters at the given level.
+  static std::unique_ptr<AcjtGsig> create(algebra::ParamLevel level,
+                                          num::RandomSource& rng);
+
+  [[nodiscard]] std::string name() const override { return "acjt"; }
+  [[nodiscard]] Bytes public_key_digest() const override { return digest_; }
+  [[nodiscard]] MemberCredential admit(MemberId id,
+                                       num::RandomSource& rng) override;
+  void revoke(MemberId id) override;
+  [[nodiscard]] std::uint64_t revision() const override {
+    return acc_->version();
+  }
+  [[nodiscard]] Bytes export_update(std::uint64_t from_revision) const override;
+  void apply_update(MemberCredential& credential,
+                    BytesView update) const override;
+  [[nodiscard]] std::size_t signature_size_bound() const override;
+  [[nodiscard]] bool supports_self_distinction() const override {
+    return false;
+  }
+  [[nodiscard]] Bytes sign(const MemberCredential& credential,
+                           BytesView message, BytesView session_tag,
+                           num::RandomSource& rng) const override;
+  void verify(BytesView message, BytesView signature,
+              BytesView session_tag) const override;
+  [[nodiscard]] Bytes distinction_tag(BytesView signature) const override;
+  [[nodiscard]] MemberId open(BytesView message, BytesView signature,
+                              BytesView session_tag) const override;
+
+  [[nodiscard]] const GsigParams& params() const noexcept { return params_; }
+
+ private:
+  struct ParsedSignature;
+
+  [[nodiscard]] Bytes context(std::uint64_t version, BytesView message) const;
+  [[nodiscard]] SigmaStatement statement(const ParsedSignature& sig,
+                                         const num::BigInt& acc_value) const;
+  [[nodiscard]] ParsedSignature parse(BytesView signature) const;
+
+  algebra::QrGroup group_;
+  algebra::QrGroupSecret secret_;
+  GsigParams params_;
+  num::BigInt a_, a0_, g_, h_;
+  num::BigInt x_open_, y_;
+  std::unique_ptr<Accumulator> acc_;
+
+  struct MemberRecord {
+    num::BigInt cert_a;
+    num::BigInt cert_e;
+    bool revoked = false;
+  };
+  std::map<MemberId, MemberRecord> members_;
+  std::map<std::string, MemberId> by_cert_;  // hex(A) -> id
+  Bytes digest_;
+};
+
+}  // namespace shs::gsig

@@ -1,0 +1,128 @@
+// Group signatures (building block I, paper §4 and Fig. 3).
+//
+// A GsigGroup bundles one group's signature functionality: the group
+// manager's Setup/Join/Revoke/Open side and the member's Sign/Verify side.
+// The GCD framework holds the object inside the GroupAuthority and hands
+// member credentials out through GCD.AdmitMember; keeping both sides in one
+// object models the in-process simulation (a deployment would split them,
+// see DESIGN.md).
+//
+// Two implementations:
+//  * AcjtGsig (acjt.h) — Ateniese-Camenisch-Joye-Tsudik [1], revocation via
+//    a Camenisch-Lysyanskaya dynamic accumulator [12] (instantiation 1),
+//  * KtyGsig (kty.h)  — the Kiayias-(Tsiounis-)Yung traceable-signature
+//    variant of Appendix H, with verifier-local revocation through revealed
+//    per-member tracing trapdoors, `anonymity` (not full-anonymity), and
+//    the common-T7 *self-distinction* mode of §8.2 (instantiation 2).
+//
+// Self-distinction: sign/verify accept an optional session tag. When
+// non-empty, a scheme that supports_self_distinction() derives the common
+// base T7 = H(tag) and exposes distinction_tag() = T6 = T7^{x'}; two
+// signatures from the same signer under the same session tag carry equal
+// T6 values, which is exactly what the handshake checks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bigint/random.h"
+#include "common/bytes.h"
+
+namespace shs::gsig {
+
+using MemberId = std::uint64_t;
+
+/// A member's signing credential (scheme-specific serialized secrets).
+/// Reusable across unboundedly many signatures — the multi-show property
+/// the paper contrasts with one-time-credential schemes [3,14].
+/// `revision` is the revocation-state version the credential is current
+/// for; GSIG.Update (apply_update) advances it.
+struct MemberCredential {
+  MemberId id = 0;
+  std::uint64_t revision = 0;
+  Bytes secret;
+};
+
+class GsigGroup {
+ public:
+  virtual ~GsigGroup() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Digest binding this group's public key into protocol contexts.
+  [[nodiscard]] virtual Bytes public_key_digest() const = 0;
+
+  /// GSIG.Join (GM side + member side of the interactive protocol).
+  /// Guarantees the GM never learns the credential's claiming secret,
+  /// which is what no-misattribution rests on.
+  [[nodiscard]] virtual MemberCredential admit(MemberId id,
+                                               num::RandomSource& rng) = 0;
+
+  /// GSIG.Revoke: invalidates the member's credential for all future
+  /// verifications. Bumps revision().
+  virtual void revoke(MemberId id) = 0;
+
+  /// Revocation-state version; members compare it to detect stale state.
+  [[nodiscard]] virtual std::uint64_t revision() const = 0;
+
+  /// GM side of GSIG.Update: serialized state-update information covering
+  /// revisions [from_revision, revision()). In the GCD framework this blob
+  /// travels to members encrypted under the CGKD group key.
+  [[nodiscard]] virtual Bytes export_update(
+      std::uint64_t from_revision) const = 0;
+
+  /// Member side of GSIG.Update: applies an export_update blob (e.g.
+  /// accumulator witness maintenance). Throws VerifyError if the
+  /// credential itself has been revoked.
+  virtual void apply_update(MemberCredential& credential,
+                            BytesView update) const = 0;
+
+  /// Convenience for in-process use: export + apply in one step.
+  void update_credential(MemberCredential& credential) const {
+    apply_update(credential, export_update(credential.revision));
+  }
+
+  /// Deterministic upper bound on serialized signature size. Phase III of
+  /// the handshake pads every signature to this bound before sealing so
+  /// real and simulated (Case 2) ciphertexts are the same length.
+  [[nodiscard]] virtual std::size_t signature_size_bound() const = 0;
+
+  [[nodiscard]] virtual bool supports_self_distinction() const = 0;
+
+  /// GSIG.Sign. `session_tag` empty = plain signature; non-empty requires
+  /// supports_self_distinction() (throws ProtocolError otherwise).
+  [[nodiscard]] virtual Bytes sign(const MemberCredential& credential,
+                                   BytesView message, BytesView session_tag,
+                                   num::RandomSource& rng) const = 0;
+
+  /// GSIG.Verify. Throws VerifyError on an invalid or revoked signature.
+  virtual void verify(BytesView message, BytesView signature,
+                      BytesView session_tag) const = 0;
+
+  /// The self-distinction value T6 carried by `signature` (empty when the
+  /// signature was made without a session tag or the scheme lacks the
+  /// feature). Equal tags across a session => same signer.
+  [[nodiscard]] virtual Bytes distinction_tag(BytesView signature) const = 0;
+
+  /// GSIG.Open (GM only): identifies the signer. Throws VerifyError if the
+  /// signature is invalid or the signer is unknown.
+  [[nodiscard]] virtual MemberId open(BytesView message, BytesView signature,
+                                      BytesView session_tag) const = 0;
+};
+
+/// Shared length profile for the QR(n)-based schemes (ACJT Section 3 /
+/// KTY): x in [2^l1 - 2^l2, 2^l1 + 2^l2], prime e in
+/// [2^g1 - 2^g2, 2^g1 + 2^g2], with l2 > 4*lp, l1 > eps(l2+k)+2,
+/// g2 > l1 + 2, g1 > eps(g2+k)+2 (eps = 2, k = 128).
+struct GsigParams {
+  std::size_t lp;       // bits per prime factor of n
+  std::size_t lambda2;  // x range
+  std::size_t lambda1;  // x offset exponent
+  std::size_t gamma2;   // e range
+  std::size_t gamma1;   // e offset exponent
+
+  /// Derives a consistent profile from the prime size.
+  static GsigParams for_prime_bits(std::size_t lp);
+};
+
+}  // namespace shs::gsig

@@ -1,0 +1,342 @@
+#include "gsig/kty.h"
+
+#include "bigint/modmath.h"
+#include "bigint/prime.h"
+#include "common/codec.h"
+#include "common/errors.h"
+#include "crypto/sha256.h"
+
+namespace shs::gsig {
+
+using num::BigInt;
+
+namespace {
+
+enum Witness : std::size_t { kX = 0, kXp, kE, kR, kEr, kWitnessCount };
+
+struct IntervalBounds {
+  BigInt lo;
+  BigInt hi;
+};
+
+IntervalBounds interval(std::size_t offset_bits, std::size_t range_bits) {
+  const BigInt offset = BigInt(1) << offset_bits;
+  const BigInt radius = BigInt(1) << range_bits;
+  return {offset - radius + BigInt(1), offset + radius - BigInt(1)};
+}
+
+}  // namespace
+
+struct KtyGsig::ParsedSignature {
+  std::uint64_t revision = 0;
+  bool has_session_tag = false;
+  BigInt t1, t2, t3, t4, t5, t6, t7;
+  SigmaProof proof;
+};
+
+KtyGsig::KtyGsig(algebra::QrGroup group, algebra::QrGroupSecret secret,
+                 GsigParams params, num::RandomSource& rng)
+    : group_(std::move(group)),
+      secret_(std::move(secret)),
+      params_(params) {
+  a_ = group_.random_qr(rng);
+  a0_ = group_.random_qr(rng);
+  b_ = group_.random_qr(rng);
+  g_ = group_.random_qr(rng);
+  h_ = group_.random_qr(rng);
+  theta_ =
+      num::random_range(BigInt(1), secret_.group_order() - BigInt(1), rng);
+  y_ = group_.exp(g_, theta_);
+
+  ByteWriter w;
+  w.str("kty-gpk");
+  for (const BigInt* v : {&a_, &a0_, &b_, &g_, &h_, &y_}) {
+    w.bytes(group_.encode(*v));
+  }
+  w.bytes(group_.n().to_bytes());
+  digest_ = crypto::Sha256::digest(w.buffer());
+}
+
+std::unique_ptr<KtyGsig> KtyGsig::create(algebra::ParamLevel level,
+                                         num::RandomSource& rng) {
+  auto [group, secret] = algebra::QrGroup::standard(level);
+  const GsigParams params = GsigParams::for_prime_bits(secret.p.bit_length());
+  return std::make_unique<KtyGsig>(std::move(group), std::move(secret),
+                                   params, rng);
+}
+
+MemberCredential KtyGsig::admit(MemberId id, num::RandomSource& rng) {
+  if (members_.contains(id)) throw ProtocolError("KtyGsig: duplicate admit");
+
+  const IntervalBounds lambda = interval(params_.lambda1, params_.lambda2);
+
+  // --- Member side: claiming secret x', commitment C = b^{x'} + proof.
+  const BigInt xp = num::random_range(lambda.lo, lambda.hi, rng);
+  const BigInt commitment = group_.exp(b_, xp);
+  SigmaStatement join_stmt;
+  join_stmt.witnesses = {{BigInt(1) << params_.lambda1, params_.lambda2}};
+  join_stmt.relations = {{commitment, {{0, b_, +1}}}};
+  ByteWriter ctx;
+  ctx.str("kty-join");
+  ctx.bytes(digest_);
+  ctx.u64(id);
+  const SigmaProof join_proof =
+      sigma_prove(group_, join_stmt, {xp}, ctx.buffer(), rng);
+
+  // --- GM side: verify, assign the tracing trapdoor x, issue (A, e).
+  if (!sigma_verify(group_, join_stmt, join_proof, ctx.buffer())) {
+    throw VerifyError("KtyGsig: join proof invalid");
+  }
+  const BigInt x = num::random_range(lambda.lo, lambda.hi, rng);
+  const IntervalBounds gamma = interval(params_.gamma1, params_.gamma2);
+  const BigInt order = secret_.group_order();
+  BigInt e;
+  for (;;) {
+    e = num::random_prime_in_range(gamma.lo, gamma.hi, rng);
+    if (num::gcd(e, order) == BigInt(1)) break;
+  }
+  const BigInt e_inv = num::mod_inverse(e, order);
+  // A = (a0 a^x b^{x'})^{1/e}
+  const BigInt base =
+      group_.mul(group_.mul(a0_, group_.exp(a_, x)), commitment);
+  const BigInt cert_a = group_.exp(base, e_inv);
+
+  members_.emplace(id, MemberRecord{cert_a, e, x, false});
+  by_cert_.emplace(to_hex(group_.encode(cert_a)), id);
+
+  // --- Member side: validate the certificate.
+  if (group_.exp(cert_a, e) != base) {
+    throw VerifyError("KtyGsig: GM issued an invalid certificate");
+  }
+
+  MemberCredential cred;
+  cred.id = id;
+  cred.revision = crl_.size();
+  ByteWriter w;
+  w.bytes(group_.encode(cert_a));
+  w.bytes(e.to_bytes());
+  w.bytes(x.to_bytes());
+  w.bytes(xp.to_bytes());
+  cred.secret = w.take();
+  return cred;
+}
+
+void KtyGsig::revoke(MemberId id) {
+  const auto it = members_.find(id);
+  if (it == members_.end() || it->second.revoked) {
+    throw ProtocolError("KtyGsig: revoke of unknown/revoked member");
+  }
+  it->second.revoked = true;
+  crl_.push_back(it->second.trace_x);  // reveal the tracing trapdoor
+}
+
+Bytes KtyGsig::export_update(std::uint64_t from_revision) const {
+  if (from_revision > crl_.size()) {
+    throw ProtocolError("KtyGsig: update from the future");
+  }
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(crl_.size() - from_revision));
+  for (std::size_t i = from_revision; i < crl_.size(); ++i) {
+    w.bytes(crl_[i].to_bytes());
+  }
+  return w.take();
+}
+
+void KtyGsig::apply_update(MemberCredential& credential,
+                           BytesView update) const {
+  // KTY credentials are static; Update only surfaces new CRL entries.
+  ByteReader rd(credential.secret);
+  (void)rd.bytes();  // A
+  (void)rd.bytes();  // e
+  const BigInt x = BigInt::from_bytes(rd.bytes());
+  ByteReader r(update);
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (BigInt::from_bytes(r.bytes()) == x) {
+      throw VerifyError("KtyGsig: credential has been revoked");
+    }
+  }
+  r.expect_done();
+  credential.revision += count;
+}
+
+std::size_t KtyGsig::signature_size_bound() const {
+  const std::size_t es = group_.element_size();
+  std::size_t bound = 8 + 1 + 7 * (4 + es) + 4;  // fields + proof prefix
+  bound += 4 + kChallengeBits / 8;
+  bound += 4;
+  const std::size_t ranges[] = {params_.lambda2, params_.lambda2,
+                                params_.gamma2, 2 * params_.lp,
+                                params_.gamma1 + 2 * params_.lp + 2};
+  for (std::size_t range : ranges) {
+    bound += 1 + 4 + (eps_bits(range + kChallengeBits) + 1) / 8 + 2;
+  }
+  return bound + 16;
+}
+
+Bytes KtyGsig::context(std::uint64_t revision, BytesView message,
+                       BytesView session_tag) const {
+  ByteWriter w;
+  w.str("kty-sign");
+  w.bytes(digest_);
+  w.u64(revision);
+  w.bytes(message);
+  w.bytes(session_tag);
+  return w.take();
+}
+
+num::BigInt KtyGsig::session_base(BytesView session_tag) const {
+  ByteWriter w;
+  w.str("kty-t7");
+  w.bytes(digest_);
+  w.bytes(session_tag);
+  return group_.hash_to_qr(w.buffer());
+}
+
+SigmaStatement KtyGsig::statement(const ParsedSignature& sig) const {
+  SigmaStatement st;
+  st.witnesses.resize(kWitnessCount);
+  st.witnesses[kX] = {BigInt(1) << params_.lambda1, params_.lambda2};
+  st.witnesses[kXp] = {BigInt(1) << params_.lambda1, params_.lambda2};
+  st.witnesses[kE] = {BigInt(1) << params_.gamma1, params_.gamma2};
+  st.witnesses[kR] = {BigInt(0), 2 * params_.lp};
+  st.witnesses[kEr] = {BigInt(0), params_.gamma1 + 2 * params_.lp + 2};
+
+  const BigInt one(1);
+  st.relations = {
+      // T2 = g^r
+      {sig.t2, {{kR, g_, +1}}},
+      // 1 = T2^e g^{-er}
+      {one, {{kE, sig.t2, +1}, {kEr, g_, -1}}},
+      // T3 = g^e h^r
+      {sig.t3, {{kE, g_, +1}, {kR, h_, +1}}},
+      // T4 = T5^x
+      {sig.t4, {{kX, sig.t5, +1}}},
+      // T6 = T7^{x'}
+      {sig.t6, {{kXp, sig.t7, +1}}},
+      // a0 = T1^e a^{-x} b^{-x'} y^{-er}
+      {a0_,
+       {{kE, sig.t1, +1}, {kX, a_, -1}, {kXp, b_, -1}, {kEr, y_, -1}}},
+  };
+  return st;
+}
+
+Bytes KtyGsig::sign(const MemberCredential& credential, BytesView message,
+                    BytesView session_tag, num::RandomSource& rng) const {
+  ByteReader rd(credential.secret);
+  const BigInt cert_a = group_.decode(rd.bytes());
+  const BigInt e = BigInt::from_bytes(rd.bytes());
+  const BigInt x = BigInt::from_bytes(rd.bytes());
+  const BigInt xp = BigInt::from_bytes(rd.bytes());
+  rd.expect_done();
+
+  if (credential.revision != crl_.size()) {
+    throw ProtocolError("KtyGsig: stale credential — run update first");
+  }
+  const BigInt bound = BigInt(1) << (2 * params_.lp);
+  const BigInt r = num::random_below(bound, rng);
+  const BigInt k = num::random_below(bound, rng);
+
+  ParsedSignature sig;
+  sig.revision = crl_.size();
+  sig.has_session_tag = !session_tag.empty();
+  sig.t1 = group_.mul(cert_a, group_.exp(y_, r));
+  sig.t2 = group_.exp(g_, r);
+  sig.t3 = group_.mul(group_.exp(g_, e), group_.exp(h_, r));
+  sig.t5 = group_.exp(g_, k);
+  sig.t4 = group_.exp(sig.t5, x);
+  if (sig.has_session_tag) {
+    sig.t7 = session_base(session_tag);  // common base: self-distinction
+  } else {
+    const BigInt kp = num::random_below(bound, rng);
+    sig.t7 = group_.exp(g_, kp);
+  }
+  sig.t6 = group_.exp(sig.t7, xp);
+
+  const SigmaStatement st = statement(sig);
+  const std::vector<BigInt> values = {x, xp, e, r, e * r};
+  sig.proof = sigma_prove(group_, st, values,
+                          context(sig.revision, message, session_tag), rng);
+
+  ByteWriter out;
+  out.u64(sig.revision);
+  out.u8(sig.has_session_tag ? 1 : 0);
+  for (const BigInt* t : {&sig.t1, &sig.t2, &sig.t3, &sig.t4, &sig.t5,
+                          &sig.t6, &sig.t7}) {
+    out.bytes(group_.encode(*t));
+  }
+  out.bytes(sig.proof.serialize());
+  return out.take();
+}
+
+KtyGsig::ParsedSignature KtyGsig::parse(BytesView signature) const {
+  try {
+    ByteReader r(signature);
+    ParsedSignature sig;
+    sig.revision = r.u64();
+    sig.has_session_tag = r.u8() != 0;
+    sig.t1 = group_.decode(r.bytes());
+    sig.t2 = group_.decode(r.bytes());
+    sig.t3 = group_.decode(r.bytes());
+    sig.t4 = group_.decode(r.bytes());
+    sig.t5 = group_.decode(r.bytes());
+    sig.t6 = group_.decode(r.bytes());
+    sig.t7 = group_.decode(r.bytes());
+    sig.proof = SigmaProof::deserialize(r.bytes());
+    r.expect_done();
+    return sig;
+  } catch (const Error&) {
+    throw VerifyError("KtyGsig: malformed signature");
+  }
+}
+
+void KtyGsig::verify(BytesView message, BytesView signature,
+                     BytesView session_tag) const {
+  const ParsedSignature sig = parse(signature);
+  if (sig.revision != crl_.size()) {
+    throw VerifyError("KtyGsig: signature not fresh (stale CRL)");
+  }
+  if (sig.has_session_tag != !session_tag.empty()) {
+    throw VerifyError("KtyGsig: session-tag mode mismatch");
+  }
+  if (sig.has_session_tag && sig.t7 != session_base(session_tag)) {
+    throw VerifyError("KtyGsig: wrong self-distinction base T7");
+  }
+  const SigmaStatement st = statement(sig);
+  if (!sigma_verify(group_, st, sig.proof,
+                    context(sig.revision, message, session_tag))) {
+    throw VerifyError("KtyGsig: proof verification failed");
+  }
+  // Verifier-local revocation: a revoked member's trapdoor links its
+  // signatures via T5^x = T4.
+  for (const BigInt& revoked_x : crl_) {
+    if (group_.exp(sig.t5, revoked_x) == sig.t4) {
+      throw VerifyError("KtyGsig: signature by a revoked member");
+    }
+  }
+}
+
+Bytes KtyGsig::distinction_tag(BytesView signature) const {
+  const ParsedSignature sig = parse(signature);
+  if (!sig.has_session_tag) return {};
+  return group_.encode(sig.t6);
+}
+
+MemberId KtyGsig::open(BytesView message, BytesView signature,
+                       BytesView session_tag) const {
+  const ParsedSignature sig = parse(signature);
+  const SigmaStatement st = statement(sig);
+  if (!sigma_verify(group_, st, sig.proof,
+                    context(sig.revision, message, session_tag))) {
+    throw VerifyError("KtyGsig: cannot open an invalid signature");
+  }
+  const BigInt cert_a =
+      group_.mul(sig.t1, group_.inverse(group_.exp(sig.t2, theta_)));
+  const auto it = by_cert_.find(to_hex(group_.encode(cert_a)));
+  if (it == by_cert_.end()) {
+    throw VerifyError("KtyGsig: signer not found in registry");
+  }
+  return it->second;
+}
+
+}  // namespace shs::gsig

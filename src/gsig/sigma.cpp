@@ -1,0 +1,187 @@
+#include "gsig/sigma.h"
+
+#include <cassert>
+
+#include "common/codec.h"
+#include "common/errors.h"
+#include "crypto/sha256.h"
+
+namespace shs::gsig {
+
+namespace {
+
+using num::BigInt;
+
+/// Signed-integer serialization: sign byte + magnitude.
+void write_signed(ByteWriter& w, const BigInt& v) {
+  w.u8(v.is_negative() ? 1 : 0);
+  w.bytes(v.abs().to_bytes());
+}
+
+BigInt read_signed(ByteReader& r) {
+  const bool negative = r.u8() != 0;
+  BigInt v = BigInt::from_bytes(r.bytes());
+  return negative ? -v : v;
+}
+
+/// Challenge as a non-negative integer of kChallengeBits bits.
+BigInt challenge_int(BytesView challenge) {
+  return BigInt::from_bytes(challenge);
+}
+
+Bytes compute_challenge(const algebra::QrGroup& group,
+                        const SigmaStatement& statement,
+                        const std::vector<BigInt>& commitments,
+                        BytesView context) {
+  ByteWriter w;
+  w.str("shs-sigma-v1");
+  w.bytes(context);
+  w.bytes(statement.serialize(group));
+  w.u32(static_cast<std::uint32_t>(commitments.size()));
+  for (const BigInt& d : commitments) w.bytes(group.encode(d));
+  Bytes digest = crypto::Sha256::digest(w.buffer());
+  digest.resize(kChallengeBits / 8);
+  return digest;
+}
+
+/// Evaluates prod base^{sign * exponent} over the given exponent vector.
+BigInt eval_terms(const algebra::QrGroup& group,
+                  const std::vector<SigmaTerm>& terms,
+                  const std::vector<BigInt>& exponents) {
+  BigInt acc(1);
+  for (const SigmaTerm& t : terms) {
+    const BigInt& e = exponents[t.witness];
+    const BigInt exp_val = t.sign >= 0 ? e : -e;
+    acc = group.mul(acc, group.exp(t.base, exp_val));
+  }
+  return acc;
+}
+
+}  // namespace
+
+Bytes SigmaStatement::serialize(const algebra::QrGroup& group) const {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(witnesses.size()));
+  for (const WitnessSpec& spec : witnesses) {
+    w.bytes(spec.offset.to_bytes());
+    w.u32(static_cast<std::uint32_t>(spec.range_bits));
+  }
+  w.u32(static_cast<std::uint32_t>(relations.size()));
+  for (const SigmaRelation& rel : relations) {
+    w.bytes(group.encode(rel.value));
+    w.u32(static_cast<std::uint32_t>(rel.terms.size()));
+    for (const SigmaTerm& t : rel.terms) {
+      w.u32(static_cast<std::uint32_t>(t.witness));
+      w.bytes(group.encode(t.base));
+      w.u8(t.sign >= 0 ? 0 : 1);
+    }
+  }
+  return w.take();
+}
+
+Bytes SigmaProof::serialize() const {
+  ByteWriter w;
+  w.bytes(challenge);
+  w.u32(static_cast<std::uint32_t>(responses.size()));
+  for (const num::BigInt& s : responses) write_signed(w, s);
+  return w.take();
+}
+
+SigmaProof SigmaProof::deserialize(BytesView data) {
+  ByteReader r(data);
+  SigmaProof proof;
+  proof.challenge = r.bytes();
+  const std::uint32_t count = r.u32();
+  proof.responses.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    proof.responses.push_back(read_signed(r));
+  }
+  r.expect_done();
+  return proof;
+}
+
+SigmaProof sigma_prove(const algebra::QrGroup& group,
+                       const SigmaStatement& statement,
+                       const std::vector<BigInt>& witness_values,
+                       BytesView context, num::RandomSource& rng) {
+  if (witness_values.size() != statement.witnesses.size()) {
+    throw ProtocolError("sigma_prove: witness count mismatch");
+  }
+#ifndef NDEBUG
+  for (const SigmaRelation& rel : statement.relations) {
+    assert(eval_terms(group, rel.terms, witness_values) == rel.value);
+  }
+#endif
+  const std::size_t t = statement.witnesses.size();
+
+  // Blinding values r_j in +-[0, 2^{eps(l_j + k)}).
+  std::vector<BigInt> blind(t);
+  for (std::size_t j = 0; j < t; ++j) {
+    const std::size_t bits =
+        eps_bits(statement.witnesses[j].range_bits + kChallengeBits);
+    const BigInt bound = BigInt(1) << bits;
+    BigInt r = num::random_below(bound, rng);
+    if (rng.next_u64() & 1) r = -r;
+    blind[j] = std::move(r);
+  }
+
+  std::vector<BigInt> commitments;
+  commitments.reserve(statement.relations.size());
+  for (const SigmaRelation& rel : statement.relations) {
+    commitments.push_back(eval_terms(group, rel.terms, blind));
+  }
+
+  SigmaProof proof;
+  proof.challenge = compute_challenge(group, statement, commitments, context);
+  const BigInt c = challenge_int(proof.challenge);
+
+  proof.responses.resize(t);
+  for (std::size_t j = 0; j < t; ++j) {
+    // s_j = r_j - c * (w_j - O_j), over the integers.
+    proof.responses[j] =
+        blind[j] - c * (witness_values[j] - statement.witnesses[j].offset);
+  }
+  return proof;
+}
+
+bool sigma_verify(const algebra::QrGroup& group,
+                  const SigmaStatement& statement, const SigmaProof& proof,
+                  BytesView context) {
+  const std::size_t t = statement.witnesses.size();
+  if (proof.responses.size() != t) return false;
+  if (proof.challenge.size() != kChallengeBits / 8) return false;
+
+  // Interval checks: |s_j| <= 2^{eps(l_j + k) + 1}.
+  for (std::size_t j = 0; j < t; ++j) {
+    const std::size_t bits =
+        eps_bits(statement.witnesses[j].range_bits + kChallengeBits) +
+        1;
+    if (proof.responses[j].abs() > (BigInt(1) << bits)) return false;
+  }
+
+  const BigInt c = challenge_int(proof.challenge);
+  std::vector<BigInt> commitments;
+  commitments.reserve(statement.relations.size());
+  for (const SigmaRelation& rel : statement.relations) {
+    // d' = (V * prod B^{-sign O})^c * prod B^{sign s}
+    BigInt shifted = rel.value;
+    for (const SigmaTerm& term : rel.terms) {
+      const BigInt& offset = statement.witnesses[term.witness].offset;
+      if (offset.is_zero()) continue;
+      const BigInt e = term.sign >= 0 ? -offset : offset;
+      shifted = group.mul(shifted, group.exp(term.base, e));
+    }
+    BigInt d = group.exp(shifted, c);
+    for (const SigmaTerm& term : rel.terms) {
+      const BigInt& s = proof.responses[term.witness];
+      const BigInt e = term.sign >= 0 ? s : -s;
+      d = group.mul(d, group.exp(term.base, e));
+    }
+    commitments.push_back(std::move(d));
+  }
+  const Bytes expected =
+      compute_challenge(group, statement, commitments, context);
+  return ct_equal(expected, proof.challenge);
+}
+
+}  // namespace shs::gsig

@@ -1,0 +1,92 @@
+// Generalized Schnorr proofs of knowledge over groups of unknown order
+// (QR(n)), made non-interactive with Fiat-Shamir. This one engine is the
+// proof core of both group-signature schemes:
+//
+//   * ACJT-2000 signatures are a proof of knowledge of (x, e, w, ew) tying
+//     T1, T2, T3 to a membership certificate A^e = a0 a^x,
+//   * the KTY-2004 variant (paper Appendix H) proves (x, x', e, r, er)
+//     across T1..T7, and
+//   * the Camenisch-Lysyanskaya accumulator non-revocation proof reuses
+//     the same shapes.
+//
+// Statement form: an AND-composition of multi-base relations
+//     V_i = prod_j B_{i,j}^{sign_{i,j} * w_j}
+// over a common witness vector w_1..w_t. Each witness carries a public
+// offset O_j and a range length l_j: honest witnesses satisfy
+// |w_j - O_j| < 2^{l_j}, and the verifier enforces the Fiat-Shamir interval
+// check |s_j| <= 2^{eps*(l_j+k)+1} (eps = 2, k = 128 challenge bits), which
+// is what gives soundness under the strong-RSA assumption.
+//
+// Proof: pick r_j in +-[0, 2^{eps(l_j+k)}); d_i = prod B^{sign r_j};
+// c = H(context || statement || d_1..d_I); s_j = r_j - c(w_j - O_j) in Z.
+// Verify: d_i' = (V_i * prod B^{-sign O_j})^c * prod B^{sign s_j}; re-hash.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "algebra/qr_group.h"
+#include "bigint/bigint.h"
+#include "bigint/random.h"
+#include "common/bytes.h"
+
+namespace shs::gsig {
+
+inline constexpr std::size_t kChallengeBits = 128;
+
+/// ceil(eps * bits) for the soundness slack eps = 9/8 (any eps > 1 works
+/// for the strong-RSA interval argument; 9/8 keeps the derived certificate
+/// primes small enough to generate at interactive speed).
+[[nodiscard]] constexpr std::size_t eps_bits(std::size_t bits) {
+  return (9 * bits + 7) / 8;
+}
+
+/// Public description of one witness slot.
+struct WitnessSpec {
+  num::BigInt offset;      // O_j (0 for plain witnesses)
+  std::size_t range_bits;  // l_j: honest |w_j - O_j| < 2^{l_j}
+};
+
+/// One base^(+-witness) factor inside a relation.
+struct SigmaTerm {
+  std::size_t witness;  // index into the witness vector
+  num::BigInt base;     // group element
+  int sign = 1;         // +1 or -1 exponent sign
+};
+
+/// One relation V = prod base^(sign * w).
+struct SigmaRelation {
+  num::BigInt value;  // V_i
+  std::vector<SigmaTerm> terms;
+};
+
+/// The public statement: witness shape + relations.
+struct SigmaStatement {
+  std::vector<WitnessSpec> witnesses;
+  std::vector<SigmaRelation> relations;
+
+  /// Canonical serialization (bound into the Fiat-Shamir hash).
+  [[nodiscard]] Bytes serialize(const algebra::QrGroup& group) const;
+};
+
+struct SigmaProof {
+  Bytes challenge;                    // k-bit challenge
+  std::vector<num::BigInt> responses;  // s_j (signed integers)
+
+  [[nodiscard]] Bytes serialize() const;
+  static SigmaProof deserialize(BytesView data);
+};
+
+/// Produces a proof; `witness_values` must satisfy every relation (checked
+/// with assertions in debug builds).
+[[nodiscard]] SigmaProof sigma_prove(
+    const algebra::QrGroup& group, const SigmaStatement& statement,
+    const std::vector<num::BigInt>& witness_values, BytesView context,
+    num::RandomSource& rng);
+
+/// Verifies; returns false on any mismatch or interval violation.
+[[nodiscard]] bool sigma_verify(const algebra::QrGroup& group,
+                                const SigmaStatement& statement,
+                                const SigmaProof& proof, BytesView context);
+
+}  // namespace shs::gsig

@@ -1,0 +1,60 @@
+#include "net/protocol.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/errors.h"
+
+namespace shs::net {
+
+RunStats run_protocol(std::span<RoundParty* const> parties,
+                      Adversary* adversary, num::RandomSource* shuffle) {
+  if (parties.empty()) throw ProtocolError("run_protocol: no parties");
+  const std::size_t m = parties.size();
+  const std::size_t rounds = parties.front()->total_rounds();
+  for (RoundParty* p : parties) {
+    if (p->total_rounds() != rounds) {
+      throw ProtocolError("run_protocol: parties disagree on round count");
+    }
+  }
+
+  RunStats stats;
+  stats.rounds = rounds;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    std::vector<Bytes> broadcast(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      broadcast[i] = parties[i]->round_message(round);
+      if (!broadcast[i].empty()) {
+        ++stats.messages;
+        stats.bytes_on_wire += broadcast[i].size();
+      }
+    }
+
+    // Delivery order across receivers is adversarially/pseudo-randomly
+    // permuted; correctness must not depend on it.
+    std::vector<std::size_t> order(m);
+    std::iota(order.begin(), order.end(), 0);
+    if (shuffle != nullptr) {
+      for (std::size_t i = m; i > 1; --i) {
+        std::swap(order[i - 1], order[shuffle->below_u64(i)]);
+      }
+    }
+
+    for (std::size_t receiver : order) {
+      if (adversary == nullptr) {
+        parties[receiver]->deliver(round, broadcast);
+        continue;
+      }
+      std::vector<Bytes> view(m);
+      for (std::size_t sender = 0; sender < m; ++sender) {
+        auto result =
+            adversary->intercept(round, sender, receiver, broadcast[sender]);
+        view[sender] = result.has_value() ? std::move(*result) : Bytes{};
+      }
+      parties[receiver]->deliver(round, view);
+    }
+  }
+  return stats;
+}
+
+}  // namespace shs::net

@@ -1,0 +1,78 @@
+// Round-driven protocol substrate over an anonymous broadcast channel.
+//
+// The paper assumes anonymous channels (§2): an outside observer cannot
+// attribute messages to long-term identities. We model this as a broadcast
+// bus on which parties are addressed only by session-local *positions*
+// 0..m-1. In each round every party produces one (possibly empty)
+// broadcast; after the round closes, every party receives the full
+// position-indexed vector of that round's messages.
+//
+// The Adversary hook gives tests and security experiments full control of
+// the network, as the paper's model grants the adversary: per-receiver
+// tampering, dropping, injection and replay. The default adversary is the
+// identity (reliable anonymous broadcast).
+//
+// The driver supports synchronous delivery and a seeded pseudo-random
+// interleaving of per-receiver deliveries inside a round — the
+// "model-agnostic" knob: protocols built on this substrate cannot depend
+// on intra-round ordering.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bigint/random.h"
+#include "common/bytes.h"
+
+namespace shs::net {
+
+/// A party in a round-based protocol, addressed by position.
+class RoundParty {
+ public:
+  virtual ~RoundParty() = default;
+
+  /// Total number of rounds this protocol runs.
+  [[nodiscard]] virtual std::size_t total_rounds() const = 0;
+
+  /// This party's broadcast for `round` (may be empty).
+  [[nodiscard]] virtual Bytes round_message(std::size_t round) = 0;
+
+  /// Full vector of round-`round` broadcasts as seen by this party.
+  virtual void deliver(std::size_t round,
+                       const std::vector<Bytes>& messages) = 0;
+};
+
+/// Network adversary. Each callback sees (round, sender, receiver) and the
+/// in-flight payload; returning nullopt drops the message for that
+/// receiver (the receiver sees an empty payload).
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  [[nodiscard]] virtual std::optional<Bytes> intercept(
+      std::size_t round, std::size_t sender, std::size_t receiver,
+      const Bytes& payload) {
+    (void)round;
+    (void)sender;
+    (void)receiver;
+    return payload;
+  }
+};
+
+struct RunStats {
+  std::size_t rounds = 0;
+  std::size_t messages = 0;     // non-empty broadcasts
+  std::size_t bytes_on_wire = 0;
+};
+
+/// Drives a full protocol among `parties`. All parties must agree on
+/// total_rounds(). `adversary` may be null (reliable network). `shuffle`
+/// (optional, seeded) randomizes per-receiver delivery order within each
+/// round to exercise the asynchronous-model claim.
+RunStats run_protocol(std::span<RoundParty* const> parties,
+                      Adversary* adversary = nullptr,
+                      num::RandomSource* shuffle = nullptr);
+
+}  // namespace shs::net

@@ -1,0 +1,231 @@
+// Algebra-layer tests: embedded parameter validity (re-verified with this
+// library's own Miller-Rabin), Schnorr/QR group laws, hash-to-group
+// distribution, ElGamal and the Cramer-Shoup hybrid PKE including its
+// CCA-style tamper rejection.
+#include <gtest/gtest.h>
+
+#include "algebra/elgamal.h"
+#include "algebra/hybrid_pke.h"
+#include "algebra/params.h"
+#include "algebra/qr_group.h"
+#include "algebra/schnorr_group.h"
+#include "bigint/modmath.h"
+#include "bigint/prime.h"
+#include "common/errors.h"
+#include "crypto/drbg.h"
+
+namespace shs::algebra {
+namespace {
+
+using num::BigInt;
+
+class ParamsValid : public ::testing::TestWithParam<ParamLevel> {};
+
+TEST_P(ParamsValid, RsaPrimesAreDistinctSafePrimes) {
+  num::TestRng rng(1);
+  const RsaSafePrimes sp = rsa_safe_primes(GetParam());
+  EXPECT_NE(sp.p, sp.q);
+  for (const BigInt& v : {sp.p, sp.q}) {
+    EXPECT_TRUE(is_probable_prime(v, rng));
+    EXPECT_TRUE(is_probable_prime((v - BigInt(1)) >> 1, rng));
+  }
+}
+
+TEST_P(ParamsValid, SchnorrPrimeIsSafePrime) {
+  num::TestRng rng(2);
+  const BigInt p = schnorr_safe_prime(GetParam());
+  EXPECT_TRUE(is_probable_prime(p, rng));
+  EXPECT_TRUE(is_probable_prime((p - BigInt(1)) >> 1, rng));
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, ParamsValid,
+                         ::testing::Values(ParamLevel::kTest,
+                                           ParamLevel::kBench));
+
+TEST(SchnorrGroup, GeneratorHasOrderQ) {
+  const SchnorrGroup g = SchnorrGroup::standard(ParamLevel::kTest);
+  EXPECT_EQ(g.exp_g(g.q()), BigInt(1));
+  EXPECT_NE(g.exp_g(BigInt(2)), BigInt(1));
+  EXPECT_TRUE(g.is_element(g.g()));
+}
+
+TEST(SchnorrGroup, GroupLaws) {
+  crypto::HmacDrbg rng(to_bytes("schnorr-laws"));
+  const SchnorrGroup g = SchnorrGroup::standard(ParamLevel::kTest);
+  const BigInt a = g.random_element(rng);
+  const BigInt b = g.random_element(rng);
+  const BigInt e1 = g.random_exponent(rng);
+  const BigInt e2 = g.random_exponent(rng);
+  EXPECT_EQ(g.mul(a, b), g.mul(b, a));
+  EXPECT_EQ(g.mul(a, g.inverse(a)), BigInt(1));
+  EXPECT_EQ(g.exp(a, e1 + e2), g.mul(g.exp(a, e1), g.exp(a, e2)));
+  EXPECT_EQ(g.exp(g.exp(a, e1), e2), g.exp(a, num::mul_mod(e1, e2, g.q())));
+  // Negative exponent = inverse power.
+  EXPECT_EQ(g.exp(a, -e1), g.inverse(g.exp(a, e1)));
+}
+
+TEST(SchnorrGroup, RandomElementsAreMembers) {
+  crypto::HmacDrbg rng(to_bytes("schnorr-members"));
+  const SchnorrGroup g = SchnorrGroup::standard(ParamLevel::kTest);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(g.is_element(g.random_element(rng)));
+  }
+  EXPECT_FALSE(g.is_element(BigInt(0)));
+  EXPECT_FALSE(g.is_element(BigInt(1)));
+  EXPECT_FALSE(g.is_element(g.p()));
+}
+
+TEST(SchnorrGroup, HashToGroupIsInGroupAndDeterministic) {
+  const SchnorrGroup g = SchnorrGroup::standard(ParamLevel::kTest);
+  const BigInt h1 = g.hash_to_group(to_bytes("hello"));
+  const BigInt h2 = g.hash_to_group(to_bytes("hello"));
+  const BigInt h3 = g.hash_to_group(to_bytes("world"));
+  EXPECT_EQ(h1, h2);
+  EXPECT_NE(h1, h3);
+  EXPECT_TRUE(g.is_element(h1));
+  EXPECT_TRUE(g.is_element(h3));
+  // Exponent hashing stays in range.
+  const BigInt e = g.hash_to_exponent(to_bytes("exp"));
+  EXPECT_GE(e, BigInt(0));
+  EXPECT_LT(e, g.q());
+}
+
+TEST(SchnorrGroup, EncodeDecodeRoundtrip) {
+  crypto::HmacDrbg rng(to_bytes("schnorr-codec"));
+  const SchnorrGroup g = SchnorrGroup::standard(ParamLevel::kTest);
+  const BigInt a = g.random_element(rng);
+  EXPECT_EQ(g.decode(g.encode(a)), a);
+  EXPECT_THROW((void)g.decode(Bytes(3, 0)), VerifyError);
+  // Encoding of a non-member must be rejected on decode.
+  Bytes enc = BigInt(1).to_bytes_padded(g.element_size());
+  EXPECT_THROW((void)g.decode(enc), VerifyError);
+}
+
+TEST(SchnorrGroup, RuntimeGenerationWorks) {
+  num::TestRng rng(3);
+  const SchnorrGroup g = SchnorrGroup::generate(96, rng);
+  EXPECT_EQ(g.p().bit_length(), 96u);
+  EXPECT_EQ(g.exp_g(g.q()), BigInt(1));
+}
+
+TEST(QrGroup, OrderAndStructure) {
+  auto [g, secret] = QrGroup::standard(ParamLevel::kTest);
+  EXPECT_EQ(g.n(), secret.modulus());
+  crypto::HmacDrbg rng(to_bytes("qr-structure"));
+  // Any QR raised to the group order is 1.
+  const BigInt a = g.random_qr(rng);
+  EXPECT_EQ(g.exp(a, secret.group_order()), BigInt(1));
+  // And (overwhelmingly) not 1 at the proper divisors p', q'.
+  const BigInt pp = (secret.p - BigInt(1)) >> 1;
+  const BigInt qq = (secret.q - BigInt(1)) >> 1;
+  EXPECT_NE(g.exp(a, pp), BigInt(1));
+  EXPECT_NE(g.exp(a, qq), BigInt(1));
+}
+
+TEST(QrGroup, GroupLaws) {
+  auto [g, secret] = QrGroup::standard(ParamLevel::kTest);
+  crypto::HmacDrbg rng(to_bytes("qr-laws"));
+  const BigInt a = g.random_qr(rng);
+  const BigInt b = g.random_qr(rng);
+  const BigInt e1 = num::random_bits(128, rng);
+  const BigInt e2 = num::random_bits(128, rng);
+  EXPECT_EQ(g.mul(a, b), g.mul(b, a));
+  EXPECT_EQ(g.mul(a, g.inverse(a)), BigInt(1));
+  EXPECT_EQ(g.exp(a, e1 + e2), g.mul(g.exp(a, e1), g.exp(a, e2)));
+  EXPECT_EQ(g.exp(g.exp(a, e1), e2), g.exp(a, e1 * e2));
+}
+
+TEST(QrGroup, HashToQrIsQuadraticResidue) {
+  auto [g, secret] = QrGroup::standard(ParamLevel::kTest);
+  const BigInt h = g.hash_to_qr(to_bytes("transcript"));
+  EXPECT_TRUE(g.is_plausible_element(h));
+  // True QR test using the trapdoor: h^{|QR(n)|} == 1 and h is a square
+  // mod both prime factors (Euler criterion).
+  EXPECT_EQ(num::mod_exp(h, (secret.p - BigInt(1)) >> 1, secret.p), BigInt(1));
+  EXPECT_EQ(num::mod_exp(h, (secret.q - BigInt(1)) >> 1, secret.q), BigInt(1));
+  EXPECT_EQ(g.hash_to_qr(to_bytes("transcript")), h);
+  EXPECT_NE(g.hash_to_qr(to_bytes("other")), h);
+}
+
+TEST(ElGamal, EncryptDecryptRoundtrip) {
+  crypto::HmacDrbg rng(to_bytes("elgamal"));
+  const ElGamal scheme(SchnorrGroup::standard(ParamLevel::kTest));
+  const auto kp = scheme.keygen(rng);
+  for (int i = 0; i < 5; ++i) {
+    const BigInt m = scheme.group().random_element(rng);
+    const auto ct = scheme.encrypt(kp.pk, m, rng);
+    EXPECT_EQ(scheme.decrypt(kp.sk, ct), m);
+  }
+}
+
+TEST(ElGamal, WrongKeyGivesGarbage) {
+  crypto::HmacDrbg rng(to_bytes("elgamal-wrong"));
+  const ElGamal scheme(SchnorrGroup::standard(ParamLevel::kTest));
+  const auto kp1 = scheme.keygen(rng);
+  const auto kp2 = scheme.keygen(rng);
+  const BigInt m = scheme.group().random_element(rng);
+  const auto ct = scheme.encrypt(kp1.pk, m, rng);
+  EXPECT_NE(scheme.decrypt(kp2.sk, ct), m);
+}
+
+TEST(ElGamal, IsHomomorphic) {
+  crypto::HmacDrbg rng(to_bytes("elgamal-hom"));
+  const ElGamal scheme(SchnorrGroup::standard(ParamLevel::kTest));
+  const auto& g = scheme.group();
+  const auto kp = scheme.keygen(rng);
+  const BigInt m1 = g.random_element(rng);
+  const BigInt m2 = g.random_element(rng);
+  const auto c1 = scheme.encrypt(kp.pk, m1, rng);
+  const auto c2 = scheme.encrypt(kp.pk, m2, rng);
+  const ElGamalCiphertext prod{g.mul(c1.c1, c2.c1), g.mul(c1.c2, c2.c2)};
+  EXPECT_EQ(scheme.decrypt(kp.sk, prod), g.mul(m1, m2));
+}
+
+TEST(HybridPke, EncryptDecryptRoundtrip) {
+  crypto::HmacDrbg rng(to_bytes("hybrid"));
+  const HybridPke pke(SchnorrGroup::standard(ParamLevel::kTest));
+  const auto kp = pke.keygen(rng);
+  for (std::size_t len : {0u, 1u, 32u, 300u}) {
+    const Bytes pt = rng.bytes(len);
+    const Bytes ct = pke.encrypt(kp.pk, pt, rng);
+    EXPECT_EQ(ct.size(), pke.ciphertext_size(len));
+    EXPECT_EQ(pke.decrypt(kp.pk, kp.sk, ct), pt) << len;
+  }
+}
+
+TEST(HybridPke, TamperedCiphertextRejected) {
+  crypto::HmacDrbg rng(to_bytes("hybrid-tamper"));
+  const HybridPke pke(SchnorrGroup::standard(ParamLevel::kTest));
+  const auto kp = pke.keygen(rng);
+  const Bytes ct = pke.encrypt(kp.pk, to_bytes("trace me"), rng);
+  // Flip one byte in each component region (u1, u2, e, v, AEAD body).
+  const std::size_t es = pke.group().element_size();
+  for (std::size_t pos : {std::size_t{es - 1}, 2 * es - 1, 3 * es - 1,
+                          4 * es - 1, ct.size() - 1}) {
+    Bytes bad = ct;
+    bad[pos] ^= 0x01;
+    EXPECT_THROW((void)pke.decrypt(kp.pk, kp.sk, bad), VerifyError) << pos;
+  }
+  EXPECT_THROW((void)pke.decrypt(kp.pk, kp.sk, Bytes(10, 0)), VerifyError);
+}
+
+TEST(HybridPke, RandomCiphertextShapeAndRejection) {
+  crypto::HmacDrbg rng(to_bytes("hybrid-random"));
+  const HybridPke pke(SchnorrGroup::standard(ParamLevel::kTest));
+  const auto kp = pke.keygen(rng);
+  const Bytes fake = pke.random_ciphertext(32, rng);
+  EXPECT_EQ(fake.size(), pke.ciphertext_size(32));
+  // The Case-2 simulation depends on fake ciphertexts failing to decrypt.
+  EXPECT_THROW((void)pke.decrypt(kp.pk, kp.sk, fake), VerifyError);
+}
+
+TEST(HybridPke, CiphertextsAreProbabilistic) {
+  crypto::HmacDrbg rng(to_bytes("hybrid-prob"));
+  const HybridPke pke(SchnorrGroup::standard(ParamLevel::kTest));
+  const auto kp = pke.keygen(rng);
+  const Bytes pt = to_bytes("same message");
+  EXPECT_NE(pke.encrypt(kp.pk, pt, rng), pke.encrypt(kp.pk, pt, rng));
+}
+
+}  // namespace
+}  // namespace shs::algebra

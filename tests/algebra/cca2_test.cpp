@@ -1,0 +1,76 @@
+// CCA2-flavoured tests for the tracing cryptosystem: mix-and-match of
+// components across ciphertexts must be rejected (non-malleability is the
+// property GCD.TraceUser's IND-CCA2 requirement is about), and the KEM
+// consistency check must fire before any payload is touched.
+#include <gtest/gtest.h>
+
+#include "algebra/hybrid_pke.h"
+#include "common/errors.h"
+#include "crypto/drbg.h"
+
+namespace shs::algebra {
+namespace {
+
+class Cca2Test : public ::testing::Test {
+ protected:
+  Cca2Test()
+      : pke_(SchnorrGroup::standard(ParamLevel::kTest)),
+        rng_(to_bytes("cca2")) {
+    kp_ = pke_.keygen(rng_);
+  }
+  HybridPke pke_;
+  crypto::HmacDrbg rng_;
+  HybridPke::KeyPair kp_;
+};
+
+TEST_F(Cca2Test, ComponentMixAndMatchRejected) {
+  const Bytes ct1 = pke_.encrypt(kp_.pk, to_bytes("message one"), rng_);
+  const Bytes ct2 = pke_.encrypt(kp_.pk, to_bytes("message two"), rng_);
+  const std::size_t es = pke_.group().element_size();
+  // Swap each KEM component (u1, u2, e, v) from ct2 into ct1 in turn.
+  for (int component = 0; component < 4; ++component) {
+    Bytes frankenstein = ct1;
+    std::copy(ct2.begin() + component * static_cast<long>(es),
+              ct2.begin() + (component + 1) * static_cast<long>(es),
+              frankenstein.begin() + component * static_cast<long>(es));
+    EXPECT_THROW((void)pke_.decrypt(kp_.pk, kp_.sk, frankenstein),
+                 VerifyError)
+        << "component " << component;
+  }
+  // Swap the DEM payloads.
+  Bytes dem_swap = ct1;
+  std::copy(ct2.begin() + 4 * static_cast<long>(es), ct2.end(),
+            dem_swap.begin() + 4 * static_cast<long>(es));
+  EXPECT_THROW((void)pke_.decrypt(kp_.pk, kp_.sk, dem_swap), VerifyError);
+}
+
+TEST_F(Cca2Test, ReEncryptionOfPayloadUnderOtherKeyRejected) {
+  HybridPke::KeyPair other = pke_.keygen(rng_);
+  const Bytes ct = pke_.encrypt(other.pk, to_bytes("for someone else"), rng_);
+  EXPECT_THROW((void)pke_.decrypt(kp_.pk, kp_.sk, ct), VerifyError);
+}
+
+TEST_F(Cca2Test, DecryptionIsDeterministicAndStable) {
+  const Bytes pt = to_bytes("stable plaintext");
+  const Bytes ct = pke_.encrypt(kp_.pk, pt, rng_);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(pke_.decrypt(kp_.pk, kp_.sk, ct), pt);
+  }
+}
+
+TEST_F(Cca2Test, GroupElementValidationOnDecode) {
+  // Replace u1 with a non-residue encoding: must be rejected by the
+  // subgroup membership check, not processed.
+  const Bytes ct = pke_.encrypt(kp_.pk, to_bytes("m"), rng_);
+  Bytes bad = ct;
+  // p-1 is a quadratic non-residue for safe-prime p (Jacobi -1... it is
+  // -1 which has Jacobi symbol (-1/p) = -1 when p = 3 mod 4); encode it.
+  const auto& g = pke_.group();
+  const Bytes nonres = (g.p() - num::BigInt(1)).to_bytes_padded(
+      g.element_size());
+  std::copy(nonres.begin(), nonres.end(), bad.begin());
+  EXPECT_THROW((void)pke_.decrypt(kp_.pk, kp_.sk, bad), VerifyError);
+}
+
+}  // namespace
+}  // namespace shs::algebra

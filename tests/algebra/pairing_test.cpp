@@ -1,0 +1,137 @@
+// Pairing-group tests: curve arithmetic laws, subgroup structure, F_p^2
+// field axioms, and the bilinearity / non-degeneracy of the modified Tate
+// pairing — the foundation of the Balfanz baseline.
+#include <gtest/gtest.h>
+
+#include "algebra/pairing.h"
+#include "bigint/modmath.h"
+#include "common/errors.h"
+#include "crypto/drbg.h"
+
+namespace shs::algebra {
+namespace {
+
+using num::BigInt;
+using Point = PairingGroup::Point;
+
+class PairingTest : public ::testing::Test {
+ protected:
+  PairingTest()
+      : group_(PairingGroup::standard(ParamLevel::kTest)),
+        rng_(to_bytes("pairing-test")) {}
+  PairingGroup group_;
+  crypto::HmacDrbg rng_;
+};
+
+TEST_F(PairingTest, GeneratorIsValidOrderQPoint) {
+  const Point& g = group_.generator();
+  EXPECT_FALSE(g.infinity);
+  EXPECT_TRUE(group_.on_curve(g));
+  EXPECT_TRUE(group_.mul(g, group_.q()).infinity);
+  EXPECT_FALSE(group_.mul(g, BigInt(1)).infinity);
+}
+
+TEST_F(PairingTest, GroupLaws) {
+  const Point& g = group_.generator();
+  const BigInt a = group_.random_scalar(rng_);
+  const BigInt b = group_.random_scalar(rng_);
+  const Point pa = group_.mul(g, a);
+  const Point pb = group_.mul(g, b);
+  // Commutativity and compatibility with scalar arithmetic.
+  EXPECT_EQ(group_.add(pa, pb), group_.add(pb, pa));
+  EXPECT_EQ(group_.add(pa, pb), group_.mul(g, a + b));
+  EXPECT_EQ(group_.mul(pa, b), group_.mul(pb, a));
+  // Inverses.
+  EXPECT_TRUE(group_.add(pa, group_.negate(pa)).infinity);
+  EXPECT_EQ(group_.add(pa, Point{}), pa);  // identity
+  // Doubling consistency.
+  EXPECT_EQ(group_.add(pa, pa), group_.mul(pa, BigInt(2)));
+}
+
+TEST_F(PairingTest, HashToPointLandsInSubgroup) {
+  for (const char* input : {"alice", "bob", "carol"}) {
+    const Point p = group_.hash_to_point(to_bytes(input));
+    EXPECT_TRUE(group_.on_curve(p));
+    EXPECT_TRUE(group_.mul(p, group_.q()).infinity);
+    EXPECT_FALSE(p.infinity);
+  }
+  EXPECT_EQ(group_.hash_to_point(to_bytes("x")),
+            group_.hash_to_point(to_bytes("x")));
+  EXPECT_NE(group_.hash_to_point(to_bytes("x")),
+            group_.hash_to_point(to_bytes("y")));
+}
+
+TEST_F(PairingTest, PointCodecRoundtripAndValidation) {
+  const Point p = group_.mul(group_.generator(), group_.random_scalar(rng_));
+  EXPECT_EQ(group_.decode_point(group_.encode_point(p)), p);
+  EXPECT_EQ(group_.decode_point(group_.encode_point(Point{})), Point{});
+  // Off-curve point rejected.
+  Point bad = p;
+  bad.x = num::mod(bad.x + BigInt(1), group_.p());
+  EXPECT_THROW((void)group_.decode_point(group_.encode_point(bad)),
+               VerifyError);
+}
+
+TEST_F(PairingTest, Fp2FieldAxioms) {
+  auto rand_fp2 = [&] {
+    return Fp2{num::random_below(group_.p(), rng_),
+               num::random_below(group_.p(), rng_)};
+  };
+  const Fp2 a = rand_fp2();
+  const Fp2 b = rand_fp2();
+  const Fp2 c = rand_fp2();
+  EXPECT_EQ(group_.fp2_mul(a, b), group_.fp2_mul(b, a));
+  EXPECT_EQ(group_.fp2_mul(group_.fp2_mul(a, b), c),
+            group_.fp2_mul(a, group_.fp2_mul(b, c)));
+  EXPECT_EQ(group_.fp2_mul(a, group_.fp2_inverse(a)), group_.fp2_one());
+  EXPECT_EQ(group_.fp2_square(a), group_.fp2_mul(a, a));
+  // Conjugation is multiplicative.
+  EXPECT_EQ(group_.fp2_conjugate(group_.fp2_mul(a, b)),
+            group_.fp2_mul(group_.fp2_conjugate(a), group_.fp2_conjugate(b)));
+  // Exponent laws.
+  const BigInt e1 = num::random_bits(64, rng_);
+  const BigInt e2 = num::random_bits(64, rng_);
+  EXPECT_EQ(group_.fp2_exp(a, e1 + e2),
+            group_.fp2_mul(group_.fp2_exp(a, e1), group_.fp2_exp(a, e2)));
+}
+
+TEST_F(PairingTest, PairingIsBilinear) {
+  const Point& g = group_.generator();
+  const BigInt a = group_.random_scalar(rng_);
+  const BigInt b = group_.random_scalar(rng_);
+  const Fp2 base = group_.pairing(g, g);
+  // e(aG, bG) = e(G, G)^{ab}
+  EXPECT_EQ(group_.pairing(group_.mul(g, a), group_.mul(g, b)),
+            group_.fp2_exp(base, num::mul_mod(a, b, group_.q())));
+  // e(aG, G) = e(G, aG) (symmetric via the distortion map)
+  EXPECT_EQ(group_.pairing(group_.mul(g, a), g),
+            group_.pairing(g, group_.mul(g, a)));
+}
+
+TEST_F(PairingTest, PairingIsNonDegenerate) {
+  const Point& g = group_.generator();
+  const Fp2 e = group_.pairing(g, g);
+  EXPECT_NE(e, group_.fp2_one());
+  // Has order q: e^q = 1.
+  EXPECT_EQ(group_.fp2_exp(e, group_.q()), group_.fp2_one());
+}
+
+TEST_F(PairingTest, PairingWithInfinityIsOne) {
+  EXPECT_EQ(group_.pairing(Point{}, group_.generator()), group_.fp2_one());
+  EXPECT_EQ(group_.pairing(group_.generator(), Point{}), group_.fp2_one());
+}
+
+TEST_F(PairingTest, PairingKeyAgreesAcrossSokIdentities) {
+  // The Sakai-Ohgishi-Kasahara property the Balfanz scheme rests on:
+  // s*H(a) paired with H(b) equals H(a) paired with s*H(b).
+  const BigInt s = group_.random_scalar(rng_);
+  const Point ha = group_.hash_to_point(to_bytes("id-a"));
+  const Point hb = group_.hash_to_point(to_bytes("id-b"));
+  EXPECT_EQ(group_.pairing_key(group_.mul(ha, s), hb),
+            group_.pairing_key(ha, group_.mul(hb, s)));
+  EXPECT_NE(group_.pairing_key(ha, hb),
+            group_.pairing_key(group_.mul(ha, s), hb));
+}
+
+}  // namespace
+}  // namespace shs::algebra

@@ -1,0 +1,120 @@
+// Baseline-scheme tests: Balfanz [3] and CJT04 [14] correctness (same
+// group accepts, cross group rejects symmetrically), impostor resistance,
+// and the one-time-credential linkability drawback GCD removes.
+#include <gtest/gtest.h>
+
+#include "baselines/balfanz.h"
+#include "baselines/cjt04.h"
+#include "crypto/drbg.h"
+
+namespace shs::baselines {
+namespace {
+
+using algebra::ParamLevel;
+
+TEST(Balfanz, SameGroupHandshakeSucceeds) {
+  BalfanzAuthority ga(ParamLevel::kTest, to_bytes("balfanz-seed"));
+  crypto::HmacDrbg rng(to_bytes("balfanz-run"));
+  auto alice = ga.issue(1);
+  auto bob = ga.issue(1);
+  auto [ra, rb] = balfanz_handshake(ga.group(), alice[0], bob[0], rng);
+  EXPECT_TRUE(ra.accepted);
+  EXPECT_TRUE(rb.accepted);
+  EXPECT_EQ(ra.session_key, rb.session_key);
+  EXPECT_EQ(ra.session_key.size(), 32u);
+}
+
+TEST(Balfanz, CrossGroupHandshakeFailsBothWays) {
+  BalfanzAuthority fbi(ParamLevel::kTest, to_bytes("fbi"));
+  BalfanzAuthority cia(ParamLevel::kTest, to_bytes("cia"));
+  crypto::HmacDrbg rng(to_bytes("balfanz-cross"));
+  auto alice = fbi.issue(1);
+  auto bob = cia.issue(1);
+  auto [ra, rb] = balfanz_handshake(fbi.group(), alice[0], bob[0], rng);
+  EXPECT_FALSE(ra.accepted);
+  EXPECT_FALSE(rb.accepted);
+  EXPECT_TRUE(ra.session_key.empty());
+}
+
+TEST(Balfanz, ImpostorWithUnsignedPseudonymFails) {
+  BalfanzAuthority ga(ParamLevel::kTest, to_bytes("balfanz-seed2"));
+  crypto::HmacDrbg rng(to_bytes("balfanz-impostor"));
+  auto alice = ga.issue(1);
+  // Mallory makes up a pseudonym and uses a random point as "secret".
+  BalfanzCredential mallory;
+  mallory.pseudonym = to_bytes("mallory");
+  mallory.secret = ga.group().mul(ga.group().generator(),
+                                  ga.group().random_scalar(rng));
+  auto [ra, rm] = balfanz_handshake(ga.group(), alice[0], mallory, rng);
+  EXPECT_FALSE(ra.accepted);
+}
+
+TEST(Balfanz, ReusedPseudonymIsTriviallyLinkable) {
+  // The drawback motivating GCD (§1, §10): credentials are one-time.
+  // Reusing one exposes the link between two sessions — the pseudonym is
+  // transmitted in the clear and repeats verbatim.
+  BalfanzAuthority ga(ParamLevel::kTest, to_bytes("balfanz-seed3"));
+  auto alice = ga.issue(2);
+  EXPECT_NE(alice[0].pseudonym, alice[1].pseudonym);  // fresh per handshake
+  // An observer comparing two transcripts that used alice[0] twice would
+  // match on the identical pseudonym bytes; with distinct credentials
+  // there is nothing to match.
+  EXPECT_EQ(alice[0].pseudonym, alice[0].pseudonym);
+}
+
+TEST(Cjt04, SameGroupHandshakeSucceeds) {
+  CjtAuthority ca(ParamLevel::kTest, to_bytes("cjt-seed"));
+  crypto::HmacDrbg rng(to_bytes("cjt-run"));
+  auto alice = ca.issue(1);
+  auto bob = ca.issue(1);
+  auto [ra, rb] = cjt_handshake(ca.group(), ca.public_key(), alice[0],
+                                ca.public_key(), bob[0], rng);
+  EXPECT_TRUE(ra.accepted);
+  EXPECT_TRUE(rb.accepted);
+  EXPECT_EQ(ra.session_key, rb.session_key);
+}
+
+TEST(Cjt04, CrossGroupHandshakeFailsBothWays) {
+  CjtAuthority fbi(ParamLevel::kTest, to_bytes("cjt-fbi"));
+  CjtAuthority cia(ParamLevel::kTest, to_bytes("cjt-cia"));
+  crypto::HmacDrbg rng(to_bytes("cjt-cross"));
+  auto alice = fbi.issue(1);
+  auto bob = cia.issue(1);
+  auto [ra, rb] = cjt_handshake(fbi.group(), fbi.public_key(), alice[0],
+                                cia.public_key(), bob[0], rng);
+  EXPECT_FALSE(ra.accepted);
+  EXPECT_FALSE(rb.accepted);
+}
+
+TEST(Cjt04, DerivedKeyMatchesTrapdoor) {
+  CjtAuthority ca(ParamLevel::kTest, to_bytes("cjt-seed2"));
+  auto cred = ca.issue(1);
+  const auto pk = CjtAuthority::derive_public_key(
+      ca.group(), ca.public_key(), cred[0].pseudonym, cred[0].r);
+  EXPECT_EQ(pk, ca.group().exp_g(cred[0].s));
+}
+
+TEST(Cjt04, ImpostorWithoutCertificateFails) {
+  CjtAuthority ca(ParamLevel::kTest, to_bytes("cjt-seed3"));
+  crypto::HmacDrbg rng(to_bytes("cjt-impostor"));
+  auto alice = ca.issue(1);
+  // Mallory invents (w, r) but has no s for the derived key.
+  CjtCredential mallory;
+  mallory.pseudonym = to_bytes("mallory");
+  mallory.r = ca.group().random_element(rng);
+  mallory.s = ca.group().random_exponent(rng);
+  auto [ra, rm] = cjt_handshake(ca.group(), ca.public_key(), alice[0],
+                                ca.public_key(), mallory, rng);
+  EXPECT_FALSE(ra.accepted);
+}
+
+TEST(Cjt04, CredentialsAreOneTime) {
+  CjtAuthority ca(ParamLevel::kTest, to_bytes("cjt-seed4"));
+  auto creds = ca.issue(3);
+  EXPECT_NE(creds[0].pseudonym, creds[1].pseudonym);
+  EXPECT_NE(creds[1].pseudonym, creds[2].pseudonym);
+  EXPECT_NE(creds[0].r, creds[1].r);
+}
+
+}  // namespace
+}  // namespace shs::baselines

@@ -1,0 +1,259 @@
+// BigInt core arithmetic tests: reference-checked small-number behaviour,
+// algebraic property sweeps at many bit sizes, serialization roundtrips,
+// and regression coverage for the Knuth-division corner cases.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "bigint/bigint.h"
+#include "bigint/random.h"
+#include "common/errors.h"
+
+namespace shs::num {
+namespace {
+
+TEST(BigIntBasics, DefaultIsZero) {
+  BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.sign(), 0);
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(z.to_hex(), "0");
+  EXPECT_EQ(z.to_dec(), "0");
+}
+
+TEST(BigIntBasics, SmallConstruction) {
+  EXPECT_EQ(BigInt(42).to_dec(), "42");
+  EXPECT_EQ(BigInt(-42).to_dec(), "-42");
+  EXPECT_EQ(BigInt(std::uint64_t{0xffffffffffffffffULL}).to_hex(),
+            "ffffffffffffffff");
+  EXPECT_EQ(BigInt(INT64_MIN).to_dec(), "-9223372036854775808");
+}
+
+TEST(BigIntBasics, ComparisonOrdering) {
+  EXPECT_LT(BigInt(-5), BigInt(-3));
+  EXPECT_LT(BigInt(-3), BigInt(0));
+  EXPECT_LT(BigInt(0), BigInt(3));
+  EXPECT_LT(BigInt(3), BigInt(5));
+  EXPECT_EQ(BigInt(7), BigInt(7));
+  EXPECT_LT(BigInt::from_hex("ffffffffffffffff"),
+            BigInt::from_hex("10000000000000000"));
+}
+
+TEST(BigIntBasics, HexRoundtrip) {
+  const char* cases[] = {"0", "1", "f", "deadbeef", "ffffffffffffffff",
+                         "10000000000000000",
+                         "123456789abcdef0123456789abcdef0123456789abcdef"};
+  for (const char* c : cases) {
+    EXPECT_EQ(BigInt::from_hex(c).to_hex(), c) << c;
+  }
+  EXPECT_EQ(BigInt::from_hex("-ff").to_dec(), "-255");
+  EXPECT_EQ(BigInt::from_hex("00ff").to_hex(), "ff");
+}
+
+TEST(BigIntBasics, DecRoundtrip) {
+  const char* cases[] = {
+      "0", "1", "9", "10", "18446744073709551615", "18446744073709551616",
+      "340282366920938463463374607431768211455",
+      "99999999999999999999999999999999999999999999999999"};
+  for (const char* c : cases) {
+    EXPECT_EQ(BigInt::from_dec(c).to_dec(), c) << c;
+  }
+  EXPECT_EQ(BigInt::from_dec("-12345678901234567890123").to_dec(),
+            "-12345678901234567890123");
+}
+
+TEST(BigIntBasics, RejectsMalformedInput) {
+  EXPECT_THROW(BigInt::from_hex(""), CodecError);
+  EXPECT_THROW(BigInt::from_hex("xyz"), CodecError);
+  EXPECT_THROW(BigInt::from_dec(""), CodecError);
+  EXPECT_THROW(BigInt::from_dec("12a"), CodecError);
+  EXPECT_THROW(BigInt::from_dec("-"), CodecError);
+}
+
+TEST(BigIntBasics, BytesRoundtrip) {
+  TestRng rng(1);
+  for (std::size_t bits : {1u, 7u, 8u, 63u, 64u, 65u, 255u, 1024u}) {
+    const BigInt v = random_bits(bits, rng);
+    EXPECT_EQ(BigInt::from_bytes(v.to_bytes()), v) << bits;
+  }
+  EXPECT_TRUE(BigInt::from_bytes({}).is_zero());
+  EXPECT_TRUE(BigInt().to_bytes().empty());
+}
+
+TEST(BigIntBasics, PaddedBytes) {
+  const BigInt v = BigInt::from_hex("abcd");
+  Bytes padded = v.to_bytes_padded(4);
+  ASSERT_EQ(padded.size(), 4u);
+  EXPECT_EQ(to_hex(padded), "0000abcd");
+  EXPECT_THROW(v.to_bytes_padded(1), MathError);
+  EXPECT_THROW(BigInt(-1).to_bytes_padded(4), MathError);
+}
+
+TEST(BigIntBasics, BitAccess) {
+  const BigInt v = BigInt::from_hex("8000000000000001");
+  EXPECT_TRUE(v.bit(0));
+  EXPECT_FALSE(v.bit(1));
+  EXPECT_TRUE(v.bit(63));
+  EXPECT_FALSE(v.bit(64));
+  EXPECT_EQ(v.bit_length(), 64u);
+  EXPECT_EQ((BigInt(1) << 200).bit_length(), 201u);
+}
+
+TEST(BigIntBasics, ToU64) {
+  EXPECT_EQ(BigInt(0).to_u64(), 0u);
+  EXPECT_EQ(BigInt::from_hex("ffffffffffffffff").to_u64(), UINT64_MAX);
+  EXPECT_THROW((void)BigInt(-1).to_u64(), MathError);
+  EXPECT_THROW((void)BigInt::from_hex("10000000000000000").to_u64(), MathError);
+}
+
+// --- Property sweeps against 128-bit reference arithmetic -------------------
+
+using i128 = __int128;
+
+BigInt from_i128(i128 v) {
+  const bool neg = v < 0;
+  unsigned __int128 mag = neg ? static_cast<unsigned __int128>(-(v + 1)) + 1
+                              : static_cast<unsigned __int128>(v);
+  BigInt out = (BigInt(static_cast<std::uint64_t>(mag >> 64)) << 64) +
+               BigInt(static_cast<std::uint64_t>(mag));
+  return neg ? -out : out;
+}
+
+class BigIntRefProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BigIntRefProperty, ArithmeticMatchesInt128) {
+  TestRng rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto a64 = static_cast<std::int64_t>(rng.next_u64());
+    const auto b64 = static_cast<std::int64_t>(rng.next_u64());
+    const i128 a = a64, b = b64;
+    EXPECT_EQ(from_i128(a + b), from_i128(a) + from_i128(b));
+    EXPECT_EQ(from_i128(a - b), from_i128(a) - from_i128(b));
+    EXPECT_EQ(from_i128(a * b), from_i128(a) * from_i128(b));
+    if (b != 0) {
+      EXPECT_EQ(from_i128(a / b), from_i128(a) / from_i128(b));
+      EXPECT_EQ(from_i128(a % b), from_i128(a) % from_i128(b));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntRefProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+class BigIntAlgebraProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BigIntAlgebraProperty, RingAxiomsAtManySizes) {
+  const std::size_t bits = GetParam();
+  TestRng rng(bits * 977 + 13);
+  for (int iter = 0; iter < 25; ++iter) {
+    const BigInt a = random_bits(bits, rng);
+    const BigInt b = random_bits(bits / 2 + 1, rng);
+    const BigInt c = random_bits(bits / 3 + 1, rng);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, BigInt(0));
+    EXPECT_EQ(a + (-a), BigInt(0));
+    EXPECT_EQ(a * BigInt(1), a);
+    EXPECT_EQ(a * BigInt(0), BigInt(0));
+  }
+}
+
+TEST_P(BigIntAlgebraProperty, DivModInvariant) {
+  const std::size_t bits = GetParam();
+  TestRng rng(bits * 31337 + 7);
+  for (int iter = 0; iter < 25; ++iter) {
+    const BigInt a = random_bits(2 * bits, rng);
+    const BigInt b = random_bits(bits, rng);
+    BigInt q, r;
+    BigInt::div_mod(a, b, q, r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_GE(r, BigInt(0));
+    EXPECT_LT(r, b);
+    // Signed variants: remainder carries the dividend's sign.
+    BigInt::div_mod(-a, b, q, r);
+    EXPECT_EQ(q * b + r, -a);
+    EXPECT_LE(r, BigInt(0));
+  }
+}
+
+TEST_P(BigIntAlgebraProperty, ShiftsMatchMultiplication) {
+  const std::size_t bits = GetParam();
+  TestRng rng(bits + 42);
+  const BigInt a = random_bits(bits, rng);
+  for (std::size_t s : {1u, 13u, 64u, 65u, 130u}) {
+    BigInt pow2 = BigInt(1) << s;
+    EXPECT_EQ(a << s, a * pow2);
+    EXPECT_EQ((a << s) >> s, a);
+    EXPECT_EQ(a >> s, a / pow2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BitSizes, BigIntAlgebraProperty,
+                         ::testing::Values(8, 64, 65, 128, 192, 256, 521,
+                                           1024, 2048, 4096));
+
+TEST(BigIntDivision, KnuthAddBackCase) {
+  // A dividend/divisor pair engineered to trigger the rare "add back" step:
+  // top limbs maximal so the initial qhat estimate overshoots.
+  const BigInt u = BigInt::from_hex(
+      "7fffffffffffffff800000000000000000000000000000000000000000000000");
+  const BigInt v =
+      BigInt::from_hex("800000000000000080000000000000000000000000000001");
+  BigInt q, r;
+  BigInt::div_mod(u, v, q, r);
+  EXPECT_EQ(q * v + r, u);
+  EXPECT_GE(r, BigInt(0));
+  EXPECT_LT(r, v);
+}
+
+TEST(BigIntDivision, DividendEqualsDivisor) {
+  const BigInt v = BigInt::from_hex("deadbeefdeadbeefdeadbeefdeadbeef");
+  EXPECT_EQ(v / v, BigInt(1));
+  EXPECT_EQ(v % v, BigInt(0));
+}
+
+TEST(BigIntDivision, ByZeroThrows) {
+  EXPECT_THROW(BigInt(1) / BigInt(0), MathError);
+  EXPECT_THROW(BigInt(1) % BigInt(0), MathError);
+}
+
+TEST(BigIntDivision, SingleLimbDivisor) {
+  TestRng rng(99);
+  const BigInt a = random_bits(512, rng);
+  const BigInt d(std::uint64_t{0x1234567890abcdefULL});
+  BigInt q, r;
+  BigInt::div_mod(a, d, q, r);
+  EXPECT_EQ(q * d + r, a);
+  EXPECT_LT(r, d);
+}
+
+TEST(BigIntMultiplication, KaratsubaAgreesWithSchoolbook) {
+  // Karatsuba kicks in at 32 limbs (2048 bits); compare products across the
+  // threshold against the distributive law on split halves.
+  TestRng rng(7);
+  for (std::size_t bits : {2048u, 3000u, 4096u, 8192u}) {
+    const BigInt a = random_bits(bits, rng);
+    const BigInt b = random_bits(bits, rng);
+    const BigInt half_mask = (BigInt(1) << (bits / 2)) - BigInt(1);
+    const BigInt a0 = a % (half_mask + BigInt(1));
+    const BigInt a1 = a >> (bits / 2);
+    // (a1*2^h + a0) * b computed two ways.
+    EXPECT_EQ(a * b, ((a1 * b) << (bits / 2)) + a0 * b) << bits;
+  }
+}
+
+TEST(BigIntMultiplication, UnbalancedOperands) {
+  TestRng rng(8);
+  const BigInt big = random_bits(4096, rng);
+  const BigInt small = random_bits(65, rng);
+  BigInt q, r;
+  BigInt::div_mod(big * small, small, q, r);
+  EXPECT_EQ(q, big);
+  EXPECT_TRUE(r.is_zero());
+}
+
+}  // namespace
+}  // namespace shs::num

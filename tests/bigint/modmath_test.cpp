@@ -1,0 +1,176 @@
+// Tests for modular arithmetic, Montgomery exponentiation, gcd/inverse,
+// Jacobi symbols and CRT.
+#include <gtest/gtest.h>
+
+#include "bigint/modmath.h"
+#include "bigint/montgomery.h"
+#include "bigint/random.h"
+#include "common/errors.h"
+
+namespace shs::num {
+namespace {
+
+TEST(ModMath, CanonicalResidue) {
+  EXPECT_EQ(mod(BigInt(7), BigInt(3)), BigInt(1));
+  EXPECT_EQ(mod(BigInt(-7), BigInt(3)), BigInt(2));
+  EXPECT_EQ(mod(BigInt(-3), BigInt(3)), BigInt(0));
+  EXPECT_THROW(mod(BigInt(1), BigInt(0)), MathError);
+  EXPECT_THROW(mod(BigInt(1), BigInt(-5)), MathError);
+}
+
+TEST(ModMath, GcdKnownValues) {
+  EXPECT_EQ(gcd(BigInt(12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(gcd(BigInt(-12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(gcd(BigInt(0), BigInt(5)), BigInt(5));
+  EXPECT_EQ(gcd(BigInt(0), BigInt(0)), BigInt(0));
+  EXPECT_EQ(gcd(BigInt::from_dec("123456789123456789"),
+                BigInt::from_dec("987654321987654321")),
+            BigInt::from_dec("9000000009"));
+}
+
+TEST(ModMath, ExtGcdBezoutIdentity) {
+  TestRng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    const BigInt a = random_bits(200, rng);
+    const BigInt b = random_bits(180, rng);
+    BigInt x, y;
+    const BigInt g = ext_gcd(a, b, x, y);
+    EXPECT_EQ(a * x + b * y, g);
+    EXPECT_EQ(g, gcd(a, b));
+    EXPECT_TRUE((a % g).is_zero());
+    EXPECT_TRUE((b % g).is_zero());
+  }
+}
+
+TEST(ModMath, ModInverse) {
+  TestRng rng(12);
+  const BigInt m = BigInt::from_dec("1000000007");  // prime
+  for (int i = 0; i < 50; ++i) {
+    const BigInt a = random_range(BigInt(1), m - BigInt(1), rng);
+    const BigInt inv = mod_inverse(a, m);
+    EXPECT_EQ(mul_mod(a, inv, m), BigInt(1));
+  }
+  EXPECT_THROW(mod_inverse(BigInt(4), BigInt(8)), MathError);
+  EXPECT_THROW(mod_inverse(BigInt(0), BigInt(7)), MathError);
+}
+
+TEST(ModMath, ModExpKnownValues) {
+  EXPECT_EQ(mod_exp(BigInt(2), BigInt(10), BigInt(1000)), BigInt(24));
+  EXPECT_EQ(mod_exp(BigInt(3), BigInt(0), BigInt(7)), BigInt(1));
+  EXPECT_EQ(mod_exp(BigInt(0), BigInt(5), BigInt(7)), BigInt(0));
+  // Fermat: a^(p-1) = 1 mod p.
+  const BigInt p = BigInt::from_dec("1000000007");
+  EXPECT_EQ(mod_exp(BigInt(12345), p - BigInt(1), p), BigInt(1));
+  // Negative exponent = inverse.
+  EXPECT_EQ(mod_exp(BigInt(3), BigInt(-1), BigInt(7)), BigInt(5));
+}
+
+TEST(ModMath, ModExpEvenModulus) {
+  // Montgomery cannot handle even moduli; the generic path must.
+  EXPECT_EQ(mod_exp(BigInt(3), BigInt(4), BigInt(100)), BigInt(81) % BigInt(100));
+  EXPECT_EQ(mod_exp(BigInt(7), BigInt(13), BigInt(2048)),
+            BigInt::from_dec("96889010407") % BigInt(2048));
+}
+
+class MontgomeryProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MontgomeryProperty, MulMatchesSchoolbookAtSize) {
+  const std::size_t bits = GetParam();
+  TestRng rng(bits);
+  for (int i = 0; i < 10; ++i) {
+    BigInt m = random_bits(bits, rng);
+    if (m.is_even()) m += BigInt(1);
+    if (m == BigInt(1)) continue;
+    const Montgomery mont(m);
+    const BigInt a = random_below(m, rng);
+    const BigInt b = random_below(m, rng);
+    EXPECT_EQ(mont.mul(a, b), (a * b) % m);
+  }
+}
+
+TEST_P(MontgomeryProperty, ExpMatchesNaiveSquareAndMultiply) {
+  const std::size_t bits = GetParam();
+  TestRng rng(bits + 1);
+  BigInt m = random_bits(bits, rng);
+  if (m.is_even()) m += BigInt(1);
+  const Montgomery mont(m);
+  const BigInt base = random_below(m, rng);
+  const BigInt e = random_bits(bits / 2 + 3, rng);
+  // Naive reference.
+  BigInt expect(1);
+  for (std::size_t i = e.bit_length(); i-- > 0;) {
+    expect = (expect * expect) % m;
+    if (e.bit(i)) expect = (expect * base) % m;
+  }
+  EXPECT_EQ(mont.exp(base, e), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(BitSizes, MontgomeryProperty,
+                         ::testing::Values(32, 64, 96, 128, 256, 512, 1024,
+                                           2048));
+
+TEST(Montgomery, ExponentLawsHold) {
+  TestRng rng(77);
+  BigInt modulus = random_bits(512, rng);
+  if (modulus.is_even()) modulus += BigInt(1);
+  const Montgomery mont(modulus);
+  const BigInt g = random_below(modulus, rng);
+  const BigInt a = random_bits(128, rng);
+  const BigInt b = random_bits(128, rng);
+  // g^(a+b) == g^a * g^b
+  EXPECT_EQ(mont.exp(g, a + b), mont.mul(mont.exp(g, a), mont.exp(g, b)));
+  // (g^a)^b == g^(ab)
+  EXPECT_EQ(mont.exp(mont.exp(g, a), b), mont.exp(g, a * b));
+}
+
+TEST(Montgomery, RejectsBadInputs) {
+  EXPECT_THROW(Montgomery(BigInt(8)), MathError);   // even
+  EXPECT_THROW(Montgomery(BigInt(1)), MathError);   // unit
+  EXPECT_THROW(Montgomery(BigInt(-7)), MathError);  // negative
+  const Montgomery mont(BigInt(7));
+  EXPECT_THROW(mont.mul(BigInt(9), BigInt(1)), MathError);
+  EXPECT_THROW(mont.exp(BigInt(9), BigInt(1)), MathError);
+}
+
+TEST(ModMath, JacobiKnownValues) {
+  // Table values for (a/p) with small primes.
+  EXPECT_EQ(jacobi(BigInt(1), BigInt(7)), 1);
+  EXPECT_EQ(jacobi(BigInt(2), BigInt(7)), 1);
+  EXPECT_EQ(jacobi(BigInt(3), BigInt(7)), -1);
+  EXPECT_EQ(jacobi(BigInt(0), BigInt(7)), 0);
+  EXPECT_EQ(jacobi(BigInt(14), BigInt(7)), 0);
+  // (a/n) multiplicativity for composite n = 15.
+  EXPECT_EQ(jacobi(BigInt(2), BigInt(15)),
+            jacobi(BigInt(2), BigInt(3)) * jacobi(BigInt(2), BigInt(5)));
+  EXPECT_THROW((void)jacobi(BigInt(2), BigInt(8)), MathError);
+}
+
+TEST(ModMath, JacobiMatchesEulerCriterionOnPrime) {
+  TestRng rng(13);
+  const BigInt p = BigInt::from_dec("1000000007");
+  const BigInt exponent = (p - BigInt(1)) >> 1;
+  for (int i = 0; i < 50; ++i) {
+    const BigInt a = random_range(BigInt(1), p - BigInt(1), rng);
+    const BigInt euler = mod_exp(a, exponent, p);
+    const int j = jacobi(a, p);
+    if (j == 1) {
+      EXPECT_EQ(euler, BigInt(1));
+    } else {
+      EXPECT_EQ(euler, p - BigInt(1));
+    }
+  }
+}
+
+TEST(ModMath, CrtReconstruction) {
+  TestRng rng(14);
+  const BigInt m1 = BigInt::from_dec("1000000007");
+  const BigInt m2 = BigInt::from_dec("998244353");
+  for (int i = 0; i < 20; ++i) {
+    const BigInt x = random_below(m1 * m2, rng);
+    const BigInt r = crt(x % m1, m1, x % m2, m2);
+    EXPECT_EQ(r, x);
+  }
+}
+
+}  // namespace
+}  // namespace shs::num

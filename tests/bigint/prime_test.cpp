@@ -1,0 +1,96 @@
+// Primality and prime-generation tests: known primes/composites including
+// Carmichael numbers and strong pseudoprimes, generation invariants, and
+// the safe-prime structure used by the embedded group parameters.
+#include <gtest/gtest.h>
+
+#include "bigint/modmath.h"
+#include "bigint/prime.h"
+#include "bigint/random.h"
+#include "common/errors.h"
+
+namespace shs::num {
+namespace {
+
+TEST(Prime, SmallKnownValues) {
+  TestRng rng(1);
+  const std::uint64_t primes[] = {2, 3, 5, 7, 97, 997, 7919, 104729};
+  for (std::uint64_t p : primes) {
+    EXPECT_TRUE(is_probable_prime(BigInt(p), rng)) << p;
+  }
+  const std::uint64_t composites[] = {0, 1, 4, 9, 100, 997 * 997, 104729ULL * 7919};
+  for (std::uint64_t c : composites) {
+    EXPECT_FALSE(is_probable_prime(BigInt(c), rng)) << c;
+  }
+}
+
+TEST(Prime, CarmichaelNumbersRejected) {
+  TestRng rng(2);
+  // Fermat pseudoprimes to every base; Miller-Rabin must still reject them.
+  const std::uint64_t carmichael[] = {561, 1105, 1729, 2465, 2821, 6601,
+                                      8911, 10585, 15841, 29341};
+  for (std::uint64_t c : carmichael) {
+    EXPECT_FALSE(is_probable_prime(BigInt(c), rng)) << c;
+  }
+}
+
+TEST(Prime, LargeKnownPrime) {
+  TestRng rng(3);
+  // 2^127 - 1 (Mersenne prime) and 2^89 - 1 (Mersenne prime).
+  EXPECT_TRUE(is_probable_prime((BigInt(1) << 127) - BigInt(1), rng));
+  EXPECT_TRUE(is_probable_prime((BigInt(1) << 89) - BigInt(1), rng));
+  // 2^128 - 1 factors (composite); 2^83 - 1 composite Mersenne.
+  EXPECT_FALSE(is_probable_prime((BigInt(1) << 128) - BigInt(1), rng));
+  EXPECT_FALSE(is_probable_prime((BigInt(1) << 83) - BigInt(1), rng));
+}
+
+TEST(Prime, ProductOfTwoLargePrimesIsComposite) {
+  TestRng rng(4);
+  const BigInt p = random_prime(96, rng);
+  const BigInt q = random_prime(96, rng);
+  EXPECT_FALSE(is_probable_prime(p * q, rng));
+}
+
+class PrimeGeneration : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PrimeGeneration, RandomPrimeHasExactBitLength) {
+  TestRng rng(GetParam() * 7 + 5);
+  const BigInt p = random_prime(GetParam(), rng);
+  EXPECT_EQ(p.bit_length(), GetParam());
+  EXPECT_TRUE(is_probable_prime(p, rng));
+  EXPECT_TRUE(p.is_odd());
+}
+
+INSTANTIATE_TEST_SUITE_P(BitSizes, PrimeGeneration,
+                         ::testing::Values(16, 32, 64, 128, 160, 256));
+
+TEST(Prime, RandomPrimeInRange) {
+  TestRng rng(6);
+  const BigInt lo = BigInt(1) << 100;
+  const BigInt hi = (BigInt(1) << 100) + BigInt(100000);
+  for (int i = 0; i < 5; ++i) {
+    const BigInt p = random_prime_in_range(lo, hi, rng);
+    EXPECT_GE(p, lo);
+    EXPECT_LE(p, hi);
+    EXPECT_TRUE(is_probable_prime(p, rng));
+  }
+  EXPECT_THROW(random_prime_in_range(BigInt(10), BigInt(5), rng), MathError);
+}
+
+TEST(Prime, SafePrimeStructure) {
+  TestRng rng(7);
+  const BigInt p = random_safe_prime(96, rng);
+  EXPECT_EQ(p.bit_length(), 96u);
+  EXPECT_TRUE(is_probable_prime(p, rng));
+  const BigInt q = (p - BigInt(1)) >> 1;
+  EXPECT_TRUE(is_probable_prime(q, rng));
+}
+
+TEST(Prime, EdgeArguments) {
+  TestRng rng(8);
+  EXPECT_THROW(random_prime(1, rng), MathError);
+  EXPECT_THROW(random_safe_prime(2, rng), MathError);
+  EXPECT_FALSE(is_probable_prime(BigInt(-7), rng));
+}
+
+}  // namespace
+}  // namespace shs::num

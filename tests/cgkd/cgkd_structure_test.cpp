@@ -1,0 +1,113 @@
+// Structural invariants of the CGKD implementations: rekey message
+// composition, epoch monotonicity, LKH path-length arithmetic, star
+// recipient pruning, SD determinism.
+#include <gtest/gtest.h>
+
+#include "cgkd/lkh.h"
+#include "cgkd/star.h"
+#include "cgkd/subset_diff.h"
+#include "common/codec.h"
+#include "crypto/drbg.h"
+
+namespace shs::cgkd {
+namespace {
+
+TEST(Structure, EpochsAreStrictlyMonotonic) {
+  crypto::HmacDrbg rng(to_bytes("mono"));
+  LkhCgkd gc(16, rng);
+  std::uint64_t last = gc.epoch();
+  for (MemberId id = 0; id < 8; ++id) {
+    auto r = gc.join(id);
+    EXPECT_EQ(r.broadcast.epoch, last + 1);
+    last = r.broadcast.epoch;
+  }
+  for (MemberId id = 0; id < 8; id += 2) {
+    auto msg = gc.leave(id);
+    EXPECT_EQ(msg.epoch, last + 1);
+    last = msg.epoch;
+  }
+  EXPECT_EQ(gc.refresh().epoch, last + 1);
+}
+
+TEST(Structure, LkhLeaveEntryCountMatchesTreeDepth) {
+  // With a full tree of n = 2^d members, removing one leaf refreshes d
+  // path nodes; each internal path node seals toward up to 2 children,
+  // the bottom one toward exactly 1 (the surviving sibling).
+  crypto::HmacDrbg rng(to_bytes("depth"));
+  for (std::size_t n : {8u, 16u, 32u, 64u}) {
+    LkhCgkd gc(n, rng);
+    for (MemberId id = 0; id < n; ++id) (void)gc.join(id);
+    const auto msg = gc.leave(0);
+    ByteReader r(msg.payload);
+    const std::uint32_t entries = r.u32();
+    const std::size_t depth = static_cast<std::size_t>(std::countr_zero(n));
+    // Bottom node: 1 entry; each higher path node: 2 entries.
+    EXPECT_EQ(entries, 1 + 2 * (depth - 1)) << n;
+  }
+}
+
+TEST(Structure, StarRekeyListsExactlyCurrentMembers) {
+  crypto::HmacDrbg rng(to_bytes("star-list"));
+  StarCgkd gc(rng);
+  for (MemberId id = 0; id < 6; ++id) (void)gc.join(id);
+  (void)gc.leave(2);
+  (void)gc.leave(4);
+  const auto msg = gc.refresh();
+  ByteReader r(msg.payload);
+  const std::uint32_t count = r.u32();
+  EXPECT_EQ(count, 4u);
+  std::vector<MemberId> listed;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    listed.push_back(r.u64());
+    (void)r.bytes();
+  }
+  EXPECT_EQ(listed, (std::vector<MemberId>{0, 1, 3, 5}));
+}
+
+TEST(Structure, SdCoverIsDeterministic) {
+  crypto::HmacDrbg rng(to_bytes("sd-det"));
+  SubsetDiffCgkd gc(64, rng);
+  for (MemberId id = 0; id < 40; ++id) (void)gc.join(id);
+  for (MemberId id = 3; id < 40; id += 9) (void)gc.leave(id);
+  const auto c1 = gc.current_cover();
+  const auto c2 = gc.current_cover();
+  ASSERT_EQ(c1.size(), c2.size());
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_EQ(c1[i].i, c2[i].i);
+    EXPECT_EQ(c1[i].j, c2[i].j);
+  }
+}
+
+TEST(Structure, SdCoverExcludesExactlyTheRevoked) {
+  // Check the cover's set semantics directly against leaf arithmetic.
+  crypto::HmacDrbg rng(to_bytes("sd-set"));
+  const std::size_t cap = 32;
+  SubsetDiffCgkd gc(cap, rng);
+  std::map<MemberId, std::size_t> leaf_of;  // join order = leaf order
+  for (MemberId id = 0; id < cap; ++id) {
+    (void)gc.join(id);
+    leaf_of[id] = cap + id;  // leaves are assigned in ascending order
+  }
+  std::set<std::size_t> revoked_leaves;
+  for (MemberId id : {MemberId{5}, MemberId{6}, MemberId{20}}) {
+    (void)gc.leave(id);
+    revoked_leaves.insert(leaf_of[id]);
+  }
+  auto covered = [&](std::size_t leaf) {
+    for (const SdSubset& s : gc.current_cover()) {
+      auto is_anc = [](std::size_t anc, std::size_t node) {
+        while (node > anc) node >>= 1;
+        return node == anc;
+      };
+      if (s.j == 0) return true;
+      if (is_anc(s.i, leaf) && !is_anc(s.j, leaf)) return true;
+    }
+    return false;
+  };
+  for (std::size_t leaf = cap; leaf < 2 * cap; ++leaf) {
+    EXPECT_EQ(covered(leaf), !revoked_leaves.contains(leaf)) << leaf;
+  }
+}
+
+}  // namespace
+}  // namespace shs::cgkd

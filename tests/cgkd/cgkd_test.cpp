@@ -1,0 +1,263 @@
+// CGKD tests, parameterized across all three schemes: rekey correctness
+// under churn, forward/backward secrecy at revocation boundaries (the
+// strong security of Xu [34]), replay rejection, tamper rejection, and
+// scheme-specific structure (LKH message growth, SD cover size bound).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "cgkd/cgkd.h"
+#include "cgkd/lkh.h"
+#include "cgkd/star.h"
+#include "cgkd/subset_diff.h"
+#include "common/errors.h"
+#include "crypto/drbg.h"
+
+namespace shs::cgkd {
+namespace {
+
+using Factory =
+    std::function<std::unique_ptr<CgkdController>(num::RandomSource&)>;
+
+struct SchemeCase {
+  std::string name;
+  Factory make;
+};
+
+const SchemeCase kSchemes[] = {
+    {"star", [](num::RandomSource& r) { return std::make_unique<StarCgkd>(r); }},
+    {"lkh",
+     [](num::RandomSource& r) { return std::make_unique<LkhCgkd>(64, r); }},
+    {"sd",
+     [](num::RandomSource& r) {
+       return std::make_unique<SubsetDiffCgkd>(64, r);
+     }},
+};
+
+class CgkdAllSchemes : public ::testing::TestWithParam<SchemeCase> {
+ protected:
+  CgkdAllSchemes() : rng_(to_bytes("cgkd-" + GetParam().name)) {}
+  crypto::HmacDrbg rng_;
+};
+
+TEST_P(CgkdAllSchemes, JoinGivesMemberTheGroupKey) {
+  auto gc = GetParam().make(rng_);
+  auto r1 = gc->join(101);
+  EXPECT_EQ(r1.member->group_key(), gc->group_key());
+  EXPECT_EQ(r1.member->epoch(), gc->epoch());
+  EXPECT_EQ(gc->member_count(), 1u);
+  EXPECT_TRUE(gc->is_member(101));
+  EXPECT_FALSE(gc->is_member(102));
+}
+
+TEST_P(CgkdAllSchemes, ChurnKeepsAllCurrentMembersInSync) {
+  auto gc = GetParam().make(rng_);
+  std::vector<std::unique_ptr<CgkdMember>> members;
+  // 12 joins with everyone processing each broadcast.
+  for (MemberId id = 0; id < 12; ++id) {
+    auto r = gc->join(id);
+    for (auto& m : members) ASSERT_TRUE(m->process_rekey(r.broadcast));
+    members.push_back(std::move(r.member));
+    for (auto& m : members) {
+      ASSERT_EQ(m->group_key(), gc->group_key()) << "after join " << id;
+    }
+  }
+  // Remove every third member.
+  std::vector<std::unique_ptr<CgkdMember>> revoked;
+  for (MemberId id = 0; id < 12; id += 3) {
+    auto broadcast = gc->leave(id);
+    std::vector<std::unique_ptr<CgkdMember>> still;
+    for (auto& m : members) {
+      if (m->id() == id) {
+        EXPECT_FALSE(m->process_rekey(broadcast));
+        revoked.push_back(std::move(m));
+      } else {
+        EXPECT_TRUE(m->process_rekey(broadcast));
+        still.push_back(std::move(m));
+      }
+    }
+    members = std::move(still);
+    for (auto& m : members) EXPECT_EQ(m->group_key(), gc->group_key());
+  }
+  EXPECT_EQ(gc->member_count(), 8u);
+}
+
+TEST_P(CgkdAllSchemes, RevokedMemberCannotLearnLaterKeys) {
+  auto gc = GetParam().make(rng_);
+  auto alice = gc->join(1).member;
+  auto r_bob = gc->join(2);
+  ASSERT_TRUE(alice->process_rekey(r_bob.broadcast));
+  auto bob = std::move(r_bob.member);
+
+  const Bytes key_before = gc->group_key();
+  auto revoke_msg = gc->leave(2);
+  ASSERT_TRUE(alice->process_rekey(revoke_msg));
+  EXPECT_FALSE(bob->process_rekey(revoke_msg));
+  // Bob is stuck at the pre-revocation key; the group has moved on.
+  EXPECT_EQ(bob->group_key(), key_before);
+  EXPECT_NE(gc->group_key(), key_before);
+  EXPECT_EQ(alice->group_key(), gc->group_key());
+
+  // Bob cannot process later broadcasts either.
+  auto refresh_msg = gc->refresh();
+  ASSERT_TRUE(alice->process_rekey(refresh_msg));
+  EXPECT_FALSE(bob->process_rekey(refresh_msg));
+}
+
+TEST_P(CgkdAllSchemes, EveryRekeyInstallsFreshKey) {
+  auto gc = GetParam().make(rng_);
+  auto alice = gc->join(1).member;
+  Bytes last = gc->group_key();
+  for (int i = 0; i < 5; ++i) {
+    auto msg = gc->refresh();
+    ASSERT_TRUE(alice->process_rekey(msg));
+    EXPECT_NE(gc->group_key(), last);
+    EXPECT_EQ(alice->group_key(), gc->group_key());
+    last = gc->group_key();
+  }
+}
+
+TEST_P(CgkdAllSchemes, ReplayedBroadcastRejected) {
+  auto gc = GetParam().make(rng_);
+  auto alice = gc->join(1).member;
+  auto msg1 = gc->refresh();
+  ASSERT_TRUE(alice->process_rekey(msg1));
+  EXPECT_FALSE(alice->process_rekey(msg1));  // replay
+  auto msg2 = gc->refresh();
+  ASSERT_TRUE(alice->process_rekey(msg2));
+  EXPECT_FALSE(alice->process_rekey(msg1));  // stale epoch
+}
+
+TEST_P(CgkdAllSchemes, TamperingNeverInstallsCorruptedKey) {
+  // Flip every payload byte, one at a time. The AEAD layer guarantees a
+  // member either rejects the broadcast or — when the flipped byte is
+  // outside its own sealed entry (e.g. a framing field) — still installs
+  // the *authentic* key. A corrupted key must never be accepted.
+  auto gc = GetParam().make(rng_);
+  auto alice = gc->join(1).member;
+  std::size_t rejected = 0;
+  RekeyMessage probe = gc->refresh();
+  const std::size_t trials = probe.payload.size();
+  ASSERT_TRUE(alice->process_rekey(probe));
+  for (std::size_t i = 0; i < trials; ++i) {
+    RekeyMessage msg = gc->refresh();
+    RekeyMessage bad = msg;
+    bad.payload[i % bad.payload.size()] ^= 0x01;
+    const Bytes key_before = alice->group_key();
+    if (alice->process_rekey(bad)) {
+      EXPECT_EQ(alice->group_key(), gc->group_key())
+          << "corrupted key installed at byte " << i;
+    } else {
+      ++rejected;
+      EXPECT_EQ(alice->group_key(), key_before);
+      EXPECT_TRUE(alice->process_rekey(msg));  // authentic copy still works
+    }
+  }
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST_P(CgkdAllSchemes, DuplicateJoinAndBadLeaveThrow) {
+  auto gc = GetParam().make(rng_);
+  (void)gc->join(7);
+  EXPECT_THROW((void)gc->join(7), ProtocolError);
+  EXPECT_THROW((void)gc->leave(8), ProtocolError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, CgkdAllSchemes,
+                         ::testing::ValuesIn(kSchemes),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(LkhCgkd, RekeyMessageGrowsLogarithmically) {
+  crypto::HmacDrbg rng(to_bytes("lkh-size"));
+  LkhCgkd small(16, rng);
+  LkhCgkd large(1024, rng);
+  for (MemberId id = 0; id < 16; ++id) (void)small.join(id);
+  for (MemberId id = 0; id < 1024; ++id) (void)large.join(id);
+  const std::size_t small_size = small.leave(3).size();
+  const std::size_t large_size = large.leave(3).size();
+  // 64x the members, but only ~log growth in the rekey message.
+  EXPECT_LT(large_size, 4 * small_size);
+}
+
+TEST(LkhCgkd, CapacityEnforced) {
+  crypto::HmacDrbg rng(to_bytes("lkh-capacity"));
+  LkhCgkd gc(4, rng);
+  for (MemberId id = 0; id < 4; ++id) (void)gc.join(id);
+  EXPECT_THROW((void)gc.join(99), ProtocolError);
+  (void)gc.leave(0);
+  EXPECT_NO_THROW((void)gc.join(99));
+}
+
+TEST(SubsetDiff, CoverSizeBoundedBy2rMinus1) {
+  crypto::HmacDrbg rng(to_bytes("sd-cover"));
+  SubsetDiffCgkd gc(256, rng);
+  for (MemberId id = 0; id < 200; ++id) (void)gc.join(id);
+  EXPECT_EQ(gc.current_cover().size(), 1u);  // no revocations: "all" subset
+  std::size_t r = 0;
+  for (MemberId id = 0; id < 200; id += 7) {
+    (void)gc.leave(id);
+    ++r;
+    const auto cover = gc.current_cover();
+    EXPECT_LE(cover.size(), 2 * r - 1) << "r=" << r;
+    EXPECT_GE(cover.size(), 1u);
+  }
+}
+
+TEST(SubsetDiff, AdjacentRevocationsCompressTheCover) {
+  crypto::HmacDrbg rng(to_bytes("sd-adjacent"));
+  SubsetDiffCgkd gc(64, rng);
+  for (MemberId id = 0; id < 64; ++id) (void)gc.join(id);
+  // Revoking one full subtree of 8 adjacent leaves needs very few subsets.
+  for (MemberId id = 0; id < 8; ++id) (void)gc.leave(id);
+  EXPECT_LE(gc.current_cover().size(), 2u);
+}
+
+TEST(SubsetDiff, StatelessMemberSurvivesMissedEpochs) {
+  // Unlike LKH, an SD receiver that misses broadcasts can still decrypt the
+  // latest one — its labels never change.
+  crypto::HmacDrbg rng(to_bytes("sd-stateless"));
+  SubsetDiffCgkd gc(16, rng);
+  auto alice = gc.join(1).member;
+  (void)gc.join(2);
+  (void)gc.join(3);
+  (void)gc.refresh();  // alice misses all of these
+  auto last = gc.refresh();
+  EXPECT_TRUE(alice->process_rekey(last));
+  EXPECT_EQ(alice->group_key(), gc.group_key());
+}
+
+TEST(LkhCgkd, StatefulMemberCannotSkipEpochs) {
+  crypto::HmacDrbg rng(to_bytes("lkh-stateful"));
+  LkhCgkd gc(16, rng);
+  auto alice = gc.join(1).member;
+  (void)gc.refresh();  // missed
+  auto last = gc.refresh();
+  EXPECT_FALSE(alice->process_rekey(last));
+}
+
+TEST(SubsetDiff, RevokedLeafIsBurned) {
+  crypto::HmacDrbg rng(to_bytes("sd-burn"));
+  SubsetDiffCgkd gc(4, rng);
+  (void)gc.join(1);
+  (void)gc.join(2);
+  (void)gc.leave(1);
+  // Rejoining works (fresh leaf) until leaves are exhausted.
+  (void)gc.join(3);
+  (void)gc.join(4);
+  EXPECT_THROW((void)gc.join(5), ProtocolError);  // all 4 leaves used/burned
+  EXPECT_EQ(gc.revoked_count(), 1u);
+}
+
+TEST(AllSchemes, IndependentControllersHaveIndependentKeys) {
+  crypto::HmacDrbg rng1(to_bytes("indep-1"));
+  crypto::HmacDrbg rng2(to_bytes("indep-2"));
+  LkhCgkd a(16, rng1);
+  LkhCgkd b(16, rng2);
+  (void)a.join(1);
+  (void)b.join(1);
+  EXPECT_NE(a.group_key(), b.group_key());
+}
+
+}  // namespace
+}  // namespace shs::cgkd

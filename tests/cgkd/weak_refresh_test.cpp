@@ -1,0 +1,92 @@
+// The strong-security ablation (paper §5 / Xu [34]): a CGKD that refreshes
+// by one-way key derivation is broken — a revoked member fast-forwards
+// from its last known key through every derivation-only epoch. The
+// default fresh-random discipline resists the same attack.
+#include <gtest/gtest.h>
+
+#include "cgkd/lkh.h"
+#include "cgkd/weak_refresh.h"
+#include "crypto/drbg.h"
+
+namespace shs::cgkd {
+namespace {
+
+TEST(WeakRefresh, BasicOperationStillWorksForHonestMembers) {
+  crypto::HmacDrbg rng(to_bytes("weak-basic"));
+  WeakRefreshCgkd gc(16, rng);
+  auto alice = gc.join(1).member;
+  auto r_bob = gc.join(2);
+  ASSERT_TRUE(alice->process_rekey(r_bob.broadcast));
+  auto bob = std::move(r_bob.member);
+  for (int i = 0; i < 3; ++i) {
+    auto msg = gc.refresh();
+    ASSERT_TRUE(alice->process_rekey(msg));
+    ASSERT_TRUE(bob->process_rekey(msg));
+    EXPECT_EQ(alice->group_key(), gc.group_key());
+    EXPECT_EQ(bob->group_key(), gc.group_key());
+  }
+  auto leave_msg = gc.leave(2);
+  ASSERT_TRUE(alice->process_rekey(leave_msg));
+  EXPECT_FALSE(bob->process_rekey(leave_msg));
+  EXPECT_EQ(alice->group_key(), gc.group_key());
+}
+
+TEST(WeakRefresh, RevokedMemberFastForwardsThroughDerivedEpochs) {
+  // THE ATTACK: mallory is revoked, but the group then "refreshes" its key
+  // three times by derivation only. Mallory derives the same key chain
+  // from her last known key — she reads everything.
+  crypto::HmacDrbg rng(to_bytes("weak-attack"));
+  WeakRefreshCgkd gc(16, rng);
+  auto alice = gc.join(1).member;
+  auto r = gc.join(2);
+  ASSERT_TRUE(alice->process_rekey(r.broadcast));
+  auto mallory = std::move(r.member);
+
+  const Bytes mallory_last_key = mallory->group_key();
+  ASSERT_EQ(mallory_last_key, gc.group_key());
+
+  // Mallory is removed; the leave rekey locks her out momentarily...
+  auto leave_msg = gc.leave(2);
+  ASSERT_TRUE(alice->process_rekey(leave_msg));
+  EXPECT_FALSE(mallory->process_rekey(leave_msg));
+  const Bytes key_after_leave = gc.group_key();
+  EXPECT_NE(key_after_leave, mallory_last_key);
+
+  // ...but wait: the *leave* used fresh LKH randomness, so she cannot get
+  // key_after_leave. The weakness is in refresh(): derivation-only epochs
+  // following any key she DOES know are fully predictable. Simulate the
+  // common misconfiguration where periodic refreshes happen while she was
+  // still a member, i.e. she knows key K at epoch t and the group only
+  // weak-refreshes afterwards.
+  crypto::HmacDrbg rng2(to_bytes("weak-attack-2"));
+  WeakRefreshCgkd gc2(16, rng2);
+  auto a2 = gc2.join(1).member;
+  auto r2 = gc2.join(2);
+  ASSERT_TRUE(a2->process_rekey(r2.broadcast));
+  auto m2 = std::move(r2.member);
+  const Bytes known = m2->group_key();  // mallory's snapshot
+
+  // Mallory "leaves the room" (stops receiving) — no revocation rekey,
+  // just periodic weak refreshes, as deployed systems often do.
+  (void)gc2.refresh();
+  (void)gc2.refresh();
+  (void)gc2.refresh();
+  const Bytes attacked = WeakRefreshCgkd::derive_forward(known, 3);
+  EXPECT_EQ(attacked, gc2.group_key()) << "weak refresh must be predictable";
+}
+
+TEST(WeakRefresh, StrongLkhResistsTheSameAttack) {
+  // Control experiment: LKH's refresh() uses fresh randomness, so the
+  // forward-derivation attack fails.
+  crypto::HmacDrbg rng(to_bytes("strong-control"));
+  LkhCgkd gc(16, rng);
+  auto alice = gc.join(1).member;
+  const Bytes known = alice->group_key();
+  (void)gc.refresh();
+  (void)gc.refresh();
+  (void)gc.refresh();
+  EXPECT_NE(WeakRefreshCgkd::derive_forward(known, 3), gc.group_key());
+}
+
+}  // namespace
+}  // namespace shs::cgkd

@@ -1,0 +1,107 @@
+// Tests for byte utilities and the serialization codec, including the
+// adversarial decoding paths (truncation, trailing bytes) that protocol
+// code relies on to reject tampered messages.
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/codec.h"
+#include "common/errors.h"
+
+namespace shs {
+namespace {
+
+TEST(Bytes, HexRoundtrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(to_hex(data), "0001abff");
+  EXPECT_EQ(from_hex("0001abff"), data);
+  EXPECT_EQ(from_hex("0001ABFF"), data);
+  EXPECT_TRUE(from_hex("").empty());
+  EXPECT_EQ(to_hex({}), "");
+}
+
+TEST(Bytes, HexRejectsMalformed) {
+  EXPECT_THROW(from_hex("abc"), CodecError);
+  EXPECT_THROW(from_hex("zz"), CodecError);
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  const Bytes d = {1, 2};
+  EXPECT_TRUE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(a, c));
+  EXPECT_FALSE(ct_equal(a, d));
+  EXPECT_TRUE(ct_equal({}, {}));
+}
+
+TEST(Bytes, XorInplace) {
+  Bytes a = {0xff, 0x00, 0xaa};
+  const Bytes b = {0x0f, 0xf0, 0xaa};
+  xor_inplace(a, b);
+  EXPECT_EQ(a, (Bytes{0xf0, 0xf0, 0x00}));
+  Bytes wrong = {1};
+  EXPECT_THROW(xor_inplace(wrong, b), MathError);
+}
+
+TEST(Codec, RoundtripAllTypes) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.bytes(Bytes{1, 2, 3});
+  w.str("hello");
+  w.bytes({});
+
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.bytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_TRUE(r.done());
+  EXPECT_NO_THROW(r.expect_done());
+}
+
+TEST(Codec, BigEndianLayout) {
+  ByteWriter w;
+  w.u32(0x01020304);
+  EXPECT_EQ(to_hex(w.buffer()), "01020304");
+}
+
+TEST(Codec, TruncationThrows) {
+  ByteWriter w;
+  w.bytes(Bytes{1, 2, 3, 4, 5});
+  Bytes buf = w.take();
+  buf.resize(buf.size() - 2);  // adversarial truncation
+  ByteReader r(buf);
+  EXPECT_THROW(r.bytes(), CodecError);
+}
+
+TEST(Codec, LengthPrefixLyingThrows) {
+  ByteWriter w;
+  w.u32(1000);  // claims 1000 bytes follow
+  w.u8(7);
+  ByteReader r(w.buffer());
+  EXPECT_THROW(r.bytes(), CodecError);
+}
+
+TEST(Codec, TrailingBytesDetected) {
+  ByteWriter w;
+  w.u8(1);
+  w.u8(2);
+  ByteReader r(w.buffer());
+  r.u8();
+  EXPECT_THROW(r.expect_done(), CodecError);
+  EXPECT_EQ(r.remaining(), 1u);
+}
+
+TEST(Codec, EmptyReader) {
+  ByteReader r(BytesView{});
+  EXPECT_TRUE(r.done());
+  EXPECT_THROW(r.u8(), CodecError);
+}
+
+}  // namespace
+}  // namespace shs

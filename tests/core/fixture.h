@@ -1,0 +1,65 @@
+// Shared test scaffolding for the GCD framework tests: builds groups,
+// admits members, keeps everyone updated, and runs handshakes among
+// arbitrary member subsets.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/authority.h"
+#include "core/handshake.h"
+#include "core/member.h"
+#include "crypto/drbg.h"
+
+namespace shs::core::testing {
+
+class TestGroup {
+ public:
+  TestGroup(std::string name, const GroupConfig& config)
+      : authority_(name, config, to_bytes("seed-" + name)), name_(name) {}
+
+  Member& admit(MemberId id) {
+    members_.push_back(authority_.admit(id));
+    update_all();
+    return *members_.back();
+  }
+
+  void remove(MemberId id) {
+    authority_.remove(id);
+    update_all();
+  }
+
+  void update_all() {
+    for (auto& m : members_) (void)m->update();
+  }
+
+  [[nodiscard]] GroupAuthority& authority() { return authority_; }
+  [[nodiscard]] Member& member(std::size_t index) { return *members_[index]; }
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+
+ private:
+  GroupAuthority authority_;
+  std::string name_;
+  std::vector<std::unique_ptr<Member>> members_;
+};
+
+/// Builds participants for the given members (positions = vector order)
+/// and runs the handshake.
+inline std::vector<HandshakeOutcome> handshake(
+    const std::vector<const Member*>& members, const HandshakeOptions& options,
+    std::string_view session_seed, net::Adversary* adversary = nullptr,
+    num::RandomSource* shuffle = nullptr) {
+  const std::size_t m = members.size();
+  std::vector<std::unique_ptr<HandshakeParticipant>> parts;
+  parts.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    parts.push_back(
+        members[i]->handshake_party(i, m, options, to_bytes(session_seed)));
+  }
+  std::vector<HandshakeParticipant*> ptrs;
+  for (auto& p : parts) ptrs.push_back(p.get());
+  return run_handshake(ptrs, adversary, shuffle);
+}
+
+}  // namespace shs::core::testing

@@ -1,0 +1,237 @@
+// GCD framework plumbing tests: CreateGroup / AdmitMember / RemoveUser /
+// Update across every GSIG x CGKD combination, bulletin-board mechanics,
+// and the §3 revocation-redundancy attack (leaked CGKD key + revoked GSIG
+// credential must fail).
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "fixture.h"
+
+namespace shs::core {
+namespace {
+
+using testing::TestGroup;
+using testing::handshake;
+
+struct ComboCase {
+  std::string name;
+  GsigKind gsig;
+  CgkdKind cgkd;
+};
+
+const ComboCase kCombos[] = {
+    {"kty_lkh", GsigKind::kKty, CgkdKind::kLkh},
+    {"kty_star", GsigKind::kKty, CgkdKind::kStar},
+    {"kty_sd", GsigKind::kKty, CgkdKind::kSubsetDiff},
+    {"acjt_lkh", GsigKind::kAcjt, CgkdKind::kLkh},
+    {"acjt_star", GsigKind::kAcjt, CgkdKind::kStar},
+    {"acjt_sd", GsigKind::kAcjt, CgkdKind::kSubsetDiff},
+};
+
+class FrameworkCombos : public ::testing::TestWithParam<ComboCase> {
+ protected:
+  GroupConfig config() const {
+    GroupConfig c;
+    c.gsig = GetParam().gsig;
+    c.cgkd = GetParam().cgkd;
+    return c;
+  }
+};
+
+TEST_P(FrameworkCombos, AdmitUpdateHandshake) {
+  TestGroup group("g", config());
+  Member& alice = group.admit(1);
+  Member& bob = group.admit(2);
+  EXPECT_TRUE(alice.is_current());
+  EXPECT_TRUE(bob.is_current());
+  EXPECT_EQ(group.authority().member_count(), 2u);
+
+  HandshakeOptions opts;
+  auto outcomes = handshake({&alice, &bob}, opts, "combo-run");
+  for (const auto& o : outcomes) {
+    EXPECT_TRUE(o.completed);
+    EXPECT_TRUE(o.full_success);
+    EXPECT_EQ(o.confirmed_count(), 2u);
+  }
+  EXPECT_EQ(outcomes[0].session_key, outcomes[1].session_key);
+}
+
+TEST_P(FrameworkCombos, RemoveUserCutsBothLayers) {
+  TestGroup group("g", config());
+  Member& alice = group.admit(1);
+  Member& bob = group.admit(2);
+  Member& carol = group.admit(3);
+  group.remove(3);
+
+  EXPECT_TRUE(alice.is_current());
+  EXPECT_TRUE(bob.is_current());
+  EXPECT_TRUE(carol.revoked());
+  EXPECT_FALSE(carol.is_current());
+  EXPECT_THROW((void)carol.group_key(), ProtocolError);
+  EXPECT_THROW(
+      (void)carol.handshake_party(0, 2, HandshakeOptions{}, to_bytes("s")),
+      ProtocolError);
+
+  // Remaining members still handshake fine.
+  auto outcomes = handshake({&alice, &bob}, HandshakeOptions{}, "post-remove");
+  EXPECT_TRUE(outcomes[0].full_success);
+  EXPECT_TRUE(outcomes[1].full_success);
+}
+
+INSTANTIATE_TEST_SUITE_P(Combos, FrameworkCombos, ::testing::ValuesIn(kCombos),
+                         [](const auto& info) { return info.param.name; });
+
+GroupConfig default_config() { return GroupConfig{}; }
+
+TEST(Framework, StaleMemberMustUpdateBeforeHandshake) {
+  GroupConfig cfg = default_config();
+  GroupAuthority ga("g", cfg, to_bytes("seed"));
+  auto alice = ga.admit(1);
+  auto bob = ga.admit(2);   // alice has not seen bob's bundle yet
+  EXPECT_FALSE(alice->is_current());
+  EXPECT_THROW(
+      (void)alice->handshake_party(0, 2, HandshakeOptions{}, to_bytes("s")),
+      ProtocolError);
+  EXPECT_TRUE(alice->update());
+  EXPECT_TRUE(alice->is_current());
+  (void)bob;
+}
+
+TEST(Framework, BulletinCarriesOneBundlePerMembershipEvent) {
+  GroupConfig cfg = default_config();
+  GroupAuthority ga("g", cfg, to_bytes("seed"));
+  EXPECT_TRUE(ga.bulletin().empty());
+  auto a = ga.admit(1);
+  auto b = ga.admit(2);
+  EXPECT_EQ(ga.bulletin().size(), 2u);
+  ga.remove(2);
+  EXPECT_EQ(ga.bulletin().size(), 3u);
+  (void)a;
+  (void)b;
+}
+
+TEST(Framework, Section3RevocationAttackDefeated) {
+  // §3: suppose GSIG revocation were dropped in favour of CGKD-only
+  // revocation. A malicious unrevoked member could leak the current group
+  // key k to a revoked member, who could then fool legitimate members.
+  // With both layers in place the attack dies in Phase III: the leaked key
+  // makes the Phase-II tag validate, but the revoked member cannot produce
+  // a fresh group signature.
+  TestGroup group("g", default_config());
+  Member& alice = group.admit(1);
+  Member& bob = group.admit(2);
+  Member& mallory = group.admit(3);
+
+  // Capture mallory's credential *before* revocation (she keeps a copy).
+  const gsig::MemberCredential stale_credential = mallory.credential();
+  group.remove(3);
+
+  // The insider leaks the current group key to revoked mallory.
+  const Bytes leaked_key = alice.group_key();
+
+  HandshakeOptions opts;  // traceable: Phase III on
+  auto p0 = alice.handshake_party(0, 3, opts, to_bytes("atk"));
+  auto p1 = bob.handshake_party(1, 3, opts, to_bytes("atk"));
+  HandshakeParticipant p2(group.authority(), stale_credential, leaked_key, 2,
+                          3, opts, to_bytes("atk-mallory"));
+  HandshakeParticipant* parts[] = {p0.get(), p1.get(), &p2};
+  auto outcomes = run_handshake(parts);
+
+  // Phase II succeeded for mallory (she has the group key!)...
+  // ...but honest members must NOT confirm her (Phase III caught it).
+  EXPECT_TRUE(outcomes[0].partner[0]);
+  EXPECT_TRUE(outcomes[0].partner[1]);
+  EXPECT_FALSE(outcomes[0].partner[2]) << "revoked member accepted!";
+  EXPECT_FALSE(outcomes[1].partner[2]) << "revoked member accepted!";
+
+  // Ablation (documents the §3 argument): with Phase III disabled the
+  // leaked CGKD key alone *does* fool the honest members — which is
+  // exactly why the framework keeps both revocation layers.
+  HandshakeOptions no_p3;
+  no_p3.traceable = false;
+  auto q0 = alice.handshake_party(0, 3, no_p3, to_bytes("atk2"));
+  auto q1 = bob.handshake_party(1, 3, no_p3, to_bytes("atk2"));
+  HandshakeParticipant q2(group.authority(), stale_credential, leaked_key, 2,
+                          3, no_p3, to_bytes("atk2-mallory"));
+  HandshakeParticipant* parts2[] = {q0.get(), q1.get(), &q2};
+  auto outcomes2 = run_handshake(parts2);
+  EXPECT_TRUE(outcomes2[0].partner[2])
+      << "expected the ablated (Phase I+II only) protocol to be fooled";
+}
+
+TEST(Framework, DistinctGroupsHaveIndependentState) {
+  TestGroup a("alpha", default_config());
+  TestGroup b("beta", default_config());
+  Member& ma = a.admit(1);
+  Member& mb = b.admit(1);
+  EXPECT_NE(ma.group_key(), mb.group_key());
+  EXPECT_NE(a.authority().gsig().public_key_digest(),
+            b.authority().gsig().public_key_digest());
+}
+
+TEST(Framework, TraceRecoversAllParticipants) {
+  TestGroup group("g", default_config());
+  Member& alice = group.admit(10);
+  Member& bob = group.admit(20);
+  Member& carol = group.admit(30);
+  auto outcomes =
+      handshake({&alice, &bob, &carol}, HandshakeOptions{}, "trace-run");
+  ASSERT_TRUE(outcomes[0].full_success);
+
+  auto traced = group.authority().trace(outcomes[0].transcript);
+  std::sort(traced.begin(), traced.end());
+  EXPECT_EQ(traced, (std::vector<MemberId>{10, 20, 30}));
+
+  // Worst-case exhaustive search finds the same set.
+  auto traced2 = group.authority().trace(outcomes[1].transcript, true);
+  std::sort(traced2.begin(), traced2.end());
+  EXPECT_EQ(traced2, (std::vector<MemberId>{10, 20, 30}));
+}
+
+TEST(Framework, TraceOfUntraceableHandshakeIsEmpty) {
+  TestGroup group("g", default_config());
+  Member& alice = group.admit(1);
+  Member& bob = group.admit(2);
+  HandshakeOptions opts;
+  opts.traceable = false;
+  auto outcomes = handshake({&alice, &bob}, opts, "no-trace");
+  ASSERT_TRUE(outcomes[0].full_success);
+  EXPECT_TRUE(group.authority().trace(outcomes[0].transcript).empty());
+}
+
+TEST(Framework, WrongAuthorityCannotTrace) {
+  TestGroup a("alpha", default_config());
+  TestGroup b("beta", default_config());
+  Member& m1 = a.admit(1);
+  Member& m2 = a.admit(2);
+  auto outcomes = handshake({&m1, &m2}, HandshakeOptions{}, "cross-trace");
+  ASSERT_TRUE(outcomes[0].full_success);
+  // Group beta's GA cannot decrypt group alpha's tracing ciphertexts.
+  EXPECT_TRUE(b.authority().trace(outcomes[0].transcript).empty());
+}
+
+TEST(Framework, SelfDistinctionRequiresKty) {
+  GroupConfig cfg;
+  cfg.gsig = GsigKind::kAcjt;
+  TestGroup group("g", cfg);
+  Member& alice = group.admit(1);
+  (void)group.admit(2);
+  HandshakeOptions opts;
+  opts.self_distinction = true;
+  EXPECT_THROW((void)alice.handshake_party(0, 2, opts, to_bytes("s")),
+               ProtocolError);
+}
+
+TEST(Framework, HandshakeRejectsDegenerateShapes) {
+  TestGroup group("g", default_config());
+  Member& alice = group.admit(1);
+  EXPECT_THROW((void)alice.handshake_party(0, 1, HandshakeOptions{},
+                                           to_bytes("s")),
+               ProtocolError);
+  EXPECT_THROW((void)alice.handshake_party(5, 3, HandshakeOptions{},
+                                           to_bytes("s")),
+               ProtocolError);
+}
+
+}  // namespace
+}  // namespace shs::core

@@ -1,0 +1,429 @@
+// Security-property tests for GCD.Handshake, one block per row of the
+// paper's Fig. 2: correctness, impersonation resistance, detection
+// resistance / eavesdropper indistinguishability (shape equality),
+// unlinkability sanity, partial success, self-distinction, and behaviour
+// under an active network adversary.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/codec.h"
+#include "common/errors.h"
+#include "crypto/aead.h"
+#include "fixture.h"
+
+namespace shs::core {
+namespace {
+
+using testing::TestGroup;
+using testing::handshake;
+
+// ---------------------------------------------------------------- Correctness
+
+struct CorrectnessCase {
+  std::string name;
+  GsigKind gsig;
+  DgkaKind dgka;
+  std::size_t m;
+};
+
+class Correctness : public ::testing::TestWithParam<CorrectnessCase> {};
+
+TEST_P(Correctness, SameGroupAlwaysSucceeds) {
+  const auto& param = GetParam();
+  GroupConfig cfg;
+  cfg.gsig = param.gsig;
+  TestGroup group("g", cfg);
+  std::vector<const Member*> members;
+  for (std::size_t i = 0; i < param.m; ++i) {
+    members.push_back(&group.admit(100 + i));
+  }
+  HandshakeOptions opts;
+  opts.dgka = param.dgka;
+  opts.self_distinction = param.gsig == GsigKind::kKty;
+  auto outcomes = handshake(members, opts, "correct-" + param.name);
+  for (std::size_t i = 0; i < param.m; ++i) {
+    EXPECT_TRUE(outcomes[i].completed);
+    EXPECT_TRUE(outcomes[i].full_success) << "party " << i;
+    EXPECT_FALSE(outcomes[i].self_distinction_violated);
+    EXPECT_EQ(outcomes[i].session_key, outcomes[0].session_key);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Correctness,
+    ::testing::Values(CorrectnessCase{"kty_bd_2", GsigKind::kKty,
+                                      DgkaKind::kBurmesterDesmedt, 2},
+                      CorrectnessCase{"kty_bd_3", GsigKind::kKty,
+                                      DgkaKind::kBurmesterDesmedt, 3},
+                      CorrectnessCase{"kty_bd_5", GsigKind::kKty,
+                                      DgkaKind::kBurmesterDesmedt, 5},
+                      CorrectnessCase{"kty_gdh_3", GsigKind::kKty,
+                                      DgkaKind::kGdh, 3},
+                      CorrectnessCase{"acjt_bd_3", GsigKind::kAcjt,
+                                      DgkaKind::kBurmesterDesmedt, 3},
+                      CorrectnessCase{"acjt_gdh_4", GsigKind::kAcjt,
+                                      DgkaKind::kGdh, 4}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(CorrectnessNegative, MixedGroupsFailWithoutPartialMode) {
+  TestGroup a("alpha", GroupConfig{});
+  TestGroup b("beta", GroupConfig{});
+  const Member* members[] = {&a.admit(1), &a.admit(2), &b.admit(3)};
+  HandshakeOptions opts;
+  opts.allow_partial = false;
+  auto outcomes = handshake({members[0], members[1], members[2]}, opts,
+                            "mixed-strict");
+  for (const auto& o : outcomes) {
+    EXPECT_TRUE(o.completed);
+    EXPECT_FALSE(o.full_success);
+    EXPECT_EQ(o.confirmed_count(), 0u);
+    EXPECT_FALSE(o.failure.empty());
+  }
+}
+
+// --------------------------------------------------------- Partial success §7
+
+TEST(PartialSuccess, CliquesCompleteIndependently) {
+  // 5 parties: 3 from alpha (positions 0,2,4), 2 from beta (1,3) — the
+  // paper's §7 Extension: each clique completes and learns its own size.
+  TestGroup a("alpha", GroupConfig{});
+  TestGroup b("beta", GroupConfig{});
+  const Member* members[] = {&a.admit(1), &b.admit(2), &a.admit(3),
+                             &b.admit(4), &a.admit(5)};
+  HandshakeOptions opts;  // allow_partial defaults true
+  auto outcomes =
+      handshake({members[0], members[1], members[2], members[3], members[4]},
+                opts, "partial");
+
+  const std::vector<bool> alpha_mask = {true, false, true, false, true};
+  const std::vector<bool> beta_mask = {false, true, false, true, false};
+  for (std::size_t i : {0u, 2u, 4u}) {
+    EXPECT_EQ(outcomes[i].partner, alpha_mask) << i;
+    EXPECT_EQ(outcomes[i].confirmed_count(), 3u);
+    EXPECT_FALSE(outcomes[i].full_success);
+  }
+  for (std::size_t i : {1u, 3u}) {
+    EXPECT_EQ(outcomes[i].partner, beta_mask) << i;
+    EXPECT_EQ(outcomes[i].confirmed_count(), 2u);
+  }
+  // Session keys agree within a clique and differ across cliques.
+  EXPECT_EQ(outcomes[0].session_key, outcomes[2].session_key);
+  EXPECT_EQ(outcomes[0].session_key, outcomes[4].session_key);
+  EXPECT_EQ(outcomes[1].session_key, outcomes[3].session_key);
+  EXPECT_NE(outcomes[0].session_key, outcomes[1].session_key);
+}
+
+TEST(PartialSuccess, LonelyMemberConfirmsNobody) {
+  TestGroup a("alpha", GroupConfig{});
+  TestGroup b("beta", GroupConfig{});
+  const Member* members[] = {&a.admit(1), &a.admit(2), &b.admit(3)};
+  auto outcomes = handshake({members[0], members[1], members[2]},
+                            HandshakeOptions{}, "lonely");
+  EXPECT_EQ(outcomes[0].confirmed_count(), 2u);
+  EXPECT_EQ(outcomes[1].confirmed_count(), 2u);
+  EXPECT_EQ(outcomes[2].confirmed_count(), 0u);  // clique of one: Case 2
+  EXPECT_FALSE(outcomes[2].failure.empty());
+}
+
+// ------------------------------------------- Resistance to impersonation
+
+// A party with no credentials: plays DGKA honestly (public protocol) and
+// bluffs Phases II/III with correctly-shaped randomness.
+class RogueParty final : public net::RoundParty {
+ public:
+  RogueParty(const GroupAuthority& some_authority, std::size_t position,
+             std::size_t m, const HandshakeOptions& opts, BytesView seed)
+      : authority_(some_authority), options_(opts), rng_(seed) {
+    dgka_ = global_dgka(opts.dgka, some_authority.config().level)
+                .create_party(position, m, rng_);
+  }
+
+  [[nodiscard]] std::size_t total_rounds() const override {
+    return dgka_->rounds() + 1 + (options_.traceable ? 1 : 0);
+  }
+
+  Bytes round_message(std::size_t round) override {
+    if (round < dgka_->rounds()) return dgka_->message(round);
+    if (round == dgka_->rounds()) return rng_.bytes(32);  // fake tag
+    // Fake Phase III pair of the correct shape (sizes are public).
+    ByteWriter w;
+    w.bytes(crypto::Aead::random_ciphertext(
+        authority_.gsig().signature_size_bound() + 4, rng_));
+    w.bytes(authority_.pke().random_ciphertext(32, rng_));
+    return w.take();
+  }
+
+  void deliver(std::size_t round, const std::vector<Bytes>& msgs) override {
+    if (round < dgka_->rounds()) dgka_->receive(round, msgs);
+  }
+
+ private:
+  const GroupAuthority& authority_;
+  HandshakeOptions options_;
+  crypto::HmacDrbg rng_;
+  std::unique_ptr<dgka::DgkaParty> dgka_;
+};
+
+TEST(Impersonation, OutsiderWithoutCredentialsIsNeverConfirmed) {
+  TestGroup group("g", GroupConfig{});
+  Member& alice = group.admit(1);
+  Member& bob = group.admit(2);
+  HandshakeOptions opts;
+  auto p0 = alice.handshake_party(0, 3, opts, to_bytes("imp"));
+  auto p1 = bob.handshake_party(1, 3, opts, to_bytes("imp"));
+  RogueParty rogue(group.authority(), 2, 3, opts, to_bytes("imp-rogue"));
+
+  net::RoundParty* parties[] = {p0.get(), p1.get(), &rogue};
+  net::run_protocol(parties);
+
+  for (const auto* p : {p0.get(), p1.get()}) {
+    const auto& o = p->outcome();
+    EXPECT_TRUE(o.partner[0]);
+    EXPECT_TRUE(o.partner[1]);
+    EXPECT_FALSE(o.partner[2]) << "outsider was confirmed!";
+    EXPECT_FALSE(o.full_success);
+  }
+}
+
+TEST(Impersonation, OutsiderPlayingAllOtherRolesLearnsNothing) {
+  // A lone honest member among m-1 rogues: nothing is confirmed, and the
+  // honest member's Phase-III output is Case-2 randomness.
+  TestGroup group("g", GroupConfig{});
+  Member& alice = group.admit(1);
+  HandshakeOptions opts;
+  auto p0 = alice.handshake_party(0, 3, opts, to_bytes("swarm"));
+  RogueParty r1(group.authority(), 1, 3, opts, to_bytes("swarm-1"));
+  RogueParty r2(group.authority(), 2, 3, opts, to_bytes("swarm-2"));
+  net::RoundParty* parties[] = {p0.get(), &r1, &r2};
+  net::run_protocol(parties);
+  EXPECT_EQ(p0->outcome().confirmed_count(), 0u);
+  EXPECT_FALSE(p0->outcome().failure.empty());
+}
+
+// ----------------- Detection resistance / eavesdropper indistinguishability
+
+// Records every message size per (round, sender).
+class SizeRecorder final : public net::Adversary {
+ public:
+  std::optional<Bytes> intercept(std::size_t round, std::size_t sender,
+                                 std::size_t receiver,
+                                 const Bytes& payload) override {
+    if (receiver == 0) sizes.push_back({round, sender, payload.size()});
+    return payload;
+  }
+  struct Entry {
+    std::size_t round, sender, size;
+    bool operator==(const Entry&) const = default;
+  };
+  std::vector<Entry> sizes;
+};
+
+TEST(DetectionResistance, SuccessAndFailureTranscriptsHaveIdenticalShape) {
+  // An eavesdropper comparing a successful handshake (same group) with a
+  // failed one (mixed groups) sees identical message-size sequences.
+  TestGroup a("alpha", GroupConfig{});
+  TestGroup b("beta", GroupConfig{});
+  const Member* same[] = {&a.admit(1), &a.admit(2), &a.admit(3)};
+  const Member* mixed[] = {&a.member(0), &a.member(1), &b.admit(9)};
+
+  HandshakeOptions opts;
+  opts.allow_partial = false;
+  SizeRecorder rec_success;
+  auto o1 = handshake({same[0], same[1], same[2]}, opts, "shape-s",
+                      &rec_success);
+  SizeRecorder rec_failure;
+  auto o2 = handshake({mixed[0], mixed[1], mixed[2]}, opts, "shape-f",
+                      &rec_failure);
+  ASSERT_TRUE(o1[0].full_success);
+  ASSERT_EQ(o2[0].confirmed_count(), 0u);
+  EXPECT_EQ(rec_success.sizes, rec_failure.sizes);
+}
+
+TEST(DetectionResistance, FailedHandshakeEntriesAreUndecryptable) {
+  // After a failed handshake the published (theta, delta) pairs decrypt to
+  // nothing — even the group's own GA finds no trace.
+  TestGroup a("alpha", GroupConfig{});
+  TestGroup b("beta", GroupConfig{});
+  const Member* members[] = {&a.admit(1), &b.admit(2)};
+  auto outcomes =
+      handshake({members[0], members[1]}, HandshakeOptions{}, "undec");
+  EXPECT_EQ(outcomes[0].confirmed_count(), 0u);
+  EXPECT_TRUE(a.authority().trace(outcomes[0].transcript).empty());
+  EXPECT_TRUE(b.authority().trace(outcomes[0].transcript).empty());
+}
+
+// ------------------------------------------------------- Unlinkability sanity
+
+TEST(Unlinkability, RepeatedHandshakesShareNoCiphertextMaterial) {
+  TestGroup group("g", GroupConfig{});
+  const Member* members[] = {&group.admit(1), &group.admit(2)};
+  HandshakeOptions opts;
+  opts.self_distinction = true;
+  auto s1 = handshake({members[0], members[1]}, opts, "link-1");
+  auto s2 = handshake({members[0], members[1]}, opts, "link-2");
+  ASSERT_TRUE(s1[0].full_success);
+  ASSERT_TRUE(s2[0].full_success);
+  EXPECT_NE(s1[0].session_key, s2[0].session_key);
+  EXPECT_NE(s1[0].transcript.session_tag, s2[0].transcript.session_tag);
+  for (std::size_t j = 0; j < 2; ++j) {
+    EXPECT_NE(s1[0].transcript.entries[j].theta,
+              s2[0].transcript.entries[j].theta);
+    EXPECT_NE(s1[0].transcript.entries[j].delta,
+              s2[0].transcript.entries[j].delta);
+  }
+}
+
+// ------------------------------------------------------------ Self-distinction
+
+TEST(SelfDistinction, DoubleRoleInsiderIsDetectedByScheme2) {
+  TestGroup group("g", GroupConfig{});  // KTY by default
+  Member& alice = group.admit(1);
+  Member& bob = group.admit(2);
+  HandshakeOptions opts;
+  opts.self_distinction = true;
+
+  // Bob plays positions 1 AND 2 with the same credential.
+  auto p0 = alice.handshake_party(0, 3, opts, to_bytes("dbl"));
+  auto p1 = bob.handshake_party(1, 3, opts, to_bytes("dbl-a"));
+  auto p2 = bob.handshake_party(2, 3, opts, to_bytes("dbl-b"));
+  HandshakeParticipant* parts[] = {p0.get(), p1.get(), p2.get()};
+  auto outcomes = run_handshake(parts);
+
+  EXPECT_TRUE(outcomes[0].self_distinction_violated);
+  EXPECT_FALSE(outcomes[0].partner[1]);
+  EXPECT_FALSE(outcomes[0].partner[2]);
+  EXPECT_FALSE(outcomes[0].full_success);
+}
+
+TEST(SelfDistinction, Scheme1DoesNotDetectTheSameAttack) {
+  // The motivating gap (§1.1): without self-distinction a malicious
+  // insider impersonates several group members undetected.
+  TestGroup group("g", GroupConfig{});
+  Member& alice = group.admit(1);
+  Member& bob = group.admit(2);
+  HandshakeOptions opts;
+  opts.self_distinction = false;  // Scheme 1
+  auto p0 = alice.handshake_party(0, 3, opts, to_bytes("s1"));
+  auto p1 = bob.handshake_party(1, 3, opts, to_bytes("s1-a"));
+  auto p2 = bob.handshake_party(2, 3, opts, to_bytes("s1-b"));
+  HandshakeParticipant* parts[] = {p0.get(), p1.get(), p2.get()};
+  auto outcomes = run_handshake(parts);
+  EXPECT_TRUE(outcomes[0].full_success) << "scheme 1 is expected to be fooled";
+  EXPECT_FALSE(outcomes[0].self_distinction_violated);
+}
+
+TEST(SelfDistinction, HonestDistinctMembersAreNotFlagged) {
+  TestGroup group("g", GroupConfig{});
+  const Member* members[] = {&group.admit(1), &group.admit(2),
+                             &group.admit(3), &group.admit(4)};
+  HandshakeOptions opts;
+  opts.self_distinction = true;
+  auto outcomes = handshake({members[0], members[1], members[2], members[3]},
+                            opts, "honest-sd");
+  for (const auto& o : outcomes) {
+    EXPECT_TRUE(o.full_success);
+    EXPECT_FALSE(o.self_distinction_violated);
+  }
+  // Tracing a self-distinction transcript works too.
+  auto traced = group.authority().trace(outcomes[0].transcript);
+  EXPECT_EQ(traced.size(), 4u);
+}
+
+// ----------------------------------------------------------- Active adversary
+
+class TamperRound0 final : public net::Adversary {
+ public:
+  std::optional<Bytes> intercept(std::size_t round, std::size_t sender,
+                                 std::size_t receiver,
+                                 const Bytes& payload) override {
+    if (round == 0 && sender == 0 && receiver == 1 && !payload.empty()) {
+      Bytes bad = payload;
+      bad[0] ^= 0x01;
+      return bad;
+    }
+    return payload;
+  }
+};
+
+TEST(ActiveAdversary, MitmOnPhase1NeverYieldsFalseConfirmation) {
+  TestGroup group("g", GroupConfig{});
+  const Member* members[] = {&group.admit(1), &group.admit(2),
+                             &group.admit(3)};
+  TamperRound0 mitm;
+  auto outcomes = handshake({members[0], members[1], members[2]},
+                            HandshakeOptions{}, "mitm", &mitm);
+  // Party 1 saw a different Phase-I view: its k' (or sid) diverges, so at
+  // minimum the tag exchange with party 1 must not fully succeed. What is
+  // forbidden is a false full success everywhere.
+  bool all_full = true;
+  for (const auto& o : outcomes) all_full = all_full && o.full_success;
+  EXPECT_FALSE(all_full);
+  // And nobody crashed: every participant completed.
+  for (const auto& o : outcomes) EXPECT_TRUE(o.completed);
+}
+
+class CrossSessionReplayer final : public net::Adversary {
+ public:
+  explicit CrossSessionReplayer(Bytes recorded_tag, std::size_t tag_round)
+      : tag_(std::move(recorded_tag)), round_(tag_round) {}
+  std::optional<Bytes> intercept(std::size_t round, std::size_t sender,
+                                 std::size_t receiver,
+                                 const Bytes& payload) override {
+    if (round == round_ && sender == 2) return tag_;  // inject stale tag
+    (void)receiver;
+    return payload;
+  }
+
+ private:
+  Bytes tag_;
+  std::size_t round_;
+};
+
+class TagRecorder final : public net::Adversary {
+ public:
+  explicit TagRecorder(std::size_t tag_round) : round_(tag_round) {}
+  std::optional<Bytes> intercept(std::size_t round, std::size_t sender,
+                                 std::size_t receiver,
+                                 const Bytes& payload) override {
+    if (round == round_ && sender == 2 && receiver == 0) tag = payload;
+    return payload;
+  }
+  Bytes tag;
+
+ private:
+  std::size_t round_;
+};
+
+TEST(ActiveAdversary, ReplayedPhase2TagFromOldSessionRejected) {
+  TestGroup group("g", GroupConfig{});
+  const Member* members[] = {&group.admit(1), &group.admit(2),
+                             &group.admit(3)};
+  const std::size_t tag_round = 2;  // BD: rounds 0,1 are Phase I
+  TagRecorder recorder(tag_round);
+  auto s1 = handshake({members[0], members[1], members[2]},
+                      HandshakeOptions{}, "replay-src", &recorder);
+  ASSERT_TRUE(s1[0].full_success);
+  ASSERT_FALSE(recorder.tag.empty());
+
+  CrossSessionReplayer replayer(recorder.tag, tag_round);
+  auto s2 = handshake({members[0], members[1], members[2]},
+                      HandshakeOptions{}, "replay-dst", &replayer);
+  // Position 2's stale tag cannot validate under the fresh k'.
+  EXPECT_FALSE(s2[0].partner[2]);
+  EXPECT_FALSE(s2[1].partner[2]);
+}
+
+TEST(ActiveAdversary, AsyncDeliveryOrderDoesNotChangeOutcomes) {
+  TestGroup group("g", GroupConfig{});
+  const Member* members[] = {&group.admit(1), &group.admit(2),
+                             &group.admit(3), &group.admit(4)};
+  num::TestRng shuffle(42);
+  auto outcomes = handshake({members[0], members[1], members[2], members[3]},
+                            HandshakeOptions{}, "async", nullptr, &shuffle);
+  for (const auto& o : outcomes) EXPECT_TRUE(o.full_success);
+}
+
+}  // namespace
+}  // namespace shs::core

@@ -1,0 +1,160 @@
+// Cross-module integration tests: long-running group lifecycles with
+// interleaved churn and handshakes, larger sessions, every DGKA under
+// every GSIG, untraceable mode, transcript portability, and determinism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/errors.h"
+#include "fixture.h"
+
+namespace shs::core {
+namespace {
+
+using testing::TestGroup;
+using testing::handshake;
+
+TEST(Integration, ChurnThenHandshakeLifecycle) {
+  // A realistic life of a group: members come and go; handshakes keep
+  // working among whoever is current.
+  TestGroup group("life", GroupConfig{});
+  for (MemberId id = 0; id < 6; ++id) (void)group.admit(id);
+  group.remove(1);
+  group.remove(4);
+  (void)group.admit(10);
+  group.remove(0);
+  (void)group.admit(11);
+
+  // Survivors: indices 2,3,5 of the original batch + the two newcomers.
+  const Member* members[] = {&group.member(2), &group.member(3),
+                             &group.member(5), &group.member(6),
+                             &group.member(7)};
+  for (const Member* m : members) ASSERT_TRUE(m->is_current());
+  auto outcomes = handshake({members[0], members[1], members[2], members[3],
+                             members[4]},
+                            HandshakeOptions{}, "lifecycle");
+  for (const auto& o : outcomes) EXPECT_TRUE(o.full_success);
+  auto traced = group.authority().trace(outcomes[0].transcript);
+  std::sort(traced.begin(), traced.end());
+  EXPECT_EQ(traced, (std::vector<MemberId>{2, 3, 5, 10, 11}));
+}
+
+TEST(Integration, EveryDgkaUnderEveryGsig) {
+  for (GsigKind gsig : {GsigKind::kAcjt, GsigKind::kKty}) {
+    for (DgkaKind dgka : {DgkaKind::kBurmesterDesmedt, DgkaKind::kGdh}) {
+      GroupConfig cfg;
+      cfg.gsig = gsig;
+      TestGroup group("combo", cfg);
+      const Member* members[] = {&group.admit(1), &group.admit(2),
+                                 &group.admit(3)};
+      HandshakeOptions opts;
+      opts.dgka = dgka;
+      auto outcomes =
+          handshake({members[0], members[1], members[2]}, opts, "combo");
+      for (const auto& o : outcomes) {
+        EXPECT_TRUE(o.full_success)
+            << "gsig=" << static_cast<int>(gsig)
+            << " dgka=" << static_cast<int>(dgka);
+      }
+    }
+  }
+}
+
+TEST(Integration, SevenPartyHandshakeWithSelfDistinction) {
+  TestGroup group("seven", GroupConfig{});
+  std::vector<const Member*> members;
+  for (MemberId id = 0; id < 7; ++id) members.push_back(&group.admit(id));
+  HandshakeOptions opts;
+  opts.self_distinction = true;
+  auto outcomes = handshake(members, opts, "seven");
+  for (const auto& o : outcomes) {
+    EXPECT_TRUE(o.full_success);
+    EXPECT_FALSE(o.self_distinction_violated);
+  }
+  EXPECT_EQ(group.authority().trace(outcomes[3].transcript).size(), 7u);
+}
+
+TEST(Integration, TranscriptIsPortableAcrossObservers) {
+  // Every participant records the same transcript; the GA can trace from
+  // any of them, and an eavesdropper's copy (entries only) works too.
+  TestGroup group("portable", GroupConfig{});
+  const Member* members[] = {&group.admit(1), &group.admit(2),
+                             &group.admit(3)};
+  auto outcomes = handshake({members[0], members[1], members[2]},
+                            HandshakeOptions{}, "portable");
+  for (std::size_t i = 1; i < 3; ++i) {
+    EXPECT_EQ(outcomes[i].transcript.entries.size(),
+              outcomes[0].transcript.entries.size());
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(outcomes[i].transcript.entries[j].theta,
+                outcomes[0].transcript.entries[j].theta);
+      EXPECT_EQ(outcomes[i].transcript.entries[j].delta,
+                outcomes[0].transcript.entries[j].delta);
+    }
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(group.authority().trace(outcomes[i].transcript).size(), 3u);
+  }
+}
+
+TEST(Integration, DeterministicGivenSeeds) {
+  // Identical seeds => identical transcripts, byte for byte. This is what
+  // makes every security experiment in this suite reproducible.
+  auto run_once = [] {
+    TestGroup group("det", GroupConfig{});
+    const Member* members[] = {&group.admit(1), &group.admit(2)};
+    return handshake({members[0], members[1]}, HandshakeOptions{}, "same");
+  };
+  auto a = run_once();
+  auto b = run_once();
+  EXPECT_EQ(a[0].session_key, b[0].session_key);
+  EXPECT_EQ(a[0].transcript.entries[0].theta, b[0].transcript.entries[0].theta);
+  EXPECT_EQ(a[0].transcript.entries[1].delta, b[0].transcript.entries[1].delta);
+}
+
+TEST(Integration, UntraceableModeStillAuthenticatesPartially) {
+  // Phases I+II only, mixed groups: cliques still find each other through
+  // the tags alone (weaker guarantees, as §7's Remark allows).
+  TestGroup a("alpha", GroupConfig{});
+  TestGroup b("beta", GroupConfig{});
+  const Member* members[] = {&a.admit(1), &a.admit(2), &b.admit(3),
+                             &b.admit(4)};
+  HandshakeOptions opts;
+  opts.traceable = false;
+  auto outcomes = handshake({members[0], members[1], members[2], members[3]},
+                            opts, "p12-partial");
+  EXPECT_EQ(outcomes[0].confirmed_count(), 2u);
+  EXPECT_EQ(outcomes[2].confirmed_count(), 2u);
+  EXPECT_TRUE(outcomes[0].partner[1]);
+  EXPECT_TRUE(outcomes[2].partner[3]);
+  EXPECT_TRUE(outcomes[0].transcript.entries[0].theta.empty());
+}
+
+TEST(Integration, SubsetDiffGroupSurvivesHeavyRevocation) {
+  GroupConfig cfg;
+  cfg.cgkd = CgkdKind::kSubsetDiff;
+  cfg.cgkd_capacity = 32;
+  TestGroup group("sd-heavy", cfg);
+  for (MemberId id = 0; id < 12; ++id) (void)group.admit(id);
+  for (MemberId id = 0; id < 12; id += 2) group.remove(id);
+  const Member* members[] = {&group.member(1), &group.member(3),
+                             &group.member(5)};
+  auto outcomes = handshake({members[0], members[1], members[2]},
+                            HandshakeOptions{}, "sd-heavy");
+  for (const auto& o : outcomes) EXPECT_TRUE(o.full_success);
+}
+
+TEST(Integration, SessionKeysAreIndependentAcrossConcurrentSessions) {
+  TestGroup group("concurrent", GroupConfig{});
+  const Member* members[] = {&group.admit(1), &group.admit(2),
+                             &group.admit(3), &group.admit(4)};
+  // Two disjoint pairs handshake "at the same time" (separate sessions).
+  auto s1 = handshake({members[0], members[1]}, HandshakeOptions{}, "c1");
+  auto s2 = handshake({members[2], members[3]}, HandshakeOptions{}, "c2");
+  EXPECT_TRUE(s1[0].full_success);
+  EXPECT_TRUE(s2[0].full_success);
+  EXPECT_NE(s1[0].session_key, s2[0].session_key);
+}
+
+}  // namespace
+}  // namespace shs::core

@@ -1,0 +1,116 @@
+// Statistical sanity checks behind the detection-resistance and
+// eavesdropper-indistinguishability claims: the Phase-III bytes of real
+// (Case 1) and simulated (Case 2) handshakes must look alike to simple
+// distinguishers — equal lengths (exact) and byte-frequency statistics
+// within noise (coarse chi-square).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "fixture.h"
+
+namespace shs::core {
+namespace {
+
+using testing::TestGroup;
+using testing::handshake;
+
+/// Sum over byte values of (observed - expected)^2 / expected.
+double chi_square(const Bytes& data) {
+  std::array<double, 256> counts{};
+  for (std::uint8_t b : data) counts[b] += 1.0;
+  const double expected = static_cast<double>(data.size()) / 256.0;
+  double chi = 0;
+  for (double c : counts) chi += (c - expected) * (c - expected) / expected;
+  return chi;
+}
+
+Bytes phase3_bytes(const std::vector<HandshakeOutcome>& outcomes) {
+  Bytes all;
+  for (const auto& e : outcomes[0].transcript.entries) {
+    append(all, e.theta);
+    append(all, e.delta);
+  }
+  return all;
+}
+
+TEST(Statistical, Case1AndCase2BytesAreBothUniformish) {
+  TestGroup a("alpha", GroupConfig{});
+  TestGroup b("beta", GroupConfig{});
+  const Member* alphas[] = {&a.admit(1), &a.admit(2), &a.admit(3)};
+  const Member* betas[] = {&b.admit(4)};
+
+  Bytes case1, case2;
+  HandshakeOptions opts;
+  opts.allow_partial = false;
+  for (int round = 0; round < 6; ++round) {
+    const std::string salt = "stat-" + std::to_string(round);
+    auto ok = handshake({alphas[0], alphas[1], alphas[2]}, opts, salt + "s");
+    ASSERT_TRUE(ok[0].full_success);
+    append(case1, phase3_bytes(ok));
+    auto bad =
+        handshake({alphas[0], alphas[1], betas[0]}, opts, salt + "f");
+    ASSERT_EQ(bad[0].confirmed_count(), 0u);
+    append(case2, phase3_bytes(bad));
+  }
+
+  // Identical total ciphertext volume per run type.
+  EXPECT_EQ(case1.size(), case2.size());
+  ASSERT_GT(case1.size(), 20000u);
+
+  // Both streams pass the same coarse uniformity threshold. For uniform
+  // bytes, chi-square has mean 255 and stddev ~22.6; 400 is a ~6-sigma
+  // cap that catches any structured (non-encrypted) leakage immediately.
+  const double chi1 = chi_square(case1);
+  const double chi2 = chi_square(case2);
+  EXPECT_LT(chi1, 400.0) << "real Phase-III bytes look non-uniform";
+  EXPECT_LT(chi2, 400.0) << "simulated Phase-III bytes look non-uniform";
+}
+
+TEST(Statistical, TagsOfFailedRunsAreNotConstant) {
+  // A failed participant publishes fresh randomness each session, never a
+  // repeated or degenerate tag that would mark "failure" on the wire.
+  TestGroup a("alpha", GroupConfig{});
+  TestGroup b("beta", GroupConfig{});
+  const Member* pair[] = {&a.admit(1), &b.admit(2)};
+  HandshakeOptions opts;
+  Bytes prev;
+  for (int round = 0; round < 4; ++round) {
+    auto outcomes = handshake({pair[0], pair[1]}, opts,
+                              "fail-" + std::to_string(round));
+    EXPECT_EQ(outcomes[0].confirmed_count(), 0u);
+    Bytes current = phase3_bytes(outcomes);
+    EXPECT_NE(current, prev);
+    prev = std::move(current);
+  }
+}
+
+TEST(Statistical, SessionKeysPassByteBalance) {
+  // Keys from many handshakes, concatenated, should be balanced too.
+  TestGroup g("keys", GroupConfig{});
+  const Member* pair[] = {&g.admit(1), &g.admit(2)};
+  HandshakeOptions opts;
+  opts.traceable = false;  // fast mode: many iterations
+  Bytes keys;
+  for (int round = 0; round < 64; ++round) {
+    auto outcomes =
+        handshake({pair[0], pair[1]}, opts, "key-" + std::to_string(round));
+    ASSERT_TRUE(outcomes[0].full_success);
+    append(keys, outcomes[0].session_key);
+  }
+  // 2 KiB of key material: every byte value family should appear; a crude
+  // balance check on the top/bottom nibble distribution.
+  std::array<int, 16> hi{}, lo{};
+  for (std::uint8_t b : keys) {
+    ++hi[b >> 4];
+    ++lo[b & 0x0f];
+  }
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_GT(hi[i], 0) << i;
+    EXPECT_GT(lo[i], 0) << i;
+  }
+}
+
+}  // namespace
+}  // namespace shs::core

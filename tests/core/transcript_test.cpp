@@ -1,0 +1,68 @@
+// Transcript wire-format tests: roundtrip, GA tracing from a deserialized
+// copy (the investigator flow), and malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "fixture.h"
+
+namespace shs::core {
+namespace {
+
+using testing::TestGroup;
+using testing::handshake;
+
+TEST(Transcript, SerializeDeserializeRoundtrip) {
+  TestGroup group("ser", GroupConfig{});
+  const Member* members[] = {&group.admit(1), &group.admit(2)};
+  HandshakeOptions opts;
+  opts.self_distinction = true;
+  auto outcomes = handshake({members[0], members[1]}, opts, "ser");
+  ASSERT_TRUE(outcomes[0].full_success);
+
+  const HandshakeTranscript& original = outcomes[0].transcript;
+  const HandshakeTranscript copy =
+      HandshakeTranscript::deserialize(original.serialize());
+  EXPECT_EQ(copy.session_tag, original.session_tag);
+  EXPECT_EQ(copy.options.self_distinction, original.options.self_distinction);
+  EXPECT_EQ(copy.options.traceable, original.options.traceable);
+  ASSERT_EQ(copy.entries.size(), original.entries.size());
+  for (std::size_t i = 0; i < copy.entries.size(); ++i) {
+    EXPECT_EQ(copy.entries[i].theta, original.entries[i].theta);
+    EXPECT_EQ(copy.entries[i].delta, original.entries[i].delta);
+  }
+}
+
+TEST(Transcript, GaTracesFromDeserializedCopy) {
+  TestGroup group("ser-trace", GroupConfig{});
+  const Member* members[] = {&group.admit(7), &group.admit(8),
+                             &group.admit(9)};
+  auto outcomes = handshake({members[0], members[1], members[2]},
+                            HandshakeOptions{}, "ser-trace");
+  ASSERT_TRUE(outcomes[0].full_success);
+  // The investigator ships the serialized transcript to the GA.
+  const Bytes wire = outcomes[0].transcript.serialize();
+  auto traced =
+      group.authority().trace(HandshakeTranscript::deserialize(wire));
+  std::sort(traced.begin(), traced.end());
+  EXPECT_EQ(traced, (std::vector<MemberId>{7, 8, 9}));
+}
+
+TEST(Transcript, MalformedInputRejected) {
+  EXPECT_THROW((void)HandshakeTranscript::deserialize({}), CodecError);
+  EXPECT_THROW((void)HandshakeTranscript::deserialize(to_bytes("junk")),
+               CodecError);
+
+  TestGroup group("ser-bad", GroupConfig{});
+  const Member* members[] = {&group.admit(1), &group.admit(2)};
+  auto outcomes =
+      handshake({members[0], members[1]}, HandshakeOptions{}, "ser-bad");
+  Bytes wire = outcomes[0].transcript.serialize();
+  Bytes truncated(wire.begin(), wire.begin() + static_cast<long>(wire.size() / 2));
+  EXPECT_THROW((void)HandshakeTranscript::deserialize(truncated), CodecError);
+  Bytes extended = wire;
+  extended.push_back(0);
+  EXPECT_THROW((void)HandshakeTranscript::deserialize(extended), CodecError);
+}
+
+}  // namespace
+}  // namespace shs::core

@@ -1,0 +1,102 @@
+// Wallet (multi-group membership, paper §2 generalization) tests:
+// membership management, per-group handshakes, revocation pruning, and
+// the shared-group probe that reveals nothing about non-shared groups.
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "core/wallet.h"
+#include "fixture.h"
+
+namespace shs::core {
+namespace {
+
+using testing::TestGroup;
+
+struct WalletFixture : ::testing::Test {
+  WalletFixture()
+      : fbi("fbi", GroupConfig{}),
+        cia("cia", GroupConfig{}),
+        mi6("mi6", GroupConfig{}) {}
+
+  TestGroup fbi, cia, mi6;
+};
+
+TEST_F(WalletFixture, MembershipManagement) {
+  Wallet alice("alice");
+  alice.add_membership(fbi.authority().admit(1));
+  alice.add_membership(cia.authority().admit(1));
+  EXPECT_EQ(alice.update_all(), (std::vector<std::string>{"cia", "fbi"}));
+  EXPECT_TRUE(alice.has_group("fbi"));
+  EXPECT_FALSE(alice.has_group("mi6"));
+  EXPECT_THROW((void)alice.member("mi6"), ProtocolError);
+  EXPECT_THROW(alice.add_membership(fbi.authority().admit(99)),
+               ProtocolError);  // duplicate group
+}
+
+TEST_F(WalletFixture, RevokedMembershipIsPruned) {
+  Wallet alice("alice");
+  alice.add_membership(fbi.authority().admit(1));
+  alice.add_membership(cia.authority().admit(1));
+  (void)alice.update_all();
+  cia.authority().remove(1);
+  EXPECT_EQ(alice.update_all(), (std::vector<std::string>{"fbi"}));
+  EXPECT_FALSE(alice.has_group("cia"));
+}
+
+TEST_F(WalletFixture, PerGroupHandshake) {
+  Wallet alice("alice");
+  Wallet bob("bob");
+  alice.add_membership(fbi.authority().admit(1));
+  bob.add_membership(fbi.authority().admit(2));
+  (void)alice.update_all();
+  (void)bob.update_all();
+  HandshakeOptions opts;
+  auto p0 = alice.handshake_party("fbi", 0, 2, opts, to_bytes("w"));
+  auto p1 = bob.handshake_party("fbi", 1, 2, opts, to_bytes("w"));
+  HandshakeParticipant* parts[] = {p0.get(), p1.get()};
+  auto outcomes = run_handshake(parts);
+  EXPECT_TRUE(outcomes[0].full_success);
+  EXPECT_TRUE(outcomes[1].full_success);
+}
+
+TEST_F(WalletFixture, ProbeFindsExactlyTheSharedGroups) {
+  Wallet alice("alice");
+  Wallet bob("bob");
+  alice.add_membership(fbi.authority().admit(1));
+  alice.add_membership(cia.authority().admit(1));
+  bob.add_membership(cia.authority().admit(2));
+  bob.add_membership(mi6.authority().admit(2));
+  (void)alice.update_all();
+  (void)bob.update_all();
+
+  const auto shared = probe_shared_groups(alice, bob, {"fbi", "cia", "mi6"},
+                                          to_bytes("probe"));
+  EXPECT_EQ(shared, (std::vector<std::string>{"cia"}));
+}
+
+TEST_F(WalletFixture, ProbeWithNoOverlapFindsNothing) {
+  Wallet alice("alice");
+  Wallet bob("bob");
+  alice.add_membership(fbi.authority().admit(1));
+  bob.add_membership(mi6.authority().admit(2));
+  (void)alice.update_all();
+  (void)bob.update_all();
+  EXPECT_TRUE(probe_shared_groups(alice, bob, {"fbi", "cia", "mi6"},
+                                  to_bytes("probe-none"))
+                  .empty());
+}
+
+TEST_F(WalletFixture, ProbeHandlesUnknownGroupNames) {
+  Wallet alice("alice");
+  Wallet bob("bob");
+  alice.add_membership(fbi.authority().admit(1));
+  bob.add_membership(fbi.authority().admit(2));
+  (void)alice.update_all();
+  (void)bob.update_all();
+  const auto shared = probe_shared_groups(
+      alice, bob, {"nonexistent", "fbi"}, to_bytes("probe-unknown"));
+  EXPECT_EQ(shared, (std::vector<std::string>{"fbi"}));
+}
+
+}  // namespace
+}  // namespace shs::core

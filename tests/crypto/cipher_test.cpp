@@ -1,0 +1,164 @@
+// AES (FIPS 197 / NIST SP 800-38A vectors), CTR mode, AEAD
+// (encrypt-then-MAC) tamper-rejection, and HMAC-DRBG behaviour.
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/errors.h"
+#include "crypto/aead.h"
+#include "crypto/aes.h"
+#include "crypto/drbg.h"
+
+namespace shs::crypto {
+namespace {
+
+TEST(Aes, Fips197Aes128) {
+  const Bytes key = from_hex("000102030405060708090a0b0c0d0e0f");
+  Bytes block = from_hex("00112233445566778899aabbccddeeff");
+  Aes(key).encrypt_block(block.data());
+  EXPECT_EQ(to_hex(block), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes, Fips197Aes192) {
+  const Bytes key = from_hex("000102030405060708090a0b0c0d0e0f1011121314151617");
+  Bytes block = from_hex("00112233445566778899aabbccddeeff");
+  Aes(key).encrypt_block(block.data());
+  EXPECT_EQ(to_hex(block), "dda97ca4864cdfe06eaf70a0ec0d7191");
+}
+
+TEST(Aes, Fips197Aes256) {
+  const Bytes key = from_hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  Bytes block = from_hex("00112233445566778899aabbccddeeff");
+  Aes(key).encrypt_block(block.data());
+  EXPECT_EQ(to_hex(block), "8ea2b7ca516745bfeafc49904b496089");
+}
+
+TEST(Aes, RejectsBadKeySize) {
+  EXPECT_THROW(Aes(Bytes(15, 0)), MathError);
+  EXPECT_THROW(Aes(Bytes(0, 0)), MathError);
+  EXPECT_THROW(Aes(Bytes(33, 0)), MathError);
+}
+
+TEST(AesCtr, Sp80038aVector) {
+  // NIST SP 800-38A F.5.1 (CTR-AES128).
+  const Bytes key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Bytes iv = from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  const Bytes pt = from_hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51");
+  const Bytes ct = aes_ctr(key, iv, pt);
+  EXPECT_EQ(to_hex(ct),
+            "874d6191b620e3261bef6864990db6ce"
+            "9806f66b7970fdff8617187bb9fffdff");
+}
+
+TEST(AesCtr, EncryptDecryptSymmetry) {
+  HmacDrbg rng(to_bytes("ctr-test"));
+  const Bytes key = rng.bytes(32);
+  const Bytes iv = rng.bytes(16);
+  for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 100u, 1000u}) {
+    const Bytes pt = rng.bytes(len);
+    EXPECT_EQ(aes_ctr(key, iv, aes_ctr(key, iv, pt)), pt) << len;
+  }
+  EXPECT_THROW((void)aes_ctr(key, Bytes(8, 0), Bytes{1}), MathError);
+}
+
+TEST(AesCtr, CounterCarryPropagates) {
+  // IV ending in ff..ff must roll over rather than repeat keystream.
+  const Bytes key(16, 0x42);
+  const Bytes iv = from_hex("00000000000000000000000000ffffff");
+  const Bytes zeros(64, 0);
+  const Bytes ks = aes_ctr(key, iv, zeros);
+  // Blocks must be pairwise distinct.
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) {
+      EXPECT_NE(Bytes(ks.begin() + 16 * i, ks.begin() + 16 * (i + 1)),
+                Bytes(ks.begin() + 16 * j, ks.begin() + 16 * (j + 1)));
+    }
+  }
+}
+
+TEST(Aead, SealOpenRoundtrip) {
+  HmacDrbg rng(to_bytes("aead-test"));
+  const Aead aead(to_bytes("shared key"));
+  for (std::size_t len : {0u, 1u, 31u, 32u, 1000u}) {
+    const Bytes pt = rng.bytes(len);
+    const Bytes sealed = aead.seal(pt, rng);
+    EXPECT_EQ(sealed.size(), len + Aead::kOverhead);
+    EXPECT_EQ(aead.open(sealed), pt) << len;
+  }
+}
+
+TEST(Aead, TamperingAnywhereRejected) {
+  HmacDrbg rng(to_bytes("aead-tamper"));
+  const Aead aead(to_bytes("key"));
+  const Bytes sealed = aead.seal(to_bytes("attack at dawn"), rng);
+  for (std::size_t i = 0; i < sealed.size(); ++i) {
+    Bytes bad = sealed;
+    bad[i] ^= 0x01;
+    EXPECT_THROW((void)aead.open(bad), VerifyError) << "byte " << i;
+  }
+  Bytes truncated = sealed;
+  truncated.pop_back();
+  EXPECT_THROW((void)aead.open(truncated), VerifyError);
+  EXPECT_THROW((void)aead.open(Bytes(10, 0)), VerifyError);
+}
+
+TEST(Aead, WrongKeyRejected) {
+  HmacDrbg rng(to_bytes("aead-key"));
+  const Aead a(to_bytes("key-a"));
+  const Aead b(to_bytes("key-b"));
+  const Bytes sealed = a.seal(to_bytes("secret"), rng);
+  EXPECT_THROW((void)b.open(sealed), VerifyError);
+}
+
+TEST(Aead, RandomCiphertextHasCorrectShape) {
+  HmacDrbg rng(to_bytes("aead-random"));
+  const Bytes fake = Aead::random_ciphertext(42, rng);
+  EXPECT_EQ(fake.size(), 42 + Aead::kOverhead);
+  // A random ciphertext must (overwhelmingly) fail to open.
+  const Aead aead(to_bytes("key"));
+  EXPECT_THROW((void)aead.open(fake), VerifyError);
+}
+
+TEST(HmacDrbg, DeterministicForSameSeed) {
+  HmacDrbg a(to_bytes("seed"));
+  HmacDrbg b(to_bytes("seed"));
+  EXPECT_EQ(a.bytes(64), b.bytes(64));
+  EXPECT_EQ(a.bytes(7), b.bytes(7));
+}
+
+TEST(HmacDrbg, DifferentSeedsDiverge) {
+  HmacDrbg a(to_bytes("seed-1"));
+  HmacDrbg b(to_bytes("seed-2"));
+  EXPECT_NE(a.bytes(32), b.bytes(32));
+  HmacDrbg c = HmacDrbg::from_seed("label", 1);
+  HmacDrbg d = HmacDrbg::from_seed("label", 2);
+  EXPECT_NE(c.bytes(32), d.bytes(32));
+}
+
+TEST(HmacDrbg, SuccessiveOutputsDiffer) {
+  HmacDrbg rng(to_bytes("stream"));
+  EXPECT_NE(rng.bytes(32), rng.bytes(32));
+}
+
+TEST(HmacDrbg, ReseedChangesStream) {
+  HmacDrbg a(to_bytes("seed"));
+  HmacDrbg b(to_bytes("seed"));
+  (void)a.bytes(16);
+  (void)b.bytes(16);
+  b.reseed(to_bytes("extra entropy"));
+  EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(HmacDrbg, ByteDistributionSanity) {
+  // Crude uniformity check: all byte values appear in a 64KiB stream.
+  HmacDrbg rng(to_bytes("distribution"));
+  const Bytes stream = rng.bytes(64 * 1024);
+  bool seen[256] = {};
+  for (std::uint8_t v : stream) seen[v] = true;
+  for (int i = 0; i < 256; ++i) EXPECT_TRUE(seen[i]) << i;
+}
+
+}  // namespace
+}  // namespace shs::crypto

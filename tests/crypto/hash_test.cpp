@@ -1,0 +1,129 @@
+// Hash and MAC tests against published test vectors (FIPS 180-4 examples,
+// RFC 4231 HMAC vectors, RFC 5869 HKDF vectors) plus streaming-interface
+// behaviour across block boundaries.
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/errors.h"
+#include "crypto/hmac.h"
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+
+namespace shs::crypto {
+namespace {
+
+TEST(Sha256, Fips180Vectors) {
+  EXPECT_EQ(to_hex(Sha256::digest(to_bytes(""))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(to_hex(Sha256::digest(to_bytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(
+      to_hex(Sha256::digest(to_bytes(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionA) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShotAcrossBlockBoundaries) {
+  Bytes data;
+  for (int i = 0; i < 300; ++i) data.push_back(static_cast<std::uint8_t>(i));
+  for (std::size_t split : {0u, 1u, 55u, 56u, 63u, 64u, 65u, 128u, 299u}) {
+    Sha256 h;
+    h.update(BytesView(data).first(split));
+    h.update(BytesView(data).subspan(split));
+    EXPECT_EQ(h.finish(), Sha256::digest(data)) << split;
+  }
+}
+
+TEST(Sha256, ReuseAfterFinishThrows) {
+  Sha256 h;
+  h.update(to_bytes("x"));
+  (void)h.finish();
+  EXPECT_THROW(h.update(to_bytes("y")), ProtocolError);
+  EXPECT_THROW((void)h.finish(), ProtocolError);
+}
+
+TEST(Sha1, Fips180Vectors) {
+  EXPECT_EQ(to_hex(Sha1::digest(to_bytes(""))),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(to_hex(Sha1::digest(to_bytes("abc"))),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(
+      to_hex(Sha1::digest(to_bytes(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+      "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const Bytes msg = to_bytes("Hi There");
+  EXPECT_EQ(to_hex(hmac_sha256(key, msg)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const Bytes key = to_bytes("Jefe");
+  const Bytes msg = to_bytes("what do ya want for nothing?");
+  EXPECT_EQ(to_hex(hmac_sha256(key, msg)),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  const Bytes msg = to_bytes("Test Using Larger Than Block-Size Key - Hash Key First");
+  EXPECT_EQ(to_hex(hmac_sha256(key, msg)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, Sha1Rfc2202) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(to_hex(hmac(HashAlg::kSha1, key, to_bytes("Hi There"))),
+            "b617318655057264e28bc0b6fb378c8ef146be00");
+}
+
+TEST(Hmac, VerifyAcceptsAndRejects) {
+  const Bytes key = to_bytes("k");
+  const Bytes msg = to_bytes("m");
+  Bytes tag = hmac_sha256(key, msg);
+  EXPECT_TRUE(hmac_verify(HashAlg::kSha256, key, msg, tag));
+  tag[0] ^= 1;
+  EXPECT_FALSE(hmac_verify(HashAlg::kSha256, key, msg, tag));
+  EXPECT_FALSE(hmac_verify(HashAlg::kSha256, key, to_bytes("m2"),
+                           hmac_sha256(key, msg)));
+  EXPECT_FALSE(hmac_verify(HashAlg::kSha256, to_bytes("k2"), msg,
+                           hmac_sha256(key, msg)));
+}
+
+TEST(Hkdf, Rfc5869Case1) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes salt = from_hex("000102030405060708090a0b0c");
+  const Bytes info = from_hex("f0f1f2f3f4f5f6f7f8f9");
+  const Bytes okm = hkdf(ikm, salt, info, 42);
+  EXPECT_EQ(to_hex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(Hkdf, Rfc5869Case3EmptySaltInfo) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes okm = hkdf(ikm, {}, {}, 42);
+  EXPECT_EQ(to_hex(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(Hkdf, DifferentInfosDiverge) {
+  const Bytes ikm = to_bytes("input key material");
+  EXPECT_NE(hkdf(ikm, {}, to_bytes("a"), 32), hkdf(ikm, {}, to_bytes("b"), 32));
+  EXPECT_THROW((void)hkdf(ikm, {}, {}, 256 * 32), MathError);
+}
+
+}  // namespace
+}  // namespace shs::crypto

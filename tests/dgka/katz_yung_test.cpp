@@ -1,0 +1,135 @@
+// Schnorr signatures and the Katz-Yung authenticated DGKA extension:
+// correctness, and the active-attack detection that plain (unauthenticated)
+// DGKA cannot provide on its own.
+#include <gtest/gtest.h>
+
+#include "algebra/schnorr_sig.h"
+#include "common/errors.h"
+#include "crypto/drbg.h"
+#include "dgka/katz_yung.h"
+
+namespace shs::dgka {
+namespace {
+
+using algebra::ParamLevel;
+using algebra::SchnorrGroup;
+using algebra::SchnorrSig;
+
+TEST(SchnorrSig, SignVerifyRoundtrip) {
+  crypto::HmacDrbg rng(to_bytes("ssig"));
+  const SchnorrSig sig(SchnorrGroup::standard(ParamLevel::kTest));
+  const auto kp = sig.keygen(rng);
+  const Bytes msg = to_bytes("authenticated message");
+  const Bytes signature = sig.sign(kp.sk, msg, rng);
+  EXPECT_TRUE(sig.verify(kp.pk, msg, signature));
+}
+
+TEST(SchnorrSig, RejectsForgeries) {
+  crypto::HmacDrbg rng(to_bytes("ssig-forge"));
+  const SchnorrSig sig(SchnorrGroup::standard(ParamLevel::kTest));
+  const auto kp = sig.keygen(rng);
+  const auto other = sig.keygen(rng);
+  const Bytes msg = to_bytes("m");
+  Bytes signature = sig.sign(kp.sk, msg, rng);
+  EXPECT_FALSE(sig.verify(kp.pk, to_bytes("m2"), signature));  // other msg
+  EXPECT_FALSE(sig.verify(other.pk, msg, signature));          // other key
+  signature[5] ^= 1;                                           // tampered
+  EXPECT_FALSE(sig.verify(kp.pk, msg, signature));
+  EXPECT_FALSE(sig.verify(kp.pk, msg, Bytes(7, 3)));           // garbage
+  EXPECT_FALSE(sig.verify(kp.pk, msg, {}));
+}
+
+TEST(SchnorrSig, SignaturesAreRandomized) {
+  crypto::HmacDrbg rng(to_bytes("ssig-rand"));
+  const SchnorrSig sig(SchnorrGroup::standard(ParamLevel::kTest));
+  const auto kp = sig.keygen(rng);
+  EXPECT_NE(sig.sign(kp.sk, to_bytes("m"), rng),
+            sig.sign(kp.sk, to_bytes("m"), rng));
+}
+
+class KyFixture : public ::testing::Test {
+ protected:
+  KyFixture() : rng_(to_bytes("ky-fixture")) {
+    const SchnorrGroup group = SchnorrGroup::standard(ParamLevel::kTest);
+    for (int i = 0; i < 4; ++i) {
+      identities_.push_back(KatzYung::make_identity(group, rng_));
+    }
+    std::vector<num::BigInt> roster;
+    for (const auto& id : identities_) roster.push_back(id.pk);
+    scheme_ = std::make_unique<KatzYung>(group, std::move(roster));
+  }
+
+  std::vector<std::unique_ptr<DgkaParty>> make_session(std::size_t m) {
+    std::vector<std::unique_ptr<DgkaParty>> parties;
+    for (std::size_t i = 0; i < m; ++i) {
+      parties.push_back(scheme_->create_authenticated_party(
+          i, m, identities_[i].sk, rng_));
+    }
+    return parties;
+  }
+
+  void run(std::vector<std::unique_ptr<DgkaParty>>& parties,
+           std::size_t tamper_round = SIZE_MAX,
+           std::size_t tamper_sender = SIZE_MAX) {
+    const std::size_t m = parties.size();
+    const std::size_t rounds = parties[0]->rounds();
+    for (std::size_t r = 0; r < rounds; ++r) {
+      std::vector<Bytes> msgs(m);
+      for (std::size_t i = 0; i < m; ++i) msgs[i] = parties[i]->message(r);
+      if (r == tamper_round && !msgs[tamper_sender].empty()) {
+        msgs[tamper_sender][msgs[tamper_sender].size() / 2] ^= 0x01;
+      }
+      for (std::size_t i = 0; i < m; ++i) parties[i]->receive(r, msgs);
+    }
+  }
+
+  crypto::HmacDrbg rng_;
+  std::vector<KyIdentity> identities_;
+  std::unique_ptr<KatzYung> scheme_;
+};
+
+TEST_F(KyFixture, AuthenticatedAgreementSucceeds) {
+  for (std::size_t m : {2u, 3u, 4u}) {
+    auto parties = make_session(m);
+    EXPECT_EQ(parties[0]->rounds(), 3u);  // BD's 2 + nonce round
+    run(parties);
+    for (const auto& p : parties) ASSERT_TRUE(p->accepted()) << m;
+    for (const auto& p : parties) {
+      EXPECT_EQ(p->session_key(), parties[0]->session_key());
+    }
+  }
+}
+
+TEST_F(KyFixture, ActiveTamperingIsDetectedAndAborts) {
+  // Unlike raw BD (where tampering silently desynchronizes keys and only
+  // the framework's Phase-II MAC catches it), KY rejects at the signature
+  // check: every party that saw the forged message refuses to accept.
+  for (std::size_t round : {1u, 2u}) {
+    auto parties = make_session(3);
+    run(parties, round, 0);
+    for (const auto& p : parties) {
+      EXPECT_FALSE(p->accepted()) << "round " << round;
+    }
+  }
+}
+
+TEST_F(KyFixture, SignerOutsideRosterCannotJoin) {
+  crypto::HmacDrbg rng(to_bytes("ky-outsider"));
+  auto parties = make_session(3);
+  // Replace party 2 with one signing under a key NOT in the roster.
+  const auto rogue =
+      KatzYung::make_identity(scheme_->group(), rng);
+  parties[2] =
+      scheme_->create_authenticated_party(2, 3, rogue.sk, rng);
+  run(parties);
+  EXPECT_FALSE(parties[0]->accepted());
+  EXPECT_FALSE(parties[1]->accepted());
+}
+
+TEST_F(KyFixture, PlainCreatePartyRefusesWithoutKey) {
+  crypto::HmacDrbg rng(to_bytes("ky-nokey"));
+  EXPECT_THROW((void)scheme_->create_party(0, 2, rng), ProtocolError);
+}
+
+}  // namespace
+}  // namespace shs::dgka

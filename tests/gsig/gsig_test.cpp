@@ -1,0 +1,281 @@
+// Group-signature tests, parameterized over ACJT and KTY: sign/verify/open
+// roundtrips, anonymity sanity (distinct signatures, no linkage), forgery
+// and tamper rejection, revocation semantics (accumulator vs verifier-local),
+// credential updates, and the KTY self-distinction mechanics of §8.2.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "crypto/drbg.h"
+#include "common/errors.h"
+#include "bigint/prime.h"
+#include "gsig/accumulator.h"
+#include "gsig/acjt.h"
+#include "gsig/gsig.h"
+#include "gsig/kty.h"
+
+namespace shs::gsig {
+namespace {
+
+using num::BigInt;
+
+using Factory =
+    std::function<std::unique_ptr<GsigGroup>(num::RandomSource&)>;
+
+struct SchemeCase {
+  std::string name;
+  Factory make;
+};
+
+const SchemeCase kSchemes[] = {
+    {"acjt",
+     [](num::RandomSource& rng) -> std::unique_ptr<GsigGroup> {
+       return AcjtGsig::create(algebra::ParamLevel::kTest, rng);
+     }},
+    {"kty",
+     [](num::RandomSource& rng) -> std::unique_ptr<GsigGroup> {
+       return KtyGsig::create(algebra::ParamLevel::kTest, rng);
+     }},
+};
+
+class GsigAllSchemes : public ::testing::TestWithParam<SchemeCase> {
+ protected:
+  GsigAllSchemes() : rng_(to_bytes("gsig-" + GetParam().name)) {
+    scheme_ = GetParam().make(rng_);
+  }
+  crypto::HmacDrbg rng_;
+  std::unique_ptr<GsigGroup> scheme_;
+};
+
+TEST_P(GsigAllSchemes, SignVerifyOpenRoundtrip) {
+  auto alice = scheme_->admit(1, rng_);
+  auto bob = scheme_->admit(2, rng_);
+  scheme_->update_credential(alice);
+  const Bytes msg = to_bytes("handshake payload");
+  const Bytes sig_a = scheme_->sign(alice, msg, {}, rng_);
+  const Bytes sig_b = scheme_->sign(bob, msg, {}, rng_);
+  EXPECT_NO_THROW(scheme_->verify(msg, sig_a, {}));
+  EXPECT_NO_THROW(scheme_->verify(msg, sig_b, {}));
+  EXPECT_EQ(scheme_->open(msg, sig_a, {}), 1u);
+  EXPECT_EQ(scheme_->open(msg, sig_b, {}), 2u);
+}
+
+TEST_P(GsigAllSchemes, SignaturesAreUnlinkableBlobs) {
+  auto alice = scheme_->admit(1, rng_);
+  const Bytes msg = to_bytes("m");
+  const Bytes s1 = scheme_->sign(alice, msg, {}, rng_);
+  const Bytes s2 = scheme_->sign(alice, msg, {}, rng_);
+  EXPECT_NE(s1, s2);  // randomized
+  // Without a session tag there is no distinction tag to correlate by.
+  EXPECT_TRUE(scheme_->distinction_tag(s1).empty() ||
+              scheme_->distinction_tag(s1) != scheme_->distinction_tag(s2));
+}
+
+TEST_P(GsigAllSchemes, WrongMessageRejected) {
+  auto alice = scheme_->admit(1, rng_);
+  const Bytes sig = scheme_->sign(alice, to_bytes("paid $5"), {}, rng_);
+  EXPECT_THROW(scheme_->verify(to_bytes("paid $5000"), sig, {}), VerifyError);
+}
+
+TEST_P(GsigAllSchemes, TamperedSignatureRejected) {
+  auto alice = scheme_->admit(1, rng_);
+  const Bytes msg = to_bytes("m");
+  const Bytes sig = scheme_->sign(alice, msg, {}, rng_);
+  // Flip a byte at several depths of the blob.
+  for (std::size_t pos :
+       {std::size_t{0}, sig.size() / 3, sig.size() / 2, sig.size() - 1}) {
+    Bytes bad = sig;
+    bad[pos] ^= 0x01;
+    EXPECT_THROW(scheme_->verify(msg, bad, {}), VerifyError) << pos;
+  }
+  EXPECT_THROW(scheme_->verify(msg, Bytes(10, 0), {}), VerifyError);
+  EXPECT_THROW(scheme_->verify(msg, {}, {}), VerifyError);
+}
+
+TEST_P(GsigAllSchemes, NonMemberCannotForge) {
+  auto alice = scheme_->admit(1, rng_);
+  // A "credential" with random garbage secrets must not produce anything
+  // verifiable (sign may throw or produce an invalid signature).
+  MemberCredential fake;
+  fake.id = 99;
+  fake.secret = alice.secret;
+  fake.secret[fake.secret.size() / 2] ^= 0xff;  // corrupt a secret value
+  const Bytes msg = to_bytes("m");
+  try {
+    const Bytes sig = scheme_->sign(fake, msg, {}, rng_);
+    EXPECT_THROW(scheme_->verify(msg, sig, {}), VerifyError);
+  } catch (const Error&) {
+    SUCCEED();  // rejected even earlier
+  }
+}
+
+TEST_P(GsigAllSchemes, RevokedMemberSignaturesRejected) {
+  auto alice = scheme_->admit(1, rng_);
+  auto bob = scheme_->admit(2, rng_);
+  scheme_->update_credential(alice);
+  scheme_->update_credential(bob);
+  const Bytes msg = to_bytes("m");
+
+  scheme_->revoke(2);
+  scheme_->update_credential(alice);  // alice refreshes her state
+  EXPECT_THROW(scheme_->update_credential(bob), VerifyError);  // bob is out
+
+  const Bytes sig_a = scheme_->sign(alice, msg, {}, rng_);
+  EXPECT_NO_THROW(scheme_->verify(msg, sig_a, {}));
+
+  // Bob's stale credential cannot produce a fresh valid signature.
+  try {
+    const Bytes sig_b = scheme_->sign(bob, msg, {}, rng_);
+    EXPECT_THROW(scheme_->verify(msg, sig_b, {}), VerifyError);
+  } catch (const Error&) {
+    SUCCEED();
+  }
+}
+
+TEST_P(GsigAllSchemes, StaleSignatureRejectedAfterRevocationEvent) {
+  auto alice = scheme_->admit(1, rng_);
+  auto bob = scheme_->admit(2, rng_);
+  scheme_->update_credential(alice);
+  const Bytes msg = to_bytes("m");
+  const Bytes old_sig = scheme_->sign(alice, msg, {}, rng_);
+  EXPECT_NO_THROW(scheme_->verify(msg, old_sig, {}));
+
+  scheme_->revoke(2);  // revocation state moves on
+  EXPECT_THROW(scheme_->verify(msg, old_sig, {}), VerifyError);
+  // ...but the GA can still open the historical signature.
+  EXPECT_EQ(scheme_->open(msg, old_sig, {}), 1u);
+  (void)bob;
+}
+
+TEST_P(GsigAllSchemes, DuplicateAdmitAndBadRevokeThrow) {
+  (void)scheme_->admit(1, rng_);
+  EXPECT_THROW((void)scheme_->admit(1, rng_), ProtocolError);
+  EXPECT_THROW(scheme_->revoke(42), ProtocolError);
+  scheme_->revoke(1);
+  EXPECT_THROW(scheme_->revoke(1), ProtocolError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, GsigAllSchemes,
+                         ::testing::ValuesIn(kSchemes),
+                         [](const auto& info) { return info.param.name; });
+
+// ---- KTY self-distinction specifics (paper §8.2) ---------------------------
+
+class KtySelfDistinction : public ::testing::Test {
+ protected:
+  KtySelfDistinction() : rng_(to_bytes("kty-sd")) {
+    scheme_ = KtyGsig::create(algebra::ParamLevel::kTest, rng_);
+  }
+  crypto::HmacDrbg rng_;
+  std::unique_ptr<KtyGsig> scheme_;
+};
+
+TEST_F(KtySelfDistinction, CommonTagSignaturesVerifyAndOpen) {
+  auto alice = scheme_->admit(1, rng_);
+  const Bytes tag = to_bytes("session-transcript-hash");
+  const Bytes msg = to_bytes("delta");
+  const Bytes sig = scheme_->sign(alice, msg, tag, rng_);
+  EXPECT_NO_THROW(scheme_->verify(msg, sig, tag));
+  EXPECT_EQ(scheme_->open(msg, sig, tag), 1u);
+  EXPECT_FALSE(scheme_->distinction_tag(sig).empty());
+}
+
+TEST_F(KtySelfDistinction, SameSignerSameSessionHasEqualT6) {
+  // The heart of self-distinction: one signer playing two roles in the
+  // same session is exposed by the repeated T6 = T7^{x'}.
+  auto alice = scheme_->admit(1, rng_);
+  auto bob = scheme_->admit(2, rng_);
+  const Bytes tag = to_bytes("session");
+  const Bytes sig_a1 = scheme_->sign(alice, to_bytes("m1"), tag, rng_);
+  const Bytes sig_a2 = scheme_->sign(alice, to_bytes("m2"), tag, rng_);
+  const Bytes sig_b = scheme_->sign(bob, to_bytes("m3"), tag, rng_);
+  EXPECT_EQ(scheme_->distinction_tag(sig_a1),
+            scheme_->distinction_tag(sig_a2));
+  EXPECT_NE(scheme_->distinction_tag(sig_a1),
+            scheme_->distinction_tag(sig_b));
+}
+
+TEST_F(KtySelfDistinction, DifferentSessionsRemainUnlinkable) {
+  auto alice = scheme_->admit(1, rng_);
+  const Bytes sig1 = scheme_->sign(alice, to_bytes("m"), to_bytes("s1"), rng_);
+  const Bytes sig2 = scheme_->sign(alice, to_bytes("m"), to_bytes("s2"), rng_);
+  // T7 differs across sessions, so T6 values do not correlate.
+  EXPECT_NE(scheme_->distinction_tag(sig1), scheme_->distinction_tag(sig2));
+}
+
+TEST_F(KtySelfDistinction, WrongSessionTagRejected) {
+  auto alice = scheme_->admit(1, rng_);
+  const Bytes msg = to_bytes("m");
+  const Bytes sig = scheme_->sign(alice, msg, to_bytes("session-1"), rng_);
+  EXPECT_THROW(scheme_->verify(msg, sig, to_bytes("session-2")), VerifyError);
+  EXPECT_THROW(scheme_->verify(msg, sig, {}), VerifyError);
+  const Bytes plain = scheme_->sign(alice, msg, {}, rng_);
+  EXPECT_THROW(scheme_->verify(msg, plain, to_bytes("session-1")),
+               VerifyError);
+}
+
+TEST_F(KtySelfDistinction, AcjtRefusesSessionTags) {
+  crypto::HmacDrbg rng(to_bytes("acjt-sd"));
+  auto acjt = AcjtGsig::create(algebra::ParamLevel::kTest, rng);
+  auto alice = acjt->admit(1, rng);
+  EXPECT_FALSE(acjt->supports_self_distinction());
+  EXPECT_THROW((void)acjt->sign(alice, to_bytes("m"), to_bytes("tag"), rng),
+               ProtocolError);
+}
+
+// ---- Accumulator specifics --------------------------------------------------
+
+class AccumulatorTest : public ::testing::Test {
+ protected:
+  AccumulatorTest()
+      : rng_(to_bytes("accumulator")),
+        pair_(algebra::QrGroup::standard(algebra::ParamLevel::kTest)) {}
+  crypto::HmacDrbg rng_;
+  std::pair<algebra::QrGroup, algebra::QrGroupSecret> pair_;
+};
+
+TEST_F(AccumulatorTest, WitnessesTrackAddsAndRemoves) {
+  auto& [group, secret] = pair_;
+  Accumulator acc(group, secret, rng_);
+  const BigInt e1 = num::random_prime(160, rng_);
+  const BigInt e2 = num::random_prime(160, rng_);
+  const BigInt e3 = num::random_prime(160, rng_);
+
+  BigInt w1 = acc.add(e1);
+  EXPECT_EQ(group.exp(w1, e1), acc.value());
+
+  BigInt w2 = acc.add(e2);
+  w1 = Accumulator::update_witness(group, w1, e1,
+                                   std::span(acc.log()).subspan(1));
+  EXPECT_EQ(group.exp(w1, e1), acc.value());
+  EXPECT_EQ(group.exp(w2, e2), acc.value());
+
+  BigInt w3 = acc.add(e3);
+  acc.remove(e2);
+  w1 = Accumulator::update_witness(group, w1, e1,
+                                   std::span(acc.log()).subspan(2));
+  w3 = Accumulator::update_witness(group, w3, e3,
+                                   std::span(acc.log()).subspan(3));
+  EXPECT_EQ(group.exp(w1, e1), acc.value());
+  EXPECT_EQ(group.exp(w3, e3), acc.value());
+
+  // The removed member cannot update through its own removal.
+  EXPECT_THROW((void)Accumulator::update_witness(
+                   group, w2, e2, std::span(acc.log()).subspan(3)),
+               VerifyError);
+}
+
+TEST_F(AccumulatorTest, HistoricalValuesRetrievable) {
+  auto& [group, secret] = pair_;
+  Accumulator acc(group, secret, rng_);
+  const BigInt v0 = acc.value();
+  const BigInt e = num::random_prime(160, rng_);
+  (void)acc.add(e);
+  EXPECT_EQ(acc.value_at(0), v0);
+  EXPECT_EQ(acc.value_at(1), acc.value());
+  EXPECT_THROW((void)acc.value_at(7), ProtocolError);
+}
+
+}  // namespace
+}  // namespace shs::gsig

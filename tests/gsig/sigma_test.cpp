@@ -1,0 +1,163 @@
+// Sigma-protocol engine tests: completeness across statement shapes,
+// soundness smoke tests (wrong witnesses / tampered proofs / wrong context
+// rejected), interval enforcement, and serialization roundtrips.
+#include <gtest/gtest.h>
+
+#include "algebra/qr_group.h"
+#include "crypto/drbg.h"
+#include "common/errors.h"
+#include "gsig/sigma.h"
+
+namespace shs::gsig {
+namespace {
+
+using num::BigInt;
+
+class SigmaTest : public ::testing::Test {
+ protected:
+  SigmaTest()
+      : rng_(to_bytes("sigma-test")),
+        group_(algebra::QrGroup::standard(algebra::ParamLevel::kTest).first) {}
+
+  crypto::HmacDrbg rng_;
+  algebra::QrGroup group_;
+};
+
+TEST_F(SigmaTest, SingleDlogCompleteness) {
+  const BigInt g = group_.random_qr(rng_);
+  const BigInt w = num::random_bits(200, rng_);
+  SigmaStatement st;
+  st.witnesses = {{BigInt(0), 200}};
+  st.relations = {{group_.exp(g, w), {{0, g, +1}}}};
+  const SigmaProof proof = sigma_prove(group_, st, {w}, to_bytes("ctx"), rng_);
+  EXPECT_TRUE(sigma_verify(group_, st, proof, to_bytes("ctx")));
+}
+
+TEST_F(SigmaTest, MultiBaseMultiRelationCompleteness) {
+  // Pedersen-style: C1 = g^w1 h^w2, C2 = g^w2 (shared w2), C3 = h^{-w1} k^w3.
+  const BigInt g = group_.random_qr(rng_);
+  const BigInt h = group_.random_qr(rng_);
+  const BigInt k = group_.random_qr(rng_);
+  const BigInt w1 = num::random_bits(128, rng_);
+  const BigInt w2 = num::random_bits(160, rng_);
+  const BigInt w3 = num::random_bits(100, rng_);
+  SigmaStatement st;
+  st.witnesses = {{BigInt(0), 128}, {BigInt(0), 160}, {BigInt(0), 100}};
+  st.relations = {
+      {group_.mul(group_.exp(g, w1), group_.exp(h, w2)),
+       {{0, g, +1}, {1, h, +1}}},
+      {group_.exp(g, w2), {{1, g, +1}}},
+      {group_.mul(group_.exp(h, -w1), group_.exp(k, w3)),
+       {{0, h, -1}, {2, k, +1}}},
+  };
+  const SigmaProof proof =
+      sigma_prove(group_, st, {w1, w2, w3}, to_bytes("ctx"), rng_);
+  EXPECT_TRUE(sigma_verify(group_, st, proof, to_bytes("ctx")));
+}
+
+TEST_F(SigmaTest, OffsetWitnessCompleteness) {
+  // Witness near 2^300 with range 2^64 (the ACJT interval pattern).
+  const BigInt g = group_.random_qr(rng_);
+  const BigInt offset = BigInt(1) << 300;
+  const BigInt w = offset + num::random_bits(60, rng_);
+  SigmaStatement st;
+  st.witnesses = {{offset, 64}};
+  st.relations = {{group_.exp(g, w), {{0, g, +1}}}};
+  const SigmaProof proof = sigma_prove(group_, st, {w}, {}, rng_);
+  EXPECT_TRUE(sigma_verify(group_, st, proof, {}));
+}
+
+TEST_F(SigmaTest, WrongContextRejected) {
+  const BigInt g = group_.random_qr(rng_);
+  const BigInt w = num::random_bits(64, rng_);
+  SigmaStatement st;
+  st.witnesses = {{BigInt(0), 64}};
+  st.relations = {{group_.exp(g, w), {{0, g, +1}}}};
+  const SigmaProof proof = sigma_prove(group_, st, {w}, to_bytes("a"), rng_);
+  EXPECT_FALSE(sigma_verify(group_, st, proof, to_bytes("b")));
+}
+
+TEST_F(SigmaTest, WrongStatementValueRejected) {
+  const BigInt g = group_.random_qr(rng_);
+  const BigInt w = num::random_bits(64, rng_);
+  SigmaStatement st;
+  st.witnesses = {{BigInt(0), 64}};
+  st.relations = {{group_.exp(g, w), {{0, g, +1}}}};
+  const SigmaProof proof = sigma_prove(group_, st, {w}, {}, rng_);
+  SigmaStatement other = st;
+  other.relations[0].value = group_.exp(g, w + BigInt(1));
+  EXPECT_FALSE(sigma_verify(group_, other, proof, {}));
+}
+
+TEST_F(SigmaTest, TamperedProofRejected) {
+  const BigInt g = group_.random_qr(rng_);
+  const BigInt w = num::random_bits(64, rng_);
+  SigmaStatement st;
+  st.witnesses = {{BigInt(0), 64}};
+  st.relations = {{group_.exp(g, w), {{0, g, +1}}}};
+  SigmaProof proof = sigma_prove(group_, st, {w}, {}, rng_);
+  {
+    SigmaProof bad = proof;
+    bad.challenge[0] ^= 1;
+    EXPECT_FALSE(sigma_verify(group_, st, bad, {}));
+  }
+  {
+    SigmaProof bad = proof;
+    bad.responses[0] += BigInt(1);
+    EXPECT_FALSE(sigma_verify(group_, st, bad, {}));
+  }
+  {
+    SigmaProof bad = proof;
+    bad.responses.clear();
+    EXPECT_FALSE(sigma_verify(group_, st, bad, {}));
+  }
+}
+
+TEST_F(SigmaTest, OversizedResponseRejected) {
+  // A response violating the interval bound must fail even if the algebra
+  // happens to hold (here it will not, but the check must fire first).
+  const BigInt g = group_.random_qr(rng_);
+  const BigInt w = num::random_bits(16, rng_);
+  SigmaStatement st;
+  st.witnesses = {{BigInt(0), 16}};
+  st.relations = {{group_.exp(g, w), {{0, g, +1}}}};
+  SigmaProof proof = sigma_prove(group_, st, {w}, {}, rng_);
+  proof.responses[0] = BigInt(1) << (eps_bits(16 + kChallengeBits) + 10);
+  EXPECT_FALSE(sigma_verify(group_, st, proof, {}));
+}
+
+TEST_F(SigmaTest, SerializationRoundtrip) {
+  const BigInt g = group_.random_qr(rng_);
+  const BigInt w = num::random_bits(64, rng_);
+  SigmaStatement st;
+  st.witnesses = {{BigInt(0), 64}};
+  st.relations = {{group_.exp(g, w), {{0, g, +1}}}};
+  const SigmaProof proof = sigma_prove(group_, st, {w}, {}, rng_);
+  const SigmaProof copy = SigmaProof::deserialize(proof.serialize());
+  EXPECT_EQ(copy.challenge, proof.challenge);
+  EXPECT_EQ(copy.responses.size(), proof.responses.size());
+  EXPECT_TRUE(sigma_verify(group_, st, copy, {}));
+  EXPECT_THROW((void)SigmaProof::deserialize(Bytes(3, 7)), CodecError);
+}
+
+TEST_F(SigmaTest, ProofsAreRandomized) {
+  const BigInt g = group_.random_qr(rng_);
+  const BigInt w = num::random_bits(64, rng_);
+  SigmaStatement st;
+  st.witnesses = {{BigInt(0), 64}};
+  st.relations = {{group_.exp(g, w), {{0, g, +1}}}};
+  const SigmaProof p1 = sigma_prove(group_, st, {w}, {}, rng_);
+  const SigmaProof p2 = sigma_prove(group_, st, {w}, {}, rng_);
+  EXPECT_NE(p1.challenge, p2.challenge);
+}
+
+TEST_F(SigmaTest, WitnessCountMismatchThrows) {
+  const BigInt g = group_.random_qr(rng_);
+  SigmaStatement st;
+  st.witnesses = {{BigInt(0), 64}};
+  st.relations = {{g, {{0, g, +1}}}};
+  EXPECT_THROW((void)sigma_prove(group_, st, {}, {}, rng_), ProtocolError);
+}
+
+}  // namespace
+}  // namespace shs::gsig

@@ -1,0 +1,91 @@
+// paramgen — generates fresh cryptographic parameters for every algebraic
+// setting the library uses, using only this library's own primality and
+// arithmetic code. The embedded constants in src/algebra/params.h and
+// src/algebra/pairing.cpp were produced by an equivalent external script;
+// this tool regenerates comparable sets and verifies their structure, so
+// a deployment never has to trust the shipped numbers.
+//
+//   ./paramgen [--bits N] [--seed S]
+//
+// Output: safe-prime pairs for RSA moduli, Schnorr safe primes, and
+// supersingular-pairing parameters (p = qh - 1, p = 3 mod 4), all as hex.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bigint/modmath.h"
+#include "bigint/prime.h"
+#include "crypto/drbg.h"
+
+using namespace shs;
+using num::BigInt;
+
+namespace {
+
+void emit(const char* label, const BigInt& v) {
+  std::printf("%s = \"%s\"\n", label, v.to_hex().c_str());
+}
+
+/// Finds (p, q, h) with q prime (160 bits), h = 0 mod 4, p = qh - 1 prime
+/// and p = 3 mod 4 — the "type A" pairing parameters.
+void pairing_params(std::size_t p_bits, num::RandomSource& rng) {
+  const std::size_t q_bits = 160;
+  for (;;) {
+    const BigInt q = num::random_prime(q_bits, rng);
+    for (int attempt = 0; attempt < 512; ++attempt) {
+      BigInt h = num::random_bits(p_bits - q_bits, rng);
+      h -= BigInt(h.limbs().empty() ? 0 : (h.limbs()[0] & 3));  // 0 mod 4
+      if (h.is_zero()) continue;
+      const BigInt p = q * h - BigInt(1);
+      if ((p.limbs()[0] & 3) != 3) continue;
+      if (!num::is_probable_prime(p, rng, 8)) continue;
+      if (!num::is_probable_prime(p, rng)) continue;
+      emit("pairing_p", p);
+      emit("pairing_q", q);
+      emit("pairing_h", h);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t bits = 256;
+  std::uint64_t seed = 1;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--bits") == 0) {
+      bits = static_cast<std::size_t>(std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[i + 1]));
+    }
+  }
+  if (bits < 64 || bits > 2048) {
+    std::fprintf(stderr, "paramgen: --bits must be in [64, 2048]\n");
+    return 1;
+  }
+  crypto::HmacDrbg rng(crypto::HmacDrbg::from_seed("paramgen", seed)
+                           .bytes(32));
+
+  std::printf("# paramgen --bits %zu --seed %llu\n", bits,
+              static_cast<unsigned long long>(seed));
+
+  std::printf("\n# RSA safe-prime pair (modulus n = p*q, %zu bits)\n",
+              2 * bits);
+  const BigInt p = num::random_safe_prime(bits, rng);
+  BigInt q = num::random_safe_prime(bits, rng);
+  while (q == p) q = num::random_safe_prime(bits, rng);
+  emit("rsa_p", p);
+  emit("rsa_q", q);
+
+  std::printf("\n# Schnorr safe prime (%zu bits)\n", 2 * bits);
+  emit("schnorr_p", num::random_safe_prime(2 * bits, rng));
+
+  std::printf("\n# Supersingular pairing parameters (p ~ %zu bits)\n",
+              2 * bits);
+  pairing_params(2 * bits, rng);
+
+  std::printf("\n# structure verified: all primality tests passed\n");
+  return 0;
+}
