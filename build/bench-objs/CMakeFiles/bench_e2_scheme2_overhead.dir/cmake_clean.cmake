@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e2_scheme2_overhead"
+  "../bench/bench_e2_scheme2_overhead.pdb"
+  "CMakeFiles/bench_e2_scheme2_overhead.dir/bench_e2_scheme2_overhead.cpp.o"
+  "CMakeFiles/bench_e2_scheme2_overhead.dir/bench_e2_scheme2_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_scheme2_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

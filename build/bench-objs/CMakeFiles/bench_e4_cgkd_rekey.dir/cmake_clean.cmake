@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e4_cgkd_rekey"
+  "../bench/bench_e4_cgkd_rekey.pdb"
+  "CMakeFiles/bench_e4_cgkd_rekey.dir/bench_e4_cgkd_rekey.cpp.o"
+  "CMakeFiles/bench_e4_cgkd_rekey.dir/bench_e4_cgkd_rekey.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_cgkd_rekey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e5_dgka_compare"
+  "../bench/bench_e5_dgka_compare.pdb"
+  "CMakeFiles/bench_e5_dgka_compare.dir/bench_e5_dgka_compare.cpp.o"
+  "CMakeFiles/bench_e5_dgka_compare.dir/bench_e5_dgka_compare.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_dgka_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e7_partial_success"
+  "../bench/bench_e7_partial_success.pdb"
+  "CMakeFiles/bench_e7_partial_success.dir/bench_e7_partial_success.cpp.o"
+  "CMakeFiles/bench_e7_partial_success.dir/bench_e7_partial_success.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_partial_success.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e8_tracing"
+  "../bench/bench_e8_tracing.pdb"
+  "CMakeFiles/bench_e8_tracing.dir/bench_e8_tracing.cpp.o"
+  "CMakeFiles/bench_e8_tracing.dir/bench_e8_tracing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_tracing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clearance_levels.dir/clearance_levels.cpp.o"
+  "CMakeFiles/clearance_levels.dir/clearance_levels.cpp.o.d"
+  "clearance_levels"
+  "clearance_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clearance_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

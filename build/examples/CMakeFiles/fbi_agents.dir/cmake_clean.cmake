@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbi_agents.dir/fbi_agents.cpp.o"
+  "CMakeFiles/fbi_agents.dir/fbi_agents.cpp.o.d"
+  "fbi_agents"
+  "fbi_agents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbi_agents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_handshake.dir/partial_handshake.cpp.o"
+  "CMakeFiles/partial_handshake.dir/partial_handshake.cpp.o.d"
+  "partial_handshake"
+  "partial_handshake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_handshake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/self_distinction_demo.dir/self_distinction_demo.cpp.o"
+  "CMakeFiles/self_distinction_demo.dir/self_distinction_demo.cpp.o.d"
+  "self_distinction_demo"
+  "self_distinction_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/self_distinction_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

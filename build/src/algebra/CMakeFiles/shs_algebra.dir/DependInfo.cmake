@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/elgamal.cpp" "src/algebra/CMakeFiles/shs_algebra.dir/elgamal.cpp.o" "gcc" "src/algebra/CMakeFiles/shs_algebra.dir/elgamal.cpp.o.d"
+  "/root/repo/src/algebra/hybrid_pke.cpp" "src/algebra/CMakeFiles/shs_algebra.dir/hybrid_pke.cpp.o" "gcc" "src/algebra/CMakeFiles/shs_algebra.dir/hybrid_pke.cpp.o.d"
+  "/root/repo/src/algebra/pairing.cpp" "src/algebra/CMakeFiles/shs_algebra.dir/pairing.cpp.o" "gcc" "src/algebra/CMakeFiles/shs_algebra.dir/pairing.cpp.o.d"
+  "/root/repo/src/algebra/params.cpp" "src/algebra/CMakeFiles/shs_algebra.dir/params.cpp.o" "gcc" "src/algebra/CMakeFiles/shs_algebra.dir/params.cpp.o.d"
+  "/root/repo/src/algebra/qr_group.cpp" "src/algebra/CMakeFiles/shs_algebra.dir/qr_group.cpp.o" "gcc" "src/algebra/CMakeFiles/shs_algebra.dir/qr_group.cpp.o.d"
+  "/root/repo/src/algebra/schnorr_group.cpp" "src/algebra/CMakeFiles/shs_algebra.dir/schnorr_group.cpp.o" "gcc" "src/algebra/CMakeFiles/shs_algebra.dir/schnorr_group.cpp.o.d"
+  "/root/repo/src/algebra/schnorr_sig.cpp" "src/algebra/CMakeFiles/shs_algebra.dir/schnorr_sig.cpp.o" "gcc" "src/algebra/CMakeFiles/shs_algebra.dir/schnorr_sig.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/shs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/shs_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/shs_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shs_algebra.dir/elgamal.cpp.o"
+  "CMakeFiles/shs_algebra.dir/elgamal.cpp.o.d"
+  "CMakeFiles/shs_algebra.dir/hybrid_pke.cpp.o"
+  "CMakeFiles/shs_algebra.dir/hybrid_pke.cpp.o.d"
+  "CMakeFiles/shs_algebra.dir/pairing.cpp.o"
+  "CMakeFiles/shs_algebra.dir/pairing.cpp.o.d"
+  "CMakeFiles/shs_algebra.dir/params.cpp.o"
+  "CMakeFiles/shs_algebra.dir/params.cpp.o.d"
+  "CMakeFiles/shs_algebra.dir/qr_group.cpp.o"
+  "CMakeFiles/shs_algebra.dir/qr_group.cpp.o.d"
+  "CMakeFiles/shs_algebra.dir/schnorr_group.cpp.o"
+  "CMakeFiles/shs_algebra.dir/schnorr_group.cpp.o.d"
+  "CMakeFiles/shs_algebra.dir/schnorr_sig.cpp.o"
+  "CMakeFiles/shs_algebra.dir/schnorr_sig.cpp.o.d"
+  "libshs_algebra.a"
+  "libshs_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shs_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shs_baselines.dir/balfanz.cpp.o"
+  "CMakeFiles/shs_baselines.dir/balfanz.cpp.o.d"
+  "CMakeFiles/shs_baselines.dir/cjt04.cpp.o"
+  "CMakeFiles/shs_baselines.dir/cjt04.cpp.o.d"
+  "libshs_baselines.a"
+  "libshs_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

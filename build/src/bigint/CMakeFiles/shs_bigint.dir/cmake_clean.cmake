@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shs_bigint.dir/bigint.cpp.o"
+  "CMakeFiles/shs_bigint.dir/bigint.cpp.o.d"
+  "CMakeFiles/shs_bigint.dir/modmath.cpp.o"
+  "CMakeFiles/shs_bigint.dir/modmath.cpp.o.d"
+  "CMakeFiles/shs_bigint.dir/montgomery.cpp.o"
+  "CMakeFiles/shs_bigint.dir/montgomery.cpp.o.d"
+  "CMakeFiles/shs_bigint.dir/prime.cpp.o"
+  "CMakeFiles/shs_bigint.dir/prime.cpp.o.d"
+  "CMakeFiles/shs_bigint.dir/random.cpp.o"
+  "CMakeFiles/shs_bigint.dir/random.cpp.o.d"
+  "libshs_bigint.a"
+  "libshs_bigint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shs_bigint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cgkd/lkh.cpp" "src/cgkd/CMakeFiles/shs_cgkd.dir/lkh.cpp.o" "gcc" "src/cgkd/CMakeFiles/shs_cgkd.dir/lkh.cpp.o.d"
+  "/root/repo/src/cgkd/star.cpp" "src/cgkd/CMakeFiles/shs_cgkd.dir/star.cpp.o" "gcc" "src/cgkd/CMakeFiles/shs_cgkd.dir/star.cpp.o.d"
+  "/root/repo/src/cgkd/subset_diff.cpp" "src/cgkd/CMakeFiles/shs_cgkd.dir/subset_diff.cpp.o" "gcc" "src/cgkd/CMakeFiles/shs_cgkd.dir/subset_diff.cpp.o.d"
+  "/root/repo/src/cgkd/weak_refresh.cpp" "src/cgkd/CMakeFiles/shs_cgkd.dir/weak_refresh.cpp.o" "gcc" "src/cgkd/CMakeFiles/shs_cgkd.dir/weak_refresh.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/shs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/shs_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/shs_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shs_cgkd.dir/lkh.cpp.o"
+  "CMakeFiles/shs_cgkd.dir/lkh.cpp.o.d"
+  "CMakeFiles/shs_cgkd.dir/star.cpp.o"
+  "CMakeFiles/shs_cgkd.dir/star.cpp.o.d"
+  "CMakeFiles/shs_cgkd.dir/subset_diff.cpp.o"
+  "CMakeFiles/shs_cgkd.dir/subset_diff.cpp.o.d"
+  "CMakeFiles/shs_cgkd.dir/weak_refresh.cpp.o"
+  "CMakeFiles/shs_cgkd.dir/weak_refresh.cpp.o.d"
+  "libshs_cgkd.a"
+  "libshs_cgkd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shs_cgkd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for shs_cgkd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shs_common.dir/bytes.cpp.o"
+  "CMakeFiles/shs_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/shs_common.dir/codec.cpp.o"
+  "CMakeFiles/shs_common.dir/codec.cpp.o.d"
+  "libshs_common.a"
+  "libshs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

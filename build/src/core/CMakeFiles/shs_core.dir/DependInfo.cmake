@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/authority.cpp" "src/core/CMakeFiles/shs_core.dir/authority.cpp.o" "gcc" "src/core/CMakeFiles/shs_core.dir/authority.cpp.o.d"
+  "/root/repo/src/core/handshake.cpp" "src/core/CMakeFiles/shs_core.dir/handshake.cpp.o" "gcc" "src/core/CMakeFiles/shs_core.dir/handshake.cpp.o.d"
+  "/root/repo/src/core/member.cpp" "src/core/CMakeFiles/shs_core.dir/member.cpp.o" "gcc" "src/core/CMakeFiles/shs_core.dir/member.cpp.o.d"
+  "/root/repo/src/core/transcript.cpp" "src/core/CMakeFiles/shs_core.dir/transcript.cpp.o" "gcc" "src/core/CMakeFiles/shs_core.dir/transcript.cpp.o.d"
+  "/root/repo/src/core/wallet.cpp" "src/core/CMakeFiles/shs_core.dir/wallet.cpp.o" "gcc" "src/core/CMakeFiles/shs_core.dir/wallet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/shs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/shs_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/shs_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/shs_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/gsig/CMakeFiles/shs_gsig.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgkd/CMakeFiles/shs_cgkd.dir/DependInfo.cmake"
+  "/root/repo/build/src/dgka/CMakeFiles/shs_dgka.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/shs_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shs_core.dir/authority.cpp.o"
+  "CMakeFiles/shs_core.dir/authority.cpp.o.d"
+  "CMakeFiles/shs_core.dir/handshake.cpp.o"
+  "CMakeFiles/shs_core.dir/handshake.cpp.o.d"
+  "CMakeFiles/shs_core.dir/member.cpp.o"
+  "CMakeFiles/shs_core.dir/member.cpp.o.d"
+  "CMakeFiles/shs_core.dir/transcript.cpp.o"
+  "CMakeFiles/shs_core.dir/transcript.cpp.o.d"
+  "CMakeFiles/shs_core.dir/wallet.cpp.o"
+  "CMakeFiles/shs_core.dir/wallet.cpp.o.d"
+  "libshs_core.a"
+  "libshs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aead.cpp" "src/crypto/CMakeFiles/shs_crypto.dir/aead.cpp.o" "gcc" "src/crypto/CMakeFiles/shs_crypto.dir/aead.cpp.o.d"
+  "/root/repo/src/crypto/aes.cpp" "src/crypto/CMakeFiles/shs_crypto.dir/aes.cpp.o" "gcc" "src/crypto/CMakeFiles/shs_crypto.dir/aes.cpp.o.d"
+  "/root/repo/src/crypto/drbg.cpp" "src/crypto/CMakeFiles/shs_crypto.dir/drbg.cpp.o" "gcc" "src/crypto/CMakeFiles/shs_crypto.dir/drbg.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/shs_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/shs_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/sha1.cpp" "src/crypto/CMakeFiles/shs_crypto.dir/sha1.cpp.o" "gcc" "src/crypto/CMakeFiles/shs_crypto.dir/sha1.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/shs_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/shs_crypto.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/shs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/shs_bigint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

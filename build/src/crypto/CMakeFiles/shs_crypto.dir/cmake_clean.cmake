@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shs_crypto.dir/aead.cpp.o"
+  "CMakeFiles/shs_crypto.dir/aead.cpp.o.d"
+  "CMakeFiles/shs_crypto.dir/aes.cpp.o"
+  "CMakeFiles/shs_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/shs_crypto.dir/drbg.cpp.o"
+  "CMakeFiles/shs_crypto.dir/drbg.cpp.o.d"
+  "CMakeFiles/shs_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/shs_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/shs_crypto.dir/sha1.cpp.o"
+  "CMakeFiles/shs_crypto.dir/sha1.cpp.o.d"
+  "CMakeFiles/shs_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/shs_crypto.dir/sha256.cpp.o.d"
+  "libshs_crypto.a"
+  "libshs_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shs_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libshs_crypto.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shs_dgka.dir/burmester_desmedt.cpp.o"
+  "CMakeFiles/shs_dgka.dir/burmester_desmedt.cpp.o.d"
+  "CMakeFiles/shs_dgka.dir/dgka.cpp.o"
+  "CMakeFiles/shs_dgka.dir/dgka.cpp.o.d"
+  "CMakeFiles/shs_dgka.dir/gdh.cpp.o"
+  "CMakeFiles/shs_dgka.dir/gdh.cpp.o.d"
+  "CMakeFiles/shs_dgka.dir/katz_yung.cpp.o"
+  "CMakeFiles/shs_dgka.dir/katz_yung.cpp.o.d"
+  "libshs_dgka.a"
+  "libshs_dgka.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shs_dgka.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gsig/accumulator.cpp" "src/gsig/CMakeFiles/shs_gsig.dir/accumulator.cpp.o" "gcc" "src/gsig/CMakeFiles/shs_gsig.dir/accumulator.cpp.o.d"
+  "/root/repo/src/gsig/acjt.cpp" "src/gsig/CMakeFiles/shs_gsig.dir/acjt.cpp.o" "gcc" "src/gsig/CMakeFiles/shs_gsig.dir/acjt.cpp.o.d"
+  "/root/repo/src/gsig/kty.cpp" "src/gsig/CMakeFiles/shs_gsig.dir/kty.cpp.o" "gcc" "src/gsig/CMakeFiles/shs_gsig.dir/kty.cpp.o.d"
+  "/root/repo/src/gsig/sigma.cpp" "src/gsig/CMakeFiles/shs_gsig.dir/sigma.cpp.o" "gcc" "src/gsig/CMakeFiles/shs_gsig.dir/sigma.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/shs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/shs_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/shs_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/shs_algebra.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

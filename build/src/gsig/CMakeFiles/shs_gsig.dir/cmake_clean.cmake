@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shs_gsig.dir/accumulator.cpp.o"
+  "CMakeFiles/shs_gsig.dir/accumulator.cpp.o.d"
+  "CMakeFiles/shs_gsig.dir/acjt.cpp.o"
+  "CMakeFiles/shs_gsig.dir/acjt.cpp.o.d"
+  "CMakeFiles/shs_gsig.dir/kty.cpp.o"
+  "CMakeFiles/shs_gsig.dir/kty.cpp.o.d"
+  "CMakeFiles/shs_gsig.dir/sigma.cpp.o"
+  "CMakeFiles/shs_gsig.dir/sigma.cpp.o.d"
+  "libshs_gsig.a"
+  "libshs_gsig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shs_gsig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

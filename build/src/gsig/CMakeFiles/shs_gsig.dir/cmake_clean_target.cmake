@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libshs_gsig.a"
+)

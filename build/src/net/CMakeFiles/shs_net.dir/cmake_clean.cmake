@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shs_net.dir/protocol.cpp.o"
+  "CMakeFiles/shs_net.dir/protocol.cpp.o.d"
+  "libshs_net.a"
+  "libshs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgkd_test.dir/cgkd/cgkd_structure_test.cpp.o"
+  "CMakeFiles/cgkd_test.dir/cgkd/cgkd_structure_test.cpp.o.d"
+  "CMakeFiles/cgkd_test.dir/cgkd/cgkd_test.cpp.o"
+  "CMakeFiles/cgkd_test.dir/cgkd/cgkd_test.cpp.o.d"
+  "CMakeFiles/cgkd_test.dir/cgkd/weak_refresh_test.cpp.o"
+  "CMakeFiles/cgkd_test.dir/cgkd/weak_refresh_test.cpp.o.d"
+  "cgkd_test"
+  "cgkd_test.pdb"
+  "cgkd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgkd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgka_test.dir/dgka/dgka_test.cpp.o"
+  "CMakeFiles/dgka_test.dir/dgka/dgka_test.cpp.o.d"
+  "CMakeFiles/dgka_test.dir/dgka/katz_yung_test.cpp.o"
+  "CMakeFiles/dgka_test.dir/dgka/katz_yung_test.cpp.o.d"
+  "dgka_test"
+  "dgka_test.pdb"
+  "dgka_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgka_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

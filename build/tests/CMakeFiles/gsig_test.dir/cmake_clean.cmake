@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsig_test.dir/gsig/gsig_extra_test.cpp.o"
+  "CMakeFiles/gsig_test.dir/gsig/gsig_extra_test.cpp.o.d"
+  "CMakeFiles/gsig_test.dir/gsig/gsig_test.cpp.o"
+  "CMakeFiles/gsig_test.dir/gsig/gsig_test.cpp.o.d"
+  "CMakeFiles/gsig_test.dir/gsig/sigma_test.cpp.o"
+  "CMakeFiles/gsig_test.dir/gsig/sigma_test.cpp.o.d"
+  "gsig_test"
+  "gsig_test.pdb"
+  "gsig_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
