@@ -58,6 +58,8 @@ int main(int argc, char** argv) {
   std::printf("E1: Scheme 1 (ACJT+BD+LKH) m-party handshake — paper claim: "
               "O(m) exponentiations and O(m) messages per party\n");
 
+  JsonReport report("e1");
+
   // Claim table (exact counts, independent of timing noise).
   table_header("m | exps/party | msgs/party | wall ms (whole handshake)",
                "--+-----------+-----------+--------");
@@ -75,9 +77,40 @@ int main(int argc, char** argv) {
     // Messages per party: Phase I (BD: 2) + Phase II (1) + Phase III (1).
     std::printf("%2zu | %9.1f | %9d | %7.1f\n", m, exps, 4,
                 ms);
+    report.add()
+        .field("op", "handshake")
+        .field("m", static_cast<double>(m))
+        .field("threads", 1.0)
+        .field("wall_ms", ms)
+        .field("ns_per_handshake", ms * 1e6)
+        .field("exps_per_party", exps);
   }
   std::printf("\n(exps/party divided by m should be ~constant: linear "
               "growth => O(m) confirmed)\n");
+
+  // Parallel driver scaling at m=8: each party's round computation runs
+  // on a thread pool; transcripts are identical to the serial run.
+  table_header("threads | wall ms (m=8) | speedup", "--------+--------+-------");
+  double serial_ms = 0;
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    net::DriverOptions driver;
+    driver.threads = threads;
+    const double ms = time_ms([&] {
+      auto outcomes = run_group_handshake(group, 8, options,
+                                          "thr-" + std::to_string(threads),
+                                          driver);
+      if (!outcomes[0].full_success) std::abort();
+    });
+    if (threads == 1) serial_ms = ms;
+    std::printf("%7zu | %7.1f | %6.2fx\n", threads, ms, serial_ms / ms);
+    report.add()
+        .field("op", "handshake_parallel")
+        .field("m", 8.0)
+        .field("threads", static_cast<double>(threads))
+        .field("wall_ms", ms)
+        .field("speedup_vs_serial", serial_ms / ms);
+  }
+  std::printf("(speedup is bounded by the host's available cores)\n");
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -4,8 +4,12 @@
 // Phase III, so they explain the E1-E3 numbers.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <functional>
 
+#include "bench_util.h"
+#include "bigint/montgomery.h"
 #include "crypto/drbg.h"
 #include "gsig/acjt.h"
 #include "gsig/kty.h"
@@ -131,6 +135,46 @@ BENCHMARK(BM_KtyVerify1024)->Unit(benchmark::kMillisecond)->Iterations(3);
 
 }  // namespace
 
+// Machine-readable timings: a few explicit iterations per op with the
+// process-wide modexp counter sampled around them.
+void write_json_report() {
+  bench::JsonReport report("e9");
+  const int iters = 5;
+  struct Op {
+    const char* name;
+    std::function<void(Ctx&)> run;
+  };
+  const Op ops[] = {
+      {"sign", [](Ctx& c) {
+         benchmark::DoNotOptimize(
+             c.scheme->sign(c.credential, c.message, {}, c.rng));
+       }},
+      {"verify", [](Ctx& c) {
+         c.scheme->verify(c.message, c.signature, {});
+       }},
+      {"open", [](Ctx& c) {
+         benchmark::DoNotOptimize(c.scheme->open(c.message, c.signature, {}));
+       }},
+  };
+  for (const char* scheme : {"acjt", "kty"}) {
+    for (const Op& op : ops) {
+      Ctx& ctx = context(scheme);
+      op.run(ctx);  // warm-up (fills fixed-base tables)
+      num::reset_modexp_count();
+      const double ms = bench::time_ms([&] {
+        for (int i = 0; i < iters; ++i) op.run(ctx);
+      });
+      report.add()
+          .field("op", std::string(scheme) + "_" + op.name)
+          .field("ms_per_op", ms / iters)
+          .field("ns_per_op", ms / iters * 1e6)
+          .field("modexps_per_op",
+                 static_cast<double>(num::modexp_count()) / iters);
+    }
+  }
+  report.write();
+}
+
 int main(int argc, char** argv) {
   std::printf("E9: group-signature microbenchmarks (512-bit modulus, "
               "compact parameter profile)\n");
@@ -142,5 +186,6 @@ int main(int argc, char** argv) {
               context("kty").scheme->signature_size_bound());
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  write_json_report();
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/authority.h"
@@ -40,10 +41,11 @@ inline BenchGroup& cached_group(const std::string& key,
 }
 
 /// Runs one handshake among the first m members of `group`; returns
-/// outcomes. `salt` decorrelates sessions.
+/// outcomes. `salt` decorrelates sessions. `driver.threads > 1` runs the
+/// per-party round computation on a thread pool.
 inline std::vector<core::HandshakeOutcome> run_group_handshake(
     BenchGroup& group, std::size_t m, const core::HandshakeOptions& options,
-    const std::string& salt) {
+    const std::string& salt, const net::DriverOptions& driver = {}) {
   std::vector<std::unique_ptr<core::HandshakeParticipant>> parts;
   for (std::size_t i = 0; i < m; ++i) {
     parts.push_back(
@@ -51,7 +53,7 @@ inline std::vector<core::HandshakeOutcome> run_group_handshake(
   }
   std::vector<core::HandshakeParticipant*> ptrs;
   for (auto& p : parts) ptrs.push_back(p.get());
-  return core::run_handshake(ptrs);
+  return core::run_handshake(ptrs, nullptr, nullptr, driver);
 }
 
 /// Wall-clock helper returning milliseconds.
@@ -66,5 +68,75 @@ double time_ms(F&& fn) {
 inline void table_header(const char* title, const char* columns) {
   std::printf("\n%s\n%s\n", title, columns);
 }
+
+/// Machine-readable results: collects flat records and writes
+/// BENCH_<experiment>.json on destruction (or explicit write()), e.g.
+///
+///   {"experiment": "e9", "records": [
+///     {"op": "acjt_verify", "ms_per_op": 3.21, "modexps": 12.0}, ...]}
+///
+/// Values are doubles or strings; column order follows insertion order.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string experiment)
+      : experiment_(std::move(experiment)) {}
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+  ~JsonReport() { write(); }
+
+  class Record {
+   public:
+    Record& field(const std::string& key, double value) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.6g", value);
+      fields_.emplace_back(key, buf);
+      return *this;
+    }
+    Record& field(const std::string& key, const std::string& value) {
+      fields_.emplace_back(key, '"' + value + '"');
+      return *this;
+    }
+
+   private:
+    friend class JsonReport;
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  Record& add() {
+    records_.emplace_back();
+    return records_.back();
+  }
+
+  /// Writes BENCH_<experiment>.json in the working directory; idempotent.
+  void write() {
+    if (written_) return;
+    written_ = true;
+    const std::string path = "BENCH_" + experiment_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonReport: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\"experiment\": \"%s\", \"records\": [",
+                 experiment_.c_str());
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      std::fprintf(f, "%s\n  {", i == 0 ? "" : ",");
+      const auto& fields = records_[i].fields_;
+      for (std::size_t j = 0; j < fields.size(); ++j) {
+        std::fprintf(f, "%s\"%s\": %s", j == 0 ? "" : ", ",
+                     fields[j].first.c_str(), fields[j].second.c_str());
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path.c_str());
+  }
+
+ private:
+  std::string experiment_;
+  std::vector<Record> records_;
+  bool written_ = false;
+};
 
 }  // namespace shs::bench

@@ -21,8 +21,10 @@ HybridPke::KeyPair HybridPke::keygen(num::RandomSource& rng) const {
   kp.sk.y1 = group_.random_exponent(rng);
   kp.sk.y2 = group_.random_exponent(rng);
   kp.sk.z = group_.random_exponent(rng);
-  kp.pk.c = group_.mul(group_.exp_g(kp.sk.x1), group_.exp(kp.pk.g2, kp.sk.x2));
-  kp.pk.d = group_.mul(group_.exp_g(kp.sk.y1), group_.exp(kp.pk.g2, kp.sk.y2));
+  kp.pk.c = group_.multi_exp(std::vector<BigInt>{group_.g(), kp.pk.g2},
+                             std::vector<BigInt>{kp.sk.x1, kp.sk.x2});
+  kp.pk.d = group_.multi_exp(std::vector<BigInt>{group_.g(), kp.pk.g2},
+                             std::vector<BigInt>{kp.sk.y1, kp.sk.y2});
   kp.pk.h = group_.exp_g(kp.sk.z);
   return kp;
 }
@@ -46,8 +48,9 @@ Bytes HybridPke::encrypt(const PublicKey& pk, BytesView plaintext,
   const BigInt u2 = group_.exp(pk.g2, r);
   const BigInt e = group_.mul(group_.exp(pk.h, r), k);
   const BigInt alpha = fs_alpha(u1, u2, e);
-  const BigInt v = group_.mul(group_.exp(pk.c, r),
-                              group_.exp(pk.d, num::mul_mod(r, alpha, group_.q())));
+  const BigInt v = group_.multi_exp(
+      std::vector<BigInt>{pk.c, pk.d},
+      std::vector<BigInt>{r, num::mul_mod(r, alpha, group_.q())});
 
   const Bytes dem_key = crypto::hkdf(group_.encode(k), {},
                                      to_bytes("cs-hybrid-dem"), 32);
@@ -73,13 +76,16 @@ Bytes HybridPke::decrypt([[maybe_unused]] const PublicKey& pk,
   const BigInt e = group_.decode(ciphertext.subspan(2 * es, es));
   const BigInt v = group_.decode(ciphertext.subspan(3 * es, es));
 
-  // Cramer-Shoup validity check.
+  // Cramer-Shoup validity check: u1^{x1+y1*a} u2^{x2+y2*a} as one
+  // two-base multi-exponentiation.
   const BigInt alpha = fs_alpha(u1, u2, e);
-  const BigInt check =
-      group_.mul(group_.exp(u1, num::add_mod(sk.x1, num::mul_mod(sk.y1, alpha, group_.q()),
-                                             group_.q())),
-                 group_.exp(u2, num::add_mod(sk.x2, num::mul_mod(sk.y2, alpha, group_.q()),
-                                             group_.q())));
+  const BigInt check = group_.multi_exp(
+      std::vector<BigInt>{u1, u2},
+      std::vector<BigInt>{
+          num::add_mod(sk.x1, num::mul_mod(sk.y1, alpha, group_.q()),
+                       group_.q()),
+          num::add_mod(sk.x2, num::mul_mod(sk.y2, alpha, group_.q()),
+                       group_.q())});
   if (check != v) {
     throw VerifyError("HybridPke::decrypt: CCA validity check failed");
   }

@@ -32,8 +32,27 @@ std::pair<QrGroup, QrGroupSecret> QrGroup::generate(std::size_t prime_bits,
 }
 
 BigInt QrGroup::exp(const BigInt& base, const BigInt& e) const {
-  if (e.is_negative()) return mont_->exp(inverse(base), -e);
+  if (e.is_negative()) return exp(inverse(base), -e);
+  for (const auto& table : fixed_) {
+    if (table->base() == base && table->covers(e)) return table->exp(e);
+  }
   return mont_->exp(base, e);
+}
+
+BigInt QrGroup::multi_exp(std::span<const BigInt> bases,
+                          std::span<const BigInt> exps) const {
+  return num::multi_exp_cached(*mont_, bases, exps, fixed_);
+}
+
+void QrGroup::precompute_base(const BigInt& base) {
+  for (const auto& table : fixed_) {
+    if (table->base() == base) return;
+  }
+  // Sigma-proof responses over QR(n) reach ~eps*(gamma1 + 2*lp + k) bits,
+  // which stays under 3x the modulus width for both parameter profiles;
+  // longer exponents simply fall back to the generic ladder.
+  fixed_.push_back(num::PrecompCache::instance().ensure(
+      mont_, base, 3 * n_.bit_length()));
 }
 
 BigInt QrGroup::mul(const BigInt& a, const BigInt& b) const {

@@ -8,9 +8,12 @@
 #pragma once
 
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "algebra/params.h"
 #include "bigint/bigint.h"
+#include "bigint/fixed_base.h"
 #include "bigint/montgomery.h"
 #include "bigint/random.h"
 #include "common/bytes.h"
@@ -41,11 +44,24 @@ class QrGroup {
 
   [[nodiscard]] const num::BigInt& n() const noexcept { return n_; }
 
+  /// base^e mod n. Bases pinned with precompute_base are served from
+  /// their fixed-base tables (squaring-free).
   [[nodiscard]] num::BigInt exp(const num::BigInt& base,
                                 const num::BigInt& e) const;
+  /// prod bases[i]^exps[i] mod n: pinned bases are squaring-free, the rest
+  /// share one Straus squaring chain (sigma-proof relations collapse from
+  /// k exponentiations to one shared chain). Negative exponents allowed.
+  [[nodiscard]] num::BigInt multi_exp(std::span<const num::BigInt> bases,
+                                      std::span<const num::BigInt> exps) const;
   [[nodiscard]] num::BigInt mul(const num::BigInt& a,
                                 const num::BigInt& b) const;
   [[nodiscard]] num::BigInt inverse(const num::BigInt& a) const;
+
+  /// Pins a fixed-base table for `base` (deduplicated process-wide). The
+  /// group-signature schemes pin their generators (a, a0, g, h, y) at
+  /// setup; tables are sized for the sigma-proof response range (~3x the
+  /// modulus bits). Call during setup, before concurrent use.
+  void precompute_base(const num::BigInt& base);
 
   /// Uniform element of QR(n): square of a random unit. With a safe-prime
   /// modulus such an element generates QR(n) with overwhelming probability.
@@ -68,6 +84,8 @@ class QrGroup {
  private:
   num::BigInt n_;
   std::shared_ptr<const num::Montgomery> mont_;
+  // Pinned fixed-base tables; shared across copies of this group.
+  std::vector<std::shared_ptr<const num::FixedBaseTable>> fixed_;
 };
 
 }  // namespace shs::algebra

@@ -18,6 +18,19 @@ SchnorrGroup::SchnorrGroup(BigInt safe_prime_p)
   if (p_.bit_length() < 16) {
     throw MathError("SchnorrGroup: prime too small");
   }
+  // The generator is the one base every protocol exponentiates over and
+  // over; pin its table up front (deduplicated process-wide, so the
+  // standard parameter levels pay the build once per process).
+  precompute_base(g_);
+}
+
+void SchnorrGroup::precompute_base(const BigInt& base) {
+  for (const auto& table : fixed_) {
+    if (table->base() == base) return;
+  }
+  // Exponents live in Z_q (plus small hash slack); size tables for that.
+  fixed_.push_back(num::PrecompCache::instance().ensure(
+      mont_, base, q_.bit_length() + 64));
 }
 
 SchnorrGroup SchnorrGroup::standard(ParamLevel level) {
@@ -32,9 +45,17 @@ BigInt SchnorrGroup::exp_g(const BigInt& e) const { return exp(g_, e); }
 
 BigInt SchnorrGroup::exp(const BigInt& base, const BigInt& e) const {
   if (e.is_negative()) {
-    return mont_->exp(inverse(base), -e);
+    return exp(inverse(base), -e);
+  }
+  for (const auto& table : fixed_) {
+    if (table->base() == base && table->covers(e)) return table->exp(e);
   }
   return mont_->exp(base, e);
+}
+
+BigInt SchnorrGroup::multi_exp(std::span<const BigInt> bases,
+                               std::span<const BigInt> exps) const {
+  return num::multi_exp_cached(*mont_, bases, exps, fixed_);
 }
 
 BigInt SchnorrGroup::mul(const BigInt& a, const BigInt& b) const {

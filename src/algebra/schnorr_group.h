@@ -8,8 +8,11 @@
 #pragma once
 
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "bigint/bigint.h"
+#include "bigint/fixed_base.h"
 #include "bigint/montgomery.h"
 #include "bigint/random.h"
 #include "algebra/params.h"
@@ -33,14 +36,24 @@ class SchnorrGroup {
   [[nodiscard]] const num::BigInt& q() const noexcept { return q_; }
   [[nodiscard]] const num::BigInt& g() const noexcept { return g_; }
 
-  /// g^e mod p.
+  /// g^e mod p (fixed-base precomputed — squaring-free per call).
   [[nodiscard]] num::BigInt exp_g(const num::BigInt& e) const;
-  /// base^e mod p (base must be in [0, p)).
+  /// base^e mod p (base must be in [0, p)). Bases pinned with
+  /// precompute_base are served from their fixed-base tables.
   [[nodiscard]] num::BigInt exp(const num::BigInt& base,
                                 const num::BigInt& e) const;
+  /// prod bases[i]^exps[i] mod p: pinned bases are squaring-free, the rest
+  /// share one Straus squaring chain. Negative exponents allowed.
+  [[nodiscard]] num::BigInt multi_exp(std::span<const num::BigInt> bases,
+                                      std::span<const num::BigInt> exps) const;
   [[nodiscard]] num::BigInt mul(const num::BigInt& a,
                                 const num::BigInt& b) const;
   [[nodiscard]] num::BigInt inverse(const num::BigInt& a) const;
+
+  /// Pins a fixed-base precomputation table for `base` (deduplicated
+  /// process-wide via num::PrecompCache); later exp/multi_exp calls on it
+  /// skip the squaring chain. Call during setup, before concurrent use.
+  void precompute_base(const num::BigInt& base);
 
   /// Uniform exponent in [1, q-1].
   [[nodiscard]] num::BigInt random_exponent(num::RandomSource& rng) const;
@@ -72,6 +85,8 @@ class SchnorrGroup {
   num::BigInt q_;
   num::BigInt g_;
   std::shared_ptr<const num::Montgomery> mont_;
+  // Pinned fixed-base tables; shared across copies of this group.
+  std::vector<std::shared_ptr<const num::FixedBaseTable>> fixed_;
 };
 
 }  // namespace shs::algebra

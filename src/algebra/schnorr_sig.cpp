@@ -51,9 +51,12 @@ bool SchnorrSig::verify(const BigInt& pk, BytesView message,
     const BigInt s = BigInt::from_bytes(r.bytes());
     r.expect_done();
     if (e >= group_.q() || s >= group_.q()) return false;
-    // commitment' = g^s pk^e; accept iff H(commitment' || pk || m) == e.
+    // commitment' = g^s pk^e (one two-base multi-exponentiation; the
+    // fixed-base g table still serves the g^s half squaring-free).
+    // Accept iff H(commitment' || pk || m) == e.
     const BigInt commitment =
-        group_.mul(group_.exp_g(s), group_.exp(pk, e));
+        group_.multi_exp(std::vector<BigInt>{group_.g(), pk},
+                         std::vector<BigInt>{s, e});
     return challenge(group_, commitment, pk, message) == e;
   } catch (const Error&) {
     return false;

@@ -1,0 +1,146 @@
+#include "bigint/fixed_base.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "bigint/modmath.h"
+#include "common/errors.h"
+
+namespace shs::num {
+
+FixedBaseTable::FixedBaseTable(std::shared_ptr<const Montgomery> mont,
+                               BigInt base, std::size_t max_exp_bits)
+    : mont_(std::move(mont)), base_(std::move(base)) {
+  if (mont_ == nullptr) {
+    throw MathError("FixedBaseTable: null Montgomery context");
+  }
+  if (base_.sign() < 0 || base_ >= mont_->modulus()) {
+    throw MathError("FixedBaseTable: base must be in [0, m)");
+  }
+  windows_ = (std::max<std::size_t>(max_exp_bits, 1) + kWindow - 1) / kWindow;
+  entries_.reserve(windows_ * kDigits);
+  // p = Montgomery form of base^(16^w) for the current window.
+  Montgomery::LimbVec p = mont_->to_mont(base_);
+  for (std::size_t w = 0; w < windows_; ++w) {
+    entries_.push_back(p);  // digit 1
+    for (std::size_t d = 2; d <= kDigits; ++d) {
+      entries_.push_back(mont_->mont_mul(entries_.back(), p));
+    }
+    if (w + 1 != windows_) {
+      for (std::size_t s = 0; s < kWindow; ++s) p = mont_->mont_sqr(p);
+    }
+  }
+}
+
+BigInt FixedBaseTable::exp(const BigInt& exponent) const {
+  if (exponent.sign() < 0) {
+    throw MathError("FixedBaseTable::exp: negative exponent");
+  }
+  if (!covers(exponent)) {
+    throw MathError("FixedBaseTable::exp: exponent exceeds table size");
+  }
+  detail::count_modexp(1);
+  if (exponent.is_zero()) return BigInt(1);
+
+  const std::size_t used = (exponent.bit_length() + kWindow - 1) / kWindow;
+  Montgomery::LimbVec acc = mont_->one_mont_;
+  for (std::size_t w = 0; w < used; ++w) {
+    std::size_t idx = 0;
+    for (std::size_t b = kWindow; b-- > 0;) {
+      idx = (idx << 1) | (exponent.bit(w * kWindow + b) ? 1 : 0);
+    }
+    if (idx != 0) {
+      acc = mont_->mont_mul(acc, entries_[w * kDigits + idx - 1]);
+    }
+  }
+  return mont_->from_mont(acc);
+}
+
+PrecompCache& PrecompCache::instance() {
+  static auto* cache = new PrecompCache;  // leaked: outlives all users
+  return *cache;
+}
+
+namespace {
+std::string cache_key(const BigInt& modulus, const BigInt& base) {
+  return modulus.to_hex() + ":" + base.to_hex();
+}
+}  // namespace
+
+std::shared_ptr<const FixedBaseTable> PrecompCache::ensure(
+    std::shared_ptr<const Montgomery> mont, const BigInt& base,
+    std::size_t max_exp_bits) {
+  if (mont == nullptr) throw MathError("PrecompCache: null Montgomery context");
+  const std::string key = cache_key(mont->modulus(), base);
+  std::lock_guard lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end() && it->second->max_exp_bits() >= max_exp_bits) {
+    return it->second;
+  }
+  auto table =
+      std::make_shared<const FixedBaseTable>(std::move(mont), base,
+                                             max_exp_bits);
+  if (it != map_.end()) {
+    it->second = table;  // grown in place; insertion order unchanged
+    return table;
+  }
+  while (map_.size() >= kMaxTables && !insertion_order_.empty()) {
+    map_.erase(insertion_order_.front());
+    insertion_order_.erase(insertion_order_.begin());
+  }
+  map_.emplace(key, table);
+  insertion_order_.push_back(key);
+  return table;
+}
+
+std::size_t PrecompCache::size() const {
+  std::lock_guard lock(mu_);
+  return map_.size();
+}
+
+void PrecompCache::clear() {
+  std::lock_guard lock(mu_);
+  map_.clear();
+  insertion_order_.clear();
+}
+
+BigInt multi_exp_cached(
+    const Montgomery& mont, std::span<const BigInt> bases,
+    std::span<const BigInt> exponents,
+    std::span<const std::shared_ptr<const FixedBaseTable>> tables) {
+  if (bases.size() != exponents.size()) {
+    throw MathError("multi_exp_cached: bases/exponents size mismatch");
+  }
+  const BigInt& m = mont.modulus();
+  BigInt acc(1);
+  std::vector<BigInt> straus_bases;
+  std::vector<BigInt> straus_exps;
+  for (std::size_t i = 0; i < bases.size(); ++i) {
+    BigInt base = bases[i];
+    BigInt e = exponents[i];
+    if (e.is_negative()) {
+      base = mod_inverse(base, m);
+      e = -e;
+    }
+    if (e.is_zero()) continue;
+    const FixedBaseTable* hit = nullptr;
+    for (const auto& table : tables) {
+      if (table != nullptr && table->base() == base && table->covers(e)) {
+        hit = table.get();
+        break;
+      }
+    }
+    if (hit != nullptr) {
+      acc = mont.mul(acc, hit->exp(e));
+    } else {
+      straus_bases.push_back(std::move(base));
+      straus_exps.push_back(std::move(e));
+    }
+  }
+  if (!straus_bases.empty()) {
+    acc = mont.mul(acc, mont.multi_exp(straus_bases, straus_exps));
+  }
+  return acc;
+}
+
+}  // namespace shs::num

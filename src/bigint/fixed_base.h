@@ -1,0 +1,100 @@
+// Fixed-base exponentiation tables and a process-wide precomputation cache.
+//
+// FixedBaseTable stores, for one (modulus, base) pair, the Montgomery forms
+// of base^(d * 16^w) for every 4-bit window w and digit d — the classic
+// fixed-base windowing method (Brickell–Gordon–McCurley–Wilson). Once the
+// table is built, an exponentiation is a chain of multiplications only (no
+// squarings), roughly a 4-5x saving over generic square-and-multiply for
+// modulus-sized exponents. The group-signature generators (a, a0, g, h, y),
+// the Schnorr-group generator and the DGKA bases are reused across
+// thousands of sessions, which is what amortizes the build.
+//
+// PrecompCache deduplicates tables process-wide: the many copies of a group
+// (authority, members, benches) resolve to one shared table per
+// (modulus, base). Eviction only ever costs performance — callers hold
+// shared_ptrs, so a table stays alive while anyone uses it.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bigint/bigint.h"
+#include "bigint/montgomery.h"
+
+namespace shs::num {
+
+class FixedBaseTable {
+ public:
+  /// Builds the table for exponents of up to `max_exp_bits` bits.
+  /// Requires base in [0, m). Build cost is ~max_exp_bits/4 window steps of
+  /// 14 multiplies + 4 squarings, i.e. a handful of generic
+  /// exponentiations — amortized after a few uses.
+  FixedBaseTable(std::shared_ptr<const Montgomery> mont, BigInt base,
+                 std::size_t max_exp_bits);
+
+  [[nodiscard]] const BigInt& base() const noexcept { return base_; }
+  [[nodiscard]] const BigInt& modulus() const noexcept {
+    return mont_->modulus();
+  }
+  [[nodiscard]] std::size_t max_exp_bits() const noexcept {
+    return windows_ * kWindow;
+  }
+  /// True iff this table can serve the given (non-negative) exponent.
+  [[nodiscard]] bool covers(const BigInt& exponent) const noexcept {
+    return exponent.bit_length() <= max_exp_bits();
+  }
+
+  /// base^exponent mod m via table lookups (multiplications only).
+  /// Requires exponent >= 0 and covers(exponent).
+  [[nodiscard]] BigInt exp(const BigInt& exponent) const;
+
+ private:
+  static constexpr std::size_t kWindow = 4;
+  static constexpr std::size_t kDigits = (1 << kWindow) - 1;  // 1..15
+
+  std::shared_ptr<const Montgomery> mont_;
+  BigInt base_;
+  std::size_t windows_;
+  // entries_[w * kDigits + (d - 1)] = Montgomery form of base^(d * 16^w).
+  std::vector<std::vector<BigInt::Limb>> entries_;
+};
+
+/// Process-wide, thread-safe table cache keyed by (modulus, base).
+class PrecompCache {
+ public:
+  static PrecompCache& instance();
+
+  /// Returns the shared table for (mont->modulus(), base), building one
+  /// sized for `max_exp_bits` if absent or too small.
+  std::shared_ptr<const FixedBaseTable> ensure(
+      std::shared_ptr<const Montgomery> mont, const BigInt& base,
+      std::size_t max_exp_bits);
+
+  /// Number of live cached tables (test/introspection hook).
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  // Soft cap: test suites generate many short-lived groups with fresh
+  // random bases; beyond the cap, oldest insertions are dropped (callers
+  // keep their tables alive through the returned shared_ptr).
+  static constexpr std::size_t kMaxTables = 48;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const FixedBaseTable>> map_;
+  std::vector<std::string> insertion_order_;
+};
+
+/// prod_i bases[i]^exponents[i] mod m. Negative exponents are folded in by
+/// inverting the base. Each base is first matched against `tables` (any
+/// registered fixed-base tables; may be empty) and served squaring-free on
+/// a hit; the remaining bases share one Straus squaring chain.
+[[nodiscard]] BigInt multi_exp_cached(
+    const Montgomery& mont, std::span<const BigInt> bases,
+    std::span<const BigInt> exponents,
+    std::span<const std::shared_ptr<const FixedBaseTable>> tables);
+
+}  // namespace shs::num

@@ -1,17 +1,73 @@
 #include "bigint/montgomery.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <mutex>
 
 #include "common/errors.h"
 
 namespace shs::num {
 
 namespace {
-thread_local std::uint64_t g_modexp_count = 0;
+
+// Process-wide exponentiation accounting. Each thread increments its own
+// atomic slot (uncontended relaxed add); readers fold every live slot plus
+// the totals of threads that have already exited, so worker-thread
+// exponentiations from the parallel protocol driver are visible to the
+// benches. The registry is leaked deliberately: thread-local destructors
+// may run after static destructors during shutdown.
+struct CounterRegistry {
+  std::mutex mu;
+  std::vector<std::atomic<std::uint64_t>*> slots;
+  std::uint64_t retired = 0;  // counts from exited threads (under mu)
+};
+
+CounterRegistry& registry() {
+  static auto* r = new CounterRegistry;
+  return *r;
+}
+
+struct ThreadSlot {
+  std::atomic<std::uint64_t> count{0};
+  ThreadSlot() {
+    CounterRegistry& r = registry();
+    std::lock_guard lock(r.mu);
+    r.slots.push_back(&count);
+  }
+  ~ThreadSlot() {
+    CounterRegistry& r = registry();
+    std::lock_guard lock(r.mu);
+    r.retired += count.load(std::memory_order_relaxed);
+    std::erase(r.slots, &count);
+  }
+};
+
 }  // namespace
 
-std::uint64_t modexp_count() noexcept { return g_modexp_count; }
-void reset_modexp_count() noexcept { g_modexp_count = 0; }
+namespace detail {
+void count_modexp(std::uint64_t n) noexcept {
+  thread_local ThreadSlot slot;
+  slot.count.fetch_add(n, std::memory_order_relaxed);
+}
+}  // namespace detail
+
+std::uint64_t modexp_count() noexcept {
+  CounterRegistry& r = registry();
+  std::lock_guard lock(r.mu);
+  std::uint64_t total = r.retired;
+  for (const auto* slot : r.slots) {
+    total += slot->load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void reset_modexp_count() noexcept {
+  CounterRegistry& r = registry();
+  std::lock_guard lock(r.mu);
+  r.retired = 0;
+  for (auto* slot : r.slots) slot->store(0, std::memory_order_relaxed);
+}
 
 namespace {
 using u64 = std::uint64_t;
@@ -22,6 +78,15 @@ u64 neg_inv64(u64 m) {
   u64 inv = m;  // 3 correct bits
   for (int i = 0; i < 6; ++i) inv *= 2 - m * inv;
   return ~inv + 1;  // -inv
+}
+
+// Window digit of `e` at [pos, pos + width).
+std::size_t window_digit(const BigInt& e, std::size_t pos, std::size_t width) {
+  std::size_t idx = 0;
+  for (std::size_t b = width; b-- > 0;) {
+    idx = (idx << 1) | (e.bit(pos + b) ? 1 : 0);
+  }
+  return idx;
 }
 }  // namespace
 
@@ -45,6 +110,31 @@ Montgomery::LimbVec Montgomery::pad(const BigInt& v) const {
   LimbVec out = v.limbs();
   out.resize(n_, 0);
   return out;
+}
+
+void Montgomery::cond_subtract(LimbVec& r, bool overflow) const {
+  bool ge = overflow;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = n_; i-- > 0;) {
+      if (r[i] != mod_limbs_[i]) {
+        ge = r[i] > mod_limbs_[i];
+        break;
+      }
+    }
+  }
+  if (!ge) return;
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    const u64 ri = r[i];
+    const u64 mi = mod_limbs_[i];
+    const u64 d1 = ri - mi;
+    const u64 b1 = ri < mi ? 1 : 0;
+    const u64 d2 = d1 - borrow;
+    const u64 b2 = d1 < borrow ? 1 : 0;
+    r[i] = d2;
+    borrow = b1 | b2;
+  }
 }
 
 // CIOS Montgomery multiplication. Inputs are n-limb vectors < m.
@@ -84,29 +174,66 @@ Montgomery::LimbVec Montgomery::mont_mul(const LimbVec& a,
 
   // Conditional final subtraction: t may be in [0, 2m).
   LimbVec result(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(n_));
-  bool ge = t[n_] != 0;
-  if (!ge) {
-    ge = true;
-    for (std::size_t i = n_; i-- > 0;) {
-      if (result[i] != mod_limbs_[i]) {
-        ge = result[i] > mod_limbs_[i];
-        break;
-      }
+  cond_subtract(result, t[n_] != 0);
+  return result;
+}
+
+// Separated squaring: the cross products a[i]*a[j] (i < j) are computed
+// once and doubled with a whole-number shift, then the diagonal squares
+// are added — about three quarters of the limb multiplies of a general
+// mont_mul — and a REDC pass reduces the double-width result.
+Montgomery::LimbVec Montgomery::mont_sqr(const LimbVec& a) const {
+  LimbVec t(2 * n_ + 1, 0);
+  // t = sum_{i<j} a[i]*a[j] * 2^{64(i+j)}
+  for (std::size_t i = 0; i < n_; ++i) {
+    u64 carry = 0;
+    const u64 ai = a[i];
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      u128 cur = static_cast<u128>(ai) * a[j] + t[i + j] + carry;
+      t[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    t[i + n_] = carry;  // first write to this position (see row ordering)
+  }
+  // t *= 2
+  u64 top = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const u64 v = t[i];
+    t[i] = (v << 1) | top;
+    top = v >> 63;
+  }
+  // t += sum a[i]^2 * 2^{128 i}
+  u64 carry = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    u128 lo = static_cast<u128>(a[i]) * a[i] + t[2 * i] + carry;
+    t[2 * i] = static_cast<u64>(lo);
+    u128 hi = (lo >> 64) + t[2 * i + 1];
+    t[2 * i + 1] = static_cast<u64>(hi);
+    carry = static_cast<u64>(hi >> 64);
+  }
+  t[2 * n_] += carry;
+  return redc(std::move(t));
+}
+
+Montgomery::LimbVec Montgomery::redc(LimbVec t) const {
+  assert(t.size() == 2 * n_ + 1);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const u64 u = t[i] * n0_inv_;
+    u64 carry = 0;
+    for (std::size_t j = 0; j < n_; ++j) {
+      u128 cur = static_cast<u128>(u) * mod_limbs_[j] + t[i + j] + carry;
+      t[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    for (std::size_t k = i + n_; carry != 0 && k < t.size(); ++k) {
+      u128 cur = static_cast<u128>(t[k]) + carry;
+      t[k] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
     }
   }
-  if (ge) {
-    u64 borrow = 0;
-    for (std::size_t i = 0; i < n_; ++i) {
-      const u64 ri = result[i];
-      const u64 mi = mod_limbs_[i];
-      const u64 d1 = ri - mi;
-      const u64 b1 = ri < mi ? 1 : 0;
-      const u64 d2 = d1 - borrow;
-      const u64 b2 = d1 < borrow ? 1 : 0;
-      result[i] = d2;
-      borrow = b1 | b2;
-    }
-  }
+  LimbVec result(t.begin() + static_cast<std::ptrdiff_t>(n_),
+                 t.begin() + static_cast<std::ptrdiff_t>(2 * n_));
+  cond_subtract(result, t[2 * n_] != 0);
   return result;
 }
 
@@ -128,11 +255,11 @@ BigInt Montgomery::mul(const BigInt& a, const BigInt& b) const {
 }
 
 BigInt Montgomery::exp(const BigInt& base, const BigInt& exponent) const {
-  ++g_modexp_count;
   if (exponent.sign() < 0) throw MathError("Montgomery::exp: negative exponent");
   if (base.sign() < 0 || base >= modulus_) {
     throw MathError("Montgomery::exp: base must be in [0, m)");
   }
+  detail::count_modexp(1);
   if (exponent.is_zero()) return BigInt(1) % modulus_;
 
   // Fixed 4-bit window.
@@ -150,14 +277,60 @@ BigInt Montgomery::exp(const BigInt& base, const BigInt& exponent) const {
   LimbVec acc = one_mont_;
   for (std::size_t w = windows; w-- > 0;) {
     if (w + 1 != windows) {
-      for (std::size_t s = 0; s < kWindow; ++s) acc = mont_mul(acc, acc);
+      for (std::size_t s = 0; s < kWindow; ++s) acc = mont_sqr(acc);
     }
-    std::size_t idx = 0;
-    for (std::size_t b = 0; b < kWindow; ++b) {
-      const std::size_t bitpos = w * kWindow + (kWindow - 1 - b);
-      idx = (idx << 1) | (exponent.bit(bitpos) ? 1 : 0);
-    }
+    const std::size_t idx = window_digit(exponent, w * kWindow, kWindow);
     if (idx != 0) acc = mont_mul(acc, table[idx]);
+  }
+  return from_mont(acc);
+}
+
+BigInt Montgomery::multi_exp(std::span<const BigInt> bases,
+                             std::span<const BigInt> exponents) const {
+  if (bases.size() != exponents.size()) {
+    throw MathError("Montgomery::multi_exp: bases/exponents size mismatch");
+  }
+  std::size_t max_bits = 0;
+  for (const BigInt& e : exponents) {
+    if (e.sign() < 0) {
+      throw MathError("Montgomery::multi_exp: negative exponent");
+    }
+    max_bits = std::max(max_bits, e.bit_length());
+  }
+  for (const BigInt& b : bases) {
+    if (b.sign() < 0 || b >= modulus_) {
+      throw MathError("Montgomery::multi_exp: base must be in [0, m)");
+    }
+  }
+  // Instrumentation counts the product as its constituent exponentiations.
+  detail::count_modexp(bases.size());
+  if (bases.empty() || max_bits == 0) return BigInt(1) % modulus_;
+
+  // Straus interleaving: per-base 4-bit tables, one shared squaring chain.
+  constexpr std::size_t kWindow = 4;
+  const std::size_t k = bases.size();
+  std::vector<std::vector<LimbVec>> tables(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    if (exponents[i].is_zero()) continue;  // base never multiplied in
+    auto& table = tables[i];
+    table.resize(std::size_t{1} << kWindow);
+    table[1] = to_mont(bases[i]);
+    for (std::size_t d = 2; d < table.size(); ++d) {
+      table[d] = mont_mul(table[d - 1], table[1]);
+    }
+  }
+
+  const std::size_t windows = (max_bits + kWindow - 1) / kWindow;
+  LimbVec acc = one_mont_;
+  for (std::size_t w = windows; w-- > 0;) {
+    if (w + 1 != windows) {
+      for (std::size_t s = 0; s < kWindow; ++s) acc = mont_sqr(acc);
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      if (tables[i].empty()) continue;
+      const std::size_t idx = window_digit(exponents[i], w * kWindow, kWindow);
+      if (idx != 0) acc = mont_mul(acc, tables[i][idx]);
+    }
   }
   return from_mont(acc);
 }

@@ -2,22 +2,37 @@
 //
 // A Montgomery context precomputes the constants for CIOS (coarsely
 // integrated operand scanning) Montgomery multiplication and exposes
-// modular exponentiation with a fixed 4-bit window. This is the hot path
-// for every group-signature, key-agreement and encryption operation, so it
-// works directly on limb vectors rather than going through BigInt division.
+// modular exponentiation with a fixed 4-bit window, a dedicated squaring
+// path (the cross-product halves of a square are computed once and
+// doubled), and simultaneous multi-exponentiation (Straus interleaving,
+// one shared squaring chain for all bases). This is the hot path for every
+// group-signature, key-agreement and encryption operation, so it works
+// directly on limb vectors rather than going through BigInt division.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "bigint/bigint.h"
 
 namespace shs::num {
 
-/// Global (thread-local) count of modular exponentiations performed via
-/// Montgomery::exp — the instrumentation behind the paper's "O(m) modular
-/// exponentiations per party" claims (benches E1/E2/E5).
+/// Process-wide count of modular exponentiations performed through the
+/// engine (Montgomery::exp, Montgomery::multi_exp — which adds its base
+/// count — and FixedBaseTable::exp) — the instrumentation behind the
+/// paper's "O(m) modular exponentiations per party" claims (benches
+/// E1/E2/E5). Increments hit a per-thread slot (no contention); the
+/// reader aggregates every thread's slot, so exponentiations on the
+/// parallel protocol driver's worker threads are included.
 [[nodiscard]] std::uint64_t modexp_count() noexcept;
 void reset_modexp_count() noexcept;
+
+namespace detail {
+/// Adds n to the calling thread's exponentiation slot.
+void count_modexp(std::uint64_t n) noexcept;
+}  // namespace detail
+
+class FixedBaseTable;
 
 class Montgomery {
  public:
@@ -32,13 +47,31 @@ class Montgomery {
   /// (base ^ exponent) mod m; exponent >= 0, 0 <= base < m.
   [[nodiscard]] BigInt exp(const BigInt& base, const BigInt& exponent) const;
 
+  /// prod_i bases[i]^exponents[i] mod m via Straus interleaved windows:
+  /// all bases share one squaring chain, so k simultaneous
+  /// exponentiations cost roughly one squaring chain plus k multiply
+  /// streams instead of k full square-and-multiply ladders. Requires
+  /// bases[i] in [0, m) and exponents[i] >= 0; the spans must have equal
+  /// length. An empty product is 1.
+  [[nodiscard]] BigInt multi_exp(std::span<const BigInt> bases,
+                                 std::span<const BigInt> exponents) const;
+
  private:
   using Limb = BigInt::Limb;
   using LimbVec = std::vector<Limb>;
 
+  friend class FixedBaseTable;
+
   // Montgomery product: returns a*b*R^{-1} mod m, inputs in Montgomery form
   // (or one in normal form for conversion tricks). Inputs padded to n limbs.
   [[nodiscard]] LimbVec mont_mul(const LimbVec& a, const LimbVec& b) const;
+  // Montgomery square: a*a*R^{-1} mod m, ~25% fewer limb multiplies than
+  // mont_mul by doubling the cross products.
+  [[nodiscard]] LimbVec mont_sqr(const LimbVec& a) const;
+  // REDC of a (2n+1)-limb accumulator t < m*R: returns t*R^{-1} mod m.
+  [[nodiscard]] LimbVec redc(LimbVec t) const;
+  // Subtracts m from r (n limbs) when overflow is set or r >= m.
+  void cond_subtract(LimbVec& r, bool overflow) const;
   [[nodiscard]] LimbVec to_mont(const BigInt& v) const;
   [[nodiscard]] BigInt from_mont(const LimbVec& v) const;
   [[nodiscard]] LimbVec pad(const BigInt& v) const;

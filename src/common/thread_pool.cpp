@@ -1,0 +1,107 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace shs {
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  std::uint64_t generation = 0;  // bumped per parallel_for call
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t n = 0;
+  std::atomic<std::size_t> next{0};
+  std::size_t active = 0;  // workers still inside the current job
+  std::exception_ptr error;
+  bool stop = false;
+  std::vector<std::thread> workers;
+
+  // Claims indices until the job is exhausted.
+  void drain(const std::function<void(std::size_t)>& f, std::size_t count) {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      try {
+        f(i);
+      } catch (...) {
+        std::lock_guard lock(mu);
+        if (!error) error = std::current_exception();
+      }
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(std::size_t)>* f;
+      std::size_t count;
+      {
+        std::unique_lock lock(mu);
+        cv_work.wait(lock, [&] { return stop || generation != seen; });
+        if (stop) return;
+        seen = generation;
+        f = fn;
+        count = n;
+      }
+      drain(*f, count);
+      {
+        std::lock_guard lock(mu);
+        if (--active == 0) cv_done.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(std::make_unique<Impl>()) {
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  impl_->workers.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    impl_->workers.emplace_back([impl = impl_.get()] { impl->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->cv_work.notify_all();
+  for (std::thread& worker : impl_->workers) worker.join();
+}
+
+std::size_t ThreadPool::thread_count() const noexcept {
+  return impl_->workers.size() + 1;
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (impl_->workers.empty()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);  // serial: exceptions fly
+    return;
+  }
+  {
+    std::lock_guard lock(impl_->mu);
+    impl_->fn = &fn;
+    impl_->n = n;
+    impl_->next.store(0, std::memory_order_relaxed);
+    impl_->error = nullptr;
+    impl_->active = impl_->workers.size();
+    ++impl_->generation;
+  }
+  impl_->cv_work.notify_all();
+  impl_->drain(fn, n);
+  std::unique_lock lock(impl_->mu);
+  impl_->cv_done.wait(lock, [&] { return impl_->active == 0; });
+  if (impl_->error) std::rethrow_exception(impl_->error);
+}
+
+}  // namespace shs

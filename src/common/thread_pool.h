@@ -1,0 +1,38 @@
+// Minimal blocking fork-join thread pool.
+//
+// Built for the parallel protocol driver (net::run_protocol): within a
+// round, each party's round_message is computed concurrently, with a
+// barrier before delivery. parallel_for blocks until every index has run;
+// the calling thread participates, so a pool constructed with `threads`
+// uses threads-1 workers and `ThreadPool(1)` degenerates to a plain serial
+// loop with no synchronization at all.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace shs {
+
+class ThreadPool {
+ public:
+  /// `threads` is the total degree of parallelism (including the calling
+  /// thread); 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept;
+
+  /// Runs fn(i) for every i in [0, n), distributing indices across the
+  /// pool; blocks until all complete. The first exception thrown by any
+  /// fn(i) is rethrown here (remaining indices still run).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace shs

@@ -278,10 +278,11 @@ const HandshakeOutcome& HandshakeParticipant::outcome() const {
 
 std::vector<HandshakeOutcome> run_handshake(
     std::span<HandshakeParticipant* const> participants,
-    net::Adversary* adversary, num::RandomSource* shuffle) {
+    net::Adversary* adversary, num::RandomSource* shuffle,
+    const net::DriverOptions& driver) {
   std::vector<net::RoundParty*> parties(participants.begin(),
                                         participants.end());
-  net::run_protocol(parties, adversary, shuffle);
+  net::run_protocol(parties, adversary, shuffle, driver);
   std::vector<HandshakeOutcome> outcomes;
   outcomes.reserve(participants.size());
   for (HandshakeParticipant* p : participants) {

@@ -92,10 +92,13 @@ class HandshakeParticipant final : public net::RoundParty {
 
 /// Runs a complete handshake among the given participants over the
 /// broadcast substrate; returns each participant's outcome (indexed by
-/// position). `adversary` and `shuffle` are forwarded to run_protocol.
+/// position). `adversary`, `shuffle` and `driver` are forwarded to
+/// run_protocol; `driver.threads > 1` computes each party's round message
+/// on a thread pool (identical transcripts either way).
 std::vector<HandshakeOutcome> run_handshake(
     std::span<HandshakeParticipant* const> participants,
     net::Adversary* adversary = nullptr,
-    num::RandomSource* shuffle = nullptr);
+    num::RandomSource* shuffle = nullptr,
+    const net::DriverOptions& driver = {});
 
 }  // namespace shs::core

@@ -59,6 +59,11 @@ AcjtGsig::AcjtGsig(algebra::QrGroup group, algebra::QrGroupSecret secret,
   h_ = group_.random_qr(rng);
   x_open_ = num::random_range(BigInt(1), secret_.group_order() - BigInt(1), rng);
   y_ = group_.exp(g_, x_open_);
+  // Every sign/verify exponentiates over these five public generators;
+  // pin fixed-base tables so sessions reuse them squaring-free.
+  for (const BigInt* v : {&a_, &a0_, &g_, &h_, &y_}) {
+    group_.precompute_base(*v);
+  }
   acc_ = std::make_unique<Accumulator>(group_, secret_, rng);
 
   ByteWriter w;
@@ -274,7 +279,8 @@ Bytes AcjtGsig::sign(const MemberCredential& credential, BytesView message,
   sig.version = version;
   sig.t1 = group_.mul(cert_a, group_.exp(y_, w));
   sig.t2 = group_.exp(g_, w);
-  sig.t3 = group_.mul(group_.exp(g_, e), group_.exp(h_, w));
+  sig.t3 = group_.multi_exp(std::vector<BigInt>{g_, h_},
+                            std::vector<BigInt>{e, w});
   sig.cu = group_.mul(witness, group_.exp(h_, r5));
   sig.cr = group_.exp(g_, r5);
 

@@ -47,6 +47,11 @@ KtyGsig::KtyGsig(algebra::QrGroup group, algebra::QrGroupSecret secret,
   theta_ =
       num::random_range(BigInt(1), secret_.group_order() - BigInt(1), rng);
   y_ = group_.exp(g_, theta_);
+  // Every sign/verify exponentiates over these six public generators;
+  // pin fixed-base tables so sessions reuse them squaring-free.
+  for (const BigInt* v : {&a_, &a0_, &b_, &g_, &h_, &y_}) {
+    group_.precompute_base(*v);
+  }
 
   ByteWriter w;
   w.str("kty-gpk");
@@ -242,7 +247,8 @@ Bytes KtyGsig::sign(const MemberCredential& credential, BytesView message,
   sig.has_session_tag = !session_tag.empty();
   sig.t1 = group_.mul(cert_a, group_.exp(y_, r));
   sig.t2 = group_.exp(g_, r);
-  sig.t3 = group_.mul(group_.exp(g_, e), group_.exp(h_, r));
+  sig.t3 = group_.multi_exp(std::vector<BigInt>{g_, h_},
+                            std::vector<BigInt>{e, r});
   sig.t5 = group_.exp(g_, k);
   sig.t4 = group_.exp(sig.t5, x);
   if (sig.has_session_tag) {

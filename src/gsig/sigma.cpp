@@ -44,17 +44,22 @@ Bytes compute_challenge(const algebra::QrGroup& group,
   return digest;
 }
 
-/// Evaluates prod base^{sign * exponent} over the given exponent vector.
+/// Evaluates prod base^{sign * exponent} over the given exponent vector as
+/// one simultaneous multi-exponentiation (shared squaring chain; pinned
+/// generator bases are served from fixed-base tables).
 BigInt eval_terms(const algebra::QrGroup& group,
                   const std::vector<SigmaTerm>& terms,
                   const std::vector<BigInt>& exponents) {
-  BigInt acc(1);
+  std::vector<BigInt> bases;
+  std::vector<BigInt> exps;
+  bases.reserve(terms.size());
+  exps.reserve(terms.size());
   for (const SigmaTerm& t : terms) {
     const BigInt& e = exponents[t.witness];
-    const BigInt exp_val = t.sign >= 0 ? e : -e;
-    acc = group.mul(acc, group.exp(t.base, exp_val));
+    bases.push_back(t.base);
+    exps.push_back(t.sign >= 0 ? e : -e);
   }
-  return acc;
+  return group.multi_exp(bases, exps);
 }
 
 }  // namespace
@@ -164,20 +169,23 @@ bool sigma_verify(const algebra::QrGroup& group,
   commitments.reserve(statement.relations.size());
   for (const SigmaRelation& rel : statement.relations) {
     // d' = (V * prod B^{-sign O})^c * prod B^{sign s}
-    BigInt shifted = rel.value;
+    //    = V^c * prod B^{sign (s - c O)}   (exponents over Z),
+    // evaluated as one multi-exponentiation per relation instead of
+    // 2k+1 separate exponentiations.
+    std::vector<BigInt> bases;
+    std::vector<BigInt> exps;
+    bases.reserve(rel.terms.size() + 1);
+    exps.reserve(rel.terms.size() + 1);
+    bases.push_back(rel.value);
+    exps.push_back(c);
     for (const SigmaTerm& term : rel.terms) {
       const BigInt& offset = statement.witnesses[term.witness].offset;
-      if (offset.is_zero()) continue;
-      const BigInt e = term.sign >= 0 ? -offset : offset;
-      shifted = group.mul(shifted, group.exp(term.base, e));
+      BigInt e = proof.responses[term.witness] - c * offset;
+      if (term.sign < 0) e = -e;
+      bases.push_back(term.base);
+      exps.push_back(std::move(e));
     }
-    BigInt d = group.exp(shifted, c);
-    for (const SigmaTerm& term : rel.terms) {
-      const BigInt& s = proof.responses[term.witness];
-      const BigInt e = term.sign >= 0 ? s : -s;
-      d = group.mul(d, group.exp(term.base, e));
-    }
-    commitments.push_back(std::move(d));
+    commitments.push_back(group.multi_exp(bases, exps));
   }
   const Bytes expected =
       compute_challenge(group, statement, commitments, context);

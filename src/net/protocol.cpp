@@ -2,13 +2,17 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
+#include <thread>
 
 #include "common/errors.h"
+#include "common/thread_pool.h"
 
 namespace shs::net {
 
 RunStats run_protocol(std::span<RoundParty* const> parties,
-                      Adversary* adversary, num::RandomSource* shuffle) {
+                      Adversary* adversary, num::RandomSource* shuffle,
+                      const DriverOptions& options) {
   if (parties.empty()) throw ProtocolError("run_protocol: no parties");
   const std::size_t m = parties.size();
   const std::size_t rounds = parties.front()->total_rounds();
@@ -18,20 +22,49 @@ RunStats run_protocol(std::span<RoundParty* const> parties,
     }
   }
 
+  // More threads than parties buys nothing: work is distributed per party.
+  std::size_t threads = options.threads == 0
+                            ? std::thread::hardware_concurrency()
+                            : options.threads;
+  if (threads == 0) threads = 1;
+  threads = std::min(threads, m);
+  std::optional<ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
+
   RunStats stats;
   stats.rounds = rounds;
   for (std::size_t round = 0; round < rounds; ++round) {
     std::vector<Bytes> broadcast(m);
-    for (std::size_t i = 0; i < m; ++i) {
-      broadcast[i] = parties[i]->round_message(round);
-      if (!broadcast[i].empty()) {
+    if (pool) {
+      pool->parallel_for(m, [&](std::size_t i) {
+        broadcast[i] = parties[i]->round_message(round);
+      });
+    } else {
+      for (std::size_t i = 0; i < m; ++i) {
+        broadcast[i] = parties[i]->round_message(round);
+      }
+    }
+    for (const Bytes& msg : broadcast) {
+      if (!msg.empty()) {
         ++stats.messages;
-        stats.bytes_on_wire += broadcast[i].size();
+        stats.bytes_on_wire += msg.size();
       }
     }
 
+    if (pool && adversary == nullptr) {
+      // Receivers only read the shared broadcast vector and mutate their
+      // own state; the round barrier above makes this race-free. Delivery
+      // order is irrelevant here by the model-agnosticity requirement.
+      pool->parallel_for(m, [&](std::size_t receiver) {
+        parties[receiver]->deliver(round, broadcast);
+      });
+      continue;
+    }
+
     // Delivery order across receivers is adversarially/pseudo-randomly
-    // permuted; correctness must not depend on it.
+    // permuted; correctness must not depend on it. A (possibly stateful)
+    // adversary observes deliveries one at a time, so this path stays
+    // serial even when a pool is active.
     std::vector<std::size_t> order(m);
     std::iota(order.begin(), order.end(), 0);
     if (shuffle != nullptr) {

@@ -67,12 +67,27 @@ struct RunStats {
   std::size_t bytes_on_wire = 0;
 };
 
+/// Driver execution knobs. threads == 1 is the serial deterministic
+/// driver. threads > 1 computes each party's round_message concurrently
+/// on a thread pool (barrier before delivery) — safe because parties only
+/// share the immutable authority/group parameters — and, when no
+/// adversary is installed, also parallelizes delivery across receivers.
+/// An adversary may be stateful, so with one installed, delivery stays
+/// serial in the (optionally shuffled) receiver order. Each party's
+/// messages depend only on its own state and the delivered round vectors,
+/// so serial and parallel runs produce byte-identical wire transcripts.
+/// threads == 0 means "use all hardware threads".
+struct DriverOptions {
+  std::size_t threads = 1;
+};
+
 /// Drives a full protocol among `parties`. All parties must agree on
 /// total_rounds(). `adversary` may be null (reliable network). `shuffle`
 /// (optional, seeded) randomizes per-receiver delivery order within each
 /// round to exercise the asynchronous-model claim.
 RunStats run_protocol(std::span<RoundParty* const> parties,
                       Adversary* adversary = nullptr,
-                      num::RandomSource* shuffle = nullptr);
+                      num::RandomSource* shuffle = nullptr,
+                      const DriverOptions& options = {});
 
 }  // namespace shs::net

@@ -1,0 +1,191 @@
+// Randomized cross-checks for the exponentiation engine: Straus
+// multi-exponentiation against the naive per-base product, fixed-base
+// tables against Montgomery::exp, the PrecompCache sharing discipline,
+// and the process-wide modexp counter's cross-thread aggregation.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bigint/fixed_base.h"
+#include "bigint/modmath.h"
+#include "bigint/montgomery.h"
+#include "bigint/prime.h"
+#include "bigint/random.h"
+#include "common/errors.h"
+
+namespace shs::num {
+namespace {
+
+BigInt random_odd_modulus(std::size_t bits, RandomSource& rng) {
+  BigInt m = random_bits(bits, rng);
+  if (m.is_even()) m += BigInt(1);
+  if (m <= BigInt(1)) m = BigInt(3);
+  return m;
+}
+
+/// Reference: prod bases[i]^exps[i] mod m via independent mod_exp calls.
+BigInt naive_product(const std::vector<BigInt>& bases,
+                     const std::vector<BigInt>& exps, const BigInt& m) {
+  BigInt acc = BigInt(1) % m;
+  for (std::size_t i = 0; i < bases.size(); ++i) {
+    acc = mul_mod(acc, mod_exp(bases[i], exps[i], m), m);
+  }
+  return acc;
+}
+
+TEST(MultiExp, MatchesNaiveProductAcrossModulusSizes) {
+  TestRng rng(0x5eed1);
+  for (std::size_t bits : {64u, 128u, 384u, 1024u, 2048u}) {
+    const BigInt m = random_odd_modulus(bits, rng);
+    const Montgomery mont(m);
+    for (std::size_t k : {1u, 2u, 3u, 5u}) {
+      std::vector<BigInt> bases, exps;
+      for (std::size_t i = 0; i < k; ++i) {
+        bases.push_back(random_below(m, rng));
+        // Exponents up to 2x the modulus size (sigma responses exceed |m|).
+        exps.push_back(random_bits(1 + rng.below_u64(2 * bits), rng));
+      }
+      EXPECT_EQ(mont.multi_exp(bases, exps), naive_product(bases, exps, m))
+          << bits << "-bit modulus, k=" << k;
+    }
+  }
+}
+
+TEST(MultiExp, EdgeCases) {
+  TestRng rng(0x5eed2);
+  const BigInt m = random_odd_modulus(256, rng);
+  const Montgomery mont(m);
+  const BigInt b = random_below(m, rng);
+
+  // Empty product and all-zero exponents are 1.
+  EXPECT_EQ(mont.multi_exp({}, {}), BigInt(1));
+  EXPECT_EQ(mont.multi_exp(std::vector<BigInt>{b, b},
+                           std::vector<BigInt>{BigInt(0), BigInt(0)}),
+            BigInt(1));
+
+  // Base 0 and base 1.
+  EXPECT_EQ(mont.multi_exp(std::vector<BigInt>{BigInt(0)},
+                           std::vector<BigInt>{BigInt(17)}),
+            BigInt(0));
+  EXPECT_EQ(mont.multi_exp(std::vector<BigInt>{BigInt(1), b},
+                           std::vector<BigInt>{BigInt(1000), BigInt(3)}),
+            mod_exp(b, BigInt(3), m));
+
+  // Zero exponent mixed into a product contributes 1.
+  EXPECT_EQ(mont.multi_exp(std::vector<BigInt>{b, BigInt(0)},
+                           std::vector<BigInt>{BigInt(5), BigInt(0)}),
+            mod_exp(b, BigInt(5), m));
+
+  // k=1 agrees with single exponentiation.
+  const BigInt e = random_bits(300, rng);
+  EXPECT_EQ(mont.multi_exp(std::vector<BigInt>{b}, std::vector<BigInt>{e}),
+            mont.exp(b, e));
+
+  // Single-limb and tiny moduli.
+  for (const BigInt& small :
+       {BigInt(3), BigInt::from_hex("ffffffffffffffc5")}) {
+    const Montgomery ms(small);
+    const BigInt base = random_below(small, rng);
+    const BigInt exp = random_bits(90, rng);
+    EXPECT_EQ(ms.multi_exp(std::vector<BigInt>{base, BigInt(2) % small},
+                           std::vector<BigInt>{exp, BigInt(7)}),
+              naive_product({base, BigInt(2) % small}, {exp, BigInt(7)},
+                            small));
+  }
+
+  // Mismatched span lengths and out-of-range bases are rejected.
+  EXPECT_THROW((void)mont.multi_exp(std::vector<BigInt>{b},
+                                    std::vector<BigInt>{}),
+               Error);
+  EXPECT_THROW((void)mont.multi_exp(std::vector<BigInt>{m},
+                                    std::vector<BigInt>{BigInt(1)}),
+               Error);
+}
+
+TEST(FixedBase, MatchesMontgomeryExp) {
+  TestRng rng(0x5eed3);
+  for (std::size_t bits : {64u, 512u, 1024u}) {
+    const BigInt m = random_odd_modulus(bits, rng);
+    auto mont = std::make_shared<const Montgomery>(m);
+    const BigInt base = random_below(m, rng);
+    const FixedBaseTable table(mont, base, 2 * bits);
+
+    EXPECT_EQ(table.exp(BigInt(0)), BigInt(1) % m);
+    EXPECT_EQ(table.exp(BigInt(1)), base);
+    for (int i = 0; i < 8; ++i) {
+      const BigInt e = random_bits(1 + rng.below_u64(2 * bits), rng);
+      ASSERT_TRUE(table.covers(e));
+      EXPECT_EQ(table.exp(e), mont->exp(base, e)) << bits << "-bit, trial "
+                                                  << i;
+    }
+    // covers() boundary: max_exp_bits is a hard limit.
+    EXPECT_TRUE(table.covers(random_bits(table.max_exp_bits(), rng)));
+    EXPECT_FALSE(table.covers(BigInt(1) << table.max_exp_bits()));
+  }
+}
+
+TEST(FixedBase, PrecompCacheSharesTables) {
+  TestRng rng(0x5eed4);
+  const BigInt m = random_odd_modulus(256, rng);
+  auto mont = std::make_shared<const Montgomery>(m);
+  const BigInt base = random_below(m, rng);
+
+  auto& cache = PrecompCache::instance();
+  auto t1 = cache.ensure(mont, base, 128);
+  auto t2 = cache.ensure(mont, base, 100);
+  EXPECT_EQ(t1.get(), t2.get());  // second request served from cache
+
+  // A larger request rebuilds; the old table stays valid for holders.
+  auto t3 = cache.ensure(mont, base, 512);
+  EXPECT_GE(t3->max_exp_bits(), 512u);
+  const BigInt e = random_bits(100, rng);
+  EXPECT_EQ(t1->exp(e), t3->exp(e));
+}
+
+TEST(FixedBase, MultiExpCachedHandlesNegativeExponents) {
+  TestRng rng(0x5eed5);
+  // Odd prime modulus so every nonzero base is invertible.
+  const BigInt m = random_prime(192, rng);
+  const Montgomery mont(m);
+  std::vector<BigInt> bases{random_range(BigInt(2), m - BigInt(2), rng),
+                            random_range(BigInt(2), m - BigInt(2), rng)};
+  std::vector<BigInt> exps{random_bits(150, rng), -random_bits(150, rng)};
+
+  const BigInt expected =
+      mul_mod(mod_exp(bases[0], exps[0], m),
+              mod_exp(mod_inverse(bases[1], m), -exps[1], m), m);
+  EXPECT_EQ(multi_exp_cached(mont, bases, exps, {}), expected);
+}
+
+TEST(ModexpCounter, AggregatesAcrossThreads) {
+  TestRng rng(0x5eed6);
+  const BigInt m = random_odd_modulus(128, rng);
+  const Montgomery mont(m);
+  const BigInt b = random_below(m, rng);
+
+  reset_modexp_count();
+  constexpr int kThreads = 4;
+  constexpr int kExpsPerThread = 8;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kExpsPerThread; ++i) {
+        (void)mont.exp(b, BigInt(65537));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  // Exps on worker threads (including already-exited ones) are all visible.
+  EXPECT_EQ(modexp_count(), kThreads * kExpsPerThread);
+
+  // multi_exp counts one per constituent base.
+  reset_modexp_count();
+  (void)mont.multi_exp(std::vector<BigInt>{b, b, b},
+                       std::vector<BigInt>{BigInt(3), BigInt(5), BigInt(7)});
+  EXPECT_EQ(modexp_count(), 3u);
+}
+
+}  // namespace
+}  // namespace shs::num

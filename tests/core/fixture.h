@@ -49,7 +49,8 @@ class TestGroup {
 inline std::vector<HandshakeOutcome> handshake(
     const std::vector<const Member*>& members, const HandshakeOptions& options,
     std::string_view session_seed, net::Adversary* adversary = nullptr,
-    num::RandomSource* shuffle = nullptr) {
+    num::RandomSource* shuffle = nullptr,
+    const net::DriverOptions& driver = {}) {
   const std::size_t m = members.size();
   std::vector<std::unique_ptr<HandshakeParticipant>> parts;
   parts.reserve(m);
@@ -59,7 +60,7 @@ inline std::vector<HandshakeOutcome> handshake(
   }
   std::vector<HandshakeParticipant*> ptrs;
   for (auto& p : parts) ptrs.push_back(p.get());
-  return run_handshake(ptrs, adversary, shuffle);
+  return run_handshake(ptrs, adversary, shuffle, driver);
 }
 
 }  // namespace shs::core::testing

@@ -1,0 +1,99 @@
+// Determinism regression for the parallel protocol driver: with a fixed
+// session seed, a handshake run serially and one run with a thread pool
+// must produce byte-identical wire transcripts and identical outcomes.
+// The parallel driver only reorders *computation* (each party's
+// round_message on a worker thread); message content and delivery are
+// position-indexed, so nothing observable may change.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "fixture.h"
+
+namespace shs::core {
+namespace {
+
+using testing::TestGroup;
+
+/// Passive adversary that records every (round, sender, payload) as seen
+/// by receiver 0 — i.e. the wire transcript of the session.
+class RecordingAdversary final : public net::Adversary {
+ public:
+  std::optional<Bytes> intercept(std::size_t round, std::size_t sender,
+                                 std::size_t receiver,
+                                 const Bytes& payload) override {
+    if (receiver == 0) transcript_.emplace_back(round, sender, payload);
+    return payload;
+  }
+
+  [[nodiscard]] const std::vector<std::tuple<std::size_t, std::size_t, Bytes>>&
+  transcript() const {
+    return transcript_;
+  }
+
+ private:
+  std::vector<std::tuple<std::size_t, std::size_t, Bytes>> transcript_;
+};
+
+struct SessionRun {
+  std::vector<HandshakeOutcome> outcomes;
+  std::vector<std::tuple<std::size_t, std::size_t, Bytes>> transcript;
+};
+
+SessionRun run_with_threads(TestGroup& group, std::size_t m, std::size_t threads) {
+  std::vector<const Member*> members;
+  for (std::size_t i = 0; i < m; ++i) members.push_back(&group.member(i));
+  HandshakeOptions options;
+  RecordingAdversary recorder;
+  net::DriverOptions driver;
+  driver.threads = threads;
+  SessionRun run;
+  run.outcomes = testing::handshake(members, options, "det-seed", &recorder,
+                                    nullptr, driver);
+  run.transcript = recorder.transcript();
+  return run;
+}
+
+TEST(ParallelDeterminism, SerialAndThreadedRunsAreByteIdentical) {
+  GroupConfig config;  // KTY + LKH at test parameters
+  TestGroup group("par-det", config);
+  for (std::size_t i = 0; i < 8; ++i) group.admit(100 + i);
+
+  for (std::size_t m : {2u, 4u, 8u}) {
+    const SessionRun serial = run_with_threads(group, m, 1);
+    const SessionRun threaded = run_with_threads(group, m, 4);
+
+    ASSERT_EQ(serial.outcomes.size(), m);
+    ASSERT_EQ(threaded.outcomes.size(), m);
+    for (std::size_t i = 0; i < m; ++i) {
+      EXPECT_EQ(serial.outcomes[i].full_success,
+                threaded.outcomes[i].full_success)
+          << "m=" << m << " position " << i;
+      EXPECT_EQ(serial.outcomes[i].partner, threaded.outcomes[i].partner);
+      EXPECT_EQ(serial.outcomes[i].session_key,
+                threaded.outcomes[i].session_key);
+    }
+    EXPECT_TRUE(serial.outcomes[0].full_success) << "m=" << m;
+
+    // The wire transcripts (every round's broadcast, as delivered to
+    // position 0) must match byte for byte.
+    EXPECT_EQ(serial.transcript, threaded.transcript) << "m=" << m;
+  }
+}
+
+TEST(ParallelDeterminism, ThreadCountZeroUsesHardwareAndStillSucceeds) {
+  GroupConfig config;
+  TestGroup group("par-hw", config);
+  for (std::size_t i = 0; i < 4; ++i) group.admit(200 + i);
+  const SessionRun serial = run_with_threads(group, 4, 1);
+  const SessionRun hw = run_with_threads(group, 4, 0);  // 0 = all hardware threads
+  ASSERT_EQ(serial.outcomes.size(), hw.outcomes.size());
+  for (std::size_t i = 0; i < hw.outcomes.size(); ++i) {
+    EXPECT_EQ(serial.outcomes[i].session_key, hw.outcomes[i].session_key);
+  }
+  EXPECT_EQ(serial.transcript, hw.transcript);
+}
+
+}  // namespace
+}  // namespace shs::core

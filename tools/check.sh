@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the full test suite, then
+# repeat the build+tests in a separate tree with ASan+UBSan enabled
+# (-DSHS_SANITIZE=ON). Pass --no-sanitize to skip the second pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_suite() {
+  local dir=$1; shift
+  cmake -B "$dir" -S . "$@" >/dev/null
+  cmake --build "$dir" -j "$(nproc)"
+  ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+}
+
+echo "== tier-1: build + tests =="
+run_suite build
+
+if [[ "${1:-}" != "--no-sanitize" ]]; then
+  echo "== tier-1 under ASan/UBSan =="
+  run_suite build-sanitize -DSHS_SANITIZE=ON
+fi
+
+echo "check.sh: all suites passed"
