@@ -1,12 +1,19 @@
 // E7 — partially-successful handshakes (paper §7 Extension): cliques of a
 // mixed-group session complete "without incurring any extra complexity".
 //
-// Fixes m = 8 participants and splits them across g in {1, 2, 4} groups;
-// reports each configuration's wall time (should be flat in g) and the
-// clique sizes every participant ends up confirming.
+// Two ways to fracture a session, both ending in exact cliques:
+//   * group mix        — m = 8 participants split round-robin over
+//                        g in {1, 2, 4} groups (Phase-II tags partition)
+//   * network partition — one group of 8, but the net fault library
+//                        (PartitionFault gated after Phase I) splits the
+//                        wire into c equal cells mid-session
+// Reports each configuration's wall time (should be flat in g / c) and
+// the clique sizes every participant ends up confirming.
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "net/adversary.h"
+#include "net/faults.h"
 
 using namespace shs;
 using namespace shs::bench;
@@ -37,6 +44,32 @@ std::vector<core::HandshakeOutcome> run_mixed(std::size_t g,
   return core::run_handshake(ptrs);
 }
 
+/// One group of 8, but the network splits into `cells` equal cells right
+/// after the key agreement (the conformance harness's partition fault).
+std::vector<core::HandshakeOutcome> run_partitioned(std::size_t cells,
+                                                    const std::string& salt,
+                                                    net::FaultLog* log) {
+  BenchGroup& group = cached_group("e7-net", core::GroupConfig{}, kM);
+  core::HandshakeOptions options;
+  std::vector<std::unique_ptr<core::HandshakeParticipant>> parts;
+  for (std::size_t pos = 0; pos < kM; ++pos) {
+    parts.push_back(group.members[pos]->handshake_party(pos, kM, options,
+                                                        to_bytes(salt)));
+  }
+  std::vector<core::HandshakeParticipant*> ptrs;
+  for (auto& p : parts) ptrs.push_back(p.get());
+
+  std::vector<std::size_t> cell_of(kM);
+  for (std::size_t pos = 0; pos < kM; ++pos) {
+    cell_of[pos] = pos / (kM / cells);
+  }
+  const std::size_t phase1_rounds = ptrs.front()->total_rounds() - 2;
+  net::ScheduledAdversary cut(
+      std::make_unique<net::PartitionFault>(std::move(cell_of), log),
+      net::ScheduledAdversary::from_round(phase1_rounds));
+  return core::run_handshake(ptrs, cells > 1 ? &cut : nullptr);
+}
+
 void BM_PartialSuccess(benchmark::State& state) {
   const auto g = static_cast<std::size_t>(state.range(0));
   int salt = 0;
@@ -50,6 +83,15 @@ void BM_PartialSuccess(benchmark::State& state) {
 BENCHMARK(BM_PartialSuccess)->Arg(1)->Arg(2)->Arg(4)->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
+std::string clique_sizes(const std::vector<core::HandshakeOutcome>& outcomes) {
+  std::string observed;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    observed += std::to_string(outcomes[i].confirmed_count());
+    if (i + 1 < outcomes.size()) observed += ",";
+  }
+  return observed;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -58,6 +100,10 @@ int main(int argc, char** argv) {
 
   // Prewarm the cached groups so timings measure handshakes, not setup.
   for (std::size_t g : {1u, 2u, 4u}) (void)run_mixed(g, "warm");
+  {
+    net::FaultLog warm_log;
+    (void)run_partitioned(2, "warm-net", &warm_log);
+  }
 
   table_header("g | expected clique sizes | observed | wall ms",
                "--+-----------------------+----------+--------");
@@ -65,16 +111,26 @@ int main(int argc, char** argv) {
     std::vector<core::HandshakeOutcome> outcomes;
     const double ms =
         time_ms([&] { outcomes = run_mixed(g, "tbl" + std::to_string(g)); });
-    std::string observed;
-    for (std::size_t i = 0; i < kM; ++i) {
-      observed += std::to_string(outcomes[i].confirmed_count());
-      if (i + 1 < kM) observed += ",";
-    }
     std::printf("%zu | all parties: %zu        | %s | %6.0f\n", g, kM / g,
-                observed.c_str(), ms);
+                clique_sizes(outcomes).c_str(), ms);
   }
-  std::printf("\n(every participant confirms exactly its own clique of m/g, "
-              "and total time is flat in g: no extra complexity)\n");
+
+  table_header(
+      "c cells | expected clique sizes | observed | cut edges | wall ms",
+      "--------+-----------------------+----------+-----------+--------");
+  for (std::size_t c : {1u, 2u, 4u}) {
+    net::FaultLog log;
+    std::vector<core::HandshakeOutcome> outcomes;
+    const double ms = time_ms(
+        [&] { outcomes = run_partitioned(c, "net" + std::to_string(c), &log); });
+    std::printf("%7zu | all parties: %zu        | %s | %9zu | %6.0f\n", c,
+                kM / c, clique_sizes(outcomes).c_str(),
+                log.count(net::FaultKind::kPartition), ms);
+  }
+
+  std::printf("\n(every participant confirms exactly its own clique of m/g — "
+              "whether split by group membership or by a mid-session network "
+              "partition — and total time is flat: no extra complexity)\n");
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

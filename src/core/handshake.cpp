@@ -38,6 +38,7 @@ HandshakeParticipant::HandshakeParticipant(const GroupAuthority& authority,
   phase1_by_sender_.resize(m_);
   tag_valid_.assign(m_, false);
   outcome_.partner.assign(m_, false);
+  outcome_.reason.assign(m_, FailureReason::kNotEvaluated);
   outcome_.transcript.options = options_;
   outcome_.transcript.entries.resize(m_);
 }
@@ -181,7 +182,14 @@ void HandshakeParticipant::finalize_without_phase3() {
   done_ = true;
   if (!dgka_ok_) {
     outcome_.failure = "group key agreement failed";
+    outcome_.reason.assign(m_, FailureReason::kDgkaFailed);
     return;
+  }
+  for (std::size_t j = 0; j < m_; ++j) {
+    outcome_.reason[j] = tag_valid_[j]
+                             ? (proceed_ ? FailureReason::kConfirmed
+                                         : FailureReason::kNoClique)
+                             : FailureReason::kBadTag;
   }
   outcome_.partner = tag_valid_;
   if (!proceed_) {
@@ -201,6 +209,7 @@ void HandshakeParticipant::process_phase3(const std::vector<Bytes>& messages) {
   done_ = true;
 
   // Record the transcript regardless of our own outcome (tracing input).
+  std::vector<bool> malformed(m_, false);
   for (std::size_t j = 0; j < m_; ++j) {
     try {
       ByteReader r(messages[j]);
@@ -209,15 +218,21 @@ void HandshakeParticipant::process_phase3(const std::vector<Bytes>& messages) {
       r.expect_done();
     } catch (const Error&) {
       outcome_.transcript.entries[j] = {};
+      malformed[j] = true;
     }
   }
 
   if (!dgka_ok_) {
     outcome_.failure = "group key agreement failed";
+    outcome_.reason.assign(m_, FailureReason::kDgkaFailed);
     return;
   }
   if (!proceed_) {
     outcome_.failure = "no same-group clique";
+    for (std::size_t j = 0; j < m_; ++j) {
+      outcome_.reason[j] = tag_valid_[j] ? FailureReason::kNoClique
+                                         : FailureReason::kBadTag;
+    }
     return;
   }
 
@@ -225,9 +240,13 @@ void HandshakeParticipant::process_phase3(const std::vector<Bytes>& messages) {
                                                   : BytesView{};
   std::map<std::string, std::vector<std::size_t>> distinction;  // T6 -> who
   for (std::size_t j = 0; j < m_; ++j) {
-    if (!tag_valid_[j]) continue;
+    if (!tag_valid_[j]) {
+      outcome_.reason[j] = FailureReason::kBadTag;
+      continue;
+    }
     if (j == position_) {
       outcome_.partner[j] = true;
+      outcome_.reason[j] = FailureReason::kConfirmed;
       if (options_.self_distinction) {
         distinction[to_hex(authority_.gsig().distinction_tag(own_signature_))]
             .push_back(j);
@@ -242,12 +261,15 @@ void HandshakeParticipant::process_phase3(const std::vector<Bytes>& messages) {
       authority_.gsig().verify(outcome_.transcript.entries[j].delta,
                                signature, tag);
       outcome_.partner[j] = true;
+      outcome_.reason[j] = FailureReason::kConfirmed;
       if (options_.self_distinction) {
         distinction[to_hex(authority_.gsig().distinction_tag(signature))]
             .push_back(j);
       }
     } catch (const Error&) {
       outcome_.partner[j] = false;
+      outcome_.reason[j] = malformed[j] ? FailureReason::kMalformedPhase3
+                                        : FailureReason::kBadSignature;
     }
   }
 
@@ -256,7 +278,10 @@ void HandshakeParticipant::process_phase3(const std::vector<Bytes>& messages) {
       if (positions.size() > 1) {
         // One signer played several roles: exclude every colluding slot.
         outcome_.self_distinction_violated = true;
-        for (std::size_t j : positions) outcome_.partner[j] = false;
+        for (std::size_t j : positions) {
+          outcome_.partner[j] = false;
+          outcome_.reason[j] = FailureReason::kDuplicateTag;
+        }
       }
     }
   }

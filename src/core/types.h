@@ -64,6 +64,36 @@ struct HandshakeTranscript {
   static HandshakeTranscript deserialize(BytesView data);
 };
 
+/// Per-position diagnostic: why a position is, or is not, in
+/// HandshakeOutcome::partner. Purely local bookkeeping for tests,
+/// conformance harnesses and operators — it is never serialized and never
+/// influences what goes on the wire, so the paper's "failures are silent"
+/// property is untouched.
+enum class FailureReason : std::uint8_t {
+  kConfirmed = 0,       // position is a confirmed partner
+  kNotEvaluated = 1,    // protocol did not reach a judgement for this slot
+  kDgkaFailed = 2,      // Phase I failed locally; no position was judged
+  kBadTag = 3,          // Phase-II MAC mismatch (tag_valid_ flipped off)
+  kNoClique = 4,        // tag was fine but no clique of >= 2 formed
+  kMalformedPhase3 = 5, // Phase-III slot failed to parse
+  kBadSignature = 6,    // Phase-III AEAD/GSIG verification failed
+  kDuplicateTag = 7,    // scheme 2: shared a duplicated T6 (cloned signer)
+};
+
+[[nodiscard]] constexpr const char* to_string(FailureReason reason) noexcept {
+  switch (reason) {
+    case FailureReason::kConfirmed: return "confirmed";
+    case FailureReason::kNotEvaluated: return "not evaluated";
+    case FailureReason::kDgkaFailed: return "dgka failed";
+    case FailureReason::kBadTag: return "bad tag";
+    case FailureReason::kNoClique: return "no clique";
+    case FailureReason::kMalformedPhase3: return "malformed phase-3";
+    case FailureReason::kBadSignature: return "bad signature";
+    case FailureReason::kDuplicateTag: return "duplicate T6";
+  }
+  return "unknown";
+}
+
 /// One participant's view of how the handshake ended.
 struct HandshakeOutcome {
   /// Protocol ran to completion (it always does; failures are silent by
@@ -81,6 +111,9 @@ struct HandshakeOutcome {
   Bytes session_key;
   /// Human-readable reason when nothing was confirmed.
   std::string failure;
+  /// reason[j]: why position j is (not) in `partner`. Invariant once
+  /// completed: partner[j] == (reason[j] == FailureReason::kConfirmed).
+  std::vector<FailureReason> reason;
   /// The (theta, delta) pairs for GA tracing.
   HandshakeTranscript transcript;
 

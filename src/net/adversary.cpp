@@ -1,0 +1,84 @@
+#include "net/adversary.h"
+
+#include <tuple>
+
+namespace shs::net {
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kTamper: return "tamper";
+    case FaultKind::kReplay: return "replay";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kInject: return "inject";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kByzantine: return "byzantine";
+  }
+  return "unknown";
+}
+
+std::size_t FaultLog::count(FaultKind kind) const {
+  std::size_t n = 0;
+  for (const FaultEvent& e : events_) n += e.kind == kind ? 1 : 0;
+  return n;
+}
+
+std::string FaultLog::summary() const {
+  constexpr FaultKind kAll[] = {
+      FaultKind::kDrop,   FaultKind::kTamper,    FaultKind::kReplay,
+      FaultKind::kDelay,  FaultKind::kInject,    FaultKind::kPartition,
+      FaultKind::kByzantine};
+  std::string out;
+  for (FaultKind kind : kAll) {
+    const std::size_t n = count(kind);
+    if (n == 0) continue;
+    if (!out.empty()) out += ' ';
+    out += to_string(kind);
+    out += " x";
+    out += std::to_string(n);
+  }
+  return out.empty() ? "no faults" : out;
+}
+
+std::optional<Bytes> ChainAdversary::intercept(std::size_t round,
+                                               std::size_t sender,
+                                               std::size_t receiver,
+                                               const Bytes& payload) {
+  Bytes current = payload;
+  for (Adversary* link : links_) {
+    auto result = link->intercept(round, sender, receiver, current);
+    if (!result.has_value()) return std::nullopt;
+    current = std::move(*result);
+  }
+  return current;
+}
+
+std::optional<Bytes> ScheduledAdversary::intercept(std::size_t round,
+                                                   std::size_t sender,
+                                                   std::size_t receiver,
+                                                   const Bytes& payload) {
+  if (!when_(round, sender, receiver)) return payload;
+  return inner_->intercept(round, sender, receiver, payload);
+}
+
+std::optional<Bytes> RecordingAdversary::intercept(std::size_t round,
+                                                   std::size_t sender,
+                                                   std::size_t receiver,
+                                                   const Bytes& payload) {
+  if (receiver == observe_receiver_) {
+    records_.push_back({round, sender, payload});
+  }
+  return payload;
+}
+
+std::vector<std::tuple<std::size_t, std::size_t, std::size_t>> wire_shape(
+    const std::vector<RecordedMessage>& records) {
+  std::vector<std::tuple<std::size_t, std::size_t, std::size_t>> shape;
+  shape.reserve(records.size());
+  for (const RecordedMessage& r : records) {
+    shape.emplace_back(r.round, r.sender, r.payload.size());
+  }
+  return shape;
+}
+
+}  // namespace shs::net

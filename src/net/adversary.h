@@ -1,0 +1,188 @@
+// Adversary toolkit: structured fault logging, combinators that compose
+// and schedule concrete faults (src/net/faults.h), and a passive wire
+// recorder.
+//
+// The paper's model (§2) hands the network to the adversary: it may
+// tamper, drop, inject, replay and reorder anything in flight. The
+// security experiments phrase attacks as *games*; this header provides
+// the engineering counterpart — adversaries are small, seeded, composable
+// objects, and every action they take is recorded in a FaultLog so a test
+// can assert not only the outcome but also that the intended interference
+// actually happened.
+//
+// Composition model:
+//   ChainAdversary      applies its links left-to-right; a drop
+//                       short-circuits the rest of the chain.
+//   ScheduledAdversary  gates an inner adversary with a (round, sender,
+//                       receiver) predicate — "activate the tamper fault
+//                       on Phase-II edges into receiver 2 only".
+//   RecordingAdversary  passive tap used by the conformance harness to
+//                       capture the wire image an eavesdropper sees.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+
+namespace shs::net {
+
+/// What a fault did to one in-flight (round, sender, receiver) edge.
+enum class FaultKind : std::uint8_t {
+  kDrop = 0,       // message suppressed (receiver sees an empty slot)
+  kTamper = 1,     // payload mutated (bit flip / truncate / extend)
+  kReplay = 2,     // payload replaced by an earlier / foreign payload
+  kDelay = 3,      // payload buffered for re-injection in a later round
+  kInject = 4,     // buffered or foreign payload delivered in this slot
+  kPartition = 5,  // suppressed because sender/receiver are in split cells
+  kByzantine = 6,  // a scripted insider deviated from its RoundParty
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind) noexcept;
+
+/// One recorded adversarial action.
+struct FaultEvent {
+  std::size_t round = 0;
+  std::size_t sender = 0;
+  std::size_t receiver = 0;
+  FaultKind kind = FaultKind::kDrop;
+  std::string note;  // free-form detail ("bit 3 of byte 17", ...)
+};
+
+/// Append-only record shared by every fault in a stack. Tests assert on it
+/// ("the drop fault fired at least once") and failures print summary().
+/// record() is internally locked: network faults run on the (serialized)
+/// adversary path, but ByzantineInsider logs from round_message, which a
+/// threaded driver runs concurrently. Read accessors are meant for after
+/// the run.
+class FaultLog {
+ public:
+  void record(FaultEvent event) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(std::move(event));
+  }
+  void record(std::size_t round, std::size_t sender, std::size_t receiver,
+              FaultKind kind, std::string note = {}) {
+    record(FaultEvent{round, sender, receiver, kind, std::move(note)});
+  }
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] std::size_t count(FaultKind kind) const;
+  /// "drop x12 tamper x3" — stable order, for assertion messages.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<FaultEvent> events_;
+};
+
+/// Applies each link in order; the output of one link is the input of the
+/// next. A link returning nullopt drops the message and short-circuits.
+/// Links added by pointer are borrowed (must outlive the chain); links
+/// added by unique_ptr are owned.
+class ChainAdversary final : public Adversary {
+ public:
+  ChainAdversary() = default;
+  explicit ChainAdversary(std::vector<Adversary*> links)
+      : links_(std::move(links)) {}
+
+  void add(Adversary* link) { links_.push_back(link); }
+  void add(std::unique_ptr<Adversary> link) {
+    links_.push_back(link.get());
+    owned_.push_back(std::move(link));
+  }
+
+  std::optional<Bytes> intercept(std::size_t round, std::size_t sender,
+                                 std::size_t receiver,
+                                 const Bytes& payload) override;
+
+ private:
+  std::vector<Adversary*> links_;
+  std::vector<std::unique_ptr<Adversary>> owned_;
+};
+
+/// Gates `inner` with an edge predicate: edges where the predicate is
+/// false pass through untouched (and `inner` never observes them).
+/// The inner adversary is borrowed or owned depending on the constructor.
+class ScheduledAdversary final : public Adversary {
+ public:
+  using Predicate = std::function<bool(
+      std::size_t round, std::size_t sender, std::size_t receiver)>;
+
+  ScheduledAdversary(Adversary* inner, Predicate when)
+      : inner_(inner), when_(std::move(when)) {}
+  ScheduledAdversary(std::unique_ptr<Adversary> inner, Predicate when)
+      : owned_(std::move(inner)), inner_(owned_.get()), when_(std::move(when)) {}
+
+  /// Convenience predicate: active from `round` (inclusive) onwards.
+  static Predicate from_round(std::size_t round) {
+    return [round](std::size_t r, std::size_t, std::size_t) {
+      return r >= round;
+    };
+  }
+  /// Convenience predicate: active on edges whose sender is `sender`.
+  static Predicate sender_is(std::size_t sender) {
+    return [sender](std::size_t, std::size_t s, std::size_t) {
+      return s == sender;
+    };
+  }
+
+  std::optional<Bytes> intercept(std::size_t round, std::size_t sender,
+                                 std::size_t receiver,
+                                 const Bytes& payload) override;
+
+ private:
+  std::unique_ptr<Adversary> owned_;
+  Adversary* inner_;
+  Predicate when_;
+};
+
+/// One captured wire slot. Also the unit ReplayFault feeds on for
+/// cross-session replay.
+struct RecordedMessage {
+  std::size_t round = 0;
+  std::size_t sender = 0;
+  Bytes payload;
+};
+
+/// Passive tap: records the broadcast exactly as an eavesdropper would see
+/// it (one slot per (round, sender), taken from a single receiver's view
+/// so per-receiver duplication does not skew the record). Chain it after
+/// the fault stack to capture the post-fault wire image, or use it alone
+/// to capture a clean session for replay / shape comparison.
+class RecordingAdversary final : public Adversary {
+ public:
+  /// Records the view delivered to `observe_receiver` (default 0).
+  explicit RecordingAdversary(std::size_t observe_receiver = 0)
+      : observe_receiver_(observe_receiver) {}
+
+  std::optional<Bytes> intercept(std::size_t round, std::size_t sender,
+                                 std::size_t receiver,
+                                 const Bytes& payload) override;
+
+  [[nodiscard]] const std::vector<RecordedMessage>& records() const noexcept {
+    return records_;
+  }
+
+ private:
+  std::size_t observe_receiver_;
+  std::vector<RecordedMessage> records_;
+};
+
+/// The *shape* of a recorded wire image: (round, sender, payload size)
+/// triples. The paper's resistance-to-detection property says failing and
+/// succeeding sessions must be indistinguishable to an observer; sessions
+/// of the same (m, options) must therefore have equal shapes.
+[[nodiscard]] std::vector<std::tuple<std::size_t, std::size_t, std::size_t>>
+wire_shape(const std::vector<RecordedMessage>& records);
+
+}  // namespace shs::net

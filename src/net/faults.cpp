@@ -1,0 +1,242 @@
+#include "net/faults.h"
+
+#include <string>
+#include <string_view>
+
+namespace shs::net {
+
+namespace {
+
+// splitmix64 finalizer: the per-edge decision hash. Keying decisions by
+// (seed, domain, coordinates) instead of draw order keeps a fault
+// schedule identical across drivers, thread counts and chain positions.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t edge_hash(std::uint64_t seed, std::uint64_t domain,
+                        std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  std::uint64_t h = mix(seed ^ domain);
+  h = mix(h ^ a);
+  h = mix(h ^ b);
+  h = mix(h ^ c);
+  return h;
+}
+
+/// Deterministic Bernoulli trial on 53 bits of the hash.
+bool hit(double probability, std::uint64_t hash) {
+  if (probability <= 0.0) return false;
+  if (probability >= 1.0) return true;
+  const double u =
+      static_cast<double>(hash >> 11) / 9007199254740992.0;  // 2^53
+  return u < probability;
+}
+
+std::string edge_note(std::string_view what, std::size_t detail) {
+  std::string note(what);
+  note += ' ';
+  note += std::to_string(detail);
+  return note;
+}
+
+}  // namespace
+
+std::optional<Bytes> DropFault::intercept(std::size_t round,
+                                          std::size_t sender,
+                                          std::size_t receiver,
+                                          const Bytes& payload) {
+  if (payload.empty()) return payload;
+  const char* why = nullptr;
+  if (hit(config_.per_round, edge_hash(seed_, 'R', round, 0, 0))) {
+    why = "round blackout";
+  } else if (hit(config_.per_link, edge_hash(seed_, 'L', sender, receiver, 0))) {
+    why = "link severed";
+  } else if (hit(config_.per_message,
+                 edge_hash(seed_, 'M', round, sender, receiver))) {
+    why = "message lost";
+  }
+  if (why == nullptr) return payload;
+  if (log_ != nullptr) {
+    log_->record(round, sender, receiver, FaultKind::kDrop, why);
+  }
+  return std::nullopt;
+}
+
+std::optional<Bytes> TamperFault::intercept(std::size_t round,
+                                            std::size_t sender,
+                                            std::size_t receiver,
+                                            const Bytes& payload) {
+  if (payload.empty()) return payload;
+  const std::uint64_t h = edge_hash(seed_, 'T', round, sender, receiver);
+  if (!hit(config_.probability, h)) return payload;
+
+  Mode mode = config_.mode;
+  if (mode == Mode::kMix) {
+    constexpr Mode kModes[] = {Mode::kBitFlip, Mode::kTruncate, Mode::kExtend};
+    mode = kModes[mix(h) % 3];
+  }
+  Bytes out = payload;
+  std::string note;
+  switch (mode) {
+    case Mode::kBitFlip: {
+      const std::size_t byte = mix(h ^ 1) % out.size();
+      const std::size_t bit = mix(h ^ 2) % 8;
+      out[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      note = edge_note("bit flip at byte", byte);
+      break;
+    }
+    case Mode::kTruncate: {
+      out.resize(mix(h ^ 3) % out.size());
+      note = edge_note("truncated to", out.size());
+      break;
+    }
+    case Mode::kExtend: {
+      const std::size_t extra = 1 + mix(h ^ 4) % 16;
+      for (std::size_t i = 0; i < extra; ++i) {
+        out.push_back(static_cast<std::uint8_t>(mix(h ^ (5 + i))));
+      }
+      note = edge_note("extended by", extra);
+      break;
+    }
+    case Mode::kMix:
+      break;  // unreachable: resolved above
+  }
+  if (log_ != nullptr) {
+    log_->record(round, sender, receiver, FaultKind::kTamper, std::move(note));
+  }
+  return out;
+}
+
+void ReplayFault::load_session(std::vector<RecordedMessage> prior) {
+  foreign_.clear();
+  for (RecordedMessage& r : prior) {
+    foreign_[{r.round, r.sender}] = std::move(r.payload);
+  }
+}
+
+std::optional<Bytes> ReplayFault::intercept(std::size_t round,
+                                            std::size_t sender,
+                                            std::size_t receiver,
+                                            const Bytes& payload) {
+  // Record before deciding, so a sender's round-r message is available
+  // for replay from round r+1 on.
+  if (!payload.empty()) seen_[{round, sender}] = payload;
+
+  if (hit(config_.cross_session,
+          edge_hash(seed_, 'S', round, sender, receiver))) {
+    auto it = foreign_.find({round, sender});
+    if (it != foreign_.end() && !it->second.empty()) {
+      if (log_ != nullptr) {
+        log_->record(round, sender, receiver, FaultKind::kReplay,
+                     "cross-session slot");
+      }
+      return it->second;
+    }
+  }
+
+  if (round > 0 && hit(config_.cross_round,
+                       edge_hash(seed_, 'C', round, sender, receiver))) {
+    // Most recent earlier-round payload of the same sender.
+    for (std::size_t r = round; r-- > 0;) {
+      auto it = seen_.find({r, sender});
+      if (it == seen_.end() || it->second.empty()) continue;
+      if (log_ != nullptr) {
+        log_->record(round, sender, receiver, FaultKind::kReplay,
+                     edge_note("cross-round from round", r));
+      }
+      return it->second;
+    }
+  }
+  return payload;
+}
+
+std::optional<Bytes> ReorderDelayFault::intercept(std::size_t round,
+                                                  std::size_t sender,
+                                                  std::size_t receiver,
+                                                  const Bytes& payload) {
+  if (sender != config_.sender) return payload;
+  if (round == config_.round) {
+    if (!held_.has_value()) held_ = payload;
+    if (log_ != nullptr) {
+      log_->record(round, sender, receiver, FaultKind::kDelay,
+                   edge_note("held for round", round + config_.delay));
+    }
+    return std::nullopt;
+  }
+  if (round == config_.round + config_.delay && held_.has_value()) {
+    if (log_ != nullptr) {
+      log_->record(round, sender, receiver, FaultKind::kInject,
+                   edge_note("re-injected from round", config_.round));
+    }
+    return *held_;
+  }
+  return payload;
+}
+
+PartitionFault PartitionFault::split_halves(std::size_t m, FaultLog* log) {
+  std::vector<std::size_t> cells(m, 0);
+  for (std::size_t i = m / 2; i < m; ++i) cells[i] = 1;
+  return PartitionFault(std::move(cells), log);
+}
+
+std::optional<Bytes> PartitionFault::intercept(std::size_t round,
+                                               std::size_t sender,
+                                               std::size_t receiver,
+                                               const Bytes& payload) {
+  if (cell(sender) == cell(receiver) || payload.empty()) return payload;
+  if (log_ != nullptr) {
+    log_->record(round, sender, receiver, FaultKind::kPartition,
+                 edge_note("cut by cell of sender", cell(sender)));
+  }
+  return std::nullopt;
+}
+
+Bytes ByzantineInsider::round_message(std::size_t round) {
+  Bytes honest = inner_->round_message(round);
+  const Action action =
+      round < script_.size() ? script_[round] : Action::kFollow;
+  Bytes sent;
+  switch (action) {
+    case Action::kFollow:
+      sent = std::move(honest);
+      break;
+    case Action::kSilent:
+      if (log_ != nullptr) {
+        log_->record(round, position_, position_, FaultKind::kByzantine,
+                     "silent");
+      }
+      break;
+    case Action::kRandom:
+      sent = rng_.bytes(honest.size());
+      if (log_ != nullptr) {
+        log_->record(round, position_, position_, FaultKind::kByzantine,
+                     "random bytes");
+      }
+      break;
+    case Action::kFlipBit:
+      sent = std::move(honest);
+      if (!sent.empty()) {
+        sent[rng_.below_u64(sent.size())] ^=
+            static_cast<std::uint8_t>(1u << rng_.below_u64(8));
+      }
+      if (log_ != nullptr) {
+        log_->record(round, position_, position_, FaultKind::kByzantine,
+                     "bit flipped");
+      }
+      break;
+    case Action::kReplayOwn:
+      sent = previous_sent_;
+      if (log_ != nullptr) {
+        log_->record(round, position_, position_, FaultKind::kByzantine,
+                     "replayed own previous round");
+      }
+      break;
+  }
+  previous_sent_ = sent;
+  return sent;
+}
+
+}  // namespace shs::net

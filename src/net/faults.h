@@ -1,0 +1,217 @@
+// Composable, seeded network faults — the concrete adversaries of the
+// toolkit (see src/net/adversary.h for the combinators and the FaultLog).
+//
+// Every fault is deterministic in its seed: probability draws are keyed
+// by a hash of (seed, round, sender, receiver), never by interception
+// order, so a schedule replays identically across runs, drivers and
+// thread counts. Every action is recorded in the (optional) FaultLog.
+//
+//   DropFault         loses messages: per-message, per-round blackout,
+//                     per-link (sender, receiver) severance
+//   TamperFault       mutates payloads: bit flip, truncate, extend
+//   ReplayFault       substitutes stale payloads: cross-round (earlier
+//                     message of the same sender) and cross-session
+//                     (slots of a previously recorded session)
+//   ReorderDelayFault buffers one sender's round-r broadcast and
+//                     re-injects it in round r+d instead of the fresh one
+//   PartitionFault    splits positions into non-communicating cells
+//   ByzantineInsider  a *participant* deviating from its RoundParty by a
+//                     per-round script (silent / random / flipped / stale)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "bigint/random.h"
+#include "net/adversary.h"
+#include "net/protocol.h"
+
+namespace shs::net {
+
+/// Loses messages. All three knobs combine (any hit drops the message).
+class DropFault final : public Adversary {
+ public:
+  struct Config {
+    double per_message = 0.0;  // each (round, sender, receiver) edge
+    double per_round = 0.0;    // whole-round blackout, decided per round
+    double per_link = 0.0;     // permanent (sender, receiver) severance
+  };
+
+  DropFault(std::uint64_t seed, Config config, FaultLog* log = nullptr)
+      : seed_(seed), config_(config), log_(log) {}
+
+  std::optional<Bytes> intercept(std::size_t round, std::size_t sender,
+                                 std::size_t receiver,
+                                 const Bytes& payload) override;
+
+ private:
+  std::uint64_t seed_;
+  Config config_;
+  FaultLog* log_;
+};
+
+/// Mutates payloads in flight.
+class TamperFault final : public Adversary {
+ public:
+  enum class Mode : std::uint8_t {
+    kBitFlip,   // flip one bit at a seeded offset
+    kTruncate,  // shorten to a seeded length < size
+    kExtend,    // append 1..16 seeded junk bytes
+    kMix,       // pick one of the above per edge
+  };
+  struct Config {
+    double probability = 1.0;  // per (round, sender, receiver) edge
+    Mode mode = Mode::kMix;
+  };
+
+  TamperFault(std::uint64_t seed, Config config, FaultLog* log = nullptr)
+      : seed_(seed), config_(config), log_(log) {}
+
+  std::optional<Bytes> intercept(std::size_t round, std::size_t sender,
+                                 std::size_t receiver,
+                                 const Bytes& payload) override;
+
+ private:
+  std::uint64_t seed_;
+  Config config_;
+  FaultLog* log_;
+};
+
+/// Substitutes stale payloads for fresh ones. Cross-round replay records
+/// every payload it observes and, on a hit, replaces the current message
+/// with the most recent earlier-round payload of the same sender.
+/// Cross-session replay substitutes the matching (round, sender) slot of
+/// a previously recorded session (see RecordingAdversary::records), the
+/// classic MITM that the paper defeats by requiring the adversary to be a
+/// *live* DGKA participant.
+class ReplayFault final : public Adversary {
+ public:
+  struct Config {
+    double cross_round = 0.0;
+    double cross_session = 0.0;
+  };
+
+  ReplayFault(std::uint64_t seed, Config config, FaultLog* log = nullptr)
+      : seed_(seed), config_(config), log_(log) {}
+
+  /// Installs the foreign session used for cross-session replay.
+  void load_session(std::vector<RecordedMessage> prior);
+
+  std::optional<Bytes> intercept(std::size_t round, std::size_t sender,
+                                 std::size_t receiver,
+                                 const Bytes& payload) override;
+
+ private:
+  std::uint64_t seed_;
+  Config config_;
+  FaultLog* log_;
+  // Latest observed payload per sender per round (this session).
+  std::map<std::pair<std::size_t, std::size_t>, Bytes> seen_;
+  // (round, sender) -> payload of the loaded foreign session.
+  std::map<std::pair<std::size_t, std::size_t>, Bytes> foreign_;
+};
+
+/// Buffers `sender`'s round-`round` broadcast and delivers it again in
+/// round `round + delay` in place of that round's fresh message; the
+/// original slot is dropped. Models an adversary holding a message back
+/// and re-injecting it later.
+class ReorderDelayFault final : public Adversary {
+ public:
+  struct Config {
+    std::size_t round = 0;
+    std::size_t sender = 0;
+    std::size_t delay = 1;
+  };
+
+  explicit ReorderDelayFault(Config config, FaultLog* log = nullptr)
+      : config_(config), log_(log) {}
+
+  std::optional<Bytes> intercept(std::size_t round, std::size_t sender,
+                                 std::size_t receiver,
+                                 const Bytes& payload) override;
+
+ private:
+  Config config_;
+  FaultLog* log_;
+  std::optional<Bytes> held_;
+};
+
+/// Splits positions into non-communicating cells: any message whose
+/// sender and receiver lie in different cells is dropped. Combine with
+/// ScheduledAdversary::from_round to partition the network mid-protocol.
+class PartitionFault final : public Adversary {
+ public:
+  /// cell_of[position] = cell index. Positions beyond the vector are
+  /// treated as cell 0.
+  explicit PartitionFault(std::vector<std::size_t> cell_of,
+                          FaultLog* log = nullptr)
+      : cell_of_(std::move(cell_of)), log_(log) {}
+
+  /// Convenience: positions < m/2 in cell 0, the rest in cell 1.
+  static PartitionFault split_halves(std::size_t m, FaultLog* log = nullptr);
+
+  std::optional<Bytes> intercept(std::size_t round, std::size_t sender,
+                                 std::size_t receiver,
+                                 const Bytes& payload) override;
+
+ private:
+  [[nodiscard]] std::size_t cell(std::size_t position) const {
+    return position < cell_of_.size() ? cell_of_[position] : 0;
+  }
+
+  std::vector<std::size_t> cell_of_;
+  FaultLog* log_;
+};
+
+/// A corrupted *participant*: wraps an honest RoundParty and deviates
+/// from it according to a per-round script. Unlike the network faults
+/// above, this models the paper's insider adversary — it controls what
+/// the position broadcasts, not what the network delivers.
+///
+/// With DriverOptions::threads > 1, round messages (and hence scripted
+/// deviations) are computed on pool threads; give concurrent insiders
+/// distinct FaultLogs or rely on FaultLog's internal locking.
+class ByzantineInsider final : public RoundParty {
+ public:
+  enum class Action : std::uint8_t {
+    kFollow,     // behave honestly this round
+    kSilent,     // broadcast nothing
+    kRandom,     // broadcast seeded junk of the honest message's size
+    kFlipBit,    // broadcast the honest message with one bit flipped
+    kReplayOwn,  // re-broadcast this insider's previous round's message
+  };
+
+  /// `script[r]` is the action for round r; rounds beyond the script (and
+  /// a missing script) follow the honest party. `position` is only used
+  /// for logging.
+  ByzantineInsider(RoundParty* inner, std::size_t position,
+                   std::uint64_t seed, std::vector<Action> script,
+                   FaultLog* log = nullptr)
+      : inner_(inner),
+        position_(position),
+        rng_(seed),
+        script_(std::move(script)),
+        log_(log) {}
+
+  [[nodiscard]] std::size_t total_rounds() const override {
+    return inner_->total_rounds();
+  }
+  Bytes round_message(std::size_t round) override;
+  void deliver(std::size_t round,
+               const std::vector<Bytes>& messages) override {
+    inner_->deliver(round, messages);
+  }
+
+ private:
+  RoundParty* inner_;
+  std::size_t position_;
+  num::TestRng rng_;
+  std::vector<Action> script_;
+  FaultLog* log_;
+  Bytes previous_sent_;
+};
+
+}  // namespace shs::net

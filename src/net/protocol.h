@@ -72,11 +72,19 @@ struct RunStats {
 /// on a thread pool (barrier before delivery) — safe because parties only
 /// share the immutable authority/group parameters — and, when no
 /// adversary is installed, also parallelizes delivery across receivers.
-/// An adversary may be stateful, so with one installed, delivery stays
-/// serial in the (optionally shuffled) receiver order. Each party's
-/// messages depend only on its own state and the delivered round vectors,
-/// so serial and parallel runs produce byte-identical wire transcripts.
-/// threads == 0 means "use all hardware threads".
+/// Each party's messages depend only on its own state and the delivered
+/// round vectors, so serial and parallel runs produce byte-identical wire
+/// transcripts. threads == 0 means "use all hardware threads".
+///
+/// CONTRACT — adversary + threads > 1: installing an adversary silently
+/// serializes the *delivery* half of each round (message computation
+/// still runs on the pool). This is deliberate, not an oversight: an
+/// adversary may be stateful (replay buffers, fault logs, recorded
+/// transcripts), so intercept() is always invoked one edge at a time, in
+/// receiver-major (receiver, then sender 0..m-1) order — identical for
+/// every thread count. A stateful adversary therefore observes a
+/// deterministic interception sequence regardless of `threads`; see
+/// Protocol.StatefulAdversarySeesDeterministicOrderAcrossThreadCounts.
 struct DriverOptions {
   std::size_t threads = 1;
 };

@@ -1,0 +1,181 @@
+// Codec round-trip property tests: random operation sequences survive
+// encode -> decode exactly; every strict prefix of an encoding, and any
+// encoding with trailing junk, fails cleanly with CodecError — the
+// guarantee the handshake relies on to treat malformed messages as
+// attacks (process_phase3 maps decode failures to silent exclusion).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <variant>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/errors.h"
+
+namespace shs {
+namespace {
+
+using Op = std::variant<std::uint8_t, std::uint32_t, std::uint64_t, Bytes,
+                        std::string>;
+
+std::vector<Op> random_ops(std::mt19937_64& rng) {
+  const std::size_t n = 1 + rng() % 12;
+  std::vector<Op> ops;
+  ops.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (rng() % 5) {
+      case 0: ops.emplace_back(static_cast<std::uint8_t>(rng())); break;
+      case 1: ops.emplace_back(static_cast<std::uint32_t>(rng())); break;
+      case 2: ops.emplace_back(static_cast<std::uint64_t>(rng())); break;
+      case 3: {
+        Bytes b(rng() % 40, 0);
+        for (auto& v : b) v = static_cast<std::uint8_t>(rng());
+        ops.emplace_back(std::move(b));
+        break;
+      }
+      default: {
+        std::string s(rng() % 40, '\0');
+        for (auto& c : s) c = static_cast<char>('a' + rng() % 26);
+        ops.emplace_back(std::move(s));
+        break;
+      }
+    }
+  }
+  return ops;
+}
+
+Bytes encode(const std::vector<Op>& ops) {
+  ByteWriter w;
+  for (const Op& op : ops) {
+    std::visit(
+        [&w](const auto& v) {
+          using T = std::decay_t<decltype(v)>;
+          if constexpr (std::is_same_v<T, std::uint8_t>) w.u8(v);
+          else if constexpr (std::is_same_v<T, std::uint32_t>) w.u32(v);
+          else if constexpr (std::is_same_v<T, std::uint64_t>) w.u64(v);
+          else if constexpr (std::is_same_v<T, Bytes>) w.bytes(v);
+          else w.str(v);
+        },
+        op);
+  }
+  return w.take();
+}
+
+void decode_and_compare(BytesView data, const std::vector<Op>& ops) {
+  ByteReader r(data);
+  for (const Op& op : ops) {
+    std::visit(
+        [&r](const auto& v) {
+          using T = std::decay_t<decltype(v)>;
+          if constexpr (std::is_same_v<T, std::uint8_t>) EXPECT_EQ(r.u8(), v);
+          else if constexpr (std::is_same_v<T, std::uint32_t>)
+            EXPECT_EQ(r.u32(), v);
+          else if constexpr (std::is_same_v<T, std::uint64_t>)
+            EXPECT_EQ(r.u64(), v);
+          else if constexpr (std::is_same_v<T, Bytes>) EXPECT_EQ(r.bytes(), v);
+          else EXPECT_EQ(r.str(), v);
+        },
+        op);
+  }
+  EXPECT_TRUE(r.done());
+  r.expect_done();
+}
+
+/// Reads the ops back, swallowing the expected CodecError; returns true
+/// if decoding (including expect_done) succeeded in full.
+bool decodes_cleanly(BytesView data, const std::vector<Op>& ops) {
+  try {
+    ByteReader r(data);
+    for (const Op& op : ops) {
+      std::visit(
+          [&r](const auto& v) {
+            using T = std::decay_t<decltype(v)>;
+            if constexpr (std::is_same_v<T, std::uint8_t>) (void)r.u8();
+            else if constexpr (std::is_same_v<T, std::uint32_t>) (void)r.u32();
+            else if constexpr (std::is_same_v<T, std::uint64_t>) (void)r.u64();
+            else if constexpr (std::is_same_v<T, Bytes>) (void)r.bytes();
+            else (void)r.str();
+          },
+          op);
+    }
+    r.expect_done();
+    return true;
+  } catch (const CodecError&) {
+    return false;
+  }
+}
+
+TEST(CodecRoundTrip, RandomOpSequencesSurviveEncodeDecode) {
+  std::mt19937_64 rng(0xc0dec'0001ULL);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::vector<Op> ops = random_ops(rng);
+    decode_and_compare(encode(ops), ops);
+  }
+}
+
+TEST(CodecRoundTrip, EveryStrictPrefixFailsCleanly) {
+  std::mt19937_64 rng(0xc0dec'0002ULL);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::vector<Op> ops = random_ops(rng);
+    const Bytes full = encode(ops);
+    ASSERT_TRUE(decodes_cleanly(full, ops));
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+      const Bytes prefix(full.begin(), full.begin() + cut);
+      EXPECT_FALSE(decodes_cleanly(prefix, ops))
+          << "prefix of length " << cut << "/" << full.size()
+          << " decoded as if complete";
+    }
+  }
+}
+
+TEST(CodecRoundTrip, TrailingJunkFailsExpectDone) {
+  std::mt19937_64 rng(0xc0dec'0003ULL);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::vector<Op> ops = random_ops(rng);
+    Bytes padded = encode(ops);
+    padded.push_back(static_cast<std::uint8_t>(rng()));
+    EXPECT_FALSE(decodes_cleanly(padded, ops));
+  }
+}
+
+TEST(CodecRoundTrip, HugeLengthPrefixThrowsInsteadOfReadingPastTheEnd) {
+  // A length prefix far beyond the actual buffer must throw CodecError,
+  // not allocate or read out of bounds.
+  ByteWriter w;
+  w.u32(0xffffffffu);  // claims ~4 GiB of payload
+  w.u8(0x42);
+  const Bytes data = w.take();
+  ByteReader r(data);
+  EXPECT_THROW((void)r.bytes(), CodecError);
+}
+
+TEST(CodecRoundTrip, EmptyBytesAndStringsRoundTrip) {
+  ByteWriter w;
+  w.bytes(Bytes{});
+  w.str("");
+  const Bytes data = w.take();
+  ByteReader r(data);
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_TRUE(r.str().empty());
+  r.expect_done();
+}
+
+TEST(CodecRoundTrip, ReaderTracksRemainingExactly)  {
+  ByteWriter w;
+  w.u64(7);
+  w.u32(7);
+  w.u8(7);
+  const Bytes data = w.take();
+  ByteReader r(data);
+  EXPECT_EQ(r.remaining(), 13u);
+  (void)r.u64();
+  EXPECT_EQ(r.remaining(), 5u);
+  (void)r.u32();
+  (void)r.u8();
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_TRUE(r.done());
+}
+
+}  // namespace
+}  // namespace shs

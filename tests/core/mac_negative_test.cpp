@@ -1,0 +1,191 @@
+// Negative-path MAC coverage (paper §7 Phase II): the HMAC tag binds its
+// sender's position AND the Phase-I messages that position sent, under
+// the fresh k'. Flipping a single bit of a tag in flight, or swapping the
+// Phase-I material the tag commits to, must flip tag_valid_ for exactly
+// the affected position at exactly the affected receivers — for every
+// position, in both schemes.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/handshake.h"
+#include "fixture.h"
+#include "net/protocol.h"
+
+namespace shs::core {
+namespace {
+
+using testing::TestGroup;
+
+class MacNegativeTest : public ::testing::Test {
+ protected:
+  MacNegativeTest() : group_("mac-neg", GroupConfig{}) {
+    for (MemberId id = 1; id <= 4; ++id) group_.admit(id);
+    for (std::size_t i = 0; i < 4; ++i) {
+      members_.push_back(&group_.member(i));
+    }
+  }
+
+  HandshakeOptions options(bool scheme2) const {
+    HandshakeOptions o;
+    o.self_distinction = scheme2;
+    return o;
+  }
+
+  /// Phase-II round index R for these options (probe participant).
+  std::size_t phase2_round(const HandshakeOptions& o) const {
+    return members_[0]->handshake_party(0, 4, o, to_bytes("probe"))
+               ->total_rounds() -
+           2;
+  }
+
+  TestGroup group_;
+  std::vector<const Member*> members_;
+};
+
+/// Flips bit 0 of byte 0 of every copy of sender `j`'s round-`r` message
+/// (uniform: all receivers see the same mutated payload).
+class UniformFlip final : public net::Adversary {
+ public:
+  UniformFlip(std::size_t round, std::size_t sender)
+      : round_(round), sender_(sender) {}
+  std::optional<Bytes> intercept(std::size_t round, std::size_t sender,
+                                 std::size_t, const Bytes& in) override {
+    if (round != round_ || sender != sender_ || in.empty()) return in;
+    Bytes out = in;
+    out[0] ^= 1u;
+    return out;
+  }
+
+ private:
+  std::size_t round_;
+  std::size_t sender_;
+};
+
+TEST_F(MacNegativeTest, SingleFlippedTagBitExcludesExactlyItsSender) {
+  for (bool scheme2 : {false, true}) {
+    const HandshakeOptions o = options(scheme2);
+    const std::size_t R = phase2_round(o);
+    for (std::size_t j = 0; j < 4; ++j) {
+      UniformFlip flip(R, j);
+      const auto outcomes =
+          testing::handshake(members_, o, "mac-neg-tag", &flip);
+
+      // Every honest receiver excludes exactly j, with reason kBadTag.
+      for (std::size_t i = 0; i < 4; ++i) {
+        const HandshakeOutcome& out = outcomes[i];
+        ASSERT_TRUE(out.completed);
+        if (i == j) {
+          // The sender's own slot is self-evident: it still sees a fully
+          // successful handshake (its peers' tags were untouched).
+          EXPECT_TRUE(out.full_success)
+              << "scheme " << (scheme2 ? 2 : 1) << " sender " << j;
+          continue;
+        }
+        EXPECT_FALSE(out.full_success);
+        for (std::size_t k = 0; k < 4; ++k) {
+          if (k == j) {
+            EXPECT_FALSE(out.partner[k])
+                << "scheme " << (scheme2 ? 2 : 1) << " receiver " << i;
+            EXPECT_EQ(out.reason[k], FailureReason::kBadTag);
+          } else {
+            EXPECT_TRUE(out.partner[k])
+                << "scheme " << (scheme2 ? 2 : 1) << " receiver " << i
+                << " wrongly dropped " << k << " ("
+                << to_string(out.reason[k]) << ")";
+          }
+        }
+        // The flip was delivered uniformly, so all transcripts agree and
+        // the surviving clique still shares one key.
+        EXPECT_EQ(out.session_key, outcomes[j].session_key);
+      }
+    }
+  }
+}
+
+/// Substitutes sender `j`'s round-0 broadcast with ANOTHER sender's valid
+/// round-0 broadcast, delivered to receiver `i` only. The payload is a
+/// well-formed group element (bit flips would already die in subgroup
+/// validation), so only the MAC's transcript binding can catch it.
+class SwapPhase1Element final : public net::Adversary {
+ public:
+  SwapPhase1Element(std::size_t sender, std::size_t receiver,
+                    std::size_t source)
+      : sender_(sender), receiver_(receiver), source_(source) {}
+
+  std::optional<Bytes> intercept(std::size_t round, std::size_t sender,
+                                 std::size_t receiver,
+                                 const Bytes& in) override {
+    if (round != 0) return in;
+    if (sender == source_ && captured_.empty()) captured_ = in;
+    if (sender == sender_ && receiver == receiver_) {
+      // The serial driver walks receiver 0's edges (all senders) first,
+      // so the source broadcast is always captured by now.
+      EXPECT_FALSE(captured_.empty());
+      return captured_;
+    }
+    return in;
+  }
+
+ private:
+  std::size_t sender_;
+  std::size_t receiver_;
+  std::size_t source_;
+  Bytes captured_;
+};
+
+TEST_F(MacNegativeTest, TagBindsThePhase1TranscriptPerReceiver) {
+  for (bool scheme2 : {false, true}) {
+    const HandshakeOptions o = options(scheme2);
+    for (std::size_t j = 0; j < 4; ++j) {
+      // A non-adjacent receiver: its Burmester-Desmedt key only depends
+      // on its ring neighbours' z-values, so swapping z_j leaves the key
+      // intact and isolates the MAC's transcript binding.
+      const std::size_t i = (j + 2) % 4;
+      const std::size_t source = j == 0 ? 1 : 0;
+      SwapPhase1Element swap(j, i, source);
+      const auto outcomes =
+          testing::handshake(members_, o, "mac-neg-bind", &swap);
+
+      const HandshakeOutcome& at_i = outcomes[i];
+      ASSERT_TRUE(at_i.completed);
+      EXPECT_FALSE(at_i.partner[j]);
+      EXPECT_EQ(at_i.reason[j], FailureReason::kBadTag)
+          << "scheme " << (scheme2 ? 2 : 1) << " receiver " << i
+          << ": transcript binding missed the swapped element";
+      EXPECT_TRUE(at_i.partner[i]);
+
+      if (!scheme2) {
+        // Scheme 1: the damage is exactly {j} at exactly {i}; everyone
+        // else still sees a clean session.
+        for (std::size_t k = 0; k < 4; ++k) {
+          if (k != j) {
+            EXPECT_TRUE(at_i.partner[k]) << "receiver " << i;
+          }
+          if (k != i) {
+            EXPECT_TRUE(outcomes[k].full_success)
+                << "receiver " << k << ": " << outcomes[k].failure;
+          }
+        }
+      } else {
+        // Scheme 2 binds signatures to the session transcript, so i's
+        // diverged view cascades: every peer signature fails against i's
+        // T7 base, and i's own signature fails against everyone else's.
+        for (std::size_t k = 0; k < 4; ++k) {
+          if (k == i || k == j) continue;
+          EXPECT_EQ(at_i.reason[k], FailureReason::kBadSignature)
+              << "receiver " << i << " slot " << k;
+          EXPECT_FALSE(outcomes[k].partner[i]) << "receiver " << k;
+          EXPECT_EQ(outcomes[k].reason[i], FailureReason::kBadSignature);
+          EXPECT_TRUE(outcomes[k].partner[j])
+              << "receiver " << k << " wrongly dropped honest " << j;
+        }
+        EXPECT_EQ(at_i.confirmed_count(), 1u);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace shs::core

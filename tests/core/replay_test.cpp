@@ -1,0 +1,133 @@
+// Replay regression (paper §2/§7): Phase-II tags and Phase-III pairs are
+// bound to the session's fresh k', so messages recorded from one session
+// and fed verbatim into a new session — same group, same members, same
+// positions — must never validate. The adversary here is the classic
+// off-line MITM the paper defeats by requiring replayers to be live DGKA
+// participants.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/handshake.h"
+#include "fixture.h"
+#include "net/adversary.h"
+#include "net/faults.h"
+
+namespace shs::core {
+namespace {
+
+using testing::TestGroup;
+
+class ReplayTest : public ::testing::Test {
+ protected:
+  ReplayTest() : group_("replay", GroupConfig{}) {
+    for (MemberId id = 1; id <= 4; ++id) group_.admit(id);
+    for (std::size_t i = 0; i < 4; ++i) members_.push_back(&group_.member(i));
+  }
+
+  /// Records a clean session under `session_seed` and returns its wire
+  /// image (one slot per round and sender).
+  std::vector<net::RecordedMessage> record_session(
+      const HandshakeOptions& o, std::string_view session_seed) {
+    net::RecordingAdversary tap;
+    const auto outcomes = testing::handshake(members_, o, session_seed, &tap);
+    for (const auto& out : outcomes) EXPECT_TRUE(out.full_success);
+    return tap.records();
+  }
+
+  std::size_t phase2_round(const HandshakeOptions& o) const {
+    return members_[0]->handshake_party(0, 4, o, to_bytes("probe"))
+               ->total_rounds() -
+           2;
+  }
+
+  TestGroup group_;
+  std::vector<const Member*> members_;
+};
+
+TEST_F(ReplayTest, PriorSessionPhase2OnwardsNeverValidatesWholesale) {
+  for (bool scheme2 : {false, true}) {
+    HandshakeOptions o;
+    o.self_distinction = scheme2;
+    const std::size_t R = phase2_round(o);
+    const auto prior = record_session(o, "replay-session-a");
+
+    // Session B: fresh randomness, every Phase-II/III slot replaced by
+    // session A's corresponding slot.
+    net::FaultLog log;
+    auto replay = std::make_unique<net::ReplayFault>(
+        /*seed=*/1, net::ReplayFault::Config{0.0, /*cross_session=*/1.0},
+        &log);
+    replay->load_session(prior);
+    net::ScheduledAdversary gated(std::move(replay),
+                                  net::ScheduledAdversary::from_round(R));
+    const auto outcomes =
+        testing::handshake(members_, o, "replay-session-b", &gated);
+
+    // 2 rounds (Phase II, III) x 4 senders x 4 receivers.
+    EXPECT_EQ(log.count(net::FaultKind::kReplay), 32u)
+        << "every Phase-II/III edge should have been replaced";
+    for (std::size_t i = 0; i < 4; ++i) {
+      const HandshakeOutcome& out = outcomes[i];
+      ASSERT_TRUE(out.completed);
+      EXPECT_EQ(out.confirmed_count(), 0u)
+          << "scheme " << (scheme2 ? 2 : 1) << " position " << i
+          << " accepted stale material";
+      EXPECT_FALSE(out.full_success);
+      for (std::size_t j = 0; j < 4; ++j) {
+        if (j == i) continue;
+        EXPECT_EQ(out.reason[j], FailureReason::kBadTag)
+            << "position " << i << " slot " << j;
+      }
+    }
+  }
+}
+
+TEST_F(ReplayTest, SingleReplayedPositionIsExcludedExactly) {
+  for (bool scheme2 : {false, true}) {
+    HandshakeOptions o;
+    o.self_distinction = scheme2;
+    const std::size_t R = phase2_round(o);
+    const auto prior = record_session(o, "replay-session-c");
+
+    for (std::size_t j = 0; j < 4; ++j) {
+      auto replay = std::make_unique<net::ReplayFault>(
+          /*seed=*/1, net::ReplayFault::Config{0.0, 1.0});
+      replay->load_session(prior);
+      // Replace only sender j's Phase-II/III slots.
+      net::ScheduledAdversary gated(
+          std::move(replay),
+          [R, j](std::size_t round, std::size_t sender, std::size_t) {
+            return round >= R && sender == j;
+          });
+      const auto outcomes =
+          testing::handshake(members_, o, "replay-session-d", &gated);
+
+      for (std::size_t i = 0; i < 4; ++i) {
+        const HandshakeOutcome& out = outcomes[i];
+        ASSERT_TRUE(out.completed);
+        if (i == j) {
+          // The impersonated position's own run is untouched upstream:
+          // it still sees everyone's genuine tags.
+          EXPECT_TRUE(out.full_success);
+          continue;
+        }
+        EXPECT_FALSE(out.partner[j])
+            << "scheme " << (scheme2 ? 2 : 1) << " receiver " << i
+            << " accepted a replayed position";
+        EXPECT_EQ(out.reason[j], FailureReason::kBadTag);
+        for (std::size_t k = 0; k < 4; ++k) {
+          if (k != j) {
+            EXPECT_TRUE(out.partner[k])
+                << "receiver " << i << " wrongly dropped " << k << " ("
+                << to_string(out.reason[k]) << ")";
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace shs::core

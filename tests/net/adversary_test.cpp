@@ -1,0 +1,373 @@
+// Fault-library unit tests: each adversary in src/net/{adversary,faults}
+// in isolation (seed determinism, logging, combinator semantics), plus
+// the driver-contract regression promised by DriverOptions: a stateful
+// adversary observes the same interception sequence at every thread
+// count.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "bigint/random.h"
+#include "net/adversary.h"
+#include "net/faults.h"
+
+namespace shs::net {
+namespace {
+
+Bytes payload(std::size_t n, std::uint8_t fill = 0xab) {
+  return Bytes(n, fill);
+}
+
+// ------------------------------------------------------------- FaultLog
+
+TEST(FaultLog, CountsAndSummarizesByKind) {
+  FaultLog log;
+  log.record(0, 1, 2, FaultKind::kDrop, "a");
+  log.record(1, 0, 2, FaultKind::kDrop, "b");
+  log.record(1, 1, 0, FaultKind::kTamper);
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.count(FaultKind::kDrop), 2u);
+  EXPECT_EQ(log.count(FaultKind::kTamper), 1u);
+  EXPECT_EQ(log.count(FaultKind::kReplay), 0u);
+  EXPECT_EQ(log.summary(), "drop x2 tamper x1");
+  EXPECT_EQ(FaultLog{}.summary(), "no faults");
+}
+
+// ---------------------------------------------------------- combinators
+
+class StampAdversary final : public Adversary {
+ public:
+  explicit StampAdversary(std::uint8_t stamp) : stamp_(stamp) {}
+  std::optional<Bytes> intercept(std::size_t, std::size_t, std::size_t,
+                                 const Bytes& in) override {
+    Bytes out = in;
+    out.push_back(stamp_);
+    return out;
+  }
+
+ private:
+  std::uint8_t stamp_;
+};
+
+class NullAdversary final : public Adversary {
+ public:
+  std::optional<Bytes> intercept(std::size_t, std::size_t, std::size_t,
+                                 const Bytes&) override {
+    ++calls;
+    return std::nullopt;
+  }
+  std::size_t calls = 0;
+};
+
+TEST(ChainAdversary, AppliesLinksInOrder) {
+  StampAdversary first(1), second(2);
+  ChainAdversary chain;
+  chain.add(&first);
+  chain.add(&second);
+  const auto out = chain.intercept(0, 0, 0, payload(1));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, (Bytes{0xab, 1, 2}));
+}
+
+TEST(ChainAdversary, DropShortCircuitsLaterLinks) {
+  NullAdversary sink;
+  StampAdversary after(9);
+  ChainAdversary chain;
+  chain.add(&sink);
+  chain.add(&after);
+  EXPECT_FALSE(chain.intercept(0, 0, 0, payload(1)).has_value());
+  EXPECT_EQ(sink.calls, 1u);
+}
+
+TEST(ChainAdversary, OwnsLinksAddedByUniquePtr) {
+  ChainAdversary chain;
+  chain.add(std::make_unique<StampAdversary>(7));
+  const auto out = chain.intercept(0, 0, 0, payload(1));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->back(), 7);
+}
+
+TEST(ScheduledAdversary, GateHidesEdgesFromTheInnerAdversary) {
+  NullAdversary sink;
+  ScheduledAdversary gated(&sink, ScheduledAdversary::from_round(2));
+  EXPECT_TRUE(gated.intercept(1, 0, 0, payload(1)).has_value());
+  EXPECT_EQ(sink.calls, 0u);  // never observed the round-1 edge
+  EXPECT_FALSE(gated.intercept(2, 0, 0, payload(1)).has_value());
+  EXPECT_EQ(sink.calls, 1u);
+}
+
+TEST(ScheduledAdversary, SenderPredicateAndOwningConstructor) {
+  ScheduledAdversary gated(std::make_unique<NullAdversary>(),
+                           ScheduledAdversary::sender_is(3));
+  EXPECT_TRUE(gated.intercept(0, 2, 0, payload(1)).has_value());
+  EXPECT_FALSE(gated.intercept(0, 3, 0, payload(1)).has_value());
+}
+
+// --------------------------------------------------------------- faults
+
+TEST(DropFault, DecisionsAreSeedDeterministicAndEdgeKeyed) {
+  const DropFault::Config config{0.3, 0.0, 0.0};
+  DropFault a(42, config);
+  DropFault b(42, config);
+  // Same seed: identical decisions, whatever order edges are presented in.
+  for (std::size_t round = 0; round < 4; ++round) {
+    for (std::size_t s = 0; s < 4; ++s) {
+      for (std::size_t r = 0; r < 4; ++r) {
+        EXPECT_EQ(a.intercept(round, s, r, payload(8)).has_value(),
+                  b.intercept(round, s, r, payload(8)).has_value());
+      }
+    }
+  }
+}
+
+TEST(DropFault, SeveredLinkStaysSeveredAcrossRounds) {
+  FaultLog log;
+  DropFault fault(7, DropFault::Config{0.0, 0.0, 0.5}, &log);
+  // Link decisions ignore the round: each (sender, receiver) pair is
+  // either always cut or never cut.
+  for (std::size_t s = 0; s < 4; ++s) {
+    for (std::size_t r = 0; r < 4; ++r) {
+      const bool round0 = fault.intercept(0, s, r, payload(8)).has_value();
+      for (std::size_t round = 1; round < 5; ++round) {
+        EXPECT_EQ(fault.intercept(round, s, r, payload(8)).has_value(),
+                  round0);
+      }
+    }
+  }
+  EXPECT_GT(log.count(FaultKind::kDrop), 0u);
+}
+
+TEST(DropFault, EmptyPayloadsPassUntouched) {
+  DropFault fault(7, DropFault::Config{1.0, 1.0, 1.0});
+  const auto out = fault.intercept(0, 0, 1, Bytes{});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->empty());
+}
+
+TEST(TamperFault, BitFlipChangesExactlyOneBit) {
+  FaultLog log;
+  TamperFault fault(3, TamperFault::Config{1.0, TamperFault::Mode::kBitFlip},
+                    &log);
+  const Bytes in = payload(32);
+  const auto out = fault.intercept(0, 0, 1, in);
+  ASSERT_TRUE(out.has_value());
+  ASSERT_EQ(out->size(), in.size());
+  std::size_t flipped = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    std::uint8_t diff = (*out)[i] ^ in[i];
+    while (diff != 0) {
+      flipped += diff & 1u;
+      diff >>= 1;
+    }
+  }
+  EXPECT_EQ(flipped, 1u);
+  EXPECT_EQ(log.count(FaultKind::kTamper), 1u);
+}
+
+TEST(TamperFault, TruncateAndExtendChangeTheSize) {
+  TamperFault shrink(3, TamperFault::Config{1.0, TamperFault::Mode::kTruncate});
+  const auto small = shrink.intercept(0, 0, 1, payload(32));
+  ASSERT_TRUE(small.has_value());
+  EXPECT_LT(small->size(), 32u);
+
+  TamperFault grow(3, TamperFault::Config{1.0, TamperFault::Mode::kExtend});
+  const auto big = grow.intercept(0, 0, 1, payload(32));
+  ASSERT_TRUE(big.has_value());
+  EXPECT_GT(big->size(), 32u);
+  EXPECT_TRUE(std::equal(big->begin(), big->begin() + 32,
+                         payload(32).begin()));  // prefix preserved
+}
+
+TEST(TamperFault, MutationIsDeterministicPerSeedAndEdge) {
+  TamperFault a(11, TamperFault::Config{1.0, TamperFault::Mode::kMix});
+  TamperFault b(11, TamperFault::Config{1.0, TamperFault::Mode::kMix});
+  TamperFault other(12, TamperFault::Config{1.0, TamperFault::Mode::kMix});
+  const Bytes in = payload(64);
+  EXPECT_EQ(a.intercept(2, 1, 3, in), b.intercept(2, 1, 3, in));
+  EXPECT_NE(a.intercept(2, 1, 3, in), other.intercept(2, 1, 3, in));
+}
+
+TEST(ReplayFault, CrossRoundSubstitutesTheMostRecentEarlierPayload) {
+  FaultLog log;
+  ReplayFault fault(5, ReplayFault::Config{1.0, 0.0}, &log);
+  const Bytes r0 = payload(8, 0x01);
+  const Bytes r1 = payload(8, 0x02);
+  // Round 0 has no earlier material: passes through (and is recorded).
+  EXPECT_EQ(fault.intercept(0, 0, 1, r0), r0);
+  // Round 1: replaced by the sender's round-0 payload.
+  EXPECT_EQ(fault.intercept(1, 0, 1, r1), r0);
+  // A different sender with no history passes through.
+  EXPECT_EQ(fault.intercept(1, 1, 0, r1), r1);
+  EXPECT_EQ(log.count(FaultKind::kReplay), 1u);
+}
+
+TEST(ReplayFault, CrossSessionSubstitutesTheLoadedSlot) {
+  ReplayFault fault(5, ReplayFault::Config{0.0, 1.0});
+  fault.load_session({{1, 0, payload(8, 0x77)}});
+  // Matching (round, sender) slot: replaced by the foreign payload.
+  EXPECT_EQ(fault.intercept(1, 0, 2, payload(8, 0x02)), payload(8, 0x77));
+  // No foreign slot for this (round, sender): passes through.
+  EXPECT_EQ(fault.intercept(1, 1, 2, payload(8, 0x02)), payload(8, 0x02));
+}
+
+TEST(ReorderDelayFault, HoldsTheSlotAndReinjectsItLater) {
+  FaultLog log;
+  ReorderDelayFault fault(ReorderDelayFault::Config{1, 0, 2}, &log);
+  const Bytes held = payload(8, 0x11);
+  EXPECT_EQ(fault.intercept(0, 0, 1, payload(8, 0x10)), payload(8, 0x10));
+  EXPECT_FALSE(fault.intercept(1, 0, 1, held).has_value());  // held back
+  EXPECT_EQ(fault.intercept(2, 0, 1, payload(8, 0x12)), payload(8, 0x12));
+  EXPECT_EQ(fault.intercept(3, 0, 1, payload(8, 0x13)), held);  // re-injected
+  // Other senders are untouched throughout.
+  EXPECT_EQ(fault.intercept(1, 1, 0, payload(8, 0x20)), payload(8, 0x20));
+  EXPECT_EQ(log.count(FaultKind::kDelay), 1u);
+  EXPECT_EQ(log.count(FaultKind::kInject), 1u);
+}
+
+TEST(PartitionFault, CutsExactlyCrossCellEdges) {
+  FaultLog log;
+  PartitionFault fault = PartitionFault::split_halves(4, &log);
+  for (std::size_t s = 0; s < 4; ++s) {
+    for (std::size_t r = 0; r < 4; ++r) {
+      const bool same_cell = (s < 2) == (r < 2);
+      EXPECT_EQ(fault.intercept(0, s, r, payload(4)).has_value(), same_cell)
+          << s << " -> " << r;
+    }
+  }
+  EXPECT_EQ(log.count(FaultKind::kPartition), 8u);
+}
+
+// ----------------------------------------------------- ByzantineInsider
+
+class ConstantParty final : public RoundParty {
+ public:
+  explicit ConstantParty(std::size_t rounds) : rounds_(rounds) {}
+  std::size_t total_rounds() const override { return rounds_; }
+  Bytes round_message(std::size_t round) override {
+    return {static_cast<std::uint8_t>(round), 0xaa, 0xbb, 0xcc};
+  }
+  void deliver(std::size_t round, const std::vector<Bytes>& msgs) override {
+    delivered.push_back({round, msgs});
+  }
+  std::vector<std::pair<std::size_t, std::vector<Bytes>>> delivered;
+
+ private:
+  std::size_t rounds_;
+};
+
+TEST(ByzantineInsider, ScriptActionsDeviatePerRound) {
+  ConstantParty inner(5);
+  FaultLog log;
+  ByzantineInsider insider(
+      &inner, /*position=*/2, /*seed=*/9,
+      {ByzantineInsider::Action::kFollow, ByzantineInsider::Action::kSilent,
+       ByzantineInsider::Action::kRandom, ByzantineInsider::Action::kFlipBit},
+      &log);
+
+  EXPECT_EQ(insider.total_rounds(), 5u);
+  EXPECT_EQ(insider.round_message(0), inner.round_message(0));  // kFollow
+  EXPECT_TRUE(insider.round_message(1).empty());                // kSilent
+  const Bytes junk = insider.round_message(2);                  // kRandom
+  EXPECT_EQ(junk.size(), inner.round_message(2).size());
+  EXPECT_NE(junk, inner.round_message(2));
+  const Bytes flipped = insider.round_message(3);               // kFlipBit
+  EXPECT_EQ(flipped.size(), 4u);
+  EXPECT_NE(flipped, inner.round_message(3));
+  // Beyond the script: honest again.
+  EXPECT_EQ(insider.round_message(4), inner.round_message(4));
+  EXPECT_EQ(log.count(FaultKind::kByzantine), 3u);
+
+  // Deliveries are forwarded untouched.
+  insider.deliver(0, {payload(1)});
+  ASSERT_EQ(inner.delivered.size(), 1u);
+}
+
+TEST(ByzantineInsider, ReplayOwnRebroadcastsThePreviousMessage) {
+  ConstantParty inner(3);
+  ByzantineInsider insider(&inner, 0, 1,
+                           {ByzantineInsider::Action::kFollow,
+                            ByzantineInsider::Action::kReplayOwn});
+  const Bytes first = insider.round_message(0);
+  EXPECT_EQ(insider.round_message(1), first);
+}
+
+// ------------------------------------------------------- wire recording
+
+TEST(RecordingAdversary, CapturesOneSlotPerRoundAndSender) {
+  RecordingAdversary tap(/*observe_receiver=*/1);
+  (void)tap.intercept(0, 0, 0, payload(4));  // other receiver: not recorded
+  (void)tap.intercept(0, 0, 1, payload(4));
+  (void)tap.intercept(0, 2, 1, payload(6));
+  (void)tap.intercept(1, 0, 1, payload(2));
+  ASSERT_EQ(tap.records().size(), 3u);
+  const auto shape = wire_shape(tap.records());
+  const std::vector<std::tuple<std::size_t, std::size_t, std::size_t>>
+      expected = {{0, 0, 4}, {0, 2, 6}, {1, 0, 2}};
+  EXPECT_EQ(shape, expected);
+}
+
+// ------------------------------------------- driver-contract regression
+
+/// Stateful adversary whose behaviour depends on its own interception
+/// history: every edge gets stamped with a running counter, and the
+/// sequence of observed (round, sender, receiver) triples is recorded.
+class SequenceStampingAdversary final : public Adversary {
+ public:
+  std::optional<Bytes> intercept(std::size_t round, std::size_t sender,
+                                 std::size_t receiver,
+                                 const Bytes& in) override {
+    order.push_back({round, sender, receiver});
+    Bytes out = in;
+    out.push_back(static_cast<std::uint8_t>(order.size() & 0xff));
+    return out;
+  }
+  std::vector<std::tuple<std::size_t, std::size_t, std::size_t>> order;
+};
+
+TEST(Protocol, StatefulAdversarySeesDeterministicOrderAcrossThreadCounts) {
+  // The DriverOptions contract: with an adversary installed, delivery is
+  // serialized one edge at a time in receiver-major order, so a stateful
+  // adversary observes an identical interception sequence — and produces
+  // identical per-receiver views — at every thread count.
+  constexpr std::size_t kM = 5;
+  constexpr std::size_t kRounds = 4;
+  auto run = [&](std::size_t threads) {
+    std::vector<ConstantParty> parties(kM, ConstantParty(kRounds));
+    std::vector<RoundParty*> ptrs;
+    for (auto& p : parties) ptrs.push_back(&p);
+    SequenceStampingAdversary adv;
+    num::TestRng shuffle(99);  // same seed: same receiver permutation
+    DriverOptions options;
+    options.threads = threads;
+    (void)run_protocol(ptrs, &adv, &shuffle, options);
+    std::vector<std::vector<Bytes>> views;
+    for (const auto& p : parties) {
+      for (const auto& [round, msgs] : p.delivered) views.push_back(msgs);
+    }
+    return std::make_pair(adv.order, views);
+  };
+
+  const auto serial = run(1);
+  ASSERT_EQ(serial.first.size(), kM * kM * kRounds);
+  for (std::size_t threads : {2, 4, 8}) {
+    const auto parallel = run(threads);
+    EXPECT_EQ(parallel.first, serial.first)
+        << "interception order diverged at threads=" << threads;
+    EXPECT_EQ(parallel.second, serial.second)
+        << "delivered views diverged at threads=" << threads;
+  }
+
+  // And within each round the order really is receiver-major: sender
+  // strictly ascends 0..m-1 inside each receiver block.
+  for (std::size_t i = 0; i < serial.first.size(); ++i) {
+    EXPECT_EQ(std::get<1>(serial.first[i]), i % kM);
+    if (i % kM != 0) {
+      EXPECT_EQ(std::get<2>(serial.first[i]), std::get<2>(serial.first[i - 1]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace shs::net

@@ -1,0 +1,323 @@
+#include "conformance_harness.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <tuple>
+
+#include "bigint/random.h"
+#include "common/errors.h"
+#include "core/member.h"
+
+namespace shs::conformance {
+
+namespace {
+
+std::string describe(const ScenarioResult& result) {
+  std::ostringstream os;
+  os << "scenario '" << result.name << "' (m=" << result.m << ", scheme "
+     << (result.scheme2 ? 2 : 1) << "): ";
+  net::FaultLog log;
+  for (const net::FaultEvent& e : result.fault_events) log.record(e);
+  os << log.summary();
+  return os.str();
+}
+
+}  // namespace
+
+core::testing::TestGroup& Runner::group(std::size_t index,
+                                        std::size_t members) {
+  while (groups_.size() <= index) {
+    groups_.push_back(std::make_unique<core::testing::TestGroup>(
+        "conf-g" + std::to_string(groups_.size()), core::GroupConfig{}));
+  }
+  core::testing::TestGroup& g = *groups_[index];
+  while (g.size() < members) {
+    g.admit(static_cast<core::MemberId>(index * 100 + g.size() + 1));
+  }
+  return g;
+}
+
+core::GroupAuthority& Runner::authority(std::size_t g) {
+  return group(g, 0).authority();
+}
+
+ScenarioResult Runner::run(const ScenarioSpec& spec) {
+  if (spec.groups == 0 || spec.m < 2) {
+    throw ProtocolError("conformance: malformed scenario spec");
+  }
+  const std::size_t per_group = (spec.m + spec.groups - 1) / spec.groups;
+
+  core::HandshakeOptions options;
+  options.self_distinction = spec.scheme2;
+
+  ScenarioResult result;
+  result.name = spec.name + "#" + std::to_string(spec.seed);
+  result.m = spec.m;
+  result.scheme2 = spec.scheme2;
+  result.group_of.resize(spec.m);
+  result.member_of.resize(spec.m);
+
+  std::vector<std::unique_ptr<core::HandshakeParticipant>> participants;
+  participants.reserve(spec.m);
+  for (std::size_t pos = 0; pos < spec.m; ++pos) {
+    // A cloned slot reuses the member of its clone source — the paper's
+    // one-signer-many-roles insider.
+    const auto clone = spec.clone_of.find(pos);
+    const std::size_t source =
+        clone == spec.clone_of.end() ? pos : clone->second;
+    const core::Member& member =
+        group(source % spec.groups, per_group).member(source / spec.groups);
+    result.group_of[pos] = source % spec.groups;
+    result.member_of[pos] = member.id();
+    const std::string drbg_seed = "conf:" + spec.name + ":" +
+                                  std::to_string(spec.seed) + ":" +
+                                  std::to_string(pos);
+    participants.push_back(
+        member.handshake_party(pos, spec.m, options, to_bytes(drbg_seed)));
+  }
+
+  result.phase1_rounds = participants.front()->total_rounds() - 2;
+
+  net::FaultLog log;
+  const ScenarioSpec::InsiderScripts scripts =
+      spec.insiders ? spec.insiders(result.phase1_rounds)
+                    : ScenarioSpec::InsiderScripts{};
+  std::vector<std::unique_ptr<net::ByzantineInsider>> insiders;
+  std::vector<net::RoundParty*> parties;
+  parties.reserve(spec.m);
+  for (std::size_t pos = 0; pos < spec.m; ++pos) {
+    const auto script = scripts.find(pos);
+    if (script == scripts.end()) {
+      parties.push_back(participants[pos].get());
+      continue;
+    }
+    insiders.push_back(std::make_unique<net::ByzantineInsider>(
+        participants[pos].get(), pos, spec.seed ^ (0xb12a0ULL + pos),
+        script->second, &log));
+    parties.push_back(insiders.back().get());
+  }
+
+  std::vector<std::unique_ptr<net::Adversary>> links;
+  if (spec.faults) links = spec.faults(result.phase1_rounds, &log);
+  net::ChainAdversary chain;
+  for (const auto& link : links) chain.add(link.get());
+  net::RecordingAdversary tap;  // post-fault eavesdropper view
+  chain.add(&tap);
+
+  num::TestRng shuffle(spec.seed ^ 0x5ca1ab1eULL);
+  net::DriverOptions driver;
+  driver.threads = spec.threads;
+  net::run_protocol(parties, &chain, &shuffle, driver);
+
+  result.outcomes.reserve(spec.m);
+  for (const auto& p : participants) result.outcomes.push_back(p->outcome());
+  result.wire = tap.records();
+  result.fault_events = log.events();
+  return result;
+}
+
+bool check_no_false_accept(const ScenarioResult& result,
+                           const std::set<std::size_t>& forged) {
+  bool ok = true;
+  for (std::size_t i = 0; i < result.m; ++i) {
+    const core::HandshakeOutcome& o = result.outcomes[i];
+    if (!o.completed || o.partner.size() != result.m ||
+        o.reason.size() != result.m) {
+      ADD_FAILURE() << describe(result) << " position " << i
+                    << ": outcome incomplete or malformed";
+      ok = false;
+      continue;
+    }
+    if (o.full_success != (o.confirmed_count() == result.m)) {
+      ADD_FAILURE() << describe(result) << " position " << i
+                    << ": full_success flag inconsistent";
+      ok = false;
+    }
+    for (std::size_t j = 0; j < result.m; ++j) {
+      if (o.partner[j] !=
+          (o.reason[j] == core::FailureReason::kConfirmed)) {
+        ADD_FAILURE() << describe(result) << " position " << i
+                      << ": partner/reason disagree for " << j << " ("
+                      << core::to_string(o.reason[j]) << ")";
+        ok = false;
+      }
+      if (!o.partner[j]) continue;
+      if (result.group_of[j] != result.group_of[i]) {
+        ADD_FAILURE() << describe(result) << " FALSE ACCEPT: position " << i
+                      << " (group " << result.group_of[i]
+                      << ") confirmed cross-group position " << j;
+        ok = false;
+      }
+      if (j != i && forged.count(j) != 0) {
+        ADD_FAILURE() << describe(result) << " FALSE ACCEPT: position " << i
+                      << " confirmed forged position " << j;
+        ok = false;
+      }
+    }
+  }
+  // Full mutual success implies an agreed session key.
+  for (std::size_t i = 0; i < result.m; ++i) {
+    for (std::size_t j = i + 1; j < result.m; ++j) {
+      const core::HandshakeOutcome& a = result.outcomes[i];
+      const core::HandshakeOutcome& b = result.outcomes[j];
+      if (a.full_success && b.full_success && a.partner[j] && b.partner[i]) {
+        if (a.session_key.empty() || a.session_key != b.session_key) {
+          ADD_FAILURE() << describe(result) << " positions " << i << "/" << j
+                        << ": mutual full success without a shared key";
+          ok = false;
+        }
+      }
+    }
+  }
+  return ok;
+}
+
+bool check_same_wire_shape(const ScenarioResult& succeeded,
+                           const ScenarioResult& failed) {
+  const auto a = net::wire_shape(succeeded.wire);
+  const auto b = net::wire_shape(failed.wire);
+  if (a == b) return true;
+  std::ostringstream os;
+  os << "wire shapes differ between " << describe(succeeded) << " and "
+     << describe(failed) << ": " << a.size() << " vs " << b.size()
+     << " slots";
+  for (std::size_t k = 0; k < std::min(a.size(), b.size()); ++k) {
+    if (a[k] != b[k]) {
+      os << "; first divergence at slot " << k << " (round "
+         << std::get<0>(a[k]) << ", sender " << std::get<1>(a[k]) << "): "
+         << std::get<2>(a[k]) << " vs " << std::get<2>(b[k]) << " bytes";
+      break;
+    }
+  }
+  ADD_FAILURE() << os.str();
+  return false;
+}
+
+bool check_cliques(const ScenarioResult& result,
+                   const std::vector<std::size_t>& cell_of) {
+  bool ok = true;
+  for (std::size_t i = 0; i < result.m; ++i) {
+    std::set<std::size_t> expected;
+    for (std::size_t j = 0; j < result.m; ++j) {
+      if (result.group_of[j] == result.group_of[i] &&
+          cell_of[j] == cell_of[i]) {
+        expected.insert(j);
+      }
+    }
+    if (expected.size() < 2) expected.clear();  // no clique of >= 2
+    const core::HandshakeOutcome& o = result.outcomes[i];
+    for (std::size_t j = 0; j < result.m; ++j) {
+      if (o.partner[j] != (expected.count(j) != 0)) {
+        ADD_FAILURE() << describe(result) << " position " << i
+                      << ": clique mismatch at " << j << " (expected "
+                      << (expected.count(j) != 0) << ", reason "
+                      << core::to_string(o.reason[j]) << ")";
+        ok = false;
+      }
+    }
+    // Same-clique parties agree on the key; the key exists iff a clique
+    // formed.
+    if (expected.empty() != o.session_key.empty()) {
+      ADD_FAILURE() << describe(result) << " position " << i
+                    << ": session key presence does not match its clique";
+      ok = false;
+    }
+    for (std::size_t j : expected) {
+      if (j <= i) continue;
+      if (result.outcomes[j].session_key != o.session_key) {
+        ADD_FAILURE() << describe(result) << " positions " << i << "/" << j
+                      << ": same clique, different keys";
+        ok = false;
+      }
+    }
+  }
+  return ok;
+}
+
+bool check_clone_detected(const ScenarioResult& result,
+                          const std::set<std::size_t>& cloned) {
+  bool ok = true;
+  for (std::size_t i = 0; i < result.m; ++i) {
+    if (cloned.count(i) != 0) continue;  // the clones' own view is moot
+    const core::HandshakeOutcome& o = result.outcomes[i];
+    if (!o.self_distinction_violated) {
+      ADD_FAILURE() << describe(result) << " honest position " << i
+                    << " failed to flag the cloned signer";
+      ok = false;
+    }
+    for (std::size_t j = 0; j < result.m; ++j) {
+      const bool is_clone = cloned.count(j) != 0;
+      if (is_clone &&
+          (o.partner[j] ||
+           o.reason[j] != core::FailureReason::kDuplicateTag)) {
+        ADD_FAILURE() << describe(result) << " honest position " << i
+                      << ": cloned position " << j << " not excluded ("
+                      << core::to_string(o.reason[j]) << ")";
+        ok = false;
+      }
+      if (!is_clone && !o.partner[j]) {
+        ADD_FAILURE() << describe(result) << " honest position " << i
+                      << ": honest position " << j << " wrongly excluded ("
+                      << core::to_string(o.reason[j]) << ")";
+        ok = false;
+      }
+    }
+  }
+  return ok;
+}
+
+bool check_traceability(const ScenarioResult& result, Runner& runner) {
+  bool ok = true;
+  for (std::size_t i = 0; i < result.m; ++i) {
+    const core::HandshakeOutcome& o = result.outcomes[i];
+    if (o.confirmed_count() < 2) continue;  // no surviving CASE-1 clique
+    std::vector<core::MemberId> traced =
+        runner.authority(result.group_of[i]).trace(o.transcript);
+    const std::set<core::MemberId> traced_set(traced.begin(), traced.end());
+    std::set<core::MemberId> allowed;  // same-group participants
+    for (std::size_t j = 0; j < result.m; ++j) {
+      if (result.group_of[j] == result.group_of[i]) {
+        allowed.insert(result.member_of[j]);
+      }
+    }
+    for (std::size_t j = 0; j < result.m; ++j) {
+      if (!o.partner[j]) continue;
+      // The participant's own slot is only traceable if its (theta,
+      // delta) pair survived on the wire; confirmed peers' pairs did by
+      // construction (they were decrypted and verified).
+      if (j == i && o.transcript.entries[i].delta.empty()) continue;
+      if (traced_set.count(result.member_of[j]) == 0) {
+        ADD_FAILURE() << describe(result) << " transcript of position " << i
+                      << ": confirmed member " << result.member_of[j]
+                      << " (position " << j << ") is untraceable";
+        ok = false;
+      }
+    }
+    for (core::MemberId id : traced_set) {
+      if (allowed.count(id) == 0) {
+        ADD_FAILURE() << describe(result) << " transcript of position " << i
+                      << ": traced to non-participant " << id;
+        ok = false;
+      }
+    }
+  }
+  return ok;
+}
+
+std::vector<std::uint64_t> conformance_seeds() {
+  std::vector<std::uint64_t> seeds = {1};
+  const char* extra = std::getenv("SHS_CONFORMANCE_SEEDS");
+  if (extra == nullptr) return seeds;
+  std::stringstream ss{std::string(extra)};
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (token.empty()) continue;
+    seeds.push_back(std::strtoull(token.c_str(), nullptr, 10));
+  }
+  return seeds;
+}
+
+}  // namespace shs::conformance

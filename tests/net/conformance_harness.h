@@ -1,0 +1,145 @@
+// Security-invariant conformance harness.
+//
+// Turns the paper's security claims (§2, §7) into executable invariants:
+// scenarios pair a handshake configuration (m, scheme, driver) with a
+// seeded adversary schedule built from the src/net fault library, run
+// deterministically, and are then checked against the properties the
+// paper promises:
+//
+//   * no false accept      — no participant ever confirms a position that
+//                            is not a same-group member behaving as one
+//   * indistinguishability — failing and succeeding sessions of the same
+//                            shape parameters have identical wire shapes
+//   * partial success      — partitions (group mix or network cells) end
+//                            in exactly the predicted cliques
+//   * self-distinction     — a cloned signer (scheme 2) is excluded via
+//                            its duplicated T6
+//   * traceability         — every surviving CASE-1 transcript traces to
+//                            the correct member identities, never others
+//
+// Everything is deterministic per (scenario, seed): faults draw their
+// randomness from hashes of (seed, round, sender, receiver), group setup
+// is cached and seeded, and per-position DRBG seeds derive from the
+// scenario name.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/fixture.h"
+#include "core/handshake.h"
+#include "net/adversary.h"
+#include "net/faults.h"
+
+namespace shs::conformance {
+
+/// One adversarial handshake configuration.
+struct ScenarioSpec {
+  std::string name;       // unique; keys the per-position DRBG seeds
+  std::size_t m = 4;      // participants
+  std::size_t groups = 1; // position p belongs to group (p % groups)
+  bool scheme2 = false;   // self-distinction (scheme 2) vs scheme 1
+  std::size_t threads = 1;
+  std::uint64_t seed = 1;
+
+  /// Builds the fault stack. Called with the Phase-I round count R (so
+  /// schedules can target "after key agreement") and the log every fault
+  /// should record into. Links are chained in vector order. Empty / null
+  /// factory = clean network.
+  std::function<std::vector<std::unique_ptr<net::Adversary>>(
+      std::size_t phase1_rounds, net::FaultLog* log)>
+      faults;
+
+  /// Scripted deviating insiders: factory from the Phase-I round count R
+  /// to {position -> per-round actions} (so scripts can say "honest
+  /// through Phase I, junk afterwards" without knowing R up front).
+  using InsiderScripts =
+      std::map<std::size_t, std::vector<net::ByzantineInsider::Action>>;
+  std::function<InsiderScripts(std::size_t phase1_rounds)> insiders;
+
+  /// Position-cloning insiders: position -> position whose member
+  /// credential it reuses (the paper's multiple-roles attack).
+  std::map<std::size_t, std::size_t> clone_of;
+};
+
+/// Everything a scenario run produces, ready for invariant checks.
+struct ScenarioResult {
+  std::string name;
+  std::size_t m = 0;
+  bool scheme2 = false;
+  std::size_t phase1_rounds = 0;
+  std::vector<core::HandshakeOutcome> outcomes;      // by position
+  std::vector<net::RecordedMessage> wire;            // post-fault tap
+  std::vector<net::FaultEvent> fault_events;
+  std::vector<std::size_t> group_of;                 // position -> group
+  std::vector<core::MemberId> member_of;             // position -> member
+};
+
+/// Runs scenarios against a cached pool of seeded test groups (group
+/// setup — GSIG joins — dominates cost, so groups are built once and
+/// shared; handshakes never mutate group state).
+class Runner {
+ public:
+  Runner() = default;
+
+  ScenarioResult run(const ScenarioSpec& spec);
+
+  /// The authority of group `g` (for tracing checks).
+  [[nodiscard]] core::GroupAuthority& authority(std::size_t group);
+
+ private:
+  core::testing::TestGroup& group(std::size_t index, std::size_t members);
+
+  std::vector<std::unique_ptr<core::testing::TestGroup>> groups_;
+};
+
+// ---------------------------------------------------------------- invariants
+// Each check FAILs (gtest non-fatal assertions) with the scenario name and
+// fault-log summary attached, and returns false when any assertion failed.
+
+/// Structural sanity on every outcome: completed, partner/reason agree,
+/// confirmed positions are same-group non-forged members, and mutually
+/// confirmed full-success parties share a session key. `forged` lists the
+/// positions whose Phase-II/III behaviour was adversarial (scripted
+/// insiders); nobody may ever confirm them.
+bool check_no_false_accept(const ScenarioResult& result,
+                           const std::set<std::size_t>& forged = {});
+
+/// Observer indistinguishability: both runs have identical wire shapes
+/// ((round, sender, size) sequences). Use with two clean-network runs of
+/// equal (m, scheme): one succeeding, one failing.
+bool check_same_wire_shape(const ScenarioResult& succeeded,
+                           const ScenarioResult& failed);
+
+/// Exact partial-success cliques: `cell_of[p]` assigns every position to
+/// a communication cell (network partition; one cell = no partition).
+/// The expected clique of p is its cell ∩ its group, dropped entirely
+/// when smaller than 2; asserts `partner` matches exactly and that
+/// same-clique parties share keys.
+bool check_cliques(const ScenarioResult& result,
+                   const std::vector<std::size_t>& cell_of);
+
+/// Scheme-2 self-distinction: every honest position excludes exactly the
+/// cloned positions with reason kDuplicateTag and flags the violation.
+bool check_clone_detected(const ScenarioResult& result,
+                          const std::set<std::size_t>& cloned);
+
+/// Traceability of surviving CASE-1 transcripts: for every participant
+/// that confirmed >= 2 positions, its own group authority recovers at
+/// least the confirmed members whose (theta, delta) pair survived on the
+/// wire — every confirmed peer by construction, the participant itself
+/// unless the adversary destroyed its own Phase-III slot — and never a
+/// non-participant.
+bool check_traceability(const ScenarioResult& result, Runner& runner);
+
+/// Seeds the conformance sweep runs under. Defaults to {1}; the
+/// SHS_CONFORMANCE_SEEDS environment variable ("7,19,23") appends extra
+/// published seeds (tools/check.sh --conformance uses this).
+std::vector<std::uint64_t> conformance_seeds();
+
+}  // namespace shs::conformance

@@ -1,0 +1,406 @@
+// Scenario-driven conformance sweep: seeded adversary schedules from the
+// src/net fault library run against full handshakes over the
+// m x scheme x driver grid, asserting the paper's security invariants
+// (see conformance_harness.h for the property list).
+//
+// Every scenario is deterministic per seed. The default run sweeps seed 1;
+// tools/check.sh --conformance publishes three extra seeds through the
+// SHS_CONFORMANCE_SEEDS environment variable.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "conformance_harness.h"
+
+namespace shs::conformance {
+namespace {
+
+using net::Adversary;
+using net::ByzantineInsider;
+using net::ChainAdversary;
+using net::DropFault;
+using net::FaultLog;
+using net::PartitionFault;
+using net::ReorderDelayFault;
+using net::ReplayFault;
+using net::ScheduledAdversary;
+using net::TamperFault;
+
+constexpr std::size_t kMs[] = {2, 4, 8};
+constexpr bool kSchemes[] = {false, true};
+constexpr std::size_t kThreadCounts[] = {1, 4};
+
+Runner& runner() {
+  static Runner r;
+  return r;
+}
+
+std::string tag(std::size_t m, bool scheme2, std::size_t threads) {
+  return "m" + std::to_string(m) + "-s" + (scheme2 ? "2" : "1") + "-t" +
+         std::to_string(threads);
+}
+
+/// Network-partition cells: positions < m/2 vs the rest.
+std::vector<std::size_t> half_cells(std::size_t m) {
+  std::vector<std::size_t> cells(m, 0);
+  for (std::size_t i = m / 2; i < m; ++i) cells[i] = 1;
+  return cells;
+}
+
+// ---------------------------------------------------------------- baseline
+
+TEST(Conformance, CleanSessionsSucceedEverywhereAndTrace) {
+  for (std::size_t m : kMs) {
+    for (bool scheme2 : kSchemes) {
+      for (std::size_t threads : kThreadCounts) {
+        ScenarioSpec spec;
+        spec.name = "clean-" + tag(m, scheme2, threads);
+        spec.m = m;
+        spec.scheme2 = scheme2;
+        spec.threads = threads;
+        const ScenarioResult result = runner().run(spec);
+        check_no_false_accept(result);
+        check_traceability(result, runner());
+        for (std::size_t i = 0; i < m; ++i) {
+          EXPECT_TRUE(result.outcomes[i].full_success)
+              << spec.name << " position " << i << ": "
+              << result.outcomes[i].failure;
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------- observer indistinguishability
+
+TEST(Conformance, FailingSessionsAreShapeIdenticalToSucceedingOnes) {
+  // A mixed-group session fails (m=2) or partially succeeds (m>=4), yet
+  // an eavesdropper must see the exact same wire shape as in an all-good
+  // session: resistance to detection.
+  for (std::size_t m : kMs) {
+    for (bool scheme2 : kSchemes) {
+      ScenarioSpec clean;
+      clean.name = "shape-clean-" + tag(m, scheme2, 1);
+      clean.m = m;
+      clean.scheme2 = scheme2;
+      const ScenarioResult good = runner().run(clean);
+
+      ScenarioSpec mixed = clean;
+      mixed.name = "shape-mixed-" + tag(m, scheme2, 1);
+      mixed.groups = 2;
+      const ScenarioResult partial = runner().run(mixed);
+
+      check_same_wire_shape(good, partial);
+      check_no_false_accept(partial);
+      check_traceability(partial, runner());
+      // Group-membership cliques: with one communication cell the
+      // expected clique of p is exactly its group.
+      check_cliques(partial, std::vector<std::size_t>(m, 0));
+      EXPECT_FALSE(partial.outcomes[0].full_success) << mixed.name;
+    }
+  }
+}
+
+// ------------------------------------------------------ network partitions
+
+TEST(Conformance, PartitionAfterKeyAgreementYieldsExactCells) {
+  for (std::uint64_t seed : conformance_seeds()) {
+    for (std::size_t m : kMs) {
+      for (bool scheme2 : kSchemes) {
+        for (std::size_t threads : kThreadCounts) {
+          ScenarioSpec spec;
+          spec.name = "partition-" + tag(m, scheme2, threads);
+          spec.m = m;
+          spec.scheme2 = scheme2;
+          spec.threads = threads;
+          spec.seed = seed;
+          const auto cells = half_cells(m);
+          spec.faults = [cells](std::size_t phase1_rounds, FaultLog* log) {
+            std::vector<std::unique_ptr<Adversary>> links;
+            links.push_back(std::make_unique<ScheduledAdversary>(
+                std::make_unique<PartitionFault>(cells, log),
+                ScheduledAdversary::from_round(phase1_rounds)));
+            return links;
+          };
+          const ScenarioResult result = runner().run(spec);
+          check_no_false_accept(result);
+          check_cliques(result, cells);
+          check_traceability(result, runner());
+          EXPECT_GT(result.fault_events.size(), 0u) << spec.name;
+        }
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------------- fault storms
+
+ScenarioSpec storm_spec(const std::string& family, bool scheme2,
+                        std::size_t threads, std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.name = family + "-" + tag(4, scheme2, threads);
+  spec.m = 4;
+  spec.scheme2 = scheme2;
+  spec.threads = threads;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(Conformance, DropStormNeverForgesAnAccept) {
+  for (std::uint64_t seed : conformance_seeds()) {
+    for (bool scheme2 : kSchemes) {
+      for (std::size_t threads : kThreadCounts) {
+        ScenarioSpec spec = storm_spec("drop", scheme2, threads, seed);
+        spec.faults = [seed](std::size_t, FaultLog* log) {
+          std::vector<std::unique_ptr<Adversary>> links;
+          links.push_back(std::make_unique<DropFault>(
+              seed, DropFault::Config{0.2, 0.05, 0.05}, log));
+          return links;
+        };
+        const ScenarioResult result = runner().run(spec);
+        check_no_false_accept(result);
+        check_traceability(result, runner());
+      }
+    }
+  }
+}
+
+TEST(Conformance, TamperStormNeverForgesAnAccept) {
+  for (std::uint64_t seed : conformance_seeds()) {
+    for (bool scheme2 : kSchemes) {
+      for (std::size_t threads : kThreadCounts) {
+        ScenarioSpec spec = storm_spec("tamper", scheme2, threads, seed);
+        spec.faults = [seed](std::size_t, FaultLog* log) {
+          std::vector<std::unique_ptr<Adversary>> links;
+          links.push_back(std::make_unique<TamperFault>(
+              seed, TamperFault::Config{0.25, TamperFault::Mode::kMix},
+              log));
+          return links;
+        };
+        const ScenarioResult result = runner().run(spec);
+        check_no_false_accept(result);
+        check_traceability(result, runner());
+      }
+    }
+  }
+}
+
+TEST(Conformance, FullCrossRoundReplayStormYieldsZeroConfirmations) {
+  // Replacing every round-r message (r >= 1) with the sender's previous
+  // broadcast derails the key agreement and invalidates every tag: stale
+  // payloads never authenticate, so nobody confirms anybody.
+  for (std::uint64_t seed : conformance_seeds()) {
+    for (bool scheme2 : kSchemes) {
+      for (std::size_t threads : kThreadCounts) {
+        ScenarioSpec spec = storm_spec("replay-full", scheme2, threads, seed);
+        spec.faults = [seed](std::size_t, FaultLog* log) {
+          std::vector<std::unique_ptr<Adversary>> links;
+          links.push_back(std::make_unique<ReplayFault>(
+              seed, ReplayFault::Config{/*cross_round=*/1.0, 0.0}, log));
+          return links;
+        };
+        const ScenarioResult result = runner().run(spec);
+        check_no_false_accept(result);
+        for (std::size_t i = 0; i < result.m; ++i) {
+          EXPECT_EQ(result.outcomes[i].confirmed_count(), 0u)
+              << spec.name << " position " << i
+              << " accepted replayed material";
+          EXPECT_TRUE(result.outcomes[i].completed) << spec.name;
+        }
+        EXPECT_GT(result.fault_events.size(), 0u) << spec.name;
+      }
+    }
+  }
+}
+
+TEST(Conformance, ReplayedPhase3SlotsAreRejectedNotAccepted) {
+  // A replay fault that only activates after Phase II can only feed each
+  // receiver the Phase-II tags it saw in place of the Phase-III pairs.
+  // Those must be rejected wholesale — as unparseable or cryptographically
+  // invalid — leaving every participant confirming only itself.
+  for (std::uint64_t seed : conformance_seeds()) {
+    for (bool scheme2 : kSchemes) {
+      for (std::size_t threads : kThreadCounts) {
+        ScenarioSpec spec = storm_spec("replay-p3", scheme2, threads, seed);
+        spec.faults = [seed](std::size_t phase1_rounds, FaultLog* log) {
+          std::vector<std::unique_ptr<Adversary>> links;
+          links.push_back(std::make_unique<ScheduledAdversary>(
+              std::make_unique<ReplayFault>(
+                  seed, ReplayFault::Config{/*cross_round=*/1.0, 0.0}, log),
+              ScheduledAdversary::from_round(phase1_rounds)));
+          return links;
+        };
+        const ScenarioResult result = runner().run(spec);
+        check_no_false_accept(result);
+        for (std::size_t i = 0; i < result.m; ++i) {
+          const auto& o = result.outcomes[i];
+          EXPECT_EQ(o.confirmed_count(), 1u)
+              << spec.name << " position " << i;
+          EXPECT_TRUE(o.partner[i]) << spec.name << " position " << i;
+          for (std::size_t j = 0; j < result.m; ++j) {
+            if (j == i) continue;
+            EXPECT_TRUE(
+                o.reason[j] == core::FailureReason::kMalformedPhase3 ||
+                o.reason[j] == core::FailureReason::kBadSignature)
+                << spec.name << " position " << i << " slot " << j << ": "
+                << core::to_string(o.reason[j]);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Conformance, DelayedPhase2TagExcludesExactlyItsSender) {
+  // Sender 1's Phase-II tag is held back and re-injected as its Phase-III
+  // message: every honest receiver must exclude exactly position 1.
+  for (std::uint64_t seed : conformance_seeds()) {
+    for (bool scheme2 : kSchemes) {
+      for (std::size_t threads : kThreadCounts) {
+        ScenarioSpec spec = storm_spec("delay", scheme2, threads, seed);
+        spec.faults = [](std::size_t phase1_rounds, FaultLog* log) {
+          std::vector<std::unique_ptr<Adversary>> links;
+          links.push_back(std::make_unique<ReorderDelayFault>(
+              ReorderDelayFault::Config{phase1_rounds, /*sender=*/1,
+                                        /*delay=*/1},
+              log));
+          return links;
+        };
+        const ScenarioResult result = runner().run(spec);
+        check_no_false_accept(result);
+        check_traceability(result, runner());
+        for (std::size_t i = 0; i < result.m; ++i) {
+          if (i == 1) continue;
+          const auto& o = result.outcomes[i];
+          EXPECT_FALSE(o.partner[1]) << spec.name << " position " << i;
+          EXPECT_EQ(o.reason[1], core::FailureReason::kBadTag)
+              << spec.name << " position " << i;
+          for (std::size_t j = 0; j < result.m; ++j) {
+            if (j != 1) {
+              EXPECT_TRUE(o.partner[j])
+                  << spec.name << " position " << i << " lost " << j;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Conformance, ChainedFaultStormNeverForgesAnAccept) {
+  for (std::uint64_t seed : conformance_seeds()) {
+    for (bool scheme2 : kSchemes) {
+      for (std::size_t threads : kThreadCounts) {
+        ScenarioSpec spec = storm_spec("chain", scheme2, threads, seed);
+        spec.faults = [seed](std::size_t, FaultLog* log) {
+          std::vector<std::unique_ptr<Adversary>> links;
+          links.push_back(std::make_unique<DropFault>(
+              seed, DropFault::Config{0.08, 0.0, 0.0}, log));
+          links.push_back(std::make_unique<TamperFault>(
+              seed ^ 0xfeedULL,
+              TamperFault::Config{0.12, TamperFault::Mode::kMix}, log));
+          links.push_back(std::make_unique<ReplayFault>(
+              seed ^ 0xbeefULL, ReplayFault::Config{0.15, 0.0}, log));
+          return links;
+        };
+        const ScenarioResult result = runner().run(spec);
+        check_no_false_accept(result);
+        check_traceability(result, runner());
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------- insider deviation
+
+TEST(Conformance, ByzantinePhase2InsiderIsExcludedByEveryHonestParty) {
+  for (std::uint64_t seed : conformance_seeds()) {
+    for (bool scheme2 : kSchemes) {
+      for (std::size_t threads : kThreadCounts) {
+        ScenarioSpec spec = storm_spec("byz-p2", scheme2, threads, seed);
+        // Follow Phase I honestly, then broadcast junk in Phases II/III.
+        spec.insiders = [](std::size_t phase1_rounds) {
+          std::vector<ByzantineInsider::Action> script(
+              phase1_rounds, ByzantineInsider::Action::kFollow);
+          script.push_back(ByzantineInsider::Action::kRandom);
+          script.push_back(ByzantineInsider::Action::kRandom);
+          return ScenarioSpec::InsiderScripts{{3, script}};
+        };
+        const ScenarioResult result = runner().run(spec);
+        check_no_false_accept(result, /*forged=*/{3});
+        check_traceability(result, runner());
+        for (std::size_t i = 0; i < 3; ++i) {
+          const auto& o = result.outcomes[i];
+          EXPECT_FALSE(o.partner[3]) << spec.name << " position " << i;
+          EXPECT_EQ(o.reason[3], core::FailureReason::kBadTag)
+              << spec.name << " position " << i;
+          EXPECT_TRUE(o.partner[0] && o.partner[1] && o.partner[2])
+              << spec.name << " honest clique broken at " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(Conformance, ByzantinePhase1InsiderSinksTheSessionSilently) {
+  // Garbage in the key agreement breaks the session for everyone, but
+  // every party still completes all rounds with zero confirmations.
+  for (std::uint64_t seed : conformance_seeds()) {
+    for (bool scheme2 : kSchemes) {
+      ScenarioSpec spec = storm_spec("byz-p1", scheme2, 1, seed);
+      spec.insiders = [](std::size_t) {
+        return ScenarioSpec::InsiderScripts{
+            {2, {ByzantineInsider::Action::kFlipBit}}};
+      };
+      const ScenarioResult result = runner().run(spec);
+      check_no_false_accept(result, /*forged=*/{2});
+      for (std::size_t i = 0; i < result.m; ++i) {
+        EXPECT_TRUE(result.outcomes[i].completed) << spec.name;
+        if (i == 2) continue;
+        EXPECT_EQ(result.outcomes[i].confirmed_count(), 0u)
+            << spec.name << " position " << i;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------- scheme-2 clone insider
+
+TEST(Conformance, CloningInsiderIsExposedByDuplicateT6) {
+  for (std::uint64_t seed : conformance_seeds()) {
+    for (std::size_t threads : kThreadCounts) {
+      ScenarioSpec spec;
+      spec.name = "clone-" + tag(4, true, threads);
+      spec.m = 4;
+      spec.scheme2 = true;
+      spec.threads = threads;
+      spec.seed = seed;
+      spec.clone_of[3] = 1;  // position 3 reuses position 1's member
+      const ScenarioResult result = runner().run(spec);
+      check_clone_detected(result, /*cloned=*/{1, 3});
+      check_no_false_accept(result);
+      check_traceability(result, runner());
+    }
+  }
+}
+
+TEST(Conformance, Scheme1CannotSeeTheCloneButScheme2Can) {
+  // The motivating gap (paper §1.1): the same attack sails through
+  // scheme 1 — documenting why self-distinction exists.
+  ScenarioSpec spec;
+  spec.name = "clone-blind-" + tag(4, false, 1);
+  spec.m = 4;
+  spec.scheme2 = false;
+  spec.clone_of[3] = 1;
+  const ScenarioResult result = runner().run(spec);
+  check_no_false_accept(result);
+  for (const auto& o : result.outcomes) {
+    EXPECT_TRUE(o.full_success) << spec.name;
+    EXPECT_FALSE(o.self_distinction_violated) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace shs::conformance

@@ -2,8 +2,18 @@
 # Tier-1 verification: configure, build, run the full test suite, then
 # repeat the build+tests in a separate tree with ASan+UBSan enabled
 # (-DSHS_SANITIZE=ON). Pass --no-sanitize to skip the second pass.
+#
+# Pass --conformance to additionally sweep the security-invariant
+# conformance suite (ctest -L conformance) under three extra published
+# seeds on top of the default seed 1 — the schedule every release is
+# expected to hold on. Deterministic: a seed that fails here fails
+# everywhere.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Extra seeds the conformance sweep publishes (comma-separated, appended
+# to the built-in seed 1 by tests/net/conformance_harness.cpp).
+CONFORMANCE_SEEDS="271828,314159,141421"
 
 run_suite() {
   local dir=$1; shift
@@ -12,12 +22,33 @@ run_suite() {
   ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
 }
 
+want_conformance=0
+want_sanitize=1
+for arg in "$@"; do
+  case "$arg" in
+    --conformance) want_conformance=1 ;;
+    --no-sanitize) want_sanitize=0 ;;
+    *) echo "check.sh: unknown option '$arg'" >&2; exit 2 ;;
+  esac
+done
+
 echo "== tier-1: build + tests =="
 run_suite build
 
-if [[ "${1:-}" != "--no-sanitize" ]]; then
+if [[ "$want_conformance" == 1 ]]; then
+  echo "== conformance sweep (seeds 1,$CONFORMANCE_SEEDS) =="
+  SHS_CONFORMANCE_SEEDS="$CONFORMANCE_SEEDS" \
+    ctest --test-dir build --output-on-failure -L conformance
+fi
+
+if [[ "$want_sanitize" == 1 ]]; then
   echo "== tier-1 under ASan/UBSan =="
   run_suite build-sanitize -DSHS_SANITIZE=ON
+  if [[ "$want_conformance" == 1 ]]; then
+    echo "== conformance sweep under ASan/UBSan =="
+    SHS_CONFORMANCE_SEEDS="$CONFORMANCE_SEEDS" \
+      ctest --test-dir build-sanitize --output-on-failure -L conformance
+  fi
 fi
 
 echo "check.sh: all suites passed"
