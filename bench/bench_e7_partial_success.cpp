@@ -105,6 +105,8 @@ int main(int argc, char** argv) {
     (void)run_partitioned(2, "warm-net", &warm_log);
   }
 
+  JsonReport report("e7");
+
   table_header("g | expected clique sizes | observed | wall ms",
                "--+-----------------------+----------+--------");
   for (std::size_t g : {1u, 2u, 4u}) {
@@ -113,6 +115,12 @@ int main(int argc, char** argv) {
         time_ms([&] { outcomes = run_mixed(g, "tbl" + std::to_string(g)); });
     std::printf("%zu | all parties: %zu        | %s | %6.0f\n", g, kM / g,
                 clique_sizes(outcomes).c_str(), ms);
+    report.add()
+        .field("variant", "group_mix")
+        .field("groups", static_cast<double>(g))
+        .field("expected_clique", static_cast<double>(kM / g))
+        .field("cliques", clique_sizes(outcomes))
+        .field("wall_ms", ms);
   }
 
   table_header(
@@ -126,7 +134,16 @@ int main(int argc, char** argv) {
     std::printf("%7zu | all parties: %zu        | %s | %9zu | %6.0f\n", c,
                 kM / c, clique_sizes(outcomes).c_str(),
                 log.count(net::FaultKind::kPartition), ms);
+    report.add()
+        .field("variant", "partition")
+        .field("cells", static_cast<double>(c))
+        .field("expected_clique", static_cast<double>(kM / c))
+        .field("cliques", clique_sizes(outcomes))
+        .field("cut_edges",
+               static_cast<double>(log.count(net::FaultKind::kPartition)))
+        .field("wall_ms", ms);
   }
+  report.write();
 
   std::printf("\n(every participant confirms exactly its own clique of m/g — "
               "whether split by group membership or by a mid-session network "

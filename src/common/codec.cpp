@@ -23,6 +23,10 @@ void ByteWriter::bytes(BytesView v) {
   buf_.insert(buf_.end(), v.begin(), v.end());
 }
 
+void ByteWriter::raw(BytesView v) {
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
 void ByteWriter::str(std::string_view v) {
   u32(static_cast<std::uint32_t>(v.size()));
   buf_.insert(buf_.end(), v.begin(), v.end());
@@ -57,6 +61,14 @@ Bytes ByteReader::bytes() {
   Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
             data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
   pos_ += len;
+  return out;
+}
+
+Bytes ByteReader::raw(std::size_t n) {
+  need(n);
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
   return out;
 }
 

@@ -25,6 +25,9 @@ class ByteWriter {
   void u64(std::uint64_t v);
   /// Writes a u32 length prefix followed by the bytes.
   void bytes(BytesView v);
+  /// Writes the bytes with no length prefix (for externally-delimited
+  /// payloads, e.g. the tail of a length-prefixed frame).
+  void raw(BytesView v);
   /// Writes a length-prefixed UTF-8 string.
   void str(std::string_view v);
 
@@ -44,6 +47,8 @@ class ByteReader {
   std::uint32_t u32();
   std::uint64_t u64();
   Bytes bytes();
+  /// Reads exactly `n` un-prefixed bytes (counterpart of ByteWriter::raw).
+  Bytes raw(std::size_t n);
   std::string str();
 
   [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }

@@ -55,8 +55,12 @@ class HandshakeParticipant final : public net::RoundParty {
 
   [[nodiscard]] std::size_t position() const noexcept { return position_; }
 
+  /// Phase-I round count R: rounds [0, R) are DGKA, round R is Phase II,
+  /// round R+1 (traceable only) is Phase III. The rendezvous service uses
+  /// this to attribute per-phase latency.
+  [[nodiscard]] std::size_t phase1_rounds() const noexcept { return rounds_i_; }
+
  private:
-  [[nodiscard]] std::size_t dgka_rounds() const noexcept { return rounds_i_; }
   [[nodiscard]] Bytes party_string(std::size_t position) const;  // s_j
   [[nodiscard]] Bytes tag_for(std::size_t position) const;
   [[nodiscard]] Bytes phase3_message();

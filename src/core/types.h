@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -78,6 +79,7 @@ enum class FailureReason : std::uint8_t {
   kMalformedPhase3 = 5, // Phase-III slot failed to parse
   kBadSignature = 6,    // Phase-III AEAD/GSIG verification failed
   kDuplicateTag = 7,    // scheme 2: shared a duplicated T6 (cloned signer)
+  kTimeout = 8,         // service: session expired before the round closed
 };
 
 [[nodiscard]] constexpr const char* to_string(FailureReason reason) noexcept {
@@ -90,8 +92,14 @@ enum class FailureReason : std::uint8_t {
     case FailureReason::kMalformedPhase3: return "malformed phase-3";
     case FailureReason::kBadSignature: return "bad signature";
     case FailureReason::kDuplicateTag: return "duplicate T6";
+    case FailureReason::kTimeout: return "timed out";
   }
   return "unknown";
+}
+
+/// Lets gtest assertions and diagnostics print names, not raw enum ints.
+inline std::ostream& operator<<(std::ostream& os, FailureReason reason) {
+  return os << to_string(reason);
 }
 
 /// One participant's view of how the handshake ended.

@@ -10,6 +10,18 @@
 
 namespace shs::net {
 
+std::vector<Bytes> intercept_view(Adversary& adversary, std::size_t round,
+                                  std::size_t receiver,
+                                  const std::vector<Bytes>& broadcast) {
+  std::vector<Bytes> view(broadcast.size());
+  for (std::size_t sender = 0; sender < broadcast.size(); ++sender) {
+    auto result =
+        adversary.intercept(round, sender, receiver, broadcast[sender]);
+    view[sender] = result.has_value() ? std::move(*result) : Bytes{};
+  }
+  return view;
+}
+
 RunStats run_protocol(std::span<RoundParty* const> parties,
                       Adversary* adversary, num::RandomSource* shuffle,
                       const DriverOptions& options) {
@@ -78,13 +90,8 @@ RunStats run_protocol(std::span<RoundParty* const> parties,
         parties[receiver]->deliver(round, broadcast);
         continue;
       }
-      std::vector<Bytes> view(m);
-      for (std::size_t sender = 0; sender < m; ++sender) {
-        auto result =
-            adversary->intercept(round, sender, receiver, broadcast[sender]);
-        view[sender] = result.has_value() ? std::move(*result) : Bytes{};
-      }
-      parties[receiver]->deliver(round, view);
+      parties[receiver]->deliver(
+          round, intercept_view(*adversary, round, receiver, broadcast));
     }
   }
   return stats;

@@ -61,6 +61,16 @@ class Adversary {
   }
 };
 
+/// Builds `receiver`'s view of one round's broadcast vector by passing
+/// every (sender -> receiver) edge through `adversary` in sender order
+/// 0..m-1; a dropped edge (nullopt) leaves an empty slot. This is the one
+/// interception code path: run_protocol and the rendezvous service
+/// (src/service) both use it, so a seeded fault schedule replays
+/// identically under either driver.
+[[nodiscard]] std::vector<Bytes> intercept_view(
+    Adversary& adversary, std::size_t round, std::size_t receiver,
+    const std::vector<Bytes>& broadcast);
+
 struct RunStats {
   std::size_t rounds = 0;
   std::size_t messages = 0;     // non-empty broadcasts

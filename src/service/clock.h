@@ -1,0 +1,46 @@
+// Time source for the rendezvous service's deadlines and latency
+// metrics. The service never calls std::chrono directly; it asks a Clock,
+// so tests drive a ManualClock and get bit-deterministic timeout expiry
+// ("the session expires at exactly deadline, not at deadline - 1ns").
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+namespace shs::service {
+
+class Clock {
+ public:
+  using duration = std::chrono::steady_clock::duration;
+  using time_point = std::chrono::steady_clock::time_point;
+
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual time_point now() const = 0;
+};
+
+/// Production clock: std::chrono::steady_clock.
+class SteadyClock final : public Clock {
+ public:
+  [[nodiscard]] time_point now() const override {
+    return std::chrono::steady_clock::now();
+  }
+};
+
+/// Deterministic test clock: time stands still until advance() is called.
+/// Thread-safe — the stress tests advance it while pool threads stamp
+/// round completions.
+class ManualClock final : public Clock {
+ public:
+  [[nodiscard]] time_point now() const override {
+    return time_point(duration(ticks_.load(std::memory_order_relaxed)));
+  }
+
+  void advance(duration d) {
+    ticks_.fetch_add(d.count(), std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<duration::rep> ticks_{0};
+};
+
+}  // namespace shs::service

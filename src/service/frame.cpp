@@ -1,0 +1,80 @@
+#include "service/frame.h"
+
+#include "common/codec.h"
+#include "common/errors.h"
+
+namespace shs::service {
+
+Bytes encode_frame(const Frame& frame) {
+  if (frame.payload.size() > kMaxFramePayload) {
+    throw CodecError("encode_frame: payload exceeds kMaxFramePayload");
+  }
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(kFrameHeaderSize + frame.payload.size()));
+  w.u64(frame.session_id);
+  w.u32(frame.round);
+  w.u32(frame.position);
+  w.raw(frame.payload);
+  return w.take();
+}
+
+namespace {
+
+/// Validated body length from a frame's u32 prefix.
+std::size_t checked_length(std::uint32_t length) {
+  if (length < kFrameHeaderSize) {
+    throw CodecError("frame: length shorter than header");
+  }
+  if (length - kFrameHeaderSize > kMaxFramePayload) {
+    throw CodecError("frame: payload exceeds kMaxFramePayload");
+  }
+  return length;
+}
+
+Frame read_frame(ByteReader& r) {
+  const std::size_t length = checked_length(r.u32());
+  Frame frame;
+  frame.session_id = r.u64();
+  frame.round = r.u32();
+  frame.position = r.u32();
+  frame.payload = r.raw(length - kFrameHeaderSize);
+  return frame;
+}
+
+}  // namespace
+
+Frame decode_frame(BytesView wire) {
+  ByteReader r(wire);
+  Frame frame = read_frame(r);
+  r.expect_done();
+  return frame;
+}
+
+void FrameBuffer::feed(BytesView chunk) {
+  // Reclaim the consumed prefix before growing, so a long-lived stream
+  // doesn't accumulate dead bytes.
+  if (pos_ > 0 && pos_ >= buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  append(buf_, chunk);
+}
+
+std::optional<Frame> FrameBuffer::next() {
+  const std::size_t available = buffered();
+  if (available < 4) return std::nullopt;
+  std::uint32_t length = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    length = (length << 8) | buf_[pos_ + i];
+  }
+  // Bounds are checked before waiting for the body: a hostile length
+  // prefix fails fast instead of stalling the stream forever.
+  const std::size_t body = checked_length(length);
+  if (available < 4 + body) return std::nullopt;
+  ByteReader r(BytesView(buf_).subspan(pos_, 4 + body));
+  Frame frame = read_frame(r);
+  pos_ += 4 + body;
+  return frame;
+}
+
+}  // namespace shs::service

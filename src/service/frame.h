@@ -1,0 +1,78 @@
+// Framed wire codec of the rendezvous service.
+//
+// A handshake session's broadcasts travel between endpoints and the
+// rendezvous point as self-delimiting frames on an untrusted byte stream:
+//
+//   u32  length    (header + payload; bounds-checked against
+//                   kMaxFramePayload before any allocation)
+//   u64  session_id
+//   u32  round
+//   u32  position  (sender position within the session, 0..m-1)
+//   ...  payload   (length - 16 raw bytes; the RoundParty broadcast)
+//
+// Built on common/codec: readers throw CodecError on truncation or a
+// length that violates the bounds, so a malformed or hostile stream is
+// rejected at the frame layer before it can touch session state. The
+// FrameBuffer reassembles frames from arbitrarily fragmented stream
+// chunks (TCP-style delivery) without copying payloads twice.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+
+namespace shs::service {
+
+/// Hard cap on one frame's payload. Handshake broadcasts at every
+/// supported parameter level are far below this; anything larger is an
+/// attack or a desynchronized stream.
+inline constexpr std::size_t kMaxFramePayload = 1u << 20;
+
+/// Fixed frame header: session_id + round + position.
+inline constexpr std::size_t kFrameHeaderSize = 8 + 4 + 4;
+
+struct Frame {
+  std::uint64_t session_id = 0;
+  std::uint32_t round = 0;
+  std::uint32_t position = 0;  // sender position within the session
+  Bytes payload;
+
+  friend bool operator==(const Frame&, const Frame&) = default;
+};
+
+/// Frame's size on the wire once encoded (length prefix included).
+[[nodiscard]] constexpr std::size_t wire_size(const Frame& frame) noexcept {
+  return 4 + kFrameHeaderSize + frame.payload.size();
+}
+
+/// Encodes one frame, length prefix included. Throws CodecError if the
+/// payload exceeds kMaxFramePayload.
+[[nodiscard]] Bytes encode_frame(const Frame& frame);
+
+/// Decodes exactly one encoded frame (no trailing bytes allowed). Throws
+/// CodecError on truncation, trailing garbage, or an out-of-bounds length.
+[[nodiscard]] Frame decode_frame(BytesView wire);
+
+/// Incremental stream reassembler: feed() arbitrary chunks, next() yields
+/// completed frames in order. next() throws CodecError as soon as a
+/// frame's length prefix is out of bounds — the stream is then
+/// unrecoverable and the caller should drop the connection.
+class FrameBuffer {
+ public:
+  void feed(BytesView chunk);
+
+  /// Next complete frame, or nullopt if the buffered bytes end mid-frame.
+  [[nodiscard]] std::optional<Frame> next();
+
+  /// Bytes buffered but not yet consumed by next().
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return buf_.size() - pos_;
+  }
+
+ private:
+  Bytes buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+};
+
+}  // namespace shs::service

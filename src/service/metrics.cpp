@@ -1,0 +1,96 @@
+#include "service/metrics.h"
+
+#include <cstdio>
+
+namespace shs::service {
+
+namespace {
+
+std::size_t bucket_index(std::uint64_t us) noexcept {
+  std::size_t i = 0;
+  while (us > 1 && i + 1 < LatencyHistogram::kBuckets) {
+    us >>= 1;
+    ++i;
+  }
+  return i;
+}
+
+}  // namespace
+
+void LatencyHistogram::record(std::chrono::nanoseconds elapsed) noexcept {
+  const auto us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+  buckets_[bucket_index(us)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(us, std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::count() const noexcept {
+  return count_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::sum_us() const noexcept {
+  return sum_us_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::quantile_us(double q) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen > rank || seen == total) {
+      return i + 1 < kBuckets ? (std::uint64_t{1} << (i + 1)) - 1
+                              : std::uint64_t{1} << i;
+    }
+  }
+  return 0;
+}
+
+std::string LatencyHistogram::to_json() const {
+  const std::uint64_t n = count();
+  char head[160];
+  std::snprintf(head, sizeof head,
+                "{\"count\": %llu, \"mean_us\": %.3g, \"p50_us\": %llu, "
+                "\"p99_us\": %llu, \"buckets\": [",
+                static_cast<unsigned long long>(n),
+                n == 0 ? 0.0
+                       : static_cast<double>(sum_us()) / static_cast<double>(n),
+                static_cast<unsigned long long>(quantile_us(0.5)),
+                static_cast<unsigned long long>(quantile_us(0.99)));
+  std::string out = head;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(buckets_[i].load(std::memory_order_relaxed));
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ServiceMetrics::to_json(std::uint64_t active_sessions) const {
+  auto u64 = [](const std::atomic<std::uint64_t>& v) {
+    return std::to_string(v.load(std::memory_order_relaxed));
+  };
+  std::string out = "{";
+  out += "\"sessions\": {\"opened\": " + u64(sessions_opened) +
+         ", \"confirmed\": " + u64(sessions_confirmed) +
+         ", \"failed\": " + u64(sessions_failed) +
+         ", \"expired\": " + u64(sessions_expired) +
+         ", \"active\": " + std::to_string(active_sessions) + "},\n";
+  out += " \"frames\": {\"in\": " + u64(frames_in) +
+         ", \"out\": " + u64(frames_out) +
+         ", \"rejected\": " + u64(frames_rejected) +
+         ", \"bytes_in\": " + u64(bytes_in) +
+         ", \"bytes_out\": " + u64(bytes_out) + "},\n";
+  out += " \"rounds_advanced\": " + u64(rounds_advanced) + ",\n";
+  out += " \"latency\": {\"phase1\": " + phase1_latency.to_json() +
+         ",\n  \"phase2\": " + phase2_latency.to_json() +
+         ",\n  \"phase3\": " + phase3_latency.to_json() +
+         ",\n  \"session\": " + session_latency.to_json() + "}}";
+  return out;
+}
+
+}  // namespace shs::service

@@ -1,0 +1,71 @@
+// Service observability: lock-free counters and latency histograms for
+// the rendezvous service, exportable as one JSON document (the schema is
+// documented in DESIGN.md §8). Everything here is updated from pool
+// threads mid-pump, so every field is an atomic and histograms use atomic
+// buckets; reads are monotonic snapshots, not a consistent cut.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace shs::service {
+
+/// Power-of-two-bucket latency histogram over microseconds: bucket i
+/// counts durations in [2^i, 2^(i+1)) us (bucket 0 includes < 1 us, the
+/// last bucket is open-ended). Records are lock-free; quantiles are
+/// computed from the bucket upper bounds, so they are conservative.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 24;  // last bucket: >= ~8.4 s
+
+  void record(std::chrono::nanoseconds elapsed) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  [[nodiscard]] std::uint64_t sum_us() const noexcept;
+  /// Upper bound (us) of the bucket holding quantile q in [0, 1];
+  /// 0 when empty.
+  [[nodiscard]] std::uint64_t quantile_us(double q) const noexcept;
+
+  /// {"count":N,"mean_us":X,"p50_us":A,"p99_us":B,"buckets":[...]}
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_us_{0};
+};
+
+/// Counter block of one RendezvousService instance.
+struct ServiceMetrics {
+  // Session lifecycle.
+  std::atomic<std::uint64_t> sessions_opened{0};
+  std::atomic<std::uint64_t> sessions_confirmed{0};  // some clique formed
+  std::atomic<std::uint64_t> sessions_failed{0};     // completed, no clique
+  std::atomic<std::uint64_t> sessions_expired{0};    // deadline hit
+
+  // Frame traffic (post-codec; bytes are encoded wire sizes).
+  std::atomic<std::uint64_t> frames_in{0};
+  std::atomic<std::uint64_t> frames_out{0};
+  std::atomic<std::uint64_t> bytes_in{0};
+  std::atomic<std::uint64_t> bytes_out{0};
+  std::atomic<std::uint64_t> frames_rejected{0};  // not slotted (see
+                                                  // FrameDisposition)
+
+  std::atomic<std::uint64_t> rounds_advanced{0};
+
+  // Session-open -> end-of-phase latency, stamped at round completion.
+  LatencyHistogram phase1_latency;
+  LatencyHistogram phase2_latency;
+  LatencyHistogram phase3_latency;
+  LatencyHistogram session_latency;  // open -> final round delivered
+
+  /// One JSON object with every counter and histogram (schema: DESIGN.md
+  /// §8). `active_sessions` is passed in by the service — it is a gauge
+  /// derived from the session table, not a counter.
+  [[nodiscard]] std::string to_json(std::uint64_t active_sessions) const;
+};
+
+}  // namespace shs::service

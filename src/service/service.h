@@ -1,0 +1,126 @@
+// RendezvousService — hosts many concurrent GCD handshake sessions over
+// the framed wire protocol, with deadlines and service metrics.
+//
+// The service owns the HandshakeParticipant state machines handed to
+// open_session() and drives them through a SessionManager: frames arrive
+// (handle_frame / feed), pump() advances every session whose round
+// closed, expire_stalled() reaps sessions the wire abandoned. Because
+// parties only ever see complete round vectors — exactly what
+// net::run_protocol delivers — a session's outcome, session key and
+// transcript are byte-identical to a serial run_handshake() of the same
+// participants, whatever interleaving the wire imposes across sessions.
+//
+// Terminal sessions classify as:
+//   confirmed  every party completed and some clique of >= 2 formed
+//   failed     every party completed, but nobody confirmed a partner
+//   expired    the deadline hit first; outcomes() then reports synthetic
+//              per-party outcomes with FailureReason::kTimeout (local
+//              bookkeeping only — nothing about the timeout ever goes on
+//              the wire, so the paper's silent-failure property holds)
+//
+// Metrics: every lifecycle event, frame and per-phase latency lands in a
+// ServiceMetrics block exportable as JSON (schema: DESIGN.md §8).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/handshake.h"
+#include "service/frame.h"
+#include "service/metrics.h"
+#include "service/session.h"
+
+namespace shs::service {
+
+struct ServiceOptions {
+  /// pump() parallelism across ready sessions; 1 = serial, 0 = hardware.
+  std::size_t threads = 1;
+  /// Borrowed time source; null = process steady clock.
+  Clock* clock = nullptr;
+  /// Stall budget before expire_stalled() reaps a session.
+  std::chrono::milliseconds session_deadline{30000};
+  /// Borrowed per-edge delivery adversary (PR-2 fault library); null =
+  /// reliable wire.
+  net::Adversary* adversary = nullptr;
+  /// Borrowed transport for outgoing frames; null = loop frames straight
+  /// back in (fully hosted sessions: open_session() + pump() completes).
+  FrameSink* egress = nullptr;
+};
+
+class RendezvousService {
+ public:
+  explicit RendezvousService(ServiceOptions options = {});
+  ~RendezvousService();
+  RendezvousService(const RendezvousService&) = delete;
+  RendezvousService& operator=(const RendezvousService&) = delete;
+
+  /// Takes ownership of one session's participants (position = vector
+  /// index) and queues it; pump() does all crypto. Returns the session id
+  /// every frame of this session carries.
+  std::uint64_t open_session(
+      std::vector<std::unique_ptr<core::HandshakeParticipant>> parties);
+
+  /// Ingests one decoded frame. Thread-safe.
+  FrameDisposition handle_frame(Frame frame);
+
+  /// Ingests a raw stream chunk through a FrameBuffer (one logical
+  /// inbound stream); returns frames ingested. Throws CodecError when the
+  /// stream is malformed (then drop the connection). Thread-safe.
+  std::size_t feed(BytesView chunk);
+
+  /// Advances every ready session until none remains ready; returns queue
+  /// entries processed.
+  std::size_t pump();
+
+  /// Expires sessions stalled past the deadline; returns how many.
+  std::size_t expire_stalled();
+
+  /// Throws ProtocolError for unknown ids.
+  [[nodiscard]] SessionState state(std::uint64_t sid) const;
+
+  /// Per-position outcomes of a done/expired session (throws
+  /// ProtocolError while it is still running). For expired sessions these
+  /// are synthetic: completed = false, every reason = kTimeout.
+  [[nodiscard]] std::vector<core::HandshakeOutcome> outcomes(
+      std::uint64_t sid) const;
+
+  /// GC: frees a done/expired session's participants and bookkeeping.
+  /// Returns false while the session is live (or the id is unknown).
+  bool close(std::uint64_t sid);
+
+  [[nodiscard]] std::size_t active_sessions() const;
+  [[nodiscard]] const ServiceMetrics& metrics() const { return metrics_; }
+  /// Full metrics JSON (includes the active-session gauge).
+  [[nodiscard]] std::string metrics_json() const;
+
+ private:
+  struct Hosted;
+
+  std::shared_ptr<Hosted> hosted(std::uint64_t sid) const;
+  void on_round_complete(std::uint64_t sid, std::size_t round,
+                         Clock::time_point now);
+  void on_done(std::uint64_t sid);
+  void on_expired(std::uint64_t sid);
+
+  /// Egress tap: counts outgoing traffic, then forwards to the user sink
+  /// or loops back into handle_frame.
+  struct EgressTap;
+
+  ServiceOptions options_;
+  Clock* clock_;  // never null
+  ServiceMetrics metrics_;
+  std::unique_ptr<EgressTap> tap_;
+  std::unique_ptr<SessionManager> manager_;
+
+  mutable std::mutex hosted_mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Hosted>> hosted_;
+
+  std::mutex feed_mu_;
+  FrameBuffer feed_buffer_;
+};
+
+}  // namespace shs::service

@@ -1,0 +1,368 @@
+#include "service/session.h"
+
+#include <thread>
+#include <utility>
+
+#include "common/errors.h"
+
+namespace shs::service {
+
+const char* to_string(SessionState state) noexcept {
+  switch (state) {
+    case SessionState::kCollecting: return "collecting";
+    case SessionState::kReady: return "ready";
+    case SessionState::kAdvancing: return "advancing";
+    case SessionState::kDone: return "done";
+    case SessionState::kExpired: return "expired";
+  }
+  return "unknown";
+}
+
+struct SessionManager::SessionRec {
+  std::uint64_t id = 0;
+  std::vector<net::RoundParty*> parties;
+  std::size_t m = 0;
+  std::size_t total_rounds = 0;
+
+  std::mutex mu;  // guards everything below
+  SessionState state = SessionState::kReady;  // round-0 production pending
+  bool started = false;   // round-0 broadcasts produced
+  std::size_t round = 0;  // round currently collecting
+  std::vector<Bytes> slots;
+  std::vector<bool> filled;
+  std::size_t arrived = 0;
+  // Reordered early arrivals: round -> (payloads, filled).
+  std::map<std::uint32_t, std::pair<std::vector<Bytes>, std::vector<bool>>>
+      future;
+  Clock::time_point last_progress;
+};
+
+namespace {
+
+Clock* default_clock() {
+  static SteadyClock clock;
+  return &clock;
+}
+
+}  // namespace
+
+SessionManager::SessionManager(ManagerOptions options, Hooks hooks)
+    : options_(options),
+      hooks_(std::move(hooks)),
+      clock_(options.clock != nullptr ? options.clock : default_clock()) {
+  std::size_t threads = options_.threads == 0
+                            ? std::thread::hardware_concurrency()
+                            : options_.threads;
+  if (threads == 0) threads = 1;
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+SessionManager::~SessionManager() = default;
+
+std::uint64_t SessionManager::open(std::vector<net::RoundParty*> parties) {
+  if (parties.empty()) throw ProtocolError("SessionManager: no parties");
+  const std::size_t rounds = parties.front()->total_rounds();
+  for (net::RoundParty* p : parties) {
+    if (p == nullptr) throw ProtocolError("SessionManager: null party");
+    if (p->total_rounds() != rounds) {
+      throw ProtocolError("SessionManager: parties disagree on round count");
+    }
+  }
+  auto rec = std::make_shared<SessionRec>();
+  rec->parties = std::move(parties);
+  rec->m = rec->parties.size();
+  rec->total_rounds = rounds;
+  rec->slots.assign(rec->m, Bytes{});
+  rec->filled.assign(rec->m, false);
+  rec->last_progress = clock_->now();
+  {
+    const std::lock_guard<std::mutex> lock(table_mu_);
+    rec->id = next_sid_++;
+    table_.emplace(rec->id, rec);
+  }
+  return rec->id;
+}
+
+void SessionManager::start(std::uint64_t sid) {
+  const std::shared_ptr<SessionRec> rec = find(sid);
+  if (rec == nullptr) throw ProtocolError("SessionManager: unknown session");
+  {
+    const std::lock_guard<std::mutex> lock(rec->mu);
+    if (rec->started || rec->state != SessionState::kReady) {
+      throw ProtocolError("SessionManager: session already started");
+    }
+  }
+  enqueue(rec);
+}
+
+std::shared_ptr<SessionManager::SessionRec> SessionManager::find(
+    std::uint64_t sid) const {
+  const std::lock_guard<std::mutex> lock(table_mu_);
+  auto it = table_.find(sid);
+  return it == table_.end() ? nullptr : it->second;
+}
+
+FrameDisposition SessionManager::handle_frame(Frame frame) {
+  const std::shared_ptr<SessionRec> rec = find(frame.session_id);
+  if (rec == nullptr) return FrameDisposition::kUnknownSession;
+  bool completed = false;
+  {
+    const std::lock_guard<std::mutex> lock(rec->mu);
+    if (rec->state == SessionState::kDone ||
+        rec->state == SessionState::kExpired) {
+      return FrameDisposition::kFinished;
+    }
+    if (frame.position >= rec->m) return FrameDisposition::kBadPosition;
+    if (frame.round >= rec->total_rounds || frame.round < rec->round) {
+      return FrameDisposition::kStaleRound;
+    }
+    if (frame.round > rec->round) {
+      auto& [payloads, filled] = rec->future[frame.round];
+      if (payloads.empty()) {
+        payloads.assign(rec->m, Bytes{});
+        filled.assign(rec->m, false);
+      }
+      if (filled[frame.position]) return FrameDisposition::kDuplicate;
+      filled[frame.position] = true;
+      payloads[frame.position] = std::move(frame.payload);
+      return FrameDisposition::kBuffered;
+    }
+    if (rec->filled[frame.position]) return FrameDisposition::kDuplicate;
+    rec->filled[frame.position] = true;
+    rec->slots[frame.position] = std::move(frame.payload);
+    ++rec->arrived;
+    rec->last_progress = clock_->now();
+    if (rec->arrived == rec->m && rec->state == SessionState::kCollecting) {
+      rec->state = SessionState::kReady;
+      completed = true;
+    }
+  }
+  if (completed) {
+    enqueue(rec);
+    return FrameDisposition::kCompletedRound;
+  }
+  return FrameDisposition::kSlotted;
+}
+
+void SessionManager::enqueue(std::shared_ptr<SessionRec> rec) {
+  const std::lock_guard<std::mutex> lock(ready_mu_);
+  ready_.push_back(std::move(rec));
+}
+
+std::size_t SessionManager::pump() {
+  std::size_t processed = 0;
+  for (;;) {
+    std::vector<std::shared_ptr<SessionRec>> batch;
+    {
+      const std::lock_guard<std::mutex> lock(ready_mu_);
+      batch.swap(ready_);
+    }
+    if (batch.empty()) break;
+    if (pool_ != nullptr && batch.size() > 1) {
+      pool_->parallel_for(batch.size(),
+                          [&](std::size_t i) { advance(batch[i]); });
+    } else {
+      for (const auto& rec : batch) advance(rec);
+    }
+    processed += batch.size();
+  }
+  return processed;
+}
+
+void SessionManager::advance(const std::shared_ptr<SessionRec>& rec) {
+  std::size_t r = 0;
+  bool produce = false;
+  std::vector<Bytes> roundv;
+  {
+    const std::lock_guard<std::mutex> lock(rec->mu);
+    if (rec->state != SessionState::kReady) return;
+    rec->state = SessionState::kAdvancing;
+    r = rec->round;
+    produce = !rec->started;
+    if (!produce) {
+      roundv = std::move(rec->slots);
+      rec->slots.assign(rec->m, Bytes{});
+    }
+  }
+
+  // Crypto runs with no manager lock held: parties are touched by exactly
+  // one advance at a time (the kReady -> kAdvancing transition above).
+  const std::size_t m = rec->m;
+  bool done = false;
+  std::vector<Bytes> out;
+  if (produce) {
+    out.resize(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      out[i] = rec->parties[i]->round_message(0);
+    }
+  } else {
+    if (options_.adversary != nullptr) {
+      // One mutex over the whole round: a stateful adversary observes
+      // each session's round atomically, edges in the serial driver's
+      // receiver-major order.
+      const std::lock_guard<std::mutex> lock(adversary_mu_);
+      for (std::size_t recv = 0; recv < m; ++recv) {
+        rec->parties[recv]->deliver(
+            r, net::intercept_view(*options_.adversary, r, recv, roundv));
+      }
+    } else {
+      for (std::size_t recv = 0; recv < m; ++recv) {
+        rec->parties[recv]->deliver(r, roundv);
+      }
+    }
+    done = r + 1 == rec->total_rounds;
+    if (!done) {
+      out.resize(m);
+      for (std::size_t i = 0; i < m; ++i) {
+        out[i] = rec->parties[i]->round_message(r + 1);
+      }
+    }
+  }
+
+  const Clock::time_point now = clock_->now();
+  // Terminal hooks fire before the terminal state is published, so a
+  // caller that observes kDone finds whatever the hook produced.
+  if (!produce && hooks_.on_round_complete) {
+    hooks_.on_round_complete(rec->id, r, now);
+  }
+  if (done && hooks_.on_done) hooks_.on_done(rec->id);
+
+  bool ready_again = false;
+  std::size_t out_round = 0;
+  {
+    const std::lock_guard<std::mutex> lock(rec->mu);
+    if (done) {
+      rec->state = SessionState::kDone;
+      rec->future.clear();
+    } else {
+      if (produce) {
+        rec->started = true;
+        out_round = 0;
+      } else {
+        rec->round = r + 1;
+        rec->filled.assign(m, false);
+        rec->arrived = 0;
+        out_round = r + 1;
+        // Merge frames that raced ahead of this round's delivery.
+        auto it = rec->future.find(static_cast<std::uint32_t>(rec->round));
+        if (it != rec->future.end()) {
+          for (std::size_t i = 0; i < m; ++i) {
+            if (it->second.second[i]) {
+              rec->filled[i] = true;
+              rec->slots[i] = std::move(it->second.first[i]);
+              ++rec->arrived;
+            }
+          }
+          rec->future.erase(it);
+        }
+      }
+      rec->last_progress = now;
+      if (rec->arrived == m) {
+        rec->state = SessionState::kReady;
+        ready_again = true;
+      } else {
+        rec->state = SessionState::kCollecting;
+      }
+    }
+  }
+  if (ready_again) enqueue(rec);
+  if (!out.empty()) emit(rec->id, out_round, std::move(out));
+}
+
+void SessionManager::emit(std::uint64_t sid, std::size_t round,
+                          std::vector<Bytes> payloads) {
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    Frame frame{sid, static_cast<std::uint32_t>(round),
+                static_cast<std::uint32_t>(i), std::move(payloads[i])};
+    if (options_.egress != nullptr) {
+      options_.egress->on_frame(frame);
+    } else {
+      handle_frame(std::move(frame));
+    }
+  }
+}
+
+std::size_t SessionManager::expire_stalled() {
+  const Clock::time_point now = clock_->now();
+  std::vector<std::shared_ptr<SessionRec>> recs;
+  {
+    const std::lock_guard<std::mutex> lock(table_mu_);
+    recs.reserve(table_.size());
+    for (const auto& [sid, rec] : table_) recs.push_back(rec);
+  }
+  std::size_t expired = 0;
+  for (const auto& rec : recs) {
+    {
+      const std::lock_guard<std::mutex> lock(rec->mu);
+      // Only a session waiting on the wire can stall: kReady/kAdvancing
+      // sessions have a pump obligation, not a missing frame.
+      if (rec->state != SessionState::kCollecting ||
+          now - rec->last_progress < options_.session_deadline) {
+        continue;
+      }
+      rec->state = SessionState::kAdvancing;  // reserve against races
+    }
+    if (hooks_.on_expired) hooks_.on_expired(rec->id);
+    {
+      const std::lock_guard<std::mutex> lock(rec->mu);
+      rec->state = SessionState::kExpired;
+      rec->future.clear();
+    }
+    ++expired;
+  }
+  return expired;
+}
+
+SessionState SessionManager::state(std::uint64_t sid) const {
+  const auto rec = find(sid);
+  if (rec == nullptr) throw ProtocolError("SessionManager: unknown session");
+  const std::lock_guard<std::mutex> lock(rec->mu);
+  return rec->state;
+}
+
+std::size_t SessionManager::current_round(std::uint64_t sid) const {
+  const auto rec = find(sid);
+  if (rec == nullptr) throw ProtocolError("SessionManager: unknown session");
+  const std::lock_guard<std::mutex> lock(rec->mu);
+  return rec->round;
+}
+
+std::size_t SessionManager::active() const {
+  std::vector<std::shared_ptr<SessionRec>> recs;
+  {
+    const std::lock_guard<std::mutex> lock(table_mu_);
+    recs.reserve(table_.size());
+    for (const auto& [sid, rec] : table_) recs.push_back(rec);
+  }
+  std::size_t n = 0;
+  for (const auto& rec : recs) {
+    const std::lock_guard<std::mutex> lock(rec->mu);
+    if (rec->state != SessionState::kDone &&
+        rec->state != SessionState::kExpired) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t SessionManager::size() const {
+  const std::lock_guard<std::mutex> lock(table_mu_);
+  return table_.size();
+}
+
+bool SessionManager::erase(std::uint64_t sid) {
+  const std::lock_guard<std::mutex> lock(table_mu_);
+  auto it = table_.find(sid);
+  if (it == table_.end()) return false;
+  {
+    const std::lock_guard<std::mutex> rec_lock(it->second->mu);
+    if (it->second->state != SessionState::kDone &&
+        it->second->state != SessionState::kExpired) {
+      return false;
+    }
+  }
+  table_.erase(it);
+  return true;
+}
+
+}  // namespace shs::service

@@ -1,0 +1,196 @@
+// SessionManager — the net::RoundParty loop restructured as a resumable,
+// frame-driven state machine so one process can host thousands of
+// concurrent sessions with no per-session thread.
+//
+// Where net::run_protocol owns a session from first round to last,
+// blocking its caller, the manager advances a session only when the wire
+// hands it something to do:
+//
+//   open()          registers the parties and queues the session for its
+//                   round-0 broadcast production (no crypto inline).
+//   handle_frame()  slots an arriving (session, round, position) frame;
+//                   the m-th frame of a round marks the session ready.
+//   pump()          drains the ready queue: delivers the completed round
+//                   to every party, computes the next round's broadcasts,
+//                   and emits them as frames. With threads > 1 the batch
+//                   of ready sessions is advanced on a common/thread_pool
+//                   — cross-session parallelism, zero per-session threads.
+//   expire_stalled() expires sessions whose current round has been
+//                   incomplete for session_deadline or longer.
+//
+// Frames the manager emits go to the egress sink (the transport back to
+// the participants); with no sink installed they loop straight back into
+// handle_frame, which makes `open(); pump();` run hosted sessions to
+// completion in-process.
+//
+// Adversary reuse: an installed net::Adversary intercepts every
+// (round, sender, receiver) edge at delivery time through the same
+// net::intercept_view code path as the serial driver, in the same
+// receiver-major order, under one mutex — so the PR-2 fault library
+// drives the service with schedules that replay identically. (The
+// adversary does not see session ids; seeded faults hashed on
+// (seed, round, sender, receiver) apply the same schedule to every
+// session.)
+//
+// Locking discipline (gated under TSan by tools/check.sh --service):
+//   table_mu_  guards the id -> session map.
+//   ready_mu_  guards the ready queue.
+//   rec->mu    guards one session's slots, round cursor and state.
+//   adversary_mu_ serializes all interception (stateful adversaries see
+//   one session's round atomically).
+// Lock order: table_mu_ before rec->mu (erase); ready_mu_ and
+// adversary_mu_ are leaf locks never held together with rec->mu. Hooks
+// and party crypto run with no manager lock held (except adversary_mu_
+// during delivery interception). Hooks must not call back into the
+// manager.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "net/protocol.h"
+#include "service/clock.h"
+#include "service/frame.h"
+
+namespace shs::service {
+
+/// Where the manager's outgoing frames go (the transport towards the
+/// participants). May be invoked concurrently from pool threads during
+/// pump(); implementations must be thread-safe.
+struct FrameSink {
+  virtual ~FrameSink() = default;
+  virtual void on_frame(const Frame& frame) = 0;
+};
+
+enum class SessionState : std::uint8_t {
+  kCollecting = 0,  // waiting for the current round's frames
+  kReady = 1,       // round complete (or round 0 pending); queued for pump
+  kAdvancing = 2,   // a pump worker is delivering / computing
+  kDone = 3,        // all rounds delivered
+  kExpired = 4,     // deadline hit before the current round completed
+};
+
+[[nodiscard]] const char* to_string(SessionState state) noexcept;
+
+/// What handle_frame did with a frame.
+enum class FrameDisposition : std::uint8_t {
+  kSlotted = 0,         // stored into the current round
+  kCompletedRound = 1,  // stored, and it was the round's last missing slot
+  kBuffered = 2,        // stored for a future round (reordered arrival)
+  kUnknownSession = 3,
+  kFinished = 4,     // session already done/expired
+  kBadPosition = 5,  // position >= m
+  kStaleRound = 6,   // round already delivered, or past the last round
+  kDuplicate = 7,    // slot already filled
+};
+
+[[nodiscard]] constexpr bool accepted(FrameDisposition d) noexcept {
+  return d == FrameDisposition::kSlotted ||
+         d == FrameDisposition::kCompletedRound ||
+         d == FrameDisposition::kBuffered;
+}
+
+struct ManagerOptions {
+  /// Degree of pump() parallelism across ready sessions; 1 = serial,
+  /// 0 = hardware concurrency.
+  std::size_t threads = 1;
+  /// Time source (borrowed); null = a process-wide SteadyClock.
+  Clock* clock = nullptr;
+  /// A session with an incomplete round and no progress for this long is
+  /// expired by expire_stalled().
+  std::chrono::milliseconds session_deadline{30000};
+  /// Per-edge delivery interception (borrowed); null = reliable wire.
+  net::Adversary* adversary = nullptr;
+  /// Outgoing-frame transport (borrowed); null = loop back into
+  /// handle_frame.
+  FrameSink* egress = nullptr;
+};
+
+class SessionManager {
+ public:
+  struct Hooks {
+    /// Round `round` was delivered to every party (stamped with the
+    /// manager's clock). Runs on the pump thread, no locks held.
+    std::function<void(std::uint64_t sid, std::size_t round,
+                       Clock::time_point now)>
+        on_round_complete;
+    /// All rounds delivered; fires before state(sid) reports kDone.
+    std::function<void(std::uint64_t sid)> on_done;
+    /// Deadline hit; fires before state(sid) reports kExpired.
+    std::function<void(std::uint64_t sid)> on_expired;
+  };
+
+  explicit SessionManager(ManagerOptions options, Hooks hooks = {});
+  ~SessionManager();
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Registers a session over the borrowed parties (which must outlive it
+  /// or be erase()d first). All parties must agree on total_rounds().
+  /// Returns the session id carried by every frame of this session. The
+  /// session does nothing until start() queues it — the two-step open
+  /// lets a wrapper finish its own per-session bookkeeping before any
+  /// hook can fire.
+  std::uint64_t open(std::vector<net::RoundParty*> parties);
+
+  /// Queues the session's round-0 production; pump() does the crypto.
+  /// Call exactly once per session.
+  void start(std::uint64_t sid);
+
+  /// Slots one arriving frame; cheap (no crypto). Thread-safe. By value
+  /// so the payload moves into the round slot without a copy.
+  FrameDisposition handle_frame(Frame frame);
+
+  /// Advances every ready session until none is ready, including sessions
+  /// made ready by frames emitted mid-pump (loopback). Returns the number
+  /// of queue entries processed. Thread-safe; concurrent pumps share the
+  /// queue.
+  std::size_t pump();
+
+  /// Expires sessions whose current round has been incomplete for
+  /// session_deadline or longer; returns how many expired now.
+  std::size_t expire_stalled();
+
+  /// Throws ProtocolError for an unknown id.
+  [[nodiscard]] SessionState state(std::uint64_t sid) const;
+  [[nodiscard]] std::size_t current_round(std::uint64_t sid) const;
+
+  /// Sessions not yet done/expired.
+  [[nodiscard]] std::size_t active() const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// GC: drops a done/expired session's bookkeeping (frames for it then
+  /// report kUnknownSession). Returns false while the session is live.
+  bool erase(std::uint64_t sid);
+
+ private:
+  struct SessionRec;
+
+  std::shared_ptr<SessionRec> find(std::uint64_t sid) const;
+  void enqueue(std::shared_ptr<SessionRec> rec);
+  void advance(const std::shared_ptr<SessionRec>& rec);
+  void emit(std::uint64_t sid, std::size_t round, std::vector<Bytes> payloads);
+
+  ManagerOptions options_;
+  Hooks hooks_;
+  Clock* clock_;  // never null
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex table_mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<SessionRec>> table_;
+  std::uint64_t next_sid_ = 1;
+
+  std::mutex ready_mu_;
+  std::vector<std::shared_ptr<SessionRec>> ready_;
+
+  std::mutex adversary_mu_;
+};
+
+}  // namespace shs::service

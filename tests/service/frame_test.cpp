@@ -1,0 +1,117 @@
+// Frame codec property tests: random frames survive encode -> decode
+// exactly (including through a FrameBuffer fed arbitrarily fragmented
+// chunks); every strict prefix fails cleanly with CodecError; hostile
+// length prefixes (oversize, shorter-than-header) are rejected before any
+// payload is buffered — the guarantee that lets the service treat a
+// malformed stream as a dropped connection, never as session input.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+#include "common/errors.h"
+#include "service/frame.h"
+
+namespace shs::service {
+namespace {
+
+Frame random_frame(std::mt19937_64& rng) {
+  Frame frame;
+  frame.session_id = rng();
+  frame.round = static_cast<std::uint32_t>(rng() % 16);
+  frame.position = static_cast<std::uint32_t>(rng() % 8);
+  frame.payload.resize(rng() % 300);
+  for (auto& b : frame.payload) b = static_cast<std::uint8_t>(rng());
+  return frame;
+}
+
+TEST(FrameCodec, RoundTripRandomFrames) {
+  std::mt19937_64 rng(20260805);
+  for (int i = 0; i < 200; ++i) {
+    const Frame frame = random_frame(rng);
+    const Bytes wire = encode_frame(frame);
+    EXPECT_EQ(wire.size(), wire_size(frame));
+    EXPECT_EQ(decode_frame(wire), frame);
+  }
+}
+
+TEST(FrameCodec, EveryStrictPrefixThrows) {
+  std::mt19937_64 rng(7);
+  const Frame frame = random_frame(rng);
+  const Bytes wire = encode_frame(frame);
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_THROW((void)decode_frame(BytesView(wire).first(len)), CodecError)
+        << "prefix length " << len;
+  }
+}
+
+TEST(FrameCodec, TrailingBytesThrow) {
+  Bytes wire = encode_frame(Frame{1, 2, 3, to_bytes("payload")});
+  wire.push_back(0);
+  EXPECT_THROW((void)decode_frame(wire), CodecError);
+}
+
+TEST(FrameCodec, OversizePayloadRejectedAtEncode) {
+  Frame frame;
+  frame.payload.resize(kMaxFramePayload + 1);
+  EXPECT_THROW((void)encode_frame(frame), CodecError);
+}
+
+TEST(FrameCodec, HostileLengthPrefixRejected) {
+  // Length prefix larger than the cap: must throw, not stall waiting for
+  // a gigabyte that never comes.
+  Bytes oversize{0xff, 0xff, 0xff, 0xff};
+  EXPECT_THROW((void)decode_frame(oversize), CodecError);
+  FrameBuffer buffer;
+  buffer.feed(oversize);
+  EXPECT_THROW((void)buffer.next(), CodecError);
+
+  // Length prefix shorter than the fixed header: desynchronized stream.
+  Bytes undersize{0x00, 0x00, 0x00, 0x04};
+  EXPECT_THROW((void)decode_frame(undersize), CodecError);
+  FrameBuffer fresh;
+  fresh.feed(undersize);
+  EXPECT_THROW((void)fresh.next(), CodecError);
+}
+
+TEST(FrameBuffer, ReassemblesArbitraryFragmentation) {
+  std::mt19937_64 rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Frame> frames;
+    Bytes stream;
+    for (int i = 0; i < 10; ++i) {
+      frames.push_back(random_frame(rng));
+      append(stream, encode_frame(frames.back()));
+    }
+
+    FrameBuffer buffer;
+    std::vector<Frame> decoded;
+    std::size_t pos = 0;
+    while (pos < stream.size()) {
+      const std::size_t chunk = 1 + rng() % 97;
+      const std::size_t take = std::min(chunk, stream.size() - pos);
+      buffer.feed(BytesView(stream).subspan(pos, take));
+      pos += take;
+      while (auto frame = buffer.next()) decoded.push_back(std::move(*frame));
+    }
+    EXPECT_EQ(decoded, frames);
+    EXPECT_EQ(buffer.buffered(), 0u);
+    EXPECT_FALSE(buffer.next().has_value());
+  }
+}
+
+TEST(FrameBuffer, ByteAtATimeDeliveryYieldsFrameExactlyOnCompletion) {
+  const Frame frame{99, 1, 0, to_bytes("slow wire")};
+  const Bytes wire = encode_frame(frame);
+  FrameBuffer buffer;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    buffer.feed(BytesView(wire).subspan(i, 1));
+    if (i + 1 < wire.size()) {
+      EXPECT_FALSE(buffer.next().has_value()) << "byte " << i;
+    }
+  }
+  EXPECT_EQ(buffer.next(), frame);
+}
+
+}  // namespace
+}  // namespace shs::service

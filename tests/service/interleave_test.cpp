@@ -1,0 +1,154 @@
+// Concurrent-session isolation: 64 sessions of mixed size (m = 2/4/8),
+// mixed scheme (1 and 2) and mixed group membership run on ONE service
+// while a seeded shuffler interleaves every in-flight frame across all
+// sessions between pumps. Every session must still end byte-identical to
+// its own serial net-driver run — sessions share a manager, a queue and a
+// thread pool but no protocol state — and no cross-group position may
+// ever be confirmed (no false accepts).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/fixture.h"
+#include "service/service.h"
+
+namespace shs::service {
+namespace {
+
+using core::HandshakeOptions;
+using core::HandshakeOutcome;
+using core::Member;
+using core::testing::TestGroup;
+
+/// Collects emitted frames for the test's shuffling wire.
+struct QueueSink final : FrameSink {
+  std::mutex mu;
+  std::vector<Frame> frames;
+  void on_frame(const Frame& frame) override {
+    const std::lock_guard<std::mutex> lock(mu);
+    frames.push_back(frame);
+  }
+};
+
+struct SessionPlan {
+  std::vector<const Member*> members;  // by position
+  std::vector<bool> in_group_a;       // by position (false = group B)
+  HandshakeOptions options;
+  std::string seed;
+};
+
+TEST(Interleave, SixtyFourShuffledSessionsMatchTheirSerialTwins) {
+  TestGroup group_a("ilv-a", core::GroupConfig{});
+  TestGroup group_b("ilv-b", core::GroupConfig{});
+  for (core::MemberId id = 1; id <= 8; ++id) {
+    group_a.admit(id);
+    group_b.admit(100 + id);
+  }
+
+  constexpr std::size_t kSessions = 64;
+  constexpr std::size_t kSizes[] = {2, 4, 8};
+
+  std::vector<SessionPlan> plans;
+  plans.reserve(kSessions);
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    SessionPlan plan;
+    const std::size_t m = kSizes[s % 3];
+    const bool mixed = s % 4 == 3;  // positions alternate group A / B
+    plan.options.self_distinction = s % 2 == 1;  // scheme 2 on odd sessions
+    plan.options.traceable = s % 8 != 6;
+    plan.seed = "ilv-" + std::to_string(s);
+    for (std::size_t i = 0; i < m; ++i) {
+      const bool in_a = !mixed || i % 2 == 0;
+      plan.members.push_back(in_a ? &group_a.member(i) : &group_b.member(i));
+      plan.in_group_a.push_back(in_a);
+    }
+    plans.push_back(std::move(plan));
+  }
+
+  // Serial twins first: the oracle for every session.
+  std::vector<std::vector<HandshakeOutcome>> wants;
+  wants.reserve(kSessions);
+  for (const SessionPlan& plan : plans) {
+    wants.push_back(
+        core::testing::handshake(plan.members, plan.options, plan.seed));
+  }
+
+  QueueSink wire;
+  ServiceOptions so;
+  so.egress = &wire;
+  RendezvousService svc(so);
+
+  std::vector<std::uint64_t> sids;
+  sids.reserve(kSessions);
+  for (const SessionPlan& plan : plans) {
+    std::vector<std::unique_ptr<core::HandshakeParticipant>> parts;
+    parts.reserve(plan.members.size());
+    for (std::size_t i = 0; i < plan.members.size(); ++i) {
+      parts.push_back(plan.members[i]->handshake_party(
+          i, plan.members.size(), plan.options, to_bytes(plan.seed)));
+    }
+    sids.push_back(svc.open_session(std::move(parts)));
+  }
+  EXPECT_EQ(svc.active_sessions(), kSessions);
+
+  // The shuffling wire: drain every in-flight frame, permute the batch
+  // across all sessions with a seeded RNG, deliver, pump, repeat.
+  svc.pump();
+  std::mt19937_64 rng(0x5e55'10f5);
+  std::size_t delivered = 0;
+  while (true) {
+    std::vector<Frame> batch;
+    {
+      const std::lock_guard<std::mutex> lock(wire.mu);
+      batch.swap(wire.frames);
+    }
+    if (batch.empty()) break;
+    std::shuffle(batch.begin(), batch.end(), rng);
+    for (Frame& frame : batch) {
+      ASSERT_TRUE(accepted(svc.handle_frame(std::move(frame))));
+      ++delivered;
+    }
+    svc.pump();
+  }
+
+  EXPECT_EQ(svc.active_sessions(), 0u);
+  EXPECT_EQ(svc.metrics().frames_in.load(), delivered);
+  EXPECT_EQ(svc.metrics().sessions_opened.load(), kSessions);
+  EXPECT_EQ(svc.metrics().sessions_confirmed.load() +
+                svc.metrics().sessions_failed.load(),
+            kSessions);
+  EXPECT_EQ(svc.metrics().sessions_expired.load(), 0u);
+
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    SCOPED_TRACE("session " + std::to_string(s) + " (m=" +
+                 std::to_string(plans[s].members.size()) + ", seed=" +
+                 plans[s].seed + ")");
+    ASSERT_EQ(svc.state(sids[s]), SessionState::kDone);
+    const auto got = svc.outcomes(sids[s]);
+    const auto& want = wants[s];
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      SCOPED_TRACE("position " + std::to_string(i));
+      EXPECT_EQ(got[i].completed, want[i].completed);
+      EXPECT_EQ(got[i].partner, want[i].partner);
+      EXPECT_EQ(got[i].full_success, want[i].full_success);
+      EXPECT_EQ(got[i].session_key, want[i].session_key);
+      EXPECT_EQ(got[i].reason, want[i].reason);
+      EXPECT_EQ(got[i].transcript.serialize(), want[i].transcript.serialize());
+      // No false accepts: a confirmed partner always shares the group.
+      for (std::size_t j = 0; j < got[i].partner.size(); ++j) {
+        if (got[i].partner[j]) {
+          EXPECT_EQ(plans[s].in_group_a[i], plans[s].in_group_a[j])
+              << "cross-group position " << j << " confirmed";
+        }
+      }
+    }
+    EXPECT_TRUE(svc.close(sids[s]));
+  }
+}
+
+}  // namespace
+}  // namespace shs::service

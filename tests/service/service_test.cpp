@@ -1,0 +1,337 @@
+// RendezvousService correctness: hosted sessions driven through the
+// framed wire produce outcomes byte-identical to the serial net driver —
+// session key, partner sets, per-position reasons and the serialized
+// transcript — with or without a seeded fault schedule; frame
+// dispositions, injected forgeries, deadline expiry under a virtual
+// clock, the stream feed() path and the metrics export are each pinned.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/errors.h"
+#include "core/fixture.h"
+#include "net/faults.h"
+#include "service/service.h"
+
+namespace shs::service {
+namespace {
+
+using core::FailureReason;
+using core::HandshakeOptions;
+using core::HandshakeOutcome;
+using core::testing::TestGroup;
+
+TestGroup& svc_group() {
+  static TestGroup* group = [] {
+    auto* g = new TestGroup("svc", core::GroupConfig{});
+    for (core::MemberId id = 1; id <= 8; ++id) g->admit(id);
+    return g;
+  }();
+  return *group;
+}
+
+std::vector<std::unique_ptr<core::HandshakeParticipant>> make_parts(
+    TestGroup& group, std::size_t m, const HandshakeOptions& options,
+    std::string_view seed) {
+  std::vector<std::unique_ptr<core::HandshakeParticipant>> parts;
+  parts.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    parts.push_back(
+        group.member(i).handshake_party(i, m, options, to_bytes(seed)));
+  }
+  return parts;
+}
+
+std::vector<HandshakeOutcome> serial_twin(TestGroup& group, std::size_t m,
+                                          const HandshakeOptions& options,
+                                          std::string_view seed,
+                                          net::Adversary* adversary = nullptr) {
+  std::vector<const core::Member*> members;
+  members.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) members.push_back(&group.member(i));
+  return core::testing::handshake(members, options, seed, adversary);
+}
+
+void expect_outcomes_equal(const std::vector<HandshakeOutcome>& got,
+                           const std::vector<HandshakeOutcome>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    SCOPED_TRACE("position " + std::to_string(i));
+    EXPECT_EQ(got[i].completed, want[i].completed);
+    EXPECT_EQ(got[i].partner, want[i].partner);
+    EXPECT_EQ(got[i].full_success, want[i].full_success);
+    EXPECT_EQ(got[i].self_distinction_violated,
+              want[i].self_distinction_violated);
+    EXPECT_EQ(got[i].session_key, want[i].session_key);
+    EXPECT_EQ(got[i].failure, want[i].failure);
+    EXPECT_EQ(got[i].reason, want[i].reason);
+    EXPECT_EQ(got[i].transcript.serialize(), want[i].transcript.serialize());
+  }
+}
+
+std::size_t rounds_of(TestGroup& group, std::size_t m,
+                      const HandshakeOptions& options) {
+  return group.member(0)
+      .handshake_party(0, m, options, to_bytes("probe"))
+      ->total_rounds();
+}
+
+/// Collects emitted frames instead of looping them back.
+struct QueueSink final : FrameSink {
+  std::mutex mu;
+  std::vector<Frame> frames;
+  void on_frame(const Frame& frame) override {
+    const std::lock_guard<std::mutex> lock(mu);
+    frames.push_back(frame);
+  }
+};
+
+TEST(RendezvousService, HostedLoopbackMatchesSerialDriver) {
+  TestGroup& group = svc_group();
+  const HandshakeOptions options;
+  const std::size_t m = 4;
+  const auto want = serial_twin(group, m, options, "svc-loopback");
+
+  RendezvousService svc;
+  const std::uint64_t sid =
+      svc.open_session(make_parts(group, m, options, "svc-loopback"));
+  EXPECT_EQ(svc.active_sessions(), 1u);
+  EXPECT_THROW((void)svc.outcomes(sid), ProtocolError);
+
+  svc.pump();
+
+  ASSERT_EQ(svc.state(sid), SessionState::kDone);
+  EXPECT_EQ(svc.active_sessions(), 0u);
+  expect_outcomes_equal(svc.outcomes(sid), want);
+  EXPECT_TRUE(want.front().full_success);  // same group: everyone confirms
+
+  const std::size_t rounds = rounds_of(group, m, options);
+  const ServiceMetrics& metrics = svc.metrics();
+  EXPECT_EQ(metrics.sessions_opened.load(), 1u);
+  EXPECT_EQ(metrics.sessions_confirmed.load(), 1u);
+  EXPECT_EQ(metrics.sessions_failed.load(), 0u);
+  EXPECT_EQ(metrics.sessions_expired.load(), 0u);
+  EXPECT_EQ(metrics.rounds_advanced.load(), rounds);
+  EXPECT_EQ(metrics.frames_out.load(), rounds * m);
+  EXPECT_EQ(metrics.frames_in.load(), rounds * m);
+  EXPECT_EQ(metrics.frames_rejected.load(), 0u);
+
+  EXPECT_TRUE(svc.close(sid));
+  EXPECT_FALSE(svc.close(sid));
+  EXPECT_THROW((void)svc.outcomes(sid), ProtocolError);
+}
+
+TEST(RendezvousService, OptionVariantsMatchSerialDriver) {
+  TestGroup& group = svc_group();
+  HandshakeOptions phases_only;
+  phases_only.traceable = false;
+  HandshakeOptions scheme2;
+  scheme2.self_distinction = true;
+
+  for (const auto& [label, options] :
+       {std::pair<const char*, HandshakeOptions>{"phases12", phases_only},
+        {"scheme2", scheme2}}) {
+    SCOPED_TRACE(label);
+    const std::string seed = std::string("svc-variant-") + label;
+    const auto want = serial_twin(group, 3, options, seed);
+
+    RendezvousService svc;
+    const std::uint64_t sid =
+        svc.open_session(make_parts(group, 3, options, seed));
+    svc.pump();
+    ASSERT_EQ(svc.state(sid), SessionState::kDone);
+    expect_outcomes_equal(svc.outcomes(sid), want);
+  }
+}
+
+TEST(RendezvousService, PooledPumpMatchesSerialDriver) {
+  TestGroup& group = svc_group();
+  const HandshakeOptions options;
+  ServiceOptions so;
+  so.threads = 4;
+  RendezvousService svc(so);
+
+  std::vector<std::uint64_t> sids;
+  std::vector<std::vector<HandshakeOutcome>> wants;
+  for (std::size_t s = 0; s < 8; ++s) {
+    const std::size_t m = s % 2 == 0 ? 2 : 4;
+    const std::string seed = "svc-pool-" + std::to_string(s);
+    wants.push_back(serial_twin(group, m, options, seed));
+    sids.push_back(svc.open_session(make_parts(group, m, options, seed)));
+  }
+  svc.pump();
+  for (std::size_t s = 0; s < sids.size(); ++s) {
+    SCOPED_TRACE("session " + std::to_string(s));
+    ASSERT_EQ(svc.state(sids[s]), SessionState::kDone);
+    expect_outcomes_equal(svc.outcomes(sids[s]), wants[s]);
+  }
+  EXPECT_EQ(svc.metrics().sessions_confirmed.load(), sids.size());
+}
+
+TEST(RendezvousService, SeededFaultScheduleMatchesSerialDriver) {
+  TestGroup& group = svc_group();
+  const HandshakeOptions options;
+  const std::size_t m = 4;
+
+  for (std::uint64_t seed : {11u, 22u, 33u}) {
+    SCOPED_TRACE("fault seed " + std::to_string(seed));
+    const std::string session_seed = "svc-fault-" + std::to_string(seed);
+
+    // Two identically-seeded fault stacks: decisions are hashed on
+    // (seed, round, sender, receiver), so the serial driver and the
+    // service replay the same schedule.
+    net::DropFault serial_drop(seed, {.per_message = 0.2});
+    net::TamperFault serial_tamper(seed ^ 0x7a, {.probability = 0.2});
+    net::ChainAdversary serial_chain({&serial_drop, &serial_tamper});
+    const auto want =
+        serial_twin(group, m, options, session_seed, &serial_chain);
+
+    net::DropFault drop(seed, {.per_message = 0.2});
+    net::TamperFault tamper(seed ^ 0x7a, {.probability = 0.2});
+    net::ChainAdversary chain({&drop, &tamper});
+    ServiceOptions so;
+    so.adversary = &chain;
+    RendezvousService svc(so);
+    const std::uint64_t sid =
+        svc.open_session(make_parts(group, m, options, session_seed));
+    svc.pump();
+    ASSERT_EQ(svc.state(sid), SessionState::kDone);
+    expect_outcomes_equal(svc.outcomes(sid), want);
+  }
+}
+
+TEST(RendezvousService, InjectedForgedFrameNeverYieldsFalseAccept) {
+  TestGroup& group = svc_group();
+  const HandshakeOptions options;
+  const std::size_t m = 3;
+  const std::size_t last = rounds_of(group, m, options) - 1;
+
+  RendezvousService svc;
+  const std::uint64_t sid =
+      svc.open_session(make_parts(group, m, options, "svc-forge"));
+
+  // Inject an attacker-crafted payload for position 0's Phase-III slot
+  // before the session has even produced round 0: it is buffered as a
+  // reordered arrival and later occupies the slot, so the genuine frame
+  // arrives second and is rejected as a duplicate.
+  const Frame forged{sid, static_cast<std::uint32_t>(last), 0,
+                     to_bytes("forged phase-3 payload")};
+  EXPECT_EQ(svc.handle_frame(forged), FrameDisposition::kBuffered);
+
+  svc.pump();
+  ASSERT_EQ(svc.state(sid), SessionState::kDone);
+  EXPECT_EQ(svc.metrics().frames_rejected.load(), 1u);  // the real slot-0
+
+  const auto outcomes = svc.outcomes(sid);
+  for (std::size_t j = 1; j < m; ++j) {
+    SCOPED_TRACE("verifier position " + std::to_string(j));
+    EXPECT_FALSE(outcomes[j].partner[0]) << "forged frame was accepted";
+    EXPECT_TRUE(outcomes[j].reason[0] == FailureReason::kMalformedPhase3 ||
+                outcomes[j].reason[0] == FailureReason::kBadSignature)
+        << outcomes[j].reason[0];
+    // The honest majority still confirms each other.
+    for (std::size_t k = 1; k < m; ++k) EXPECT_TRUE(outcomes[j].partner[k]);
+  }
+}
+
+TEST(RendezvousService, FrameDispositions) {
+  TestGroup& group = svc_group();
+  const HandshakeOptions options;
+  QueueSink sink;
+  ServiceOptions so;
+  so.egress = &sink;
+  RendezvousService svc(so);
+  const std::uint64_t sid =
+      svc.open_session(make_parts(group, 2, options, "svc-dispo"));
+  svc.pump();  // produces round 0 into the sink
+  ASSERT_EQ(sink.frames.size(), 2u);
+
+  EXPECT_EQ(svc.handle_frame(Frame{sid + 99, 0, 0, {}}),
+            FrameDisposition::kUnknownSession);
+  EXPECT_EQ(svc.handle_frame(Frame{sid, 0, 7, {}}),
+            FrameDisposition::kBadPosition);
+  EXPECT_EQ(svc.handle_frame(Frame{sid, 999, 0, {}}),
+            FrameDisposition::kStaleRound);
+
+  EXPECT_EQ(svc.handle_frame(sink.frames[0]), FrameDisposition::kSlotted);
+  EXPECT_EQ(svc.handle_frame(sink.frames[0]), FrameDisposition::kDuplicate);
+  EXPECT_EQ(svc.handle_frame(sink.frames[1]),
+            FrameDisposition::kCompletedRound);
+  EXPECT_EQ(svc.metrics().frames_rejected.load(), 4u);
+}
+
+TEST(RendezvousService, FeedReassemblesTheInboundStream) {
+  TestGroup& group = svc_group();
+  const HandshakeOptions options;
+  const auto want = serial_twin(group, 3, options, "svc-feed");
+
+  QueueSink sink;
+  ServiceOptions so;
+  so.egress = &sink;
+  RendezvousService svc(so);
+  const std::uint64_t sid =
+      svc.open_session(make_parts(group, 3, options, "svc-feed"));
+  svc.pump();
+
+  // Encode every outgoing frame onto one byte stream and feed it back in
+  // 7-byte chunks, as a transport would.
+  while (true) {
+    std::vector<Frame> batch;
+    {
+      const std::lock_guard<std::mutex> lock(sink.mu);
+      batch.swap(sink.frames);
+    }
+    if (batch.empty()) break;
+    Bytes stream;
+    for (const Frame& frame : batch) append(stream, encode_frame(frame));
+    std::size_t fed = 0;
+    for (std::size_t pos = 0; pos < stream.size(); pos += 7) {
+      const std::size_t take = std::min<std::size_t>(7, stream.size() - pos);
+      fed += svc.feed(BytesView(stream).subspan(pos, take));
+    }
+    EXPECT_EQ(fed, batch.size());
+    svc.pump();
+  }
+
+  ASSERT_EQ(svc.state(sid), SessionState::kDone);
+  expect_outcomes_equal(svc.outcomes(sid), want);
+
+  // A malformed stream is a codec error, never session input.
+  RendezvousService fresh;
+  const Bytes hostile{0x00, 0x00, 0x00, 0x01};
+  EXPECT_THROW((void)fresh.feed(hostile), CodecError);
+}
+
+TEST(RendezvousService, MetricsJsonExportsLatenciesAndCounters) {
+  TestGroup& group = svc_group();
+  const HandshakeOptions options;
+  ManualClock clock;
+  ServiceOptions so;
+  so.clock = &clock;
+  RendezvousService svc(so);
+  const std::uint64_t sid =
+      svc.open_session(make_parts(group, 2, options, "svc-json"));
+  svc.pump();
+  ASSERT_EQ(svc.state(sid), SessionState::kDone);
+
+  const ServiceMetrics& metrics = svc.metrics();
+  EXPECT_EQ(metrics.phase1_latency.count(), 1u);
+  EXPECT_EQ(metrics.phase2_latency.count(), 1u);
+  EXPECT_EQ(metrics.phase3_latency.count(), 1u);
+  EXPECT_EQ(metrics.session_latency.count(), 1u);
+
+  const std::string json = svc.metrics_json();
+  for (const char* key :
+       {"\"sessions\"", "\"opened\"", "\"confirmed\"", "\"active\"",
+        "\"frames\"", "\"rejected\"", "\"rounds_advanced\"", "\"latency\"",
+        "\"phase1\"", "\"session\"", "\"p50_us\"", "\"p99_us\"",
+        "\"mean_us\"", "\"buckets\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " missing:\n"
+                                                 << json;
+  }
+}
+
+}  // namespace
+}  // namespace shs::service

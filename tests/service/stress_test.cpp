@@ -1,0 +1,219 @@
+// The ctest `stress`-labeled soak: one RendezvousService drives
+// SHS_STRESS_SESSIONS (default 1000) concurrent sessions of mixed size
+// (m = 2/4/8) and mixed scheme under a seeded drop+tamper fault schedule,
+// with frames fed back by concurrent feeder threads racing a concurrent
+// pump thread and a reaper polling expiry and metrics — the topology the
+// TSan tree (tools/check.sh --service) exercises for data races.
+//
+// The oracle is exact, not statistical: the fault library keys every
+// decision on a hash of (seed, round, sender, receiver), so a fresh,
+// identically-seeded stack replays the service's schedule in a serial
+// run_handshake of the same participants. Every session must match its
+// serial twin byte-for-byte, and no cross-group position may ever be
+// confirmed (zero false accepts).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/fixture.h"
+#include "net/faults.h"
+#include "service/service.h"
+
+namespace shs::service {
+namespace {
+
+using core::HandshakeOptions;
+using core::HandshakeOutcome;
+using core::Member;
+using core::testing::TestGroup;
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+}
+
+constexpr std::uint64_t kDropSeed = 0xd20b;
+constexpr std::uint64_t kTamperSeed = 0x7a3b;
+
+/// The soak's fault schedule; built fresh per driver so the service and
+/// each serial twin replay identical decisions. Only stateless (purely
+/// seed-hashed) faults qualify — a stateful fault would couple sessions.
+struct FaultStack {
+  net::DropFault drop{kDropSeed, {.per_message = 0.02}};
+  net::TamperFault tamper{kTamperSeed, {.probability = 0.02}};
+  net::ChainAdversary chain{{&drop, &tamper}};
+};
+
+struct SessionPlan {
+  std::vector<const Member*> members;
+  std::vector<bool> in_group_a;
+  HandshakeOptions options;
+  std::string seed;
+};
+
+/// Thread-safe frame queue standing in for the transport.
+struct QueueSink final : FrameSink {
+  std::mutex mu;
+  std::vector<Frame> frames;
+  void on_frame(const Frame& frame) override {
+    const std::lock_guard<std::mutex> lock(mu);
+    frames.push_back(frame);
+  }
+};
+
+TEST(Stress, ThousandSessionSoakMatchesSerialTwinsExactly) {
+  const std::size_t sessions = env_size("SHS_STRESS_SESSIONS", 1000);
+  const std::size_t pool_threads = env_size("SHS_STRESS_THREADS", 4);
+  const std::size_t feeders = 2;
+
+  TestGroup group_a("soak-a", core::GroupConfig{});
+  TestGroup group_b("soak-b", core::GroupConfig{});
+  for (core::MemberId id = 1; id <= 8; ++id) {
+    group_a.admit(id);
+    group_b.admit(100 + id);
+  }
+
+  constexpr std::size_t kSizes[] = {2, 4, 2, 8};  // mean m = 4
+  std::vector<SessionPlan> plans;
+  plans.reserve(sessions);
+  for (std::size_t s = 0; s < sessions; ++s) {
+    SessionPlan plan;
+    const std::size_t m = kSizes[s % 4];
+    const bool mixed = s % 5 == 4;
+    plan.options.self_distinction = s % 3 == 0;  // scheme 2
+    plan.seed = "soak-" + std::to_string(s);
+    for (std::size_t i = 0; i < m; ++i) {
+      const bool in_a = !mixed || i % 2 == 0;
+      plan.members.push_back(in_a ? &group_a.member(i) : &group_b.member(i));
+      plan.in_group_a.push_back(in_a);
+    }
+    plans.push_back(std::move(plan));
+  }
+
+  FaultStack service_faults;
+  QueueSink wire;
+  ServiceOptions so;
+  so.threads = pool_threads;
+  so.adversary = &service_faults.chain;
+  so.egress = &wire;
+  so.session_deadline = std::chrono::minutes(10);  // soak must not expire
+  RendezvousService svc(so);
+
+  std::vector<std::uint64_t> sids;
+  sids.reserve(sessions);
+  for (const SessionPlan& plan : plans) {
+    std::vector<std::unique_ptr<core::HandshakeParticipant>> parts;
+    parts.reserve(plan.members.size());
+    for (std::size_t i = 0; i < plan.members.size(); ++i) {
+      parts.push_back(plan.members[i]->handshake_party(
+          i, plan.members.size(), plan.options, to_bytes(plan.seed)));
+    }
+    sids.push_back(svc.open_session(std::move(parts)));
+  }
+  ASSERT_EQ(svc.active_sessions(), sessions);
+
+  // Concurrent topology: feeders race each other for queued frames and
+  // race the pump thread slotting them, while the reaper exercises the
+  // read paths (expiry sweep, metrics export) mid-flight.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (std::size_t f = 0; f < feeders; ++f) {
+    workers.emplace_back([&, f] {
+      std::mt19937_64 rng(0xfeed + f);
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::vector<Frame> batch;
+        {
+          const std::lock_guard<std::mutex> lock(wire.mu);
+          // Take a random half so the two feeders interleave sessions.
+          const std::size_t take =
+              wire.frames.size() <= 1 ? wire.frames.size()
+                                      : 1 + rng() % wire.frames.size();
+          batch.assign(std::make_move_iterator(wire.frames.end() - take),
+                       std::make_move_iterator(wire.frames.end()));
+          wire.frames.resize(wire.frames.size() - take);
+        }
+        if (batch.empty()) {
+          std::this_thread::yield();
+          continue;
+        }
+        std::shuffle(batch.begin(), batch.end(), rng);
+        for (Frame& frame : batch) svc.handle_frame(std::move(frame));
+      }
+    });
+  }
+  workers.emplace_back([&] {  // pump
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (svc.pump() == 0) std::this_thread::yield();
+    }
+  });
+  workers.emplace_back([&] {  // reaper / metrics reader
+    while (!stop.load(std::memory_order_relaxed)) {
+      EXPECT_EQ(svc.expire_stalled(), 0u);
+      (void)svc.metrics_json();
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+
+  const auto soak_deadline =
+      std::chrono::steady_clock::now() + std::chrono::minutes(15);
+  while (svc.active_sessions() != 0 &&
+         std::chrono::steady_clock::now() < soak_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true);
+  for (std::thread& t : workers) t.join();
+  ASSERT_EQ(svc.active_sessions(), 0u) << "soak stalled; metrics:\n"
+                                       << svc.metrics_json();
+
+  EXPECT_EQ(svc.metrics().sessions_opened.load(), sessions);
+  EXPECT_EQ(svc.metrics().sessions_confirmed.load() +
+                svc.metrics().sessions_failed.load(),
+            sessions);
+  EXPECT_EQ(svc.metrics().sessions_expired.load(), 0u);
+
+  // Exact per-session oracle: a fresh, identically-seeded fault stack in
+  // the serial driver replays the service's schedule.
+  std::size_t confirmed = 0;
+  for (std::size_t s = 0; s < sessions; ++s) {
+    SCOPED_TRACE("session " + std::to_string(s) + " (m=" +
+                 std::to_string(plans[s].members.size()) + ")");
+    ASSERT_EQ(svc.state(sids[s]), SessionState::kDone);
+    FaultStack twin_faults;
+    const auto want = core::testing::handshake(
+        plans[s].members, plans[s].options, plans[s].seed, &twin_faults.chain);
+    const auto got = svc.outcomes(sids[s]);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i].completed, want[i].completed) << "position " << i;
+      ASSERT_EQ(got[i].partner, want[i].partner) << "position " << i;
+      ASSERT_EQ(got[i].session_key, want[i].session_key) << "position " << i;
+      ASSERT_EQ(got[i].reason, want[i].reason) << "position " << i;
+      ASSERT_EQ(got[i].transcript.serialize(), want[i].transcript.serialize())
+          << "position " << i;
+      for (std::size_t j = 0; j < got[i].partner.size(); ++j) {
+        if (got[i].partner[j]) {
+          ASSERT_EQ(plans[s].in_group_a[i], plans[s].in_group_a[j])
+              << "false accept: cross-group position " << j;
+        }
+      }
+      confirmed += got[i].confirmed_count() >= 2 ? 1 : 0;
+    }
+    ASSERT_TRUE(svc.close(sids[s]));
+  }
+  // The 2% fault rates leave plenty of participants confirming a clique;
+  // a collapse here means the service diverged from the protocol. (The
+  // exact figure is pinned by the per-session twin comparison above.)
+  EXPECT_GT(confirmed, sessions / 2);
+  RecordProperty("confirmed_participants", static_cast<int>(confirmed));
+}
+
+}  // namespace
+}  // namespace shs::service

@@ -1,0 +1,153 @@
+// Deadline expiry is deterministic under the virtual clock: a session
+// whose round is one frame short survives to exactly deadline - 1ms of
+// stall, expires at the deadline, reports synthetic kTimeout outcomes,
+// and rejects the late frame afterwards. Nothing about the timeout goes
+// on the wire — the paper's silent-failure property is bookkeeping-only.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/errors.h"
+#include "core/fixture.h"
+#include "service/service.h"
+
+namespace shs::service {
+namespace {
+
+using core::FailureReason;
+using core::HandshakeOptions;
+using core::testing::TestGroup;
+
+std::vector<std::unique_ptr<core::HandshakeParticipant>> make_parts(
+    TestGroup& group, std::size_t m, const HandshakeOptions& options,
+    std::string_view seed) {
+  std::vector<std::unique_ptr<core::HandshakeParticipant>> parts;
+  for (std::size_t i = 0; i < m; ++i) {
+    parts.push_back(
+        group.member(i).handshake_party(i, m, options, to_bytes(seed)));
+  }
+  return parts;
+}
+
+/// Loops frames back into the service except the ones `drop` matches,
+/// which it holds aside (so the test can deliver them late).
+struct FilterLoopback final : FrameSink {
+  RendezvousService* service = nullptr;
+  std::uint32_t drop_round = 0;
+  std::uint32_t drop_position = 0;
+  std::vector<Frame> held;
+
+  void on_frame(const Frame& frame) override {
+    if (frame.round == drop_round && frame.position == drop_position) {
+      held.push_back(frame);
+      return;
+    }
+    service->handle_frame(frame);
+  }
+};
+
+TEST(Timeout, ExpiryIsDeterministicUnderTheVirtualClock) {
+  TestGroup group("timeout", core::GroupConfig{});
+  for (core::MemberId id = 1; id <= 3; ++id) group.admit(id);
+  const HandshakeOptions options;
+  const std::size_t m = 3;
+  const std::uint32_t last = static_cast<std::uint32_t>(
+      group.member(0)
+          .handshake_party(0, m, options, to_bytes("probe"))
+          ->total_rounds() -
+      1);
+
+  ManualClock clock;
+  FilterLoopback wire;
+  wire.drop_round = last;
+  wire.drop_position = 1;
+  ServiceOptions so;
+  so.clock = &clock;
+  so.egress = &wire;
+  so.session_deadline = std::chrono::milliseconds(5000);
+  RendezvousService svc(so);
+  wire.service = &svc;
+
+  const std::uint64_t sid =
+      svc.open_session(make_parts(group, m, options, "timeout-seed"));
+  svc.pump();
+
+  // The final round is one frame short: the session is stalled, not done.
+  ASSERT_EQ(svc.state(sid), SessionState::kCollecting);
+  ASSERT_EQ(wire.held.size(), 1u);
+
+  // No virtual time has passed: nothing expires.
+  EXPECT_EQ(svc.expire_stalled(), 0u);
+
+  // One tick before the deadline: still nothing.
+  clock.advance(std::chrono::milliseconds(4999));
+  EXPECT_EQ(svc.expire_stalled(), 0u);
+  EXPECT_EQ(svc.state(sid), SessionState::kCollecting);
+
+  // Exactly at the deadline: the session expires, deterministically.
+  clock.advance(std::chrono::milliseconds(1));
+  EXPECT_EQ(svc.expire_stalled(), 1u);
+  EXPECT_EQ(svc.state(sid), SessionState::kExpired);
+  EXPECT_EQ(svc.active_sessions(), 0u);
+  EXPECT_EQ(svc.metrics().sessions_expired.load(), 1u);
+  EXPECT_EQ(svc.metrics().sessions_confirmed.load(), 0u);
+
+  // Synthetic outcomes: nobody completed, every reason is kTimeout.
+  const auto outcomes = svc.outcomes(sid);
+  ASSERT_EQ(outcomes.size(), m);
+  for (const auto& outcome : outcomes) {
+    EXPECT_FALSE(outcome.completed);
+    EXPECT_EQ(outcome.confirmed_count(), 0u);
+    EXPECT_EQ(outcome.reason,
+              std::vector<FailureReason>(m, FailureReason::kTimeout));
+    EXPECT_FALSE(outcome.failure.empty());
+  }
+
+  // The late frame bounces off the finished session; a second sweep
+  // finds nothing left to expire; GC succeeds.
+  EXPECT_EQ(svc.handle_frame(wire.held.front()), FrameDisposition::kFinished);
+  EXPECT_EQ(svc.expire_stalled(), 0u);
+  EXPECT_TRUE(svc.close(sid));
+}
+
+TEST(Timeout, LateFrameBeforeTheDeadlineCompletesTheSession) {
+  TestGroup group("timeout2", core::GroupConfig{});
+  for (core::MemberId id = 1; id <= 2; ++id) group.admit(id);
+  const HandshakeOptions options;
+  const std::uint32_t last = static_cast<std::uint32_t>(
+      group.member(0)
+          .handshake_party(0, 2, options, to_bytes("probe"))
+          ->total_rounds() -
+      1);
+
+  ManualClock clock;
+  FilterLoopback wire;
+  wire.drop_round = last;
+  wire.drop_position = 0;
+  ServiceOptions so;
+  so.clock = &clock;
+  so.egress = &wire;
+  so.session_deadline = std::chrono::milliseconds(1000);
+  RendezvousService svc(so);
+  wire.service = &svc;
+
+  const std::uint64_t sid =
+      svc.open_session(make_parts(group, 2, options, "timeout-reset"));
+  svc.pump();
+  ASSERT_EQ(svc.state(sid), SessionState::kCollecting);
+
+  // The frame lands one tick before the deadline: the session completes.
+  clock.advance(std::chrono::milliseconds(999));
+  EXPECT_EQ(svc.expire_stalled(), 0u);
+  ASSERT_EQ(wire.held.size(), 1u);
+  EXPECT_EQ(svc.handle_frame(wire.held.front()),
+            FrameDisposition::kCompletedRound);
+  svc.pump();
+  EXPECT_EQ(svc.state(sid), SessionState::kDone);
+  clock.advance(std::chrono::hours(1));
+  EXPECT_EQ(svc.expire_stalled(), 0u);  // done sessions never expire
+}
+
+}  // namespace
+}  // namespace shs::service

@@ -8,6 +8,12 @@
 # seeds on top of the default seed 1 — the schedule every release is
 # expected to hold on. Deterministic: a seed that fails here fails
 # everywhere.
+#
+# Pass --service to additionally run the rendezvous-service suites
+# (ctest -L service, which includes the stress-labeled soak) in a
+# ThreadSanitizer tree (build-tsan/, -DSHS_TSAN=ON). The soak size is
+# reduced under TSan unless SHS_STRESS_SESSIONS is already set — race
+# coverage comes from thread interleaving, not session count.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,10 +30,12 @@ run_suite() {
 
 want_conformance=0
 want_sanitize=1
+want_service=0
 for arg in "$@"; do
   case "$arg" in
     --conformance) want_conformance=1 ;;
     --no-sanitize) want_sanitize=0 ;;
+    --service) want_service=1 ;;
     *) echo "check.sh: unknown option '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -49,6 +57,17 @@ if [[ "$want_sanitize" == 1 ]]; then
     SHS_CONFORMANCE_SEEDS="$CONFORMANCE_SEEDS" \
       ctest --test-dir build-sanitize --output-on-failure -L conformance
   fi
+fi
+
+if [[ "$want_service" == 1 ]]; then
+  echo "== service + stress under TSan =="
+  cmake -B build-tsan -S . -DSHS_TSAN=ON >/dev/null
+  # Only the service binaries: the rest of the suite is single-threaded
+  # and already covered by the ASan tree. (Unbuilt targets surface as
+  # unlabeled NOT_BUILT placeholders, which -L service skips.)
+  cmake --build build-tsan -j "$(nproc)" --target service_test service_stress_test
+  SHS_STRESS_SESSIONS="${SHS_STRESS_SESSIONS:-250}" \
+    ctest --test-dir build-tsan --output-on-failure -L service
 fi
 
 echo "check.sh: all suites passed"
