@@ -1,0 +1,188 @@
+// E12 — TCP transport throughput: sessions/sec and wire MB/s for a
+// TransportServer on loopback sockets, driven by concurrent relay
+// clients, with a serial pump vs a pooled pump (crypto parallelism) and
+// m = 2 vs m = 4. The interesting shape: on fast (kTest) parameters the
+// transport sustains hundreds of sessions/sec — the epoll loop and the
+// framed codec are not the bottleneck, the crypto is — so pooled pumps
+// scale with cores while bytes/session stays constant.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "transport/client.h"
+#include "transport/server.h"
+
+using namespace shs;
+using namespace shs::bench;
+using namespace shs::transport;
+
+namespace {
+
+SessionFactory bench_factory(BenchGroup& group) {
+  return [&group](BytesView payload) {
+    const OpenRequest request = decode_open_request(payload);
+    core::HandshakeOptions options;
+    options.self_distinction = request.self_distinction;
+    options.traceable = request.traceable;
+    std::vector<std::unique_ptr<core::HandshakeParticipant>> parts;
+    for (std::size_t i = 0; i < request.m; ++i) {
+      parts.push_back(group.members[i]->handshake_party(i, request.m, options,
+                                                        request.seed));
+    }
+    return parts;
+  };
+}
+
+struct TcpResult {
+  double wall_ms = 0;
+  double wire_mb = 0;  // bytes in + out, both directions of the socket
+};
+
+/// `sessions` hosted sessions split across `clients` TCP connections,
+/// pump parallelism `threads`. Wall time covers connect + open + relay to
+/// the last DONE.
+TcpResult run_tcp(BenchGroup& group, std::size_t sessions,
+                  std::size_t clients, std::size_t threads, std::uint32_t m,
+                  const std::string& salt) {
+  ServerOptions server_options;
+  service::ServiceOptions service_options;
+  service_options.threads = threads;
+  TransportServer server(server_options, service_options,
+                         bench_factory(group));
+  server.start();
+
+  TcpResult result;
+  result.wall_ms = time_ms([&] {
+    std::vector<std::thread> workers;
+    for (std::size_t c = 0; c < clients; ++c) {
+      workers.emplace_back([&, c] {
+        Client client({.port = server.port()});
+        client.connect();
+        const std::size_t mine = sessions / clients;
+        for (std::size_t s = 0; s < mine; ++s) {
+          OpenRequest request;
+          request.m = m;
+          request.seed = to_bytes(salt + std::to_string(c) + "-" +
+                                  std::to_string(s));
+          (void)client.open(request);
+        }
+        if (client.run().size() != mine) std::abort();  // bench invariant
+      });
+    }
+    for (auto& w : workers) w.join();
+  });
+  const service::ServiceMetrics& metrics = server.service().metrics();
+  result.wire_mb = static_cast<double>(metrics.tcp_bytes_in.load() +
+                                       metrics.tcp_bytes_out.load()) /
+                   (1024.0 * 1024.0);
+  server.shutdown();
+  return result;
+}
+
+/// The same workload without sockets: hosted sessions on a loopback
+/// RendezvousService. The tcp/inproc ratio isolates what the transport
+/// itself costs, independent of how fast this host's crypto is.
+double run_inprocess(BenchGroup& group, std::size_t sessions,
+                     std::size_t threads, std::uint32_t m,
+                     const std::string& salt) {
+  std::vector<std::vector<std::unique_ptr<core::HandshakeParticipant>>> all;
+  core::HandshakeOptions options;
+  for (std::size_t s = 0; s < sessions; ++s) {
+    std::vector<std::unique_ptr<core::HandshakeParticipant>> parts;
+    for (std::size_t i = 0; i < m; ++i) {
+      parts.push_back(group.members[i]->handshake_party(
+          i, m, options, to_bytes(salt + std::to_string(s))));
+    }
+    all.push_back(std::move(parts));
+  }
+  service::ServiceOptions service_options;
+  service_options.threads = threads;
+  service::RendezvousService svc(service_options);
+  return time_ms([&] {
+    for (auto& parts : all) (void)svc.open_session(std::move(parts));
+    svc.pump();
+    if (svc.active_sessions() != 0) std::abort();  // bench invariant
+  });
+}
+
+void BM_TcpThroughput(benchmark::State& state) {
+  const auto m = static_cast<std::uint32_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  BenchGroup& group = cached_group("e12", core::GroupConfig{}, 4);
+  int salt = 0;
+  for (auto _ : state) {
+    const TcpResult r = run_tcp(group, 32, 4, threads, m,
+                                "bm" + std::to_string(salt++) + "-");
+    state.counters["sessions_per_sec"] = 1000.0 * 32 / r.wall_ms;
+  }
+  state.counters["m"] = m;
+  state.counters["pump_threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_TcpThroughput)
+    ->Args({4, 1})
+    ->Args({4, 4})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("E12: TCP transport throughput — hosted sessions over real "
+              "loopback sockets, concurrent relay clients\n");
+
+  BenchGroup& group = cached_group("e12", core::GroupConfig{}, 4);
+  (void)run_tcp(group, 4, 2, 1, 2, "warm-");  // prewarm group + stacks
+
+  constexpr std::size_t kSessions = 64;
+  constexpr std::size_t kClients = 4;
+  JsonReport report("e12");
+  table_header(
+      "m | pump threads | tcp sess/sec | inproc sess/sec | overhead % | "
+      "wire MB/s",
+      "--+--------------+--------------+-----------------+------------+"
+      "----------");
+  double best = 0;
+  for (const std::uint32_t m : {2u, 4u}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      const std::string salt =
+          "e12-" + std::to_string(m) + "-" + std::to_string(threads) + "-";
+      const TcpResult r = run_tcp(group, kSessions, kClients, threads, m,
+                                  salt + "tcp-");
+      const double inproc_ms =
+          run_inprocess(group, kSessions, threads, m, salt + "ip-");
+      const double per_sec = 1000.0 * kSessions / r.wall_ms;
+      const double inproc_per_sec = 1000.0 * kSessions / inproc_ms;
+      const double overhead_pct =
+          100.0 * (r.wall_ms - inproc_ms) / inproc_ms;
+      const double mb_per_sec = 1000.0 * r.wire_mb / r.wall_ms;
+      if (per_sec > best) best = per_sec;
+      std::printf("%u | %12zu | %12.1f | %15.1f | %10.1f | %9.2f\n", m,
+                  threads, per_sec, inproc_per_sec, overhead_pct, mb_per_sec);
+      report.add()
+          .field("m", static_cast<double>(m))
+          .field("pump_threads", static_cast<double>(threads))
+          .field("clients", static_cast<double>(kClients))
+          .field("sessions", static_cast<double>(kSessions))
+          .field("wall_ms", r.wall_ms)
+          .field("sessions_per_sec", per_sec)
+          .field("inproc_sessions_per_sec", inproc_per_sec)
+          .field("transport_overhead_pct", overhead_pct)
+          .field("wire_mb_per_sec", mb_per_sec);
+    }
+  }
+  report.write();
+
+  std::printf("\n(the >= 500 sessions/sec kTest target assumes a multi-core "
+              "host where the pooled pump absorbs the crypto; on this run "
+              "the best configuration measured %.0f sessions/sec against an "
+              "in-process crypto ceiling shown above — the transport column "
+              "to watch is overhead %%, which stays small when the epoll "
+              "loop and codec are off the critical path)\n",
+              best);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

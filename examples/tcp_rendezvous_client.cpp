@@ -1,0 +1,106 @@
+// TCP rendezvous client: connects to tcp_rendezvous_server, opens hosted
+// handshake sessions, relays the session frames (the crypto runs on the
+// server), and reports each session's outcome summary.
+//
+//   ./tcp_rendezvous_client --port N [--host H] [--sessions N] [--m N]
+//                           [--scheme2] [--seed S]
+//
+// Exits 0 iff every session confirmed a full clique of m.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "transport/client.h"
+
+using namespace shs;
+using namespace shs::transport;
+
+namespace {
+
+struct Args {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::uint64_t sessions = 1;
+  std::uint32_t m = 3;
+  bool scheme2 = false;
+  std::string seed = "tcp-demo-session";
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (flag == "--host" && value) {
+      args.host = value;
+      ++i;
+    } else if (flag == "--port" && value) {
+      args.port = static_cast<std::uint16_t>(std::atoi(value));
+      ++i;
+    } else if (flag == "--sessions" && value) {
+      args.sessions = std::strtoull(value, nullptr, 10);
+      ++i;
+    } else if (flag == "--m" && value) {
+      args.m = static_cast<std::uint32_t>(std::atoi(value));
+      ++i;
+    } else if (flag == "--scheme2") {
+      args.scheme2 = true;
+    } else if (flag == "--seed" && value) {
+      args.seed = value;
+      ++i;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", flag.c_str());
+      std::exit(2);
+    }
+  }
+  if (args.port == 0) {
+    std::fprintf(stderr, "--port is required\n");
+    std::exit(2);
+  }
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+
+  Client client({.host = args.host, .port = args.port});
+  try {
+    client.connect();
+    for (std::uint64_t s = 0; s < args.sessions; ++s) {
+      OpenRequest request;
+      request.m = args.m;
+      request.self_distinction = args.scheme2;
+      request.seed = to_bytes(args.seed + "-" + std::to_string(s));
+      const std::uint64_t sid = client.open(request);
+      std::printf("opened session %llu (m=%u%s)\n",
+                  static_cast<unsigned long long>(sid), args.m,
+                  args.scheme2 ? ", scheme 2" : "");
+    }
+    client.run();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "client error: %s\n", e.what());
+    return 1;
+  }
+
+  bool all_full = true;
+  for (const SessionSummary& summary : client.summaries()) {
+    std::printf("session %llu: state=%u cliques:",
+                static_cast<unsigned long long>(summary.session_id),
+                static_cast<unsigned>(summary.state));
+    for (const std::uint32_t c : summary.confirmed) {
+      std::printf(" %u", c);
+      all_full = all_full && c == args.m;
+    }
+    std::printf("\n");
+    all_full =
+        all_full && summary.state == service::SessionState::kDone &&
+        summary.confirmed.size() == args.m;
+  }
+  all_full = all_full && client.summaries().size() == args.sessions;
+  std::printf(all_full ? "all sessions confirmed full cliques\n"
+                       : "FAILURE: incomplete session(s)\n");
+  return all_full ? 0 : 1;
+}

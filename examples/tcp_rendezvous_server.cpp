@@ -1,0 +1,120 @@
+// TCP rendezvous server: hosts secret-handshake sessions for any client
+// that connects and speaks the framed wire protocol. All crypto runs
+// server-side; clients are thin relays (see tcp_rendezvous_client.cpp).
+//
+//   ./tcp_rendezvous_server [--port N] [--port-file PATH] [--sessions N]
+//                           [--threads N]
+//
+//   --port 0       (default) binds an ephemeral port
+//   --port-file    writes the bound port there (how scripts find us)
+//   --sessions N   exit once N sessions reached a terminal state
+//                  (0 = serve forever)
+//   --threads N    crypto parallelism inside the service pump
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "core/authority.h"
+#include "core/member.h"
+#include "transport/server.h"
+
+using namespace shs;
+using namespace shs::transport;
+
+namespace {
+
+struct Args {
+  std::uint16_t port = 0;
+  std::string port_file;
+  std::uint64_t sessions = 1;
+  std::size_t threads = 1;
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (flag == "--port" && value) {
+      args.port = static_cast<std::uint16_t>(std::atoi(value));
+      ++i;
+    } else if (flag == "--port-file" && value) {
+      args.port_file = value;
+      ++i;
+    } else if (flag == "--sessions" && value) {
+      args.sessions = std::strtoull(value, nullptr, 10);
+      ++i;
+    } else if (flag == "--threads" && value) {
+      args.threads = std::strtoull(value, nullptr, 10);
+      ++i;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", flag.c_str());
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+
+  // One demo group; every session the factory builds hosts its members
+  // 0..m-1. A real deployment would admit members from credentials
+  // carried in the open payload.
+  core::GroupConfig config;
+  core::GroupAuthority authority("tcp-demo", config, to_bytes("tcp-demo"));
+  std::vector<std::unique_ptr<core::Member>> members;
+  for (core::MemberId id = 1; id <= 8; ++id) {
+    members.push_back(authority.admit(id));
+  }
+  for (auto& m : members) (void)m->update();
+
+  ServerOptions server_options;
+  server_options.port = args.port;
+  service::ServiceOptions service_options;
+  service_options.threads = args.threads;
+
+  TransportServer server(
+      server_options, service_options,
+      [&members](BytesView payload) {
+        const OpenRequest request = decode_open_request(payload);
+        if (request.m < 2 || request.m > members.size()) {
+          throw ProtocolError("unsupported party count");
+        }
+        core::HandshakeOptions options;
+        options.self_distinction = request.self_distinction;
+        options.traceable = request.traceable;
+        std::vector<std::unique_ptr<core::HandshakeParticipant>> parts;
+        for (std::size_t i = 0; i < request.m; ++i) {
+          parts.push_back(members[i]->handshake_party(i, request.m, options,
+                                                      request.seed));
+        }
+        return parts;
+      });
+  server.start();
+  std::printf("tcp_rendezvous_server: listening on port %u\n", server.port());
+  std::fflush(stdout);
+
+  if (!args.port_file.empty()) {
+    FILE* f = std::fopen(args.port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", args.port_file.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%u\n", server.port());
+    std::fclose(f);
+  }
+
+  while (args.sessions == 0 || server.sessions_completed() < args.sessions) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  std::printf("served %llu session(s); shutting down\n",
+              static_cast<unsigned long long>(server.sessions_completed()));
+  server.shutdown();
+  std::printf("%s\n", server.service().metrics_json().c_str());
+  return 0;
+}

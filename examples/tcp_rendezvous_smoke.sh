@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# End-to-end smoke for the TCP transport: starts tcp_rendezvous_server on
+# an ephemeral port, drives it with two client invocations (Scheme 1 and
+# Scheme 2), and requires the server to drain and exit cleanly.
+#
+#   tcp_rendezvous_smoke.sh <server-binary> <client-binary>
+set -eu
+
+SERVER_BIN="$1"
+CLIENT_BIN="$2"
+DIR="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+"$SERVER_BIN" --port 0 --port-file "$DIR/port" --sessions 3 &
+SERVER_PID=$!
+
+i=0
+while [ ! -s "$DIR/port" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "FAIL: server never wrote its port file" >&2
+    exit 1
+  fi
+  sleep 0.05
+done
+PORT="$(cat "$DIR/port")"
+
+"$CLIENT_BIN" --port "$PORT" --sessions 2 --m 3
+"$CLIENT_BIN" --port "$PORT" --sessions 1 --m 4 --scheme2
+
+wait "$SERVER_PID"
+SERVER_PID=""
+echo "tcp rendezvous smoke: OK"

@@ -38,4 +38,10 @@ class ProtocolError : public Error {
   using Error::Error;
 };
 
+/// OS-level transport failure (socket, bind, connect, poll, timeout, ...).
+class TransportError : public Error {
+ public:
+  using Error::Error;
+};
+
 }  // namespace shs

@@ -57,6 +57,10 @@ void FrameBuffer::feed(BytesView chunk) {
     buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
     pos_ = 0;
   }
+  if (buffered() + chunk.size() > max_buffered_) {
+    throw FrameBufferOverflow(
+        "FrameBuffer: buffered undrained bytes exceed the cap");
+  }
   append(buf_, chunk);
 }
 

@@ -21,6 +21,7 @@
 #include <optional>
 
 #include "common/bytes.h"
+#include "common/errors.h"
 
 namespace shs::service {
 
@@ -54,12 +55,35 @@ struct Frame {
 /// CodecError on truncation, trailing garbage, or an out-of-bounds length.
 [[nodiscard]] Frame decode_frame(BytesView wire);
 
+/// A stream exceeded its FrameBuffer's buffered-byte cap: the peer keeps
+/// sending without ever completing a frame the consumer can drain
+/// (slow-drip abuse). A CodecError so every "malformed stream => drop the
+/// connection" path handles it, but typed so callers can tell resource
+/// abuse apart from a parse failure.
+class FrameBufferOverflow final : public CodecError {
+ public:
+  using CodecError::CodecError;
+};
+
+/// Default FrameBuffer cap: a few maximum-size frames of headroom. A
+/// well-behaved consumer drains next() after every feed(), so steady-state
+/// residue is always smaller than one frame.
+inline constexpr std::size_t kDefaultMaxBuffered =
+    4 * (4 + kFrameHeaderSize + kMaxFramePayload);
+
 /// Incremental stream reassembler: feed() arbitrary chunks, next() yields
 /// completed frames in order. next() throws CodecError as soon as a
 /// frame's length prefix is out of bounds — the stream is then
-/// unrecoverable and the caller should drop the connection.
+/// unrecoverable and the caller should drop the connection. feed() throws
+/// FrameBufferOverflow once more than `max_buffered` bytes sit in the
+/// buffer undrained, bounding per-connection memory against a peer that
+/// drips bytes forever.
 class FrameBuffer {
  public:
+  FrameBuffer() = default;
+  explicit FrameBuffer(std::size_t max_buffered)
+      : max_buffered_(max_buffered) {}
+
   void feed(BytesView chunk);
 
   /// Next complete frame, or nullopt if the buffered bytes end mid-frame.
@@ -70,9 +94,15 @@ class FrameBuffer {
     return buf_.size() - pos_;
   }
 
+  /// The cap feed() enforces.
+  [[nodiscard]] std::size_t max_buffered() const noexcept {
+    return max_buffered_;
+  }
+
  private:
   Bytes buf_;
   std::size_t pos_ = 0;  // consumed prefix of buf_
+  std::size_t max_buffered_ = kDefaultMaxBuffered;
 };
 
 }  // namespace shs::service

@@ -86,6 +86,12 @@ std::string ServiceMetrics::to_json(std::uint64_t active_sessions) const {
          ", \"bytes_in\": " + u64(bytes_in) +
          ", \"bytes_out\": " + u64(bytes_out) + "},\n";
   out += " \"rounds_advanced\": " + u64(rounds_advanced) + ",\n";
+  out += " \"transport\": {\"bytes_in\": " + u64(tcp_bytes_in) +
+         ", \"bytes_out\": " + u64(tcp_bytes_out) +
+         ", \"connections\": {\"accepted\": " + u64(connections_accepted) +
+         ", \"closed\": " + u64(connections_closed) +
+         ", \"killed_backpressure\": " + u64(connections_killed_backpressure) +
+         "}, \"write_queue_hwm_bytes\": " + u64(write_queue_hwm) + "},\n";
   out += " \"latency\": {\"phase1\": " + phase1_latency.to_json() +
          ",\n  \"phase2\": " + phase2_latency.to_json() +
          ",\n  \"phase3\": " + phase3_latency.to_json() +

@@ -56,6 +56,29 @@ struct ServiceMetrics {
 
   std::atomic<std::uint64_t> rounds_advanced{0};
 
+  // TCP transport (src/transport) — all zero while the service runs
+  // loopback or behind a custom FrameSink. Byte counters are raw socket
+  // traffic (frames plus transport control), so they dominate the
+  // frame-layer bytes_in/bytes_out above.
+  std::atomic<std::uint64_t> tcp_bytes_in{0};
+  std::atomic<std::uint64_t> tcp_bytes_out{0};
+  std::atomic<std::uint64_t> connections_accepted{0};
+  std::atomic<std::uint64_t> connections_closed{0};
+  // Subset of connections_closed: peer refused to drain our writes past
+  // the kill watermark.
+  std::atomic<std::uint64_t> connections_killed_backpressure{0};
+  // High-water mark (bytes) across every connection's write queue.
+  std::atomic<std::uint64_t> write_queue_hwm{0};
+
+  /// Raises write_queue_hwm to `queued` if it is the new maximum.
+  void note_write_queue_depth(std::uint64_t queued) noexcept {
+    std::uint64_t seen = write_queue_hwm.load(std::memory_order_relaxed);
+    while (queued > seen &&
+           !write_queue_hwm.compare_exchange_weak(seen, queued,
+                                                  std::memory_order_relaxed)) {
+    }
+  }
+
   // Session-open -> end-of-phase latency, stamped at round completion.
   LatencyHistogram phase1_latency;
   LatencyHistogram phase2_latency;

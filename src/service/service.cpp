@@ -157,36 +157,42 @@ void RendezvousService::on_round_complete(std::uint64_t sid, std::size_t round,
 void RendezvousService::on_done(std::uint64_t sid) {
   const auto host = hosted(sid);
   if (host == nullptr) return;
-  const std::lock_guard<std::mutex> lock(host->mu);
-  if (host->finished) return;
-  host->outcomes.reserve(host->parties.size());
-  bool confirmed = false;
-  for (const auto& p : host->parties) {
-    host->outcomes.push_back(p->outcome());
-    confirmed = confirmed || host->outcomes.back().confirmed_count() >= 2;
+  {
+    const std::lock_guard<std::mutex> lock(host->mu);
+    if (host->finished) return;
+    host->outcomes.reserve(host->parties.size());
+    bool confirmed = false;
+    for (const auto& p : host->parties) {
+      host->outcomes.push_back(p->outcome());
+      confirmed = confirmed || host->outcomes.back().confirmed_count() >= 2;
+    }
+    host->final_state = SessionState::kDone;
+    host->finished = true;
+    (confirmed ? metrics_.sessions_confirmed : metrics_.sessions_failed)
+        .fetch_add(1, std::memory_order_relaxed);
   }
-  host->final_state = SessionState::kDone;
-  host->finished = true;
-  (confirmed ? metrics_.sessions_confirmed : metrics_.sessions_failed)
-      .fetch_add(1, std::memory_order_relaxed);
+  if (options_.on_terminal) options_.on_terminal(sid, SessionState::kDone);
 }
 
 void RendezvousService::on_expired(std::uint64_t sid) {
   const auto host = hosted(sid);
   if (host == nullptr) return;
-  const std::lock_guard<std::mutex> lock(host->mu);
-  if (host->finished) return;
-  const std::size_t m = host->parties.size();
-  host->outcomes.resize(m);
-  for (core::HandshakeOutcome& o : host->outcomes) {
-    o.completed = false;
-    o.partner.assign(m, false);
-    o.reason.assign(m, core::FailureReason::kTimeout);
-    o.failure = "session expired: round incomplete past deadline";
+  {
+    const std::lock_guard<std::mutex> lock(host->mu);
+    if (host->finished) return;
+    const std::size_t m = host->parties.size();
+    host->outcomes.resize(m);
+    for (core::HandshakeOutcome& o : host->outcomes) {
+      o.completed = false;
+      o.partner.assign(m, false);
+      o.reason.assign(m, core::FailureReason::kTimeout);
+      o.failure = "session expired: round incomplete past deadline";
+    }
+    host->final_state = SessionState::kExpired;
+    host->finished = true;
+    metrics_.sessions_expired.fetch_add(1, std::memory_order_relaxed);
   }
-  host->final_state = SessionState::kExpired;
-  host->finished = true;
-  metrics_.sessions_expired.fetch_add(1, std::memory_order_relaxed);
+  if (options_.on_terminal) options_.on_terminal(sid, SessionState::kExpired);
 }
 
 SessionState RendezvousService::state(std::uint64_t sid) const {

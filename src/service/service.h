@@ -24,6 +24,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -49,6 +50,13 @@ struct ServiceOptions {
   /// Borrowed transport for outgoing frames; null = loop frames straight
   /// back in (fully hosted sessions: open_session() + pump() completes).
   FrameSink* egress = nullptr;
+  /// Observer fired once per session when it reaches kDone or kExpired,
+  /// after outcomes() became available. Runs inside pump() /
+  /// expire_stalled() on the calling thread with no service locks held;
+  /// it must not call back into pump(), expire_stalled() or close()
+  /// (defer GC to the caller). The TCP transport uses this to push DONE
+  /// notifications to the owning socket.
+  std::function<void(std::uint64_t sid, SessionState final_state)> on_terminal;
 };
 
 class RendezvousService {
@@ -94,6 +102,9 @@ class RendezvousService {
 
   [[nodiscard]] std::size_t active_sessions() const;
   [[nodiscard]] const ServiceMetrics& metrics() const { return metrics_; }
+  /// Mutable counters, for a transport layering its own traffic counters
+  /// (tcp_*, connections_*) into the same export.
+  [[nodiscard]] ServiceMetrics& metrics() { return metrics_; }
   /// Full metrics JSON (includes the active-session gauge).
   [[nodiscard]] std::string metrics_json() const;
 

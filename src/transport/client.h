@@ -1,0 +1,96 @@
+// Blocking TCP client for the rendezvous transport.
+//
+// The server hosts every participant's crypto; a Client is a thin relay.
+// After connect(), open() asks the server to start a hosted session
+// (kOpen/kOpenOk) and run() loops: each inbound session frame is echoed
+// back verbatim — exactly the loopback the RendezvousService's egress
+// expects — until every opened session has reported kDone (or the server
+// announced kShutdown). Because the client never alters a payload, the
+// transcripts the service accumulates are byte-identical to the serial
+// driver's; the e2e tests assert precisely that.
+//
+// One Client is one socket and is strictly single-threaded. All reads
+// poll() against ClientOptions::io_timeout, so a dead server surfaces as
+// TransportError instead of a hang.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "service/frame.h"
+#include "transport/socket.h"
+#include "transport/wire.h"
+
+namespace shs::transport {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::chrono::milliseconds connect_timeout{2000};
+  /// Deadline for any single blocking read or write.
+  std::chrono::milliseconds io_timeout{10000};
+  /// SO_SNDBUF / SO_RCVBUF; <= 0 keeps the kernel defaults (tests shrink
+  /// these to force partial writes).
+  int sndbuf = 0;
+  int rcvbuf = 0;
+};
+
+class Client {
+ public:
+  explicit Client(ClientOptions options);
+
+  /// Connects (or adopts an already-connected socket — the socketpair
+  /// tests' entry point; options.host/port are ignored then).
+  void connect();
+  void adopt_socket(Fd fd);
+
+  [[nodiscard]] bool connected() const noexcept { return fd_.valid(); }
+
+  /// Opens one hosted session and returns its server-assigned id. Frames
+  /// for other sessions arriving meanwhile are relayed as usual. Throws
+  /// ProtocolError with the server's message if the open is rejected.
+  std::uint64_t open(const OpenRequest& request);
+  std::uint64_t open_raw(BytesView payload);
+
+  /// Relays until every session opened on this client is done or the
+  /// server announces shutdown. Returns the summaries collected so far
+  /// (one per completed session, in completion order).
+  std::vector<SessionSummary>& run();
+
+  [[nodiscard]] const std::vector<SessionSummary>& summaries() const noexcept {
+    return summaries_;
+  }
+  [[nodiscard]] std::size_t sessions_pending() const noexcept {
+    return pending_.size();
+  }
+  [[nodiscard]] bool server_shutdown() const noexcept { return shutdown_; }
+
+  /// Low-level access (used by the fault-injection tests): blocking send
+  /// of one frame / receive of the next frame, both bounded by io_timeout.
+  /// recv_frame returns nullopt on clean EOF.
+  void send_frame(const service::Frame& frame);
+  std::optional<service::Frame> recv_frame();
+
+  void close() noexcept { fd_.reset(); }
+
+ private:
+  /// Relays/records one inbound frame. Returns the frame's session id if
+  /// it was a control reply to an open (kOpenOk/kOpenErr re-thrown by the
+  /// caller), else nullopt after handling it.
+  void handle(service::Frame frame);
+  std::uint64_t await_open_reply(std::uint32_t tag);
+
+  ClientOptions options_;
+  Fd fd_;
+  service::FrameBuffer in_buf_;
+  std::uint32_t next_tag_ = 1;
+  std::unordered_set<std::uint64_t> pending_;
+  std::vector<SessionSummary> summaries_;
+  bool shutdown_ = false;
+};
+
+}  // namespace shs::transport

@@ -1,0 +1,120 @@
+// One accepted (or adopted) socket of the TCP transport.
+//
+// A Connection lives on an EventLoop thread: non-blocking reads are
+// reassembled by a capped service::FrameBuffer and handed frame-by-frame
+// to the owner's on_frame callback; writes drain a bounded queue that any
+// thread may append to with send() (the rendezvous pump threads do).
+//
+// Backpressure policy (DESIGN.md §9): a peer that stops draining our
+// writes stops being read — above `write_pause` queued bytes the
+// connection drops read interest (no new frames, so no new work, so no
+// new writes), resuming below half the watermark; above `write_kill` the
+// connection is closed outright and counted as killed-for-backpressure.
+// Inbound abuse is bounded symmetrically by the FrameBuffer cap
+// (`max_unframed`): a peer that drips bytes without ever completing a
+// frame is dropped with FrameBufferOverflow.
+//
+// Threading: send() and queued_bytes() are safe from any thread; all
+// socket I/O, close() and the callbacks run on the loop thread.
+// Connections are shared_ptr-owned; the loop registration keeps a strong
+// reference, so the object outlives any in-flight dispatch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "service/frame.h"
+#include "service/metrics.h"
+#include "transport/event_loop.h"
+#include "transport/socket.h"
+
+namespace shs::transport {
+
+struct ConnectionLimits {
+  /// Largest single read() the loop issues.
+  std::size_t read_chunk = 64 * 1024;
+  /// Queued-write watermark above which the connection stops reading.
+  std::size_t write_pause = 256 * 1024;
+  /// Queued-write watermark above which the connection is killed.
+  std::size_t write_kill = 4 * 1024 * 1024;
+  /// Per-connection FrameBuffer cap (buffered-but-unframed bytes).
+  std::size_t max_unframed = 2 * (4 + service::kFrameHeaderSize +
+                                  service::kMaxFramePayload);
+};
+
+class Connection : public std::enable_shared_from_this<Connection> {
+ public:
+  struct Callbacks {
+    /// A complete frame arrived. Loop thread. May send() or close().
+    std::function<void(Connection&, service::Frame)> on_frame;
+    /// The connection closed (peer EOF, error, kill, or graceful drain).
+    /// Loop thread, fires exactly once; `backpressure` marks a
+    /// kill-watermark close.
+    std::function<void(Connection&, const std::string& reason,
+                       bool backpressure)>
+        on_closed;
+  };
+
+  /// `metrics` (borrowed, may be null) receives tcp byte counters,
+  /// connection-close counters and the write-queue high-water mark.
+  Connection(EventLoop& loop, Fd fd, std::uint64_t id,
+             ConnectionLimits limits, Callbacks callbacks,
+             service::ServiceMetrics* metrics);
+
+  /// Registers with the loop (call once, on the loop thread).
+  void register_with_loop();
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+  [[nodiscard]] int fd() const noexcept { return fd_.get(); }
+  [[nodiscard]] bool closed() const noexcept {
+    return closed_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool read_paused() const noexcept { return paused_; }
+
+  /// Queues encoded bytes and wakes the loop to flush them. Safe from any
+  /// thread; a no-op once the connection is closed. Crossing the kill
+  /// watermark schedules the connection's destruction.
+  void send(Bytes wire);
+
+  /// Bytes queued but not yet written to the socket. Safe from any thread.
+  [[nodiscard]] std::size_t queued_bytes() const;
+
+  /// Closes now: deregisters, closes the fd, fires on_closed. Loop thread.
+  void close(const std::string& reason, bool backpressure = false);
+
+  /// Graceful close: stop reading, flush the write queue, then close.
+  /// Loop thread.
+  void shutdown_when_drained();
+
+ private:
+  void on_events(std::uint32_t events);
+  void handle_readable();
+  void flush_writes();
+  void update_interest();
+
+  EventLoop& loop_;
+  Fd fd_;
+  const std::uint64_t id_;
+  const ConnectionLimits limits_;
+  Callbacks callbacks_;
+  service::ServiceMetrics* metrics_;  // may be null
+
+  // Loop-thread state.
+  service::FrameBuffer in_buf_;
+  bool paused_ = false;
+  bool draining_ = false;
+  bool registered_ = false;
+  std::uint32_t interest_ = 0;
+
+  // Cross-thread state.
+  mutable std::mutex out_mu_;
+  Bytes out_buf_;           // guarded by out_mu_
+  std::size_t out_pos_ = 0;  // consumed prefix of out_buf_
+  std::atomic<bool> flush_pending_{false};
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace shs::transport

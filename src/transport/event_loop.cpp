@@ -1,0 +1,284 @@
+#include "transport/event_loop.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <utility>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#define SHS_HAVE_EPOLL 1
+#else
+#define SHS_HAVE_EPOLL 0
+#endif
+
+namespace shs::transport {
+
+namespace {
+
+service::Clock* default_clock() {
+  static service::SteadyClock clock;
+  return &clock;
+}
+
+std::pair<Fd, Fd> make_wake_pipe() {
+  int fds[2];
+  if (::pipe(fds) < 0) throw TransportError(errno_message("pipe"));
+  Fd r(fds[0]), w(fds[1]);
+  set_nonblocking(r.get());
+  set_nonblocking(w.get());
+  return {std::move(r), std::move(w)};
+}
+
+#if SHS_HAVE_EPOLL
+std::uint32_t to_epoll(std::uint32_t interest) {
+  std::uint32_t ev = 0;
+  if (interest & kLoopRead) ev |= EPOLLIN;
+  if (interest & kLoopWrite) ev |= EPOLLOUT;
+  return ev;
+}
+
+std::uint32_t from_epoll(std::uint32_t ev) {
+  std::uint32_t out = 0;
+  if (ev & (EPOLLIN | EPOLLHUP | EPOLLERR)) out |= kLoopRead;
+  if (ev & EPOLLOUT) out |= kLoopWrite;
+  if (ev & (EPOLLHUP | EPOLLERR)) out |= kLoopError;
+  return out;
+}
+#endif
+
+short to_poll(std::uint32_t interest) {
+  short ev = 0;
+  if (interest & kLoopRead) ev |= POLLIN;
+  if (interest & kLoopWrite) ev |= POLLOUT;
+  return ev;
+}
+
+std::uint32_t from_poll(short ev) {
+  std::uint32_t out = 0;
+  if (ev & (POLLIN | POLLHUP | POLLERR | POLLNVAL)) out |= kLoopRead;
+  if (ev & POLLOUT) out |= kLoopWrite;
+  if (ev & (POLLHUP | POLLERR | POLLNVAL)) out |= kLoopError;
+  return out;
+}
+
+}  // namespace
+
+EventLoop::EventLoop(LoopBackend backend, service::Clock* clock)
+    : clock_(clock != nullptr ? clock : default_clock()) {
+  switch (backend) {
+    case LoopBackend::kAuto:
+      use_epoll_ = SHS_HAVE_EPOLL != 0;
+      break;
+    case LoopBackend::kEpoll:
+      if (!SHS_HAVE_EPOLL) {
+        throw TransportError("EventLoop: epoll backend unavailable");
+      }
+      use_epoll_ = true;
+      break;
+    case LoopBackend::kPoll:
+      use_epoll_ = false;
+      break;
+  }
+#if SHS_HAVE_EPOLL
+  if (use_epoll_) {
+    epoll_fd_ = Fd(::epoll_create1(EPOLL_CLOEXEC));
+    if (!epoll_fd_.valid()) {
+      throw TransportError(errno_message("epoll_create1"));
+    }
+  }
+#endif
+  auto [r, w] = make_wake_pipe();
+  wake_read_ = std::move(r);
+  wake_write_ = std::move(w);
+  add_fd(wake_read_.get(), kLoopRead, [this](std::uint32_t) {
+    char buf[64];
+    while (::read(wake_read_.get(), buf, sizeof buf) > 0) {
+    }
+  });
+}
+
+EventLoop::~EventLoop() = default;
+
+bool EventLoop::using_epoll() const noexcept { return use_epoll_; }
+
+void EventLoop::update_backend(int fd, std::uint32_t old_interest,
+                               std::uint32_t new_interest, bool adding) {
+#if SHS_HAVE_EPOLL
+  if (use_epoll_) {
+    epoll_event ev{};
+    ev.events = to_epoll(new_interest);
+    ev.data.fd = fd;
+    const int op = adding ? EPOLL_CTL_ADD : EPOLL_CTL_MOD;
+    if (::epoll_ctl(epoll_fd_.get(), op, fd, &ev) < 0) {
+      throw TransportError(errno_message("epoll_ctl"));
+    }
+  }
+#else
+  (void)fd;
+#endif
+  (void)old_interest;
+  (void)adding;
+  // The poll backend rebuilds its pollfd array from fds_ every pass.
+}
+
+void EventLoop::add_fd(int fd, std::uint32_t interest, FdCallback callback) {
+  auto entry = std::make_shared<FdEntry>();
+  entry->interest = interest;
+  entry->callback = std::move(callback);
+  if (!fds_.emplace(fd, std::move(entry)).second) {
+    throw TransportError("EventLoop: fd already registered");
+  }
+  update_backend(fd, 0, interest, /*adding=*/true);
+}
+
+void EventLoop::set_interest(int fd, std::uint32_t interest) {
+  const auto it = fds_.find(fd);
+  if (it == fds_.end()) throw TransportError("EventLoop: unknown fd");
+  const std::uint32_t old = it->second->interest;
+  if (old == interest) return;
+  it->second->interest = interest;
+  update_backend(fd, old, interest, /*adding=*/false);
+}
+
+void EventLoop::remove_fd(int fd) {
+  if (fds_.erase(fd) == 0) return;
+#if SHS_HAVE_EPOLL
+  if (use_epoll_) {
+    (void)::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  }
+#endif
+}
+
+EventLoop::TimerId EventLoop::add_timer(service::Clock::duration delay,
+                                        std::function<void()> fn) {
+  const TimerId id = next_timer_++;
+  timers_.emplace(id, std::move(fn));
+  timer_heap_.push(TimerEntry{clock_->now() + delay, id});
+  return id;
+}
+
+void EventLoop::cancel_timer(TimerId id) { timers_.erase(id); }
+
+void EventLoop::post(std::function<void()> fn) {
+  {
+    const std::lock_guard<std::mutex> lock(posts_mu_);
+    posts_.push_back(std::move(fn));
+  }
+  wakeup();
+}
+
+void EventLoop::wakeup() {
+  const char byte = 1;
+  // EAGAIN means a wakeup is already pending — that is enough.
+  (void)!::write(wake_write_.get(), &byte, 1);
+}
+
+int EventLoop::poll_timeout_ms(std::chrono::milliseconds max_wait) {
+  if (stop_.load(std::memory_order_acquire)) return 0;
+  {
+    const std::lock_guard<std::mutex> lock(posts_mu_);
+    if (!posts_.empty()) return 0;
+  }
+  auto wait = max_wait;
+  // Lazily skip heap entries whose timer was cancelled.
+  while (!timer_heap_.empty() &&
+         timers_.find(timer_heap_.top().id) == timers_.end()) {
+    timer_heap_.pop();
+  }
+  if (!timer_heap_.empty()) {
+    const auto until = std::chrono::duration_cast<std::chrono::milliseconds>(
+        timer_heap_.top().deadline - clock_->now());
+    wait = std::clamp(until, std::chrono::milliseconds(0), max_wait);
+  }
+  return static_cast<int>(wait.count());
+}
+
+std::size_t EventLoop::dispatch_fd(int fd, std::uint32_t events) {
+  const auto it = fds_.find(fd);
+  if (it == fds_.end()) return 0;  // removed by an earlier callback
+  // Keep the entry alive across the callback even if it removes itself.
+  const std::shared_ptr<FdEntry> entry = it->second;
+  entry->callback(events);
+  return 1;
+}
+
+std::size_t EventLoop::drain_posts() {
+  std::vector<std::function<void()>> batch;
+  {
+    const std::lock_guard<std::mutex> lock(posts_mu_);
+    batch.swap(posts_);
+  }
+  for (auto& fn : batch) fn();
+  return batch.size();
+}
+
+std::size_t EventLoop::fire_due_timers() {
+  std::size_t fired = 0;
+  const auto now = clock_->now();
+  while (!timer_heap_.empty() && timer_heap_.top().deadline <= now) {
+    const TimerId id = timer_heap_.top().id;
+    timer_heap_.pop();
+    const auto it = timers_.find(id);
+    if (it == timers_.end()) continue;  // cancelled
+    auto fn = std::move(it->second);
+    timers_.erase(it);
+    fn();
+    ++fired;
+  }
+  return fired;
+}
+
+std::size_t EventLoop::run_once(std::chrono::milliseconds max_wait) {
+  const int timeout = poll_timeout_ms(max_wait);
+  std::size_t dispatched = 0;
+
+#if SHS_HAVE_EPOLL
+  if (use_epoll_) {
+    epoll_event events[64];
+    const int n = ::epoll_wait(epoll_fd_.get(), events, 64, timeout);
+    if (n < 0 && errno != EINTR) {
+      throw TransportError(errno_message("epoll_wait"));
+    }
+    for (int i = 0; i < std::max(n, 0); ++i) {
+      dispatched += dispatch_fd(events[i].data.fd, from_epoll(events[i].events));
+    }
+  } else
+#endif
+  {
+    std::vector<pollfd> pfds;
+    pfds.reserve(fds_.size());
+    for (const auto& [fd, entry] : fds_) {
+      pfds.push_back(pollfd{fd, to_poll(entry->interest), 0});
+    }
+    const int n = ::poll(pfds.data(), pfds.size(), timeout);
+    if (n < 0 && errno != EINTR) {
+      throw TransportError(errno_message("poll"));
+    }
+    for (const pollfd& pfd : pfds) {
+      if (pfd.revents == 0) continue;
+      dispatched += dispatch_fd(pfd.fd, from_poll(pfd.revents));
+    }
+  }
+
+  dispatched += drain_posts();
+  dispatched += fire_due_timers();
+  return dispatched;
+}
+
+void EventLoop::run(std::chrono::milliseconds tick) {
+  while (!stop_.load(std::memory_order_acquire)) {
+    (void)run_once(tick);
+  }
+  // One final drain so work posted just before stop() still runs.
+  (void)drain_posts();
+}
+
+void EventLoop::stop() {
+  stop_.store(true, std::memory_order_release);
+  wakeup();
+}
+
+}  // namespace shs::transport

@@ -1,0 +1,133 @@
+// Single-threaded readiness loop under the TCP transport.
+//
+// One EventLoop thread owns every socket: it multiplexes readiness with
+// epoll on Linux (a portable poll() backend is selectable at runtime and
+// is what non-Linux builds get), dispatches per-fd callbacks, runs
+// cross-thread work handed to post(), and fires one-shot timers kept on a
+// min-heap keyed by the service::Clock — the same clock the
+// RendezvousService stamps deadlines with, so a ManualClock drives both
+// the session deadline and the transport's expiry timer in tests.
+//
+// Threading contract:
+//   - add_fd / set_interest / remove_fd / add_timer / cancel_timer and
+//     run_once run on the loop thread (or before run() starts);
+//   - post(), wakeup() and stop() are safe from any thread. post() is the
+//     one cross-thread entry point: a posted function runs on the loop
+//     thread, where the whole fd registry is fair game.
+//
+// A wakeup pipe is registered internally: post()/stop() from another
+// thread interrupt a sleeping poll immediately instead of waiting out the
+// tick.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "service/clock.h"
+#include "transport/socket.h"
+
+namespace shs::transport {
+
+/// Which readiness backend the loop multiplexes with.
+enum class LoopBackend : std::uint8_t {
+  kAuto = 0,   // epoll where available (Linux), else poll
+  kEpoll = 1,  // throws TransportError off Linux
+  kPoll = 2,
+};
+
+/// Readiness bits handed to fd callbacks (and accepted as interest).
+/// kError is never requested; it is always delivered (with kRead set too,
+/// so handlers observe EOF/reset through their normal read path).
+inline constexpr std::uint32_t kLoopRead = 1u << 0;
+inline constexpr std::uint32_t kLoopWrite = 1u << 1;
+inline constexpr std::uint32_t kLoopError = 1u << 2;
+
+class EventLoop {
+ public:
+  using FdCallback = std::function<void(std::uint32_t events)>;
+  using TimerId = std::uint64_t;
+
+  /// `clock` is borrowed; null = a process-wide SteadyClock.
+  explicit EventLoop(LoopBackend backend = LoopBackend::kAuto,
+                     service::Clock* clock = nullptr);
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  [[nodiscard]] bool using_epoll() const noexcept;
+  [[nodiscard]] service::Clock& clock() const noexcept { return *clock_; }
+
+  /// Registers `fd` (not owned) with an interest mask. The callback runs
+  /// on the loop thread; it may add/remove fds and close its own fd after
+  /// remove_fd().
+  void add_fd(int fd, std::uint32_t interest, FdCallback callback);
+  void set_interest(int fd, std::uint32_t interest);
+  void remove_fd(int fd);
+  [[nodiscard]] std::size_t fd_count() const noexcept { return fds_.size(); }
+
+  /// One-shot timer at clock.now() + delay. Fires on the loop thread.
+  TimerId add_timer(service::Clock::duration delay, std::function<void()> fn);
+  void cancel_timer(TimerId id);
+
+  /// Runs `fn` on the loop thread soon; wakes a sleeping poll. Safe from
+  /// any thread.
+  void post(std::function<void()> fn);
+  void wakeup();
+
+  /// Polls once (at most `max_wait` real time), dispatches ready fds,
+  /// posted work and due timers; returns how many callbacks ran.
+  std::size_t run_once(std::chrono::milliseconds max_wait);
+
+  /// run_once until stop(). The tick bounds how stale a ManualClock
+  /// advance can go unnoticed.
+  void run(std::chrono::milliseconds tick = std::chrono::milliseconds(100));
+  void stop();  // safe from any thread; run() returns after this
+
+ private:
+  struct FdEntry {
+    std::uint32_t interest = 0;
+    FdCallback callback;
+  };
+  struct TimerEntry {
+    service::Clock::time_point deadline;
+    TimerId id;
+    bool operator>(const TimerEntry& other) const noexcept {
+      return deadline != other.deadline ? deadline > other.deadline
+                                        : id > other.id;
+    }
+  };
+
+  [[nodiscard]] int poll_timeout_ms(std::chrono::milliseconds max_wait);
+  std::size_t dispatch_fd(int fd, std::uint32_t events);
+  std::size_t drain_posts();
+  std::size_t fire_due_timers();
+  void update_backend(int fd, std::uint32_t old_interest,
+                      std::uint32_t new_interest, bool adding);
+
+  service::Clock* clock_;  // never null
+  bool use_epoll_;
+  Fd epoll_fd_;
+  Fd wake_read_, wake_write_;
+
+  std::unordered_map<int, std::shared_ptr<FdEntry>> fds_;
+
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>,
+                      std::greater<TimerEntry>>
+      timer_heap_;
+  std::unordered_map<TimerId, std::function<void()>> timers_;
+  TimerId next_timer_ = 1;
+
+  std::mutex posts_mu_;
+  std::vector<std::function<void()>> posts_;
+
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace shs::transport

@@ -1,0 +1,343 @@
+#include "transport/server.h"
+
+#include <sys/socket.h>
+
+#include <future>
+#include <utility>
+
+namespace shs::transport {
+
+struct TransportServer::EgressRouter final : service::FrameSink {
+  explicit EgressRouter(TransportServer* server) : server(server) {}
+  void on_frame(const service::Frame& frame) override {
+    server->route_egress(frame);
+  }
+  TransportServer* server;
+};
+
+TransportServer::TransportServer(ServerOptions options,
+                                 service::ServiceOptions service_options,
+                                 SessionFactory factory)
+    : options_(std::move(options)),
+      factory_(std::move(factory)),
+      router_(std::make_unique<EgressRouter>(this)),
+      user_terminal_(std::move(service_options.on_terminal)),
+      loop_(options_.backend, service_options.clock) {
+  if (service_options.egress != nullptr) {
+    throw ProtocolError("TransportServer: egress is owned by the transport");
+  }
+  service_options.egress = router_.get();
+  service_options.on_terminal = [this](std::uint64_t sid,
+                                       service::SessionState state) {
+    on_terminal(sid, state);
+  };
+  service_ =
+      std::make_unique<service::RendezvousService>(std::move(service_options));
+}
+
+TransportServer::~TransportServer() { shutdown(); }
+
+void TransportServer::start() {
+  if (started_.exchange(true)) {
+    throw ProtocolError("TransportServer: start() called twice");
+  }
+  listener_ = tcp_listen(options_.address, options_.port, options_.backlog);
+  port_ = local_port(listener_.get());
+  loop_.add_fd(listener_.get(), kLoopRead,
+               [this](std::uint32_t) { accept_ready(); });
+  arm_expire_timer();
+  worker_ = std::thread([this] { worker_loop(); });
+  loop_thread_ = std::thread([this] { loop_.run(); });
+}
+
+void TransportServer::arm_expire_timer() {
+  loop_.add_timer(options_.expire_interval, [this] {
+    if (stopping_.load(std::memory_order_acquire)) return;
+    (void)service_->expire_stalled();
+    drain_deferred_closes();
+    arm_expire_timer();
+  });
+}
+
+void TransportServer::accept_ready() {
+  while (true) {
+    const int fd = ::accept4(listener_.get(), nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN, or a transient accept failure: retry on
+                         // the next readiness event either way
+    install_connection(Fd(fd));
+  }
+}
+
+void TransportServer::install_connection(Fd fd) {
+  service::ServiceMetrics& metrics = service_->metrics();
+  std::uint64_t id = 0;
+  {
+    const std::lock_guard<std::mutex> lock(conns_mu_);
+    id = next_conn_id_++;
+  }
+  Connection::Callbacks callbacks;
+  callbacks.on_frame = [this](Connection& conn, service::Frame frame) {
+    on_frame(conn, std::move(frame));
+  };
+  callbacks.on_closed = [this](Connection& conn, const std::string&, bool) {
+    on_conn_closed(conn);
+  };
+  auto conn = std::make_shared<Connection>(loop_, std::move(fd), id,
+                                           options_.limits,
+                                           std::move(callbacks), &metrics);
+  {
+    const std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.emplace(id, conn);
+  }
+  conn->register_with_loop();
+  metrics.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TransportServer::adopt_connection(Fd fd) {
+  auto done = std::make_shared<std::promise<void>>();
+  auto future = done->get_future();
+  loop_.post([this, raw = fd.release(), done] {
+    install_connection(Fd(raw));
+    done->set_value();
+  });
+  future.wait();
+}
+
+void TransportServer::on_frame(Connection& conn, service::Frame frame) {
+  if (is_control(frame)) {
+    if (frame.round != static_cast<std::uint32_t>(ControlOp::kOpen)) {
+      throw ProtocolError("transport: unexpected control opcode from client");
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      conn.send(encode_frame(
+          make_open_err(frame.position, "server is shutting down")));
+      return;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(work_mu_);
+      opens_.push_back(
+          OpenJob{conn.id(), frame.position, std::move(frame.payload)});
+    }
+    work_cv_.notify_one();
+    return;
+  }
+  const service::FrameDisposition d = service_->handle_frame(std::move(frame));
+  if (d == service::FrameDisposition::kCompletedRound) signal_pump();
+}
+
+void TransportServer::on_conn_closed(Connection& conn) {
+  const std::uint64_t id = conn.id();
+  {
+    const std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.erase(id);
+  }
+  // Orphan the connection's sessions: their egress is dropped from now
+  // on; with no more frames arriving they stall and the expiry timer
+  // reaps them.
+  const std::lock_guard<std::mutex> lock(routes_mu_);
+  for (auto it = routes_.begin(); it != routes_.end();) {
+    it = it->second == id ? routes_.erase(it) : std::next(it);
+  }
+}
+
+void TransportServer::route_egress(const service::Frame& frame) {
+  std::shared_ptr<Connection> conn;
+  {
+    const std::lock_guard<std::mutex> routes_lock(routes_mu_);
+    const auto route = routes_.find(frame.session_id);
+    if (route != routes_.end()) {
+      const std::lock_guard<std::mutex> conns_lock(conns_mu_);
+      const auto it = conns_.find(route->second);
+      if (it != conns_.end()) conn = it->second;
+    }
+  }
+  if (conn == nullptr || conn->closed()) {
+    egress_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  conn->send(encode_frame(frame));
+}
+
+void TransportServer::on_terminal(std::uint64_t sid,
+                                  service::SessionState state) {
+  sessions_completed_.fetch_add(1, std::memory_order_relaxed);
+  SessionSummary summary;
+  summary.session_id = sid;
+  summary.state = state;
+  for (const core::HandshakeOutcome& o : service_->outcomes(sid)) {
+    summary.confirmed.push_back(
+        static_cast<std::uint32_t>(o.confirmed_count()));
+  }
+  std::shared_ptr<Connection> conn;
+  {
+    const std::lock_guard<std::mutex> routes_lock(routes_mu_);
+    const auto route = routes_.find(sid);
+    if (route != routes_.end()) {
+      const std::lock_guard<std::mutex> conns_lock(conns_mu_);
+      const auto it = conns_.find(route->second);
+      if (it != conns_.end()) conn = it->second;
+      routes_.erase(route);
+    }
+  }
+  if (conn != nullptr) conn->send(encode_frame(make_done(summary)));
+  if (options_.auto_close_sessions) {
+    // close() re-enters the session manager, which is off-limits inside
+    // a service hook — defer to whoever is driving (pump worker / timer).
+    const std::lock_guard<std::mutex> lock(close_mu_);
+    deferred_close_.push_back(sid);
+  }
+  if (user_terminal_) user_terminal_(sid, state);
+}
+
+void TransportServer::drain_deferred_closes() {
+  std::vector<std::uint64_t> batch;
+  {
+    const std::lock_guard<std::mutex> lock(close_mu_);
+    batch.swap(deferred_close_);
+  }
+  for (const std::uint64_t sid : batch) (void)service_->close(sid);
+}
+
+void TransportServer::signal_pump() {
+  {
+    const std::lock_guard<std::mutex> lock(work_mu_);
+    pump_requested_ = true;
+  }
+  work_cv_.notify_one();
+}
+
+void TransportServer::do_open(const OpenJob& job) {
+  std::shared_ptr<Connection> conn;
+  {
+    const std::lock_guard<std::mutex> lock(conns_mu_);
+    const auto it = conns_.find(job.conn_id);
+    if (it != conns_.end()) conn = it->second;
+  }
+  if (conn == nullptr || conn->closed()) return;  // client already gone
+  try {
+    auto parties = factory_(job.payload);
+    const std::uint64_t sid = service_->open_session(std::move(parties));
+    {
+      const std::lock_guard<std::mutex> lock(routes_mu_);
+      routes_.emplace(sid, job.conn_id);
+    }
+    conn->send(encode_frame(make_open_ok(job.tag, sid)));
+  } catch (const Error& e) {
+    conn->send(encode_frame(make_open_err(job.tag, e.what())));
+  }
+}
+
+void TransportServer::worker_loop() {
+  std::unique_lock<std::mutex> lock(work_mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] {
+      return stop_worker_ || pump_requested_ || !opens_.empty();
+    });
+    if (stop_worker_) return;
+    std::deque<OpenJob> opens;
+    opens.swap(opens_);
+    pump_requested_ = false;
+    lock.unlock();
+
+    for (const OpenJob& job : opens) do_open(job);
+    // Opens queue round-0 work; frames may have completed rounds since
+    // the last pass. pump() drains everything that is ready, including
+    // sessions made ready while it runs.
+    (void)service_->pump();
+    drain_deferred_closes();
+
+    lock.lock();
+  }
+}
+
+std::size_t TransportServer::connection_count() const {
+  const std::lock_guard<std::mutex> lock(conns_mu_);
+  return conns_.size();
+}
+
+void TransportServer::run_on_loop(std::function<void()> fn) {
+  auto done = std::make_shared<std::promise<void>>();
+  auto future = done->get_future();
+  loop_.post([fn = std::move(fn), done] {
+    fn();
+    done->set_value();
+  });
+  future.wait();
+}
+
+void TransportServer::shutdown() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  if (shutdown_done_.exchange(true)) return;
+  stopping_.store(true, std::memory_order_release);
+
+  // Stop accepting and tell every client the server is draining.
+  run_on_loop([this] {
+    if (listener_.valid()) {
+      loop_.remove_fd(listener_.get());
+      listener_.reset();
+    }
+    std::vector<std::shared_ptr<Connection>> conns;
+    {
+      const std::lock_guard<std::mutex> lock(conns_mu_);
+      for (const auto& [id, conn] : conns_) conns.push_back(conn);
+    }
+    const Bytes notice = encode_frame(make_shutdown());
+    for (const auto& conn : conns) conn->send(notice);
+  });
+
+  // Drain: wait (real time) for live sessions to finish and write queues
+  // to empty, then close connections gracefully.
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.drain_deadline;
+  while (std::chrono::steady_clock::now() < deadline) {
+    bool queues_empty = true;
+    {
+      const std::lock_guard<std::mutex> lock(conns_mu_);
+      for (const auto& [id, conn] : conns_) {
+        queues_empty = queues_empty && conn->queued_bytes() == 0;
+      }
+    }
+    std::size_t live_routes = 0;
+    {
+      const std::lock_guard<std::mutex> lock(routes_mu_);
+      live_routes = routes_.size();
+    }
+    if (queues_empty && live_routes == 0) break;
+    signal_pump();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  run_on_loop([this] {
+    std::vector<std::shared_ptr<Connection>> conns;
+    {
+      const std::lock_guard<std::mutex> lock(conns_mu_);
+      for (const auto& [id, conn] : conns_) conns.push_back(conn);
+    }
+    for (const auto& conn : conns) conn->shutdown_when_drained();
+  });
+
+  // Give graceful closes one tick, then force whatever is left.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  run_on_loop([this] {
+    std::vector<std::shared_ptr<Connection>> conns;
+    {
+      const std::lock_guard<std::mutex> lock(conns_mu_);
+      for (const auto& [id, conn] : conns_) conns.push_back(conn);
+    }
+    for (const auto& conn : conns) conn->close("server shutdown");
+  });
+
+  {
+    const std::lock_guard<std::mutex> lock(work_mu_);
+    stop_worker_ = true;
+  }
+  work_cv_.notify_one();
+  worker_.join();
+  drain_deferred_closes();
+
+  loop_.stop();
+  loop_thread_.join();
+}
+
+}  // namespace shs::transport

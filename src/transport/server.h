@@ -1,0 +1,173 @@
+// TransportServer — the rendezvous service behind real TCP sockets.
+//
+// One server owns: a listening socket and an EventLoop thread doing all
+// socket I/O; a RendezvousService (constructed here, egress wired back to
+// the sockets); and one pump-worker thread that executes session opens
+// and drives service.pump() — whose crypto fans out across the service's
+// shared thread pool (ServiceOptions::threads). Data flow:
+//
+//   socket readable -> Connection reassembles frames -> control frames
+//   (session 0) queue OpenJobs for the worker; session frames go to
+//   service.handle_frame(), and a completed round signals the worker ->
+//   worker pumps -> egress frames route by session id to the owning
+//   connection's write queue -> loop flushes.
+//
+// Routing invariant: the pump worker is the only caller of pump(), and a
+// session's route (sid -> connection) is installed before the worker
+// pumps for the first time after its open — so egress can never observe
+// a session without a route. A route dies with its connection or its
+// session; frames for a routeless session are counted and dropped
+// (the session then stalls and the expiry timer reaps it).
+//
+// The expiry timer (EventLoop timer on the shared service::Clock) calls
+// expire_stalled() every `expire_interval`, so sessions abandoned by a
+// dead client are reaped without any caller involvement.
+//
+// Graceful shutdown: stop accepting, notify clients (kShutdown), wait up
+// to `drain_deadline` for live sessions to finish and write queues to
+// flush, then close connections and join the threads. Destruction
+// shuts down.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/handshake.h"
+#include "service/service.h"
+#include "transport/connection.h"
+#include "transport/event_loop.h"
+#include "transport/wire.h"
+
+namespace shs::transport {
+
+/// Builds the hosted participants for one kOpen request (the payload is
+/// whatever convention the deployment uses; this repo's helpers encode an
+/// OpenRequest). Runs on the pump worker, so heavyweight construction
+/// never blocks socket I/O. Throwing shs::Error rejects the open with
+/// kOpenErr carrying the message.
+using SessionFactory =
+    std::function<std::vector<std::unique_ptr<core::HandshakeParticipant>>(
+        BytesView open_payload)>;
+
+struct ServerOptions {
+  std::string address = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral; read back with port()
+  int backlog = 128;
+  LoopBackend backend = LoopBackend::kAuto;
+  ConnectionLimits limits;
+  /// Cadence of the expire_stalled() timer (on the service clock).
+  std::chrono::milliseconds expire_interval{500};
+  /// How long shutdown() waits for sessions/writes to drain (real time).
+  std::chrono::milliseconds drain_deadline{5000};
+  /// GC sessions (service.close) once their DONE notification is queued.
+  /// Turn off when the host wants to inspect outcomes() afterwards.
+  bool auto_close_sessions = true;
+};
+
+class TransportServer {
+ public:
+  /// `service_options.egress` must be unset (the server owns egress
+  /// routing); a user-supplied on_terminal is chained after the server's.
+  TransportServer(ServerOptions options,
+                  service::ServiceOptions service_options,
+                  SessionFactory factory);
+  ~TransportServer();
+  TransportServer(const TransportServer&) = delete;
+  TransportServer& operator=(const TransportServer&) = delete;
+
+  /// Binds, listens and starts the loop + pump threads. Throws
+  /// TransportError (address in use, ...).
+  void start();
+
+  /// The bound port (valid after start()).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  [[nodiscard]] service::RendezvousService& service() noexcept {
+    return *service_;
+  }
+  [[nodiscard]] EventLoop& loop() noexcept { return loop_; }
+
+  /// Adopts an already-connected stream socket as if it were accepted —
+  /// the socketpair hook the fuzz tests and in-process benches use.
+  /// Thread-safe; requires start().
+  void adopt_connection(Fd fd);
+
+  [[nodiscard]] std::size_t connection_count() const;
+  /// Sessions that reached kDone/kExpired under this server.
+  [[nodiscard]] std::uint64_t sessions_completed() const noexcept {
+    return sessions_completed_.load(std::memory_order_relaxed);
+  }
+  /// Egress frames dropped because their session had no live connection.
+  [[nodiscard]] std::uint64_t egress_dropped() const noexcept {
+    return egress_dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Graceful shutdown; idempotent; not callable from the loop thread.
+  void shutdown();
+
+ private:
+  struct OpenJob {
+    std::uint64_t conn_id;
+    std::uint32_t tag;
+    Bytes payload;
+  };
+  struct EgressRouter;
+
+  void accept_ready();
+  void install_connection(Fd fd);
+  void on_frame(Connection& conn, service::Frame frame);
+  void on_conn_closed(Connection& conn);
+  void route_egress(const service::Frame& frame);
+  void on_terminal(std::uint64_t sid, service::SessionState state);
+  void signal_pump();
+  void worker_loop();
+  void do_open(const OpenJob& job);
+  void drain_deferred_closes();
+  void arm_expire_timer();
+  void run_on_loop(std::function<void()> fn);  // posts and waits
+
+  ServerOptions options_;
+  SessionFactory factory_;
+  std::unique_ptr<EgressRouter> router_;
+  std::function<void(std::uint64_t, service::SessionState)> user_terminal_;
+  std::unique_ptr<service::RendezvousService> service_;
+  EventLoop loop_;
+
+  Fd listener_;
+  std::uint16_t port_ = 0;
+  std::thread loop_thread_;
+  std::thread worker_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shutdown_done_{false};
+
+  mutable std::mutex conns_mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Connection>> conns_;
+  std::uint64_t next_conn_id_ = 1;
+
+  std::mutex routes_mu_;
+  std::unordered_map<std::uint64_t, std::uint64_t> routes_;  // sid -> conn
+
+  std::mutex work_mu_;
+  std::condition_variable work_cv_;
+  std::deque<OpenJob> opens_;
+  bool pump_requested_ = false;
+  bool stop_worker_ = false;
+
+  std::mutex close_mu_;
+  std::vector<std::uint64_t> deferred_close_;
+
+  std::atomic<std::uint64_t> sessions_completed_{0};
+  std::atomic<std::uint64_t> egress_dropped_{0};
+};
+
+}  // namespace shs::transport

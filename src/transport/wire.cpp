@@ -1,0 +1,109 @@
+#include "transport/wire.h"
+
+#include "common/codec.h"
+#include "common/errors.h"
+
+namespace shs::transport {
+
+namespace {
+
+service::Frame control_frame(ControlOp op, std::uint32_t tag, Bytes payload) {
+  service::Frame frame;
+  frame.session_id = kControlSession;
+  frame.round = static_cast<std::uint32_t>(op);
+  frame.position = tag;
+  frame.payload = std::move(payload);
+  return frame;
+}
+
+void expect_op(const service::Frame& frame, ControlOp op) {
+  if (!is_control(frame) ||
+      frame.round != static_cast<std::uint32_t>(op)) {
+    throw CodecError("control frame: unexpected opcode");
+  }
+}
+
+}  // namespace
+
+service::Frame make_open(std::uint32_t tag, BytesView payload) {
+  return control_frame(ControlOp::kOpen, tag, Bytes(payload.begin(),
+                                                    payload.end()));
+}
+
+service::Frame make_open_ok(std::uint32_t tag, std::uint64_t session_id) {
+  ByteWriter w;
+  w.u64(session_id);
+  return control_frame(ControlOp::kOpenOk, tag, w.take());
+}
+
+service::Frame make_open_err(std::uint32_t tag, const std::string& message) {
+  ByteWriter w;
+  w.str(message);
+  return control_frame(ControlOp::kOpenErr, tag, w.take());
+}
+
+service::Frame make_done(const SessionSummary& summary) {
+  ByteWriter w;
+  w.u64(summary.session_id);
+  w.u8(static_cast<std::uint8_t>(summary.state));
+  w.u32(static_cast<std::uint32_t>(summary.confirmed.size()));
+  for (const std::uint32_t c : summary.confirmed) w.u32(c);
+  return control_frame(ControlOp::kDone, 0, w.take());
+}
+
+service::Frame make_shutdown() {
+  return control_frame(ControlOp::kShutdown, 0, {});
+}
+
+std::uint64_t decode_open_ok(const service::Frame& frame) {
+  expect_op(frame, ControlOp::kOpenOk);
+  ByteReader r(frame.payload);
+  const std::uint64_t sid = r.u64();
+  r.expect_done();
+  return sid;
+}
+
+std::string decode_open_err(const service::Frame& frame) {
+  expect_op(frame, ControlOp::kOpenErr);
+  ByteReader r(frame.payload);
+  std::string message = r.str();
+  r.expect_done();
+  return message;
+}
+
+SessionSummary decode_done(const service::Frame& frame) {
+  expect_op(frame, ControlOp::kDone);
+  ByteReader r(frame.payload);
+  SessionSummary summary;
+  summary.session_id = r.u64();
+  summary.state = static_cast<service::SessionState>(r.u8());
+  const std::uint32_t m = r.u32();
+  if (m > 4096) throw CodecError("session summary: implausible party count");
+  summary.confirmed.reserve(m);
+  for (std::uint32_t i = 0; i < m; ++i) summary.confirmed.push_back(r.u32());
+  r.expect_done();
+  return summary;
+}
+
+Bytes encode_open_request(const OpenRequest& request) {
+  ByteWriter w;
+  w.u32(request.m);
+  w.u8(static_cast<std::uint8_t>((request.self_distinction ? 1 : 0) |
+                                 (request.traceable ? 2 : 0)));
+  w.bytes(request.seed);
+  return w.take();
+}
+
+OpenRequest decode_open_request(BytesView payload) {
+  ByteReader r(payload);
+  OpenRequest request;
+  request.m = r.u32();
+  const std::uint8_t flags = r.u8();
+  request.self_distinction = (flags & 1) != 0;
+  request.traceable = (flags & 2) != 0;
+  request.seed = r.bytes();
+  r.expect_done();
+  return request;
+}
+
+}  // namespace shs::transport

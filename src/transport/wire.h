@@ -1,0 +1,86 @@
+// Transport control protocol, layered on the service's framed codec.
+//
+// Every byte between a Client and the TransportServer is a
+// service::Frame. Frames with session_id != 0 are session traffic and
+// flow into / out of the RendezvousService untouched. Session id 0 is
+// reserved for the transport itself (the SessionManager hands out ids
+// from 1): a control frame stores its opcode in the `round` field and a
+// caller-chosen correlation tag in `position`.
+//
+//   kOpen     client -> server  payload: opaque blob for the server's
+//                               SessionFactory; tag correlates the reply
+//   kOpenOk   server -> client  payload: u64 session id
+//   kOpenErr  server -> client  payload: error string
+//   kDone     server -> client  payload: session summary (id, final
+//                               state, per-position confirmed counts)
+//   kShutdown server -> client  the server is draining; open no more
+//
+// OpenRequest is the *convention* examples, tests and the bench use for
+// the kOpen payload — the SessionFactory installed on the server decides
+// what the blob means, so deployments can carry richer admission data
+// without touching the transport.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/frame.h"
+#include "service/session.h"
+
+namespace shs::transport {
+
+/// Session id reserved for transport control frames.
+inline constexpr std::uint64_t kControlSession = 0;
+
+enum class ControlOp : std::uint32_t {
+  kOpen = 1,
+  kOpenOk = 2,
+  kOpenErr = 3,
+  kDone = 4,
+  kShutdown = 5,
+};
+
+[[nodiscard]] constexpr bool is_control(const service::Frame& frame) noexcept {
+  return frame.session_id == kControlSession;
+}
+
+/// What the server reports when a session reaches a terminal state.
+struct SessionSummary {
+  std::uint64_t session_id = 0;
+  service::SessionState state = service::SessionState::kDone;
+  /// confirmed[i]: how many positions party i confirmed (its clique size).
+  std::vector<std::uint32_t> confirmed;
+
+  friend bool operator==(const SessionSummary&,
+                         const SessionSummary&) = default;
+};
+
+[[nodiscard]] service::Frame make_open(std::uint32_t tag, BytesView payload);
+[[nodiscard]] service::Frame make_open_ok(std::uint32_t tag,
+                                          std::uint64_t session_id);
+[[nodiscard]] service::Frame make_open_err(std::uint32_t tag,
+                                           const std::string& message);
+[[nodiscard]] service::Frame make_done(const SessionSummary& summary);
+[[nodiscard]] service::Frame make_shutdown();
+
+/// Throws CodecError if the frame is not the expected control shape.
+[[nodiscard]] std::uint64_t decode_open_ok(const service::Frame& frame);
+[[nodiscard]] std::string decode_open_err(const service::Frame& frame);
+[[nodiscard]] SessionSummary decode_done(const service::Frame& frame);
+
+/// The standard kOpen payload used by this repo's factories: session
+/// width, the tailorability switches, and the shared session seed.
+struct OpenRequest {
+  std::uint32_t m = 2;
+  bool self_distinction = false;  // Scheme 2
+  bool traceable = true;          // include Phase III
+  Bytes seed;
+
+  friend bool operator==(const OpenRequest&, const OpenRequest&) = default;
+};
+
+[[nodiscard]] Bytes encode_open_request(const OpenRequest& request);
+[[nodiscard]] OpenRequest decode_open_request(BytesView payload);
+
+}  // namespace shs::transport

@@ -100,6 +100,48 @@ TEST(FrameBuffer, ReassemblesArbitraryFragmentation) {
   }
 }
 
+TEST(FrameBuffer, CapRejectsBufferedButUnframedBytes) {
+  // A peer dripping bytes that never complete a frame is bounded by the
+  // configured cap, with the typed error the transport keys its
+  // drop-the-connection policy on.
+  FrameBuffer buffer(64);
+  EXPECT_EQ(buffer.max_buffered(), 64u);
+
+  Frame big;
+  big.payload.resize(200);
+  const Bytes wire = encode_frame(big);
+  buffer.feed(BytesView(wire).first(60));  // within the cap, no frame yet
+  EXPECT_FALSE(buffer.next().has_value());
+  EXPECT_THROW(buffer.feed(BytesView(wire).subspan(60, 10)),
+               FrameBufferOverflow);
+  // FrameBufferOverflow is a CodecError: existing catch sites keep working.
+  try {
+    buffer.feed(BytesView(wire).subspan(60, 10));
+    FAIL();
+  } catch (const CodecError&) {
+  }
+}
+
+TEST(FrameBuffer, CapCountsUndrainedNotLifetimeBytes) {
+  const Frame frame{4, 0, 0, to_bytes("drained frames free their bytes")};
+  const Bytes wire = encode_frame(frame);
+  FrameBuffer buffer(wire.size() + 8);  // fits ~one frame at a time
+  for (int i = 0; i < 50; ++i) {
+    buffer.feed(wire);
+    EXPECT_EQ(buffer.next(), frame);  // drain keeps the buffer under cap
+  }
+  EXPECT_EQ(buffer.buffered(), 0u);
+}
+
+TEST(FrameBuffer, DefaultCapAdmitsMaxSizeFrames) {
+  FrameBuffer buffer;
+  EXPECT_EQ(buffer.max_buffered(), kDefaultMaxBuffered);
+  Frame frame;
+  frame.payload.resize(kMaxFramePayload);
+  buffer.feed(encode_frame(frame));
+  EXPECT_EQ(buffer.next(), frame);
+}
+
 TEST(FrameBuffer, ByteAtATimeDeliveryYieldsFrameExactlyOnCompletion) {
   const Frame frame{99, 1, 0, to_bytes("slow wire")};
   const Bytes wire = encode_frame(frame);

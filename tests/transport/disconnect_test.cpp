@@ -1,0 +1,142 @@
+// Abrupt disconnect mid-phase: a client that vanishes after its session
+// started leaves the session stalled, other clients' sessions finish
+// untouched, and the transport's expiry timer — driven by the same
+// ManualClock as the service deadline — reaps the dead session with
+// synthetic kTimeout outcomes. Nothing about the death reaches the
+// survivor (silent failure end to end).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "fixture.h"
+#include "service/clock.h"
+#include "transport/client.h"
+#include "transport/server.h"
+
+namespace shs::transport {
+namespace {
+
+using namespace std::chrono_literals;
+using testing::expect_outcomes_equal;
+using testing::group_factory;
+using testing::make_request;
+using testing::serial_twin;
+
+template <typename Pred>
+bool eventually(Pred pred, std::chrono::milliseconds budget = 3000ms) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return pred();
+}
+
+TEST(Disconnect, MidPhaseDeathIsReapedAndSurvivorsAreUntouched) {
+  service::ManualClock clock;
+  ServerOptions so;
+  so.auto_close_sessions = false;
+  so.expire_interval = 500ms;  // virtual cadence
+  service::ServiceOptions svc;
+  svc.clock = &clock;
+  svc.session_deadline = 30000ms;
+  TransportServer server(so, svc, group_factory());
+  server.start();
+
+  ClientOptions co;
+  co.port = server.port();
+
+  // The victim opens a session, sees round 0 arrive — proof the session
+  // is mid-phase — and then drops off the network without a goodbye.
+  Client victim(co);
+  victim.connect();
+  const OpenRequest victim_request = make_request(2, false, "tcp-victim");
+  const std::uint64_t victim_sid = victim.open(victim_request);
+  while (true) {
+    auto frame = victim.recv_frame();
+    ASSERT_TRUE(frame.has_value());
+    if (!is_control(*frame)) break;  // first crypto frame observed
+  }
+  victim.close();
+
+  // The server notices the dead socket and forgets the route...
+  ASSERT_TRUE(eventually([&] { return server.connection_count() == 0; }));
+  // ...but the session itself is merely stalled, not gone.
+  EXPECT_EQ(server.service().state(victim_sid),
+            service::SessionState::kCollecting);
+
+  // A survivor connecting afterwards is completely unaffected.
+  Client survivor(co);
+  survivor.connect();
+  const OpenRequest survivor_request = make_request(4, true, "tcp-survivor");
+  const std::uint64_t survivor_sid = survivor.open(survivor_request);
+  const auto& summaries = survivor.run();
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_EQ(summaries.front().state, service::SessionState::kDone);
+  expect_outcomes_equal(server.service().outcomes(survivor_sid),
+                        serial_twin(survivor_request));
+
+  // No virtual time has passed, so the victim's session is still held.
+  EXPECT_EQ(server.service().active_sessions(), 1u);
+
+  // Cross the deadline: the loop's expiry timer fires on its next tick
+  // and expire_stalled() reaps the orphan with synthetic timeouts.
+  clock.advance(31000ms);
+  ASSERT_TRUE(eventually([&] {
+    return server.service().state(victim_sid) ==
+           service::SessionState::kExpired;
+  }));
+  EXPECT_EQ(server.service().active_sessions(), 0u);
+  const auto outcomes = server.service().outcomes(victim_sid);
+  ASSERT_EQ(outcomes.size(), victim_request.m);
+  for (const auto& outcome : outcomes) {
+    EXPECT_FALSE(outcome.completed);
+    for (const auto reason : outcome.reason) {
+      EXPECT_EQ(reason, core::FailureReason::kTimeout);
+    }
+  }
+  EXPECT_EQ(server.sessions_completed(), 2u);  // one done, one expired
+  server.shutdown();
+}
+
+TEST(Disconnect, DeadSessionEgressIsCountedNotCrashed) {
+  // With auto-close off and a hand-fed service, drop the connection and
+  // then force the stalled session to make progress server-side: the
+  // frames it emits have nowhere to go and must land in egress_dropped.
+  ServerOptions so;
+  so.auto_close_sessions = false;
+  TransportServer server(so, {}, group_factory());
+  server.start();
+
+  ClientOptions co;
+  co.port = server.port();
+  Client client(co);
+  client.connect();
+  const OpenRequest request = make_request(2, false, "tcp-orphan");
+  const std::uint64_t sid = client.open(request);
+
+  // Collect round 0 without echoing it, then vanish.
+  std::vector<service::Frame> held;
+  while (held.size() < request.m) {
+    auto frame = client.recv_frame();
+    ASSERT_TRUE(frame.has_value());
+    if (!is_control(*frame)) held.push_back(std::move(*frame));
+  }
+  client.close();
+  ASSERT_TRUE(eventually([&] { return server.connection_count() == 0; }));
+
+  // Feed the held round back in directly: the session advances and emits
+  // round 1 — which is routeless now.
+  const std::uint64_t dropped_before = server.egress_dropped();
+  for (const auto& frame : held) {
+    server.service().handle_frame(frame);
+  }
+  server.service().pump();
+  EXPECT_GT(server.egress_dropped(), dropped_before);
+  EXPECT_EQ(server.service().state(sid), service::SessionState::kCollecting);
+  server.shutdown();
+}
+
+}  // namespace
+}  // namespace shs::transport

@@ -1,0 +1,284 @@
+// EventLoop and Connection mechanics, pinned per backend (epoll and
+// poll): readiness dispatch and interest changes, ManualClock-driven
+// timers with cancellation, cross-thread post() waking a sleeping loop,
+// frame round-trips over a socketpair, and the backpressure policy —
+// write-kill watermark, FrameBuffer overflow and graceful drain.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "service/clock.h"
+#include "service/frame.h"
+#include "service/metrics.h"
+#include "transport/connection.h"
+#include "transport/event_loop.h"
+#include "transport/socket.h"
+
+namespace shs::transport {
+namespace {
+
+using namespace std::chrono_literals;
+
+class EventLoopBackends : public ::testing::TestWithParam<LoopBackend> {};
+
+INSTANTIATE_TEST_SUITE_P(Backends, EventLoopBackends,
+                         ::testing::Values(LoopBackend::kEpoll,
+                                           LoopBackend::kPoll),
+                         [](const auto& info) {
+                           return info.param == LoopBackend::kEpoll ? "epoll"
+                                                                    : "poll";
+                         });
+
+TEST(EventLoop, AutoPrefersEpollOnLinux) {
+  EventLoop loop(LoopBackend::kAuto);
+#ifdef __linux__
+  EXPECT_TRUE(loop.using_epoll());
+#else
+  EXPECT_FALSE(loop.using_epoll());
+#endif
+  EXPECT_FALSE(EventLoop(LoopBackend::kPoll).using_epoll());
+}
+
+TEST_P(EventLoopBackends, DispatchesReadinessAndHonorsInterest) {
+  EventLoop loop(GetParam());
+  const std::size_t baseline = loop.fd_count();  // the internal wakeup pipe
+  auto [a, b] = stream_socketpair();
+  set_nonblocking(a.get());
+
+  int reads = 0;
+  loop.add_fd(a.get(), kLoopRead, [&](std::uint32_t events) {
+    EXPECT_TRUE(events & kLoopRead);
+    ++reads;
+    std::uint8_t buf[64];
+    while (::read(a.get(), buf, sizeof(buf)) > 0) {
+    }
+  });
+  EXPECT_EQ(loop.run_once(0ms), 0u);  // nothing ready
+
+  ASSERT_EQ(::write(b.get(), "x", 1), 1);
+  EXPECT_GE(loop.run_once(100ms), 1u);
+  EXPECT_EQ(reads, 1);
+
+  // With read interest dropped the same byte goes unnoticed.
+  loop.set_interest(a.get(), 0);
+  ASSERT_EQ(::write(b.get(), "y", 1), 1);
+  EXPECT_EQ(loop.run_once(10ms), 0u);
+  EXPECT_EQ(reads, 1);
+
+  loop.set_interest(a.get(), kLoopRead);
+  EXPECT_GE(loop.run_once(100ms), 1u);
+  EXPECT_EQ(reads, 2);
+
+  loop.remove_fd(a.get());
+  EXPECT_EQ(loop.fd_count(), baseline);
+  ASSERT_EQ(::write(b.get(), "z", 1), 1);
+  EXPECT_EQ(loop.run_once(10ms), 0u);
+}
+
+TEST_P(EventLoopBackends, PeerCloseIsDeliveredThroughTheReadPath) {
+  EventLoop loop(GetParam());
+  auto [a, b] = stream_socketpair();
+  set_nonblocking(a.get());
+
+  std::uint32_t seen = 0;
+  loop.add_fd(a.get(), kLoopRead,
+              [&](std::uint32_t events) { seen |= events; });
+  b.reset();  // peer hangs up
+  EXPECT_GE(loop.run_once(100ms), 1u);
+  EXPECT_TRUE(seen & kLoopRead) << "EOF must surface through the read path";
+}
+
+TEST_P(EventLoopBackends, TimersFireInManualClockOrder) {
+  service::ManualClock clock;
+  EventLoop loop(GetParam(), &clock);
+
+  std::vector<int> fired;
+  loop.add_timer(100ms, [&] { fired.push_back(1); });
+  const auto second = loop.add_timer(200ms, [&] { fired.push_back(2); });
+  loop.add_timer(300ms, [&] { fired.push_back(3); });
+
+  EXPECT_EQ(loop.run_once(0ms), 0u);  // virtual time stands still
+  EXPECT_TRUE(fired.empty());
+
+  clock.advance(150ms);
+  EXPECT_EQ(loop.run_once(0ms), 1u);
+  EXPECT_EQ(fired, std::vector<int>{1});
+
+  loop.cancel_timer(second);
+  clock.advance(1000ms);
+  EXPECT_EQ(loop.run_once(0ms), 1u);  // only the third: second is cancelled
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST_P(EventLoopBackends, PostFromAnotherThreadWakesASleepingLoop) {
+  EventLoop loop(GetParam());
+  std::atomic<bool> ran{false};
+
+  std::thread loop_thread([&] { loop.run(10s); });
+  // With a 10s tick, a prompt return proves post() interrupted the sleep.
+  const auto start = std::chrono::steady_clock::now();
+  loop.post([&] { ran.store(true); });
+  while (!ran.load() && std::chrono::steady_clock::now() - start < 5s) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_TRUE(ran.load());
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 5s);
+  loop.stop();
+  loop_thread.join();
+}
+
+// ---------------------------------------------------------------------------
+// Connection over a socketpair, loop driven inline on the test thread.
+
+struct ConnProbe {
+  std::vector<service::Frame> frames;
+  std::string close_reason;
+  bool closed = false;
+  bool backpressure = false;
+
+  Connection::Callbacks callbacks() {
+    Connection::Callbacks cb;
+    cb.on_frame = [this](Connection&, service::Frame frame) {
+      frames.push_back(std::move(frame));
+    };
+    cb.on_closed = [this](Connection&, const std::string& reason, bool bp) {
+      closed = true;
+      close_reason = reason;
+      backpressure = bp;
+    };
+    return cb;
+  }
+};
+
+service::Frame data_frame(std::uint64_t sid, std::uint32_t round,
+                          std::uint32_t position, std::size_t payload_size) {
+  service::Frame frame;
+  frame.session_id = sid;
+  frame.round = round;
+  frame.position = position;
+  frame.payload.assign(payload_size, 0xab);
+  return frame;
+}
+
+void pump_loop(EventLoop& loop, int spins = 50) {
+  for (int i = 0; i < spins; ++i) (void)loop.run_once(1ms);
+}
+
+TEST_P(EventLoopBackends, ConnectionReassemblesFramesAndEchoesWrites) {
+  EventLoop loop(GetParam());
+  auto [a, b] = stream_socketpair();
+  ConnProbe probe;
+  service::ServiceMetrics metrics;
+  auto conn = std::make_shared<Connection>(loop, std::move(a), 1,
+                                           ConnectionLimits{},
+                                           probe.callbacks(), &metrics);
+  conn->register_with_loop();
+
+  // Two frames written in one burst, split across arbitrary read chunks.
+  const service::Frame f1 = data_frame(7, 0, 1, 100);
+  const service::Frame f2 = data_frame(7, 0, 2, 3000);
+  Bytes wire = service::encode_frame(f1);
+  append(wire, service::encode_frame(f2));
+  ASSERT_EQ(::write(b.get(), wire.data(), wire.size()),
+            static_cast<ssize_t>(wire.size()));
+  pump_loop(loop);
+  ASSERT_EQ(probe.frames.size(), 2u);
+  EXPECT_EQ(probe.frames[0], f1);
+  EXPECT_EQ(probe.frames[1], f2);
+  EXPECT_EQ(metrics.tcp_bytes_in.load(), wire.size());
+
+  // send() queues on any thread and the loop flushes to the peer.
+  conn->send(service::encode_frame(f1));
+  pump_loop(loop);
+  Bytes got(service::encode_frame(f1).size());
+  ASSERT_EQ(::read(b.get(), got.data(), got.size()),
+            static_cast<ssize_t>(got.size()));
+  EXPECT_EQ(got, service::encode_frame(f1));
+  EXPECT_EQ(metrics.tcp_bytes_out.load(), got.size());
+  EXPECT_GT(metrics.write_queue_hwm.load(), 0u);
+
+  b.reset();  // peer disconnect closes the connection via the read path
+  pump_loop(loop);
+  EXPECT_TRUE(probe.closed);
+  EXPECT_FALSE(probe.backpressure);
+  EXPECT_EQ(metrics.connections_closed.load(), 1u);
+}
+
+TEST_P(EventLoopBackends, WriteKillWatermarkDropsTheConnection) {
+  EventLoop loop(GetParam());
+  auto [a, b] = stream_socketpair();
+  ConnProbe probe;
+  service::ServiceMetrics metrics;
+  ConnectionLimits limits;
+  limits.write_kill = 16 * 1024;
+  auto conn = std::make_shared<Connection>(loop, std::move(a), 1, limits,
+                                           probe.callbacks(), &metrics);
+  conn->register_with_loop();
+
+  // The peer never reads; one oversized burst crosses the kill watermark.
+  conn->send(service::encode_frame(data_frame(9, 0, 0, 64 * 1024)));
+  pump_loop(loop);
+  EXPECT_TRUE(probe.closed);
+  EXPECT_TRUE(probe.backpressure);
+  EXPECT_EQ(metrics.connections_killed_backpressure.load(), 1u);
+  EXPECT_TRUE(conn->closed());
+  conn->send(service::encode_frame(data_frame(9, 0, 0, 8)));  // harmless no-op
+}
+
+TEST_P(EventLoopBackends, FrameBufferCapKillsAByteDripper) {
+  EventLoop loop(GetParam());
+  auto [a, b] = stream_socketpair();
+  ConnProbe probe;
+  ConnectionLimits limits;
+  limits.max_unframed = 1024;  // far below the frame about to arrive
+  auto conn = std::make_shared<Connection>(loop, std::move(a), 1, limits,
+                                           probe.callbacks(), nullptr);
+  conn->register_with_loop();
+
+  // A legal frame header promising 512 KiB: bytes buffer without ever
+  // completing a frame, so the cap — not the codec — must fire.
+  const Bytes wire = service::encode_frame(data_frame(3, 0, 0, 512 * 1024));
+  std::size_t sent = 0;
+  while (sent < wire.size() && !probe.closed) {
+    const std::size_t take = std::min<std::size_t>(2048, wire.size() - sent);
+    if (::write(b.get(), wire.data() + sent, take) <= 0) break;
+    sent += take;
+    pump_loop(loop, 5);
+  }
+  EXPECT_TRUE(probe.closed);
+  EXPECT_NE(probe.close_reason.find("FrameBuffer"), std::string::npos)
+      << probe.close_reason;
+}
+
+TEST_P(EventLoopBackends, GracefulShutdownFlushesThenCloses) {
+  EventLoop loop(GetParam());
+  auto [a, b] = stream_socketpair();
+  ConnProbe probe;
+  auto conn = std::make_shared<Connection>(loop, std::move(a), 1,
+                                           ConnectionLimits{},
+                                           probe.callbacks(), nullptr);
+  conn->register_with_loop();
+
+  const Bytes wire = service::encode_frame(data_frame(5, 1, 0, 2000));
+  conn->send(wire);
+  loop.post([&] { conn->shutdown_when_drained(); });
+  pump_loop(loop);
+
+  Bytes got(wire.size());
+  ASSERT_EQ(::read(b.get(), got.data(), got.size()),
+            static_cast<ssize_t>(got.size()));
+  EXPECT_EQ(got, wire);  // queued bytes reached the peer before the close
+  EXPECT_TRUE(probe.closed);
+  EXPECT_EQ(probe.close_reason, "graceful shutdown");
+  std::uint8_t extra = 0;
+  EXPECT_EQ(::read(b.get(), &extra, 1), 0) << "expected EOF after drain";
+}
+
+}  // namespace
+}  // namespace shs::transport

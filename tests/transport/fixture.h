@@ -1,0 +1,96 @@
+// Shared scaffolding for the TCP transport tests: one process-wide group,
+// the OpenRequest -> hosted-participants factory every test server
+// installs, the serial-driver twin for byte-equality checks, and the
+// outcome comparator (same fields service_test pins).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fixture.h"
+#include "transport/server.h"
+#include "transport/wire.h"
+
+namespace shs::transport::testing {
+
+inline core::testing::TestGroup& tcp_group() {
+  static auto* group = [] {
+    auto* g = new core::testing::TestGroup("tcp", core::GroupConfig{});
+    for (core::MemberId id = 1; id <= 8; ++id) g->admit(id);
+    return g;
+  }();
+  return *group;
+}
+
+inline core::HandshakeOptions options_of(const OpenRequest& request) {
+  core::HandshakeOptions options;
+  options.self_distinction = request.self_distinction;
+  options.traceable = request.traceable;
+  return options;
+}
+
+/// The SessionFactory under test: decodes the OpenRequest convention and
+/// hosts members 0..m-1 of the shared group (position = member index),
+/// mirroring exactly what serial_twin() runs.
+inline SessionFactory group_factory() {
+  return [](BytesView payload) {
+    const OpenRequest request = decode_open_request(payload);
+    auto& group = tcp_group();
+    if (request.m < 2 || request.m > group.size()) {
+      throw ProtocolError("open: unsupported party count");
+    }
+    const core::HandshakeOptions options = options_of(request);
+    std::vector<std::unique_ptr<core::HandshakeParticipant>> parts;
+    parts.reserve(request.m);
+    for (std::size_t i = 0; i < request.m; ++i) {
+      parts.push_back(group.member(i).handshake_party(i, request.m, options,
+                                                      request.seed));
+    }
+    return parts;
+  };
+}
+
+inline OpenRequest make_request(std::uint32_t m, bool scheme2,
+                                std::string_view seed) {
+  OpenRequest request;
+  request.m = m;
+  request.self_distinction = scheme2;
+  request.seed = to_bytes(seed);
+  return request;
+}
+
+/// What a serial run_handshake() of the same participants produces.
+inline std::vector<core::HandshakeOutcome> serial_twin(
+    const OpenRequest& request) {
+  auto& group = tcp_group();
+  std::vector<const core::Member*> members;
+  members.reserve(request.m);
+  for (std::size_t i = 0; i < request.m; ++i) {
+    members.push_back(&group.member(i));
+  }
+  const std::string seed(request.seed.begin(), request.seed.end());
+  return core::testing::handshake(members, options_of(request), seed);
+}
+
+inline void expect_outcomes_equal(
+    const std::vector<core::HandshakeOutcome>& got,
+    const std::vector<core::HandshakeOutcome>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    SCOPED_TRACE("position " + std::to_string(i));
+    EXPECT_EQ(got[i].completed, want[i].completed);
+    EXPECT_EQ(got[i].partner, want[i].partner);
+    EXPECT_EQ(got[i].full_success, want[i].full_success);
+    EXPECT_EQ(got[i].self_distinction_violated,
+              want[i].self_distinction_violated);
+    EXPECT_EQ(got[i].session_key, want[i].session_key);
+    EXPECT_EQ(got[i].failure, want[i].failure);
+    EXPECT_EQ(got[i].reason, want[i].reason);
+    EXPECT_EQ(got[i].transcript.serialize(), want[i].transcript.serialize());
+  }
+}
+
+}  // namespace shs::transport::testing

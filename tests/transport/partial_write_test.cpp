@@ -1,0 +1,137 @@
+// Partial-write / short-read fuzz: the transport must reassemble frames
+// correctly however the kernel slices the stream. A socketpair end is
+// adopted by the server as a connection; the test-side relay deliberately
+// misbehaves — tiny SO_SNDBUF, every write chopped into random 1..97-byte
+// chunks, reads bounded by a random 1..64-byte buffer — across several
+// seeds, and the hosted handshake must still finish byte-identical to
+// the serial driver. The Client's own blocking I/O is fuzzed the same
+// way through shrunken socket buffers.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+
+#include "fixture.h"
+#include "transport/client.h"
+#include "transport/server.h"
+#include "transport/socket.h"
+
+namespace shs::transport {
+namespace {
+
+using testing::expect_outcomes_equal;
+using testing::group_factory;
+using testing::make_request;
+using testing::serial_twin;
+
+/// Writes `wire` to `fd` in randomized chunks, spinning on the (blocking,
+/// tiny-buffered) socket until all of it is out.
+void chunked_write(int fd, BytesView wire, std::mt19937& rng) {
+  std::uniform_int_distribution<std::size_t> chunk(1, 97);
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const std::size_t take = std::min(chunk(rng), wire.size() - sent);
+    const ssize_t n = ::write(fd, wire.data() + sent, take);
+    ASSERT_GT(n, 0) << errno_message("write");
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+TEST(PartialWrite, MisbehavingRelayStillYieldsSerialOutcomes) {
+  for (const std::uint32_t fuzz_seed : {1u, 2u, 3u, 4u}) {
+    SCOPED_TRACE("fuzz seed " + std::to_string(fuzz_seed));
+    std::mt19937 rng(fuzz_seed);
+
+    ServerOptions so;
+    so.auto_close_sessions = false;
+    TransportServer server(so, {}, group_factory());
+    server.start();
+
+    auto [server_end, test_end] = stream_socketpair();
+    set_socket_buffers(server_end.get(), 4096, 4096);
+    set_socket_buffers(test_end.get(), 4096, 4096);
+    server.adopt_connection(std::move(server_end));
+
+    const OpenRequest request =
+        make_request(3, fuzz_seed % 2 == 0,
+                     "tcp-fuzz-" + std::to_string(fuzz_seed));
+    const auto want = serial_twin(request);
+
+    // Hand-rolled relay: open, then echo every session frame back, with
+    // all writes chunked and all reads short.
+    std::uint64_t sid = 0;
+    bool done = false;
+    service::SessionState final_state = service::SessionState::kCollecting;
+    service::FrameBuffer in_buf;
+    std::uniform_int_distribution<std::size_t> read_size(1, 64);
+
+    chunked_write(test_end.get(), service::encode_frame(make_open(
+                                      7, encode_open_request(request))),
+                  rng);
+    while (!done) {
+      while (auto frame = in_buf.next()) {
+        if (is_control(*frame)) {
+          switch (static_cast<ControlOp>(frame->round)) {
+            case ControlOp::kOpenOk:
+              sid = decode_open_ok(*frame);
+              break;
+            case ControlOp::kDone: {
+              const SessionSummary summary = decode_done(*frame);
+              EXPECT_EQ(summary.session_id, sid);
+              final_state = summary.state;
+              done = true;
+              break;
+            }
+            default:
+              FAIL() << "unexpected control op " << frame->round;
+          }
+        } else {
+          chunked_write(test_end.get(), service::encode_frame(*frame), rng);
+        }
+        if (done) break;
+      }
+      if (done) break;
+      Bytes buf(read_size(rng));
+      const ssize_t n = ::read(test_end.get(), buf.data(), buf.size());
+      ASSERT_GT(n, 0) << "server hung up mid-handshake";
+      in_buf.feed(BytesView(buf.data(), static_cast<std::size_t>(n)));
+    }
+
+    ASSERT_NE(sid, 0u);
+    EXPECT_EQ(final_state, service::SessionState::kDone);
+    expect_outcomes_equal(server.service().outcomes(sid), want);
+    server.shutdown();
+  }
+}
+
+TEST(PartialWrite, TinySocketBuffersFuzzTheBlockingClientToo) {
+  ServerOptions so;
+  so.auto_close_sessions = false;
+  so.limits.read_chunk = 512;  // force many short reads server-side too
+  TransportServer server(so, {}, group_factory());
+  server.start();
+
+  ClientOptions co;
+  co.port = server.port();
+  co.sndbuf = 2048;
+  co.rcvbuf = 2048;
+  Client client(co);
+  client.connect();
+
+  const OpenRequest request = make_request(4, true, "tcp-fuzz-client");
+  const auto want = serial_twin(request);
+  const std::uint64_t sid = client.open(request);
+  const auto& summaries = client.run();
+
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_EQ(summaries.front().state, service::SessionState::kDone);
+  expect_outcomes_equal(server.service().outcomes(sid), want);
+  server.shutdown();
+}
+
+}  // namespace
+}  // namespace shs::transport

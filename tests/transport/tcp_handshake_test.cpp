@@ -1,0 +1,224 @@
+// End-to-end over real TCP: a TransportServer hosting the rendezvous
+// service completes m-party handshakes (m in {2,4}, Scheme 1 and 2)
+// driven by blocking relay clients on loopback sockets, and the outcomes
+// — session key, partner sets, reasons and the serialized transcript —
+// are byte-identical to the serial net driver. Also pinned here: the
+// transport metrics JSON, concurrent clients multiplexing sessions,
+// rejected opens, and graceful server shutdown notifying idle clients.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fixture.h"
+#include "transport/client.h"
+#include "transport/server.h"
+
+namespace shs::transport {
+namespace {
+
+using testing::expect_outcomes_equal;
+using testing::group_factory;
+using testing::make_request;
+using testing::serial_twin;
+
+ClientOptions client_for(const TransportServer& server) {
+  ClientOptions options;
+  options.port = server.port();
+  return options;
+}
+
+TEST(TcpHandshake, SchemesAndWidthsMatchTheSerialDriverByteForByte) {
+  ServerOptions so;
+  service::ServiceOptions svc;
+  so.auto_close_sessions = false;  // keep outcomes inspectable
+  TransportServer server(so, svc, group_factory());
+  server.start();
+  ASSERT_GT(server.port(), 0);
+
+  for (const std::uint32_t m : {2u, 4u}) {
+    for (const bool scheme2 : {false, true}) {
+      SCOPED_TRACE("m=" + std::to_string(m) +
+                   (scheme2 ? " scheme2" : " scheme1"));
+      const OpenRequest request = make_request(
+          m, scheme2,
+          "tcp-e2e-" + std::to_string(m) + (scheme2 ? "-s2" : "-s1"));
+      const auto want = serial_twin(request);
+
+      Client client(client_for(server));
+      client.connect();
+      const std::uint64_t sid = client.open(request);
+      const auto& summaries = client.run();
+
+      ASSERT_EQ(summaries.size(), 1u);
+      EXPECT_EQ(summaries.back().session_id, sid);
+      EXPECT_EQ(summaries.back().state, service::SessionState::kDone);
+
+      const auto got = server.service().outcomes(sid);
+      expect_outcomes_equal(got, want);
+      ASSERT_EQ(summaries.back().confirmed.size(), m);
+      for (std::size_t i = 0; i < m; ++i) {
+        EXPECT_EQ(summaries.back().confirmed[i], want[i].confirmed_count());
+      }
+    }
+  }
+
+  EXPECT_EQ(server.sessions_completed(), 4u);
+  EXPECT_EQ(server.egress_dropped(), 0u);
+  server.shutdown();
+}
+
+TEST(TcpHandshake, OneClientMultiplexesManySessions) {
+  ServerOptions so;
+  service::ServiceOptions svc;
+  svc.threads = 2;
+  so.auto_close_sessions = false;
+  TransportServer server(so, svc, group_factory());
+  server.start();
+
+  Client client(client_for(server));
+  client.connect();
+  std::vector<std::uint64_t> sids;
+  std::vector<OpenRequest> requests;
+  for (int s = 0; s < 6; ++s) {
+    requests.push_back(make_request(s % 2 == 0 ? 2 : 4, s % 3 == 0,
+                                    "tcp-mux-" + std::to_string(s)));
+    sids.push_back(client.open(requests.back()));
+  }
+  const auto& summaries = client.run();
+  ASSERT_EQ(summaries.size(), sids.size());
+
+  for (std::size_t s = 0; s < sids.size(); ++s) {
+    SCOPED_TRACE("session " + std::to_string(s));
+    expect_outcomes_equal(server.service().outcomes(sids[s]),
+                          serial_twin(requests[s]));
+  }
+  server.shutdown();
+}
+
+TEST(TcpHandshake, ConcurrentClientsShareTheServer) {
+  ServerOptions so;
+  service::ServiceOptions svc;
+  svc.threads = 4;
+  TransportServer server(so, svc, group_factory());
+  server.start();
+
+  constexpr int kClients = 4;
+  constexpr int kSessionsEach = 3;
+  std::vector<std::thread> threads;
+  std::atomic<int> confirmed{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client(client_for(server));
+      client.connect();
+      for (int s = 0; s < kSessionsEach; ++s) {
+        client.open(make_request(c % 2 == 0 ? 2 : 4, false,
+                                 "tcp-conc-" + std::to_string(c) + "-" +
+                                     std::to_string(s)));
+      }
+      for (const SessionSummary& summary : client.run()) {
+        if (summary.state == service::SessionState::kDone) ++confirmed;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(confirmed.load(), kClients * kSessionsEach);
+  EXPECT_EQ(server.sessions_completed(),
+            static_cast<std::uint64_t>(kClients * kSessionsEach));
+  // auto_close_sessions GC's each session once its DONE went out; the
+  // worker's drain may still be a beat behind the last client's read.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(2);
+  while (server.service().active_sessions() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server.service().active_sessions(), 0u);
+  server.shutdown();
+}
+
+TEST(TcpHandshake, MetricsJsonCarriesTheTransportCounters) {
+  ServerOptions so;
+  TransportServer server(so, {}, group_factory());
+  server.start();
+
+  Client client(client_for(server));
+  client.connect();
+  client.open(make_request(2, false, "tcp-metrics"));
+  client.run();
+
+  const service::ServiceMetrics& metrics = server.service().metrics();
+  EXPECT_GT(metrics.tcp_bytes_in.load(), 0u);
+  EXPECT_GT(metrics.tcp_bytes_out.load(), 0u);
+  EXPECT_EQ(metrics.connections_accepted.load(), 1u);
+  EXPECT_GT(metrics.write_queue_hwm.load(), 0u);
+
+  const std::string json = server.service().metrics_json();
+  for (const char* key :
+       {"\"transport\"", "\"bytes_in\"", "\"bytes_out\"", "\"connections\"",
+        "\"accepted\"", "\"killed_backpressure\"",
+        "\"write_queue_hwm_bytes\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " missing:\n"
+                                                 << json;
+  }
+
+  client.close();
+  server.shutdown();
+  EXPECT_EQ(metrics.connections_closed.load(),
+            metrics.connections_accepted.load());
+}
+
+TEST(TcpHandshake, RejectedOpenReportsTheFactoryError) {
+  TransportServer server({}, {}, group_factory());
+  server.start();
+
+  Client client(client_for(server));
+  client.connect();
+  try {
+    client.open(make_request(64, false, "tcp-reject"));  // group has 8
+    FAIL() << "open should have been rejected";
+  } catch (const ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported party count"),
+              std::string::npos)
+        << e.what();
+  }
+  // The connection survives a rejected open.
+  const std::uint64_t sid = client.open(make_request(2, false, "tcp-after"));
+  EXPECT_GT(sid, 0u);
+  client.run();
+  server.shutdown();
+}
+
+TEST(TcpHandshake, ShutdownNotifiesIdleClients) {
+  TransportServer server({}, {}, group_factory());
+  server.start();
+
+  Client client(client_for(server));
+  client.connect();
+  client.open(make_request(2, false, "tcp-shutdown"));
+  client.run();  // session done; the client is now idle
+
+  std::thread stopper([&] { server.shutdown(); });
+  // The server announces kShutdown before closing; the idle client sees it
+  // (or a clean EOF if the close won the race).
+  try {
+    auto frame = client.recv_frame();
+    while (frame && !client.server_shutdown()) {
+      if (is_control(*frame) &&
+          static_cast<ControlOp>(frame->round) == ControlOp::kShutdown) {
+        break;
+      }
+      frame = client.recv_frame();
+    }
+  } catch (const TransportError&) {
+    // rude close is acceptable only after the deadline; surface it
+    FAIL() << "shutdown notification never arrived";
+  }
+  stopper.join();
+}
+
+}  // namespace
+}  // namespace shs::transport

@@ -1,0 +1,64 @@
+// Control-protocol codec: every control frame round-trips, decoders
+// reject the wrong opcode, and the OpenRequest convention survives
+// encode -> decode including its flag packing.
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "transport/wire.h"
+
+namespace shs::transport {
+namespace {
+
+TEST(Wire, ControlFramesLiveOnTheReservedSession) {
+  const service::Frame open = make_open(7, to_bytes("blob"));
+  EXPECT_TRUE(is_control(open));
+  EXPECT_EQ(open.session_id, kControlSession);
+  EXPECT_EQ(open.round, static_cast<std::uint32_t>(ControlOp::kOpen));
+  EXPECT_EQ(open.position, 7u);
+  EXPECT_EQ(open.payload, to_bytes("blob"));
+
+  service::Frame data;
+  data.session_id = 1;
+  EXPECT_FALSE(is_control(data));
+}
+
+TEST(Wire, OpenRepliesRoundTrip) {
+  EXPECT_EQ(decode_open_ok(make_open_ok(3, 0x1122334455667788ull)),
+            0x1122334455667788ull);
+  EXPECT_EQ(decode_open_err(make_open_err(3, "nope")), "nope");
+  EXPECT_THROW((void)decode_open_ok(make_open_err(3, "nope")), CodecError);
+  EXPECT_THROW((void)decode_open_err(make_shutdown()), CodecError);
+}
+
+TEST(Wire, DoneSummaryRoundTrips) {
+  SessionSummary summary;
+  summary.session_id = 42;
+  summary.state = service::SessionState::kExpired;
+  summary.confirmed = {4, 0, 3, 4};
+  EXPECT_EQ(decode_done(make_done(summary)), summary);
+
+  // An implausible party count is rejected before any allocation.
+  service::Frame bogus = make_done(summary);
+  bogus.payload[8 + 1] = 0xff;  // clobber the count's high byte
+  bogus.payload[8 + 2] = 0xff;
+  EXPECT_THROW((void)decode_done(bogus), CodecError);
+}
+
+TEST(Wire, OpenRequestRoundTripsAllFlagCombinations) {
+  for (const bool sd : {false, true}) {
+    for (const bool tr : {false, true}) {
+      OpenRequest request;
+      request.m = 5;
+      request.self_distinction = sd;
+      request.traceable = tr;
+      request.seed = to_bytes("seed-bytes");
+      EXPECT_EQ(decode_open_request(encode_open_request(request)), request);
+    }
+  }
+  Bytes truncated = encode_open_request({});
+  truncated.pop_back();
+  EXPECT_THROW((void)decode_open_request(truncated), CodecError);
+}
+
+}  // namespace
+}  // namespace shs::transport

@@ -14,6 +14,12 @@
 # ThreadSanitizer tree (build-tsan/, -DSHS_TSAN=ON). The soak size is
 # reduced under TSan unless SHS_STRESS_SESSIONS is already set — race
 # coverage comes from thread interleaving, not session count.
+#
+# Pass --transport to additionally run the TCP transport suite
+# (ctest -L transport: event loop, connections, e2e loopback handshakes,
+# fuzz, disconnect reaping) in the same TSan tree — the loop thread, pump
+# worker and client threads genuinely race, which is exactly what TSan is
+# for.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,11 +37,13 @@ run_suite() {
 want_conformance=0
 want_sanitize=1
 want_service=0
+want_transport=0
 for arg in "$@"; do
   case "$arg" in
     --conformance) want_conformance=1 ;;
     --no-sanitize) want_sanitize=0 ;;
     --service) want_service=1 ;;
+    --transport) want_transport=1 ;;
     *) echo "check.sh: unknown option '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -68,6 +76,13 @@ if [[ "$want_service" == 1 ]]; then
   cmake --build build-tsan -j "$(nproc)" --target service_test service_stress_test
   SHS_STRESS_SESSIONS="${SHS_STRESS_SESSIONS:-250}" \
     ctest --test-dir build-tsan --output-on-failure -L service
+fi
+
+if [[ "$want_transport" == 1 ]]; then
+  echo "== transport under TSan =="
+  cmake -B build-tsan -S . -DSHS_TSAN=ON >/dev/null
+  cmake --build build-tsan -j "$(nproc)" --target transport_test
+  ctest --test-dir build-tsan --output-on-failure -L transport
 fi
 
 echo "check.sh: all suites passed"
