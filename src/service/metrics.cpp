@@ -91,7 +91,8 @@ std::string ServiceMetrics::to_json(std::uint64_t active_sessions) const {
          ", \"connections\": {\"accepted\": " + u64(connections_accepted) +
          ", \"closed\": " + u64(connections_closed) +
          ", \"killed_backpressure\": " + u64(connections_killed_backpressure) +
-         "}, \"write_queue_hwm_bytes\": " + u64(write_queue_hwm) + "},\n";
+         "}, \"frames_unowned\": " + u64(frames_unowned) +
+         ", \"write_queue_hwm_bytes\": " + u64(write_queue_hwm) + "},\n";
   out += " \"latency\": {\"phase1\": " + phase1_latency.to_json() +
          ",\n  \"phase2\": " + phase2_latency.to_json() +
          ",\n  \"phase3\": " + phase3_latency.to_json() +

@@ -67,6 +67,10 @@ struct ServiceMetrics {
   // Subset of connections_closed: peer refused to drain our writes past
   // the kill watermark.
   std::atomic<std::uint64_t> connections_killed_backpressure{0};
+  // Inbound session frames dropped because the sending connection does not
+  // own the session id they carry (cross-session injection attempts, or
+  // stragglers for a session whose route already died).
+  std::atomic<std::uint64_t> frames_unowned{0};
   // High-water mark (bytes) across every connection's write queue.
   std::atomic<std::uint64_t> write_queue_hwm{0};
 

@@ -128,6 +128,7 @@ void EventLoop::add_fd(int fd, std::uint32_t interest, FdCallback callback) {
   auto entry = std::make_shared<FdEntry>();
   entry->interest = interest;
   entry->callback = std::move(callback);
+  entry->gen = fd_gen_++;
   if (!fds_.emplace(fd, std::move(entry)).second) {
     throw TransportError("EventLoop: fd already registered");
   }
@@ -196,9 +197,13 @@ int EventLoop::poll_timeout_ms(std::chrono::milliseconds max_wait) {
   return static_cast<int>(wait.count());
 }
 
-std::size_t EventLoop::dispatch_fd(int fd, std::uint32_t events) {
+std::size_t EventLoop::dispatch_fd(int fd, std::uint32_t events,
+                                   std::uint64_t pass_gen) {
   const auto it = fds_.find(fd);
   if (it == fds_.end()) return 0;  // removed by an earlier callback
+  // An entry registered mid-batch reuses a number some queued event still
+  // names: that event belongs to the old, closed socket, not this one.
+  if (it->second->gen >= pass_gen) return 0;
   // Keep the entry alive across the callback even if it removes itself.
   const std::shared_ptr<FdEntry> entry = it->second;
   entry->callback(events);
@@ -234,6 +239,9 @@ std::size_t EventLoop::fire_due_timers() {
 std::size_t EventLoop::run_once(std::chrono::milliseconds max_wait) {
   const int timeout = poll_timeout_ms(max_wait);
   std::size_t dispatched = 0;
+  // Entries with gen >= pass_gen were registered after this pass collected
+  // its events; any event naming their fd is stale (see FdEntry::gen).
+  const std::uint64_t pass_gen = fd_gen_;
 
 #if SHS_HAVE_EPOLL
   if (use_epoll_) {
@@ -243,7 +251,8 @@ std::size_t EventLoop::run_once(std::chrono::milliseconds max_wait) {
       throw TransportError(errno_message("epoll_wait"));
     }
     for (int i = 0; i < std::max(n, 0); ++i) {
-      dispatched += dispatch_fd(events[i].data.fd, from_epoll(events[i].events));
+      dispatched +=
+          dispatch_fd(events[i].data.fd, from_epoll(events[i].events), pass_gen);
     }
   } else
 #endif
@@ -259,7 +268,7 @@ std::size_t EventLoop::run_once(std::chrono::milliseconds max_wait) {
     }
     for (const pollfd& pfd : pfds) {
       if (pfd.revents == 0) continue;
-      dispatched += dispatch_fd(pfd.fd, from_poll(pfd.revents));
+      dispatched += dispatch_fd(pfd.fd, from_poll(pfd.revents), pass_gen);
     }
   }
 

@@ -94,6 +94,11 @@ class EventLoop {
   struct FdEntry {
     std::uint32_t interest = 0;
     FdCallback callback;
+    // Registration generation: events are resolved by raw fd number, so a
+    // callback that closes fd N lets a later callback in the same dispatch
+    // batch reuse N. Entries registered after the poll pass began must not
+    // receive the old socket's queued events.
+    std::uint64_t gen = 0;
   };
   struct TimerEntry {
     service::Clock::time_point deadline;
@@ -105,7 +110,8 @@ class EventLoop {
   };
 
   [[nodiscard]] int poll_timeout_ms(std::chrono::milliseconds max_wait);
-  std::size_t dispatch_fd(int fd, std::uint32_t events);
+  std::size_t dispatch_fd(int fd, std::uint32_t events,
+                          std::uint64_t pass_gen);
   std::size_t drain_posts();
   std::size_t fire_due_timers();
   void update_backend(int fd, std::uint32_t old_interest,
@@ -117,6 +123,7 @@ class EventLoop {
   Fd wake_read_, wake_write_;
 
   std::unordered_map<int, std::shared_ptr<FdEntry>> fds_;
+  std::uint64_t fd_gen_ = 1;
 
   std::priority_queue<TimerEntry, std::vector<TimerEntry>,
                       std::greater<TimerEntry>>

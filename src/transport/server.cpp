@@ -2,6 +2,7 @@
 
 #include <sys/socket.h>
 
+#include <cerrno>
 #include <future>
 #include <utility>
 
@@ -41,17 +42,39 @@ void TransportServer::start() {
   if (started_.exchange(true)) {
     throw ProtocolError("TransportServer: start() called twice");
   }
-  listener_ = tcp_listen(options_.address, options_.port, options_.backlog);
-  port_ = local_port(listener_.get());
-  loop_.add_fd(listener_.get(), kLoopRead,
-               [this](std::uint32_t) { accept_ready(); });
-  arm_expire_timer();
-  worker_ = std::thread([this] { worker_loop(); });
-  loop_thread_ = std::thread([this] { loop_.run(); });
+  try {
+    listener_ = tcp_listen(options_.address, options_.port, options_.backlog);
+    port_ = local_port(listener_.get());
+    loop_.add_fd(listener_.get(), kLoopRead,
+                 [this](std::uint32_t) { accept_ready(); });
+    arm_expire_timer();
+    worker_ = std::thread([this] { worker_loop(); });
+    loop_thread_ = std::thread([this] { loop_.run(); });
+  } catch (...) {
+    // Unwind the partial start so the destructor's shutdown() stays a
+    // no-op: with started_ back to false it never posts to a loop that
+    // isn't running or joins threads that were never spawned.
+    if (worker_.joinable()) {
+      {
+        const std::lock_guard<std::mutex> lock(work_mu_);
+        stop_worker_ = true;
+      }
+      work_cv_.notify_one();
+      worker_.join();
+      stop_worker_ = false;
+    }
+    if (listener_.valid()) {
+      loop_.remove_fd(listener_.get());
+      listener_.reset();
+    }
+    loop_.cancel_timer(expire_timer_);  // safe: the loop never ran
+    started_.store(false, std::memory_order_release);
+    throw;
+  }
 }
 
 void TransportServer::arm_expire_timer() {
-  loop_.add_timer(options_.expire_interval, [this] {
+  expire_timer_ = loop_.add_timer(options_.expire_interval, [this] {
     if (stopping_.load(std::memory_order_acquire)) return;
     (void)service_->expire_stalled();
     drain_deferred_closes();
@@ -63,9 +86,25 @@ void TransportServer::accept_ready() {
   while (true) {
     const int fd = ::accept4(listener_.get(), nullptr, nullptr,
                              SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (fd < 0) return;  // EAGAIN, or a transient accept failure: retry on
-                         // the next readiness event either way
-    install_connection(Fd(fd));
+    if (fd >= 0) {
+      install_connection(Fd(fd));
+      continue;
+    }
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    // Persistent failure (EMFILE/ENFILE/ENOMEM...): the level-triggered
+    // backends keep reporting the listener readable, so retrying on the
+    // next readiness event would spin the loop at 100% CPU. Pause
+    // accepting and rearm after a delay instead.
+    loop_.set_interest(listener_.get(), 0);
+    loop_.add_timer(options_.accept_retry_delay, [this] {
+      if (stopping_.load(std::memory_order_acquire) || !listener_.valid()) {
+        return;  // shutdown removed the listener meanwhile
+      }
+      loop_.set_interest(listener_.get(), kLoopRead);
+      accept_ready();
+    });
+    return;
   }
 }
 
@@ -121,6 +160,21 @@ void TransportServer::on_frame(Connection& conn, service::Frame frame) {
     }
     work_cv_.notify_one();
     return;
+  }
+  // Ownership check: session ids are sequential and the session manager is
+  // first-write-wins per slot, so an unchecked forward would let any client
+  // inject frames into another connection's handshake. Only the connection
+  // the session was opened on may speak for it; frames for a session this
+  // connection does not own (including its own sessions after their route
+  // died) are dropped and counted, never forwarded.
+  {
+    const std::lock_guard<std::mutex> lock(routes_mu_);
+    const auto route = routes_.find(frame.session_id);
+    if (route == routes_.end() || route->second != conn.id()) {
+      service_->metrics().frames_unowned.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      return;
+    }
   }
   const service::FrameDisposition d = service_->handle_frame(std::move(frame));
   if (d == service::FrameDisposition::kCompletedRound) signal_pump();
@@ -333,11 +387,11 @@ void TransportServer::shutdown() {
     stop_worker_ = true;
   }
   work_cv_.notify_one();
-  worker_.join();
+  if (worker_.joinable()) worker_.join();
   drain_deferred_closes();
 
   loop_.stop();
-  loop_thread_.join();
+  if (loop_thread_.joinable()) loop_thread_.join();
 }
 
 }  // namespace shs::transport

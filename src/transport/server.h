@@ -15,9 +15,12 @@
 // Routing invariant: the pump worker is the only caller of pump(), and a
 // session's route (sid -> connection) is installed before the worker
 // pumps for the first time after its open — so egress can never observe
-// a session without a route. A route dies with its connection or its
-// session; frames for a routeless session are counted and dropped
-// (the session then stalls and the expiry timer reaps it).
+// a session without a route. Routes gate both directions: inbound session
+// frames are forwarded only from the connection that owns the route
+// (anything else is dropped and counted as frames_unowned — session ids
+// are guessable, ownership is not), and egress frames for a routeless
+// session are counted and dropped. A route dies with its connection or
+// its session (the session then stalls and the expiry timer reaps it).
 //
 // The expiry timer (EventLoop timer on the shared service::Clock) calls
 // expire_stalled() every `expire_interval`, so sessions abandoned by a
@@ -66,6 +69,9 @@ struct ServerOptions {
   ConnectionLimits limits;
   /// Cadence of the expire_stalled() timer (on the service clock).
   std::chrono::milliseconds expire_interval{500};
+  /// How long accept pauses after a persistent accept() failure (EMFILE,
+  /// ENFILE, ...) before the listener is rearmed (on the service clock).
+  std::chrono::milliseconds accept_retry_delay{100};
   /// How long shutdown() waits for sessions/writes to drain (real time).
   std::chrono::milliseconds drain_deadline{5000};
   /// GC sessions (service.close) once their DONE notification is queued.
@@ -144,6 +150,7 @@ class TransportServer {
 
   Fd listener_;
   std::uint16_t port_ = 0;
+  EventLoop::TimerId expire_timer_ = 0;
   std::thread loop_thread_;
   std::thread worker_;
   std::atomic<bool> started_{false};

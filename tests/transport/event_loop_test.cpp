@@ -133,6 +133,58 @@ TEST_P(EventLoopBackends, PostFromAnotherThreadWakesASleepingLoop) {
   loop_thread.join();
 }
 
+TEST(EventLoop, FdNumberReuseWithinOneDispatchBatchIsNotMisdelivered) {
+  // Events are resolved by raw fd number, so a callback that removes and
+  // closes fd N mid-batch lets a later registration reclaim N while the
+  // batch still holds the old socket's queued event. That stale event must
+  // not reach the new entry. Forced deterministically with the poll
+  // backend, which collects every ready fd before dispatching any.
+  EventLoop loop(LoopBackend::kPoll);
+  auto [a1, a2] = stream_socketpair();
+  auto [b1, b2] = stream_socketpair();
+  ASSERT_EQ(::write(a2.get(), "x", 1), 1);  // both registered fds are
+  ASSERT_EQ(::write(b2.get(), "y", 1), 1);  // ready before the pass
+
+  Fd reused;
+  int winner = -1;         // whichever callback the batch ran first
+  int victim = -1;         // the other fd: removed, closed, number reused
+  int survivor_peer = -1;  // write end that can still reach `reused`
+  int recorder_events = 0;
+
+  auto arm = [&](Fd* self, Fd* other, Fd* self_peer) {
+    loop.add_fd(self->get(), kLoopRead,
+                [&, self, other, self_peer](std::uint32_t) {
+                  char c = 0;
+                  (void)!::read(self->get(), &c, 1);
+                  if (winner != -1) return;  // the other callback won
+                  winner = self->get();
+                  survivor_peer = self_peer->get();
+                  victim = other->get();
+                  loop.remove_fd(victim);
+                  other->reset();  // frees the number...
+                  reused = Fd(::dup(self->get()));  // ...dup reclaims it
+                  loop.add_fd(reused.get(), kLoopRead,
+                              [&](std::uint32_t) { ++recorder_events; });
+                });
+  };
+  arm(&a1, &b1, &a2);
+  arm(&b1, &a1, &b2);
+
+  EXPECT_GE(loop.run_once(100ms), 1u);
+  ASSERT_NE(winner, -1);
+  if (reused.get() != victim) {
+    GTEST_SKIP() << "kernel did not hand back the freed fd number";
+  }
+  EXPECT_EQ(recorder_events, 0)
+      << "stale event for the closed socket reached the reused fd";
+
+  // A later pass delivers to the mid-batch registration normally (`reused`
+  // dups the winner's socket, so one byte readies both).
+  ASSERT_EQ(::write(survivor_peer, "z", 1), 1);
+  EXPECT_GE(loop.run_once(100ms), 1u);
+  EXPECT_GE(recorder_events, 1);
+}
+
 // ---------------------------------------------------------------------------
 // Connection over a socketpair, loop driven inline on the test thread.
 

@@ -159,7 +159,7 @@ TEST(TcpHandshake, MetricsJsonCarriesTheTransportCounters) {
   const std::string json = server.service().metrics_json();
   for (const char* key :
        {"\"transport\"", "\"bytes_in\"", "\"bytes_out\"", "\"connections\"",
-        "\"accepted\"", "\"killed_backpressure\"",
+        "\"accepted\"", "\"killed_backpressure\"", "\"frames_unowned\"",
         "\"write_queue_hwm_bytes\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " missing:\n"
                                                  << json;
@@ -169,6 +169,55 @@ TEST(TcpHandshake, MetricsJsonCarriesTheTransportCounters) {
   server.shutdown();
   EXPECT_EQ(metrics.connections_closed.load(),
             metrics.connections_accepted.load());
+}
+
+TEST(TcpHandshake, CrossConnectionSessionInjectionIsDropped) {
+  ServerOptions so;
+  so.auto_close_sessions = false;
+  TransportServer server(so, {}, group_factory());
+  server.start();
+
+  Client victim(client_for(server));
+  victim.connect();
+  const OpenRequest request = make_request(2, false, "tcp-inject");
+  const std::uint64_t sid = victim.open(request);
+
+  // A second connection forges well-formed frames carrying the victim's
+  // (sequential, guessable) session id, trying to occupy its first-write-
+  // wins round slots before the victim's relay gets there.
+  Client attacker(client_for(server));
+  attacker.connect();
+  service::Frame forged;
+  forged.session_id = sid;
+  forged.round = 1;
+  forged.position = 0;
+  forged.payload.assign(64, 0x5a);
+  attacker.send_frame(forged);
+  // Same-connection ordering: once this open's reply is back, the server
+  // has already processed (and must have dropped) the forged frame.
+  attacker.open(make_request(2, false, "tcp-inject-decoy"));
+
+  const auto& summaries = victim.run();
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_EQ(summaries.back().state, service::SessionState::kDone);
+  expect_outcomes_equal(server.service().outcomes(sid), serial_twin(request));
+  EXPECT_GE(server.service().metrics().frames_unowned.load(), 1u);
+
+  attacker.close();  // orphans the decoy session so shutdown need not drain it
+  server.shutdown();
+}
+
+TEST(TcpHandshake, FailedStartThrowsAndDestructsCleanly) {
+  TransportServer holder({}, {}, group_factory());
+  holder.start();
+
+  ServerOptions so;
+  so.port = holder.port();  // already bound: start() must fail
+  {
+    TransportServer clash(so, {}, group_factory());
+    EXPECT_THROW(clash.start(), TransportError);
+  }  // the destructor of a never-started server must neither hang nor throw
+  holder.shutdown();
 }
 
 TEST(TcpHandshake, RejectedOpenReportsTheFactoryError) {
