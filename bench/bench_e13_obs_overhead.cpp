@@ -1,0 +1,147 @@
+// E13 — observability overhead: sessions/sec for E11's pooled
+// configuration (N concurrent hosted sessions, m = 4, loopback wire,
+// 4 pump threads) with the flight recorder off, sampling 1/16 sessions,
+// tracing every session, and tracing + debug logging to a null sink.
+// The acceptance bar: full tracing costs < 5% sessions/sec vs. off —
+// the ring is one fetch_add plus eight relaxed stores per record, and
+// modexp attribution is two thread-local reads per round, so the
+// handshake crypto should bury it.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "obs/log.h"
+#include "obs/trace.h"
+#include "service/service.h"
+
+using namespace shs;
+using namespace shs::bench;
+
+namespace {
+
+constexpr std::size_t kM = 4;
+constexpr std::size_t kSessions = 32;
+constexpr std::size_t kThreads = 4;
+
+struct ObsMode {
+  const char* name;
+  std::uint64_t sample_every;  // 0 = tracing off
+  bool debug_log;
+};
+
+constexpr ObsMode kModes[] = {
+    {"off", 0, false},
+    {"sampled-1/16", 16, false},
+    {"full", 1, false},
+    {"full+debuglog", 1, true},
+};
+
+std::vector<std::unique_ptr<core::HandshakeParticipant>> make_parts(
+    BenchGroup& group, const std::string& salt) {
+  core::HandshakeOptions options;
+  std::vector<std::unique_ptr<core::HandshakeParticipant>> parts;
+  for (std::size_t i = 0; i < kM; ++i) {
+    parts.push_back(
+        group.members[i]->handshake_party(i, kM, options, to_bytes(salt)));
+  }
+  return parts;
+}
+
+/// E11's run_service with the observability surfaces of `mode` attached;
+/// returns wall milliseconds of open + pump (construction excluded).
+double run_mode(BenchGroup& group, const ObsMode& mode,
+                const std::string& salt) {
+  std::vector<std::vector<std::unique_ptr<core::HandshakeParticipant>>> all;
+  all.reserve(kSessions);
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    all.push_back(make_parts(group, salt + std::to_string(s)));
+  }
+  obs::TraceOptions to;
+  to.capacity = 1 << 16;
+  to.sample_every = mode.sample_every == 0 ? 1 : mode.sample_every;
+  obs::TraceRecorder trace(to);
+  obs::NullSink null_sink;
+  obs::Logger::Options lo;
+  lo.level = obs::LogLevel::kDebug;
+  lo.sink = &null_sink;
+  obs::Logger logger(lo);
+
+  service::ServiceOptions options;
+  options.threads = kThreads;
+  if (mode.sample_every != 0) options.trace = &trace;
+  if (mode.debug_log) options.logger = &logger;
+  service::RendezvousService svc(options);
+  const double ms = time_ms([&] {
+    for (auto& parts : all) (void)svc.open_session(std::move(parts));
+    svc.pump();
+    if (svc.active_sessions() != 0) std::abort();  // bench invariant
+  });
+  if (mode.sample_every == 1 && trace.recorded() == 0) std::abort();
+  return ms;
+}
+
+void BM_ObsOverhead(benchmark::State& state) {
+  const ObsMode& mode = kModes[static_cast<std::size_t>(state.range(0))];
+  BenchGroup& group = cached_group("e13", core::GroupConfig{}, kM);
+  int salt = 0;
+  for (auto _ : state) {
+    const double ms =
+        run_mode(group, mode, "bm" + std::to_string(salt++) + "-");
+    state.counters["sessions_per_sec"] =
+        1000.0 * static_cast<double>(kSessions) / ms;
+  }
+  state.SetLabel(mode.name);
+}
+BENCHMARK(BM_ObsOverhead)
+    ->DenseRange(0, 3)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("E13: observability overhead — E11 pooled configuration "
+              "(N=%zu hosted sessions, m=%zu, t=%zu) with tracing off / "
+              "sampled / full / full+debug-logging\n",
+              kSessions, kM, kThreads);
+
+  BenchGroup& group = cached_group("e13", core::GroupConfig{}, kM);
+  (void)run_mode(group, kModes[0], "warm-");  // prewarm the cached group
+
+  JsonReport report("e13");
+  table_header(
+      "mode            | sessions | wall ms | sessions/sec | vs off",
+      "----------------+----------+---------+--------------+-------");
+  // Median of three runs per mode: a single 32-session pass is short
+  // enough that scheduler noise would otherwise dwarf a 5% budget.
+  double off_per_sec = 0;
+  for (const ObsMode& mode : kModes) {
+    double runs[3];
+    for (int r = 0; r < 3; ++r) {
+      runs[r] = run_mode(group, mode,
+                         std::string(mode.name) + std::to_string(r) + "-");
+    }
+    std::sort(std::begin(runs), std::end(runs));
+    const double ms = runs[1];
+    const double per_sec = 1000.0 * static_cast<double>(kSessions) / ms;
+    if (off_per_sec == 0) off_per_sec = per_sec;
+    const double delta_pct = 100.0 * (off_per_sec - per_sec) / off_per_sec;
+    std::printf("%-15s | %8zu | %7.1f | %12.1f | %+5.1f%%\n", mode.name,
+                kSessions, ms, per_sec, delta_pct);
+    report.add()
+        .field("mode", mode.name)
+        .field("sessions", static_cast<double>(kSessions))
+        .field("pump_threads", static_cast<double>(kThreads))
+        .field("wall_ms", ms)
+        .field("sessions_per_sec", per_sec)
+        .field("overhead_pct", delta_pct);
+  }
+  report.write();
+
+  std::printf("\n(acceptance: the \"full\" row must stay within 5%% "
+              "sessions/sec of \"off\" — tracing is a fetch_add plus "
+              "relaxed stores, swamped by the round's modexps)\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

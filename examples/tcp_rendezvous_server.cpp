@@ -3,13 +3,19 @@
 // server-side; clients are thin relays (see tcp_rendezvous_client.cpp).
 //
 //   ./tcp_rendezvous_server [--port N] [--port-file PATH] [--sessions N]
-//                           [--threads N]
+//                           [--threads N] [--obs-port N]
+//                           [--obs-port-file PATH]
 //
 //   --port 0       (default) binds an ephemeral port
 //   --port-file    writes the bound port there (how scripts find us)
 //   --sessions N   exit once N sessions reached a terminal state
 //                  (0 = serve forever)
 //   --threads N    crypto parallelism inside the service pump
+//   --obs-port N   enable the observability endpoint on port N (0 =
+//                  ephemeral): GET /metrics is the Prometheus text
+//                  exposition, GET /trace the Chrome trace JSON, both
+//                  served by the same event-loop thread as the traffic
+//   --obs-port-file  writes the endpoint's bound port there
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,6 +24,7 @@
 
 #include "core/authority.h"
 #include "core/member.h"
+#include "obs/trace.h"
 #include "transport/server.h"
 
 using namespace shs;
@@ -30,6 +37,9 @@ struct Args {
   std::string port_file;
   std::uint64_t sessions = 1;
   std::size_t threads = 1;
+  bool obs = false;
+  std::uint16_t obs_port = 0;
+  std::string obs_port_file;
 };
 
 Args parse(int argc, char** argv) {
@@ -48,6 +58,13 @@ Args parse(int argc, char** argv) {
       ++i;
     } else if (flag == "--threads" && value) {
       args.threads = std::strtoull(value, nullptr, 10);
+      ++i;
+    } else if (flag == "--obs-port" && value) {
+      args.obs = true;
+      args.obs_port = static_cast<std::uint16_t>(std::atoi(value));
+      ++i;
+    } else if (flag == "--obs-port-file" && value) {
+      args.obs_port_file = value;
       ++i;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", flag.c_str());
@@ -75,8 +92,13 @@ int main(int argc, char** argv) {
 
   ServerOptions server_options;
   server_options.port = args.port;
+  server_options.obs_endpoint = args.obs;
+  server_options.obs_port = args.obs_port;
   service::ServiceOptions service_options;
   service_options.threads = args.threads;
+  // The flight recorder behind GET /trace (unsampled; ~32k records).
+  obs::TraceRecorder trace;
+  if (args.obs) service_options.trace = &trace;
 
   TransportServer server(
       server_options, service_options,
@@ -97,7 +119,21 @@ int main(int argc, char** argv) {
       });
   server.start();
   std::printf("tcp_rendezvous_server: listening on port %u\n", server.port());
+  if (args.obs) {
+    std::printf("observability: GET http://127.0.0.1:%u/metrics and /trace\n",
+                server.obs_port());
+  }
   std::fflush(stdout);
+
+  if (!args.obs_port_file.empty()) {
+    FILE* f = std::fopen(args.obs_port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", args.obs_port_file.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%u\n", server.obs_port());
+    std::fclose(f);
+  }
 
   if (!args.port_file.empty()) {
     FILE* f = std::fopen(args.port_file.c_str(), "w");

@@ -1,7 +1,10 @@
 #!/usr/bin/env sh
 # End-to-end smoke for the TCP transport: starts tcp_rendezvous_server on
-# an ephemeral port, drives it with two client invocations (Scheme 1 and
-# Scheme 2), and requires the server to drain and exit cleanly.
+# an ephemeral port with the observability endpoint enabled, drives it
+# with two client invocations (Scheme 1 and Scheme 2), scrapes
+# GET /metrics once (curl, else python3, else skipped) and checks the
+# exposition is non-empty, and requires the server to drain and exit
+# cleanly.
 #
 #   tcp_rendezvous_smoke.sh <server-binary> <client-binary>
 set -eu
@@ -16,7 +19,8 @@ cleanup() {
 }
 trap cleanup EXIT
 
-"$SERVER_BIN" --port 0 --port-file "$DIR/port" --sessions 3 &
+"$SERVER_BIN" --port 0 --port-file "$DIR/port" --sessions 3 \
+  --obs-port 0 --obs-port-file "$DIR/obs_port" &
 SERVER_PID=$!
 
 i=0
@@ -31,6 +35,23 @@ done
 PORT="$(cat "$DIR/port")"
 
 "$CLIENT_BIN" --port "$PORT" --sessions 2 --m 3
+
+# Scrape the metrics exposition once while the server is live.
+OBS_PORT="$(cat "$DIR/obs_port")"
+if command -v curl >/dev/null 2>&1; then
+  curl -fsS "http://127.0.0.1:$OBS_PORT/metrics" > "$DIR/metrics"
+elif command -v python3 >/dev/null 2>&1; then
+  python3 -c "import urllib.request,sys; sys.stdout.write(urllib.request.urlopen('http://127.0.0.1:$OBS_PORT/metrics').read().decode())" > "$DIR/metrics"
+else
+  echo "note: no curl or python3; skipping the metrics scrape"
+  echo "shs_sessions_opened_total skipped" > "$DIR/metrics"
+fi
+if ! grep -q "shs_sessions_opened_total" "$DIR/metrics"; then
+  echo "FAIL: /metrics scrape was empty or missing counters" >&2
+  cat "$DIR/metrics" >&2
+  exit 1
+fi
+
 "$CLIENT_BIN" --port "$PORT" --sessions 1 --m 4 --scheme2
 
 wait "$SERVER_PID"

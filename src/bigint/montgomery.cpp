@@ -30,6 +30,10 @@ CounterRegistry& registry() {
 
 struct ThreadSlot {
   std::atomic<std::uint64_t> count{0};
+  // Thread-lifetime total, never reset and only touched by the owning
+  // thread — backs thread_modexp_count() so per-thread attribution stays
+  // correct across reset_modexp_count() calls.
+  std::uint64_t lifetime = 0;
   ThreadSlot() {
     CounterRegistry& r = registry();
     std::lock_guard lock(r.mu);
@@ -43,14 +47,24 @@ struct ThreadSlot {
   }
 };
 
+ThreadSlot& thread_slot() noexcept {
+  thread_local ThreadSlot slot;
+  return slot;
+}
+
 }  // namespace
 
 namespace detail {
 void count_modexp(std::uint64_t n) noexcept {
-  thread_local ThreadSlot slot;
+  ThreadSlot& slot = thread_slot();
   slot.count.fetch_add(n, std::memory_order_relaxed);
+  slot.lifetime += n;
 }
 }  // namespace detail
+
+std::uint64_t thread_modexp_count() noexcept {
+  return thread_slot().lifetime;
+}
 
 std::uint64_t modexp_count() noexcept {
   CounterRegistry& r = registry();

@@ -27,6 +27,13 @@ namespace shs::num {
 [[nodiscard]] std::uint64_t modexp_count() noexcept;
 void reset_modexp_count() noexcept;
 
+/// The calling thread's own exponentiation count (monotonic for the
+/// thread's lifetime; independent of reset_modexp_count()). A caller that
+/// runs a unit of work entirely on one thread can attribute its exact
+/// cost as the before/after difference — this is how the session trace
+/// attributes modexps per round without any cross-thread accounting.
+[[nodiscard]] std::uint64_t thread_modexp_count() noexcept;
+
 namespace detail {
 /// Adds n to the calling thread's exponentiation slot.
 void count_modexp(std::uint64_t n) noexcept;

@@ -7,6 +7,7 @@
 #include "crypto/aead.h"
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
+#include "obs/redact.h"
 
 namespace shs::core {
 
@@ -29,6 +30,7 @@ HandshakeParticipant::HandshakeParticipant(const GroupAuthority& authority,
       options_(options),
       rng_(session_seed) {
   if (m_ < 2) throw ProtocolError("HandshakeParticipant: need m >= 2");
+  obs::audit_secret(group_key_, "cgkd-group-key");
   if (position_ >= m_) {
     throw ProtocolError("HandshakeParticipant: position out of range");
   }
@@ -62,7 +64,9 @@ Bytes HandshakeParticipant::tag_for(std::size_t position) const {
   w.str("gcd-phase2-tag");
   w.u64(position);
   w.bytes(party_string(position));
-  return crypto::hmac_sha256(k_prime_, w.buffer());
+  Bytes tag = crypto::hmac_sha256(k_prime_, w.buffer());
+  obs::audit_secret(tag, "phase2-mac-tag");
+  return tag;
 }
 
 std::size_t HandshakeParticipant::padded_sig_size() const {
@@ -92,6 +96,7 @@ Bytes HandshakeParticipant::phase3_message() {
                                 ? BytesView(session_tag_)
                                 : BytesView{};
       own_signature_ = authority_.gsig().sign(credential_, delta, tag, rng_);
+      obs::audit_secret(own_signature_, "gsig-signature");
       ByteWriter padded;
       padded.bytes(own_signature_);
       Bytes plain = padded.take();
@@ -139,7 +144,9 @@ void HandshakeParticipant::deliver(std::size_t round,
     if (round + 1 == rounds_i_ && dgka_->accepted()) {
       dgka_ok_ = true;
       k_prime_ = dgka_->session_key();
+      obs::audit_secret(k_prime_, "dgka-session-key");  // k*
       xor_inplace(k_prime_, group_key_);
+      obs::audit_secret(k_prime_, "k-prime");  // k' = k* XOR k
     }
     return;
   }
@@ -202,6 +209,7 @@ void HandshakeParticipant::finalize_without_phase3() {
   info.str("gcd-session-key");
   info.bytes(session_tag_);
   outcome_.session_key = crypto::hkdf(k_prime_, {}, info.buffer(), kKeySize);
+  obs::audit_secret(outcome_.session_key, "session-key");
 }
 
 void HandshakeParticipant::process_phase3(const std::vector<Bytes>& messages) {
@@ -258,6 +266,7 @@ void HandshakeParticipant::process_phase3(const std::vector<Bytes>& messages) {
           crypto::Aead(k_prime_).open(outcome_.transcript.entries[j].theta);
       ByteReader r(plain);
       const Bytes signature = r.bytes();
+      obs::audit_secret(signature, "gsig-signature");
       authority_.gsig().verify(outcome_.transcript.entries[j].delta,
                                signature, tag);
       outcome_.partner[j] = true;
@@ -294,6 +303,7 @@ void HandshakeParticipant::process_phase3(const std::vector<Bytes>& messages) {
   info.str("gcd-session-key");
   info.bytes(session_tag_);
   outcome_.session_key = crypto::hkdf(k_prime_, {}, info.buffer(), kKeySize);
+  obs::audit_secret(outcome_.session_key, "session-key");
 }
 
 const HandshakeOutcome& HandshakeParticipant::outcome() const {

@@ -1,0 +1,33 @@
+#include "obs/exposition.h"
+
+#include "obs/redact.h"
+
+namespace shs::obs {
+
+std::string prometheus_text(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const MetricEntry& m : snapshot.scalars) {
+    out += "# HELP " + m.name + " " + m.help + "\n";
+    out += "# TYPE " + m.name + (m.gauge ? " gauge\n" : " counter\n");
+    out += m.name + " " + std::to_string(m.value) + "\n";
+  }
+  for (const HistogramEntry& h : snapshot.histograms) {
+    out += "# HELP " + h.name + " " + h.help + "\n";
+    out += "# TYPE " + h.name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    const std::size_t buckets = h.bucket_counts.size();
+    for (std::size_t i = 0; i < buckets; ++i) {
+      cumulative += h.bucket_counts[i];
+      const std::string le =
+          i + 1 == buckets ? "+Inf" : std::to_string(h.bucket_le_us[i]);
+      out += h.name + "_bucket{le=\"" + le +
+             "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += h.name + "_count " + std::to_string(h.count) + "\n";
+    out += h.name + "_sum " + std::to_string(h.sum_us) + "\n";
+  }
+  audit_output(out, "metrics");
+  return out;
+}
+
+}  // namespace shs::obs

@@ -1,0 +1,55 @@
+// Prometheus text exposition for the observability subsystem.
+//
+// The renderer works on a neutral MetricsSnapshot — plain names, values
+// and bucketed histograms — so obs stays below the service layer in the
+// dependency order: service::ServiceMetrics::snapshot() builds the
+// snapshot (one source of truth for both metrics_json and the /metrics
+// scrape, so the two surfaces can never disagree on a gauge), and this
+// file turns it into Prometheus text format (version 0.0.4, what every
+// Prometheus scraper speaks).
+//
+// Histograms follow the Prometheus histogram convention: cumulative
+// "_bucket{le=...}" series (the last bucket is le="+Inf"), "_count" and
+// "_sum". Bucket bounds are microseconds, and metric names carry a _us
+// suffix to say so.
+//
+// The rendered exposition is redaction-audited like every diagnostics
+// surface (a formality here — a snapshot holds only numbers — but the
+// invariant is checked uniformly, not argued per surface).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace shs::obs {
+
+/// One counter or gauge.
+struct MetricEntry {
+  std::string name;  // full exposition name, e.g. "shs_sessions_opened_total"
+  std::string help;
+  bool gauge = false;  // TYPE gauge vs counter
+  std::uint64_t value = 0;
+};
+
+/// One latency histogram (per-bucket counts, NOT cumulative; the
+/// renderer accumulates).
+struct HistogramEntry {
+  std::string name;  // e.g. "shs_phase1_latency_us"
+  std::string help;
+  std::vector<std::uint64_t> bucket_le_us;  // upper bounds; parallel to...
+  std::vector<std::uint64_t> bucket_counts; // ...per-bucket counts. The
+                                            // last bucket renders le="+Inf".
+  std::uint64_t count = 0;
+  std::uint64_t sum_us = 0;
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricEntry> scalars;
+  std::vector<HistogramEntry> histograms;
+};
+
+/// Renders the snapshot as Prometheus text format (0.0.4).
+[[nodiscard]] std::string prometheus_text(const MetricsSnapshot& snapshot);
+
+}  // namespace shs::obs

@@ -1,0 +1,140 @@
+#include "obs/log.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace shs::obs {
+
+namespace {
+
+service::Clock* default_clock() {
+  static service::SteadyClock clock;
+  return &clock;
+}
+
+LogSink* default_sink() {
+  static StderrSink sink;
+  return &sink;
+}
+
+/// Quotes a value: printable characters pass through, '"' and '\\' are
+/// escaped, everything else (control bytes, non-ASCII) renders as \xNN —
+/// so a line is always one printable row of text.
+void append_quoted(std::string& out, std::string_view value) {
+  out.push_back('"');
+  for (const char c : value) {
+    const auto u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (u >= 0x20 && u < 0x7f) {
+      out.push_back(c);
+    } else {
+      char buf[5];
+      std::snprintf(buf, sizeof buf, "\\x%02x", u);
+      out += buf;
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+void StderrSink::write(const LogRecord& record) {
+  std::fprintf(stderr, "%s\n", record.line.c_str());
+}
+
+std::string CaptureSink::joined() const {
+  std::string out;
+  for (const LogRecord& r : records_) {
+    out += r.line;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Logger::Logger() : Logger(Options{}) {}
+
+Logger::Logger(Options options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock : default_clock()),
+      sink_(options.sink != nullptr ? options.sink : default_sink()) {}
+
+Logger::Line::Line(Logger* logger, LogLevel level, const char* component,
+                   std::string_view message)
+    : logger_(logger) {
+  if (logger_ == nullptr) return;
+  record_.level = level;
+  record_.component = component;
+  record_.ts_ns = static_cast<std::uint64_t>(
+      logger_->clock_->now().time_since_epoch().count());
+  record_.line = "ts_ns=" + std::to_string(record_.ts_ns) +
+                 " level=" + to_string(level) + " comp=" + component +
+                 " msg=";
+  append_quoted(record_.line, message);
+}
+
+Logger::Line::Line(Line&& other) noexcept
+    : logger_(std::exchange(other.logger_, nullptr)),
+      record_(std::move(other.record_)) {}
+
+Logger::Line::~Line() {
+  if (logger_ != nullptr) logger_->emit(std::move(record_));
+}
+
+Logger::Line& Logger::Line::u64(std::string_view name, std::uint64_t value) {
+  if (logger_ == nullptr) return *this;
+  record_.line += " ";
+  record_.line += name;
+  record_.line += "=";
+  record_.line += std::to_string(value);
+  return *this;
+}
+
+Logger::Line& Logger::Line::i64(std::string_view name, std::int64_t value) {
+  if (logger_ == nullptr) return *this;
+  record_.line += " ";
+  record_.line += name;
+  record_.line += "=";
+  record_.line += std::to_string(value);
+  return *this;
+}
+
+Logger::Line& Logger::Line::str(std::string_view name,
+                                std::string_view value) {
+  if (logger_ == nullptr) return *this;
+  record_.line += " ";
+  record_.line += name;
+  record_.line += "=";
+  append_quoted(record_.line, value);
+  return *this;
+}
+
+Logger::Line& Logger::Line::bytes(std::string_view name, BytesView value) {
+  return placeholder(name,
+                     "<" + std::to_string(value.size()) + " bytes>");
+}
+
+Logger::Line& Logger::Line::placeholder(std::string_view name,
+                                        std::string_view rendered) {
+  if (logger_ == nullptr) return *this;
+  record_.line += " ";
+  record_.line += name;
+  record_.line += "=";
+  record_.line += rendered;
+  return *this;
+}
+
+Logger::Line Logger::log(LogLevel level, const char* component,
+                         std::string_view message) {
+  return Line(enabled(level) ? this : nullptr, level, component, message);
+}
+
+void Logger::emit(LogRecord record) {
+  audit_output(record.line, "log");
+  emitted_.fetch_add(1, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(emit_mu_);
+  sink_->write(record);
+}
+
+}  // namespace shs::obs

@@ -1,0 +1,180 @@
+// Structured, leveled, sink-pluggable logger of the observability
+// subsystem.
+//
+// Log lines are key=value structured text assembled through a builder:
+//
+//   logger.info("service", "session opened").u64("sid", sid).u64("m", m);
+//
+// The line is formatted, redaction-audited (obs/redact.h) and handed to
+// the sink when the builder goes out of scope. Redaction is enforced by
+// the API surface itself:
+//
+//   * there is no way to format raw bytes — bytes() emits only a length
+//     placeholder ("<32 bytes>"), so wire payloads, keys and tags can
+//     never be spelled into a line by accident;
+//   * Redacted<T> fields (secret(name, redacted)) emit "<redacted N>";
+//     passing a Redacted to str()/u64() does not compile.
+//
+// The only way to leak a secret is to hex it into a string yourself and
+// log that string — which the RedactionAudit catches when enabled, and
+// which the conformance suite verifies it catches.
+//
+// Thread-safe: pool threads, the event-loop thread and the pump worker
+// all log through one Logger; emission is serialized on an internal
+// mutex. Level filtering happens before any formatting work.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "obs/redact.h"
+#include "service/clock.h"
+
+namespace shs::obs {
+
+enum class LogLevel : std::uint8_t {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+[[nodiscard]] constexpr const char* to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "unknown";
+}
+
+/// One emitted line, pre-formatted; sinks may also inspect the parts.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  std::uint64_t ts_ns = 0;     // logger clock, nanoseconds since epoch
+  std::string component;
+  std::string line;            // the full formatted line
+};
+
+/// Where formatted records go. write() is called under the logger's
+/// emission mutex, so sinks need no locking of their own.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void write(const LogRecord& record) = 0;
+};
+
+/// Appends lines to stderr (production default).
+class StderrSink final : public LogSink {
+ public:
+  void write(const LogRecord& record) override;
+};
+
+/// Keeps every record in memory — what tests and the conformance harness
+/// scan. lines() snapshots under the logger's serialization, so it is
+/// safe once logging has quiesced.
+class CaptureSink final : public LogSink {
+ public:
+  void write(const LogRecord& record) override { records_.push_back(record); }
+  [[nodiscard]] const std::vector<LogRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::string joined() const;
+  void clear() { records_.clear(); }
+
+ private:
+  std::vector<LogRecord> records_;
+};
+
+/// Discards everything (benchmarks measuring formatting cost).
+class NullSink final : public LogSink {
+ public:
+  void write(const LogRecord&) override {}
+};
+
+class Logger {
+ public:
+  struct Options {
+    LogLevel level = LogLevel::kInfo;
+    /// Borrowed; null = stderr.
+    LogSink* sink = nullptr;
+    /// Borrowed time source; null = process steady clock. Sharing the
+    /// service's ManualClock makes log timestamps deterministic in tests.
+    service::Clock* clock = nullptr;
+  };
+
+  Logger();  // defaults: kInfo, stderr, steady clock
+  explicit Logger(Options options);
+
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return level >= options_.level && options_.level != LogLevel::kOff;
+  }
+
+  /// Builder for one line. Emits on destruction; a suppressed level
+  /// yields an inert builder that formats nothing.
+  class Line {
+   public:
+    Line(const Line&) = delete;
+    Line& operator=(const Line&) = delete;
+    Line(Line&& other) noexcept;
+    ~Line();
+
+    Line& u64(std::string_view name, std::uint64_t value);
+    Line& i64(std::string_view name, std::int64_t value);
+    Line& str(std::string_view name, std::string_view value);
+    /// Byte buffers format as "<N bytes>" — content never appears.
+    Line& bytes(std::string_view name, BytesView value);
+    /// Redacted values format as "<redacted N>".
+    template <typename T>
+    Line& secret(std::string_view name, const Redacted<T>& value) {
+      return placeholder(name, "<redacted " + std::to_string(value.size()) +
+                                   ">");
+    }
+
+   private:
+    friend class Logger;
+    Line(Logger* logger, LogLevel level, const char* component,
+         std::string_view message);
+    Line& placeholder(std::string_view name, std::string_view rendered);
+
+    Logger* logger_;  // null = suppressed
+    LogRecord record_;
+  };
+
+  [[nodiscard]] Line log(LogLevel level, const char* component,
+                         std::string_view message);
+  [[nodiscard]] Line debug(const char* component, std::string_view message) {
+    return log(LogLevel::kDebug, component, message);
+  }
+  [[nodiscard]] Line info(const char* component, std::string_view message) {
+    return log(LogLevel::kInfo, component, message);
+  }
+  [[nodiscard]] Line warn(const char* component, std::string_view message) {
+    return log(LogLevel::kWarn, component, message);
+  }
+  [[nodiscard]] Line error(const char* component, std::string_view message) {
+    return log(LogLevel::kError, component, message);
+  }
+
+  [[nodiscard]] std::uint64_t emitted() const noexcept {
+    return emitted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void emit(LogRecord record);
+
+  Options options_;
+  service::Clock* clock_;  // never null
+  LogSink* sink_;          // never null
+  std::mutex emit_mu_;
+  std::atomic<std::uint64_t> emitted_{0};
+};
+
+}  // namespace shs::obs

@@ -1,0 +1,93 @@
+#include "obs/redact.h"
+
+#include <algorithm>
+
+namespace shs::obs {
+
+namespace {
+
+/// Case-sensitive substring search over arbitrary bytes.
+bool contains(std::string_view haystack, std::string_view needle) {
+  return !needle.empty() &&
+         haystack.find(needle) != std::string_view::npos;
+}
+
+std::string hex_of(BytesView data, bool upper) {
+  static constexpr char kLower[] = "0123456789abcdef";
+  static constexpr char kUpper[] = "0123456789ABCDEF";
+  const char* digits = upper ? kUpper : kLower;
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (const std::uint8_t b : data) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace
+
+RedactionAudit& RedactionAudit::instance() {
+  static auto* audit = new RedactionAudit;
+  return *audit;
+}
+
+void RedactionAudit::enable(bool on) noexcept {
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+void RedactionAudit::add_secret(BytesView secret, std::string_view label) {
+  if (secret.size() < kMinSecretBytes) return;
+  Bytes copy(secret.begin(), secret.end());
+  const std::lock_guard<std::mutex> lock(mu_);
+  secrets_.emplace(std::move(copy), std::string(label));
+}
+
+std::vector<RedactionAudit::Violation> RedactionAudit::scan(
+    std::string_view text) const {
+  std::vector<Violation> found;
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [secret, label] : secrets_) {
+    const std::string_view raw(
+        reinterpret_cast<const char*>(secret.data()), secret.size());
+    if (contains(text, raw)) {
+      found.push_back({label, "raw", ""});
+      continue;
+    }
+    if (contains(text, hex_of(secret, /*upper=*/false)) ||
+        contains(text, hex_of(secret, /*upper=*/true))) {
+      found.push_back({label, "hex", ""});
+    }
+  }
+  return found;
+}
+
+void RedactionAudit::check(std::string_view text, std::string_view surface) {
+  std::vector<Violation> found = scan(text);
+  if (found.empty()) return;
+  violations_.fetch_add(found.size(), std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (Violation& v : found) {
+    v.surface = std::string(surface);
+    violation_log_.push_back(std::move(v));
+  }
+}
+
+std::vector<RedactionAudit::Violation> RedactionAudit::violation_log() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return violation_log_;
+}
+
+std::size_t RedactionAudit::secret_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return secrets_.size();
+}
+
+void RedactionAudit::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  secrets_.clear();
+  violation_log_.clear();
+  violations_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace shs::obs

@@ -1,0 +1,141 @@
+// Redaction layer of the observability subsystem.
+//
+// The paper's security argument (§7) needs diagnostics that add zero
+// distinguishing power beyond the wire itself: an operator's logs, traces
+// and metric scrapes must never contain the key material (k*, k'), CGKD
+// group keys, MAC tags or group-signature bytes whose secrecy the
+// no-false-accept and unlinkability claims rest on. Two mechanisms
+// enforce that:
+//
+//   Redacted<T>      a wrapper that makes a secret unformattable by
+//                    construction — it has no operator<<, no to_string,
+//                    and the structured Logger renders it as a size-only
+//                    placeholder. Getting the secret back out requires an
+//                    explicit reveal() at the use site.
+//
+//   RedactionAudit   a process-wide hook, off by default. When enabled
+//                    (conformance tests, paranoid deployments), secret
+//                    material registers itself at creation time
+//                    (core/handshake.cpp calls audit_secret), and every
+//                    diagnostics surface (log lines, trace exports,
+//                    metric expositions) is scanned before it leaves the
+//                    process: any registered secret appearing raw or
+//                    hex-encoded is counted as a violation. The
+//                    redaction-invariant conformance test
+//                    (tests/obs/redaction_conformance_test.cpp) runs the
+//                    PR-2 adversary sweep with every surface enabled and
+//                    asserts zero violations.
+//
+// When the audit is disabled (the default), audit_secret is one relaxed
+// atomic load — handshake hot paths pay nothing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace shs::obs {
+
+/// Holds a secret value that diagnostics cannot format: the wrapper
+/// deliberately defines no streaming or string conversion, so the only
+/// way to a printable representation is an explicit reveal() — which code
+/// review can grep for. The Logger accepts Redacted fields and emits a
+/// size-only placeholder.
+template <typename T>
+class Redacted {
+ public:
+  explicit Redacted(T value) : value_(std::move(value)) {}
+
+  /// Explicit escape hatch for the code that actually consumes the
+  /// secret (key derivation, MAC validation). Never log the result.
+  [[nodiscard]] const T& reveal() const noexcept { return value_; }
+  [[nodiscard]] T& reveal() noexcept { return value_; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return value_.size(); }
+
+ private:
+  T value_;
+};
+
+template <typename T>
+Redacted(T) -> Redacted<T>;
+
+/// Process-wide secret registry + output scanner. All methods are
+/// thread-safe; enabled() is a relaxed atomic load so disabled-mode cost
+/// is negligible on hot paths.
+class RedactionAudit {
+ public:
+  static RedactionAudit& instance();
+
+  void enable(bool on) noexcept;
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Registers secret bytes (copied, deduplicated) under a label.
+  /// Secrets shorter than kMinSecretBytes are ignored — they are too
+  /// short to scan for without false positives. No-op while disabled.
+  void add_secret(BytesView secret, std::string_view label);
+
+  /// One registered secret found inside a diagnostics surface.
+  struct Violation {
+    std::string label;     // which secret
+    std::string encoding;  // "raw" | "hex"
+    std::string surface;   // which output ("log", "trace", "metrics", ...)
+  };
+
+  /// Scans `text` for every registered secret, raw and hex-encoded
+  /// (upper and lower case). Pure query: records nothing.
+  [[nodiscard]] std::vector<Violation> scan(std::string_view text) const;
+
+  /// scan() + record: every diagnostics emitter calls this on its final
+  /// output when the audit is enabled. Violations accumulate until
+  /// reset().
+  void check(std::string_view text, std::string_view surface);
+
+  [[nodiscard]] std::uint64_t violations() const noexcept {
+    return violations_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::vector<Violation> violation_log() const;
+  [[nodiscard]] std::size_t secret_count() const;
+
+  /// Drops every registered secret and recorded violation (does not
+  /// change enabled()).
+  void reset();
+
+  static constexpr std::size_t kMinSecretBytes = 8;
+
+ private:
+  RedactionAudit() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> violations_{0};
+
+  mutable std::mutex mu_;
+  std::map<Bytes, std::string> secrets_;  // bytes -> label (deduplicated)
+  std::vector<Violation> violation_log_;
+};
+
+/// Registers `secret` with the process audit when it is enabled; a single
+/// relaxed load otherwise. This is what secret-bearing code calls at the
+/// point a secret comes into existence.
+inline void audit_secret(BytesView secret, std::string_view label) {
+  RedactionAudit& audit = RedactionAudit::instance();
+  if (audit.enabled()) audit.add_secret(secret, label);
+}
+
+/// Scans `text` and records violations iff the audit is enabled — the
+/// one-liner every diagnostics surface calls on its final output.
+inline void audit_output(std::string_view text, std::string_view surface) {
+  RedactionAudit& audit = RedactionAudit::instance();
+  if (audit.enabled()) audit.check(text, surface);
+}
+
+}  // namespace shs::obs

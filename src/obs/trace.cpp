@@ -1,0 +1,174 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "obs/redact.h"
+
+namespace shs::obs {
+
+namespace {
+
+service::Clock* default_clock() {
+  static service::SteadyClock clock;
+  return &clock;
+}
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Chrome trace-event phase + display name per record type.
+struct ChromeShape {
+  const char* name;
+  char phase;  // 'i' instant, 'X' complete (has dur)
+};
+
+ChromeShape chrome_shape(TraceEvent type) {
+  switch (type) {
+    case TraceEvent::kSessionOpened: return {"session opened", 'i'};
+    case TraceEvent::kFrameIn: return {"frame in", 'i'};
+    case TraceEvent::kFrameOut: return {"frame out", 'i'};
+    case TraceEvent::kRoundAdvanced: return {"round", 'X'};
+    case TraceEvent::kPhaseCompleted: return {"phase", 'X'};
+    case TraceEvent::kSessionConfirmed: return {"confirmed", 'i'};
+    case TraceEvent::kSessionFailed: return {"failed", 'i'};
+    case TraceEvent::kSessionExpired: return {"expired", 'i'};
+    case TraceEvent::kConnAccepted: return {"conn accepted", 'i'};
+    case TraceEvent::kConnClosed: return {"conn closed", 'i'};
+    case TraceEvent::kBackpressurePause: return {"backpressure pause", 'i'};
+    case TraceEvent::kBackpressureResume: return {"backpressure resume", 'i'};
+    case TraceEvent::kBackpressureKill: return {"backpressure kill", 'i'};
+  }
+  return {"unknown", 'i'};
+}
+
+}  // namespace
+
+const char* to_string(TraceEvent event) noexcept {
+  switch (event) {
+    case TraceEvent::kSessionOpened: return "session-opened";
+    case TraceEvent::kFrameIn: return "frame-in";
+    case TraceEvent::kFrameOut: return "frame-out";
+    case TraceEvent::kRoundAdvanced: return "round-advanced";
+    case TraceEvent::kPhaseCompleted: return "phase-completed";
+    case TraceEvent::kSessionConfirmed: return "session-confirmed";
+    case TraceEvent::kSessionFailed: return "session-failed";
+    case TraceEvent::kSessionExpired: return "session-expired";
+    case TraceEvent::kConnAccepted: return "conn-accepted";
+    case TraceEvent::kConnClosed: return "conn-closed";
+    case TraceEvent::kBackpressurePause: return "backpressure-pause";
+    case TraceEvent::kBackpressureResume: return "backpressure-resume";
+    case TraceEvent::kBackpressureKill: return "backpressure-kill";
+  }
+  return "unknown";
+}
+
+TraceRecorder::TraceRecorder(TraceOptions options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock : default_clock()),
+      capacity_(round_up_pow2(options.capacity == 0 ? 1 : options.capacity)),
+      mask_(capacity_ - 1),
+      slots_(std::make_unique<Slot[]>(capacity_)) {}
+
+void TraceRecorder::record(TraceEvent type, std::uint64_t sid,
+                           std::uint64_t a, std::uint64_t b,
+                           std::uint64_t dur_ns,
+                           std::uint64_t modexp) noexcept {
+  if (!wants(sid)) return;
+  const auto ts = static_cast<std::uint64_t>(
+      clock_->now().time_since_epoch().count());
+  const std::uint64_t idx = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[idx & mask_];
+  // Generation stamps bracket the payload stores; a reader accepts the
+  // slot only when both equal idx + 1.
+  slot.begin.store(idx + 1, std::memory_order_relaxed);
+  slot.type.store(static_cast<std::uint8_t>(type), std::memory_order_relaxed);
+  slot.sid.store(sid, std::memory_order_relaxed);
+  slot.ts_ns.store(ts, std::memory_order_relaxed);
+  slot.dur_ns.store(dur_ns, std::memory_order_relaxed);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  slot.modexp.store(modexp, std::memory_order_relaxed);
+  slot.end.store(idx + 1, std::memory_order_release);
+}
+
+std::uint64_t TraceRecorder::recorded() const noexcept {
+  return head_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t TraceRecorder::dropped() const noexcept {
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  return head > capacity_ ? head - capacity_ : 0;
+}
+
+std::vector<TraceRecord> TraceRecorder::snapshot() const {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t first = head > capacity_ ? head - capacity_ : 0;
+  std::vector<TraceRecord> out;
+  out.reserve(static_cast<std::size_t>(head - first));
+  for (std::uint64_t idx = first; idx < head; ++idx) {
+    const Slot& slot = slots_[idx & mask_];
+    if (slot.end.load(std::memory_order_acquire) != idx + 1) continue;
+    TraceRecord r;
+    r.type = static_cast<TraceEvent>(slot.type.load(std::memory_order_relaxed));
+    r.sid = slot.sid.load(std::memory_order_relaxed);
+    r.ts_ns = slot.ts_ns.load(std::memory_order_relaxed);
+    r.dur_ns = slot.dur_ns.load(std::memory_order_relaxed);
+    r.a = slot.a.load(std::memory_order_relaxed);
+    r.b = slot.b.load(std::memory_order_relaxed);
+    r.modexp = slot.modexp.load(std::memory_order_relaxed);
+    // Re-check both stamps: a writer lapping us mid-read bumps begin (or
+    // end) first, so a mixed record is rejected here.
+    if (slot.begin.load(std::memory_order_acquire) != idx + 1 ||
+        slot.end.load(std::memory_order_acquire) != idx + 1) {
+      continue;
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::string TraceRecorder::to_chrome_json() const {
+  const std::vector<TraceRecord> records = snapshot();
+  std::string out = "{\"traceEvents\": [";
+  bool first_event = true;
+  for (const TraceRecord& r : records) {
+    const ChromeShape shape = chrome_shape(r.type);
+    if (!first_event) out += ",";
+    first_event = false;
+    // "X" spans start at ts - dur (phase records carry open->completion).
+    const std::uint64_t start_ns =
+        shape.phase == 'X' && r.dur_ns <= r.ts_ns ? r.ts_ns - r.dur_ns
+                                                  : r.ts_ns;
+    char head[192];
+    std::snprintf(
+        head, sizeof head,
+        "\n{\"name\": \"%s\", \"ph\": \"%c\", \"ts\": %.3f, \"pid\": %d, "
+        "\"tid\": %llu",
+        shape.name, shape.phase, static_cast<double>(start_ns) / 1000.0,
+        r.sid == 0 ? 2 : 1,
+        static_cast<unsigned long long>(r.sid == 0 ? r.a : r.sid));
+    out += head;
+    if (shape.phase == 'X') {
+      char dur[48];
+      std::snprintf(dur, sizeof dur, ", \"dur\": %.3f",
+                    static_cast<double>(r.dur_ns) / 1000.0);
+      out += dur;
+    }
+    char args[160];
+    std::snprintf(args, sizeof args,
+                  ", \"args\": {\"event\": \"%s\", \"a\": %llu, \"b\": %llu, "
+                  "\"modexp\": %llu}}",
+                  to_string(r.type), static_cast<unsigned long long>(r.a),
+                  static_cast<unsigned long long>(r.b),
+                  static_cast<unsigned long long>(r.modexp));
+    out += args;
+  }
+  out += "\n]}";
+  audit_output(out, "trace");
+  return out;
+}
+
+}  // namespace shs::obs

@@ -1,0 +1,139 @@
+// TraceRecorder — a fixed-capacity, lock-free ring buffer of typed
+// per-session events, the service's flight recorder.
+//
+// Every record is a fixed-size tuple of ids, enums and counters stamped
+// with the service::Clock (so ManualClock tests see deterministic
+// timestamps) — never payload bytes, never key material: the record type
+// physically cannot carry a secret, which is half of the redaction
+// invariant (the other half is obs/redact.h).
+//
+// Writers (pool threads mid-pump, the event-loop thread, the pump
+// worker) claim a slot with one fetch_add and fill it with relaxed
+// atomic stores bracketed by begin/end generation stamps. Readers
+// (snapshot / export, typically a /trace scrape) accept a slot only when
+// both stamps agree with the slot's expected generation, so a record
+// being overwritten mid-read is dropped rather than mixed. There are no
+// locks anywhere on the record path; a full ring overwrites the oldest
+// records (dropped() counts them).
+//
+// Sampling: sample_every = N records only sessions whose id is divisible
+// by N (deterministic, so a sampled session is sampled for its entire
+// lifetime). Non-session records (connection lifecycle, sid 0) are
+// always recorded. wants(sid) lets callers skip computing attribution
+// inputs (modexp deltas) for unsampled sessions.
+//
+// Export: to_chrome_json() renders the Chrome trace-event format —
+// load the output of GET /trace into chrome://tracing (or Perfetto) and
+// every session is a timeline row with its rounds, phases and crypto
+// cost. The export string is redaction-audited like every other
+// diagnostics surface.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/clock.h"
+
+namespace shs::obs {
+
+enum class TraceEvent : std::uint8_t {
+  kSessionOpened = 0,     // a: m (participants)
+  kFrameIn = 1,           // a: round, b: position
+  kFrameOut = 2,          // a: round, b: position
+  kRoundAdvanced = 3,     // a: round, b: 1 on round-0 production;
+                          // dur: advance wall time, modexp: this round
+  kPhaseCompleted = 4,    // a: phase (1..3, 0 = whole session),
+                          // dur: open -> completion, modexp: cumulative
+  kSessionConfirmed = 5,  // modexp: cumulative session cost
+  kSessionFailed = 6,     // modexp: cumulative session cost
+  kSessionExpired = 7,    // a: round the session stalled in
+  kConnAccepted = 8,      // sid 0; a: connection id
+  kConnClosed = 9,        // sid 0; a: connection id, b: 1 = backpressure
+  kBackpressurePause = 10,   // sid 0; a: connection id, b: queued bytes
+  kBackpressureResume = 11,  // sid 0; a: connection id, b: queued bytes
+  kBackpressureKill = 12,    // sid 0; a: connection id, b: queued bytes
+};
+
+[[nodiscard]] const char* to_string(TraceEvent event) noexcept;
+
+/// One decoded record (what snapshot() yields).
+struct TraceRecord {
+  TraceEvent type = TraceEvent::kSessionOpened;
+  std::uint64_t sid = 0;     // 0 = connection-scoped record
+  std::uint64_t ts_ns = 0;   // recorder clock, ns since clock epoch
+  std::uint64_t dur_ns = 0;  // span duration (0 for instants)
+  std::uint64_t a = 0;       // per-type argument (see TraceEvent)
+  std::uint64_t b = 0;       // per-type argument
+  std::uint64_t modexp = 0;  // modular exponentiations attributed
+};
+
+struct TraceOptions {
+  /// Ring capacity in records; rounded up to a power of two.
+  std::size_t capacity = 1 << 15;
+  /// 1 = record every session; N > 1 = only sessions with sid % N == 0.
+  std::uint64_t sample_every = 1;
+  /// Borrowed time source; null = process steady clock.
+  service::Clock* clock = nullptr;
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(TraceOptions options = {});
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Whether records for this session id are kept (sampling filter).
+  /// Callers use this to skip computing expensive attribution inputs.
+  [[nodiscard]] bool wants(std::uint64_t sid) const noexcept {
+    return options_.sample_every <= 1 || sid == 0 ||
+           sid % options_.sample_every == 0;
+  }
+
+  /// Records one event (lock-free; any thread). Unsampled sids no-op.
+  void record(TraceEvent type, std::uint64_t sid, std::uint64_t a = 0,
+              std::uint64_t b = 0, std::uint64_t dur_ns = 0,
+              std::uint64_t modexp = 0) noexcept;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Records ever accepted (monotonic; survives ring wrap).
+  [[nodiscard]] std::uint64_t recorded() const noexcept;
+  /// Records overwritten before any snapshot could see them.
+  [[nodiscard]] std::uint64_t dropped() const noexcept;
+
+  /// Stable records, oldest first. Slots being concurrently overwritten
+  /// are skipped, never mixed.
+  [[nodiscard]] std::vector<TraceRecord> snapshot() const;
+
+  /// Chrome trace-event-format JSON ({"traceEvents": [...]}) —
+  /// chrome://tracing- and Perfetto-loadable. Sessions map to "tid" rows
+  /// under pid 1; connections under pid 2. Redaction-audited.
+  [[nodiscard]] std::string to_chrome_json() const;
+
+ private:
+  /// Seqlock-stamped slot: begin/end hold generation idx+1. All fields
+  /// are relaxed atomics, so a torn slot is detectable (stamps disagree)
+  /// and never undefined behaviour.
+  struct Slot {
+    std::atomic<std::uint64_t> begin{0};
+    std::atomic<std::uint64_t> end{0};
+    std::atomic<std::uint8_t> type{0};
+    std::atomic<std::uint64_t> sid{0};
+    std::atomic<std::uint64_t> ts_ns{0};
+    std::atomic<std::uint64_t> dur_ns{0};
+    std::atomic<std::uint64_t> a{0};
+    std::atomic<std::uint64_t> b{0};
+    std::atomic<std::uint64_t> modexp{0};
+  };
+
+  TraceOptions options_;
+  service::Clock* clock_;  // never null
+  std::size_t capacity_;   // power of two
+  std::size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+}  // namespace shs::obs

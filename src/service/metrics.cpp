@@ -1,6 +1,7 @@
 #include "service/metrics.h"
 
 #include <cstdio>
+#include <utility>
 
 namespace shs::service {
 
@@ -31,6 +32,25 @@ std::uint64_t LatencyHistogram::count() const noexcept {
 
 std::uint64_t LatencyHistogram::sum_us() const noexcept {
   return sum_us_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::bucket_count(std::size_t i) const noexcept {
+  return i < kBuckets ? buckets_[i].load(std::memory_order_relaxed) : 0;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_us_.fetch_add(other.sum_us(), std::memory_order_relaxed);
+}
+
+void LatencyHistogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_us_.store(0, std::memory_order_relaxed);
 }
 
 std::uint64_t LatencyHistogram::quantile_us(double q) const noexcept {
@@ -70,7 +90,25 @@ std::string LatencyHistogram::to_json() const {
   return out;
 }
 
-std::string ServiceMetrics::to_json(std::uint64_t active_sessions) const {
+obs::HistogramEntry LatencyHistogram::exposition(std::string name,
+                                                 std::string help) const {
+  obs::HistogramEntry e;
+  e.name = std::move(name);
+  e.help = std::move(help);
+  e.bucket_le_us.reserve(kBuckets);
+  e.bucket_counts.reserve(kBuckets);
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    // Bucket i covers [2^i, 2^(i+1)); its inclusive upper bound is
+    // 2^(i+1) - 1 us. The last bucket renders as +Inf regardless.
+    e.bucket_le_us.push_back((std::uint64_t{1} << (i + 1)) - 1);
+    e.bucket_counts.push_back(buckets_[i].load(std::memory_order_relaxed));
+  }
+  e.count = count();
+  e.sum_us = sum_us();
+  return e;
+}
+
+std::string ServiceMetrics::to_json(const Gauges& gauges) const {
   auto u64 = [](const std::atomic<std::uint64_t>& v) {
     return std::to_string(v.load(std::memory_order_relaxed));
   };
@@ -79,7 +117,7 @@ std::string ServiceMetrics::to_json(std::uint64_t active_sessions) const {
          ", \"confirmed\": " + u64(sessions_confirmed) +
          ", \"failed\": " + u64(sessions_failed) +
          ", \"expired\": " + u64(sessions_expired) +
-         ", \"active\": " + std::to_string(active_sessions) + "},\n";
+         ", \"active\": " + std::to_string(gauges.active_sessions) + "},\n";
   out += " \"frames\": {\"in\": " + u64(frames_in) +
          ", \"out\": " + u64(frames_out) +
          ", \"rejected\": " + u64(frames_rejected) +
@@ -91,6 +129,7 @@ std::string ServiceMetrics::to_json(std::uint64_t active_sessions) const {
          ", \"connections\": {\"accepted\": " + u64(connections_accepted) +
          ", \"closed\": " + u64(connections_closed) +
          ", \"killed_backpressure\": " + u64(connections_killed_backpressure) +
+         ", \"active\": " + std::to_string(gauges.active_connections) +
          "}, \"frames_unowned\": " + u64(frames_unowned) +
          ", \"write_queue_hwm_bytes\": " + u64(write_queue_hwm) + "},\n";
   out += " \"latency\": {\"phase1\": " + phase1_latency.to_json() +
@@ -98,6 +137,71 @@ std::string ServiceMetrics::to_json(std::uint64_t active_sessions) const {
          ",\n  \"phase3\": " + phase3_latency.to_json() +
          ",\n  \"session\": " + session_latency.to_json() + "}}";
   return out;
+}
+
+obs::MetricsSnapshot ServiceMetrics::snapshot(const Gauges& gauges) const {
+  auto u64 = [](const std::atomic<std::uint64_t>& v) {
+    return v.load(std::memory_order_relaxed);
+  };
+  obs::MetricsSnapshot s;
+  auto counter = [&s](const char* name, const char* help,
+                      std::uint64_t value) {
+    s.scalars.push_back({name, help, /*gauge=*/false, value});
+  };
+  auto gauge = [&s](const char* name, const char* help, std::uint64_t value) {
+    s.scalars.push_back({name, help, /*gauge=*/true, value});
+  };
+  counter("shs_sessions_opened_total", "Handshake sessions opened",
+          u64(sessions_opened));
+  counter("shs_sessions_confirmed_total",
+          "Sessions that confirmed at least one partner",
+          u64(sessions_confirmed));
+  counter("shs_sessions_failed_total",
+          "Sessions that completed without a clique", u64(sessions_failed));
+  counter("shs_sessions_expired_total", "Sessions expired at the deadline",
+          u64(sessions_expired));
+  gauge("shs_sessions_active", "Sessions currently in the session table",
+        gauges.active_sessions);
+  counter("shs_rounds_advanced_total", "Protocol rounds advanced",
+          u64(rounds_advanced));
+  counter("shs_frames_in_total", "Frames accepted into sessions",
+          u64(frames_in));
+  counter("shs_frames_out_total", "Frames emitted to the egress sink",
+          u64(frames_out));
+  counter("shs_frames_rejected_total", "Frames rejected before slotting",
+          u64(frames_rejected));
+  counter("shs_frame_bytes_in_total", "Encoded bytes of accepted frames",
+          u64(bytes_in));
+  counter("shs_frame_bytes_out_total", "Encoded bytes of emitted frames",
+          u64(bytes_out));
+  counter("shs_tcp_bytes_in_total", "Raw bytes read from transport sockets",
+          u64(tcp_bytes_in));
+  counter("shs_tcp_bytes_out_total", "Raw bytes written to transport sockets",
+          u64(tcp_bytes_out));
+  counter("shs_connections_accepted_total", "Transport connections accepted",
+          u64(connections_accepted));
+  counter("shs_connections_closed_total", "Transport connections closed",
+          u64(connections_closed));
+  counter("shs_connections_killed_backpressure_total",
+          "Connections killed at the write-queue kill watermark",
+          u64(connections_killed_backpressure));
+  gauge("shs_connections_active", "Transport connections currently open",
+        gauges.active_connections);
+  counter("shs_frames_unowned_total",
+          "Frames dropped for session-ownership violations",
+          u64(frames_unowned));
+  gauge("shs_write_queue_hwm_bytes",
+        "High-water mark across connection write queues",
+        u64(write_queue_hwm));
+  s.histograms.push_back(phase1_latency.exposition(
+      "shs_phase1_latency_us", "Session open to end of Phase I"));
+  s.histograms.push_back(phase2_latency.exposition(
+      "shs_phase2_latency_us", "Session open to end of Phase II"));
+  s.histograms.push_back(phase3_latency.exposition(
+      "shs_phase3_latency_us", "Session open to end of Phase III"));
+  s.histograms.push_back(session_latency.exposition(
+      "shs_session_latency_us", "Session open to final round delivered"));
+  return s;
 }
 
 }  // namespace shs::service

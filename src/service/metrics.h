@@ -1,8 +1,14 @@
 // Service observability: lock-free counters and latency histograms for
 // the rendezvous service, exportable as one JSON document (the schema is
-// documented in DESIGN.md §8). Everything here is updated from pool
-// threads mid-pump, so every field is an atomic and histograms use atomic
-// buckets; reads are monotonic snapshots, not a consistent cut.
+// documented in DESIGN.md §8) and as a Prometheus-text MetricsSnapshot
+// (DESIGN.md §10). Everything here is updated from pool threads mid-pump,
+// so every field is an atomic and histograms use atomic buckets; reads
+// are monotonic snapshots, not a consistent cut.
+//
+// Hot counters are grouped into cache lines by writer domain (ingress,
+// egress, round/lifecycle, transport) with alignas(64): ingress pump
+// threads bumping frames_in must not invalidate the line an egress
+// thread is bumping frames_out on.
 #pragma once
 
 #include <array>
@@ -10,6 +16,8 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+
+#include "obs/exposition.h"
 
 namespace shs::service {
 
@@ -25,42 +33,68 @@ class LatencyHistogram {
 
   [[nodiscard]] std::uint64_t count() const noexcept;
   [[nodiscard]] std::uint64_t sum_us() const noexcept;
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const noexcept;
   /// Upper bound (us) of the bucket holding quantile q in [0, 1];
   /// 0 when empty.
   [[nodiscard]] std::uint64_t quantile_us(double q) const noexcept;
 
+  /// Adds every bucket, count and sum of `other` into this histogram
+  /// (relaxed per-bucket; concurrent records land in one side or the
+  /// other). Used to fold per-shard histograms into one exposition.
+  void merge(const LatencyHistogram& other) noexcept;
+  /// Zeroes all buckets, count and sum (relaxed; concurrent records may
+  /// survive the wipe — reset is for between-run benches, not hot paths).
+  void reset() noexcept;
+
   /// {"count":N,"mean_us":X,"p50_us":A,"p99_us":B,"buckets":[...]}
   [[nodiscard]] std::string to_json() const;
 
+  /// Fills an exposition entry (per-bucket counts + le bounds in us).
+  [[nodiscard]] obs::HistogramEntry exposition(std::string name,
+                                               std::string help) const;
+
  private:
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-  std::atomic<std::uint64_t> count_{0};
+  // The bucket array gets its own cache-line start so recording threads
+  // never share a line with the preceding histogram's count/sum pair.
+  alignas(64) std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  alignas(64) std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_us_{0};
 };
 
 /// Counter block of one RendezvousService instance.
 struct ServiceMetrics {
-  // Session lifecycle.
-  std::atomic<std::uint64_t> sessions_opened{0};
+  /// Point-in-time gauges owned by other components, passed in at export
+  /// time: active_sessions comes from the session table,
+  /// active_connections from the transport server (0 when the service
+  /// runs loopback). Both JSON and Prometheus exports take the same
+  /// struct, so the two surfaces cannot disagree.
+  struct Gauges {
+    std::uint64_t active_sessions = 0;
+    std::uint64_t active_connections = 0;
+  };
+
+  // Session lifecycle + round work (pump threads).
+  alignas(64) std::atomic<std::uint64_t> sessions_opened{0};
   std::atomic<std::uint64_t> sessions_confirmed{0};  // some clique formed
   std::atomic<std::uint64_t> sessions_failed{0};     // completed, no clique
   std::atomic<std::uint64_t> sessions_expired{0};    // deadline hit
+  std::atomic<std::uint64_t> rounds_advanced{0};
 
-  // Frame traffic (post-codec; bytes are encoded wire sizes).
-  std::atomic<std::uint64_t> frames_in{0};
-  std::atomic<std::uint64_t> frames_out{0};
+  // Frame ingress (post-codec; bytes are encoded wire sizes).
+  alignas(64) std::atomic<std::uint64_t> frames_in{0};
   std::atomic<std::uint64_t> bytes_in{0};
-  std::atomic<std::uint64_t> bytes_out{0};
   std::atomic<std::uint64_t> frames_rejected{0};  // not slotted (see
                                                   // FrameDisposition)
 
-  std::atomic<std::uint64_t> rounds_advanced{0};
+  // Frame egress.
+  alignas(64) std::atomic<std::uint64_t> frames_out{0};
+  std::atomic<std::uint64_t> bytes_out{0};
 
   // TCP transport (src/transport) — all zero while the service runs
   // loopback or behind a custom FrameSink. Byte counters are raw socket
   // traffic (frames plus transport control), so they dominate the
   // frame-layer bytes_in/bytes_out above.
-  std::atomic<std::uint64_t> tcp_bytes_in{0};
+  alignas(64) std::atomic<std::uint64_t> tcp_bytes_in{0};
   std::atomic<std::uint64_t> tcp_bytes_out{0};
   std::atomic<std::uint64_t> connections_accepted{0};
   std::atomic<std::uint64_t> connections_closed{0};
@@ -90,9 +124,15 @@ struct ServiceMetrics {
   LatencyHistogram session_latency;  // open -> final round delivered
 
   /// One JSON object with every counter and histogram (schema: DESIGN.md
-  /// §8). `active_sessions` is passed in by the service — it is a gauge
-  /// derived from the session table, not a counter.
-  [[nodiscard]] std::string to_json(std::uint64_t active_sessions) const;
+  /// §8). Gauges are passed in because they are derived from live tables,
+  /// not counters.
+  [[nodiscard]] std::string to_json(const Gauges& gauges) const;
+
+  /// The same counters and histograms as a neutral exposition snapshot —
+  /// obs::prometheus_text(snapshot(g)) is the GET /metrics body. One
+  /// builder for both surfaces keeps them structurally incapable of
+  /// drifting apart.
+  [[nodiscard]] obs::MetricsSnapshot snapshot(const Gauges& gauges) const;
 };
 
 }  // namespace shs::service

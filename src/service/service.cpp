@@ -12,6 +12,10 @@ struct RendezvousService::Hosted {
   std::size_t phase1_rounds = 0;
   std::size_t total_rounds = 0;
   Clock::time_point opened;
+  // Cumulative modular exponentiations attributed to this session (only
+  // maintained while the session is traced; relaxed — per-round deltas
+  // arrive from one pump thread at a time).
+  std::atomic<std::uint64_t> modexp_total{0};
 
   mutable std::mutex mu;  // guards the fields below
   bool finished = false;
@@ -55,10 +59,12 @@ RendezvousService::RendezvousService(ServiceOptions options)
   manager_options.session_deadline = options_.session_deadline;
   manager_options.adversary = options_.adversary;
   manager_options.egress = tap_.get();
+  manager_options.trace = options_.trace;
   SessionManager::Hooks hooks;
   hooks.on_round_complete = [this](std::uint64_t sid, std::size_t round,
-                                   Clock::time_point now) {
-    on_round_complete(sid, round, now);
+                                   Clock::time_point now,
+                                   std::uint64_t modexp) {
+    on_round_complete(sid, round, now, modexp);
   };
   hooks.on_done = [this](std::uint64_t sid) { on_done(sid); };
   hooks.on_expired = [this](std::uint64_t sid) { on_expired(sid); };
@@ -84,6 +90,8 @@ std::uint64_t RendezvousService::open_session(
   host->total_rounds = parties.front()->total_rounds();
   host->opened = clock_->now();
   host->parties = std::move(parties);
+  const std::size_t m = host->parties.size();
+  const std::size_t rounds = host->total_rounds;
 
   std::vector<net::RoundParty*> raw;
   raw.reserve(host->parties.size());
@@ -99,6 +107,12 @@ std::uint64_t RendezvousService::open_session(
   }
   manager_->start(sid);
   metrics_.sessions_opened.fetch_add(1, std::memory_order_relaxed);
+  if (options_.logger != nullptr) {
+    options_.logger->info("service", "session opened")
+        .u64("sid", sid)
+        .u64("m", m)
+        .u64("rounds", rounds);
+  }
   return sid;
 }
 
@@ -112,6 +126,14 @@ std::shared_ptr<RendezvousService::Hosted> RendezvousService::hosted(
 FrameDisposition RendezvousService::handle_frame(Frame frame) {
   metrics_.frames_in.fetch_add(1, std::memory_order_relaxed);
   metrics_.bytes_in.fetch_add(wire_size(frame), std::memory_order_relaxed);
+  obs::Logger* logger = options_.logger;
+  if (logger != nullptr && logger->enabled(obs::LogLevel::kDebug)) {
+    logger->debug("service", "frame in")
+        .u64("sid", frame.session_id)
+        .u64("round", frame.round)
+        .u64("pos", frame.position)
+        .bytes("payload", frame.payload);
+  }
   const FrameDisposition d = manager_->handle_frame(std::move(frame));
   if (!accepted(d)) {
     metrics_.frames_rejected.fetch_add(1, std::memory_order_relaxed);
@@ -137,20 +159,43 @@ std::size_t RendezvousService::expire_stalled() {
 }
 
 void RendezvousService::on_round_complete(std::uint64_t sid, std::size_t round,
-                                          Clock::time_point now) {
+                                          Clock::time_point now,
+                                          std::uint64_t modexp) {
   metrics_.rounds_advanced.fetch_add(1, std::memory_order_relaxed);
   const auto host = hosted(sid);
   if (host == nullptr) return;
   const auto elapsed = now - host->opened;
+  obs::TraceRecorder* trace = options_.trace;
+  const bool traced = trace != nullptr && trace->wants(sid);
+  std::uint64_t modexp_total = 0;
+  if (traced) {
+    modexp_total =
+        host->modexp_total.fetch_add(modexp, std::memory_order_relaxed) +
+        modexp;
+  }
+  const auto elapsed_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  auto phase_done = [&](std::uint64_t phase) {
+    if (traced) {
+      trace->record(obs::TraceEvent::kPhaseCompleted, sid, phase, 0,
+                    elapsed_ns, modexp_total);
+    }
+  };
   if (round + 1 == host->phase1_rounds) {
     metrics_.phase1_latency.record(elapsed);
+    phase_done(1);
   }
-  if (round == host->phase1_rounds) metrics_.phase2_latency.record(elapsed);
+  if (round == host->phase1_rounds) {
+    metrics_.phase2_latency.record(elapsed);
+    phase_done(2);
+  }
   if (round + 1 == host->total_rounds) {
     if (host->total_rounds == host->phase1_rounds + 2) {
       metrics_.phase3_latency.record(elapsed);
+      phase_done(3);
     }
     metrics_.session_latency.record(elapsed);
+    phase_done(0);  // whole-session span
   }
 }
 
@@ -170,6 +215,17 @@ void RendezvousService::on_done(std::uint64_t sid) {
     host->finished = true;
     (confirmed ? metrics_.sessions_confirmed : metrics_.sessions_failed)
         .fetch_add(1, std::memory_order_relaxed);
+    if (options_.trace != nullptr) {
+      options_.trace->record(
+          confirmed ? obs::TraceEvent::kSessionConfirmed
+                    : obs::TraceEvent::kSessionFailed,
+          sid, 0, 0, 0, host->modexp_total.load(std::memory_order_relaxed));
+    }
+    if (options_.logger != nullptr) {
+      options_.logger->info("service", "session terminal")
+          .u64("sid", sid)
+          .str("state", confirmed ? "confirmed" : "failed");
+    }
   }
   if (options_.on_terminal) options_.on_terminal(sid, SessionState::kDone);
 }
@@ -191,6 +247,9 @@ void RendezvousService::on_expired(std::uint64_t sid) {
     host->final_state = SessionState::kExpired;
     host->finished = true;
     metrics_.sessions_expired.fetch_add(1, std::memory_order_relaxed);
+    if (options_.logger != nullptr) {
+      options_.logger->warn("service", "session expired").u64("sid", sid);
+    }
   }
   if (options_.on_terminal) options_.on_terminal(sid, SessionState::kExpired);
 }
@@ -228,8 +287,19 @@ std::size_t RendezvousService::active_sessions() const {
   return manager_->active();
 }
 
+ServiceMetrics::Gauges RendezvousService::gauges() const {
+  ServiceMetrics::Gauges g;
+  g.active_sessions = active_sessions();
+  if (connection_gauge_) g.active_connections = connection_gauge_();
+  return g;
+}
+
 std::string RendezvousService::metrics_json() const {
-  return metrics_.to_json(active_sessions());
+  return metrics_.to_json(gauges());
+}
+
+std::string RendezvousService::metrics_prometheus() const {
+  return obs::prometheus_text(metrics_.snapshot(gauges()));
 }
 
 }  // namespace shs::service

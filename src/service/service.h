@@ -31,6 +31,8 @@
 #include <vector>
 
 #include "core/handshake.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "service/frame.h"
 #include "service/metrics.h"
 #include "service/session.h"
@@ -57,6 +59,14 @@ struct ServiceOptions {
   /// (defer GC to the caller). The TCP transport uses this to push DONE
   /// notifications to the owning socket.
   std::function<void(std::uint64_t sid, SessionState final_state)> on_terminal;
+  /// Borrowed flight recorder; null = no tracing. Forwarded to the
+  /// session manager (frame and round events) and used by the service for
+  /// phase-completion spans and terminal events carrying per-session
+  /// modexp attribution.
+  obs::TraceRecorder* trace = nullptr;
+  /// Borrowed structured logger; null = no logging. Session lifecycle at
+  /// info, per-frame traffic at debug.
+  obs::Logger* logger = nullptr;
 };
 
 class RendezvousService {
@@ -105,15 +115,29 @@ class RendezvousService {
   /// Mutable counters, for a transport layering its own traffic counters
   /// (tcp_*, connections_*) into the same export.
   [[nodiscard]] ServiceMetrics& metrics() { return metrics_; }
-  /// Full metrics JSON (includes the active-session gauge).
+
+  /// Installs the live-connection gauge source (the transport server sets
+  /// this to its connection_count()). Unset = the gauge reads 0. Call
+  /// before serving exports; not synchronized against them.
+  void set_connection_gauge(std::function<std::uint64_t()> source) {
+    connection_gauge_ = std::move(source);
+  }
+  /// Point-in-time gauges: active sessions from the session table, active
+  /// connections from the installed transport source. Both export
+  /// surfaces read this one struct.
+  [[nodiscard]] ServiceMetrics::Gauges gauges() const;
+
+  /// Full metrics JSON (includes the gauges).
   [[nodiscard]] std::string metrics_json() const;
+  /// Prometheus text exposition of the same counters (GET /metrics body).
+  [[nodiscard]] std::string metrics_prometheus() const;
 
  private:
   struct Hosted;
 
   std::shared_ptr<Hosted> hosted(std::uint64_t sid) const;
   void on_round_complete(std::uint64_t sid, std::size_t round,
-                         Clock::time_point now);
+                         Clock::time_point now, std::uint64_t modexp);
   void on_done(std::uint64_t sid);
   void on_expired(std::uint64_t sid);
 
@@ -124,6 +148,7 @@ class RendezvousService {
   ServiceOptions options_;
   Clock* clock_;  // never null
   ServiceMetrics metrics_;
+  std::function<std::uint64_t()> connection_gauge_;
   std::unique_ptr<EgressTap> tap_;
   std::unique_ptr<SessionManager> manager_;
 

@@ -3,6 +3,7 @@
 #include <thread>
 #include <utility>
 
+#include "bigint/montgomery.h"
 #include "common/errors.h"
 
 namespace shs::service {
@@ -92,6 +93,9 @@ void SessionManager::start(std::uint64_t sid) {
       throw ProtocolError("SessionManager: session already started");
     }
   }
+  if (options_.trace != nullptr) {
+    options_.trace->record(obs::TraceEvent::kSessionOpened, sid, rec->m);
+  }
   enqueue(rec);
 }
 
@@ -105,40 +109,51 @@ std::shared_ptr<SessionManager::SessionRec> SessionManager::find(
 FrameDisposition SessionManager::handle_frame(Frame frame) {
   const std::shared_ptr<SessionRec> rec = find(frame.session_id);
   if (rec == nullptr) return FrameDisposition::kUnknownSession;
+  const std::uint64_t sid = frame.session_id;
+  const std::uint32_t round = frame.round;
+  const std::uint32_t position = frame.position;
   bool completed = false;
+  FrameDisposition d;
   {
     const std::lock_guard<std::mutex> lock(rec->mu);
-    if (rec->state == SessionState::kDone ||
-        rec->state == SessionState::kExpired) {
-      return FrameDisposition::kFinished;
-    }
-    if (frame.position >= rec->m) return FrameDisposition::kBadPosition;
-    if (frame.round >= rec->total_rounds || frame.round < rec->round) {
-      return FrameDisposition::kStaleRound;
-    }
-    if (frame.round > rec->round) {
-      auto& [payloads, filled] = rec->future[frame.round];
-      if (payloads.empty()) {
-        payloads.assign(rec->m, Bytes{});
-        filled.assign(rec->m, false);
-      }
-      if (filled[frame.position]) return FrameDisposition::kDuplicate;
-      filled[frame.position] = true;
-      payloads[frame.position] = std::move(frame.payload);
-      return FrameDisposition::kBuffered;
-    }
-    if (rec->filled[frame.position]) return FrameDisposition::kDuplicate;
-    rec->filled[frame.position] = true;
-    rec->slots[frame.position] = std::move(frame.payload);
-    ++rec->arrived;
-    rec->last_progress = clock_->now();
-    if (rec->arrived == rec->m && rec->state == SessionState::kCollecting) {
-      rec->state = SessionState::kReady;
-      completed = true;
-    }
+    d = slot_locked(*rec, std::move(frame), completed);
   }
-  if (completed) {
-    enqueue(rec);
+  if (accepted(d) && options_.trace != nullptr) {
+    options_.trace->record(obs::TraceEvent::kFrameIn, sid, round, position);
+  }
+  if (completed) enqueue(rec);
+  return d;
+}
+
+FrameDisposition SessionManager::slot_locked(SessionRec& rec, Frame frame,
+                                             bool& completed) {
+  if (rec.state == SessionState::kDone ||
+      rec.state == SessionState::kExpired) {
+    return FrameDisposition::kFinished;
+  }
+  if (frame.position >= rec.m) return FrameDisposition::kBadPosition;
+  if (frame.round >= rec.total_rounds || frame.round < rec.round) {
+    return FrameDisposition::kStaleRound;
+  }
+  if (frame.round > rec.round) {
+    auto& [payloads, filled] = rec.future[frame.round];
+    if (payloads.empty()) {
+      payloads.assign(rec.m, Bytes{});
+      filled.assign(rec.m, false);
+    }
+    if (filled[frame.position]) return FrameDisposition::kDuplicate;
+    filled[frame.position] = true;
+    payloads[frame.position] = std::move(frame.payload);
+    return FrameDisposition::kBuffered;
+  }
+  if (rec.filled[frame.position]) return FrameDisposition::kDuplicate;
+  rec.filled[frame.position] = true;
+  rec.slots[frame.position] = std::move(frame.payload);
+  ++rec.arrived;
+  rec.last_progress = clock_->now();
+  if (rec.arrived == rec.m && rec.state == SessionState::kCollecting) {
+    rec.state = SessionState::kReady;
+    completed = true;
     return FrameDisposition::kCompletedRound;
   }
   return FrameDisposition::kSlotted;
@@ -187,6 +202,11 @@ void SessionManager::advance(const std::shared_ptr<SessionRec>& rec) {
 
   // Crypto runs with no manager lock held: parties are touched by exactly
   // one advance at a time (the kReady -> kAdvancing transition above).
+  // This also makes per-session cost attribution exact: the whole round
+  // runs on this thread, so the thread-local modexp delta is the round's.
+  const bool traced = options_.trace != nullptr && options_.trace->wants(rec->id);
+  const std::uint64_t modexp_before = traced ? num::thread_modexp_count() : 0;
+  const Clock::time_point begun = clock_->now();
   const std::size_t m = rec->m;
   bool done = false;
   std::vector<Bytes> out;
@@ -220,10 +240,20 @@ void SessionManager::advance(const std::shared_ptr<SessionRec>& rec) {
   }
 
   const Clock::time_point now = clock_->now();
+  const std::uint64_t modexp_delta =
+      traced ? num::thread_modexp_count() - modexp_before : 0;
+  if (traced) {
+    options_.trace->record(
+        obs::TraceEvent::kRoundAdvanced, rec->id, r, produce ? 1 : 0,
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(now - begun)
+                .count()),
+        modexp_delta);
+  }
   // Terminal hooks fire before the terminal state is published, so a
   // caller that observes kDone finds whatever the hook produced.
   if (!produce && hooks_.on_round_complete) {
-    hooks_.on_round_complete(rec->id, r, now);
+    hooks_.on_round_complete(rec->id, r, now, modexp_delta);
   }
   if (done && hooks_.on_done) hooks_.on_done(rec->id);
 
@@ -274,6 +304,9 @@ void SessionManager::emit(std::uint64_t sid, std::size_t round,
   for (std::size_t i = 0; i < payloads.size(); ++i) {
     Frame frame{sid, static_cast<std::uint32_t>(round),
                 static_cast<std::uint32_t>(i), std::move(payloads[i])};
+    if (options_.trace != nullptr) {
+      options_.trace->record(obs::TraceEvent::kFrameOut, sid, round, i);
+    }
     if (options_.egress != nullptr) {
       options_.egress->on_frame(frame);
     } else {
@@ -292,6 +325,7 @@ std::size_t SessionManager::expire_stalled() {
   }
   std::size_t expired = 0;
   for (const auto& rec : recs) {
+    std::size_t stalled_round = 0;
     {
       const std::lock_guard<std::mutex> lock(rec->mu);
       // Only a session waiting on the wire can stall: kReady/kAdvancing
@@ -301,6 +335,11 @@ std::size_t SessionManager::expire_stalled() {
         continue;
       }
       rec->state = SessionState::kAdvancing;  // reserve against races
+      stalled_round = rec->round;
+    }
+    if (options_.trace != nullptr) {
+      options_.trace->record(obs::TraceEvent::kSessionExpired, rec->id,
+                             stalled_round);
     }
     if (hooks_.on_expired) hooks_.on_expired(rec->id);
     {

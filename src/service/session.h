@@ -56,6 +56,7 @@
 
 #include "common/thread_pool.h"
 #include "net/protocol.h"
+#include "obs/trace.h"
 #include "service/clock.h"
 #include "service/frame.h"
 
@@ -111,15 +112,23 @@ struct ManagerOptions {
   /// Outgoing-frame transport (borrowed); null = loop back into
   /// handle_frame.
   FrameSink* egress = nullptr;
+  /// Borrowed flight recorder; null = no tracing. The manager records
+  /// session-open, frame in/out, round-advanced (with wall time and the
+  /// round's modular-exponentiation count) and expiry events for sampled
+  /// sessions.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 class SessionManager {
  public:
   struct Hooks {
     /// Round `round` was delivered to every party (stamped with the
-    /// manager's clock). Runs on the pump thread, no locks held.
+    /// manager's clock). Runs on the pump thread, no locks held. `modexp`
+    /// is the number of modular exponentiations this advance performed —
+    /// exact, because one advance runs a session's crypto entirely on one
+    /// thread — or 0 when the session is not being traced.
     std::function<void(std::uint64_t sid, std::size_t round,
-                       Clock::time_point now)>
+                       Clock::time_point now, std::uint64_t modexp)>
         on_round_complete;
     /// All rounds delivered; fires before state(sid) reports kDone.
     std::function<void(std::uint64_t sid)> on_done;
@@ -174,6 +183,8 @@ class SessionManager {
   struct SessionRec;
 
   std::shared_ptr<SessionRec> find(std::uint64_t sid) const;
+  FrameDisposition slot_locked(SessionRec& rec, Frame frame,
+                               bool& completed);
   void enqueue(std::shared_ptr<SessionRec> rec);
   void advance(const std::shared_ptr<SessionRec>& rec);
   void emit(std::uint64_t sid, std::size_t round, std::vector<Bytes> payloads);

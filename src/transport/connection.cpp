@@ -18,13 +18,15 @@ void bump(std::atomic<std::uint64_t>* counter, std::uint64_t n) {
 
 Connection::Connection(EventLoop& loop, Fd fd, std::uint64_t id,
                        ConnectionLimits limits, Callbacks callbacks,
-                       service::ServiceMetrics* metrics)
+                       service::ServiceMetrics* metrics,
+                       obs::TraceRecorder* trace)
     : loop_(loop),
       fd_(std::move(fd)),
       id_(id),
       limits_(limits),
       callbacks_(std::move(callbacks)),
       metrics_(metrics),
+      trace_(trace),
       in_buf_(limits.max_unframed) {
   set_nonblocking(fd_.get());
 }
@@ -48,6 +50,9 @@ void Connection::send(Bytes wire) {
   }
   if (metrics_ != nullptr) metrics_->note_write_queue_depth(queued);
   if (queued > limits_.write_kill) {
+    if (trace_ != nullptr) {
+      trace_->record(obs::TraceEvent::kBackpressureKill, 0, id_, queued);
+    }
     loop_.post([self = shared_from_this()] {
       self->close("write queue exceeded the kill watermark",
                   /*backpressure=*/true);
@@ -78,6 +83,10 @@ void Connection::close(const std::string& reason, bool backpressure) {
   }
   fd_.reset();
   bump(metrics_ != nullptr ? &metrics_->connections_closed : nullptr, 1);
+  if (trace_ != nullptr) {
+    trace_->record(obs::TraceEvent::kConnClosed, 0, id_,
+                   backpressure ? 1 : 0);
+  }
   if (backpressure) {
     bump(metrics_ != nullptr ? &metrics_->connections_killed_backpressure
                              : nullptr,
@@ -190,8 +199,14 @@ void Connection::update_interest() {
   const std::size_t queued = queued_bytes();
   if (!paused_ && queued > limits_.write_pause) {
     paused_ = true;
+    if (trace_ != nullptr) {
+      trace_->record(obs::TraceEvent::kBackpressurePause, 0, id_, queued);
+    }
   } else if (paused_ && queued <= limits_.write_pause / 2) {
     paused_ = false;
+    if (trace_ != nullptr) {
+      trace_->record(obs::TraceEvent::kBackpressureResume, 0, id_, queued);
+    }
   }
   std::uint32_t interest = 0;
   if (!paused_ && !draining_) interest |= kLoopRead;

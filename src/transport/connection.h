@@ -26,6 +26,7 @@
 #include <mutex>
 #include <string>
 
+#include "obs/trace.h"
 #include "service/frame.h"
 #include "service/metrics.h"
 #include "transport/event_loop.h"
@@ -60,9 +61,12 @@ class Connection : public std::enable_shared_from_this<Connection> {
 
   /// `metrics` (borrowed, may be null) receives tcp byte counters,
   /// connection-close counters and the write-queue high-water mark.
+  /// `trace` (borrowed, may be null) records connection lifecycle and
+  /// backpressure transitions under sid 0, tid = connection id.
   Connection(EventLoop& loop, Fd fd, std::uint64_t id,
              ConnectionLimits limits, Callbacks callbacks,
-             service::ServiceMetrics* metrics);
+             service::ServiceMetrics* metrics,
+             obs::TraceRecorder* trace = nullptr);
 
   /// Registers with the loop (call once, on the loop thread).
   void register_with_loop();
@@ -101,6 +105,7 @@ class Connection : public std::enable_shared_from_this<Connection> {
   const ConnectionLimits limits_;
   Callbacks callbacks_;
   service::ServiceMetrics* metrics_;  // may be null
+  obs::TraceRecorder* trace_;         // may be null
 
   // Loop-thread state.
   service::FrameBuffer in_buf_;

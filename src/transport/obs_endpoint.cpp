@@ -1,0 +1,179 @@
+#include "transport/obs_endpoint.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+#include <vector>
+
+namespace shs::transport {
+
+struct ObsEndpoint::Client {
+  Fd fd;
+  std::string in;
+  std::string out;
+  std::size_t out_pos = 0;
+  bool responded = false;
+};
+
+namespace {
+
+std::string simple_response(int code, const std::string& reason,
+                            const std::string& content_type,
+                            const std::string& body) {
+  std::string out = "HTTP/1.0 " + std::to_string(code) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+ObsEndpoint::ObsEndpoint(EventLoop& loop, Options options)
+    : loop_(loop), options_(std::move(options)) {}
+
+ObsEndpoint::~ObsEndpoint() { stop(); }
+
+void ObsEndpoint::add_route(std::string path, std::string content_type,
+                            BodyFn body) {
+  routes_[std::move(path)] = Route{std::move(content_type), std::move(body)};
+}
+
+void ObsEndpoint::start() {
+  if (started_) throw ProtocolError("ObsEndpoint: start() called twice");
+  listener_ = tcp_listen(options_.address, options_.port, options_.backlog);
+  port_ = local_port(listener_.get());
+  loop_.add_fd(listener_.get(), kLoopRead,
+               [this](std::uint32_t) { accept_ready(); });
+  started_ = true;
+}
+
+void ObsEndpoint::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  if (listener_.valid()) {
+    loop_.remove_fd(listener_.get());
+    listener_.reset();
+  }
+  for (auto& [fd, client] : clients_) {
+    loop_.remove_fd(fd);
+    client->fd.reset();
+  }
+  clients_.clear();
+}
+
+void ObsEndpoint::accept_ready() {
+  while (true) {
+    const int fd = ::accept4(listener_.get(), nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      // Scrapes are best-effort: on EAGAIN or resource exhaustion just
+      // wait for the next readiness event rather than pausing the loop.
+      return;
+    }
+    auto client = std::make_shared<Client>();
+    client->fd = Fd(fd);
+    clients_.emplace(fd, client);
+    loop_.add_fd(fd, kLoopRead, [this, client](std::uint32_t events) {
+      on_client_events(client, events);
+    });
+  }
+}
+
+void ObsEndpoint::on_client_events(const std::shared_ptr<Client>& client,
+                                   std::uint32_t events) {
+  if (!client->fd.valid()) return;
+  if (events & kLoopWrite) {
+    flush(client);
+    if (!client->fd.valid()) return;
+  }
+  if ((events & kLoopRead) && !client->responded) {
+    std::vector<char> chunk(1024);
+    while (client->fd.valid()) {
+      const ssize_t n = ::read(client->fd.get(), chunk.data(), chunk.size());
+      if (n > 0) {
+        client->in.append(chunk.data(), static_cast<std::size_t>(n));
+        if (client->in.size() > options_.max_request_bytes) {
+          drop(client);
+          return;
+        }
+        if (client->in.find("\r\n\r\n") != std::string::npos) {
+          respond(client);
+          return;
+        }
+      } else if (n == 0) {
+        drop(client);  // EOF before a complete request head
+        return;
+      } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return;
+      } else if (errno != EINTR) {
+        drop(client);
+        return;
+      }
+    }
+  }
+}
+
+void ObsEndpoint::respond(const std::shared_ptr<Client>& client) {
+  client->responded = true;
+  // Request line: METHOD SP PATH SP VERSION.
+  const std::size_t line_end = client->in.find("\r\n");
+  const std::string line = client->in.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    client->out = simple_response(400, "Bad Request", "text/plain",
+                                  "malformed request line\n");
+  } else {
+    const std::string method = line.substr(0, sp1);
+    std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::size_t query = path.find('?');
+    if (query != std::string::npos) path.resize(query);
+    const auto route = routes_.find(path);
+    if (method != "GET") {
+      client->out = simple_response(405, "Method Not Allowed", "text/plain",
+                                    "only GET is served here\n");
+    } else if (route == routes_.end()) {
+      std::string body = "not found; routes:\n";
+      for (const auto& [p, r] : routes_) body += "  " + p + "\n";
+      client->out = simple_response(404, "Not Found", "text/plain", body);
+    } else {
+      client->out = simple_response(200, "OK", route->second.content_type,
+                                    route->second.body());
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  flush(client);
+}
+
+void ObsEndpoint::flush(const std::shared_ptr<Client>& client) {
+  while (client->out_pos < client->out.size()) {
+    const ssize_t n =
+        ::write(client->fd.get(), client->out.data() + client->out_pos,
+                client->out.size() - client->out_pos);
+    if (n > 0) {
+      client->out_pos += static_cast<std::size_t>(n);
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      loop_.set_interest(client->fd.get(), kLoopWrite);
+      return;
+    } else if (errno != EINTR) {
+      drop(client);
+      return;
+    }
+  }
+  if (client->responded) drop(client);  // response fully flushed
+}
+
+void ObsEndpoint::drop(const std::shared_ptr<Client>& client) {
+  if (!client->fd.valid()) return;
+  loop_.remove_fd(client->fd.get());
+  clients_.erase(client->fd.get());
+  client->fd.reset();
+}
+
+}  // namespace shs::transport

@@ -1,0 +1,95 @@
+// ObsEndpoint — the observability scrape listener.
+//
+// A second listening socket on the transport's existing EventLoop: the
+// one epoll/poll thread that drives rendezvous traffic also answers
+// GET /metrics (Prometheus text exposition) and GET /trace (Chrome
+// trace-event JSON). No per-connection threads, no second loop — a
+// scrape is just another readable fd in the same readiness set.
+//
+// The HTTP surface is deliberately tiny: HTTP/1.0-style one-shot GETs,
+// response fully buffered then flushed through non-blocking writes,
+// connection closed after each response. Routes are registered as
+// (path, content type, body producer); producers run on the loop thread
+// and must be safe against concurrent service mutation (they are:
+// metrics snapshots and trace exports read atomics). Anything else is
+// answered 404/400, oversized or malformed requests are dropped.
+//
+// Threading: construct and add_route() before the loop runs; start()
+// either before the loop thread spawns or from the loop thread; stop()
+// must run on the loop thread (TransportServer posts it during
+// shutdown).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "transport/event_loop.h"
+#include "transport/socket.h"
+
+namespace shs::transport {
+
+class ObsEndpoint {
+ public:
+  struct Options {
+    std::string address = "127.0.0.1";
+    std::uint16_t port = 0;  // 0 = ephemeral; read back with port()
+    int backlog = 16;
+    /// Requests whose head exceeds this are dropped (scrapes are tiny).
+    std::size_t max_request_bytes = 4096;
+  };
+
+  /// Produces one response body; runs on the loop thread per request.
+  using BodyFn = std::function<std::string()>;
+
+  ObsEndpoint(EventLoop& loop, Options options);
+  ~ObsEndpoint();
+  ObsEndpoint(const ObsEndpoint&) = delete;
+  ObsEndpoint& operator=(const ObsEndpoint&) = delete;
+
+  /// Registers GET `path` -> body with the given Content-Type. Call
+  /// before start().
+  void add_route(std::string path, std::string content_type, BodyFn body);
+
+  /// Binds, listens and registers with the loop. Throws TransportError.
+  void start();
+  /// Closes the listener and every in-flight scrape. Loop thread (or
+  /// after the loop stopped). Idempotent.
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Client;
+  struct Route {
+    std::string content_type;
+    BodyFn body;
+  };
+
+  void accept_ready();
+  void on_client_events(const std::shared_ptr<Client>& client,
+                        std::uint32_t events);
+  void respond(const std::shared_ptr<Client>& client);
+  void flush(const std::shared_ptr<Client>& client);
+  void drop(const std::shared_ptr<Client>& client);
+
+  EventLoop& loop_;
+  Options options_;
+  std::map<std::string, Route> routes_;
+  Fd listener_;
+  std::uint16_t port_ = 0;
+  bool started_ = false;
+  bool stopped_ = false;
+  std::unordered_map<int, std::shared_ptr<Client>> clients_;
+  std::atomic<std::uint64_t> requests_served_{0};
+};
+
+}  // namespace shs::transport

@@ -23,6 +23,7 @@ TransportServer::TransportServer(ServerOptions options,
       factory_(std::move(factory)),
       router_(std::make_unique<EgressRouter>(this)),
       user_terminal_(std::move(service_options.on_terminal)),
+      trace_(service_options.trace),
       loop_(options_.backend, service_options.clock) {
   if (service_options.egress != nullptr) {
     throw ProtocolError("TransportServer: egress is owned by the transport");
@@ -34,6 +35,23 @@ TransportServer::TransportServer(ServerOptions options,
   };
   service_ =
       std::make_unique<service::RendezvousService>(std::move(service_options));
+  // Both export surfaces (metrics_json and the /metrics scrape) read the
+  // live-connection gauge from here.
+  service_->set_connection_gauge([this] {
+    return static_cast<std::uint64_t>(connection_count());
+  });
+  if (options_.obs_endpoint) {
+    ObsEndpoint::Options obs_options;
+    obs_options.address = options_.obs_address;
+    obs_options.port = options_.obs_port;
+    obs_ = std::make_unique<ObsEndpoint>(loop_, obs_options);
+    obs_->add_route("/metrics", "text/plain; version=0.0.4",
+                    [this] { return service_->metrics_prometheus(); });
+    obs_->add_route("/trace", "application/json", [this] {
+      return trace_ != nullptr ? trace_->to_chrome_json()
+                               : std::string("{\"traceEvents\": []}");
+    });
+  }
 }
 
 TransportServer::~TransportServer() { shutdown(); }
@@ -47,6 +65,7 @@ void TransportServer::start() {
     port_ = local_port(listener_.get());
     loop_.add_fd(listener_.get(), kLoopRead,
                  [this](std::uint32_t) { accept_ready(); });
+    if (obs_ != nullptr) obs_->start();
     arm_expire_timer();
     worker_ = std::thread([this] { worker_loop(); });
     loop_thread_ = std::thread([this] { loop_.run(); });
@@ -67,6 +86,7 @@ void TransportServer::start() {
       loop_.remove_fd(listener_.get());
       listener_.reset();
     }
+    if (obs_ != nullptr) obs_->stop();
     loop_.cancel_timer(expire_timer_);  // safe: the loop never ran
     started_.store(false, std::memory_order_release);
     throw;
@@ -122,15 +142,18 @@ void TransportServer::install_connection(Fd fd) {
   callbacks.on_closed = [this](Connection& conn, const std::string&, bool) {
     on_conn_closed(conn);
   };
-  auto conn = std::make_shared<Connection>(loop_, std::move(fd), id,
-                                           options_.limits,
-                                           std::move(callbacks), &metrics);
+  auto conn = std::make_shared<Connection>(
+      loop_, std::move(fd), id, options_.limits, std::move(callbacks),
+      &metrics, trace_);
   {
     const std::lock_guard<std::mutex> lock(conns_mu_);
     conns_.emplace(id, conn);
   }
   conn->register_with_loop();
   metrics.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+  if (trace_ != nullptr) {
+    trace_->record(obs::TraceEvent::kConnAccepted, 0, id);
+  }
 }
 
 void TransportServer::adopt_connection(Fd fd) {
@@ -331,6 +354,7 @@ void TransportServer::shutdown() {
       loop_.remove_fd(listener_.get());
       listener_.reset();
     }
+    if (obs_ != nullptr) obs_->stop();
     std::vector<std::shared_ptr<Connection>> conns;
     {
       const std::lock_guard<std::mutex> lock(conns_mu_);

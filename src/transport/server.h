@@ -48,6 +48,7 @@
 #include "service/service.h"
 #include "transport/connection.h"
 #include "transport/event_loop.h"
+#include "transport/obs_endpoint.h"
 #include "transport/wire.h"
 
 namespace shs::transport {
@@ -77,6 +78,12 @@ struct ServerOptions {
   /// GC sessions (service.close) once their DONE notification is queued.
   /// Turn off when the host wants to inspect outcomes() afterwards.
   bool auto_close_sessions = true;
+  /// Serve GET /metrics (Prometheus text) and GET /trace (Chrome trace
+  /// JSON) from a second listener on the same event loop — no extra
+  /// threads. Disabled by default.
+  bool obs_endpoint = false;
+  std::string obs_address = "127.0.0.1";
+  std::uint16_t obs_port = 0;  // 0 = ephemeral; read back with obs_port()
 };
 
 class TransportServer {
@@ -96,6 +103,13 @@ class TransportServer {
 
   /// The bound port (valid after start()).
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  /// The observability listener's port (valid after start() with
+  /// options.obs_endpoint = true; 0 otherwise).
+  [[nodiscard]] std::uint16_t obs_port() const noexcept {
+    return obs_ != nullptr ? obs_->port() : 0;
+  }
+  /// Null unless options.obs_endpoint was set.
+  [[nodiscard]] ObsEndpoint* obs_endpoint() noexcept { return obs_.get(); }
 
   [[nodiscard]] service::RendezvousService& service() noexcept {
     return *service_;
@@ -145,8 +159,10 @@ class TransportServer {
   SessionFactory factory_;
   std::unique_ptr<EgressRouter> router_;
   std::function<void(std::uint64_t, service::SessionState)> user_terminal_;
+  obs::TraceRecorder* trace_ = nullptr;  // borrowed via ServiceOptions
   std::unique_ptr<service::RendezvousService> service_;
   EventLoop loop_;
+  std::unique_ptr<ObsEndpoint> obs_;
 
   Fd listener_;
   std::uint16_t port_ = 0;

@@ -1,0 +1,205 @@
+// Structured logger + redaction unit coverage: line format, level
+// suppression, byte/secret placeholders, escaping, and the RedactionAudit
+// registry (raw + hex scanning, minimum secret length, violation
+// accounting, and the logger surface being audited at emit time).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/bytes.h"
+#include "obs/log.h"
+#include "obs/redact.h"
+#include "service/clock.h"
+
+namespace shs::obs {
+namespace {
+
+using service::ManualClock;
+
+/// Every audit test runs against the process-wide singleton, so scope the
+/// enabled state and registry to the test.
+struct AuditGuard {
+  AuditGuard() {
+    RedactionAudit::instance().reset();
+    RedactionAudit::instance().enable(true);
+  }
+  ~AuditGuard() {
+    RedactionAudit::instance().reset();
+    RedactionAudit::instance().enable(false);
+  }
+};
+
+Bytes secret_bytes() { return to_bytes("super-secret-handshake-key-0123"); }
+
+TEST(Log, LinesAreStructuredKeyValueText) {
+  ManualClock clock;
+  CaptureSink sink;
+  Logger::Options lo;
+  lo.level = LogLevel::kDebug;
+  lo.sink = &sink;
+  lo.clock = &clock;
+  Logger logger(lo);
+
+  clock.advance(std::chrono::nanoseconds(42));
+  logger.info("service", "session opened").u64("sid", 7).i64("delta", -3);
+
+  ASSERT_EQ(sink.records().size(), 1u);
+  EXPECT_EQ(sink.records()[0].line,
+            "ts_ns=42 level=info comp=service msg=\"session opened\" "
+            "sid=7 delta=-3");
+  EXPECT_EQ(sink.records()[0].level, LogLevel::kInfo);
+  EXPECT_EQ(logger.emitted(), 1u);
+}
+
+TEST(Log, SuppressedLevelsFormatNothing) {
+  CaptureSink sink;
+  Logger::Options lo;
+  lo.level = LogLevel::kWarn;
+  lo.sink = &sink;
+  Logger logger(lo);
+
+  EXPECT_FALSE(logger.enabled(LogLevel::kDebug));
+  EXPECT_TRUE(logger.enabled(LogLevel::kError));
+  logger.debug("svc", "noise").u64("sid", 1);
+  (void)logger.info("svc", "noise too");
+  (void)logger.warn("svc", "kept");
+  EXPECT_EQ(sink.records().size(), 1u);
+  EXPECT_EQ(logger.emitted(), 1u);
+
+  lo.level = LogLevel::kOff;
+  Logger off(lo);
+  EXPECT_FALSE(off.enabled(LogLevel::kError));
+}
+
+TEST(Log, BytesRenderAsLengthPlaceholderOnly) {
+  CaptureSink sink;
+  Logger::Options lo;
+  lo.sink = &sink;
+  Logger logger(lo);
+
+  const Bytes payload = to_bytes("mac-tag-bytes");
+  logger.info("svc", "frame").bytes("payload", payload);
+
+  ASSERT_EQ(sink.records().size(), 1u);
+  const std::string& line = sink.records()[0].line;
+  EXPECT_NE(line.find("payload=<13 bytes>"), std::string::npos);
+  EXPECT_EQ(line.find("mac-tag"), std::string::npos);
+}
+
+TEST(Log, RedactedFieldsRenderAsRedactedPlaceholder) {
+  CaptureSink sink;
+  Logger::Options lo;
+  lo.sink = &sink;
+  Logger logger(lo);
+
+  const Redacted<Bytes> key(secret_bytes());
+  EXPECT_EQ(key.size(), secret_bytes().size());
+  EXPECT_EQ(key.reveal(), secret_bytes());
+
+  logger.info("svc", "derived").secret("key", key);
+  ASSERT_EQ(sink.records().size(), 1u);
+  const std::string& line = sink.records()[0].line;
+  EXPECT_NE(line.find("key=<redacted 31>"), std::string::npos);
+  EXPECT_EQ(line.find("super-secret"), std::string::npos);
+}
+
+TEST(Log, ControlAndNonAsciiBytesAreEscaped) {
+  CaptureSink sink;
+  Logger::Options lo;
+  lo.sink = &sink;
+  Logger logger(lo);
+
+  (void)logger.info("svc", std::string("a\nb\xff") + "\"q\"");
+  ASSERT_EQ(sink.records().size(), 1u);
+  EXPECT_NE(sink.records()[0].line.find("msg=\"a\\x0ab\\xff\\\"q\\\"\""),
+            std::string::npos);
+}
+
+TEST(Redact, DisabledAuditRegistersNothing) {
+  RedactionAudit& audit = RedactionAudit::instance();
+  audit.reset();
+  audit.enable(false);
+  audit_secret(secret_bytes(), "key");
+  EXPECT_EQ(audit.secret_count(), 0u);
+  audit_output("anything at all", "log");
+  EXPECT_EQ(audit.violations(), 0u);
+}
+
+TEST(Redact, ScanFindsRawAndHexEncodings) {
+  AuditGuard guard;
+  RedactionAudit& audit = RedactionAudit::instance();
+  const Bytes secret = secret_bytes();
+  audit.add_secret(secret, "session-key");
+  EXPECT_EQ(audit.secret_count(), 1u);
+  audit.add_secret(secret, "session-key");  // deduplicated
+  EXPECT_EQ(audit.secret_count(), 1u);
+
+  const std::string raw(secret.begin(), secret.end());
+  auto hits = audit.scan("prefix " + raw + " suffix");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].label, "session-key");
+  EXPECT_EQ(hits[0].encoding, "raw");
+
+  hits = audit.scan("hex: " + to_hex(secret));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].encoding, "hex");
+
+  std::string upper = to_hex(secret);
+  for (char& c : upper) c = static_cast<char>(std::toupper(c));
+  EXPECT_EQ(audit.scan("HEX: " + upper).size(), 1u);
+
+  EXPECT_TRUE(audit.scan("nothing to see").empty());
+  EXPECT_EQ(audit.violations(), 0u) << "scan is a pure query";
+}
+
+TEST(Redact, TooShortSecretsAreNotRegistered) {
+  AuditGuard guard;
+  RedactionAudit& audit = RedactionAudit::instance();
+  audit.add_secret(to_bytes("short"), "tiny");
+  EXPECT_EQ(audit.secret_count(), 0u);
+}
+
+TEST(Redact, CheckAccumulatesViolationsWithSurface) {
+  AuditGuard guard;
+  RedactionAudit& audit = RedactionAudit::instance();
+  const Bytes secret = secret_bytes();
+  audit.add_secret(secret, "k-prime");
+
+  audit.check("clean line", "log");
+  EXPECT_EQ(audit.violations(), 0u);
+  audit.check("leak " + to_hex(secret), "metrics");
+  EXPECT_EQ(audit.violations(), 1u);
+  const auto log = audit.violation_log();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].label, "k-prime");
+  EXPECT_EQ(log[0].encoding, "hex");
+  EXPECT_EQ(log[0].surface, "metrics");
+
+  audit.reset();
+  EXPECT_EQ(audit.violations(), 0u);
+  EXPECT_EQ(audit.secret_count(), 0u);
+}
+
+// The leak path the design cannot prevent — hexing a secret into an
+// ordinary string field — is exactly what the audit catches at emit.
+TEST(Redact, LoggerEmissionIsAuditedAndCatchesDeliberateLeaks) {
+  AuditGuard guard;
+  RedactionAudit& audit = RedactionAudit::instance();
+  const Bytes secret = secret_bytes();
+  audit_secret(secret, "session-key");
+
+  CaptureSink sink;
+  Logger::Options lo;
+  lo.sink = &sink;
+  Logger logger(lo);
+
+  logger.info("svc", "fine").u64("sid", 1);
+  EXPECT_EQ(audit.violations(), 0u);
+
+  logger.info("svc", "oops").str("key_hex", to_hex(secret));
+  ASSERT_EQ(audit.violations(), 1u);
+  EXPECT_EQ(audit.violation_log()[0].surface, "log");
+}
+
+}  // namespace
+}  // namespace shs::obs

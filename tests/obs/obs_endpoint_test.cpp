@@ -1,0 +1,130 @@
+// The observability scrape listener over real sockets: a TransportServer
+// with the endpoint enabled serves GET /metrics (Prometheus text with
+// histogram buckets and both gauges) and GET /trace (Chrome trace JSON)
+// from its one event-loop thread, answers unknown paths 404 and non-GET
+// methods 405, and keeps serving scrapes while handshake traffic runs.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <string>
+
+#include "obs/trace.h"
+#include "transport/client.h"
+#include "transport/fixture.h"
+#include "transport/server.h"
+#include "transport/socket.h"
+
+namespace shs::transport {
+namespace {
+
+using testing::group_factory;
+using testing::make_request;
+
+/// One blocking HTTP exchange: send `request` verbatim, read to EOF.
+std::string http_exchange(std::uint16_t port, const std::string& request) {
+  Fd fd = tcp_connect("127.0.0.1", port, std::chrono::milliseconds(2000));
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd.get(), request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) throw TransportError(errno_message("send"));
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd.get(), buf, sizeof buf, 0);
+    if (n < 0) throw TransportError(errno_message("recv"));
+    if (n == 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  return response;
+}
+
+std::string get(std::uint16_t port, const std::string& path) {
+  return http_exchange(port, "GET " + path + " HTTP/1.0\r\n\r\n");
+}
+
+TEST(ObsEndpoint, ServesMetricsAndTraceFromTheEventLoop) {
+  obs::TraceRecorder trace;
+  ServerOptions so;
+  so.obs_endpoint = true;
+  service::ServiceOptions svc;
+  svc.trace = &trace;
+  TransportServer server(so, svc, group_factory());
+  server.start();
+  ASSERT_GT(server.obs_port(), 0);
+  ASSERT_NE(server.obs_port(), server.port());
+
+  // Complete one real handshake so counters and trace records are live.
+  Client client({.port = server.port()});
+  client.connect();
+  client.open(make_request(2, false, "obs-endpoint"));
+  client.run();
+
+  const std::string metrics = get(server.obs_port(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("shs_sessions_opened_total 1"), std::string::npos);
+  EXPECT_NE(metrics.find("shs_sessions_confirmed_total 1"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE shs_sessions_active gauge"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE shs_connections_active gauge"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("shs_session_latency_us_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("shs_session_latency_us_count 1"),
+            std::string::npos);
+
+  // Query strings are stripped before routing (Prometheus adds them).
+  const std::string with_query =
+      get(server.obs_port(), "/metrics?format=prometheus");
+  EXPECT_NE(with_query.find("200 OK"), std::string::npos);
+
+  const std::string trace_body = get(server.obs_port(), "/trace");
+  EXPECT_NE(trace_body.find("200 OK"), std::string::npos);
+  EXPECT_NE(trace_body.find("Content-Type: application/json"),
+            std::string::npos);
+  EXPECT_NE(trace_body.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(trace_body.find("session opened"), std::string::npos);
+  EXPECT_NE(trace_body.find("conn accepted"), std::string::npos);
+
+  ASSERT_NE(server.obs_endpoint(), nullptr);
+  EXPECT_EQ(server.obs_endpoint()->requests_served(), 3u);
+  server.shutdown();
+}
+
+TEST(ObsEndpoint, RejectsUnknownPathsAndMethods) {
+  ServerOptions so;
+  so.obs_endpoint = true;
+  TransportServer server(so, service::ServiceOptions{}, group_factory());
+  server.start();
+
+  EXPECT_NE(get(server.obs_port(), "/nope").find("404 Not Found"),
+            std::string::npos);
+  EXPECT_NE(http_exchange(server.obs_port(), "POST /metrics HTTP/1.0\r\n\r\n")
+                .find("405 Method Not Allowed"),
+            std::string::npos);
+  // Garbage that is not HTTP at all gets 400 or a dropped connection.
+  const std::string garbage = http_exchange(server.obs_port(), "BLURB\r\n\r\n");
+  EXPECT_TRUE(garbage.empty() ||
+              garbage.find("400 Bad Request") != std::string::npos)
+      << garbage;
+  server.shutdown();
+}
+
+TEST(ObsEndpoint, DisabledByDefault) {
+  TransportServer server(ServerOptions{}, service::ServiceOptions{},
+                         group_factory());
+  server.start();
+  EXPECT_EQ(server.obs_port(), 0);
+  EXPECT_EQ(server.obs_endpoint(), nullptr);
+  server.shutdown();
+}
+
+}  // namespace
+}  // namespace shs::transport

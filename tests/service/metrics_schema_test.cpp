@@ -1,0 +1,184 @@
+// The metrics export schema, pinned strictly: metrics_json() must be
+// well-formed JSON carrying every documented key (DESIGN.md §8), each
+// histogram's buckets must sum to its count, and the Prometheus
+// exposition must agree with the JSON on every counter and gauge — the
+// two surfaces render one snapshot and can never diverge.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/fixture.h"
+#include "service/service.h"
+#include "support/minijson.h"
+
+namespace shs::service {
+namespace {
+
+using core::HandshakeOptions;
+using core::testing::TestGroup;
+namespace minijson = shs::testing::minijson;
+
+TestGroup& schema_group() {
+  static auto* group = [] {
+    auto* g = new TestGroup("schema", core::GroupConfig{});
+    for (core::MemberId id = 1; id <= 4; ++id) g->admit(id);
+    return g;
+  }();
+  return *group;
+}
+
+std::vector<std::unique_ptr<core::HandshakeParticipant>> make_parts(
+    std::size_t m, std::string_view seed) {
+  const HandshakeOptions options;
+  std::vector<std::unique_ptr<core::HandshakeParticipant>> parts;
+  for (std::size_t i = 0; i < m; ++i) {
+    parts.push_back(schema_group().member(i).handshake_party(
+        i, m, options, to_bytes(seed)));
+  }
+  return parts;
+}
+
+/// Asserts the minijson histogram object shape and the bucket-sum
+/// invariant; returns its count.
+std::uint64_t check_histogram(const minijson::Value& h) {
+  const std::uint64_t count = h.at("count").u64();
+  EXPECT_NO_THROW((void)h.at("mean_us").num());
+  EXPECT_NO_THROW((void)h.at("p50_us").u64());
+  EXPECT_NO_THROW((void)h.at("p99_us").u64());
+  const minijson::Value& buckets = h.at("buckets");
+  EXPECT_EQ(buckets.type, minijson::Value::Type::kArray);
+  EXPECT_EQ(buckets.array.size(), LatencyHistogram::kBuckets);
+  std::uint64_t sum = 0;
+  for (const minijson::Value& b : buckets.array) sum += b.u64();
+  EXPECT_EQ(sum, count) << "histogram buckets must sum to count";
+  return count;
+}
+
+/// The value of a `name value` sample line in a Prometheus exposition.
+std::uint64_t prom_value(const std::string& text, const std::string& name) {
+  const std::string needle = "\n" + name + " ";
+  const std::size_t at = text.find(needle);
+  EXPECT_NE(at, std::string::npos) << name << " missing from exposition";
+  if (at == std::string::npos) return ~std::uint64_t{0};
+  return std::stoull(text.substr(at + needle.size()));
+}
+
+TEST(MetricsSchema, JsonCarriesEveryDocumentedKeyAndBucketSumsMatch) {
+  RendezvousService svc;
+  for (const std::size_t m : {2u, 4u}) {
+    svc.open_session(make_parts(m, "schema-" + std::to_string(m)));
+  }
+  svc.pump();
+
+  const std::string json = svc.metrics_json();
+  minijson::Value root;
+  ASSERT_NO_THROW(root = minijson::parse(json)) << json;
+
+  const minijson::Value& sessions = root.at("sessions");
+  EXPECT_EQ(sessions.at("opened").u64(), 2u);
+  EXPECT_EQ(sessions.at("confirmed").u64(), 2u);
+  EXPECT_EQ(sessions.at("failed").u64(), 0u);
+  EXPECT_EQ(sessions.at("expired").u64(), 0u);
+  EXPECT_EQ(sessions.at("active").u64(), svc.active_sessions());
+
+  const minijson::Value& frames = root.at("frames");
+  EXPECT_GT(frames.at("in").u64(), 0u);
+  EXPECT_GT(frames.at("out").u64(), 0u);
+  EXPECT_EQ(frames.at("rejected").u64(), 0u);
+  EXPECT_GT(frames.at("bytes_in").u64(), 0u);
+  EXPECT_GT(frames.at("bytes_out").u64(), 0u);
+
+  EXPECT_GT(root.at("rounds_advanced").u64(), 0u);
+
+  const minijson::Value& transport = root.at("transport");
+  EXPECT_NO_THROW((void)transport.at("bytes_in").u64());
+  EXPECT_NO_THROW((void)transport.at("bytes_out").u64());
+  EXPECT_NO_THROW((void)transport.at("frames_unowned").u64());
+  EXPECT_NO_THROW((void)transport.at("write_queue_hwm_bytes").u64());
+  const minijson::Value& conns = transport.at("connections");
+  EXPECT_NO_THROW((void)conns.at("accepted").u64());
+  EXPECT_NO_THROW((void)conns.at("closed").u64());
+  EXPECT_NO_THROW((void)conns.at("killed_backpressure").u64());
+  EXPECT_NO_THROW((void)conns.at("active").u64());
+
+  const minijson::Value& latency = root.at("latency");
+  EXPECT_EQ(check_histogram(latency.at("phase1")), 2u);
+  EXPECT_EQ(check_histogram(latency.at("phase2")), 2u);
+  EXPECT_EQ(check_histogram(latency.at("phase3")), 2u);
+  EXPECT_EQ(check_histogram(latency.at("session")), 2u);
+}
+
+TEST(MetricsSchema, PrometheusExpositionAgreesWithTheJson) {
+  RendezvousService svc;
+  svc.open_session(make_parts(2, "schema-prom"));
+  svc.pump();
+
+  const minijson::Value root = minijson::parse(svc.metrics_json());
+  const std::string prom = svc.metrics_prometheus();
+
+  EXPECT_EQ(prom_value(prom, "shs_sessions_opened_total"),
+            root.at("sessions").at("opened").u64());
+  EXPECT_EQ(prom_value(prom, "shs_sessions_confirmed_total"),
+            root.at("sessions").at("confirmed").u64());
+  EXPECT_EQ(prom_value(prom, "shs_sessions_active"),
+            root.at("sessions").at("active").u64());
+  EXPECT_EQ(prom_value(prom, "shs_frames_in_total"),
+            root.at("frames").at("in").u64());
+  EXPECT_EQ(prom_value(prom, "shs_rounds_advanced_total"),
+            root.at("rounds_advanced").u64());
+  EXPECT_EQ(prom_value(prom, "shs_connections_active"),
+            root.at("transport").at("connections").at("active").u64());
+
+  // Histogram invariants: cumulative buckets end at count; sum present.
+  const std::uint64_t count =
+      prom_value(prom, "shs_session_latency_us_count");
+  EXPECT_EQ(count, root.at("latency").at("session").at("count").u64());
+  const std::string inf = "shs_session_latency_us_bucket{le=\"+Inf\"} ";
+  const std::size_t at = prom.find(inf);
+  ASSERT_NE(at, std::string::npos);
+  EXPECT_EQ(std::stoull(prom.substr(at + inf.size())), count);
+  EXPECT_NE(prom.find("shs_session_latency_us_sum "), std::string::npos);
+
+  // Cumulative buckets never decrease.
+  std::uint64_t prev = 0;
+  std::size_t pos = 0;
+  const std::string bucket = "shs_session_latency_us_bucket{le=";
+  while ((pos = prom.find(bucket, pos)) != std::string::npos) {
+    const std::size_t close = prom.find("} ", pos);
+    ASSERT_NE(close, std::string::npos);
+    const std::uint64_t v = std::stoull(prom.substr(close + 2));
+    EXPECT_GE(v, prev);
+    prev = v;
+    pos = close;
+  }
+  EXPECT_EQ(prev, count);
+}
+
+TEST(MetricsSchema, HistogramMergeAndResetFoldShards) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.record(std::chrono::microseconds(3));
+  a.record(std::chrono::microseconds(900));
+  b.record(std::chrono::microseconds(40));
+
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.sum_us(), 943u);
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    sum += a.bucket_count(i);
+  }
+  EXPECT_EQ(sum, 3u);
+  EXPECT_EQ(b.count(), 1u) << "merge must not disturb the source";
+
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.sum_us(), 0u);
+  for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    EXPECT_EQ(a.bucket_count(i), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace shs::service

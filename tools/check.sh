@@ -15,6 +15,13 @@
 # reduced under TSan unless SHS_STRESS_SESSIONS is already set — race
 # coverage comes from thread interleaving, not session count.
 #
+# Pass --obs to additionally run the observability suite (ctest -L obs:
+# trace-ring seqlock, logger/redaction units, the scrape endpoint and the
+# redaction-invariant conformance sweep) in the same TSan tree — ring
+# writers genuinely race pool threads against scrape-time readers. The
+# sweep's m-grid is trimmed under TSan via SHS_REDACTION_M unless the
+# caller already set it.
+#
 # Pass --transport to additionally run the TCP transport suite
 # (ctest -L transport: event loop, connections, e2e loopback handshakes,
 # fuzz, disconnect reaping) in the same TSan tree — the loop thread, pump
@@ -38,12 +45,14 @@ want_conformance=0
 want_sanitize=1
 want_service=0
 want_transport=0
+want_obs=0
 for arg in "$@"; do
   case "$arg" in
     --conformance) want_conformance=1 ;;
     --no-sanitize) want_sanitize=0 ;;
     --service) want_service=1 ;;
     --transport) want_transport=1 ;;
+    --obs) want_obs=1 ;;
     *) echo "check.sh: unknown option '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -83,6 +92,14 @@ if [[ "$want_transport" == 1 ]]; then
   cmake -B build-tsan -S . -DSHS_TSAN=ON >/dev/null
   cmake --build build-tsan -j "$(nproc)" --target transport_test
   ctest --test-dir build-tsan --output-on-failure -L transport
+fi
+
+if [[ "$want_obs" == 1 ]]; then
+  echo "== observability under TSan =="
+  cmake -B build-tsan -S . -DSHS_TSAN=ON >/dev/null
+  cmake --build build-tsan -j "$(nproc)" --target obs_test
+  SHS_REDACTION_M="${SHS_REDACTION_M:-2,4}" \
+    ctest --test-dir build-tsan --output-on-failure -L obs
 fi
 
 echo "check.sh: all suites passed"
