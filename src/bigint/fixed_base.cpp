@@ -75,8 +75,10 @@ std::shared_ptr<const FixedBaseTable> PrecompCache::ensure(
   std::lock_guard lock(mu_);
   auto it = map_.find(key);
   if (it != map_.end() && it->second->max_exp_bits() >= max_exp_bits) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
     return it->second;
   }
+  misses_.fetch_add(1, std::memory_order_relaxed);
   auto table =
       std::make_shared<const FixedBaseTable>(std::move(mont), base,
                                              max_exp_bits);

@@ -15,6 +15,8 @@
 // shared_ptrs, so a table stays alive while anyone uses it.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -77,6 +79,20 @@ class PrecompCache {
   [[nodiscard]] std::size_t size() const;
   void clear();
 
+  /// ensure() calls served by an existing, sufficiently-sized table /
+  /// calls that had to build (or grow) one. Process-lifetime counters;
+  /// the service layer samples them into its metrics exposition.
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  void reset_counters() noexcept {
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+  }
+
  private:
   // Soft cap: test suites generate many short-lived groups with fresh
   // random bases; beyond the cap, oldest insertions are dropped (callers
@@ -86,6 +102,8 @@ class PrecompCache {
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<const FixedBaseTable>> map_;
   std::vector<std::string> insertion_order_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
 };
 
 /// prod_i bases[i]^exponents[i] mod m. Negative exponents are folded in by

@@ -213,9 +213,6 @@ void HandshakeParticipant::finalize_without_phase3() {
 }
 
 void HandshakeParticipant::process_phase3(const std::vector<Bytes>& messages) {
-  outcome_.completed = true;
-  done_ = true;
-
   // Record the transcript regardless of our own outcome (tracing input).
   std::vector<bool> malformed(m_, false);
   for (std::size_t j = 0; j < m_; ++j) {
@@ -231,11 +228,15 @@ void HandshakeParticipant::process_phase3(const std::vector<Bytes>& messages) {
   }
 
   if (!dgka_ok_) {
+    outcome_.completed = true;
+    done_ = true;
     outcome_.failure = "group key agreement failed";
     outcome_.reason.assign(m_, FailureReason::kDgkaFailed);
     return;
   }
   if (!proceed_) {
+    outcome_.completed = true;
+    done_ = true;
     outcome_.failure = "no same-group clique";
     for (std::size_t j = 0; j < m_; ++j) {
       outcome_.reason[j] = tag_valid_[j] ? FailureReason::kNoClique
@@ -244,14 +245,68 @@ void HandshakeParticipant::process_phase3(const std::vector<Bytes>& messages) {
     return;
   }
 
+  // Stage 1: open and parse every clique peer's sealed signature. With no
+  // verifier installed the signature is checked right here (the classic
+  // inline path); with one installed the check is enqueued and the verdict
+  // lands in verdict_[j] before finish() completes. Slots that fail
+  // already at AEAD/parse never produce a job — their reason is final now,
+  // so the deferred path reports the exact reasons the inline path would.
   const BytesView tag = options_.self_distinction ? BytesView(session_tag_)
                                                   : BytesView{};
-  std::map<std::string, std::vector<std::size_t>> distinction;  // T6 -> who
+  verdict_.assign(m_, 0);
+  deferred_.assign(m_, false);
+  peer_signature_.assign(m_, Bytes{});
+  std::size_t jobs = 0;
   for (std::size_t j = 0; j < m_; ++j) {
     if (!tag_valid_[j]) {
       outcome_.reason[j] = FailureReason::kBadTag;
       continue;
     }
+    if (j == position_) continue;
+    try {
+      const Bytes plain =
+          crypto::Aead(k_prime_).open(outcome_.transcript.entries[j].theta);
+      ByteReader r(plain);
+      Bytes signature = r.bytes();
+      obs::audit_secret(signature, "gsig-signature");
+      if (verifier_ == nullptr) {
+        authority_.gsig().verify(outcome_.transcript.entries[j].delta,
+                                 signature, tag);
+        verdict_[j] = 1;
+      } else {
+        ++jobs;
+      }
+      peer_signature_[j] = std::move(signature);
+      deferred_[j] = true;
+    } catch (const Error&) {
+      outcome_.partner[j] = false;
+      outcome_.reason[j] = malformed[j] ? FailureReason::kMalformedPhase3
+                                        : FailureReason::kBadSignature;
+    }
+  }
+
+  phase3_pending_ = true;
+  if (jobs == 0) {
+    finalize_phase3();
+    return;
+  }
+  verify_remaining_.store(jobs, std::memory_order_relaxed);
+  for (std::size_t j = 0; j < m_; ++j) {
+    if (!deferred_[j] || j == position_) continue;
+    verifier_->enqueue(authority_.gsig(), outcome_.transcript.entries[j].delta,
+                       peer_signature_[j], Bytes(tag.begin(), tag.end()),
+                       [this, j](bool accepted) {
+                         verdict_[j] = accepted ? 1 : 0;
+                         verify_remaining_.fetch_sub(
+                             1, std::memory_order_release);
+                       });
+  }
+}
+
+void HandshakeParticipant::finalize_phase3() {
+  std::map<std::string, std::vector<std::size_t>> distinction;  // T6 -> who
+  for (std::size_t j = 0; j < m_; ++j) {
+    if (!tag_valid_[j]) continue;  // reason fixed in stage 1
     if (j == position_) {
       outcome_.partner[j] = true;
       outcome_.reason[j] = FailureReason::kConfirmed;
@@ -261,24 +316,18 @@ void HandshakeParticipant::process_phase3(const std::vector<Bytes>& messages) {
       }
       continue;
     }
-    try {
-      const Bytes plain =
-          crypto::Aead(k_prime_).open(outcome_.transcript.entries[j].theta);
-      ByteReader r(plain);
-      const Bytes signature = r.bytes();
-      obs::audit_secret(signature, "gsig-signature");
-      authority_.gsig().verify(outcome_.transcript.entries[j].delta,
-                               signature, tag);
+    if (!deferred_[j]) continue;  // failed at AEAD/parse, reason fixed
+    if (verdict_[j]) {
       outcome_.partner[j] = true;
       outcome_.reason[j] = FailureReason::kConfirmed;
       if (options_.self_distinction) {
-        distinction[to_hex(authority_.gsig().distinction_tag(signature))]
+        distinction[to_hex(
+                        authority_.gsig().distinction_tag(peer_signature_[j]))]
             .push_back(j);
       }
-    } catch (const Error&) {
+    } else {
       outcome_.partner[j] = false;
-      outcome_.reason[j] = malformed[j] ? FailureReason::kMalformedPhase3
-                                        : FailureReason::kBadSignature;
+      outcome_.reason[j] = FailureReason::kBadSignature;
     }
   }
 
@@ -304,6 +353,25 @@ void HandshakeParticipant::process_phase3(const std::vector<Bytes>& messages) {
   info.bytes(session_tag_);
   outcome_.session_key = crypto::hkdf(k_prime_, {}, info.buffer(), kKeySize);
   obs::audit_secret(outcome_.session_key, "session-key");
+
+  outcome_.completed = true;
+  done_ = true;
+  phase3_pending_ = false;
+}
+
+void HandshakeParticipant::finish() {
+  if (done_ || !phase3_pending_) return;
+  // Normally the owner (SessionManager) flushes the shared verifier once
+  // for a whole wave of finishing sessions before calling finish(); this
+  // flush only fires when driven directly by run_protocol.
+  if (verify_remaining_.load(std::memory_order_acquire) > 0) {
+    verifier_->flush();
+  }
+  if (verify_remaining_.load(std::memory_order_acquire) != 0) {
+    throw ProtocolError(
+        "HandshakeParticipant: deferred verification incomplete");
+  }
+  finalize_phase3();
 }
 
 const HandshakeOutcome& HandshakeParticipant::outcome() const {

@@ -22,6 +22,7 @@
 // eavesdroppers).
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <span>
@@ -29,6 +30,7 @@
 
 #include "core/authority.h"
 #include "core/types.h"
+#include "core/verify.h"
 #include "crypto/drbg.h"
 #include "crypto/sha256.h"
 #include "dgka/dgka.h"
@@ -49,6 +51,16 @@ class HandshakeParticipant final : public net::RoundParty {
   [[nodiscard]] Bytes round_message(std::size_t round) override;
   void deliver(std::size_t round,
                const std::vector<Bytes>& messages) override;
+  void finish() override;
+
+  /// Routes Phase-III signature checks through `verifier` (borrowed; may
+  /// be null to verify inline). Must be set before the Phase-III round is
+  /// delivered. Phase III emits no frames, so deferral cannot change the
+  /// wire transcript — only when the outcome becomes available: with a
+  /// verifier installed, outcome() is valid only after finish().
+  void set_deferred_verifier(DeferredVerifier* verifier) {
+    verifier_ = verifier;
+  }
 
   /// Valid once the protocol has run all rounds.
   [[nodiscard]] const HandshakeOutcome& outcome() const;
@@ -66,6 +78,7 @@ class HandshakeParticipant final : public net::RoundParty {
   [[nodiscard]] Bytes phase3_message();
   void process_phase2(const std::vector<Bytes>& messages);
   void process_phase3(const std::vector<Bytes>& messages);
+  void finalize_phase3();
   void finalize_without_phase3();
   [[nodiscard]] std::size_t padded_sig_size() const;
 
@@ -92,6 +105,17 @@ class HandshakeParticipant final : public net::RoundParty {
 
   HandshakeOutcome outcome_;
   bool done_ = false;
+
+  // Deferred Phase-III verification (set_deferred_verifier). Slot j of
+  // verdict_ is written by the verifier's flush thread and read by
+  // finalize_phase3(); the release/acquire pair on verify_remaining_
+  // orders every write before the read.
+  DeferredVerifier* verifier_ = nullptr;
+  std::vector<Bytes> peer_signature_;    // parsed sigma per accepted slot
+  std::vector<signed char> verdict_;     // 1 = accept (slots with deferred_)
+  std::vector<bool> deferred_;           // slot awaits / holds a verdict
+  std::atomic<std::size_t> verify_remaining_{0};
+  bool phase3_pending_ = false;
 };
 
 /// Runs a complete handshake among the given participants over the

@@ -1,0 +1,41 @@
+// Deferred signature verification: the seam between the handshake core
+// and the service layer's cross-session BatchVerifier.
+//
+// A HandshakeParticipant given a DeferredVerifier enqueues its Phase-III
+// group-signature checks instead of verifying inline; the verifier batches
+// jobs from many sessions and folds them into shared multi-exponentiations
+// (gsig/batch.h). Phase III is the final round and emits no frames, so
+// deferral is invisible on the wire — transcripts are byte-identical to
+// the inline path — and the verdict callbacks only change *when* the
+// outcome is computed, never what it is.
+//
+// Contract: every enqueued job's on_verdict is invoked exactly once, from
+// some flush() call (possibly on another thread), with the same
+// accept/reject the scheme's verify() would produce for
+// (message, signature, session_tag). After flush() returns, every job
+// enqueued before the call has been resolved. The borrowed GsigGroup must
+// outlive the flush and must not change revocation state in between.
+#pragma once
+
+#include <functional>
+
+#include "common/bytes.h"
+#include "gsig/gsig.h"
+
+namespace shs::core {
+
+class DeferredVerifier {
+ public:
+  virtual ~DeferredVerifier() = default;
+
+  /// Queues one verification; `on_verdict(accepted)` fires during a later
+  /// flush(). Callbacks must be cheap and must not re-enter the verifier.
+  virtual void enqueue(const gsig::GsigGroup& gsig, Bytes message,
+                       Bytes signature, Bytes session_tag,
+                       std::function<void(bool)> on_verdict) = 0;
+
+  /// Resolves every pending job (batched), invoking its callback.
+  virtual void flush() = 0;
+};
+
+}  // namespace shs::core

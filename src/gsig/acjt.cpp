@@ -200,10 +200,12 @@ void AcjtGsig::apply_update(MemberCredential& credential,
 }
 
 std::size_t AcjtGsig::signature_size_bound() const {
-  // version + five group elements + proof (challenge + six responses).
+  // version + five group elements + proof (challenge + seven commitments +
+  // six responses).
   const std::size_t es = group_.element_size();
   std::size_t bound = 8 + 5 * (4 + es) + 4;        // fields + proof prefix
   bound += 4 + kChallengeBits / 8;                 // challenge
+  bound += 4 + 7 * (4 + es);                       // commitments d_1..d_7
   bound += 4;                                      // response count
   const std::size_t ranges[] = {
       params_.lambda2, params_.gamma2,          2 * params_.lp,
@@ -315,8 +317,8 @@ AcjtGsig::ParsedSignature AcjtGsig::parse(BytesView signature) const {
   }
 }
 
-void AcjtGsig::verify(BytesView message, BytesView signature,
-                      BytesView session_tag) const {
+std::optional<SigmaCheck> AcjtGsig::prepare_verify(
+    BytesView message, BytesView signature, BytesView session_tag) const {
   if (!session_tag.empty()) {
     throw ProtocolError("AcjtGsig: self-distinction not supported");
   }
@@ -325,7 +327,19 @@ void AcjtGsig::verify(BytesView message, BytesView signature,
     throw VerifyError("AcjtGsig: signature not fresh (stale revocation state)");
   }
   const SigmaStatement st = statement(sig, acc_->value());
-  if (!sigma_verify(group_, st, sig.proof, context(sig.version, message))) {
+  std::optional<SigmaCheck> check =
+      sigma_prepare(group_, st, sig.proof, context(sig.version, message));
+  if (!check) {
+    throw VerifyError("AcjtGsig: proof verification failed");
+  }
+  return check;
+}
+
+void AcjtGsig::verify(BytesView message, BytesView signature,
+                      BytesView session_tag) const {
+  const std::optional<SigmaCheck> check =
+      prepare_verify(message, signature, session_tag);
+  if (!sigma_check(*check)) {
     throw VerifyError("AcjtGsig: proof verification failed");
   }
 }

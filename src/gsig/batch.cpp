@@ -1,0 +1,99 @@
+#include "gsig/batch.h"
+
+#include <map>
+#include <utility>
+
+namespace shs::gsig {
+
+namespace {
+
+using num::BigInt;
+
+/// One RLC fold over the checks selected by `idx`: accumulates a signed
+/// exponent per distinct base (moving every d to the right-hand side, so
+/// the target value is +-1) and evaluates the whole batch as a single
+/// multi-exponentiation.
+bool fold_passes(const algebra::QrGroup& group,
+                 std::span<const SigmaCheck> checks,
+                 std::span<const std::size_t> idx, num::RandomSource& rng) {
+  std::map<BigInt, BigInt> acc;  // base -> summed signed exponent
+  for (const std::size_t i : idx) {
+    const SigmaCheck& check = checks[i];
+    for (const SigmaCheck::Relation& rel : check.relations) {
+      // Fresh coefficient per equation; [2^127, 2^128), see header.
+      const BigInt rho = num::random_bits(kChallengeBits, rng);
+      acc[rel.commitment] -= rho;
+      if (rel.value != BigInt(1)) {
+        acc[rel.value] += check.challenge * rho;
+      }
+      for (std::size_t t = 0; t < rel.bases.size(); ++t) {
+        acc[rel.bases[t]] += rho * rel.exponents[t];
+      }
+    }
+  }
+
+  std::vector<BigInt> bases;
+  std::vector<BigInt> exps;
+  bases.reserve(acc.size());
+  exps.reserve(acc.size());
+  for (auto& [base, exp] : acc) {
+    if (exp.sign() == 0) continue;
+    bases.push_back(base);
+    exps.push_back(std::move(exp));
+  }
+  if (bases.empty()) return true;
+  const BigInt x = group.multi_exp(bases, exps);
+  return x == BigInt(1) || x == group.n() - BigInt(1);
+}
+
+/// Verdict for every check in `idx`: try one fold; on failure bisect with
+/// fresh coefficients until singletons fall back to exact sigma_check.
+void verify_range(const algebra::QrGroup& group,
+                  std::span<const SigmaCheck> checks,
+                  std::span<const std::size_t> idx,
+                  num::RandomSource& rng, BatchStats& stats,
+                  std::vector<bool>& verdicts) {
+  if (idx.empty()) return;
+  if (idx.size() == 1) {
+    ++stats.individual;
+    verdicts[idx[0]] = sigma_check(checks[idx[0]]);
+    return;
+  }
+  ++stats.folds;
+  if (fold_passes(group, checks, idx, rng)) {
+    for (const std::size_t i : idx) verdicts[i] = true;
+    return;
+  }
+  ++stats.bisections;
+  const std::size_t half = idx.size() / 2;
+  verify_range(group, checks, idx.subspan(0, half), rng, stats, verdicts);
+  verify_range(group, checks, idx.subspan(half), rng, stats, verdicts);
+}
+
+}  // namespace
+
+std::vector<bool> sigma_verify_batch(std::span<const SigmaCheck> checks,
+                                     num::RandomSource& rng,
+                                     BatchStats* stats) {
+  BatchStats local;
+  BatchStats& st = stats ? *stats : local;
+  st.checks += checks.size();
+
+  // Bucket by modulus: only same-group equations may share a fold. Checks
+  // from distinct QrGroup instances with equal parameters fold together
+  // (evaluated through the first instance seen, whose pinned fixed-base
+  // tables then serve the shared generators).
+  std::map<BigInt, std::vector<std::size_t>> buckets;
+  for (std::size_t i = 0; i < checks.size(); ++i) {
+    buckets[checks[i].group->n()].push_back(i);
+  }
+
+  std::vector<bool> verdicts(checks.size(), false);
+  for (const auto& [modulus, idx] : buckets) {
+    const algebra::QrGroup& group = *checks[idx.front()].group;
+    verify_range(group, checks, idx, rng, st, verdicts);
+  }
+  return verdicts;
+}
+
+}  // namespace shs::gsig

@@ -1,0 +1,73 @@
+// Random-linear-combination batch verification of prepared sigma checks
+// (the algebraic core of the service's cross-session BatchVerifier).
+//
+// N prepared checks carry, between them, R group equations of the form
+//     d == +- V^c * prod B_t^{e_t}        in Z_n^*.
+// Folding: draw an independent 128-bit coefficient rho for every equation
+// and test the single combined equation
+//     X = prod_r (d_r^{-1} V_r^{c} prod B^{e})^{rho_r}  in {1, n-1}.
+// Shared bases — the scheme generators a, a0, g, h, y(, b) appear in
+// every equation — collapse to one term each with a summed exponent, and
+// the whole product is one Straus multi-exponentiation with a single
+// squaring chain served by the pinned fixed-base tables. For a batch of N
+// ACJT/KTY signatures this costs a fraction of one individual verify per
+// signature instead of ~7 multi-exps each.
+//
+// Soundness of the fold (DESIGN.md §11 gives the full argument):
+//  * Let u_r = rhs_r / d_r be equation r's discrepancy. The individual
+//    path (sigma_check, up-to-sign comparison) accepts a check iff every
+//    one of its u_r is in {1, -1}.
+//  * If every u_r across the batch is in {1, -1}, then X = prod
+//    u_r^{rho_r} is in {1, -1} for EVERY coefficient choice — the fold
+//    accepts deterministically whenever each individual check would.
+//    A fold can therefore never flip an individually-valid batch to
+//    reject (no false rejects, no parity condition on rho needed).
+//  * Z_n^* for a safe-prime modulus has element orders {1, 2, p', q',
+//    2p', 2q', p'q', 2p'q'}; the only *computable* element of order 2 is
+//    -1 (the other square roots of 1 reveal the factorization). So any
+//    u_r outside {1, -1} — i.e. any check the individual path rejects —
+//    has order >= p' > 2^129, far above the 2^128 coefficient range:
+//    rho_r -> u_r^{rho_r} is then injective on that range, at most two
+//    choices cancel the rest of the product into +-1, and the fold
+//    accepts with probability <= 2^-126 over the verifier's coins.
+// A failed fold therefore means "some check in this range is bad, whp":
+// the driver bisects with fresh coefficients down to individual
+// sigma_check calls, so the final verdict vector always agrees with the
+// individual path — a fold can only ever save work, never flip a verdict
+// to accept. False accepts are bounded by 2^-126 per fold plus the
+// (strong-RSA-hard) cost of finding a nontrivial square root of 1.
+//
+// The rho coefficients must come from a cryptographically strong,
+// adversary-independent source (the service uses an HmacDrbg seeded at
+// startup): Fiat-Shamir proofs are fixed before the verifier draws them,
+// so the adversary cannot adapt — but a predictable source would let it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bigint/random.h"
+#include "gsig/sigma.h"
+
+namespace shs::gsig {
+
+/// Work/attribution counters for one sigma_verify_batch call.
+struct BatchStats {
+  std::size_t checks = 0;       // prepared checks verified
+  std::size_t folds = 0;        // RLC fold evaluations (incl. bisection)
+  std::size_t bisections = 0;   // range splits after a failed fold
+  std::size_t individual = 0;   // singleton fallback sigma_check calls
+};
+
+/// Verifies every prepared check, batched: same-group checks fold into
+/// shared RLC multi-exps; a failed fold bisects with fresh coefficients
+/// until the offending checks are isolated individually. Returns one
+/// verdict per check, in order, identical to calling sigma_check on each.
+/// Checks from different groups (distinct moduli) are bucketed and folded
+/// separately. `rng` supplies the fold coefficients (see header comment).
+[[nodiscard]] std::vector<bool> sigma_verify_batch(
+    std::span<const SigmaCheck> checks, num::RandomSource& rng,
+    BatchStats* stats = nullptr);
+
+}  // namespace shs::gsig

@@ -23,10 +23,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "bigint/random.h"
 #include "common/bytes.h"
+#include "gsig/sigma.h"
 
 namespace shs::gsig {
 
@@ -98,6 +100,24 @@ class GsigGroup {
   /// GSIG.Verify. Throws VerifyError on an invalid or revoked signature.
   virtual void verify(BytesView message, BytesView signature,
                       BytesView session_tag) const = 0;
+
+  /// Split verification for batching: runs every cheap check (parsing,
+  /// freshness, revocation, intervals, the Fiat-Shamir hash) — throwing
+  /// VerifyError exactly as verify() would — and returns the remaining
+  /// group equations as a deferred SigmaCheck, which the caller evaluates
+  /// with sigma_check() or folds across many signatures with
+  /// sigma_verify_batch(). A returned nullopt means verification already
+  /// completed inline (the base default calls verify()); schemes with a
+  /// sigma core override this so that
+  ///   prepare_verify(...) + sigma_check(*check)  ==  verify(...)
+  /// accept-for-accept. The returned check borrows the scheme's group and
+  /// statement values; it must not outlive the GsigGroup or a concurrent
+  /// revoke()/admit().
+  [[nodiscard]] virtual std::optional<SigmaCheck> prepare_verify(
+      BytesView message, BytesView signature, BytesView session_tag) const {
+    verify(message, signature, session_tag);
+    return std::nullopt;
+  }
 
   /// The self-distinction value T6 carried by `signature` (empty when the
   /// signature was made without a session tag or the scheme lacks the

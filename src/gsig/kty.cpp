@@ -169,6 +169,7 @@ std::size_t KtyGsig::signature_size_bound() const {
   const std::size_t es = group_.element_size();
   std::size_t bound = 8 + 1 + 7 * (4 + es) + 4;  // fields + proof prefix
   bound += 4 + kChallengeBits / 8;
+  bound += 4 + 6 * (4 + es);                     // commitments d_1..d_6
   bound += 4;
   const std::size_t ranges[] = {params_.lambda2, params_.lambda2,
                                 params_.gamma2, 2 * params_.lp,
@@ -296,8 +297,8 @@ KtyGsig::ParsedSignature KtyGsig::parse(BytesView signature) const {
   }
 }
 
-void KtyGsig::verify(BytesView message, BytesView signature,
-                     BytesView session_tag) const {
+std::optional<SigmaCheck> KtyGsig::prepare_verify(
+    BytesView message, BytesView signature, BytesView session_tag) const {
   const ParsedSignature sig = parse(signature);
   if (sig.revision != crl_.size()) {
     throw VerifyError("KtyGsig: signature not fresh (stale CRL)");
@@ -309,16 +310,28 @@ void KtyGsig::verify(BytesView message, BytesView signature,
     throw VerifyError("KtyGsig: wrong self-distinction base T7");
   }
   const SigmaStatement st = statement(sig);
-  if (!sigma_verify(group_, st, sig.proof,
-                    context(sig.revision, message, session_tag))) {
+  std::optional<SigmaCheck> check = sigma_prepare(
+      group_, st, sig.proof, context(sig.revision, message, session_tag));
+  if (!check) {
     throw VerifyError("KtyGsig: proof verification failed");
   }
   // Verifier-local revocation: a revoked member's trapdoor links its
-  // signatures via T5^x = T4.
+  // signatures via T5^x = T4. An inequality per CRL entry, so it cannot
+  // join the linear fold — it runs eagerly at prepare time.
   for (const BigInt& revoked_x : crl_) {
     if (group_.exp(sig.t5, revoked_x) == sig.t4) {
       throw VerifyError("KtyGsig: signature by a revoked member");
     }
+  }
+  return check;
+}
+
+void KtyGsig::verify(BytesView message, BytesView signature,
+                     BytesView session_tag) const {
+  const std::optional<SigmaCheck> check =
+      prepare_verify(message, signature, session_tag);
+  if (!sigma_check(*check)) {
+    throw VerifyError("KtyGsig: proof verification failed");
   }
 }
 

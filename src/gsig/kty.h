@@ -63,6 +63,9 @@ class KtyGsig final : public GsigGroup {
                            num::RandomSource& rng) const override;
   void verify(BytesView message, BytesView signature,
               BytesView session_tag) const override;
+  [[nodiscard]] std::optional<SigmaCheck> prepare_verify(
+      BytesView message, BytesView signature,
+      BytesView session_tag) const override;
   [[nodiscard]] Bytes distinction_tag(BytesView signature) const override;
   [[nodiscard]] MemberId open(BytesView message, BytesView signature,
                               BytesView session_tag) const override;

@@ -87,6 +87,8 @@ Bytes SigmaStatement::serialize(const algebra::QrGroup& group) const {
 Bytes SigmaProof::serialize() const {
   ByteWriter w;
   w.bytes(challenge);
+  w.u32(static_cast<std::uint32_t>(commitments.size()));
+  for (const num::BigInt& d : commitments) w.bytes(d.to_bytes());
   w.u32(static_cast<std::uint32_t>(responses.size()));
   for (const num::BigInt& s : responses) write_signed(w, s);
   return w.take();
@@ -96,6 +98,11 @@ SigmaProof SigmaProof::deserialize(BytesView data) {
   ByteReader r(data);
   SigmaProof proof;
   proof.challenge = r.bytes();
+  const std::uint32_t commits = r.u32();
+  proof.commitments.reserve(commits);
+  for (std::uint32_t i = 0; i < commits; ++i) {
+    proof.commitments.push_back(BigInt::from_bytes(r.bytes()));
+  }
   const std::uint32_t count = r.u32();
   proof.responses.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
@@ -133,11 +140,17 @@ SigmaProof sigma_prove(const algebra::QrGroup& group,
   std::vector<BigInt> commitments;
   commitments.reserve(statement.relations.size());
   for (const SigmaRelation& rel : statement.relations) {
-    commitments.push_back(eval_terms(group, rel.terms, blind));
+    BigInt d = eval_terms(group, rel.terms, blind);
+    // Canonical +-quotient representative: d <= (n-1)/2. Verification
+    // compares the group equations up to sign, so normalizing costs
+    // nothing for honest proofs and pins a unique serialized form.
+    if (d + d > group.n()) d = group.n() - d;
+    commitments.push_back(std::move(d));
   }
 
   SigmaProof proof;
   proof.challenge = compute_challenge(group, statement, commitments, context);
+  proof.commitments = std::move(commitments);
   const BigInt c = challenge_int(proof.challenge);
 
   proof.responses.resize(t);
@@ -149,47 +162,93 @@ SigmaProof sigma_prove(const algebra::QrGroup& group,
   return proof;
 }
 
-bool sigma_verify(const algebra::QrGroup& group,
-                  const SigmaStatement& statement, const SigmaProof& proof,
-                  BytesView context) {
+std::optional<SigmaCheck> sigma_prepare(const algebra::QrGroup& group,
+                                        const SigmaStatement& statement,
+                                        const SigmaProof& proof,
+                                        BytesView context) {
   const std::size_t t = statement.witnesses.size();
-  if (proof.responses.size() != t) return false;
-  if (proof.challenge.size() != kChallengeBits / 8) return false;
+  if (proof.responses.size() != t) return std::nullopt;
+  if (proof.commitments.size() != statement.relations.size()) {
+    return std::nullopt;
+  }
+  if (proof.challenge.size() != kChallengeBits / 8) return std::nullopt;
+
+  // Canonical-form screen: every commitment in [1, (n-1)/2]. This is what
+  // makes the up-to-sign comparison below injective on serialized proofs.
+  for (const BigInt& d : proof.commitments) {
+    if (d.sign() <= 0 || d + d > group.n()) return std::nullopt;
+  }
 
   // Interval checks: |s_j| <= 2^{eps(l_j + k) + 1}.
   for (std::size_t j = 0; j < t; ++j) {
     const std::size_t bits =
         eps_bits(statement.witnesses[j].range_bits + kChallengeBits) +
         1;
-    if (proof.responses[j].abs() > (BigInt(1) << bits)) return false;
+    if (proof.responses[j].abs() > (BigInt(1) << bits)) return std::nullopt;
   }
 
-  const BigInt c = challenge_int(proof.challenge);
-  std::vector<BigInt> commitments;
-  commitments.reserve(statement.relations.size());
-  for (const SigmaRelation& rel : statement.relations) {
-    // d' = (V * prod B^{-sign O})^c * prod B^{sign s}
-    //    = V^c * prod B^{sign (s - c O)}   (exponents over Z),
-    // evaluated as one multi-exponentiation per relation instead of
-    // 2k+1 separate exponentiations.
-    std::vector<BigInt> bases;
-    std::vector<BigInt> exps;
-    bases.reserve(rel.terms.size() + 1);
-    exps.reserve(rel.terms.size() + 1);
-    bases.push_back(rel.value);
-    exps.push_back(c);
+  // Fiat-Shamir binding: the challenge must be the hash of the carried
+  // commitments (plus statement and context).
+  const Bytes expected =
+      compute_challenge(group, statement, proof.commitments, context);
+  if (!ct_equal(expected, proof.challenge)) return std::nullopt;
+
+  // Assemble the deferred group equations with pre-folded exponents:
+  // d == +- V^c * prod B^{sign (s - c O)}   (exponents over Z).
+  SigmaCheck check;
+  check.group = &group;
+  check.challenge = challenge_int(proof.challenge);
+  check.relations.reserve(statement.relations.size());
+  for (std::size_t i = 0; i < statement.relations.size(); ++i) {
+    const SigmaRelation& rel = statement.relations[i];
+    SigmaCheck::Relation out;
+    out.commitment = proof.commitments[i];
+    out.value = rel.value;
+    out.bases.reserve(rel.terms.size());
+    out.exponents.reserve(rel.terms.size());
     for (const SigmaTerm& term : rel.terms) {
       const BigInt& offset = statement.witnesses[term.witness].offset;
-      BigInt e = proof.responses[term.witness] - c * offset;
+      BigInt e = proof.responses[term.witness] - check.challenge * offset;
       if (term.sign < 0) e = -e;
-      bases.push_back(term.base);
-      exps.push_back(std::move(e));
+      out.bases.push_back(term.base);
+      out.exponents.push_back(std::move(e));
     }
-    commitments.push_back(group.multi_exp(bases, exps));
+    check.relations.push_back(std::move(out));
   }
-  const Bytes expected =
-      compute_challenge(group, statement, commitments, context);
-  return ct_equal(expected, proof.challenge);
+  return check;
+}
+
+bool sigma_check(const SigmaCheck& check) {
+  const algebra::QrGroup& group = *check.group;
+  for (const SigmaCheck::Relation& rel : check.relations) {
+    // One multi-exponentiation per relation instead of 2k+1 separate
+    // exponentiations; the trivial V = 1 factor is skipped.
+    std::vector<BigInt> bases;
+    std::vector<BigInt> exps;
+    bases.reserve(rel.bases.size() + 1);
+    exps.reserve(rel.bases.size() + 1);
+    if (rel.value != BigInt(1)) {
+      bases.push_back(rel.value);
+      exps.push_back(check.challenge);
+    }
+    for (std::size_t i = 0; i < rel.bases.size(); ++i) {
+      bases.push_back(rel.bases[i]);
+      exps.push_back(rel.exponents[i]);
+    }
+    const BigInt rhs = group.multi_exp(bases, exps);
+    if (rhs != rel.commitment && group.n() - rhs != rel.commitment) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool sigma_verify(const algebra::QrGroup& group,
+                  const SigmaStatement& statement, const SigmaProof& proof,
+                  BytesView context) {
+  const std::optional<SigmaCheck> check =
+      sigma_prepare(group, statement, proof, context);
+  return check.has_value() && sigma_check(*check);
 }
 
 }  // namespace shs::gsig

@@ -19,10 +19,29 @@
 //
 // Proof: pick r_j in +-[0, 2^{eps(l_j+k)}); d_i = prod B^{sign r_j};
 // c = H(context || statement || d_1..d_I); s_j = r_j - c(w_j - O_j) in Z.
-// Verify: d_i' = (V_i * prod B^{-sign O_j})^c * prod B^{sign s_j}; re-hash.
+// Verify: recompute c from the carried commitments, then check every group
+// equation d_i == +-(V_i^c * prod B^{sign (s_j - c O_j)}).
+//
+// The proof carries its commitments d_i explicitly (commitment-forward
+// form) rather than deriving them from the challenge: with the d_i in
+// hand, the expensive half of verification is a set of *group equations*,
+// which sigma_verify_batch (batch.h) can fold across many proofs with
+// random linear combinations into one shared multi-exponentiation. The
+// challenge is still bound to the d_i by the Fiat-Shamir hash, so the two
+// forms are interchangeable security-wise.
+//
+// Sign convention: commitments are serialized in the canonical half of
+// the +-quotient (d <= (n-1)/2, enforced on both sides), and the group
+// equations are compared up to sign (d == rhs or d == n - rhs). QR(n)
+// proofs verified up to sign are the standard Damgard-Fujisaki relaxation
+// (knowledge extraction works from the squared relations under strong
+// RSA); operating in Z_n^*/{+-1} is what lets the batch fold accept
+// X in {1, n-1} without the order-2 element -1 opening a false-accept
+// gap between the batched and individual paths — see batch.h.
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "algebra/qr_group.h"
@@ -70,11 +89,31 @@ struct SigmaStatement {
 };
 
 struct SigmaProof {
-  Bytes challenge;                    // k-bit challenge
-  std::vector<num::BigInt> responses;  // s_j (signed integers)
+  Bytes challenge;                       // k-bit challenge = H(.. d_1..d_I)
+  std::vector<num::BigInt> commitments;  // d_i, canonical (<= (n-1)/2)
+  std::vector<num::BigInt> responses;    // s_j (signed integers)
 
   [[nodiscard]] Bytes serialize() const;
   static SigmaProof deserialize(BytesView data);
+};
+
+/// The deferred half of one proof's verification: every cheap check has
+/// already passed (shape, response intervals, canonical commitments, the
+/// Fiat-Shamir hash), and what remains is evaluating the group equations
+///     commitment == +- value^challenge * prod bases[t]^exponents[t]
+/// — one multi-exponentiation per relation, or a fraction of one when
+/// many checks are folded together (batch.h).
+struct SigmaCheck {
+  struct Relation {
+    num::BigInt commitment;              // canonical d
+    num::BigInt value;                   // V (1 = omitted from the fold)
+    std::vector<num::BigInt> bases;      // B_t
+    std::vector<num::BigInt> exponents;  // sign_t * (s_j - c O_j), signed
+  };
+
+  const algebra::QrGroup* group = nullptr;  // borrowed; outlives the check
+  num::BigInt challenge;                    // c as a non-negative integer
+  std::vector<Relation> relations;
 };
 
 /// Produces a proof; `witness_values` must satisfy every relation (checked
@@ -83,6 +122,18 @@ struct SigmaProof {
     const algebra::QrGroup& group, const SigmaStatement& statement,
     const std::vector<num::BigInt>& witness_values, BytesView context,
     num::RandomSource& rng);
+
+/// Runs every cheap verification step and assembles the deferred group
+/// equations; nullopt on any cheap-check failure. sigma_verify ==
+/// sigma_prepare + sigma_check, so a caller that defers the returned
+/// check accepts exactly when the inline path would.
+[[nodiscard]] std::optional<SigmaCheck> sigma_prepare(
+    const algebra::QrGroup& group, const SigmaStatement& statement,
+    const SigmaProof& proof, BytesView context);
+
+/// Evaluates a prepared check exactly (one multi-exp per relation,
+/// compared up to sign against the canonical commitment).
+[[nodiscard]] bool sigma_check(const SigmaCheck& check);
 
 /// Verifies; returns false on any mismatch or interval violation.
 [[nodiscard]] bool sigma_verify(const algebra::QrGroup& group,

@@ -204,6 +204,7 @@ class ByzantineInsider final : public RoundParty {
                const std::vector<Bytes>& messages) override {
     inner_->deliver(round, messages);
   }
+  void finish() override { inner_->finish(); }
 
  private:
   RoundParty* inner_;

@@ -94,6 +94,7 @@ RunStats run_protocol(std::span<RoundParty* const> parties,
           round, intercept_view(*adversary, round, receiver, broadcast));
     }
   }
+  for (RoundParty* p : parties) p->finish();
   return stats;
 }
 

@@ -42,6 +42,12 @@ class RoundParty {
   /// Full vector of round-`round` broadcasts as seen by this party.
   virtual void deliver(std::size_t round,
                        const std::vector<Bytes>& messages) = 0;
+
+  /// Called once after the final round's delivery. Parties that defer work
+  /// out of the round loop (e.g. batched signature verification) resolve
+  /// it here; the default is a no-op. After finish() the party's outcome
+  /// accessors must be valid.
+  virtual void finish() {}
 };
 
 /// Network adversary. Each callback sees (round, sender, receiver) and the

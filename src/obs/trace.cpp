@@ -40,6 +40,7 @@ ChromeShape chrome_shape(TraceEvent type) {
     case TraceEvent::kBackpressurePause: return {"backpressure pause", 'i'};
     case TraceEvent::kBackpressureResume: return {"backpressure resume", 'i'};
     case TraceEvent::kBackpressureKill: return {"backpressure kill", 'i'};
+    case TraceEvent::kBatchVerify: return {"batch verify", 'X'};
   }
   return {"unknown", 'i'};
 }
@@ -61,6 +62,7 @@ const char* to_string(TraceEvent event) noexcept {
     case TraceEvent::kBackpressurePause: return "backpressure-pause";
     case TraceEvent::kBackpressureResume: return "backpressure-resume";
     case TraceEvent::kBackpressureKill: return "backpressure-kill";
+    case TraceEvent::kBatchVerify: return "batch-verify";
   }
   return "unknown";
 }

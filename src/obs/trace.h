@@ -55,6 +55,9 @@ enum class TraceEvent : std::uint8_t {
   kBackpressurePause = 10,   // sid 0; a: connection id, b: queued bytes
   kBackpressureResume = 11,  // sid 0; a: connection id, b: queued bytes
   kBackpressureKill = 12,    // sid 0; a: connection id, b: queued bytes
+  kBatchVerify = 13,         // sid 0; a: jobs resolved, b: unique jobs
+                             // after dedup; dur: flush wall time,
+                             // modexp: the flush's shared modexp cost
 };
 
 [[nodiscard]] const char* to_string(TraceEvent event) noexcept;

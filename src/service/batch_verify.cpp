@@ -1,0 +1,237 @@
+#include "service/batch_verify.h"
+
+#include <atomic>
+#include <utility>
+
+#include "bigint/montgomery.h"
+#include "common/errors.h"
+#include "gsig/batch.h"
+#include "obs/redact.h"
+
+namespace shs::service {
+
+namespace {
+
+SteadyClock& steady_clock_instance() {
+  static SteadyClock clock;
+  return clock;
+}
+
+// Fallback seed when the caller supplies none: unique per verifier
+// instance, unpredictable enough for tests and benches only. Real
+// deployments must pass entropy via BatchVerifierOptions::seed.
+Bytes default_seed() {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+  const auto t = static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  Bytes seed;
+  seed.reserve(16 + 16);
+  const char label[] = "shs-batch-rlc";
+  seed.insert(seed.end(), label, label + sizeof label);
+  for (int i = 0; i < 8; ++i) {
+    seed.push_back(static_cast<std::uint8_t>(n >> (8 * i)));
+    seed.push_back(static_cast<std::uint8_t>(t >> (8 * i)));
+  }
+  return seed;
+}
+
+// Registers every fold-coefficient draw with the redaction audit: the
+// coefficients are verifier coins, and a signer who learns them before
+// committing can construct colluding bad signatures whose discrepancies
+// cancel in the fold. Leaking them through any export surface would be a
+// soundness bug, so the conformance sweep scans for them.
+class AuditedRng final : public num::RandomSource {
+ public:
+  explicit AuditedRng(num::RandomSource& inner) : inner_(inner) {}
+
+  void fill(std::span<std::uint8_t> out) override {
+    inner_.fill(out);
+    if (!out.empty()) {
+      obs::audit_secret(BytesView(out.data(), out.size()),
+                        "batch-rlc-scalar");
+    }
+  }
+
+ private:
+  num::RandomSource& inner_;
+};
+
+std::string job_key(const gsig::GsigGroup* gsig, BytesView message,
+                    BytesView signature, BytesView session_tag) {
+  std::string key;
+  key.reserve(sizeof gsig + 12 + message.size() + signature.size() +
+              session_tag.size());
+  const auto ptr = reinterpret_cast<std::uintptr_t>(gsig);
+  for (std::size_t i = 0; i < sizeof ptr; ++i) {
+    key.push_back(static_cast<char>(ptr >> (8 * i)));
+  }
+  auto append = [&key](BytesView v) {
+    const auto n = static_cast<std::uint32_t>(v.size());
+    for (int i = 0; i < 4; ++i) {
+      key.push_back(static_cast<char>(n >> (8 * i)));
+    }
+    key.append(reinterpret_cast<const char*>(v.data()), v.size());
+  };
+  append(message);
+  append(signature);
+  append(session_tag);
+  return key;
+}
+
+}  // namespace
+
+BatchVerifier::BatchVerifier(BatchVerifierOptions options)
+    : options_(std::move(options)),
+      clock_(options_.clock != nullptr ? options_.clock
+                                       : &steady_clock_instance()),
+      rng_(options_.seed.empty() ? BytesView(default_seed())
+                                 : BytesView(options_.seed)) {
+  if (options_.max_pending == 0) options_.max_pending = 1;
+}
+
+void BatchVerifier::enqueue(const gsig::GsigGroup& gsig, Bytes message,
+                            Bytes signature, Bytes session_tag,
+                            std::function<void(bool)> on_verdict) {
+  bool size_flush = false;
+  {
+    std::lock_guard lock(mu_);
+    std::string key = job_key(&gsig, message, signature, session_tag);
+    auto [it, inserted] = dedup_.try_emplace(std::move(key), jobs_.size());
+    if (inserted) {
+      if (jobs_.empty()) oldest_ = clock_->now();
+      Job job;
+      job.gsig = &gsig;
+      job.message = std::move(message);
+      job.signature = std::move(signature);
+      job.session_tag = std::move(session_tag);
+      job.waiters.push_back(std::move(on_verdict));
+      jobs_.push_back(std::move(job));
+    } else {
+      jobs_[it->second].waiters.push_back(std::move(on_verdict));
+      if (options_.metrics != nullptr) {
+        options_.metrics->batch_jobs_deduped.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+    }
+    if (options_.metrics != nullptr) {
+      options_.metrics->batch_jobs.fetch_add(1, std::memory_order_relaxed);
+    }
+    size_flush = jobs_.size() >= options_.max_pending;
+  }
+  if (size_flush) flush_impl(Trigger::kSize);
+}
+
+void BatchVerifier::flush() { flush_impl(Trigger::kExplicit); }
+
+bool BatchVerifier::poll() {
+  {
+    std::lock_guard lock(mu_);
+    if (jobs_.empty() || clock_->now() - oldest_ < options_.max_delay) {
+      return false;
+    }
+  }
+  flush_impl(Trigger::kDeadline);
+  return true;
+}
+
+std::size_t BatchVerifier::pending() const {
+  std::lock_guard lock(mu_);
+  return jobs_.size();
+}
+
+void BatchVerifier::flush_impl(Trigger trigger) {
+  // flush_mu_ serializes whole flushes (the DRBG is not thread-safe and
+  // interleaved folds would split batches pointlessly); mu_ is held only
+  // for the queue swap, so enqueues from other pump threads keep flowing
+  // into the next batch while this one verifies.
+  std::lock_guard flush_lock(flush_mu_);
+  std::vector<Job> wave;
+  {
+    std::lock_guard lock(mu_);
+    wave.swap(jobs_);
+    dedup_.clear();
+  }
+  if (wave.empty()) return;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::uint64_t modexp_start = num::thread_modexp_count();
+
+  // Stage 1: per-job cheap checks + Fiat-Shamir re-hash. Jobs that fail
+  // here (or verify fully inline via the default prepare_verify) get
+  // their verdict now; the surviving group equations join the fold.
+  std::vector<signed char> verdict(wave.size(), -1);
+  std::vector<gsig::SigmaCheck> checks;
+  std::vector<std::size_t> check_job;  // checks[i] belongs to wave[check_job[i]]
+  checks.reserve(wave.size());
+  check_job.reserve(wave.size());
+  for (std::size_t i = 0; i < wave.size(); ++i) {
+    const Job& job = wave[i];
+    try {
+      auto check = job.gsig->prepare_verify(job.message, job.signature,
+                                            job.session_tag);
+      if (check.has_value()) {
+        checks.push_back(*std::move(check));
+        check_job.push_back(i);
+      } else {
+        verdict[i] = 1;  // scheme verified inline
+      }
+    } catch (const Error&) {
+      verdict[i] = 0;
+    }
+  }
+
+  // Stage 2: one random-linear-combination fold per group, bisecting on
+  // failure so exactly the cheating signatures are rejected.
+  gsig::BatchStats stats;
+  if (!checks.empty()) {
+    AuditedRng rng(rng_);
+    const std::vector<bool> ok =
+        gsig::sigma_verify_batch(checks, rng, &stats);
+    for (std::size_t c = 0; c < checks.size(); ++c) {
+      verdict[check_job[c]] = ok[c] ? 1 : 0;
+    }
+  }
+
+  const std::uint64_t modexp_delta =
+      num::thread_modexp_count() - modexp_start;
+  const auto wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::steady_clock::now() - wall_start);
+
+  std::size_t resolved = 0;
+  std::size_t rejected = 0;
+  for (const Job& job : wave) resolved += job.waiters.size();
+  for (std::size_t i = 0; i < wave.size(); ++i) {
+    if (verdict[i] == 0) rejected += wave[i].waiters.size();
+  }
+
+  if (options_.metrics != nullptr) {
+    ServiceMetrics& m = *options_.metrics;
+    m.batch_flushes.fetch_add(1, std::memory_order_relaxed);
+    if (trigger == Trigger::kSize) {
+      m.batch_flushes_size.fetch_add(1, std::memory_order_relaxed);
+    } else if (trigger == Trigger::kDeadline) {
+      m.batch_flushes_deadline.fetch_add(1, std::memory_order_relaxed);
+    }
+    m.batch_checks.fetch_add(wave.size(), std::memory_order_relaxed);
+    m.batch_bisections.fetch_add(stats.bisections,
+                                 std::memory_order_relaxed);
+    m.batch_individual.fetch_add(stats.individual,
+                                 std::memory_order_relaxed);
+    m.batch_jobs_rejected.fetch_add(rejected, std::memory_order_relaxed);
+    m.note_batch_size(wave.size());
+  }
+  if (options_.trace != nullptr) {
+    options_.trace->record(obs::TraceEvent::kBatchVerify, /*sid=*/0,
+                           resolved, wave.size(),
+                           static_cast<std::uint64_t>(wall_ns.count()),
+                           modexp_delta);
+  }
+
+  for (std::size_t i = 0; i < wave.size(); ++i) {
+    const bool accepted = verdict[i] == 1;
+    for (auto& waiter : wave[i].waiters) waiter(accepted);
+  }
+}
+
+}  // namespace shs::service

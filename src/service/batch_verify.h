@@ -1,0 +1,110 @@
+// BatchVerifier — the service-layer implementation of
+// core::DeferredVerifier: collects group-signature verify jobs from every
+// session hosted in the process, deduplicates identical jobs (the m-1
+// co-hosted verifiers of one broadcast signature), and resolves a whole
+// wave with one gsig::sigma_verify_batch fold per group.
+//
+// Flush policy (deterministic under service::Clock / ManualClock):
+//   * size    — enqueue() flushes as soon as max_pending unique jobs are
+//               queued, bounding memory and fold latency;
+//   * deadline— poll() flushes once the oldest pending job has waited
+//               max_delay, for drivers that trickle sessions in;
+//   * barrier — the owner may call flush() directly; SessionManager does
+//               at the end of every pump(), so a hosted session never
+//               waits past its own pump call.
+//
+// Failure isolation: a failed fold bisects down to individual
+// sigma_check calls (gsig/batch.h), so the verdict each waiter receives
+// is bit-for-bit the one scheme->verify() would have produced; exactly
+// the cheating signature is rejected, never its batch-mates.
+//
+// Redaction: the fold coefficients are secret verifier coins (a forger
+// who predicts them can construct colluding discrepancies that cancel).
+// Every coefficient draw is registered with the redaction audit via a
+// RandomSource decorator, so the conformance sweep proves batch scalars
+// never reach logs, traces or metric expositions. Deployments must
+// supply an unpredictable `seed`; the default mixes a process-unique
+// counter with the clock, which is fine for tests and benches.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/verify.h"
+#include "crypto/drbg.h"
+#include "obs/trace.h"
+#include "service/clock.h"
+#include "service/metrics.h"
+
+namespace shs::service {
+
+struct BatchVerifierOptions {
+  /// Unique pending jobs that trigger an immediate flush from enqueue().
+  std::size_t max_pending = 256;
+  /// Oldest-job age at which poll() flushes.
+  std::chrono::milliseconds max_delay{5};
+  /// Borrowed time source; null = process steady clock.
+  Clock* clock = nullptr;
+  /// DRBG seed for the fold coefficients. Empty = a process-unique
+  /// test/bench seed; real deployments pass entropy here.
+  Bytes seed;
+  /// Borrowed counter block for batch_* metrics; null = no metrics.
+  ServiceMetrics* metrics = nullptr;
+  /// Borrowed flight recorder for kBatchVerify flush records; null = off.
+  obs::TraceRecorder* trace = nullptr;
+};
+
+class BatchVerifier final : public core::DeferredVerifier {
+ public:
+  explicit BatchVerifier(BatchVerifierOptions options = {});
+
+  /// Queues one job, coalescing it with an identical pending job
+  /// (same scheme object, message, signature and tag). Thread-safe; may
+  /// flush inline when the size threshold is reached.
+  void enqueue(const gsig::GsigGroup& gsig, Bytes message, Bytes signature,
+               Bytes session_tag,
+               std::function<void(bool)> on_verdict) override;
+
+  /// Resolves every pending job in one batched verification, invoking all
+  /// waiter callbacks. Thread-safe; concurrent flushes serialize and each
+  /// job is resolved exactly once.
+  void flush() override;
+
+  /// Deadline policy: flushes iff the oldest pending job has waited
+  /// max_delay or longer. Returns true when a flush ran.
+  bool poll();
+
+  /// Unique jobs currently pending.
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  struct Job {
+    const gsig::GsigGroup* gsig = nullptr;
+    Bytes message;
+    Bytes signature;
+    Bytes session_tag;
+    std::vector<std::function<void(bool)>> waiters;
+  };
+
+  enum class Trigger { kExplicit, kSize, kDeadline };
+  void flush_impl(Trigger trigger);
+
+  BatchVerifierOptions options_;
+  Clock* clock_;  // never null
+
+  mutable std::mutex mu_;  // guards the queue below
+  std::vector<Job> jobs_;
+  std::unordered_map<std::string, std::size_t> dedup_;  // key -> jobs_ idx
+  Clock::time_point oldest_{};
+
+  std::mutex flush_mu_;  // serializes verification + the DRBG
+  crypto::HmacDrbg rng_;
+};
+
+}  // namespace shs::service

@@ -132,6 +132,19 @@ std::string ServiceMetrics::to_json(const Gauges& gauges) const {
          ", \"active\": " + std::to_string(gauges.active_connections) +
          "}, \"frames_unowned\": " + u64(frames_unowned) +
          ", \"write_queue_hwm_bytes\": " + u64(write_queue_hwm) + "},\n";
+  out += " \"batch\": {\"jobs\": " + u64(batch_jobs) +
+         ", \"deduped\": " + u64(batch_jobs_deduped) +
+         ", \"rejected\": " + u64(batch_jobs_rejected) +
+         ", \"flushes\": {\"total\": " + u64(batch_flushes) +
+         ", \"size\": " + u64(batch_flushes_size) +
+         ", \"deadline\": " + u64(batch_flushes_deadline) +
+         "}, \"checks\": " + u64(batch_checks) +
+         ", \"bisections\": " + u64(batch_bisections) +
+         ", \"individual\": " + u64(batch_individual) +
+         ", \"max_size\": " + u64(batch_max_size) + "},\n";
+  out += " \"precomp\": {\"tables\": " + std::to_string(gauges.precomp_tables) +
+         ", \"hits\": " + std::to_string(gauges.precomp_hits) +
+         ", \"misses\": " + std::to_string(gauges.precomp_misses) + "},\n";
   out += " \"latency\": {\"phase1\": " + phase1_latency.to_json() +
          ",\n  \"phase2\": " + phase2_latency.to_json() +
          ",\n  \"phase3\": " + phase3_latency.to_json() +
@@ -193,6 +206,39 @@ obs::MetricsSnapshot ServiceMetrics::snapshot(const Gauges& gauges) const {
   gauge("shs_write_queue_hwm_bytes",
         "High-water mark across connection write queues",
         u64(write_queue_hwm));
+  counter("shs_batch_jobs_total", "Verify jobs enqueued for batching",
+          u64(batch_jobs));
+  counter("shs_batch_jobs_deduped_total",
+          "Verify jobs coalesced with an identical pending job",
+          u64(batch_jobs_deduped));
+  counter("shs_batch_jobs_rejected_total",
+          "Batched verify jobs that resolved to reject",
+          u64(batch_jobs_rejected));
+  counter("shs_batch_flushes_total", "Batch verifier flushes",
+          u64(batch_flushes));
+  counter("shs_batch_flushes_size_total",
+          "Flushes triggered by the max-pending threshold",
+          u64(batch_flushes_size));
+  counter("shs_batch_flushes_deadline_total",
+          "Flushes triggered by the deadline poll",
+          u64(batch_flushes_deadline));
+  counter("shs_batch_checks_total",
+          "Unique prepared checks folded across all flushes",
+          u64(batch_checks));
+  counter("shs_batch_bisections_total",
+          "Failed-fold bisection splits during batch verification",
+          u64(batch_bisections));
+  counter("shs_batch_individual_verifies_total",
+          "Singleton fallback verifications after bisection",
+          u64(batch_individual));
+  gauge("shs_batch_max_size", "High-water mark of unique checks per flush",
+        u64(batch_max_size));
+  gauge("shs_precomp_tables", "Fixed-base tables in the process-wide cache",
+        gauges.precomp_tables);
+  gauge("shs_precomp_hits", "Process-wide precomputation cache hits",
+        gauges.precomp_hits);
+  gauge("shs_precomp_misses", "Process-wide precomputation cache misses",
+        gauges.precomp_misses);
   s.histograms.push_back(phase1_latency.exposition(
       "shs_phase1_latency_us", "Session open to end of Phase I"));
   s.histograms.push_back(phase2_latency.exposition(

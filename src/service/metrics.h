@@ -71,6 +71,12 @@ struct ServiceMetrics {
   struct Gauges {
     std::uint64_t active_sessions = 0;
     std::uint64_t active_connections = 0;
+    // Process-wide fixed-base precomputation cache (bigint/fixed_base.h),
+    // sampled at export time. Gauges rather than counters because the
+    // cache is shared by every service instance in the process.
+    std::uint64_t precomp_tables = 0;
+    std::uint64_t precomp_hits = 0;
+    std::uint64_t precomp_misses = 0;
   };
 
   // Session lifecycle + round work (pump threads).
@@ -114,6 +120,29 @@ struct ServiceMetrics {
     while (queued > seen &&
            !write_queue_hwm.compare_exchange_weak(seen, queued,
                                                   std::memory_order_relaxed)) {
+    }
+  }
+
+  // Cross-session batch verification (service/batch_verify.h). Mean batch
+  // size = batch_checks / batch_flushes; batch_max_size is the high-water
+  // mark of unique checks in one flush.
+  alignas(64) std::atomic<std::uint64_t> batch_jobs{0};  // enqueued
+  std::atomic<std::uint64_t> batch_jobs_deduped{0};  // coalesced duplicates
+  std::atomic<std::uint64_t> batch_jobs_rejected{0};  // reject verdicts
+  std::atomic<std::uint64_t> batch_flushes{0};
+  std::atomic<std::uint64_t> batch_flushes_size{0};      // size-triggered
+  std::atomic<std::uint64_t> batch_flushes_deadline{0};  // deadline poll()
+  std::atomic<std::uint64_t> batch_checks{0};      // unique checks folded
+  std::atomic<std::uint64_t> batch_bisections{0};  // failed-fold splits
+  std::atomic<std::uint64_t> batch_individual{0};  // singleton fallbacks
+  std::atomic<std::uint64_t> batch_max_size{0};
+
+  /// Raises batch_max_size to `size` if it is the new maximum.
+  void note_batch_size(std::uint64_t size) noexcept {
+    std::uint64_t seen = batch_max_size.load(std::memory_order_relaxed);
+    while (size > seen &&
+           !batch_max_size.compare_exchange_weak(seen, size,
+                                                 std::memory_order_relaxed)) {
     }
   }
 

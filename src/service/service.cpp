@@ -3,6 +3,7 @@
 #include <string>
 #include <utility>
 
+#include "bigint/fixed_base.h"
 #include "common/errors.h"
 
 namespace shs::service {
@@ -53,6 +54,16 @@ RendezvousService::RendezvousService(ServiceOptions options)
     : options_(options),
       clock_(options.clock != nullptr ? options.clock : default_clock()),
       tap_(std::make_unique<EgressTap>(this)) {
+  if (options_.batch_verify) {
+    BatchVerifierOptions batch_options;
+    batch_options.max_pending = options_.batch_max_pending;
+    batch_options.max_delay = options_.batch_max_delay;
+    batch_options.clock = clock_;
+    batch_options.seed = options_.batch_seed;
+    batch_options.metrics = &metrics_;
+    batch_options.trace = options_.trace;
+    batch_ = std::make_unique<BatchVerifier>(std::move(batch_options));
+  }
   ManagerOptions manager_options;
   manager_options.threads = options_.threads;
   manager_options.clock = clock_;
@@ -60,6 +71,7 @@ RendezvousService::RendezvousService(ServiceOptions options)
   manager_options.adversary = options_.adversary;
   manager_options.egress = tap_.get();
   manager_options.trace = options_.trace;
+  manager_options.batch = batch_.get();
   SessionManager::Hooks hooks;
   hooks.on_round_complete = [this](std::uint64_t sid, std::size_t round,
                                    Clock::time_point now,
@@ -89,6 +101,9 @@ std::uint64_t RendezvousService::open_session(
   host->phase1_rounds = parties.front()->phase1_rounds();
   host->total_rounds = parties.front()->total_rounds();
   host->opened = clock_->now();
+  if (batch_ != nullptr) {
+    for (const auto& p : parties) p->set_deferred_verifier(batch_.get());
+  }
   host->parties = std::move(parties);
   const std::size_t m = host->parties.size();
   const std::size_t rounds = host->total_rounds;
@@ -291,7 +306,15 @@ ServiceMetrics::Gauges RendezvousService::gauges() const {
   ServiceMetrics::Gauges g;
   g.active_sessions = active_sessions();
   if (connection_gauge_) g.active_connections = connection_gauge_();
+  num::PrecompCache& cache = num::PrecompCache::instance();
+  g.precomp_tables = cache.size();
+  g.precomp_hits = cache.hits();
+  g.precomp_misses = cache.misses();
   return g;
+}
+
+bool RendezvousService::poll_batch() {
+  return batch_ != nullptr && batch_->poll();
 }
 
 std::string RendezvousService::metrics_json() const {

@@ -33,6 +33,7 @@
 #include "core/handshake.h"
 #include "obs/log.h"
 #include "obs/trace.h"
+#include "service/batch_verify.h"
 #include "service/frame.h"
 #include "service/metrics.h"
 #include "service/session.h"
@@ -67,6 +68,20 @@ struct ServiceOptions {
   /// Borrowed structured logger; null = no logging. Session lifecycle at
   /// info, per-frame traffic at debug.
   obs::Logger* logger = nullptr;
+  /// Cross-session batched verification (service/batch_verify.h): Phase-III
+  /// group-signature checks from all hosted sessions fold into shared
+  /// multi-exponentiations. Off = every session verifies inline.
+  /// Verdicts are identical either way (failed folds bisect down to
+  /// individual checks), so this is purely a throughput knob.
+  bool batch_verify = true;
+  /// Unique pending verify jobs that trigger an immediate batch flush.
+  std::size_t batch_max_pending = 256;
+  /// Oldest-job age at which poll_batch() flushes (deadline policy).
+  std::chrono::milliseconds batch_max_delay{5};
+  /// Seed for the batch fold coefficients; empty = a process-unique
+  /// test/bench seed. Deployments should pass real entropy — see the
+  /// soundness notes in service/batch_verify.h.
+  Bytes batch_seed;
 };
 
 class RendezvousService {
@@ -132,6 +147,16 @@ class RendezvousService {
   /// Prometheus text exposition of the same counters (GET /metrics body).
   [[nodiscard]] std::string metrics_prometheus() const;
 
+  /// The cross-session batch verifier; null when batch_verify is off.
+  /// pump() flushes it for every session it finishes, so drivers only
+  /// need poll_batch() if they enqueue work outside pump (none do today).
+  [[nodiscard]] BatchVerifier* batch_verifier() noexcept {
+    return batch_.get();
+  }
+  /// Deadline policy passthrough: flushes pending batch jobs older than
+  /// batch_max_delay. Returns true when a flush ran.
+  bool poll_batch();
+
  private:
   struct Hosted;
 
@@ -150,6 +175,7 @@ class RendezvousService {
   ServiceMetrics metrics_;
   std::function<std::uint64_t()> connection_gauge_;
   std::unique_ptr<EgressTap> tap_;
+  std::unique_ptr<BatchVerifier> batch_;  // before manager_: outlives pumps
   std::unique_ptr<SessionManager> manager_;
 
   mutable std::mutex hosted_mu_;

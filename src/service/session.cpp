@@ -5,6 +5,7 @@
 
 #include "bigint/montgomery.h"
 #include "common/errors.h"
+#include "core/verify.h"
 
 namespace shs::service {
 
@@ -15,6 +16,7 @@ const char* to_string(SessionState state) noexcept {
     case SessionState::kAdvancing: return "advancing";
     case SessionState::kDone: return "done";
     case SessionState::kExpired: return "expired";
+    case SessionState::kFinishing: return "finishing";
   }
   return "unknown";
 }
@@ -36,6 +38,16 @@ struct SessionManager::SessionRec {
   std::map<std::uint32_t, std::pair<std::vector<Bytes>, std::vector<bool>>>
       future;
   Clock::time_point last_progress;
+};
+
+/// One session parked in kFinishing: final round delivered, terminal
+/// hooks withheld until the batch verifier flushes. `modexp` is the final
+/// round's delivery-time attribution (the deferred verification cost is
+/// attributed to the shared flush, not to any one session).
+struct SessionManager::Finishing {
+  std::shared_ptr<SessionRec> rec;
+  std::size_t round = 0;
+  std::uint64_t modexp = 0;
 };
 
 namespace {
@@ -181,7 +193,35 @@ std::size_t SessionManager::pump() {
     }
     processed += batch.size();
   }
+  resolve_finishing();
   return processed;
+}
+
+void SessionManager::resolve_finishing() {
+  if (options_.batch == nullptr) return;
+  for (;;) {
+    std::vector<Finishing> wave;
+    {
+      const std::lock_guard<std::mutex> lock(finishing_mu_);
+      wave.swap(finishing_);
+    }
+    if (wave.empty()) return;
+    // One flush covers every parked session's jobs: each session enqueued
+    // all of its checks during its (single-threaded) final advance, which
+    // happened before it was parked.
+    options_.batch->flush();
+    for (const Finishing& f : wave) {
+      for (net::RoundParty* p : f.rec->parties) p->finish();
+      // Terminal hooks see the resolve-time clock so phase-3 and session
+      // latency include the batched verification wait.
+      if (hooks_.on_round_complete) {
+        hooks_.on_round_complete(f.rec->id, f.round, clock_->now(), f.modexp);
+      }
+      if (hooks_.on_done) hooks_.on_done(f.rec->id);
+      const std::lock_guard<std::mutex> lock(f.rec->mu);
+      f.rec->state = SessionState::kDone;
+    }
+  }
 }
 
 void SessionManager::advance(const std::shared_ptr<SessionRec>& rec) {
@@ -250,19 +290,24 @@ void SessionManager::advance(const std::shared_ptr<SessionRec>& rec) {
                 .count()),
         modexp_delta);
   }
+  // With a batch verifier, a finished session parks in kFinishing and its
+  // terminal hooks are withheld until resolve_finishing() flushes the
+  // batch — the parties' outcomes are not valid before their finish().
+  const bool defer = done && options_.batch != nullptr;
+
   // Terminal hooks fire before the terminal state is published, so a
   // caller that observes kDone finds whatever the hook produced.
-  if (!produce && hooks_.on_round_complete) {
+  if (!produce && !defer && hooks_.on_round_complete) {
     hooks_.on_round_complete(rec->id, r, now, modexp_delta);
   }
-  if (done && hooks_.on_done) hooks_.on_done(rec->id);
+  if (done && !defer && hooks_.on_done) hooks_.on_done(rec->id);
 
   bool ready_again = false;
   std::size_t out_round = 0;
   {
     const std::lock_guard<std::mutex> lock(rec->mu);
     if (done) {
-      rec->state = SessionState::kDone;
+      rec->state = defer ? SessionState::kFinishing : SessionState::kDone;
       rec->future.clear();
     } else {
       if (produce) {
@@ -294,6 +339,10 @@ void SessionManager::advance(const std::shared_ptr<SessionRec>& rec) {
         rec->state = SessionState::kCollecting;
       }
     }
+  }
+  if (defer) {
+    const std::lock_guard<std::mutex> lock(finishing_mu_);
+    finishing_.push_back({rec, r, modexp_delta});
   }
   if (ready_again) enqueue(rec);
   if (!out.empty()) emit(rec->id, out_round, std::move(out));

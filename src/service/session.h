@@ -60,6 +60,10 @@
 #include "service/clock.h"
 #include "service/frame.h"
 
+namespace shs::core {
+class DeferredVerifier;
+}  // namespace shs::core
+
 namespace shs::service {
 
 /// Where the manager's outgoing frames go (the transport towards the
@@ -76,6 +80,9 @@ enum class SessionState : std::uint8_t {
   kAdvancing = 2,   // a pump worker is delivering / computing
   kDone = 3,        // all rounds delivered
   kExpired = 4,     // deadline hit before the current round completed
+  kFinishing = 5,   // final round delivered; awaiting the batch-verify
+                    // flush (transient: every pump() resolves it before
+                    // returning, so it is never observable between pumps)
 };
 
 [[nodiscard]] const char* to_string(SessionState state) noexcept;
@@ -117,6 +124,13 @@ struct ManagerOptions {
   /// round's modular-exponentiation count) and expiry events for sampled
   /// sessions.
   obs::TraceRecorder* trace = nullptr;
+  /// Borrowed cross-session batch verifier; null = parties verify inline.
+  /// When set, a session whose final round was just delivered parks in
+  /// kFinishing instead of completing; at the end of pump() the manager
+  /// flushes this verifier once for the whole wave and then finish()es
+  /// every parked session, firing its terminal hooks. The parties must
+  /// have been pointed at the same verifier by the caller.
+  core::DeferredVerifier* batch = nullptr;
 };
 
 class SessionManager {
@@ -182,11 +196,14 @@ class SessionManager {
  private:
   struct SessionRec;
 
+  struct Finishing;
+
   std::shared_ptr<SessionRec> find(std::uint64_t sid) const;
   FrameDisposition slot_locked(SessionRec& rec, Frame frame,
                                bool& completed);
   void enqueue(std::shared_ptr<SessionRec> rec);
   void advance(const std::shared_ptr<SessionRec>& rec);
+  void resolve_finishing();
   void emit(std::uint64_t sid, std::size_t round, std::vector<Bytes> payloads);
 
   ManagerOptions options_;
@@ -200,6 +217,9 @@ class SessionManager {
 
   std::mutex ready_mu_;
   std::vector<std::shared_ptr<SessionRec>> ready_;
+
+  std::mutex finishing_mu_;
+  std::vector<Finishing> finishing_;
 
   std::mutex adversary_mu_;
 };

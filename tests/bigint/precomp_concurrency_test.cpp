@@ -1,0 +1,108 @@
+// Process-wide precomputation cache under concurrency: many threads
+// acquiring the same (modulus, base) table must all end up sharing one
+// table (hit/miss counters account for every call), and concurrent
+// table-served exponentiation must agree with the generic path. Run under
+// TSan by tools/check.sh --batch. Worker threads report through atomics;
+// all gtest assertions happen after the join.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bigint/fixed_base.h"
+#include "bigint/modmath.h"
+#include "bigint/montgomery.h"
+#include "bigint/random.h"
+
+namespace shs::num {
+namespace {
+
+TEST(PrecompConcurrency, ConcurrentAcquireSharesOneTable) {
+  PrecompCache& cache = PrecompCache::instance();
+  cache.clear();
+  cache.reset_counters();
+
+  // A fixed odd modulus and base: every thread asks for the same key.
+  const BigInt m = (BigInt(1) << 255) + BigInt(977);  // odd, 256 bits
+  auto mont = std::make_shared<const Montgomery>(m);
+  const BigInt base(12345);
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kAcquires = 32;
+
+  std::vector<std::shared_ptr<const FixedBaseTable>> first(kThreads);
+  std::atomic<std::size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      TestRng rng(0xace0 + t);
+      for (std::size_t i = 0; i < kAcquires; ++i) {
+        auto table = cache.ensure(mont, base, 256);
+        if (first[t] == nullptr) first[t] = table;
+        // Exercise the shared table concurrently against the generic path.
+        const BigInt e = random_bits(64, rng);
+        if (table->exp(e) != mod_exp(base, e, m)) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  for (std::size_t t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(first[t], first[0]) << "thread " << t << " got its own table";
+  }
+  EXPECT_EQ(cache.size(), 1u);
+  // Every call is accounted: exactly the builders missed, the rest hit.
+  EXPECT_EQ(cache.hits() + cache.misses(), kThreads * kAcquires);
+  EXPECT_GE(cache.misses(), 1u);
+  EXPECT_GE(cache.hits(), kThreads * kAcquires - kThreads);
+  cache.clear();
+  cache.reset_counters();
+}
+
+TEST(PrecompConcurrency, GrowingATableKeepsServingReaders) {
+  PrecompCache& cache = PrecompCache::instance();
+  cache.clear();
+  cache.reset_counters();
+
+  const BigInt m = (BigInt(1) << 127) + BigInt(45);
+  auto mont = std::make_shared<const Montgomery>(m);
+  const BigInt base(7);
+
+  // Writers repeatedly re-ensure with growing exponent widths while
+  // readers exercise whatever table they acquired; shared_ptr ownership
+  // must keep superseded tables valid for in-flight readers.
+  std::atomic<std::size_t> mismatches{0};
+  std::atomic<std::size_t> undersized{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      TestRng rng(0xbead + t);
+      for (std::size_t i = 0; i < 16; ++i) {
+        const std::size_t bits = 32 + 16 * ((t + i) % 7);
+        auto table = cache.ensure(mont, base, bits);
+        if (table->max_exp_bits() < bits) {
+          undersized.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        const BigInt e = random_bits(31, rng);
+        if (table->exp(e) != mod_exp(base, e, m)) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(undersized.load(), 0u);
+  EXPECT_EQ(cache.size(), 1u) << "one key: growth must replace in place";
+  cache.clear();
+  cache.reset_counters();
+}
+
+}  // namespace
+}  // namespace shs::num

@@ -1,0 +1,299 @@
+// Batch verification property tests: for every mix of valid and invalid
+// signatures, sigma_verify_batch must return exactly the verdict vector
+// individual verification produces — the random-linear-combination fold
+// is a throughput optimization, never a semantics change. The adversarial
+// case plants a forged signature that survives every cheap check (so it
+// reaches the fold) and demands the bisection fallback isolate exactly
+// it; that test fails if the fallback is ever removed.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/errors.h"
+#include "crypto/drbg.h"
+#include "gsig/acjt.h"
+#include "gsig/batch.h"
+#include "gsig/gsig.h"
+#include "gsig/kty.h"
+
+namespace shs::gsig {
+namespace {
+
+using Factory =
+    std::function<std::unique_ptr<GsigGroup>(num::RandomSource&)>;
+
+struct SchemeCase {
+  std::string name;
+  Factory make;
+};
+
+const SchemeCase kSchemes[] = {
+    {"acjt",
+     [](num::RandomSource& rng) -> std::unique_ptr<GsigGroup> {
+       return AcjtGsig::create(algebra::ParamLevel::kTest, rng);
+     }},
+    {"kty",
+     [](num::RandomSource& rng) -> std::unique_ptr<GsigGroup> {
+       return KtyGsig::create(algebra::ParamLevel::kTest, rng);
+     }},
+};
+
+class BatchAllSchemes : public ::testing::TestWithParam<SchemeCase> {
+ protected:
+  BatchAllSchemes() : rng_(to_bytes("batch-" + GetParam().name)) {
+    scheme_ = GetParam().make(rng_);
+  }
+
+  crypto::HmacDrbg rng_;
+  std::unique_ptr<GsigGroup> scheme_;
+};
+
+/// One signed message with its ground-truth verdict from verify().
+struct Sample {
+  Bytes message;
+  Bytes signature;
+  Bytes tag;
+  bool valid = false;
+};
+
+bool individual_verdict(const GsigGroup& scheme, const Sample& s) {
+  try {
+    scheme.verify(s.message, s.signature, s.tag);
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+/// Emulates the BatchVerifier's two stages over `samples`: cheap checks
+/// resolve immediately, survivors fold. Returns the final verdicts.
+std::vector<bool> batch_verdicts(const GsigGroup& scheme,
+                                 const std::vector<Sample>& samples,
+                                 num::RandomSource& rng,
+                                 BatchStats* stats = nullptr) {
+  std::vector<bool> verdict(samples.size(), false);
+  std::vector<SigmaCheck> checks;
+  std::vector<std::size_t> owner;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    try {
+      auto check = scheme.prepare_verify(samples[i].message,
+                                         samples[i].signature,
+                                         samples[i].tag);
+      if (!check.has_value()) {
+        verdict[i] = true;
+        continue;
+      }
+      checks.push_back(*std::move(check));
+      owner.push_back(i);
+    } catch (const Error&) {
+    }
+  }
+  const std::vector<bool> folded = sigma_verify_batch(checks, rng, stats);
+  for (std::size_t c = 0; c < checks.size(); ++c) {
+    verdict[owner[c]] = folded[c];
+  }
+  return verdict;
+}
+
+/// A signature that passes every cheap check (prepare_verify yields a
+/// SigmaCheck) but fails the group equations: a single response byte is
+/// perturbed, which leaves the Fiat-Shamir hash (over commitments, not
+/// responses) and the interval checks intact. Searches from the tail of
+/// the blob, where the responses are serialized.
+Sample forge_fold_reaching(const GsigGroup& scheme, Sample valid) {
+  for (std::size_t back = 1; back <= valid.signature.size(); ++back) {
+    Sample forged = valid;
+    forged.signature[forged.signature.size() - back] ^= 0x01;
+    forged.valid = false;
+    try {
+      auto check = scheme.prepare_verify(forged.message, forged.signature,
+                                         forged.tag);
+      if (check.has_value() && !sigma_check(*check)) return forged;
+    } catch (const Error&) {
+    }
+  }
+  ADD_FAILURE() << "could not craft a fold-reaching forgery";
+  return valid;
+}
+
+TEST_P(BatchAllSchemes, RandomMixesMatchIndividualVerification) {
+  std::vector<MemberCredential> members;
+  for (MemberId id = 1; id <= 3; ++id) {
+    members.push_back(scheme_->admit(id, rng_));
+  }
+  // ACJT accumulator admits invalidate earlier credentials.
+  for (MemberCredential& c : members) scheme_->update_credential(c);
+  for (int round = 0; round < 4; ++round) {
+    std::vector<Sample> samples;
+    for (std::size_t i = 0; i < 8; ++i) {
+      Sample s;
+      s.message = to_bytes("msg-" + std::to_string(round) + "-" +
+                           std::to_string(i % 3));
+      // Session tags are a scheme-2 (KTY self-distinction) feature.
+      if (GetParam().name == "kty" && i % 2 == 0) {
+        s.tag = to_bytes("tag-" + std::to_string(i));
+      }
+      s.signature = scheme_->sign(members[i % members.size()], s.message,
+                                  s.tag, rng_);
+      s.valid = true;
+      switch (i % 4) {
+        case 1:  // wrong message
+          s.message = to_bytes("other");
+          s.valid = false;
+          break;
+        case 2:  // truncated blob
+          s.signature.resize(s.signature.size() / 2);
+          s.valid = false;
+          break;
+        default:
+          break;
+      }
+      samples.push_back(std::move(s));
+    }
+    BatchStats stats;
+    const std::vector<bool> batch =
+        batch_verdicts(*scheme_, samples, rng_, &stats);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      EXPECT_EQ(batch[i], individual_verdict(*scheme_, samples[i]))
+          << GetParam().name << " round " << round << " sample " << i;
+      EXPECT_EQ(batch[i], samples[i].valid);
+    }
+    EXPECT_GE(stats.folds, 1u);
+  }
+}
+
+TEST_P(BatchAllSchemes, HonestBatchesNeverFalselyReject) {
+  auto alice = scheme_->admit(1, rng_);
+  std::vector<Sample> samples;
+  for (std::size_t i = 0; i < 6; ++i) {
+    Sample s;
+    s.message = to_bytes("honest-" + std::to_string(i));
+    s.signature = scheme_->sign(alice, s.message, {}, rng_);
+    s.valid = true;
+    samples.push_back(std::move(s));
+  }
+  // Distinct coefficient draws every attempt: a fold that rejects honest
+  // proofs under any coin choice is a soundness-argument bug (the ±1
+  // discrepancies must cancel deterministically).
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    auto coins = crypto::HmacDrbg::from_seed("batch-coins", seed);
+    BatchStats stats;
+    const std::vector<bool> batch =
+        batch_verdicts(*scheme_, samples, coins, &stats);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      EXPECT_TRUE(batch[i]) << "seed " << seed << " sample " << i;
+    }
+    EXPECT_EQ(stats.bisections, 0u);
+    EXPECT_EQ(stats.individual, 0u);
+  }
+}
+
+TEST_P(BatchAllSchemes, ForgedSignatureInBatchIsolatedByBisection) {
+  auto alice = scheme_->admit(1, rng_);
+  constexpr std::size_t kBatch = 9;
+  constexpr std::size_t kForged = 4;
+  std::vector<Sample> samples;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    Sample s;
+    s.message = to_bytes("batch-member-" + std::to_string(i));
+    s.signature = scheme_->sign(alice, s.message, {}, rng_);
+    s.valid = true;
+    if (i == kForged) s = forge_fold_reaching(*scheme_, std::move(s));
+    samples.push_back(std::move(s));
+  }
+  ASSERT_FALSE(individual_verdict(*scheme_, samples[kForged]));
+
+  BatchStats stats;
+  const std::vector<bool> batch =
+      batch_verdicts(*scheme_, samples, rng_, &stats);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    EXPECT_EQ(batch[i], i != kForged)
+        << "bisection must reject exactly the forged signature";
+  }
+  // The forgery reached the fold (prepare passed), so the only way to the
+  // correct verdict vector is the bisection fallback. If the fallback is
+  // ever reverted (fold failure -> reject all), the valid batch-mates
+  // above turn false and this test fails.
+  EXPECT_GE(stats.bisections, 1u);
+  EXPECT_GE(stats.individual, 1u);
+}
+
+TEST_P(BatchAllSchemes, SingletonAndEmptyBatches) {
+  auto alice = scheme_->admit(1, rng_);
+  BatchStats stats;
+  EXPECT_TRUE(sigma_verify_batch({}, rng_, &stats).empty());
+  EXPECT_EQ(stats.folds, 0u);
+
+  Sample s;
+  s.message = to_bytes("solo");
+  s.signature = scheme_->sign(alice, s.message, {}, rng_);
+  s.valid = true;
+  const std::vector<bool> batch = batch_verdicts(*scheme_, {s}, rng_, &stats);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_TRUE(batch[0]);
+  // A singleton skips the fold entirely: one direct sigma_check.
+  EXPECT_EQ(stats.folds, 0u);
+  EXPECT_EQ(stats.individual, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, BatchAllSchemes,
+                         ::testing::ValuesIn(kSchemes),
+                         [](const auto& info) { return info.param.name; });
+
+// Checks from different groups (ACJT and KTY instances in one wave) must
+// bucket by modulus and still match individual verification.
+TEST(BatchMixedGroups, BucketsByGroupAndMatchesIndividual) {
+  crypto::HmacDrbg rng(to_bytes("batch-mixed"));
+  auto acjt = AcjtGsig::create(algebra::ParamLevel::kTest, rng);
+  auto kty = KtyGsig::create(algebra::ParamLevel::kTest, rng);
+  auto a1 = acjt->admit(1, rng);
+  auto k1 = kty->admit(1, rng);
+
+  std::vector<const GsigGroup*> schemes;
+  std::vector<Sample> samples;
+  for (std::size_t i = 0; i < 6; ++i) {
+    const GsigGroup& scheme = i % 2 == 0 ? static_cast<GsigGroup&>(*acjt)
+                                         : static_cast<GsigGroup&>(*kty);
+    Sample s;
+    s.message = to_bytes("mixed-" + std::to_string(i));
+    s.signature = scheme.sign(i % 2 == 0 ? a1 : k1, s.message, {}, rng);
+    s.valid = i != 3;
+    if (i == 3) s.message = to_bytes("tampered");
+    schemes.push_back(&scheme);
+    samples.push_back(std::move(s));
+  }
+
+  std::vector<bool> verdict(samples.size(), false);
+  std::vector<SigmaCheck> checks;
+  std::vector<std::size_t> owner;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    try {
+      auto check = schemes[i]->prepare_verify(samples[i].message,
+                                              samples[i].signature,
+                                              samples[i].tag);
+      ASSERT_TRUE(check.has_value());
+      checks.push_back(*std::move(check));
+      owner.push_back(i);
+    } catch (const Error&) {
+    }
+  }
+  BatchStats stats;
+  const std::vector<bool> folded = sigma_verify_batch(checks, rng, &stats);
+  for (std::size_t c = 0; c < folded.size(); ++c) {
+    verdict[owner[c]] = folded[c];
+  }
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(verdict[i], samples[i].valid) << "sample " << i;
+  }
+  // Distinct moduli fold separately; kTest instances may share a modulus
+  // (and then legitimately share one fold), so only pin the lower bound.
+  EXPECT_GE(stats.folds, 1u);
+  EXPECT_EQ(stats.checks, checks.size());
+}
+
+}  // namespace
+}  // namespace shs::gsig

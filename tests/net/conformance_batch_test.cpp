@@ -1,0 +1,168 @@
+// The adversarial conformance sweep with batched verification enabled:
+// every scenario runs twice — inline verification vs a shared
+// service::BatchVerifier — and must produce identical outcomes (down to
+// session keys and transcripts) and a byte-identical post-fault wire.
+// Batching only changes *when* Phase-III signature checks are computed;
+// any divergence here means the fold changed a verdict or, worse, a
+// deferred check leaked onto the wire.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "conformance_harness.h"
+#include "service/batch_verify.h"
+
+namespace shs::conformance {
+namespace {
+
+using net::Adversary;
+using net::ByzantineInsider;
+using net::FaultLog;
+using net::TamperFault;
+
+Runner& runner() {
+  static Runner r;
+  return r;
+}
+
+service::BatchVerifier make_batch(service::ServiceMetrics* metrics) {
+  service::BatchVerifierOptions options;
+  options.seed = to_bytes("conformance-batch-seed");
+  options.metrics = metrics;
+  return service::BatchVerifier(std::move(options));
+}
+
+void expect_identical(const ScenarioResult& inline_run,
+                      const ScenarioResult& batched_run) {
+  ASSERT_EQ(inline_run.outcomes.size(), batched_run.outcomes.size());
+  for (std::size_t i = 0; i < inline_run.outcomes.size(); ++i) {
+    SCOPED_TRACE(inline_run.name + " position " + std::to_string(i));
+    const core::HandshakeOutcome& a = inline_run.outcomes[i];
+    const core::HandshakeOutcome& b = batched_run.outcomes[i];
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.partner, b.partner);
+    EXPECT_EQ(a.full_success, b.full_success);
+    EXPECT_EQ(a.self_distinction_violated, b.self_distinction_violated);
+    EXPECT_EQ(a.session_key, b.session_key);
+    EXPECT_EQ(a.reason, b.reason);
+    EXPECT_EQ(a.transcript.serialize(), b.transcript.serialize());
+  }
+  ASSERT_EQ(inline_run.wire.size(), batched_run.wire.size());
+  for (std::size_t i = 0; i < inline_run.wire.size(); ++i) {
+    EXPECT_EQ(inline_run.wire[i].round, batched_run.wire[i].round);
+    EXPECT_EQ(inline_run.wire[i].sender, batched_run.wire[i].sender);
+    EXPECT_EQ(inline_run.wire[i].payload, batched_run.wire[i].payload)
+        << inline_run.name << " wire slot " << i
+        << ": batching must be invisible on the wire";
+  }
+}
+
+TEST(ConformanceBatch, CleanSessionsMatchInlineBitForBit) {
+  for (std::size_t m : {2u, 4u, 8u}) {
+    for (bool scheme2 : {false, true}) {
+      ScenarioSpec spec;
+      spec.name = "batch-clean-m" + std::to_string(m) +
+                  (scheme2 ? "-s2" : "-s1");
+      spec.m = m;
+      spec.scheme2 = scheme2;
+      const ScenarioResult inline_run = runner().run(spec);
+
+      service::ServiceMetrics metrics;
+      service::BatchVerifier batch = make_batch(&metrics);
+      spec.batch = &batch;
+      const ScenarioResult batched_run = runner().run(spec);
+
+      expect_identical(inline_run, batched_run);
+      check_no_false_accept(batched_run);
+      check_traceability(batched_run, runner());
+      // Deferral really happened: every party's m-1 peer checks were
+      // enqueued, and dedup collapsed them to one job per signature.
+      EXPECT_EQ(metrics.batch_jobs.load(), m * (m - 1));
+      EXPECT_EQ(metrics.batch_jobs_deduped.load(), m * (m - 1) - m);
+      EXPECT_EQ(metrics.batch_jobs_rejected.load(), 0u);
+      EXPECT_GE(metrics.batch_flushes.load(), 1u);
+    }
+  }
+}
+
+TEST(ConformanceBatch, TamperStormNeverForgesAnAcceptWhenBatched) {
+  for (std::uint64_t seed : conformance_seeds()) {
+    for (bool scheme2 : {false, true}) {
+      ScenarioSpec spec;
+      spec.name = std::string("batch-tamper-") + (scheme2 ? "s2" : "s1");
+      spec.m = 4;
+      spec.scheme2 = scheme2;
+      spec.seed = seed;
+      spec.faults = [seed](std::size_t, FaultLog* log) {
+        std::vector<std::unique_ptr<Adversary>> links;
+        links.push_back(std::make_unique<TamperFault>(
+            seed, TamperFault::Config{0.3}, log));
+        return links;
+      };
+      const ScenarioResult inline_run = runner().run(spec);
+
+      service::ServiceMetrics metrics;
+      service::BatchVerifier batch = make_batch(&metrics);
+      spec.batch = &batch;
+      const ScenarioResult batched_run = runner().run(spec);
+
+      expect_identical(inline_run, batched_run);
+      check_no_false_accept(batched_run);
+    }
+  }
+}
+
+TEST(ConformanceBatch, ByzantinePhase3InsiderExcludedIdentically) {
+  for (std::uint64_t seed : conformance_seeds()) {
+    ScenarioSpec spec;
+    spec.name = "batch-byz-p3";
+    spec.m = 4;
+    spec.seed = seed;
+    // Honest through key agreement, junk in the signature round: the
+    // forged Phase-III slot rides into the batch and must be rejected
+    // there without dragging down its batch-mates.
+    spec.insiders = [](std::size_t phase1_rounds) {
+      std::vector<ByzantineInsider::Action> script(
+          phase1_rounds + 2, ByzantineInsider::Action::kFollow);
+      script.back() = ByzantineInsider::Action::kFlipBit;
+      return ScenarioSpec::InsiderScripts{{2, script}};
+    };
+    const ScenarioResult inline_run = runner().run(spec);
+
+    service::ServiceMetrics metrics;
+    service::BatchVerifier batch = make_batch(&metrics);
+    spec.batch = &batch;
+    const ScenarioResult batched_run = runner().run(spec);
+
+    expect_identical(inline_run, batched_run);
+    check_no_false_accept(batched_run, {2});
+    for (std::size_t i = 0; i < batched_run.m; ++i) {
+      if (i == 2) continue;
+      EXPECT_FALSE(batched_run.outcomes[i].partner[2])
+          << "position " << i << " confirmed the forging insider";
+    }
+  }
+}
+
+TEST(ConformanceBatch, CloningInsiderExposedIdenticallyWhenBatched) {
+  ScenarioSpec spec;
+  spec.name = "batch-clone";
+  spec.m = 4;
+  spec.scheme2 = true;
+  spec.clone_of = {{3, 1}};  // position 3 reuses position 1's credential
+  const ScenarioResult inline_run = runner().run(spec);
+
+  service::ServiceMetrics metrics;
+  service::BatchVerifier batch = make_batch(&metrics);
+  spec.batch = &batch;
+  const ScenarioResult batched_run = runner().run(spec);
+
+  expect_identical(inline_run, batched_run);
+  check_clone_detected(batched_run, {1, 3});
+}
+
+}  // namespace
+}  // namespace shs::conformance

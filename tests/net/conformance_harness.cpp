@@ -77,6 +77,9 @@ ScenarioResult Runner::run(const ScenarioSpec& spec) {
                                   std::to_string(pos);
     participants.push_back(
         member.handshake_party(pos, spec.m, options, to_bytes(drbg_seed)));
+    if (spec.batch != nullptr) {
+      participants.back()->set_deferred_verifier(spec.batch);
+    }
   }
 
   result.phase1_rounds = participants.front()->total_rounds() - 2;

@@ -33,6 +33,7 @@
 
 #include "core/fixture.h"
 #include "core/handshake.h"
+#include "core/verify.h"
 #include "net/adversary.h"
 #include "net/faults.h"
 
@@ -65,6 +66,12 @@ struct ScenarioSpec {
   /// Position-cloning insiders: position -> position whose member
   /// credential it reuses (the paper's multiple-roles attack).
   std::map<std::size_t, std::size_t> clone_of;
+
+  /// Borrowed deferred verifier: every participant batches its Phase-III
+  /// signature checks through it (service/batch_verify.h) instead of
+  /// verifying inline. Null = inline verification. Every invariant must
+  /// hold identically either way — the sweep runs both.
+  core::DeferredVerifier* batch = nullptr;
 };
 
 /// Everything a scenario run produces, ready for invariant checks.

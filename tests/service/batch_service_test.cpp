@@ -1,0 +1,269 @@
+// Service-level batched-verification tests: a batched RendezvousService
+// must be frame-for-frame and outcome-for-outcome identical to an
+// unbatched one (deferral is invisible outside latency), the deadline
+// flush must be deterministic under ManualClock, a forged signature
+// inside a hosted batch must be isolated without collateral rejects, and
+// the fold coefficients must register with the redaction audit and stay
+// off every export surface.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/errors.h"
+#include "core/fixture.h"
+#include "gsig/acjt.h"
+#include "obs/redact.h"
+#include "service/batch_verify.h"
+#include "service/service.h"
+
+namespace shs::service {
+namespace {
+
+using core::HandshakeOptions;
+using core::HandshakeOutcome;
+using core::testing::TestGroup;
+
+TestGroup& batch_group() {
+  static auto* group = [] {
+    auto* g = new TestGroup("batchsvc", core::GroupConfig{});
+    for (core::MemberId id = 1; id <= 8; ++id) g->admit(id);
+    return g;
+  }();
+  return *group;
+}
+
+std::vector<std::unique_ptr<core::HandshakeParticipant>> make_parts(
+    std::size_t m, std::string_view seed) {
+  const HandshakeOptions options;
+  std::vector<std::unique_ptr<core::HandshakeParticipant>> parts;
+  parts.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    parts.push_back(batch_group().member(i).handshake_party(
+        i, m, options, to_bytes(seed)));
+  }
+  return parts;
+}
+
+/// Records every egress frame, then loops it back into the service.
+struct TeeLoopback final : FrameSink {
+  RendezvousService* service = nullptr;
+  std::mutex mu;
+  std::vector<Frame> frames;
+  void on_frame(const Frame& frame) override {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      frames.push_back(frame);
+    }
+    service->handle_frame(frame);
+  }
+};
+
+/// Runs one full m-party session; returns (egress frames, outcomes).
+std::pair<std::vector<Frame>, std::vector<HandshakeOutcome>> run_hosted(
+    std::size_t m, std::string_view seed, bool batch_verify,
+    std::size_t threads = 1) {
+  TeeLoopback wire;
+  ServiceOptions so;
+  so.threads = threads;
+  so.egress = &wire;
+  so.batch_verify = batch_verify;
+  so.batch_seed = to_bytes("batch-service-test");
+  RendezvousService svc(so);
+  wire.service = &svc;
+  const std::uint64_t sid = svc.open_session(make_parts(m, seed));
+  svc.pump();
+  EXPECT_EQ(svc.state(sid), SessionState::kDone);
+  auto outcomes = svc.outcomes(sid);
+  EXPECT_TRUE(svc.close(sid));
+  return {std::move(wire.frames), std::move(outcomes)};
+}
+
+TEST(BatchService, BatchedRunIsFrameIdenticalToUnbatched) {
+  for (const std::size_t m : {2u, 4u, 8u}) {
+    SCOPED_TRACE("m=" + std::to_string(m));
+    const std::string seed = "tee-" + std::to_string(m);
+    auto [inline_frames, inline_outcomes] =
+        run_hosted(m, seed, /*batch_verify=*/false);
+    auto [batched_frames, batched_outcomes] =
+        run_hosted(m, seed, /*batch_verify=*/true);
+
+    ASSERT_EQ(inline_frames.size(), batched_frames.size());
+    for (std::size_t i = 0; i < inline_frames.size(); ++i) {
+      EXPECT_EQ(inline_frames[i].session_id, batched_frames[i].session_id);
+      EXPECT_EQ(inline_frames[i].round, batched_frames[i].round);
+      EXPECT_EQ(inline_frames[i].position, batched_frames[i].position);
+      EXPECT_EQ(inline_frames[i].payload, batched_frames[i].payload)
+          << "frame " << i << ": deferral leaked onto the wire";
+    }
+    ASSERT_EQ(inline_outcomes.size(), batched_outcomes.size());
+    for (std::size_t i = 0; i < m; ++i) {
+      EXPECT_EQ(inline_outcomes[i].partner, batched_outcomes[i].partner);
+      EXPECT_EQ(inline_outcomes[i].session_key,
+                batched_outcomes[i].session_key);
+      EXPECT_EQ(inline_outcomes[i].reason, batched_outcomes[i].reason);
+      EXPECT_TRUE(batched_outcomes[i].full_success);
+    }
+  }
+}
+
+TEST(BatchService, ThreadedPumpMatchesSerialWithBatching) {
+  const std::string seed = "tee-mt";
+  auto [serial_frames, serial_outcomes] =
+      run_hosted(8, seed, /*batch_verify=*/true, /*threads=*/1);
+  auto [pooled_frames, pooled_outcomes] =
+      run_hosted(8, seed, /*batch_verify=*/true, /*threads=*/4);
+  ASSERT_EQ(serial_outcomes.size(), pooled_outcomes.size());
+  for (std::size_t i = 0; i < serial_outcomes.size(); ++i) {
+    EXPECT_EQ(serial_outcomes[i].partner, pooled_outcomes[i].partner);
+    EXPECT_EQ(serial_outcomes[i].session_key,
+              pooled_outcomes[i].session_key);
+  }
+  EXPECT_EQ(serial_frames.size(), pooled_frames.size());
+}
+
+TEST(BatchService, DeadlineFlushIsDeterministicUnderManualClock) {
+  crypto::HmacDrbg rng(to_bytes("deadline-test"));
+  auto scheme = gsig::AcjtGsig::create(algebra::ParamLevel::kTest, rng);
+  auto alice = scheme->admit(1, rng);
+  const Bytes msg = to_bytes("deadline message");
+  const Bytes sig = scheme->sign(alice, msg, {}, rng);
+
+  ManualClock clock;
+  ServiceMetrics metrics;
+  BatchVerifierOptions options;
+  options.max_pending = 64;  // far away: only the deadline can flush
+  options.max_delay = std::chrono::milliseconds(5);
+  options.clock = &clock;
+  options.seed = to_bytes("deadline-seed");
+  options.metrics = &metrics;
+  BatchVerifier batch(std::move(options));
+
+  int verdicts = 0;
+  bool accepted = false;
+  batch.enqueue(*scheme, msg, sig, {}, [&](bool ok) {
+    ++verdicts;
+    accepted = ok;
+  });
+  EXPECT_EQ(batch.pending(), 1u);
+  EXPECT_FALSE(batch.poll()) << "deadline not reached: no flush";
+  clock.advance(std::chrono::milliseconds(4));
+  EXPECT_FALSE(batch.poll()) << "4ms < 5ms budget";
+  EXPECT_EQ(verdicts, 0);
+
+  clock.advance(std::chrono::milliseconds(1));
+  EXPECT_TRUE(batch.poll()) << "exactly at the deadline: must flush";
+  EXPECT_EQ(batch.pending(), 0u);
+  EXPECT_EQ(verdicts, 1);
+  EXPECT_TRUE(accepted);
+  EXPECT_FALSE(batch.poll()) << "nothing pending";
+  EXPECT_EQ(metrics.batch_flushes_deadline.load(), 1u);
+  EXPECT_EQ(metrics.batch_flushes_size.load(), 0u);
+}
+
+TEST(BatchService, SizeThresholdFlushesFromEnqueue) {
+  crypto::HmacDrbg rng(to_bytes("size-test"));
+  auto scheme = gsig::AcjtGsig::create(algebra::ParamLevel::kTest, rng);
+  auto alice = scheme->admit(1, rng);
+
+  ServiceMetrics metrics;
+  BatchVerifierOptions options;
+  options.max_pending = 3;
+  options.seed = to_bytes("size-seed");
+  options.metrics = &metrics;
+  BatchVerifier batch(std::move(options));
+
+  int verdicts = 0;
+  for (int i = 0; i < 3; ++i) {
+    const Bytes msg = to_bytes("size message " + std::to_string(i));
+    batch.enqueue(*scheme, msg, scheme->sign(alice, msg, {}, rng), {},
+                  [&](bool ok) {
+                    ++verdicts;
+                    EXPECT_TRUE(ok);
+                  });
+  }
+  EXPECT_EQ(verdicts, 3) << "third enqueue hit max_pending and flushed";
+  EXPECT_EQ(batch.pending(), 0u);
+  EXPECT_EQ(metrics.batch_flushes_size.load(), 1u);
+  EXPECT_EQ(metrics.batch_max_size.load(), 3u);
+}
+
+TEST(BatchService, ForgedJobIsIsolatedInsideTheServiceBatch) {
+  crypto::HmacDrbg rng(to_bytes("forge-test"));
+  auto scheme = gsig::AcjtGsig::create(algebra::ParamLevel::kTest, rng);
+  auto alice = scheme->admit(1, rng);
+
+  ServiceMetrics metrics;
+  BatchVerifierOptions options;
+  options.seed = to_bytes("forge-seed");
+  options.metrics = &metrics;
+  BatchVerifier batch(std::move(options));
+
+  // Five honest jobs plus one response-tampered signature that passes
+  // every cheap check (the Fiat-Shamir hash covers commitments, not
+  // responses), so it can only die inside the fold.
+  std::vector<bool> results(6, false);
+  std::vector<bool> fired(6, false);
+  for (std::size_t i = 0; i < 6; ++i) {
+    const Bytes msg = to_bytes("forge message " + std::to_string(i));
+    Bytes sig = scheme->sign(alice, msg, {}, rng);
+    if (i == 2) {
+      for (std::size_t back = 1; back <= sig.size(); ++back) {
+        Bytes t = sig;
+        t[t.size() - back] ^= 0x01;
+        try {
+          auto check = scheme->prepare_verify(msg, t, {});
+          if (check.has_value() && !gsig::sigma_check(*check)) {
+            sig = std::move(t);
+            break;
+          }
+        } catch (const Error&) {
+        }
+      }
+    }
+    batch.enqueue(*scheme, msg, sig, {}, [&results, &fired, i](bool ok) {
+      results[i] = ok;
+      fired[i] = true;
+    });
+  }
+  batch.flush();
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_TRUE(fired[i]) << "job " << i << " never resolved";
+    EXPECT_EQ(results[i], i != 2)
+        << "job " << i << ": bisection must isolate exactly the forgery";
+  }
+  EXPECT_GE(metrics.batch_bisections.load(), 1u);
+  EXPECT_EQ(metrics.batch_jobs_rejected.load(), 1u);
+}
+
+TEST(BatchService, FoldCoefficientsRegisterWithTheRedactionAudit) {
+  obs::RedactionAudit& audit = obs::RedactionAudit::instance();
+  audit.reset();
+  audit.enable(true);
+
+  TeeLoopback wire;
+  ServiceOptions so;
+  so.egress = &wire;
+  so.batch_seed = to_bytes("audit-seed");
+  RendezvousService svc(so);
+  wire.service = &svc;
+  const std::uint64_t sid = svc.open_session(make_parts(4, "audit"));
+  svc.pump();
+  EXPECT_EQ(svc.state(sid), SessionState::kDone);
+
+  EXPECT_GT(audit.secret_count(), 0u)
+      << "no fold coefficient ever registered";
+  obs::audit_output(svc.metrics_json(), "metrics_json");
+  obs::audit_output(svc.metrics_prometheus(), "metrics_prom");
+  EXPECT_EQ(audit.violations(), 0u)
+      << "a batch scalar leaked into an export surface";
+
+  audit.reset();
+  audit.enable(false);
+}
+
+}  // namespace
+}  // namespace shs::service

@@ -102,6 +102,29 @@ TEST(MetricsSchema, JsonCarriesEveryDocumentedKeyAndBucketSumsMatch) {
   EXPECT_NO_THROW((void)conns.at("killed_backpressure").u64());
   EXPECT_NO_THROW((void)conns.at("active").u64());
 
+  // Batched verification is default-on, so the counters must be live:
+  // every enqueue either created a unique check or coalesced with one.
+  const minijson::Value& batch = root.at("batch");
+  const std::uint64_t jobs = batch.at("jobs").u64();
+  const std::uint64_t checks = batch.at("checks").u64();
+  EXPECT_GT(jobs, 0u);
+  EXPECT_GT(checks, 0u);
+  EXPECT_EQ(jobs, checks + batch.at("deduped").u64());
+  EXPECT_EQ(batch.at("rejected").u64(), 0u);
+  const minijson::Value& flushes = batch.at("flushes");
+  EXPECT_GT(flushes.at("total").u64(), 0u);
+  EXPECT_NO_THROW((void)flushes.at("size").u64());
+  EXPECT_NO_THROW((void)flushes.at("deadline").u64());
+  EXPECT_EQ(batch.at("bisections").u64(), 0u) << "honest batch must fold";
+  EXPECT_EQ(batch.at("individual").u64(), 0u);
+  EXPECT_GT(batch.at("max_size").u64(), 0u);
+  EXPECT_LE(batch.at("max_size").u64(), checks);
+
+  const minijson::Value& precomp = root.at("precomp");
+  EXPECT_GT(precomp.at("tables").u64(), 0u);
+  EXPECT_NO_THROW((void)precomp.at("hits").u64());
+  EXPECT_NO_THROW((void)precomp.at("misses").u64());
+
   const minijson::Value& latency = root.at("latency");
   EXPECT_EQ(check_histogram(latency.at("phase1")), 2u);
   EXPECT_EQ(check_histogram(latency.at("phase2")), 2u);
@@ -129,6 +152,18 @@ TEST(MetricsSchema, PrometheusExpositionAgreesWithTheJson) {
             root.at("rounds_advanced").u64());
   EXPECT_EQ(prom_value(prom, "shs_connections_active"),
             root.at("transport").at("connections").at("active").u64());
+  EXPECT_EQ(prom_value(prom, "shs_batch_jobs_total"),
+            root.at("batch").at("jobs").u64());
+  EXPECT_EQ(prom_value(prom, "shs_batch_jobs_deduped_total"),
+            root.at("batch").at("deduped").u64());
+  EXPECT_EQ(prom_value(prom, "shs_batch_flushes_total"),
+            root.at("batch").at("flushes").at("total").u64());
+  EXPECT_EQ(prom_value(prom, "shs_batch_checks_total"),
+            root.at("batch").at("checks").u64());
+  EXPECT_EQ(prom_value(prom, "shs_batch_max_size"),
+            root.at("batch").at("max_size").u64());
+  EXPECT_EQ(prom_value(prom, "shs_precomp_tables"),
+            root.at("precomp").at("tables").u64());
 
   // Histogram invariants: cumulative buckets end at count; sum present.
   const std::uint64_t count =

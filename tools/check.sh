@@ -27,6 +27,12 @@
 # fuzz, disconnect reaping) in the same TSan tree — the loop thread, pump
 # worker and client threads genuinely race, which is exactly what TSan is
 # for.
+#
+# Pass --batch to additionally run the batched-verification suite
+# (ctest -L batch: batch-vs-individual equivalence, forged-signature
+# bisection, flush policy, the batched conformance sweep, and the
+# process-wide precomp cache under concurrent acquire) in the same TSan
+# tree — enqueue/flush and cache ensure() are cross-thread by design.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -46,6 +52,7 @@ want_sanitize=1
 want_service=0
 want_transport=0
 want_obs=0
+want_batch=0
 for arg in "$@"; do
   case "$arg" in
     --conformance) want_conformance=1 ;;
@@ -53,6 +60,7 @@ for arg in "$@"; do
     --service) want_service=1 ;;
     --transport) want_transport=1 ;;
     --obs) want_obs=1 ;;
+    --batch) want_batch=1 ;;
     *) echo "check.sh: unknown option '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -92,6 +100,13 @@ if [[ "$want_transport" == 1 ]]; then
   cmake -B build-tsan -S . -DSHS_TSAN=ON >/dev/null
   cmake --build build-tsan -j "$(nproc)" --target transport_test
   ctest --test-dir build-tsan --output-on-failure -L transport
+fi
+
+if [[ "$want_batch" == 1 ]]; then
+  echo "== batched verification under TSan =="
+  cmake -B build-tsan -S . -DSHS_TSAN=ON >/dev/null
+  cmake --build build-tsan -j "$(nproc)" --target batch_test batch_service_test conformance_batch_test
+  ctest --test-dir build-tsan --output-on-failure -L batch
 fi
 
 if [[ "$want_obs" == 1 ]]; then
