@@ -3,14 +3,19 @@
 // server-side; clients are thin relays (see tcp_rendezvous_client.cpp).
 //
 //   ./tcp_rendezvous_server [--port N] [--port-file PATH] [--sessions N]
-//                           [--threads N] [--obs-port N]
-//                           [--obs-port-file PATH]
+//                           [--threads N] [--shards N] [--stripe]
+//                           [--obs-port N] [--obs-port-file PATH]
 //
 //   --port 0       (default) binds an ephemeral port
 //   --port-file    writes the bound port there (how scripts find us)
 //   --sessions N   exit once N sessions reached a terminal state
 //                  (0 = serve forever)
-//   --threads N    crypto parallelism inside the service pump
+//   --threads N    crypto parallelism inside each shard's service pump
+//   --shards N     reactor shards (default 1); each runs its own event
+//                  loop, pump worker and service — /metrics then carries
+//                  per-shard shs_shard_* series on top of the merged ones
+//   --stripe       deal sessions round-robin across shards instead of
+//                  homing each on its connection's shard
 //   --obs-port N   enable the observability endpoint on port N (0 =
 //                  ephemeral): GET /metrics is the Prometheus text
 //                  exposition, GET /trace the Chrome trace JSON, both
@@ -37,6 +42,8 @@ struct Args {
   std::string port_file;
   std::uint64_t sessions = 1;
   std::size_t threads = 1;
+  std::size_t shards = 1;
+  bool stripe = false;
   bool obs = false;
   std::uint16_t obs_port = 0;
   std::string obs_port_file;
@@ -59,6 +66,11 @@ Args parse(int argc, char** argv) {
     } else if (flag == "--threads" && value) {
       args.threads = std::strtoull(value, nullptr, 10);
       ++i;
+    } else if (flag == "--shards" && value) {
+      args.shards = std::strtoull(value, nullptr, 10);
+      ++i;
+    } else if (flag == "--stripe") {
+      args.stripe = true;
     } else if (flag == "--obs-port" && value) {
       args.obs = true;
       args.obs_port = static_cast<std::uint16_t>(std::atoi(value));
@@ -92,6 +104,8 @@ int main(int argc, char** argv) {
 
   ServerOptions server_options;
   server_options.port = args.port;
+  server_options.num_shards = args.shards;
+  server_options.stripe_sessions = args.stripe;
   server_options.obs_endpoint = args.obs;
   server_options.obs_port = args.obs_port;
   service::ServiceOptions service_options;
@@ -118,7 +132,9 @@ int main(int argc, char** argv) {
         return parts;
       });
   server.start();
-  std::printf("tcp_rendezvous_server: listening on port %u\n", server.port());
+  std::printf("tcp_rendezvous_server: listening on port %u (%zu shard%s)\n",
+              server.port(), server.num_shards(),
+              server.num_shards() == 1 ? "" : "s");
   if (args.obs) {
     std::printf("observability: GET http://127.0.0.1:%u/metrics and /trace\n",
                 server.obs_port());
@@ -151,6 +167,6 @@ int main(int argc, char** argv) {
   std::printf("served %llu session(s); shutting down\n",
               static_cast<unsigned long long>(server.sessions_completed()));
   server.shutdown();
-  std::printf("%s\n", server.service().metrics_json().c_str());
+  std::printf("%s\n", server.metrics_json().c_str());
   return 0;
 }

@@ -1,10 +1,10 @@
 #!/usr/bin/env sh
-# End-to-end smoke for the TCP transport: starts tcp_rendezvous_server on
-# an ephemeral port with the observability endpoint enabled, drives it
-# with two client invocations (Scheme 1 and Scheme 2), scrapes
-# GET /metrics once (curl, else python3, else skipped) and checks the
-# exposition is non-empty, and requires the server to drain and exit
-# cleanly.
+# End-to-end smoke for the TCP transport: starts tcp_rendezvous_server
+# sharded two ways on an ephemeral port with the observability endpoint
+# enabled, drives it with two client invocations (Scheme 1 and Scheme 2),
+# scrapes GET /metrics once (curl, else python3, else skipped) and checks
+# both the merged counters and the per-shard shs_shard_* series are
+# present, and requires the server to drain and exit cleanly.
 #
 #   tcp_rendezvous_smoke.sh <server-binary> <client-binary>
 set -eu
@@ -19,7 +19,7 @@ cleanup() {
 }
 trap cleanup EXIT
 
-"$SERVER_BIN" --port 0 --port-file "$DIR/port" --sessions 3 \
+"$SERVER_BIN" --port 0 --port-file "$DIR/port" --sessions 3 --shards 2 \
   --obs-port 0 --obs-port-file "$DIR/obs_port" &
 SERVER_PID=$!
 
@@ -44,13 +44,22 @@ elif command -v python3 >/dev/null 2>&1; then
   python3 -c "import urllib.request,sys; sys.stdout.write(urllib.request.urlopen('http://127.0.0.1:$OBS_PORT/metrics').read().decode())" > "$DIR/metrics"
 else
   echo "note: no curl or python3; skipping the metrics scrape"
-  echo "shs_sessions_opened_total skipped" > "$DIR/metrics"
+  printf 'shs_sessions_opened_total skipped\nshs_shard_sessions_opened_total{shard="0"} skipped\n' > "$DIR/metrics"
 fi
 if ! grep -q "shs_sessions_opened_total" "$DIR/metrics"; then
   echo "FAIL: /metrics scrape was empty or missing counters" >&2
   cat "$DIR/metrics" >&2
   exit 1
 fi
+# Sharded server: the merged exposition must also carry the per-shard
+# labeled series for both shards.
+for shard in 0 1; do
+  if ! grep -q "shs_shard_sessions_opened_total{shard=\"$shard\"}" "$DIR/metrics"; then
+    echo "FAIL: /metrics is missing the shard=\"$shard\" series" >&2
+    cat "$DIR/metrics" >&2
+    exit 1
+  fi
+done
 
 "$CLIENT_BIN" --port "$PORT" --sessions 1 --m 4 --scheme2
 

@@ -6,10 +6,16 @@ namespace shs::obs {
 
 std::string prometheus_text(const MetricsSnapshot& snapshot) {
   std::string out;
+  const std::string* prev_name = nullptr;
   for (const MetricEntry& m : snapshot.scalars) {
-    out += "# HELP " + m.name + " " + m.help + "\n";
-    out += "# TYPE " + m.name + (m.gauge ? " gauge\n" : " counter\n");
-    out += m.name + " " + std::to_string(m.value) + "\n";
+    if (prev_name == nullptr || *prev_name != m.name) {
+      out += "# HELP " + m.name + " " + m.help + "\n";
+      out += "# TYPE " + m.name + (m.gauge ? " gauge\n" : " counter\n");
+      prev_name = &m.name;
+    }
+    out += m.name;
+    if (!m.labels.empty()) out += "{" + m.labels + "}";
+    out += " " + std::to_string(m.value) + "\n";
   }
   for (const HistogramEntry& h : snapshot.histograms) {
     out += "# HELP " + h.name + " " + h.help + "\n";

@@ -24,12 +24,16 @@
 
 namespace shs::obs {
 
-/// One counter or gauge.
+/// One counter or gauge. `labels` is a pre-rendered label body (e.g.
+/// `shard="2"`, no braces) or empty for an unlabeled series. Entries
+/// sharing a name (labeled series of one metric) must be consecutive in
+/// the snapshot; the renderer emits HELP/TYPE once per name.
 struct MetricEntry {
   std::string name;  // full exposition name, e.g. "shs_sessions_opened_total"
   std::string help;
   bool gauge = false;  // TYPE gauge vs counter
   std::uint64_t value = 0;
+  std::string labels;
 };
 
 /// One latency histogram (per-bucket counts, NOT cumulative; the

@@ -108,6 +108,55 @@ obs::HistogramEntry LatencyHistogram::exposition(std::string name,
   return e;
 }
 
+void ServiceMetrics::merge_from(const ServiceMetrics& other) noexcept {
+  auto add = [](std::atomic<std::uint64_t>& into,
+                const std::atomic<std::uint64_t>& from) {
+    const std::uint64_t n = from.load(std::memory_order_relaxed);
+    if (n != 0) into.fetch_add(n, std::memory_order_relaxed);
+  };
+  auto max = [](std::atomic<std::uint64_t>& into,
+                const std::atomic<std::uint64_t>& from) {
+    const std::uint64_t n = from.load(std::memory_order_relaxed);
+    std::uint64_t seen = into.load(std::memory_order_relaxed);
+    while (n > seen && !into.compare_exchange_weak(seen, n,
+                                                   std::memory_order_relaxed)) {
+    }
+  };
+  add(sessions_opened, other.sessions_opened);
+  add(sessions_confirmed, other.sessions_confirmed);
+  add(sessions_failed, other.sessions_failed);
+  add(sessions_expired, other.sessions_expired);
+  add(rounds_advanced, other.rounds_advanced);
+  add(frames_in, other.frames_in);
+  add(bytes_in, other.bytes_in);
+  add(frames_rejected, other.frames_rejected);
+  add(frames_out, other.frames_out);
+  add(bytes_out, other.bytes_out);
+  add(tcp_bytes_in, other.tcp_bytes_in);
+  add(tcp_bytes_out, other.tcp_bytes_out);
+  add(connections_accepted, other.connections_accepted);
+  add(connections_closed, other.connections_closed);
+  add(connections_killed_backpressure, other.connections_killed_backpressure);
+  add(frames_unowned, other.frames_unowned);
+  max(write_queue_hwm, other.write_queue_hwm);
+  add(frames_handoff_in, other.frames_handoff_in);
+  add(frames_handoff_out, other.frames_handoff_out);
+  add(batch_jobs, other.batch_jobs);
+  add(batch_jobs_deduped, other.batch_jobs_deduped);
+  add(batch_jobs_rejected, other.batch_jobs_rejected);
+  add(batch_flushes, other.batch_flushes);
+  add(batch_flushes_size, other.batch_flushes_size);
+  add(batch_flushes_deadline, other.batch_flushes_deadline);
+  add(batch_checks, other.batch_checks);
+  add(batch_bisections, other.batch_bisections);
+  add(batch_individual, other.batch_individual);
+  max(batch_max_size, other.batch_max_size);
+  phase1_latency.merge(other.phase1_latency);
+  phase2_latency.merge(other.phase2_latency);
+  phase3_latency.merge(other.phase3_latency);
+  session_latency.merge(other.session_latency);
+}
+
 std::string ServiceMetrics::to_json(const Gauges& gauges) const {
   auto u64 = [](const std::atomic<std::uint64_t>& v) {
     return std::to_string(v.load(std::memory_order_relaxed));
@@ -131,7 +180,9 @@ std::string ServiceMetrics::to_json(const Gauges& gauges) const {
          ", \"killed_backpressure\": " + u64(connections_killed_backpressure) +
          ", \"active\": " + std::to_string(gauges.active_connections) +
          "}, \"frames_unowned\": " + u64(frames_unowned) +
-         ", \"write_queue_hwm_bytes\": " + u64(write_queue_hwm) + "},\n";
+         ", \"write_queue_hwm_bytes\": " + u64(write_queue_hwm) +
+         ", \"handoff_in\": " + u64(frames_handoff_in) +
+         ", \"handoff_out\": " + u64(frames_handoff_out) + "},\n";
   out += " \"batch\": {\"jobs\": " + u64(batch_jobs) +
          ", \"deduped\": " + u64(batch_jobs_deduped) +
          ", \"rejected\": " + u64(batch_jobs_rejected) +
@@ -206,6 +257,12 @@ obs::MetricsSnapshot ServiceMetrics::snapshot(const Gauges& gauges) const {
   gauge("shs_write_queue_hwm_bytes",
         "High-water mark across connection write queues",
         u64(write_queue_hwm));
+  counter("shs_frames_handoff_in_total",
+          "Session frames received from another shard's connection",
+          u64(frames_handoff_in));
+  counter("shs_frames_handoff_out_total",
+          "Session frames handed off to another shard's service",
+          u64(frames_handoff_out));
   counter("shs_batch_jobs_total", "Verify jobs enqueued for batching",
           u64(batch_jobs));
   counter("shs_batch_jobs_deduped_total",

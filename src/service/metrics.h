@@ -113,6 +113,13 @@ struct ServiceMetrics {
   std::atomic<std::uint64_t> frames_unowned{0};
   // High-water mark (bytes) across every connection's write queue.
   std::atomic<std::uint64_t> write_queue_hwm{0};
+  // Cross-shard session frames: handoff_in counts frames this shard's
+  // service received from another shard's connection (home-shard side),
+  // handoff_out counts frames this shard enqueued toward another shard's
+  // home service (connection-shard side). Both zero in a single-shard
+  // server: same-shard traffic never touches the handoff path.
+  std::atomic<std::uint64_t> frames_handoff_in{0};
+  std::atomic<std::uint64_t> frames_handoff_out{0};
 
   /// Raises write_queue_hwm to `queued` if it is the new maximum.
   void note_write_queue_depth(std::uint64_t queued) noexcept {
@@ -151,6 +158,12 @@ struct ServiceMetrics {
   LatencyHistogram phase2_latency;
   LatencyHistogram phase3_latency;
   LatencyHistogram session_latency;  // open -> final round delivered
+
+  /// Adds every counter and histogram of `other` into this block
+  /// (relaxed loads/adds — a monotonic snapshot, not a consistent cut).
+  /// The sharded transport folds per-shard blocks into one scratch block
+  /// at export time so /metrics stays a single surface.
+  void merge_from(const ServiceMetrics& other) noexcept;
 
   /// One JSON object with every counter and histogram (schema: DESIGN.md
   /// §8). Gauges are passed in because they are derived from live tables,

@@ -72,6 +72,8 @@ RendezvousService::RendezvousService(ServiceOptions options)
   manager_options.egress = tap_.get();
   manager_options.trace = options_.trace;
   manager_options.batch = batch_.get();
+  manager_options.first_sid = options_.first_sid;
+  manager_options.sid_stride = options_.sid_stride;
   SessionManager::Hooks hooks;
   hooks.on_round_complete = [this](std::uint64_t sid, std::size_t round,
                                    Clock::time_point now,

@@ -82,6 +82,13 @@ struct ServiceOptions {
   /// test/bench seed. Deployments should pass real entropy — see the
   /// soundness notes in service/batch_verify.h.
   Bytes batch_seed;
+  /// Session-id striping (forwarded to the SessionManager): the first id
+  /// this service hands out and the step between consecutive ids. A
+  /// sharded transport gives shard i of N {i + 1, N}, making ids
+  /// process-unique with the home shard recoverable as (sid - 1) % N.
+  /// Defaults preserve the classic dense 1, 2, 3, ... sequence.
+  std::uint64_t first_sid = 1;
+  std::uint64_t sid_stride = 1;
 };
 
 class RendezvousService {

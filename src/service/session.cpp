@@ -62,7 +62,14 @@ Clock* default_clock() {
 SessionManager::SessionManager(ManagerOptions options, Hooks hooks)
     : options_(options),
       hooks_(std::move(hooks)),
-      clock_(options.clock != nullptr ? options.clock : default_clock()) {
+      clock_(options.clock != nullptr ? options.clock : default_clock()),
+      next_sid_(options.first_sid) {
+  if (options_.sid_stride == 0) {
+    throw ProtocolError("SessionManager: sid_stride must be >= 1");
+  }
+  if (options_.first_sid == 0) {
+    throw ProtocolError("SessionManager: first_sid must be >= 1 (0 is the control sid)");
+  }
   std::size_t threads = options_.threads == 0
                             ? std::thread::hardware_concurrency()
                             : options_.threads;
@@ -90,7 +97,8 @@ std::uint64_t SessionManager::open(std::vector<net::RoundParty*> parties) {
   rec->last_progress = clock_->now();
   {
     const std::lock_guard<std::mutex> lock(table_mu_);
-    rec->id = next_sid_++;
+    rec->id = next_sid_;
+    next_sid_ += options_.sid_stride;
     table_.emplace(rec->id, rec);
   }
   return rec->id;

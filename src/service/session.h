@@ -124,6 +124,12 @@ struct ManagerOptions {
   /// round's modular-exponentiation count) and expiry events for sampled
   /// sessions.
   obs::TraceRecorder* trace = nullptr;
+  /// Session-id striping for sharded deployments: the first id handed out
+  /// and the increment between ids. Shard i of N uses {i + 1, N}, so the
+  /// owning shard of any id is recoverable as (sid - 1) % N without a
+  /// shared table. The defaults (1, 1) are the historical dense sequence.
+  std::uint64_t first_sid = 1;
+  std::uint64_t sid_stride = 1;
   /// Borrowed cross-session batch verifier; null = parties verify inline.
   /// When set, a session whose final round was just delivered parks in
   /// kFinishing instead of completing; at the end of pump() the manager
@@ -213,7 +219,7 @@ class SessionManager {
 
   mutable std::mutex table_mu_;
   std::unordered_map<std::uint64_t, std::shared_ptr<SessionRec>> table_;
-  std::uint64_t next_sid_ = 1;
+  std::uint64_t next_sid_;
 
   std::mutex ready_mu_;
   std::vector<std::shared_ptr<SessionRec>> ready_;

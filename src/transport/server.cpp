@@ -3,50 +3,51 @@
 #include <sys/socket.h>
 
 #include <cerrno>
-#include <future>
+#include <thread>
 #include <utility>
 
-namespace shs::transport {
+#include "bigint/fixed_base.h"
 
-struct TransportServer::EgressRouter final : service::FrameSink {
-  explicit EgressRouter(TransportServer* server) : server(server) {}
-  void on_frame(const service::Frame& frame) override {
-    server->route_egress(frame);
-  }
-  TransportServer* server;
-};
+namespace shs::transport {
 
 TransportServer::TransportServer(ServerOptions options,
                                  service::ServiceOptions service_options,
                                  SessionFactory factory)
     : options_(std::move(options)),
       factory_(std::move(factory)),
-      router_(std::make_unique<EgressRouter>(this)),
       user_terminal_(std::move(service_options.on_terminal)),
-      trace_(service_options.trace),
-      loop_(options_.backend, service_options.clock) {
+      trace_(service_options.trace) {
+  if (options_.num_shards == 0) {
+    throw ProtocolError("TransportServer: num_shards must be >= 1");
+  }
   if (service_options.egress != nullptr) {
     throw ProtocolError("TransportServer: egress is owned by the transport");
   }
-  service_options.egress = router_.get();
-  service_options.on_terminal = [this](std::uint64_t sid,
-                                       service::SessionState state) {
-    on_terminal(sid, state);
-  };
-  service_ =
-      std::make_unique<service::RendezvousService>(std::move(service_options));
-  // Both export surfaces (metrics_json and the /metrics scrape) read the
-  // live-connection gauge from here.
-  service_->set_connection_gauge([this] {
-    return static_cast<std::uint64_t>(connection_count());
-  });
+  service_options.on_terminal = nullptr;
+  const std::size_t n = options_.num_shards;
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    service::ServiceOptions shard_options = service_options;
+    if (options_.per_shard_options) {
+      options_.per_shard_options(i, shard_options);
+    }
+    if (shard_options.egress != nullptr) {
+      throw ProtocolError(
+          "TransportServer: per-shard egress is owned by the transport");
+    }
+    shard_options.on_terminal = nullptr;  // the shard installs its own
+    shard_options.first_sid = i + 1;
+    shard_options.sid_stride = n;
+    shards_.push_back(std::make_unique<Shard>(
+        this, static_cast<std::uint32_t>(i), std::move(shard_options)));
+  }
   if (options_.obs_endpoint) {
     ObsEndpoint::Options obs_options;
     obs_options.address = options_.obs_address;
     obs_options.port = options_.obs_port;
-    obs_ = std::make_unique<ObsEndpoint>(loop_, obs_options);
+    obs_ = std::make_unique<ObsEndpoint>(shards_.front()->loop(), obs_options);
     obs_->add_route("/metrics", "text/plain; version=0.0.4",
-                    [this] { return service_->metrics_prometheus(); });
+                    [this] { return metrics_prometheus(); });
     obs_->add_route("/trace", "application/json", [this] {
       return trace_ != nullptr ? trace_->to_chrome_json()
                                : std::string("{\"traceEvents\": []}");
@@ -60,46 +61,35 @@ void TransportServer::start() {
   if (started_.exchange(true)) {
     throw ProtocolError("TransportServer: start() called twice");
   }
+  std::size_t shards_running = 0;
   try {
     listener_ = tcp_listen(options_.address, options_.port, options_.backlog);
     port_ = local_port(listener_.get());
-    loop_.add_fd(listener_.get(), kLoopRead,
-                 [this](std::uint32_t) { accept_ready(); });
+    shards_.front()->loop().add_fd(listener_.get(), kLoopRead,
+                                   [this](std::uint32_t) { accept_ready(); });
     if (obs_ != nullptr) obs_->start();
-    arm_expire_timer();
-    worker_ = std::thread([this] { worker_loop(); });
-    loop_thread_ = std::thread([this] { loop_.run(); });
+    for (auto& shard : shards_) shard->arm_expire_timer();
+    for (auto& shard : shards_) {
+      shard->start_threads();
+      ++shards_running;
+    }
   } catch (...) {
     // Unwind the partial start so the destructor's shutdown() stays a
-    // no-op: with started_ back to false it never posts to a loop that
-    // isn't running or joins threads that were never spawned.
-    if (worker_.joinable()) {
-      {
-        const std::lock_guard<std::mutex> lock(work_mu_);
-        stop_worker_ = true;
-      }
-      work_cv_.notify_one();
-      worker_.join();
-      stop_worker_ = false;
+    // no-op: stop whatever shards got their threads, then clean up the
+    // listener/obs registrations (safe: those loops are stopped or never
+    // ran, so nothing touches the fd tables concurrently).
+    for (std::size_t i = 0; i < shards_running; ++i) {
+      shards_[i]->stop_worker();
+      shards_[i]->stop_loop();
     }
     if (listener_.valid()) {
-      loop_.remove_fd(listener_.get());
+      shards_.front()->loop().remove_fd(listener_.get());
       listener_.reset();
     }
     if (obs_ != nullptr) obs_->stop();
-    loop_.cancel_timer(expire_timer_);  // safe: the loop never ran
     started_.store(false, std::memory_order_release);
     throw;
   }
-}
-
-void TransportServer::arm_expire_timer() {
-  expire_timer_ = loop_.add_timer(options_.expire_interval, [this] {
-    if (stopping_.load(std::memory_order_acquire)) return;
-    (void)service_->expire_stalled();
-    drain_deferred_closes();
-    arm_expire_timer();
-  });
 }
 
 void TransportServer::accept_ready() {
@@ -107,7 +97,7 @@ void TransportServer::accept_ready() {
     const int fd = ::accept4(listener_.get(), nullptr, nullptr,
                              SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd >= 0) {
-      install_connection(Fd(fd));
+      dispatch_socket(Fd(fd), /*on_shard0_loop=*/true);
       continue;
     }
     if (errno == EINTR || errno == ECONNABORTED) continue;
@@ -116,231 +106,157 @@ void TransportServer::accept_ready() {
     // backends keep reporting the listener readable, so retrying on the
     // next readiness event would spin the loop at 100% CPU. Pause
     // accepting and rearm after a delay instead.
-    loop_.set_interest(listener_.get(), 0);
-    loop_.add_timer(options_.accept_retry_delay, [this] {
+    EventLoop& loop = shards_.front()->loop();
+    loop.set_interest(listener_.get(), 0);
+    loop.add_timer(options_.accept_retry_delay, [this] {
       if (stopping_.load(std::memory_order_acquire) || !listener_.valid()) {
         return;  // shutdown removed the listener meanwhile
       }
-      loop_.set_interest(listener_.get(), kLoopRead);
+      shards_.front()->loop().set_interest(listener_.get(), kLoopRead);
       accept_ready();
     });
     return;
   }
 }
 
-void TransportServer::install_connection(Fd fd) {
-  service::ServiceMetrics& metrics = service_->metrics();
-  std::uint64_t id = 0;
-  {
-    const std::lock_guard<std::mutex> lock(conns_mu_);
-    id = next_conn_id_++;
+void TransportServer::dispatch_socket(Fd fd, bool on_shard0_loop) {
+  const std::uint64_t id =
+      next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t target =
+      next_accept_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  Shard& shard = *shards_[target];
+  if (target == 0 && on_shard0_loop) {
+    shard.install_connection(std::move(fd), id);
+    return;
   }
-  Connection::Callbacks callbacks;
-  callbacks.on_frame = [this](Connection& conn, service::Frame frame) {
-    on_frame(conn, std::move(frame));
-  };
-  callbacks.on_closed = [this](Connection& conn, const std::string&, bool) {
-    on_conn_closed(conn);
-  };
-  auto conn = std::make_shared<Connection>(
-      loop_, std::move(fd), id, options_.limits, std::move(callbacks),
-      &metrics, trace_);
-  {
-    const std::lock_guard<std::mutex> lock(conns_mu_);
-    conns_.emplace(id, conn);
-  }
-  conn->register_with_loop();
-  metrics.connections_accepted.fetch_add(1, std::memory_order_relaxed);
-  if (trace_ != nullptr) {
-    trace_->record(obs::TraceEvent::kConnAccepted, 0, id);
-  }
+  shard.loop().post([&shard, raw = fd.release(), id] {
+    shard.install_connection(Fd(raw), id);
+  });
 }
 
 void TransportServer::adopt_connection(Fd fd) {
-  auto done = std::make_shared<std::promise<void>>();
-  auto future = done->get_future();
-  loop_.post([this, raw = fd.release(), done] {
-    install_connection(Fd(raw));
-    done->set_value();
-  });
-  future.wait();
+  // Deal like an accept, but wait until the connection is registered so
+  // callers can immediately speak on their end of the socket.
+  const std::uint64_t id =
+      next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t target =
+      next_accept_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  Shard& shard = *shards_[target];
+  const int raw = fd.release();
+  shard.run_on_loop([&shard, raw, id] { shard.install_connection(Fd(raw), id); });
 }
 
-void TransportServer::on_frame(Connection& conn, service::Frame frame) {
-  if (is_control(frame)) {
-    if (frame.round != static_cast<std::uint32_t>(ControlOp::kOpen)) {
-      throw ProtocolError("transport: unexpected control opcode from client");
-    }
-    if (stopping_.load(std::memory_order_acquire)) {
-      conn.send(encode_frame(
-          make_open_err(frame.position, "server is shutting down")));
-      return;
-    }
-    {
-      const std::lock_guard<std::mutex> lock(work_mu_);
-      opens_.push_back(
-          OpenJob{conn.id(), frame.position, std::move(frame.payload)});
-    }
-    work_cv_.notify_one();
-    return;
-  }
-  // Ownership check: session ids are sequential and the session manager is
-  // first-write-wins per slot, so an unchecked forward would let any client
-  // inject frames into another connection's handshake. Only the connection
-  // the session was opened on may speak for it; frames for a session this
-  // connection does not own (including its own sessions after their route
-  // died) are dropped and counted, never forwarded.
-  {
-    const std::lock_guard<std::mutex> lock(routes_mu_);
-    const auto route = routes_.find(frame.session_id);
-    if (route == routes_.end() || route->second != conn.id()) {
-      service_->metrics().frames_unowned.fetch_add(1,
-                                                   std::memory_order_relaxed);
-      return;
-    }
-  }
-  const service::FrameDisposition d = service_->handle_frame(std::move(frame));
-  if (d == service::FrameDisposition::kCompletedRound) signal_pump();
+void TransportServer::dispatch_open(ConnRef from, std::uint32_t tag,
+                                    Bytes payload) {
+  const std::size_t home =
+      options_.stripe_sessions
+          ? next_open_shard_.fetch_add(1, std::memory_order_relaxed) %
+                shards_.size()
+          : from.shard;
+  shards_[home]->enqueue_open(from, tag, std::move(payload));
 }
 
-void TransportServer::on_conn_closed(Connection& conn) {
-  const std::uint64_t id = conn.id();
-  {
-    const std::lock_guard<std::mutex> lock(conns_mu_);
-    conns_.erase(id);
-  }
-  // Orphan the connection's sessions: their egress is dropped from now
-  // on; with no more frames arriving they stall and the expiry timer
-  // reaps them.
-  const std::lock_guard<std::mutex> lock(routes_mu_);
-  for (auto it = routes_.begin(); it != routes_.end();) {
-    it = it->second == id ? routes_.erase(it) : std::next(it);
-  }
+std::shared_ptr<Connection> TransportServer::find_connection(
+    ConnRef ref) const {
+  return shards_[ref.shard]->find_connection(ref.conn);
 }
 
-void TransportServer::route_egress(const service::Frame& frame) {
-  std::shared_ptr<Connection> conn;
-  {
-    const std::lock_guard<std::mutex> routes_lock(routes_mu_);
-    const auto route = routes_.find(frame.session_id);
-    if (route != routes_.end()) {
-      const std::lock_guard<std::mutex> conns_lock(conns_mu_);
-      const auto it = conns_.find(route->second);
-      if (it != conns_.end()) conn = it->second;
-    }
-  }
-  if (conn == nullptr || conn->closed()) {
-    egress_dropped_.fetch_add(1, std::memory_order_relaxed);
-    return;
-  }
-  conn->send(encode_frame(frame));
+void TransportServer::purge_routes_everywhere(ConnRef ref) {
+  for (auto& shard : shards_) shard->purge_routes_of(ref);
 }
 
-void TransportServer::on_terminal(std::uint64_t sid,
-                                  service::SessionState state) {
-  sessions_completed_.fetch_add(1, std::memory_order_relaxed);
-  SessionSummary summary;
-  summary.session_id = sid;
-  summary.state = state;
-  for (const core::HandshakeOutcome& o : service_->outcomes(sid)) {
-    summary.confirmed.push_back(
-        static_cast<std::uint32_t>(o.confirmed_count()));
-  }
-  std::shared_ptr<Connection> conn;
-  {
-    const std::lock_guard<std::mutex> routes_lock(routes_mu_);
-    const auto route = routes_.find(sid);
-    if (route != routes_.end()) {
-      const std::lock_guard<std::mutex> conns_lock(conns_mu_);
-      const auto it = conns_.find(route->second);
-      if (it != conns_.end()) conn = it->second;
-      routes_.erase(route);
-    }
-  }
-  if (conn != nullptr) conn->send(encode_frame(make_done(summary)));
-  if (options_.auto_close_sessions) {
-    // close() re-enters the session manager, which is off-limits inside
-    // a service hook — defer to whoever is driving (pump worker / timer).
-    const std::lock_guard<std::mutex> lock(close_mu_);
-    deferred_close_.push_back(sid);
-  }
-  if (user_terminal_) user_terminal_(sid, state);
+service::SessionState TransportServer::session_state(std::uint64_t sid) const {
+  return shards_[home_shard_of(sid)]->service().state(sid);
 }
 
-void TransportServer::drain_deferred_closes() {
-  std::vector<std::uint64_t> batch;
-  {
-    const std::lock_guard<std::mutex> lock(close_mu_);
-    batch.swap(deferred_close_);
-  }
-  for (const std::uint64_t sid : batch) (void)service_->close(sid);
-}
-
-void TransportServer::signal_pump() {
-  {
-    const std::lock_guard<std::mutex> lock(work_mu_);
-    pump_requested_ = true;
-  }
-  work_cv_.notify_one();
-}
-
-void TransportServer::do_open(const OpenJob& job) {
-  std::shared_ptr<Connection> conn;
-  {
-    const std::lock_guard<std::mutex> lock(conns_mu_);
-    const auto it = conns_.find(job.conn_id);
-    if (it != conns_.end()) conn = it->second;
-  }
-  if (conn == nullptr || conn->closed()) return;  // client already gone
-  try {
-    auto parties = factory_(job.payload);
-    const std::uint64_t sid = service_->open_session(std::move(parties));
-    {
-      const std::lock_guard<std::mutex> lock(routes_mu_);
-      routes_.emplace(sid, job.conn_id);
-    }
-    conn->send(encode_frame(make_open_ok(job.tag, sid)));
-  } catch (const Error& e) {
-    conn->send(encode_frame(make_open_err(job.tag, e.what())));
-  }
-}
-
-void TransportServer::worker_loop() {
-  std::unique_lock<std::mutex> lock(work_mu_);
-  while (true) {
-    work_cv_.wait(lock, [this] {
-      return stop_worker_ || pump_requested_ || !opens_.empty();
-    });
-    if (stop_worker_) return;
-    std::deque<OpenJob> opens;
-    opens.swap(opens_);
-    pump_requested_ = false;
-    lock.unlock();
-
-    for (const OpenJob& job : opens) do_open(job);
-    // Opens queue round-0 work; frames may have completed rounds since
-    // the last pass. pump() drains everything that is ready, including
-    // sessions made ready while it runs.
-    (void)service_->pump();
-    drain_deferred_closes();
-
-    lock.lock();
-  }
+std::vector<core::HandshakeOutcome> TransportServer::outcomes(
+    std::uint64_t sid) const {
+  return shards_[home_shard_of(sid)]->service().outcomes(sid);
 }
 
 std::size_t TransportServer::connection_count() const {
-  const std::lock_guard<std::mutex> lock(conns_mu_);
-  return conns_.size();
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->connection_count();
+  return total;
 }
 
-void TransportServer::run_on_loop(std::function<void()> fn) {
-  auto done = std::make_shared<std::promise<void>>();
-  auto future = done->get_future();
-  loop_.post([fn = std::move(fn), done] {
-    fn();
-    done->set_value();
-  });
-  future.wait();
+std::size_t TransportServer::connection_count(std::size_t shard) const {
+  return shards_.at(shard)->connection_count();
+}
+
+std::uint64_t TransportServer::installed_on(std::size_t shard) const {
+  return shards_.at(shard)->installed();
+}
+
+service::ServiceMetrics::Gauges TransportServer::merged_gauges() const {
+  service::ServiceMetrics::Gauges g;
+  for (const auto& shard : shards_) {
+    g.active_sessions += shard->service().active_sessions();
+    g.active_connections +=
+        static_cast<std::uint64_t>(shard->connection_count());
+  }
+  num::PrecompCache& cache = num::PrecompCache::instance();
+  g.precomp_tables = cache.size();
+  g.precomp_hits = cache.hits();
+  g.precomp_misses = cache.misses();
+  return g;
+}
+
+std::string TransportServer::metrics_json() const {
+  if (shards_.size() == 1) return shards_.front()->service().metrics_json();
+  service::ServiceMetrics merged;
+  for (const auto& shard : shards_) {
+    merged.merge_from(shard->service().metrics());
+  }
+  return merged.to_json(merged_gauges());
+}
+
+std::string TransportServer::metrics_prometheus() const {
+  if (shards_.size() == 1) {
+    return shards_.front()->service().metrics_prometheus();
+  }
+  service::ServiceMetrics merged;
+  for (const auto& shard : shards_) {
+    merged.merge_from(shard->service().metrics());
+  }
+  obs::MetricsSnapshot snapshot = merged.snapshot(merged_gauges());
+  // Per-shard series, name-major so each name gets one HELP/TYPE block.
+  auto label = [](std::size_t i) { return "shard=\"" + std::to_string(i) + "\""; };
+  auto per_shard = [&](const char* name, const char* help, bool gauge,
+                       auto value_of) {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      snapshot.scalars.push_back(
+          {name, help, gauge, value_of(*shards_[i]), label(i)});
+    }
+  };
+  auto counter = [](const std::atomic<std::uint64_t>& v) {
+    return v.load(std::memory_order_relaxed);
+  };
+  per_shard("shs_shard_sessions_active", "Sessions active on one shard",
+            /*gauge=*/true, [](const Shard& s) {
+              return static_cast<std::uint64_t>(s.service().active_sessions());
+            });
+  per_shard("shs_shard_connections_active",
+            "Transport connections open on one shard", /*gauge=*/true,
+            [](const Shard& s) {
+              return static_cast<std::uint64_t>(s.connection_count());
+            });
+  per_shard("shs_shard_sessions_opened_total",
+            "Handshake sessions opened on one shard", /*gauge=*/false,
+            [&](const Shard& s) {
+              return counter(s.service().metrics().sessions_opened);
+            });
+  per_shard("shs_shard_frames_handoff_in_total",
+            "Frames this shard received from another shard's connection",
+            /*gauge=*/false, [&](const Shard& s) {
+              return counter(s.service().metrics().frames_handoff_in);
+            });
+  per_shard("shs_shard_frames_handoff_out_total",
+            "Frames this shard handed off to another shard's service",
+            /*gauge=*/false, [&](const Shard& s) {
+              return counter(s.service().metrics().frames_handoff_out);
+            });
+  return obs::prometheus_text(snapshot);
 }
 
 void TransportServer::shutdown() {
@@ -348,74 +264,47 @@ void TransportServer::shutdown() {
   if (shutdown_done_.exchange(true)) return;
   stopping_.store(true, std::memory_order_release);
 
-  // Stop accepting and tell every client the server is draining.
-  run_on_loop([this] {
+  // Stop accepting (the listener lives on shard 0's loop) and tell every
+  // client on every shard the server is draining.
+  shards_.front()->run_on_loop([this] {
     if (listener_.valid()) {
-      loop_.remove_fd(listener_.get());
+      shards_.front()->loop().remove_fd(listener_.get());
       listener_.reset();
     }
     if (obs_ != nullptr) obs_->stop();
-    std::vector<std::shared_ptr<Connection>> conns;
-    {
-      const std::lock_guard<std::mutex> lock(conns_mu_);
-      for (const auto& [id, conn] : conns_) conns.push_back(conn);
-    }
-    const Bytes notice = encode_frame(make_shutdown());
-    for (const auto& conn : conns) conn->send(notice);
   });
+  const Bytes notice = encode_frame(make_shutdown());
+  for (auto& shard : shards_) shard->send_to_all(notice);
 
   // Drain: wait (real time) for live sessions to finish and write queues
-  // to empty, then close connections gracefully.
+  // to empty across every shard, then close connections gracefully.
   const auto deadline =
       std::chrono::steady_clock::now() + options_.drain_deadline;
   while (std::chrono::steady_clock::now() < deadline) {
     bool queues_empty = true;
-    {
-      const std::lock_guard<std::mutex> lock(conns_mu_);
-      for (const auto& [id, conn] : conns_) {
-        queues_empty = queues_empty && conn->queued_bytes() == 0;
-      }
-    }
     std::size_t live_routes = 0;
-    {
-      const std::lock_guard<std::mutex> lock(routes_mu_);
-      live_routes = routes_.size();
+    for (const auto& shard : shards_) {
+      queues_empty = queues_empty && shard->write_queues_empty();
+      live_routes += shard->route_count();
     }
     if (queues_empty && live_routes == 0) break;
-    signal_pump();
+    for (auto& shard : shards_) shard->signal_pump();
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
 
-  run_on_loop([this] {
-    std::vector<std::shared_ptr<Connection>> conns;
-    {
-      const std::lock_guard<std::mutex> lock(conns_mu_);
-      for (const auto& [id, conn] : conns_) conns.push_back(conn);
-    }
-    for (const auto& conn : conns) conn->shutdown_when_drained();
-  });
+  for (auto& shard : shards_) {
+    shard->run_on_loop([&shard] { shard->shutdown_connections_when_drained(); });
+  }
 
   // Give graceful closes one tick, then force whatever is left.
   std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  run_on_loop([this] {
-    std::vector<std::shared_ptr<Connection>> conns;
-    {
-      const std::lock_guard<std::mutex> lock(conns_mu_);
-      for (const auto& [id, conn] : conns_) conns.push_back(conn);
-    }
-    for (const auto& conn : conns) conn->close("server shutdown");
-  });
-
-  {
-    const std::lock_guard<std::mutex> lock(work_mu_);
-    stop_worker_ = true;
+  for (auto& shard : shards_) {
+    shard->run_on_loop([&shard] { shard->force_close_connections(); });
   }
-  work_cv_.notify_one();
-  if (worker_.joinable()) worker_.join();
-  drain_deferred_closes();
 
-  loop_.stop();
-  if (loop_thread_.joinable()) loop_thread_.join();
+  for (auto& shard : shards_) shard->stop_worker();
+  for (auto& shard : shards_) shard->drain_deferred_closes();
+  for (auto& shard : shards_) shard->stop_loop();
 }
 
 }  // namespace shs::transport

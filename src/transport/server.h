@@ -1,47 +1,57 @@
-// TransportServer — the rendezvous service behind real TCP sockets.
+// TransportServer — the rendezvous service behind real TCP sockets,
+// sharded across N independent reactors.
 //
-// One server owns: a listening socket and an EventLoop thread doing all
-// socket I/O; a RendezvousService (constructed here, egress wired back to
-// the sockets); and one pump-worker thread that executes session opens
-// and drives service.pump() — whose crypto fans out across the service's
-// shared thread pool (ServiceOptions::threads). Data flow:
+// The server is an orchestrator over `num_shards` Shards (shard.h). Each
+// shard owns an EventLoop thread doing all socket I/O for its
+// connections, a pump-worker thread driving that shard's own
+// RendezvousService (own SessionManager, own BatchVerifier), and the
+// shard's route table. The server owns what must be singular: the
+// listening socket (registered on shard 0's loop; accepted fds are dealt
+// round-robin across shards), the observability endpoint (shard 0's
+// loop, serving the *merged* per-shard metrics), and shutdown
+// orchestration. Data flow per shard:
 //
 //   socket readable -> Connection reassembles frames -> control frames
-//   (session 0) queue OpenJobs for the worker; session frames go to
-//   service.handle_frame(), and a completed round signals the worker ->
-//   worker pumps -> egress frames route by session id to the owning
-//   connection's write queue -> loop flushes.
+//   (session 0) queue OpenJobs for a home shard's worker; session frames
+//   go to their home shard's service (synchronously when home == the
+//   connection's shard, via the worker queue otherwise) -> worker pumps
+//   -> egress frames route by session id to the owning connection's
+//   write queue (any shard; send() is thread-safe) -> that loop flushes.
 //
-// Routing invariant: the pump worker is the only caller of pump(), and a
-// session's route (sid -> connection) is installed before the worker
-// pumps for the first time after its open — so egress can never observe
-// a session without a route. Routes gate both directions: inbound session
-// frames are forwarded only from the connection that owns the route
-// (anything else is dropped and counted as frames_unowned — session ids
-// are guessable, ownership is not), and egress frames for a routeless
-// session are counted and dropped. A route dies with its connection or
-// its session (the session then stalls and the expiry timer reaps it).
+// Session homes: with stripe_sessions off (default), a session homes on
+// the shard of the connection that opened it — every frame then takes
+// the synchronous single-reactor path, exactly the pre-shard server.
+// With stripe_sessions on, opens are dealt round-robin across shards
+// regardless of connection placement, exercising the cross-shard handoff
+// on every frame of a remote-homed session. Session ids are striped
+// (shard i hands out i+1, i+1+N, ...) so home = (sid - 1) % N is derived,
+// never looked up; with num_shards = 1 the ids are the classic dense
+// 1, 2, 3, ... and behavior is byte-identical to the single-reactor
+// server.
 //
-// The expiry timer (EventLoop timer on the shared service::Clock) calls
-// expire_stalled() every `expire_interval`, so sessions abandoned by a
-// dead client are reaped without any caller involvement.
+// Routing invariant (per shard): a shard's pump worker is the only
+// caller of its service's pump(), and a session's route (sid -> ConnRef)
+// is installed on the home shard before that worker pumps the open — so
+// egress can never observe a session without a route. Routes gate both
+// directions: inbound session frames are forwarded only from the exact
+// (shard, connection) that owns the route (anything else is dropped and
+// counted as frames_unowned), and egress frames for a routeless session
+// are counted and dropped. A route dies with its connection or its
+// session (the session then stalls and the home shard's expiry timer
+// reaps it).
 //
-// Graceful shutdown: stop accepting, notify clients (kShutdown), wait up
-// to `drain_deadline` for live sessions to finish and write queues to
-// flush, then close connections and join the threads. Destruction
-// shuts down.
+// Graceful shutdown: stop accepting, notify every client (kShutdown),
+// wait up to `drain_deadline` for live sessions to finish and write
+// queues to flush across all shards, then close connections and join
+// every shard's threads. Destruction shuts down.
 #pragma once
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
+#include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "core/handshake.h"
@@ -49,13 +59,14 @@
 #include "transport/connection.h"
 #include "transport/event_loop.h"
 #include "transport/obs_endpoint.h"
+#include "transport/shard.h"
 #include "transport/wire.h"
 
 namespace shs::transport {
 
 /// Builds the hosted participants for one kOpen request (the payload is
 /// whatever convention the deployment uses; this repo's helpers encode an
-/// OpenRequest). Runs on the pump worker, so heavyweight construction
+/// OpenRequest). Runs on a pump worker, so heavyweight construction
 /// never blocks socket I/O. Throwing shs::Error rejects the open with
 /// kOpenErr carrying the message.
 using SessionFactory =
@@ -68,7 +79,26 @@ struct ServerOptions {
   int backlog = 128;
   LoopBackend backend = LoopBackend::kAuto;
   ConnectionLimits limits;
-  /// Cadence of the expire_stalled() timer (on the service clock).
+  /// Reactor shards: independent EventLoop + pump worker + service each.
+  /// 1 (the default) is the single-reactor server, byte-for-byte; 0 is
+  /// rejected at construction.
+  std::size_t num_shards = 1;
+  /// Deal session opens round-robin across shards instead of homing each
+  /// session on its connection's shard. Off by default: connection-local
+  /// homes keep every frame on the synchronous single-reactor path. On,
+  /// remote-homed sessions exercise the cross-shard handoff on every
+  /// frame — the stress/TSan suites run with this on.
+  bool stripe_sessions = false;
+  /// Tweak one shard's ServiceOptions before its service is built (e.g.
+  /// install a per-shard adversary instance so stateful fault stacks are
+  /// not shared across shard pump threads). Runs after the base options
+  /// are copied; egress must stay unset and on_terminal/first_sid/
+  /// sid_stride are owned by the server and overwritten afterwards. A
+  /// borrowed `adversary` left in the base options is shared by every
+  /// shard and must then be thread-safe under concurrent interception.
+  std::function<void(std::size_t shard, service::ServiceOptions& options)>
+      per_shard_options;
+  /// Cadence of each shard's expire_stalled() timer (service clock).
   std::chrono::milliseconds expire_interval{500};
   /// How long accept pauses after a persistent accept() failure (EMFILE,
   /// ENFILE, ...) before the listener is rearmed (on the service clock).
@@ -78,9 +108,9 @@ struct ServerOptions {
   /// GC sessions (service.close) once their DONE notification is queued.
   /// Turn off when the host wants to inspect outcomes() afterwards.
   bool auto_close_sessions = true;
-  /// Serve GET /metrics (Prometheus text) and GET /trace (Chrome trace
-  /// JSON) from a second listener on the same event loop — no extra
-  /// threads. Disabled by default.
+  /// Serve GET /metrics (Prometheus text, merged across shards) and GET
+  /// /trace (Chrome trace JSON) from a second listener on shard 0's
+  /// event loop — no extra threads. Disabled by default.
   bool obs_endpoint = false;
   std::string obs_address = "127.0.0.1";
   std::uint16_t obs_port = 0;  // 0 = ephemeral; read back with obs_port()
@@ -89,7 +119,8 @@ struct ServerOptions {
 class TransportServer {
  public:
   /// `service_options.egress` must be unset (the server owns egress
-  /// routing); a user-supplied on_terminal is chained after the server's.
+  /// routing); a user-supplied on_terminal is chained after the server's
+  /// and may fire from any shard's worker thread.
   TransportServer(ServerOptions options,
                   service::ServiceOptions service_options,
                   SessionFactory factory);
@@ -97,7 +128,7 @@ class TransportServer {
   TransportServer(const TransportServer&) = delete;
   TransportServer& operator=(const TransportServer&) = delete;
 
-  /// Binds, listens and starts the loop + pump threads. Throws
+  /// Binds, listens and starts every shard's loop + pump threads. Throws
   /// TransportError (address in use, ...).
   void start();
 
@@ -111,18 +142,43 @@ class TransportServer {
   /// Null unless options.obs_endpoint was set.
   [[nodiscard]] ObsEndpoint* obs_endpoint() noexcept { return obs_.get(); }
 
-  [[nodiscard]] service::RendezvousService& service() noexcept {
-    return *service_;
+  [[nodiscard]] std::size_t num_shards() const noexcept {
+    return shards_.size();
   }
-  [[nodiscard]] EventLoop& loop() noexcept { return loop_; }
+  /// Shard 0's service — with num_shards = 1 (the default) this is *the*
+  /// service, exactly as before sharding existed.
+  [[nodiscard]] service::RendezvousService& service() noexcept {
+    return shards_.front()->service();
+  }
+  [[nodiscard]] service::RendezvousService& service(std::size_t shard) {
+    return shards_.at(shard)->service();
+  }
+  [[nodiscard]] EventLoop& loop() noexcept { return shards_.front()->loop(); }
+  [[nodiscard]] EventLoop& loop(std::size_t shard) {
+    return shards_.at(shard)->loop();
+  }
+
+  /// The shard a session id homes on: (sid - 1) % num_shards.
+  [[nodiscard]] std::uint32_t home_shard_of(std::uint64_t sid) const noexcept {
+    return sid == 0 ? 0
+                    : static_cast<std::uint32_t>((sid - 1) % shards_.size());
+  }
+  /// State/outcomes of a session, routed to its home shard's service.
+  [[nodiscard]] service::SessionState session_state(std::uint64_t sid) const;
+  [[nodiscard]] std::vector<core::HandshakeOutcome> outcomes(
+      std::uint64_t sid) const;
 
   /// Adopts an already-connected stream socket as if it were accepted —
-  /// the socketpair hook the fuzz tests and in-process benches use.
-  /// Thread-safe; requires start().
+  /// dealt round-robin like an accept. The socketpair hook the fuzz
+  /// tests and in-process benches use. Thread-safe; requires start().
   void adopt_connection(Fd fd);
 
+  /// Live connections across all shards (or on one shard).
   [[nodiscard]] std::size_t connection_count() const;
-  /// Sessions that reached kDone/kExpired under this server.
+  [[nodiscard]] std::size_t connection_count(std::size_t shard) const;
+  /// Connections ever installed on one shard (accept distribution).
+  [[nodiscard]] std::uint64_t installed_on(std::size_t shard) const;
+  /// Sessions that reached kDone/kExpired under this server (all shards).
   [[nodiscard]] std::uint64_t sessions_completed() const noexcept {
     return sessions_completed_.load(std::memory_order_relaxed);
   }
@@ -131,63 +187,49 @@ class TransportServer {
     return egress_dropped_.load(std::memory_order_relaxed);
   }
 
-  /// Graceful shutdown; idempotent; not callable from the loop thread.
+  /// Merged export surfaces: per-shard counters folded into one block
+  /// (ServiceMetrics::merge_from + LatencyHistogram::merge), gauges
+  /// summed. With num_shards = 1 these delegate to the single service,
+  /// byte-identical to its own exports. The Prometheus surface appends
+  /// per-shard `shs_shard_*{shard="i"}` series when num_shards > 1.
+  [[nodiscard]] std::string metrics_json() const;
+  [[nodiscard]] std::string metrics_prometheus() const;
+
+  /// Graceful shutdown; idempotent; not callable from a loop thread.
   void shutdown();
 
  private:
-  struct OpenJob {
-    std::uint64_t conn_id;
-    std::uint32_t tag;
-    Bytes payload;
-  };
-  struct EgressRouter;
+  friend class Shard;
 
   void accept_ready();
-  void install_connection(Fd fd);
-  void on_frame(Connection& conn, service::Frame frame);
-  void on_conn_closed(Connection& conn);
-  void route_egress(const service::Frame& frame);
-  void on_terminal(std::uint64_t sid, service::SessionState state);
-  void signal_pump();
-  void worker_loop();
-  void do_open(const OpenJob& job);
-  void drain_deferred_closes();
-  void arm_expire_timer();
-  void run_on_loop(std::function<void()> fn);  // posts and waits
+  /// Deals a fresh socket to the next shard round-robin. `on_shard0_loop`
+  /// says whether the caller already runs on shard 0's loop thread (the
+  /// accept path) so a shard-0 target can install synchronously.
+  void dispatch_socket(Fd fd, bool on_shard0_loop);
+  /// Picks the home shard for an open (stripe round-robin or the opening
+  /// connection's shard) and queues it there.
+  void dispatch_open(ConnRef from, std::uint32_t tag, Bytes payload);
+  [[nodiscard]] std::shared_ptr<Connection> find_connection(
+      ConnRef ref) const;
+  void purge_routes_everywhere(ConnRef ref);
+  [[nodiscard]] service::ServiceMetrics::Gauges merged_gauges() const;
 
   ServerOptions options_;
   SessionFactory factory_;
-  std::unique_ptr<EgressRouter> router_;
   std::function<void(std::uint64_t, service::SessionState)> user_terminal_;
   obs::TraceRecorder* trace_ = nullptr;  // borrowed via ServiceOptions
-  std::unique_ptr<service::RendezvousService> service_;
-  EventLoop loop_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<ObsEndpoint> obs_;
 
   Fd listener_;
   std::uint16_t port_ = 0;
-  EventLoop::TimerId expire_timer_ = 0;
-  std::thread loop_thread_;
-  std::thread worker_;
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<bool> shutdown_done_{false};
 
-  mutable std::mutex conns_mu_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<Connection>> conns_;
-  std::uint64_t next_conn_id_ = 1;
-
-  std::mutex routes_mu_;
-  std::unordered_map<std::uint64_t, std::uint64_t> routes_;  // sid -> conn
-
-  std::mutex work_mu_;
-  std::condition_variable work_cv_;
-  std::deque<OpenJob> opens_;
-  bool pump_requested_ = false;
-  bool stop_worker_ = false;
-
-  std::mutex close_mu_;
-  std::vector<std::uint64_t> deferred_close_;
+  std::atomic<std::uint64_t> next_conn_id_{1};
+  std::atomic<std::uint64_t> next_accept_{0};
+  std::atomic<std::uint64_t> next_open_shard_{0};
 
   std::atomic<std::uint64_t> sessions_completed_{0};
   std::atomic<std::uint64_t> egress_dropped_{0};

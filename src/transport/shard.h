@@ -1,0 +1,187 @@
+// Shard — one reactor of the sharded TransportServer: an EventLoop
+// thread owning this shard's sockets, a pump worker driving this shard's
+// own RendezvousService (and therefore its own SessionManager and
+// BatchVerifier), and the per-shard connection and route tables.
+//
+// Ownership rules (DESIGN.md §12):
+//   - A connection lives on exactly one shard: the loop that accepted
+//     (or adopted) its fd does all of its socket I/O for its lifetime.
+//   - A session lives on exactly one home shard, encoded in its id:
+//     shard i of N stripes sids {i+1, i+1+N, ...} via the service's
+//     first_sid/sid_stride, so home = (sid - 1) % N needs no shared
+//     table and ids stay process-unique.
+//   - The route table (sid -> ConnRef) lives on the home shard; the
+//     session-ownership check for inbound frames happens there, against
+//     the full (shard, connection) identity of the sender.
+//
+// Cross-shard traffic is message passing, never shared session state:
+//   ingress  a session frame arriving on connection shard A for home
+//            shard B is enqueued (tagged with its sender's ConnRef) on
+//            B's worker queue; B checks ownership and feeds its own
+//            service, then pumps.
+//   egress   B's service emits a frame for a session whose route points
+//            at a connection on A. Connection::send() is any-thread
+//            safe, so B's pump thread appends to the A-owned write queue
+//            directly and A's loop flushes it — per-connection FIFO
+//            order is preserved by the connection's own queue.
+// Same-shard traffic takes exactly the single-reactor code path: with
+// num_shards = 1 nothing is queued, reordered or counted differently
+// from the pre-shard server, which is what the N=1 byte-equality
+// regression test pins.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "service/service.h"
+#include "transport/connection.h"
+#include "transport/event_loop.h"
+#include "transport/wire.h"
+
+namespace shs::transport {
+
+class TransportServer;
+
+/// Identifies a connection across the shard set: the shard whose loop
+/// owns the socket plus the server-unique connection id. Routes store
+/// the full ref so an ownership check cannot be spoofed by a connection
+/// on another shard that happens to share an id (ids are unique anyway;
+/// the shard half also tells egress which loop owns the socket).
+struct ConnRef {
+  std::uint32_t shard = 0;
+  std::uint64_t conn = 0;
+
+  friend bool operator==(const ConnRef& a, const ConnRef& b) noexcept {
+    return a.shard == b.shard && a.conn == b.conn;
+  }
+  friend bool operator!=(const ConnRef& a, const ConnRef& b) noexcept {
+    return !(a == b);
+  }
+};
+
+class Shard {
+ public:
+  /// `service_options` must already carry this shard's sid stripe; the
+  /// shard installs its own egress sink and terminal hook.
+  Shard(TransportServer* server, std::uint32_t index,
+        service::ServiceOptions service_options);
+  ~Shard();
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  [[nodiscard]] std::uint32_t index() const noexcept { return index_; }
+  [[nodiscard]] EventLoop& loop() noexcept { return loop_; }
+  [[nodiscard]] service::RendezvousService& service() noexcept {
+    return *service_;
+  }
+  [[nodiscard]] const service::RendezvousService& service() const noexcept {
+    return *service_;
+  }
+
+  /// Schedules the recurring expire_stalled() timer on this shard's
+  /// loop. Call before start_threads() (timers are added pre-run).
+  void arm_expire_timer();
+  /// Spawns the pump worker and the loop thread.
+  void start_threads();
+  /// Stops and joins the pump worker; idempotent.
+  void stop_worker();
+  /// Stops and joins the loop thread; idempotent. Call after
+  /// stop_worker() — the worker writes through connections on this loop.
+  void stop_loop();
+
+  /// Registers a socket on this shard under a server-unique id. Loop
+  /// thread only (the server posts when dispatching across shards).
+  void install_connection(Fd fd, std::uint64_t id);
+
+  /// Queues a session open for this shard's worker. Any thread.
+  void enqueue_open(ConnRef from, std::uint32_t tag, Bytes payload);
+  /// Queues a session frame that arrived on another shard's connection
+  /// for this home shard's worker. Any thread.
+  void enqueue_remote_frame(ConnRef from, service::Frame frame);
+  /// Wakes the worker for a pump pass. Any thread.
+  void signal_pump();
+
+  [[nodiscard]] std::shared_ptr<Connection> find_connection(
+      std::uint64_t id) const;
+  /// Drops every route owned by `ref` (its connection closed). The
+  /// server fans a close out to every shard, since striped sessions may
+  /// home away from their connection's shard.
+  void purge_routes_of(ConnRef ref);
+
+  [[nodiscard]] std::size_t connection_count() const;
+  [[nodiscard]] std::size_t route_count() const;
+  [[nodiscard]] bool write_queues_empty() const;
+  /// Connections ever installed here (accept-distribution tests).
+  [[nodiscard]] std::uint64_t installed() const noexcept {
+    return installed_.load(std::memory_order_relaxed);
+  }
+
+  /// Sends one encoded frame to every live connection (shutdown notice).
+  void send_to_all(const Bytes& encoded);
+  void shutdown_connections_when_drained();  // loop thread only
+  void force_close_connections();            // loop thread only
+  void drain_deferred_closes();
+
+  /// Posts `fn` to this shard's loop and waits for it to run. Must not
+  /// be called from this shard's loop thread.
+  void run_on_loop(std::function<void()> fn);
+
+ private:
+  struct OpenJob {
+    ConnRef from;
+    std::uint32_t tag = 0;
+    Bytes payload;
+  };
+  struct RemoteFrame {
+    ConnRef from;
+    service::Frame frame;
+  };
+  struct Egress;
+
+  void on_frame(Connection& conn, service::Frame frame);
+  void on_conn_closed(Connection& conn);
+  void route_egress(const service::Frame& frame);
+  void on_terminal(std::uint64_t sid, service::SessionState state);
+  void do_open(const OpenJob& job);
+  void ingest_remote(RemoteFrame rf);
+  void worker_loop();
+
+  TransportServer* server_;  // never null; owns this shard
+  const std::uint32_t index_;
+  std::unique_ptr<Egress> egress_;
+  obs::TraceRecorder* trace_ = nullptr;  // borrowed via ServiceOptions
+  ConnectionLimits limits_;
+  std::unique_ptr<service::RendezvousService> service_;
+  EventLoop loop_;
+
+  EventLoop::TimerId expire_timer_ = 0;
+  std::thread loop_thread_;
+  std::thread worker_;
+
+  mutable std::mutex conns_mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Connection>> conns_;
+  std::atomic<std::uint64_t> installed_{0};
+
+  mutable std::mutex routes_mu_;
+  std::unordered_map<std::uint64_t, ConnRef> routes_;  // sid -> owner
+
+  std::mutex work_mu_;
+  std::condition_variable work_cv_;
+  std::deque<OpenJob> opens_;
+  std::deque<RemoteFrame> remote_frames_;
+  bool pump_requested_ = false;
+  bool stop_worker_ = false;
+
+  std::mutex close_mu_;
+  std::vector<std::uint64_t> deferred_close_;
+};
+
+}  // namespace shs::transport

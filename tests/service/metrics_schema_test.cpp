@@ -96,6 +96,8 @@ TEST(MetricsSchema, JsonCarriesEveryDocumentedKeyAndBucketSumsMatch) {
   EXPECT_NO_THROW((void)transport.at("bytes_out").u64());
   EXPECT_NO_THROW((void)transport.at("frames_unowned").u64());
   EXPECT_NO_THROW((void)transport.at("write_queue_hwm_bytes").u64());
+  EXPECT_EQ(transport.at("handoff_in").u64(), 0u) << "loopback has no shards";
+  EXPECT_EQ(transport.at("handoff_out").u64(), 0u);
   const minijson::Value& conns = transport.at("connections");
   EXPECT_NO_THROW((void)conns.at("accepted").u64());
   EXPECT_NO_THROW((void)conns.at("closed").u64());
@@ -152,6 +154,10 @@ TEST(MetricsSchema, PrometheusExpositionAgreesWithTheJson) {
             root.at("rounds_advanced").u64());
   EXPECT_EQ(prom_value(prom, "shs_connections_active"),
             root.at("transport").at("connections").at("active").u64());
+  EXPECT_EQ(prom_value(prom, "shs_frames_handoff_in_total"),
+            root.at("transport").at("handoff_in").u64());
+  EXPECT_EQ(prom_value(prom, "shs_frames_handoff_out_total"),
+            root.at("transport").at("handoff_out").u64());
   EXPECT_EQ(prom_value(prom, "shs_batch_jobs_total"),
             root.at("batch").at("jobs").u64());
   EXPECT_EQ(prom_value(prom, "shs_batch_jobs_deduped_total"),
@@ -213,6 +219,53 @@ TEST(MetricsSchema, HistogramMergeAndResetFoldShards) {
   for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
     EXPECT_EQ(a.bucket_count(i), 0u);
   }
+}
+
+TEST(MetricsSchema, MergeFromFoldsCountersMaxesAndHistograms) {
+  ServiceMetrics a;
+  ServiceMetrics b;
+  a.sessions_opened = 3;
+  b.sessions_opened = 4;
+  a.frames_handoff_in = 1;
+  b.frames_handoff_out = 2;
+  a.write_queue_hwm = 100;
+  b.write_queue_hwm = 250;  // high-water marks take the max, not the sum
+  a.batch_max_size = 9;
+  b.batch_max_size = 5;
+  a.session_latency.record(std::chrono::microseconds(10));
+  b.session_latency.record(std::chrono::microseconds(20));
+
+  a.merge_from(b);
+  EXPECT_EQ(a.sessions_opened.load(), 7u);
+  EXPECT_EQ(a.frames_handoff_in.load(), 1u);
+  EXPECT_EQ(a.frames_handoff_out.load(), 2u);
+  EXPECT_EQ(a.write_queue_hwm.load(), 250u);
+  EXPECT_EQ(a.batch_max_size.load(), 9u);
+  EXPECT_EQ(a.session_latency.count(), 2u);
+  EXPECT_EQ(b.sessions_opened.load(), 4u) << "source must be untouched";
+}
+
+TEST(MetricsSchema, LabeledEntriesShareOneHelpTypeBlock) {
+  obs::MetricsSnapshot s;
+  s.scalars.push_back({"shs_shard_active_sessions", "Per-shard sessions",
+                       /*gauge=*/true, 5, "shard=\"0\""});
+  s.scalars.push_back({"shs_shard_active_sessions", "Per-shard sessions",
+                       /*gauge=*/true, 7, "shard=\"1\""});
+  const std::string text = obs::prometheus_text(s);
+  EXPECT_NE(text.find("shs_shard_active_sessions{shard=\"0\"} 5\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("shs_shard_active_sessions{shard=\"1\"} 7\n"),
+            std::string::npos);
+  // HELP/TYPE rendered once for the pair: valid 0.0.4 exposition.
+  std::size_t helps = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find("# HELP shs_shard_active_sessions", pos)) !=
+         std::string::npos) {
+    ++helps;
+    ++pos;
+  }
+  EXPECT_EQ(helps, 1u);
 }
 
 }  // namespace

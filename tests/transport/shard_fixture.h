@@ -1,0 +1,176 @@
+// Extra scaffolding for the sharded-transport suite (on top of
+// fixture.h): the seeded drop+tamper fault stack shared with the service
+// soak (fresh instances replay identical schedules — decisions hash on
+// (seed, round, sender, receiver), never on shard placement), the
+// faulted serial twin, cross-shard counter sums, and a recording relay
+// that captures the wire shape (round, position, payload size) every
+// session presents to its client.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "fixture.h"
+#include "net/faults.h"
+#include "transport/client.h"
+#include "transport/server.h"
+
+namespace shs::transport::testing {
+
+constexpr std::uint64_t kShardDropSeed = 0xd20b;
+constexpr std::uint64_t kShardTamperSeed = 0x7a3b;
+
+/// Same schedule family as the service soak: stateless, purely
+/// seed-hashed faults, so per-shard instances with identical seeds make
+/// session verdicts independent of which shard homes the session.
+struct FaultStack {
+  net::DropFault drop{kShardDropSeed, {.per_message = 0.02}};
+  net::TamperFault tamper{kShardTamperSeed, {.probability = 0.02}};
+  net::ChainAdversary chain{{&drop, &tamper}};
+};
+
+/// Tamper-only stack for wire-shape checks: drops change the frame
+/// count, tampering must not change any (round, position, size).
+struct TamperStack {
+  net::TamperFault tamper{kShardTamperSeed, {.probability = 0.25}};
+  net::ChainAdversary chain{{&tamper}};
+};
+
+/// Installs one fresh, identically-seeded stack per shard; owns them for
+/// the server's lifetime (the service borrows the adversary pointer).
+template <typename Stack>
+class PerShardFaults {
+ public:
+  void install(ServerOptions& options) {
+    options.per_shard_options = [this](std::size_t,
+                                       service::ServiceOptions& svc) {
+      stacks_.push_back(std::make_unique<Stack>());
+      svc.adversary = &stacks_.back()->chain;
+    };
+  }
+
+ private:
+  std::vector<std::unique_ptr<Stack>> stacks_;
+};
+
+/// What a serial run of the same participants under a fresh,
+/// identically-seeded adversary produces.
+template <typename Stack>
+std::vector<core::HandshakeOutcome> serial_twin_faulted(
+    const OpenRequest& request) {
+  auto& group = tcp_group();
+  std::vector<const core::Member*> members;
+  members.reserve(request.m);
+  for (std::size_t i = 0; i < request.m; ++i) {
+    members.push_back(&group.member(i));
+  }
+  const std::string seed(request.seed.begin(), request.seed.end());
+  Stack twin;
+  return core::testing::handshake(members, options_of(request), seed,
+                                  &twin.chain);
+}
+
+inline std::uint64_t sum_handoff_out(const TransportServer& server) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < server.num_shards(); ++i) {
+    total += const_cast<TransportServer&>(server)
+                 .service(i)
+                 .metrics()
+                 .frames_handoff_out.load();
+  }
+  return total;
+}
+
+inline std::uint64_t sum_handoff_in(const TransportServer& server) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < server.num_shards(); ++i) {
+    total += const_cast<TransportServer&>(server)
+                 .service(i)
+                 .metrics()
+                 .frames_handoff_in.load();
+  }
+  return total;
+}
+
+inline std::uint64_t sum_unowned(const TransportServer& server) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < server.num_shards(); ++i) {
+    total += const_cast<TransportServer&>(server)
+                 .service(i)
+                 .metrics()
+                 .frames_unowned.load();
+  }
+  return total;
+}
+
+/// One observed session frame, as shape only.
+struct WireShape {
+  std::uint32_t round = 0;
+  std::uint32_t position = 0;
+  std::size_t size = 0;
+
+  friend bool operator==(const WireShape&, const WireShape&) = default;
+};
+
+/// Opens every request on one connection (raw kOpen frames, so no frame
+/// is ever relayed outside this loop — Client::open()'s internal relay
+/// would silently consume early sessions' frames and DONEs) and relays
+/// like Client::run() while recording, per request, the shape of every
+/// inbound session frame. Returns shape sequences indexed like
+/// `requests`, complete once every session reported kDone.
+inline std::vector<std::vector<WireShape>> open_and_record(
+    Client& client, const std::vector<OpenRequest>& requests) {
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    client.send_frame(make_open(static_cast<std::uint32_t>(i + 1),
+                                encode_open_request(requests[i])));
+  }
+  std::vector<std::vector<WireShape>> shapes(requests.size());
+  std::unordered_map<std::uint64_t, std::size_t> index_of;  // sid -> request
+  std::size_t done = 0;
+  while (done < requests.size()) {
+    std::optional<service::Frame> frame = client.recv_frame();
+    if (!frame.has_value()) break;  // clean EOF
+    if (is_control(*frame)) {
+      switch (static_cast<ControlOp>(frame->round)) {
+        case ControlOp::kOpenOk:
+          index_of[decode_open_ok(*frame)] = frame->position - 1;
+          break;
+        case ControlOp::kOpenErr:
+          throw ProtocolError("open rejected: " + decode_open_err(*frame));
+        case ControlOp::kDone:
+          ++done;
+          break;
+        default:
+          break;  // kShutdown mid-sweep would time the read out below
+      }
+      continue;
+    }
+    shapes[index_of.at(frame->session_id)].push_back(
+        {frame->round, frame->position, frame->payload.size()});
+    client.send_frame(*frame);
+  }
+  return shapes;
+}
+
+template <typename Pred>
+bool shard_eventually(Pred pred,
+                      std::chrono::milliseconds budget =
+                          std::chrono::milliseconds(5000)) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+}  // namespace shs::transport::testing

@@ -1,0 +1,204 @@
+// Cross-shard handoff regressions, written for the TSan tree
+// (tools/check.sh --shard): every boundary where one shard's thread
+// touches another shard's state runs hot and concurrently here —
+// remote-frame ingress queues, egress writes into another loop's
+// connection, the merged metrics exports racing every shard's counters,
+// the process-wide PrecompCache under all shards' crypto pools, and
+// route purges fanning across shards while striped sessions are
+// mid-flight. Assertions pin the handoff ledger (out == in, nothing
+// unowned) and byte-exact outcomes, but the real point is that the
+// sanitizer observes every pair of racing accesses.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fixture.h"
+#include "service/clock.h"
+#include "shard_fixture.h"
+#include "transport/client.h"
+#include "transport/server.h"
+
+namespace shs::transport {
+namespace {
+
+using namespace std::chrono_literals;
+using testing::expect_outcomes_equal;
+using testing::group_factory;
+using testing::make_request;
+using testing::serial_twin;
+using testing::shard_eventually;
+
+TEST(ShardHandoff, StripedTrafficBalancesTheLedgerUnderConcurrentScrapes) {
+  constexpr std::size_t kShards = 4;
+  constexpr int kClients = 8;
+  constexpr int kSessionsEach = 4;
+
+  ServerOptions so;
+  so.num_shards = kShards;
+  so.stripe_sessions = true;  // every frame may cross shards
+  so.auto_close_sessions = false;
+  service::ServiceOptions svc;
+  svc.threads = 2;
+  TransportServer server(so, svc, group_factory());
+  server.start();
+
+  std::atomic<bool> scrape{true};
+  std::vector<std::thread> scrapers;
+  for (int r = 0; r < 3; ++r) {
+    scrapers.emplace_back([&, r] {
+      // Three distinct read mixes so the merged exports, the per-shard
+      // gauge walks and the counter sums all race the writers.
+      while (scrape.load(std::memory_order_relaxed)) {
+        switch (r) {
+          case 0:
+            (void)server.metrics_json();
+            break;
+          case 1:
+            (void)server.metrics_prometheus();
+            break;
+          default:
+            (void)server.connection_count();
+            (void)server.sessions_completed();
+            (void)testing::sum_handoff_out(server);
+            break;
+        }
+        std::this_thread::sleep_for(1ms);
+      }
+    });
+  }
+
+  std::vector<std::thread> clients;
+  std::atomic<int> done{0};
+  struct Run {
+    std::uint64_t sid;
+    OpenRequest request;
+  };
+  std::vector<std::vector<Run>> runs(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      ClientOptions co;
+      co.port = server.port();
+      Client client(co);
+      client.connect();
+      for (int s = 0; s < kSessionsEach; ++s) {
+        OpenRequest request =
+            make_request(s % 2 == 0 ? 2 : 4, s % 3 == 0,
+                         "shard-handoff-" + std::to_string(c) + "-" +
+                             std::to_string(s));
+        runs[c].push_back({client.open(request), std::move(request)});
+      }
+      for (const SessionSummary& summary : client.run()) {
+        if (summary.state == service::SessionState::kDone) ++done;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  scrape.store(false);
+  for (std::thread& t : scrapers) t.join();
+
+  EXPECT_EQ(done.load(), kClients * kSessionsEach);
+  for (int c = 0; c < kClients; ++c) {
+    for (const Run& run : runs[c]) {
+      SCOPED_TRACE("client " + std::to_string(c) + " sid " +
+                   std::to_string(run.sid));
+      expect_outcomes_equal(server.outcomes(run.sid), serial_twin(run.request));
+    }
+  }
+
+  // The handoff ledger balances and striping really produced traffic.
+  EXPECT_GT(testing::sum_handoff_out(server), 0u);
+  EXPECT_EQ(testing::sum_handoff_in(server), testing::sum_handoff_out(server));
+  EXPECT_EQ(testing::sum_unowned(server), 0u);
+
+  // The process-wide precomp cache served every shard's pool: the merged
+  // gauges (read by the scrapers all along) stayed coherent.
+  const std::string json = server.metrics_json();
+  EXPECT_NE(json.find("\"precomp\""), std::string::npos);
+  server.shutdown();
+}
+
+TEST(ShardHandoff, RoutePurgeRacesStripedEgressWithoutLoss) {
+  // Abrupt disconnects while striped sessions are mid-flight: the
+  // victim's connection dies on shard A while its session's home shard B
+  // may be pumping egress toward it — purge_routes_everywhere races
+  // route_egress, and the only acceptable outcomes are delivery or a
+  // counted drop, never a crash or an unowned-frame leak.
+  constexpr std::size_t kShards = 4;
+  constexpr int kVictims = 6;
+  constexpr int kSurvivors = 4;
+
+  service::ManualClock clock;
+  ServerOptions so;
+  so.num_shards = kShards;
+  so.stripe_sessions = true;
+  so.auto_close_sessions = false;
+  so.expire_interval = 500ms;
+  service::ServiceOptions svc;
+  svc.clock = &clock;
+  svc.session_deadline = 30000ms;
+  TransportServer server(so, svc, group_factory());
+  server.start();
+
+  std::vector<std::thread> threads;
+  std::vector<std::uint64_t> victim_sids(kVictims);
+  for (int v = 0; v < kVictims; ++v) {
+    threads.emplace_back([&, v] {
+      ClientOptions co;
+      co.port = server.port();
+      Client client(co);
+      client.connect();
+      victim_sids[v] = client.open(
+          make_request(4, false, "shard-purge-victim-" + std::to_string(v)));
+      while (auto frame = client.recv_frame()) {
+        if (!is_control(*frame)) break;  // session is mid-phase
+      }
+      client.close();  // vanish with egress still heading our way
+    });
+  }
+  std::atomic<int> survived{0};
+  for (int s = 0; s < kSurvivors; ++s) {
+    threads.emplace_back([&, s] {
+      ClientOptions co;
+      co.port = server.port();
+      Client client(co);
+      client.connect();
+      client.open(
+          make_request(4, true, "shard-purge-survivor-" + std::to_string(s)));
+      for (const SessionSummary& summary : client.run()) {
+        if (summary.state == service::SessionState::kDone) ++survived;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Survivors never noticed; victims' sessions stalled, not crashed.
+  EXPECT_EQ(survived.load(), kSurvivors);
+  ASSERT_TRUE(
+      shard_eventually([&] { return server.connection_count() == 0; }));
+  for (const std::uint64_t sid : victim_sids) {
+    EXPECT_NE(server.session_state(sid), service::SessionState::kDone);
+  }
+  EXPECT_EQ(testing::sum_unowned(server), 0u);
+
+  // Their home shards reap them once the deadline passes.
+  clock.advance(31000ms);
+  ASSERT_TRUE(shard_eventually([&] {
+    for (const std::uint64_t sid : victim_sids) {
+      if (server.session_state(sid) != service::SessionState::kExpired) {
+        return false;
+      }
+    }
+    return true;
+  }));
+  EXPECT_EQ(server.sessions_completed(),
+            static_cast<std::uint64_t>(kVictims + kSurvivors));
+  server.shutdown();
+}
+
+}  // namespace
+}  // namespace shs::transport

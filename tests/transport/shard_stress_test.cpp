@@ -1,0 +1,192 @@
+// The sharded-transport soak (`ctest -L stress`): SHS_SHARD_STRESS_SESSIONS
+// (default 1000) sessions of mixed width and scheme cross a 4-shard
+// server with session striping on — so nearly every frame of most
+// sessions takes the cross-shard handoff — driven by a pool of client
+// threads whose arrival order is shuffled, while dropper clients vanish
+// abruptly mid-phase and scraper threads hammer the merged metrics
+// exports. The seeded drop+tamper schedule from the service soak runs on
+// every shard, and the oracle stays exact: every surviving session must
+// match a fresh serial twin byte-for-byte, every orphaned session is
+// reaped by its home shard's expiry timer once the ManualClock crosses
+// the deadline, and the handoff ledger balances to zero in flight.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fixture.h"
+#include "service/clock.h"
+#include "shard_fixture.h"
+#include "transport/client.h"
+#include "transport/server.h"
+
+namespace shs::transport {
+namespace {
+
+using namespace std::chrono_literals;
+using testing::expect_outcomes_equal;
+using testing::FaultStack;
+using testing::group_factory;
+using testing::make_request;
+using testing::PerShardFaults;
+using testing::serial_twin_faulted;
+using testing::shard_eventually;
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+}
+
+TEST(ShardStress, FourShardSoakMatchesSerialTwinsExactly) {
+  const std::size_t sessions = env_size("SHS_SHARD_STRESS_SESSIONS", 1000);
+  const std::size_t client_threads =
+      std::min<std::size_t>(16, std::max<std::size_t>(1, sessions / 4));
+  constexpr std::size_t kShards = 4;
+  constexpr std::size_t kDroppers = 8;
+
+  service::ManualClock clock;
+  ServerOptions so;
+  so.num_shards = kShards;
+  so.stripe_sessions = true;
+  so.auto_close_sessions = false;  // outcomes stay inspectable
+  so.expire_interval = 500ms;      // virtual cadence
+  PerShardFaults<FaultStack> faults;
+  faults.install(so);
+  service::ServiceOptions svc;
+  svc.threads = 2;  // per shard
+  svc.clock = &clock;
+  svc.session_deadline = 30000ms;  // virtual: nothing expires mid-soak
+  TransportServer server(so, svc, group_factory());
+  server.start();
+
+  constexpr std::uint32_t kSizes[] = {2, 4, 2, 8};  // mean m = 4
+  struct Opened {
+    std::uint64_t sid;
+    OpenRequest request;
+  };
+  std::mutex opened_mu;
+  std::vector<Opened> opened;
+  opened.reserve(sessions);
+
+  // Shuffled arrival: session indices are dealt to client threads
+  // round-robin, but each thread staggers its opens by a seeded jitter,
+  // so open order (and therefore sid/shard assignment) interleaves
+  // differently from the index order on every run.
+  std::atomic<bool> scrape{true};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < client_threads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937_64 rng(0x5a5a + t);
+      ClientOptions co;
+      co.port = server.port();
+      co.io_timeout = 60000ms;  // the soak outlives the default budget
+      Client client(co);
+      client.connect();
+      std::vector<Opened> mine;
+      for (std::size_t s = t; s < sessions; s += client_threads) {
+        std::this_thread::sleep_for(std::chrono::microseconds(rng() % 500));
+        OpenRequest request =
+            make_request(kSizes[s % 4], s % 3 == 0,
+                         "shard-soak-" + std::to_string(s));
+        mine.push_back({client.open(request), std::move(request)});
+      }
+      client.run();
+      const std::lock_guard<std::mutex> lock(opened_mu);
+      opened.insert(opened.end(), mine.begin(), mine.end());
+    });
+  }
+
+  // Droppers: open one session each, vanish after the first crypto
+  // frame. Their sessions orphan mid-phase on whatever shard homes them.
+  std::mutex orphan_mu;
+  std::vector<std::uint64_t> orphans;
+  for (std::size_t d = 0; d < kDroppers; ++d) {
+    threads.emplace_back([&, d] {
+      ClientOptions co;
+      co.port = server.port();
+      co.io_timeout = 60000ms;
+      Client client(co);
+      client.connect();
+      const std::uint64_t sid = client.open(
+          make_request(2, false, "shard-soak-drop-" + std::to_string(d)));
+      while (auto frame = client.recv_frame()) {
+        if (!is_control(*frame)) break;  // mid-phase: round 0 arrived
+      }
+      client.close();
+      const std::lock_guard<std::mutex> lock(orphan_mu);
+      orphans.push_back(sid);
+    });
+  }
+
+  // Scrapers: the merged read paths race every shard's writers for the
+  // whole soak (this is what the TSan tree chews on).
+  std::vector<std::thread> scrapers;
+  for (int r = 0; r < 2; ++r) {
+    scrapers.emplace_back([&] {
+      while (scrape.load(std::memory_order_relaxed)) {
+        (void)server.metrics_json();
+        (void)server.metrics_prometheus();
+        (void)server.connection_count();
+        std::this_thread::sleep_for(10ms);
+      }
+    });
+  }
+
+  for (std::thread& t : threads) t.join();
+  ASSERT_EQ(opened.size(), sessions);
+  ASSERT_EQ(orphans.size(), kDroppers);
+
+  // Exact per-session oracle: fresh identically-seeded stacks replay the
+  // service's fault schedule in the serial driver, shard-independently.
+  for (const Opened& session : opened) {
+    SCOPED_TRACE("sid " + std::to_string(session.sid) +
+                 " (m=" + std::to_string(session.request.m) + ", home shard " +
+                 std::to_string(server.home_shard_of(session.sid)) + ")");
+    ASSERT_EQ(server.session_state(session.sid), service::SessionState::kDone);
+    expect_outcomes_equal(server.outcomes(session.sid),
+                          serial_twin_faulted<FaultStack>(session.request));
+  }
+
+  // The orphans are stalled, not gone — no virtual time has passed.
+  for (const std::uint64_t sid : orphans) {
+    EXPECT_NE(server.session_state(sid), service::SessionState::kDone);
+  }
+  // Cross the deadline: every home shard's expiry timer reaps its own.
+  clock.advance(31000ms);
+  ASSERT_TRUE(shard_eventually([&] {
+    return std::all_of(orphans.begin(), orphans.end(), [&](std::uint64_t sid) {
+      return server.session_state(sid) == service::SessionState::kExpired;
+    });
+  })) << "orphaned sessions were never reaped";
+
+  scrape.store(false);
+  for (std::thread& t : scrapers) t.join();
+
+  // Ledger checks: striping 4 ways homes ~3/4 of sessions off their
+  // connection's shard, so handoff traffic is guaranteed; the counters
+  // balance exactly once everything is terminal, and nothing was ever
+  // dropped as unowned.
+  EXPECT_GT(testing::sum_handoff_out(server), 0u);
+  EXPECT_EQ(testing::sum_handoff_in(server), testing::sum_handoff_out(server));
+  EXPECT_EQ(testing::sum_unowned(server), 0u);
+  EXPECT_EQ(server.sessions_completed(),
+            static_cast<std::uint64_t>(sessions + kDroppers));
+
+  // Work really spread across the reactors: every shard homed sessions.
+  for (std::size_t i = 0; i < kShards; ++i) {
+    EXPECT_GT(server.service(i).metrics().sessions_opened.load(), 0u)
+        << "shard " << i << " never homed a session";
+  }
+  server.shutdown();
+}
+
+}  // namespace
+}  // namespace shs::transport

@@ -28,6 +28,14 @@
 # worker and client threads genuinely race, which is exactly what TSan is
 # for.
 #
+# Pass --shard to additionally run the sharded-transport suite
+# (ctest -L shard: accept dealing and N=1 byte-equality, the cross-shard
+# conformance sweep, the handoff/route-purge regressions and the 4-shard
+# striped soak) in the same TSan tree — cross-shard egress writes,
+# remote-frame queues, merged metrics folds and the shared precomp cache
+# are exactly the boundaries TSan should chew on. The soak size is
+# reduced under TSan unless SHS_SHARD_STRESS_SESSIONS is already set.
+#
 # Pass --batch to additionally run the batched-verification suite
 # (ctest -L batch: batch-vs-individual equivalence, forged-signature
 # bisection, flush policy, the batched conformance sweep, and the
@@ -53,6 +61,7 @@ want_service=0
 want_transport=0
 want_obs=0
 want_batch=0
+want_shard=0
 for arg in "$@"; do
   case "$arg" in
     --conformance) want_conformance=1 ;;
@@ -61,6 +70,7 @@ for arg in "$@"; do
     --transport) want_transport=1 ;;
     --obs) want_obs=1 ;;
     --batch) want_batch=1 ;;
+    --shard) want_shard=1 ;;
     *) echo "check.sh: unknown option '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -100,6 +110,14 @@ if [[ "$want_transport" == 1 ]]; then
   cmake -B build-tsan -S . -DSHS_TSAN=ON >/dev/null
   cmake --build build-tsan -j "$(nproc)" --target transport_test
   ctest --test-dir build-tsan --output-on-failure -L transport
+fi
+
+if [[ "$want_shard" == 1 ]]; then
+  echo "== sharded transport under TSan =="
+  cmake -B build-tsan -S . -DSHS_TSAN=ON >/dev/null
+  cmake --build build-tsan -j "$(nproc)" --target shard_transport_test shard_conformance_test shard_stress_test
+  SHS_SHARD_STRESS_SESSIONS="${SHS_SHARD_STRESS_SESSIONS:-200}" \
+    ctest --test-dir build-tsan --output-on-failure -L shard
 fi
 
 if [[ "$want_batch" == 1 ]]; then
