@@ -1,0 +1,105 @@
+// E16 — encrypted channel throughput (EXPERIMENTS.md).
+//
+// Measures the record layer itself on an in-process loopback mesh: one
+// sender seals, every other clique member opens, so a row's MB/s is
+// end-to-end plaintext throughput through seal + (m-1) opens. Swept:
+//   * clique width m in {2, 4, 8}
+//   * length-hiding padding off vs pad_quantum=1024
+//   * rekey-interval sensitivity (records per epoch 64 / 1024 / 2^12)
+// Emits BENCH_e16.json. SHS_BENCH_E16_MB overrides the per-row volume.
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "channel/endpoint.h"
+#include "channel/keys.h"
+#include "common/bytes.h"
+
+namespace shs::bench {
+namespace {
+
+constexpr std::size_t kRecordBytes = 16 * 1024;
+
+double mb_of_env() {
+  const char* env = std::getenv("SHS_BENCH_E16_MB");
+  return env != nullptr && *env != '\0' ? std::atof(env) : 8.0;
+}
+
+struct RowResult {
+  double mb_per_s = 0;
+  double rekeys = 0;
+};
+
+/// Streams `volume_mb` of plaintext from member 0 to the other m-1
+/// members and times seal + all opens.
+RowResult run_row(std::size_t m, std::size_t pad_quantum,
+                  std::uint64_t rekey_records, double volume_mb) {
+  std::vector<std::uint32_t> positions;
+  for (std::size_t i = 0; i < m; ++i) {
+    positions.push_back(static_cast<std::uint32_t>(i));
+  }
+  const channel::ChannelKeys keys(
+      to_bytes("bench-e16 thirty-two byte key!!!"), 16, positions);
+  channel::ChannelOptions options;
+  options.pad_quantum = pad_quantum;
+  options.rekey_after_records = rekey_records;
+  std::vector<channel::ChannelEndpoint> members;
+  for (std::size_t i = 0; i < m; ++i) {
+    members.emplace_back(keys, static_cast<std::uint32_t>(i), options);
+  }
+
+  const std::size_t records =
+      static_cast<std::size_t>(volume_mb * 1024 * 1024) / kRecordBytes;
+  const Bytes payload(kRecordBytes, 0x5c);
+  const double ms = time_ms([&] {
+    for (std::size_t r = 0; r < records; ++r) {
+      for (const auto& frame : members[0].send(payload)) {
+        for (std::size_t i = 1; i < m; ++i) {
+          const channel::RecordResult res = members[i].open(frame);
+          if (res.verdict == channel::RecordVerdict::kRejected) {
+            std::fprintf(stderr, "bench_e16: record rejected (%s)\n",
+                         channel::to_string(res.reason));
+            std::exit(1);
+          }
+        }
+      }
+    }
+  });
+  RowResult row;
+  const double total_mb =
+      static_cast<double>(records * kRecordBytes) / (1024.0 * 1024.0);
+  row.mb_per_s = total_mb / (ms / 1000.0);
+  row.rekeys = static_cast<double>(members[0].stats().rekeys_sent);
+  return row;
+}
+
+}  // namespace
+}  // namespace shs::bench
+
+int main() {
+  using namespace shs::bench;
+  const double volume_mb = mb_of_env();
+  JsonReport report("e16");
+
+  table_header("E16: encrypted channel throughput (per-clique, sender 0)",
+               "m    pad     rekey_every   MB/s      rekeys");
+  for (const std::size_t m : {2u, 4u, 8u}) {
+    for (const std::size_t pad : {0u, 1024u}) {
+      for (const std::uint64_t rekey_every :
+           {std::uint64_t{64}, std::uint64_t{1024}, std::uint64_t{1} << 12}) {
+        const RowResult row = run_row(m, pad, rekey_every, volume_mb);
+        std::printf("%-4zu %-7zu %-13llu %-9.1f %.0f\n", m, pad,
+                    static_cast<unsigned long long>(rekey_every),
+                    row.mb_per_s, row.rekeys);
+        report.add()
+            .field("m", static_cast<double>(m))
+            .field("pad_quantum", static_cast<double>(pad))
+            .field("rekey_after_records", static_cast<double>(rekey_every))
+            .field("mb_per_s", row.mb_per_s)
+            .field("rekeys", row.rekeys);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,16 +1,19 @@
 #!/usr/bin/env sh
 # End-to-end smoke for the TCP transport: starts tcp_rendezvous_server
 # sharded two ways on an ephemeral port with the observability endpoint
-# enabled, drives it with two client invocations (Scheme 1 and Scheme 2),
-# scrapes GET /metrics once (curl, else python3, else skipped) and checks
-# both the merged counters and the per-shard shs_shard_* series are
-# present, and requires the server to drain and exit cleanly.
+# enabled, drives it with two client invocations (Scheme 1 and Scheme 2)
+# plus an encrypted channel echo (tcp_channel_echo: handshake, client-side
+# key derivation, attach, byte-exact echo across a rekey), scrapes
+# GET /metrics once (curl, else python3, else skipped) and checks the
+# merged counters, the per-shard shs_shard_* series and the channel
+# series are present, and requires the server to drain and exit cleanly.
 #
-#   tcp_rendezvous_smoke.sh <server-binary> <client-binary>
+#   tcp_rendezvous_smoke.sh <server-binary> <client-binary> <echo-binary>
 set -eu
 
 SERVER_BIN="$1"
 CLIENT_BIN="$2"
+ECHO_BIN="$3"
 DIR="$(mktemp -d)"
 SERVER_PID=""
 cleanup() {
@@ -19,7 +22,11 @@ cleanup() {
 }
 trap cleanup EXIT
 
-"$SERVER_BIN" --port 0 --port-file "$DIR/port" --sessions 3 --shards 2 \
+# Budget of 4: two Scheme 1 sessions, the channel echo's session, and the
+# final Scheme 2 session. The echo must not be last — its channel traffic
+# runs after its handshake completes, and the server only drains once the
+# final session lands.
+"$SERVER_BIN" --port 0 --port-file "$DIR/port" --sessions 4 --shards 2 \
   --obs-port 0 --obs-port-file "$DIR/obs_port" &
 SERVER_PID=$!
 
@@ -36,6 +43,9 @@ PORT="$(cat "$DIR/port")"
 
 "$CLIENT_BIN" --port "$PORT" --sessions 2 --m 3
 
+# Encrypted in-clique echo over the relay (session 3 of 4).
+"$ECHO_BIN" --port "$PORT"
+
 # Scrape the metrics exposition once while the server is live.
 OBS_PORT="$(cat "$DIR/obs_port")"
 if command -v curl >/dev/null 2>&1; then
@@ -44,7 +54,7 @@ elif command -v python3 >/dev/null 2>&1; then
   python3 -c "import urllib.request,sys; sys.stdout.write(urllib.request.urlopen('http://127.0.0.1:$OBS_PORT/metrics').read().decode())" > "$DIR/metrics"
 else
   echo "note: no curl or python3; skipping the metrics scrape"
-  printf 'shs_sessions_opened_total skipped\nshs_shard_sessions_opened_total{shard="0"} skipped\n' > "$DIR/metrics"
+  printf 'shs_sessions_opened_total skipped\nshs_shard_sessions_opened_total{shard="0"} skipped\nshs_channels_opened_total skipped\nshs_channel_records_in_total skipped\n' > "$DIR/metrics"
 fi
 if ! grep -q "shs_sessions_opened_total" "$DIR/metrics"; then
   echo "FAIL: /metrics scrape was empty or missing counters" >&2
@@ -60,9 +70,16 @@ for shard in 0 1; do
     exit 1
   fi
 done
+# The echo ran before the scrape, so the channel series must be live.
+for series in shs_channels_opened_total shs_channel_records_in_total; do
+  if ! grep -q "$series" "$DIR/metrics"; then
+    echo "FAIL: /metrics is missing the $series series" >&2
+    cat "$DIR/metrics" >&2
+    exit 1
+  fi
+done
 
 "$CLIENT_BIN" --port "$PORT" --sessions 1 --m 4 --scheme2
-
 wait "$SERVER_PID"
 SERVER_PID=""
 echo "tcp rendezvous smoke: OK"

@@ -1,0 +1,225 @@
+#include "channel/endpoint.h"
+
+#include "common/codec.h"
+#include "common/errors.h"
+
+namespace shs::channel {
+
+ChannelEndpoint::ChannelEndpoint(const ChannelKeys& keys, std::uint32_t self,
+                                 ChannelOptions options)
+    : session_id_(keys.session_id()), self_(self), options_(options) {
+  if (!keys.has_member(self)) {
+    throw ProtocolError("ChannelEndpoint: self is not in the clique");
+  }
+  send_.key = keys.record_key(self);
+  for (const std::uint32_t p : keys.members()) {
+    if (p == self) continue;
+    PeerState peer;
+    peer.key = keys.record_key(p);
+    peers_.emplace(p, std::move(peer));
+  }
+}
+
+service::Frame ChannelEndpoint::seal_send(RecordType type, BytesView body) {
+  RecordHeader header;
+  header.type = type;
+  header.epoch = send_.epoch;
+  header.seq = send_.seq++;
+  ++send_.epoch_records;
+  ++stats_.records_sent;
+  return seal_record(send_.key, session_id_, self_, header, body);
+}
+
+std::vector<service::Frame> ChannelEndpoint::send(BytesView plaintext) {
+  if (closed_) {
+    throw ProtocolError("ChannelEndpoint::send: channel is closed");
+  }
+  if (plaintext.size() > options_.max_plaintext) {
+    throw ProtocolError("ChannelEndpoint::send: plaintext above the cap");
+  }
+  std::vector<service::Frame> out;
+  if (send_.epoch_records >= options_.rekey_after_records ||
+      send_.epoch_bytes >= options_.rekey_after_bytes) {
+    out.push_back(rekey());
+  }
+  send_.epoch_bytes += plaintext.size();
+  stats_.bytes_sent += plaintext.size();
+  out.push_back(seal_send(RecordType::kData,
+                          pad_payload(plaintext, options_.pad_quantum)));
+  return out;
+}
+
+service::Frame ChannelEndpoint::rekey() {
+  if (closed_) {
+    throw ProtocolError("ChannelEndpoint::rekey: channel is closed");
+  }
+  // The REKEY is authenticated under the *old* epoch: receivers verify
+  // it with the key they already hold, then ratchet.
+  ByteWriter body;
+  body.u32(send_.epoch + 1);
+  const service::Frame frame = seal_send(RecordType::kRekey, body.take());
+  send_.key = ChannelKeys::ratchet(send_.key);
+  ++send_.epoch;
+  send_.seq = 0;
+  send_.epoch_records = 0;
+  send_.epoch_bytes = 0;
+  ++stats_.rekeys_sent;
+  return frame;
+}
+
+service::Frame ChannelEndpoint::close_frame() {
+  if (closed_) {
+    throw ProtocolError("ChannelEndpoint::close_frame: already closed");
+  }
+  const service::Frame frame = seal_send(RecordType::kClose, {});
+  closed_ = true;
+  return frame;
+}
+
+RecordResult ChannelEndpoint::reject(RejectReason reason,
+                                     std::uint32_t sender) {
+  ++stats_.records_rejected;
+  ++stats_.rejected_by_reason[static_cast<std::size_t>(reason)];
+  RecordResult result;
+  result.verdict = RecordVerdict::kRejected;
+  result.reason = reason;
+  result.sender = sender;
+  return result;
+}
+
+RecordResult ChannelEndpoint::open(const service::Frame& frame) {
+  const std::uint32_t sender = frame.position;
+  if (frame.session_id != session_id_) {
+    return reject(RejectReason::kWrongSession, sender);
+  }
+  if (sender == self_) return reject(RejectReason::kSelfSender, sender);
+  const auto it = peers_.find(sender);
+  if (it == peers_.end()) {
+    return reject(RejectReason::kUnknownSender, sender);
+  }
+  const std::optional<RecordHeader> header = parse_record_header(frame);
+  if (!header) return reject(RejectReason::kMalformed, sender);
+  const BytesView sealed =
+      BytesView(frame.payload).subspan(kRecordHeaderSize);
+  return judge(it->second, sender, *header, sealed);
+}
+
+RecordResult ChannelEndpoint::judge(PeerState& peer, std::uint32_t sender,
+                                    const RecordHeader& header,
+                                    BytesView sealed) {
+  if (peer.closed) return reject(RejectReason::kSenderClosed, sender);
+
+  // Pick the key/window the header's epoch maps to. Anything ahead of
+  // the announced epoch, or behind the grace'd previous one, fails
+  // closed before any crypto runs.
+  const Bytes* key = nullptr;
+  ReplayWindow* window = nullptr;
+  bool via_grace = false;
+  if (header.epoch == peer.epoch) {
+    key = &peer.key;
+    window = &peer.window;
+  } else if (peer.prev_key && header.epoch == peer.prev_epoch) {
+    if (peer.grace_left == 0) {
+      return reject(RejectReason::kStaleEpoch, sender);
+    }
+    key = &*peer.prev_key;
+    window = &peer.prev_window;
+    via_grace = true;
+  } else if (header.epoch < peer.epoch) {
+    return reject(RejectReason::kStaleEpoch, sender);
+  } else {
+    // An epoch we have never been told about. Over FIFO transport a
+    // legitimate sender's REKEY always precedes its first new-epoch
+    // record, so this is forgery or corruption — fail closed rather
+    // than speculatively ratcheting.
+    return reject(RejectReason::kBadEpoch, sender);
+  }
+
+  switch (window->check(header.seq)) {
+    case ReplayWindow::Verdict::kReplayed:
+      return reject(RejectReason::kReplayed, sender);
+    case ReplayWindow::Verdict::kTooOld:
+      return reject(RejectReason::kTooOld, sender);
+    case ReplayWindow::Verdict::kFresh:
+      break;
+  }
+
+  Bytes body;
+  try {
+    body = open_record_body(*key, session_id_, sender, header, sealed);
+  } catch (const Error&) {
+    return reject(RejectReason::kAuthFailed, sender);
+  }
+  // Authenticated from here on; the window only advances past this point.
+  window->accept(header.seq);
+  if (via_grace) --peer.grace_left;
+
+  RecordResult result;
+  result.sender = sender;
+  switch (header.type) {
+    case RecordType::kData: {
+      std::optional<Bytes> plaintext = unpad_payload(body);
+      if (!plaintext) {
+        // Authenticated but structurally bad padding: an honest sender
+        // never produces this, so treat it like any other reject.
+        return reject(RejectReason::kBadPadding, sender);
+      }
+      if (plaintext->size() > options_.max_plaintext) {
+        return reject(RejectReason::kOversized, sender);
+      }
+      ++stats_.records_delivered;
+      stats_.bytes_delivered += plaintext->size();
+      result.verdict = RecordVerdict::kDelivered;
+      result.plaintext = std::move(*plaintext);
+      return result;
+    }
+    case RecordType::kRekey: {
+      std::uint32_t next = 0;
+      try {
+        ByteReader r(body);
+        next = r.u32();
+        r.expect_done();
+      } catch (const Error&) {
+        return reject(RejectReason::kMalformed, sender);
+      }
+      if (next != header.epoch + 1) {
+        return reject(RejectReason::kMalformed, sender);
+      }
+      // Ratchet the epoch the REKEY was sealed under — during grace
+      // that may be the previous epoch, in which case the "new" epoch
+      // is one we already track and nothing changes.
+      if (via_grace) {
+        ++stats_.rekeys_accepted;
+        result.verdict = RecordVerdict::kRekeyed;
+        return result;
+      }
+      peer.prev_key = std::move(peer.key);
+      peer.prev_epoch = peer.epoch;
+      peer.prev_window = peer.window;
+      peer.grace_left = options_.grace_records;
+      peer.key = ChannelKeys::ratchet(*peer.prev_key);
+      peer.epoch = next;
+      peer.window.reset();
+      ++stats_.rekeys_accepted;
+      result.verdict = RecordVerdict::kRekeyed;
+      return result;
+    }
+    case RecordType::kClose: {
+      if (!body.empty()) return reject(RejectReason::kMalformed, sender);
+      peer.closed = true;
+      result.verdict = RecordVerdict::kPeerClosed;
+      return result;
+    }
+  }
+  return reject(RejectReason::kMalformed, sender);
+}
+
+bool ChannelEndpoint::drained() const {
+  if (!closed_) return false;
+  for (const auto& [position, peer] : peers_) {
+    if (!peer.closed) return false;
+  }
+  return true;
+}
+
+}  // namespace shs::channel

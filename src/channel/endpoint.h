@@ -1,0 +1,198 @@
+// One clique member's end of the encrypted group channel.
+//
+// A ChannelEndpoint owns the member's own send state (key, epoch, seq)
+// and one receive state per clique peer (key, epoch, replay window,
+// previous-epoch grace state). It is a pure codec: send() returns the
+// frames to put on the wire, open() judges a frame that arrived — the
+// transport (in-process loopback, the sharded TCP relay, or a test
+// adversary) is someone else's problem. That keeps every security
+// decision in one deterministic, exhaustively testable place.
+//
+// Rekeying: send() transparently prepends a REKEY record once the
+// current epoch has carried rekey_after_records records or
+// rekey_after_bytes plaintext bytes; rekey() forces one. A REKEY is
+// itself an authenticated record *under the old epoch* whose body names
+// the next epoch — receivers ratchet the sender's key, reset the replay
+// window, and keep the old key alive for `grace_records` further old-
+// epoch records (TCP never reorders, but a relay fan-out may interleave;
+// the budget bounds how long the stale key can linger). After the grace
+// budget, or two epochs back, old-epoch records fail closed (kStaleEpoch)
+// and are never delivered.
+//
+// Close: a kClose record half-closes the sender. Records from a closed
+// sender are rejected (kSenderClosed); the channel is drained() once
+// every peer (and the endpoint itself) has closed. Sending after close()
+// throws — the drain semantics are caller-visible, not best-effort.
+//
+// Failure policy: open() never throws on wire input. Every malformed,
+// forged, replayed, cross-epoch or cross-session record comes back as
+// RecordVerdict::kRejected with a RejectReason, and is counted in
+// ChannelStats — rejected records are never delivered, partially or
+// otherwise (fail closed).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "channel/keys.h"
+#include "channel/record.h"
+#include "service/frame.h"
+
+namespace shs::channel {
+
+struct ChannelOptions {
+  /// Rekey after this many records sent in the current epoch.
+  std::uint64_t rekey_after_records = std::uint64_t{1} << 12;
+  /// ... or after this many plaintext bytes, whichever comes first.
+  std::uint64_t rekey_after_bytes = std::uint64_t{16} * 1024 * 1024;
+  /// Old-epoch records a receiver still accepts after seeing a REKEY.
+  std::uint64_t grace_records = 32;
+  /// Length-hiding pad quantum for kData records (0 = no padding).
+  std::size_t pad_quantum = 0;
+  /// Largest plaintext send() accepts (and open() delivers).
+  std::size_t max_plaintext = 256 * 1024;
+};
+
+enum class RecordVerdict : std::uint8_t {
+  kDelivered,   // plaintext is valid application data
+  kRekeyed,     // sender ratcheted to a new epoch
+  kPeerClosed,  // sender half-closed
+  kRejected,    // counted, reason set, nothing delivered
+};
+
+enum class RejectReason : std::uint8_t {
+  kNone = 0,
+  kMalformed,      // header/IV/padding structure violated
+  kUnknownSender,  // position outside the clique
+  kSelfSender,     // our own record echoed back
+  kWrongSession,   // frame sid differs from the channel's
+  kBadEpoch,       // epoch ahead of anything announced
+  kStaleEpoch,     // epoch retired (grace exhausted or >1 behind)
+  kReplayed,       // seq already accepted in this epoch
+  kTooOld,         // seq fell off the replay window
+  kAuthFailed,     // AEAD rejected the record
+  kSenderClosed,   // record after the sender's kClose
+  kOversized,      // plaintext above max_plaintext
+  kBadPadding,     // pad bytes non-zero or length prefix out of range
+  kReasonCount,    // sentinel — array size below
+};
+
+[[nodiscard]] constexpr const char* to_string(RejectReason r) noexcept {
+  switch (r) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kMalformed: return "malformed";
+    case RejectReason::kUnknownSender: return "unknown sender";
+    case RejectReason::kSelfSender: return "self sender";
+    case RejectReason::kWrongSession: return "wrong session";
+    case RejectReason::kBadEpoch: return "bad epoch";
+    case RejectReason::kStaleEpoch: return "stale epoch";
+    case RejectReason::kReplayed: return "replayed";
+    case RejectReason::kTooOld: return "too old";
+    case RejectReason::kAuthFailed: return "auth failed";
+    case RejectReason::kSenderClosed: return "sender closed";
+    case RejectReason::kOversized: return "oversized";
+    case RejectReason::kBadPadding: return "bad padding";
+    case RejectReason::kReasonCount: break;
+  }
+  return "unknown";
+}
+
+struct RecordResult {
+  RecordVerdict verdict = RecordVerdict::kRejected;
+  RejectReason reason = RejectReason::kNone;
+  std::uint32_t sender = 0;
+  Bytes plaintext;  // set iff verdict == kDelivered
+};
+
+/// Local counters, one endpoint's view of channel health.
+struct ChannelStats {
+  std::uint64_t records_sent = 0;
+  std::uint64_t bytes_sent = 0;  // plaintext bytes
+  std::uint64_t records_delivered = 0;
+  std::uint64_t bytes_delivered = 0;  // plaintext bytes
+  std::uint64_t records_rejected = 0;
+  std::uint64_t rekeys_sent = 0;
+  std::uint64_t rekeys_accepted = 0;
+  std::array<std::uint64_t,
+             static_cast<std::size_t>(RejectReason::kReasonCount)>
+      rejected_by_reason{};
+
+  [[nodiscard]] std::uint64_t rejected(RejectReason r) const {
+    return rejected_by_reason[static_cast<std::size_t>(r)];
+  }
+};
+
+class ChannelEndpoint {
+ public:
+  /// `self` must be a member of `keys`' clique; throws ProtocolError
+  /// otherwise.
+  ChannelEndpoint(const ChannelKeys& keys, std::uint32_t self,
+                  ChannelOptions options = {});
+
+  [[nodiscard]] std::uint64_t session_id() const noexcept {
+    return session_id_;
+  }
+  [[nodiscard]] std::uint32_t self() const noexcept { return self_; }
+  [[nodiscard]] const ChannelStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint32_t send_epoch() const noexcept {
+    return send_.epoch;
+  }
+
+  /// Encrypts `plaintext` as one kData record. Usually one frame; two
+  /// when a rekey threshold fired (REKEY first, then the data record
+  /// under the new epoch). Throws ProtocolError after close() and on
+  /// oversized plaintext.
+  [[nodiscard]] std::vector<service::Frame> send(BytesView plaintext);
+
+  /// Forces an epoch bump now; returns the REKEY record to broadcast.
+  [[nodiscard]] service::Frame rekey();
+
+  /// Half-close: the kClose record to broadcast. Further send() throws.
+  [[nodiscard]] service::Frame close_frame();
+
+  /// Judges one inbound frame. Never throws on wire input.
+  [[nodiscard]] RecordResult open(const service::Frame& frame);
+
+  [[nodiscard]] bool closed() const noexcept { return closed_; }
+  /// Every peer and the endpoint itself have half-closed.
+  [[nodiscard]] bool drained() const;
+
+ private:
+  struct SendState {
+    Bytes key;
+    std::uint32_t epoch = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t epoch_records = 0;
+    std::uint64_t epoch_bytes = 0;
+  };
+  struct PeerState {
+    Bytes key;
+    std::uint32_t epoch = 0;
+    ReplayWindow window;
+    // Previous epoch, kept alive for a bounded grace interval.
+    std::optional<Bytes> prev_key;
+    std::uint32_t prev_epoch = 0;
+    ReplayWindow prev_window;
+    std::uint64_t grace_left = 0;
+    bool closed = false;
+  };
+
+  [[nodiscard]] service::Frame seal_send(RecordType type, BytesView body);
+  [[nodiscard]] RecordResult reject(RejectReason reason,
+                                    std::uint32_t sender);
+  [[nodiscard]] RecordResult judge(PeerState& peer, std::uint32_t sender,
+                                   const RecordHeader& header,
+                                   BytesView sealed);
+
+  std::uint64_t session_id_;
+  std::uint32_t self_;
+  ChannelOptions options_;
+  SendState send_;
+  std::map<std::uint32_t, PeerState> peers_;
+  ChannelStats stats_;
+  bool closed_ = false;
+};
+
+}  // namespace shs::channel

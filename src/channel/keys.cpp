@@ -1,0 +1,74 @@
+#include "channel/keys.h"
+
+#include <algorithm>
+
+#include "common/codec.h"
+#include "common/errors.h"
+#include "crypto/hmac.h"
+#include "obs/redact.h"
+
+namespace shs::channel {
+
+namespace {
+
+constexpr std::string_view kSalt = "shs-channel-v1";
+constexpr std::string_view kBaseInfo = "shs-channel-base";
+constexpr std::string_view kAttachInfo = "shs-channel-attach";
+constexpr std::string_view kSenderInfo = "shs-channel-sender";
+constexpr std::string_view kRatchetInfo = "shs-channel-ratchet";
+constexpr std::string_view kTokenLabel = "shs-channel-token";
+constexpr std::size_t kKeyLen = 32;
+
+}  // namespace
+
+ChannelKeys::ChannelKeys(BytesView session_key, std::uint64_t session_id,
+                         std::vector<std::uint32_t> members)
+    : session_id_(session_id), members_(std::move(members)) {
+  std::sort(members_.begin(), members_.end());
+  members_.erase(std::unique(members_.begin(), members_.end()),
+                 members_.end());
+  if (members_.empty()) {
+    throw ProtocolError("ChannelKeys: a channel needs at least one member");
+  }
+  ByteWriter info;
+  info.str(kBaseInfo);
+  info.u64(session_id_);
+  info.u32(static_cast<std::uint32_t>(members_.size()));
+  for (const std::uint32_t p : members_) info.u32(p);
+  base_ = crypto::hkdf(session_key, to_bytes(kSalt), info.take(), kKeyLen);
+  obs::audit_secret(base_, "channel-base-key");
+  attach_key_ = crypto::hkdf(base_, {}, to_bytes(kAttachInfo), kKeyLen);
+  obs::audit_secret(attach_key_, "channel-attach-key");
+}
+
+bool ChannelKeys::has_member(std::uint32_t position) const {
+  return std::binary_search(members_.begin(), members_.end(), position);
+}
+
+Bytes ChannelKeys::record_key(std::uint32_t position) const {
+  if (!has_member(position)) {
+    throw ProtocolError("ChannelKeys: position is not in the clique");
+  }
+  ByteWriter info;
+  info.str(kSenderInfo);
+  info.u32(position);
+  Bytes key = crypto::hkdf(base_, {}, info.take(), kKeyLen);
+  obs::audit_secret(key, "channel-record-key");
+  return key;
+}
+
+Bytes ChannelKeys::ratchet(BytesView record_key) {
+  Bytes key = crypto::hkdf(record_key, {}, to_bytes(kRatchetInfo), kKeyLen);
+  obs::audit_secret(key, "channel-record-key");
+  return key;
+}
+
+Bytes ChannelKeys::attach_token(std::uint32_t position) const {
+  ByteWriter msg;
+  msg.str(kTokenLabel);
+  msg.u64(session_id_);
+  msg.u32(position);
+  return crypto::hmac_sha256(attach_key_, msg.take());
+}
+
+}  // namespace shs::channel

@@ -1,0 +1,76 @@
+// Channel key schedule: from one handshake session_key to the per-sender
+// record keys, rekey ratchet and attach tokens of an in-clique encrypted
+// channel (DESIGN.md §13).
+//
+//   base          = HKDF(session_key, "shs-channel-v1",
+//                        "shs-channel-base" || sid || clique positions)
+//   attach_key    = HKDF(base, -, "shs-channel-attach")
+//   key[0][i]     = HKDF(base, -, "shs-channel-sender" || i)   (epoch 0)
+//   key[e+1][i]   = HKDF(key[e][i], -, "shs-channel-ratchet")
+//   token(p)      = HMAC(attach_key, "shs-channel-token" || sid || p)
+//
+// Binding the base to the session id and the exact clique membership
+// means two cliques sharing a session key by accident (impossible by
+// construction, but cheap to rule out) or the same clique under two
+// session ids derive unrelated record keys. Directional per-sender keys
+// make every sender's CTR nonce space private: IV = epoch||sender||seq
+// never collides across members, and a member cannot forge another
+// member's records without that member's send key (which every clique
+// member holds — the channel authenticates *clique membership*, exactly
+// the guarantee the handshake itself gives).
+//
+// The attach token is deliberately derived through a key separated from
+// all record keys: it crosses the wire in the clear (it proves knowledge
+// of the session key to the relay), so it must be useless for record
+// decryption. base/attach/record keys register with the redaction audit;
+// tokens do not (they are wire-visible by design).
+//
+// Everyone in the clique computes the same schedule from the same
+// session key — the relay only ever learns the tokens the server side
+// derives for admission control.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace shs::channel {
+
+class ChannelKeys {
+ public:
+  /// `members` are the clique's confirmed positions
+  /// (HandshakeOutcome::clique_positions()); sorted and deduplicated
+  /// here. Throws ProtocolError on an empty member set.
+  ChannelKeys(BytesView session_key, std::uint64_t session_id,
+              std::vector<std::uint32_t> members);
+
+  [[nodiscard]] std::uint64_t session_id() const noexcept {
+    return session_id_;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& members() const noexcept {
+    return members_;
+  }
+  [[nodiscard]] bool has_member(std::uint32_t position) const;
+
+  /// Epoch-0 record key of `position` (registered with the redaction
+  /// audit). Throws ProtocolError for a position outside the clique.
+  [[nodiscard]] Bytes record_key(std::uint32_t position) const;
+
+  /// One rekey step: the epoch-(e+1) key from the epoch-e key. Forward
+  /// secrecy within the channel: a compromised current key does not
+  /// reveal earlier epochs (the ratchet is one-way).
+  [[nodiscard]] static Bytes ratchet(BytesView record_key);
+
+  /// The clear-text credential a member presents to the relay to attach
+  /// as `position`. Constant-time-compared by the roster.
+  [[nodiscard]] Bytes attach_token(std::uint32_t position) const;
+
+ private:
+  std::uint64_t session_id_;
+  std::vector<std::uint32_t> members_;
+  Bytes base_;
+  Bytes attach_key_;
+};
+
+}  // namespace shs::channel

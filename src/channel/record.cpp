@@ -1,0 +1,116 @@
+#include "channel/record.h"
+
+#include "common/codec.h"
+#include "common/errors.h"
+
+namespace shs::channel {
+
+namespace {
+
+constexpr std::string_view kAadLabel = "shs-channel-record";
+
+void write_header(ByteWriter& w, const RecordHeader& header) {
+  w.u8(static_cast<std::uint8_t>(header.type));
+  w.u32(header.epoch);
+  w.u64(header.seq);
+}
+
+}  // namespace
+
+Bytes record_iv(std::uint32_t epoch, std::uint32_t sender,
+                std::uint64_t seq) {
+  ByteWriter w;
+  w.u32(epoch);
+  w.u32(sender);
+  w.u64(seq);
+  Bytes iv = w.take();
+  static_assert(4 + 4 + 8 == crypto::Aead::kIvSize);
+  return iv;
+}
+
+Bytes record_aad(std::uint64_t session_id, std::uint32_t sender,
+                 const RecordHeader& header) {
+  ByteWriter w;
+  w.str(kAadLabel);
+  w.u64(session_id);
+  w.u32(sender);
+  write_header(w, header);
+  return w.take();
+}
+
+service::Frame seal_record(BytesView key, std::uint64_t session_id,
+                           std::uint32_t sender, const RecordHeader& header,
+                           BytesView body) {
+  const crypto::Aead aead(key);
+  const Bytes iv = record_iv(header.epoch, sender, header.seq);
+  const Bytes aad = record_aad(session_id, sender, header);
+  ByteWriter w;
+  write_header(w, header);
+  w.raw(aead.seal(body, iv, aad));
+  service::Frame frame;
+  frame.session_id = session_id;
+  frame.round = kChannelRound;
+  frame.position = sender;
+  frame.payload = w.take();
+  return frame;
+}
+
+std::optional<RecordHeader> parse_record_header(const service::Frame& frame) {
+  if (!is_channel_frame(frame)) return std::nullopt;
+  if (frame.payload.size() < kMinRecordPayload) return std::nullopt;
+  ByteReader r(frame.payload);
+  RecordHeader header;
+  const std::uint8_t type = r.u8();
+  if (type < static_cast<std::uint8_t>(RecordType::kData) ||
+      type > static_cast<std::uint8_t>(RecordType::kClose)) {
+    return std::nullopt;
+  }
+  header.type = static_cast<RecordType>(type);
+  header.epoch = r.u32();
+  header.seq = r.u64();
+  return header;
+}
+
+Bytes open_record_body(BytesView key, std::uint64_t session_id,
+                       std::uint32_t sender, const RecordHeader& header,
+                       BytesView sealed) {
+  if (sealed.size() < crypto::Aead::kOverhead) {
+    throw VerifyError("channel record: sealed body too short");
+  }
+  // The header dictates the IV; a sender that embeds any other IV is
+  // violating the nonce discipline, so fail before touching the AEAD.
+  const Bytes iv = record_iv(header.epoch, sender, header.seq);
+  if (!ct_equal(sealed.first(crypto::Aead::kIvSize), iv)) {
+    throw VerifyError("channel record: IV does not match the header");
+  }
+  const crypto::Aead aead(key);
+  return aead.open(sealed, record_aad(session_id, sender, header));
+}
+
+Bytes pad_payload(BytesView data, std::size_t quantum) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(data.size()));
+  w.raw(data);
+  Bytes out = w.take();
+  if (quantum > 1) {
+    const std::size_t rem = out.size() % quantum;
+    if (rem != 0) out.resize(out.size() + (quantum - rem), 0);
+  }
+  return out;
+}
+
+std::optional<Bytes> unpad_payload(BytesView padded) {
+  if (padded.size() < 4) return std::nullopt;
+  ByteReader r(padded);
+  const std::uint32_t len = r.u32();
+  if (len > padded.size() - 4) return std::nullopt;
+  Bytes out = r.raw(len);
+  // Padding must be all-zero: anything else is a malformed (or covertly
+  // channeled) record and is rejected.
+  for (std::size_t i = 4 + len; i < padded.size(); ++i) {
+    if (padded[i] != 0) return std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace shs::channel

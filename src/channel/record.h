@@ -1,0 +1,153 @@
+// Wire format of the post-handshake record layer (DESIGN.md §13).
+//
+// Channel records ride the existing service::Frame codec: a record is a
+// frame whose `round` field carries the sentinel kChannelRound ("CHAN")
+// and whose `position` names the sending clique member. The payload is
+//
+//   u8  type      kData | kRekey | kClose
+//   u32 epoch     key-schedule generation of the sender
+//   u64 seq       per-sender, per-epoch monotonic record counter
+//   ...body       Aead::seal output (IV || ct || tag)
+//
+// The AEAD IV is fully determined by the record coordinates —
+// epoch(4) || sender(4) || seq(8) — so every (key, IV) pair is used
+// exactly once as long as seq is monotonic within an epoch and the key
+// ratchets on every epoch bump; the Debug-build IvGuard in crypto::Aead
+// enforces exactly this discipline. Receivers recompute the IV from the
+// header and reject records whose sealed body carries any other IV
+// (kMalformed) — a sender cannot bend its own nonce sequence.
+//
+// The AAD binds everything the ciphertext does not cover: the session
+// id, the sender position, and the header triple. A record spliced into
+// another session, re-attributed to another sender, or replayed under a
+// bumped header fails authentication even though the AEAD body itself is
+// untouched.
+//
+// Replay/reorder policy: per-sender 64-record sliding window (the IPsec
+// anti-replay construction). TCP delivers each sender's records in
+// order, so the window is only exercised by an adversary — but keeping
+// it makes the record layer safe over any future datagram transport too.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+#include "crypto/aead.h"
+#include "service/frame.h"
+
+namespace shs::channel {
+
+/// Sentinel `round` value marking a frame as a channel record ("CHAN").
+/// Handshake rounds are small integers; control frames use sid 0 — the
+/// sentinel collides with neither.
+inline constexpr std::uint32_t kChannelRound = 0x4348414e;
+
+[[nodiscard]] inline bool is_channel_frame(const service::Frame& f) noexcept {
+  return f.session_id != 0 && f.round == kChannelRound;
+}
+
+enum class RecordType : std::uint8_t {
+  kData = 1,   // application bytes (possibly padded)
+  kRekey = 2,  // sender announces epoch+1; body authenticates the target
+  kClose = 3,  // sender's half-close; no records from it after this
+};
+
+/// type(1) + epoch(4) + seq(8).
+inline constexpr std::size_t kRecordHeaderSize = 13;
+/// Every record body is at least IV || tag.
+inline constexpr std::size_t kMinRecordPayload =
+    kRecordHeaderSize + crypto::Aead::kOverhead;
+
+struct RecordHeader {
+  RecordType type = RecordType::kData;
+  std::uint32_t epoch = 0;
+  std::uint64_t seq = 0;
+};
+
+/// Deterministic AEAD IV of a record: epoch || sender || seq (16 bytes).
+[[nodiscard]] Bytes record_iv(std::uint32_t epoch, std::uint32_t sender,
+                              std::uint64_t seq);
+
+/// Associated data binding a record to its coordinates:
+/// "shs-channel-record" || sid || sender || type || epoch || seq.
+[[nodiscard]] Bytes record_aad(std::uint64_t session_id, std::uint32_t sender,
+                               const RecordHeader& header);
+
+/// Builds a complete channel frame: header || seal(body) under `key`.
+[[nodiscard]] service::Frame seal_record(BytesView key,
+                                         std::uint64_t session_id,
+                                         std::uint32_t sender,
+                                         const RecordHeader& header,
+                                         BytesView body);
+
+/// Parses the 13-byte record header off a channel frame's payload.
+/// Returns nullopt (never throws) on malformed input, including an
+/// unknown type byte or a body shorter than the AEAD overhead.
+[[nodiscard]] std::optional<RecordHeader> parse_record_header(
+    const service::Frame& frame);
+
+/// Authenticates and decrypts a record body. Throws VerifyError on
+/// authentication failure or when the embedded IV is not the one the
+/// header dictates.
+[[nodiscard]] Bytes open_record_body(BytesView key, std::uint64_t session_id,
+                                     std::uint32_t sender,
+                                     const RecordHeader& header,
+                                     BytesView sealed);
+
+/// Length hiding: u32 length || data || zero padding up to a multiple of
+/// `quantum` (quantum 0 or 1 = no padding). The ciphertext length then
+/// reveals only ceil((4 + len) / quantum).
+[[nodiscard]] Bytes pad_payload(BytesView data, std::size_t quantum);
+
+/// Inverse of pad_payload. Returns nullopt on malformed padding (length
+/// prefix exceeding the buffer, or non-zero pad bytes).
+[[nodiscard]] std::optional<Bytes> unpad_payload(BytesView padded);
+
+/// Per-sender anti-replay state: a 64-record sliding window over seq.
+/// check() is the cheap pre-authentication query; accept() slides the
+/// window and must only be called after the record authenticated.
+class ReplayWindow {
+ public:
+  enum class Verdict { kFresh, kReplayed, kTooOld };
+
+  static constexpr std::uint64_t kWindowSize = 64;
+
+  [[nodiscard]] Verdict check(std::uint64_t seq) const noexcept {
+    if (!started_ || seq > top_) return Verdict::kFresh;
+    const std::uint64_t behind = top_ - seq;
+    if (behind >= kWindowSize) return Verdict::kTooOld;
+    return (bitmap_ & (std::uint64_t{1} << behind)) != 0 ? Verdict::kReplayed
+                                                         : Verdict::kFresh;
+  }
+
+  void accept(std::uint64_t seq) noexcept {
+    if (!started_) {
+      started_ = true;
+      top_ = seq;
+      bitmap_ = 1;
+      return;
+    }
+    if (seq > top_) {
+      const std::uint64_t shift = seq - top_;
+      bitmap_ = shift >= kWindowSize ? 0 : bitmap_ << shift;
+      bitmap_ |= 1;
+      top_ = seq;
+    } else {
+      bitmap_ |= std::uint64_t{1} << (top_ - seq);
+    }
+  }
+
+  void reset() noexcept {
+    started_ = false;
+    top_ = 0;
+    bitmap_ = 0;
+  }
+
+ private:
+  bool started_ = false;
+  std::uint64_t top_ = 0;
+  std::uint64_t bitmap_ = 0;
+};
+
+}  // namespace shs::channel

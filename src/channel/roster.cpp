@@ -1,0 +1,18 @@
+#include "channel/roster.h"
+
+namespace shs::channel {
+
+Roster::Roster(const ChannelKeys& keys)
+    : session_id_(keys.session_id()), members_(keys.members()) {
+  for (const std::uint32_t p : members_) {
+    tokens_.emplace(p, keys.attach_token(p));
+  }
+}
+
+bool Roster::token_ok(std::uint32_t position, BytesView token) const {
+  const auto it = tokens_.find(position);
+  if (it == tokens_.end()) return false;
+  return ct_equal(it->second, token);
+}
+
+}  // namespace shs::channel

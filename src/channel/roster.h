@@ -1,0 +1,45 @@
+// Relay-side admission state of one clique's channel.
+//
+// The rendezvous server is *outside* the clique: it holds no record keys
+// and can neither read nor forge records (it sees only frame headers).
+// What it does hold is the attach-token table derived from its own copy
+// of the handshake outcome — presenting the right token proves the
+// connecting client ran the handshake to the same session key, which is
+// exactly the authorization the relay needs before fanning a member's
+// records to the rest of the clique.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "channel/keys.h"
+#include "common/bytes.h"
+
+namespace shs::channel {
+
+class Roster {
+ public:
+  Roster() = default;
+  explicit Roster(const ChannelKeys& keys);
+
+  [[nodiscard]] std::uint64_t session_id() const noexcept {
+    return session_id_;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& members() const noexcept {
+    return members_;
+  }
+  [[nodiscard]] bool has(std::uint32_t position) const {
+    return tokens_.count(position) != 0;
+  }
+
+  /// Constant-time token check for an attach attempt.
+  [[nodiscard]] bool token_ok(std::uint32_t position, BytesView token) const;
+
+ private:
+  std::uint64_t session_id_ = 0;
+  std::vector<std::uint32_t> members_;
+  std::map<std::uint32_t, Bytes> tokens_;
+};
+
+}  // namespace shs::channel

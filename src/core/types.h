@@ -130,6 +130,17 @@ struct HandshakeOutcome {
     for (bool b : partner) n += b ? 1 : 0;
     return n;
   }
+
+  /// Confirmed positions in ascending order — the clique this participant
+  /// shares `session_key` with (includes its own position on success).
+  /// This is what the channel key schedule binds record keys to.
+  [[nodiscard]] std::vector<std::uint32_t> clique_positions() const {
+    std::vector<std::uint32_t> out;
+    for (std::size_t j = 0; j < partner.size(); ++j) {
+      if (partner[j]) out.push_back(static_cast<std::uint32_t>(j));
+    }
+    return out;
+  }
 };
 
 }  // namespace shs::core

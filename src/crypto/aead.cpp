@@ -1,10 +1,30 @@
 #include "crypto/aead.h"
 
+#include <cassert>
+
+#include "common/codec.h"
 #include "common/errors.h"
 #include "crypto/aes.h"
 #include "crypto/hmac.h"
 
 namespace shs::crypto {
+
+namespace {
+
+/// MAC input. With no aad this is exactly the legacy iv||ciphertext (the
+/// handshake's wire format, unchanged); with aad it is
+/// u64(aad.size) || aad || iv || ciphertext — the length prefix keeps the
+/// aad/ciphertext boundary unambiguous.
+Bytes mac_input(BytesView aad, BytesView iv_and_body) {
+  if (aad.empty()) return Bytes(iv_and_body.begin(), iv_and_body.end());
+  ByteWriter w;
+  w.u64(aad.size());
+  w.raw(aad);
+  w.raw(iv_and_body);
+  return w.take();
+}
+
+}  // namespace
 
 Aead::Aead(BytesView key) {
   const Bytes material =
@@ -13,23 +33,49 @@ Aead::Aead(BytesView key) {
   mac_key_.assign(material.begin() + 32, material.end());
 }
 
+void Aead::note_iv(BytesView iv) const {
+#ifndef NDEBUG
+  const std::lock_guard<std::mutex> lock(iv_guard_->mu);
+  const bool fresh =
+      iv_guard_->seen.insert(Bytes(iv.begin(), iv.end())).second;
+  assert(fresh && "Aead: (key, IV) pair reused — CTR nonce discipline broken");
+  (void)fresh;
+#else
+  (void)iv;
+#endif
+}
+
 Bytes Aead::seal(BytesView plaintext, num::RandomSource& rng) const {
   const Bytes iv = rng.bytes(kIvSize);
+  note_iv(iv);
+  return seal_with_iv(plaintext, iv, {});
+}
+
+Bytes Aead::seal(BytesView plaintext, BytesView iv, BytesView aad) const {
+  if (iv.size() != kIvSize) {
+    throw VerifyError("Aead::seal: IV must be exactly kIvSize bytes");
+  }
+  note_iv(iv);
+  return seal_with_iv(plaintext, iv, aad);
+}
+
+Bytes Aead::seal_with_iv(BytesView plaintext, BytesView iv,
+                         BytesView aad) const {
   const Bytes body = aes_ctr(enc_key_, iv, plaintext);
-  Bytes out = iv;
+  Bytes out(iv.begin(), iv.end());
   append(out, body);
-  const Bytes tag = hmac_sha256(mac_key_, out);
+  const Bytes tag = hmac_sha256(mac_key_, mac_input(aad, out));
   append(out, tag);
   return out;
 }
 
-Bytes Aead::open(BytesView sealed) const {
+Bytes Aead::open(BytesView sealed, BytesView aad) const {
   if (sealed.size() < kOverhead) {
     throw VerifyError("Aead::open: ciphertext too short");
   }
   const BytesView authed = sealed.first(sealed.size() - kTagSize);
   const BytesView tag = sealed.last(kTagSize);
-  if (!ct_equal(hmac_sha256(mac_key_, authed), tag)) {
+  if (!ct_equal(hmac_sha256(mac_key_, mac_input(aad, authed)), tag)) {
     throw VerifyError("Aead::open: authentication failure");
   }
   const BytesView iv = sealed.first(kIvSize);

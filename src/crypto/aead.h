@@ -5,7 +5,28 @@
 // This is the SENC/SDEC of the GCD handshake (paper §7 Phase III). Its
 // ciphertexts (IV || body || tag) are pseudorandom bytes, which is exactly
 // what the Case-2 "publish random ciphertext" simulation relies on.
+//
+// Two sealing disciplines share one wire format:
+//   - seal(plaintext, rng): a fresh random IV per call (the handshake's
+//     mode — ciphertexts must be indistinguishable from random strings).
+//   - seal(plaintext, iv[, aad]): a caller-supplied deterministic IV,
+//     for counter-mode nonce discipline (the channel record layer derives
+//     IV = epoch||sender||seq and never repeats one under a key). With a
+//     non-empty `aad` the MAC additionally binds caller context (record
+//     headers) without encrypting it; open() must present the same aad.
+//     An empty aad keeps the MAC input bit-identical to the legacy
+//     format, so existing ciphertexts and wire peers are unaffected.
+//
+// Debug builds assert that a (key, IV) pair is never sealed twice on any
+// Aead sharing that key (copies share the guard): CTR nonce reuse leaks
+// plaintext XORs, so reuse is a programming error worth crashing on.
 #pragma once
+
+#ifndef NDEBUG
+#include <memory>
+#include <mutex>
+#include <set>
+#endif
 
 #include "bigint/random.h"
 #include "common/bytes.h"
@@ -21,11 +42,19 @@ class Aead {
   /// Any key length is accepted; subkeys are derived with HKDF.
   explicit Aead(BytesView key);
 
-  /// Returns IV || ciphertext || tag.
+  /// Returns IV || ciphertext || tag under a fresh random IV.
   [[nodiscard]] Bytes seal(BytesView plaintext, num::RandomSource& rng) const;
 
-  /// Throws VerifyError on any authentication failure.
-  [[nodiscard]] Bytes open(BytesView sealed) const;
+  /// Deterministic-IV overload: the caller owns nonce discipline and
+  /// must never reuse an IV under this key (debug builds assert).
+  /// `aad` is MAC-bound but not encrypted; pass the same bytes to open().
+  /// Throws VerifyError if `iv` is not kIvSize bytes.
+  [[nodiscard]] Bytes seal(BytesView plaintext, BytesView iv,
+                           BytesView aad = {}) const;
+
+  /// Throws VerifyError on any authentication failure (including an aad
+  /// that differs from the one sealed with).
+  [[nodiscard]] Bytes open(BytesView sealed, BytesView aad = {}) const;
 
   /// Samples a string from the ciphertext space for a plaintext of
   /// `plaintext_len` bytes — used by the Case-2 handshake simulation.
@@ -33,8 +62,21 @@ class Aead {
                                                num::RandomSource& rng);
 
  private:
+  [[nodiscard]] Bytes seal_with_iv(BytesView plaintext, BytesView iv,
+                                   BytesView aad) const;
+  void note_iv(BytesView iv) const;
+
   Bytes enc_key_;
   Bytes mac_key_;
+#ifndef NDEBUG
+  // Copies of an Aead share one key, so they share one reuse guard; the
+  // shared_ptr keeps the class copyable. Compiled out in release builds.
+  struct IvGuard {
+    std::mutex mu;
+    std::set<Bytes> seen;
+  };
+  std::shared_ptr<IvGuard> iv_guard_ = std::make_shared<IvGuard>();
+#endif
 };
 
 }  // namespace shs::crypto

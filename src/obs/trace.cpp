@@ -41,6 +41,8 @@ ChromeShape chrome_shape(TraceEvent type) {
     case TraceEvent::kBackpressureResume: return {"backpressure resume", 'i'};
     case TraceEvent::kBackpressureKill: return {"backpressure kill", 'i'};
     case TraceEvent::kBatchVerify: return {"batch verify", 'X'};
+    case TraceEvent::kChannelRecord: return {"channel record", 'i'};
+    case TraceEvent::kRekey: return {"rekey", 'i'};
   }
   return {"unknown", 'i'};
 }
@@ -63,6 +65,8 @@ const char* to_string(TraceEvent event) noexcept {
     case TraceEvent::kBackpressureResume: return "backpressure-resume";
     case TraceEvent::kBackpressureKill: return "backpressure-kill";
     case TraceEvent::kBatchVerify: return "batch-verify";
+    case TraceEvent::kChannelRecord: return "channel-record";
+    case TraceEvent::kRekey: return "rekey";
   }
   return "unknown";
 }

@@ -58,6 +58,8 @@ enum class TraceEvent : std::uint8_t {
   kBatchVerify = 13,         // sid 0; a: jobs resolved, b: unique jobs
                              // after dedup; dur: flush wall time,
                              // modexp: the flush's shared modexp cost
+  kChannelRecord = 14,       // a: sending position, b: record bytes
+  kRekey = 15,               // a: sending position, b: new epoch
 };
 
 [[nodiscard]] const char* to_string(TraceEvent event) noexcept;

@@ -5,9 +5,9 @@
 
 namespace shs::service {
 
-Bytes encode_frame(const Frame& frame) {
-  if (frame.payload.size() > kMaxFramePayload) {
-    throw CodecError("encode_frame: payload exceeds kMaxFramePayload");
+Bytes encode_frame(const Frame& frame, std::size_t max_payload) {
+  if (frame.payload.size() > max_payload) {
+    throw CodecError("encode_frame: payload exceeds the payload cap");
   }
   ByteWriter w;
   w.u32(static_cast<std::uint32_t>(kFrameHeaderSize + frame.payload.size()));
@@ -21,18 +21,18 @@ Bytes encode_frame(const Frame& frame) {
 namespace {
 
 /// Validated body length from a frame's u32 prefix.
-std::size_t checked_length(std::uint32_t length) {
+std::size_t checked_length(std::uint32_t length, std::size_t max_payload) {
   if (length < kFrameHeaderSize) {
     throw CodecError("frame: length shorter than header");
   }
-  if (length - kFrameHeaderSize > kMaxFramePayload) {
-    throw CodecError("frame: payload exceeds kMaxFramePayload");
+  if (length - kFrameHeaderSize > max_payload) {
+    throw CodecError("frame: payload exceeds the payload cap");
   }
   return length;
 }
 
-Frame read_frame(ByteReader& r) {
-  const std::size_t length = checked_length(r.u32());
+Frame read_frame(ByteReader& r, std::size_t max_payload) {
+  const std::size_t length = checked_length(r.u32(), max_payload);
   Frame frame;
   frame.session_id = r.u64();
   frame.round = r.u32();
@@ -43,9 +43,9 @@ Frame read_frame(ByteReader& r) {
 
 }  // namespace
 
-Frame decode_frame(BytesView wire) {
+Frame decode_frame(BytesView wire, std::size_t max_payload) {
   ByteReader r(wire);
-  Frame frame = read_frame(r);
+  Frame frame = read_frame(r, max_payload);
   r.expect_done();
   return frame;
 }
@@ -73,10 +73,10 @@ std::optional<Frame> FrameBuffer::next() {
   }
   // Bounds are checked before waiting for the body: a hostile length
   // prefix fails fast instead of stalling the stream forever.
-  const std::size_t body = checked_length(length);
+  const std::size_t body = checked_length(length, max_payload_);
   if (available < 4 + body) return std::nullopt;
   ByteReader r(BytesView(buf_).subspan(pos_, 4 + body));
-  Frame frame = read_frame(r);
+  Frame frame = read_frame(r, max_payload_);
   pos_ += 4 + body;
   return frame;
 }

@@ -3,8 +3,8 @@
 // A handshake session's broadcasts travel between endpoints and the
 // rendezvous point as self-delimiting frames on an untrusted byte stream:
 //
-//   u32  length    (header + payload; bounds-checked against
-//                   kMaxFramePayload before any allocation)
+//   u32  length    (header + payload; bounds-checked against the
+//                   payload cap before any allocation)
 //   u64  session_id
 //   u32  round
 //   u32  position  (sender position within the session, 0..m-1)
@@ -15,6 +15,11 @@
 // rejected at the frame layer before it can touch session state. The
 // FrameBuffer reassembles frames from arbitrarily fragmented stream
 // chunks (TCP-style delivery) without copying payloads twice.
+//
+// The payload cap is a per-instance option: kMaxFramePayload (1 MiB) is
+// the default every existing caller keeps, but streams carrying channel
+// records and streams carrying handshake broadcasts can now run under
+// different caps (encode_frame/decode_frame take an explicit cap too).
 #pragma once
 
 #include <cstdint>
@@ -25,7 +30,7 @@
 
 namespace shs::service {
 
-/// Hard cap on one frame's payload. Handshake broadcasts at every
+/// Default cap on one frame's payload. Handshake broadcasts at every
 /// supported parameter level are far below this; anything larger is an
 /// attack or a desynchronized stream.
 inline constexpr std::size_t kMaxFramePayload = 1u << 20;
@@ -48,12 +53,14 @@ struct Frame {
 }
 
 /// Encodes one frame, length prefix included. Throws CodecError if the
-/// payload exceeds kMaxFramePayload.
-[[nodiscard]] Bytes encode_frame(const Frame& frame);
+/// payload exceeds `max_payload` (default: kMaxFramePayload).
+[[nodiscard]] Bytes encode_frame(const Frame& frame,
+                                 std::size_t max_payload = kMaxFramePayload);
 
 /// Decodes exactly one encoded frame (no trailing bytes allowed). Throws
 /// CodecError on truncation, trailing garbage, or an out-of-bounds length.
-[[nodiscard]] Frame decode_frame(BytesView wire);
+[[nodiscard]] Frame decode_frame(BytesView wire,
+                                 std::size_t max_payload = kMaxFramePayload);
 
 /// A stream exceeded its FrameBuffer's buffered-byte cap: the peer keeps
 /// sending without ever completing a frame the consumer can drain
@@ -83,6 +90,10 @@ class FrameBuffer {
   FrameBuffer() = default;
   explicit FrameBuffer(std::size_t max_buffered)
       : max_buffered_(max_buffered) {}
+  /// Per-instance payload cap (replaces the old hard kMaxFramePayload
+  /// constant; passing kMaxFramePayload reproduces it exactly).
+  FrameBuffer(std::size_t max_buffered, std::size_t max_payload)
+      : max_buffered_(max_buffered), max_payload_(max_payload) {}
 
   void feed(BytesView chunk);
 
@@ -99,10 +110,16 @@ class FrameBuffer {
     return max_buffered_;
   }
 
+  /// The payload cap next() enforces on each frame.
+  [[nodiscard]] std::size_t max_payload() const noexcept {
+    return max_payload_;
+  }
+
  private:
   Bytes buf_;
   std::size_t pos_ = 0;  // consumed prefix of buf_
   std::size_t max_buffered_ = kDefaultMaxBuffered;
+  std::size_t max_payload_ = kMaxFramePayload;
 };
 
 }  // namespace shs::service

@@ -151,6 +151,15 @@ void ServiceMetrics::merge_from(const ServiceMetrics& other) noexcept {
   add(batch_bisections, other.batch_bisections);
   add(batch_individual, other.batch_individual);
   max(batch_max_size, other.batch_max_size);
+  add(channels_opened, other.channels_opened);
+  add(channels_closed, other.channels_closed);
+  add(channel_attaches, other.channel_attaches);
+  add(channel_records_in, other.channel_records_in);
+  add(channel_records_relayed, other.channel_records_relayed);
+  add(channel_bytes_in, other.channel_bytes_in);
+  add(channel_bytes_relayed, other.channel_bytes_relayed);
+  add(channel_records_unowned, other.channel_records_unowned);
+  add(channel_rekeys, other.channel_rekeys);
   phase1_latency.merge(other.phase1_latency);
   phase2_latency.merge(other.phase2_latency);
   phase3_latency.merge(other.phase3_latency);
@@ -193,6 +202,16 @@ std::string ServiceMetrics::to_json(const Gauges& gauges) const {
          ", \"bisections\": " + u64(batch_bisections) +
          ", \"individual\": " + u64(batch_individual) +
          ", \"max_size\": " + u64(batch_max_size) + "},\n";
+  out += " \"channel\": {\"opened\": " + u64(channels_opened) +
+         ", \"closed\": " + u64(channels_closed) +
+         ", \"active\": " + std::to_string(gauges.channels_open) +
+         ", \"attaches\": " + u64(channel_attaches) +
+         ", \"records_in\": " + u64(channel_records_in) +
+         ", \"records_relayed\": " + u64(channel_records_relayed) +
+         ", \"bytes_in\": " + u64(channel_bytes_in) +
+         ", \"bytes_relayed\": " + u64(channel_bytes_relayed) +
+         ", \"records_unowned\": " + u64(channel_records_unowned) +
+         ", \"rekeys\": " + u64(channel_rekeys) + "},\n";
   out += " \"precomp\": {\"tables\": " + std::to_string(gauges.precomp_tables) +
          ", \"hits\": " + std::to_string(gauges.precomp_hits) +
          ", \"misses\": " + std::to_string(gauges.precomp_misses) + "},\n";
@@ -290,6 +309,33 @@ obs::MetricsSnapshot ServiceMetrics::snapshot(const Gauges& gauges) const {
           u64(batch_individual));
   gauge("shs_batch_max_size", "High-water mark of unique checks per flush",
         u64(batch_max_size));
+  counter("shs_channels_opened_total",
+          "Post-handshake channels registered with the relay",
+          u64(channels_opened));
+  counter("shs_channels_closed_total",
+          "Post-handshake channels torn down or expired",
+          u64(channels_closed));
+  gauge("shs_channels_open", "Channels currently registered with the relay",
+        gauges.channels_open);
+  counter("shs_channel_attaches_total",
+          "Accepted channel attach requests", u64(channel_attaches));
+  counter("shs_channel_records_in_total",
+          "Channel records received from attached members",
+          u64(channel_records_in));
+  counter("shs_channel_records_relayed_total",
+          "Channel records fanned out to clique members",
+          u64(channel_records_relayed));
+  counter("shs_channel_bytes_in_total",
+          "Record payload bytes received from attached members",
+          u64(channel_bytes_in));
+  counter("shs_channel_bytes_relayed_total",
+          "Record payload bytes fanned out to clique members",
+          u64(channel_bytes_relayed));
+  counter("shs_channel_records_unowned_total",
+          "Channel records dropped for attach-ownership violations",
+          u64(channel_records_unowned));
+  counter("shs_channel_rekeys_total",
+          "REKEY records observed by the relay", u64(channel_rekeys));
   gauge("shs_precomp_tables", "Fixed-base tables in the process-wide cache",
         gauges.precomp_tables);
   gauge("shs_precomp_hits", "Process-wide precomputation cache hits",

@@ -71,6 +71,9 @@ struct ServiceMetrics {
   struct Gauges {
     std::uint64_t active_sessions = 0;
     std::uint64_t active_connections = 0;
+    // Post-handshake channels currently registered with the relay hubs
+    // (attached or awaiting their first attach).
+    std::uint64_t channels_open = 0;
     // Process-wide fixed-base precomputation cache (bigint/fixed_base.h),
     // sampled at export time. Gauges rather than counters because the
     // cache is shared by every service instance in the process.
@@ -152,6 +155,25 @@ struct ServiceMetrics {
                                                  std::memory_order_relaxed)) {
     }
   }
+
+  // Post-handshake channel relay (src/channel records fanned out by the
+  // transport's per-shard ChannelHub). Byte counters are record wire
+  // payloads: *_in counts what attached members sent us, *_relayed what
+  // the hub fanned out (relayed ≈ in × (clique size − 1)).
+  alignas(64) std::atomic<std::uint64_t> channels_opened{0};
+  std::atomic<std::uint64_t> channels_closed{0};
+  std::atomic<std::uint64_t> channel_attaches{0};
+  std::atomic<std::uint64_t> channel_records_in{0};
+  std::atomic<std::uint64_t> channel_records_relayed{0};
+  std::atomic<std::uint64_t> channel_bytes_in{0};
+  std::atomic<std::uint64_t> channel_bytes_relayed{0};
+  // Channel records dropped because the sending connection is not the
+  // one attached for that (session, position) — the record-layer twin of
+  // frames_unowned.
+  std::atomic<std::uint64_t> channel_records_unowned{0};
+  // REKEY records observed by the relay (it reads only the clear type
+  // byte, never the body).
+  std::atomic<std::uint64_t> channel_rekeys{0};
 
   // Session-open -> end-of-phase latency, stamped at round completion.
   LatencyHistogram phase1_latency;

@@ -308,6 +308,7 @@ ServiceMetrics::Gauges RendezvousService::gauges() const {
   ServiceMetrics::Gauges g;
   g.active_sessions = active_sessions();
   if (connection_gauge_) g.active_connections = connection_gauge_();
+  if (channel_gauge_) g.channels_open = channel_gauge_();
   num::PrecompCache& cache = num::PrecompCache::instance();
   g.precomp_tables = cache.size();
   g.precomp_hits = cache.hits();

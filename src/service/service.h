@@ -144,6 +144,11 @@ class RendezvousService {
   void set_connection_gauge(std::function<std::uint64_t()> source) {
     connection_gauge_ = std::move(source);
   }
+  /// Installs the open-channel gauge source (the transport server sets
+  /// this to its shard hub's channel count). Unset = the gauge reads 0.
+  void set_channel_gauge(std::function<std::uint64_t()> source) {
+    channel_gauge_ = std::move(source);
+  }
   /// Point-in-time gauges: active sessions from the session table, active
   /// connections from the installed transport source. Both export
   /// surfaces read this one struct.
@@ -181,6 +186,7 @@ class RendezvousService {
   Clock* clock_;  // never null
   ServiceMetrics metrics_;
   std::function<std::uint64_t()> connection_gauge_;
+  std::function<std::uint64_t()> channel_gauge_;
   std::unique_ptr<EgressTap> tap_;
   std::unique_ptr<BatchVerifier> batch_;  // before manager_: outlives pumps
   std::unique_ptr<SessionManager> manager_;

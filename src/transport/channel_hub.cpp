@@ -1,0 +1,171 @@
+#include "transport/channel_hub.h"
+
+#include <utility>
+#include <vector>
+
+#include "channel/record.h"
+#include "transport/server.h"
+
+namespace shs::transport {
+
+namespace {
+
+void bump(std::atomic<std::uint64_t>& counter, std::uint64_t n = 1) {
+  counter.fetch_add(n, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+ChannelHub::ChannelHub(TransportServer* server,
+                       service::ServiceMetrics* metrics,
+                       obs::TraceRecorder* trace)
+    : server_(server), metrics_(metrics), trace_(trace) {}
+
+void ChannelHub::open_channel(channel::Roster roster) {
+  const std::uint64_t sid = roster.session_id();
+  const std::lock_guard<std::mutex> lock(mu_);
+  Entry entry;
+  entry.roster = std::move(roster);
+  entry.created = std::chrono::steady_clock::now();
+  if (channels_.emplace(sid, std::move(entry)).second) {
+    bump(metrics_->channels_opened);
+  }
+}
+
+service::Frame ChannelHub::attach(const AttachRequest& request,
+                                  std::uint32_t tag, ConnRef from) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = channels_.find(request.session_id);
+  if (it == channels_.end()) {
+    return make_attach_err(tag, request.session_id, "unknown channel");
+  }
+  Entry& entry = it->second;
+  if (!entry.roster.has(request.position)) {
+    return make_attach_err(tag, request.session_id, "unknown position");
+  }
+  if (!entry.roster.token_ok(request.position, request.token)) {
+    return make_attach_err(tag, request.session_id, "bad attach token");
+  }
+  const auto bound = entry.attached.find(request.position);
+  if (bound != entry.attached.end() && bound->second != from) {
+    return make_attach_err(tag, request.session_id,
+                           "position already attached");
+  }
+  entry.attached[request.position] = from;
+  entry.ever_attached = true;
+  bump(metrics_->channel_attaches);
+  AttachInfo info;
+  info.session_id = request.session_id;
+  info.members = entry.roster.members();
+  return make_attach_ok(tag, info);
+}
+
+void ChannelHub::detach(std::uint64_t sid, std::uint32_t position,
+                        ConnRef from) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = channels_.find(sid);
+  if (it == channels_.end()) return;
+  Entry& entry = it->second;
+  const auto bound = entry.attached.find(position);
+  if (bound == entry.attached.end() || bound->second != from) return;
+  entry.attached.erase(bound);
+  if (entry.ever_attached && entry.attached.empty()) close_entry(it);
+}
+
+void ChannelHub::relay(const service::Frame& frame, ConnRef from) {
+  const std::uint64_t sid = frame.session_id;
+  const std::uint32_t sender = frame.position;
+  std::vector<ConnRef> targets;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = channels_.find(sid);
+    if (it == channels_.end()) {
+      bump(metrics_->channel_records_unowned);
+      return;
+    }
+    Entry& entry = it->second;
+    const auto bound = entry.attached.find(sender);
+    if (bound == entry.attached.end() || bound->second != from) {
+      bump(metrics_->channel_records_unowned);
+      return;
+    }
+    for (const auto& [position, ref] : entry.attached) {
+      if (position != sender) targets.push_back(ref);
+    }
+  }
+  // The relay reads only the clear record header; a record no endpoint
+  // could even parse is dropped here instead of wasting fan-out.
+  const std::optional<channel::RecordHeader> header =
+      channel::parse_record_header(frame);
+  if (!header) {
+    bump(metrics_->channel_records_unowned);
+    return;
+  }
+  bump(metrics_->channel_records_in);
+  bump(metrics_->channel_bytes_in, frame.payload.size());
+  if (header->type == channel::RecordType::kRekey) {
+    bump(metrics_->channel_rekeys);
+    if (trace_ != nullptr) {
+      trace_->record(obs::TraceEvent::kRekey, sid, sender,
+                     header->epoch + 1);
+    }
+  }
+  if (trace_ != nullptr) {
+    trace_->record(obs::TraceEvent::kChannelRecord, sid, sender,
+                   frame.payload.size());
+  }
+  if (targets.empty()) return;
+  const Bytes encoded = service::encode_frame(frame);
+  for (const ConnRef& ref : targets) {
+    const std::shared_ptr<Connection> conn = server_->find_connection(ref);
+    if (conn == nullptr || conn->closed()) continue;
+    conn->send(encoded);
+    bump(metrics_->channel_records_relayed);
+    bump(metrics_->channel_bytes_relayed, frame.payload.size());
+  }
+}
+
+void ChannelHub::purge(ConnRef ref) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = channels_.begin(); it != channels_.end();) {
+    Entry& entry = it->second;
+    for (auto bound = entry.attached.begin();
+         bound != entry.attached.end();) {
+      bound = bound->second == ref ? entry.attached.erase(bound)
+                                   : std::next(bound);
+    }
+    if (entry.ever_attached && entry.attached.empty()) {
+      const auto doomed = it++;
+      close_entry(doomed);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ChannelHub::gc(std::chrono::steady_clock::time_point now,
+                    std::chrono::milliseconds linger) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = channels_.begin(); it != channels_.end();) {
+    const Entry& entry = it->second;
+    if (!entry.ever_attached && now - entry.created >= linger) {
+      const auto doomed = it++;
+      close_entry(doomed);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t ChannelHub::channels_open() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return channels_.size();
+}
+
+void ChannelHub::close_entry(
+    std::unordered_map<std::uint64_t, Entry>::iterator it) {
+  channels_.erase(it);
+  bump(metrics_->channels_closed);
+}
+
+}  // namespace shs::transport

@@ -1,0 +1,99 @@
+// ChannelHub — the relay side of the post-handshake encrypted channel,
+// one hub per shard (a channel lives on its session's home shard, like
+// the session's route table).
+//
+// When a session on this shard reaches kDone with a clique, the shard
+// registers a channel: the roster of attach tokens derived from the
+// server's own copy of the handshake outcome. Clique members then
+// re-authorize out of band — a kAttach control frame carrying the token
+// only a holder of the session key can compute — and from then on every
+// channel record the member sends is fanned out verbatim to the other
+// attached members. The hub never holds record keys: it forwards sealed
+// records it cannot read, and reads only the clear record header (type,
+// epoch) for its counters and traces.
+//
+// Ownership mirrors the session-frame rule: a record for (sid, position)
+// is relayed only when it arrives on the exact connection attached for
+// that position; anything else is dropped and counted as
+// channel_records_unowned — the relay will not let one member impersonate
+// another's *transport* identity even though records are independently
+// authenticated end-to-end.
+//
+// Threading: every method is safe from any thread (one mutex). Calls
+// arrive from loop threads (attach/detach/relay/purge), pump workers
+// (open_channel, from the terminal hook) and the expire timer (gc);
+// outbound fan-out uses Connection::send, which is any-thread safe, so
+// the hub relays synchronously — no worker hop, no reordering.
+//
+// Lifecycle: a channel dies when its last attached member detaches or
+// disconnects, or — if nobody ever attached — when the linger deadline
+// passes (gc, driven by the shard's expire timer). Both paths count
+// channels_closed, so opened - closed == open gauge.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+
+#include "channel/roster.h"
+#include "obs/trace.h"
+#include "service/metrics.h"
+#include "transport/shard.h"
+#include "transport/wire.h"
+
+namespace shs::transport {
+
+class TransportServer;
+
+class ChannelHub {
+ public:
+  ChannelHub(TransportServer* server, service::ServiceMetrics* metrics,
+             obs::TraceRecorder* trace);
+
+  /// Registers a completed session's channel. No-op if the sid is
+  /// already registered.
+  void open_channel(channel::Roster roster);
+
+  /// Processes one attach request; returns the control reply to send
+  /// back on the requesting connection (kAttachOk or kAttachErr).
+  [[nodiscard]] service::Frame attach(const AttachRequest& request,
+                                      std::uint32_t tag, ConnRef from);
+
+  /// Unbinds (sid, position) if `from` is the attached connection.
+  void detach(std::uint64_t sid, std::uint32_t position, ConnRef from);
+
+  /// Fans one channel record out to the other attached members.
+  /// Ownership-checked; unowned records are counted and dropped.
+  void relay(const service::Frame& frame, ConnRef from);
+
+  /// Drops every attachment held by `ref` (its connection closed).
+  void purge(ConnRef ref);
+
+  /// Reaps channels that never saw an attach within `linger`.
+  void gc(std::chrono::steady_clock::time_point now,
+          std::chrono::milliseconds linger);
+
+  [[nodiscard]] std::size_t channels_open() const;
+
+ private:
+  struct Entry {
+    channel::Roster roster;
+    std::map<std::uint32_t, ConnRef> attached;
+    bool ever_attached = false;
+    std::chrono::steady_clock::time_point created;
+  };
+
+  /// Removes `it` and counts the close. Caller holds mu_.
+  void close_entry(std::unordered_map<std::uint64_t, Entry>::iterator it);
+
+  TransportServer* server_;            // never null; owns the shard set
+  service::ServiceMetrics* metrics_;   // this shard's counter block
+  obs::TraceRecorder* trace_;          // may be null
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, Entry> channels_;
+};
+
+}  // namespace shs::transport

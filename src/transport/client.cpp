@@ -6,6 +6,8 @@
 #include <cerrno>
 #include <utility>
 
+#include "channel/record.h"
+
 namespace shs::transport {
 
 namespace {
@@ -74,6 +76,12 @@ std::optional<service::Frame> Client::recv_frame() {
 }
 
 void Client::handle(service::Frame frame) {
+  if (channel::is_channel_frame(frame)) {
+    // Channel records are terminal payload for this client, not session
+    // traffic — echoing one back would re-enter the relay fan-out.
+    records_.push_back(std::move(frame));
+    return;
+  }
   if (!is_control(frame)) {
     // The relay: hosted sessions expect their egress looped straight back.
     send_frame(frame);
@@ -117,6 +125,41 @@ std::uint64_t Client::await_open_reply(std::uint32_t tag) {
 
 std::uint64_t Client::open(const OpenRequest& request) {
   return open_raw(encode_open_request(request));
+}
+
+AttachInfo Client::attach(std::uint64_t session_id, std::uint32_t position,
+                          BytesView token) {
+  const std::uint32_t tag = next_tag_++;
+  AttachRequest request;
+  request.session_id = session_id;
+  request.position = position;
+  request.token = Bytes(token.begin(), token.end());
+  send_frame(make_attach(tag, request));
+  while (true) {
+    auto frame = recv_frame();
+    if (!frame) {
+      throw TransportError("client: server closed during attach");
+    }
+    if (is_control(*frame)) {
+      const auto op = static_cast<ControlOp>(frame->round);
+      if (op == ControlOp::kAttachOk && frame->position == tag) {
+        return decode_attach_ok(*frame);
+      }
+      if (op == ControlOp::kAttachErr && frame->position == tag) {
+        throw ProtocolError("attach rejected: " +
+                            decode_attach_err(*frame).second);
+      }
+    }
+    handle(std::move(*frame));
+  }
+}
+
+void Client::detach(std::uint64_t session_id, std::uint32_t position) {
+  send_frame(make_detach(session_id, position));
+}
+
+std::vector<service::Frame> Client::take_records() {
+  return std::exchange(records_, {});
 }
 
 std::uint64_t Client::open_raw(BytesView payload) {

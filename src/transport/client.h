@@ -56,6 +56,19 @@ class Client {
   std::uint64_t open(const OpenRequest& request);
   std::uint64_t open_raw(BytesView payload);
 
+  /// Binds this connection to (session_id, position) on the server's
+  /// channel relay. Returns the clique info on success; throws
+  /// ProtocolError with the server's message on rejection. Channel
+  /// records arriving while waiting are stashed in the inbox.
+  AttachInfo attach(std::uint64_t session_id, std::uint32_t position,
+                    BytesView token);
+  /// Tells the relay to stop fanning records to (session_id, position).
+  void detach(std::uint64_t session_id, std::uint32_t position);
+
+  /// Channel records received so far (relay fan-in), in arrival order.
+  /// Draining the inbox transfers ownership to the caller.
+  [[nodiscard]] std::vector<service::Frame> take_records();
+
   /// Relays until every session opened on this client is done or the
   /// server announces shutdown. Returns the summaries collected so far
   /// (one per completed session, in completion order).
@@ -90,6 +103,7 @@ class Client {
   std::uint32_t next_tag_ = 1;
   std::unordered_set<std::uint64_t> pending_;
   std::vector<SessionSummary> summaries_;
+  std::vector<service::Frame> records_;  // channel-record inbox
   bool shutdown_ = false;
 };
 

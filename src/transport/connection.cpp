@@ -27,7 +27,7 @@ Connection::Connection(EventLoop& loop, Fd fd, std::uint64_t id,
       callbacks_(std::move(callbacks)),
       metrics_(metrics),
       trace_(trace),
-      in_buf_(limits.max_unframed) {
+      in_buf_(limits.max_unframed, limits.max_payload) {
   set_nonblocking(fd_.get());
 }
 

@@ -44,6 +44,10 @@ struct ConnectionLimits {
   /// Per-connection FrameBuffer cap (buffered-but-unframed bytes).
   std::size_t max_unframed = 2 * (4 + service::kFrameHeaderSize +
                                   service::kMaxFramePayload);
+  /// Per-frame payload cap this connection's FrameBuffer enforces
+  /// (deployments raising it for bulk channel records should grow
+  /// max_unframed to match).
+  std::size_t max_payload = service::kMaxFramePayload;
 };
 
 class Connection : public std::enable_shared_from_this<Connection> {

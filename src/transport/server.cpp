@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "bigint/fixed_base.h"
+#include "transport/channel_hub.h"
 
 namespace shs::transport {
 
@@ -162,7 +163,10 @@ std::shared_ptr<Connection> TransportServer::find_connection(
 }
 
 void TransportServer::purge_routes_everywhere(ConnRef ref) {
-  for (auto& shard : shards_) shard->purge_routes_of(ref);
+  for (auto& shard : shards_) {
+    shard->purge_routes_of(ref);
+    shard->hub().purge(ref);
+  }
 }
 
 service::SessionState TransportServer::session_state(std::uint64_t sid) const {
@@ -194,6 +198,8 @@ service::ServiceMetrics::Gauges TransportServer::merged_gauges() const {
     g.active_sessions += shard->service().active_sessions();
     g.active_connections +=
         static_cast<std::uint64_t>(shard->connection_count());
+    g.channels_open +=
+        static_cast<std::uint64_t>(shard->hub().channels_open());
   }
   num::PrecompCache& cache = num::PrecompCache::instance();
   g.precomp_tables = cache.size();
@@ -255,6 +261,16 @@ std::string TransportServer::metrics_prometheus() const {
             "Frames this shard handed off to another shard's service",
             /*gauge=*/false, [&](const Shard& s) {
               return counter(s.service().metrics().frames_handoff_out);
+            });
+  per_shard("shs_shard_channels_open",
+            "Relay channels registered on one shard", /*gauge=*/true,
+            [](const Shard& s) {
+              return static_cast<std::uint64_t>(s.hub().channels_open());
+            });
+  per_shard("shs_shard_channel_records_in_total",
+            "Channel records received by one shard's hub", /*gauge=*/false,
+            [&](const Shard& s) {
+              return counter(s.service().metrics().channel_records_in);
             });
   return obs::prometheus_text(snapshot);
 }

@@ -108,6 +108,13 @@ struct ServerOptions {
   /// GC sessions (service.close) once their DONE notification is queued.
   /// Turn off when the host wants to inspect outcomes() afterwards.
   bool auto_close_sessions = true;
+  /// Register a post-handshake relay channel for every session that
+  /// completes with a clique (DESIGN.md §13). Off = kAttach is rejected
+  /// as an unknown channel and records are dropped as unowned.
+  bool enable_channels = true;
+  /// How long a registered channel that never saw an attach survives
+  /// before the home shard's expire timer reaps it.
+  std::chrono::milliseconds channel_linger{30000};
   /// Serve GET /metrics (Prometheus text, merged across shards) and GET
   /// /trace (Chrome trace JSON) from a second listener on shard 0's
   /// event loop — no extra threads. Disabled by default.
@@ -200,6 +207,7 @@ class TransportServer {
 
  private:
   friend class Shard;
+  friend class ChannelHub;
 
   void accept_ready();
   /// Deals a fresh socket to the next shard round-robin. `on_shard0_loop`

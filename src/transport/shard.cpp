@@ -3,6 +3,10 @@
 #include <future>
 #include <utility>
 
+#include "channel/keys.h"
+#include "channel/record.h"
+#include "channel/roster.h"
+#include "transport/channel_hub.h"
 #include "transport/server.h"
 
 namespace shs::transport {
@@ -30,10 +34,14 @@ Shard::Shard(TransportServer* server, std::uint32_t index,
   };
   service_ = std::make_unique<service::RendezvousService>(
       std::move(service_options));
+  hub_ = std::make_unique<ChannelHub>(server, &service_->metrics(), trace_);
   // This shard's export surfaces gauge its own sockets; the server sums
   // the per-shard gauges for the merged exposition.
   service_->set_connection_gauge([this] {
     return static_cast<std::uint64_t>(connection_count());
+  });
+  service_->set_channel_gauge([this] {
+    return static_cast<std::uint64_t>(hub_->channels_open());
   });
 }
 
@@ -47,6 +55,8 @@ void Shard::arm_expire_timer() {
     if (server_->stopping_.load(std::memory_order_acquire)) return;
     (void)service_->expire_stalled();
     drain_deferred_closes();
+    hub_->gc(std::chrono::steady_clock::now(),
+             server_->options_.channel_linger);
     arm_expire_timer();
   });
 }
@@ -102,19 +112,50 @@ void Shard::install_connection(Fd fd, std::uint64_t id) {
 
 void Shard::on_frame(Connection& conn, service::Frame frame) {
   if (is_control(frame)) {
-    if (frame.round != static_cast<std::uint32_t>(ControlOp::kOpen)) {
-      throw ProtocolError("transport: unexpected control opcode from client");
+    switch (static_cast<ControlOp>(frame.round)) {
+      case ControlOp::kOpen: {
+        if (server_->stopping_.load(std::memory_order_acquire)) {
+          conn.send(encode_frame(
+              make_open_err(frame.position, "server is shutting down")));
+          return;
+        }
+        server_->dispatch_open(ConnRef{index_, conn.id()}, frame.position,
+                               std::move(frame.payload));
+        return;
+      }
+      case ControlOp::kAttach: {
+        // The channel homes with its session; the hub is mutex-guarded
+        // and Connection::send is any-thread safe, so the cross-shard
+        // call is a plain synchronous one (decode errors propagate and
+        // close the stream like any other malformed control frame).
+        const AttachRequest request = decode_attach(frame);
+        const std::uint32_t home =
+            server_->home_shard_of(request.session_id);
+        conn.send(encode_frame(server_->shards_[home]->hub().attach(
+            request, frame.position, ConnRef{index_, conn.id()})));
+        return;
+      }
+      case ControlOp::kDetach: {
+        const auto [sid, position] = decode_detach(frame);
+        server_->shards_[server_->home_shard_of(sid)]->hub().detach(
+            sid, position, ConnRef{index_, conn.id()});
+        return;
+      }
+      default:
+        throw ProtocolError(
+            "transport: unexpected control opcode from client");
     }
-    if (server_->stopping_.load(std::memory_order_acquire)) {
-      conn.send(encode_frame(
-          make_open_err(frame.position, "server is shutting down")));
-      return;
-    }
-    server_->dispatch_open(ConnRef{index_, conn.id()}, frame.position,
-                           std::move(frame.payload));
-    return;
   }
   const std::uint32_t home = server_->home_shard_of(frame.session_id);
+  if (channel::is_channel_frame(frame)) {
+    // Channel records bypass the session path entirely: the home shard's
+    // hub does its own (sid, position) -> connection ownership check and
+    // fans the sealed record out synchronously — a record never touches
+    // the SessionManager (whose round bookkeeping would reject it) and
+    // never waits on a pump worker.
+    server_->shards_[home]->hub().relay(frame, ConnRef{index_, conn.id()});
+    return;
+  }
   if (home != index_) {
     // Hand the frame to its home shard's worker; the ownership check
     // happens there, against this sender's full ConnRef.
@@ -178,9 +219,31 @@ void Shard::on_terminal(std::uint64_t sid, service::SessionState state) {
   SessionSummary summary;
   summary.session_id = sid;
   summary.state = state;
-  for (const core::HandshakeOutcome& o : service_->outcomes(sid)) {
+  const std::vector<core::HandshakeOutcome> outcomes =
+      service_->outcomes(sid);
+  for (const core::HandshakeOutcome& o : outcomes) {
     summary.confirmed.push_back(
         static_cast<std::uint32_t>(o.confirmed_count()));
+  }
+  // Register the session's relay channel before the deferred close can
+  // reap the outcomes. The roster is derived from the first confirmed
+  // clique: under partial success distinct cliques hold distinct session
+  // keys, and members of another clique simply fail the token check —
+  // one relay channel per session is the supported shape.
+  if (state == service::SessionState::kDone &&
+      server_->options_.enable_channels) {
+    for (const core::HandshakeOutcome& o : outcomes) {
+      if (!o.completed || o.confirmed_count() < 2) continue;
+      try {
+        const channel::ChannelKeys keys(o.session_key, sid,
+                                        o.clique_positions());
+        hub_->open_channel(channel::Roster(keys));
+      } catch (const Error&) {
+        // A clique the key schedule rejects gets no channel; the
+        // handshake result itself is unaffected.
+      }
+      break;
+    }
   }
   bool routed = false;
   ConnRef ref;

@@ -48,6 +48,7 @@
 
 namespace shs::transport {
 
+class ChannelHub;
 class TransportServer;
 
 /// Identifies a connection across the shard set: the shard whose loop
@@ -85,6 +86,9 @@ class Shard {
   [[nodiscard]] const service::RendezvousService& service() const noexcept {
     return *service_;
   }
+  /// This shard's channel relay hub (channels home here like sessions).
+  [[nodiscard]] ChannelHub& hub() noexcept { return *hub_; }
+  [[nodiscard]] const ChannelHub& hub() const noexcept { return *hub_; }
 
   /// Schedules the recurring expire_stalled() timer on this shard's
   /// loop. Call before start_threads() (timers are added pre-run).
@@ -160,6 +164,7 @@ class Shard {
   obs::TraceRecorder* trace_ = nullptr;  // borrowed via ServiceOptions
   ConnectionLimits limits_;
   std::unique_ptr<service::RendezvousService> service_;
+  std::unique_ptr<ChannelHub> hub_;
   EventLoop loop_;
 
   EventLoop::TimerId expire_timer_ = 0;

@@ -106,4 +106,79 @@ OpenRequest decode_open_request(BytesView payload) {
   return request;
 }
 
+service::Frame make_attach(std::uint32_t tag, const AttachRequest& request) {
+  ByteWriter w;
+  w.u64(request.session_id);
+  w.u32(request.position);
+  w.bytes(request.token);
+  return control_frame(ControlOp::kAttach, tag, w.take());
+}
+
+service::Frame make_attach_ok(std::uint32_t tag, const AttachInfo& info) {
+  ByteWriter w;
+  w.u64(info.session_id);
+  w.u32(static_cast<std::uint32_t>(info.members.size()));
+  for (const std::uint32_t p : info.members) w.u32(p);
+  return control_frame(ControlOp::kAttachOk, tag, w.take());
+}
+
+service::Frame make_attach_err(std::uint32_t tag, std::uint64_t session_id,
+                               const std::string& message) {
+  ByteWriter w;
+  w.u64(session_id);
+  w.str(message);
+  return control_frame(ControlOp::kAttachErr, tag, w.take());
+}
+
+service::Frame make_detach(std::uint64_t session_id, std::uint32_t position) {
+  ByteWriter w;
+  w.u64(session_id);
+  w.u32(position);
+  return control_frame(ControlOp::kDetach, 0, w.take());
+}
+
+AttachRequest decode_attach(const service::Frame& frame) {
+  expect_op(frame, ControlOp::kAttach);
+  ByteReader r(frame.payload);
+  AttachRequest request;
+  request.session_id = r.u64();
+  request.position = r.u32();
+  request.token = r.bytes();
+  r.expect_done();
+  return request;
+}
+
+AttachInfo decode_attach_ok(const service::Frame& frame) {
+  expect_op(frame, ControlOp::kAttachOk);
+  ByteReader r(frame.payload);
+  AttachInfo info;
+  info.session_id = r.u64();
+  const std::uint32_t m = r.u32();
+  if (m > 4096) throw CodecError("attach info: implausible member count");
+  info.members.reserve(m);
+  for (std::uint32_t i = 0; i < m; ++i) info.members.push_back(r.u32());
+  r.expect_done();
+  return info;
+}
+
+std::pair<std::uint64_t, std::string> decode_attach_err(
+    const service::Frame& frame) {
+  expect_op(frame, ControlOp::kAttachErr);
+  ByteReader r(frame.payload);
+  const std::uint64_t sid = r.u64();
+  std::string message = r.str();
+  r.expect_done();
+  return {sid, std::move(message)};
+}
+
+std::pair<std::uint64_t, std::uint32_t> decode_detach(
+    const service::Frame& frame) {
+  expect_op(frame, ControlOp::kDetach);
+  ByteReader r(frame.payload);
+  const std::uint64_t sid = r.u64();
+  const std::uint32_t position = r.u32();
+  r.expect_done();
+  return {sid, position};
+}
+
 }  // namespace shs::transport

@@ -14,6 +14,13 @@
 //   kDone     server -> client  payload: session summary (id, final
 //                               state, per-position confirmed counts)
 //   kShutdown server -> client  the server is draining; open no more
+//   kAttach   client -> server  payload: AttachRequest (sid, position,
+//                               attach token); tag correlates the reply
+//   kAttachOk server -> client  payload: AttachInfo (sid + the clique
+//                               positions the relay will fan records to)
+//   kAttachErr server -> client payload: u64 sid + error string
+//   kDetach   client -> server  payload: u64 sid + u32 position; the
+//                               relay stops fanning to this member
 //
 // OpenRequest is the *convention* examples, tests and the bench use for
 // the kOpen payload — the SessionFactory installed on the server decides
@@ -23,6 +30,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "service/frame.h"
@@ -39,6 +47,10 @@ enum class ControlOp : std::uint32_t {
   kOpenErr = 3,
   kDone = 4,
   kShutdown = 5,
+  kAttach = 6,
+  kAttachOk = 7,
+  kAttachErr = 8,
+  kDetach = 9,
 };
 
 [[nodiscard]] constexpr bool is_control(const service::Frame& frame) noexcept {
@@ -82,5 +94,45 @@ struct OpenRequest {
 
 [[nodiscard]] Bytes encode_open_request(const OpenRequest& request);
 [[nodiscard]] OpenRequest decode_open_request(BytesView payload);
+
+/// Channel attach: a clique member asks the relay to bind its connection
+/// to (session_id, position). The token is the HMAC credential from the
+/// channel key schedule — the relay compares it constant-time against
+/// the roster it derived from its own copy of the handshake outcome.
+struct AttachRequest {
+  std::uint64_t session_id = 0;
+  std::uint32_t position = 0;
+  Bytes token;
+
+  friend bool operator==(const AttachRequest&,
+                         const AttachRequest&) = default;
+};
+
+/// Reply to a successful attach: which positions the relay fans to.
+struct AttachInfo {
+  std::uint64_t session_id = 0;
+  std::vector<std::uint32_t> members;
+
+  friend bool operator==(const AttachInfo&, const AttachInfo&) = default;
+};
+
+[[nodiscard]] service::Frame make_attach(std::uint32_t tag,
+                                         const AttachRequest& request);
+[[nodiscard]] service::Frame make_attach_ok(std::uint32_t tag,
+                                            const AttachInfo& info);
+[[nodiscard]] service::Frame make_attach_err(std::uint32_t tag,
+                                             std::uint64_t session_id,
+                                             const std::string& message);
+[[nodiscard]] service::Frame make_detach(std::uint64_t session_id,
+                                         std::uint32_t position);
+
+[[nodiscard]] AttachRequest decode_attach(const service::Frame& frame);
+[[nodiscard]] AttachInfo decode_attach_ok(const service::Frame& frame);
+/// Returns {session_id, message}.
+[[nodiscard]] std::pair<std::uint64_t, std::string> decode_attach_err(
+    const service::Frame& frame);
+/// Returns {session_id, position}.
+[[nodiscard]] std::pair<std::uint64_t, std::uint32_t> decode_detach(
+    const service::Frame& frame);
 
 }  // namespace shs::transport

@@ -1,0 +1,143 @@
+// Redaction conformance at the record layer, mirroring the PR-5 sweep:
+// channel key material (base key, attach key, per-sender record keys and
+// every ratcheted successor) registers with the process RedactionAudit,
+// the full diagnostics stack runs over live channel traffic, and no
+// surface may carry any of it raw or hex-encoded. The negative control
+// proves the scanner sees channel keys at all: a deliberately hexed
+// record key through a log line IS flagged.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "channel/endpoint.h"
+#include "channel/keys.h"
+#include "common/bytes.h"
+#include "obs/log.h"
+#include "obs/redact.h"
+#include "obs/trace.h"
+
+namespace shs::channel {
+namespace {
+
+using obs::RedactionAudit;
+
+Bytes session_key() { return to_bytes("a thirty-two byte session key!!!"); }
+
+struct AuditGuard {
+  AuditGuard() {
+    RedactionAudit::instance().reset();
+    RedactionAudit::instance().enable(true);
+  }
+  ~AuditGuard() {
+    RedactionAudit::instance().reset();
+    RedactionAudit::instance().enable(false);
+  }
+};
+
+std::string violation_summary() {
+  std::string out;
+  for (const auto& v : RedactionAudit::instance().violation_log()) {
+    out += "\n  " + v.label + " (" + v.encoding + ") leaked into " + v.surface;
+  }
+  return out;
+}
+
+// Live channel traffic with every diagnostics surface enabled — debug
+// logging of record metadata (what the transport hub logs), channel trace
+// records, and the trace export — must leave zero trace of any channel
+// key. Rekeys ratchet fresh keys mid-sweep so the registry grows while
+// the surfaces are hot; tampered records exercise the reject logging too.
+TEST(ChannelRedaction, TrafficSweepLeaksNothingOnAnySurface) {
+  AuditGuard guard;
+  RedactionAudit& audit = RedactionAudit::instance();
+
+  obs::TraceOptions to;
+  to.capacity = 1 << 10;
+  obs::TraceRecorder trace(to);
+  obs::CaptureSink sink;
+  obs::Logger::Options lo;
+  lo.level = obs::LogLevel::kDebug;
+  lo.sink = &sink;
+  obs::Logger logger(lo);
+
+  ChannelOptions options;
+  options.rekey_after_records = 8;  // several ratchets inside the sweep
+  options.pad_quantum = 64;
+  const ChannelKeys keys(session_key(), 42, {0, 1, 2, 3});
+  std::vector<ChannelEndpoint> members;
+  for (std::uint32_t p = 0; p < 4; ++p) members.emplace_back(keys, p, options);
+
+  for (int round = 0; round < 12; ++round) {
+    for (std::uint32_t s = 0; s < 4; ++s) {
+      const Bytes msg = to_bytes("round " + std::to_string(round));
+      for (const auto& frame : members[s].send(msg)) {
+        // What the relay hub records per record: coordinates and sizes.
+        trace.record(obs::TraceEvent::kChannelRecord, frame.session_id, s,
+                     frame.payload.size());
+        logger.debug("channel", "record relayed")
+            .u64("sid", frame.session_id)
+            .u64("sender", s)
+            .u64("bytes", frame.payload.size())
+            .bytes("payload", frame.payload);
+        service::Frame bent = frame;
+        bent.payload[round % bent.payload.size()] ^= 0x80;
+        for (std::uint32_t r = 0; r < 4; ++r) {
+          if (r == s) continue;
+          const RecordResult good = members[r].open(frame);
+          EXPECT_NE(good.verdict, RecordVerdict::kRejected);
+          if (good.verdict == RecordVerdict::kRekeyed) {
+            trace.record(obs::TraceEvent::kRekey, frame.session_id, s, 0);
+          }
+          const RecordResult bad = members[r].open(bent);
+          EXPECT_EQ(bad.verdict, RecordVerdict::kRejected);
+          logger.debug("channel", "record rejected")
+              .u64("sender", bad.sender)
+              .str("reason", to_string(bad.reason));
+        }
+      }
+    }
+  }
+  EXPECT_GT(members[0].send_epoch(), 0u) << "no rekey ran — sweep too small";
+
+  (void)trace.to_chrome_json();  // audits itself as "trace"
+  obs::audit_output(sink.joined(), "log_export");
+
+  EXPECT_GT(audit.secret_count(), 0u)
+      << "no channel key ever registered — the sweep audited nothing";
+  EXPECT_EQ(audit.violations(), 0u) << violation_summary();
+  EXPECT_GT(logger.emitted(), 0u);
+}
+
+// The negative control (mirrors the PR-5 session-key leak test): a
+// deliberately hexed record key through a log line is caught on the same
+// surface by the same scanner, so the zero above is a real verdict.
+TEST(ChannelRedaction, DeliberateLeakOfRecordKeyIsCaught) {
+  AuditGuard guard;
+  RedactionAudit& audit = RedactionAudit::instance();
+
+  const ChannelKeys keys(session_key(), 42, {0, 1});
+  const Bytes record_key = keys.record_key(0);
+  ASSERT_GE(record_key.size(), RedactionAudit::kMinSecretBytes);
+  ASSERT_EQ(audit.violations(), 0u);
+
+  obs::CaptureSink sink;
+  obs::Logger::Options lo;
+  lo.sink = &sink;
+  obs::Logger logger(lo);
+  logger.info("channel", "leaking on purpose")
+      .str("key_hex", to_hex(record_key));
+  ASSERT_GE(audit.violations(), 1u)
+      << "the audit missed a hexed record key — the sweep above proves "
+         "nothing";
+  EXPECT_EQ(audit.violation_log()[0].surface, "log");
+
+  // Ratcheted successors are registered too: leaking the *next* epoch's
+  // key is caught the same way.
+  const Bytes next = ChannelKeys::ratchet(record_key);
+  audit.check("surface carrying " + to_hex(next), "trace");
+  EXPECT_GE(audit.violations(), 2u);
+}
+
+}  // namespace
+}  // namespace shs::channel

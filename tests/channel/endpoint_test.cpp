@@ -1,0 +1,427 @@
+// ChannelEndpoint behavior: full-mesh byte-exact delivery, the rekey
+// state machine (thresholds, explicit bumps, grace, fail-closed epochs),
+// close/drain semantics, and the PR-2-style seeded adversary sweep at
+// the record layer — tamper / replay / reorder / drop on both DATA and
+// REKEY records must never corrupt a delivered plaintext and must leave
+// every rejection counted.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "channel/endpoint.h"
+#include "channel/keys.h"
+#include "channel/record.h"
+#include "common/bytes.h"
+#include "common/errors.h"
+
+namespace shs::channel {
+namespace {
+
+Bytes session_key() { return to_bytes("a thirty-two byte session key!!!"); }
+
+/// A clique of endpoints over one ChannelKeys, with positions 0..m-1.
+struct Mesh {
+  std::vector<ChannelEndpoint> members;
+
+  explicit Mesh(std::size_t m, ChannelOptions options = {}) {
+    std::vector<std::uint32_t> positions(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      positions[i] = static_cast<std::uint32_t>(i);
+    }
+    const ChannelKeys keys(session_key(), 77, positions);
+    members.reserve(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      members.emplace_back(keys, static_cast<std::uint32_t>(i), options);
+    }
+  }
+
+  /// Fans `frames` to every member except the sender, asserting each is
+  /// delivered with the expected plaintext (REKEYs judged kRekeyed).
+  void broadcast_expect(std::uint32_t sender,
+                        const std::vector<service::Frame>& frames,
+                        BytesView expected) {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (i == sender) continue;
+      Bytes delivered;
+      for (const auto& frame : frames) {
+        const RecordResult r = members[i].open(frame);
+        ASSERT_NE(r.verdict, RecordVerdict::kRejected)
+            << "receiver " << i << ": " << to_string(r.reason);
+        if (r.verdict == RecordVerdict::kDelivered) {
+          delivered = r.plaintext;
+          EXPECT_EQ(r.sender, sender);
+        }
+      }
+      EXPECT_EQ(delivered, Bytes(expected.begin(), expected.end()))
+          << "receiver " << i;
+    }
+  }
+};
+
+TEST(ChannelEndpoint, TwoPartyByteExact) {
+  Mesh mesh(2);
+  const Bytes msg = to_bytes("hello from position zero");
+  mesh.broadcast_expect(0, mesh.members[0].send(msg), msg);
+  const Bytes reply = to_bytes("and back");
+  mesh.broadcast_expect(1, mesh.members[1].send(reply), reply);
+}
+
+TEST(ChannelEndpoint, FullMeshByteExact) {
+  for (const std::size_t m : {3u, 4u}) {
+    Mesh mesh(m);
+    for (std::size_t round = 0; round < 8; ++round) {
+      for (std::size_t s = 0; s < m; ++s) {
+        const Bytes msg = to_bytes("round " + std::to_string(round) +
+                                   " from " + std::to_string(s));
+        mesh.broadcast_expect(static_cast<std::uint32_t>(s),
+                              mesh.members[s].send(msg), msg);
+      }
+    }
+    for (const auto& member : mesh.members) {
+      EXPECT_EQ(member.stats().records_rejected, 0u);
+      EXPECT_EQ(member.stats().records_delivered, 8 * (m - 1));
+    }
+  }
+}
+
+TEST(ChannelEndpoint, PaddingHidesLengthOnTheWire) {
+  ChannelOptions options;
+  options.pad_quantum = 256;
+  Mesh mesh(2, options);
+  for (const std::size_t len : {0u, 1u, 100u, 252u, 253u, 500u}) {
+    const Bytes msg(len, 0x61);
+    const auto frames = mesh.members[0].send(msg);
+    ASSERT_EQ(frames.size(), 1u);
+    // Ciphertext length reveals only the padded bucket.
+    const std::size_t body =
+        frames[0].payload.size() - kRecordHeaderSize - crypto::Aead::kOverhead;
+    EXPECT_EQ(body % 256, 0u) << "len " << len;
+    mesh.broadcast_expect(0, frames, msg);
+  }
+}
+
+TEST(ChannelEndpoint, EmptyAndMaxPlaintext) {
+  ChannelOptions options;
+  options.max_plaintext = 1024;
+  Mesh mesh(2, options);
+  mesh.broadcast_expect(0, mesh.members[0].send(Bytes{}), Bytes{});
+  const Bytes full(1024, 0xee);
+  mesh.broadcast_expect(0, mesh.members[0].send(full), full);
+  EXPECT_THROW((void)mesh.members[0].send(Bytes(1025, 0)), ProtocolError);
+}
+
+// ------------------------------------------------------------- rekeying
+
+TEST(ChannelEndpoint, RecordCountThresholdTriggersRekey) {
+  ChannelOptions options;
+  options.rekey_after_records = 4;
+  Mesh mesh(2, options);
+  std::uint32_t max_epoch = 0;
+  for (int i = 0; i < 20; ++i) {
+    const Bytes msg = to_bytes("msg " + std::to_string(i));
+    mesh.broadcast_expect(0, mesh.members[0].send(msg), msg);
+    max_epoch = std::max(max_epoch, mesh.members[0].send_epoch());
+  }
+  EXPECT_GE(max_epoch, 4u);  // 20 records / 4 per epoch
+  EXPECT_GE(mesh.members[0].stats().rekeys_sent, 4u);
+  EXPECT_EQ(mesh.members[1].stats().rekeys_accepted,
+            mesh.members[0].stats().rekeys_sent);
+  EXPECT_EQ(mesh.members[1].stats().records_rejected, 0u);
+}
+
+TEST(ChannelEndpoint, ByteCountThresholdTriggersRekey) {
+  ChannelOptions options;
+  options.rekey_after_bytes = 4096;
+  Mesh mesh(2, options);
+  for (int i = 0; i < 10; ++i) {
+    const Bytes msg(1500, static_cast<std::uint8_t>(i));
+    mesh.broadcast_expect(0, mesh.members[0].send(msg), msg);
+  }
+  EXPECT_GE(mesh.members[0].send_epoch(), 3u);
+  EXPECT_EQ(mesh.members[1].stats().records_rejected, 0u);
+}
+
+TEST(ChannelEndpoint, ExplicitRekeyWithGrace) {
+  ChannelOptions options;
+  options.grace_records = 2;
+  Mesh mesh(2, options);
+
+  // Two old-epoch records captured before the rekey...
+  const auto old_a = mesh.members[0].send(to_bytes("old a"));
+  const auto old_b = mesh.members[0].send(to_bytes("old b"));
+  const auto old_c = mesh.members[0].send(to_bytes("old c"));
+  ASSERT_EQ(old_a.size(), 1u);
+
+  const service::Frame rekey = mesh.members[0].rekey();
+  EXPECT_EQ(mesh.members[0].send_epoch(), 1u);
+  EXPECT_EQ(mesh.members[1].open(rekey).verdict, RecordVerdict::kRekeyed);
+
+  // New-epoch traffic flows...
+  mesh.broadcast_expect(0, mesh.members[0].send(to_bytes("new")),
+                        to_bytes("new"));
+
+  // ...and the grace budget admits exactly two stragglers.
+  EXPECT_EQ(mesh.members[1].open(old_a[0]).verdict, RecordVerdict::kDelivered);
+  EXPECT_EQ(mesh.members[1].open(old_b[0]).verdict, RecordVerdict::kDelivered);
+  const RecordResult late = mesh.members[1].open(old_c[0]);
+  EXPECT_EQ(late.verdict, RecordVerdict::kRejected);
+  EXPECT_EQ(late.reason, RejectReason::kStaleEpoch);
+  EXPECT_EQ(mesh.members[1].stats().rejected(RejectReason::kStaleEpoch), 1u);
+}
+
+TEST(ChannelEndpoint, DroppedRekeyFailsClosed) {
+  Mesh mesh(2);
+  (void)mesh.members[0].rekey();  // REKEY lost in transit
+  const auto after = mesh.members[0].send(to_bytes("epoch 1 data"));
+  ASSERT_EQ(after.size(), 1u);
+  const RecordResult r = mesh.members[1].open(after[0]);
+  EXPECT_EQ(r.verdict, RecordVerdict::kRejected);
+  EXPECT_EQ(r.reason, RejectReason::kBadEpoch);
+  EXPECT_TRUE(r.plaintext.empty());
+}
+
+TEST(ChannelEndpoint, RetiredEpochFailsClosed) {
+  Mesh mesh(2);
+  const auto epoch0 = mesh.members[0].send(to_bytes("epoch 0"));
+  EXPECT_EQ(mesh.members[1].open(mesh.members[0].rekey()).verdict,
+            RecordVerdict::kRekeyed);
+  EXPECT_EQ(mesh.members[1].open(mesh.members[0].rekey()).verdict,
+            RecordVerdict::kRekeyed);
+  // Two epochs behind: no grace applies, the key is gone.
+  const RecordResult r = mesh.members[1].open(epoch0[0]);
+  EXPECT_EQ(r.verdict, RecordVerdict::kRejected);
+  EXPECT_EQ(r.reason, RejectReason::kStaleEpoch);
+}
+
+TEST(ChannelEndpoint, CrossEpochReplayRejected) {
+  // A record accepted in epoch 0 and replayed after the rekey must not
+  // come back to life under the fresh replay window.
+  ChannelOptions options;
+  options.grace_records = 8;
+  Mesh mesh(2, options);
+  const auto first = mesh.members[0].send(to_bytes("original"));
+  EXPECT_EQ(mesh.members[1].open(first[0]).verdict, RecordVerdict::kDelivered);
+  EXPECT_EQ(mesh.members[1].open(mesh.members[0].rekey()).verdict,
+            RecordVerdict::kRekeyed);
+  const RecordResult replay = mesh.members[1].open(first[0]);
+  EXPECT_EQ(replay.verdict, RecordVerdict::kRejected);
+  EXPECT_EQ(replay.reason, RejectReason::kReplayed);
+}
+
+// ---------------------------------------------------------- close/drain
+
+TEST(ChannelEndpoint, CloseAndDrain) {
+  Mesh mesh(3);
+  EXPECT_FALSE(mesh.members[0].drained());
+
+  const service::Frame close0 = mesh.members[0].close_frame();
+  EXPECT_TRUE(mesh.members[0].closed());
+  EXPECT_THROW((void)mesh.members[0].send(to_bytes("after close")),
+               ProtocolError);
+
+  const RecordResult r1 = mesh.members[1].open(close0);
+  EXPECT_EQ(r1.verdict, RecordVerdict::kPeerClosed);
+  EXPECT_EQ(r1.sender, 0u);
+  EXPECT_FALSE(mesh.members[1].drained());  // member 2 still live, self open
+
+  // A duplicated CLOSE hits the closed-sender guard before any crypto.
+  const RecordResult dup = mesh.members[1].open(close0);
+  EXPECT_EQ(dup.verdict, RecordVerdict::kRejected);
+  EXPECT_EQ(dup.reason, RejectReason::kSenderClosed);
+
+  (void)mesh.members[1].open(mesh.members[2].close_frame());
+  (void)mesh.members[1].close_frame();
+  EXPECT_TRUE(mesh.members[1].drained());
+}
+
+TEST(ChannelEndpoint, RecordsAfterSenderCloseRejected) {
+  Mesh mesh(2);
+  const auto data = mesh.members[0].send(to_bytes("straggler"));
+  EXPECT_EQ(mesh.members[1].open(mesh.members[0].close_frame()).verdict,
+            RecordVerdict::kPeerClosed);
+  const RecordResult r = mesh.members[1].open(data[0]);
+  EXPECT_EQ(r.verdict, RecordVerdict::kRejected);
+  EXPECT_EQ(r.reason, RejectReason::kSenderClosed);
+}
+
+// ----------------------------------------------------- addressing guards
+
+TEST(ChannelEndpoint, AddressingGuards) {
+  Mesh mesh(2);
+  const auto frames = mesh.members[0].send(to_bytes("msg"));
+
+  // Our own record echoed back.
+  const RecordResult self = mesh.members[0].open(frames[0]);
+  EXPECT_EQ(self.reason, RejectReason::kSelfSender);
+
+  // A frame for some other session.
+  service::Frame wrong_sid = frames[0];
+  wrong_sid.session_id = 78;
+  EXPECT_EQ(mesh.members[1].open(wrong_sid).reason,
+            RejectReason::kWrongSession);
+
+  // A position outside the clique.
+  service::Frame stranger = frames[0];
+  stranger.position = 9;
+  EXPECT_EQ(mesh.members[1].open(stranger).reason,
+            RejectReason::kUnknownSender);
+
+  // Not a channel frame at all / truncated record.
+  service::Frame not_channel = frames[0];
+  not_channel.round = 2;
+  EXPECT_EQ(mesh.members[1].open(not_channel).reason,
+            RejectReason::kMalformed);
+  service::Frame truncated = frames[0];
+  truncated.payload.resize(kMinRecordPayload - 1);
+  EXPECT_EQ(mesh.members[1].open(truncated).reason, RejectReason::kMalformed);
+
+  EXPECT_EQ(mesh.members[1].stats().records_delivered, 0u);
+}
+
+TEST(ChannelEndpoint, ReceiverEnforcesItsOwnPlaintextCap) {
+  ChannelOptions big;
+  big.max_plaintext = 4096;
+  ChannelOptions small;
+  small.max_plaintext = 64;
+  const ChannelKeys keys(session_key(), 77, {0, 1});
+  ChannelEndpoint sender(keys, 0, big);
+  ChannelEndpoint receiver(keys, 1, small);
+  const RecordResult r = receiver.open(sender.send(Bytes(1000, 0xaa))[0]);
+  EXPECT_EQ(r.verdict, RecordVerdict::kRejected);
+  EXPECT_EQ(r.reason, RejectReason::kOversized);
+}
+
+// ------------------------------------------------------- adversary sweep
+//
+// The PR-2 handshake adversary sweep, transplanted to the record layer:
+// a seeded adversary tampers, replays, reorders and drops records (DATA
+// and REKEY alike) between a sender and a receiver. Invariants:
+//   * every delivered plaintext is byte-identical to one the sender sent
+//     (zero corruption), delivered at most once;
+//   * every non-delivery is a counted rejection — nothing vanishes
+//     silently inside the endpoint;
+//   * a dropped REKEY fails the epoch closed rather than falling back.
+
+struct SweepOutcome {
+  std::size_t delivered = 0;
+  std::size_t corrupted = 0;
+  std::size_t rejected = 0;
+};
+
+SweepOutcome run_adversary_sweep(std::uint64_t seed, double p_tamper,
+                                 double p_replay, double p_reorder,
+                                 double p_drop) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  ChannelOptions options;
+  options.rekey_after_records = 16;  // plenty of REKEYs inside the sweep
+  const ChannelKeys keys(session_key(), 77, {0, 1});
+  ChannelEndpoint sender(keys, 0, options);
+  ChannelEndpoint receiver(keys, 1, options);
+
+  std::vector<Bytes> sent;
+  std::vector<service::Frame> wire;
+  for (int i = 0; i < 400; ++i) {
+    Bytes msg(1 + static_cast<std::size_t>(rng() % 96), 0);
+    for (auto& b : msg) b = static_cast<std::uint8_t>(rng());
+    for (auto& frame : sender.send(msg)) wire.push_back(std::move(frame));
+    sent.push_back(std::move(msg));
+  }
+
+  // The adversary's schedule, applied frame by frame.
+  std::vector<service::Frame> schedule;
+  for (auto& frame : wire) {
+    if (coin(rng) < p_drop) continue;
+    if (coin(rng) < p_tamper) {
+      service::Frame bent = frame;
+      bent.payload[rng() % bent.payload.size()] ^=
+          static_cast<std::uint8_t>(1 + rng() % 255);
+      schedule.push_back(std::move(bent));
+      continue;  // the original is lost: tamper-in-place
+    }
+    schedule.push_back(frame);
+    if (coin(rng) < p_replay) schedule.push_back(frame);
+    if (schedule.size() >= 2 && coin(rng) < p_reorder) {
+      std::swap(schedule[schedule.size() - 1], schedule[schedule.size() - 2]);
+    }
+  }
+
+  SweepOutcome outcome;
+  std::map<Bytes, std::size_t> budget;  // each plaintext deliverable once
+  for (const auto& msg : sent) ++budget[msg];
+  for (const auto& frame : schedule) {
+    const RecordResult r = receiver.open(frame);
+    switch (r.verdict) {
+      case RecordVerdict::kDelivered: {
+        ++outcome.delivered;
+        auto it = budget.find(r.plaintext);
+        if (it == budget.end() || it->second == 0) {
+          ++outcome.corrupted;  // never sent, or delivered twice
+        } else {
+          --it->second;
+        }
+        break;
+      }
+      case RecordVerdict::kRejected:
+        ++outcome.rejected;
+        break;
+      case RecordVerdict::kRekeyed:
+      case RecordVerdict::kPeerClosed:
+        break;
+    }
+  }
+
+  // Every rejection the endpoint reported is attributed to a reason.
+  const ChannelStats& stats = receiver.stats();
+  std::uint64_t by_reason = 0;
+  for (const auto count : stats.rejected_by_reason) by_reason += count;
+  EXPECT_EQ(by_reason, stats.records_rejected);
+  EXPECT_EQ(stats.records_rejected, outcome.rejected);
+  EXPECT_EQ(stats.rejected(RejectReason::kNone), 0u);
+  return outcome;
+}
+
+TEST(ChannelAdversary, TamperNeverCorrupts) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const SweepOutcome o = run_adversary_sweep(seed, 0.3, 0.0, 0.0, 0.0);
+    EXPECT_EQ(o.corrupted, 0u) << "seed " << seed;
+    EXPECT_GT(o.rejected, 0u) << "seed " << seed;
+    EXPECT_GT(o.delivered, 0u) << "seed " << seed;
+  }
+}
+
+TEST(ChannelAdversary, ReplayDeliversAtMostOnce) {
+  const SweepOutcome o = run_adversary_sweep(0xbeef, 0.0, 0.5, 0.0, 0.0);
+  EXPECT_EQ(o.corrupted, 0u);
+  EXPECT_GT(o.rejected, 0u);  // the duplicates
+}
+
+TEST(ChannelAdversary, ReorderWithinWindowIsTolerated) {
+  const SweepOutcome o = run_adversary_sweep(0xf00d, 0.0, 0.0, 0.5, 0.0);
+  EXPECT_EQ(o.corrupted, 0u);
+  EXPECT_GT(o.delivered, 350u);  // adjacent swaps stay inside the window
+}
+
+TEST(ChannelAdversary, DropsFailClosed) {
+  // Dropping frames (REKEYs included) may strand later records in an
+  // unannounced epoch — they must be rejected, never mis-delivered.
+  for (const std::uint64_t seed : {7ull, 8ull}) {
+    const SweepOutcome o = run_adversary_sweep(seed, 0.0, 0.0, 0.0, 0.2);
+    EXPECT_EQ(o.corrupted, 0u) << "seed " << seed;
+  }
+}
+
+TEST(ChannelAdversary, CombinedOnslaught) {
+  for (const std::uint64_t seed : {11ull, 12ull, 13ull}) {
+    const SweepOutcome o = run_adversary_sweep(seed, 0.1, 0.1, 0.2, 0.1);
+    EXPECT_EQ(o.corrupted, 0u) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace shs::channel

@@ -1,0 +1,326 @@
+// Channel record-layer units: the key schedule, the deterministic-IV
+// AEAD overload (satellite of this PR), record seal/open and its
+// header/IV/AAD binding, padding, the anti-replay window, and the
+// per-instance FrameBuffer payload-cap option with its 1 MiB-default
+// regression pin.
+#include <gtest/gtest.h>
+
+#include "channel/keys.h"
+#include "channel/record.h"
+#include "common/bytes.h"
+#include "common/errors.h"
+#include "crypto/aead.h"
+#include "crypto/drbg.h"
+#include "service/frame.h"
+
+namespace shs::channel {
+namespace {
+
+Bytes test_session_key() { return to_bytes("a thirty-two byte session key!!!"); }
+
+// ---------------------------------------------------------------- keys
+
+TEST(ChannelKeys, MembersSortedAndDeduplicated) {
+  const ChannelKeys keys(test_session_key(), 7, {3, 1, 3, 0});
+  EXPECT_EQ(keys.members(), (std::vector<std::uint32_t>{0, 1, 3}));
+  EXPECT_TRUE(keys.has_member(0));
+  EXPECT_FALSE(keys.has_member(2));
+}
+
+TEST(ChannelKeys, EmptyCliqueRejected) {
+  EXPECT_THROW(ChannelKeys(test_session_key(), 7, {}), ProtocolError);
+}
+
+TEST(ChannelKeys, PerSenderKeysDistinctAndDeterministic) {
+  const ChannelKeys a(test_session_key(), 7, {0, 1, 2});
+  const ChannelKeys b(test_session_key(), 7, {0, 1, 2});
+  EXPECT_EQ(a.record_key(0), b.record_key(0));
+  EXPECT_NE(a.record_key(0), a.record_key(1));
+  EXPECT_NE(a.record_key(1), a.record_key(2));
+  EXPECT_THROW(a.record_key(3), ProtocolError);
+}
+
+TEST(ChannelKeys, SessionIdAndMembershipBindTheSchedule) {
+  const ChannelKeys base(test_session_key(), 7, {0, 1});
+  const ChannelKeys other_sid(test_session_key(), 8, {0, 1});
+  const ChannelKeys other_clique(test_session_key(), 7, {0, 1, 2});
+  EXPECT_NE(base.record_key(0), other_sid.record_key(0));
+  EXPECT_NE(base.record_key(0), other_clique.record_key(0));
+}
+
+TEST(ChannelKeys, RatchetIsOneWayAndMoves) {
+  const ChannelKeys keys(test_session_key(), 7, {0, 1});
+  const Bytes k0 = keys.record_key(0);
+  const Bytes k1 = ChannelKeys::ratchet(k0);
+  const Bytes k2 = ChannelKeys::ratchet(k1);
+  EXPECT_NE(k0, k1);
+  EXPECT_NE(k1, k2);
+  EXPECT_EQ(ChannelKeys::ratchet(k0), k1);  // deterministic
+}
+
+TEST(ChannelKeys, AttachTokensPerPositionAndPerSession) {
+  const ChannelKeys keys(test_session_key(), 7, {0, 1});
+  const ChannelKeys other(test_session_key(), 9, {0, 1});
+  EXPECT_NE(keys.attach_token(0), keys.attach_token(1));
+  EXPECT_NE(keys.attach_token(0), other.attach_token(0));
+  EXPECT_EQ(keys.attach_token(0).size(), 32u);
+}
+
+// ------------------------------------------- deterministic-IV AEAD seal
+
+TEST(AeadDeterministicIv, SealOpenRoundtripWithAad) {
+  const crypto::Aead aead(to_bytes("key"));
+  const Bytes iv(crypto::Aead::kIvSize, 0x42);
+  const Bytes aad = to_bytes("context");
+  const Bytes sealed = aead.seal(to_bytes("hello"), iv, aad);
+  EXPECT_EQ(Bytes(sealed.begin(), sealed.begin() + crypto::Aead::kIvSize),
+            iv);  // IV is embedded verbatim
+  EXPECT_EQ(aead.open(sealed, aad), to_bytes("hello"));
+}
+
+TEST(AeadDeterministicIv, AadMismatchRejected) {
+  const crypto::Aead aead(to_bytes("key"));
+  const Bytes iv(crypto::Aead::kIvSize, 1);
+  const Bytes sealed = aead.seal(to_bytes("payload"), iv, to_bytes("right"));
+  EXPECT_THROW((void)aead.open(sealed, to_bytes("wrong")), VerifyError);
+  EXPECT_THROW((void)aead.open(sealed), VerifyError);
+}
+
+TEST(AeadDeterministicIv, EmptyAadMatchesLegacySurface) {
+  // The aad-less deterministic seal must interoperate with open() exactly
+  // like the RNG overload's output: same MAC input layout on the wire.
+  const crypto::Aead aead(to_bytes("key"));
+  const Bytes iv(crypto::Aead::kIvSize, 7);
+  const Bytes sealed = aead.seal(to_bytes("compat"), iv);
+  EXPECT_EQ(aead.open(sealed), to_bytes("compat"));
+}
+
+TEST(AeadDeterministicIv, WrongIvSizeRejected) {
+  const crypto::Aead aead(to_bytes("key"));
+  EXPECT_THROW((void)aead.seal(to_bytes("x"), Bytes(15, 0)), VerifyError);
+  EXPECT_THROW((void)aead.seal(to_bytes("x"), Bytes(17, 0)), VerifyError);
+}
+
+#ifndef NDEBUG
+TEST(AeadDeterministicIvDeathTest, DebugBuildAssertsOnIvReuse) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  const crypto::Aead aead(to_bytes("key"));
+  const Bytes iv(crypto::Aead::kIvSize, 9);
+  (void)aead.seal(to_bytes("first"), iv);
+  EXPECT_DEATH((void)aead.seal(to_bytes("second"), iv), "IV");
+}
+#endif
+
+// -------------------------------------------------------------- records
+
+TEST(Record, SealParseOpenRoundtrip) {
+  const Bytes key = to_bytes("sender key");
+  RecordHeader header;
+  header.type = RecordType::kData;
+  header.epoch = 3;
+  header.seq = 41;
+  const service::Frame frame =
+      seal_record(key, 7, 2, header, to_bytes("body"));
+  EXPECT_TRUE(is_channel_frame(frame));
+  EXPECT_EQ(frame.session_id, 7u);
+  EXPECT_EQ(frame.position, 2u);
+
+  const auto parsed = parse_record_header(frame);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, RecordType::kData);
+  EXPECT_EQ(parsed->epoch, 3u);
+  EXPECT_EQ(parsed->seq, 41u);
+
+  const BytesView sealed = BytesView(frame.payload).subspan(kRecordHeaderSize);
+  EXPECT_EQ(open_record_body(key, 7, 2, *parsed, sealed), to_bytes("body"));
+}
+
+TEST(Record, HeaderBindingIsAuthenticated) {
+  const Bytes key = to_bytes("sender key");
+  RecordHeader header;
+  header.epoch = 1;
+  header.seq = 5;
+  const service::Frame frame =
+      seal_record(key, 7, 2, header, to_bytes("body"));
+  const BytesView sealed = BytesView(frame.payload).subspan(kRecordHeaderSize);
+
+  // Wrong session, wrong sender, or a bumped header all fail closed. The
+  // header changes also shift the derived IV, which is checked first.
+  EXPECT_THROW((void)open_record_body(key, 8, 2, header, sealed),
+               VerifyError);
+  EXPECT_THROW((void)open_record_body(key, 7, 3, header, sealed),
+               VerifyError);
+  RecordHeader bumped = header;
+  bumped.seq = 6;
+  EXPECT_THROW((void)open_record_body(key, 7, 2, bumped, sealed),
+               VerifyError);
+  RecordHeader retyped = header;
+  retyped.type = RecordType::kClose;
+  EXPECT_THROW((void)open_record_body(key, 7, 2, retyped, sealed),
+               VerifyError);
+}
+
+TEST(Record, MalformedFramesParseToNullopt) {
+  service::Frame frame;
+  frame.session_id = 7;
+  frame.round = kChannelRound;
+  frame.position = 0;
+  frame.payload = Bytes(kMinRecordPayload - 1, 0);
+  EXPECT_FALSE(parse_record_header(frame).has_value());  // too short
+
+  frame.payload = Bytes(kMinRecordPayload, 0);
+  EXPECT_FALSE(parse_record_header(frame).has_value());  // type byte 0
+
+  frame.payload[0] = 9;
+  EXPECT_FALSE(parse_record_header(frame).has_value());  // unknown type
+
+  frame.payload[0] = 1;
+  EXPECT_TRUE(parse_record_header(frame).has_value());
+
+  frame.round = 5;  // an ordinary handshake round is not a channel frame
+  EXPECT_FALSE(parse_record_header(frame).has_value());
+}
+
+TEST(Record, RecordIvLayout) {
+  const Bytes iv = record_iv(0x01020304, 0x0a0b0c0d, 0x1122334455667788ull);
+  EXPECT_EQ(to_hex(iv), "010203040a0b0c0d1122334455667788");
+}
+
+// -------------------------------------------------------------- padding
+
+TEST(Padding, QuantumHidesLength) {
+  for (const std::size_t len : {0u, 1u, 250u, 256u, 300u}) {
+    const Bytes data(len, 0xab);
+    const Bytes padded = pad_payload(data, 256);
+    EXPECT_EQ(padded.size() % 256, 0u);
+    const auto out = unpad_payload(padded);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, data);
+  }
+}
+
+TEST(Padding, QuantumZeroAndOneAreTransparent) {
+  const Bytes data = to_bytes("abc");
+  EXPECT_EQ(pad_payload(data, 0).size(), 4 + data.size());
+  EXPECT_EQ(pad_payload(data, 1).size(), 4 + data.size());
+}
+
+TEST(Padding, MalformedPaddingRejected) {
+  Bytes padded = pad_payload(to_bytes("abc"), 16);
+  padded.back() = 1;  // non-zero pad byte
+  EXPECT_FALSE(unpad_payload(padded).has_value());
+
+  Bytes overrun = pad_payload(to_bytes("abc"), 0);
+  overrun[3] = 200;  // length prefix beyond the buffer
+  EXPECT_FALSE(unpad_payload(overrun).has_value());
+
+  EXPECT_FALSE(unpad_payload(Bytes(3, 0)).has_value());  // shorter than u32
+}
+
+// -------------------------------------------------------- replay window
+
+TEST(ReplayWindow, InOrderSequence) {
+  ReplayWindow w;
+  for (std::uint64_t seq = 0; seq < 200; ++seq) {
+    EXPECT_EQ(w.check(seq), ReplayWindow::Verdict::kFresh);
+    w.accept(seq);
+    EXPECT_EQ(w.check(seq), ReplayWindow::Verdict::kReplayed);
+  }
+}
+
+TEST(ReplayWindow, ReorderWithinWindowAccepted) {
+  ReplayWindow w;
+  w.accept(10);
+  EXPECT_EQ(w.check(5), ReplayWindow::Verdict::kFresh);
+  w.accept(5);
+  EXPECT_EQ(w.check(5), ReplayWindow::Verdict::kReplayed);
+  EXPECT_EQ(w.check(10), ReplayWindow::Verdict::kReplayed);
+  EXPECT_EQ(w.check(7), ReplayWindow::Verdict::kFresh);
+}
+
+TEST(ReplayWindow, TooOldFallsOffTheWindow) {
+  ReplayWindow w;
+  w.accept(100);
+  EXPECT_EQ(w.check(100 - ReplayWindow::kWindowSize + 1),
+            ReplayWindow::Verdict::kFresh);
+  EXPECT_EQ(w.check(100 - ReplayWindow::kWindowSize),
+            ReplayWindow::Verdict::kTooOld);
+  EXPECT_EQ(w.check(0), ReplayWindow::Verdict::kTooOld);
+}
+
+TEST(ReplayWindow, LargeJumpClearsTheBitmap) {
+  ReplayWindow w;
+  w.accept(0);
+  w.accept(1000);
+  EXPECT_EQ(w.check(1000), ReplayWindow::Verdict::kReplayed);
+  EXPECT_EQ(w.check(999), ReplayWindow::Verdict::kFresh);
+  EXPECT_EQ(w.check(0), ReplayWindow::Verdict::kTooOld);
+}
+
+TEST(ReplayWindow, ResetForgetsEverything) {
+  ReplayWindow w;
+  w.accept(50);
+  w.reset();
+  EXPECT_EQ(w.check(0), ReplayWindow::Verdict::kFresh);
+  EXPECT_EQ(w.check(50), ReplayWindow::Verdict::kFresh);
+}
+
+// --------------------------------------- frame payload cap (per-instance)
+
+TEST(FramePayloadCap, DefaultStaysOneMebibyte) {
+  // Regression pin for the wire contract: the default cap must remain
+  // exactly 1 MiB — existing peers depend on it.
+  EXPECT_EQ(service::kMaxFramePayload, std::size_t{1} << 20);
+  service::Frame frame;
+  frame.session_id = 1;
+  frame.payload = Bytes(service::kMaxFramePayload, 0);
+  const Bytes wire = service::encode_frame(frame);  // at the cap: fine
+  frame.payload.push_back(0);
+  EXPECT_THROW((void)service::encode_frame(frame), CodecError);
+
+  service::FrameBuffer buf;
+  EXPECT_EQ(buf.max_payload(), service::kMaxFramePayload);
+  buf.feed(wire);
+  ASSERT_TRUE(buf.next().has_value());
+}
+
+TEST(FramePayloadCap, PerInstanceCapIsEnforced) {
+  service::Frame frame;
+  frame.session_id = 1;
+  frame.payload = Bytes(100, 0xcd);
+  const Bytes wire = service::encode_frame(frame, /*max_payload=*/128);
+  EXPECT_THROW((void)service::encode_frame(frame, 99), CodecError);
+
+  service::FrameBuffer small(service::kDefaultMaxBuffered, 99);
+  EXPECT_THROW(
+      {
+        small.feed(wire);
+        (void)small.next();
+      },
+      CodecError);
+
+  service::FrameBuffer fits(service::kDefaultMaxBuffered, 128);
+  fits.feed(wire);
+  const auto out = fits.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->payload, frame.payload);
+
+  EXPECT_EQ(service::decode_frame(wire, 128).payload, frame.payload);
+  EXPECT_THROW((void)service::decode_frame(wire, 99), CodecError);
+}
+
+TEST(FramePayloadCap, RaisedCapCarriesBulkRecords) {
+  const std::size_t big = (std::size_t{1} << 20) + 4096;
+  service::Frame frame;
+  frame.session_id = 2;
+  frame.payload = Bytes(big, 0x5a);
+  const Bytes wire = service::encode_frame(frame, big);
+  service::FrameBuffer buf(2 * (4 + service::kFrameHeaderSize + big), big);
+  buf.feed(wire);
+  const auto out = buf.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->payload.size(), big);
+}
+
+}  // namespace
+}  // namespace shs::channel

@@ -122,6 +122,20 @@ TEST(MetricsSchema, JsonCarriesEveryDocumentedKeyAndBucketSumsMatch) {
   EXPECT_GT(batch.at("max_size").u64(), 0u);
   EXPECT_LE(batch.at("max_size").u64(), checks);
 
+  // The channel block is present (zeroed: no relay runs in a bare
+  // service) and strictly keyed.
+  const minijson::Value& channel = root.at("channel");
+  EXPECT_EQ(channel.at("opened").u64(), 0u);
+  EXPECT_EQ(channel.at("closed").u64(), 0u);
+  EXPECT_EQ(channel.at("active").u64(), 0u);
+  EXPECT_EQ(channel.at("attaches").u64(), 0u);
+  EXPECT_EQ(channel.at("records_in").u64(), 0u);
+  EXPECT_EQ(channel.at("records_relayed").u64(), 0u);
+  EXPECT_EQ(channel.at("bytes_in").u64(), 0u);
+  EXPECT_EQ(channel.at("bytes_relayed").u64(), 0u);
+  EXPECT_EQ(channel.at("records_unowned").u64(), 0u);
+  EXPECT_EQ(channel.at("rekeys").u64(), 0u);
+
   const minijson::Value& precomp = root.at("precomp");
   EXPECT_GT(precomp.at("tables").u64(), 0u);
   EXPECT_NO_THROW((void)precomp.at("hits").u64());
@@ -170,6 +184,14 @@ TEST(MetricsSchema, PrometheusExpositionAgreesWithTheJson) {
             root.at("batch").at("max_size").u64());
   EXPECT_EQ(prom_value(prom, "shs_precomp_tables"),
             root.at("precomp").at("tables").u64());
+  EXPECT_EQ(prom_value(prom, "shs_channels_opened_total"),
+            root.at("channel").at("opened").u64());
+  EXPECT_EQ(prom_value(prom, "shs_channels_open"),
+            root.at("channel").at("active").u64());
+  EXPECT_EQ(prom_value(prom, "shs_channel_records_in_total"),
+            root.at("channel").at("records_in").u64());
+  EXPECT_EQ(prom_value(prom, "shs_channel_rekeys_total"),
+            root.at("channel").at("rekeys").u64());
 
   // Histogram invariants: cumulative buckets end at count; sum present.
   const std::uint64_t count =

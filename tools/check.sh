@@ -36,6 +36,13 @@
 # are exactly the boundaries TSan should chew on. The soak size is
 # reduced under TSan unless SHS_SHARD_STRESS_SESSIONS is already set.
 #
+# Pass --channel to additionally run the encrypted-channel suite
+# (ctest -L channel: key schedule, record codec/replay window, the
+# endpoint state machine with its record-layer adversary sweep, channel
+# redaction conformance, and the e2e relay over the sharded TCP
+# transport) in the same TSan tree — the relay fans records across shard
+# event loops while clients pump concurrently.
+#
 # Pass --batch to additionally run the batched-verification suite
 # (ctest -L batch: batch-vs-individual equivalence, forged-signature
 # bisection, flush policy, the batched conformance sweep, and the
@@ -62,6 +69,7 @@ want_transport=0
 want_obs=0
 want_batch=0
 want_shard=0
+want_channel=0
 for arg in "$@"; do
   case "$arg" in
     --conformance) want_conformance=1 ;;
@@ -71,6 +79,7 @@ for arg in "$@"; do
     --obs) want_obs=1 ;;
     --batch) want_batch=1 ;;
     --shard) want_shard=1 ;;
+    --channel) want_channel=1 ;;
     *) echo "check.sh: unknown option '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -118,6 +127,13 @@ if [[ "$want_shard" == 1 ]]; then
   cmake --build build-tsan -j "$(nproc)" --target shard_transport_test shard_conformance_test shard_stress_test
   SHS_SHARD_STRESS_SESSIONS="${SHS_SHARD_STRESS_SESSIONS:-200}" \
     ctest --test-dir build-tsan --output-on-failure -L shard
+fi
+
+if [[ "$want_channel" == 1 ]]; then
+  echo "== encrypted channel under TSan =="
+  cmake -B build-tsan -S . -DSHS_TSAN=ON >/dev/null
+  cmake --build build-tsan -j "$(nproc)" --target channel_test channel_transport_test
+  ctest --test-dir build-tsan --output-on-failure -L channel
 fi
 
 if [[ "$want_batch" == 1 ]]; then
