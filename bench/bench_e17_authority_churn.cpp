@@ -1,0 +1,137 @@
+// E17 — group-authority churn: the AuthorityEngine (the served GC of
+// DESIGN §14) under a sustained leave/join/refresh mix at group sizes up
+// to n = 10^6, per scheme. This is the service-level companion to E4's
+// raw-controller rows: every op goes through the engine mutex, every
+// broadcast is the epoch-stamped message the transport fans out, and a
+// sampled member applies the whole feed through MemberSync to price the
+// client side of an epoch bump.
+//
+// Rows: rekeys/sec sustained by the authority, broadcast bytes per op,
+// bytes per member (the per-subscriber fan-out cost), and the member's
+// mean apply latency. lkh stays ~O(log n) per op while star degrades
+// linearly — the reason --scheme lkh is the at-scale default. Emits
+// BENCH_e17.json. SHS_BENCH_E17_MAX_N caps the sweep for smoke runs.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "authority/engine.h"
+#include "authority/member_sync.h"
+#include "bench_util.h"
+
+namespace shs::bench {
+namespace {
+
+std::size_t max_n_of_env() {
+  const char* env = std::getenv("SHS_BENCH_E17_MAX_N");
+  const long v = env != nullptr && *env != '\0' ? std::atol(env) : 0;
+  return v > 0 ? static_cast<std::size_t>(v) : 1000000u;
+}
+
+struct Row {
+  double bootstrap_s = 0;
+  double rekeys_per_sec = 0;
+  double broadcast_bytes = 0;
+  double bytes_per_member = 0;
+  double member_apply_us = 0;
+};
+
+/// Bootstraps n members, then drives `reps` churn ops cycling
+/// leave / join / refresh (membership returns to n after each cycle;
+/// member 1 is never revoked so it can replay the feed afterwards).
+Row run_row(authority::Scheme scheme, std::size_t n) {
+  const std::size_t reps =
+      std::max<std::size_t>(3, std::min<std::size_t>(300, 3000000 / n));
+  authority::AuthorityOptions options;
+  options.scheme = scheme;
+  // Headroom for the churn joins: subset difference burns revoked leaves
+  // (stateless labels are fixed forever), so leave does not free a slot.
+  options.capacity = n + reps;
+  options.seed = 0xE17 + n;
+  authority::AuthorityEngine engine(options);
+
+  std::vector<cgkd::MemberId> ids;
+  ids.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) ids.push_back(i + 1);
+  Row row;
+  row.bootstrap_s = time_ms([&] { (void)engine.bootstrap(ids); }) / 1000.0;
+
+  authority::MemberSync sync;
+  sync.install_state(engine.member_state(1));
+
+  std::vector<cgkd::RekeyMessage> feed;
+  feed.reserve(reps);
+  cgkd::MemberId next_id = n + 1;
+  double bytes = 0;
+  const double churn_ms = time_ms([&] {
+    for (std::size_t r = 0; r < reps; ++r) {
+      switch (r % 3) {
+        case 0: feed.push_back(engine.leave(ids.back())); break;
+        case 1:
+          ids.back() = next_id++;
+          feed.push_back(engine.join(ids.back()));
+          break;
+        default: feed.push_back(engine.refresh()); break;
+      }
+      bytes += static_cast<double>(feed.back().size());
+    }
+  });
+  row.rekeys_per_sec = static_cast<double>(reps) / (churn_ms / 1000.0);
+  row.broadcast_bytes = bytes / static_cast<double>(reps);
+  row.bytes_per_member =
+      row.broadcast_bytes / static_cast<double>(engine.member_count());
+
+  std::size_t applied = 0;
+  const double apply_ms = time_ms([&] {
+    for (const auto& msg : feed) {
+      applied += sync.apply(msg) == authority::ApplyResult::kApplied ? 1 : 0;
+    }
+  });
+  row.member_apply_us = apply_ms * 1000.0 / static_cast<double>(feed.size());
+  if (applied != feed.size() || sync.group_key() != engine.group_key()) {
+    std::fprintf(stderr, "member feed diverged (%zu/%zu applied)\n", applied,
+                 feed.size());
+    std::exit(1);
+  }
+  return row;
+}
+
+}  // namespace
+}  // namespace shs::bench
+
+int main() {
+  using namespace shs;
+  using namespace shs::bench;
+  const std::size_t max_n = max_n_of_env();
+  JsonReport report("e17");
+
+  table_header(
+      "E17: authority churn (leave/join/refresh mix through the engine)",
+      "scheme   n        boot_s   rekeys/s   bytes/op   bytes/member  apply_us");
+  for (authority::Scheme scheme :
+       {authority::Scheme::kLkh, authority::Scheme::kSubsetDiff,
+        authority::Scheme::kStar}) {
+    for (std::size_t n : {1000u, 10000u, 100000u, 1000000u}) {
+      if (n > max_n) continue;
+      const Row row = run_row(scheme, n);
+      std::printf("%-8s %-8zu %-8.2f %-10.1f %-10.0f %-13.3f %.1f\n",
+                  authority::to_string(scheme), n, row.bootstrap_s,
+                  row.rekeys_per_sec, row.broadcast_bytes,
+                  row.bytes_per_member, row.member_apply_us);
+      report.add()
+          .field("scheme", std::string(authority::to_string(scheme)))
+          .field("n", static_cast<double>(n))
+          .field("bootstrap_s", row.bootstrap_s)
+          .field("rekeys_per_sec", row.rekeys_per_sec)
+          .field("broadcast_bytes", row.broadcast_bytes)
+          .field("bytes_per_member", row.bytes_per_member)
+          .field("member_apply_us", row.member_apply_us);
+    }
+  }
+  std::printf("\n(lkh sustains churn at 10^6 members with ~O(log n) work and "
+              "bytes per op;\n star pays O(n) per rekey — usable only for "
+              "small groups; sd sits between,\n with stateless members that "
+              "tolerate feed gaps)\n");
+  return 0;
+}

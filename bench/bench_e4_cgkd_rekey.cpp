@@ -1,99 +1,114 @@
-// E4 — CGKD rekey costs (paper §5, building block II): LKH [33] rekeys
+// E4 — CGKD rekey scaling (paper §5, building block II): LKH [33] rekeys
 // with O(log n) sealed entries versus the star baseline's O(n), and the
 // stateless Subset Difference scheme [26] covers n-r receivers with at
 // most 2r-1 subsets.
 //
-// Rows: rekey (leave) message size and time as group size n grows, and SD
-// header size as the revoked count r grows.
-#include <benchmark/benchmark.h>
+// Controller-level rows, group sizes n in {10^3, 10^4, 10^5, 10^6}
+// (bootstrap admission — one epoch bump — makes the 10^6 tree feasible):
+// rekeys/sec and broadcast bytes per member for lkh vs sd vs star, plus
+// the SD cover-size bound table. Emits BENCH_e4.json.
+// SHS_BENCH_E4_MAX_N caps the sweep (smoke runs use 10^4).
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
+#include "cgkd/cgkd.h"
 #include "cgkd/lkh.h"
 #include "cgkd/star.h"
 #include "cgkd/subset_diff.h"
 #include "crypto/drbg.h"
 
-using namespace shs;
-using namespace shs::bench;
-
+namespace shs::bench {
 namespace {
 
-template <typename Controller>
-Controller& cached_controller(const std::string& key, std::size_t n) {
-  static std::map<std::string, std::unique_ptr<Controller>> cache;
-  static std::map<std::string, std::unique_ptr<crypto::HmacDrbg>> rngs;
-  auto it = cache.find(key);
-  if (it != cache.end()) return *it->second;
-  auto rng = std::make_unique<crypto::HmacDrbg>(to_bytes("e4-" + key));
-  std::unique_ptr<Controller> gc;
-  if constexpr (std::is_same_v<Controller, cgkd::StarCgkd>) {
-    gc = std::make_unique<Controller>(*rng);
-  } else {
-    gc = std::make_unique<Controller>(n, *rng);
-  }
-  for (std::size_t i = 0; i < n; ++i) (void)gc->join(i);
-  rngs.emplace(key, std::move(rng));
-  return *cache.emplace(key, std::move(gc)).first->second;
+std::size_t max_n_of_env() {
+  const char* env = std::getenv("SHS_BENCH_E4_MAX_N");
+  const long v = env != nullptr && *env != '\0' ? std::atol(env) : 0;
+  return v > 0 ? static_cast<std::size_t>(v) : 1000000u;
 }
 
-void BM_LkhRefresh(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  auto& gc = cached_controller<cgkd::LkhCgkd>("lkh" + std::to_string(n), n);
-  for (auto _ : state) {
-    auto msg = gc.refresh();
-    state.counters["msg_bytes"] = static_cast<double>(msg.size());
-  }
-  state.counters["n"] = static_cast<double>(n);
+std::unique_ptr<cgkd::CgkdController> make_controller(
+    const std::string& scheme, std::size_t capacity, num::RandomSource& rng) {
+  if (scheme == "star") return std::make_unique<cgkd::StarCgkd>(rng);
+  if (scheme == "lkh") return std::make_unique<cgkd::LkhCgkd>(capacity, rng);
+  return std::make_unique<cgkd::SubsetDiffCgkd>(capacity, rng);
 }
-BENCHMARK(BM_LkhRefresh)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)
-    ->Unit(benchmark::kMicrosecond);
 
-void BM_StarRefresh(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  auto& gc = cached_controller<cgkd::StarCgkd>("star" + std::to_string(n), n);
-  for (auto _ : state) {
-    auto msg = gc.refresh();
-    state.counters["msg_bytes"] = static_cast<double>(msg.size());
-  }
-  state.counters["n"] = static_cast<double>(n);
-}
-BENCHMARK(BM_StarRefresh)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)
-    ->Unit(benchmark::kMicrosecond);
+struct Row {
+  double bootstrap_s = 0;
+  double rekeys_per_sec = 0;
+  double broadcast_bytes = 0;
+  double bytes_per_member = 0;
+};
 
-void BM_SubsetDiffRefresh(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  auto& gc =
-      cached_controller<cgkd::SubsetDiffCgkd>("sd" + std::to_string(n), n);
-  for (auto _ : state) {
-    auto msg = gc.refresh();
-    state.counters["msg_bytes"] = static_cast<double>(msg.size());
-  }
-  state.counters["n"] = static_cast<double>(n);
+/// Bootstraps n members in one epoch, then times a burst of revocation
+/// rekeys — alternating leave / fresh-id join so membership stays at n.
+/// Leave is the claim-bearing op: O(log n) sealed path entries for LKH,
+/// O(n) for star, a 2r-1-bounded cover for SD (whose revoked leaves are
+/// burned, hence the capacity headroom).
+Row run_row(const std::string& scheme, std::size_t n,
+            crypto::HmacDrbg& rng) {
+  // Few reps at 10^6 (a star rekey is n seals), many at 10^3.
+  const std::size_t reps =
+      std::max<std::size_t>(2, std::min<std::size_t>(500, 2000000 / n));
+  auto gc = make_controller(scheme, n + reps, rng);
+  std::vector<cgkd::MemberId> ids;
+  ids.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) ids.push_back(i + 1);
+  Row row;
+  row.bootstrap_s = time_ms([&] { (void)gc->bootstrap(ids); }) / 1000.0;
+
+  cgkd::MemberId next_id = n + 1;
+  double bytes = 0;
+  const double ms = time_ms([&] {
+    for (std::size_t r = 0; r < reps; ++r) {
+      if (r % 2 == 0) {
+        bytes += static_cast<double>(gc->leave(ids.back()).size());
+      } else {
+        ids.back() = next_id++;
+        bytes += static_cast<double>(gc->join(ids.back()).broadcast.size());
+      }
+    }
+  });
+  row.rekeys_per_sec = static_cast<double>(reps) / (ms / 1000.0);
+  row.broadcast_bytes = bytes / static_cast<double>(reps);
+  row.bytes_per_member = row.broadcast_bytes / static_cast<double>(n);
+  return row;
 }
-BENCHMARK(BM_SubsetDiffRefresh)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)
-    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
+}  // namespace shs::bench
 
-int main(int argc, char** argv) {
-  std::printf("E4: CGKD rekey scaling — LKH O(log n) vs star O(n); SD "
-              "header <= 2r-1\n");
+int main() {
+  using namespace shs;
+  using namespace shs::bench;
+  const std::size_t max_n = max_n_of_env();
+  JsonReport report("e4");
 
-  table_header("n | lkh leave bytes | star leave bytes | ratio",
-               "--+-----------------+------------------+------");
-  for (std::size_t n : {16u, 64u, 256u, 1024u, 2048u}) {
-    crypto::HmacDrbg r1(to_bytes("lkh-t" + std::to_string(n)));
-    crypto::HmacDrbg r2(to_bytes("star-t" + std::to_string(n)));
-    cgkd::LkhCgkd lkh(n, r1);
-    cgkd::StarCgkd star(r2);
-    for (std::size_t i = 0; i < n; ++i) {
-      (void)lkh.join(i);
-      (void)star.join(i);
+  table_header(
+      "E4: CGKD rekey scaling — LKH O(log n) vs star O(n), SD cover-bound",
+      "scheme   n        boot_s   rekeys/s   bcast_bytes   bytes/member");
+  for (const char* scheme : {"lkh", "sd", "star"}) {
+    for (std::size_t n : {1000u, 10000u, 100000u, 1000000u}) {
+      if (n > max_n) continue;
+      crypto::HmacDrbg rng(
+          to_bytes("e4-" + std::string(scheme) + std::to_string(n)));
+      const Row row = run_row(scheme, n, rng);
+      std::printf("%-8s %-8zu %-8.2f %-10.1f %-13.0f %.3f\n", scheme, n,
+                  row.bootstrap_s, row.rekeys_per_sec, row.broadcast_bytes,
+                  row.bytes_per_member);
+      report.add()
+          .field("op", "leave_join")
+          .field("scheme", std::string(scheme))
+          .field("n", static_cast<double>(n))
+          .field("bootstrap_s", row.bootstrap_s)
+          .field("rekeys_per_sec", row.rekeys_per_sec)
+          .field("broadcast_bytes", row.broadcast_bytes)
+          .field("bytes_per_member", row.bytes_per_member);
     }
-    const std::size_t lb = lkh.leave(n / 2).size();
-    const std::size_t sb = star.leave(n / 2).size();
-    std::printf("%5zu | %15zu | %16zu | %5.1fx\n", n, lb, sb,
-                static_cast<double>(sb) / static_cast<double>(lb));
   }
 
   table_header("SD: r revoked (n=1024, scattered) | cover subsets | 2r-1",
@@ -103,18 +118,21 @@ int main(int argc, char** argv) {
     cgkd::SubsetDiffCgkd sd(1024, rng);
     for (std::size_t i = 0; i < 1024; ++i) (void)sd.join(i);
     std::size_t r = 0;
-    for (std::size_t i = 0; i < 1024 && r < 64; i += 17, ++r) {
+    for (std::size_t i = 0; i < 1024 && r < 64; i += 15, ++r) {
       (void)sd.leave(i);
       if (r == 1 || r == 4 || r == 16 || r == 63) {
         std::printf("%33zu | %13zu | %4zu\n", r + 1,
                     sd.current_cover().size(), 2 * (r + 1) - 1);
+        report.add()
+            .field("op", "sd_cover")
+            .field("revoked", static_cast<double>(r + 1))
+            .field("cover_subsets", static_cast<double>(sd.current_cover().size()))
+            .field("bound_2r_minus_1", static_cast<double>(2 * (r + 1) - 1));
       }
     }
   }
-  std::printf("\n(LKH message grows ~log n; star grows linearly; SD cover "
-              "stays within the 2r-1 bound)\n");
-
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  std::printf("\n(LKH broadcast grows ~log n, star linearly, SD cover stays "
+              "within 2r-1;\n bytes/member is the fan-out cost the authority "
+              "service pays per epoch)\n");
   return 0;
 }

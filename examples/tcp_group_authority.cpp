@@ -1,0 +1,174 @@
+// Group-authority service over TCP: a TransportServer hosts the CGKD
+// churn engine (DESIGN §14), three members subscribe to the rekey feed
+// over real sockets, and the server drives a join/leave burst whose
+// epoch-stamped broadcasts fan out to every subscriber across shards.
+// A serial in-process twin (same scheme, same seed, same op order)
+// mirrors every operation; the example exits non-zero unless all three
+// wire-fed members and the twin converge on byte-identical group keys —
+// the same oracle the authority conformance suite enforces. While the
+// server is live it scrapes its own /metrics endpoint and prints the
+// shs_authority_* series, so the smoke script can assert the authority
+// surface is exported.
+//
+//   ./tcp_group_authority [--shards N] [--scheme star|lkh|sd] [--burst N]
+#include <sys/socket.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "authority/engine.h"
+#include "transport/authority_client.h"
+#include "transport/server.h"
+#include "transport/socket.h"
+
+using namespace shs;
+using namespace shs::transport;
+
+namespace {
+
+/// One blocking GET against the server's observability listener.
+std::string http_get(std::uint16_t port, const std::string& path) {
+  Fd fd = tcp_connect("127.0.0.1", port, std::chrono::milliseconds(2000));
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd.get(), request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) throw TransportError(errno_message("send"));
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd.get(), buf, sizeof buf, 0);
+    if (n < 0) throw TransportError(errno_message("recv"));
+    if (n == 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  return response;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t shards = 2;
+  std::size_t burst = 12;
+  std::string scheme = "lkh";
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--shards") == 0) {
+      shards = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--burst") == 0) {
+      burst = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--scheme") == 0) {
+      scheme = argv[i + 1];
+    } else {
+      std::fprintf(stderr,
+                   "usage: tcp_group_authority [--shards N] "
+                   "[--scheme star|lkh|sd] [--burst N]\n");
+      return 2;
+    }
+  }
+
+  authority::AuthorityOptions aopts;
+  aopts.scheme = authority::scheme_from_string(scheme);
+  aopts.capacity = 1024;
+  aopts.seed = 20260808;
+
+  ServerOptions sopts;
+  sopts.num_shards = shards;
+  sopts.enable_authority = true;
+  sopts.authority_options = aopts;
+  sopts.obs_endpoint = true;
+  TransportServer server(
+      sopts, service::ServiceOptions{},
+      [](BytesView) -> std::vector<std::unique_ptr<core::HandshakeParticipant>> {
+        throw ProtocolError("this example hosts no handshake sessions");
+      });
+  server.start();
+  std::printf("authority up: scheme=%s shards=%zu port=%u\n", scheme.c_str(),
+              server.num_shards() == 1 ? 1u : shards, server.port());
+
+  // The serial twin: same scheme, seed and op order as the served engine,
+  // so every broadcast and the final group key must match byte-for-byte.
+  authority::AuthorityEngine twin(aopts);
+
+  // Three members join and subscribe to the rekey feed over the wire.
+  std::vector<std::unique_ptr<AuthorityClient>> members;
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    AuthorityClientOptions copts;
+    copts.port = server.port();
+    members.push_back(std::make_unique<AuthorityClient>(copts));
+    members.back()->connect();
+    members.back()->subscribe(id, /*join=*/true);
+    (void)twin.subscribe(id, /*join=*/true);
+  }
+  std::printf("3 members subscribed (epoch %llu)\n",
+              static_cast<unsigned long long>(server.authority()->epoch()));
+
+  // Server-driven churn burst: admit `burst` short-lived members, revoke
+  // the even ones, then one periodic refresh. Each op's broadcast fans
+  // out to the three subscribers in epoch order.
+  for (std::size_t i = 0; i < burst; ++i) {
+    (void)server.authority_join(100 + i);
+    (void)twin.join(100 + i);
+  }
+  for (std::size_t i = 0; i < burst; i += 2) {
+    (void)server.authority_leave(100 + i);
+    (void)twin.leave(100 + i);
+  }
+  (void)server.authority_refresh();
+  (void)twin.refresh();
+
+  const std::uint64_t want_epoch = twin.epoch();
+  for (auto& member : members) {
+    if (!member->wait_for_epoch(want_epoch, std::chrono::seconds(10))) {
+      std::fprintf(stderr, "member never reached epoch %llu (at %llu)\n",
+                   static_cast<unsigned long long>(want_epoch),
+                   static_cast<unsigned long long>(member->epoch()));
+      return 1;
+    }
+    if (member->group_key() != twin.group_key()) {
+      std::fprintf(stderr, "group key diverged from the serial twin\n");
+      return 1;
+    }
+  }
+  std::printf("burst done: epoch %llu, %zu members, all keys match the "
+              "serial twin\n",
+              static_cast<unsigned long long>(want_epoch),
+              server.authority()->member_count());
+
+  // Live scrape while the feed is up: the authority series must be on
+  // the merged exposition (and per-shard subscriber gauges when sharded).
+  const std::string metrics = http_get(server.obs_port(), "/metrics");
+  for (const char* series :
+       {"shs_authority_members", "shs_authority_epoch",
+        "shs_authority_rekeys_total", "shs_authority_subscribers"}) {
+    if (metrics.find(series) == std::string::npos) {
+      std::fprintf(stderr, "/metrics is missing %s\n", series);
+      return 1;
+    }
+  }
+  if (server.num_shards() > 1 &&
+      metrics.find("shs_shard_authority_subscribers") == std::string::npos) {
+    std::fprintf(stderr, "/metrics is missing the per-shard series\n");
+    return 1;
+  }
+  for (const char* line = metrics.c_str(); *line != '\0';) {
+    const char* end = std::strchr(line, '\n');
+    if (end == nullptr) end = line + std::strlen(line);
+    if (std::strncmp(line, "shs_authority_", 14) == 0 ||
+        std::strncmp(line, "shs_shard_authority_", 20) == 0) {
+      std::printf("scrape: %.*s\n", static_cast<int>(end - line), line);
+    }
+    line = *end == '\0' ? end : end + 1;
+  }
+
+  for (auto& member : members) member->unsubscribe();
+  server.shutdown();
+  std::printf("tcp_group_authority: OK\n");
+  return 0;
+}

@@ -7,13 +7,19 @@
 # GET /metrics once (curl, else python3, else skipped) and checks the
 # merged counters, the per-shard shs_shard_* series and the channel
 # series are present, and requires the server to drain and exit cleanly.
+# Then runs tcp_group_authority — a second, authority-enabled server with
+# three wire-fed subscribers, a join/leave burst checked against its
+# serial twin, and a live scrape that must carry the shs_authority_*
+# series.
 #
-#   tcp_rendezvous_smoke.sh <server-binary> <client-binary> <echo-binary>
+#   tcp_rendezvous_smoke.sh <server-binary> <client-binary> <echo-binary> \
+#                           <authority-binary>
 set -eu
 
 SERVER_BIN="$1"
 CLIENT_BIN="$2"
 ECHO_BIN="$3"
+AUTHORITY_BIN="$4"
 DIR="$(mktemp -d)"
 SERVER_PID=""
 cleanup() {
@@ -82,4 +88,15 @@ done
 "$CLIENT_BIN" --port "$PORT" --sessions 1 --m 4 --scheme2
 wait "$SERVER_PID"
 SERVER_PID=""
+
+# The group-authority service: join/leave burst over two shards, members
+# converging on the serial twin's key, and the authority metrics live on
+# the scrape (the binary exits non-zero if any of that fails; the grep
+# below double-checks the series actually crossed the wire).
+"$AUTHORITY_BIN" --shards 2 --burst 12 > "$DIR/authority_out"
+cat "$DIR/authority_out"
+if ! grep -q "scrape: shs_authority_rekeys_total" "$DIR/authority_out"; then
+  echo "FAIL: authority example never scraped shs_authority_rekeys_total" >&2
+  exit 1
+fi
 echo "tcp rendezvous smoke: OK"

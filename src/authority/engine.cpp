@@ -1,0 +1,129 @@
+#include "authority/engine.h"
+
+#include <utility>
+
+#include "cgkd/lkh.h"
+#include "cgkd/star.h"
+#include "cgkd/subset_diff.h"
+#include "common/errors.h"
+#include "obs/redact.h"
+
+namespace shs::authority {
+
+namespace {
+
+std::unique_ptr<cgkd::CgkdController> make_controller(
+    const AuthorityOptions& options, num::RandomSource& rng) {
+  switch (options.scheme) {
+    case Scheme::kStar:
+      return std::make_unique<cgkd::StarCgkd>(rng);
+    case Scheme::kLkh:
+      return std::make_unique<cgkd::LkhCgkd>(options.capacity, rng);
+    case Scheme::kSubsetDiff:
+      return std::make_unique<cgkd::SubsetDiffCgkd>(options.capacity, rng);
+  }
+  throw ProtocolError("authority: unknown CGKD scheme");
+}
+
+}  // namespace
+
+Scheme scheme_from_string(const std::string& name) {
+  if (name == "star") return Scheme::kStar;
+  if (name == "lkh") return Scheme::kLkh;
+  if (name == "sd") return Scheme::kSubsetDiff;
+  throw ProtocolError("authority: unknown scheme \"" + name +
+                      "\" (expected star | lkh | sd)");
+}
+
+const char* to_string(Scheme scheme) noexcept {
+  switch (scheme) {
+    case Scheme::kStar: return "star";
+    case Scheme::kLkh: return "lkh";
+    case Scheme::kSubsetDiff: return "sd";
+  }
+  return "unknown";
+}
+
+AuthorityEngine::AuthorityEngine(const AuthorityOptions& options)
+    : rng_(crypto::HmacDrbg::from_seed("authority-engine", options.seed)),
+      controller_(make_controller(options, rng_)) {}
+
+std::string AuthorityEngine::scheme_name() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return controller_->name();
+}
+
+cgkd::RekeyMessage AuthorityEngine::join(cgkd::MemberId id) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  cgkd::JoinResult result = controller_->join(id);
+  // The join state is sensitive even when nobody asks for it: register
+  // it so a leak through any diagnostics surface is caught. Serializing
+  // costs nothing to skip while the audit is off.
+  if (obs::RedactionAudit::instance().enabled()) {
+    (void)serialize_member(*result.member);
+  }
+  return std::move(result.broadcast);
+}
+
+cgkd::RekeyMessage AuthorityEngine::leave(cgkd::MemberId id) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return controller_->leave(id);
+}
+
+cgkd::RekeyMessage AuthorityEngine::refresh() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return controller_->refresh();
+}
+
+cgkd::RekeyMessage AuthorityEngine::bootstrap(
+    const std::vector<cgkd::MemberId>& ids) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return controller_->bootstrap(ids);
+}
+
+Bytes AuthorityEngine::member_state(cgkd::MemberId id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return serialize_member(*controller_->snapshot(id));
+}
+
+Admission AuthorityEngine::subscribe(cgkd::MemberId id, bool join) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Admission admission;
+  if (join) {
+    cgkd::JoinResult result = controller_->join(id);
+    admission.state = serialize_member(*result.member);
+    admission.broadcast = std::move(result.broadcast);
+  } else {
+    admission.state = serialize_member(*controller_->snapshot(id));
+  }
+  return admission;
+}
+
+std::uint64_t AuthorityEngine::epoch() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return controller_->epoch();
+}
+
+std::size_t AuthorityEngine::member_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return controller_->member_count();
+}
+
+bool AuthorityEngine::is_member(cgkd::MemberId id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return controller_->is_member(id);
+}
+
+Bytes AuthorityEngine::group_key() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return controller_->group_key();
+}
+
+Bytes AuthorityEngine::serialize_member(
+    const cgkd::CgkdMember& member) const {
+  Bytes state = member.serialize();
+  obs::audit_secret(state, "authority-join-state");
+  return state;
+}
+
+}  // namespace shs::authority

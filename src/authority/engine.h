@@ -1,0 +1,112 @@
+// AuthorityEngine — the group-authority half of the CGKD churn service.
+//
+// The paper's GC is a trusted party that admits, revokes and refreshes a
+// dynamic group, bumping the epoch t and broadcasting a rekey message
+// only current members can decrypt (§5). This class is that GC packaged
+// for a server: one mutex-guarded CGKD controller (star, LKH or subset
+// difference, chosen at construction) plus the deterministic randomness
+// it draws fresh keys from. Every mutation returns the epoch-stamped
+// broadcast for the transport to fan out; per-member private-channel
+// state (the paper's authenticated-channel join handoff) is serialized
+// with CgkdMember::serialize and registered with the redaction audit, so
+// a join blob leaking into logs or /metrics trips the conformance tests.
+//
+// The engine knows nothing about sockets or frames — the transport layer
+// (transport/authority_hub.h) owns subscriber routing and wraps engine
+// calls in its own critical section so broadcast order equals epoch
+// order on every connection. Keeping the engine transport-free is what
+// lets the serial-twin oracle drive the same instance in-process and
+// compare byte-identical broadcasts against the sharded server.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cgkd/cgkd.h"
+#include "common/bytes.h"
+#include "crypto/drbg.h"
+
+namespace shs::authority {
+
+/// Which CGKD construction the engine hosts.
+enum class Scheme { kStar, kLkh, kSubsetDiff };
+
+/// Parses "star" | "lkh" | "sd" (the --scheme CLI vocabulary); throws
+/// ProtocolError otherwise.
+[[nodiscard]] Scheme scheme_from_string(const std::string& name);
+[[nodiscard]] const char* to_string(Scheme scheme) noexcept;
+
+struct AuthorityOptions {
+  Scheme scheme = Scheme::kLkh;
+  /// Leaf capacity for the tree schemes (ignored by star). LkhCgkd
+  /// rounds up to a power of two, <= 1<<24; SubsetDiffCgkd <= 1<<20.
+  std::size_t capacity = 1024;
+  /// Seeds the engine's HMAC_DRBG. Same seed + same operation sequence
+  /// => byte-identical broadcasts — the serial-twin oracle depends on it.
+  std::uint64_t seed = 1;
+};
+
+/// What subscribe() hands back: the member's serialized private-channel
+/// state, plus (join admissions only) the broadcast that rekeys everyone
+/// who was already a member.
+struct Admission {
+  Bytes state;
+  std::optional<cgkd::RekeyMessage> broadcast;
+};
+
+class AuthorityEngine {
+ public:
+  explicit AuthorityEngine(const AuthorityOptions& options);
+
+  AuthorityEngine(const AuthorityEngine&) = delete;
+  AuthorityEngine& operator=(const AuthorityEngine&) = delete;
+
+  /// The hosted controller's name ("cgkd-lkh", ...).
+  [[nodiscard]] std::string scheme_name() const;
+
+  /// Admits `id`; returns the broadcast for pre-existing members.
+  /// Throws ProtocolError on duplicate id or full group.
+  [[nodiscard]] cgkd::RekeyMessage join(cgkd::MemberId id);
+
+  /// Revokes `id`; throws ProtocolError if not a member.
+  [[nodiscard]] cgkd::RekeyMessage leave(cgkd::MemberId id);
+
+  /// Periodic refresh: fresh k(t), no membership change.
+  [[nodiscard]] cgkd::RekeyMessage refresh();
+
+  /// Mass admission in one epoch bump (group setup at n = 10^6). Newly
+  /// admitted members are provisioned via member_state(), not the
+  /// returned broadcast.
+  [[nodiscard]] cgkd::RekeyMessage bootstrap(
+      const std::vector<cgkd::MemberId>& ids);
+
+  /// Serialized private-channel state for a current member at the
+  /// current epoch (audited as "authority-join-state"). Throws
+  /// ProtocolError for non-members.
+  [[nodiscard]] Bytes member_state(cgkd::MemberId id) const;
+
+  /// subscribe(id, join=true): join + serialized state in one locked
+  /// step. subscribe(id, join=false): snapshot of an existing member,
+  /// no broadcast. Mirrors the wire-level kSub request.
+  [[nodiscard]] Admission subscribe(cgkd::MemberId id, bool join);
+
+  [[nodiscard]] std::uint64_t epoch() const;
+  [[nodiscard]] std::size_t member_count() const;
+  [[nodiscard]] bool is_member(cgkd::MemberId id) const;
+  /// Copy of the current group key (tests / in-process drivers only —
+  /// the transport never reads it).
+  [[nodiscard]] Bytes group_key() const;
+
+ private:
+  [[nodiscard]] Bytes serialize_member(const cgkd::CgkdMember& member) const;
+
+  mutable std::mutex mu_;
+  crypto::HmacDrbg rng_;
+  std::unique_ptr<cgkd::CgkdController> controller_;
+};
+
+}  // namespace shs::authority

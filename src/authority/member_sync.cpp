@@ -1,0 +1,69 @@
+#include "authority/member_sync.h"
+
+#include <utility>
+
+#include "common/errors.h"
+
+namespace shs::authority {
+
+void MemberSync::install(std::unique_ptr<cgkd::CgkdMember> member) {
+  if (member == nullptr) {
+    throw ProtocolError("MemberSync: null member state");
+  }
+  if (member_ != nullptr && member_->id() == member->id() &&
+      member_->epoch() < member->epoch()) {
+    // Forward re-sync of the same member: the key we held is now a
+    // retired epoch's key — exactly what the grace window is for.
+    keyring_.advance(member_->epoch(), member_->group_key(),
+                     member->epoch(), grace_);
+  } else {
+    keyring_ = core::EpochKeyring{};
+    keyring_.epoch = member->epoch();
+  }
+  member_ = std::move(member);
+}
+
+void MemberSync::install_state(BytesView state) {
+  install(cgkd::deserialize_member(state));
+}
+
+ApplyResult MemberSync::apply(const cgkd::RekeyMessage& msg) {
+  if (member_ == nullptr) {
+    throw ProtocolError("MemberSync: no member state installed");
+  }
+  if (msg.epoch <= member_->epoch()) return ApplyResult::kStale;
+  const std::uint64_t old_epoch = member_->epoch();
+  Bytes old_key = member_->group_key();
+  if (!member_->process_rekey(msg)) {
+    // Could not decrypt: an epoch gap beyond the scheme's tolerance
+    // (LKH needs every broadcast; star/SD survive gaps), or revocation.
+    // Either way only a fresh authority snapshot can recover.
+    ++gaps_detected_;
+    return ApplyResult::kNeedSync;
+  }
+  keyring_.advance(old_epoch, std::move(old_key), member_->epoch(), grace_);
+  return ApplyResult::kApplied;
+}
+
+cgkd::MemberId MemberSync::id() const {
+  if (member_ == nullptr) {
+    throw ProtocolError("MemberSync: no member state installed");
+  }
+  return member_->id();
+}
+
+std::uint64_t MemberSync::epoch() const {
+  if (member_ == nullptr) {
+    throw ProtocolError("MemberSync: no member state installed");
+  }
+  return member_->epoch();
+}
+
+const Bytes& MemberSync::group_key() const {
+  if (member_ == nullptr) {
+    throw ProtocolError("MemberSync: no member state installed");
+  }
+  return member_->group_key();
+}
+
+}  // namespace shs::authority

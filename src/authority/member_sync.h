@@ -1,0 +1,83 @@
+// MemberSync — the member-side half of the CGKD churn service: a pure
+// state machine (no sockets) that installs serialized join state from
+// the authority and applies epoch-stamped rekey broadcasts in order,
+// detecting gaps it cannot bridge.
+//
+//   kApplied   the broadcast advanced local state to its epoch
+//   kStale     broadcast epoch <= local epoch: a replay or a message we
+//              already absorbed; dropped without touching state
+//   kNeedSync  the member could not decrypt (missed epochs beyond the
+//              scheme's tolerance, or it was revoked) — the caller must
+//              fetch a fresh snapshot from the authority (wire: kSync)
+//              and install() it
+//
+// Alongside the raw CGKD state it maintains the core::EpochKeyring that
+// handshakes pin: each applied rekey retires the previous group key into
+// the grace window, so a handshake started before the broadcast landed
+// classifies cross-epoch peers as kStaleEpoch instead of generic kBadTag.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "cgkd/cgkd.h"
+#include "common/bytes.h"
+#include "core/epoch.h"
+
+namespace shs::authority {
+
+enum class ApplyResult : std::uint8_t {
+  kApplied = 0,
+  kStale = 1,
+  kNeedSync = 2,
+};
+
+[[nodiscard]] constexpr const char* to_string(ApplyResult r) noexcept {
+  switch (r) {
+    case ApplyResult::kApplied: return "applied";
+    case ApplyResult::kStale: return "stale";
+    case ApplyResult::kNeedSync: return "need sync";
+  }
+  return "unknown";
+}
+
+class MemberSync {
+ public:
+  /// `grace` = how many retired group keys the keyring retains
+  /// (GroupConfig::epoch_grace equivalent).
+  explicit MemberSync(std::size_t grace = 2) : grace_(grace) {}
+
+  /// Installs deserialized private-channel state from the authority
+  /// (initial provisioning or re-sync). When re-syncing forward, the
+  /// previous group key is retired into the keyring's grace window;
+  /// installing state for a different id resets the keyring.
+  void install(std::unique_ptr<cgkd::CgkdMember> member);
+
+  /// Convenience: cgkd::deserialize_member + install.
+  void install_state(BytesView state);
+
+  /// Applies one broadcast; see the table above. Never throws on
+  /// undecryptable input — that is the kNeedSync verdict.
+  [[nodiscard]] ApplyResult apply(const cgkd::RekeyMessage& msg);
+
+  [[nodiscard]] bool ready() const noexcept { return member_ != nullptr; }
+  [[nodiscard]] cgkd::MemberId id() const;
+  [[nodiscard]] std::uint64_t epoch() const;
+  [[nodiscard]] const Bytes& group_key() const;
+  /// Epoch context for Member/HandshakeParticipant construction.
+  [[nodiscard]] const core::EpochKeyring& keyring() const noexcept {
+    return keyring_;
+  }
+  /// Broadcasts that came back kNeedSync since the last install.
+  [[nodiscard]] std::uint64_t gaps_detected() const noexcept {
+    return gaps_detected_;
+  }
+
+ private:
+  std::size_t grace_;
+  std::unique_ptr<cgkd::CgkdMember> member_;
+  core::EpochKeyring keyring_;
+  std::uint64_t gaps_detected_ = 0;
+};
+
+}  // namespace shs::authority

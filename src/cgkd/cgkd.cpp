@@ -1,0 +1,42 @@
+#include "cgkd/cgkd.h"
+
+#include "cgkd/lkh.h"
+#include "cgkd/star.h"
+#include "cgkd/subset_diff.h"
+#include "common/codec.h"
+#include "common/errors.h"
+
+namespace shs::cgkd {
+
+Bytes CgkdMember::serialize() const {
+  throw ProtocolError("CgkdMember: scheme does not support serialization");
+}
+
+RekeyMessage CgkdController::bootstrap(const std::vector<MemberId>& ids) {
+  // Generic fallback: one epoch bump per id. Schemes that host large
+  // groups override this with a single-epoch mass admission.
+  if (ids.empty()) return refresh();
+  RekeyMessage last;
+  for (MemberId id : ids) last = join(id).broadcast;
+  return last;
+}
+
+std::unique_ptr<CgkdMember> CgkdController::snapshot(MemberId) const {
+  throw ProtocolError("CgkdController: scheme does not support snapshot");
+}
+
+std::unique_ptr<CgkdMember> deserialize_member(BytesView state) {
+  if (state.empty()) throw ProtocolError("cgkd: empty member state");
+  switch (state[0]) {
+    case kCgkdTagLkh:
+      return LkhCgkd::deserialize_member(state);
+    case kCgkdTagStar:
+      return StarCgkd::deserialize_member(state);
+    case kCgkdTagSubsetDiff:
+      return SubsetDiffCgkd::deserialize_member(state);
+    default:
+      throw ProtocolError("cgkd: unknown member-state scheme tag");
+  }
+}
+
+}  // namespace shs::cgkd

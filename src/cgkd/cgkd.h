@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bigint/random.h"
 #include "common/bytes.h"
@@ -56,7 +57,24 @@ class CgkdMember {
 
   [[nodiscard]] virtual std::uint64_t epoch() const = 0;
   [[nodiscard]] virtual MemberId id() const = 0;
+
+  /// Serializes the member's private-channel state (scheme tag, id, epoch,
+  /// scheme body) for delivery over an authenticated private channel —
+  /// the wire form of the paper's join-state handoff. Round-trips through
+  /// deserialize_member(). Throws ProtocolError for schemes that do not
+  /// support wire delivery (the ablation variants).
+  [[nodiscard]] virtual Bytes serialize() const;
 };
+
+/// Reconstructs a CgkdMember from CgkdMember::serialize() output,
+/// dispatching on the scheme tag. Throws CodecError / ProtocolError on
+/// malformed or unknown-scheme state.
+[[nodiscard]] std::unique_ptr<CgkdMember> deserialize_member(BytesView state);
+
+/// Scheme tags used by serialize()/deserialize_member().
+inline constexpr std::uint8_t kCgkdTagLkh = 1;
+inline constexpr std::uint8_t kCgkdTagStar = 2;
+inline constexpr std::uint8_t kCgkdTagSubsetDiff = 3;
 
 struct JoinResult {
   std::unique_ptr<CgkdMember> member;  // delivered over the private channel
@@ -78,6 +96,25 @@ class CgkdController {
 
   /// Forces a rekey without membership change (periodic refresh).
   [[nodiscard]] virtual RekeyMessage refresh() = 0;
+
+  /// Mass admission: admits every id in one epoch bump. Semantically
+  /// equivalent to join() per id but with a single broadcast, which is
+  /// what makes n=10^6 group setup feasible (star would otherwise pay
+  /// O(n^2) seals, SD O(n log^2 n) PRG walks *per* incremental rekey).
+  /// Join state for the admitted members is *not* returned — fetch it per
+  /// member via snapshot(). Throws ProtocolError on duplicates or
+  /// overflow; the default implementation falls back to per-id join()
+  /// (one epoch bump per id, last broadcast returned).
+  [[nodiscard]] virtual RekeyMessage bootstrap(
+      const std::vector<MemberId>& ids);
+
+  /// Re-issues a current member's private-channel state at the current
+  /// epoch, without rekeying — the GC-side half of member re-sync (a
+  /// member that lost broadcasts asks the authority for a fresh snapshot)
+  /// and of bootstrap() provisioning. Throws ProtocolError for
+  /// non-members or for schemes without snapshot support.
+  [[nodiscard]] virtual std::unique_ptr<CgkdMember> snapshot(
+      MemberId id) const;
 
   [[nodiscard]] virtual const Bytes& group_key() const = 0;
   [[nodiscard]] virtual std::uint64_t epoch() const = 0;

@@ -1,11 +1,15 @@
 #include "cgkd/lkh.h"
 
 #include <bit>
+#include <functional>
+#include <tuple>
+#include <vector>
 
 #include "common/codec.h"
 #include "common/errors.h"
 #include "crypto/aead.h"
 #include "crypto/hmac.h"
+#include "obs/redact.h"
 
 namespace shs::cgkd {
 
@@ -62,6 +66,22 @@ class LkhMember final : public CgkdMember {
   [[nodiscard]] std::uint64_t epoch() const override { return epoch_; }
   [[nodiscard]] MemberId id() const override { return id_; }
 
+  [[nodiscard]] Bytes serialize() const override {
+    ByteWriter w;
+    w.u8(kCgkdTagLkh);
+    w.u64(id_);
+    w.u64(epoch_);
+    w.u32(leaf_);
+    w.u32(static_cast<std::uint32_t>(std::bit_width(leaf_)));  // path length
+    // Leaf-to-root order: deterministic bytes for the serial-twin oracle.
+    for (std::uint32_t v = leaf_; v >= 1; v >>= 1) {
+      w.u32(v);
+      w.bytes(path_keys_.at(v));
+      if (v == 1) break;
+    }
+    return w.take();
+  }
+
  private:
   [[nodiscard]] bool on_path(std::uint32_t node) const {
     for (std::uint32_t v = leaf_; v >= 1; v >>= 1) {
@@ -89,11 +109,13 @@ LkhCgkd::LkhCgkd(std::size_t capacity, num::RandomSource& rng) : rng_(rng) {
   }
   // Root key exists even for an empty group so epoch-0 state is coherent.
   node_keys_[1] = rng_.bytes(32);
+  obs::audit_secret(node_keys_.at(1), "cgkd-lkh-node-key");
   derive_group_key();
 }
 
 void LkhCgkd::derive_group_key() {
   group_key_ = derive_application_key(node_keys_.at(1), epoch_);
+  obs::audit_secret(group_key_, "cgkd-group-key");
 }
 
 RekeyMessage LkhCgkd::rekey_path(Node from) {
@@ -108,6 +130,7 @@ RekeyMessage LkhCgkd::rekey_path(Node from) {
   for (std::size_t idx = 0; idx < path.size(); ++idx) {
     const Node v = path[idx];
     const Bytes fresh = rng_.bytes(32);
+    obs::audit_secret(fresh, "cgkd-lkh-node-key");
     if (v >= capacity_) {
       // Leaf: new key is delivered over the private channel only.
       node_keys_[v] = fresh;
@@ -185,5 +208,104 @@ RekeyMessage LkhCgkd::leave(MemberId id) {
 }
 
 RekeyMessage LkhCgkd::refresh() { return rekey_path(1); }
+
+RekeyMessage LkhCgkd::bootstrap(const std::vector<MemberId>& ids) {
+  if (ids.empty()) return refresh();
+  if (ids.size() > free_leaves_.size()) throw ProtocolError("LkhCgkd: group full");
+  // Subtrees sheltering a pre-existing member: only these need broadcast
+  // entries (new members are provisioned via snapshot()).
+  std::set<Node> existing;
+  for (const auto& [id, leaf] : member_leaf_) {
+    for (Node v = leaf; v >= 1; v >>= 1) {
+      existing.insert(v);
+      if (v == 1) break;
+    }
+  }
+  std::vector<Node> new_leaves;
+  new_leaves.reserve(ids.size());
+  for (MemberId id : ids) {
+    if (member_leaf_.contains(id)) {
+      throw ProtocolError("LkhCgkd: duplicate join");
+    }
+    const Node leaf = *free_leaves_.begin();
+    free_leaves_.erase(free_leaves_.begin());
+    member_leaf_.emplace(id, leaf);
+    node_keys_[leaf] = rng_.bytes(32);
+    obs::audit_secret(node_keys_.at(leaf), "cgkd-lkh-node-key");
+    new_leaves.push_back(leaf);
+  }
+  ++epoch_;
+  // Refresh every internal ancestor of a new leaf. Descending node order
+  // is bottom-up (parent < child in heap numbering), so a sealed entry's
+  // `under` key is the new child key when the child was also refreshed —
+  // the same discipline rekey_path() applies on single joins.
+  std::set<Node, std::greater<Node>> to_refresh;
+  for (Node leaf : new_leaves) {
+    for (Node v = leaf >> 1; v >= 1; v >>= 1) {
+      to_refresh.insert(v);
+      if (v == 1) break;
+    }
+  }
+  std::vector<std::tuple<Node, Node, Bytes>> entries;
+  for (Node v : to_refresh) {
+    const Bytes fresh = rng_.bytes(32);
+    obs::audit_secret(fresh, "cgkd-lkh-node-key");
+    for (Node child : {2 * v, 2 * v + 1}) {
+      if (!occupied(child) || !existing.contains(child)) continue;
+      entries.emplace_back(v, child,
+                           crypto::Aead(node_keys_.at(child)).seal(fresh, rng_));
+    }
+    node_keys_[v] = fresh;
+  }
+  RekeyMessage msg;
+  msg.epoch = epoch_;
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& [target, under, sealed] : entries) {
+    w.u32(target);
+    w.u32(under);
+    w.bytes(sealed);
+  }
+  msg.payload = w.take();
+  derive_group_key();
+  return msg;
+}
+
+std::unique_ptr<CgkdMember> LkhCgkd::snapshot(MemberId id) const {
+  const auto it = member_leaf_.find(id);
+  if (it == member_leaf_.end()) {
+    throw ProtocolError("LkhCgkd: snapshot of non-member");
+  }
+  std::unordered_map<Node, Bytes> path_keys;
+  for (Node v = it->second; v >= 1; v >>= 1) {
+    path_keys[v] = node_keys_.at(v);
+    if (v == 1) break;
+  }
+  return std::make_unique<LkhMember>(id, it->second, std::move(path_keys),
+                                     epoch_);
+}
+
+std::unique_ptr<CgkdMember> LkhCgkd::deserialize_member(BytesView state) {
+  ByteReader r(state);
+  if (r.u8() != kCgkdTagLkh) throw ProtocolError("LkhCgkd: wrong scheme tag");
+  const MemberId id = r.u64();
+  const std::uint64_t epoch = r.u64();
+  const std::uint32_t leaf = r.u32();
+  const std::uint32_t count = r.u32();
+  if (leaf < 2 || count != std::bit_width(leaf)) {
+    throw ProtocolError("LkhCgkd: malformed member state");
+  }
+  std::unordered_map<std::uint32_t, Bytes> path_keys;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t node = r.u32();
+    path_keys[node] = r.bytes();
+  }
+  r.expect_done();
+  const auto root = path_keys.find(1);
+  if (root == path_keys.end() || root->second.size() != 32) {
+    throw ProtocolError("LkhCgkd: member state missing root key");
+  }
+  return std::make_unique<LkhMember>(id, leaf, std::move(path_keys), epoch);
+}
 
 }  // namespace shs::cgkd

@@ -31,6 +31,17 @@ class LkhCgkd final : public CgkdController {
   [[nodiscard]] JoinResult join(MemberId id) override;
   [[nodiscard]] RekeyMessage leave(MemberId id) override;
   [[nodiscard]] RekeyMessage refresh() override;
+  /// Mass admission in one epoch bump. Broadcast entries are emitted only
+  /// toward subtrees holding pre-existing members (a freshly bootstrapped
+  /// group broadcasts an empty payload); new members are provisioned via
+  /// snapshot().
+  [[nodiscard]] RekeyMessage bootstrap(
+      const std::vector<MemberId>& ids) override;
+  [[nodiscard]] std::unique_ptr<CgkdMember> snapshot(
+      MemberId id) const override;
+  /// Rebuilds a member from CgkdMember::serialize() bytes (tag kCgkdTagLkh).
+  [[nodiscard]] static std::unique_ptr<CgkdMember> deserialize_member(
+      BytesView state);
   [[nodiscard]] const Bytes& group_key() const override { return group_key_; }
   [[nodiscard]] std::uint64_t epoch() const override { return epoch_; }
   [[nodiscard]] std::size_t member_count() const override {

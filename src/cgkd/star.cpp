@@ -3,6 +3,7 @@
 #include "common/codec.h"
 #include "common/errors.h"
 #include "crypto/aead.h"
+#include "obs/redact.h"
 
 namespace shs::cgkd {
 
@@ -46,6 +47,16 @@ class StarMember final : public CgkdMember {
   [[nodiscard]] std::uint64_t epoch() const override { return epoch_; }
   [[nodiscard]] MemberId id() const override { return id_; }
 
+  [[nodiscard]] Bytes serialize() const override {
+    ByteWriter w;
+    w.u8(kCgkdTagStar);
+    w.u64(id_);
+    w.u64(epoch_);
+    w.bytes(pairwise_);
+    w.bytes(group_key_);
+    return w.take();
+  }
+
  private:
   MemberId id_;
   Bytes pairwise_;
@@ -57,10 +68,12 @@ class StarMember final : public CgkdMember {
 
 StarCgkd::StarCgkd(num::RandomSource& rng) : rng_(rng) {
   group_key_ = rng_.bytes(32);
+  obs::audit_secret(group_key_, "cgkd-group-key");
 }
 
 RekeyMessage StarCgkd::rekey_all() {
   group_key_ = rng_.bytes(32);
+  obs::audit_secret(group_key_, "cgkd-group-key");
   ++epoch_;
   RekeyMessage msg;
   msg.epoch = epoch_;
@@ -77,6 +90,7 @@ RekeyMessage StarCgkd::rekey_all() {
 JoinResult StarCgkd::join(MemberId id) {
   if (pairwise_.contains(id)) throw ProtocolError("StarCgkd: duplicate join");
   Bytes pairwise = rng_.bytes(32);
+  obs::audit_secret(pairwise, "cgkd-star-pairwise-key");
   pairwise_.emplace(id, pairwise);
   RekeyMessage broadcast = rekey_all();
   JoinResult result;
@@ -94,5 +108,56 @@ RekeyMessage StarCgkd::leave(MemberId id) {
 }
 
 RekeyMessage StarCgkd::refresh() { return rekey_all(); }
+
+RekeyMessage StarCgkd::bootstrap(const std::vector<MemberId>& ids) {
+  if (ids.empty()) return refresh();
+  // Pre-existing members keep receiving the rekey over the broadcast; the
+  // new cohort gets its state (pairwise + group key) via snapshot().
+  std::vector<MemberId> pre_existing;
+  pre_existing.reserve(pairwise_.size());
+  for (const auto& [id, key] : pairwise_) pre_existing.push_back(id);
+  for (MemberId id : ids) {
+    if (pairwise_.contains(id)) throw ProtocolError("StarCgkd: duplicate join");
+    Bytes pairwise = rng_.bytes(32);
+    obs::audit_secret(pairwise, "cgkd-star-pairwise-key");
+    pairwise_.emplace(id, std::move(pairwise));
+  }
+  group_key_ = rng_.bytes(32);
+  obs::audit_secret(group_key_, "cgkd-group-key");
+  ++epoch_;
+  RekeyMessage msg;
+  msg.epoch = epoch_;
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(pre_existing.size()));
+  for (MemberId id : pre_existing) {
+    w.u64(id);
+    w.bytes(crypto::Aead(pairwise_.at(id)).seal(group_key_, rng_));
+  }
+  msg.payload = w.take();
+  return msg;
+}
+
+std::unique_ptr<CgkdMember> StarCgkd::snapshot(MemberId id) const {
+  const auto it = pairwise_.find(id);
+  if (it == pairwise_.end()) {
+    throw ProtocolError("StarCgkd: snapshot of non-member");
+  }
+  return std::make_unique<StarMember>(id, it->second, group_key_, epoch_);
+}
+
+std::unique_ptr<CgkdMember> StarCgkd::deserialize_member(BytesView state) {
+  ByteReader r(state);
+  if (r.u8() != kCgkdTagStar) throw ProtocolError("StarCgkd: wrong scheme tag");
+  const MemberId id = r.u64();
+  const std::uint64_t epoch = r.u64();
+  Bytes pairwise = r.bytes();
+  Bytes group_key = r.bytes();
+  r.expect_done();
+  if (pairwise.size() != 32 || group_key.size() != 32) {
+    throw ProtocolError("StarCgkd: malformed member state");
+  }
+  return std::make_unique<StarMember>(id, std::move(pairwise),
+                                      std::move(group_key), epoch);
+}
 
 }  // namespace shs::cgkd

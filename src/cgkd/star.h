@@ -18,6 +18,16 @@ class StarCgkd final : public CgkdController {
   [[nodiscard]] JoinResult join(MemberId id) override;
   [[nodiscard]] RekeyMessage leave(MemberId id) override;
   [[nodiscard]] RekeyMessage refresh() override;
+  /// Mass admission in one epoch bump: seals the fresh group key only to
+  /// pre-existing members (new members fetch it via snapshot()), so a
+  /// fresh n-member group costs O(n) key generation, not O(n^2) seals.
+  [[nodiscard]] RekeyMessage bootstrap(
+      const std::vector<MemberId>& ids) override;
+  [[nodiscard]] std::unique_ptr<CgkdMember> snapshot(
+      MemberId id) const override;
+  /// Rebuilds a member from CgkdMember::serialize() bytes (tag kCgkdTagStar).
+  [[nodiscard]] static std::unique_ptr<CgkdMember> deserialize_member(
+      BytesView state);
   [[nodiscard]] const Bytes& group_key() const override { return group_key_; }
   [[nodiscard]] std::uint64_t epoch() const override { return epoch_; }
   [[nodiscard]] std::size_t member_count() const override {

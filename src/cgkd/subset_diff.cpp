@@ -1,5 +1,6 @@
 #include "cgkd/subset_diff.h"
 
+#include <algorithm>
 #include <bit>
 #include <unordered_map>
 
@@ -7,6 +8,7 @@
 #include "common/errors.h"
 #include "crypto/aead.h"
 #include "crypto/hmac.h"
+#include "obs/redact.h"
 
 namespace shs::cgkd {
 
@@ -92,6 +94,27 @@ class SdMember final : public CgkdMember {
   [[nodiscard]] std::uint64_t epoch() const override { return epoch_; }
   [[nodiscard]] MemberId id() const override { return id_; }
 
+  [[nodiscard]] Bytes serialize() const override {
+    ByteWriter w;
+    w.u8(kCgkdTagSubsetDiff);
+    w.u64(id_);
+    w.u64(epoch_);
+    w.u32(leaf_);
+    w.bytes(all_key_);
+    w.bytes(group_key_);
+    // Sorted (i,w) order: deterministic bytes for the serial-twin oracle.
+    std::vector<std::uint64_t> pairs;
+    pairs.reserve(labels_.size());
+    for (const auto& [pair, label] : labels_) pairs.push_back(pair);
+    std::sort(pairs.begin(), pairs.end());
+    w.u32(static_cast<std::uint32_t>(pairs.size()));
+    for (std::uint64_t pair : pairs) {
+      w.u64(pair);
+      w.bytes(labels_.at(pair));
+    }
+    return w.take();
+  }
+
  private:
   [[nodiscard]] bool covers_me(Node i, Node j) const {
     return is_ancestor_or_self(i, leaf_) && !is_ancestor_or_self(j, leaf_) &&
@@ -132,9 +155,14 @@ SubsetDiffCgkd::SubsetDiffCgkd(std::size_t capacity, num::RandomSource& rng)
     free_leaves_.insert(static_cast<Node>(capacity_ + i));
   }
   // A seed for every internal node (labels are per-node, fixed forever).
-  for (Node v = 1; v < capacity_; ++v) seeds_[v] = rng_.bytes(32);
+  for (Node v = 1; v < capacity_; ++v) {
+    seeds_[v] = rng_.bytes(32);
+    obs::audit_secret(seeds_.at(v), "cgkd-sd-node-seed");
+  }
   all_key_ = rng_.bytes(32);
   group_key_ = rng_.bytes(32);
+  obs::audit_secret(all_key_, "cgkd-sd-all-key");
+  obs::audit_secret(group_key_, "cgkd-group-key");
 }
 
 Bytes SubsetDiffCgkd::label(Node i, Node j) const {
@@ -198,6 +226,7 @@ std::vector<SdSubset> SubsetDiffCgkd::current_cover() const {
 
 RekeyMessage SubsetDiffCgkd::rekey() {
   group_key_ = rng_.bytes(32);
+  obs::audit_secret(group_key_, "cgkd-group-key");
   ++epoch_;
   RekeyMessage msg;
   msg.epoch = epoch_;
@@ -214,17 +243,10 @@ RekeyMessage SubsetDiffCgkd::rekey() {
   return msg;
 }
 
-JoinResult SubsetDiffCgkd::join(MemberId id) {
-  if (member_leaf_.contains(id)) {
-    throw ProtocolError("SubsetDiffCgkd: duplicate join");
-  }
-  if (free_leaves_.empty()) throw ProtocolError("SubsetDiffCgkd: group full");
-  const Node leaf = *free_leaves_.begin();
-  free_leaves_.erase(free_leaves_.begin());
-  member_leaf_.emplace(id, leaf);
-
-  // Provision labels: for each ancestor i of leaf and each node w hanging
-  // one step off the i->leaf path, LABEL_{i,w}.
+std::unordered_map<std::uint64_t, Bytes> SubsetDiffCgkd::provision_labels(
+    Node leaf) const {
+  // For each ancestor i of leaf and each node w hanging one step off the
+  // i->leaf path, LABEL_{i,w}.
   std::unordered_map<std::uint64_t, Bytes> labels;
   for (Node i = 1; i < capacity_; i = is_ancestor_or_self(2 * i, leaf) ? 2 * i : 2 * i + 1) {
     if (!is_ancestor_or_self(i, leaf)) break;
@@ -234,6 +256,19 @@ JoinResult SubsetDiffCgkd::join(MemberId id) {
     }
     if (i >= capacity_ / 2) break;  // children are leaves; i was last internal
   }
+  return labels;
+}
+
+JoinResult SubsetDiffCgkd::join(MemberId id) {
+  if (member_leaf_.contains(id)) {
+    throw ProtocolError("SubsetDiffCgkd: duplicate join");
+  }
+  if (free_leaves_.empty()) throw ProtocolError("SubsetDiffCgkd: group full");
+  const Node leaf = *free_leaves_.begin();
+  free_leaves_.erase(free_leaves_.begin());
+  member_leaf_.emplace(id, leaf);
+
+  std::unordered_map<std::uint64_t, Bytes> labels = provision_labels(leaf);
 
   RekeyMessage broadcast = rekey();
   JoinResult result;
@@ -254,5 +289,57 @@ RekeyMessage SubsetDiffCgkd::leave(MemberId id) {
 }
 
 RekeyMessage SubsetDiffCgkd::refresh() { return rekey(); }
+
+RekeyMessage SubsetDiffCgkd::bootstrap(const std::vector<MemberId>& ids) {
+  if (ids.empty()) return refresh();
+  if (ids.size() > free_leaves_.size()) {
+    throw ProtocolError("SubsetDiffCgkd: group full");
+  }
+  for (MemberId id : ids) {
+    if (member_leaf_.contains(id)) {
+      throw ProtocolError("SubsetDiffCgkd: duplicate join");
+    }
+    const Node leaf = *free_leaves_.begin();
+    free_leaves_.erase(free_leaves_.begin());
+    member_leaf_.emplace(id, leaf);
+  }
+  return rekey();
+}
+
+std::unique_ptr<CgkdMember> SubsetDiffCgkd::snapshot(MemberId id) const {
+  const auto it = member_leaf_.find(id);
+  if (it == member_leaf_.end()) {
+    throw ProtocolError("SubsetDiffCgkd: snapshot of non-member");
+  }
+  return std::make_unique<SdMember>(id, it->second,
+                                    provision_labels(it->second), all_key_,
+                                    group_key_, epoch_);
+}
+
+std::unique_ptr<CgkdMember> SubsetDiffCgkd::deserialize_member(
+    BytesView state) {
+  ByteReader r(state);
+  if (r.u8() != kCgkdTagSubsetDiff) {
+    throw ProtocolError("SubsetDiffCgkd: wrong scheme tag");
+  }
+  const MemberId id = r.u64();
+  const std::uint64_t epoch = r.u64();
+  const Node leaf = r.u32();
+  Bytes all_key = r.bytes();
+  Bytes group_key = r.bytes();
+  const std::uint32_t count = r.u32();
+  std::unordered_map<std::uint64_t, Bytes> labels;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint64_t pair = r.u64();
+    labels[pair] = r.bytes();
+  }
+  r.expect_done();
+  if (leaf < 2 || all_key.size() != 32 || group_key.size() != 32) {
+    throw ProtocolError("SubsetDiffCgkd: malformed member state");
+  }
+  return std::make_unique<SdMember>(id, leaf, std::move(labels),
+                                    std::move(all_key), std::move(group_key),
+                                    epoch);
+}
 
 }  // namespace shs::cgkd

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <map>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "cgkd/cgkd.h"
@@ -47,6 +48,18 @@ class SubsetDiffCgkd final : public CgkdController {
   [[nodiscard]] JoinResult join(MemberId id) override;
   [[nodiscard]] RekeyMessage leave(MemberId id) override;
   [[nodiscard]] RekeyMessage refresh() override;
+  /// Mass admission in one epoch bump. SD receivers are stateless, so this
+  /// only assigns leaves and rekeys once — label provisioning is deferred
+  /// to per-member snapshot() calls, which is what makes an n=10^6 group
+  /// feasible (labels cost O(log^2 n) PRG walks per member).
+  [[nodiscard]] RekeyMessage bootstrap(
+      const std::vector<MemberId>& ids) override;
+  [[nodiscard]] std::unique_ptr<CgkdMember> snapshot(
+      MemberId id) const override;
+  /// Rebuilds a member from CgkdMember::serialize() bytes
+  /// (tag kCgkdTagSubsetDiff).
+  [[nodiscard]] static std::unique_ptr<CgkdMember> deserialize_member(
+      BytesView state);
   [[nodiscard]] const Bytes& group_key() const override { return group_key_; }
   [[nodiscard]] std::uint64_t epoch() const override { return epoch_; }
   [[nodiscard]] std::size_t member_count() const override {
@@ -68,6 +81,9 @@ class SubsetDiffCgkd final : public CgkdController {
 
   [[nodiscard]] Bytes label(Node i, Node j) const;  // walk seed_i down to j
   [[nodiscard]] RekeyMessage rekey();
+  /// The O(log^2) label set a receiver at `leaf` stores (NNL provisioning).
+  [[nodiscard]] std::unordered_map<std::uint64_t, Bytes> provision_labels(
+      Node leaf) const;
 
   std::size_t capacity_ = 0;
   num::RandomSource& rng_;

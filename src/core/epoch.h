@@ -1,0 +1,54 @@
+// Epoch-aware key material for handshakes that span CGKD rekeys.
+//
+// Every CGKD membership event bumps the group epoch t and installs a
+// fresh k(t). A handshake pins the epoch its participants started from:
+// Phase-II tags are keyed by k' = k* XOR k(t), so participants at
+// different epochs never validate each other — the partial-success
+// partition splits cliques exactly by epoch. A member that retains a
+// bounded window of past keys (the *grace* window) can go one step
+// further and *classify* a failed tag: if the peer's tag verifies under
+// k* XOR k(t') for some retained t' < t, the peer is provably a
+// same-group member running behind by t - t' epochs, and the slot fails
+// closed with FailureReason::kStaleEpoch instead of the generic kBadTag.
+//
+// The classification is necessarily asymmetric: only the side holding
+// the *newer* key can type the failure (the stale side cannot hold
+// future keys — that is the CGKD security property), and it is local
+// diagnostics only — nothing about it goes on the wire, so failures
+// stay silent and wire shape is unchanged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace shs::core {
+
+/// One retired group key, kept for stale-tag classification.
+struct EpochKey {
+  std::uint64_t epoch = 0;
+  Bytes key;
+};
+
+/// The epoch context a member hands each handshake: the epoch of the
+/// current group key plus the retained window of strictly older keys
+/// (newest first). Default-constructed = legacy behavior: epoch 0, no
+/// history, no stale classification.
+struct EpochKeyring {
+  std::uint64_t epoch = 0;
+  std::vector<EpochKey> history;
+
+  /// Retires `old_key` (the key of `old_epoch`) into the history window,
+  /// advances to `new_epoch`, and trims the window to `grace` entries.
+  void advance(std::uint64_t old_epoch, Bytes old_key,
+               std::uint64_t new_epoch, std::size_t grace) {
+    if (grace > 0) {
+      history.insert(history.begin(), EpochKey{old_epoch, std::move(old_key)});
+      if (history.size() > grace) history.resize(grace);
+    }
+    epoch = new_epoch;
+  }
+};
+
+}  // namespace shs::core

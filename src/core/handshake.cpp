@@ -21,16 +21,21 @@ HandshakeParticipant::HandshakeParticipant(const GroupAuthority& authority,
                                            Bytes group_key,
                                            std::size_t position, std::size_t m,
                                            HandshakeOptions options,
-                                           BytesView session_seed)
+                                           BytesView session_seed,
+                                           EpochKeyring keyring)
     : authority_(authority),
       credential_(std::move(credential)),
       group_key_(std::move(group_key)),
+      keyring_(std::move(keyring)),
       position_(position),
       m_(m),
       options_(options),
       rng_(session_seed) {
   if (m_ < 2) throw ProtocolError("HandshakeParticipant: need m >= 2");
   obs::audit_secret(group_key_, "cgkd-group-key");
+  for (const EpochKey& h : keyring_.history) {
+    obs::audit_secret(h.key, "cgkd-group-key");
+  }
   if (position_ >= m_) {
     throw ProtocolError("HandshakeParticipant: position out of range");
   }
@@ -39,8 +44,10 @@ HandshakeParticipant::HandshakeParticipant(const GroupAuthority& authority,
   rounds_i_ = dgka_->rounds();
   phase1_by_sender_.resize(m_);
   tag_valid_.assign(m_, false);
+  stale_epoch_.assign(m_, false);
   outcome_.partner.assign(m_, false);
   outcome_.reason.assign(m_, FailureReason::kNotEvaluated);
+  outcome_.epoch = keyring_.epoch;
   outcome_.transcript.options = options_;
   outcome_.transcript.entries.resize(m_);
 }
@@ -59,14 +66,19 @@ Bytes HandshakeParticipant::party_string(std::size_t position) const {
   return crypto::Sha256::digest(w.buffer());
 }
 
-Bytes HandshakeParticipant::tag_for(std::size_t position) const {
+Bytes HandshakeParticipant::tag_with(BytesView k_prime,
+                                     std::size_t position) const {
   ByteWriter w;
   w.str("gcd-phase2-tag");
   w.u64(position);
   w.bytes(party_string(position));
-  Bytes tag = crypto::hmac_sha256(k_prime_, w.buffer());
+  Bytes tag = crypto::hmac_sha256(k_prime, w.buffer());
   obs::audit_secret(tag, "phase2-mac-tag");
   return tag;
+}
+
+Bytes HandshakeParticipant::tag_for(std::size_t position) const {
+  return tag_with(k_prime_, position);
 }
 
 std::size_t HandshakeParticipant::padded_sig_size() const {
@@ -143,8 +155,9 @@ void HandshakeParticipant::deliver(std::size_t round,
     dgka_->receive(round, messages);
     if (round + 1 == rounds_i_ && dgka_->accepted()) {
       dgka_ok_ = true;
-      k_prime_ = dgka_->session_key();
-      obs::audit_secret(k_prime_, "dgka-session-key");  // k*
+      k_star_ = dgka_->session_key();
+      obs::audit_secret(k_star_, "dgka-session-key");  // k*
+      k_prime_ = k_star_;
       xor_inplace(k_prime_, group_key_);
       obs::audit_secret(k_prime_, "k-prime");  // k' = k* XOR k
     }
@@ -167,6 +180,20 @@ void HandshakeParticipant::process_phase2(const std::vector<Bytes>& messages) {
       tag_valid_[j] = ct_equal(messages[j], tag_for(j));
     }
     tag_valid_[position_] = true;
+    // Classify failed tags against the retained grace window: a tag that
+    // verifies under k* XOR k(t') for a retired epoch t' belongs to a
+    // same-group peer running behind. It stays OUT of the clique (fail
+    // closed — cliques are same-epoch by construction); only the local
+    // diagnostic is upgraded from kBadTag to kStaleEpoch.
+    for (const EpochKey& h : keyring_.history) {
+      Bytes k_prime_old = k_star_;
+      xor_inplace(k_prime_old, h.key);
+      obs::audit_secret(k_prime_old, "k-prime");
+      for (std::size_t j = 0; j < m_; ++j) {
+        if (tag_valid_[j] || stale_epoch_[j] || j == position_) continue;
+        stale_epoch_[j] = ct_equal(messages[j], tag_with(k_prime_old, j));
+      }
+    }
   }
   std::size_t valid_count = 0;
   for (bool v : tag_valid_) valid_count += v ? 1 : 0;
@@ -196,7 +223,8 @@ void HandshakeParticipant::finalize_without_phase3() {
     outcome_.reason[j] = tag_valid_[j]
                              ? (proceed_ ? FailureReason::kConfirmed
                                          : FailureReason::kNoClique)
-                             : FailureReason::kBadTag;
+                             : (stale_epoch_[j] ? FailureReason::kStaleEpoch
+                                                : FailureReason::kBadTag);
   }
   outcome_.partner = tag_valid_;
   if (!proceed_) {
@@ -239,8 +267,10 @@ void HandshakeParticipant::process_phase3(const std::vector<Bytes>& messages) {
     done_ = true;
     outcome_.failure = "no same-group clique";
     for (std::size_t j = 0; j < m_; ++j) {
-      outcome_.reason[j] = tag_valid_[j] ? FailureReason::kNoClique
-                                         : FailureReason::kBadTag;
+      outcome_.reason[j] = tag_valid_[j]
+                               ? FailureReason::kNoClique
+                               : (stale_epoch_[j] ? FailureReason::kStaleEpoch
+                                                  : FailureReason::kBadTag);
     }
     return;
   }
@@ -259,7 +289,8 @@ void HandshakeParticipant::process_phase3(const std::vector<Bytes>& messages) {
   std::size_t jobs = 0;
   for (std::size_t j = 0; j < m_; ++j) {
     if (!tag_valid_[j]) {
-      outcome_.reason[j] = FailureReason::kBadTag;
+      outcome_.reason[j] = stale_epoch_[j] ? FailureReason::kStaleEpoch
+                                           : FailureReason::kBadTag;
       continue;
     }
     if (j == position_) continue;

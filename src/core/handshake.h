@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/authority.h"
+#include "core/epoch.h"
 #include "core/types.h"
 #include "core/verify.h"
 #include "crypto/drbg.h"
@@ -41,11 +42,16 @@ namespace shs::core {
 
 class HandshakeParticipant final : public net::RoundParty {
  public:
-  /// Use Member::handshake_party to construct.
+  /// Use Member::handshake_party to construct. `keyring` pins the CGKD
+  /// epoch of `group_key` and carries the retained window of older keys
+  /// used to classify cross-epoch Phase-II tags as kStaleEpoch; the
+  /// default (epoch 0, no history) reproduces epoch-unaware behavior
+  /// byte for byte.
   HandshakeParticipant(const GroupAuthority& authority,
                        gsig::MemberCredential credential, Bytes group_key,
                        std::size_t position, std::size_t m,
-                       HandshakeOptions options, BytesView session_seed);
+                       HandshakeOptions options, BytesView session_seed,
+                       EpochKeyring keyring = {});
 
   [[nodiscard]] std::size_t total_rounds() const override;
   [[nodiscard]] Bytes round_message(std::size_t round) override;
@@ -72,9 +78,13 @@ class HandshakeParticipant final : public net::RoundParty {
   /// this to attribute per-phase latency.
   [[nodiscard]] std::size_t phase1_rounds() const noexcept { return rounds_i_; }
 
+  /// The CGKD epoch this participant pinned at construction.
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return keyring_.epoch; }
+
  private:
   [[nodiscard]] Bytes party_string(std::size_t position) const;  // s_j
   [[nodiscard]] Bytes tag_for(std::size_t position) const;
+  [[nodiscard]] Bytes tag_with(BytesView k_prime, std::size_t position) const;
   [[nodiscard]] Bytes phase3_message();
   void process_phase2(const std::vector<Bytes>& messages);
   void process_phase3(const std::vector<Bytes>& messages);
@@ -84,7 +94,8 @@ class HandshakeParticipant final : public net::RoundParty {
 
   const GroupAuthority& authority_;
   gsig::MemberCredential credential_;
-  Bytes group_key_;  // k
+  Bytes group_key_;  // k = k(t) for the pinned epoch t
+  EpochKeyring keyring_;
   std::size_t position_;
   std::size_t m_;
   HandshakeOptions options_;
@@ -98,8 +109,10 @@ class HandshakeParticipant final : public net::RoundParty {
   Bytes session_tag_;
 
   bool dgka_ok_ = false;
+  Bytes k_star_;              // DGKA session key k* (kept for stale checks)
   Bytes k_prime_;             // k* XOR k
   std::vector<bool> tag_valid_;
+  std::vector<bool> stale_epoch_;  // tag verified under a retired epoch key
   bool proceed_ = false;      // CASE 1 (possibly partial) vs CASE 2
   Bytes own_signature_;
 

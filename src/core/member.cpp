@@ -14,18 +14,24 @@ Member::Member(const GroupAuthority& authority, MemberId id,
       id_(id),
       cgkd_(std::move(cgkd_state)),
       credential_(std::move(credential)),
-      bulletin_seen_(bulletin_seen) {}
+      bulletin_seen_(bulletin_seen) {
+  keyring_.epoch = cgkd_->epoch();
+}
 
 bool Member::update() {
   if (revoked_) return false;
   const auto& bulletin = authority_->bulletin();
   while (bulletin_seen_ < bulletin.size()) {
     const UpdateBundle& bundle = bulletin[bulletin_seen_];
+    const std::uint64_t old_epoch = cgkd_->epoch();
+    Bytes old_key = cgkd_->group_key();
     if (!cgkd_->process_rekey(bundle.rekey)) {
       // Cut out of the rekey: revoked (or irrecoverably out of sync).
       revoked_ = true;
       return false;
     }
+    keyring_.advance(old_epoch, std::move(old_key), cgkd_->epoch(),
+                     authority_->config().epoch_grace);
     try {
       const Bytes payload =
           crypto::Aead(cgkd_->group_key()).open(bundle.gsig_update);
@@ -75,7 +81,7 @@ std::unique_ptr<HandshakeParticipant> Member::handshake_party(
   seed.u64(position);
   return std::make_unique<HandshakeParticipant>(
       *authority_, credential_, cgkd_->group_key(), position, m, options,
-      seed.buffer());
+      seed.buffer(), keyring_);
 }
 
 }  // namespace shs::core

@@ -8,6 +8,7 @@
 
 #include "cgkd/cgkd.h"
 #include "core/authority.h"
+#include "core/epoch.h"
 #include "core/types.h"
 #include "gsig/gsig.h"
 
@@ -39,6 +40,11 @@ class Member {
   }
   /// Current CGKD group key k (requires !revoked()).
   [[nodiscard]] const Bytes& group_key() const;
+  /// Epoch context handed to handshakes: the pinned epoch of group_key()
+  /// plus the retained window of GroupConfig::epoch_grace older keys.
+  [[nodiscard]] const EpochKeyring& keyring() const noexcept {
+    return keyring_;
+  }
   [[nodiscard]] const gsig::MemberCredential& credential() const noexcept {
     return credential_;
   }
@@ -55,6 +61,7 @@ class Member {
   const GroupAuthority* authority_;
   MemberId id_;
   std::unique_ptr<cgkd::CgkdMember> cgkd_;
+  EpochKeyring keyring_;
   gsig::MemberCredential credential_;
   std::size_t bulletin_seen_;
   bool revoked_ = false;

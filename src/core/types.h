@@ -32,6 +32,10 @@ struct GroupConfig {
   CgkdKind cgkd = CgkdKind::kLkh;
   std::size_t cgkd_capacity = 64;
   algebra::ParamLevel level = algebra::ParamLevel::kTest;
+  /// How many retired group keys a member keeps for stale-epoch
+  /// classification (core/epoch.h). 0 = no history: cross-epoch tags
+  /// degrade to the generic kBadTag.
+  std::size_t epoch_grace = 2;
 };
 
 /// Per-handshake selectable properties (§7 Remark: the protocol is
@@ -80,6 +84,8 @@ enum class FailureReason : std::uint8_t {
   kBadSignature = 6,    // Phase-III AEAD/GSIG verification failed
   kDuplicateTag = 7,    // scheme 2: shared a duplicated T6 (cloned signer)
   kTimeout = 8,         // service: session expired before the round closed
+  kStaleEpoch = 9,      // Phase-II tag keyed by a retired CGKD epoch's key
+                        // (peer is same-group but behind; fails closed)
 };
 
 [[nodiscard]] constexpr const char* to_string(FailureReason reason) noexcept {
@@ -93,6 +99,7 @@ enum class FailureReason : std::uint8_t {
     case FailureReason::kBadSignature: return "bad signature";
     case FailureReason::kDuplicateTag: return "duplicate T6";
     case FailureReason::kTimeout: return "timed out";
+    case FailureReason::kStaleEpoch: return "stale epoch";
   }
   return "unknown";
 }
@@ -122,6 +129,10 @@ struct HandshakeOutcome {
   /// reason[j]: why position j is (not) in `partner`. Invariant once
   /// completed: partner[j] == (reason[j] == FailureReason::kConfirmed).
   std::vector<FailureReason> reason;
+  /// CGKD epoch this participant's group key was pinned at when the
+  /// handshake started (0 when the caller supplied no epoch context).
+  /// Partial-success cliques are same-epoch by construction.
+  std::uint64_t epoch = 0;
   /// The (theta, delta) pairs for GA tracing.
   HandshakeTranscript transcript;
 

@@ -160,6 +160,13 @@ void ServiceMetrics::merge_from(const ServiceMetrics& other) noexcept {
   add(channel_bytes_relayed, other.channel_bytes_relayed);
   add(channel_records_unowned, other.channel_records_unowned);
   add(channel_rekeys, other.channel_rekeys);
+  add(authority_rekeys, other.authority_rekeys);
+  add(authority_rekey_bytes, other.authority_rekey_bytes);
+  add(authority_rekeys_relayed, other.authority_rekeys_relayed);
+  add(authority_rekey_bytes_relayed, other.authority_rekey_bytes_relayed);
+  add(authority_subscribes, other.authority_subscribes);
+  add(authority_syncs, other.authority_syncs);
+  add(authority_rejects, other.authority_rejects);
   phase1_latency.merge(other.phase1_latency);
   phase2_latency.merge(other.phase2_latency);
   phase3_latency.merge(other.phase3_latency);
@@ -212,6 +219,17 @@ std::string ServiceMetrics::to_json(const Gauges& gauges) const {
          ", \"bytes_relayed\": " + u64(channel_bytes_relayed) +
          ", \"records_unowned\": " + u64(channel_records_unowned) +
          ", \"rekeys\": " + u64(channel_rekeys) + "},\n";
+  out += " \"authority\": {\"members\": " +
+         std::to_string(gauges.authority_members) +
+         ", \"epoch\": " + std::to_string(gauges.authority_epoch) +
+         ", \"subscribers\": " + std::to_string(gauges.authority_subscribers) +
+         ", \"rekeys\": " + u64(authority_rekeys) +
+         ", \"rekey_bytes\": " + u64(authority_rekey_bytes) +
+         ", \"rekeys_relayed\": " + u64(authority_rekeys_relayed) +
+         ", \"rekey_bytes_relayed\": " + u64(authority_rekey_bytes_relayed) +
+         ", \"subscribes\": " + u64(authority_subscribes) +
+         ", \"syncs\": " + u64(authority_syncs) +
+         ", \"rejects\": " + u64(authority_rejects) + "},\n";
   out += " \"precomp\": {\"tables\": " + std::to_string(gauges.precomp_tables) +
          ", \"hits\": " + std::to_string(gauges.precomp_hits) +
          ", \"misses\": " + std::to_string(gauges.precomp_misses) + "},\n";
@@ -336,6 +354,34 @@ obs::MetricsSnapshot ServiceMetrics::snapshot(const Gauges& gauges) const {
           u64(channel_records_unowned));
   counter("shs_channel_rekeys_total",
           "REKEY records observed by the relay", u64(channel_rekeys));
+  counter("shs_authority_rekeys_total",
+          "Rekey broadcasts issued by the group authority",
+          u64(authority_rekeys));
+  counter("shs_authority_rekey_bytes_total",
+          "Encoded bytes of issued rekey broadcasts",
+          u64(authority_rekey_bytes));
+  counter("shs_authority_rekeys_relayed_total",
+          "Rekey broadcasts fanned out to subscribed connections",
+          u64(authority_rekeys_relayed));
+  counter("shs_authority_rekey_bytes_relayed_total",
+          "Encoded rekey bytes fanned out to subscribed connections",
+          u64(authority_rekey_bytes_relayed));
+  counter("shs_authority_subscribes_total",
+          "Accepted authority subscribe requests",
+          u64(authority_subscribes));
+  counter("shs_authority_syncs_total",
+          "Member re-sync snapshots served by the authority",
+          u64(authority_syncs));
+  counter("shs_authority_rejects_total",
+          "Authority subscribe/sync requests rejected",
+          u64(authority_rejects));
+  gauge("shs_authority_members", "Members currently in the authority's group",
+        gauges.authority_members);
+  gauge("shs_authority_epoch", "Current CGKD epoch of the group authority",
+        gauges.authority_epoch);
+  gauge("shs_authority_subscribers",
+        "Connections subscribed to rekey broadcasts",
+        gauges.authority_subscribers);
   gauge("shs_precomp_tables", "Fixed-base tables in the process-wide cache",
         gauges.precomp_tables);
   gauge("shs_precomp_hits", "Process-wide precomputation cache hits",

@@ -80,6 +80,14 @@ struct ServiceMetrics {
     std::uint64_t precomp_tables = 0;
     std::uint64_t precomp_hits = 0;
     std::uint64_t precomp_misses = 0;
+    // Group-authority service (transport/authority_hub.h). Members and
+    // epoch come from the process-wide AuthorityEngine (set once at
+    // export, like the precomp gauges — never summed across shards);
+    // subscribers is summed from the per-shard hubs. All zero when the
+    // server runs without an authority.
+    std::uint64_t authority_members = 0;
+    std::uint64_t authority_epoch = 0;
+    std::uint64_t authority_subscribers = 0;
   };
 
   // Session lifecycle + round work (pump threads).
@@ -174,6 +182,18 @@ struct ServiceMetrics {
   // REKEY records observed by the relay (it reads only the clear type
   // byte, never the body).
   std::atomic<std::uint64_t> channel_rekeys{0};
+
+  // Group-authority churn service (transport/authority_hub.h). rekeys /
+  // rekey_bytes count engine broadcasts once each (the server stamps them
+  // on shard 0's block); *_relayed count the per-subscriber fan-out on
+  // the shard that sent it (relayed ≈ rekeys × subscribed connections).
+  alignas(64) std::atomic<std::uint64_t> authority_rekeys{0};
+  std::atomic<std::uint64_t> authority_rekey_bytes{0};
+  std::atomic<std::uint64_t> authority_rekeys_relayed{0};
+  std::atomic<std::uint64_t> authority_rekey_bytes_relayed{0};
+  std::atomic<std::uint64_t> authority_subscribes{0};  // accepted kSub
+  std::atomic<std::uint64_t> authority_syncs{0};       // served kSync
+  std::atomic<std::uint64_t> authority_rejects{0};     // kSubErr replies
 
   // Session-open -> end-of-phase latency, stamped at round completion.
   LatencyHistogram phase1_latency;

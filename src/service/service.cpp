@@ -313,6 +313,7 @@ ServiceMetrics::Gauges RendezvousService::gauges() const {
   g.precomp_tables = cache.size();
   g.precomp_hits = cache.hits();
   g.precomp_misses = cache.misses();
+  if (extra_gauges_) extra_gauges_(g);
   return g;
 }
 

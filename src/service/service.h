@@ -149,6 +149,12 @@ class RendezvousService {
   void set_channel_gauge(std::function<std::uint64_t()> source) {
     channel_gauge_ = std::move(source);
   }
+  /// Installs a hook that fills further host-owned gauges (the transport
+  /// shard sets this to stamp the authority gauges). Runs last, over the
+  /// already-populated struct. Unset = those gauges read 0.
+  void set_extra_gauges(std::function<void(ServiceMetrics::Gauges&)> fill) {
+    extra_gauges_ = std::move(fill);
+  }
   /// Point-in-time gauges: active sessions from the session table, active
   /// connections from the installed transport source. Both export
   /// surfaces read this one struct.
@@ -187,6 +193,7 @@ class RendezvousService {
   ServiceMetrics metrics_;
   std::function<std::uint64_t()> connection_gauge_;
   std::function<std::uint64_t()> channel_gauge_;
+  std::function<void(ServiceMetrics::Gauges&)> extra_gauges_;
   std::unique_ptr<EgressTap> tap_;
   std::unique_ptr<BatchVerifier> batch_;  // before manager_: outlives pumps
   std::unique_ptr<SessionManager> manager_;

@@ -1,0 +1,178 @@
+#include "transport/authority_client.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace shs::transport {
+
+namespace {
+
+/// Waits for readiness; returns false on timeout, throws on poll errors.
+bool poll_ready(int fd, short events, std::chrono::milliseconds timeout) {
+  pollfd pfd{fd, events, 0};
+  while (true) {
+    const int rc = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno != EINTR) throw TransportError(errno_message("poll"));
+  }
+}
+
+}  // namespace
+
+AuthorityClient::AuthorityClient(AuthorityClientOptions options)
+    : options_(std::move(options)), sync_(options_.epoch_grace) {}
+
+void AuthorityClient::connect() {
+  fd_ = tcp_connect(options_.host, options_.port, options_.connect_timeout,
+                    /*sndbuf=*/0, /*rcvbuf=*/0);
+}
+
+void AuthorityClient::adopt_socket(Fd fd) { fd_ = std::move(fd); }
+
+void AuthorityClient::send_frame(const service::Frame& frame) {
+  if (!fd_.valid()) throw TransportError("authority client: not connected");
+  const Bytes wire = encode_frame(frame);
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    if (!poll_ready(fd_.get(), POLLOUT, options_.io_timeout)) {
+      throw TransportError("authority client: timed out waiting to write");
+    }
+    const ssize_t n =
+        ::write(fd_.get(), wire.data() + sent, wire.size() - sent);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+    } else if (errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK) {
+      throw TransportError(errno_message("write"));
+    }
+  }
+}
+
+std::optional<service::Frame> AuthorityClient::recv_frame(
+    std::chrono::milliseconds timeout) {
+  if (!fd_.valid()) throw TransportError("authority client: not connected");
+  while (true) {
+    if (auto frame = in_buf_.next()) return frame;
+    if (!poll_ready(fd_.get(), POLLIN, timeout)) return std::nullopt;
+    std::uint8_t chunk[16 * 1024];
+    const ssize_t n = ::read(fd_.get(), chunk, sizeof(chunk));
+    if (n > 0) {
+      in_buf_.feed(BytesView(chunk, static_cast<std::size_t>(n)));
+    } else if (n == 0) {
+      throw TransportError("authority client: server closed the feed");
+    } else if (errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK) {
+      throw TransportError(errno_message("read"));
+    }
+  }
+}
+
+void AuthorityClient::apply(const RekeyEnvelope& envelope) {
+  cgkd::RekeyMessage msg;
+  msg.epoch = envelope.epoch;
+  msg.payload = envelope.payload;
+  switch (sync_.apply(msg)) {
+    case authority::ApplyResult::kApplied:
+    case authority::ApplyResult::kStale:
+      return;
+    case authority::ApplyResult::kNeedSync:
+      resync();
+      return;
+  }
+}
+
+void AuthorityClient::request_state(const service::Frame& request,
+                                    std::uint32_t tag) {
+  send_frame(request);
+  while (true) {
+    auto frame = recv_frame(options_.io_timeout);
+    if (!frame) {
+      throw TransportError(
+          "authority client: timed out waiting for the authority's reply");
+    }
+    if (is_control(*frame)) {
+      const auto op = static_cast<ControlOp>(frame->round);
+      if (op == ControlOp::kSubOk && frame->position == tag) {
+        sync_.install_state(decode_sub_ok(*frame));
+        return;
+      }
+      if (op == ControlOp::kSubErr && frame->position == tag) {
+        throw ProtocolError("authority rejected: " +
+                            decode_sub_err(*frame).second);
+      }
+      if (op == ControlOp::kRekey) {
+        // A broadcast racing our request. Before the first install we
+        // cannot apply it — and need not: the snapshot we are waiting
+        // for is at least as fresh as any broadcast ordered before it.
+        if (sync_.ready()) apply(decode_rekey(*frame));
+        continue;
+      }
+      if (op == ControlOp::kShutdown) {
+        throw TransportError("authority client: server is shutting down");
+      }
+    }
+    throw ProtocolError(
+        "authority client: unexpected frame while awaiting reply");
+  }
+}
+
+void AuthorityClient::subscribe(std::uint64_t member_id, bool join) {
+  const std::uint32_t tag = next_tag_++;
+  SubscribeRequest request;
+  request.member_id = member_id;
+  request.join = join;
+  member_id_ = member_id;
+  request_state(make_sub(tag, request), tag);
+}
+
+void AuthorityClient::resync() {
+  const std::uint32_t tag = next_tag_++;
+  ++resyncs_;
+  request_state(make_sync(tag, member_id_), tag);
+}
+
+std::size_t AuthorityClient::poll(std::chrono::milliseconds timeout) {
+  if (!sync_.ready()) {
+    throw ProtocolError("authority client: subscribe before polling");
+  }
+  std::size_t applied = 0;
+  std::chrono::milliseconds wait = timeout;
+  while (true) {
+    auto frame = recv_frame(wait);
+    if (!frame) return applied;
+    if (is_control(*frame)) {
+      const auto op = static_cast<ControlOp>(frame->round);
+      if (op == ControlOp::kRekey) {
+        apply(decode_rekey(*frame));
+        ++applied;
+        // Drain whatever else is already queued without waiting again.
+        wait = std::chrono::milliseconds(0);
+        continue;
+      }
+      if (op == ControlOp::kShutdown) return applied;
+    }
+    throw ProtocolError("authority client: unexpected frame on the feed");
+  }
+}
+
+bool AuthorityClient::wait_for_epoch(std::uint64_t epoch,
+                                     std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (sync_.epoch() < epoch) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    (void)poll(std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - now));
+  }
+  return true;
+}
+
+void AuthorityClient::unsubscribe() {
+  if (member_id_ != 0 || sync_.ready()) {
+    send_frame(make_unsub(member_id_));
+  }
+}
+
+}  // namespace shs::transport

@@ -1,0 +1,106 @@
+// AuthorityClient — the member side of the group-authority service over
+// a real socket: one blocking connection dedicated to the rekey feed.
+//
+// subscribe() performs the kSub handshake (optionally admitting the
+// member) and installs the returned private-channel state into a local
+// authority::MemberSync. poll() then drains broadcasts as they arrive
+// and applies them in order; when a broadcast cannot be applied (the
+// member missed epochs beyond its scheme's tolerance), the client
+// recovers automatically: it sends kSync, awaits the fresh snapshot and
+// installs it — the gap is counted, never fatal. The keyring() the sync
+// maintains is what an epoch-aware handshake pins, so a member driven by
+// this client classifies cross-epoch peers as kStaleEpoch.
+//
+// Like transport::Client, one AuthorityClient is one socket and is
+// strictly single-threaded; every blocking read is bounded by
+// options.io_timeout.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "authority/member_sync.h"
+#include "service/frame.h"
+#include "transport/socket.h"
+#include "transport/wire.h"
+
+namespace shs::transport {
+
+struct AuthorityClientOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::chrono::milliseconds connect_timeout{2000};
+  /// Deadline for any single blocking read or write.
+  std::chrono::milliseconds io_timeout{10000};
+  /// Retired-key window of the local keyring (GroupConfig::epoch_grace).
+  std::size_t epoch_grace = 2;
+};
+
+class AuthorityClient {
+ public:
+  explicit AuthorityClient(AuthorityClientOptions options);
+
+  void connect();
+  void adopt_socket(Fd fd);
+  [[nodiscard]] bool connected() const noexcept { return fd_.valid(); }
+  void close() noexcept { fd_.reset(); }
+
+  /// Subscribes this connection to the rekey feed for `member_id`.
+  /// `join` admits the member first (the server broadcasts the join
+  /// rekey to everyone else); without it the id must already be a
+  /// member. Installs the returned state locally. Throws ProtocolError
+  /// with the server's message on rejection.
+  void subscribe(std::uint64_t member_id, bool join);
+
+  /// Drains every broadcast the server has queued, waiting up to
+  /// `timeout` for the first one; applies each in order, auto-resyncing
+  /// on gaps. Returns how many broadcasts were applied (0 on timeout).
+  std::size_t poll(std::chrono::milliseconds timeout);
+
+  /// poll()s until the local epoch reaches `epoch` or `timeout` passes.
+  [[nodiscard]] bool wait_for_epoch(std::uint64_t epoch,
+                                    std::chrono::milliseconds timeout);
+
+  /// Fetches a fresh snapshot from the authority and installs it
+  /// (explicit re-sync; poll() calls this on gap detection).
+  void resync();
+
+  /// Stops the server fanning broadcasts to this member.
+  void unsubscribe();
+
+  /// Local member state (throws until subscribe() succeeded).
+  [[nodiscard]] bool ready() const noexcept { return sync_.ready(); }
+  [[nodiscard]] std::uint64_t epoch() const { return sync_.epoch(); }
+  [[nodiscard]] const Bytes& group_key() const { return sync_.group_key(); }
+  [[nodiscard]] const core::EpochKeyring& keyring() const noexcept {
+    return sync_.keyring();
+  }
+  [[nodiscard]] const authority::MemberSync& sync() const noexcept {
+    return sync_;
+  }
+  /// kSync round-trips performed (gap recoveries + explicit resync()s).
+  [[nodiscard]] std::uint64_t resyncs() const noexcept { return resyncs_; }
+
+ private:
+  void send_frame(const service::Frame& frame);
+  /// Next frame, or nullopt when `timeout` passes with nothing readable.
+  /// Throws TransportError on EOF or socket errors.
+  [[nodiscard]] std::optional<service::Frame> recv_frame(
+      std::chrono::milliseconds timeout);
+  /// Sends a kSub/kSync and blocks for the matching kSubOk/kSubErr,
+  /// applying broadcasts that arrive in between; installs the state.
+  void request_state(const service::Frame& request, std::uint32_t tag);
+  void apply(const RekeyEnvelope& envelope);
+
+  AuthorityClientOptions options_;
+  Fd fd_;
+  service::FrameBuffer in_buf_;
+  std::uint32_t next_tag_ = 1;
+  std::uint64_t member_id_ = 0;
+  authority::MemberSync sync_;
+  std::uint64_t resyncs_ = 0;
+};
+
+}  // namespace shs::transport

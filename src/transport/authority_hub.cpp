@@ -1,0 +1,64 @@
+#include "transport/authority_hub.h"
+
+#include <algorithm>
+#include <iterator>
+#include <memory>
+#include <vector>
+
+#include "transport/connection.h"
+#include "transport/server.h"
+
+namespace shs::transport {
+
+AuthorityHub::AuthorityHub(TransportServer* server,
+                           service::ServiceMetrics* metrics)
+    : server_(server), metrics_(metrics) {}
+
+void AuthorityHub::subscribe(std::uint64_t member_id, ConnRef from) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  subscribers_[member_id] = from;
+}
+
+void AuthorityHub::unsubscribe(std::uint64_t member_id, ConnRef from) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = subscribers_.find(member_id);
+  if (it != subscribers_.end() && it->second == from) subscribers_.erase(it);
+}
+
+void AuthorityHub::purge(ConnRef ref) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = subscribers_.begin(); it != subscribers_.end();) {
+    it = it->second == ref ? subscribers_.erase(it) : std::next(it);
+  }
+}
+
+void AuthorityHub::broadcast(const Bytes& encoded) {
+  std::vector<ConnRef> targets;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    targets.reserve(subscribers_.size());
+    for (const auto& [member, ref] : subscribers_) targets.push_back(ref);
+  }
+  // One copy per connection even when it hosts several members: the map
+  // is member-ordered, so sort-unique by connection identity.
+  std::sort(targets.begin(), targets.end(),
+            [](const ConnRef& a, const ConnRef& b) {
+              return a.shard != b.shard ? a.shard < b.shard : a.conn < b.conn;
+            });
+  targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+  for (const ConnRef& ref : targets) {
+    const std::shared_ptr<Connection> conn = server_->find_connection(ref);
+    if (conn == nullptr || conn->closed()) continue;
+    conn->send(encoded);
+    metrics_->authority_rekeys_relayed.fetch_add(1, std::memory_order_relaxed);
+    metrics_->authority_rekey_bytes_relayed.fetch_add(
+        encoded.size(), std::memory_order_relaxed);
+  }
+}
+
+std::size_t AuthorityHub::subscriber_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return subscribers_.size();
+}
+
+}  // namespace shs::transport

@@ -1,0 +1,63 @@
+// AuthorityHub — the fan-out side of the group-authority service, one
+// hub per shard (mirroring ChannelHub): it tracks which of this shard's
+// connections subscribed to rekey broadcasts and relays every broadcast
+// the process-wide AuthorityEngine issues to them.
+//
+// The hub holds no key material: a subscriber's private-channel state is
+// sent exactly once, in the kSubOk reply on the requesting connection,
+// and broadcasts are sealed by the CGKD scheme itself — the hub forwards
+// bytes it cannot read. Registration is keyed by member id so kUnsub and
+// re-subscription behave, but fan-out deduplicates by connection: a
+// connection hosting several members receives one copy per broadcast.
+//
+// Threading: every method is any-thread safe (one mutex). Subscribes
+// arrive on loop threads (control frames), broadcasts from whatever
+// thread drives the server's authority_* churn calls, purges from loop
+// threads on disconnect. The server holds its own authority mutex across
+// [engine op -> every shard's broadcast], so each connection observes
+// broadcasts in epoch order (Connection::send is FIFO per connection).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "common/bytes.h"
+#include "service/metrics.h"
+#include "transport/shard.h"
+
+namespace shs::transport {
+
+class TransportServer;
+
+class AuthorityHub {
+ public:
+  AuthorityHub(TransportServer* server, service::ServiceMetrics* metrics);
+
+  /// Binds `member_id`'s rekey feed to `from`. Re-subscribing moves the
+  /// feed to the new connection (last subscription wins).
+  void subscribe(std::uint64_t member_id, ConnRef from);
+
+  /// Unbinds `member_id` if `from` is the subscribed connection.
+  void unsubscribe(std::uint64_t member_id, ConnRef from);
+
+  /// Drops every subscription held by `ref` (its connection closed).
+  void purge(ConnRef ref);
+
+  /// Sends one encoded kRekey frame to every subscribed connection on
+  /// this shard (deduplicated by connection).
+  void broadcast(const Bytes& encoded);
+
+  [[nodiscard]] std::size_t subscriber_count() const;
+
+ private:
+  TransportServer* server_;           // never null; owns the shard set
+  service::ServiceMetrics* metrics_;  // this shard's counter block
+
+  mutable std::mutex mu_;
+  // Ordered so broadcast() can walk members grouped deterministically;
+  // the value is the connection the member subscribed on.
+  std::map<std::uint64_t, ConnRef> subscribers_;
+};
+
+}  // namespace shs::transport

@@ -97,6 +97,9 @@ void Client::handle(service::Frame frame) {
     case ControlOp::kShutdown:
       shutdown_ = true;
       return;
+    case ControlOp::kRekey:
+      rekeys_.push_back(decode_rekey(frame));
+      return;
     default:
       throw ProtocolError("client: unexpected control frame from server");
   }
@@ -160,6 +163,10 @@ void Client::detach(std::uint64_t session_id, std::uint32_t position) {
 
 std::vector<service::Frame> Client::take_records() {
   return std::exchange(records_, {});
+}
+
+std::vector<RekeyEnvelope> Client::take_rekeys() {
+  return std::exchange(rekeys_, {});
 }
 
 std::uint64_t Client::open_raw(BytesView payload) {

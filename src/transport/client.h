@@ -69,6 +69,12 @@ class Client {
   /// Draining the inbox transfers ownership to the caller.
   [[nodiscard]] std::vector<service::Frame> take_records();
 
+  /// Authority rekey broadcasts received so far (epoch order — the
+  /// server serializes fan-out per connection). Draining transfers
+  /// ownership; most callers use AuthorityClient instead, but a session
+  /// client that also subscribed must not choke on the feed.
+  [[nodiscard]] std::vector<RekeyEnvelope> take_rekeys();
+
   /// Relays until every session opened on this client is done or the
   /// server announces shutdown. Returns the summaries collected so far
   /// (one per completed session, in completion order).
@@ -104,6 +110,7 @@ class Client {
   std::unordered_set<std::uint64_t> pending_;
   std::vector<SessionSummary> summaries_;
   std::vector<service::Frame> records_;  // channel-record inbox
+  std::vector<RekeyEnvelope> rekeys_;    // authority-broadcast inbox
   bool shutdown_ = false;
 };
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "bigint/fixed_base.h"
+#include "transport/authority_hub.h"
 #include "transport/channel_hub.h"
 
 namespace shs::transport {
@@ -41,6 +42,10 @@ TransportServer::TransportServer(ServerOptions options,
     shard_options.sid_stride = n;
     shards_.push_back(std::make_unique<Shard>(
         this, static_cast<std::uint32_t>(i), std::move(shard_options)));
+  }
+  if (options_.enable_authority) {
+    authority_ =
+        std::make_unique<authority::AuthorityEngine>(options_.authority_options);
   }
   if (options_.obs_endpoint) {
     ObsEndpoint::Options obs_options;
@@ -166,6 +171,124 @@ void TransportServer::purge_routes_everywhere(ConnRef ref) {
   for (auto& shard : shards_) {
     shard->purge_routes_of(ref);
     shard->hub().purge(ref);
+    shard->authority_hub().purge(ref);
+  }
+}
+
+void TransportServer::broadcast_rekey_locked(const cgkd::RekeyMessage& msg) {
+  const Bytes encoded =
+      encode_frame(make_rekey(RekeyEnvelope{msg.epoch, msg.payload}));
+  // Engine-level broadcasts are server-wide events; stamp them once, on
+  // shard 0's block (the merged surfaces sum the per-shard blocks).
+  service::ServiceMetrics& m0 = shards_.front()->service().metrics();
+  m0.authority_rekeys.fetch_add(1, std::memory_order_relaxed);
+  m0.authority_rekey_bytes.fetch_add(msg.size(), std::memory_order_relaxed);
+  for (auto& shard : shards_) shard->authority_hub().broadcast(encoded);
+}
+
+cgkd::RekeyMessage TransportServer::authority_join(cgkd::MemberId id) {
+  if (authority_ == nullptr) {
+    throw ProtocolError("TransportServer: authority is disabled");
+  }
+  const std::lock_guard<std::mutex> lock(authority_mu_);
+  cgkd::RekeyMessage msg = authority_->join(id);
+  broadcast_rekey_locked(msg);
+  return msg;
+}
+
+cgkd::RekeyMessage TransportServer::authority_leave(cgkd::MemberId id) {
+  if (authority_ == nullptr) {
+    throw ProtocolError("TransportServer: authority is disabled");
+  }
+  const std::lock_guard<std::mutex> lock(authority_mu_);
+  cgkd::RekeyMessage msg = authority_->leave(id);
+  broadcast_rekey_locked(msg);
+  return msg;
+}
+
+cgkd::RekeyMessage TransportServer::authority_refresh() {
+  if (authority_ == nullptr) {
+    throw ProtocolError("TransportServer: authority is disabled");
+  }
+  const std::lock_guard<std::mutex> lock(authority_mu_);
+  cgkd::RekeyMessage msg = authority_->refresh();
+  broadcast_rekey_locked(msg);
+  return msg;
+}
+
+cgkd::RekeyMessage TransportServer::authority_bootstrap(
+    const std::vector<cgkd::MemberId>& ids) {
+  if (authority_ == nullptr) {
+    throw ProtocolError("TransportServer: authority is disabled");
+  }
+  const std::lock_guard<std::mutex> lock(authority_mu_);
+  cgkd::RekeyMessage msg = authority_->bootstrap(ids);
+  broadcast_rekey_locked(msg);
+  return msg;
+}
+
+std::size_t TransportServer::authority_subscriber_count() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->authority_hub().subscriber_count();
+  }
+  return total;
+}
+
+void TransportServer::handle_authority_sub(ConnRef from, std::uint32_t tag,
+                                           const SubscribeRequest& request) {
+  const std::shared_ptr<Connection> conn = find_connection(from);
+  if (conn == nullptr || conn->closed()) return;
+  service::ServiceMetrics& metrics =
+      shards_[from.shard]->service().metrics();
+  if (authority_ == nullptr) {
+    metrics.authority_rejects.fetch_add(1, std::memory_order_relaxed);
+    conn->send(encode_frame(make_sub_err(tag, request.member_id,
+                                         "authority is disabled")));
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(authority_mu_);
+  try {
+    authority::Admission admission =
+        authority_->subscribe(request.member_id, request.join);
+    // Subscribe before replying or broadcasting: the member must not
+    // miss a rekey issued between its admission and its first poll.
+    shards_[from.shard]->authority_hub().subscribe(request.member_id, from);
+    metrics.authority_subscribes.fetch_add(1, std::memory_order_relaxed);
+    conn->send(encode_frame(make_sub_ok(tag, admission.state)));
+    // A join admission rekeys everyone who was already a member. The
+    // joiner receives it too (its feed is live) and drops it as stale —
+    // its state is already at the join epoch.
+    if (admission.broadcast) broadcast_rekey_locked(*admission.broadcast);
+  } catch (const Error& e) {
+    metrics.authority_rejects.fetch_add(1, std::memory_order_relaxed);
+    conn->send(encode_frame(make_sub_err(tag, request.member_id, e.what())));
+  }
+}
+
+void TransportServer::handle_authority_sync(ConnRef from, std::uint32_t tag,
+                                            std::uint64_t member_id) {
+  const std::shared_ptr<Connection> conn = find_connection(from);
+  if (conn == nullptr || conn->closed()) return;
+  service::ServiceMetrics& metrics =
+      shards_[from.shard]->service().metrics();
+  if (authority_ == nullptr) {
+    metrics.authority_rejects.fetch_add(1, std::memory_order_relaxed);
+    conn->send(
+        encode_frame(make_sub_err(tag, member_id, "authority is disabled")));
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(authority_mu_);
+  try {
+    const Bytes state = authority_->member_state(member_id);
+    // A sync implies the caller wants the feed (it may have lost it with
+    // a previous connection) — (re)register it here too.
+    shards_[from.shard]->authority_hub().subscribe(member_id, from);
+    metrics.authority_syncs.fetch_add(1, std::memory_order_relaxed);
+    conn->send(encode_frame(make_sub_ok(tag, state)));
+  } catch (const Error& e) {
+    metrics.authority_rejects.fetch_add(1, std::memory_order_relaxed);
+    conn->send(encode_frame(make_sub_err(tag, member_id, e.what())));
   }
 }
 
@@ -205,6 +328,15 @@ service::ServiceMetrics::Gauges TransportServer::merged_gauges() const {
   g.precomp_tables = cache.size();
   g.precomp_hits = cache.hits();
   g.precomp_misses = cache.misses();
+  if (authority_ != nullptr) {
+    // Process-wide engine values are set once (like the precomp cache),
+    // never summed across shards; subscriptions live per shard and sum.
+    g.authority_members =
+        static_cast<std::uint64_t>(authority_->member_count());
+    g.authority_epoch = authority_->epoch();
+    g.authority_subscribers =
+        static_cast<std::uint64_t>(authority_subscriber_count());
+  }
   return g;
 }
 
@@ -271,6 +403,17 @@ std::string TransportServer::metrics_prometheus() const {
             "Channel records received by one shard's hub", /*gauge=*/false,
             [&](const Shard& s) {
               return counter(s.service().metrics().channel_records_in);
+            });
+  per_shard("shs_shard_authority_subscribers",
+            "Rekey-broadcast subscriptions on one shard", /*gauge=*/true,
+            [](const Shard& s) {
+              return static_cast<std::uint64_t>(
+                  s.authority_hub().subscriber_count());
+            });
+  per_shard("shs_shard_authority_rekeys_relayed_total",
+            "Rekey broadcasts one shard's hub fanned out", /*gauge=*/false,
+            [&](const Shard& s) {
+              return counter(s.service().metrics().authority_rekeys_relayed);
             });
   return obs::prometheus_text(snapshot);
 }

@@ -51,9 +51,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "authority/engine.h"
 #include "core/handshake.h"
 #include "service/service.h"
 #include "transport/connection.h"
@@ -115,6 +117,15 @@ struct ServerOptions {
   /// How long a registered channel that never saw an attach survives
   /// before the home shard's expire timer reaps it.
   std::chrono::milliseconds channel_linger{30000};
+  /// Host a process-wide group authority (authority/engine.h): the
+  /// server answers kSub / kSync / kUnsub control frames, and every
+  /// churn call (authority_join / _leave / _refresh / _bootstrap)
+  /// broadcasts an epoch-stamped kRekey frame to all subscribed
+  /// connections across every shard. Off = those control frames are
+  /// rejected with kSubErr.
+  bool enable_authority = false;
+  /// Scheme, capacity and DRBG seed of the hosted engine.
+  authority::AuthorityOptions authority_options;
   /// Serve GET /metrics (Prometheus text, merged across shards) and GET
   /// /trace (Chrome trace JSON) from a second listener on shard 0's
   /// event loop — no extra threads. Disabled by default.
@@ -194,6 +205,23 @@ class TransportServer {
     return egress_dropped_.load(std::memory_order_relaxed);
   }
 
+  /// The hosted group authority; null unless options.enable_authority.
+  [[nodiscard]] authority::AuthorityEngine* authority() noexcept {
+    return authority_.get();
+  }
+  /// Server-driven churn: runs the engine op and fans the resulting
+  /// epoch-stamped broadcast out to every subscribed connection, as one
+  /// atomic step — every connection observes broadcasts in epoch order.
+  /// Thread-safe; throw ProtocolError if the authority is disabled (or
+  /// the engine rejects the op: duplicate join, unknown leave, ...).
+  cgkd::RekeyMessage authority_join(cgkd::MemberId id);
+  cgkd::RekeyMessage authority_leave(cgkd::MemberId id);
+  cgkd::RekeyMessage authority_refresh();
+  cgkd::RekeyMessage authority_bootstrap(
+      const std::vector<cgkd::MemberId>& ids);
+  /// Rekey-broadcast subscriptions across all shards.
+  [[nodiscard]] std::size_t authority_subscriber_count() const;
+
   /// Merged export surfaces: per-shard counters folded into one block
   /// (ServiceMetrics::merge_from + LatencyHistogram::merge), gauges
   /// summed. With num_shards = 1 these delegate to the single service,
@@ -208,6 +236,7 @@ class TransportServer {
  private:
   friend class Shard;
   friend class ChannelHub;
+  friend class AuthorityHub;
 
   void accept_ready();
   /// Deals a fresh socket to the next shard round-robin. `on_shard0_loop`
@@ -222,12 +251,31 @@ class TransportServer {
   void purge_routes_everywhere(ConnRef ref);
   [[nodiscard]] service::ServiceMetrics::Gauges merged_gauges() const;
 
+  /// kSub / kSync handlers (called from a shard loop thread). Both reply
+  /// on the requesting connection and register the subscription on its
+  /// shard's hub; a join-admission's broadcast fans out before the lock
+  /// is released so the new member's feed starts at its join epoch.
+  void handle_authority_sub(ConnRef from, std::uint32_t tag,
+                            const SubscribeRequest& request);
+  void handle_authority_sync(ConnRef from, std::uint32_t tag,
+                             std::uint64_t member_id);
+  /// Encodes and fans one broadcast to every shard's subscribers.
+  /// Caller holds authority_mu_.
+  void broadcast_rekey_locked(const cgkd::RekeyMessage& msg);
+
   ServerOptions options_;
   SessionFactory factory_;
   std::function<void(std::uint64_t, service::SessionState)> user_terminal_;
   obs::TraceRecorder* trace_ = nullptr;  // borrowed via ServiceOptions
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<ObsEndpoint> obs_;
+
+  // Process-wide group authority (null unless enabled). authority_mu_
+  // spans [engine op -> per-shard fan-out] so broadcast order == epoch
+  // order on every subscribed connection; the engine's own lock alone
+  // could interleave two ops' fan-outs.
+  std::unique_ptr<authority::AuthorityEngine> authority_;
+  mutable std::mutex authority_mu_;
 
   Fd listener_;
   std::uint16_t port_ = 0;

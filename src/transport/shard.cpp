@@ -6,6 +6,7 @@
 #include "channel/keys.h"
 #include "channel/record.h"
 #include "channel/roster.h"
+#include "transport/authority_hub.h"
 #include "transport/channel_hub.h"
 #include "transport/server.h"
 
@@ -35,6 +36,8 @@ Shard::Shard(TransportServer* server, std::uint32_t index,
   service_ = std::make_unique<service::RendezvousService>(
       std::move(service_options));
   hub_ = std::make_unique<ChannelHub>(server, &service_->metrics(), trace_);
+  authority_hub_ =
+      std::make_unique<AuthorityHub>(server, &service_->metrics());
   // This shard's export surfaces gauge its own sockets; the server sums
   // the per-shard gauges for the merged exposition.
   service_->set_connection_gauge([this] {
@@ -42,6 +45,17 @@ Shard::Shard(TransportServer* server, std::uint32_t index,
   });
   service_->set_channel_gauge([this] {
     return static_cast<std::uint64_t>(hub_->channels_open());
+  });
+  // Authority gauges: members/epoch are process-wide (the engine is the
+  // server's), subscribers are this shard's. Evaluated at export time,
+  // after the server's constructor has built the engine.
+  service_->set_extra_gauges([this](service::ServiceMetrics::Gauges& g) {
+    const authority::AuthorityEngine* engine = server_->authority_.get();
+    if (engine == nullptr) return;
+    g.authority_members = engine->member_count();
+    g.authority_epoch = engine->epoch();
+    g.authority_subscribers =
+        static_cast<std::uint64_t>(authority_hub_->subscriber_count());
   });
 }
 
@@ -139,6 +153,24 @@ void Shard::on_frame(Connection& conn, service::Frame frame) {
         const auto [sid, position] = decode_detach(frame);
         server_->shards_[server_->home_shard_of(sid)]->hub().detach(
             sid, position, ConnRef{index_, conn.id()});
+        return;
+      }
+      case ControlOp::kSub: {
+        // The engine is process-wide, so admission goes through the
+        // server (which serializes engine ops with broadcast fan-out);
+        // the subscription itself lands on this connection's shard.
+        server_->handle_authority_sub(ConnRef{index_, conn.id()},
+                                      frame.position, decode_sub(frame));
+        return;
+      }
+      case ControlOp::kSync: {
+        server_->handle_authority_sync(ConnRef{index_, conn.id()},
+                                       frame.position, decode_sync(frame));
+        return;
+      }
+      case ControlOp::kUnsub: {
+        authority_hub_->unsubscribe(decode_unsub(frame),
+                                    ConnRef{index_, conn.id()});
         return;
       }
       default:

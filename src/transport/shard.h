@@ -48,6 +48,7 @@
 
 namespace shs::transport {
 
+class AuthorityHub;
 class ChannelHub;
 class TransportServer;
 
@@ -89,6 +90,14 @@ class Shard {
   /// This shard's channel relay hub (channels home here like sessions).
   [[nodiscard]] ChannelHub& hub() noexcept { return *hub_; }
   [[nodiscard]] const ChannelHub& hub() const noexcept { return *hub_; }
+  /// This shard's authority fan-out hub (subscriptions live with their
+  /// connection's shard, unlike channels, which home with sessions).
+  [[nodiscard]] AuthorityHub& authority_hub() noexcept {
+    return *authority_hub_;
+  }
+  [[nodiscard]] const AuthorityHub& authority_hub() const noexcept {
+    return *authority_hub_;
+  }
 
   /// Schedules the recurring expire_stalled() timer on this shard's
   /// loop. Call before start_threads() (timers are added pre-run).
@@ -165,6 +174,7 @@ class Shard {
   ConnectionLimits limits_;
   std::unique_ptr<service::RendezvousService> service_;
   std::unique_ptr<ChannelHub> hub_;
+  std::unique_ptr<AuthorityHub> authority_hub_;
   EventLoop loop_;
 
   EventLoop::TimerId expire_timer_ = 0;

@@ -90,6 +90,7 @@ Bytes encode_open_request(const OpenRequest& request) {
   w.u32(request.m);
   w.u8(static_cast<std::uint8_t>((request.self_distinction ? 1 : 0) |
                                  (request.traceable ? 2 : 0)));
+  w.u64(request.epoch);
   w.bytes(request.seed);
   return w.take();
 }
@@ -101,6 +102,7 @@ OpenRequest decode_open_request(BytesView payload) {
   const std::uint8_t flags = r.u8();
   request.self_distinction = (flags & 1) != 0;
   request.traceable = (flags & 2) != 0;
+  request.epoch = r.u64();
   request.seed = r.bytes();
   r.expect_done();
   return request;
@@ -179,6 +181,100 @@ std::pair<std::uint64_t, std::uint32_t> decode_detach(
   const std::uint32_t position = r.u32();
   r.expect_done();
   return {sid, position};
+}
+
+service::Frame make_sub(std::uint32_t tag, const SubscribeRequest& request) {
+  ByteWriter w;
+  w.u64(request.member_id);
+  w.u8(request.join ? 1 : 0);
+  return control_frame(ControlOp::kSub, tag, w.take());
+}
+
+service::Frame make_sub_ok(std::uint32_t tag, BytesView state) {
+  ByteWriter w;
+  w.bytes(state);
+  return control_frame(ControlOp::kSubOk, tag, w.take());
+}
+
+service::Frame make_sub_err(std::uint32_t tag, std::uint64_t member_id,
+                            const std::string& message) {
+  ByteWriter w;
+  w.u64(member_id);
+  w.str(message);
+  return control_frame(ControlOp::kSubErr, tag, w.take());
+}
+
+service::Frame make_rekey(const RekeyEnvelope& envelope) {
+  ByteWriter w;
+  w.u64(envelope.epoch);
+  w.bytes(envelope.payload);
+  return control_frame(ControlOp::kRekey, 0, w.take());
+}
+
+service::Frame make_sync(std::uint32_t tag, std::uint64_t member_id) {
+  ByteWriter w;
+  w.u64(member_id);
+  return control_frame(ControlOp::kSync, tag, w.take());
+}
+
+service::Frame make_unsub(std::uint64_t member_id) {
+  ByteWriter w;
+  w.u64(member_id);
+  return control_frame(ControlOp::kUnsub, 0, w.take());
+}
+
+SubscribeRequest decode_sub(const service::Frame& frame) {
+  expect_op(frame, ControlOp::kSub);
+  ByteReader r(frame.payload);
+  SubscribeRequest request;
+  request.member_id = r.u64();
+  request.join = r.u8() != 0;
+  r.expect_done();
+  return request;
+}
+
+Bytes decode_sub_ok(const service::Frame& frame) {
+  expect_op(frame, ControlOp::kSubOk);
+  ByteReader r(frame.payload);
+  Bytes state = r.bytes();
+  r.expect_done();
+  return state;
+}
+
+std::pair<std::uint64_t, std::string> decode_sub_err(
+    const service::Frame& frame) {
+  expect_op(frame, ControlOp::kSubErr);
+  ByteReader r(frame.payload);
+  const std::uint64_t member_id = r.u64();
+  std::string message = r.str();
+  r.expect_done();
+  return {member_id, std::move(message)};
+}
+
+RekeyEnvelope decode_rekey(const service::Frame& frame) {
+  expect_op(frame, ControlOp::kRekey);
+  ByteReader r(frame.payload);
+  RekeyEnvelope envelope;
+  envelope.epoch = r.u64();
+  envelope.payload = r.bytes();
+  r.expect_done();
+  return envelope;
+}
+
+std::uint64_t decode_sync(const service::Frame& frame) {
+  expect_op(frame, ControlOp::kSync);
+  ByteReader r(frame.payload);
+  const std::uint64_t member_id = r.u64();
+  r.expect_done();
+  return member_id;
+}
+
+std::uint64_t decode_unsub(const service::Frame& frame) {
+  expect_op(frame, ControlOp::kUnsub);
+  ByteReader r(frame.payload);
+  const std::uint64_t member_id = r.u64();
+  r.expect_done();
+  return member_id;
 }
 
 }  // namespace shs::transport

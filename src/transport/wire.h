@@ -21,6 +21,19 @@
 //   kAttachErr server -> client payload: u64 sid + error string
 //   kDetach   client -> server  payload: u64 sid + u32 position; the
 //                               relay stops fanning to this member
+//   kSub      client -> server  payload: SubscribeRequest (member id +
+//                               join flag); tag correlates the reply
+//   kSubOk    server -> client  payload: serialized CGKD member state
+//                               (CgkdMember::serialize) for the id
+//   kSubErr   server -> client  payload: u64 member id + error string
+//   kRekey    server -> client  payload: RekeyEnvelope — the authority's
+//                               epoch-stamped broadcast, fanned out to
+//                               every subscribed connection
+//   kSync     client -> server  payload: u64 member id; asks for a fresh
+//                               state snapshot (gap recovery); replied to
+//                               with kSubOk / kSubErr
+//   kUnsub    client -> server  payload: u64 member id; stop fanning
+//                               rekey broadcasts to this member
 //
 // OpenRequest is the *convention* examples, tests and the bench use for
 // the kOpen payload — the SessionFactory installed on the server decides
@@ -51,6 +64,12 @@ enum class ControlOp : std::uint32_t {
   kAttachOk = 7,
   kAttachErr = 8,
   kDetach = 9,
+  kSub = 10,
+  kSubOk = 11,
+  kSubErr = 12,
+  kRekey = 13,
+  kSync = 14,
+  kUnsub = 15,
 };
 
 [[nodiscard]] constexpr bool is_control(const service::Frame& frame) noexcept {
@@ -87,6 +106,10 @@ struct OpenRequest {
   std::uint32_t m = 2;
   bool self_distinction = false;  // Scheme 2
   bool traceable = true;          // include Phase III
+  /// CGKD epoch the caller's group key is pinned at (0 = epoch-unaware).
+  /// Factories that model a live authority hand this to the participant's
+  /// EpochKeyring so cross-epoch tags classify as kStaleEpoch.
+  std::uint64_t epoch = 0;
   Bytes seed;
 
   friend bool operator==(const OpenRequest&, const OpenRequest&) = default;
@@ -134,5 +157,49 @@ struct AttachInfo {
 /// Returns {session_id, position}.
 [[nodiscard]] std::pair<std::uint64_t, std::uint32_t> decode_detach(
     const service::Frame& frame);
+
+/// Authority subscribe: a member asks the group-authority service to fan
+/// rekey broadcasts to this connection. `join` admits the id (one rekey
+/// for everyone else) before provisioning; without it the id must already
+/// be a member and gets a snapshot at the current epoch.
+struct SubscribeRequest {
+  std::uint64_t member_id = 0;
+  bool join = false;
+
+  friend bool operator==(const SubscribeRequest&,
+                         const SubscribeRequest&) = default;
+};
+
+/// The authority's epoch-stamped broadcast as it crosses the wire. The
+/// payload is the scheme-specific cgkd::RekeyMessage body; members apply
+/// it with CgkdMember::process_rekey.
+struct RekeyEnvelope {
+  std::uint64_t epoch = 0;
+  Bytes payload;
+
+  friend bool operator==(const RekeyEnvelope&,
+                         const RekeyEnvelope&) = default;
+};
+
+[[nodiscard]] service::Frame make_sub(std::uint32_t tag,
+                                      const SubscribeRequest& request);
+[[nodiscard]] service::Frame make_sub_ok(std::uint32_t tag, BytesView state);
+[[nodiscard]] service::Frame make_sub_err(std::uint32_t tag,
+                                          std::uint64_t member_id,
+                                          const std::string& message);
+[[nodiscard]] service::Frame make_rekey(const RekeyEnvelope& envelope);
+[[nodiscard]] service::Frame make_sync(std::uint32_t tag,
+                                       std::uint64_t member_id);
+[[nodiscard]] service::Frame make_unsub(std::uint64_t member_id);
+
+[[nodiscard]] SubscribeRequest decode_sub(const service::Frame& frame);
+/// Returns the serialized member state (feed to cgkd::deserialize_member).
+[[nodiscard]] Bytes decode_sub_ok(const service::Frame& frame);
+/// Returns {member_id, message}.
+[[nodiscard]] std::pair<std::uint64_t, std::string> decode_sub_err(
+    const service::Frame& frame);
+[[nodiscard]] RekeyEnvelope decode_rekey(const service::Frame& frame);
+[[nodiscard]] std::uint64_t decode_sync(const service::Frame& frame);
+[[nodiscard]] std::uint64_t decode_unsub(const service::Frame& frame);
 
 }  // namespace shs::transport

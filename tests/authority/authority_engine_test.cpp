@@ -1,0 +1,229 @@
+// AuthorityEngine + MemberSync units: scheme selection, churn semantics
+// behind the engine's mutex, seed-determinism (the serial-twin oracle's
+// foundation — same seed + same op sequence must emit byte-identical
+// broadcasts), member-side apply/stale/gap verdicts with keyring
+// maintenance, and the redaction canary for serialized join state.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "authority/engine.h"
+#include "authority/member_sync.h"
+#include "common/errors.h"
+#include "obs/log.h"
+#include "obs/redact.h"
+
+namespace shs::authority {
+namespace {
+
+AuthorityOptions options_for(Scheme scheme, std::uint64_t seed = 7) {
+  AuthorityOptions o;
+  o.scheme = scheme;
+  o.capacity = 64;
+  o.seed = seed;
+  return o;
+}
+
+TEST(AuthorityEngine, SchemeVocabularyRoundTrips) {
+  EXPECT_EQ(scheme_from_string("star"), Scheme::kStar);
+  EXPECT_EQ(scheme_from_string("lkh"), Scheme::kLkh);
+  EXPECT_EQ(scheme_from_string("sd"), Scheme::kSubsetDiff);
+  EXPECT_THROW((void)scheme_from_string("btree"), ProtocolError);
+  for (Scheme s : {Scheme::kStar, Scheme::kLkh, Scheme::kSubsetDiff}) {
+    EXPECT_EQ(scheme_from_string(to_string(s)), s);
+  }
+}
+
+TEST(AuthorityEngine, ChurnBumpsEpochAndTracksMembership) {
+  AuthorityEngine engine(options_for(Scheme::kLkh));
+  EXPECT_EQ(engine.epoch(), 0u);
+  EXPECT_EQ(engine.member_count(), 0u);
+
+  const auto j1 = engine.join(1);
+  const auto j2 = engine.join(2);
+  EXPECT_EQ(j2.epoch, 2u);
+  EXPECT_EQ(engine.epoch(), 2u);
+  EXPECT_TRUE(engine.is_member(1));
+  EXPECT_EQ(engine.member_count(), 2u);
+
+  const auto l1 = engine.leave(1);
+  EXPECT_EQ(l1.epoch, 3u);
+  EXPECT_FALSE(engine.is_member(1));
+  EXPECT_THROW((void)engine.leave(1), ProtocolError);
+  EXPECT_THROW((void)engine.join(2), ProtocolError);
+
+  const Bytes before = engine.group_key();
+  const auto r = engine.refresh();
+  EXPECT_EQ(r.epoch, 4u);
+  EXPECT_NE(engine.group_key(), before);
+  EXPECT_EQ(engine.member_count(), 1u);
+}
+
+// Same seed + same operation sequence => byte-identical broadcasts and
+// keys, for every scheme. The transport's serial-twin oracle drives an
+// in-process engine against the served one and compares bytes; this is
+// the property that comparison rests on.
+TEST(AuthorityEngine, SameSeedSameOpsGiveByteIdenticalBroadcasts) {
+  for (Scheme scheme : {Scheme::kStar, Scheme::kLkh, Scheme::kSubsetDiff}) {
+    SCOPED_TRACE(to_string(scheme));
+    AuthorityEngine a(options_for(scheme, 42));
+    AuthorityEngine b(options_for(scheme, 42));
+    AuthorityEngine c(options_for(scheme, 43));  // control: different seed
+    auto drive = [](AuthorityEngine& e) {
+      std::vector<cgkd::RekeyMessage> out;
+      for (cgkd::MemberId id = 1; id <= 6; ++id) out.push_back(e.join(id));
+      out.push_back(e.leave(3));
+      out.push_back(e.refresh());
+      out.push_back(e.join(9));
+      return out;
+    };
+    const auto ma = drive(a);
+    const auto mb = drive(b);
+    const auto mc = drive(c);
+    ASSERT_EQ(ma.size(), mb.size());
+    bool differs_from_control = false;
+    for (std::size_t i = 0; i < ma.size(); ++i) {
+      EXPECT_EQ(ma[i].epoch, mb[i].epoch);
+      EXPECT_EQ(ma[i].payload, mb[i].payload) << "op " << i;
+      differs_from_control |= ma[i].payload != mc[i].payload;
+    }
+    EXPECT_EQ(a.group_key(), b.group_key());
+    EXPECT_TRUE(differs_from_control) << "seed is not reaching the keys";
+    EXPECT_NE(a.group_key(), c.group_key());
+  }
+}
+
+TEST(AuthorityEngine, BootstrapIsOneEpochAndProvisionsViaSnapshots) {
+  AuthorityEngine engine(options_for(Scheme::kLkh));
+  std::vector<cgkd::MemberId> ids;
+  for (cgkd::MemberId id = 1; id <= 32; ++id) ids.push_back(id);
+  const auto msg = engine.bootstrap(ids);
+  EXPECT_EQ(msg.epoch, 1u);
+  EXPECT_EQ(engine.epoch(), 1u);
+  EXPECT_EQ(engine.member_count(), 32u);
+
+  MemberSync sync;
+  sync.install_state(engine.member_state(17));
+  EXPECT_EQ(sync.id(), 17u);
+  EXPECT_EQ(sync.epoch(), 1u);
+  EXPECT_EQ(sync.group_key(), engine.group_key());
+  EXPECT_THROW((void)engine.member_state(99), ProtocolError);
+}
+
+TEST(AuthorityEngine, SubscribeJoinAdmitsAndSnapshotDoesNot) {
+  AuthorityEngine engine(options_for(Scheme::kStar));
+  (void)engine.join(1);
+
+  const Admission joined = engine.subscribe(2, /*join=*/true);
+  ASSERT_TRUE(joined.broadcast.has_value());
+  EXPECT_EQ(joined.broadcast->epoch, 2u);
+  EXPECT_TRUE(engine.is_member(2));
+
+  const std::uint64_t epoch = engine.epoch();
+  const Admission snap = engine.subscribe(1, /*join=*/false);
+  EXPECT_FALSE(snap.broadcast.has_value());
+  EXPECT_EQ(engine.epoch(), epoch) << "snapshot must not rekey";
+
+  MemberSync sync;
+  sync.install_state(snap.state);
+  EXPECT_EQ(sync.id(), 1u);
+  EXPECT_EQ(sync.group_key(), engine.group_key());
+
+  EXPECT_THROW((void)engine.subscribe(9, /*join=*/false), ProtocolError);
+}
+
+// MemberSync verdicts: in-order broadcasts apply and retire keys into
+// the grace window; replays are kStale; an LKH member that missed an
+// epoch gets kNeedSync (gap counted) and recovers by installing a fresh
+// snapshot that preserves keyring continuity.
+TEST(MemberSync, AppliesStaleDropsAndGapRecovery) {
+  AuthorityEngine engine(options_for(Scheme::kLkh));
+  const Admission adm = engine.subscribe(1, /*join=*/true);
+
+  MemberSync sync(/*grace=*/2);
+  EXPECT_FALSE(sync.ready());
+  sync.install_state(adm.state);
+  ASSERT_TRUE(sync.ready());
+  EXPECT_EQ(sync.epoch(), 1u);
+
+  const Bytes key_e1 = sync.group_key();
+  const auto e2 = engine.join(2);
+  EXPECT_EQ(sync.apply(e2), ApplyResult::kApplied);
+  EXPECT_EQ(sync.epoch(), 2u);
+  ASSERT_EQ(sync.keyring().history.size(), 1u);
+  EXPECT_EQ(sync.keyring().history[0].epoch, 1u);
+  EXPECT_EQ(sync.keyring().history[0].key, key_e1);
+
+  EXPECT_EQ(sync.apply(e2), ApplyResult::kStale) << "replay must drop";
+  EXPECT_EQ(sync.epoch(), 2u);
+
+  // Miss epoch 3 entirely; epoch 4 is then undecryptable for LKH.
+  (void)engine.refresh();
+  const auto e4 = engine.refresh();
+  EXPECT_EQ(sync.apply(e4), ApplyResult::kNeedSync);
+  EXPECT_EQ(sync.gaps_detected(), 1u);
+  EXPECT_EQ(sync.epoch(), 2u) << "failed apply must not advance";
+
+  // Recovery: fresh snapshot. The jump 2 -> 4 retires the epoch-2 key so
+  // handshakes pinned before the gap still classify as kStaleEpoch.
+  sync.install_state(engine.member_state(1));
+  EXPECT_EQ(sync.epoch(), 4u);
+  EXPECT_EQ(sync.group_key(), engine.group_key());
+  ASSERT_GE(sync.keyring().history.size(), 1u);
+  EXPECT_EQ(sync.keyring().history[0].epoch, 2u);
+
+  const auto e5 = engine.refresh();
+  EXPECT_EQ(sync.apply(e5), ApplyResult::kApplied);
+  EXPECT_EQ(sync.gaps_detected(), 1u) << "recovered gap must not recount";
+}
+
+TEST(MemberSync, AccessorsThrowUntilInstalled) {
+  MemberSync sync;
+  EXPECT_THROW((void)sync.id(), ProtocolError);
+  EXPECT_THROW((void)sync.epoch(), ProtocolError);
+  EXPECT_THROW((void)sync.group_key(), ProtocolError);
+  EXPECT_THROW((void)sync.apply(cgkd::RekeyMessage{}), ProtocolError);
+}
+
+struct AuditGuard {
+  AuditGuard() {
+    obs::RedactionAudit::instance().reset();
+    obs::RedactionAudit::instance().enable(true);
+  }
+  ~AuditGuard() {
+    obs::RedactionAudit::instance().reset();
+    obs::RedactionAudit::instance().enable(false);
+  }
+};
+
+// Serialized join state registers with the redaction audit the moment the
+// engine emits it, so any diagnostics surface carrying the blob (raw or
+// hex) trips a violation. The deliberate leak proves the scanner sees it.
+TEST(AuthorityRedaction, JoinStateIsRegisteredAndDeliberateLeakIsCaught) {
+  AuditGuard guard;
+  obs::RedactionAudit& audit = obs::RedactionAudit::instance();
+
+  AuthorityEngine engine(options_for(Scheme::kLkh));
+  const Admission adm = engine.subscribe(1, /*join=*/true);
+  EXPECT_GT(audit.secret_count(), 0u)
+      << "join emitted no audited secret — the canary proves nothing";
+  ASSERT_EQ(audit.violations(), 0u);
+
+  obs::CaptureSink sink;
+  obs::Logger::Options lo;
+  lo.sink = &sink;
+  obs::Logger logger(lo);
+  logger.info("authority", "benign line").u64("member", 1);
+  EXPECT_EQ(audit.violations(), 0u) << "metadata-only logging must pass";
+
+  logger.info("authority", "leaking on purpose")
+      .str("state_hex", to_hex(adm.state));
+  ASSERT_GE(audit.violations(), 1u)
+      << "a hexed join blob sailed through the audit";
+  EXPECT_EQ(audit.violation_log()[0].label, "authority-join-state");
+}
+
+}  // namespace
+}  // namespace shs::authority

@@ -1,0 +1,335 @@
+// Cross-epoch handshake conformance: participants whose group keys come
+// from a live AuthorityEngine, pinned at whatever epoch their MemberSync
+// reached when the handshake started. The invariants under test (ISSUE
+// acceptance criteria):
+//
+//   * same-pinned-epoch members complete even after later rekeys land
+//     (bounded-grace: the epoch is pinned at construction);
+//   * a peer within the grace window fails closed and the *newer* side
+//     types the slot kStaleEpoch (the stale side cannot hold future keys
+//     — it reports generic kBadTag);
+//   * skew beyond the grace window degrades to kBadTag;
+//   * partial-success partitions split cliques exactly by epoch, with
+//     distinct session keys per clique;
+//   * zero false accepts across a seeded adversary sweep: no cross-epoch
+//     confirmation ever, and an outsider with a random key is never
+//     classified kStaleEpoch (the typed verdict is not spoofable);
+//   * wire shape is unchanged — every Phase-III transcript entry has the
+//     same shape whether or not stale classification fired.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "authority/engine.h"
+#include "authority/member_sync.h"
+#include "common/codec.h"
+#include "core/fixture.h"
+#include "core/handshake.h"
+#include "crypto/drbg.h"
+
+namespace shs::authority {
+namespace {
+
+constexpr std::size_t kGrace = 2;  // GroupConfig::epoch_grace default
+
+/// Process-wide handshake context: credentials and GSIG/PKE state for up
+/// to 8 positions. The CGKD keys under test come from the engine below,
+/// not from this group's own (quiescent) CGKD layer.
+core::testing::TestGroup& epoch_group() {
+  static auto* group = [] {
+    auto* g = new core::testing::TestGroup("epoch-conf", core::GroupConfig{});
+    for (core::MemberId id = 1; id <= 8; ++id) g->admit(id);
+    return g;
+  }();
+  return *group;
+}
+
+/// An engine plus one MemberSync per member, where member i missed the
+/// last skews[i] of `churn` refresh broadcasts — its key and keyring are
+/// pinned skews[i] epochs behind the engine.
+struct EpochedKeys {
+  std::unique_ptr<AuthorityEngine> engine;
+  std::vector<MemberSync> syncs;
+
+  [[nodiscard]] std::uint64_t epoch() const { return engine->epoch(); }
+};
+
+EpochedKeys epoched_members(std::size_t m, std::size_t churn,
+                            const std::vector<std::size_t>& skews,
+                            std::uint64_t seed = 2026) {
+  AuthorityOptions options;
+  options.scheme = Scheme::kLkh;
+  options.capacity = 64;
+  options.seed = seed;
+  EpochedKeys out;
+  out.engine = std::make_unique<AuthorityEngine>(options);
+  std::vector<cgkd::MemberId> ids;
+  for (std::size_t i = 0; i < m; ++i) ids.push_back(i + 1);
+  (void)out.engine->bootstrap(ids);
+  out.syncs.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    out.syncs[i].install_state(out.engine->member_state(ids[i]));
+  }
+  std::vector<cgkd::RekeyMessage> msgs;
+  for (std::size_t c = 0; c < churn; ++c) {
+    msgs.push_back(out.engine->refresh());
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    EXPECT_LE(skews[i], churn);
+    for (std::size_t j = 0; j + skews[i] < churn; ++j) {
+      EXPECT_EQ(out.syncs[i].apply(msgs[j]), ApplyResult::kApplied);
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<core::HandshakeParticipant> party(
+    std::size_t position, std::size_t m, const Bytes& key,
+    const core::EpochKeyring& keyring, std::string_view label,
+    const core::HandshakeOptions& options = {}) {
+  auto& group = epoch_group();
+  ByteWriter seed;
+  seed.str("epoch-conformance");
+  seed.str(std::string(label));
+  seed.u64(position);
+  return std::make_unique<core::HandshakeParticipant>(
+      group.authority(), group.member(position).credential(), key, position,
+      m, options, seed.buffer(), keyring);
+}
+
+std::vector<core::HandshakeOutcome> run(
+    std::vector<std::unique_ptr<core::HandshakeParticipant>>& parts) {
+  std::vector<core::HandshakeParticipant*> ptrs;
+  ptrs.reserve(parts.size());
+  for (auto& p : parts) ptrs.push_back(p.get());
+  return core::run_handshake(ptrs);
+}
+
+using core::FailureReason;
+
+TEST(AuthorityEpoch, CurrentMembersCompleteFullyAfterChurn) {
+  const std::size_t m = 3;
+  auto fleet = epoched_members(m, /*churn=*/3, {0, 0, 0});
+  std::vector<std::unique_ptr<core::HandshakeParticipant>> parts;
+  for (std::size_t i = 0; i < m; ++i) {
+    parts.push_back(party(i, m, fleet.syncs[i].group_key(),
+                          fleet.syncs[i].keyring(), "all-current"));
+  }
+  const auto outcomes = run(parts);
+  for (std::size_t i = 0; i < m; ++i) {
+    SCOPED_TRACE("position " + std::to_string(i));
+    EXPECT_TRUE(outcomes[i].full_success);
+    EXPECT_EQ(outcomes[i].epoch, fleet.epoch());
+    EXPECT_EQ(outcomes[i].session_key, outcomes[0].session_key);
+  }
+}
+
+// One rekey behind (within the grace window): the handshake fails closed
+// for both sides, and only the newer side can *type* the failure — it
+// still holds the retired key the stale peer's tag is keyed by. The
+// stale side holds no future keys (that is the CGKD security property)
+// and reports the generic kBadTag.
+TEST(AuthorityEpoch, StaleWithinGraceIsTypedOnTheNewerSideOnly) {
+  auto fleet = epoched_members(2, /*churn=*/2, {0, 1});
+  std::vector<std::unique_ptr<core::HandshakeParticipant>> parts;
+  for (std::size_t i = 0; i < 2; ++i) {
+    parts.push_back(party(i, 2, fleet.syncs[i].group_key(),
+                          fleet.syncs[i].keyring(), "one-behind"));
+  }
+  const auto outcomes = run(parts);
+
+  EXPECT_EQ(outcomes[0].epoch, fleet.epoch());
+  EXPECT_EQ(outcomes[1].epoch, fleet.epoch() - 1);
+  EXPECT_EQ(outcomes[0].confirmed_count(), 0u);
+  EXPECT_EQ(outcomes[1].confirmed_count(), 0u);
+  EXPECT_TRUE(outcomes[0].session_key.empty());
+  EXPECT_EQ(outcomes[0].reason[1], FailureReason::kStaleEpoch);
+  EXPECT_EQ(outcomes[1].reason[0], FailureReason::kBadTag)
+      << "the stale side must NOT be able to classify the newer peer";
+}
+
+TEST(AuthorityEpoch, SkewBeyondGraceDegradesToBadTag) {
+  const std::size_t skew = kGrace + 1;
+  auto fleet = epoched_members(2, /*churn=*/skew, {0, skew});
+  std::vector<std::unique_ptr<core::HandshakeParticipant>> parts;
+  for (std::size_t i = 0; i < 2; ++i) {
+    parts.push_back(party(i, 2, fleet.syncs[i].group_key(),
+                          fleet.syncs[i].keyring(), "beyond-grace"));
+  }
+  const auto outcomes = run(parts);
+  EXPECT_EQ(outcomes[0].confirmed_count(), 0u);
+  EXPECT_EQ(outcomes[0].reason[1], FailureReason::kBadTag)
+      << "a key outside the grace window must not classify as stale";
+  EXPECT_EQ(outcomes[1].reason[0], FailureReason::kBadTag);
+}
+
+// Five participants across three epochs: {0,1} current, {2,3} one
+// behind, {4} two behind. Partial success must partition the set into
+// cliques *exactly* by pinned epoch, with distinct session keys, and
+// every cross-epoch slot typed from the newer side.
+TEST(AuthorityEpoch, PartitionSplitsCliquesExactlyByEpoch) {
+  const std::size_t m = 5;
+  const std::vector<std::size_t> skews = {0, 0, 1, 1, 2};
+  auto fleet = epoched_members(m, /*churn=*/2, skews);
+  std::vector<std::unique_ptr<core::HandshakeParticipant>> parts;
+  for (std::size_t i = 0; i < m; ++i) {
+    parts.push_back(party(i, m, fleet.syncs[i].group_key(),
+                          fleet.syncs[i].keyring(), "three-epochs"));
+  }
+  const auto outcomes = run(parts);
+
+  for (std::size_t i = 0; i < m; ++i) {
+    SCOPED_TRACE("position " + std::to_string(i));
+    EXPECT_EQ(outcomes[i].epoch, fleet.epoch() - skews[i]);
+    for (std::size_t j = 0; j < m; ++j) {
+      // Position 4's epoch has no company: no clique, so even its own
+      // slot stays false.
+      EXPECT_EQ(outcomes[i].partner[j], skews[i] == skews[j] && skews[i] != 2)
+          << "slot " << j;
+    }
+  }
+  // Cliques {0,1} and {2,3} complete with distinct keys; {4} is alone.
+  EXPECT_EQ(outcomes[0].session_key, outcomes[1].session_key);
+  EXPECT_EQ(outcomes[2].session_key, outcomes[3].session_key);
+  ASSERT_FALSE(outcomes[0].session_key.empty());
+  EXPECT_NE(outcomes[0].session_key, outcomes[2].session_key);
+  EXPECT_EQ(outcomes[4].confirmed_count(), 0u);
+
+  // Typed classification is strictly "newer side, within grace".
+  EXPECT_EQ(outcomes[0].reason[2], FailureReason::kStaleEpoch);
+  EXPECT_EQ(outcomes[0].reason[4], FailureReason::kStaleEpoch);
+  EXPECT_EQ(outcomes[2].reason[0], FailureReason::kBadTag);
+  EXPECT_EQ(outcomes[2].reason[4], FailureReason::kStaleEpoch);
+  EXPECT_EQ(outcomes[4].reason[0], FailureReason::kBadTag);
+  EXPECT_EQ(outcomes[4].reason[2], FailureReason::kBadTag);
+}
+
+// The rollover scenario the service makes routine: participants pin
+// their epoch at construction, so a rekey broadcast landing mid-flight
+// does not break a handshake already in progress — while a handshake
+// started *after* the members applied the broadcast completes at the new
+// epoch with a fresh key.
+TEST(AuthorityEpoch, PinnedEpochSurvivesMidHandshakeRollover) {
+  const std::size_t m = 3;
+  auto fleet = epoched_members(m, /*churn=*/1, {0, 0, 0});
+  const std::uint64_t pinned = fleet.epoch();
+
+  std::vector<std::unique_ptr<core::HandshakeParticipant>> inflight;
+  for (std::size_t i = 0; i < m; ++i) {
+    inflight.push_back(party(i, m, fleet.syncs[i].group_key(),
+                             fleet.syncs[i].keyring(), "pre-rollover"));
+  }
+
+  // k(t) rolls over while the handshake is "on the wire".
+  const auto rekey = fleet.engine->refresh();
+  for (auto& sync : fleet.syncs) {
+    ASSERT_EQ(sync.apply(rekey), ApplyResult::kApplied);
+  }
+
+  const auto before = run(inflight);
+  for (const auto& o : before) {
+    EXPECT_TRUE(o.full_success);
+    EXPECT_EQ(o.epoch, pinned);
+  }
+
+  std::vector<std::unique_ptr<core::HandshakeParticipant>> fresh;
+  for (std::size_t i = 0; i < m; ++i) {
+    fresh.push_back(party(i, m, fleet.syncs[i].group_key(),
+                          fleet.syncs[i].keyring(), "post-rollover"));
+  }
+  const auto after = run(fresh);
+  for (const auto& o : after) {
+    EXPECT_TRUE(o.full_success);
+    EXPECT_EQ(o.epoch, pinned + 1);
+  }
+  EXPECT_NE(before[0].session_key, after[0].session_key);
+}
+
+// Seeded adversary sweep. Every run mixes random epoch skews and (half
+// the runs) an outsider holding a random key while *claiming* the
+// current epoch. Invariants, checked over every run:
+//   1. zero false accepts: a confirmed slot implies identical pinned
+//      epochs and a genuine member;
+//   2. same-epoch members with company always complete together;
+//   3. kStaleEpoch appears exactly on newer-side slots within grace —
+//      and never for the outsider (the claim is not spoofable);
+//   4. transcript entries all have identical shape (silent failures).
+TEST(AuthorityEpoch, SeededAdversarySweepHasZeroFalseAccepts) {
+  const std::size_t m = 4;
+  crypto::HmacDrbg sweep(to_bytes("authority-epoch-sweep"));
+  for (std::uint64_t round = 0; round < 10; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    const std::size_t churn = 3;
+    std::vector<std::size_t> skews(m);
+    for (auto& s : skews) s = sweep.below_u64(churn + 1);
+    const bool with_outsider = round % 2 == 0;
+    const std::size_t outsider = with_outsider ? sweep.below_u64(m) : m;
+    if (with_outsider) skews[outsider] = 0;
+
+    auto fleet = epoched_members(m, churn, skews, /*seed=*/9000 + round);
+    std::vector<std::unique_ptr<core::HandshakeParticipant>> parts;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (i == outsider) {
+        core::EpochKeyring lying;
+        lying.epoch = fleet.epoch();
+        parts.push_back(party(i, m, sweep.bytes(32), lying,
+                              "sweep-outsider-" + std::to_string(round)));
+      } else {
+        parts.push_back(party(i, m, fleet.syncs[i].group_key(),
+                              fleet.syncs[i].keyring(),
+                              "sweep-" + std::to_string(round)));
+      }
+    }
+    const auto outcomes = run(parts);
+
+    std::set<std::size_t> epochs_with_company;
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        if (i == j || i == outsider) continue;
+        if (j != outsider && skews[i] == skews[j]) {
+          epochs_with_company.insert(skews[i]);
+        }
+      }
+    }
+
+    for (std::size_t i = 0; i < m; ++i) {
+      SCOPED_TRACE("position " + std::to_string(i));
+      ASSERT_TRUE(outcomes[i].completed);
+      for (std::size_t j = 0; j < m; ++j) {
+        if (i == j) continue;
+        SCOPED_TRACE("slot " + std::to_string(j));
+        const bool same_members = i != outsider && j != outsider;
+        const bool should_confirm = same_members && skews[i] == skews[j] &&
+                                    epochs_with_company.count(skews[i]) > 0;
+        EXPECT_EQ(outcomes[i].partner[j], should_confirm);
+        if (should_confirm) continue;
+        if (i == outsider) continue;  // outsider's own view: all failed
+        const bool peer_is_member_behind =
+            same_members && skews[j] > skews[i];
+        const std::size_t d = peer_is_member_behind ? skews[j] - skews[i] : 0;
+        if (peer_is_member_behind && d <= kGrace) {
+          EXPECT_EQ(outcomes[i].reason[j], FailureReason::kStaleEpoch);
+        } else if (outcomes[i].reason[j] != FailureReason::kNoClique) {
+          // Outsiders, newer peers and beyond-grace skews are all plain
+          // bad tags; a lonely same-epoch peer is kNoClique.
+          EXPECT_EQ(outcomes[i].reason[j], FailureReason::kBadTag);
+        }
+      }
+      // Wire shape: every Phase-III entry looks the same, confirmed,
+      // stale-typed or failed — failures stay silent on the wire.
+      ASSERT_EQ(outcomes[i].transcript.entries.size(), m);
+      for (std::size_t j = 1; j < m; ++j) {
+        EXPECT_EQ(outcomes[i].transcript.entries[j].theta.size(),
+                  outcomes[i].transcript.entries[0].theta.size());
+        EXPECT_EQ(outcomes[i].transcript.entries[j].delta.size(),
+                  outcomes[i].transcript.entries[0].delta.size());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace shs::authority

@@ -1,0 +1,325 @@
+// The group-authority service end to end over real TCP: kSub admission,
+// epoch-stamped kRekey fan-out across {1, 2, 4} reactor shards, the
+// serial-twin oracle (an in-process AuthorityEngine driven with the same
+// op sequence must produce byte-identical broadcasts to what every
+// subscribed socket receives, in epoch order), gap detection with kSync
+// recovery, unsubscribe semantics, rejection paths, and the authority
+// metrics on both export surfaces.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "authority/engine.h"
+#include "authority/member_sync.h"
+#include "common/errors.h"
+#include "support/minijson.h"
+#include "transport/authority_client.h"
+#include "transport/client.h"
+#include "transport/server.h"
+
+namespace shs::transport {
+namespace {
+
+namespace minijson = shs::testing::minijson;
+using authority::AuthorityEngine;
+using authority::AuthorityOptions;
+using authority::Scheme;
+
+AuthorityOptions engine_options(std::uint64_t seed = 77) {
+  AuthorityOptions o;
+  o.scheme = Scheme::kLkh;
+  o.capacity = 64;
+  o.seed = seed;
+  return o;
+}
+
+/// No handshake sessions in these tests — the factory must never run.
+SessionFactory no_sessions() {
+  return [](BytesView) -> std::vector<std::unique_ptr<core::HandshakeParticipant>> {
+    throw ProtocolError("authority tests open no sessions");
+  };
+}
+
+ServerOptions server_options(std::size_t shards) {
+  ServerOptions so;
+  so.num_shards = shards;
+  so.enable_authority = true;
+  so.authority_options = engine_options();
+  return so;
+}
+
+/// Blocks for the kSubOk/kSubErr reply matching `tag` on a raw client;
+/// returns the serialized member state, throws on kSubErr.
+Bytes await_sub_ok(Client& client, std::uint32_t tag) {
+  while (true) {
+    auto frame = client.recv_frame();
+    if (!frame) throw TransportError("server closed during subscribe");
+    if (is_control(*frame)) {
+      const auto op = static_cast<ControlOp>(frame->round);
+      if (op == ControlOp::kSubOk && frame->position == tag) {
+        return decode_sub_ok(*frame);
+      }
+      if (op == ControlOp::kSubErr && frame->position == tag) {
+        throw ProtocolError(decode_sub_err(*frame).second);
+      }
+    }
+    throw ProtocolError("unexpected frame during subscribe");
+  }
+}
+
+/// Subscribes a raw relay client on the wire and returns the serialized
+/// member state from kSubOk. Throws on kSubErr.
+Bytes wire_subscribe(Client& client, std::uint64_t member_id, bool join,
+                     std::uint32_t tag = 1) {
+  SubscribeRequest request;
+  request.member_id = member_id;
+  request.join = join;
+  client.send_frame(make_sub(tag, request));
+  return await_sub_ok(client, tag);
+}
+
+/// Blocks for the next kRekey broadcast on a raw client.
+RekeyEnvelope await_rekey(Client& client) {
+  while (true) {
+    auto frame = client.recv_frame();
+    if (!frame) throw TransportError("server closed the rekey feed");
+    if (is_control(*frame) &&
+        static_cast<ControlOp>(frame->round) == ControlOp::kRekey) {
+      return decode_rekey(*frame);
+    }
+    throw ProtocolError("unexpected frame on the rekey feed");
+  }
+}
+
+// The acceptance-criteria oracle: drive identical op sequences through
+// the served engine and a serial in-process twin; every subscribed
+// socket must observe the twin's broadcasts byte for byte, in epoch
+// order, whether the fan-out crosses 1, 2 or 4 shards.
+TEST(AuthorityTransport, SerialTwinBroadcastsByteIdenticalAcrossShards) {
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    SCOPED_TRACE(std::to_string(shards) + " shard(s)");
+    TransportServer server(server_options(shards), {}, no_sessions());
+    server.start();
+    AuthorityEngine twin(engine_options());
+    std::vector<cgkd::RekeyMessage> broadcasts;  // the twin's, in order
+
+    // Two wire-level collectors (members 1, 2) and one high-level
+    // AuthorityClient (member 3), admitted sequentially. A joiner is
+    // subscribed before its own join broadcast fans out, so each feed
+    // starts at the member's own join epoch.
+    Client c1({.port = server.port()});
+    Client c2({.port = server.port()});
+    c1.connect();
+    c2.connect();
+    std::uint64_t join_epoch[3] = {};
+    (void)wire_subscribe(c1, 1, /*join=*/true);
+    auto adm = twin.subscribe(1, true);
+    broadcasts.push_back(*adm.broadcast);
+    join_epoch[0] = adm.broadcast->epoch;
+    (void)wire_subscribe(c2, 2, /*join=*/true);
+    adm = twin.subscribe(2, true);
+    broadcasts.push_back(*adm.broadcast);
+    join_epoch[1] = adm.broadcast->epoch;
+
+    AuthorityClient c3({.port = server.port()});
+    c3.connect();
+    c3.subscribe(3, /*join=*/true);
+    adm = twin.subscribe(3, true);
+    broadcasts.push_back(*adm.broadcast);
+    join_epoch[2] = adm.broadcast->epoch;
+    EXPECT_EQ(c3.epoch(), join_epoch[2]);
+
+    // Server-driven churn, mirrored on the twin op for op.
+    const auto srv_j = server.authority_join(10);
+    broadcasts.push_back(twin.join(10));
+    EXPECT_EQ(srv_j.payload, broadcasts.back().payload);
+    broadcasts.push_back(twin.refresh());
+    EXPECT_EQ(server.authority_refresh().payload, broadcasts.back().payload);
+    broadcasts.push_back(twin.leave(10));
+    EXPECT_EQ(server.authority_leave(10).payload, broadcasts.back().payload);
+    broadcasts.push_back(twin.refresh());
+    EXPECT_EQ(server.authority_refresh().payload, broadcasts.back().payload);
+
+    // Every socket sees exactly the twin's suffix from its join epoch
+    // on, byte for byte and in epoch order.
+    Client* raw[2] = {&c1, &c2};
+    for (int k = 0; k < 2; ++k) {
+      SCOPED_TRACE("member " + std::to_string(k + 1));
+      for (const auto& want : broadcasts) {
+        if (want.epoch < join_epoch[k]) continue;
+        const RekeyEnvelope got = await_rekey(*raw[k]);
+        EXPECT_EQ(got.epoch, want.epoch);
+        EXPECT_EQ(got.payload, want.payload);
+      }
+    }
+    ASSERT_TRUE(c3.wait_for_epoch(twin.epoch(), std::chrono::seconds(5)));
+    EXPECT_EQ(c3.epoch(), twin.epoch());
+    EXPECT_EQ(c3.group_key(), twin.group_key());
+    EXPECT_EQ(c3.resyncs(), 0u) << "an in-order feed must never re-sync";
+
+    ASSERT_NE(server.authority(), nullptr);
+    EXPECT_EQ(server.authority()->epoch(), twin.epoch());
+    EXPECT_EQ(server.authority()->member_count(), twin.member_count());
+    EXPECT_EQ(server.authority_subscriber_count(), 3u);
+
+    // Metrics: both surfaces carry the authority block, gauges from the
+    // live engine, rekey counters stamped once per broadcast (not once
+    // per shard).
+    const minijson::Value root = minijson::parse(server.metrics_json());
+    const minijson::Value& auth = root.at("authority");
+    EXPECT_EQ(auth.at("epoch").u64(), twin.epoch());
+    EXPECT_EQ(auth.at("members").u64(), twin.member_count());
+    EXPECT_EQ(auth.at("subscribers").u64(), 3u);
+    EXPECT_EQ(auth.at("rekeys").u64(), broadcasts.size());
+    EXPECT_EQ(auth.at("subscribes").u64(), 3u);
+    EXPECT_GT(auth.at("rekeys_relayed").u64(), auth.at("rekeys").u64())
+        << "3 subscribers per broadcast must out-count the broadcasts";
+    const std::string prom = server.metrics_prometheus();
+    EXPECT_NE(prom.find("\nshs_authority_epoch " +
+                        std::to_string(twin.epoch())),
+              std::string::npos);
+    EXPECT_NE(prom.find("shs_authority_rekeys_total"), std::string::npos);
+    if (shards > 1) {
+      EXPECT_NE(prom.find("shs_shard_authority_subscribers"),
+                std::string::npos);
+    }
+
+    c3.unsubscribe();
+    server.shutdown();
+  }
+}
+
+// A member that loses a broadcast (simulated at the application layer by
+// dropping one received envelope) hits kNeedSync on the next one — LKH
+// state cannot skip epochs — and recovers over the wire with kSync: the
+// fresh snapshot re-arms the feed and preserves keyring continuity.
+TEST(AuthorityTransport, GapRecoversViaSyncOverTheWire) {
+  TransportServer server(server_options(1), {}, no_sessions());
+  server.start();
+
+  Client client({.port = server.port()});
+  client.connect();
+  authority::MemberSync sync;
+  sync.install_state(wire_subscribe(client, 1, /*join=*/true));
+  const RekeyEnvelope own_join = await_rekey(client);
+  EXPECT_EQ(own_join.epoch, sync.epoch());
+
+  (void)server.authority_refresh();
+  (void)server.authority_refresh();
+  (void)server.authority_refresh();
+
+  auto as_msg = [](const RekeyEnvelope& e) {
+    cgkd::RekeyMessage m;
+    m.epoch = e.epoch;
+    m.payload = e.payload;
+    return m;
+  };
+  EXPECT_EQ(sync.apply(as_msg(await_rekey(client))),
+            authority::ApplyResult::kApplied);
+  (void)await_rekey(client);  // lost in transit (simulated)
+  EXPECT_EQ(sync.apply(as_msg(await_rekey(client))),
+            authority::ApplyResult::kNeedSync);
+  EXPECT_EQ(sync.gaps_detected(), 1u);
+
+  client.send_frame(make_sync(9, 1));
+  sync.install_state(await_sub_ok(client, 9));
+  EXPECT_EQ(sync.epoch(), server.authority()->epoch());
+  EXPECT_EQ(sync.group_key(), server.authority()->group_key());
+
+  // Continuity after recovery: the next broadcast applies cleanly.
+  (void)server.authority_refresh();
+  EXPECT_EQ(sync.apply(as_msg(await_rekey(client))),
+            authority::ApplyResult::kApplied);
+
+  const minijson::Value root = minijson::parse(server.metrics_json());
+  EXPECT_GE(root.at("authority").at("syncs").u64(), 1u);
+  server.shutdown();
+}
+
+// AuthorityClient's own recovery path: resync() round-trips kSync and
+// installs the snapshot; explicit resyncs are counted.
+TEST(AuthorityTransport, AuthorityClientResyncAndUnsubscribe) {
+  TransportServer server(server_options(2), {}, no_sessions());
+  server.start();
+
+  AuthorityClient a({.port = server.port()});
+  AuthorityClient b({.port = server.port()});
+  a.connect();
+  b.connect();
+  a.subscribe(1, /*join=*/true);
+  b.subscribe(2, /*join=*/true);
+  ASSERT_TRUE(a.wait_for_epoch(2, std::chrono::seconds(5)));
+
+  a.resync();
+  EXPECT_EQ(a.resyncs(), 1u);
+  EXPECT_EQ(a.epoch(), server.authority()->epoch());
+
+  // After unsubscribe, a's feed is dry while b keeps rekeying. kUnsub
+  // is fire-and-forget, so wait for the loop thread to process it
+  // before churning again.
+  a.unsubscribe();
+  const auto unsub_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.authority_subscriber_count() > 1 &&
+         std::chrono::steady_clock::now() < unsub_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(server.authority_subscriber_count(), 1u);
+  const std::uint64_t parked = a.epoch();
+  (void)server.authority_refresh();
+  ASSERT_TRUE(b.wait_for_epoch(3, std::chrono::seconds(5)));
+  EXPECT_EQ(a.poll(std::chrono::milliseconds(300)), 0u);
+  EXPECT_EQ(a.epoch(), parked);
+
+  // Dead connections are purged from the subscription table.
+  b.close();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.authority_subscriber_count() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server.authority_subscriber_count(), 0u);
+  server.shutdown();
+}
+
+TEST(AuthorityTransport, RejectionPathsAnswerWithSubErr) {
+  // Authority disabled: every kSub is rejected, server-driven churn
+  // throws, and the metrics gauges stay zero.
+  {
+    ServerOptions so;  // enable_authority defaults to false
+    TransportServer server(so, {}, no_sessions());
+    server.start();
+    AuthorityClient client({.port = server.port()});
+    client.connect();
+    EXPECT_THROW(client.subscribe(1, /*join=*/true), ProtocolError);
+    EXPECT_THROW((void)server.authority_refresh(), ProtocolError);
+    EXPECT_EQ(server.authority(), nullptr);
+    const minijson::Value root = minijson::parse(server.metrics_json());
+    EXPECT_EQ(root.at("authority").at("members").u64(), 0u);
+    server.shutdown();
+  }
+  // Authority enabled: snapshot of a non-member and duplicate join are
+  // engine-level rejections relayed as kSubErr with the engine's text.
+  {
+    TransportServer server(server_options(1), {}, no_sessions());
+    server.start();
+    AuthorityClient client({.port = server.port()});
+    client.connect();
+    EXPECT_THROW(client.subscribe(5, /*join=*/false), ProtocolError);
+    client.subscribe(5, /*join=*/true);
+    Client dup({.port = server.port()});
+    dup.connect();
+    EXPECT_THROW((void)wire_subscribe(dup, 5, /*join=*/true), ProtocolError);
+    const minijson::Value root = minijson::parse(server.metrics_json());
+    EXPECT_GE(root.at("authority").at("rejects").u64(), 2u);
+    server.shutdown();
+  }
+}
+
+}  // namespace
+}  // namespace shs::transport

@@ -1,0 +1,156 @@
+// Churn-boundary edge cases for the CGKD controllers, feeding the group
+// authority service: capacity exhaustion on the tree schemes, re-join of
+// a revoked id (fresh leaf, no access to the interregnum keys), leave of
+// a never-admitted or already-revoked id, and a seeded-churn property
+// sweep pinning strict epoch monotonicity across all three schemes.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cgkd/cgkd.h"
+#include "cgkd/lkh.h"
+#include "cgkd/star.h"
+#include "cgkd/subset_diff.h"
+#include "common/errors.h"
+#include "crypto/drbg.h"
+
+namespace shs::cgkd {
+namespace {
+
+using Factory =
+    std::function<std::unique_ptr<CgkdController>(num::RandomSource&)>;
+
+struct SchemeCase {
+  std::string name;
+  Factory make;
+};
+
+const SchemeCase kSchemes[] = {
+    {"star", [](num::RandomSource& r) { return std::make_unique<StarCgkd>(r); }},
+    {"lkh",
+     [](num::RandomSource& r) { return std::make_unique<LkhCgkd>(16, r); }},
+    {"sd",
+     [](num::RandomSource& r) {
+       return std::make_unique<SubsetDiffCgkd>(16, r);
+     }},
+};
+
+class CgkdEdgeAllSchemes : public ::testing::TestWithParam<SchemeCase> {
+ protected:
+  CgkdEdgeAllSchemes() : rng_(to_bytes("cgkd-edge-" + GetParam().name)) {}
+  crypto::HmacDrbg rng_;
+};
+
+// A full LKH tree rejects further joins without perturbing any state:
+// epoch, group key and membership are exactly what they were, and the
+// group keeps operating (a later leave frees the leaf for a new join).
+TEST(LkhEdge, JoinOnFullTreeThrowsAndLeavesStateIntact) {
+  crypto::HmacDrbg rng(to_bytes("lkh-full"));
+  LkhCgkd gc(4, rng);
+  for (MemberId id = 1; id <= 4; ++id) (void)gc.join(id);
+  const std::uint64_t epoch = gc.epoch();
+  const Bytes key = gc.group_key();
+
+  EXPECT_THROW((void)gc.join(5), ProtocolError);
+  EXPECT_EQ(gc.epoch(), epoch) << "failed join must not bump the epoch";
+  EXPECT_EQ(gc.group_key(), key) << "failed join must not rekey";
+  EXPECT_EQ(gc.member_count(), 4u);
+  EXPECT_FALSE(gc.is_member(5));
+
+  (void)gc.leave(2);
+  auto admitted = gc.join(5);
+  EXPECT_TRUE(gc.is_member(5));
+  EXPECT_EQ(admitted.member->group_key(), gc.group_key());
+}
+
+// A revoked id may be admitted again. The re-admission is a fresh leaf:
+// the new member state tracks the group from its join onward, while the
+// *old* (revoked) state decrypts none of the later broadcasts — revoking
+// and re-admitting never resurrects the old key material.
+TEST_P(CgkdEdgeAllSchemes, RejoinOfRevokedIdIsAFreshMember) {
+  auto gc = GetParam().make(rng_);
+  auto a = gc->join(1);
+  auto b = gc->join(2);
+  ASSERT_TRUE(a.member->process_rekey(b.broadcast));
+
+  const RekeyMessage revoke = gc->leave(1);
+  ASSERT_TRUE(b.member->process_rekey(revoke));
+  EXPECT_FALSE(gc->is_member(1));
+
+  auto rejoined = gc->join(1);
+  ASSERT_TRUE(b.member->process_rekey(rejoined.broadcast));
+  EXPECT_TRUE(gc->is_member(1));
+  EXPECT_EQ(gc->member_count(), 2u);
+  EXPECT_EQ(rejoined.member->group_key(), gc->group_key());
+  EXPECT_EQ(b.member->group_key(), gc->group_key());
+
+  // The pre-revocation state is dead: it cannot follow the group across
+  // its own revocation even though "its" id is a member again.
+  EXPECT_FALSE(a.member->process_rekey(gc->refresh()));
+}
+
+// leave() of an id the controller never admitted — and of an id that was
+// already revoked — throws without a rekey: no epoch bump, same key,
+// membership untouched.
+TEST_P(CgkdEdgeAllSchemes, LeaveOfNonMemberThrowsWithoutRekey) {
+  auto gc = GetParam().make(rng_);
+  (void)gc->join(1);
+  (void)gc->join(2);
+  (void)gc->leave(2);
+  const std::uint64_t epoch = gc->epoch();
+  const Bytes key = gc->group_key();
+
+  EXPECT_THROW((void)gc->leave(99), ProtocolError);  // never admitted
+  EXPECT_THROW((void)gc->leave(2), ProtocolError);   // already revoked
+  EXPECT_EQ(gc->epoch(), epoch);
+  EXPECT_EQ(gc->group_key(), key);
+  EXPECT_EQ(gc->member_count(), 1u);
+}
+
+// Seeded-churn property: over a random join/leave/refresh schedule every
+// successful mutation bumps the epoch by exactly one, broadcasts carry
+// that epoch, and a member processing every broadcast tracks the
+// controller's epoch and key exactly. Rejected operations (duplicate
+// join, bogus leave, full tree) never advance the clock.
+TEST_P(CgkdEdgeAllSchemes, EpochStrictlyMonotoneUnderSeededChurn) {
+  auto gc = GetParam().make(rng_);
+  crypto::HmacDrbg schedule(to_bytes("churn-schedule-" + GetParam().name));
+
+  auto witness = gc->join(1);  // processes every broadcast below
+  std::uint64_t epoch = gc->epoch();
+
+  for (int step = 0; step < 200; ++step) {
+    const std::uint64_t op = schedule.below_u64(3);
+    const MemberId id = 2 + schedule.below_u64(20);  // never the witness
+    RekeyMessage msg;
+    try {
+      if (op == 0) {
+        msg = gc->join(id).broadcast;
+      } else if (op == 1) {
+        msg = gc->leave(id);
+      } else {
+        msg = gc->refresh();
+      }
+    } catch (const ProtocolError&) {
+      // Duplicate join / non-member leave / full tree: clock untouched.
+      EXPECT_EQ(gc->epoch(), epoch);
+      continue;
+    }
+    EXPECT_EQ(gc->epoch(), epoch + 1) << "epoch must advance by exactly 1";
+    EXPECT_EQ(msg.epoch, gc->epoch()) << "broadcast must carry the epoch";
+    epoch = gc->epoch();
+    ASSERT_TRUE(witness.member->process_rekey(msg)) << "step " << step;
+    EXPECT_EQ(witness.member->epoch(), epoch);
+    EXPECT_EQ(witness.member->group_key(), gc->group_key());
+  }
+  EXPECT_GT(epoch, 50u) << "schedule degenerated — too few mutations ran";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, CgkdEdgeAllSchemes,
+                         ::testing::ValuesIn(kSchemes),
+                         [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace shs::cgkd

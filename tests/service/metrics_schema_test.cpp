@@ -136,6 +136,20 @@ TEST(MetricsSchema, JsonCarriesEveryDocumentedKeyAndBucketSumsMatch) {
   EXPECT_EQ(channel.at("records_unowned").u64(), 0u);
   EXPECT_EQ(channel.at("rekeys").u64(), 0u);
 
+  // The authority block is likewise present and strictly keyed (zeroed:
+  // a bare service hosts no group authority).
+  const minijson::Value& auth = root.at("authority");
+  EXPECT_EQ(auth.at("members").u64(), 0u);
+  EXPECT_EQ(auth.at("epoch").u64(), 0u);
+  EXPECT_EQ(auth.at("subscribers").u64(), 0u);
+  EXPECT_EQ(auth.at("rekeys").u64(), 0u);
+  EXPECT_EQ(auth.at("rekey_bytes").u64(), 0u);
+  EXPECT_EQ(auth.at("rekeys_relayed").u64(), 0u);
+  EXPECT_EQ(auth.at("rekey_bytes_relayed").u64(), 0u);
+  EXPECT_EQ(auth.at("subscribes").u64(), 0u);
+  EXPECT_EQ(auth.at("syncs").u64(), 0u);
+  EXPECT_EQ(auth.at("rejects").u64(), 0u);
+
   const minijson::Value& precomp = root.at("precomp");
   EXPECT_GT(precomp.at("tables").u64(), 0u);
   EXPECT_NO_THROW((void)precomp.at("hits").u64());
@@ -192,6 +206,22 @@ TEST(MetricsSchema, PrometheusExpositionAgreesWithTheJson) {
             root.at("channel").at("records_in").u64());
   EXPECT_EQ(prom_value(prom, "shs_channel_rekeys_total"),
             root.at("channel").at("rekeys").u64());
+  EXPECT_EQ(prom_value(prom, "shs_authority_members"),
+            root.at("authority").at("members").u64());
+  EXPECT_EQ(prom_value(prom, "shs_authority_epoch"),
+            root.at("authority").at("epoch").u64());
+  EXPECT_EQ(prom_value(prom, "shs_authority_subscribers"),
+            root.at("authority").at("subscribers").u64());
+  EXPECT_EQ(prom_value(prom, "shs_authority_rekeys_total"),
+            root.at("authority").at("rekeys").u64());
+  EXPECT_EQ(prom_value(prom, "shs_authority_rekey_bytes_total"),
+            root.at("authority").at("rekey_bytes").u64());
+  EXPECT_EQ(prom_value(prom, "shs_authority_subscribes_total"),
+            root.at("authority").at("subscribes").u64());
+  EXPECT_EQ(prom_value(prom, "shs_authority_syncs_total"),
+            root.at("authority").at("syncs").u64());
+  EXPECT_EQ(prom_value(prom, "shs_authority_rejects_total"),
+            root.at("authority").at("rejects").u64());
 
   // Histogram invariants: cumulative buckets end at count; sum present.
   const std::uint64_t count =
@@ -256,9 +286,14 @@ TEST(MetricsSchema, MergeFromFoldsCountersMaxesAndHistograms) {
   b.batch_max_size = 5;
   a.session_latency.record(std::chrono::microseconds(10));
   b.session_latency.record(std::chrono::microseconds(20));
+  a.authority_rekeys = 2;
+  b.authority_rekeys = 5;
+  b.authority_rekey_bytes_relayed = 64;
 
   a.merge_from(b);
   EXPECT_EQ(a.sessions_opened.load(), 7u);
+  EXPECT_EQ(a.authority_rekeys.load(), 7u);
+  EXPECT_EQ(a.authority_rekey_bytes_relayed.load(), 64u);
   EXPECT_EQ(a.frames_handoff_in.load(), 1u);
   EXPECT_EQ(a.frames_handoff_out.load(), 2u);
   EXPECT_EQ(a.write_queue_hwm.load(), 250u);

@@ -43,6 +43,13 @@
 # transport) in the same TSan tree — the relay fans records across shard
 # event loops while clients pump concurrently.
 #
+# Pass --authority to additionally run the group-authority suite
+# (ctest -L authority: engine/MemberSync units with the join-state
+# redaction canary, the cross-epoch handshake conformance sweep, and the
+# serial-twin broadcast oracle over {1,2,4} shards) in the same TSan
+# tree — churn calls race shard loop threads through the engine mutex
+# while subscribers pump their feeds concurrently.
+#
 # Pass --batch to additionally run the batched-verification suite
 # (ctest -L batch: batch-vs-individual equivalence, forged-signature
 # bisection, flush policy, the batched conformance sweep, and the
@@ -70,6 +77,7 @@ want_obs=0
 want_batch=0
 want_shard=0
 want_channel=0
+want_authority=0
 for arg in "$@"; do
   case "$arg" in
     --conformance) want_conformance=1 ;;
@@ -80,6 +88,7 @@ for arg in "$@"; do
     --batch) want_batch=1 ;;
     --shard) want_shard=1 ;;
     --channel) want_channel=1 ;;
+    --authority) want_authority=1 ;;
     *) echo "check.sh: unknown option '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -134,6 +143,13 @@ if [[ "$want_channel" == 1 ]]; then
   cmake -B build-tsan -S . -DSHS_TSAN=ON >/dev/null
   cmake --build build-tsan -j "$(nproc)" --target channel_test channel_transport_test
   ctest --test-dir build-tsan --output-on-failure -L channel
+fi
+
+if [[ "$want_authority" == 1 ]]; then
+  echo "== group authority under TSan =="
+  cmake -B build-tsan -S . -DSHS_TSAN=ON >/dev/null
+  cmake --build build-tsan -j "$(nproc)" --target authority_test authority_transport_test
+  ctest --test-dir build-tsan --output-on-failure -L authority
 fi
 
 if [[ "$want_batch" == 1 ]]; then
