@@ -1,0 +1,161 @@
+// E18 — health-plane overhead: sessions/sec for E11's pooled
+// configuration (N concurrent hosted sessions, m = 4, loopback wire,
+// 4 pump threads) with the health plane off vs. attached (SloTracker +
+// HealthMonitor wired through the service and its batch verifier), plus
+// the scrape-side cost of summarizing the SLO windows.
+//
+// The acceptance bar: "health" must stay within 5% sessions/sec of
+// "off". The hot-path cost is one seqlock sample per completed
+// handshake (two release stores + two plain stores), a relaxed
+// heartbeat store per flush, and a pending flag flip per enqueue
+// transition — all buried under the round's modexps. The quantile sort
+// happens at scrape time, priced separately here.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "obs/health.h"
+#include "service/clock.h"
+#include "service/service.h"
+
+using namespace shs;
+using namespace shs::bench;
+
+namespace {
+
+constexpr std::size_t kM = 4;
+constexpr std::size_t kSessions = 32;
+constexpr std::size_t kThreads = 4;
+
+std::vector<std::unique_ptr<core::HandshakeParticipant>> make_parts(
+    BenchGroup& group, const std::string& salt) {
+  core::HandshakeOptions options;
+  std::vector<std::unique_ptr<core::HandshakeParticipant>> parts;
+  for (std::size_t i = 0; i < kM; ++i) {
+    parts.push_back(
+        group.members[i]->handshake_party(i, kM, options, to_bytes(salt)));
+  }
+  return parts;
+}
+
+/// E11's run_service with (optionally) the health plane attached;
+/// returns wall milliseconds of open + pump (construction excluded).
+double run_mode(BenchGroup& group, bool health_on, const std::string& salt) {
+  std::vector<std::vector<std::unique_ptr<core::HandshakeParticipant>>> all;
+  all.reserve(kSessions);
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    all.push_back(make_parts(group, salt + std::to_string(s)));
+  }
+
+  static service::SteadyClock steady;
+  obs::SloTracker slo({.num_shards = 1});
+  obs::HealthMonitor monitor({.num_shards = 1, .clock = &steady});
+
+  service::ServiceOptions options;
+  options.threads = kThreads;
+  if (health_on) {
+    options.slo = &slo;
+    options.health = &monitor;
+    options.slo_shard = 0;
+  }
+  service::RendezvousService svc(options);
+  const double ms = time_ms([&] {
+    for (auto& parts : all) (void)svc.open_session(std::move(parts));
+    svc.pump();
+    if (svc.active_sessions() != 0) std::abort();  // bench invariant
+  });
+  if (health_on &&
+      slo.summarize(0, obs::SloDimension::kHandshake).count != kSessions) {
+    std::abort();  // every completed handshake must have landed a sample
+  }
+  return ms;
+}
+
+void BM_HealthOverhead(benchmark::State& state) {
+  const bool health_on = state.range(0) != 0;
+  BenchGroup& group = cached_group("e18", core::GroupConfig{}, kM);
+  int salt = 0;
+  for (auto _ : state) {
+    const double ms =
+        run_mode(group, health_on, "bm" + std::to_string(salt++) + "-");
+    state.counters["sessions_per_sec"] =
+        1000.0 * static_cast<double>(kSessions) / ms;
+  }
+  state.SetLabel(health_on ? "health" : "off");
+}
+BENCHMARK(BM_HealthOverhead)
+    ->DenseRange(0, 1)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+/// Scrape-side cost: one fill_snapshot over a full 512-sample window per
+/// (shard, dim) — the O(window log window) sort the hot path never pays.
+void BM_SloScrape(benchmark::State& state) {
+  obs::SloTracker slo({.num_shards = 4});
+  for (std::size_t shard = 0; shard < 4; ++shard) {
+    for (std::size_t d = 0; d < obs::kSloDimensions; ++d) {
+      for (std::uint64_t i = 0; i < 600; ++i) {
+        slo.record(shard, static_cast<obs::SloDimension>(d), i * 7 % 5000,
+                   i + 1);
+      }
+    }
+  }
+  for (auto _ : state) {
+    obs::MetricsSnapshot snap;
+    slo.fill_snapshot(&snap);
+    benchmark::DoNotOptimize(snap);
+  }
+}
+BENCHMARK(BM_SloScrape)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("E18: health-plane overhead — E11 pooled configuration "
+              "(N=%zu hosted sessions, m=%zu, t=%zu) with the SLO tracker "
+              "+ stall watchdog off vs. attached\n",
+              kSessions, kM, kThreads);
+
+  BenchGroup& group = cached_group("e18", core::GroupConfig{}, kM);
+  (void)run_mode(group, false, "warm-");  // prewarm the cached group
+
+  JsonReport report("e18");
+  table_header(
+      "mode   | sessions | wall ms | sessions/sec | vs off",
+      "-------+----------+---------+--------------+-------");
+  // Median of three runs per mode: a single 32-session pass is short
+  // enough that scheduler noise would otherwise dwarf a 5% budget.
+  double off_per_sec = 0;
+  for (const bool health_on : {false, true}) {
+    double runs[3];
+    for (int r = 0; r < 3; ++r) {
+      runs[r] = run_mode(group, health_on,
+                         std::string(health_on ? "on" : "off") +
+                             std::to_string(r) + "-");
+    }
+    std::sort(std::begin(runs), std::end(runs));
+    const double ms = runs[1];
+    const double per_sec = 1000.0 * static_cast<double>(kSessions) / ms;
+    if (off_per_sec == 0) off_per_sec = per_sec;
+    const double delta_pct = 100.0 * (off_per_sec - per_sec) / off_per_sec;
+    std::printf("%-6s | %8zu | %7.1f | %12.1f | %+5.1f%%\n",
+                health_on ? "health" : "off", kSessions, ms, per_sec,
+                delta_pct);
+    report.add()
+        .field("mode", health_on ? "health" : "off")
+        .field("sessions", static_cast<double>(kSessions))
+        .field("pump_threads", static_cast<double>(kThreads))
+        .field("wall_ms", ms)
+        .field("sessions_per_sec", per_sec)
+        .field("overhead_pct", delta_pct);
+  }
+  report.write();
+
+  std::printf("\n(acceptance: the \"health\" row must stay within 5%% "
+              "sessions/sec of \"off\" — one seqlock SLO sample per "
+              "handshake plus relaxed heartbeats, swamped by the "
+              "round's modexps; the quantile sort is scrape-time only)\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

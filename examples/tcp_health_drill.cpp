@@ -1,0 +1,197 @@
+// Crash drill for the health plane: starts a sharded server with the
+// stall watchdog armed, wedges one shard's pump worker on purpose, and
+// verifies the full operator story end to end —
+//
+//   1. GET /healthz answers 200 while everything beats;
+//   2. the wedge flips /healthz to 503 within a few check intervals,
+//      naming the stalled (shard, component) cell;
+//   3. the kUnhealthy transition captures a postmortem bundle that
+//      passes the redaction audit (a canary secret is registered first,
+//      so the audit is provably armed) before landing on disk;
+//   4. releasing the wedge heals the cell and /healthz returns to 200.
+//
+// Exits non-zero at the first broken step, so it doubles as a smoke
+// test (`ctest -L smoke`, and the tcp_rendezvous_smoke.sh script).
+//
+//   ./tcp_health_drill [--dir PATH]
+//
+//   --dir PATH   where the postmortem bundle lands (default: a
+//                "health_drill_postmortems" directory under cwd)
+#include <sys/socket.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "core/authority.h"
+#include "core/member.h"
+#include "obs/redact.h"
+#include "transport/server.h"
+#include "transport/socket.h"
+
+using namespace shs;
+using namespace shs::transport;
+
+namespace {
+
+std::string http_get(std::uint16_t port, const std::string& path) {
+  Fd fd = tcp_connect("127.0.0.1", port, std::chrono::milliseconds(2000));
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd.get(), request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) throw TransportError(errno_message("send"));
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd.get(), buf, sizeof buf, 0);
+    if (n < 0) throw TransportError(errno_message("recv"));
+    if (n == 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  return response;
+}
+
+int status_of(const std::string& response) {
+  return response.size() < 12 ? 0 : std::atoi(response.substr(9, 3).c_str());
+}
+
+/// Polls /healthz until it answers `want`, up to ~10s.
+bool healthz_reaches(std::uint16_t port, int want) {
+  for (int i = 0; i < 500; ++i) {
+    if (status_of(http_get(port, "/healthz")) == want) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+int fail(const char* step, const std::string& detail = {}) {
+  std::fprintf(stderr, "FAIL: %s\n%s\n", step, detail.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = "health_drill_postmortems";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
+      dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  // Arm the redaction audit with a canary secret BEFORE the server
+  // exists: the postmortem gate scans every bundle against it, so a
+  // bundle reaching disk proves the scan ran and came back clean (the
+  // postmortem_test suite proves the converse — a leaked canary is
+  // suppressed).
+  const std::string canary = "drill-canary-secret-0123456789abcdef";
+  obs::RedactionAudit::instance().enable(true);
+  obs::RedactionAudit::instance().add_secret(
+      BytesView(reinterpret_cast<const std::uint8_t*>(canary.data()),
+                canary.size()),
+      "drill-canary");
+
+  core::GroupConfig config;
+  core::GroupAuthority authority("drill", config, to_bytes("drill"));
+  std::vector<std::unique_ptr<core::Member>> members;
+  for (core::MemberId id = 1; id <= 4; ++id) {
+    members.push_back(authority.admit(id));
+  }
+  for (auto& m : members) (void)m->update();
+
+  ServerOptions so;
+  so.num_shards = 2;
+  so.obs_endpoint = true;
+  so.health_enabled = true;
+  so.health_check_interval = std::chrono::milliseconds(50);
+  so.health_stall_after = std::chrono::milliseconds(200);
+  so.health_unhealthy_after = 2;
+  so.postmortem_dir = dir;
+
+  TransportServer server(so, service::ServiceOptions{},
+                         [&members](BytesView payload) {
+                           const OpenRequest request =
+                               decode_open_request(payload);
+                           core::HandshakeOptions options;
+                           std::vector<std::unique_ptr<
+                               core::HandshakeParticipant>>
+                               parts;
+                           for (std::size_t i = 0; i < request.m; ++i) {
+                             parts.push_back(members[i]->handshake_party(
+                                 i, request.m, options, request.seed));
+                           }
+                           return parts;
+                         });
+  server.start();
+  std::printf("health drill: server up, /healthz on port %u\n",
+              server.obs_port());
+
+  // 1. Healthy baseline.
+  const std::string baseline = http_get(server.obs_port(), "/healthz");
+  if (status_of(baseline) != 200) return fail("baseline /healthz", baseline);
+  std::printf("step 1: baseline /healthz 200 ok\n");
+
+  // 2. Wedge shard 0's pump. The wedge raises the pump's pending flag,
+  // so the watchdog sees owed work with an aging heartbeat — a stall,
+  // not idleness — and must flip within a few 50ms checks.
+  server.debug_wedge_pump(0);
+  if (!healthz_reaches(server.obs_port(), 503)) {
+    return fail("wedged pump never flipped /healthz to 503");
+  }
+  const std::string sick = http_get(server.obs_port(), "/healthz");
+  if (sick.find("\"component\":\"pump\"") == std::string::npos) {
+    return fail("503 body does not name the stalled pump", sick);
+  }
+  std::printf("step 2: wedge detected, /healthz 503 names the pump\n");
+
+  // 3. The kUnhealthy transition captures a bundle; the audit gate must
+  // have let it through (zero violations against the canary).
+  for (int i = 0; i < 500 && server.postmortem()->captured() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  if (server.postmortem()->captured() != 1) {
+    return fail("no postmortem bundle was captured");
+  }
+  if (server.postmortem()->suppressed() != 0) {
+    return fail("the bundle was suppressed by the redaction audit");
+  }
+  const std::string path = dir + "/postmortem-0-stall-pump-shard0.json";
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return fail("bundle file missing", path);
+  std::ostringstream bundle;
+  bundle << in.rdbuf();
+  if (!obs::RedactionAudit::instance().scan(bundle.str()).empty()) {
+    return fail("bundle on disk contains registered secret material");
+  }
+  if (bundle.str().find("\"reason\":\"stall-pump-shard0\"") ==
+      std::string::npos) {
+    return fail("bundle carries the wrong reason", bundle.str());
+  }
+  std::printf("step 3: redaction-clean postmortem bundle at %s (%zu bytes)\n",
+              path.c_str(), bundle.str().size());
+
+  // 4. Release the wedge; the pump drains, beats, and the cell heals.
+  server.debug_unwedge_pump(0);
+  if (!healthz_reaches(server.obs_port(), 200)) {
+    return fail("unwedged pump never healed /healthz back to 200");
+  }
+  std::printf("step 4: wedge released, /healthz back to 200\n");
+
+  server.shutdown();
+  obs::RedactionAudit::instance().reset();
+  obs::RedactionAudit::instance().enable(false);
+  std::printf("health drill: OK\n");
+  return 0;
+}

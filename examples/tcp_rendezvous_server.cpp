@@ -21,6 +21,11 @@
 //                  exposition, GET /trace the Chrome trace JSON, both
 //                  served by the same event-loop thread as the traffic
 //   --obs-port-file  writes the endpoint's bound port there
+//   --health       arm the health plane: SLO quantile tracking on
+//                  /metrics, the per-shard stall watchdog behind
+//                  GET /healthz (200/503), live-session rows on
+//                  GET /sessions, and postmortem bundles (on stall or
+//                  POST /postmortem) under ./postmortems
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -47,6 +52,7 @@ struct Args {
   bool obs = false;
   std::uint16_t obs_port = 0;
   std::string obs_port_file;
+  bool health = false;
 };
 
 Args parse(int argc, char** argv) {
@@ -78,6 +84,8 @@ Args parse(int argc, char** argv) {
     } else if (flag == "--obs-port-file" && value) {
       args.obs_port_file = value;
       ++i;
+    } else if (flag == "--health") {
+      args.health = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", flag.c_str());
       std::exit(2);
@@ -108,6 +116,7 @@ int main(int argc, char** argv) {
   server_options.stripe_sessions = args.stripe;
   server_options.obs_endpoint = args.obs;
   server_options.obs_port = args.obs_port;
+  server_options.health_enabled = args.health;
   service::ServiceOptions service_options;
   service_options.threads = args.threads;
   // The flight recorder behind GET /trace (unsampled; ~32k records).
@@ -138,6 +147,10 @@ int main(int argc, char** argv) {
   if (args.obs) {
     std::printf("observability: GET http://127.0.0.1:%u/metrics and /trace\n",
                 server.obs_port());
+    if (args.health) {
+      std::printf("health: GET /healthz and /sessions, POST /postmortem on "
+                  "the same port\n");
+    }
   }
   std::fflush(stdout);
 

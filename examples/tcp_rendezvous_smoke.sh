@@ -10,16 +10,20 @@
 # Then runs tcp_group_authority — a second, authority-enabled server with
 # three wire-fed subscribers, a join/leave burst checked against its
 # serial twin, and a live scrape that must carry the shs_authority_*
-# series.
+# series. Finally the health plane: the main server runs with --health so
+# GET /healthz is curled live (must answer 200 "ok"), and tcp_health_drill
+# runs the crash drill — wedge a pump, watch /healthz flip 503, assert a
+# redaction-clean postmortem bundle lands, unwedge back to 200.
 #
 #   tcp_rendezvous_smoke.sh <server-binary> <client-binary> <echo-binary> \
-#                           <authority-binary>
+#                           <authority-binary> <health-drill-binary>
 set -eu
 
 SERVER_BIN="$1"
 CLIENT_BIN="$2"
 ECHO_BIN="$3"
 AUTHORITY_BIN="$4"
+DRILL_BIN="$5"
 DIR="$(mktemp -d)"
 SERVER_PID=""
 cleanup() {
@@ -33,7 +37,7 @@ trap cleanup EXIT
 # runs after its handshake completes, and the server only drains once the
 # final session lands.
 "$SERVER_BIN" --port 0 --port-file "$DIR/port" --sessions 4 --shards 2 \
-  --obs-port 0 --obs-port-file "$DIR/obs_port" &
+  --obs-port 0 --obs-port-file "$DIR/obs_port" --health &
 SERVER_PID=$!
 
 i=0
@@ -52,16 +56,33 @@ PORT="$(cat "$DIR/port")"
 # Encrypted in-clique echo over the relay (session 3 of 4).
 "$ECHO_BIN" --port "$PORT"
 
-# Scrape the metrics exposition once while the server is live.
+# Scrape the metrics exposition and /healthz while the server is live.
 OBS_PORT="$(cat "$DIR/obs_port")"
 if command -v curl >/dev/null 2>&1; then
   curl -fsS "http://127.0.0.1:$OBS_PORT/metrics" > "$DIR/metrics"
+  curl -fsS "http://127.0.0.1:$OBS_PORT/healthz" > "$DIR/healthz"
 elif command -v python3 >/dev/null 2>&1; then
   python3 -c "import urllib.request,sys; sys.stdout.write(urllib.request.urlopen('http://127.0.0.1:$OBS_PORT/metrics').read().decode())" > "$DIR/metrics"
+  python3 -c "import urllib.request,sys; sys.stdout.write(urllib.request.urlopen('http://127.0.0.1:$OBS_PORT/healthz').read().decode())" > "$DIR/healthz"
 else
   echo "note: no curl or python3; skipping the metrics scrape"
-  printf 'shs_sessions_opened_total skipped\nshs_shard_sessions_opened_total{shard="0"} skipped\nshs_channels_opened_total skipped\nshs_channel_records_in_total skipped\n' > "$DIR/metrics"
+  printf 'shs_sessions_opened_total skipped\nshs_shard_sessions_opened_total{shard="0"} skipped\nshs_channels_opened_total skipped\nshs_channel_records_in_total skipped\nshs_shard_health skipped\nshs_slo_latency_us skipped\n' > "$DIR/metrics"
+  printf '{"status":"ok" (skipped)}' > "$DIR/healthz"
 fi
+# A live --health server must answer /healthz with an ok status (curl -f
+# would already have failed the script on a 503).
+if ! grep -q '"status":"ok"' "$DIR/healthz"; then
+  echo "FAIL: /healthz did not report ok" >&2
+  cat "$DIR/healthz" >&2
+  exit 1
+fi
+# The health plane's series ride the same exposition.
+for series in shs_shard_health shs_slo_latency_us; do
+  if ! grep -q "$series" "$DIR/metrics"; then
+    echo "FAIL: /metrics is missing the $series series" >&2
+    exit 1
+  fi
+done
 if ! grep -q "shs_sessions_opened_total" "$DIR/metrics"; then
   echo "FAIL: /metrics scrape was empty or missing counters" >&2
   cat "$DIR/metrics" >&2
@@ -97,6 +118,16 @@ SERVER_PID=""
 cat "$DIR/authority_out"
 if ! grep -q "scrape: shs_authority_rekeys_total" "$DIR/authority_out"; then
   echo "FAIL: authority example never scraped shs_authority_rekeys_total" >&2
+  exit 1
+fi
+
+# The crash drill: wedge a pump, /healthz flips 503, a redaction-clean
+# postmortem bundle lands, unwedge heals back to 200. The binary exits
+# non-zero if any step breaks; the grep double-checks the bundle landed.
+"$DRILL_BIN" --dir "$DIR/postmortems" > "$DIR/drill_out"
+cat "$DIR/drill_out"
+if ! ls "$DIR/postmortems"/postmortem-*-stall-pump-shard0.json >/dev/null 2>&1; then
+  echo "FAIL: the crash drill left no postmortem bundle on disk" >&2
   exit 1
 fi
 echo "tcp rendezvous smoke: OK"

@@ -1,0 +1,376 @@
+#include "obs/health.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/redact.h"
+
+namespace shs::obs {
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void append_quantile_json(std::string* out, const char* name,
+                          const QuantileSketch::Quantile& q) {
+  out->append("\"");
+  out->append(name);
+  out->append("\":{\"us\":");
+  out->append(std::to_string(q.value_us));
+  out->append(",\"sid\":");
+  out->append(std::to_string(q.exemplar_sid));
+  out->append("}");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// QuantileSketch
+// ---------------------------------------------------------------------------
+
+QuantileSketch::QuantileSketch(std::size_t capacity)
+    : capacity_(round_up_pow2(capacity == 0 ? 1 : capacity)),
+      slots_(std::make_unique<Slot[]>(capacity_)) {}
+
+void QuantileSketch::record(std::uint64_t value_us, std::uint64_t sid) noexcept {
+  const std::uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[seq & (capacity_ - 1)];
+  // Seqlock write: begin != end while the payload is torn. Generation is
+  // seq + 1 so an untouched slot (0, 0) is never mistaken for written.
+  slot.begin.store(seq + 1, std::memory_order_release);
+  slot.value_us.store(value_us, std::memory_order_relaxed);
+  slot.sid.store(sid, std::memory_order_relaxed);
+  slot.end.store(seq + 1, std::memory_order_release);
+}
+
+QuantileSketch::Summary QuantileSketch::summarize() const {
+  struct Sample {
+    std::uint64_t value_us;
+    std::uint64_t sid;
+  };
+  std::vector<Sample> window;
+  window.reserve(capacity_);
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    const Slot& slot = slots_[i];
+    const std::uint64_t end = slot.end.load(std::memory_order_acquire);
+    if (end == 0) continue;  // never written
+    Sample s{slot.value_us.load(std::memory_order_relaxed),
+             slot.sid.load(std::memory_order_relaxed)};
+    const std::uint64_t begin = slot.begin.load(std::memory_order_acquire);
+    if (begin != end) continue;  // torn: a writer is mid-flight
+    window.push_back(s);
+  }
+
+  Summary out;
+  out.count = head_.load(std::memory_order_relaxed);
+  out.window = window.size();
+  if (window.empty()) return out;
+
+  std::sort(window.begin(), window.end(),
+            [](const Sample& a, const Sample& b) {
+              return a.value_us < b.value_us;
+            });
+  const auto pick = [&](std::uint64_t permille) {
+    const std::size_t idx =
+        std::min(window.size() - 1,
+                 static_cast<std::size_t>(
+                     (permille * (window.size() - 1) + 500) / 1000));
+    return Quantile{window[idx].value_us, window[idx].sid};
+  };
+  out.p50 = pick(500);
+  out.p95 = pick(950);
+  out.p99 = pick(990);
+  out.p999 = pick(999);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SloTracker
+// ---------------------------------------------------------------------------
+
+const char* to_string(SloDimension dim) noexcept {
+  switch (dim) {
+    case SloDimension::kHandshake: return "handshake";
+    case SloDimension::kBatchFlush: return "batch_flush";
+    case SloDimension::kChannelRelay: return "channel_relay";
+    case SloDimension::kRekeyLag: return "rekey_lag";
+  }
+  return "?";
+}
+
+SloTracker::SloTracker(Options options)
+    : num_shards_(options.num_shards == 0 ? 1 : options.num_shards) {
+  sketches_.reserve(num_shards_ * kSloDimensions);
+  for (std::size_t i = 0; i < num_shards_ * kSloDimensions; ++i) {
+    sketches_.push_back(std::make_unique<QuantileSketch>(options.window));
+  }
+}
+
+void SloTracker::record(std::size_t shard, SloDimension dim,
+                        std::uint64_t value_us, std::uint64_t sid) noexcept {
+  if (shard >= num_shards_) return;
+  sketches_[shard * kSloDimensions + static_cast<std::size_t>(dim)]->record(
+      value_us, sid);
+}
+
+QuantileSketch::Summary SloTracker::summarize(std::size_t shard,
+                                              SloDimension dim) const {
+  return sketch(shard, dim).summarize();
+}
+
+void SloTracker::fill_snapshot(MetricsSnapshot* snap) const {
+  struct Row {
+    std::size_t shard;
+    SloDimension dim;
+    QuantileSketch::Summary summary;
+  };
+  std::vector<Row> rows;
+  rows.reserve(num_shards_ * kSloDimensions);
+  for (std::size_t shard = 0; shard < num_shards_; ++shard) {
+    for (std::size_t d = 0; d < kSloDimensions; ++d) {
+      const auto dim = static_cast<SloDimension>(d);
+      rows.push_back(Row{shard, dim, summarize(shard, dim)});
+    }
+  }
+
+  const auto labels = [](const Row& row, const char* q) {
+    std::string out = "shard=\"" + std::to_string(row.shard) + "\",dim=\"" +
+                      to_string(row.dim) + "\"";
+    if (q != nullptr) {
+      out += ",q=\"";
+      out += q;
+      out += "\"";
+    }
+    return out;
+  };
+  const auto each_quantile =
+      [](const Row& row,
+         const std::function<void(const char*, const QuantileSketch::Quantile&)>&
+             fn) {
+        fn("p50", row.summary.p50);
+        fn("p95", row.summary.p95);
+        fn("p99", row.summary.p99);
+        fn("p999", row.summary.p999);
+      };
+
+  // Name-major order: every series of one metric name is consecutive.
+  for (const Row& row : rows) {
+    each_quantile(row, [&](const char* q, const QuantileSketch::Quantile& v) {
+      snap->scalars.push_back(MetricEntry{
+          "shs_slo_latency_us",
+          "SLO sliding-window latency quantile (microseconds)", true,
+          v.value_us, labels(row, q)});
+    });
+  }
+  for (const Row& row : rows) {
+    each_quantile(row, [&](const char* q, const QuantileSketch::Quantile& v) {
+      snap->scalars.push_back(MetricEntry{
+          "shs_slo_exemplar_sid",
+          "Session id of the sample defining the matching quantile "
+          "(links into /trace)",
+          true, v.exemplar_sid, labels(row, q)});
+    });
+  }
+  for (const Row& row : rows) {
+    snap->scalars.push_back(MetricEntry{
+        "shs_slo_samples_total", "Samples recorded into the SLO window",
+        false, row.summary.count, labels(row, nullptr)});
+  }
+}
+
+std::string SloTracker::to_json() const {
+  std::string out = "{";
+  for (std::size_t shard = 0; shard < num_shards_; ++shard) {
+    if (shard != 0) out += ",";
+    out += "\"shard" + std::to_string(shard) + "\":{";
+    for (std::size_t d = 0; d < kSloDimensions; ++d) {
+      const auto dim = static_cast<SloDimension>(d);
+      const QuantileSketch::Summary s = summarize(shard, dim);
+      if (d != 0) out += ",";
+      out += "\"";
+      out += to_string(dim);
+      out += "\":{\"count\":" + std::to_string(s.count) +
+             ",\"window\":" + std::to_string(s.window) + ",";
+      append_quantile_json(&out, "p50", s.p50);
+      out += ",";
+      append_quantile_json(&out, "p95", s.p95);
+      out += ",";
+      append_quantile_json(&out, "p99", s.p99);
+      out += ",";
+      append_quantile_json(&out, "p999", s.p999);
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// HealthMonitor
+// ---------------------------------------------------------------------------
+
+const char* to_string(HealthComponent component) noexcept {
+  switch (component) {
+    case HealthComponent::kEventLoop: return "event_loop";
+    case HealthComponent::kPump: return "pump";
+    case HealthComponent::kBatchVerifier: return "batch_verifier";
+    case HealthComponent::kAuthorityHub: return "authority_hub";
+  }
+  return "?";
+}
+
+const char* to_string(HealthState state) noexcept {
+  switch (state) {
+    case HealthState::kOk: return "ok";
+    case HealthState::kDegraded: return "degraded";
+    case HealthState::kUnhealthy: return "unhealthy";
+  }
+  return "?";
+}
+
+HealthMonitor::HealthMonitor(Options options)
+    : num_shards_(options.num_shards == 0 ? 1 : options.num_shards),
+      clock_(options.clock),
+      stall_after_(options.stall_after),
+      unhealthy_after_(options.unhealthy_after == 0 ? 1
+                                                    : options.unhealthy_after),
+      cells_(std::make_unique<Cell[]>(num_shards_ * kHealthComponents)) {
+  // Stamp every cell "just beat" so a freshly started server is healthy
+  // until a component actually misses.
+  const std::int64_t now_ns =
+      clock_->now().time_since_epoch().count();
+  for (std::size_t i = 0; i < num_shards_ * kHealthComponents; ++i) {
+    cells_[i].last_beat_ns.store(now_ns, std::memory_order_relaxed);
+  }
+}
+
+void HealthMonitor::beat(std::size_t shard, HealthComponent component) noexcept {
+  if (shard >= num_shards_) return;
+  cell(shard, component)
+      .last_beat_ns.store(clock_->now().time_since_epoch().count(),
+                          std::memory_order_relaxed);
+}
+
+void HealthMonitor::set_pending(std::size_t shard, HealthComponent component,
+                                bool pending) noexcept {
+  if (shard >= num_shards_) return;
+  cell(shard, component)
+      .pending.store(pending ? 1 : 0, std::memory_order_relaxed);
+}
+
+std::vector<HealthMonitor::Stall> HealthMonitor::check() {
+  checks_.fetch_add(1, std::memory_order_relaxed);
+  const std::int64_t now_ns = clock_->now().time_since_epoch().count();
+  std::vector<Stall> transitions;
+  for (std::size_t shard = 0; shard < num_shards_; ++shard) {
+    for (std::size_t c = 0; c < kHealthComponents; ++c) {
+      const auto component = static_cast<HealthComponent>(c);
+      Cell& cell_ref = cell(shard, component);
+      const bool always = component == HealthComponent::kEventLoop;
+      const bool owes_beat =
+          always || cell_ref.pending.load(std::memory_order_relaxed) != 0;
+      const std::int64_t age_ns =
+          now_ns - cell_ref.last_beat_ns.load(std::memory_order_relaxed);
+      const bool stalled = owes_beat && age_ns > stall_after_.count();
+
+      const auto before =
+          static_cast<HealthState>(cell_ref.state.load(std::memory_order_relaxed));
+      HealthState after;
+      if (!stalled) {
+        cell_ref.misses = 0;
+        after = HealthState::kOk;
+      } else {
+        cell_ref.misses += 1;
+        after = cell_ref.misses >= unhealthy_after_ ? HealthState::kUnhealthy
+                                                    : HealthState::kDegraded;
+      }
+      if (after != before) {
+        cell_ref.state.store(static_cast<std::uint8_t>(after),
+                             std::memory_order_relaxed);
+        if (after != HealthState::kOk) {
+          if (before == HealthState::kOk) {
+            stalls_.fetch_add(1, std::memory_order_relaxed);
+          }
+          const Stall stall{shard, component, after,
+                            std::chrono::nanoseconds(age_ns)};
+          transitions.push_back(stall);
+          if (on_stall_) on_stall_(stall);
+        }
+      }
+    }
+  }
+  return transitions;
+}
+
+HealthState HealthMonitor::state(std::size_t shard,
+                                 HealthComponent component) const noexcept {
+  if (shard >= num_shards_) return HealthState::kOk;
+  return static_cast<HealthState>(
+      cell(shard, component).state.load(std::memory_order_relaxed));
+}
+
+HealthState HealthMonitor::overall() const noexcept {
+  HealthState worst = HealthState::kOk;
+  for (std::size_t i = 0; i < num_shards_ * kHealthComponents; ++i) {
+    const auto s =
+        static_cast<HealthState>(cells_[i].state.load(std::memory_order_relaxed));
+    if (static_cast<std::uint8_t>(s) > static_cast<std::uint8_t>(worst)) {
+      worst = s;
+    }
+  }
+  return worst;
+}
+
+std::string HealthMonitor::healthz_json() const {
+  const HealthState status = overall();
+  std::string out = "{\"status\":\"";
+  out += to_string(status);
+  out += "\",\"checks\":" + std::to_string(checks()) +
+         ",\"stalls_detected\":" + std::to_string(stalls_detected()) +
+         ",\"unhealthy\":[";
+  bool first = true;
+  for (std::size_t shard = 0; shard < num_shards_; ++shard) {
+    for (std::size_t c = 0; c < kHealthComponents; ++c) {
+      const auto component = static_cast<HealthComponent>(c);
+      const HealthState s = state(shard, component);
+      if (s == HealthState::kOk) continue;
+      if (!first) out += ",";
+      first = false;
+      out += "{\"shard\":" + std::to_string(shard) + ",\"component\":\"";
+      out += to_string(component);
+      out += "\",\"state\":\"";
+      out += to_string(s);
+      out += "\"}";
+    }
+  }
+  out += "]}";
+  audit_output(out, "healthz");
+  return out;
+}
+
+void HealthMonitor::fill_snapshot(MetricsSnapshot* snap) const {
+  for (std::size_t shard = 0; shard < num_shards_; ++shard) {
+    for (std::size_t c = 0; c < kHealthComponents; ++c) {
+      const auto component = static_cast<HealthComponent>(c);
+      snap->scalars.push_back(MetricEntry{
+          "shs_shard_health",
+          "Watchdog state per shard component (0 ok, 1 degraded, 2 unhealthy)",
+          true, static_cast<std::uint64_t>(state(shard, component)),
+          "shard=\"" + std::to_string(shard) + "\",component=\"" +
+              to_string(component) + "\""});
+    }
+  }
+  snap->scalars.push_back(MetricEntry{
+      "shs_health_checks_total", "Watchdog passes executed", false, checks(),
+      ""});
+  snap->scalars.push_back(MetricEntry{
+      "shs_health_stalls_detected_total",
+      "Cells that transitioned out of ok since start", false,
+      stalls_detected(), ""});
+}
+
+}  // namespace shs::obs

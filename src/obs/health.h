@@ -1,0 +1,286 @@
+// Health plane of the observability subsystem: SLO quantile tracking and
+// the shard stall watchdog.
+//
+// PR 5's flight recorder and /metrics only describe a *healthy* process —
+// when a pump thread wedges or a batch verifier stops flushing, the
+// counters simply stop moving and nothing says why. This file adds the
+// two signals an operator actually alerts on:
+//
+//   SloTracker      per-shard sliding-window quantile sketches
+//                   (p50/p95/p99/p999) over the four latency objectives
+//                   that matter for a handshake service — handshake
+//                   completion, batch-flush wait, channel record relay,
+//                   and authority rekey-propagation lag. Every quantile
+//                   carries an exemplar sid so a bad p999 links straight
+//                   into the /trace timeline instead of being an
+//                   anonymous number.
+//
+//   HealthMonitor   a (shard × component) heartbeat matrix. Hot paths
+//                   stamp relaxed-atomic beats (EventLoop tick, pump
+//                   pass, BatchVerifier flush, AuthorityHub fan-out); a
+//                   Clock-driven checker classifies idle-vs-stalled and
+//                   runs a kOk -> kDegraded -> kUnhealthy state machine
+//                   per cell. The discrimination rule: the event loop is
+//                   "always beats" (run() guarantees a tick even when
+//                   idle), every other component only owes a beat while
+//                   its `pending` flag says it has accepted work it has
+//                   not finished. An idle shard therefore never flips
+//                   unhealthy, and a wedged pump flips within one check
+//                   interval.
+//
+// Both are Clock-driven (service/clock.h is header-only, so obs stays
+// below shs_service in the link order) and ManualClock-deterministic:
+// the watchdog test suite advances time by hand and asserts exact state
+// transitions.
+//
+// Threading: record()/beat()/set_pending() are any-thread and lock-free
+// (seqlock ring slots, relaxed atomics — same discipline as
+// obs/trace.h). check() must be called from one thread at a time (the
+// server runs it on shard 0's loop); states are published through
+// atomics so scrape-time readers on other threads see them.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/exposition.h"
+#include "service/clock.h"
+
+namespace shs::obs {
+
+// ---------------------------------------------------------------------------
+// SLO quantile tracking
+// ---------------------------------------------------------------------------
+
+/// The four latency objectives the tracker watches. Kept dense so a
+/// (shard, dimension) pair indexes a flat sketch array.
+enum class SloDimension : std::uint8_t {
+  kHandshake = 0,     // session open -> final round accepted (incl. batch wait)
+  kBatchFlush = 1,    // oldest enqueue -> flush swap in the BatchVerifier
+  kChannelRelay = 2,  // one channel record through ChannelHub::relay
+  kRekeyLag = 3,      // authority rekey broadcast -> shard fan-out done
+};
+inline constexpr std::size_t kSloDimensions = 4;
+
+[[nodiscard]] const char* to_string(SloDimension dim) noexcept;
+
+/// Fixed-capacity sliding-window quantile sketch: a power-of-two ring of
+/// (value_us, sid) samples with per-slot seqlock stamps (the trace-ring
+/// discipline), so writers never block and never block each other, and
+/// the exporter sorts a consistent snapshot of the last `capacity`
+/// samples. Exact quantiles over the window — no summarization error —
+/// at O(window log window) per scrape, which is where the cost belongs.
+class QuantileSketch {
+ public:
+  explicit QuantileSketch(std::size_t capacity = kDefaultWindow);
+
+  QuantileSketch(const QuantileSketch&) = delete;
+  QuantileSketch& operator=(const QuantileSketch&) = delete;
+
+  /// Any-thread, lock-free. sid is the exemplar id surfaced next to the
+  /// quantile this sample ends up defining (0 = no session attribution).
+  void record(std::uint64_t value_us, std::uint64_t sid) noexcept;
+
+  struct Quantile {
+    std::uint64_t value_us = 0;
+    std::uint64_t exemplar_sid = 0;
+  };
+  struct Summary {
+    std::uint64_t count = 0;  // samples ever recorded
+    std::size_t window = 0;   // consistent samples in this summary
+    Quantile p50, p95, p99, p999;
+  };
+
+  /// Snapshot + sort; torn slots (mid-write during snapshot) are
+  /// skipped. An empty window returns all-zero quantiles.
+  [[nodiscard]] Summary summarize() const;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return head_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  static constexpr std::size_t kDefaultWindow = 512;
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> begin{0};
+    std::atomic<std::uint64_t> end{0};
+    // Atomic like the trace ring's payload: lapping writers may collide
+    // on a slot, so plain fields would be a data race. Relaxed is enough
+    // — the begin/end stamps detect torn slots at snapshot time.
+    std::atomic<std::uint64_t> value_us{0};
+    std::atomic<std::uint64_t> sid{0};
+  };
+
+  std::size_t capacity_;  // power of two
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+/// num_shards × kSloDimensions sketches behind one record() call. The
+/// server owns exactly one and hands (pointer, shard index) pairs to the
+/// per-shard services, hubs and batch verifiers.
+class SloTracker {
+ public:
+  struct Options {
+    std::size_t num_shards = 1;
+    std::size_t window = QuantileSketch::kDefaultWindow;
+  };
+  explicit SloTracker(Options options);
+
+  void record(std::size_t shard, SloDimension dim, std::uint64_t value_us,
+              std::uint64_t sid) noexcept;
+
+  [[nodiscard]] QuantileSketch::Summary summarize(std::size_t shard,
+                                                  SloDimension dim) const;
+  [[nodiscard]] std::size_t num_shards() const noexcept { return num_shards_; }
+
+  /// Appends the shs_slo_* scalar series (quantile values plus the
+  /// paired exemplar-sid gauges — text format 0.0.4 has no native
+  /// exemplars, so the sid rides as its own series with matching
+  /// labels). Entries are name-major consecutive as the renderer
+  /// requires.
+  void fill_snapshot(MetricsSnapshot* snap) const;
+
+  /// JSON value (an object keyed by shard, then dimension) for the
+  /// merged metrics document and postmortem bundles.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  [[nodiscard]] const QuantileSketch& sketch(std::size_t shard,
+                                             SloDimension dim) const {
+    return *sketches_[shard * kSloDimensions + static_cast<std::size_t>(dim)];
+  }
+
+  std::size_t num_shards_;
+  std::vector<std::unique_ptr<QuantileSketch>> sketches_;
+};
+
+// ---------------------------------------------------------------------------
+// Stall watchdog
+// ---------------------------------------------------------------------------
+
+/// The per-shard components that stamp heartbeats. Dense, like
+/// SloDimension.
+enum class HealthComponent : std::uint8_t {
+  kEventLoop = 0,      // one beat per run_once() pass — beats even when idle
+  kPump = 1,           // one beat per completed worker pass
+  kBatchVerifier = 2,  // one beat per flush (even an empty one)
+  kAuthorityHub = 3,   // one beat per completed rekey fan-out
+};
+inline constexpr std::size_t kHealthComponents = 4;
+
+[[nodiscard]] const char* to_string(HealthComponent component) noexcept;
+
+enum class HealthState : std::uint8_t {
+  kOk = 0,
+  kDegraded = 1,   // one stalled check
+  kUnhealthy = 2,  // >= unhealthy_after consecutive stalled checks
+};
+
+[[nodiscard]] const char* to_string(HealthState state) noexcept;
+
+class HealthMonitor {
+ public:
+  struct Options {
+    std::size_t num_shards = 1;
+    service::Clock* clock = nullptr;  // required
+    /// A component owing a beat whose last beat is older than this is
+    /// stalled. Must comfortably exceed the event loop tick.
+    std::chrono::nanoseconds stall_after = std::chrono::seconds(1);
+    /// Consecutive stalled checks before kDegraded escalates.
+    std::uint32_t unhealthy_after = 2;
+  };
+  explicit HealthMonitor(Options options);
+
+  /// Any-thread, lock-free: stamp "this component just made progress".
+  void beat(std::size_t shard, HealthComponent component) noexcept;
+
+  /// Any-thread: raise/lower "this component has accepted work it has
+  /// not finished". Only pending components (plus the always-live event
+  /// loop) owe fresh beats — this is the idle-vs-stalled discriminator.
+  /// Callers serialize set_pending per cell under their own work mutex;
+  /// the value itself is a plain atomic flag.
+  void set_pending(std::size_t shard, HealthComponent component,
+                   bool pending) noexcept;
+
+  struct Stall {
+    std::size_t shard = 0;
+    HealthComponent component = HealthComponent::kEventLoop;
+    HealthState state = HealthState::kOk;  // state after this check
+    std::chrono::nanoseconds beat_age{0};
+  };
+
+  /// One watchdog pass: classifies every cell, advances its state
+  /// machine, and returns the cells that *transitioned* this pass (a
+  /// cell already unhealthy is not re-reported). Single-threaded by
+  /// contract (the server's shard-0 check timer); the on_stall callback
+  /// fires inline once per returned transition into kDegraded or
+  /// kUnhealthy.
+  std::vector<Stall> check();
+
+  /// Callback invoked by check() on each transition into a stalled
+  /// state. Set before the checker starts; used to trigger postmortems.
+  void set_on_stall(std::function<void(const Stall&)> fn) {
+    on_stall_ = std::move(fn);
+  }
+
+  [[nodiscard]] HealthState state(std::size_t shard,
+                                  HealthComponent component) const noexcept;
+  /// Worst state across every cell.
+  [[nodiscard]] HealthState overall() const noexcept;
+  [[nodiscard]] bool healthy() const noexcept {
+    return overall() == HealthState::kOk;
+  }
+
+  /// Body for GET /healthz: overall status plus every non-ok cell —
+  /// ids and enum names only.
+  [[nodiscard]] std::string healthz_json() const;
+
+  /// Appends shs_shard_health{shard,component} (gauge: 0 ok, 1 degraded,
+  /// 2 unhealthy) plus the check/stall counters.
+  void fill_snapshot(MetricsSnapshot* snap) const;
+
+  [[nodiscard]] std::size_t num_shards() const noexcept { return num_shards_; }
+  [[nodiscard]] std::uint64_t checks() const noexcept {
+    return checks_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t stalls_detected() const noexcept {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::int64_t> last_beat_ns{0};
+    std::atomic<std::uint64_t> pending{0};
+    std::atomic<std::uint8_t> state{0};
+    std::uint32_t misses = 0;  // checker-local: consecutive stalled checks
+  };
+
+  [[nodiscard]] Cell& cell(std::size_t shard, HealthComponent component) {
+    return cells_[shard * kHealthComponents +
+                  static_cast<std::size_t>(component)];
+  }
+  [[nodiscard]] const Cell& cell(std::size_t shard,
+                                 HealthComponent component) const {
+    return cells_[shard * kHealthComponents +
+                  static_cast<std::size_t>(component)];
+  }
+
+  std::size_t num_shards_;
+  service::Clock* clock_;
+  std::chrono::nanoseconds stall_after_;
+  std::uint32_t unhealthy_after_;
+  std::unique_ptr<Cell[]> cells_;
+  std::function<void(const Stall&)> on_stall_;
+  std::atomic<std::uint64_t> checks_{0};
+  std::atomic<std::uint64_t> stalls_{0};
+};
+
+}  // namespace shs::obs

@@ -1,0 +1,144 @@
+#include "obs/postmortem.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <csignal>
+#include <fstream>
+
+namespace shs::obs {
+namespace {
+
+volatile std::sig_atomic_t g_sigterm_flag = 0;
+
+void sigterm_handler(int) { g_sigterm_flag = 1; }
+
+/// Filenames only carry [a-z0-9-]; anything else in the reason maps to
+/// '-' so a caller-supplied reason can't traverse paths.
+std::string sanitize_reason(std::string_view reason) {
+  std::string out;
+  out.reserve(reason.size());
+  for (char c : reason) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '-' || c == '_';
+    out.push_back(ok ? c : '-');
+  }
+  if (out.empty()) out = "manual";
+  if (out.size() > 48) out.resize(48);
+  return out;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+PostmortemEngine::PostmortemEngine(Options options)
+    : options_(std::move(options)) {}
+
+void PostmortemEngine::add_section(std::string name,
+                                   std::function<std::string()> producer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sections_.emplace_back(std::move(name), std::move(producer));
+}
+
+PostmortemEngine::CaptureResult PostmortemEngine::capture(
+    std::string_view reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CaptureResult result;
+
+  const std::int64_t ts_ns =
+      options_.clock != nullptr
+          ? options_.clock->now().time_since_epoch().count()
+          : std::chrono::steady_clock::now().time_since_epoch().count();
+
+  std::string bundle = "{\"reason\":\"" + json_escape(reason) +
+                       "\",\"seq\":" + std::to_string(seq_) +
+                       ",\"ts_ns\":" + std::to_string(ts_ns) +
+                       ",\"sections\":{";
+  bool first = true;
+  for (const auto& [name, producer] : sections_) {
+    if (!first) bundle += ",";
+    first = false;
+    bundle += "\"" + json_escape(name) + "\":";
+    bundle += producer();
+  }
+  bundle += "}}";
+
+  // The gate: scan the complete bundle before any byte reaches disk.
+  // scan() is a pure query; check() additionally records the violations
+  // on the process audit so the conformance counters see them.
+  RedactionAudit& audit = RedactionAudit::instance();
+  if (audit.enabled()) {
+    result.violations = audit.scan(bundle);
+    audit.check(bundle, "postmortem");
+  }
+  result.bundle = std::move(bundle);
+  if (!result.violations.empty()) {
+    result.suppressed = true;
+    suppressed_.fetch_add(1, std::memory_order_relaxed);
+    return result;
+  }
+
+  if (captured_.load(std::memory_order_relaxed) >= options_.max_bundles) {
+    result.capped = true;
+    return result;
+  }
+
+  // Best-effort mkdir: EEXIST is the common case after the first bundle.
+  if (!options_.dir.empty() && options_.dir != ".") {
+    ::mkdir(options_.dir.c_str(), 0755);
+  }
+  const std::string path = options_.dir + "/postmortem-" +
+                           std::to_string(seq_) + "-" +
+                           sanitize_reason(reason) + ".json";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return result;  // written stays false
+  out.write(result.bundle.data(),
+            static_cast<std::streamsize>(result.bundle.size()));
+  out.flush();
+  if (!out) return result;
+
+  seq_ += 1;
+  captured_.fetch_add(1, std::memory_order_relaxed);
+  result.written = true;
+  result.path = path;
+  return result;
+}
+
+void PostmortemEngine::install_sigterm_trigger() {
+  struct sigaction sa = {};
+  sa.sa_handler = &sigterm_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool PostmortemEngine::consume_sigterm() noexcept {
+  if (g_sigterm_flag == 0) return false;
+  g_sigterm_flag = 0;
+  return true;
+}
+
+}  // namespace shs::obs

@@ -1,0 +1,89 @@
+// Postmortem bundles: the "what was the process doing when it died"
+// capture, gated by the redaction audit.
+//
+// On stall detection (the HealthMonitor's on_stall callback), on
+// SIGTERM, or on an explicit POST /postmortem, the engine assembles one
+// JSON bundle from registered section providers — flight-recorder ring
+// dump, merged and per-shard metrics snapshots, health states, config
+// echo — and runs the *entire* serialized bundle through
+// RedactionAudit::scan() BEFORE a single byte reaches disk. A bundle
+// containing any registered secret is suppressed (counted, never
+// written): a crash artifact an operator will paste into a ticket is
+// exactly the surface the paper's §7 argument says must never carry key
+// material. The deliberate-leak canary test proves the scanner is not
+// blind.
+//
+// SIGTERM handling follows async-signal-safety rules: the handler only
+// sets a sig_atomic_t flag; the server's watchdog timer polls
+// consume_sigterm() and runs the capture on a normal thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/redact.h"
+#include "service/clock.h"
+
+namespace shs::obs {
+
+class PostmortemEngine {
+ public:
+  struct Options {
+    /// Directory bundles land in (created on first capture if missing).
+    std::string dir = ".";
+    /// Hard cap on bundles written by this engine — a flapping watchdog
+    /// must not fill the disk.
+    std::size_t max_bundles = 8;
+    /// Optional deterministic time source for the bundle timestamp.
+    service::Clock* clock = nullptr;
+  };
+  explicit PostmortemEngine(Options options);
+
+  /// Registers a named section. The producer returns a JSON *value*
+  /// (object/array/string already serialized); it runs inside capture()
+  /// on the caller's thread. Registration order is bundle order.
+  void add_section(std::string name, std::function<std::string()> producer);
+
+  struct CaptureResult {
+    bool written = false;        // bundle landed on disk
+    bool suppressed = false;     // redaction audit blocked the write
+    bool capped = false;         // max_bundles already reached
+    std::string path;            // file path when written
+    std::string bundle;          // the serialized bundle (always filled)
+    std::vector<RedactionAudit::Violation> violations;
+  };
+
+  /// Assembles the bundle, scans it, and only then writes
+  /// `<dir>/postmortem-<seq>-<reason>.json`. Thread-safe; concurrent
+  /// captures serialize.
+  CaptureResult capture(std::string_view reason);
+
+  [[nodiscard]] std::uint64_t captured() const noexcept {
+    return captured_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t suppressed() const noexcept {
+    return suppressed_.load(std::memory_order_relaxed);
+  }
+
+  /// Installs a SIGTERM handler that records the signal (flag only —
+  /// async-signal-safe). Idempotent; process-wide.
+  static void install_sigterm_trigger();
+  /// True exactly once after a SIGTERM arrived (clears the flag).
+  static bool consume_sigterm() noexcept;
+
+ private:
+  Options options_;
+  std::mutex mu_;
+  std::vector<std::pair<std::string, std::function<std::string()>>> sections_;
+  std::uint64_t seq_ = 0;
+  std::atomic<std::uint64_t> captured_{0};
+  std::atomic<std::uint64_t> suppressed_{0};
+};
+
+}  // namespace shs::obs

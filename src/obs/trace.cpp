@@ -82,7 +82,10 @@ void TraceRecorder::record(TraceEvent type, std::uint64_t sid,
                            std::uint64_t a, std::uint64_t b,
                            std::uint64_t dur_ns,
                            std::uint64_t modexp) noexcept {
-  if (!wants(sid)) return;
+  if (!wants(sid)) {
+    sampling_skipped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   const auto ts = static_cast<std::uint64_t>(
       clock_->now().time_since_epoch().count());
   const std::uint64_t idx = head_.fetch_add(1, std::memory_order_relaxed);
@@ -107,6 +110,10 @@ std::uint64_t TraceRecorder::recorded() const noexcept {
 std::uint64_t TraceRecorder::dropped() const noexcept {
   const std::uint64_t head = head_.load(std::memory_order_relaxed);
   return head > capacity_ ? head - capacity_ : 0;
+}
+
+std::uint64_t TraceRecorder::sampling_skipped() const noexcept {
+  return sampling_skipped_.load(std::memory_order_relaxed);
 }
 
 std::vector<TraceRecord> TraceRecorder::snapshot() const {
@@ -136,10 +143,33 @@ std::vector<TraceRecord> TraceRecorder::snapshot() const {
   return out;
 }
 
-std::string TraceRecorder::to_chrome_json() const {
+std::string TraceRecorder::to_chrome_json(std::size_t num_shards) const {
   const std::vector<TraceRecord> records = snapshot();
   std::string out = "{\"traceEvents\": [";
   bool first_event = true;
+  // Shard-lane layout: label each pid so the viewer shows "shard N" rows
+  // instead of anonymous process ids. The 0-shard layout stays exactly
+  // the pre-shard output (no metadata events) — pinned by tests.
+  if (num_shards > 0) {
+    for (std::size_t shard = 0; shard <= num_shards; ++shard) {
+      if (!first_event) out += ",";
+      first_event = false;
+      char meta[192];
+      if (shard < num_shards) {
+        std::snprintf(meta, sizeof meta,
+                      "\n{\"name\": \"process_name\", \"ph\": \"M\", "
+                      "\"pid\": %llu, \"args\": {\"name\": \"shard %llu\"}}",
+                      static_cast<unsigned long long>(shard + 1),
+                      static_cast<unsigned long long>(shard));
+      } else {
+        std::snprintf(meta, sizeof meta,
+                      "\n{\"name\": \"process_name\", \"ph\": \"M\", "
+                      "\"pid\": %llu, \"args\": {\"name\": \"connections\"}}",
+                      static_cast<unsigned long long>(num_shards + 1));
+      }
+      out += meta;
+    }
+  }
   for (const TraceRecord& r : records) {
     const ChromeShape shape = chrome_shape(r.type);
     if (!first_event) out += ",";
@@ -148,13 +178,21 @@ std::string TraceRecorder::to_chrome_json() const {
     const std::uint64_t start_ns =
         shape.phase == 'X' && r.dur_ns <= r.ts_ns ? r.ts_ns - r.dur_ns
                                                   : r.ts_ns;
+    // Lane: legacy = sessions pid 1 / connections pid 2; sharded = a
+    // session's home shard via the sid-striping arithmetic.
+    unsigned long long pid;
+    if (num_shards == 0) {
+      pid = r.sid == 0 ? 2 : 1;
+    } else {
+      pid = r.sid == 0 ? num_shards + 1
+                       : 1 + static_cast<std::size_t>((r.sid - 1) % num_shards);
+    }
     char head[192];
     std::snprintf(
         head, sizeof head,
-        "\n{\"name\": \"%s\", \"ph\": \"%c\", \"ts\": %.3f, \"pid\": %d, "
+        "\n{\"name\": \"%s\", \"ph\": \"%c\", \"ts\": %.3f, \"pid\": %llu, "
         "\"tid\": %llu",
-        shape.name, shape.phase, static_cast<double>(start_ns) / 1000.0,
-        r.sid == 0 ? 2 : 1,
+        shape.name, shape.phase, static_cast<double>(start_ns) / 1000.0, pid,
         static_cast<unsigned long long>(r.sid == 0 ? r.a : r.sid));
     out += head;
     if (shape.phase == 'X') {

@@ -107,15 +107,27 @@ class TraceRecorder {
   [[nodiscard]] std::uint64_t recorded() const noexcept;
   /// Records overwritten before any snapshot could see them.
   [[nodiscard]] std::uint64_t dropped() const noexcept;
+  /// record() calls rejected by the sampling filter. Callers that
+  /// pre-filter with wants() (to skip attribution work) never reach
+  /// record(), so this counts filtered *record attempts*, not every
+  /// event the sampled-out sessions would have produced.
+  [[nodiscard]] std::uint64_t sampling_skipped() const noexcept;
 
   /// Stable records, oldest first. Slots being concurrently overwritten
   /// are skipped, never mixed.
   [[nodiscard]] std::vector<TraceRecord> snapshot() const;
 
   /// Chrome trace-event-format JSON ({"traceEvents": [...]}) —
-  /// chrome://tracing- and Perfetto-loadable. Sessions map to "tid" rows
-  /// under pid 1; connections under pid 2. Redaction-audited.
-  [[nodiscard]] std::string to_chrome_json() const;
+  /// chrome://tracing- and Perfetto-loadable. Redaction-audited.
+  ///
+  /// num_shards == 0 (the default): sessions map to "tid" rows under
+  /// pid 1, connections under pid 2 — the single-process layout.
+  /// num_shards > 0: one lane (pid) per shard — a session renders under
+  /// pid 1 + its home shard ((sid - 1) % num_shards, the transport's
+  /// striping arithmetic), connections under pid 1 + num_shards, and
+  /// process_name metadata labels each lane — so a multi-shard /trace
+  /// reads as N reactor timelines instead of one interleaved mass.
+  [[nodiscard]] std::string to_chrome_json(std::size_t num_shards = 0) const;
 
  private:
   /// Seqlock-stamped slot: begin/end hold generation idx+1. All fields
@@ -139,6 +151,7 @@ class TraceRecorder {
   std::size_t mask_;
   std::unique_ptr<Slot[]> slots_;
   std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> sampling_skipped_{0};
 };
 
 }  // namespace shs::obs

@@ -99,7 +99,13 @@ void BatchVerifier::enqueue(const gsig::GsigGroup& gsig, Bytes message,
     std::string key = job_key(&gsig, message, signature, session_tag);
     auto [it, inserted] = dedup_.try_emplace(std::move(key), jobs_.size());
     if (inserted) {
-      if (jobs_.empty()) oldest_ = clock_->now();
+      if (jobs_.empty()) {
+        oldest_ = clock_->now();
+        if (options_.health != nullptr) {
+          options_.health->set_pending(
+              options_.shard, obs::HealthComponent::kBatchVerifier, true);
+        }
+      }
       Job job;
       job.gsig = &gsig;
       job.message = std::move(message);
@@ -147,12 +153,36 @@ void BatchVerifier::flush_impl(Trigger trigger) {
   // into the next batch while this one verifies.
   std::lock_guard flush_lock(flush_mu_);
   std::vector<Job> wave;
+  Clock::time_point oldest{};
   {
     std::lock_guard lock(mu_);
     wave.swap(jobs_);
     dedup_.clear();
+    oldest = oldest_;
+    // The queue is empty at this instant; a later enqueue re-raises the
+    // flag under the same mutex, so the watchdog never sees a stale
+    // "work pending" on a drained verifier.
+    if (options_.health != nullptr) {
+      options_.health->set_pending(options_.shard,
+                                   obs::HealthComponent::kBatchVerifier,
+                                   false);
+    }
+  }
+  if (options_.health != nullptr) {
+    options_.health->beat(options_.shard,
+                          obs::HealthComponent::kBatchVerifier);
   }
   if (wave.empty()) return;
+  if (options_.slo != nullptr) {
+    // Batch-flush wait: how long the oldest job sat queued before this
+    // flush picked it up. Exemplar sid 0 — the flush is cross-session,
+    // matching the sid-0 kBatchVerify trace records.
+    const auto wait_us = std::chrono::duration_cast<std::chrono::microseconds>(
+        clock_->now() - oldest);
+    options_.slo->record(options_.shard, obs::SloDimension::kBatchFlush,
+                         static_cast<std::uint64_t>(wait_us.count()),
+                         /*sid=*/0);
+  }
 
   const auto wall_start = std::chrono::steady_clock::now();
   const std::uint64_t modexp_start = num::thread_modexp_count();
@@ -231,6 +261,10 @@ void BatchVerifier::flush_impl(Trigger trigger) {
   for (std::size_t i = 0; i < wave.size(); ++i) {
     const bool accepted = verdict[i] == 1;
     for (auto& waiter : wave[i].waiters) waiter(accepted);
+  }
+  if (options_.health != nullptr) {
+    options_.health->beat(options_.shard,
+                          obs::HealthComponent::kBatchVerifier);
   }
 }
 

@@ -38,6 +38,7 @@
 
 #include "core/verify.h"
 #include "crypto/drbg.h"
+#include "obs/health.h"
 #include "obs/trace.h"
 #include "service/clock.h"
 #include "service/metrics.h"
@@ -58,6 +59,14 @@ struct BatchVerifierOptions {
   ServiceMetrics* metrics = nullptr;
   /// Borrowed flight recorder for kBatchVerify flush records; null = off.
   obs::TraceRecorder* trace = nullptr;
+  /// Borrowed health plane (obs/health.h); null = off. Every flush beats
+  /// the kBatchVerifier heartbeat for `shard` and records the oldest
+  /// job's wait as a kBatchFlush SLO sample; the pending flag tracks
+  /// whether any job is queued, so the watchdog only faults a verifier
+  /// that is sitting on work.
+  obs::SloTracker* slo = nullptr;
+  obs::HealthMonitor* health = nullptr;
+  std::size_t shard = 0;
 };
 
 class BatchVerifier final : public core::DeferredVerifier {

@@ -233,6 +233,10 @@ std::string ServiceMetrics::to_json(const Gauges& gauges) const {
   out += " \"precomp\": {\"tables\": " + std::to_string(gauges.precomp_tables) +
          ", \"hits\": " + std::to_string(gauges.precomp_hits) +
          ", \"misses\": " + std::to_string(gauges.precomp_misses) + "},\n";
+  out += " \"trace\": {\"recorded\": " + std::to_string(gauges.trace_recorded) +
+         ", \"dropped\": " + std::to_string(gauges.trace_dropped) +
+         ", \"sampling_skipped\": " +
+         std::to_string(gauges.trace_sampling_skipped) + "},\n";
   out += " \"latency\": {\"phase1\": " + phase1_latency.to_json() +
          ",\n  \"phase2\": " + phase2_latency.to_json() +
          ",\n  \"phase3\": " + phase3_latency.to_json() +
@@ -388,6 +392,14 @@ obs::MetricsSnapshot ServiceMetrics::snapshot(const Gauges& gauges) const {
         gauges.precomp_hits);
   gauge("shs_precomp_misses", "Process-wide precomputation cache misses",
         gauges.precomp_misses);
+  counter("shs_trace_records_total", "Flight-recorder records accepted",
+          gauges.trace_recorded);
+  counter("shs_trace_dropped_total",
+          "Flight-recorder records overwritten before export (ring wrap)",
+          gauges.trace_dropped);
+  counter("shs_trace_sampling_skipped_total",
+          "Flight-recorder record calls rejected by the sampling filter",
+          gauges.trace_sampling_skipped);
   s.histograms.push_back(phase1_latency.exposition(
       "shs_phase1_latency_us", "Session open to end of Phase I"));
   s.histograms.push_back(phase2_latency.exposition(

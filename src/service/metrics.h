@@ -88,6 +88,14 @@ struct ServiceMetrics {
     std::uint64_t authority_members = 0;
     std::uint64_t authority_epoch = 0;
     std::uint64_t authority_subscribers = 0;
+    // Flight-recorder accounting (obs/trace.h), sampled at export time
+    // from the recorder the service borrows. Surfaced here so silent
+    // trace loss (ring wrap, sampling) is alertable on both metric
+    // surfaces, not just visible in the JSON trace export. All zero
+    // when the service runs without a recorder.
+    std::uint64_t trace_recorded = 0;
+    std::uint64_t trace_dropped = 0;
+    std::uint64_t trace_sampling_skipped = 0;
   };
 
   // Session lifecycle + round work (pump threads).

@@ -62,6 +62,9 @@ RendezvousService::RendezvousService(ServiceOptions options)
     batch_options.seed = options_.batch_seed;
     batch_options.metrics = &metrics_;
     batch_options.trace = options_.trace;
+    batch_options.slo = options_.slo;
+    batch_options.health = options_.health;
+    batch_options.shard = options_.slo_shard;
     batch_ = std::make_unique<BatchVerifier>(std::move(batch_options));
   }
   ManagerOptions manager_options;
@@ -213,6 +216,10 @@ void RendezvousService::on_round_complete(std::uint64_t sid, std::size_t round,
     }
     metrics_.session_latency.record(elapsed);
     phase_done(0);  // whole-session span
+    if (options_.slo != nullptr) {
+      options_.slo->record(options_.slo_shard, obs::SloDimension::kHandshake,
+                           elapsed_ns / 1000, sid);
+    }
   }
 }
 
@@ -304,6 +311,10 @@ std::size_t RendezvousService::active_sessions() const {
   return manager_->active();
 }
 
+std::vector<SessionInfo> RendezvousService::session_infos() const {
+  return manager_->session_infos();
+}
+
 ServiceMetrics::Gauges RendezvousService::gauges() const {
   ServiceMetrics::Gauges g;
   g.active_sessions = active_sessions();
@@ -313,6 +324,11 @@ ServiceMetrics::Gauges RendezvousService::gauges() const {
   g.precomp_tables = cache.size();
   g.precomp_hits = cache.hits();
   g.precomp_misses = cache.misses();
+  if (options_.trace != nullptr) {
+    g.trace_recorded = options_.trace->recorded();
+    g.trace_dropped = options_.trace->dropped();
+    g.trace_sampling_skipped = options_.trace->sampling_skipped();
+  }
   if (extra_gauges_) extra_gauges_(g);
   return g;
 }

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/handshake.h"
+#include "obs/health.h"
 #include "obs/log.h"
 #include "obs/trace.h"
 #include "service/batch_verify.h"
@@ -89,6 +90,13 @@ struct ServiceOptions {
   /// Defaults preserve the classic dense 1, 2, 3, ... sequence.
   std::uint64_t first_sid = 1;
   std::uint64_t sid_stride = 1;
+  /// Borrowed health plane (obs/health.h); both null = no health
+  /// tracking. The service records handshake-completion SLO samples and
+  /// forwards both pointers (with slo_shard as the shard index) to its
+  /// BatchVerifier for flush heartbeats and batch-wait samples.
+  obs::SloTracker* slo = nullptr;
+  obs::HealthMonitor* health = nullptr;
+  std::size_t slo_shard = 0;
 };
 
 class RendezvousService {
@@ -133,6 +141,9 @@ class RendezvousService {
   bool close(std::uint64_t sid);
 
   [[nodiscard]] std::size_t active_sessions() const;
+  /// Live-session introspection rows (ids, enums and ages only) for the
+  /// GET /sessions surface. Thread-safe passthrough to the manager.
+  [[nodiscard]] std::vector<SessionInfo> session_infos() const;
   [[nodiscard]] const ServiceMetrics& metrics() const { return metrics_; }
   /// Mutable counters, for a transport layering its own traffic counters
   /// (tcp_*, connections_*) into the same export.

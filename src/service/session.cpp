@@ -1,5 +1,6 @@
 #include "service/session.h"
 
+#include <algorithm>
 #include <thread>
 #include <utility>
 
@@ -37,6 +38,7 @@ struct SessionManager::SessionRec {
   // Reordered early arrivals: round -> (payloads, filled).
   std::map<std::uint32_t, std::pair<std::vector<Bytes>, std::vector<bool>>>
       future;
+  Clock::time_point opened;
   Clock::time_point last_progress;
 };
 
@@ -94,7 +96,8 @@ std::uint64_t SessionManager::open(std::vector<net::RoundParty*> parties) {
   rec->total_rounds = rounds;
   rec->slots.assign(rec->m, Bytes{});
   rec->filled.assign(rec->m, false);
-  rec->last_progress = clock_->now();
+  rec->opened = clock_->now();
+  rec->last_progress = rec->opened;
   {
     const std::lock_guard<std::mutex> lock(table_mu_);
     rec->id = next_sid_;
@@ -444,6 +447,40 @@ std::size_t SessionManager::active() const {
 std::size_t SessionManager::size() const {
   const std::lock_guard<std::mutex> lock(table_mu_);
   return table_.size();
+}
+
+std::vector<SessionInfo> SessionManager::session_infos() const {
+  const Clock::time_point now = clock_->now();
+  std::vector<std::shared_ptr<SessionRec>> recs;
+  {
+    const std::lock_guard<std::mutex> lock(table_mu_);
+    recs.reserve(table_.size());
+    for (const auto& [sid, rec] : table_) recs.push_back(rec);
+  }
+  std::vector<SessionInfo> out;
+  out.reserve(recs.size());
+  for (const auto& rec : recs) {
+    SessionInfo info;
+    info.sid = rec->id;
+    info.total_rounds = rec->total_rounds;
+    info.m = rec->m;
+    const std::lock_guard<std::mutex> lock(rec->mu);
+    info.state = rec->state;
+    info.round = rec->round;
+    info.age_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now - rec->opened)
+                      .count();
+    info.deadline_slack_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            options_.session_deadline - (now - rec->last_progress))
+            .count();
+    out.push_back(info);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SessionInfo& a, const SessionInfo& b) {
+              return a.sid < b.sid;
+            });
+  return out;
 }
 
 bool SessionManager::erase(std::uint64_t sid) {

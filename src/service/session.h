@@ -105,6 +105,22 @@ enum class FrameDisposition : std::uint8_t {
          d == FrameDisposition::kBuffered;
 }
 
+///// One live-session introspection row (GET /sessions): ids, enums and
+/// durations only — the same redaction-by-construction rule as the trace
+/// record type.
+struct SessionInfo {
+  std::uint64_t sid = 0;
+  SessionState state = SessionState::kCollecting;
+  std::size_t round = 0;         // round currently collecting
+  std::size_t total_rounds = 0;
+  std::size_t m = 0;             // participants
+  std::int64_t age_ms = 0;       // since open()
+  /// Time left before expire_stalled() would reap the session (measured
+  /// from its last progress; negative = already overdue). Meaningless
+  /// for done/expired sessions awaiting GC.
+  std::int64_t deadline_slack_ms = 0;
+};
+
 struct ManagerOptions {
   /// Degree of pump() parallelism across ready sessions; 1 = serial,
   /// 0 = hardware concurrency.
@@ -194,6 +210,11 @@ class SessionManager {
   /// Sessions not yet done/expired.
   [[nodiscard]] std::size_t active() const;
   [[nodiscard]] std::size_t size() const;
+
+  /// Snapshot of every registered session as introspection rows, sid
+  /// ascending. Thread-safe (table snapshot + per-record lock, the
+  /// expire_stalled() idiom).
+  [[nodiscard]] std::vector<SessionInfo> session_infos() const;
 
   /// GC: drops a done/expired session's bookkeeping (frames for it then
   /// report kUnknownSession). Returns false while the session is live.

@@ -11,8 +11,9 @@
 namespace shs::transport {
 
 AuthorityHub::AuthorityHub(TransportServer* server,
-                           service::ServiceMetrics* metrics)
-    : server_(server), metrics_(metrics) {}
+                           service::ServiceMetrics* metrics,
+                           std::uint32_t shard, obs::HealthMonitor* health)
+    : server_(server), metrics_(metrics), shard_(shard), health_(health) {}
 
 void AuthorityHub::subscribe(std::uint64_t member_id, ConnRef from) {
   const std::lock_guard<std::mutex> lock(mu_);
@@ -33,6 +34,11 @@ void AuthorityHub::purge(ConnRef ref) {
 }
 
 void AuthorityHub::broadcast(const Bytes& encoded) {
+  // Raised across the whole walk: if a subscriber connection wedges the
+  // fan-out mid-broadcast the watchdog sees work pending with no beat.
+  if (health_ != nullptr) {
+    health_->set_pending(shard_, obs::HealthComponent::kAuthorityHub, true);
+  }
   std::vector<ConnRef> targets;
   {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -53,6 +59,10 @@ void AuthorityHub::broadcast(const Bytes& encoded) {
     metrics_->authority_rekeys_relayed.fetch_add(1, std::memory_order_relaxed);
     metrics_->authority_rekey_bytes_relayed.fetch_add(
         encoded.size(), std::memory_order_relaxed);
+  }
+  if (health_ != nullptr) {
+    health_->set_pending(shard_, obs::HealthComponent::kAuthorityHub, false);
+    health_->beat(shard_, obs::HealthComponent::kAuthorityHub);
   }
 }
 

@@ -23,6 +23,7 @@
 #include <mutex>
 
 #include "common/bytes.h"
+#include "obs/health.h"
 #include "service/metrics.h"
 #include "transport/shard.h"
 
@@ -32,7 +33,13 @@ class TransportServer;
 
 class AuthorityHub {
  public:
-  AuthorityHub(TransportServer* server, service::ServiceMetrics* metrics);
+  /// `shard` is this hub's shard index; `health` (may be null) sees a
+  /// kAuthorityHub "fan-out pending" flag raised for the duration of
+  /// every broadcast() and a heartbeat when it completes, so a wedged
+  /// fan-out (a subscriber connection blocking the walk) trips the
+  /// watchdog instead of silently stalling rekey propagation.
+  AuthorityHub(TransportServer* server, service::ServiceMetrics* metrics,
+               std::uint32_t shard, obs::HealthMonitor* health);
 
   /// Binds `member_id`'s rekey feed to `from`. Re-subscribing moves the
   /// feed to the new connection (last subscription wins).
@@ -53,6 +60,8 @@ class AuthorityHub {
  private:
   TransportServer* server_;           // never null; owns the shard set
   service::ServiceMetrics* metrics_;  // this shard's counter block
+  const std::uint32_t shard_;         // heartbeat label
+  obs::HealthMonitor* health_;        // may be null
 
   mutable std::mutex mu_;
   // Ordered so broadcast() can walk members grouped deterministically;

@@ -18,8 +18,10 @@ void bump(std::atomic<std::uint64_t>& counter, std::uint64_t n = 1) {
 
 ChannelHub::ChannelHub(TransportServer* server,
                        service::ServiceMetrics* metrics,
-                       obs::TraceRecorder* trace)
-    : server_(server), metrics_(metrics), trace_(trace) {}
+                       obs::TraceRecorder* trace, std::uint32_t shard,
+                       obs::SloTracker* slo)
+    : server_(server), metrics_(metrics), trace_(trace), shard_(shard),
+      slo_(slo) {}
 
 void ChannelHub::open_channel(channel::Roster roster) {
   const std::uint64_t sid = roster.session_id();
@@ -73,6 +75,7 @@ void ChannelHub::detach(std::uint64_t sid, std::uint32_t position,
 }
 
 void ChannelHub::relay(const service::Frame& frame, ConnRef from) {
+  const auto relay_start = std::chrono::steady_clock::now();
   const std::uint64_t sid = frame.session_id;
   const std::uint32_t sender = frame.position;
   std::vector<ConnRef> targets;
@@ -122,6 +125,15 @@ void ChannelHub::relay(const service::Frame& frame, ConnRef from) {
     conn->send(encoded);
     bump(metrics_->channel_records_relayed);
     bump(metrics_->channel_bytes_relayed, frame.payload.size());
+  }
+  if (slo_ != nullptr) {
+    // End-to-end relay latency: ownership check + header parse + fan-out
+    // (send() only queues, so this measures the relay path, not peers'
+    // socket drain). The record's own sid is the exemplar.
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - relay_start);
+    slo_->record(shard_, obs::SloDimension::kChannelRelay,
+                 static_cast<std::uint64_t>(us.count()), sid);
   }
 }
 

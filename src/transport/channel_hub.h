@@ -38,6 +38,7 @@
 #include <unordered_map>
 
 #include "channel/roster.h"
+#include "obs/health.h"
 #include "obs/trace.h"
 #include "service/metrics.h"
 #include "transport/shard.h"
@@ -49,8 +50,11 @@ class TransportServer;
 
 class ChannelHub {
  public:
+  /// `shard` is this hub's shard index; `slo` (may be null) receives one
+  /// kChannelRelay latency sample per relayed record, exemplared by sid.
   ChannelHub(TransportServer* server, service::ServiceMetrics* metrics,
-             obs::TraceRecorder* trace);
+             obs::TraceRecorder* trace, std::uint32_t shard,
+             obs::SloTracker* slo);
 
   /// Registers a completed session's channel. No-op if the sid is
   /// already registered.
@@ -91,6 +95,8 @@ class ChannelHub {
   TransportServer* server_;            // never null; owns the shard set
   service::ServiceMetrics* metrics_;   // this shard's counter block
   obs::TraceRecorder* trace_;          // may be null
+  const std::uint32_t shard_;          // SLO sample label
+  obs::SloTracker* slo_;               // may be null
 
   mutable std::mutex mu_;
   std::unordered_map<std::uint64_t, Entry> channels_;

@@ -237,6 +237,7 @@ std::size_t EventLoop::fire_due_timers() {
 }
 
 std::size_t EventLoop::run_once(std::chrono::milliseconds max_wait) {
+  if (tick_hook_) tick_hook_();
   const int timeout = poll_timeout_ms(max_wait);
   std::size_t dispatched = 0;
   // Entries with gen >= pass_gen were registered after this pass collected

@@ -81,6 +81,15 @@ class EventLoop {
   void post(std::function<void()> fn);
   void wakeup();
 
+  /// Installs a hook invoked at the top of every run_once() pass — the
+  /// watchdog heartbeat tap. run(tick) bounds the poll wait, so the hook
+  /// fires at least once per tick even on an idle loop (which is what
+  /// lets the health checker treat the loop as "always beats"). Set
+  /// before run() starts; not synchronized against a running loop.
+  void set_tick_hook(std::function<void()> hook) {
+    tick_hook_ = std::move(hook);
+  }
+
   /// Polls once (at most `max_wait` real time), dispatches ready fds,
   /// posted work and due timers; returns how many callbacks ran.
   std::size_t run_once(std::chrono::milliseconds max_wait);
@@ -133,6 +142,8 @@ class EventLoop {
 
   std::mutex posts_mu_;
   std::vector<std::function<void()>> posts_;
+
+  std::function<void()> tick_hook_;
 
   std::atomic<bool> stop_{false};
 };

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <utility>
 #include <vector>
 
@@ -19,11 +20,21 @@ struct ObsEndpoint::Client {
 
 namespace {
 
-std::string simple_response(int code, const std::string& reason,
-                            const std::string& content_type,
+const char* reason_for(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Response";
+  }
+}
+
+std::string render_response(int code, const std::string& content_type,
                             const std::string& body) {
-  std::string out = "HTTP/1.0 " + std::to_string(code) + " " + reason +
-                    "\r\nContent-Type: " + content_type +
+  std::string out = "HTTP/1.0 " + std::to_string(code) + " " +
+                    reason_for(code) + "\r\nContent-Type: " + content_type +
                     "\r\nContent-Length: " + std::to_string(body.size()) +
                     "\r\nConnection: close\r\n\r\n";
   out += body;
@@ -39,7 +50,22 @@ ObsEndpoint::~ObsEndpoint() { stop(); }
 
 void ObsEndpoint::add_route(std::string path, std::string content_type,
                             BodyFn body) {
-  routes_[std::move(path)] = Route{std::move(content_type), std::move(body)};
+  add_handler(std::move(path),
+              [content_type = std::move(content_type),
+               body = std::move(body)](const std::string& method) {
+                if (method != "GET") {
+                  return Response{405, "text/plain",
+                                  "only GET is served here\n"};
+                }
+                return Response{200, content_type, body()};
+              });
+}
+
+void ObsEndpoint::add_handler(std::string path, HandlerFn handler) {
+  Route route;
+  route.handler = std::move(handler);
+  route.stats = std::make_unique<Stats>();
+  routes_[std::move(path)] = std::move(route);
 }
 
 void ObsEndpoint::start() {
@@ -63,6 +89,20 @@ void ObsEndpoint::stop() {
     client->fd.reset();
   }
   clients_.clear();
+}
+
+std::vector<ObsEndpoint::ScrapeStat> ObsEndpoint::scrape_stats() const {
+  std::vector<ScrapeStat> rows;
+  rows.reserve(routes_.size());
+  for (const auto& [path, route] : routes_) {
+    ScrapeStat row;
+    row.path = path;
+    row.requests = route.stats->requests.load(std::memory_order_relaxed);
+    row.duration_us = route.stats->duration_us.load(std::memory_order_relaxed);
+    row.bytes = route.stats->bytes.load(std::memory_order_relaxed);
+    rows.push_back(std::move(row));
+  }
+  return rows;
 }
 
 void ObsEndpoint::accept_ready() {
@@ -127,7 +167,7 @@ void ObsEndpoint::respond(const std::shared_ptr<Client>& client) {
   const std::size_t sp2 =
       sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
   if (sp1 == std::string::npos || sp2 == std::string::npos) {
-    client->out = simple_response(400, "Bad Request", "text/plain",
+    client->out = render_response(400, "text/plain",
                                   "malformed request line\n");
   } else {
     const std::string method = line.substr(0, sp1);
@@ -135,17 +175,25 @@ void ObsEndpoint::respond(const std::shared_ptr<Client>& client) {
     const std::size_t query = path.find('?');
     if (query != std::string::npos) path.resize(query);
     const auto route = routes_.find(path);
-    if (method != "GET") {
-      client->out = simple_response(405, "Method Not Allowed", "text/plain",
-                                    "only GET is served here\n");
-    } else if (route == routes_.end()) {
+    if (route == routes_.end()) {
       std::string body = "not found; routes:\n";
       for (const auto& [p, r] : routes_) body += "  " + p + "\n";
-      client->out = simple_response(404, "Not Found", "text/plain", body);
+      client->out = render_response(404, "text/plain", body);
     } else {
-      client->out = simple_response(200, "OK", route->second.content_type,
-                                    route->second.body());
-      requests_served_.fetch_add(1, std::memory_order_relaxed);
+      const auto start = std::chrono::steady_clock::now();
+      const Response response = route->second.handler(method);
+      const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start);
+      Stats& stats = *route->second.stats;
+      stats.requests.fetch_add(1, std::memory_order_relaxed);
+      stats.duration_us.fetch_add(static_cast<std::uint64_t>(us.count()),
+                                  std::memory_order_relaxed);
+      stats.bytes.fetch_add(response.body.size(), std::memory_order_relaxed);
+      client->out = render_response(response.status, response.content_type,
+                                    response.body);
+      if (response.status < 400) {
+        requests_served_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   }
   flush(client);

@@ -2,22 +2,32 @@
 //
 // A second listening socket on the transport's existing EventLoop: the
 // one epoll/poll thread that drives rendezvous traffic also answers
-// GET /metrics (Prometheus text exposition) and GET /trace (Chrome
-// trace-event JSON). No per-connection threads, no second loop — a
-// scrape is just another readable fd in the same readiness set.
+// GET /metrics (Prometheus text exposition), GET /trace (Chrome
+// trace-event JSON), GET /healthz, GET /sessions and POST /postmortem.
+// No per-connection threads, no second loop — a scrape is just another
+// readable fd in the same readiness set.
 //
-// The HTTP surface is deliberately tiny: HTTP/1.0-style one-shot GETs,
-// response fully buffered then flushed through non-blocking writes,
-// connection closed after each response. Routes are registered as
-// (path, content type, body producer); producers run on the loop thread
-// and must be safe against concurrent service mutation (they are:
-// metrics snapshots and trace exports read atomics). Anything else is
-// answered 404/400, oversized or malformed requests are dropped.
+// The HTTP surface is deliberately tiny: HTTP/1.0-style one-shot
+// requests, response fully buffered then flushed through non-blocking
+// writes, connection closed after each response. Every response carries
+// Content-Length (scrapers and curl -f rely on it). Routes come in two
+// shapes: add_route() registers a GET-only body producer (anything else
+// on that path is 405), add_handler() sees the request method and
+// chooses its own status — that is how /healthz flips 200/503 and how
+// /postmortem accepts POST. Handlers run on the loop thread and must be
+// safe against concurrent service mutation (the built-in ones are:
+// metrics snapshots and trace exports read atomics). Unknown paths are
+// 404, malformed or oversized requests are dropped or 400.
 //
-// Threading: construct and add_route() before the loop runs; start()
-// either before the loop thread spawns or from the loop thread; stop()
-// must run on the loop thread (TransportServer posts it during
-// shutdown).
+// The endpoint watches itself: per-route scrape counters (requests,
+// handler time, body bytes) are kept in relaxed atomics and surfaced by
+// the server as shs_obs_scrape_* series — a scrape storm or a slow
+// /trace export shows up on the very surface being scraped.
+//
+// Threading: construct and add_route()/add_handler() before the loop
+// runs; start() either before the loop thread spawns or from the loop
+// thread; stop() must run on the loop thread (TransportServer posts it
+// during shutdown). scrape_stats() is any-thread.
 #pragma once
 
 #include <atomic>
@@ -27,6 +37,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/bytes.h"
 #include "transport/event_loop.h"
@@ -44,17 +55,37 @@ class ObsEndpoint {
     std::size_t max_request_bytes = 4096;
   };
 
+  /// One fully-formed response from a handler.
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain";
+    std::string body;
+  };
+
   /// Produces one response body; runs on the loop thread per request.
   using BodyFn = std::function<std::string()>;
+  /// Full handler: sees the request method, picks its own status.
+  using HandlerFn = std::function<Response(const std::string& method)>;
+
+  /// Per-route self-observation row (relaxed-atomic snapshots).
+  struct ScrapeStat {
+    std::string path;
+    std::uint64_t requests = 0;     // requests that reached the handler
+    std::uint64_t duration_us = 0;  // cumulative handler time
+    std::uint64_t bytes = 0;        // cumulative response body bytes
+  };
 
   ObsEndpoint(EventLoop& loop, Options options);
   ~ObsEndpoint();
   ObsEndpoint(const ObsEndpoint&) = delete;
   ObsEndpoint& operator=(const ObsEndpoint&) = delete;
 
-  /// Registers GET `path` -> body with the given Content-Type. Call
-  /// before start().
+  /// Registers GET `path` -> body with the given Content-Type (any other
+  /// method on the path is 405). Call before start().
   void add_route(std::string path, std::string content_type, BodyFn body);
+
+  /// Registers a method-aware handler on `path`. Call before start().
+  void add_handler(std::string path, HandlerFn handler);
 
   /// Binds, listens and registers with the loop. Throws TransportError.
   void start();
@@ -66,12 +97,19 @@ class ObsEndpoint {
   [[nodiscard]] std::uint64_t requests_served() const noexcept {
     return requests_served_.load(std::memory_order_relaxed);
   }
+  /// Per-route counters, path-ordered (the route map's order).
+  [[nodiscard]] std::vector<ScrapeStat> scrape_stats() const;
 
  private:
   struct Client;
+  struct Stats {
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> duration_us{0};
+    std::atomic<std::uint64_t> bytes{0};
+  };
   struct Route {
-    std::string content_type;
-    BodyFn body;
+    HandlerFn handler;
+    std::unique_ptr<Stats> stats;  // stable address; atomics never move
   };
 
   void accept_ready();

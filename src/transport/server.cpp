@@ -7,10 +7,20 @@
 #include <utility>
 
 #include "bigint/fixed_base.h"
+#include "obs/redact.h"
 #include "transport/authority_hub.h"
 #include "transport/channel_hub.h"
 
 namespace shs::transport {
+
+namespace {
+
+service::Clock* fallback_steady_clock() {
+  static service::SteadyClock clock;
+  return &clock;
+}
+
+}  // namespace
 
 TransportServer::TransportServer(ServerOptions options,
                                  service::ServiceOptions service_options,
@@ -26,6 +36,11 @@ TransportServer::TransportServer(ServerOptions options,
     throw ProtocolError("TransportServer: egress is owned by the transport");
   }
   service_options.on_terminal = nullptr;
+  if (options_.health_enabled) {
+    build_health_plane(service_options.clock != nullptr
+                           ? service_options.clock
+                           : fallback_steady_clock());
+  }
   const std::size_t n = options_.num_shards;
   shards_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -40,6 +55,11 @@ TransportServer::TransportServer(ServerOptions options,
     shard_options.on_terminal = nullptr;  // the shard installs its own
     shard_options.first_sid = i + 1;
     shard_options.sid_stride = n;
+    // The health plane is server-owned, like first_sid/sid_stride:
+    // overwrite whatever per_shard_options left behind.
+    shard_options.slo = slo_.get();
+    shard_options.health = health_.get();
+    shard_options.slo_shard = i;
     shards_.push_back(std::make_unique<Shard>(
         this, static_cast<std::uint32_t>(i), std::move(shard_options)));
   }
@@ -55,10 +75,133 @@ TransportServer::TransportServer(ServerOptions options,
     obs_->add_route("/metrics", "text/plain; version=0.0.4",
                     [this] { return metrics_prometheus(); });
     obs_->add_route("/trace", "application/json", [this] {
-      return trace_ != nullptr ? trace_->to_chrome_json()
+      // One lane per shard: sessions render under their home shard's
+      // pid, cross-session records under a synthetic "connections" lane.
+      return trace_ != nullptr ? trace_->to_chrome_json(shards_.size())
                                : std::string("{\"traceEvents\": []}");
     });
+    obs_->add_route("/sessions", "application/json",
+                    [this] { return sessions_json(); });
+    if (health_ != nullptr) {
+      obs_->add_handler("/healthz", [this](const std::string& method) {
+        if (method != "GET") {
+          return ObsEndpoint::Response{405, "text/plain",
+                                       "only GET is served here\n"};
+        }
+        return ObsEndpoint::Response{health_->healthy() ? 200 : 503,
+                                     "application/json",
+                                     health_->healthz_json()};
+      });
+      obs_->add_handler("/postmortem", [this](const std::string& method) {
+        if (method != "POST") {
+          return ObsEndpoint::Response{405, "text/plain",
+                                       "POST here to capture a bundle\n"};
+        }
+        const obs::PostmortemEngine::CaptureResult result =
+            postmortem_->capture("manual");
+        std::string body = "{\"written\": ";
+        body += result.written ? "true" : "false";
+        body += ", \"suppressed\": ";
+        body += result.suppressed ? "true" : "false";
+        body += ", \"capped\": ";
+        body += result.capped ? "true" : "false";
+        body += ", \"path\": \"" + result.path + "\"}\n";
+        return ObsEndpoint::Response{result.written ? 200 : 503,
+                                     "application/json", std::move(body)};
+      });
+    }
   }
+}
+
+void TransportServer::build_health_plane(service::Clock* clock) {
+  obs::SloTracker::Options slo_options;
+  slo_options.num_shards = options_.num_shards;
+  slo_options.window = options_.slo_window;
+  slo_ = std::make_unique<obs::SloTracker>(slo_options);
+
+  obs::HealthMonitor::Options health_options;
+  health_options.num_shards = options_.num_shards;
+  health_options.clock = clock;
+  health_options.stall_after = options_.health_stall_after;
+  health_options.unhealthy_after = options_.health_unhealthy_after;
+  health_ = std::make_unique<obs::HealthMonitor>(health_options);
+
+  obs::PostmortemEngine::Options pm_options;
+  pm_options.dir = options_.postmortem_dir;
+  pm_options.clock = clock;
+  postmortem_ = std::make_unique<obs::PostmortemEngine>(pm_options);
+
+  // Bundle sections, capture order. Every producer reads atomics or
+  // takes the same snapshots the scrape surfaces take, so capture is
+  // safe from the watchdog timer (shard 0's loop) or any caller of
+  // POST /postmortem's handler.
+  postmortem_->add_section("config", [this] {
+    std::string out = "{\"num_shards\": " +
+                      std::to_string(options_.num_shards) +
+                      ", \"stripe_sessions\": " +
+                      (options_.stripe_sessions ? "true" : "false") +
+                      ", \"enable_channels\": " +
+                      (options_.enable_channels ? "true" : "false") +
+                      ", \"enable_authority\": " +
+                      (options_.enable_authority ? "true" : "false") +
+                      ", \"health_check_interval_ms\": " +
+                      std::to_string(options_.health_check_interval.count()) +
+                      ", \"health_stall_after_ms\": " +
+                      std::to_string(options_.health_stall_after.count()) +
+                      ", \"health_unhealthy_after\": " +
+                      std::to_string(options_.health_unhealthy_after) +
+                      ", \"slo_window\": " +
+                      std::to_string(options_.slo_window) + "}";
+    return out;
+  });
+  postmortem_->add_section("health", [this] {
+    return health_->healthz_json();
+  });
+  postmortem_->add_section("slo", [this] { return slo_->to_json(); });
+  postmortem_->add_section("sessions", [this] { return sessions_json(); });
+  postmortem_->add_section("metrics", [this] { return metrics_json(); });
+  postmortem_->add_section("per_shard_metrics", [this] {
+    std::string out = "[";
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += shards_[i]->service().metrics_json();
+    }
+    out += "]";
+    return out;
+  });
+  postmortem_->add_section("trace", [this] {
+    return trace_ != nullptr ? trace_->to_chrome_json(shards_.size())
+                             : std::string("{\"traceEvents\": []}");
+  });
+
+  if (options_.postmortem_on_stall) {
+    health_->set_on_stall([this](const obs::HealthMonitor::Stall& stall) {
+      // Capture once per cell, at the kUnhealthy transition — the
+      // kDegraded step may still recover and the engine's max_bundles
+      // cap is better spent on confirmed stalls.
+      if (stall.state != obs::HealthState::kUnhealthy) return;
+      std::string reason = "stall-";
+      reason += obs::to_string(stall.component);
+      reason += "-shard";
+      reason += std::to_string(stall.shard);
+      (void)postmortem_->capture(reason);
+    });
+  }
+}
+
+void TransportServer::arm_health_timer() {
+  shards_.front()->loop().add_timer(options_.health_check_interval,
+                                    [this] { health_check_pass(); });
+}
+
+void TransportServer::health_check_pass() {
+  if (stopping_.load(std::memory_order_acquire)) return;
+  if (options_.postmortem_on_sigterm &&
+      obs::PostmortemEngine::consume_sigterm()) {
+    (void)postmortem_->capture("sigterm");
+  }
+  (void)health_->check();  // on_stall fires inline on transitions
+  arm_health_timer();      // timers are one-shot; re-arm from the loop
 }
 
 TransportServer::~TransportServer() { shutdown(); }
@@ -75,6 +218,12 @@ void TransportServer::start() {
                                    [this](std::uint32_t) { accept_ready(); });
     if (obs_ != nullptr) obs_->start();
     for (auto& shard : shards_) shard->arm_expire_timer();
+    if (health_ != nullptr) {
+      if (options_.postmortem_on_sigterm) {
+        obs::PostmortemEngine::install_sigterm_trigger();
+      }
+      arm_health_timer();
+    }
     for (auto& shard : shards_) {
       shard->start_threads();
       ++shards_running;
@@ -183,7 +332,19 @@ void TransportServer::broadcast_rekey_locked(const cgkd::RekeyMessage& msg) {
   service::ServiceMetrics& m0 = shards_.front()->service().metrics();
   m0.authority_rekeys.fetch_add(1, std::memory_order_relaxed);
   m0.authority_rekey_bytes.fetch_add(msg.size(), std::memory_order_relaxed);
-  for (auto& shard : shards_) shard->authority_hub().broadcast(encoded);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    shards_[i]->authority_hub().broadcast(encoded);
+    if (slo_ != nullptr) {
+      // Rekey-propagation lag, per shard: engine op done -> this shard's
+      // fan-out queued on every subscriber. The epoch rides as the
+      // exemplar (rekeys have no sid).
+      const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0);
+      slo_->record(i, obs::SloDimension::kRekeyLag,
+                   static_cast<std::uint64_t>(us.count()), msg.epoch);
+    }
+  }
 }
 
 cgkd::RekeyMessage TransportServer::authority_join(cgkd::MemberId id) {
@@ -328,6 +489,13 @@ service::ServiceMetrics::Gauges TransportServer::merged_gauges() const {
   g.precomp_tables = cache.size();
   g.precomp_hits = cache.hits();
   g.precomp_misses = cache.misses();
+  if (trace_ != nullptr) {
+    // One recorder is shared by every shard: set once, never summed
+    // (each shard's own surface already reports the full recorder).
+    g.trace_recorded = trace_->recorded();
+    g.trace_dropped = trace_->dropped();
+    g.trace_sampling_skipped = trace_->sampling_skipped();
+  }
   if (authority_ != nullptr) {
     // Process-wide engine values are set once (like the precomp cache),
     // never summed across shards; subscriptions live per shard and sum.
@@ -350,7 +518,11 @@ std::string TransportServer::metrics_json() const {
 }
 
 std::string TransportServer::metrics_prometheus() const {
-  if (shards_.size() == 1) {
+  // The single-service fast path is also the N=1 byte-identity
+  // guarantee — taken only while nothing (health plane, scrape
+  // self-metrics) would add series the lone service cannot know about.
+  if (shards_.size() == 1 && health_ == nullptr && slo_ == nullptr &&
+      obs_ == nullptr) {
     return shards_.front()->service().metrics_prometheus();
   }
   service::ServiceMetrics merged;
@@ -359,9 +531,13 @@ std::string TransportServer::metrics_prometheus() const {
   }
   obs::MetricsSnapshot snapshot = merged.snapshot(merged_gauges());
   // Per-shard series, name-major so each name gets one HELP/TYPE block.
+  // Suppressed at N=1 (a lone shard's breakdown is the merged block
+  // repeated) — the merged path still runs then for the health-plane
+  // and scrape series below.
   auto label = [](std::size_t i) { return "shard=\"" + std::to_string(i) + "\""; };
   auto per_shard = [&](const char* name, const char* help, bool gauge,
                        auto value_of) {
+    if (shards_.size() == 1) return;
     for (std::size_t i = 0; i < shards_.size(); ++i) {
       snapshot.scalars.push_back(
           {name, help, gauge, value_of(*shards_[i]), label(i)});
@@ -415,7 +591,72 @@ std::string TransportServer::metrics_prometheus() const {
             [&](const Shard& s) {
               return counter(s.service().metrics().authority_rekeys_relayed);
             });
+  if (slo_ != nullptr) slo_->fill_snapshot(&snapshot);
+  if (health_ != nullptr) health_->fill_snapshot(&snapshot);
+  if (obs_ != nullptr) {
+    // Scrape self-metrics: the endpoint watching itself. Name-major so
+    // each name renders one HELP/TYPE block.
+    const std::vector<ObsEndpoint::ScrapeStat> stats = obs_->scrape_stats();
+    auto path_label = [](const std::string& path) {
+      return "path=\"" + path + "\"";
+    };
+    for (const auto& row : stats) {
+      snapshot.scalars.push_back({"shs_obs_scrape_requests_total",
+                                  "Scrape requests served per route",
+                                  /*gauge=*/false, row.requests,
+                                  path_label(row.path)});
+    }
+    for (const auto& row : stats) {
+      snapshot.scalars.push_back({"shs_obs_scrape_duration_us_total",
+                                  "Cumulative scrape handler time per route",
+                                  /*gauge=*/false, row.duration_us,
+                                  path_label(row.path)});
+    }
+    for (const auto& row : stats) {
+      snapshot.scalars.push_back({"shs_obs_scrape_bytes_total",
+                                  "Cumulative scrape body bytes per route",
+                                  /*gauge=*/false, row.bytes,
+                                  path_label(row.path)});
+    }
+  }
   return obs::prometheus_text(snapshot);
+}
+
+std::string TransportServer::sessions_json() const {
+  std::string out = "{\"sessions\": [";
+  bool first = true;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    for (const service::SessionInfo& info :
+         shards_[i]->service().session_infos()) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "  {\"sid\": " + std::to_string(info.sid) +
+             ", \"shard\": " + std::to_string(i) + ", \"state\": \"" +
+             service::to_string(info.state) +
+             "\", \"round\": " + std::to_string(info.round) +
+             ", \"total_rounds\": " + std::to_string(info.total_rounds) +
+             ", \"m\": " + std::to_string(info.m) +
+             ", \"age_ms\": " + std::to_string(info.age_ms) +
+             ", \"deadline_slack_ms\": " +
+             std::to_string(info.deadline_slack_ms) + "}";
+    }
+  }
+  out += first ? "]}\n" : "\n]}\n";
+  obs::audit_output(out, "sessions");
+  return out;
+}
+
+void TransportServer::debug_wedge_pump(std::size_t shard) {
+  shards_.at(shard)->set_wedged(true);
+  // The signal marks pump work pending and wakes the worker into the
+  // wedge spin: the watchdog then sees work owed with no beats — a
+  // stall, not idleness.
+  shards_.at(shard)->signal_pump();
+}
+
+void TransportServer::debug_unwedge_pump(std::size_t shard) {
+  shards_.at(shard)->set_wedged(false);
+  shards_.at(shard)->signal_pump();
 }
 
 void TransportServer::shutdown() {

@@ -57,6 +57,8 @@
 
 #include "authority/engine.h"
 #include "core/handshake.h"
+#include "obs/health.h"
+#include "obs/postmortem.h"
 #include "service/service.h"
 #include "transport/connection.h"
 #include "transport/event_loop.h"
@@ -126,12 +128,41 @@ struct ServerOptions {
   bool enable_authority = false;
   /// Scheme, capacity and DRBG seed of the hosted engine.
   authority::AuthorityOptions authority_options;
-  /// Serve GET /metrics (Prometheus text, merged across shards) and GET
-  /// /trace (Chrome trace JSON) from a second listener on shard 0's
-  /// event loop — no extra threads. Disabled by default.
+  /// Serve GET /metrics (Prometheus text, merged across shards), GET
+  /// /trace (Chrome trace JSON, one lane per shard) and GET /sessions
+  /// (live-session introspection rows) from a second listener on shard
+  /// 0's event loop — no extra threads. With the health plane enabled
+  /// the endpoint also serves GET /healthz (200/503) and POST
+  /// /postmortem. Disabled by default.
   bool obs_endpoint = false;
   std::string obs_address = "127.0.0.1";
   std::uint16_t obs_port = 0;  // 0 = ephemeral; read back with obs_port()
+  /// Health plane (DESIGN.md §15): one SloTracker + HealthMonitor over
+  /// every shard (handed to services, hubs and batch verifiers), a
+  /// watchdog check timer on shard 0's loop, and a PostmortemEngine
+  /// fired by stall transitions, SIGTERM or POST /postmortem. Off by
+  /// default: no heartbeat stamping, and the N=1 export surfaces stay
+  /// byte-identical to the single service's.
+  bool health_enabled = false;
+  /// Cadence of the watchdog check pass (service clock — a ManualClock
+  /// drives the state machine deterministically in tests).
+  std::chrono::milliseconds health_check_interval{250};
+  /// A component owing a beat whose last beat is older than this is
+  /// stalled. Must comfortably exceed the event-loop tick (100ms).
+  std::chrono::milliseconds health_stall_after{1000};
+  /// Consecutive stalled checks before kDegraded escalates to
+  /// kUnhealthy (and, by default, a postmortem bundle is captured).
+  std::uint32_t health_unhealthy_after = 2;
+  /// Samples per (shard, dimension) SLO quantile window.
+  std::size_t slo_window = obs::QuantileSketch::kDefaultWindow;
+  /// Where postmortem bundles land (created on first capture).
+  std::string postmortem_dir = "postmortems";
+  /// Capture a bundle when a cell transitions into kUnhealthy.
+  bool postmortem_on_stall = true;
+  /// Install a process-wide SIGTERM flag handler; the watchdog timer
+  /// polls it and captures a "sigterm" bundle. Off by default (tests
+  /// must not steal each other's signal dispositions).
+  bool postmortem_on_sigterm = false;
 };
 
 class TransportServer {
@@ -225,10 +256,38 @@ class TransportServer {
   /// Merged export surfaces: per-shard counters folded into one block
   /// (ServiceMetrics::merge_from + LatencyHistogram::merge), gauges
   /// summed. With num_shards = 1 these delegate to the single service,
-  /// byte-identical to its own exports. The Prometheus surface appends
-  /// per-shard `shs_shard_*{shard="i"}` series when num_shards > 1.
+  /// byte-identical to its own exports (the Prometheus surface only so
+  /// long as no health plane or scrape endpoint adds series). The
+  /// Prometheus surface appends per-shard `shs_shard_*{shard="i"}`
+  /// series when num_shards > 1, and shs_slo_* / shs_shard_health /
+  /// shs_obs_scrape_* series when the corresponding plane is live.
   [[nodiscard]] std::string metrics_json() const;
   [[nodiscard]] std::string metrics_prometheus() const;
+
+  /// The health plane; null unless options.health_enabled.
+  [[nodiscard]] obs::SloTracker* slo() noexcept { return slo_.get(); }
+  [[nodiscard]] obs::HealthMonitor* health() noexcept {
+    return health_.get();
+  }
+  [[nodiscard]] obs::PostmortemEngine* postmortem() noexcept {
+    return postmortem_.get();
+  }
+  /// True when every (shard, component) watchdog cell is kOk — also
+  /// true with the health plane off (nothing is watching).
+  [[nodiscard]] bool healthy() const noexcept {
+    return health_ == nullptr || health_->healthy();
+  }
+  /// Body of GET /sessions: every shard's live-session introspection
+  /// rows (sid, shard, phase, rounds, age, deadline slack — ids, enums
+  /// and durations only), sid order within each shard.
+  [[nodiscard]] std::string sessions_json() const;
+
+  /// Crash-drill injection: wedges (or releases) one shard's pump worker
+  /// so the stall watchdog has something real to catch. Wedging also
+  /// signals the pump so the watchdog sees work *pending* — a wedge, not
+  /// idleness. Test/drill surface only.
+  void debug_wedge_pump(std::size_t shard);
+  void debug_unwedge_pump(std::size_t shard);
 
   /// Graceful shutdown; idempotent; not callable from a loop thread.
   void shutdown();
@@ -263,10 +322,23 @@ class TransportServer {
   /// Caller holds authority_mu_.
   void broadcast_rekey_locked(const cgkd::RekeyMessage& msg);
 
+  /// Builds the health plane (tracker, monitor, postmortem engine and
+  /// its sections). Ctor helper; runs before the shards are built.
+  void build_health_plane(service::Clock* clock);
+  /// (Re-)arms the watchdog check timer on shard 0's loop.
+  void arm_health_timer();
+  /// One watchdog pass: SIGTERM poll, check(), re-arm.
+  void health_check_pass();
+
   ServerOptions options_;
   SessionFactory factory_;
   std::function<void(std::uint64_t, service::SessionState)> user_terminal_;
   obs::TraceRecorder* trace_ = nullptr;  // borrowed via ServiceOptions
+  // Health plane: built before the shards (they borrow the pointers),
+  // so declared before shards_ to destruct after them.
+  std::unique_ptr<obs::SloTracker> slo_;
+  std::unique_ptr<obs::HealthMonitor> health_;
+  std::unique_ptr<obs::PostmortemEngine> postmortem_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<ObsEndpoint> obs_;
 

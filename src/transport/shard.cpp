@@ -1,6 +1,8 @@
 #include "transport/shard.h"
 
+#include <chrono>
 #include <future>
+#include <thread>
 #include <utility>
 
 #include "channel/keys.h"
@@ -26,8 +28,18 @@ Shard::Shard(TransportServer* server, std::uint32_t index,
       index_(index),
       egress_(std::make_unique<Egress>(this)),
       trace_(service_options.trace),
+      health_(service_options.health),
       limits_(server->options_.limits),
       loop_(server->options_.backend, service_options.clock) {
+  if (health_ != nullptr) {
+    // The loop heartbeat: run(tick) guarantees a run_once() pass (and
+    // therefore a beat) at least once per tick even when idle, which is
+    // why the checker treats kEventLoop as always owing beats.
+    loop_.set_tick_hook([this] {
+      health_->beat(index_, obs::HealthComponent::kEventLoop);
+    });
+  }
+  obs::SloTracker* slo = service_options.slo;
   service_options.egress = egress_.get();
   service_options.on_terminal = [this](std::uint64_t sid,
                                        service::SessionState state) {
@@ -35,9 +47,10 @@ Shard::Shard(TransportServer* server, std::uint32_t index,
   };
   service_ = std::make_unique<service::RendezvousService>(
       std::move(service_options));
-  hub_ = std::make_unique<ChannelHub>(server, &service_->metrics(), trace_);
-  authority_hub_ =
-      std::make_unique<AuthorityHub>(server, &service_->metrics());
+  hub_ = std::make_unique<ChannelHub>(server, &service_->metrics(), trace_,
+                                      index_, slo);
+  authority_hub_ = std::make_unique<AuthorityHub>(
+      server, &service_->metrics(), index_, health_);
   // This shard's export surfaces gauge its own sockets; the server sums
   // the per-shard gauges for the merged exposition.
   service_->set_connection_gauge([this] {
@@ -305,6 +318,9 @@ void Shard::enqueue_open(ConnRef from, std::uint32_t tag, Bytes payload) {
   {
     const std::lock_guard<std::mutex> lock(work_mu_);
     opens_.push_back(OpenJob{from, tag, std::move(payload)});
+    if (health_ != nullptr) {
+      health_->set_pending(index_, obs::HealthComponent::kPump, true);
+    }
   }
   work_cv_.notify_one();
 }
@@ -313,6 +329,9 @@ void Shard::enqueue_remote_frame(ConnRef from, service::Frame frame) {
   {
     const std::lock_guard<std::mutex> lock(work_mu_);
     remote_frames_.push_back(RemoteFrame{from, std::move(frame)});
+    if (health_ != nullptr) {
+      health_->set_pending(index_, obs::HealthComponent::kPump, true);
+    }
   }
   work_cv_.notify_one();
 }
@@ -321,6 +340,9 @@ void Shard::signal_pump() {
   {
     const std::lock_guard<std::mutex> lock(work_mu_);
     pump_requested_ = true;
+    if (health_ != nullptr) {
+      health_->set_pending(index_, obs::HealthComponent::kPump, true);
+    }
   }
   work_cv_.notify_one();
 }
@@ -365,6 +387,21 @@ void Shard::worker_loop() {
              !remote_frames_.empty();
     });
     if (stop_worker_) return;
+    if (wedged_.load(std::memory_order_acquire)) {
+      // Crash drill: hold the accepted work without touching it. The
+      // pending flag stays raised and no beat is stamped, which is the
+      // exact signature the watchdog classifies as a stalled pump.
+      lock.unlock();
+      while (wedged_.load(std::memory_order_acquire)) {
+        {
+          const std::lock_guard<std::mutex> stop_check(work_mu_);
+          if (stop_worker_) return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      lock.lock();
+      continue;
+    }
     std::deque<OpenJob> opens;
     opens.swap(opens_);
     std::deque<RemoteFrame> remotes;
@@ -381,6 +418,16 @@ void Shard::worker_loop() {
     drain_deferred_closes();
 
     lock.lock();
+    if (health_ != nullptr) {
+      // End-of-pass accounting under work_mu_: clear pending only if
+      // nothing arrived while the pass ran (a mid-pass wedge therefore
+      // leaves pending raised with an aging beat — detectable), then
+      // stamp the pass as progress.
+      if (opens_.empty() && remote_frames_.empty() && !pump_requested_) {
+        health_->set_pending(index_, obs::HealthComponent::kPump, false);
+      }
+      health_->beat(index_, obs::HealthComponent::kPump);
+    }
   }
 }
 

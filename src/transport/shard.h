@@ -147,6 +147,17 @@ class Shard {
   /// be called from this shard's loop thread.
   void run_on_loop(std::function<void()> fn);
 
+  /// Crash-drill injection: while wedged, the pump worker spins without
+  /// servicing its queues — exactly the failure shape the watchdog
+  /// exists to catch (work pending, no heartbeat). stop_worker() still
+  /// wins, so shutdown drains normally. Any thread.
+  void set_wedged(bool wedged) noexcept {
+    wedged_.store(wedged, std::memory_order_release);
+  }
+  [[nodiscard]] bool wedged() const noexcept {
+    return wedged_.load(std::memory_order_acquire);
+  }
+
  private:
   struct OpenJob {
     ConnRef from;
@@ -170,7 +181,8 @@ class Shard {
   TransportServer* server_;  // never null; owns this shard
   const std::uint32_t index_;
   std::unique_ptr<Egress> egress_;
-  obs::TraceRecorder* trace_ = nullptr;  // borrowed via ServiceOptions
+  obs::TraceRecorder* trace_ = nullptr;   // borrowed via ServiceOptions
+  obs::HealthMonitor* health_ = nullptr;  // borrowed via ServiceOptions
   ConnectionLimits limits_;
   std::unique_ptr<service::RendezvousService> service_;
   std::unique_ptr<ChannelHub> hub_;
@@ -194,6 +206,7 @@ class Shard {
   std::deque<RemoteFrame> remote_frames_;
   bool pump_requested_ = false;
   bool stop_worker_ = false;
+  std::atomic<bool> wedged_{false};
 
   std::mutex close_mu_;
   std::vector<std::uint64_t> deferred_close_;

@@ -1,0 +1,264 @@
+// The health plane's deterministic core: QuantileSketch window/exemplar
+// mechanics, the SloTracker's name-major Prometheus series, and the
+// HealthMonitor watchdog state machine under a ManualClock — the two
+// properties that make the watchdog trustworthy are pinned here: an
+// idle-but-responsive shard NEVER flips unhealthy no matter how long it
+// idles, and a wedged component (work pending, no beats) flips within
+// one check interval.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/health.h"
+#include "service/clock.h"
+
+namespace shs::obs {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::seconds;
+
+TEST(QuantileSketch, EmptyWindowIsAllZero) {
+  QuantileSketch sketch(16);
+  const auto s = sketch.summarize();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.window, 0u);
+  EXPECT_EQ(s.p50.value_us, 0u);
+  EXPECT_EQ(s.p999.exemplar_sid, 0u);
+}
+
+TEST(QuantileSketch, QuantilesCarryTheirExemplarSid) {
+  QuantileSketch sketch(128);
+  // 100 samples 1..100us, sid = value * 10 so the exemplar is checkable.
+  for (std::uint64_t v = 1; v <= 100; ++v) sketch.record(v, v * 10);
+  const auto s = sketch.summarize();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.window, 100u);
+  // pick() rounds (permille * (n-1) + 500) / 1000 over the sorted window.
+  EXPECT_EQ(s.p50.value_us, 51u);
+  EXPECT_EQ(s.p50.exemplar_sid, 510u);
+  EXPECT_EQ(s.p95.value_us, 95u);
+  EXPECT_EQ(s.p95.exemplar_sid, 950u);
+  EXPECT_EQ(s.p99.value_us, 99u);
+  EXPECT_EQ(s.p999.value_us, 100u);
+  EXPECT_EQ(s.p999.exemplar_sid, 1000u);
+}
+
+TEST(QuantileSketch, WindowSlidesOverOldSamples) {
+  QuantileSketch sketch(8);  // power of two, 8 slots
+  for (std::uint64_t v = 0; v < 100; ++v) sketch.record(1000, 1);
+  for (std::uint64_t v = 0; v < 8; ++v) sketch.record(5, 42);
+  const auto s = sketch.summarize();
+  EXPECT_EQ(s.count, 108u);
+  EXPECT_EQ(s.window, 8u);  // only the last 8 survive
+  EXPECT_EQ(s.p999.value_us, 5u);
+  EXPECT_EQ(s.p999.exemplar_sid, 42u);
+}
+
+TEST(QuantileSketch, ConcurrentWritersNeverTearTheSummary) {
+  QuantileSketch sketch(64);
+  std::vector<std::thread> writers;
+  writers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&sketch, t] {
+      for (std::uint64_t i = 0; i < 5000; ++i) {
+        // Every thread writes value == sid so a torn slot that slipped
+        // through the seqlock check would show up as a mismatch.
+        const std::uint64_t v = static_cast<std::uint64_t>(t) * 10000 + i;
+        sketch.record(v, v);
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    const auto s = sketch.summarize();
+    EXPECT_EQ(s.p50.value_us, s.p50.exemplar_sid);
+    EXPECT_EQ(s.p999.value_us, s.p999.exemplar_sid);
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(sketch.count(), 20000u);
+}
+
+TEST(SloTracker, FillSnapshotIsNameMajorWithExemplarSeries) {
+  SloTracker tracker({.num_shards = 2, .window = 16});
+  tracker.record(0, SloDimension::kHandshake, 250, 7);
+  tracker.record(1, SloDimension::kChannelRelay, 40, 12);
+
+  MetricsSnapshot snap;
+  tracker.fill_snapshot(&snap);
+  // 2 shards x 4 dims x 4 quantiles for each of the two paired series,
+  // plus one samples_total per (shard, dim).
+  ASSERT_EQ(snap.scalars.size(), 2u * 4u * 4u * 2u + 2u * 4u);
+
+  // Name-major: all latency rows, then all exemplar rows, then counts.
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(snap.scalars[i].name, "shs_slo_latency_us") << i;
+  }
+  for (std::size_t i = 32; i < 64; ++i) {
+    EXPECT_EQ(snap.scalars[i].name, "shs_slo_exemplar_sid") << i;
+  }
+  for (std::size_t i = 64; i < 72; ++i) {
+    EXPECT_EQ(snap.scalars[i].name, "shs_slo_samples_total") << i;
+  }
+
+  // The handshake sample surfaces with its sid as the paired exemplar.
+  bool found = false;
+  for (const auto& e : snap.scalars) {
+    if (e.name == "shs_slo_exemplar_sid" &&
+        e.labels == "shard=\"0\",dim=\"handshake\",q=\"p50\"") {
+      EXPECT_EQ(e.value, 7u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SloTracker, ToJsonNestsShardThenDimension) {
+  SloTracker tracker({.num_shards = 1, .window = 8});
+  tracker.record(0, SloDimension::kRekeyLag, 99, 3);
+  const std::string json = tracker.to_json();
+  EXPECT_NE(json.find("\"shard0\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"rekey_lag\":{\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"p999\":{\"us\":99,\"sid\":3}"), std::string::npos);
+}
+
+class HealthMonitorTest : public ::testing::Test {
+ protected:
+  HealthMonitorTest()
+      : monitor_({.num_shards = 2,
+                  .clock = &clock_,
+                  .stall_after = milliseconds(1000),
+                  .unhealthy_after = 2}) {}
+
+  service::ManualClock clock_;
+  HealthMonitor monitor_;
+};
+
+TEST_F(HealthMonitorTest, FreshMonitorIsHealthy) {
+  EXPECT_TRUE(monitor_.healthy());
+  EXPECT_EQ(monitor_.overall(), HealthState::kOk);
+  EXPECT_TRUE(monitor_.check().empty());
+}
+
+TEST_F(HealthMonitorTest, IdleComponentsNeverFlipNoMatterHowLong) {
+  // Hours pass; the event loop keeps ticking but the pump, verifier and
+  // authority hub never beat — and never raised pending. Idle, not
+  // stalled: the watchdog must stay green.
+  for (int i = 0; i < 100; ++i) {
+    clock_.advance(std::chrono::minutes(6));
+    monitor_.beat(0, HealthComponent::kEventLoop);
+    monitor_.beat(1, HealthComponent::kEventLoop);
+    EXPECT_TRUE(monitor_.check().empty());
+    EXPECT_TRUE(monitor_.healthy());
+  }
+}
+
+TEST_F(HealthMonitorTest, SilentEventLoopStallsEvenWhenIdle) {
+  // The loop is "always beats": run(tick) guarantees a pass per tick, so
+  // silence IS a stall regardless of pending work.
+  clock_.advance(milliseconds(1500));
+  monitor_.beat(1, HealthComponent::kEventLoop);  // shard 1 is fine
+  const auto stalls = monitor_.check();
+  ASSERT_EQ(stalls.size(), 1u);
+  EXPECT_EQ(stalls[0].shard, 0u);
+  EXPECT_EQ(stalls[0].component, HealthComponent::kEventLoop);
+  EXPECT_EQ(stalls[0].state, HealthState::kDegraded);
+  EXPECT_FALSE(monitor_.healthy());
+}
+
+TEST_F(HealthMonitorTest, WedgedPumpFlipsWithinOneCheckAndEscalates) {
+  monitor_.set_pending(0, HealthComponent::kPump, true);
+  clock_.advance(milliseconds(1001));  // just past stall_after
+  monitor_.beat(0, HealthComponent::kEventLoop);
+  monitor_.beat(1, HealthComponent::kEventLoop);
+
+  // First check past the threshold: degraded immediately.
+  auto stalls = monitor_.check();
+  ASSERT_EQ(stalls.size(), 1u);
+  EXPECT_EQ(stalls[0].component, HealthComponent::kPump);
+  EXPECT_EQ(stalls[0].state, HealthState::kDegraded);
+  EXPECT_EQ(monitor_.overall(), HealthState::kDegraded);
+
+  // Second consecutive miss: unhealthy (unhealthy_after = 2).
+  clock_.advance(milliseconds(200));
+  monitor_.beat(0, HealthComponent::kEventLoop);
+  monitor_.beat(1, HealthComponent::kEventLoop);
+  stalls = monitor_.check();
+  ASSERT_EQ(stalls.size(), 1u);
+  EXPECT_EQ(stalls[0].state, HealthState::kUnhealthy);
+  EXPECT_EQ(monitor_.state(0, HealthComponent::kPump),
+            HealthState::kUnhealthy);
+  EXPECT_EQ(monitor_.stalls_detected(), 1u);  // one cell left ok once
+
+  // A transition is reported once, not on every subsequent check.
+  clock_.advance(milliseconds(200));
+  monitor_.beat(0, HealthComponent::kEventLoop);
+  monitor_.beat(1, HealthComponent::kEventLoop);
+  EXPECT_TRUE(monitor_.check().empty());
+}
+
+TEST_F(HealthMonitorTest, BeatOrDrainRecovers) {
+  monitor_.set_pending(0, HealthComponent::kBatchVerifier, true);
+  clock_.advance(milliseconds(1500));
+  monitor_.beat(0, HealthComponent::kEventLoop);
+  monitor_.beat(1, HealthComponent::kEventLoop);
+  ASSERT_EQ(monitor_.check().size(), 1u);
+  EXPECT_FALSE(monitor_.healthy());
+
+  // The verifier flushes: beat + pending cleared. Next check heals.
+  monitor_.beat(0, HealthComponent::kBatchVerifier);
+  monitor_.set_pending(0, HealthComponent::kBatchVerifier, false);
+  EXPECT_TRUE(monitor_.check().empty());  // recovery is not a "stall"
+  EXPECT_TRUE(monitor_.healthy());
+  EXPECT_EQ(monitor_.state(0, HealthComponent::kBatchVerifier),
+            HealthState::kOk);
+}
+
+TEST_F(HealthMonitorTest, OnStallFiresOncePerTransition) {
+  std::vector<HealthMonitor::Stall> seen;
+  monitor_.set_on_stall(
+      [&seen](const HealthMonitor::Stall& s) { seen.push_back(s); });
+  monitor_.set_pending(1, HealthComponent::kAuthorityHub, true);
+  for (int i = 0; i < 4; ++i) {
+    clock_.advance(milliseconds(1100));
+    monitor_.beat(0, HealthComponent::kEventLoop);
+    monitor_.beat(1, HealthComponent::kEventLoop);
+    monitor_.check();
+  }
+  // degraded then unhealthy — and silence afterwards.
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].state, HealthState::kDegraded);
+  EXPECT_EQ(seen[1].state, HealthState::kUnhealthy);
+  EXPECT_EQ(seen[1].shard, 1u);
+  EXPECT_EQ(seen[1].component, HealthComponent::kAuthorityHub);
+}
+
+TEST_F(HealthMonitorTest, HealthzJsonNamesTheSickCells) {
+  EXPECT_NE(monitor_.healthz_json().find("\"status\":\"ok\""),
+            std::string::npos);
+  monitor_.set_pending(0, HealthComponent::kPump, true);
+  clock_.advance(milliseconds(1200));
+  monitor_.beat(0, HealthComponent::kEventLoop);
+  monitor_.beat(1, HealthComponent::kEventLoop);
+  monitor_.check();
+  const std::string json = monitor_.healthz_json();
+  EXPECT_NE(json.find("\"status\":\"degraded\""), std::string::npos);
+  EXPECT_NE(json.find("{\"shard\":0,\"component\":\"pump\",\"state\":"
+                      "\"degraded\"}"),
+            std::string::npos);
+}
+
+TEST_F(HealthMonitorTest, FillSnapshotExportsEveryCell) {
+  MetricsSnapshot snap;
+  monitor_.fill_snapshot(&snap);
+  // 2 shards x 4 components + checks + stalls counters.
+  ASSERT_EQ(snap.scalars.size(), 2u * 4u + 2u);
+  EXPECT_EQ(snap.scalars[0].name, "shs_shard_health");
+  EXPECT_EQ(snap.scalars[0].labels, "shard=\"0\",component=\"event_loop\"");
+  EXPECT_EQ(snap.scalars.back().name, "shs_health_stalls_detected_total");
+}
+
+}  // namespace
+}  // namespace shs::obs

@@ -117,6 +117,41 @@ TEST(ObsEndpoint, RejectsUnknownPathsAndMethods) {
   server.shutdown();
 }
 
+TEST(ObsEndpoint, ContentLengthAndScrapeSelfMetrics) {
+  ServerOptions so;
+  so.obs_endpoint = true;
+  TransportServer server(so, service::ServiceOptions{}, group_factory());
+  server.start();
+
+  // Every response — including errors — carries an accurate
+  // Content-Length (curl -f and scrapers depend on it).
+  for (const char* path : {"/metrics", "/trace", "/sessions", "/missing"}) {
+    const std::string response = get(server.obs_port(), path);
+    const std::size_t pos = response.find("Content-Length: ");
+    ASSERT_NE(pos, std::string::npos) << path;
+    const std::size_t eol = response.find("\r\n", pos);
+    const std::size_t declared = static_cast<std::size_t>(
+        std::stoull(response.substr(pos + 16, eol - pos - 16)));
+    const std::size_t body_start = response.find("\r\n\r\n") + 4;
+    EXPECT_EQ(response.size() - body_start, declared) << path;
+  }
+
+  // The endpoint watches itself: the second scrape reports the first's
+  // per-route counters on the very surface being scraped.
+  const std::string metrics = get(server.obs_port(), "/metrics");
+  EXPECT_NE(
+      metrics.find("shs_obs_scrape_requests_total{path=\"/metrics\"} 1"),
+      std::string::npos);
+  EXPECT_NE(
+      metrics.find("shs_obs_scrape_requests_total{path=\"/trace\"} 1"),
+      std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE shs_obs_scrape_duration_us_total counter"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("shs_obs_scrape_bytes_total{path=\"/sessions\"}"),
+            std::string::npos);
+  server.shutdown();
+}
+
 TEST(ObsEndpoint, DisabledByDefault) {
   TransportServer server(ServerOptions{}, service::ServiceOptions{},
                          group_factory());

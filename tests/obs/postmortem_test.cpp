@@ -1,0 +1,185 @@
+// PostmortemEngine: bundle assembly, the redaction gate, and the
+// deliberate key-leak canary. The canary is the point of the suite — a
+// scanner that never fires is indistinguishable from one that works, so
+// we register a fake secret, leak it through a section producer (raw and
+// hex), and prove the bundle is suppressed before any byte hits disk.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/bytes.h"
+#include "obs/postmortem.h"
+#include "obs/redact.h"
+#include "service/clock.h"
+
+namespace shs::obs {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+/// Fresh temp dir per test so bundle files never collide across tests.
+std::string make_dir(const char* tag) {
+  std::string dir = ::testing::TempDir() + "shs_postmortem_" + tag;
+  // The engine mkdirs on first capture; stale files from a previous run
+  // are removed by unique seq-0 paths being overwritten (trunc).
+  return dir;
+}
+
+/// RAII: the audit is process-global; leave it how we found it.
+struct AuditGuard {
+  AuditGuard() {
+    RedactionAudit::instance().reset();
+    RedactionAudit::instance().enable(true);
+  }
+  ~AuditGuard() {
+    RedactionAudit::instance().reset();
+    RedactionAudit::instance().enable(false);
+  }
+};
+
+TEST(PostmortemEngine, CaptureWritesBundleWithSectionsInOrder) {
+  service::ManualClock clock;
+  clock.advance(std::chrono::nanoseconds(12345));
+  const std::string dir = make_dir("order");
+  PostmortemEngine engine({.dir = dir, .max_bundles = 8, .clock = &clock});
+  engine.add_section("config", [] { return std::string("{\"shards\":2}"); });
+  engine.add_section("health", [] { return std::string("{\"ok\":true}"); });
+
+  const auto result = engine.capture("stall-pump-shard0");
+  EXPECT_TRUE(result.written);
+  EXPECT_FALSE(result.suppressed);
+  EXPECT_FALSE(result.capped);
+  EXPECT_EQ(result.path, dir + "/postmortem-0-stall-pump-shard0.json");
+  EXPECT_TRUE(file_exists(result.path));
+  EXPECT_EQ(slurp(result.path), result.bundle);
+  EXPECT_EQ(result.bundle,
+            "{\"reason\":\"stall-pump-shard0\",\"seq\":0,\"ts_ns\":12345,"
+            "\"sections\":{\"config\":{\"shards\":2},"
+            "\"health\":{\"ok\":true}}}");
+  EXPECT_EQ(engine.captured(), 1u);
+  EXPECT_EQ(engine.suppressed(), 0u);
+}
+
+TEST(PostmortemEngine, ReasonIsSanitizedForTheFilename) {
+  const std::string dir = make_dir("sanitize");
+  PostmortemEngine engine({.dir = dir});
+  const auto result = engine.capture("../evil");
+  ASSERT_TRUE(result.written);
+  // Path traversal characters all collapse to '-'; the JSON body keeps
+  // the original (escaped) reason.
+  EXPECT_EQ(result.path, dir + "/postmortem-0----evil.json");
+  EXPECT_NE(result.bundle.find("\"reason\":\"../evil\""), std::string::npos);
+}
+
+TEST(PostmortemEngine, MaxBundlesCapsDiskWrites) {
+  const std::string dir = make_dir("cap");
+  PostmortemEngine engine({.dir = dir, .max_bundles = 2});
+  EXPECT_TRUE(engine.capture("a").written);
+  EXPECT_TRUE(engine.capture("b").written);
+  const auto third = engine.capture("c");
+  EXPECT_FALSE(third.written);
+  EXPECT_TRUE(third.capped);
+  EXPECT_FALSE(third.bundle.empty());  // bundle still assembled for callers
+  EXPECT_EQ(engine.captured(), 2u);
+}
+
+TEST(PostmortemEngine, DeliberateKeyLeakCanaryIsSuppressed) {
+  AuditGuard audit_guard;
+  const std::string secret = "canary-master-key-0123456789abcdef";
+  RedactionAudit::instance().add_secret(
+      BytesView(reinterpret_cast<const std::uint8_t*>(secret.data()),
+                secret.size()),
+      "canary-key");
+
+  const std::string dir = make_dir("canary");
+  PostmortemEngine engine({.dir = dir});
+  // The leaky section: a producer that (wrongly) serializes the raw key.
+  engine.add_section("leak",
+                     [&secret] { return "\"" + secret + "\""; });
+
+  const auto result = engine.capture("canary");
+  EXPECT_FALSE(result.written);
+  EXPECT_TRUE(result.suppressed);
+  EXPECT_TRUE(result.path.empty());
+  ASSERT_FALSE(result.violations.empty());
+  EXPECT_EQ(result.violations[0].label, "canary-key");
+  EXPECT_EQ(result.violations[0].encoding, "raw");
+  // Nothing reached disk: not under the canary reason, not at all.
+  EXPECT_FALSE(file_exists(dir + "/postmortem-0-canary.json"));
+  EXPECT_EQ(engine.captured(), 0u);
+  EXPECT_EQ(engine.suppressed(), 1u);
+  // The process audit recorded it too (surface = "postmortem").
+  EXPECT_GE(RedactionAudit::instance().violations(), 1u);
+  bool saw_surface = false;
+  for (const auto& v : RedactionAudit::instance().violation_log()) {
+    if (v.surface == "postmortem") saw_surface = true;
+  }
+  EXPECT_TRUE(saw_surface);
+}
+
+TEST(PostmortemEngine, HexEncodedLeakIsAlsoCaught) {
+  AuditGuard audit_guard;
+  const std::string secret = "hex-canary-secret-material";
+  RedactionAudit::instance().add_secret(
+      BytesView(reinterpret_cast<const std::uint8_t*>(secret.data()),
+                secret.size()),
+      "hex-canary");
+
+  std::string hex;
+  static const char* digits = "0123456789abcdef";
+  for (unsigned char c : secret) {
+    hex.push_back(digits[c >> 4]);
+    hex.push_back(digits[c & 0xf]);
+  }
+
+  const std::string dir = make_dir("hex");
+  PostmortemEngine engine({.dir = dir});
+  engine.add_section("leak", [&hex] { return "\"" + hex + "\""; });
+
+  const auto result = engine.capture("hex");
+  EXPECT_TRUE(result.suppressed);
+  ASSERT_FALSE(result.violations.empty());
+  EXPECT_EQ(result.violations[0].encoding, "hex");
+}
+
+TEST(PostmortemEngine, CleanBundlePassesWithAuditEnabled) {
+  AuditGuard audit_guard;
+  const std::string secret = "registered-but-never-leaked-key";
+  RedactionAudit::instance().add_secret(
+      BytesView(reinterpret_cast<const std::uint8_t*>(secret.data()),
+                secret.size()),
+      "quiet-key");
+
+  const std::string dir = make_dir("clean");
+  PostmortemEngine engine({.dir = dir});
+  engine.add_section("metrics", [] { return std::string("{\"opened\":3}"); });
+
+  const auto result = engine.capture("clean");
+  EXPECT_TRUE(result.written);
+  EXPECT_FALSE(result.suppressed);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_TRUE(RedactionAudit::instance().scan(slurp(result.path)).empty());
+}
+
+TEST(PostmortemEngine, ConsumeSigtermIsOneShot) {
+  PostmortemEngine::install_sigterm_trigger();
+  EXPECT_FALSE(PostmortemEngine::consume_sigterm());
+  ::raise(SIGTERM);  // handler only sets the flag — we are still alive
+  EXPECT_TRUE(PostmortemEngine::consume_sigterm());
+  EXPECT_FALSE(PostmortemEngine::consume_sigterm());
+}
+
+}  // namespace
+}  // namespace shs::obs

@@ -95,6 +95,63 @@ TEST(Trace, SamplingKeepsWholeSessionsDeterministically) {
   EXPECT_EQ(records[1].sid, 0u);
 }
 
+TEST(Trace, SamplingSkipsAreCounted) {
+  TraceOptions to;
+  to.capacity = 16;
+  to.sample_every = 2;
+  TraceRecorder trace(to);
+
+  // wants() is a pure query (callers use it to skip attribution work);
+  // only record() calls the filter rejects are counted, so the skip rate
+  // on /metrics reflects actual discarded record attempts.
+  EXPECT_TRUE(trace.wants(2));
+  EXPECT_FALSE(trace.wants(3));
+  EXPECT_EQ(trace.sampling_skipped(), 0u);
+
+  trace.record(TraceEvent::kSessionOpened, 3);
+  trace.record(TraceEvent::kRoundAdvanced, 5);
+  trace.record(TraceEvent::kSessionOpened, 2);  // sampled: kept
+  EXPECT_EQ(trace.recorded(), 1u);
+  EXPECT_EQ(trace.sampling_skipped(), 2u);
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(Trace, ChromeExportWithShardLanesLabelsProcesses) {
+  ManualClock clock;
+  TraceOptions to;
+  to.capacity = 64;
+  to.clock = &clock;
+  TraceRecorder trace(to);
+
+  // sids 1 and 4 home on shards 0 and 1 of a 2-shard server; sid-0
+  // records (connection scope, batch verify) take the extra lane.
+  trace.record(TraceEvent::kSessionOpened, 1);
+  trace.record(TraceEvent::kSessionOpened, 4);
+  trace.record(TraceEvent::kConnAccepted, 0, /*a=*/11);
+
+  const std::string json = trace.to_chrome_json(2);
+  // One process_name metadata event per shard lane plus the
+  // connections lane.
+  EXPECT_NE(json.find("\"name\": \"process_name\", \"ph\": \"M\", "
+                      "\"pid\": 1, \"args\": {\"name\": \"shard 0\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 2, \"args\": {\"name\": \"shard 1\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 3, \"args\": {\"name\": \"connections\"}"),
+            std::string::npos);
+  // pid = 1 + (sid - 1) % num_shards for sessions; N + 1 for sid 0.
+  EXPECT_NE(json.find("\"pid\": 1, \"tid\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 2, \"tid\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 3, \"tid\": 11"), std::string::npos);
+
+  // The legacy (0-shard) export stays exactly the pre-shard shape: no
+  // metadata events, sessions pid 1 / connections pid 2.
+  const std::string legacy = trace.to_chrome_json();
+  EXPECT_EQ(legacy.find("process_name"), std::string::npos);
+  EXPECT_NE(legacy.find("\"pid\": 1, \"tid\": 4"), std::string::npos);
+  EXPECT_NE(legacy.find("\"pid\": 2, \"tid\": 11"), std::string::npos);
+}
+
 // The TSan target: writers on several threads racing the ring (small
 // enough to wrap constantly) while a reader snapshots. Every surviving
 // record must be internally consistent — each writer stores a == b, so a

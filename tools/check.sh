@@ -55,6 +55,14 @@
 # bisection, flush policy, the batched conformance sweep, and the
 # process-wide precomp cache under concurrent acquire) in the same TSan
 # tree — enqueue/flush and cache ensure() are cross-thread by design.
+#
+# Pass --health to additionally run the health-plane suite (ctest -L
+# health: quantile-sketch seqlock under concurrent writers, the
+# ManualClock watchdog state machine, postmortem capture with the
+# deliberate key-leak canary, and the wedged-pump drill over live TCP)
+# in the same TSan tree — heartbeat stamps are relaxed atomics raced by
+# every loop/pump thread against the checker, which is exactly the
+# contract TSan should audit.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -78,6 +86,7 @@ want_batch=0
 want_shard=0
 want_channel=0
 want_authority=0
+want_health=0
 for arg in "$@"; do
   case "$arg" in
     --conformance) want_conformance=1 ;;
@@ -89,6 +98,7 @@ for arg in "$@"; do
     --shard) want_shard=1 ;;
     --channel) want_channel=1 ;;
     --authority) want_authority=1 ;;
+    --health) want_health=1 ;;
     *) echo "check.sh: unknown option '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -157,6 +167,13 @@ if [[ "$want_batch" == 1 ]]; then
   cmake -B build-tsan -S . -DSHS_TSAN=ON >/dev/null
   cmake --build build-tsan -j "$(nproc)" --target batch_test batch_service_test conformance_batch_test
   ctest --test-dir build-tsan --output-on-failure -L batch
+fi
+
+if [[ "$want_health" == 1 ]]; then
+  echo "== health plane under TSan =="
+  cmake -B build-tsan -S . -DSHS_TSAN=ON >/dev/null
+  cmake --build build-tsan -j "$(nproc)" --target health_test health_transport_test
+  ctest --test-dir build-tsan --output-on-failure -L health
 fi
 
 if [[ "$want_obs" == 1 ]]; then
